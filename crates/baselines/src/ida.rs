@@ -1,0 +1,265 @@
+//! Rabin's Information Dispersal Algorithm (IDA) over GF(2⁸).
+//!
+//! Hand and Roscoe's Mnemosyne (cited in §2 of the StegFS paper) improves the
+//! resilience of the random-placement scheme by encoding each hidden file
+//! into `n` cipher-shares such that **any `m` of them** suffice to
+//! reconstruct it, instead of keeping `n` identical replicas.  The encoding
+//! is Rabin's IDA: the data is chopped into groups of `m` bytes which are
+//! interpreted as the coefficients of a degree-`m−1` polynomial; share `j`
+//! stores the polynomial's value at evaluation point `x_j`.  Reconstruction
+//! from any `m` shares solves the corresponding Vandermonde system.
+//!
+//! Storage blow-up is `n / m` (compared with `r` for `r`-way replication),
+//! which is where Mnemosyne's space advantage over plain StegRand comes from.
+
+use crate::gf256;
+use crate::{BaselineError, BaselineResult};
+
+/// An (m, n) information dispersal codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ida {
+    m: usize,
+    n: usize,
+}
+
+/// One share produced by [`Ida::split`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Share {
+    /// Evaluation-point index (1-based; 0 is reserved).
+    pub index: u8,
+    /// Share payload; `ceil(data_len / m)` bytes.
+    pub data: Vec<u8>,
+}
+
+impl Ida {
+    /// Create an (m, n) codec: split into `n` shares, any `m` reconstruct.
+    pub fn new(m: usize, n: usize) -> BaselineResult<Self> {
+        if m == 0 || n == 0 || m > n {
+            return Err(BaselineError::Invalid(format!(
+                "require 0 < m <= n, got m={m}, n={n}"
+            )));
+        }
+        if n > 255 {
+            return Err(BaselineError::Invalid(format!(
+                "at most 255 shares are supported, got n={n}"
+            )));
+        }
+        Ok(Ida { m, n })
+    }
+
+    /// Number of shares required for reconstruction.
+    pub fn threshold(&self) -> usize {
+        self.m
+    }
+
+    /// Number of shares produced.
+    pub fn share_count(&self) -> usize {
+        self.n
+    }
+
+    /// Storage expansion factor `n / m`.
+    pub fn expansion(&self) -> f64 {
+        self.n as f64 / self.m as f64
+    }
+
+    /// Split `data` into `n` shares.
+    pub fn split(&self, data: &[u8]) -> Vec<Share> {
+        let groups = data.len().div_ceil(self.m);
+        let mut shares: Vec<Share> = (0..self.n)
+            .map(|j| Share {
+                index: (j + 1) as u8,
+                data: Vec::with_capacity(groups),
+            })
+            .collect();
+
+        for g in 0..groups {
+            // Coefficients of this group's polynomial (zero padded).
+            let mut coeffs = vec![0u8; self.m];
+            for i in 0..self.m {
+                if let Some(&b) = data.get(g * self.m + i) {
+                    coeffs[i] = b;
+                }
+            }
+            for share in shares.iter_mut() {
+                share.data.push(gf256::poly_eval(&coeffs, share.index));
+            }
+        }
+        shares
+    }
+
+    /// Reconstruct the original data (of known length `data_len`) from any
+    /// `m` or more shares.
+    pub fn reconstruct(&self, shares: &[Share], data_len: usize) -> BaselineResult<Vec<u8>> {
+        if shares.len() < self.m {
+            return Err(BaselineError::Invalid(format!(
+                "need at least {} shares, got {}",
+                self.m,
+                shares.len()
+            )));
+        }
+        let selected = &shares[..self.m];
+        // All selected shares must have distinct indices and equal length.
+        let groups = data_len.div_ceil(self.m);
+        for s in selected {
+            if s.index == 0 {
+                return Err(BaselineError::Invalid("share index 0 is reserved".into()));
+            }
+            if s.data.len() < groups {
+                return Err(BaselineError::Invalid(format!(
+                    "share {} is too short ({} < {groups})",
+                    s.index,
+                    s.data.len()
+                )));
+            }
+        }
+        let mut seen = [false; 256];
+        for s in selected {
+            if seen[s.index as usize] {
+                return Err(BaselineError::Invalid(format!(
+                    "duplicate share index {}",
+                    s.index
+                )));
+            }
+            seen[s.index as usize] = true;
+        }
+
+        // Vandermonde matrix rows: [1, x, x^2, ..., x^(m-1)] for each share.
+        let matrix: Vec<Vec<u8>> = selected
+            .iter()
+            .map(|s| (0..self.m).map(|i| gf256::pow(s.index, i as u32)).collect())
+            .collect();
+
+        let mut out = Vec::with_capacity(groups * self.m);
+        for g in 0..groups {
+            let rhs: Vec<u8> = selected.iter().map(|s| s.data[g]).collect();
+            let coeffs = gf256::solve(&matrix, &rhs).ok_or_else(|| {
+                BaselineError::Invalid("share indices form a singular system".into())
+            })?;
+            out.extend_from_slice(&coeffs);
+        }
+        out.truncate(data_len);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_data(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 31 % 251) as u8).collect()
+    }
+
+    #[test]
+    fn split_reconstruct_all_shares() {
+        let ida = Ida::new(4, 7).unwrap();
+        let data = sample_data(1000);
+        let shares = ida.split(&data);
+        assert_eq!(shares.len(), 7);
+        assert!(shares.iter().all(|s| s.data.len() == 250));
+        assert_eq!(ida.reconstruct(&shares, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn any_m_shares_suffice() {
+        let ida = Ida::new(3, 6).unwrap();
+        let data = sample_data(500);
+        let shares = ida.split(&data);
+        // Try every combination of exactly m shares.
+        for a in 0..6 {
+            for b in (a + 1)..6 {
+                for c in (b + 1)..6 {
+                    let subset = vec![shares[a].clone(), shares[b].clone(), shares[c].clone()];
+                    assert_eq!(
+                        ida.reconstruct(&subset, data.len()).unwrap(),
+                        data,
+                        "shares {a},{b},{c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_than_m_shares_fail() {
+        let ida = Ida::new(3, 5).unwrap();
+        let data = sample_data(100);
+        let shares = ida.split(&data);
+        assert!(ida.reconstruct(&shares[..2], data.len()).is_err());
+        assert!(ida.reconstruct(&[], data.len()).is_err());
+    }
+
+    #[test]
+    fn corrupt_share_changes_output_but_other_subset_recovers() {
+        let ida = Ida::new(2, 4).unwrap();
+        let data = sample_data(64);
+        let mut shares = ida.split(&data);
+        shares[0].data[0] ^= 0xff;
+        // Using the corrupted share gives wrong data...
+        let wrong = ida
+            .reconstruct(&[shares[0].clone(), shares[1].clone()], data.len())
+            .unwrap();
+        assert_ne!(wrong, data);
+        // ...but any two intact shares still reconstruct.
+        let right = ida
+            .reconstruct(&[shares[2].clone(), shares[3].clone()], data.len())
+            .unwrap();
+        assert_eq!(right, data);
+    }
+
+    #[test]
+    fn duplicate_share_indices_rejected() {
+        let ida = Ida::new(2, 3).unwrap();
+        let data = sample_data(10);
+        let shares = ida.split(&data);
+        let dup = vec![shares[0].clone(), shares[0].clone()];
+        assert!(ida.reconstruct(&dup, data.len()).is_err());
+    }
+
+    #[test]
+    fn empty_and_unaligned_data() {
+        let ida = Ida::new(4, 5).unwrap();
+        for len in [0usize, 1, 3, 4, 5, 17] {
+            let data = sample_data(len);
+            let shares = ida.split(&data);
+            assert_eq!(ida.reconstruct(&shares, len).unwrap(), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn replication_is_the_m_equals_1_special_case() {
+        let ida = Ida::new(1, 3).unwrap();
+        let data = sample_data(32);
+        let shares = ida.split(&data);
+        // With m = 1 every share is a full copy of the data.
+        for s in &shares {
+            assert_eq!(s.data, data);
+        }
+        assert_eq!(ida.expansion(), 3.0);
+    }
+
+    #[test]
+    fn expansion_factor() {
+        assert_eq!(Ida::new(4, 8).unwrap().expansion(), 2.0);
+        assert!((Ida::new(3, 5).unwrap().expansion() - 1.6667).abs() < 1e-3);
+        assert_eq!(Ida::new(4, 8).unwrap().threshold(), 4);
+        assert_eq!(Ida::new(4, 8).unwrap().share_count(), 8);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Ida::new(0, 5).is_err());
+        assert!(Ida::new(5, 0).is_err());
+        assert!(Ida::new(6, 5).is_err());
+        assert!(Ida::new(4, 300).is_err());
+    }
+
+    #[test]
+    fn share_too_short_rejected() {
+        let ida = Ida::new(2, 3).unwrap();
+        let data = sample_data(100);
+        let mut shares = ida.split(&data);
+        shares[0].data.truncate(3);
+        assert!(ida.reconstruct(&shares, data.len()).is_err());
+    }
+}

@@ -1,0 +1,242 @@
+//! Mnemosyne-style dispersal store (Hand & Roscoe, IPTPS '02).
+//!
+//! The extension of the random-placement scheme cited in §2 of the StegFS
+//! paper: instead of writing `r` identical replicas of every block, the file
+//! is encoded with Rabin's IDA into `n` cipher-shares of which **any `m`**
+//! suffice for reconstruction.  Storage expansion drops from `r` to `n / m`,
+//! at the cost of extra encode/decode work and the residual possibility of
+//! loss once more than `n − m` shares are damaged.
+//!
+//! Shares are placed exactly like StegRand blocks: at keyed pseudorandom
+//! addresses with a per-block tag, so the same attacks (and the same silent
+//! overwrites) apply.
+
+use crate::ida::{Ida, Share};
+use crate::{BaselineError, BaselineResult};
+use stegfs_blockdev::BlockDevice;
+use stegfs_crypto::hmac::hmac_sha256;
+use stegfs_crypto::prng::{HashChainPrng, XorShiftRng};
+
+const TAG_LEN: usize = 16;
+const LEN_FIELD: usize = 2;
+
+/// The (m, n)-dispersal steganographic store.
+pub struct Mnemosyne<D: BlockDevice> {
+    dev: D,
+    ida: Ida,
+}
+
+impl<D: BlockDevice> Mnemosyne<D> {
+    /// Initialise a volume with random fill and an (m, n) dispersal codec.
+    pub fn format(mut dev: D, m: usize, n: usize) -> BaselineResult<Self> {
+        let ida = Ida::new(m, n)?;
+        let mut rng = XorShiftRng::new(0x4d4e_454d_4f53_594e);
+        let mut buf = vec![0u8; dev.block_size()];
+        for block in 0..dev.total_blocks() {
+            rng.fill(&mut buf);
+            dev.write_block(block, &buf)?;
+        }
+        Ok(Mnemosyne { dev, ida })
+    }
+
+    /// Storage expansion factor (`n / m`).
+    pub fn expansion(&self) -> f64 {
+        self.ida.expansion()
+    }
+
+    /// Access the underlying device.
+    pub fn device_mut(&mut self) -> &mut D {
+        &mut self.dev
+    }
+
+    fn payload_per_block(&self) -> usize {
+        self.dev.block_size() - TAG_LEN - LEN_FIELD
+    }
+
+    fn tag(&self, name: &str, password: &str, share: u8, piece: u64) -> [u8; TAG_LEN] {
+        let mut msg = Vec::new();
+        msg.extend_from_slice(name.as_bytes());
+        msg.push(0);
+        msg.push(share);
+        msg.extend_from_slice(&piece.to_be_bytes());
+        let full = hmac_sha256(password.as_bytes(), &msg);
+        full[..TAG_LEN].try_into().unwrap()
+    }
+
+    fn address(&self, name: &str, password: &str, share: u8, piece: u64) -> u64 {
+        let mut seed = Vec::new();
+        seed.extend_from_slice(b"mnemosyne-addr");
+        seed.extend_from_slice(name.as_bytes());
+        seed.push(0);
+        seed.extend_from_slice(password.as_bytes());
+        seed.push(share);
+        seed.extend_from_slice(&piece.to_be_bytes());
+        HashChainPrng::new(&seed).next_below(self.dev.total_blocks())
+    }
+
+    fn write_share(&mut self, name: &str, password: &str, share: &Share) -> BaselineResult<()> {
+        let payload = self.payload_per_block();
+        let bs = self.dev.block_size();
+        for (piece_idx, chunk) in share.data.chunks(payload).enumerate() {
+            let mut block = vec![0u8; bs];
+            block[..TAG_LEN].copy_from_slice(&self.tag(name, password, share.index, piece_idx as u64));
+            block[TAG_LEN..TAG_LEN + LEN_FIELD]
+                .copy_from_slice(&(chunk.len() as u16).to_be_bytes());
+            block[TAG_LEN + LEN_FIELD..TAG_LEN + LEN_FIELD + chunk.len()].copy_from_slice(chunk);
+            let addr = self.address(name, password, share.index, piece_idx as u64);
+            self.dev.write_block(addr, &block)?;
+        }
+        Ok(())
+    }
+
+    fn read_share(
+        &mut self,
+        name: &str,
+        password: &str,
+        share_index: u8,
+        share_len: usize,
+    ) -> BaselineResult<Option<Share>> {
+        let payload = self.payload_per_block();
+        let pieces = share_len.div_ceil(payload).max(1);
+        let mut data = Vec::with_capacity(share_len);
+        for piece_idx in 0..pieces {
+            let tag = self.tag(name, password, share_index, piece_idx as u64);
+            let addr = self.address(name, password, share_index, piece_idx as u64);
+            let block = self.dev.read_block_vec(addr)?;
+            if !stegfs_crypto::ct::ct_eq(&block[..TAG_LEN], &tag) {
+                return Ok(None); // this share is damaged
+            }
+            let len =
+                u16::from_be_bytes(block[TAG_LEN..TAG_LEN + LEN_FIELD].try_into().unwrap()) as usize;
+            if len > payload {
+                return Ok(None);
+            }
+            data.extend_from_slice(&block[TAG_LEN + LEN_FIELD..TAG_LEN + LEN_FIELD + len]);
+        }
+        data.truncate(share_len);
+        Ok(Some(Share {
+            index: share_index,
+            data,
+        }))
+    }
+
+    /// Store `data` under `(name, password)`.
+    pub fn store(&mut self, name: &str, password: &str, data: &[u8]) -> BaselineResult<()> {
+        let shares = self.ida.split(data);
+        for share in &shares {
+            self.write_share(name, password, share)?;
+        }
+        Ok(())
+    }
+
+    /// Retrieve a file of known length, tolerating up to `n − m` damaged
+    /// shares.
+    pub fn load(
+        &mut self,
+        name: &str,
+        password: &str,
+        expected_len: usize,
+    ) -> BaselineResult<Vec<u8>> {
+        let share_len = expected_len.div_ceil(self.ida.threshold());
+        let mut intact = Vec::new();
+        for idx in 1..=self.ida.share_count() as u8 {
+            if let Some(share) = self.read_share(name, password, idx, share_len)? {
+                intact.push(share);
+                if intact.len() == self.ida.threshold() {
+                    break;
+                }
+            }
+        }
+        if intact.len() < self.ida.threshold() {
+            if intact.is_empty() {
+                return Err(BaselineError::NotFound(name.to_string()));
+            }
+            return Err(BaselineError::DataLoss {
+                name: name.to_string(),
+                lost_block: 0,
+            });
+        }
+        self.ida.reconstruct(&intact, expected_len)
+    }
+
+    /// Damage all pieces of one share (test/experiment helper emulating an
+    /// unlucky overwrite).
+    pub fn clobber_share(
+        &mut self,
+        name: &str,
+        password: &str,
+        share_index: u8,
+        share_len: usize,
+    ) -> BaselineResult<()> {
+        let payload = self.payload_per_block();
+        let pieces = share_len.div_ceil(payload).max(1);
+        let junk = vec![0u8; self.dev.block_size()];
+        for piece_idx in 0..pieces {
+            let addr = self.address(name, password, share_index, piece_idx as u64);
+            self.dev.write_block(addr, &junk)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stegfs_blockdev::MemBlockDevice;
+
+    fn store(m: usize, n: usize) -> Mnemosyne<MemBlockDevice> {
+        Mnemosyne::format(MemBlockDevice::new(1024, 8192), m, n).unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut s = store(3, 5);
+        let data: Vec<u8> = (0..40_000u32).map(|i| (i % 251) as u8).collect();
+        s.store("doc", "pw", &data).unwrap();
+        assert_eq!(s.load("doc", "pw", data.len()).unwrap(), data);
+        assert!((s.expansion() - 5.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tolerates_up_to_n_minus_m_damaged_shares() {
+        let mut s = store(2, 4);
+        let data = vec![0x5au8; 10_000];
+        s.store("doc", "pw", &data).unwrap();
+        let share_len = data.len().div_ceil(2);
+        // Damage two of the four shares: still recoverable.
+        s.clobber_share("doc", "pw", 1, share_len).unwrap();
+        s.clobber_share("doc", "pw", 3, share_len).unwrap();
+        assert_eq!(s.load("doc", "pw", data.len()).unwrap(), data);
+        // Damage a third: loss.
+        s.clobber_share("doc", "pw", 2, share_len).unwrap();
+        assert!(matches!(
+            s.load("doc", "pw", data.len()),
+            Err(BaselineError::DataLoss { .. }) | Err(BaselineError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_password_not_found() {
+        let mut s = store(2, 3);
+        s.store("doc", "pw", b"secret").unwrap();
+        assert!(matches!(
+            s.load("doc", "nope", 6),
+            Err(BaselineError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn lower_expansion_than_equivalent_replication() {
+        // Tolerating 2 lost copies with replication needs 3x storage; with a
+        // (4, 6) dispersal it needs only 1.5x.
+        let s = store(4, 6);
+        assert!(s.expansion() < 3.0);
+        assert_eq!(s.expansion(), 1.5);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Mnemosyne::format(MemBlockDevice::new(1024, 64), 0, 4).is_err());
+        assert!(Mnemosyne::format(MemBlockDevice::new(1024, 64), 5, 4).is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! Ablation benches for the StegFS design choices called out in DESIGN.md:
+//! the cost of the keyed locator as occupancy grows, the overhead of the
+//! internal free pool, and the price of the abandoned-block camouflage.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stegfs_blockdev::MemBlockDevice;
+use stegfs_core::{ObjectKind, StegFs, StegParams};
+
+fn params_with(abandoned_pct: f64, fb_max: usize) -> StegParams {
+    StegParams {
+        random_fill: false,
+        dummy_file_count: 0,
+        abandoned_pct,
+        free_blocks_min: 0,
+        free_blocks_max: fb_max,
+        ..StegParams::for_tests()
+    }
+}
+
+/// How much usable space does each camouflage feature cost?
+fn ablation_space_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_space");
+    group.sample_size(10);
+    for (label, abandoned, fb_max) in [
+        ("bare", 0.0, 0usize),
+        ("abandoned_1pct", 1.0, 0),
+        ("abandoned_plus_pool", 1.0, 10),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let mut fs = StegFs::format(
+                    MemBlockDevice::new(1024, 8192),
+                    params_with(abandoned, fb_max),
+                )
+                .unwrap();
+                fs.steg_create("probe", "uak", ObjectKind::File).unwrap();
+                fs.write_hidden_with_key("probe", "uak", &vec![1u8; 64 * 1024])
+                    .unwrap();
+                fs.space_report().unwrap().free_blocks
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Locator cost as the volume fills up: more allocated candidates must be
+/// decrypted and rejected before the header is found.
+fn ablation_locator_occupancy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_locator");
+    group.sample_size(10);
+    for occupancy_files in [0usize, 50, 150] {
+        group.bench_with_input(
+            BenchmarkId::new("open_hidden", occupancy_files),
+            &occupancy_files,
+            |b, &n| {
+                let mut fs =
+                    StegFs::format(MemBlockDevice::new(1024, 8192), params_with(1.0, 4)).unwrap();
+                fs.steg_create("needle", "uak", ObjectKind::File).unwrap();
+                for i in 0..n {
+                    fs.write_plain(&format!("/hay-{i}"), &vec![0u8; 8 * 1024]).unwrap();
+                }
+                b.iter(|| fs.open_hidden("needle", "uak").unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_space_overhead, ablation_locator_occupancy);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Micro-benchmarks of the cryptographic building blocks StegFS leans on:
+//! SHA-256 (signatures, locator), AES-CTR (block encryption) and the keyed
+//! block locator itself.  The paper argues decryption cost is negligible
+//! next to I/O ("a 2 MBytes file can be decrypted in less than 120 ms");
+//! these benches let you check that claim on your own hardware.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use stegfs_crypto::modes::{derive_iv, CtrCipher};
+use stegfs_crypto::prng::BlockLocator;
+use stegfs_crypto::sha256::sha256;
+use stegfs_crypto::Aes;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 64 * 1024] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| sha256(data));
+        });
+    }
+    group.finish();
+}
+
+fn bench_aes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aes256");
+    let aes = Aes::new(&[7u8; 32]);
+    group.bench_function("single_block", |b| {
+        let mut block = [0u8; 16];
+        b.iter(|| {
+            aes.encrypt_block(&mut block);
+            block
+        });
+    });
+
+    // The paper's reference point: decrypting a 2 MB file.
+    let ctr = CtrCipher::new(&[7u8; 32]);
+    for size in [1024usize, 2 * 1024 * 1024] {
+        let mut data = vec![0x5au8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(
+            BenchmarkId::new("ctr_transform", size),
+            &size,
+            |b, _| {
+                b.iter(|| {
+                    let iv = derive_iv(&[7u8; 32], 9);
+                    ctr.apply(&iv, &mut data);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_locator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_locator");
+    for probes in [1usize, 16, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("candidates", probes),
+            &probes,
+            |b, &probes| {
+                b.iter(|| {
+                    let mut locator =
+                        BlockLocator::new(b"user:/budget", b"file access key", 1 << 20);
+                    locator.candidates(probes)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sha256, bench_aes, bench_locator);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 6: StegRand effective space utilization vs replication factor.
+//! The bench measures the allocation-model sweep itself; the `repro` binary
+//! prints the resulting table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stegfs_baselines::stegrand::StegRandSpaceModel;
+
+fn fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_stegrand_space");
+    group.sample_size(10);
+    for replication in [1usize, 8, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("until_first_loss_128mb_1kb", replication),
+            &replication,
+            |b, &replication| {
+                b.iter(|| {
+                    let mut model = StegRandSpaceModel::new(128 * 1024, replication, 42);
+                    model.run_until_loss(1024, |rng| rng.next_in_range(1024, 2048) as u32)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

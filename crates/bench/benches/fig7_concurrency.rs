@@ -1,0 +1,45 @@
+//! Figure 7: read/write access time vs number of concurrent users.
+//! Each bench iteration runs one full measured pass for one scheme at one
+//! concurrency level on the scaled workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stegfs_bench::bench_workload;
+use stegfs_sim::driver::{run_access, Operation};
+use stegfs_sim::schemes::{build_scheme, SchemeKind};
+use stegfs_sim::AccessPattern;
+
+fn fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_concurrency");
+    group.sample_size(10);
+    let params = bench_workload();
+    let specs = params.generate_files();
+    for kind in [SchemeKind::CleanDisk, SchemeKind::StegFs, SchemeKind::StegRand] {
+        for users in [1usize, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), users),
+                &users,
+                |b, &users| {
+                    let mut p = params.clone();
+                    p.users = users;
+                    let mut scheme = build_scheme(kind, &p).unwrap();
+                    scheme.prepare(&specs, &p).unwrap();
+                    b.iter(|| {
+                        run_access(
+                            scheme.as_mut(),
+                            &specs,
+                            users,
+                            AccessPattern::Interleaved,
+                            Operation::Read,
+                        )
+                        .unwrap()
+                        .avg_access_time_s()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

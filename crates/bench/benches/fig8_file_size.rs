@@ -1,0 +1,44 @@
+//! Figure 8: sensitivity to file size (normalized access time, s/KB).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stegfs_bench::bench_workload;
+use stegfs_sim::driver::{run_access, Operation};
+use stegfs_sim::schemes::{build_scheme, SchemeKind};
+use stegfs_sim::AccessPattern;
+
+fn fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_file_size");
+    group.sample_size(10);
+    for file_kb in [64u64, 256] {
+        for kind in [SchemeKind::CleanDisk, SchemeKind::StegFs] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), file_kb),
+                &file_kb,
+                |b, &file_kb| {
+                    let mut p = bench_workload();
+                    p.file_size_min = (file_kb - 1) * 1024;
+                    p.file_size_max = file_kb * 1024;
+                    p.users = 4;
+                    let specs = p.generate_files();
+                    let mut scheme = build_scheme(kind, &p).unwrap();
+                    scheme.prepare(&specs, &p).unwrap();
+                    b.iter(|| {
+                        run_access(
+                            scheme.as_mut(),
+                            &specs,
+                            4,
+                            AccessPattern::Interleaved,
+                            Operation::Read,
+                        )
+                        .unwrap()
+                        .normalized_s_per_kb()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 9: serial (single-user) file operations across block sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stegfs_bench::bench_workload;
+use stegfs_sim::driver::{run_access, Operation};
+use stegfs_sim::schemes::{build_scheme, SchemeKind};
+use stegfs_sim::AccessPattern;
+
+fn fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_block_size");
+    group.sample_size(10);
+    for block_size in [1024usize, 8192, 65536] {
+        for kind in [SchemeKind::CleanDisk, SchemeKind::FragDisk, SchemeKind::StegFs] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), block_size),
+                &block_size,
+                |b, &block_size| {
+                    let mut p = bench_workload();
+                    p.block_size = block_size;
+                    p.users = 1;
+                    let specs = p.generate_files();
+                    let mut scheme = build_scheme(kind, &p).unwrap();
+                    scheme.prepare(&specs, &p).unwrap();
+                    b.iter(|| {
+                        run_access(
+                            scheme.as_mut(),
+                            &specs,
+                            1,
+                            AccessPattern::Serial,
+                            Operation::Read,
+                        )
+                        .unwrap()
+                        .avg_access_time_s()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig9);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Micro-benchmarks of file-system-level operations: plain file I/O on the
+//! substrate versus hidden-file I/O through StegFS, on the same in-memory
+//! device (no disk model — this isolates CPU/structure costs, the complement
+//! of the simulated-time experiments).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use stegfs_blockdev::MemBlockDevice;
+use stegfs_core::{ObjectKind, StegFs, StegParams};
+use stegfs_fs::{AllocPolicy, FormatOptions, PlainFs};
+
+const FILE_SIZE: usize = 256 * 1024;
+
+fn steg_params() -> StegParams {
+    StegParams {
+        random_fill: false,
+        dummy_file_count: 0,
+        ..StegParams::for_tests()
+    }
+}
+
+fn bench_plain_fs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plain_fs");
+    group.throughput(Throughput::Bytes(FILE_SIZE as u64));
+    let data = vec![0x42u8; FILE_SIZE];
+
+    group.bench_function("write_256k", |b| {
+        b.iter_with_setup(
+            || {
+                PlainFs::format(
+                    MemBlockDevice::new(1024, 8192),
+                    FormatOptions {
+                        policy: AllocPolicy::Contiguous,
+                        ..FormatOptions::default()
+                    },
+                )
+                .unwrap()
+            },
+            |mut fs| fs.write_file("/f", &data).unwrap(),
+        );
+    });
+
+    let mut fs = PlainFs::format(MemBlockDevice::new(1024, 8192), FormatOptions::default()).unwrap();
+    fs.write_file("/f", &data).unwrap();
+    group.bench_function("read_256k", |b| {
+        b.iter(|| fs.read_file("/f").unwrap());
+    });
+    group.finish();
+}
+
+fn bench_hidden_fs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stegfs_hidden");
+    group.throughput(Throughput::Bytes(FILE_SIZE as u64));
+    let data = vec![0x42u8; FILE_SIZE];
+
+    group.bench_function("write_256k", |b| {
+        b.iter_with_setup(
+            || {
+                let mut fs =
+                    StegFs::format(MemBlockDevice::new(1024, 8192), steg_params()).unwrap();
+                fs.steg_create("f", "uak", ObjectKind::File).unwrap();
+                fs
+            },
+            |mut fs| fs.write_hidden_with_key("f", "uak", &data).unwrap(),
+        );
+    });
+
+    let mut fs = StegFs::format(MemBlockDevice::new(1024, 8192), steg_params()).unwrap();
+    fs.steg_create("f", "uak", ObjectKind::File).unwrap();
+    fs.write_hidden_with_key("f", "uak", &data).unwrap();
+    group.bench_function("read_256k", |b| {
+        b.iter(|| fs.read_hidden_with_key("f", "uak").unwrap());
+    });
+
+    for occupancy in [10u64, 200] {
+        group.bench_with_input(
+            BenchmarkId::new("open_after_occupancy", occupancy),
+            &occupancy,
+            |b, &occupancy| {
+                let mut fs =
+                    StegFs::format(MemBlockDevice::new(1024, 8192), steg_params()).unwrap();
+                fs.steg_create("target", "uak", ObjectKind::File).unwrap();
+                // Crowd the volume so the locator has to skip allocated blocks.
+                for i in 0..occupancy {
+                    fs.write_plain(&format!("/crowd-{i}"), &vec![0u8; 4096]).unwrap();
+                }
+                b.iter(|| fs.open_hidden("target", "uak").unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plain_fs, bench_hidden_fs);
+criterion_main!(benches);

@@ -1,0 +1,177 @@
+//! `repro` — regenerate the tables and figures of the StegFS paper.
+//!
+//! ```text
+//! repro [--full] [--table N] [--fig N] [--space-summary] [--all]
+//! ```
+//!
+//! With no arguments (or `--all`) every artefact is produced.  The default
+//! scale is a 64 MB volume with proportionally scaled files, which reproduces
+//! the *shapes* of every figure in a couple of minutes; `--full` switches to
+//! the paper's 1 GB / 100 × (1–2 MB) configuration (expect a long run).
+
+use stegfs_sim::experiments::{
+    figure6, figure7, figure8, figure9, render_access_rows, render_figure6,
+    render_space_summary, space_summary, tables,
+};
+use stegfs_sim::WorkloadParams;
+
+struct Options {
+    full: bool,
+    tables: bool,
+    figures: Vec<u32>,
+    space: bool,
+}
+
+fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Options {
+        full: false,
+        tables: false,
+        figures: Vec::new(),
+        space: false,
+    };
+    let mut any_selection = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => opts.full = true,
+            "--all" => {
+                opts.tables = true;
+                opts.figures = vec![6, 7, 8, 9];
+                opts.space = true;
+                any_selection = true;
+            }
+            "--table" => {
+                opts.tables = true;
+                any_selection = true;
+                i += 1; // the table number is accepted but all four print together
+            }
+            "--tables" => {
+                opts.tables = true;
+                any_selection = true;
+            }
+            "--fig" | "--figure" => {
+                i += 1;
+                let n = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--fig requires a number (6-9)"));
+                opts.figures.push(n);
+                any_selection = true;
+            }
+            "--space-summary" => {
+                opts.space = true;
+                any_selection = true;
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    if !any_selection {
+        opts.tables = true;
+        opts.figures = vec![6, 7, 8, 9];
+        opts.space = true;
+    }
+    opts
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: repro [--full] [--all] [--tables] [--fig N]... [--space-summary]\n\
+         \n\
+         Regenerates the tables and figures of 'StegFS: A Steganographic File\n\
+         System' (Pang, Tan, Zhou — ICDE 2003).  Default scale is a 64 MB\n\
+         volume; --full uses the paper's 1 GB configuration."
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+fn main() {
+    let opts = parse_args();
+
+    let (params, fig6_volume_mb, fig6_trials, space_volume_mb) = if opts.full {
+        (WorkloadParams::paper_defaults(), 1024, 3, 1024)
+    } else {
+        (WorkloadParams::scaled_quick(), 128, 2, 64)
+    };
+
+    println!("StegFS reproduction — {} scale", if opts.full { "paper (1 GB)" } else { "scaled (64-128 MB)" });
+    println!("================================================================");
+    println!();
+
+    if opts.tables {
+        println!("{}", tables());
+    }
+
+    for fig in &opts.figures {
+        match fig {
+            6 => {
+                let rows = figure6(fig6_volume_mb, fig6_trials, params.seed);
+                println!("{}", render_figure6(&rows));
+            }
+            7 => {
+                let user_counts = [1usize, 2, 4, 8, 16, 32];
+                match figure7(&params, &user_counts) {
+                    Ok(rows) => println!(
+                        "{}",
+                        render_access_rows(
+                            "Figure 7: multiple concurrent users",
+                            "users",
+                            &rows,
+                            false
+                        )
+                    ),
+                    Err(e) => eprintln!("figure 7 failed: {e}"),
+                }
+            }
+            8 => {
+                // File sizes scaled with the volume: the paper sweeps
+                // 200..2000 KB on a 1 GB volume.
+                let sizes: Vec<u64> = if opts.full {
+                    vec![200, 400, 600, 800, 1000, 1200, 1400, 1600, 1800, 2000]
+                } else {
+                    vec![64, 128, 192, 256, 320, 384, 448, 512]
+                };
+                match figure8(&params, &sizes, 8) {
+                    Ok(rows) => println!(
+                        "{}",
+                        render_access_rows(
+                            "Figure 8: sensitivity to file size (8 users)",
+                            "file size (KB)",
+                            &rows,
+                            true
+                        )
+                    ),
+                    Err(e) => eprintln!("figure 8 failed: {e}"),
+                }
+            }
+            9 => {
+                let block_sizes = [512usize, 1024, 2048, 4096, 8192, 16384, 32768, 65536];
+                match figure9(&params, &block_sizes) {
+                    Ok(rows) => println!(
+                        "{}",
+                        render_access_rows(
+                            "Figure 9: serial file operations (1 user)",
+                            "block size (KB)",
+                            &rows,
+                            false
+                        )
+                    ),
+                    Err(e) => eprintln!("figure 9 failed: {e}"),
+                }
+            }
+            other => eprintln!("unknown figure {other} (expected 6-9)"),
+        }
+    }
+
+    if opts.space {
+        match space_summary(space_volume_mb, params.seed) {
+            Ok(rows) => println!("{}", render_space_summary(&rows)),
+            Err(e) => eprintln!("space summary failed: {e}"),
+        }
+    }
+}

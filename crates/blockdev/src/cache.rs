@@ -1,0 +1,232 @@
+//! A small write-through LRU buffer cache.
+//!
+//! Figure 5 of the paper places StegFS above the Linux buffer cache.  The
+//! cache is not essential to the steganographic design, but it matters for
+//! fidelity of the workloads: metadata blocks (the superblock, bitmap blocks
+//! and inode-table blocks) are touched on every operation and would otherwise
+//! dominate the simulated I/O time in a way the real system never exhibits.
+//!
+//! The cache is write-through: writes update both the cache and the
+//! underlying device, so the on-"disk" image is always current and crash /
+//! backup experiments can image the raw device at any point.
+
+use crate::device::{BlockDevice, BlockId};
+use crate::error::BlockResult;
+use std::collections::HashMap;
+
+/// Cache hit/miss counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read requests served from the cache.
+    pub hits: u64,
+    /// Read requests that had to go to the device.
+    pub misses: u64,
+    /// Number of cache entries evicted.
+    pub evictions: u64,
+}
+
+/// Write-through LRU cache over a [`BlockDevice`].
+pub struct BufferCache<D: BlockDevice> {
+    inner: D,
+    capacity: usize,
+    // block -> (data, last use tick)
+    entries: HashMap<BlockId, (Vec<u8>, u64)>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl<D: BlockDevice> BufferCache<D> {
+    /// Create a cache holding at most `capacity_blocks` blocks.
+    ///
+    /// # Panics
+    /// Panics if `capacity_blocks` is zero.
+    pub fn new(inner: D, capacity_blocks: usize) -> Self {
+        assert!(capacity_blocks > 0, "cache must hold at least one block");
+        BufferCache {
+            inner,
+            capacity: capacity_blocks,
+            entries: HashMap::with_capacity(capacity_blocks),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Cache statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats.clone()
+    }
+
+    /// Number of blocks currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the cache currently holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop all cached blocks (the device already holds every write, so no
+    /// data is lost).
+    pub fn invalidate(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Access the wrapped device.
+    pub fn inner_mut(&mut self) -> &mut D {
+        &mut self.inner
+    }
+
+    /// Unwrap the cache, returning the underlying device.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+
+    fn touch(&mut self, block: BlockId) {
+        self.tick += 1;
+        if let Some(entry) = self.entries.get_mut(&block) {
+            entry.1 = self.tick;
+        }
+    }
+
+    fn insert(&mut self, block: BlockId, data: Vec<u8>) {
+        self.tick += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&block) {
+            // Evict the least recently used entry.
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, (_, t))| *t) {
+                self.entries.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.entries.insert(block, (data, self.tick));
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for BufferCache<D> {
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn total_blocks(&self) -> u64 {
+        self.inner.total_blocks()
+    }
+
+    fn read_block(&mut self, block: BlockId, buf: &mut [u8]) -> BlockResult<()> {
+        if buf.len() == self.inner.block_size() {
+            if let Some((data, _)) = self.entries.get(&block) {
+                buf.copy_from_slice(data);
+                self.stats.hits += 1;
+                self.touch(block);
+                return Ok(());
+            }
+        }
+        self.inner.read_block(block, buf)?;
+        self.stats.misses += 1;
+        self.insert(block, buf.to_vec());
+        Ok(())
+    }
+
+    fn write_block(&mut self, block: BlockId, buf: &[u8]) -> BlockResult<()> {
+        // Write-through: device first so a device error leaves the cache
+        // consistent with the (unchanged) device contents.
+        self.inner.write_block(block, buf)?;
+        self.insert(block, buf.to_vec());
+        Ok(())
+    }
+
+    fn flush(&mut self) -> BlockResult<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::MemBlockDevice;
+    use crate::metered::MeteredDevice;
+
+    #[test]
+    fn repeated_reads_hit_cache() {
+        let metered = MeteredDevice::new(MemBlockDevice::new(64, 16));
+        let io = metered.stats_handle();
+        let mut cache = BufferCache::new(metered, 8);
+        let mut buf = vec![0u8; 64];
+        cache.read_block(5, &mut buf).unwrap();
+        cache.read_block(5, &mut buf).unwrap();
+        cache.read_block(5, &mut buf).unwrap();
+        assert_eq!(io.snapshot().reads, 1, "only the first read reaches the device");
+        assert_eq!(cache.stats().hits, 2);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn writes_are_write_through() {
+        let metered = MeteredDevice::new(MemBlockDevice::new(64, 16));
+        let io = metered.stats_handle();
+        let mut cache = BufferCache::new(metered, 8);
+        cache.write_block(3, &[0xaa; 64]).unwrap();
+        assert_eq!(io.snapshot().writes, 1);
+        // Read after write is a cache hit and returns the written data.
+        let mut buf = vec![0u8; 64];
+        cache.read_block(3, &mut buf).unwrap();
+        assert_eq!(buf, vec![0xaa; 64]);
+        assert_eq!(io.snapshot().reads, 0);
+        // The device itself also holds the data.
+        let mut inner = cache.into_inner().into_inner();
+        assert_eq!(inner.read_block_vec(3).unwrap(), vec![0xaa; 64]);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_old_entries() {
+        let mut cache = BufferCache::new(MemBlockDevice::new(64, 16), 2);
+        let mut buf = vec![0u8; 64];
+        cache.read_block(0, &mut buf).unwrap();
+        cache.read_block(1, &mut buf).unwrap();
+        // Touch 0 so 1 becomes the LRU victim.
+        cache.read_block(0, &mut buf).unwrap();
+        cache.read_block(2, &mut buf).unwrap(); // evicts 1
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+        // 0 still cached (hit), 1 must miss again.
+        let hits_before = cache.stats().hits;
+        cache.read_block(0, &mut buf).unwrap();
+        assert_eq!(cache.stats().hits, hits_before + 1);
+        let misses_before = cache.stats().misses;
+        cache.read_block(1, &mut buf).unwrap();
+        assert_eq!(cache.stats().misses, misses_before + 1);
+    }
+
+    #[test]
+    fn invalidate_clears_entries_but_not_device() {
+        let mut cache = BufferCache::new(MemBlockDevice::new(64, 4), 4);
+        cache.write_block(1, &[7u8; 64]).unwrap();
+        assert!(!cache.is_empty());
+        cache.invalidate();
+        assert!(cache.is_empty());
+        let mut buf = vec![0u8; 64];
+        cache.read_block(1, &mut buf).unwrap();
+        assert_eq!(buf, vec![7u8; 64]);
+    }
+
+    #[test]
+    fn wrong_buffer_length_bypasses_cache_and_errors() {
+        let mut cache = BufferCache::new(MemBlockDevice::new(64, 4), 4);
+        let mut small = vec![0u8; 10];
+        assert!(cache.read_block(0, &mut small).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_capacity_rejected() {
+        BufferCache::new(MemBlockDevice::new(64, 4), 0);
+    }
+
+    #[test]
+    fn geometry_passthrough() {
+        let mut cache = BufferCache::new(MemBlockDevice::new(64, 4), 4);
+        assert_eq!(cache.block_size(), 64);
+        assert_eq!(cache.total_blocks(), 4);
+        assert_eq!(cache.capacity_bytes(), 256);
+        cache.flush().unwrap();
+    }
+}

@@ -1,0 +1,290 @@
+//! The [`BlockDevice`] trait and the in-memory reference implementation.
+
+use crate::error::{BlockError, BlockResult};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Identifier of a block within a device (0-based).
+pub type BlockId = u64;
+
+/// A fixed-block-size random-access storage volume.
+///
+/// Every backend in this workspace — the in-memory volume, the file-backed
+/// volume, the timing-model wrapper, the metering wrapper and the buffer
+/// cache — implements this trait, so the file-system layers above are
+/// agnostic to where the bytes actually live.
+pub trait BlockDevice {
+    /// Size of each block in bytes.  Constant for the lifetime of the device.
+    fn block_size(&self) -> usize;
+
+    /// Total number of blocks in the device.
+    fn total_blocks(&self) -> u64;
+
+    /// Read block `block` into `buf`.
+    ///
+    /// `buf.len()` must equal [`block_size`](Self::block_size).
+    fn read_block(&mut self, block: BlockId, buf: &mut [u8]) -> BlockResult<()>;
+
+    /// Write `buf` to block `block`.
+    ///
+    /// `buf.len()` must equal [`block_size`](Self::block_size).
+    fn write_block(&mut self, block: BlockId, buf: &[u8]) -> BlockResult<()>;
+
+    /// Flush any buffered state to the backing store.  Defaults to a no-op.
+    fn flush(&mut self) -> BlockResult<()> {
+        Ok(())
+    }
+
+    /// Capacity of the device in bytes.
+    fn capacity_bytes(&self) -> u64 {
+        self.total_blocks() * self.block_size() as u64
+    }
+
+    /// Convenience: read a block into a freshly allocated vector.
+    fn read_block_vec(&mut self, block: BlockId) -> BlockResult<Vec<u8>> {
+        let mut buf = vec![0u8; self.block_size()];
+        self.read_block(block, &mut buf)?;
+        Ok(buf)
+    }
+}
+
+pub(crate) fn check_access(
+    block: BlockId,
+    total: u64,
+    buf_len: usize,
+    block_size: usize,
+) -> BlockResult<()> {
+    if block >= total {
+        return Err(BlockError::OutOfRange { block, total });
+    }
+    if buf_len != block_size {
+        return Err(BlockError::BadBufferLength {
+            got: buf_len,
+            expected: block_size,
+        });
+    }
+    Ok(())
+}
+
+/// An in-memory block device.
+///
+/// This is the workhorse backend for tests and for the performance
+/// experiments (which measure *simulated* disk time, not host I/O time).
+pub struct MemBlockDevice {
+    block_size: usize,
+    data: Vec<u8>,
+    total_blocks: u64,
+}
+
+impl MemBlockDevice {
+    /// Create a zero-filled volume of `total_blocks` blocks of `block_size`
+    /// bytes each.
+    ///
+    /// # Panics
+    /// Panics if `block_size` is 0 or `total_blocks` is 0.
+    pub fn new(block_size: usize, total_blocks: u64) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        assert!(total_blocks > 0, "device must contain at least one block");
+        let bytes = (block_size as u64)
+            .checked_mul(total_blocks)
+            .expect("device size overflows usize");
+        MemBlockDevice {
+            block_size,
+            data: vec![0u8; usize::try_from(bytes).expect("device too large for memory")],
+            total_blocks,
+        }
+    }
+
+    /// Create a volume sized in whole megabytes, a convenience used by the
+    /// experiment harness (the paper's default volume is 1 GB).
+    pub fn with_capacity_mb(block_size: usize, megabytes: u64) -> Self {
+        let total_blocks = megabytes * 1024 * 1024 / block_size as u64;
+        Self::new(block_size, total_blocks)
+    }
+
+    /// Direct read-only access to the raw bytes (used by tests and by the
+    /// backup path, which images raw blocks).
+    pub fn raw(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl BlockDevice for MemBlockDevice {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn total_blocks(&self) -> u64 {
+        self.total_blocks
+    }
+
+    fn read_block(&mut self, block: BlockId, buf: &mut [u8]) -> BlockResult<()> {
+        check_access(block, self.total_blocks, buf.len(), self.block_size)?;
+        let start = block as usize * self.block_size;
+        buf.copy_from_slice(&self.data[start..start + self.block_size]);
+        Ok(())
+    }
+
+    fn write_block(&mut self, block: BlockId, buf: &[u8]) -> BlockResult<()> {
+        check_access(block, self.total_blocks, buf.len(), self.block_size)?;
+        let start = block as usize * self.block_size;
+        self.data[start..start + self.block_size].copy_from_slice(buf);
+        Ok(())
+    }
+}
+
+/// A cloneable, thread-safe handle to a block device.
+///
+/// The multi-user experiments interleave requests from several logical users
+/// against one volume; `SharedDevice` provides the single point of
+/// serialisation.  It also lets the file-system layer and the StegFS layer
+/// hold handles to the same underlying volume.
+pub struct SharedDevice {
+    inner: Arc<Mutex<Box<dyn BlockDevice + Send>>>,
+}
+
+impl Clone for SharedDevice {
+    fn clone(&self) -> Self {
+        SharedDevice {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl SharedDevice {
+    /// Wrap a device in a shared handle.
+    pub fn new<D: BlockDevice + Send + 'static>(device: D) -> Self {
+        SharedDevice {
+            inner: Arc::new(Mutex::new(Box::new(device))),
+        }
+    }
+
+    /// Run a closure with exclusive access to the underlying device.
+    pub fn with<R>(&self, f: impl FnOnce(&mut (dyn BlockDevice + Send)) -> R) -> R {
+        let mut guard = self.inner.lock();
+        f(guard.as_mut())
+    }
+}
+
+impl BlockDevice for SharedDevice {
+    fn block_size(&self) -> usize {
+        self.inner.lock().block_size()
+    }
+
+    fn total_blocks(&self) -> u64 {
+        self.inner.lock().total_blocks()
+    }
+
+    fn read_block(&mut self, block: BlockId, buf: &mut [u8]) -> BlockResult<()> {
+        self.inner.lock().read_block(block, buf)
+    }
+
+    fn write_block(&mut self, block: BlockId, buf: &[u8]) -> BlockResult<()> {
+        self.inner.lock().write_block(block, buf)
+    }
+
+    fn flush(&mut self) -> BlockResult<()> {
+        self.inner.lock().flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_back_what_was_written() {
+        let mut dev = MemBlockDevice::new(512, 8);
+        let pattern: Vec<u8> = (0..512).map(|i| (i % 256) as u8).collect();
+        dev.write_block(3, &pattern).unwrap();
+        let mut buf = vec![0u8; 512];
+        dev.read_block(3, &mut buf).unwrap();
+        assert_eq!(buf, pattern);
+        // Neighbouring blocks untouched.
+        dev.read_block(2, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+        dev.read_block(4, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut dev = MemBlockDevice::new(512, 8);
+        let buf = vec![0u8; 512];
+        assert_eq!(
+            dev.write_block(8, &buf),
+            Err(BlockError::OutOfRange { block: 8, total: 8 })
+        );
+        let mut rbuf = vec![0u8; 512];
+        assert_eq!(
+            dev.read_block(100, &mut rbuf),
+            Err(BlockError::OutOfRange {
+                block: 100,
+                total: 8
+            })
+        );
+    }
+
+    #[test]
+    fn wrong_buffer_length_rejected() {
+        let mut dev = MemBlockDevice::new(512, 8);
+        let buf = vec![0u8; 100];
+        assert_eq!(
+            dev.write_block(0, &buf),
+            Err(BlockError::BadBufferLength {
+                got: 100,
+                expected: 512
+            })
+        );
+    }
+
+    #[test]
+    fn capacity_and_geometry() {
+        let dev = MemBlockDevice::new(1024, 2048);
+        assert_eq!(dev.block_size(), 1024);
+        assert_eq!(dev.total_blocks(), 2048);
+        assert_eq!(dev.capacity_bytes(), 2 * 1024 * 1024);
+
+        let dev = MemBlockDevice::with_capacity_mb(1024, 1);
+        assert_eq!(dev.total_blocks(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be positive")]
+    fn zero_block_size_rejected() {
+        MemBlockDevice::new(0, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_blocks_rejected() {
+        MemBlockDevice::new(512, 0);
+    }
+
+    #[test]
+    fn read_block_vec_helper() {
+        let mut dev = MemBlockDevice::new(16, 4);
+        dev.write_block(1, &[7u8; 16]).unwrap();
+        assert_eq!(dev.read_block_vec(1).unwrap(), vec![7u8; 16]);
+    }
+
+    #[test]
+    fn shared_device_clones_view_same_storage() {
+        let mut a = SharedDevice::new(MemBlockDevice::new(64, 4));
+        let mut b = a.clone();
+        a.write_block(2, &[0xaa; 64]).unwrap();
+        let mut buf = vec![0u8; 64];
+        b.read_block(2, &mut buf).unwrap();
+        assert_eq!(buf, vec![0xaa; 64]);
+        assert_eq!(b.block_size(), 64);
+        assert_eq!(b.total_blocks(), 4);
+        b.flush().unwrap();
+    }
+
+    #[test]
+    fn shared_device_with_closure() {
+        let dev = SharedDevice::new(MemBlockDevice::new(32, 2));
+        let total = dev.with(|d| d.total_blocks());
+        assert_eq!(total, 2);
+    }
+}

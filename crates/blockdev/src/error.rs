@@ -1,0 +1,105 @@
+//! Error type shared by all block devices.
+
+use std::fmt;
+
+/// Result alias for block device operations.
+pub type BlockResult<T> = Result<T, BlockError>;
+
+/// Errors reported by block devices.
+#[derive(Debug)]
+pub enum BlockError {
+    /// A block index beyond the end of the device was addressed.
+    OutOfRange {
+        /// The offending block number.
+        block: u64,
+        /// Number of blocks in the device.
+        total: u64,
+    },
+    /// A buffer whose length does not equal the device block size was passed.
+    BadBufferLength {
+        /// Length of the buffer supplied by the caller.
+        got: usize,
+        /// Block size of the device.
+        expected: usize,
+    },
+    /// The underlying storage failed (only possible for file-backed devices).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for BlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockError::OutOfRange { block, total } => {
+                write!(f, "block {block} out of range (device has {total} blocks)")
+            }
+            BlockError::BadBufferLength { got, expected } => {
+                write!(f, "buffer length {got} does not match block size {expected}")
+            }
+            BlockError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BlockError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BlockError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for BlockError {
+    fn from(e: std::io::Error) -> Self {
+        BlockError::Io(e)
+    }
+}
+
+impl PartialEq for BlockError {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (
+                BlockError::OutOfRange { block: a, total: b },
+                BlockError::OutOfRange { block: c, total: d },
+            ) => a == c && b == d,
+            (
+                BlockError::BadBufferLength { got: a, expected: b },
+                BlockError::BadBufferLength { got: c, expected: d },
+            ) => a == c && b == d,
+            (BlockError::Io(a), BlockError::Io(b)) => a.kind() == b.kind(),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = BlockError::OutOfRange { block: 9, total: 4 };
+        assert!(e.to_string().contains("block 9"));
+        let e = BlockError::BadBufferLength { got: 10, expected: 1024 };
+        assert!(e.to_string().contains("1024"));
+        let e = BlockError::Io(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn equality_ignores_io_payload_but_not_kind() {
+        use std::io::{Error, ErrorKind};
+        assert_eq!(
+            BlockError::Io(Error::new(ErrorKind::NotFound, "a")),
+            BlockError::Io(Error::new(ErrorKind::NotFound, "b"))
+        );
+        assert_ne!(
+            BlockError::Io(Error::new(ErrorKind::NotFound, "a")),
+            BlockError::Io(Error::new(ErrorKind::PermissionDenied, "a"))
+        );
+        assert_ne!(
+            BlockError::OutOfRange { block: 1, total: 2 },
+            BlockError::BadBufferLength { got: 1, expected: 2 }
+        );
+    }
+}

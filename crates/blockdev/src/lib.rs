@@ -1,0 +1,44 @@
+//! # stegfs-blockdev
+//!
+//! Block storage substrate for the StegFS reproduction.
+//!
+//! The original system is a Linux 2.4 file-system driver sitting between the
+//! VFS and the buffer cache, talking to a real Ultra ATA disk (Table 2 of the
+//! paper).  This crate replaces that stack with a small set of composable
+//! user-space pieces:
+//!
+//! * [`BlockDevice`] — the trait every storage backend implements: fixed-size
+//!   blocks, addressed by [`BlockId`], read and written whole.
+//! * [`MemBlockDevice`] — a `Vec`-backed volume used by unit tests and the
+//!   simulation experiments (a 1 GB volume of 1 KB blocks fits comfortably in
+//!   memory).
+//! * [`FileBlockDevice`] — a volume backed by a regular file, so the examples
+//!   can create persistent images on the host file system.
+//! * [`DiskModel`] / [`SimDisk`] — a mechanical-disk timing model (seek +
+//!   rotation + transfer + read-ahead).  It does not sleep; it advances a
+//!   virtual clock, which is what the performance experiments measure.
+//! * [`MeteredDevice`] — wraps any device and counts reads, writes and
+//!   simulated service time.
+//! * [`BufferCache`] — a small write-through LRU cache mirroring the role of
+//!   the kernel buffer cache in Figure 5 of the paper.
+//!
+//! All types are single-threaded by design except the shared handles
+//! ([`SharedDevice`]), which use a `parking_lot` mutex so the multi-user
+//! simulation can interleave requests from several logical users.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod device;
+pub mod disk_model;
+pub mod error;
+pub mod file;
+pub mod metered;
+
+pub use cache::BufferCache;
+pub use device::{BlockDevice, BlockId, MemBlockDevice, SharedDevice};
+pub use disk_model::{DiskClock, DiskModel, DiskParameters, DiskStats, SimDisk};
+pub use error::{BlockError, BlockResult};
+pub use file::FileBlockDevice;
+pub use metered::{IoStats, MeteredDevice};

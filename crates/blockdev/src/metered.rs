@@ -1,0 +1,170 @@
+//! I/O metering wrapper.
+//!
+//! The experiments report averages over many operations; [`MeteredDevice`]
+//! counts the block reads and writes issued by the layers above so that the
+//! harness can report I/Os-per-file-operation alongside simulated time, and
+//! so that tests can assert on access patterns (e.g. "StegCover issues 16×
+//! the I/Os of StegFS").
+
+use crate::device::{BlockDevice, BlockId};
+use crate::error::BlockResult;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Counters shared between a [`MeteredDevice`] and the harness observing it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Number of block reads issued.
+    pub reads: u64,
+    /// Number of block writes issued.
+    pub writes: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+}
+
+impl IoStats {
+    /// Total number of I/O operations.
+    pub fn total_ops(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// Cloneable handle for reading the counters of a [`MeteredDevice`].
+#[derive(Clone)]
+pub struct IoStatsHandle {
+    inner: Arc<Mutex<IoStats>>,
+}
+
+impl IoStatsHandle {
+    /// Snapshot the current counters.
+    pub fn snapshot(&self) -> IoStats {
+        self.inner.lock().clone()
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        *self.inner.lock() = IoStats::default();
+    }
+}
+
+/// A [`BlockDevice`] wrapper that counts operations.
+pub struct MeteredDevice<D: BlockDevice> {
+    inner: D,
+    stats: Arc<Mutex<IoStats>>,
+}
+
+impl<D: BlockDevice> MeteredDevice<D> {
+    /// Wrap a device.
+    pub fn new(inner: D) -> Self {
+        MeteredDevice {
+            inner,
+            stats: Arc::new(Mutex::new(IoStats::default())),
+        }
+    }
+
+    /// Handle for observing the counters after the device has been moved into
+    /// a file-system object.
+    pub fn stats_handle(&self) -> IoStatsHandle {
+        IoStatsHandle {
+            inner: Arc::clone(&self.stats),
+        }
+    }
+
+    /// Access the wrapped device.
+    pub fn inner_mut(&mut self) -> &mut D {
+        &mut self.inner
+    }
+
+    /// Unwrap the device.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for MeteredDevice<D> {
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn total_blocks(&self) -> u64 {
+        self.inner.total_blocks()
+    }
+
+    fn read_block(&mut self, block: BlockId, buf: &mut [u8]) -> BlockResult<()> {
+        self.inner.read_block(block, buf)?;
+        let mut s = self.stats.lock();
+        s.reads += 1;
+        s.bytes_read += buf.len() as u64;
+        Ok(())
+    }
+
+    fn write_block(&mut self, block: BlockId, buf: &[u8]) -> BlockResult<()> {
+        self.inner.write_block(block, buf)?;
+        let mut s = self.stats.lock();
+        s.writes += 1;
+        s.bytes_written += buf.len() as u64;
+        Ok(())
+    }
+
+    fn flush(&mut self) -> BlockResult<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::MemBlockDevice;
+
+    #[test]
+    fn counts_reads_and_writes() {
+        let mut dev = MeteredDevice::new(MemBlockDevice::new(256, 16));
+        let handle = dev.stats_handle();
+        let buf = vec![1u8; 256];
+        dev.write_block(0, &buf).unwrap();
+        dev.write_block(1, &buf).unwrap();
+        let mut rbuf = vec![0u8; 256];
+        dev.read_block(0, &mut rbuf).unwrap();
+        let stats = handle.snapshot();
+        assert_eq!(stats.reads, 1);
+        assert_eq!(stats.writes, 2);
+        assert_eq!(stats.bytes_read, 256);
+        assert_eq!(stats.bytes_written, 512);
+        assert_eq!(stats.total_ops(), 3);
+    }
+
+    #[test]
+    fn failed_operations_not_counted() {
+        let mut dev = MeteredDevice::new(MemBlockDevice::new(256, 4));
+        let handle = dev.stats_handle();
+        let buf = vec![1u8; 256];
+        assert!(dev.write_block(99, &buf).is_err());
+        let mut rbuf = vec![0u8; 100];
+        assert!(dev.read_block(0, &mut rbuf).is_err());
+        assert_eq!(handle.snapshot(), IoStats::default());
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut dev = MeteredDevice::new(MemBlockDevice::new(128, 4));
+        let handle = dev.stats_handle();
+        dev.write_block(0, &[0u8; 128]).unwrap();
+        assert_ne!(handle.snapshot(), IoStats::default());
+        handle.reset();
+        assert_eq!(handle.snapshot(), IoStats::default());
+    }
+
+    #[test]
+    fn passthrough_geometry_and_data() {
+        let mut dev = MeteredDevice::new(MemBlockDevice::new(128, 4));
+        assert_eq!(dev.block_size(), 128);
+        assert_eq!(dev.total_blocks(), 4);
+        dev.write_block(3, &[0x42; 128]).unwrap();
+        assert_eq!(dev.read_block_vec(3).unwrap(), vec![0x42; 128]);
+        dev.flush().unwrap();
+        let inner = dev.into_inner();
+        assert_eq!(inner.raw()[3 * 128], 0x42);
+    }
+}

@@ -1,0 +1,412 @@
+//! The hidden-object header (Figure 2 of the paper).
+//!
+//! Each hidden file or directory is reached through a single *header block*
+//! containing:
+//!
+//! * a **signature** that uniquely identifies the object (derived by one-way
+//!   hashing from the physical name and access key, so the key cannot be
+//!   recovered from it),
+//! * a link to the **inode chain** that indexes all data blocks of the
+//!   object, and
+//! * the **free-block pool**: a list of blocks held by the file but not yet
+//!   carrying data, which defeats attackers who difference bitmap snapshots.
+//!
+//! The header is always encrypted before it reaches the device, so none of
+//! these fields are visible to an observer.
+//!
+//! The serialised header occupies the beginning of one block and is padded
+//! with zeros to the block size before encryption.  It fits the smallest
+//! block size the paper considers (512 bytes).
+
+use crate::crypt::SIGNATURE_LEN;
+use crate::error::{StegError, StegResult};
+
+/// Maximum number of entries in the in-header free-block pool.
+/// `FB_max` (Table 1) must not exceed this.
+pub const FREE_POOL_CAPACITY: usize = 16;
+
+/// Sentinel for "no block".
+pub const NO_BLOCK: u64 = u64::MAX;
+
+/// Serialised header length in bytes (excluding padding to the block size).
+pub const HEADER_LEN: usize = SIGNATURE_LEN + 1 + 1 + 8 + 8 + 8 + 2 + FREE_POOL_CAPACITY * 8;
+
+/// Whether a hidden object is a file or a directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectKind {
+    /// A regular hidden file.
+    File,
+    /// A hidden directory (its contents are a serialised
+    /// [`crate::keys::UakDirectory`]-style listing of child objects).
+    Directory,
+}
+
+impl ObjectKind {
+    /// The single-character type code used by the paper's `steg_create`
+    /// (`'f'` for files, `'d'` for directories).
+    pub fn type_char(self) -> char {
+        match self {
+            ObjectKind::File => 'f',
+            ObjectKind::Directory => 'd',
+        }
+    }
+
+    /// Parse the paper's type code.
+    pub fn from_type_char(c: char) -> StegResult<Self> {
+        match c {
+            'f' => Ok(ObjectKind::File),
+            'd' => Ok(ObjectKind::Directory),
+            other => Err(StegError::InvalidParameter(format!(
+                "unknown object type '{other}' (expected 'f' or 'd')"
+            ))),
+        }
+    }
+
+    fn to_byte(self) -> u8 {
+        match self {
+            ObjectKind::File => 1,
+            ObjectKind::Directory => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(ObjectKind::File),
+            2 => Some(ObjectKind::Directory),
+            _ => None,
+        }
+    }
+}
+
+/// In-memory form of a hidden object's header block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HiddenHeader {
+    /// Signature identifying the object (compared against the value derived
+    /// from the supplied name and key during lookup).
+    pub signature: [u8; SIGNATURE_LEN],
+    /// File or directory.
+    pub kind: ObjectKind,
+    /// Object size in bytes.
+    pub size: u64,
+    /// Number of data blocks currently assigned.
+    pub data_block_count: u64,
+    /// First block of the inode chain ([`NO_BLOCK`] when the object has no
+    /// data blocks).
+    pub inode_chain: u64,
+    /// The internal pool of free blocks held by this object.
+    pub free_pool: Vec<u64>,
+}
+
+impl HiddenHeader {
+    /// A fresh header for an empty object.
+    pub fn new(signature: [u8; SIGNATURE_LEN], kind: ObjectKind) -> Self {
+        HiddenHeader {
+            signature,
+            kind,
+            size: 0,
+            data_block_count: 0,
+            inode_chain: NO_BLOCK,
+            free_pool: Vec::new(),
+        }
+    }
+
+    /// Serialise into a buffer of exactly `block_size` bytes (zero padded).
+    ///
+    /// # Panics
+    /// Panics if the free pool exceeds [`FREE_POOL_CAPACITY`] or the block
+    /// size is too small for the header (both are internal invariants).
+    pub fn serialize(&self, block_size: usize) -> Vec<u8> {
+        assert!(
+            self.free_pool.len() <= FREE_POOL_CAPACITY,
+            "free pool overflows header capacity"
+        );
+        assert!(block_size >= HEADER_LEN, "block too small for header");
+        let mut buf = vec![0u8; block_size];
+        let mut off = 0;
+        buf[off..off + SIGNATURE_LEN].copy_from_slice(&self.signature);
+        off += SIGNATURE_LEN;
+        buf[off] = self.kind.to_byte();
+        off += 1;
+        buf[off] = 0; // reserved flags
+        off += 1;
+        buf[off..off + 8].copy_from_slice(&self.size.to_be_bytes());
+        off += 8;
+        buf[off..off + 8].copy_from_slice(&self.data_block_count.to_be_bytes());
+        off += 8;
+        buf[off..off + 8].copy_from_slice(&self.inode_chain.to_be_bytes());
+        off += 8;
+        buf[off..off + 2].copy_from_slice(&(self.free_pool.len() as u16).to_be_bytes());
+        off += 2;
+        for i in 0..FREE_POOL_CAPACITY {
+            let v = self.free_pool.get(i).copied().unwrap_or(NO_BLOCK);
+            buf[off..off + 8].copy_from_slice(&v.to_be_bytes());
+            off += 8;
+        }
+        debug_assert_eq!(off, HEADER_LEN);
+        buf
+    }
+
+    /// Attempt to parse a decrypted block as a header whose signature equals
+    /// `expected_signature`.  Returns `None` when the signature does not
+    /// match or the structure is implausible — which is the common case while
+    /// the locator walks candidate blocks that belong to other objects,
+    /// abandoned blocks or random fill.
+    pub fn parse_if_match(
+        buf: &[u8],
+        expected_signature: &[u8; SIGNATURE_LEN],
+        total_blocks: u64,
+    ) -> Option<Self> {
+        if buf.len() < HEADER_LEN {
+            return None;
+        }
+        if !stegfs_crypto::ct::ct_eq(&buf[..SIGNATURE_LEN], expected_signature) {
+            return None;
+        }
+        let mut off = SIGNATURE_LEN;
+        let kind = ObjectKind::from_byte(buf[off])?;
+        off += 2;
+        let get_u64 = |o: usize| u64::from_be_bytes(buf[o..o + 8].try_into().unwrap());
+        let size = get_u64(off);
+        off += 8;
+        let data_block_count = get_u64(off);
+        off += 8;
+        let inode_chain = get_u64(off);
+        off += 8;
+        let pool_len = u16::from_be_bytes(buf[off..off + 2].try_into().unwrap()) as usize;
+        off += 2;
+        if pool_len > FREE_POOL_CAPACITY {
+            return None;
+        }
+        let mut free_pool = Vec::with_capacity(pool_len);
+        for i in 0..pool_len {
+            let v = get_u64(off + i * 8);
+            if v >= total_blocks {
+                return None;
+            }
+            free_pool.push(v);
+        }
+        if inode_chain != NO_BLOCK && inode_chain >= total_blocks {
+            return None;
+        }
+        Some(HiddenHeader {
+            signature: *expected_signature,
+            kind,
+            size,
+            data_block_count,
+            inode_chain,
+            free_pool,
+        })
+    }
+}
+
+/// One block of the inode chain of a hidden object.
+///
+/// ```text
+/// [next: u64][count: u16][pointer...]
+/// ```
+///
+/// The chain stores the object's data-block numbers in logical order.  Like
+/// every other hidden block it is encrypted before hitting the device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InodeChainBlock {
+    /// Next block in the chain, or [`NO_BLOCK`].
+    pub next: u64,
+    /// Data-block pointers stored in this chain block.
+    pub pointers: Vec<u64>,
+}
+
+impl InodeChainBlock {
+    /// Number of pointers that fit into one chain block of `block_size`.
+    pub fn capacity(block_size: usize) -> usize {
+        (block_size - 10) / 8
+    }
+
+    /// Serialise into exactly `block_size` bytes.
+    pub fn serialize(&self, block_size: usize) -> Vec<u8> {
+        assert!(self.pointers.len() <= Self::capacity(block_size));
+        let mut buf = vec![0u8; block_size];
+        buf[0..8].copy_from_slice(&self.next.to_be_bytes());
+        buf[8..10].copy_from_slice(&(self.pointers.len() as u16).to_be_bytes());
+        for (i, &p) in self.pointers.iter().enumerate() {
+            let off = 10 + i * 8;
+            buf[off..off + 8].copy_from_slice(&p.to_be_bytes());
+        }
+        buf
+    }
+
+    /// Parse a decrypted chain block.
+    pub fn deserialize(buf: &[u8], total_blocks: u64) -> StegResult<Self> {
+        if buf.len() < 10 {
+            return Err(StegError::Fs(stegfs_fs::FsError::Corrupt(
+                "inode chain block too short".into(),
+            )));
+        }
+        let next = u64::from_be_bytes(buf[0..8].try_into().unwrap());
+        let count = u16::from_be_bytes(buf[8..10].try_into().unwrap()) as usize;
+        if count > Self::capacity(buf.len()) {
+            return Err(StegError::Fs(stegfs_fs::FsError::Corrupt(
+                "inode chain count exceeds capacity".into(),
+            )));
+        }
+        let mut pointers = Vec::with_capacity(count);
+        for i in 0..count {
+            let off = 10 + i * 8;
+            let p = u64::from_be_bytes(buf[off..off + 8].try_into().unwrap());
+            if p >= total_blocks {
+                return Err(StegError::Fs(stegfs_fs::FsError::Corrupt(format!(
+                    "inode chain pointer {p} outside volume"
+                ))));
+            }
+            pointers.push(p);
+        }
+        if next != NO_BLOCK && next >= total_blocks {
+            return Err(StegError::Fs(stegfs_fs::FsError::Corrupt(
+                "inode chain next pointer outside volume".into(),
+            )));
+        }
+        Ok(InodeChainBlock { next, pointers })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(byte: u8) -> [u8; SIGNATURE_LEN] {
+        [byte; SIGNATURE_LEN]
+    }
+
+    #[test]
+    fn header_fits_smallest_block_size() {
+        assert!(HEADER_LEN <= 512, "header is {HEADER_LEN} bytes");
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let mut h = HiddenHeader::new(sig(0xab), ObjectKind::File);
+        h.size = 123_456;
+        h.data_block_count = 121;
+        h.inode_chain = 999;
+        h.free_pool = vec![5, 6, 7];
+        let buf = h.serialize(1024);
+        assert_eq!(buf.len(), 1024);
+        let parsed = HiddenHeader::parse_if_match(&buf, &sig(0xab), 100_000).unwrap();
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn header_empty_object_roundtrip() {
+        let h = HiddenHeader::new(sig(1), ObjectKind::Directory);
+        let buf = h.serialize(512);
+        let parsed = HiddenHeader::parse_if_match(&buf, &sig(1), 1000).unwrap();
+        assert_eq!(parsed.kind, ObjectKind::Directory);
+        assert_eq!(parsed.inode_chain, NO_BLOCK);
+        assert!(parsed.free_pool.is_empty());
+    }
+
+    #[test]
+    fn wrong_signature_rejected() {
+        let h = HiddenHeader::new(sig(2), ObjectKind::File);
+        let buf = h.serialize(512);
+        assert!(HiddenHeader::parse_if_match(&buf, &sig(3), 1000).is_none());
+    }
+
+    #[test]
+    fn random_garbage_rejected() {
+        // A block of pseudo-random bytes should never parse: the signature
+        // check alone rejects it.
+        let garbage: Vec<u8> = (0..1024u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        assert!(HiddenHeader::parse_if_match(&garbage, &sig(7), 1 << 20).is_none());
+    }
+
+    #[test]
+    fn implausible_fields_rejected_even_with_matching_signature() {
+        // Signature matches but pool pointers are outside the volume: reject.
+        let mut h = HiddenHeader::new(sig(9), ObjectKind::File);
+        h.free_pool = vec![5_000];
+        let buf = h.serialize(512);
+        assert!(HiddenHeader::parse_if_match(&buf, &sig(9), 1_000).is_none());
+
+        let mut h = HiddenHeader::new(sig(9), ObjectKind::File);
+        h.inode_chain = 10_000;
+        let buf = h.serialize(512);
+        assert!(HiddenHeader::parse_if_match(&buf, &sig(9), 1_000).is_none());
+    }
+
+    #[test]
+    fn truncated_buffer_rejected() {
+        let h = HiddenHeader::new(sig(4), ObjectKind::File);
+        let buf = h.serialize(512);
+        assert!(HiddenHeader::parse_if_match(&buf[..50], &sig(4), 1000).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "free pool overflows")]
+    fn oversized_pool_panics_on_serialize() {
+        let mut h = HiddenHeader::new(sig(5), ObjectKind::File);
+        h.free_pool = vec![1; FREE_POOL_CAPACITY + 1];
+        h.serialize(1024);
+    }
+
+    #[test]
+    fn object_kind_type_chars() {
+        assert_eq!(ObjectKind::File.type_char(), 'f');
+        assert_eq!(ObjectKind::Directory.type_char(), 'd');
+        assert_eq!(ObjectKind::from_type_char('f').unwrap(), ObjectKind::File);
+        assert_eq!(
+            ObjectKind::from_type_char('d').unwrap(),
+            ObjectKind::Directory
+        );
+        assert!(ObjectKind::from_type_char('x').is_err());
+    }
+
+    #[test]
+    fn inode_chain_roundtrip() {
+        let cap = InodeChainBlock::capacity(1024);
+        assert_eq!(cap, (1024 - 10) / 8);
+        let block = InodeChainBlock {
+            next: 77,
+            pointers: (100..100 + cap as u64).collect(),
+        };
+        let buf = block.serialize(1024);
+        assert_eq!(InodeChainBlock::deserialize(&buf, 10_000).unwrap(), block);
+    }
+
+    #[test]
+    fn inode_chain_rejects_corruption() {
+        let block = InodeChainBlock {
+            next: NO_BLOCK,
+            pointers: vec![5, 6],
+        };
+        let mut buf = block.serialize(512);
+        // Corrupt the count to something impossible.
+        buf[8] = 0xff;
+        buf[9] = 0xff;
+        assert!(InodeChainBlock::deserialize(&buf, 10_000).is_err());
+        // Pointer outside the volume.
+        let bad = InodeChainBlock {
+            next: NO_BLOCK,
+            pointers: vec![5_000],
+        };
+        let buf = bad.serialize(512);
+        assert!(InodeChainBlock::deserialize(&buf, 1_000).is_err());
+        // Next pointer outside the volume.
+        let bad = InodeChainBlock {
+            next: 5_000,
+            pointers: vec![],
+        };
+        let buf = bad.serialize(512);
+        assert!(InodeChainBlock::deserialize(&buf, 1_000).is_err());
+        assert!(InodeChainBlock::deserialize(&[0u8; 4], 1_000).is_err());
+    }
+
+    #[test]
+    fn chain_capacity_matches_paper_workloads() {
+        // A 2 MB file at 512-byte blocks needs 4096 pointers; with 62 per
+        // chain block that is 67 chain blocks — perfectly feasible.
+        let cap = InodeChainBlock::capacity(512);
+        assert!(cap >= 60);
+        let chain_blocks_needed = 4096usize.div_ceil(cap);
+        assert!(chain_blocks_needed < 100);
+    }
+}

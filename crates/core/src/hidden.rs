@@ -1,0 +1,636 @@
+//! The hidden-object engine: create, open, read, write, delete.
+//!
+//! This module implements the life cycle of a single hidden object on top of
+//! the plain file system's bitmap and raw-block interface.  Nothing here
+//! touches the central directory; the only trace a hidden object leaves in
+//! shared metadata is its blocks being marked allocated — just like abandoned
+//! blocks and dummy files.
+//!
+//! The free-block-pool behaviour follows §3.1: a freshly created object
+//! immediately claims `FB_max` random blocks; extension consumes pool blocks
+//! (topping the pool back up when it drops below `FB_min`); truncation feeds
+//! freed blocks back into the pool and only returns the excess beyond
+//! `FB_max` to the file system.
+
+use crate::crypt::ObjectKeys;
+use crate::error::{StegError, StegResult};
+use crate::header::{HiddenHeader, InodeChainBlock, ObjectKind, NO_BLOCK};
+use crate::locator::{find_free_header_slot, locate_header, Located};
+use crate::params::StegParams;
+use stegfs_blockdev::BlockDevice;
+use stegfs_crypto::prng::DeterministicRng;
+use stegfs_fs::PlainFs;
+
+/// An open hidden object: its header block number and current header state.
+#[derive(Debug, Clone)]
+pub struct HiddenObject {
+    /// Physical block holding the (encrypted) header.
+    pub header_block: u64,
+    /// Decrypted header contents.
+    pub header: HiddenHeader,
+    /// Number of locator probes it took to find the header (1 for a freshly
+    /// created object).
+    pub probes: usize,
+}
+
+impl HiddenObject {
+    /// Size in bytes of the object's contents.
+    pub fn size(&self) -> u64 {
+        self.header.size
+    }
+
+    /// File or directory.
+    pub fn kind(&self) -> ObjectKind {
+        self.header.kind
+    }
+}
+
+fn write_encrypted<D: BlockDevice>(
+    fs: &mut PlainFs<D>,
+    keys: &ObjectKeys,
+    block: u64,
+    plaintext_block: &[u8],
+) -> StegResult<()> {
+    let mut buf = plaintext_block.to_vec();
+    keys.encrypt_block(block, &mut buf);
+    fs.write_raw_block(block, &buf)?;
+    Ok(())
+}
+
+fn read_decrypted<D: BlockDevice>(
+    fs: &mut PlainFs<D>,
+    keys: &ObjectKeys,
+    block: u64,
+) -> StegResult<Vec<u8>> {
+    let mut buf = fs.read_raw_block(block)?;
+    keys.decrypt_block(block, &mut buf);
+    Ok(buf)
+}
+
+/// Create a new hidden object and write its initial (empty) header.
+///
+/// The header lands at the first free block of the keyed candidate sequence;
+/// the internal free pool is immediately stocked with `FB_max` random blocks.
+pub fn create<D: BlockDevice>(
+    fs: &mut PlainFs<D>,
+    physical_name: &str,
+    keys: &ObjectKeys,
+    kind: ObjectKind,
+    params: &StegParams,
+) -> StegResult<HiddenObject> {
+    let (header_block, _probes) =
+        find_free_header_slot(fs, physical_name, keys, params.max_locator_probes)?;
+    fs.allocate_specific_block(header_block)?;
+
+    let mut header = HiddenHeader::new(*keys.signature(), kind);
+    // Stock the internal free pool (§3.1: "StegFS straightaway allocates
+    // several blocks to the file").
+    for _ in 0..params.free_blocks_max {
+        match fs.allocate_random_block() {
+            Ok(b) => header.free_pool.push(b),
+            Err(stegfs_fs::FsError::NoSpace) => break,
+            Err(e) => return Err(e.into()),
+        }
+    }
+
+    write_encrypted(fs, keys, header_block, &header.serialize(fs.block_size()))?;
+    Ok(HiddenObject {
+        header_block,
+        header,
+        probes: 1,
+    })
+}
+
+/// Open an existing hidden object by walking the candidate sequence.
+pub fn open<D: BlockDevice>(
+    fs: &mut PlainFs<D>,
+    physical_name: &str,
+    keys: &ObjectKeys,
+    params: &StegParams,
+) -> StegResult<HiddenObject> {
+    let Located {
+        block,
+        header,
+        probes,
+    } = locate_header(fs, physical_name, keys, params.max_locator_probes)?;
+    Ok(HiddenObject {
+        header_block: block,
+        header,
+        probes,
+    })
+}
+
+/// Read the inode chain of `obj`, returning the data blocks in logical order
+/// together with the chain blocks themselves.
+fn read_chain<D: BlockDevice>(
+    fs: &mut PlainFs<D>,
+    keys: &ObjectKeys,
+    obj: &HiddenObject,
+) -> StegResult<(Vec<u64>, Vec<u64>)> {
+    let total = fs.superblock().total_blocks;
+    let mut data_blocks = Vec::with_capacity(obj.header.data_block_count as usize);
+    let mut chain_blocks = Vec::new();
+    let mut next = obj.header.inode_chain;
+    while next != NO_BLOCK {
+        chain_blocks.push(next);
+        let buf = read_decrypted(fs, keys, next)?;
+        let chain = InodeChainBlock::deserialize(&buf, total)?;
+        data_blocks.extend_from_slice(&chain.pointers);
+        next = chain.next;
+        if chain_blocks_guard(&chain_blocks, total) {
+            return Err(StegError::Fs(stegfs_fs::FsError::Corrupt(
+                "inode chain loops".into(),
+            )));
+        }
+    }
+    Ok((data_blocks, chain_blocks))
+}
+
+fn chain_blocks_guard(chain_blocks: &[u64], total: u64) -> bool {
+    chain_blocks.len() as u64 > total
+}
+
+/// Read the full contents of a hidden object.
+pub fn read<D: BlockDevice>(
+    fs: &mut PlainFs<D>,
+    keys: &ObjectKeys,
+    obj: &HiddenObject,
+) -> StegResult<Vec<u8>> {
+    let (data_blocks, _) = read_chain(fs, keys, obj)?;
+    let mut out = Vec::with_capacity(obj.header.size as usize);
+    for &b in &data_blocks {
+        out.extend_from_slice(&read_decrypted(fs, keys, b)?);
+    }
+    out.truncate(obj.header.size as usize);
+    Ok(out)
+}
+
+/// Read `len` bytes starting at `offset` (clamped to the object size).
+pub fn read_range<D: BlockDevice>(
+    fs: &mut PlainFs<D>,
+    keys: &ObjectKeys,
+    obj: &HiddenObject,
+    offset: u64,
+    len: usize,
+) -> StegResult<Vec<u8>> {
+    if offset >= obj.header.size {
+        return Ok(Vec::new());
+    }
+    let end = (offset + len as u64).min(obj.header.size);
+    let bs = fs.block_size() as u64;
+    let (data_blocks, _) = read_chain(fs, keys, obj)?;
+    let first = offset / bs;
+    let last = (end - 1) / bs;
+    let mut out = Vec::with_capacity((end - offset) as usize);
+    for logical in first..=last {
+        let physical = *data_blocks.get(logical as usize).ok_or_else(|| {
+            StegError::Fs(stegfs_fs::FsError::Corrupt(
+                "hidden object shorter than its size field".into(),
+            ))
+        })?;
+        let block = read_decrypted(fs, keys, physical)?;
+        let block_start = logical * bs;
+        let from = offset.max(block_start) - block_start;
+        let to = end.min(block_start + bs) - block_start;
+        out.extend_from_slice(&block[from as usize..to as usize]);
+    }
+    Ok(out)
+}
+
+/// Overwrite part of an existing hidden object in place.  The range must lie
+/// within the object's current size; blocks are decrypted, patched and
+/// re-encrypted individually (the multi-user experiments update files at
+/// block granularity).
+pub fn write_range<D: BlockDevice>(
+    fs: &mut PlainFs<D>,
+    keys: &ObjectKeys,
+    obj: &HiddenObject,
+    offset: u64,
+    data: &[u8],
+) -> StegResult<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    let end = offset + data.len() as u64;
+    if end > obj.header.size {
+        return Err(StegError::Fs(stegfs_fs::FsError::FileTooLarge {
+            requested: end,
+            maximum: obj.header.size,
+        }));
+    }
+    let bs = fs.block_size() as u64;
+    let (data_blocks, _) = read_chain(fs, keys, obj)?;
+    let first = offset / bs;
+    let last = (end - 1) / bs;
+    for logical in first..=last {
+        let physical = *data_blocks.get(logical as usize).ok_or_else(|| {
+            StegError::Fs(stegfs_fs::FsError::Corrupt(
+                "hidden object shorter than its size field".into(),
+            ))
+        })?;
+        let block_start = logical * bs;
+        let from = (offset.max(block_start) - block_start) as usize;
+        let to = (end.min(block_start + bs) - block_start) as usize;
+        let src_from = (block_start + from as u64 - offset) as usize;
+        let src_to = (block_start + to as u64 - offset) as usize;
+        let mut plain = read_decrypted(fs, keys, physical)?;
+        plain[from..to].copy_from_slice(&data[src_from..src_to]);
+        write_encrypted(fs, keys, physical, &plain)?;
+    }
+    Ok(())
+}
+
+/// Take one block for new data: prefer the internal free pool (choosing a
+/// random member, per §3.1), fall back to a fresh random block.
+fn take_block<D: BlockDevice>(
+    fs: &mut PlainFs<D>,
+    header: &mut HiddenHeader,
+    rng: &mut DeterministicRng,
+) -> StegResult<u64> {
+    if !header.free_pool.is_empty() {
+        let idx = rng.next_below(header.free_pool.len() as u64) as usize;
+        return Ok(header.free_pool.swap_remove(idx));
+    }
+    Ok(fs.allocate_random_block()?)
+}
+
+/// Give a no-longer-needed block back: into the pool while it has room
+/// (`FB_max`), otherwise back to the file system.
+fn release_block<D: BlockDevice>(
+    fs: &mut PlainFs<D>,
+    header: &mut HiddenHeader,
+    params: &StegParams,
+    block: u64,
+) -> StegResult<()> {
+    if header.free_pool.len() < params.free_blocks_max {
+        header.free_pool.push(block);
+        Ok(())
+    } else {
+        fs.free_raw_block(block)?;
+        Ok(())
+    }
+}
+
+/// Replace the entire contents of a hidden object with `data`.
+///
+/// This is the write path the experiments exercise (whole-file writes, as in
+/// the paper's workload).  Old data and chain blocks are recycled through the
+/// free pool; new blocks are drawn from the pool first and then from random
+/// free space.
+pub fn write<D: BlockDevice>(
+    fs: &mut PlainFs<D>,
+    keys: &ObjectKeys,
+    obj: &mut HiddenObject,
+    data: &[u8],
+    params: &StegParams,
+    rng: &mut DeterministicRng,
+) -> StegResult<()> {
+    let bs = fs.block_size();
+    let total = fs.superblock().total_blocks;
+    let needed = (data.len() as u64).div_ceil(bs as u64);
+
+    // Recycle the old blocks.
+    let (old_data, old_chain) = read_chain(fs, keys, obj)?;
+    let mut header = obj.header.clone();
+    for b in old_data.into_iter().chain(old_chain) {
+        release_block(fs, &mut header, params, b)?;
+    }
+
+    // Make sure the volume can hold the new contents before taking anything.
+    let chain_capacity = InodeChainBlock::capacity(bs) as u64;
+    let chain_needed = needed.div_ceil(chain_capacity.max(1));
+    let available = fs.free_data_blocks() + header.free_pool.len() as u64;
+    if available < needed + chain_needed {
+        // Restore is not required: the recycled blocks are still listed in
+        // the pool or have been freed, and the header has not been rewritten,
+        // so the object still describes the old data blocks.  We simply
+        // refuse the update.
+        return Err(StegError::NoSpace);
+    }
+
+    // Write the data blocks.
+    let mut data_blocks = Vec::with_capacity(needed as usize);
+    for i in 0..needed as usize {
+        let block = take_block(fs, &mut header, rng)?;
+        let start = i * bs;
+        let end = ((i + 1) * bs).min(data.len());
+        let mut plain = vec![0u8; bs];
+        plain[..end - start].copy_from_slice(&data[start..end]);
+        write_encrypted(fs, keys, block, &plain)?;
+        data_blocks.push(block);
+    }
+
+    // Build the inode chain (allocate chain blocks the same way).
+    let mut chain_head = NO_BLOCK;
+    if !data_blocks.is_empty() {
+        let chunks: Vec<&[u64]> = data_blocks.chunks(chain_capacity as usize).collect();
+        let mut chain_block_numbers = Vec::with_capacity(chunks.len());
+        for _ in &chunks {
+            chain_block_numbers.push(take_block(fs, &mut header, rng)?);
+        }
+        for (i, chunk) in chunks.iter().enumerate() {
+            let next = chain_block_numbers.get(i + 1).copied().unwrap_or(NO_BLOCK);
+            let chain = InodeChainBlock {
+                next,
+                pointers: chunk.to_vec(),
+            };
+            write_encrypted(
+                fs,
+                keys,
+                chain_block_numbers[i],
+                &chain.serialize(bs),
+            )?;
+        }
+        chain_head = chain_block_numbers[0];
+    }
+
+    // Top the pool back up if it has fallen below the lower bound.
+    if header.free_pool.len() < params.free_blocks_min {
+        while header.free_pool.len() < params.free_blocks_max {
+            match fs.allocate_random_block() {
+                Ok(b) => header.free_pool.push(b),
+                Err(stegfs_fs::FsError::NoSpace) => break,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    // Publish the new header.
+    header.size = data.len() as u64;
+    header.data_block_count = data_blocks.len() as u64;
+    header.inode_chain = chain_head;
+    debug_assert!(header.inode_chain == NO_BLOCK || header.inode_chain < total);
+    write_encrypted(fs, keys, obj.header_block, &header.serialize(bs))?;
+    obj.header = header;
+    Ok(())
+}
+
+/// Delete a hidden object: every block it holds (data, chain, pool, header)
+/// is returned to the file system, and the header block is overwritten with
+/// fresh pseudorandom fill so no stale signature survives on disk.
+pub fn delete<D: BlockDevice>(
+    fs: &mut PlainFs<D>,
+    keys: &ObjectKeys,
+    obj: &HiddenObject,
+    rng: &mut DeterministicRng,
+) -> StegResult<()> {
+    let (data_blocks, chain_blocks) = read_chain(fs, keys, obj)?;
+    for b in data_blocks
+        .into_iter()
+        .chain(chain_blocks)
+        .chain(obj.header.free_pool.iter().copied())
+    {
+        fs.free_raw_block(b)?;
+    }
+    // Scrub the header so the signature cannot be found again, then free it.
+    let noise = rng.bytes(fs.block_size());
+    fs.write_raw_block(obj.header_block, &noise)?;
+    fs.free_raw_block(obj.header_block)?;
+    Ok(())
+}
+
+/// All blocks currently owned by the object (header, chain, data, pool).
+/// Used by the space accounting in the experiments.
+pub fn owned_blocks<D: BlockDevice>(
+    fs: &mut PlainFs<D>,
+    keys: &ObjectKeys,
+    obj: &HiddenObject,
+) -> StegResult<Vec<u64>> {
+    let (data_blocks, chain_blocks) = read_chain(fs, keys, obj)?;
+    let mut all = vec![obj.header_block];
+    all.extend(data_blocks);
+    all.extend(chain_blocks);
+    all.extend(obj.header.free_pool.iter().copied());
+    all.sort_unstable();
+    all.dedup();
+    Ok(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stegfs_blockdev::MemBlockDevice;
+    use stegfs_fs::{FormatOptions, PlainFs};
+
+    fn fixture() -> (PlainFs<MemBlockDevice>, ObjectKeys, StegParams, DeterministicRng) {
+        let fs = PlainFs::format(MemBlockDevice::new(1024, 8192), FormatOptions::default())
+            .unwrap();
+        let keys = ObjectKeys::derive("u1:/secret/budget.xls", b"file access key");
+        let params = StegParams::for_tests();
+        let rng = DeterministicRng::new(b"hidden-tests");
+        (fs, keys, params, rng)
+    }
+
+    #[test]
+    fn create_open_roundtrip() {
+        let (mut fs, keys, params, _) = fixture();
+        let created = create(&mut fs, "u1:/secret/budget.xls", &keys, ObjectKind::File, &params)
+            .unwrap();
+        assert_eq!(created.header.free_pool.len(), params.free_blocks_max);
+        let opened = open(&mut fs, "u1:/secret/budget.xls", &keys, &params).unwrap();
+        assert_eq!(opened.header_block, created.header_block);
+        assert_eq!(opened.header, created.header);
+        assert_eq!(opened.kind(), ObjectKind::File);
+        assert_eq!(opened.size(), 0);
+    }
+
+    #[test]
+    fn empty_object_reads_empty() {
+        let (mut fs, keys, params, _) = fixture();
+        let obj = create(&mut fs, "n", &keys, ObjectKind::File, &params).unwrap();
+        assert_eq!(read(&mut fs, &keys, &obj).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn write_read_roundtrip_small() {
+        let (mut fs, keys, params, mut rng) = fixture();
+        let mut obj = create(&mut fs, "n", &keys, ObjectKind::File, &params).unwrap();
+        write(&mut fs, &keys, &mut obj, b"hello hidden world", &params, &mut rng).unwrap();
+        assert_eq!(obj.size(), 18);
+        assert_eq!(read(&mut fs, &keys, &obj).unwrap(), b"hello hidden world");
+        // And through a fresh open.
+        let reopened = open(&mut fs, "n", &keys, &params).unwrap();
+        assert_eq!(read(&mut fs, &keys, &reopened).unwrap(), b"hello hidden world");
+    }
+
+    #[test]
+    fn write_read_roundtrip_multi_chain() {
+        let (mut fs, keys, params, mut rng) = fixture();
+        let mut obj = create(&mut fs, "big", &keys, ObjectKind::File, &params).unwrap();
+        // 400 KB needs 400 data blocks -> 4 chain blocks at 1 KB block size.
+        let data: Vec<u8> = (0..400 * 1024u32).map(|i| (i % 251) as u8).collect();
+        write(&mut fs, &keys, &mut obj, &data, &params, &mut rng).unwrap();
+        assert_eq!(read(&mut fs, &keys, &obj).unwrap(), data);
+        assert_eq!(obj.header.data_block_count, 400);
+    }
+
+    #[test]
+    fn read_range_matches_full_read() {
+        let (mut fs, keys, params, mut rng) = fixture();
+        let mut obj = create(&mut fs, "r", &keys, ObjectKind::File, &params).unwrap();
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 256) as u8).collect();
+        write(&mut fs, &keys, &mut obj, &data, &params, &mut rng).unwrap();
+        assert_eq!(read_range(&mut fs, &keys, &obj, 0, 100).unwrap(), &data[..100]);
+        assert_eq!(
+            read_range(&mut fs, &keys, &obj, 1020, 10).unwrap(),
+            &data[1020..1030]
+        );
+        assert_eq!(
+            read_range(&mut fs, &keys, &obj, 9_990, 100).unwrap(),
+            &data[9_990..]
+        );
+        assert!(read_range(&mut fs, &keys, &obj, 20_000, 5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn write_range_patches_in_place() {
+        let (mut fs, keys, params, mut rng) = fixture();
+        let mut obj = create(&mut fs, "patch", &keys, ObjectKind::File, &params).unwrap();
+        let data: Vec<u8> = (0..5000u32).map(|i| (i % 256) as u8).collect();
+        write(&mut fs, &keys, &mut obj, &data, &params, &mut rng).unwrap();
+        let free_before = fs.free_data_blocks();
+
+        write_range(&mut fs, &keys, &obj, 1000, &[0xaa; 200]).unwrap();
+        let mut expected = data.clone();
+        expected[1000..1200].copy_from_slice(&[0xaa; 200]);
+        assert_eq!(read(&mut fs, &keys, &obj).unwrap(), expected);
+        assert_eq!(fs.free_data_blocks(), free_before, "no allocation");
+        // Past-EOF patches rejected, empty patches allowed.
+        assert!(write_range(&mut fs, &keys, &obj, 4990, &[0u8; 20]).is_err());
+        write_range(&mut fs, &keys, &obj, 0, &[]).unwrap();
+    }
+
+    #[test]
+    fn rewrite_replaces_contents_without_leaking_blocks() {
+        let (mut fs, keys, params, mut rng) = fixture();
+        let mut obj = create(&mut fs, "w", &keys, ObjectKind::File, &params).unwrap();
+        let free_before = fs.free_data_blocks();
+
+        write(&mut fs, &keys, &mut obj, &vec![1u8; 100 * 1024], &params, &mut rng).unwrap();
+        write(&mut fs, &keys, &mut obj, &vec![2u8; 50 * 1024], &params, &mut rng).unwrap();
+        write(&mut fs, &keys, &mut obj, b"tiny", &params, &mut rng).unwrap();
+        assert_eq!(read(&mut fs, &keys, &obj).unwrap(), b"tiny");
+
+        // Blocks used now: header + <=1 data + <=1 chain + pool (bounded by
+        // FB_max).  Everything else must have been returned to the volume.
+        // header + 1 data block + 1 chain block + pool (bounded by FB_max).
+        let used_now = free_before - fs.free_data_blocks();
+        assert!(
+            used_now <= 3 + params.free_blocks_max as u64,
+            "object retains {used_now} blocks"
+        );
+    }
+
+    #[test]
+    fn free_pool_absorbs_truncation_up_to_fb_max() {
+        let (mut fs, keys, params, mut rng) = fixture();
+        let mut obj = create(&mut fs, "p", &keys, ObjectKind::File, &params).unwrap();
+        write(&mut fs, &keys, &mut obj, &vec![7u8; 3 * 1024], &params, &mut rng).unwrap();
+        // Shrink to zero: the freed blocks flow into the pool, capped at FB_max.
+        write(&mut fs, &keys, &mut obj, b"", &params, &mut rng).unwrap();
+        assert!(obj.header.free_pool.len() <= params.free_blocks_max);
+        assert!(!obj.header.free_pool.is_empty());
+        assert_eq!(obj.header.data_block_count, 0);
+        assert_eq!(obj.header.inode_chain, NO_BLOCK);
+    }
+
+    #[test]
+    fn pool_topped_up_when_below_minimum() {
+        let (mut fs, keys, mut params, mut rng) = fixture();
+        params.free_blocks_min = 3;
+        params.free_blocks_max = 4;
+        let mut obj = create(&mut fs, "t", &keys, ObjectKind::File, &params).unwrap();
+        assert_eq!(obj.header.free_pool.len(), 4);
+        // Writing 6 blocks of data consumes the whole pool (4) and more, so
+        // afterwards the pool must be topped back up to FB_max.
+        write(&mut fs, &keys, &mut obj, &vec![1u8; 6 * 1024], &params, &mut rng).unwrap();
+        assert_eq!(obj.header.free_pool.len(), 4);
+    }
+
+    #[test]
+    fn wrong_key_cannot_open_or_read() {
+        let (mut fs, keys, params, mut rng) = fixture();
+        let mut obj = create(&mut fs, "s", &keys, ObjectKind::File, &params).unwrap();
+        write(&mut fs, &keys, &mut obj, b"classified", &params, &mut rng).unwrap();
+        let wrong = ObjectKeys::derive("s", b"wrong key");
+        assert!(open(&mut fs, "s", &wrong, &params).unwrap_err().is_not_found());
+    }
+
+    #[test]
+    fn delete_returns_all_blocks_and_scrubs_header() {
+        let (mut fs, keys, params, mut rng) = fixture();
+        let free_before = fs.free_data_blocks();
+        let mut obj = create(&mut fs, "d", &keys, ObjectKind::File, &params).unwrap();
+        write(&mut fs, &keys, &mut obj, &vec![5u8; 40 * 1024], &params, &mut rng).unwrap();
+        assert!(fs.free_data_blocks() < free_before);
+
+        delete(&mut fs, &keys, &obj, &mut rng).unwrap();
+        assert_eq!(fs.free_data_blocks(), free_before, "all blocks returned");
+        // The object can no longer be found.
+        assert!(open(&mut fs, "d", &keys, &params).unwrap_err().is_not_found());
+    }
+
+    #[test]
+    fn owned_blocks_accounts_for_everything() {
+        let (mut fs, keys, params, mut rng) = fixture();
+        let free_start = fs.free_data_blocks();
+        let mut obj = create(&mut fs, "o", &keys, ObjectKind::File, &params).unwrap();
+        write(&mut fs, &keys, &mut obj, &vec![9u8; 20 * 1024], &params, &mut rng).unwrap();
+        let owned = owned_blocks(&mut fs, &keys, &obj).unwrap();
+        let consumed = free_start - fs.free_data_blocks();
+        assert_eq!(owned.len() as u64, consumed);
+        assert!(owned.contains(&obj.header_block));
+    }
+
+    #[test]
+    fn hidden_blocks_never_appear_in_central_directory() {
+        let (mut fs, keys, params, mut rng) = fixture();
+        fs.write_file("/plain.txt", b"visible data").unwrap();
+        let mut obj = create(&mut fs, "h", &keys, ObjectKind::File, &params).unwrap();
+        write(&mut fs, &keys, &mut obj, &vec![3u8; 30 * 1024], &params, &mut rng).unwrap();
+
+        let plain_blocks = fs.plain_object_blocks().unwrap();
+        let hidden = owned_blocks(&mut fs, &keys, &obj).unwrap();
+        for b in &hidden {
+            assert!(
+                !plain_blocks.contains(b),
+                "hidden block {b} leaked into the central directory"
+            );
+            assert!(fs.is_block_allocated(*b), "hidden block {b} must be marked in the bitmap");
+        }
+    }
+
+    #[test]
+    fn no_space_write_fails_cleanly() {
+        // Small volume: fill most of it with a plain file, then try to write
+        // a hidden object that cannot fit.
+        let mut fs =
+            PlainFs::format(MemBlockDevice::new(1024, 512), FormatOptions::default()).unwrap();
+        let keys = ObjectKeys::derive("x", b"k");
+        let params = StegParams::for_tests();
+        let mut rng = DeterministicRng::new(b"r");
+        let mut obj = create(&mut fs, "x", &keys, ObjectKind::File, &params).unwrap();
+        let free = fs.free_data_blocks();
+        let too_big = vec![0u8; ((free + 16) * 1024) as usize];
+        assert!(matches!(
+            write(&mut fs, &keys, &mut obj, &too_big, &params, &mut rng),
+            Err(StegError::NoSpace)
+        ));
+    }
+
+    #[test]
+    fn two_objects_do_not_interfere() {
+        let (mut fs, _, params, mut rng) = fixture();
+        let ka = ObjectKeys::derive("a", b"key-a");
+        let kb = ObjectKeys::derive("b", b"key-b");
+        let mut a = create(&mut fs, "a", &ka, ObjectKind::File, &params).unwrap();
+        let mut b = create(&mut fs, "b", &kb, ObjectKind::File, &params).unwrap();
+        write(&mut fs, &ka, &mut a, &vec![0xaa; 10_000], &params, &mut rng).unwrap();
+        write(&mut fs, &kb, &mut b, &vec![0xbb; 20_000], &params, &mut rng).unwrap();
+        assert_eq!(read(&mut fs, &ka, &a).unwrap(), vec![0xaa; 10_000]);
+        assert_eq!(read(&mut fs, &kb, &b).unwrap(), vec![0xbb; 20_000]);
+        let blocks_a = owned_blocks(&mut fs, &ka, &a).unwrap();
+        let blocks_b = owned_blocks(&mut fs, &kb, &b).unwrap();
+        assert!(blocks_a.iter().all(|x| !blocks_b.contains(x)));
+    }
+}

@@ -1,0 +1,149 @@
+//! Connected-object sessions (`steg_connect` / `steg_disconnect`).
+//!
+//! The paper's kernel driver makes a connected hidden object appear in the
+//! user's current working directory; data blocks stay encrypted on disk and
+//! are decrypted on the fly when read.  In this user-space reproduction a
+//! *session* is simply an in-memory table of connected objects: once
+//! connected, an object can be read and written by name without re-supplying
+//! the UAK, and disconnecting (or dropping the session) makes it invisible
+//! again.  Nothing about a session ever touches the disk.
+
+use crate::header::ObjectKind;
+use crate::keys::{DirectoryEntry, FAK_LEN};
+use std::collections::BTreeMap;
+
+/// One connected hidden object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectedObject {
+    /// User-visible name.
+    pub name: String,
+    /// Physical (locator) name.
+    pub physical_name: String,
+    /// File access key.
+    pub fak: [u8; FAK_LEN],
+    /// File or directory.
+    pub kind: ObjectKind,
+}
+
+impl From<&DirectoryEntry> for ConnectedObject {
+    fn from(e: &DirectoryEntry) -> Self {
+        ConnectedObject {
+            name: e.name.clone(),
+            physical_name: e.physical_name.clone(),
+            fak: e.fak,
+            kind: e.kind,
+        }
+    }
+}
+
+/// The set of hidden objects currently connected to a user session.
+#[derive(Debug, Default, Clone)]
+pub struct Session {
+    connected: BTreeMap<String, ConnectedObject>,
+}
+
+impl Session {
+    /// An empty session.
+    pub fn new() -> Self {
+        Session::default()
+    }
+
+    /// Connect an object (idempotent: reconnecting replaces the entry).
+    pub fn connect(&mut self, obj: ConnectedObject) {
+        self.connected.insert(obj.name.clone(), obj);
+    }
+
+    /// Disconnect an object; returns true if it was connected.
+    pub fn disconnect(&mut self, name: &str) -> bool {
+        self.connected.remove(name).is_some()
+    }
+
+    /// Disconnect everything (the paper does this automatically at logoff).
+    pub fn disconnect_all(&mut self) {
+        self.connected.clear();
+    }
+
+    /// Look up a connected object.
+    pub fn get(&self, name: &str) -> Option<&ConnectedObject> {
+        self.connected.get(name)
+    }
+
+    /// Names of all connected objects, sorted.
+    pub fn connected_names(&self) -> Vec<String> {
+        self.connected.keys().cloned().collect()
+    }
+
+    /// Number of connected objects.
+    pub fn len(&self) -> usize {
+        self.connected.len()
+    }
+
+    /// True if nothing is connected.
+    pub fn is_empty(&self) -> bool {
+        self.connected.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(name: &str) -> ConnectedObject {
+        ConnectedObject {
+            name: name.to_string(),
+            physical_name: format!("u:{name}"),
+            fak: [9u8; FAK_LEN],
+            kind: ObjectKind::File,
+        }
+    }
+
+    #[test]
+    fn connect_get_disconnect() {
+        let mut s = Session::new();
+        assert!(s.is_empty());
+        s.connect(obj("a"));
+        s.connect(obj("b"));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get("a").unwrap().physical_name, "u:a");
+        assert!(s.get("c").is_none());
+        assert!(s.disconnect("a"));
+        assert!(!s.disconnect("a"));
+        assert_eq!(s.connected_names(), vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn reconnect_replaces() {
+        let mut s = Session::new();
+        s.connect(obj("a"));
+        let mut updated = obj("a");
+        updated.fak = [1u8; FAK_LEN];
+        s.connect(updated);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get("a").unwrap().fak, [1u8; FAK_LEN]);
+    }
+
+    #[test]
+    fn disconnect_all_clears() {
+        let mut s = Session::new();
+        s.connect(obj("a"));
+        s.connect(obj("b"));
+        s.disconnect_all();
+        assert!(s.is_empty());
+        assert!(s.connected_names().is_empty());
+    }
+
+    #[test]
+    fn from_directory_entry() {
+        let e = DirectoryEntry {
+            name: "n".into(),
+            physical_name: "p".into(),
+            fak: [3u8; FAK_LEN],
+            kind: ObjectKind::Directory,
+        };
+        let c = ConnectedObject::from(&e);
+        assert_eq!(c.name, "n");
+        assert_eq!(c.physical_name, "p");
+        assert_eq!(c.fak, [3u8; FAK_LEN]);
+        assert_eq!(c.kind, ObjectKind::Directory);
+    }
+}

@@ -1,0 +1,195 @@
+//! Hidden-file sharing (`steg_getentry` / `steg_addentry`, Figure 4).
+//!
+//! To share a hidden file, the owner produces a *share envelope* containing
+//! the object's directory entry (name, physical name, FAK), encrypted so that
+//! only the intended recipient can open it.  The envelope travels out of band
+//! (the paper suggests e-mail); the recipient opens it with their private key
+//! and folds the entry into their own UAK directory, after which the
+//! ciphertext should be destroyed.
+//!
+//! Because an RSA block is far too small for a directory entry, the envelope
+//! uses hybrid encryption: a fresh symmetric key is RSA-encrypted for the
+//! recipient and the entry itself is AES-CBC encrypted under that key.  The
+//! paper only requires "encrypted with the recipient's public key"; hybrid
+//! encryption is the standard way to realise that.
+
+use crate::error::{StegError, StegResult};
+use crate::keys::DirectoryEntry;
+use stegfs_crypto::modes::CbcCipher;
+use stegfs_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
+use stegfs_crypto::sha256::sha256_concat;
+
+/// An encrypted `(name, physical name, FAK)` entry ready to hand to a
+/// recipient.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShareEnvelope {
+    bytes: Vec<u8>,
+}
+
+impl ShareEnvelope {
+    /// Seal `entry` for the holder of `recipient`'s private key.
+    ///
+    /// `entropy` seeds the ephemeral symmetric key and padding; callers pass
+    /// unpredictable material (the [`crate::StegFs`] facade mixes the volume
+    /// seed, the object name and a counter).
+    pub fn seal(
+        entry: &DirectoryEntry,
+        recipient: &RsaPublicKey,
+        entropy: &[u8],
+    ) -> StegResult<Self> {
+        // Ephemeral content-encryption key and IV.
+        let cek = sha256_concat(&[b"stegfs-share-cek", entropy]);
+        let iv_full = sha256_concat(&[b"stegfs-share-iv", entropy]);
+        let mut iv = [0u8; 16];
+        iv.copy_from_slice(&iv_full[..16]);
+
+        let wrapped_key = recipient
+            .encrypt(&cek, &sha256_concat(&[b"stegfs-share-pad", entropy]))
+            .map_err(|_| StegError::InvalidShareEnvelope)?;
+        let body = CbcCipher::new(&cek).encrypt(&iv, &entry.serialize());
+
+        let mut bytes = Vec::with_capacity(2 + wrapped_key.len() + 16 + body.len());
+        bytes.extend_from_slice(&(wrapped_key.len() as u16).to_be_bytes());
+        bytes.extend_from_slice(&wrapped_key);
+        bytes.extend_from_slice(&iv);
+        bytes.extend_from_slice(&body);
+        Ok(ShareEnvelope { bytes })
+    }
+
+    /// Open the envelope with the recipient's private key.
+    pub fn open(&self, recipient_private: &RsaPrivateKey) -> StegResult<DirectoryEntry> {
+        let data = &self.bytes;
+        if data.len() < 2 {
+            return Err(StegError::InvalidShareEnvelope);
+        }
+        let key_len = u16::from_be_bytes(data[..2].try_into().unwrap()) as usize;
+        if data.len() < 2 + key_len + 16 {
+            return Err(StegError::InvalidShareEnvelope);
+        }
+        let wrapped_key = &data[2..2 + key_len];
+        let mut iv = [0u8; 16];
+        iv.copy_from_slice(&data[2 + key_len..2 + key_len + 16]);
+        let body = &data[2 + key_len + 16..];
+
+        let cek = recipient_private
+            .decrypt(wrapped_key)
+            .map_err(|_| StegError::InvalidShareEnvelope)?;
+        if cek.len() != 32 {
+            return Err(StegError::InvalidShareEnvelope);
+        }
+        let plain = CbcCipher::new(&cek)
+            .decrypt(&iv, body)
+            .map_err(|_| StegError::InvalidShareEnvelope)?;
+        let mut off = 0usize;
+        let entry = DirectoryEntry::deserialize(&plain, &mut off)
+            .map_err(|_| StegError::InvalidShareEnvelope)?;
+        if off != plain.len() {
+            return Err(StegError::InvalidShareEnvelope);
+        }
+        Ok(entry)
+    }
+
+    /// Raw bytes for transport (e.g. writing to an "entryfile" as in the
+    /// paper's API).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Rebuild an envelope from transported bytes.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        ShareEnvelope { bytes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::ObjectKind;
+    use crate::keys::FAK_LEN;
+    use stegfs_crypto::rsa::RsaKeyPair;
+
+    fn entry() -> DirectoryEntry {
+        DirectoryEntry {
+            name: "budget-2026".into(),
+            physical_name: "owner-9:budget-2026".into(),
+            fak: [0x5a; FAK_LEN],
+            kind: ObjectKind::File,
+        }
+    }
+
+    fn recipient() -> RsaKeyPair {
+        RsaKeyPair::generate(512, b"share-recipient")
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let kp = recipient();
+        let env = ShareEnvelope::seal(&entry(), &kp.public, b"entropy-1").unwrap();
+        let opened = env.open(&kp.private).unwrap();
+        assert_eq!(opened, entry());
+    }
+
+    #[test]
+    fn envelope_bytes_roundtrip() {
+        let kp = recipient();
+        let env = ShareEnvelope::seal(&entry(), &kp.public, b"entropy-2").unwrap();
+        let transported = ShareEnvelope::from_bytes(env.as_bytes().to_vec());
+        assert_eq!(transported.open(&kp.private).unwrap(), entry());
+    }
+
+    #[test]
+    fn wrong_private_key_rejected() {
+        let kp = recipient();
+        let other = RsaKeyPair::generate(512, b"someone else");
+        let env = ShareEnvelope::seal(&entry(), &kp.public, b"entropy-3").unwrap();
+        assert!(matches!(
+            env.open(&other.private),
+            Err(StegError::InvalidShareEnvelope)
+        ));
+    }
+
+    #[test]
+    fn tampered_envelope_rejected() {
+        let kp = recipient();
+        let env = ShareEnvelope::seal(&entry(), &kp.public, b"entropy-4").unwrap();
+        let mut bytes = env.as_bytes().to_vec();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        let tampered = ShareEnvelope::from_bytes(bytes);
+        assert!(matches!(
+            tampered.open(&kp.private),
+            Err(StegError::InvalidShareEnvelope)
+        ));
+    }
+
+    #[test]
+    fn truncated_envelope_rejected() {
+        let kp = recipient();
+        let env = ShareEnvelope::seal(&entry(), &kp.public, b"entropy-5").unwrap();
+        for cut in [0usize, 1, 10, env.as_bytes().len() / 2] {
+            let partial = ShareEnvelope::from_bytes(env.as_bytes()[..cut].to_vec());
+            assert!(partial.open(&kp.private).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn envelope_does_not_leak_plaintext() {
+        let kp = recipient();
+        let e = entry();
+        let env = ShareEnvelope::seal(&e, &kp.public, b"entropy-6").unwrap();
+        let raw = env.as_bytes();
+        // Neither the object name nor the FAK bytes appear in the clear.
+        assert!(!raw
+            .windows(e.name.len())
+            .any(|w| w == e.name.as_bytes()));
+        assert!(!raw.windows(FAK_LEN).any(|w| w == e.fak));
+    }
+
+    #[test]
+    fn different_entropy_different_ciphertexts() {
+        let kp = recipient();
+        let a = ShareEnvelope::seal(&entry(), &kp.public, b"entropy-a").unwrap();
+        let b = ShareEnvelope::seal(&entry(), &kp.public, b"entropy-b").unwrap();
+        assert_ne!(a.as_bytes(), b.as_bytes());
+    }
+}

@@ -1,0 +1,1440 @@
+//! The [`StegFs`] facade: the user-facing steganographic file system.
+//!
+//! `StegFs` combines the plain file system (central directory, bitmap), the
+//! hidden-object engine, the UAK/FAK key hierarchy, sessions, sharing and
+//! backup into the API of Section 4 of the paper.  Plain files behave exactly
+//! as on the underlying [`PlainFs`]; hidden objects are reachable only with
+//! the right keys.
+
+use crate::backup::{BackupImage, PlainEntry};
+use crate::crypt::ObjectKeys;
+use crate::error::{StegError, StegResult};
+use crate::header::ObjectKind;
+use crate::hidden::{self, HiddenObject};
+use crate::keys::{DirectoryEntry, UakDirectory, FAK_LEN, UAK_DIRECTORY_NAME};
+use crate::params::StegParams;
+use crate::session::{ConnectedObject, Session};
+use crate::sharing::ShareEnvelope;
+use stegfs_blockdev::BlockDevice;
+use stegfs_crypto::prng::DeterministicRng;
+use stegfs_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
+use stegfs_crypto::sha256::sha256_concat;
+use stegfs_fs::{AllocPolicy, FileKind, FormatOptions, PlainFs};
+
+/// Path of the plain configuration file holding the (non-secret) volume
+/// statistics: abandoned-block count, dummy-file parameters and the dummy
+/// seed.  Dummy files are maintained by the file system itself, so — as the
+/// paper notes — they are visible to an administrator-level attacker; the
+/// untraceable abandoned blocks exist precisely to cover that case.
+pub const CONFIG_PATH: &str = "/.stegfs";
+
+const CONFIG_MAGIC: &[u8; 8] = b"STEGCFG1";
+
+/// Aggregate block accounting of a mounted volume, used by the
+/// space-utilization experiments (§5.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpaceReport {
+    /// Block size in bytes.
+    pub block_size: usize,
+    /// Total number of blocks in the volume.
+    pub total_blocks: u64,
+    /// Blocks holding the superblock, bitmap and inode table.
+    pub metadata_blocks: u64,
+    /// Blocks referenced by the central directory (plain files, directories
+    /// and their indirect blocks).
+    pub plain_blocks: u64,
+    /// Blocks abandoned at format time (count recorded then; the blocks
+    /// themselves are untraceable by design).
+    pub abandoned_blocks: u64,
+    /// Allocated blocks not accounted for by any of the above: hidden
+    /// objects, dummy files and their internal free pools.
+    pub hidden_blocks: u64,
+    /// Free blocks.
+    pub free_blocks: u64,
+}
+
+impl SpaceReport {
+    /// Fraction of the volume still available for new data.
+    pub fn free_fraction(&self) -> f64 {
+        self.free_blocks as f64 / self.total_blocks as f64
+    }
+}
+
+struct VolumeConfig {
+    abandoned_count: u64,
+    dummy_seed: u64,
+    dummy_count: u32,
+    dummy_size: u64,
+}
+
+impl VolumeConfig {
+    fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(36);
+        out.extend_from_slice(CONFIG_MAGIC);
+        out.extend_from_slice(&self.abandoned_count.to_be_bytes());
+        out.extend_from_slice(&self.dummy_seed.to_be_bytes());
+        out.extend_from_slice(&self.dummy_count.to_be_bytes());
+        out.extend_from_slice(&self.dummy_size.to_be_bytes());
+        out
+    }
+
+    fn deserialize(data: &[u8]) -> Option<Self> {
+        if data.len() < 36 || &data[..8] != CONFIG_MAGIC {
+            return None;
+        }
+        Some(VolumeConfig {
+            abandoned_count: u64::from_be_bytes(data[8..16].try_into().ok()?),
+            dummy_seed: u64::from_be_bytes(data[16..24].try_into().ok()?),
+            dummy_count: u32::from_be_bytes(data[24..28].try_into().ok()?),
+            dummy_size: u64::from_be_bytes(data[28..36].try_into().ok()?),
+        })
+    }
+}
+
+/// An open hidden file: the result of [`StegFs::open_hidden`], giving
+/// repeated positional access without re-running the locator.
+pub struct HiddenHandle {
+    /// User-visible object name the handle was opened under.
+    pub name: String,
+    keys: ObjectKeys,
+    object: HiddenObject,
+}
+
+/// A mounted StegFS volume.
+pub struct StegFs<D: BlockDevice> {
+    fs: PlainFs<D>,
+    params: StegParams,
+    session: Session,
+    rng: DeterministicRng,
+    fak_counter: u64,
+    config: VolumeConfig,
+}
+
+impl<D: BlockDevice> StegFs<D> {
+    // ------------------------------------------------------------------
+    // Format / mount / unmount
+    // ------------------------------------------------------------------
+
+    /// Format `dev` as a StegFS volume: random fill (if enabled), abandoned
+    /// blocks, dummy hidden files and the configuration file.
+    pub fn format(dev: D, params: StegParams) -> StegResult<Self> {
+        params.validate()?;
+        let fs = PlainFs::format(
+            dev,
+            FormatOptions {
+                fill_random: params.random_fill,
+                seed: params.volume_seed,
+                policy: AllocPolicy::FirstFit,
+                inode_count: None,
+            },
+        )?;
+
+        let mut stegfs = StegFs {
+            fs,
+            rng: DeterministicRng::new(&params.volume_seed.to_be_bytes()),
+            session: Session::new(),
+            fak_counter: 0,
+            config: VolumeConfig {
+                abandoned_count: 0,
+                dummy_seed: params.volume_seed ^ 0x6475_6d6d_79u64,
+                dummy_count: params.dummy_file_count as u32,
+                dummy_size: params.dummy_file_size,
+            },
+            params,
+        };
+
+        stegfs.create_abandoned_blocks()?;
+        stegfs.create_dummy_files()?;
+        stegfs.store_config()?;
+        stegfs.fs.sync()?;
+        Ok(stegfs)
+    }
+
+    /// Mount an existing StegFS volume.  `params.volume_seed` only influences
+    /// the generation of *new* FAKs during this mount; existing objects are
+    /// found through their keys alone.
+    pub fn mount(dev: D, params: StegParams) -> StegResult<Self> {
+        params.validate()?;
+        let mut fs = PlainFs::mount(dev, AllocPolicy::FirstFit, params.volume_seed)?;
+        let config = match fs.read_file(CONFIG_PATH) {
+            Ok(data) => VolumeConfig::deserialize(&data).ok_or_else(|| {
+                StegError::Fs(stegfs_fs::FsError::Corrupt(
+                    "unreadable StegFS configuration file".into(),
+                ))
+            })?,
+            Err(e) if e.is_not_found() => VolumeConfig {
+                abandoned_count: 0,
+                dummy_seed: 0,
+                dummy_count: 0,
+                dummy_size: 0,
+            },
+            Err(e) => return Err(e.into()),
+        };
+        Ok(StegFs {
+            fs,
+            rng: DeterministicRng::new(&params.volume_seed.to_be_bytes()),
+            session: Session::new(),
+            fak_counter: 0,
+            config,
+            params,
+        })
+    }
+
+    /// Flush all state and return the underlying device.
+    pub fn unmount(mut self) -> StegResult<D> {
+        self.session.disconnect_all();
+        Ok(self.fs.unmount()?)
+    }
+
+    /// Flush metadata to the device without unmounting.
+    pub fn sync(&mut self) -> StegResult<()> {
+        Ok(self.fs.sync()?)
+    }
+
+    /// The volume parameters.
+    pub fn params(&self) -> &StegParams {
+        &self.params
+    }
+
+    /// Direct access to the plain file-system layer (used by the experiment
+    /// harness and by tests).
+    pub fn plain_fs_mut(&mut self) -> &mut PlainFs<D> {
+        &mut self.fs
+    }
+
+    fn store_config(&mut self) -> StegResult<()> {
+        let bytes = self.config.serialize();
+        self.fs.write_file(CONFIG_PATH, &bytes)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Format-time camouflage: abandoned blocks and dummy files
+    // ------------------------------------------------------------------
+
+    fn create_abandoned_blocks(&mut self) -> StegResult<()> {
+        let data_blocks = self.fs.data_blocks();
+        let target = (data_blocks as f64 * self.params.abandoned_pct / 100.0).round() as u64;
+        let mut created = 0;
+        while created < target {
+            match self.fs.allocate_random_block() {
+                Ok(_) => created += 1,
+                Err(stegfs_fs::FsError::NoSpace) => break,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        self.config.abandoned_count = created;
+        Ok(())
+    }
+
+    fn dummy_identity(&self, index: u32) -> (String, [u8; FAK_LEN]) {
+        let name = format!("stegfs:dummy-{index}");
+        let fak = sha256_concat(&[
+            b"stegfs-dummy-fak",
+            &self.config.dummy_seed.to_be_bytes(),
+            &index.to_be_bytes(),
+        ]);
+        (name, fak)
+    }
+
+    fn create_dummy_files(&mut self) -> StegResult<()> {
+        for i in 0..self.config.dummy_count {
+            let (name, fak) = self.dummy_identity(i);
+            let keys = ObjectKeys::derive(&name, &fak);
+            let mut obj =
+                hidden::create(&mut self.fs, &name, &keys, ObjectKind::File, &self.params)?;
+            let content = self
+                .rng
+                .bytes(self.config.dummy_size.min(usize::MAX as u64) as usize);
+            hidden::write(
+                &mut self.fs,
+                &keys,
+                &mut obj,
+                &content,
+                &self.params,
+                &mut self.rng,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Rewrite every dummy hidden file with fresh content.  The paper's
+    /// driver does this periodically so that bitmap changes between snapshots
+    /// cannot be attributed to real hidden files.
+    pub fn touch_dummy_files(&mut self) -> StegResult<usize> {
+        let mut touched = 0;
+        for i in 0..self.config.dummy_count {
+            let (name, fak) = self.dummy_identity(i);
+            let keys = ObjectKeys::derive(&name, &fak);
+            let mut obj = match hidden::open(&mut self.fs, &name, &keys, &self.params) {
+                Ok(o) => o,
+                Err(StegError::NotFound(_)) => continue,
+                Err(e) => return Err(e),
+            };
+            let content = self.rng.bytes(self.config.dummy_size as usize);
+            hidden::write(
+                &mut self.fs,
+                &keys,
+                &mut obj,
+                &content,
+                &self.params,
+                &mut self.rng,
+            )?;
+            touched += 1;
+        }
+        Ok(touched)
+    }
+
+    // ------------------------------------------------------------------
+    // Plain-file operations (pass-through to the central directory)
+    // ------------------------------------------------------------------
+
+    /// Write a plain (visible) file.
+    pub fn write_plain(&mut self, path: &str, data: &[u8]) -> StegResult<()> {
+        Ok(self.fs.write_file(path, data)?)
+    }
+
+    /// Read a plain file.
+    pub fn read_plain(&mut self, path: &str) -> StegResult<Vec<u8>> {
+        Ok(self.fs.read_file(path)?)
+    }
+
+    /// Create a plain directory.
+    pub fn create_plain_dir(&mut self, path: &str) -> StegResult<()> {
+        self.fs.create_dir(path)?;
+        Ok(())
+    }
+
+    /// Delete a plain file or empty directory.
+    pub fn delete_plain(&mut self, path: &str) -> StegResult<()> {
+        Ok(self.fs.delete(path)?)
+    }
+
+    /// List a plain directory (hidden objects never appear here).
+    pub fn list_plain_dir(&mut self, path: &str) -> StegResult<Vec<String>> {
+        Ok(self
+            .fs
+            .list_dir(path)?
+            .into_iter()
+            .map(|e| e.name)
+            .collect())
+    }
+
+    /// True if a plain object exists at `path`.
+    pub fn plain_exists(&mut self, path: &str) -> StegResult<bool> {
+        Ok(self.fs.exists(path)?)
+    }
+
+    // ------------------------------------------------------------------
+    // UAK directories
+    // ------------------------------------------------------------------
+
+    fn uak_keys(uak: &str) -> ObjectKeys {
+        ObjectKeys::derive(UAK_DIRECTORY_NAME, uak.as_bytes())
+    }
+
+    fn load_uak_directory(&mut self, uak: &str) -> StegResult<(UakDirectory, Option<HiddenObject>)> {
+        let keys = Self::uak_keys(uak);
+        match hidden::open(&mut self.fs, UAK_DIRECTORY_NAME, &keys, &self.params) {
+            Ok(obj) => {
+                let raw = hidden::read(&mut self.fs, &keys, &obj)?;
+                let dir = if raw.is_empty() {
+                    UakDirectory::new()
+                } else {
+                    UakDirectory::deserialize(&raw)?
+                };
+                Ok((dir, Some(obj)))
+            }
+            Err(StegError::NotFound(_)) => Ok((UakDirectory::new(), None)),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn save_uak_directory(
+        &mut self,
+        uak: &str,
+        dir: &UakDirectory,
+        existing: Option<HiddenObject>,
+    ) -> StegResult<()> {
+        let keys = Self::uak_keys(uak);
+        let mut obj = match existing {
+            Some(obj) => obj,
+            None => hidden::create(
+                &mut self.fs,
+                UAK_DIRECTORY_NAME,
+                &keys,
+                ObjectKind::Directory,
+                &self.params,
+            )?,
+        };
+        hidden::write(
+            &mut self.fs,
+            &keys,
+            &mut obj,
+            &dir.serialize(),
+            &self.params,
+            &mut self.rng,
+        )
+    }
+
+    /// The names (and kinds) of all hidden objects registered under `uak`.
+    pub fn list_hidden(&mut self, uak: &str) -> StegResult<Vec<(String, ObjectKind)>> {
+        let (dir, _) = self.load_uak_directory(uak)?;
+        Ok(dir
+            .entries
+            .iter()
+            .map(|e| (e.name.clone(), e.kind))
+            .collect())
+    }
+
+    // ------------------------------------------------------------------
+    // Hidden-object API (paper §4)
+    // ------------------------------------------------------------------
+
+    fn owner_tag(uak: &str) -> String {
+        let digest = sha256_concat(&[b"stegfs-owner-tag", uak.as_bytes()]);
+        digest[..8].iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn generate_fak(&mut self, objname: &str) -> [u8; FAK_LEN] {
+        self.fak_counter += 1;
+        let noise = self.rng.bytes(32);
+        sha256_concat(&[
+            b"stegfs-fak",
+            &noise,
+            &self.fak_counter.to_be_bytes(),
+            objname.as_bytes(),
+        ])
+    }
+
+    fn entry_for(&mut self, objname: &str, uak: &str) -> StegResult<DirectoryEntry> {
+        let (dir, _) = self.load_uak_directory(uak)?;
+        dir.find(objname)
+            .cloned()
+            .ok_or_else(|| StegError::NotFound(objname.to_string()))
+    }
+
+    /// `steg_create`: create an empty hidden file or directory named
+    /// `objname`, registered under `uak`.
+    pub fn steg_create(&mut self, objname: &str, uak: &str, kind: ObjectKind) -> StegResult<()> {
+        if objname.is_empty() || objname.contains('\0') {
+            return Err(StegError::InvalidName(objname.to_string()));
+        }
+        let (mut dir, existing) = self.load_uak_directory(uak)?;
+        if dir.find(objname).is_some() {
+            return Err(StegError::AlreadyExists(objname.to_string()));
+        }
+        let fak = self.generate_fak(objname);
+        let physical_name = format!("{}:{}", Self::owner_tag(uak), objname);
+        let keys = ObjectKeys::derive(&physical_name, &fak);
+        let mut obj = hidden::create(&mut self.fs, &physical_name, &keys, kind, &self.params)?;
+        if kind == ObjectKind::Directory {
+            // A hidden directory starts out as an empty child listing.
+            hidden::write(
+                &mut self.fs,
+                &keys,
+                &mut obj,
+                &UakDirectory::new().serialize(),
+                &self.params,
+                &mut self.rng,
+            )?;
+        }
+        dir.insert(DirectoryEntry {
+            name: objname.to_string(),
+            physical_name,
+            fak,
+            kind,
+        })?;
+        self.save_uak_directory(uak, &dir, existing)
+    }
+
+    /// Write the full contents of the hidden file `objname` (registered under
+    /// `uak`).
+    pub fn write_hidden_with_key(
+        &mut self,
+        objname: &str,
+        uak: &str,
+        data: &[u8],
+    ) -> StegResult<()> {
+        let entry = self.entry_for(objname, uak)?;
+        self.write_hidden_entry(&entry, data)
+    }
+
+    fn write_hidden_entry(&mut self, entry: &DirectoryEntry, data: &[u8]) -> StegResult<()> {
+        if entry.kind != ObjectKind::File {
+            return Err(StegError::WrongObjectKind {
+                name: entry.name.clone(),
+                expected: ObjectKind::File,
+            });
+        }
+        let keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
+        let mut obj = hidden::open(&mut self.fs, &entry.physical_name, &keys, &self.params)?;
+        hidden::write(
+            &mut self.fs,
+            &keys,
+            &mut obj,
+            data,
+            &self.params,
+            &mut self.rng,
+        )
+    }
+
+    /// Read the full contents of the hidden file `objname` (registered under
+    /// `uak`).
+    pub fn read_hidden_with_key(&mut self, objname: &str, uak: &str) -> StegResult<Vec<u8>> {
+        let entry = self.entry_for(objname, uak)?;
+        self.read_hidden_entry(&entry)
+    }
+
+    /// Read `len` bytes of the hidden file `objname` starting at `offset`.
+    pub fn read_hidden_range_with_key(
+        &mut self,
+        objname: &str,
+        uak: &str,
+        offset: u64,
+        len: usize,
+    ) -> StegResult<Vec<u8>> {
+        let handle = self.open_hidden(objname, uak)?;
+        self.read_range_at(&handle, offset, len)
+    }
+
+    /// Overwrite part of the hidden file `objname` in place (the range must
+    /// already exist).
+    pub fn write_hidden_range_with_key(
+        &mut self,
+        objname: &str,
+        uak: &str,
+        offset: u64,
+        data: &[u8],
+    ) -> StegResult<()> {
+        let handle = self.open_hidden(objname, uak)?;
+        self.write_range_at(&handle, offset, data)
+    }
+
+    /// Open a hidden file once and keep a handle for repeated positional
+    /// access — the analogue of holding an open file descriptor after
+    /// `steg_connect` in the kernel driver, so that every `read()` does not
+    /// pay the locator walk again.
+    pub fn open_hidden(&mut self, objname: &str, uak: &str) -> StegResult<HiddenHandle> {
+        let entry = self.entry_for(objname, uak)?;
+        let keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
+        let object = hidden::open(&mut self.fs, &entry.physical_name, &keys, &self.params)?;
+        Ok(HiddenHandle {
+            name: objname.to_string(),
+            keys,
+            object,
+        })
+    }
+
+    /// Size in bytes of the object behind `handle`.
+    pub fn handle_size(&self, handle: &HiddenHandle) -> u64 {
+        handle.object.size()
+    }
+
+    /// Read `len` bytes at `offset` through an open handle.
+    pub fn read_range_at(
+        &mut self,
+        handle: &HiddenHandle,
+        offset: u64,
+        len: usize,
+    ) -> StegResult<Vec<u8>> {
+        hidden::read_range(&mut self.fs, &handle.keys, &handle.object, offset, len)
+    }
+
+    /// Overwrite bytes at `offset` through an open handle (in place; the
+    /// range must lie within the current size).
+    pub fn write_range_at(
+        &mut self,
+        handle: &HiddenHandle,
+        offset: u64,
+        data: &[u8],
+    ) -> StegResult<()> {
+        hidden::write_range(&mut self.fs, &handle.keys, &handle.object, offset, data)
+    }
+
+    fn read_hidden_entry(&mut self, entry: &DirectoryEntry) -> StegResult<Vec<u8>> {
+        let keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
+        let obj = hidden::open(&mut self.fs, &entry.physical_name, &keys, &self.params)?;
+        hidden::read(&mut self.fs, &keys, &obj)
+    }
+
+    /// Delete the hidden object `objname` and remove it from the UAK
+    /// directory.
+    pub fn delete_hidden(&mut self, objname: &str, uak: &str) -> StegResult<()> {
+        let (mut dir, existing) = self.load_uak_directory(uak)?;
+        let entry = dir
+            .remove(objname)
+            .ok_or_else(|| StegError::NotFound(objname.to_string()))?;
+        let keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
+        let obj = hidden::open(&mut self.fs, &entry.physical_name, &keys, &self.params)?;
+        hidden::delete(&mut self.fs, &keys, &obj, &mut self.rng)?;
+        self.session.disconnect(objname);
+        self.save_uak_directory(uak, &dir, existing)
+    }
+
+    /// `steg_hide`: convert the plain file at `pathname` into the hidden
+    /// object `objname`; the plain source is deleted on success.
+    pub fn steg_hide(&mut self, pathname: &str, objname: &str, uak: &str) -> StegResult<()> {
+        let data = self.fs.read_file(pathname)?;
+        self.steg_create(objname, uak, ObjectKind::File)?;
+        self.write_hidden_with_key(objname, uak, &data)?;
+        self.fs.delete(pathname)?;
+        Ok(())
+    }
+
+    /// `steg_unhide`: convert the hidden object `objname` back into a plain
+    /// file at `pathname`; the hidden source is deleted on success.
+    pub fn steg_unhide(&mut self, pathname: &str, objname: &str, uak: &str) -> StegResult<()> {
+        let data = self.read_hidden_with_key(objname, uak)?;
+        self.fs.write_file(pathname, &data)?;
+        self.delete_hidden(objname, uak)
+    }
+
+    // ------------------------------------------------------------------
+    // Sessions (steg_connect / steg_disconnect)
+    // ------------------------------------------------------------------
+
+    /// `steg_connect`: make `objname` (and, for directories, its offspring)
+    /// visible in the current session, so subsequent reads and writes do not
+    /// need the UAK again.
+    pub fn steg_connect(&mut self, objname: &str, uak: &str) -> StegResult<()> {
+        let entry = self.entry_for(objname, uak)?;
+        self.connect_entry(&entry)
+    }
+
+    fn connect_entry(&mut self, entry: &DirectoryEntry) -> StegResult<()> {
+        self.session.connect(ConnectedObject::from(entry));
+        if entry.kind == ObjectKind::Directory {
+            let keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
+            let obj = hidden::open(&mut self.fs, &entry.physical_name, &keys, &self.params)?;
+            let raw = hidden::read(&mut self.fs, &keys, &obj)?;
+            let children = if raw.is_empty() {
+                UakDirectory::new()
+            } else {
+                UakDirectory::deserialize(&raw)?
+            };
+            for child in &children.entries {
+                self.connect_entry(child)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// `steg_disconnect`: remove `objname` from the session.  Returns true if
+    /// it was connected.
+    pub fn steg_disconnect(&mut self, objname: &str) -> bool {
+        self.session.disconnect(objname)
+    }
+
+    /// Disconnect every object (the paper does this automatically at logoff).
+    pub fn disconnect_all(&mut self) {
+        self.session.disconnect_all();
+    }
+
+    /// Names of all currently connected hidden objects.
+    pub fn connected_objects(&self) -> Vec<String> {
+        self.session.connected_names()
+    }
+
+    /// Read a connected hidden file by name.
+    pub fn read_hidden(&mut self, objname: &str) -> StegResult<Vec<u8>> {
+        let entry = self.connected_entry(objname)?;
+        self.read_hidden_entry(&entry)
+    }
+
+    /// Write a connected hidden file by name.
+    pub fn write_hidden(&mut self, objname: &str, data: &[u8]) -> StegResult<()> {
+        let entry = self.connected_entry(objname)?;
+        self.write_hidden_entry(&entry, data)
+    }
+
+    fn connected_entry(&self, objname: &str) -> StegResult<DirectoryEntry> {
+        let c = self
+            .session
+            .get(objname)
+            .ok_or_else(|| StegError::NotConnected(objname.to_string()))?;
+        Ok(DirectoryEntry {
+            name: c.name.clone(),
+            physical_name: c.physical_name.clone(),
+            fak: c.fak,
+            kind: c.kind,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Hidden directories
+    // ------------------------------------------------------------------
+
+    /// Create a new hidden file or directory *inside* the hidden directory
+    /// `parent` (registered under `uak`).  Returns the child's object name,
+    /// which is registered only in the parent's listing, not in the UAK
+    /// directory.
+    pub fn create_in_hidden_dir(
+        &mut self,
+        parent: &str,
+        child_name: &str,
+        uak: &str,
+        kind: ObjectKind,
+    ) -> StegResult<()> {
+        let parent_entry = self.entry_for(parent, uak)?;
+        if parent_entry.kind != ObjectKind::Directory {
+            return Err(StegError::WrongObjectKind {
+                name: parent.to_string(),
+                expected: ObjectKind::Directory,
+            });
+        }
+        let keys = ObjectKeys::derive(&parent_entry.physical_name, &parent_entry.fak);
+        let obj = hidden::open(&mut self.fs, &parent_entry.physical_name, &keys, &self.params)?;
+        let raw = hidden::read(&mut self.fs, &keys, &obj)?;
+        let mut children = if raw.is_empty() {
+            UakDirectory::new()
+        } else {
+            UakDirectory::deserialize(&raw)?
+        };
+        if children.find(child_name).is_some() {
+            return Err(StegError::AlreadyExists(child_name.to_string()));
+        }
+
+        // Create the child object itself.
+        let fak = self.generate_fak(child_name);
+        let physical_name = format!(
+            "{}:{}/{}",
+            Self::owner_tag(uak),
+            parent,
+            child_name
+        );
+        let child_keys = ObjectKeys::derive(&physical_name, &fak);
+        let mut child_obj =
+            hidden::create(&mut self.fs, &physical_name, &child_keys, kind, &self.params)?;
+        if kind == ObjectKind::Directory {
+            hidden::write(
+                &mut self.fs,
+                &child_keys,
+                &mut child_obj,
+                &UakDirectory::new().serialize(),
+                &self.params,
+                &mut self.rng,
+            )?;
+        }
+        children.insert(DirectoryEntry {
+            name: child_name.to_string(),
+            physical_name,
+            fak,
+            kind,
+        })?;
+
+        // Persist the updated listing into the parent.
+        let mut parent_obj =
+            hidden::open(&mut self.fs, &parent_entry.physical_name, &keys, &self.params)?;
+        hidden::write(
+            &mut self.fs,
+            &keys,
+            &mut parent_obj,
+            &children.serialize(),
+            &self.params,
+            &mut self.rng,
+        )
+    }
+
+    /// List the children of the hidden directory `parent`.
+    pub fn list_hidden_dir(
+        &mut self,
+        parent: &str,
+        uak: &str,
+    ) -> StegResult<Vec<(String, ObjectKind)>> {
+        let parent_entry = self.entry_for(parent, uak)?;
+        if parent_entry.kind != ObjectKind::Directory {
+            return Err(StegError::WrongObjectKind {
+                name: parent.to_string(),
+                expected: ObjectKind::Directory,
+            });
+        }
+        let keys = ObjectKeys::derive(&parent_entry.physical_name, &parent_entry.fak);
+        let obj = hidden::open(&mut self.fs, &parent_entry.physical_name, &keys, &self.params)?;
+        let raw = hidden::read(&mut self.fs, &keys, &obj)?;
+        let children = if raw.is_empty() {
+            UakDirectory::new()
+        } else {
+            UakDirectory::deserialize(&raw)?
+        };
+        Ok(children
+            .entries
+            .iter()
+            .map(|e| (e.name.clone(), e.kind))
+            .collect())
+    }
+
+    // ------------------------------------------------------------------
+    // Sharing (steg_getentry / steg_addentry) and revocation
+    // ------------------------------------------------------------------
+
+    /// `steg_getentry`: produce an encrypted share envelope for `objname`
+    /// that only the holder of `recipient`'s private key can open.
+    pub fn steg_getentry(
+        &mut self,
+        objname: &str,
+        uak: &str,
+        recipient: &RsaPublicKey,
+    ) -> StegResult<ShareEnvelope> {
+        let entry = self.entry_for(objname, uak)?;
+        let entropy = self.rng.bytes(32);
+        ShareEnvelope::seal(&entry, recipient, &entropy)
+    }
+
+    /// `steg_addentry`: open a received share envelope with `private_key` and
+    /// register the shared object under this user's `uak`.  Returns the
+    /// object name that was added.
+    pub fn steg_addentry(
+        &mut self,
+        envelope: &ShareEnvelope,
+        private_key: &RsaPrivateKey,
+        uak: &str,
+    ) -> StegResult<String> {
+        let entry = envelope.open(private_key)?;
+        let (mut dir, existing) = self.load_uak_directory(uak)?;
+        let name = entry.name.clone();
+        dir.insert(entry)?;
+        self.save_uak_directory(uak, &dir, existing)?;
+        Ok(name)
+    }
+
+    /// Revoke a previously shared object: re-key it under a fresh FAK (and a
+    /// fresh physical name) so that recipients of the old `(name, FAK)` pair
+    /// lose access, as described at the end of §3.2.
+    pub fn revoke_sharing(&mut self, objname: &str, uak: &str) -> StegResult<()> {
+        let (mut dir, existing) = self.load_uak_directory(uak)?;
+        let entry = dir
+            .remove(objname)
+            .ok_or_else(|| StegError::NotFound(objname.to_string()))?;
+
+        // Read the current contents with the old key.
+        let old_keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
+        let old_obj = hidden::open(&mut self.fs, &entry.physical_name, &old_keys, &self.params)?;
+        let data = hidden::read(&mut self.fs, &old_keys, &old_obj)?;
+
+        // Create the replacement under a fresh FAK and physical name.
+        self.fak_counter += 1;
+        let fak = self.generate_fak(objname);
+        let physical_name = format!(
+            "{}:{}#rev{}",
+            Self::owner_tag(uak),
+            objname,
+            self.fak_counter
+        );
+        let new_keys = ObjectKeys::derive(&physical_name, &fak);
+        let mut new_obj = hidden::create(
+            &mut self.fs,
+            &physical_name,
+            &new_keys,
+            entry.kind,
+            &self.params,
+        )?;
+        hidden::write(
+            &mut self.fs,
+            &new_keys,
+            &mut new_obj,
+            &data,
+            &self.params,
+            &mut self.rng,
+        )?;
+
+        // Destroy the old object, invalidating every outstanding copy of the
+        // old FAK.
+        hidden::delete(&mut self.fs, &old_keys, &old_obj, &mut self.rng)?;
+
+        dir.insert(DirectoryEntry {
+            name: objname.to_string(),
+            physical_name,
+            fak,
+            kind: entry.kind,
+        })?;
+        self.save_uak_directory(uak, &dir, existing)
+    }
+
+    // ------------------------------------------------------------------
+    // Backup and recovery (steg_backup / steg_recovery)
+    // ------------------------------------------------------------------
+
+    fn walk_plain_tree(&mut self, path: &str, out: &mut Vec<PlainEntry>) -> StegResult<()> {
+        for entry in self.fs.list_dir(path)? {
+            let child_path = if path == "/" {
+                format!("/{}", entry.name)
+            } else {
+                format!("{}/{}", path, entry.name)
+            };
+            match entry.kind {
+                FileKind::Directory => {
+                    out.push(PlainEntry {
+                        path: child_path.clone(),
+                        kind: FileKind::Directory,
+                        data: vec![],
+                    });
+                    self.walk_plain_tree(&child_path, out)?;
+                }
+                _ => {
+                    let data = self.fs.read_file(&child_path)?;
+                    out.push(PlainEntry {
+                        path: child_path,
+                        kind: FileKind::File,
+                        data,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `steg_backup`: produce an authenticated backup image containing the
+    /// raw contents of every allocated-but-unaccounted block plus the
+    /// contents of every plain file.
+    pub fn steg_backup(&mut self, admin_key: &[u8]) -> StegResult<Vec<u8>> {
+        let sb = self.fs.superblock().clone();
+        let plain_blocks: std::collections::HashSet<u64> =
+            self.fs.plain_object_blocks()?.into_iter().collect();
+
+        let mut hidden_blocks = Vec::new();
+        for block in sb.data_start..sb.total_blocks {
+            if self.fs.is_block_allocated(block) && !plain_blocks.contains(&block) {
+                hidden_blocks.push((block, self.fs.read_raw_block(block)?));
+            }
+        }
+
+        let mut plain_entries = Vec::new();
+        self.walk_plain_tree("/", &mut plain_entries)?;
+
+        let image = BackupImage {
+            block_size: sb.block_size,
+            total_blocks: sb.total_blocks,
+            hidden_blocks,
+            plain_entries,
+        };
+        Ok(image.to_bytes(admin_key))
+    }
+
+    /// `steg_recovery`: rebuild a volume on `dev` from a backup image.
+    ///
+    /// Imaged (hidden/abandoned/dummy) blocks return to their original
+    /// addresses; plain files are recreated through the central directory and
+    /// may land anywhere.
+    pub fn steg_recovery(
+        dev: D,
+        image_bytes: &[u8],
+        admin_key: &[u8],
+        params: StegParams,
+    ) -> StegResult<Self> {
+        params.validate()?;
+        let image = BackupImage::from_bytes(image_bytes, admin_key)?;
+        if dev.block_size() != image.block_size as usize || dev.total_blocks() != image.total_blocks
+        {
+            return Err(StegError::InvalidBackup(format!(
+                "device geometry ({} x {}) does not match image ({} x {})",
+                dev.block_size(),
+                dev.total_blocks(),
+                image.block_size,
+                image.total_blocks
+            )));
+        }
+
+        // A fresh plain file system; hidden blocks are then grafted back in.
+        let mut fs = PlainFs::format(
+            dev,
+            FormatOptions {
+                fill_random: params.random_fill,
+                seed: params.volume_seed,
+                policy: AllocPolicy::FirstFit,
+                inode_count: None,
+            },
+        )?;
+
+        for (block, data) in &image.hidden_blocks {
+            fs.allocate_specific_block(*block)?;
+            fs.write_raw_block(*block, data)?;
+        }
+
+        for entry in &image.plain_entries {
+            match entry.kind {
+                FileKind::Directory => {
+                    fs.create_dir(&entry.path)?;
+                }
+                _ => {
+                    fs.write_file(&entry.path, &entry.data)?;
+                }
+            }
+        }
+        fs.sync()?;
+
+        let config = match fs.read_file(CONFIG_PATH) {
+            Ok(data) => VolumeConfig::deserialize(&data).unwrap_or(VolumeConfig {
+                abandoned_count: 0,
+                dummy_seed: 0,
+                dummy_count: 0,
+                dummy_size: 0,
+            }),
+            Err(_) => VolumeConfig {
+                abandoned_count: 0,
+                dummy_seed: 0,
+                dummy_count: 0,
+                dummy_size: 0,
+            },
+        };
+
+        Ok(StegFs {
+            fs,
+            rng: DeterministicRng::new(&params.volume_seed.to_be_bytes()),
+            session: Session::new(),
+            fak_counter: 0,
+            config,
+            params,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Accounting
+    // ------------------------------------------------------------------
+
+    /// Aggregate block accounting for the space-utilization experiments.
+    pub fn space_report(&mut self) -> StegResult<SpaceReport> {
+        let sb = self.fs.superblock().clone();
+        let plain_blocks = self.fs.plain_object_blocks()?.len() as u64;
+        let free_blocks = self.fs.free_data_blocks();
+        let allocated_data = sb.data_blocks() - free_blocks;
+        let abandoned = self.config.abandoned_count;
+        let hidden = allocated_data
+            .saturating_sub(plain_blocks)
+            .saturating_sub(abandoned);
+        Ok(SpaceReport {
+            block_size: sb.block_size as usize,
+            total_blocks: sb.total_blocks,
+            metadata_blocks: sb.data_start,
+            plain_blocks,
+            abandoned_blocks: abandoned,
+            hidden_blocks: hidden,
+            free_blocks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stegfs_blockdev::MemBlockDevice;
+
+    const UAK: &str = "user access key level 1";
+
+    fn small_fs() -> StegFs<MemBlockDevice> {
+        StegFs::format(MemBlockDevice::new(1024, 8192), StegParams::for_tests()).unwrap()
+    }
+
+    #[test]
+    fn format_creates_dummies_and_abandoned_blocks() {
+        let mut fs = small_fs();
+        let report = fs.space_report().unwrap();
+        assert!(report.abandoned_blocks > 0);
+        assert!(report.hidden_blocks > 0, "dummy files occupy hidden blocks");
+        assert!(report.free_blocks > 0);
+        // The config file is a plain file.
+        assert!(fs.plain_exists(CONFIG_PATH).unwrap());
+    }
+
+    #[test]
+    fn plain_files_work_alongside_hidden_objects() {
+        let mut fs = small_fs();
+        fs.write_plain("/notes.txt", b"shopping list").unwrap();
+        fs.create_plain_dir("/docs").unwrap();
+        fs.write_plain("/docs/report.txt", b"quarterly report").unwrap();
+        assert_eq!(fs.read_plain("/notes.txt").unwrap(), b"shopping list");
+        let names = fs.list_plain_dir("/").unwrap();
+        assert!(names.contains(&"notes.txt".to_string()));
+        assert!(names.contains(&"docs".to_string()));
+        fs.delete_plain("/notes.txt").unwrap();
+        assert!(!fs.plain_exists("/notes.txt").unwrap());
+    }
+
+    #[test]
+    fn hidden_create_write_read_roundtrip() {
+        let mut fs = small_fs();
+        fs.steg_create("budget", UAK, ObjectKind::File).unwrap();
+        fs.write_hidden_with_key("budget", UAK, b"the real numbers")
+            .unwrap();
+        assert_eq!(
+            fs.read_hidden_with_key("budget", UAK).unwrap(),
+            b"the real numbers"
+        );
+        assert_eq!(
+            fs.list_hidden(UAK).unwrap(),
+            vec![("budget".to_string(), ObjectKind::File)]
+        );
+    }
+
+    #[test]
+    fn wrong_uak_sees_nothing() {
+        let mut fs = small_fs();
+        fs.steg_create("budget", UAK, ObjectKind::File).unwrap();
+        fs.write_hidden_with_key("budget", UAK, b"secret").unwrap();
+        // A different UAK has an empty directory and cannot find the object.
+        assert!(fs.list_hidden("some other key").unwrap().is_empty());
+        assert!(fs
+            .read_hidden_with_key("budget", "some other key")
+            .unwrap_err()
+            .is_not_found());
+    }
+
+    #[test]
+    fn duplicate_hidden_names_rejected_per_uak() {
+        let mut fs = small_fs();
+        fs.steg_create("x", UAK, ObjectKind::File).unwrap();
+        assert!(matches!(
+            fs.steg_create("x", UAK, ObjectKind::File),
+            Err(StegError::AlreadyExists(_))
+        ));
+        // The same name under a different UAK is fine.
+        fs.steg_create("x", "another uak", ObjectKind::File).unwrap();
+    }
+
+    #[test]
+    fn hidden_objects_invisible_in_plain_listings() {
+        let mut fs = small_fs();
+        fs.write_plain("/visible.txt", b"plain").unwrap();
+        fs.steg_create("invisible", UAK, ObjectKind::File).unwrap();
+        fs.write_hidden_with_key("invisible", UAK, b"hidden data")
+            .unwrap();
+        let listing = fs.list_plain_dir("/").unwrap();
+        assert!(listing.iter().any(|n| n == "visible.txt"));
+        assert!(
+            !listing.iter().any(|n| n.contains("invisible")),
+            "hidden object leaked into the central directory: {listing:?}"
+        );
+    }
+
+    #[test]
+    fn steg_hide_and_unhide_roundtrip() {
+        let mut fs = small_fs();
+        fs.write_plain("/diary.txt", b"dear diary").unwrap();
+        fs.steg_hide("/diary.txt", "diary", UAK).unwrap();
+        assert!(!fs.plain_exists("/diary.txt").unwrap(), "plain source deleted");
+        assert_eq!(fs.read_hidden_with_key("diary", UAK).unwrap(), b"dear diary");
+
+        fs.steg_unhide("/diary-restored.txt", "diary", UAK).unwrap();
+        assert_eq!(
+            fs.read_plain("/diary-restored.txt").unwrap(),
+            b"dear diary"
+        );
+        assert!(fs
+            .read_hidden_with_key("diary", UAK)
+            .unwrap_err()
+            .is_not_found());
+    }
+
+    #[test]
+    fn connect_read_write_disconnect() {
+        let mut fs = small_fs();
+        fs.steg_create("plans", UAK, ObjectKind::File).unwrap();
+        fs.write_hidden_with_key("plans", UAK, b"v1").unwrap();
+
+        fs.steg_connect("plans", UAK).unwrap();
+        assert_eq!(fs.connected_objects(), vec!["plans".to_string()]);
+        assert_eq!(fs.read_hidden("plans").unwrap(), b"v1");
+        fs.write_hidden("plans", b"v2 updated through the session")
+            .unwrap();
+        assert_eq!(
+            fs.read_hidden_with_key("plans", UAK).unwrap(),
+            b"v2 updated through the session"
+        );
+
+        assert!(fs.steg_disconnect("plans"));
+        assert!(!fs.steg_disconnect("plans"));
+        assert!(matches!(
+            fs.read_hidden("plans"),
+            Err(StegError::NotConnected(_))
+        ));
+    }
+
+    #[test]
+    fn connecting_directory_reveals_children() {
+        let mut fs = small_fs();
+        fs.steg_create("vault", UAK, ObjectKind::Directory).unwrap();
+        fs.create_in_hidden_dir("vault", "passwords", UAK, ObjectKind::File)
+            .unwrap();
+        fs.create_in_hidden_dir("vault", "keys", UAK, ObjectKind::File)
+            .unwrap();
+        assert_eq!(fs.list_hidden_dir("vault", UAK).unwrap().len(), 2);
+
+        fs.steg_connect("vault", UAK).unwrap();
+        let mut connected = fs.connected_objects();
+        connected.sort();
+        assert_eq!(connected, vec!["keys", "passwords", "vault"]);
+        // Children are readable through the session.
+        fs.write_hidden("passwords", b"hunter2").unwrap();
+        assert_eq!(fs.read_hidden("passwords").unwrap(), b"hunter2");
+    }
+
+    #[test]
+    fn duplicate_children_rejected() {
+        let mut fs = small_fs();
+        fs.steg_create("vault", UAK, ObjectKind::Directory).unwrap();
+        fs.create_in_hidden_dir("vault", "a", UAK, ObjectKind::File)
+            .unwrap();
+        assert!(matches!(
+            fs.create_in_hidden_dir("vault", "a", UAK, ObjectKind::File),
+            Err(StegError::AlreadyExists(_))
+        ));
+        // Creating inside a hidden *file* is a kind error.
+        fs.steg_create("not-a-dir", UAK, ObjectKind::File).unwrap();
+        assert!(matches!(
+            fs.create_in_hidden_dir("not-a-dir", "x", UAK, ObjectKind::File),
+            Err(StegError::WrongObjectKind { .. })
+        ));
+    }
+
+    #[test]
+    fn sharing_between_two_users() {
+        let mut fs = small_fs();
+        let owner_uak = "owner key";
+        let recipient_uak = "recipient key";
+        let recipient_keys = stegfs_crypto::rsa::RsaKeyPair::generate(512, b"recipient rsa");
+
+        fs.steg_create("design-doc", owner_uak, ObjectKind::File)
+            .unwrap();
+        fs.write_hidden_with_key("design-doc", owner_uak, b"shared contents")
+            .unwrap();
+
+        let envelope = fs
+            .steg_getentry("design-doc", owner_uak, &recipient_keys.public)
+            .unwrap();
+        let added = fs
+            .steg_addentry(&envelope, &recipient_keys.private, recipient_uak)
+            .unwrap();
+        assert_eq!(added, "design-doc");
+
+        // The recipient now reads (and can update) the same object.
+        assert_eq!(
+            fs.read_hidden_with_key("design-doc", recipient_uak).unwrap(),
+            b"shared contents"
+        );
+        fs.write_hidden_with_key("design-doc", recipient_uak, b"recipient edit")
+            .unwrap();
+        assert_eq!(
+            fs.read_hidden_with_key("design-doc", owner_uak).unwrap(),
+            b"recipient edit"
+        );
+    }
+
+    #[test]
+    fn revocation_cuts_off_old_fak() {
+        let mut fs = small_fs();
+        let owner_uak = "owner key";
+        let recipient_uak = "recipient key";
+        let recipient_keys = stegfs_crypto::rsa::RsaKeyPair::generate(512, b"recipient rsa 2");
+
+        fs.steg_create("contract", owner_uak, ObjectKind::File).unwrap();
+        fs.write_hidden_with_key("contract", owner_uak, b"v1").unwrap();
+        let envelope = fs
+            .steg_getentry("contract", owner_uak, &recipient_keys.public)
+            .unwrap();
+        fs.steg_addentry(&envelope, &recipient_keys.private, recipient_uak)
+            .unwrap();
+        assert_eq!(
+            fs.read_hidden_with_key("contract", recipient_uak).unwrap(),
+            b"v1"
+        );
+
+        fs.revoke_sharing("contract", owner_uak).unwrap();
+
+        // Owner still has access (under the new FAK)...
+        assert_eq!(
+            fs.read_hidden_with_key("contract", owner_uak).unwrap(),
+            b"v1"
+        );
+        // ...but the recipient's stale entry no longer resolves.
+        assert!(fs
+            .read_hidden_with_key("contract", recipient_uak)
+            .unwrap_err()
+            .is_not_found());
+    }
+
+    #[test]
+    fn survives_unmount_and_remount() {
+        let mut fs = small_fs();
+        fs.write_plain("/p.txt", b"plain").unwrap();
+        fs.steg_create("h", UAK, ObjectKind::File).unwrap();
+        fs.write_hidden_with_key("h", UAK, b"hidden across remount")
+            .unwrap();
+        let dev = fs.unmount().unwrap();
+
+        let mut fs = StegFs::mount(dev, StegParams::for_tests()).unwrap();
+        assert_eq!(fs.read_plain("/p.txt").unwrap(), b"plain");
+        assert_eq!(
+            fs.read_hidden_with_key("h", UAK).unwrap(),
+            b"hidden across remount"
+        );
+    }
+
+    #[test]
+    fn backup_and_recovery_preserve_hidden_and_plain_data() {
+        let mut fs = small_fs();
+        fs.write_plain("/plain.txt", b"plain data").unwrap();
+        fs.create_plain_dir("/dir").unwrap();
+        fs.write_plain("/dir/nested.txt", b"nested").unwrap();
+        fs.steg_create("secret", UAK, ObjectKind::File).unwrap();
+        fs.write_hidden_with_key("secret", UAK, b"hidden survives backup")
+            .unwrap();
+
+        let image = fs.steg_backup(b"admin key").unwrap();
+
+        // Recover onto a brand-new device.
+        let fresh = MemBlockDevice::new(1024, 8192);
+        let mut recovered =
+            StegFs::steg_recovery(fresh, &image, b"admin key", StegParams::for_tests()).unwrap();
+        assert_eq!(recovered.read_plain("/plain.txt").unwrap(), b"plain data");
+        assert_eq!(recovered.read_plain("/dir/nested.txt").unwrap(), b"nested");
+        assert_eq!(
+            recovered.read_hidden_with_key("secret", UAK).unwrap(),
+            b"hidden survives backup"
+        );
+        // Wrong admin key is rejected outright.
+        assert!(StegFs::steg_recovery(
+            MemBlockDevice::new(1024, 8192),
+            &image,
+            b"wrong key",
+            StegParams::for_tests()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn backup_rejects_mismatched_geometry() {
+        let mut fs = small_fs();
+        let image = fs.steg_backup(b"k").unwrap();
+        let smaller = MemBlockDevice::new(1024, 4096);
+        assert!(matches!(
+            StegFs::steg_recovery(smaller, &image, b"k", StegParams::for_tests()),
+            Err(StegError::InvalidBackup(_))
+        ));
+    }
+
+    #[test]
+    fn touch_dummy_files_rewrites_them() {
+        let mut fs = small_fs();
+        let touched = fs.touch_dummy_files().unwrap();
+        assert_eq!(touched, StegParams::for_tests().dummy_file_count);
+        // Space accounting stays sane afterwards.
+        let report = fs.space_report().unwrap();
+        assert!(report.hidden_blocks > 0);
+        assert!(report.free_blocks > 0);
+    }
+
+    #[test]
+    fn space_report_tracks_hidden_growth() {
+        let mut fs = small_fs();
+        let before = fs.space_report().unwrap();
+        fs.steg_create("grow", UAK, ObjectKind::File).unwrap();
+        fs.write_hidden_with_key("grow", UAK, &vec![7u8; 100 * 1024])
+            .unwrap();
+        let after = fs.space_report().unwrap();
+        assert!(after.hidden_blocks >= before.hidden_blocks + 100);
+        assert!(after.free_blocks < before.free_blocks);
+        assert_eq!(after.abandoned_blocks, before.abandoned_blocks);
+        assert!(after.free_fraction() < before.free_fraction());
+    }
+
+    #[test]
+    fn access_hierarchy_supports_selective_disclosure() {
+        use crate::keys::AccessHierarchy;
+        let mut fs = small_fs();
+        let hierarchy = AccessHierarchy::new(vec![
+            "level-0 everyday".to_string(),
+            "level-1 sensitive".to_string(),
+        ]);
+        fs.steg_create("addresses", hierarchy.uak_at(0).unwrap(), ObjectKind::File)
+            .unwrap();
+        fs.steg_create("real-budget", hierarchy.uak_at(1).unwrap(), ObjectKind::File)
+            .unwrap();
+
+        // Signing on at level 0 discloses only the innocuous file.
+        let visible: Vec<String> = hierarchy
+            .visible_at(0)
+            .unwrap()
+            .iter()
+            .flat_map(|uak| fs.list_hidden(uak).unwrap())
+            .map(|(name, _)| name)
+            .collect();
+        assert_eq!(visible, vec!["addresses"]);
+
+        // Level 1 sees both.
+        let visible: Vec<String> = hierarchy
+            .visible_at(1)
+            .unwrap()
+            .iter()
+            .flat_map(|uak| fs.list_hidden(uak).unwrap())
+            .map(|(name, _)| name)
+            .collect();
+        assert_eq!(visible.len(), 2);
+    }
+
+    #[test]
+    fn invalid_names_rejected() {
+        let mut fs = small_fs();
+        assert!(matches!(
+            fs.steg_create("", UAK, ObjectKind::File),
+            Err(StegError::InvalidName(_))
+        ));
+        assert!(matches!(
+            fs.steg_create("bad\0name", UAK, ObjectKind::File),
+            Err(StegError::InvalidName(_))
+        ));
+    }
+
+    #[test]
+    fn write_to_hidden_directory_as_file_is_rejected() {
+        let mut fs = small_fs();
+        fs.steg_create("d", UAK, ObjectKind::Directory).unwrap();
+        assert!(matches!(
+            fs.write_hidden_with_key("d", UAK, b"nope"),
+            Err(StegError::WrongObjectKind { .. })
+        ));
+    }
+
+    #[test]
+    fn delete_hidden_removes_object_and_frees_space() {
+        let mut fs = small_fs();
+        fs.steg_create("temp", UAK, ObjectKind::File).unwrap();
+        fs.write_hidden_with_key("temp", UAK, &vec![1u8; 50 * 1024])
+            .unwrap();
+        let before = fs.space_report().unwrap();
+        fs.delete_hidden("temp", UAK).unwrap();
+        let after = fs.space_report().unwrap();
+        assert!(after.free_blocks > before.free_blocks);
+        assert!(fs
+            .read_hidden_with_key("temp", UAK)
+            .unwrap_err()
+            .is_not_found());
+        assert!(fs.list_hidden(UAK).unwrap().is_empty());
+    }
+
+    #[test]
+    fn hidden_range_reads_and_writes() {
+        let mut fs = small_fs();
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 256) as u8).collect();
+        fs.steg_create("ranged", UAK, ObjectKind::File).unwrap();
+        fs.write_hidden_with_key("ranged", UAK, &data).unwrap();
+        assert_eq!(
+            fs.read_hidden_range_with_key("ranged", UAK, 2000, 500).unwrap(),
+            &data[2000..2500]
+        );
+        fs.write_hidden_range_with_key("ranged", UAK, 2048, &[9u8; 1024])
+            .unwrap();
+        let mut expected = data.clone();
+        expected[2048..3072].copy_from_slice(&[9u8; 1024]);
+        assert_eq!(fs.read_hidden_with_key("ranged", UAK).unwrap(), expected);
+    }
+
+    #[test]
+    fn large_hidden_file_roundtrip() {
+        let mut fs = StegFs::format(MemBlockDevice::new(1024, 16384), StegParams::for_tests())
+            .unwrap();
+        let data: Vec<u8> = (0..2 * 1024 * 1024u32).map(|i| (i % 251) as u8).collect();
+        fs.steg_create("big", UAK, ObjectKind::File).unwrap();
+        fs.write_hidden_with_key("big", UAK, &data).unwrap();
+        assert_eq!(fs.read_hidden_with_key("big", UAK).unwrap(), data);
+    }
+}

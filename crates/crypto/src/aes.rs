@@ -1,0 +1,386 @@
+//! AES block cipher (FIPS 197), supporting 128-, 192- and 256-bit keys.
+//!
+//! StegFS encrypts every block of a hidden object (header, inode blocks and
+//! data blocks) so that allocated-but-hidden blocks are indistinguishable from
+//! the pseudorandom fill written into the volume at format time.  The paper
+//! names AES as the block cipher; the table-based implementation here is the
+//! straightforward software variant, validated against the FIPS 197 and
+//! NIST SP 800-38A test vectors.
+
+/// AES block size in bytes.
+pub const BLOCK_LEN: usize = 16;
+
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+const INV_SBOX: [u8; 256] = {
+    let mut inv = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        inv[SBOX[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+};
+
+const RCON: [u8; 11] = [0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+#[inline]
+fn xtime(x: u8) -> u8 {
+    (x << 1) ^ (((x >> 7) & 1) * 0x1b)
+}
+
+#[inline]
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    p
+}
+
+/// Key size variants supported by [`Aes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeySize {
+    /// 128-bit key, 10 rounds.
+    Aes128,
+    /// 192-bit key, 12 rounds.
+    Aes192,
+    /// 256-bit key, 14 rounds.
+    Aes256,
+}
+
+impl KeySize {
+    fn rounds(self) -> usize {
+        match self {
+            KeySize::Aes128 => 10,
+            KeySize::Aes192 => 12,
+            KeySize::Aes256 => 14,
+        }
+    }
+
+    fn key_words(self) -> usize {
+        match self {
+            KeySize::Aes128 => 4,
+            KeySize::Aes192 => 6,
+            KeySize::Aes256 => 8,
+        }
+    }
+}
+
+/// An expanded AES key ready to encrypt or decrypt 16-byte blocks.
+#[derive(Clone)]
+pub struct Aes {
+    round_keys: Vec<[u8; BLOCK_LEN]>,
+    rounds: usize,
+}
+
+impl Aes {
+    /// Expand `key` (16, 24 or 32 bytes).
+    ///
+    /// # Panics
+    /// Panics if the key length is not one of the three AES key sizes; key
+    /// material inside StegFS is always produced by the KDF and has a fixed
+    /// length, so a wrong length is a programming error rather than an I/O
+    /// error.
+    pub fn new(key: &[u8]) -> Self {
+        let size = match key.len() {
+            16 => KeySize::Aes128,
+            24 => KeySize::Aes192,
+            32 => KeySize::Aes256,
+            other => panic!("invalid AES key length: {other} bytes"),
+        };
+        Self::with_key_size(key, size)
+    }
+
+    /// Expand a key whose size is stated explicitly.
+    pub fn with_key_size(key: &[u8], size: KeySize) -> Self {
+        assert_eq!(key.len(), size.key_words() * 4, "key length mismatch");
+        let nk = size.key_words();
+        let rounds = size.rounds();
+        let total_words = 4 * (rounds + 1);
+
+        let mut w = vec![[0u8; 4]; total_words];
+        for (i, word) in w.iter_mut().take(nk).enumerate() {
+            word.copy_from_slice(&key[i * 4..i * 4 + 4]);
+        }
+        for i in nk..total_words {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for b in temp.iter_mut() {
+                    *b = SBOX[*b as usize];
+                }
+                temp[0] ^= RCON[i / nk];
+            } else if nk > 6 && i % nk == 4 {
+                for b in temp.iter_mut() {
+                    *b = SBOX[*b as usize];
+                }
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - nk][j] ^ temp[j];
+            }
+        }
+
+        let round_keys = (0..=rounds)
+            .map(|r| {
+                let mut rk = [0u8; BLOCK_LEN];
+                for c in 0..4 {
+                    rk[c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
+                }
+                rk
+            })
+            .collect();
+
+        Aes { round_keys, rounds }
+    }
+
+    /// Encrypt a single 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; BLOCK_LEN]) {
+        add_round_key(block, &self.round_keys[0]);
+        for round in 1..self.rounds {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[round]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[self.rounds]);
+    }
+
+    /// Decrypt a single 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; BLOCK_LEN]) {
+        add_round_key(block, &self.round_keys[self.rounds]);
+        inv_shift_rows(block);
+        inv_sub_bytes(block);
+        for round in (1..self.rounds).rev() {
+            add_round_key(block, &self.round_keys[round]);
+            inv_mix_columns(block);
+            inv_shift_rows(block);
+            inv_sub_bytes(block);
+        }
+        add_round_key(block, &self.round_keys[0]);
+    }
+
+    /// Number of AES rounds for this key size (10, 12 or 14).
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+}
+
+// The state is stored column-major as in FIPS 197: byte (row r, column c) is
+// state[c * 4 + r].
+
+#[inline]
+fn add_round_key(state: &mut [u8; BLOCK_LEN], rk: &[u8; BLOCK_LEN]) {
+    for i in 0..BLOCK_LEN {
+        state[i] ^= rk[i];
+    }
+}
+
+#[inline]
+fn sub_bytes(state: &mut [u8; BLOCK_LEN]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+#[inline]
+fn inv_sub_bytes(state: &mut [u8; BLOCK_LEN]) {
+    for b in state.iter_mut() {
+        *b = INV_SBOX[*b as usize];
+    }
+}
+
+#[inline]
+fn shift_rows(state: &mut [u8; BLOCK_LEN]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[c * 4 + r] = s[((c + r) % 4) * 4 + r];
+        }
+    }
+}
+
+#[inline]
+fn inv_shift_rows(state: &mut [u8; BLOCK_LEN]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[((c + r) % 4) * 4 + r] = s[c * 4 + r];
+        }
+    }
+}
+
+#[inline]
+fn mix_columns(state: &mut [u8; BLOCK_LEN]) {
+    for c in 0..4 {
+        let col = [
+            state[c * 4],
+            state[c * 4 + 1],
+            state[c * 4 + 2],
+            state[c * 4 + 3],
+        ];
+        state[c * 4] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
+        state[c * 4 + 1] = col[0] ^ xtime(col[1]) ^ (xtime(col[2]) ^ col[2]) ^ col[3];
+        state[c * 4 + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ (xtime(col[3]) ^ col[3]);
+        state[c * 4 + 3] = (xtime(col[0]) ^ col[0]) ^ col[1] ^ col[2] ^ xtime(col[3]);
+    }
+}
+
+#[inline]
+fn inv_mix_columns(state: &mut [u8; BLOCK_LEN]) {
+    for c in 0..4 {
+        let col = [
+            state[c * 4],
+            state[c * 4 + 1],
+            state[c * 4 + 2],
+            state[c * 4 + 3],
+        ];
+        state[c * 4] = gf_mul(col[0], 0x0e) ^ gf_mul(col[1], 0x0b) ^ gf_mul(col[2], 0x0d) ^ gf_mul(col[3], 0x09);
+        state[c * 4 + 1] = gf_mul(col[0], 0x09) ^ gf_mul(col[1], 0x0e) ^ gf_mul(col[2], 0x0b) ^ gf_mul(col[3], 0x0d);
+        state[c * 4 + 2] = gf_mul(col[0], 0x0d) ^ gf_mul(col[1], 0x09) ^ gf_mul(col[2], 0x0e) ^ gf_mul(col[3], 0x0b);
+        state[c * 4 + 3] = gf_mul(col[0], 0x0b) ^ gf_mul(col[1], 0x0d) ^ gf_mul(col[2], 0x09) ^ gf_mul(col[3], 0x0e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn block(s: &str) -> [u8; BLOCK_LEN] {
+        let v = from_hex(s);
+        let mut b = [0u8; BLOCK_LEN];
+        b.copy_from_slice(&v);
+        b
+    }
+
+    #[test]
+    fn fips197_appendix_b_aes128() {
+        let aes = Aes::new(&from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+        let mut state = block("3243f6a8885a308d313198a2e0370734");
+        aes.encrypt_block(&mut state);
+        assert_eq!(state, block("3925841d02dc09fbdc118597196a0b32"));
+        aes.decrypt_block(&mut state);
+        assert_eq!(state, block("3243f6a8885a308d313198a2e0370734"));
+    }
+
+    #[test]
+    fn fips197_appendix_c1_aes128() {
+        let aes = Aes::new(&from_hex("000102030405060708090a0b0c0d0e0f"));
+        let mut state = block("00112233445566778899aabbccddeeff");
+        aes.encrypt_block(&mut state);
+        assert_eq!(state, block("69c4e0d86a7b0430d8cdb78070b4c55a"));
+    }
+
+    #[test]
+    fn fips197_appendix_c2_aes192() {
+        let aes = Aes::new(&from_hex(
+            "000102030405060708090a0b0c0d0e0f1011121314151617",
+        ));
+        let mut state = block("00112233445566778899aabbccddeeff");
+        aes.encrypt_block(&mut state);
+        assert_eq!(state, block("dda97ca4864cdfe06eaf70a0ec0d7191"));
+        aes.decrypt_block(&mut state);
+        assert_eq!(state, block("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn fips197_appendix_c3_aes256() {
+        let aes = Aes::new(&from_hex(
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        ));
+        let mut state = block("00112233445566778899aabbccddeeff");
+        aes.encrypt_block(&mut state);
+        assert_eq!(state, block("8ea2b7ca516745bfeafc49904b496089"));
+        aes.decrypt_block(&mut state);
+        assert_eq!(state, block("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn sp800_38a_ecb_aes256_first_block() {
+        let aes = Aes::new(&from_hex(
+            "603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4",
+        ));
+        let mut state = block("6bc1bee22e409f96e93d7e117393172a");
+        aes.encrypt_block(&mut state);
+        assert_eq!(state, block("f3eed1bdb5d2a03c064b5a7e3db181f8"));
+    }
+
+    #[test]
+    fn round_counts() {
+        assert_eq!(Aes::new(&[0u8; 16]).rounds(), 10);
+        assert_eq!(Aes::new(&[0u8; 24]).rounds(), 12);
+        assert_eq!(Aes::new(&[0u8; 32]).rounds(), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid AES key length")]
+    fn rejects_bad_key_length() {
+        let _ = Aes::new(&[0u8; 20]);
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_many() {
+        let aes = Aes::new(b"0123456789abcdef0123456789abcdef");
+        for i in 0..256u32 {
+            let mut b = [0u8; BLOCK_LEN];
+            for (j, byte) in b.iter_mut().enumerate() {
+                *byte = (i as u8).wrapping_mul(31).wrapping_add(j as u8);
+            }
+            let original = b;
+            aes.encrypt_block(&mut b);
+            assert_ne!(b, original, "ciphertext must differ from plaintext");
+            aes.decrypt_block(&mut b);
+            assert_eq!(b, original);
+        }
+    }
+
+    #[test]
+    fn different_keys_different_ciphertexts() {
+        let a = Aes::new(&[1u8; 32]);
+        let b = Aes::new(&[2u8; 32]);
+        let mut x = [7u8; BLOCK_LEN];
+        let mut y = [7u8; BLOCK_LEN];
+        a.encrypt_block(&mut x);
+        b.encrypt_block(&mut y);
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn gf_mul_agrees_with_known_products() {
+        // Classic GF(2^8) examples from FIPS 197 section 4.2.
+        assert_eq!(gf_mul(0x57, 0x83), 0xc1);
+        assert_eq!(gf_mul(0x57, 0x13), 0xfe);
+        assert_eq!(gf_mul(0x01, 0xab), 0xab);
+        assert_eq!(gf_mul(0x00, 0xab), 0x00);
+    }
+}

@@ -1,0 +1,670 @@
+//! Arbitrary-precision unsigned integers for the RSA sharing protocol.
+//!
+//! The only consumer is [`crate::rsa`], so the API is tailored to what RSA key
+//! generation and modular exponentiation need: schoolbook multiplication,
+//! small-divisor division, and Montgomery modular arithmetic (which avoids the
+//! need for a general long-division routine).  Limbs are 64-bit,
+//! little-endian.
+
+use std::cmp::Ordering;
+
+/// An arbitrary-precision unsigned integer (little-endian 64-bit limbs, no
+/// redundant leading zero limbs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value 0.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        BigUint::from_u64(1)
+    }
+
+    /// Construct from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            BigUint::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// Construct from big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        let mut chunk_start = bytes.len();
+        while chunk_start > 0 {
+            let lo = chunk_start.saturating_sub(8);
+            let mut limb = 0u64;
+            for &b in &bytes[lo..chunk_start] {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+            chunk_start = lo;
+        }
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+
+    /// Serialise to big-endian bytes with no leading zeros (empty for 0).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for (i, &limb) in self.limbs.iter().enumerate().rev() {
+            let bytes = limb.to_be_bytes();
+            if i == self.limbs.len() - 1 {
+                // Skip leading zeros of the most significant limb.
+                let first = bytes.iter().position(|&b| b != 0).unwrap_or(7);
+                out.extend_from_slice(&bytes[first..]);
+            } else {
+                out.extend_from_slice(&bytes);
+            }
+        }
+        out
+    }
+
+    /// Serialise to exactly `len` big-endian bytes, left-padded with zeros.
+    ///
+    /// # Panics
+    /// Panics if the value does not fit in `len` bytes.
+    pub fn to_bytes_be_padded(&self, len: usize) -> Vec<u8> {
+        let raw = self.to_bytes_be();
+        assert!(raw.len() <= len, "value does not fit in {len} bytes");
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// True if the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True if the value is even (0 counts as even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Number of significant bits (0 for the value 0).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() - 1) * 64 + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Value of bit `i` (0 = least significant).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        if limb >= self.limbs.len() {
+            return false;
+        }
+        (self.limbs[limb] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of limbs (no leading zero limbs).
+    pub fn limb_count(&self) -> usize {
+        self.limbs.len()
+    }
+
+    /// Compare two values.
+    pub fn cmp_big(&self, other: &BigUint) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let mut limbs = Vec::with_capacity(self.limbs.len().max(other.limbs.len()) + 1);
+        let mut carry = 0u128;
+        for i in 0..self.limbs.len().max(other.limbs.len()) {
+            let a = *self.limbs.get(i).unwrap_or(&0) as u128;
+            let b = *other.limbs.get(i).unwrap_or(&0) as u128;
+            let sum = a + b + carry;
+            limbs.push(sum as u64);
+            carry = sum >> 64;
+        }
+        if carry != 0 {
+            limbs.push(carry as u64);
+        }
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+
+    /// `self + v` for a small addend.
+    pub fn add_small(&self, v: u64) -> BigUint {
+        self.add(&BigUint::from_u64(v))
+    }
+
+    /// `self - other`.
+    ///
+    /// # Panics
+    /// Panics if `other > self`.
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        assert!(
+            self.cmp_big(other) != Ordering::Less,
+            "BigUint subtraction underflow"
+        );
+        let mut limbs = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i128;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i] as i128;
+            let b = *other.limbs.get(i).unwrap_or(&0) as i128;
+            let mut diff = a - b - borrow;
+            if diff < 0 {
+                diff += 1i128 << 64;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            limbs.push(diff as u64);
+        }
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+
+    /// `self - v` for a small subtrahend.
+    pub fn sub_small(&self, v: u64) -> BigUint {
+        self.sub(&BigUint::from_u64(v))
+    }
+
+    /// Schoolbook multiplication `self * other`.
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut limbs = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = limbs[i + j] as u128 + (a as u128) * (b as u128) + carry;
+                limbs[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = limbs[k] as u128 + carry;
+                limbs[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+
+    /// `self * v` for a small multiplier.
+    pub fn mul_small(&self, v: u64) -> BigUint {
+        self.mul(&BigUint::from_u64(v))
+    }
+
+    /// Divide by a small divisor, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    /// Panics if `divisor == 0`.
+    pub fn div_rem_small(&self, divisor: u64) -> (BigUint, u64) {
+        assert!(divisor != 0, "division by zero");
+        let mut quotient = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            quotient[i] = (cur / divisor as u128) as u64;
+            rem = cur % divisor as u128;
+        }
+        let mut q = BigUint { limbs: quotient };
+        q.normalize();
+        (q, rem as u64)
+    }
+
+    /// Remainder modulo a small divisor.
+    pub fn mod_small(&self, divisor: u64) -> u64 {
+        self.div_rem_small(divisor).1
+    }
+
+    /// `self mod modulus` computed with repeated conditional subtraction of
+    /// shifted copies of the modulus (binary long division without keeping
+    /// the quotient).  Adequate for the occasional use during key generation.
+    pub fn rem(&self, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "modulo zero");
+        if self.cmp_big(modulus) == Ordering::Less {
+            return self.clone();
+        }
+        let shift = self.bit_len() - modulus.bit_len();
+        let mut rem = self.clone();
+        for s in (0..=shift).rev() {
+            let shifted = modulus.shl_bits(s);
+            if rem.cmp_big(&shifted) != Ordering::Less {
+                rem = rem.sub(&shifted);
+            }
+        }
+        rem
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl_bits(&self, bits: usize) -> BigUint {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = bits / 64;
+        let bit_shift = bits % 64;
+        let mut limbs = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                limbs.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                limbs.push(carry);
+            }
+        }
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+
+    /// Right shift by `bits`.
+    pub fn shr_bits(&self, bits: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = bits / 64;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % 64;
+        let src = &self.limbs[limb_shift..];
+        let mut limbs = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            limbs.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let lo = src[i] >> bit_shift;
+                let hi = if i + 1 < src.len() {
+                    src[i + 1] << (64 - bit_shift)
+                } else {
+                    0
+                };
+                limbs.push(lo | hi);
+            }
+        }
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+
+    /// Modular exponentiation `self^exponent mod modulus` using Montgomery
+    /// multiplication.  The modulus must be odd (always true for RSA moduli
+    /// and primes).
+    pub fn modpow(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
+        let ctx = MontgomeryCtx::new(modulus);
+        ctx.modpow(self, exponent)
+    }
+}
+
+/// Montgomery arithmetic context for a fixed odd modulus.
+pub struct MontgomeryCtx {
+    modulus: Vec<u64>,
+    n0_inv: u64,
+    r2: Vec<u64>,
+    limbs: usize,
+}
+
+impl MontgomeryCtx {
+    /// Create a context.
+    ///
+    /// # Panics
+    /// Panics if the modulus is zero or even.
+    pub fn new(modulus: &BigUint) -> Self {
+        assert!(!modulus.is_zero(), "modulus must be nonzero");
+        assert!(!modulus.is_even(), "Montgomery arithmetic requires an odd modulus");
+        let limbs = modulus.limbs.len();
+        let n0 = modulus.limbs[0];
+
+        // Newton iteration for n0^{-1} mod 2^64.
+        let mut inv = n0;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        let n0_inv = inv.wrapping_neg();
+
+        // R^2 mod n, computed by 2 * 64 * limbs doublings of (R mod n ... )
+        // starting from 1: after 64*limbs doublings we have R mod n, after
+        // another 64*limbs we have R^2... that is only true modulo n, which is
+        // exactly what we want.
+        let mut r = BigUint::one().rem(modulus);
+        for _ in 0..(2 * 64 * limbs) {
+            r = r.add(&r);
+            if r.cmp_big(modulus) != Ordering::Less {
+                r = r.sub(modulus);
+            }
+        }
+        let mut r2 = r.limbs.clone();
+        r2.resize(limbs, 0);
+
+        MontgomeryCtx {
+            modulus: modulus.limbs.clone(),
+            n0_inv,
+            r2,
+            limbs,
+        }
+    }
+
+    /// Montgomery multiplication (CIOS): returns `a * b * R^{-1} mod n` where
+    /// inputs and output are `limbs`-length little-endian slices.
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let n = &self.modulus;
+        let s = self.limbs;
+        let mut t = vec![0u64; s + 2];
+
+        for i in 0..s {
+            // t += a[i] * b
+            let mut carry = 0u128;
+            for j in 0..s {
+                let cur = t[j] as u128 + (a[i] as u128) * (b[j] as u128) + carry;
+                t[j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[s] as u128 + carry;
+            t[s] = cur as u64;
+            t[s + 1] = (cur >> 64) as u64;
+
+            // m = t[0] * n0_inv mod 2^64; t += m * n; t >>= 64
+            let m = t[0].wrapping_mul(self.n0_inv);
+            let cur = t[0] as u128 + (m as u128) * (n[0] as u128);
+            let mut carry = cur >> 64;
+            for j in 1..s {
+                let cur = t[j] as u128 + (m as u128) * (n[j] as u128) + carry;
+                t[j - 1] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[s] as u128 + carry;
+            t[s - 1] = cur as u64;
+            t[s] = t[s + 1] + (cur >> 64) as u64;
+            t[s + 1] = 0;
+        }
+
+        // Final conditional subtraction.
+        let mut result: Vec<u64> = t[..s].to_vec();
+        let overflow = t[s] != 0;
+        if overflow || cmp_slices(&result, n) != Ordering::Less {
+            sub_in_place(&mut result, n);
+        }
+        result
+    }
+
+    fn to_mont(&self, a: &BigUint) -> Vec<u64> {
+        let reduced = a.rem(&BigUint {
+            limbs: self.modulus.clone(),
+        });
+        let mut padded = reduced.limbs;
+        padded.resize(self.limbs, 0);
+        self.mont_mul(&padded, &self.r2)
+    }
+
+    fn from_mont(&self, a: &[u64]) -> BigUint {
+        let one = {
+            let mut v = vec![0u64; self.limbs];
+            v[0] = 1;
+            v
+        };
+        let mut out = BigUint {
+            limbs: self.mont_mul(a, &one),
+        };
+        out.normalize();
+        out
+    }
+
+    /// `base^exponent mod n` (left-to-right binary exponentiation).
+    pub fn modpow(&self, base: &BigUint, exponent: &BigUint) -> BigUint {
+        if exponent.is_zero() {
+            return BigUint::one().rem(&BigUint {
+                limbs: self.modulus.clone(),
+            });
+        }
+        let base_m = self.to_mont(base);
+        let mut acc = self.to_mont(&BigUint::one());
+        for i in (0..exponent.bit_len()).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            if exponent.bit(i) {
+                acc = self.mont_mul(&acc, &base_m);
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+fn cmp_slices(a: &[u64], b: &[u64]) -> Ordering {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        match a[i].cmp(&b[i]) {
+            Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+fn sub_in_place(a: &mut [u64], b: &[u64]) {
+    let mut borrow = 0i128;
+    for i in 0..a.len() {
+        let mut diff = a[i] as i128 - b[i] as i128 - borrow;
+        if diff < 0 {
+            diff += 1i128 << 64;
+            borrow = 1;
+        } else {
+            borrow = 0;
+        }
+        a[i] = diff as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        for bytes in [
+            vec![],
+            vec![0u8],
+            vec![1u8],
+            vec![0xff; 9],
+            vec![0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde, 0xf0, 0x11],
+        ] {
+            let n = BigUint::from_bytes_be(&bytes);
+            let back = n.to_bytes_be();
+            // Leading zeros are dropped, so compare numerically.
+            assert_eq!(BigUint::from_bytes_be(&back), n);
+        }
+    }
+
+    #[test]
+    fn padded_bytes() {
+        let n = BigUint::from_u64(0x1234);
+        assert_eq!(n.to_bytes_be_padded(4), vec![0, 0, 0x12, 0x34]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn padded_bytes_too_small_panics() {
+        BigUint::from_u64(0x123456).to_bytes_be_padded(2);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = BigUint::from_bytes_be(&[0xff; 20]);
+        let b = BigUint::from_bytes_be(&[0xab; 13]);
+        let sum = a.add(&b);
+        assert_eq!(sum.sub(&b), a);
+        assert_eq!(sum.sub(&a), b);
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = BigUint::from_bytes_be(&[0xff; 16]); // 2^128 - 1
+        let sum = a.add_small(1);
+        assert_eq!(sum.bit_len(), 129);
+        assert_eq!(sum.sub_small(1), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        big(1).sub(&big(2));
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let a = 0xdead_beef_1234_5678u64;
+        let b = 0xcafe_babe_8765_4321u64;
+        let expected = (a as u128) * (b as u128);
+        let got = big(a).mul(&big(b));
+        let mut bytes = got.to_bytes_be();
+        while bytes.len() < 16 {
+            bytes.insert(0, 0);
+        }
+        assert_eq!(u128::from_be_bytes(bytes.try_into().unwrap()), expected);
+    }
+
+    #[test]
+    fn mul_by_zero_and_one() {
+        let a = BigUint::from_bytes_be(&[7u8; 25]);
+        assert!(a.mul(&BigUint::zero()).is_zero());
+        assert_eq!(a.mul(&BigUint::one()), a);
+    }
+
+    #[test]
+    fn div_rem_small_matches_u128() {
+        let value = BigUint::from_bytes_be(&[0x3a; 16]);
+        let as_u128 = u128::from_be_bytes([0x3a; 16]);
+        for d in [1u64, 2, 3, 10, 97, u64::MAX] {
+            let (q, r) = value.div_rem_small(d);
+            assert_eq!(r as u128, as_u128 % d as u128, "divisor {d}");
+            let recomposed = q.mul_small(d).add_small(r);
+            assert_eq!(recomposed, value, "divisor {d}");
+        }
+    }
+
+    #[test]
+    fn rem_basic() {
+        let a = big(1000);
+        assert_eq!(a.rem(&big(7)), big(1000 % 7));
+        assert_eq!(big(5).rem(&big(7)), big(5));
+        assert_eq!(big(14).rem(&big(7)), BigUint::zero());
+    }
+
+    #[test]
+    fn shifts() {
+        let a = big(0b1011);
+        assert_eq!(a.shl_bits(3), big(0b1011000));
+        assert_eq!(a.shl_bits(0), a);
+        assert_eq!(a.shl_bits(64).shr_bits(64), a);
+        assert_eq!(a.shr_bits(2), big(0b10));
+        assert_eq!(a.shr_bits(100), BigUint::zero());
+    }
+
+    #[test]
+    fn bit_len_and_bits() {
+        assert_eq!(BigUint::zero().bit_len(), 0);
+        assert_eq!(big(1).bit_len(), 1);
+        assert_eq!(big(0xff).bit_len(), 8);
+        let big_val = BigUint::one().shl_bits(200);
+        assert_eq!(big_val.bit_len(), 201);
+        assert!(big_val.bit(200));
+        assert!(!big_val.bit(199));
+        assert!(!big_val.bit(1000));
+    }
+
+    #[test]
+    fn modpow_small_values() {
+        // 4^13 mod 497 = 445 (classic textbook example).
+        assert_eq!(big(4).modpow(&big(13), &big(497)), big(445));
+        // Fermat: 2^(p-1) mod p = 1 for prime p.
+        assert_eq!(big(2).modpow(&big(1008), &big(1009)), big(1));
+        // exponent 0 => 1.
+        assert_eq!(big(12345).modpow(&BigUint::zero(), &big(997)), big(1));
+    }
+
+    #[test]
+    fn modpow_matches_naive_for_random_small_cases() {
+        // Deterministic pseudo-random small cases checked against u128 math.
+        let mut x = 0x12345678u64;
+        let mut next = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x >> 33
+        };
+        for _ in 0..50 {
+            let base = next() % 1000 + 1;
+            let exp = next() % 50;
+            let modulus = (next() % 5000) * 2 + 3; // odd, >= 3
+            let mut expected: u128 = 1;
+            for _ in 0..exp {
+                expected = expected * base as u128 % modulus as u128;
+            }
+            assert_eq!(
+                big(base).modpow(&big(exp), &big(modulus)),
+                big(expected as u64),
+                "base={base} exp={exp} mod={modulus}"
+            );
+        }
+    }
+
+    #[test]
+    fn modpow_large_modulus_roundtrip() {
+        // (m^e)^d == m mod n for a tiny RSA instance:
+        // p = 61, q = 53, n = 3233, phi = 3120, e = 17, d = 2753.
+        let n = big(3233);
+        let m = big(65);
+        let c = m.modpow(&big(17), &n);
+        assert_eq!(c, big(2790));
+        assert_eq!(c.modpow(&big(2753), &n), m);
+    }
+
+    #[test]
+    fn montgomery_rejects_even_modulus() {
+        let result = std::panic::catch_unwind(|| MontgomeryCtx::new(&big(100)));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn cmp_orderings() {
+        assert_eq!(big(5).cmp_big(&big(5)), Ordering::Equal);
+        assert_eq!(big(4).cmp_big(&big(5)), Ordering::Less);
+        assert_eq!(big(6).cmp_big(&big(5)), Ordering::Greater);
+        let large = BigUint::one().shl_bits(128);
+        assert_eq!(large.cmp_big(&big(u64::MAX)), Ordering::Greater);
+    }
+}

@@ -1,0 +1,54 @@
+//! Constant-time comparison helpers.
+//!
+//! Signature matching during hidden-file lookup compares attacker-influenced
+//! bytes against a secret-derived value; doing that with early-exit `==`
+//! would leak how many leading bytes matched.  These helpers compare entire
+//! slices regardless of where the first difference occurs.
+
+/// Compare two byte slices in time dependent only on their lengths.
+/// Returns `false` immediately if the lengths differ (length is not secret).
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// Constant-time selection: returns `if choice { a } else { b }` for byte
+/// values without branching on `choice`.
+pub fn ct_select(choice: bool, a: u8, b: u8) -> u8 {
+    let mask = (choice as u8).wrapping_neg();
+    (a & mask) | (b & !mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_slices() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(ct_eq(&[0u8; 64], &[0u8; 64]));
+    }
+
+    #[test]
+    fn unequal_slices() {
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"abcd"));
+        assert!(!ct_eq(b"abc", b""));
+        // Differences at every position are detected, not just the first.
+        assert!(!ct_eq(b"xbc", b"abc"));
+        assert!(!ct_eq(b"abx", b"abc"));
+    }
+
+    #[test]
+    fn select() {
+        assert_eq!(ct_select(true, 0xaa, 0x55), 0xaa);
+        assert_eq!(ct_select(false, 0xaa, 0x55), 0x55);
+    }
+}

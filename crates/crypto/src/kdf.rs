@@ -1,0 +1,109 @@
+//! Key derivation from pass-phrases.
+//!
+//! The paper treats "access keys" (UAKs and FAKs) abstractly; in the Linux
+//! implementation they are strings supplied by the user.  This module turns an
+//! arbitrary-length pass-phrase plus a context label into fixed-length AES key
+//! material using an iterated HMAC construction (PBKDF2-style with a single
+//! block, which is all that is needed for a 32-byte output).
+
+use crate::hmac::hmac_sha256;
+use crate::sha256::DIGEST_LEN;
+
+/// Default iteration count.  Kept modest because the experiments create
+/// thousands of hidden files; the construction is the interesting part, not
+/// the work factor.
+pub const DEFAULT_ITERATIONS: u32 = 1_000;
+
+/// Derive a 32-byte key from `passphrase`, bound to `context` (for example
+/// `"stegfs/fak"` or `"stegfs/uak-directory"`) and `salt`.
+pub fn derive_key(passphrase: &[u8], context: &[u8], salt: &[u8]) -> [u8; DIGEST_LEN] {
+    derive_key_with_iterations(passphrase, context, salt, DEFAULT_ITERATIONS)
+}
+
+/// Derive a 32-byte key with an explicit iteration count.
+pub fn derive_key_with_iterations(
+    passphrase: &[u8],
+    context: &[u8],
+    salt: &[u8],
+    iterations: u32,
+) -> [u8; DIGEST_LEN] {
+    assert!(iterations > 0, "iteration count must be positive");
+
+    // PBKDF2-HMAC-SHA256 with a single output block (block index 1), with the
+    // context label folded into the salt.
+    let mut salted = Vec::with_capacity(context.len() + 1 + salt.len() + 4);
+    salted.extend_from_slice(context);
+    salted.push(0u8);
+    salted.extend_from_slice(salt);
+    salted.extend_from_slice(&1u32.to_be_bytes());
+
+    let mut u = hmac_sha256(passphrase, &salted);
+    let mut output = u;
+    for _ in 1..iterations {
+        u = hmac_sha256(passphrase, &u);
+        for i in 0..DIGEST_LEN {
+            output[i] ^= u[i];
+        }
+    }
+    output
+}
+
+/// Derive a sub-key from an existing 32-byte key and a purpose label, e.g.
+/// separating the encryption key of a hidden file from its signature key.
+pub fn derive_subkey(master: &[u8; DIGEST_LEN], purpose: &[u8]) -> [u8; DIGEST_LEN] {
+    hmac_sha256(master, purpose)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = derive_key(b"hunter2", b"stegfs/fak", b"salt");
+        let b = derive_key(b"hunter2", b"stegfs/fak", b"salt");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn passphrase_context_salt_all_matter() {
+        let base = derive_key(b"hunter2", b"stegfs/fak", b"salt");
+        assert_ne!(base, derive_key(b"hunter3", b"stegfs/fak", b"salt"));
+        assert_ne!(base, derive_key(b"hunter2", b"stegfs/uak", b"salt"));
+        assert_ne!(base, derive_key(b"hunter2", b"stegfs/fak", b"pepper"));
+    }
+
+    #[test]
+    fn iterations_change_output() {
+        let a = derive_key_with_iterations(b"p", b"c", b"s", 1);
+        let b = derive_key_with_iterations(b"p", b"c", b"s", 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn pbkdf2_single_iteration_matches_hmac_definition() {
+        // With one iteration the output is exactly HMAC(pass, context||0||salt||be32(1)).
+        let out = derive_key_with_iterations(b"pw", b"ctx", b"salt", 1);
+        let mut msg = Vec::new();
+        msg.extend_from_slice(b"ctx");
+        msg.push(0);
+        msg.extend_from_slice(b"salt");
+        msg.extend_from_slice(&1u32.to_be_bytes());
+        assert_eq!(out, crate::hmac::hmac_sha256(b"pw", &msg));
+    }
+
+    #[test]
+    fn subkeys_are_domain_separated() {
+        let master = derive_key(b"pw", b"ctx", b"salt");
+        let enc = derive_subkey(&master, b"encrypt");
+        let sig = derive_subkey(&master, b"signature");
+        assert_ne!(enc, sig);
+        assert_ne!(enc, master);
+    }
+
+    #[test]
+    #[should_panic(expected = "iteration count must be positive")]
+    fn zero_iterations_rejected() {
+        derive_key_with_iterations(b"p", b"c", b"s", 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! # stegfs-crypto
+//!
+//! Self-contained cryptographic primitives for the StegFS reproduction.
+//!
+//! The original StegFS paper (Pang, Tan, Zhou — ICDE 2003) relies on three
+//! cryptographic building blocks:
+//!
+//! * **SHA-256** (FIPS 180-2) — used both as the one-way hash that derives the
+//!   hidden-file *signature* from the file name and access key, and (through
+//!   recursive hashing of a seed) as the pseudorandom block-number generator
+//!   that locates the hidden-file header on disk.
+//! * **AES** (FIPS 197) — the block cipher that encrypts every block of a
+//!   hidden object so that it is indistinguishable from the random fill
+//!   written into free blocks at format time.
+//! * **A public-key scheme** — used only by the file-sharing protocol
+//!   (`steg_getentry` / `steg_addentry`), where the `(file name, FAK)` pair is
+//!   encrypted under the recipient's public key.
+//!
+//! Because this reproduction must be buildable offline without external
+//! cryptography crates, all three are implemented here from scratch and
+//! validated against published test vectors in the module tests.  The RSA
+//! implementation is *textbook* RSA over a small fixed-width bignum: it is
+//! entirely adequate for reproducing the sharing protocol and the paper's
+//! experiments, but it is not constant-time and must not be used to protect
+//! real data.
+//!
+//! The module layout is:
+//!
+//! * [`sha256`] — SHA-256 and the incremental hasher.
+//! * [`hmac`] — HMAC-SHA256.
+//! * [`aes`] — the AES-128/192/256 block cipher.
+//! * [`modes`] — CBC and CTR modes over AES, plus PKCS#7 padding helpers.
+//! * [`prng`] — the hash-chain pseudorandom block-number generator from the
+//!   paper and a counter-mode deterministic byte generator.
+//! * [`kdf`] — iterated-hash key derivation from pass-phrases.
+//! * [`bignum`] — fixed-capacity big unsigned integers.
+//! * [`rsa`] — textbook RSA key generation, encryption and decryption.
+//! * [`ct`] — constant-time comparison helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod bignum;
+pub mod ct;
+pub mod hmac;
+pub mod kdf;
+pub mod modes;
+pub mod prng;
+pub mod rsa;
+pub mod sha256;
+
+pub use aes::Aes;
+pub use hmac::hmac_sha256;
+pub use kdf::derive_key;
+pub use modes::{CbcCipher, CtrCipher};
+pub use prng::{BlockLocator, HashChainPrng, XorShiftRng};
+pub use rsa::{RsaKeyPair, RsaPrivateKey, RsaPublicKey};
+pub use sha256::{sha256, Sha256};
+
+/// Length in bytes of a SHA-256 digest.
+pub const DIGEST_LEN: usize = 32;
+
+/// Length in bytes of an AES block.
+pub const AES_BLOCK_LEN: usize = 16;
+
+/// Length in bytes of the symmetric keys used throughout StegFS (AES-256).
+pub const SYM_KEY_LEN: usize = 32;

@@ -1,0 +1,295 @@
+//! Block cipher modes of operation used by StegFS.
+//!
+//! Hidden objects are encrypted at disk-block granularity: each disk block of
+//! a hidden file is encrypted independently under the file access key with an
+//! IV derived from `(key, logical block index)`.  That keeps random access
+//! cheap (the paper decrypts blocks "on-the-fly during retrieval") while still
+//! making every hidden block look like the uniform random fill that the
+//! formatter writes into free blocks.
+//!
+//! Two modes are provided:
+//!
+//! * [`CbcCipher`] — CBC with PKCS#7 padding, used for variable-length
+//!   records such as the encrypted UAK directory entries and the sharing
+//!   `entryfile` payloads.
+//! * [`CtrCipher`] — CTR keystream encryption, used for whole disk blocks
+//!   where the ciphertext must have exactly the same length as the plaintext.
+
+use crate::aes::{Aes, BLOCK_LEN};
+use crate::sha256::sha256_concat;
+
+/// Error returned when a ciphertext cannot be decrypted into a well-formed
+/// plaintext (bad length or bad padding).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CipherError {
+    /// Ciphertext length is not a multiple of the block size.
+    BadLength,
+    /// PKCS#7 padding was malformed; usually means the wrong key was used.
+    BadPadding,
+}
+
+impl std::fmt::Display for CipherError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CipherError::BadLength => write!(f, "ciphertext length is not a multiple of 16"),
+            CipherError::BadPadding => write!(f, "invalid PKCS#7 padding (wrong key?)"),
+        }
+    }
+}
+
+impl std::error::Error for CipherError {}
+
+/// Derive a 16-byte IV for a given key and logical sector index.
+///
+/// The derivation is `SHA-256(key ‖ "stegfs-iv" ‖ index)[..16]`, so IVs are
+/// unique per (key, sector) pair and reproducible without storing them.
+pub fn derive_iv(key: &[u8], index: u64) -> [u8; BLOCK_LEN] {
+    let digest = sha256_concat(&[key, b"stegfs-iv", &index.to_be_bytes()]);
+    let mut iv = [0u8; BLOCK_LEN];
+    iv.copy_from_slice(&digest[..BLOCK_LEN]);
+    iv
+}
+
+/// AES-CBC with PKCS#7 padding.
+pub struct CbcCipher {
+    aes: Aes,
+}
+
+impl CbcCipher {
+    /// Create a CBC cipher from raw AES key material (16/24/32 bytes).
+    pub fn new(key: &[u8]) -> Self {
+        CbcCipher { aes: Aes::new(key) }
+    }
+
+    /// Encrypt `plaintext` with the given IV.  The output length is always a
+    /// non-zero multiple of 16 bytes (PKCS#7 adds a full block when the input
+    /// is already aligned).
+    pub fn encrypt(&self, iv: &[u8; BLOCK_LEN], plaintext: &[u8]) -> Vec<u8> {
+        let padded = pkcs7_pad(plaintext);
+        let mut out = Vec::with_capacity(padded.len());
+        let mut prev = *iv;
+        for chunk in padded.chunks_exact(BLOCK_LEN) {
+            let mut block = [0u8; BLOCK_LEN];
+            for i in 0..BLOCK_LEN {
+                block[i] = chunk[i] ^ prev[i];
+            }
+            self.aes.encrypt_block(&mut block);
+            out.extend_from_slice(&block);
+            prev = block;
+        }
+        out
+    }
+
+    /// Decrypt and strip PKCS#7 padding.
+    pub fn decrypt(&self, iv: &[u8; BLOCK_LEN], ciphertext: &[u8]) -> Result<Vec<u8>, CipherError> {
+        if ciphertext.is_empty() || ciphertext.len() % BLOCK_LEN != 0 {
+            return Err(CipherError::BadLength);
+        }
+        let mut out = Vec::with_capacity(ciphertext.len());
+        let mut prev = *iv;
+        for chunk in ciphertext.chunks_exact(BLOCK_LEN) {
+            let mut block = [0u8; BLOCK_LEN];
+            block.copy_from_slice(chunk);
+            let saved = block;
+            self.aes.decrypt_block(&mut block);
+            for i in 0..BLOCK_LEN {
+                block[i] ^= prev[i];
+            }
+            out.extend_from_slice(&block);
+            prev = saved;
+        }
+        pkcs7_unpad(&mut out)?;
+        Ok(out)
+    }
+}
+
+/// AES-CTR keystream cipher: length-preserving, random-access friendly.
+pub struct CtrCipher {
+    aes: Aes,
+}
+
+impl CtrCipher {
+    /// Create a CTR cipher from raw AES key material (16/24/32 bytes).
+    pub fn new(key: &[u8]) -> Self {
+        CtrCipher { aes: Aes::new(key) }
+    }
+
+    /// XOR `data` in place with the keystream generated from `nonce`.
+    /// Encryption and decryption are the same operation.
+    pub fn apply(&self, nonce: &[u8; BLOCK_LEN], data: &mut [u8]) {
+        let mut counter_block = *nonce;
+        let mut offset = 0usize;
+        while offset < data.len() {
+            let mut keystream = counter_block;
+            self.aes.encrypt_block(&mut keystream);
+            let take = BLOCK_LEN.min(data.len() - offset);
+            for i in 0..take {
+                data[offset + i] ^= keystream[i];
+            }
+            offset += take;
+            increment_counter(&mut counter_block);
+        }
+    }
+
+    /// Convenience wrapper returning a new vector instead of mutating in place.
+    pub fn transform(&self, nonce: &[u8; BLOCK_LEN], data: &[u8]) -> Vec<u8> {
+        let mut out = data.to_vec();
+        self.apply(nonce, &mut out);
+        out
+    }
+}
+
+fn increment_counter(block: &mut [u8; BLOCK_LEN]) {
+    for byte in block.iter_mut().rev() {
+        let (new, overflow) = byte.overflowing_add(1);
+        *byte = new;
+        if !overflow {
+            break;
+        }
+    }
+}
+
+fn pkcs7_pad(data: &[u8]) -> Vec<u8> {
+    let pad = BLOCK_LEN - (data.len() % BLOCK_LEN);
+    let mut out = Vec::with_capacity(data.len() + pad);
+    out.extend_from_slice(data);
+    out.extend(std::iter::repeat(pad as u8).take(pad));
+    out
+}
+
+fn pkcs7_unpad(data: &mut Vec<u8>) -> Result<(), CipherError> {
+    let pad = *data.last().ok_or(CipherError::BadPadding)? as usize;
+    if pad == 0 || pad > BLOCK_LEN || pad > data.len() {
+        return Err(CipherError::BadPadding);
+    }
+    if data[data.len() - pad..].iter().any(|&b| b as usize != pad) {
+        return Err(CipherError::BadPadding);
+    }
+    data.truncate(data.len() - pad);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn ctr_matches_sp800_38a_aes256() {
+        // NIST SP 800-38A F.5.5 CTR-AES256.Encrypt, first two blocks.
+        let key = from_hex("603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4");
+        let nonce: [u8; 16] = from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff")
+            .try_into()
+            .unwrap();
+        let plaintext = from_hex(
+            "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51",
+        );
+        let expected = from_hex(
+            "601ec313775789a5b7a7f504bbf3d228f443e3ca4d62b59aca84e990cacaf5c5",
+        );
+        let ctr = CtrCipher::new(&key);
+        assert_eq!(ctr.transform(&nonce, &plaintext), expected);
+    }
+
+    #[test]
+    fn ctr_roundtrip_unaligned_lengths() {
+        let ctr = CtrCipher::new(&[9u8; 32]);
+        let nonce = [3u8; 16];
+        for len in [0usize, 1, 15, 16, 17, 100, 1024, 4097] {
+            let data: Vec<u8> = (0..len).map(|i| (i % 256) as u8).collect();
+            let enc = ctr.transform(&nonce, &data);
+            assert_eq!(enc.len(), data.len());
+            if len > 0 {
+                assert_ne!(enc, data, "len {len}");
+            }
+            assert_eq!(ctr.transform(&nonce, &enc), data);
+        }
+    }
+
+    #[test]
+    fn ctr_counter_wraps_across_byte_boundary() {
+        let mut c = [0xffu8; 16];
+        increment_counter(&mut c);
+        assert_eq!(c, [0u8; 16]);
+        let mut c2 = [0u8; 16];
+        c2[15] = 0xff;
+        increment_counter(&mut c2);
+        assert_eq!(c2[15], 0);
+        assert_eq!(c2[14], 1);
+    }
+
+    #[test]
+    fn cbc_roundtrip_various_lengths() {
+        let cbc = CbcCipher::new(&[7u8; 32]);
+        let iv = [1u8; 16];
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 1000] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 7 % 256) as u8).collect();
+            let enc = cbc.encrypt(&iv, &data);
+            assert_eq!(enc.len() % 16, 0);
+            assert!(enc.len() > data.len(), "padding always adds bytes");
+            assert_eq!(cbc.decrypt(&iv, &enc).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn cbc_wrong_key_fails_or_garbles() {
+        let cbc = CbcCipher::new(&[7u8; 32]);
+        let wrong = CbcCipher::new(&[8u8; 32]);
+        let iv = [0u8; 16];
+        let data = b"the hidden budget spreadsheet".to_vec();
+        let enc = cbc.encrypt(&iv, &data);
+        match wrong.decrypt(&iv, &enc) {
+            Err(CipherError::BadPadding) => {}
+            Ok(pt) => assert_ne!(pt, data),
+            Err(e) => panic!("unexpected error {e:?}"),
+        }
+    }
+
+    #[test]
+    fn cbc_rejects_truncated_ciphertext() {
+        let cbc = CbcCipher::new(&[7u8; 32]);
+        let iv = [0u8; 16];
+        let enc = cbc.encrypt(&iv, b"hello");
+        assert_eq!(cbc.decrypt(&iv, &enc[..15]), Err(CipherError::BadLength));
+        assert_eq!(cbc.decrypt(&iv, &[]), Err(CipherError::BadLength));
+    }
+
+    #[test]
+    fn derive_iv_unique_per_index_and_key() {
+        let a = derive_iv(b"key-a", 0);
+        let b = derive_iv(b"key-a", 1);
+        let c = derive_iv(b"key-b", 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, derive_iv(b"key-a", 0), "must be deterministic");
+    }
+
+    #[test]
+    fn pkcs7_full_block_padding() {
+        let padded = pkcs7_pad(&[0u8; 16]);
+        assert_eq!(padded.len(), 32);
+        assert!(padded[16..].iter().all(|&b| b == 16));
+    }
+
+    #[test]
+    fn ctr_same_nonce_same_keystream_detected() {
+        // Documenting the classic CTR pitfall: two messages under the same
+        // (key, nonce) XOR to the XOR of plaintexts.  StegFS avoids this by
+        // deriving a distinct nonce per (file key, block index) pair.
+        let ctr = CtrCipher::new(&[5u8; 32]);
+        let nonce = [0u8; 16];
+        let m1 = vec![0xaau8; 32];
+        let m2 = vec![0x55u8; 32];
+        let c1 = ctr.transform(&nonce, &m1);
+        let c2 = ctr.transform(&nonce, &m2);
+        let xored: Vec<u8> = c1.iter().zip(&c2).map(|(a, b)| a ^ b).collect();
+        let expected: Vec<u8> = m1.iter().zip(&m2).map(|(a, b)| a ^ b).collect();
+        assert_eq!(xored, expected);
+    }
+}

@@ -1,0 +1,422 @@
+//! Pseudorandom generators used by StegFS.
+//!
+//! Section 4 of the paper states that the hidden-object locator uses SHA-256
+//! "as the pseudorandom number generator … (the seed is recursively hashed to
+//! generate the pseudorandom numbers)".  [`HashChainPrng`] implements exactly
+//! that construction; [`BlockLocator`] specialises it to produce candidate
+//! block numbers within a volume.  [`DeterministicRng`] is a counter-mode
+//! SHA-256 byte generator used wherever the file system needs reproducible
+//! "random" bytes (formatting fill, dummy-file content, free-pool picks) from
+//! a seed.
+
+use crate::sha256::{sha256_concat, Sha256, DIGEST_LEN};
+
+/// The recursive-hash pseudorandom generator from the paper: each call hashes
+/// the previous state and interprets a prefix of the digest as an unsigned
+/// integer.
+#[derive(Clone)]
+pub struct HashChainPrng {
+    state: [u8; DIGEST_LEN],
+}
+
+impl HashChainPrng {
+    /// Seed the chain.  StegFS seeds it with `SHA-256(physical name ‖ key)`.
+    pub fn new(seed: &[u8]) -> Self {
+        HashChainPrng {
+            state: crate::sha256::sha256(seed),
+        }
+    }
+
+    /// Seed the chain from already-hashed material without re-hashing.
+    pub fn from_digest(digest: [u8; DIGEST_LEN]) -> Self {
+        HashChainPrng { state: digest }
+    }
+
+    /// Advance the chain and return the next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = crate::sha256::sha256(&self.state);
+        u64::from_be_bytes(self.state[..8].try_into().expect("digest >= 8 bytes"))
+    }
+
+    /// Advance the chain and return a value uniform in `[0, bound)`.
+    ///
+    /// Uses rejection sampling so the result is unbiased even when `bound`
+    /// does not divide `2^64`.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Current internal state (exposed for tests and for serialising locator
+    /// progress inside the core crate).
+    pub fn state(&self) -> &[u8; DIGEST_LEN] {
+        &self.state
+    }
+}
+
+/// Candidate block-number generator for locating hidden-object headers.
+///
+/// During creation, StegFS walks this sequence until it finds a free block to
+/// hold the header; during retrieval it walks the same sequence looking for an
+/// allocated block whose decrypted signature matches.  The sequence therefore
+/// has to be a pure function of `(physical name, access key)`, which this type
+/// guarantees.
+#[derive(Clone)]
+pub struct BlockLocator {
+    prng: HashChainPrng,
+    total_blocks: u64,
+}
+
+impl BlockLocator {
+    /// Build the locator for a volume of `total_blocks` blocks.
+    ///
+    /// The seed is `SHA-256(name ‖ 0x00 ‖ key)`; the separator byte prevents
+    /// ambiguity between `("ab","c")` and `("a","bc")`.
+    pub fn new(physical_name: &[u8], access_key: &[u8], total_blocks: u64) -> Self {
+        assert!(total_blocks > 0, "volume must contain at least one block");
+        let seed = sha256_concat(&[physical_name, &[0u8], access_key]);
+        BlockLocator {
+            prng: HashChainPrng::from_digest(seed),
+            total_blocks,
+        }
+    }
+
+    /// Number of blocks in the volume this locator was built for.
+    pub fn total_blocks(&self) -> u64 {
+        self.total_blocks
+    }
+
+    /// Next candidate block number in `[0, total_blocks)`.
+    pub fn next_candidate(&mut self) -> u64 {
+        self.prng.next_below(self.total_blocks)
+    }
+
+    /// Produce the first `n` candidates (convenience for tests and analysis).
+    pub fn candidates(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.next_candidate()).collect()
+    }
+}
+
+/// Deterministic byte generator (SHA-256 in counter mode).
+///
+/// Not the paper's locator PRNG — this is the utility generator the rest of
+/// the reproduction uses whenever it needs a reproducible stream of bytes,
+/// e.g. the random fill written into every block at format time, dummy hidden
+/// file contents, and randomized-but-repeatable workload generation.
+#[derive(Clone)]
+pub struct DeterministicRng {
+    seed: [u8; DIGEST_LEN],
+    counter: u64,
+    buffer: [u8; DIGEST_LEN],
+    buffer_pos: usize,
+}
+
+impl DeterministicRng {
+    /// Create a generator from an arbitrary seed string.
+    pub fn new(seed: &[u8]) -> Self {
+        DeterministicRng {
+            seed: crate::sha256::sha256(seed),
+            counter: 0,
+            buffer: [0u8; DIGEST_LEN],
+            buffer_pos: DIGEST_LEN,
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut h = Sha256::new();
+        h.update(&self.seed);
+        h.update(&self.counter.to_be_bytes());
+        self.buffer = h.finalize();
+        self.counter += 1;
+        self.buffer_pos = 0;
+    }
+
+    /// Fill `out` with pseudorandom bytes.
+    pub fn fill(&mut self, out: &mut [u8]) {
+        for byte in out.iter_mut() {
+            if self.buffer_pos == DIGEST_LEN {
+                self.refill();
+            }
+            *byte = self.buffer[self.buffer_pos];
+            self.buffer_pos += 1;
+        }
+    }
+
+    /// Return `len` pseudorandom bytes.
+    pub fn bytes(&mut self, len: usize) -> Vec<u8> {
+        let mut v = vec![0u8; len];
+        self.fill(&mut v);
+        v
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.fill(&mut b);
+        u64::from_be_bytes(b)
+    }
+
+    /// Uniform value in `[0, bound)` via rejection sampling.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Uniform value in the inclusive range `[lo, hi]`.
+    pub fn next_in_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        lo + self.next_below(hi - lo + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn hash_chain_is_deterministic() {
+        let mut a = HashChainPrng::new(b"seed");
+        let mut b = HashChainPrng::new(b"seed");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn hash_chain_different_seeds_diverge() {
+        let mut a = HashChainPrng::new(b"seed-1");
+        let mut b = HashChainPrng::new(b"seed-2");
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut p = HashChainPrng::new(b"bound-test");
+        for bound in [1u64, 2, 3, 7, 100, 1 << 20] {
+            for _ in 0..200 {
+                assert!(p.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_bound_one_is_always_zero() {
+        let mut p = HashChainPrng::new(b"one");
+        for _ in 0..10 {
+            assert_eq!(p.next_below(1), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        HashChainPrng::new(b"x").next_below(0);
+    }
+
+    #[test]
+    fn locator_same_name_key_same_sequence() {
+        let mut a = BlockLocator::new(b"u1:/secret/plans", b"key", 4096);
+        let mut b = BlockLocator::new(b"u1:/secret/plans", b"key", 4096);
+        assert_eq!(a.candidates(50), b.candidates(50));
+    }
+
+    #[test]
+    fn locator_key_changes_sequence() {
+        let mut a = BlockLocator::new(b"u1:/secret/plans", b"key-a", 4096);
+        let mut b = BlockLocator::new(b"u1:/secret/plans", b"key-b", 4096);
+        assert_ne!(a.candidates(20), b.candidates(20));
+    }
+
+    #[test]
+    fn locator_separator_prevents_concatenation_ambiguity() {
+        let mut a = BlockLocator::new(b"ab", b"c", 1 << 16);
+        let mut b = BlockLocator::new(b"a", b"bc", 1 << 16);
+        assert_ne!(a.candidates(20), b.candidates(20));
+    }
+
+    #[test]
+    fn locator_candidates_in_range_and_spread() {
+        let total = 1000u64;
+        let mut loc = BlockLocator::new(b"spread", b"k", total);
+        let cands = loc.candidates(500);
+        assert!(cands.iter().all(|&c| c < total));
+        let distinct: HashSet<_> = cands.iter().collect();
+        // 500 draws from 1000 buckets should hit well over 300 distinct values.
+        assert!(distinct.len() > 300, "only {} distinct", distinct.len());
+    }
+
+    #[test]
+    fn deterministic_rng_reproducible() {
+        let mut a = DeterministicRng::new(b"fill");
+        let mut b = DeterministicRng::new(b"fill");
+        assert_eq!(a.bytes(1000), b.bytes(1000));
+    }
+
+    #[test]
+    fn deterministic_rng_fill_split_matches_contiguous() {
+        let mut a = DeterministicRng::new(b"split");
+        let mut b = DeterministicRng::new(b"split");
+        let whole = a.bytes(100);
+        let mut parts = Vec::new();
+        for chunk in [10usize, 1, 32, 7, 50] {
+            parts.extend(b.bytes(chunk));
+        }
+        assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn deterministic_rng_range() {
+        let mut r = DeterministicRng::new(b"range");
+        for _ in 0..500 {
+            let v = r.next_in_range(5, 9);
+            assert!((5..=9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_bytes_look_uniform() {
+        // Rough sanity check: over 64 KiB, every byte value should appear.
+        let mut r = DeterministicRng::new(b"uniform");
+        let data = r.bytes(64 * 1024);
+        let mut seen = [false; 256];
+        for &b in &data {
+            seen[b as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
+
+/// A fast, non-cryptographic xorshift64* generator.
+///
+/// The simulation and formatting paths need large volumes of *reproducible*
+/// but not unpredictable randomness (random fill of gigabyte volumes,
+/// workload generation, the StegRand allocation model).  Using the SHA-based
+/// [`DeterministicRng`] there would dominate experiment run time for no
+/// security benefit, so those paths use this generator instead.  Never use it
+/// for keys, FAKs or anything an adversary must not predict.
+#[derive(Debug, Clone)]
+pub struct XorShiftRng {
+    state: u64,
+}
+
+impl XorShiftRng {
+    /// Seed the generator (a zero seed is remapped to a fixed constant).
+    pub fn new(seed: u64) -> Self {
+        XorShiftRng {
+            state: if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed },
+        }
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state ^= self.state >> 12;
+        self.state ^= self.state << 25;
+        self.state ^= self.state >> 27;
+        self.state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Uniform value in the inclusive range `[lo, hi]`.
+    pub fn next_in_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Fill `out` with pseudorandom bytes.
+    pub fn fill(&mut self, out: &mut [u8]) {
+        for chunk in out.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&v[..n]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod xorshift_tests {
+    use super::XorShiftRng;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = XorShiftRng::new(1);
+        let mut b = XorShiftRng::new(1);
+        let mut c = XorShiftRng::new(2);
+        let va: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = XorShiftRng::new(0);
+        assert_ne!(r.next_u64(), r.next_u64());
+    }
+
+    #[test]
+    fn bounds_respected() {
+        let mut r = XorShiftRng::new(99);
+        for _ in 0..1000 {
+            assert!(r.next_below(7) < 7);
+            let v = r.next_in_range(10, 12);
+            assert!((10..=12).contains(&v));
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn fill_covers_unaligned_lengths() {
+        let mut r = XorShiftRng::new(5);
+        let mut buf = vec![0u8; 13];
+        r.fill(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn zero_bound_panics() {
+        XorShiftRng::new(1).next_below(0);
+    }
+}

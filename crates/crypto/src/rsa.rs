@@ -1,0 +1,488 @@
+//! Textbook RSA for the StegFS file-sharing protocol.
+//!
+//! When the owner of a hidden file shares it (Figure 4 of the paper), the
+//! `(file name, FAK)` pair is encrypted under the *recipient's public key* and
+//! shipped out of band; the recipient decrypts it with their private key and
+//! folds the entry into their own UAK directory.  Any public-key encryption
+//! scheme fills that role; this module provides a small, self-contained RSA
+//! implementation so the workspace has no external cryptography dependencies.
+//!
+//! **Scope**: simulation-grade.  Key generation is deterministic from a
+//! caller-provided seed (which makes experiments reproducible), padding is a
+//! simple randomized scheme in the spirit of PKCS#1 v1.5 type 2, and nothing
+//! here is constant-time.  Do not reuse outside this reproduction.
+
+use crate::bignum::BigUint;
+use crate::prng::DeterministicRng;
+
+/// Errors from RSA operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsaError {
+    /// Message too long for the modulus with the mandatory padding.
+    MessageTooLong,
+    /// Ciphertext is not a valid encryption under this key.
+    InvalidCiphertext,
+}
+
+impl std::fmt::Display for RsaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RsaError::MessageTooLong => write!(f, "message too long for RSA modulus"),
+            RsaError::InvalidCiphertext => write!(f, "invalid RSA ciphertext or wrong key"),
+        }
+    }
+}
+
+impl std::error::Error for RsaError {}
+
+const PUBLIC_EXPONENT: u64 = 65_537;
+/// Minimum number of random non-zero padding bytes, as in PKCS#1 v1.5.
+const MIN_PAD: usize = 8;
+
+/// An RSA public key `(n, e)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RsaPublicKey {
+    n: BigUint,
+    e: BigUint,
+    modulus_len: usize,
+}
+
+/// An RSA private key `(n, d)`.
+#[derive(Clone, Debug)]
+pub struct RsaPrivateKey {
+    n: BigUint,
+    d: BigUint,
+    modulus_len: usize,
+}
+
+/// A matched public/private key pair.
+#[derive(Clone, Debug)]
+pub struct RsaKeyPair {
+    /// Public half, safe to distribute.
+    pub public: RsaPublicKey,
+    /// Private half, kept by the key owner.
+    pub private: RsaPrivateKey,
+}
+
+impl RsaKeyPair {
+    /// Deterministically generate a key pair of roughly `bits` modulus bits
+    /// from `seed`.  The same seed always yields the same key pair, which the
+    /// experiments rely on for reproducibility.
+    ///
+    /// # Panics
+    /// Panics if `bits < 128` (too small to hold any padded message).
+    pub fn generate(bits: usize, seed: &[u8]) -> Self {
+        assert!(bits >= 128, "modulus must be at least 128 bits");
+        let mut rng = DeterministicRng::new(seed);
+        let half = bits / 2;
+
+        loop {
+            let p = generate_prime(half, &mut rng);
+            let q = generate_prime(bits - half, &mut rng);
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            let phi = p.sub_small(1).mul(&q.sub_small(1));
+            // e must be invertible mod phi.
+            if phi.mod_small(PUBLIC_EXPONENT) == 0 {
+                continue;
+            }
+            let d = match invert_small_exponent(PUBLIC_EXPONENT, &phi) {
+                Some(d) => d,
+                None => continue,
+            };
+            let modulus_len = n.to_bytes_be().len();
+            return RsaKeyPair {
+                public: RsaPublicKey {
+                    n: n.clone(),
+                    e: BigUint::from_u64(PUBLIC_EXPONENT),
+                    modulus_len,
+                },
+                private: RsaPrivateKey { n, d, modulus_len },
+            };
+        }
+    }
+}
+
+impl RsaPublicKey {
+    /// Maximum plaintext length accepted by [`encrypt`](Self::encrypt).
+    pub fn max_message_len(&self) -> usize {
+        self.modulus_len.saturating_sub(MIN_PAD + 3)
+    }
+
+    /// Modulus length in bytes; ciphertexts have exactly this length.
+    pub fn modulus_len(&self) -> usize {
+        self.modulus_len
+    }
+
+    /// Serialise as `len(n) ‖ n ‖ e` for storage in key files.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let n = self.n.to_bytes_be();
+        let e = self.e.to_bytes_be();
+        let mut out = Vec::with_capacity(4 + n.len() + e.len());
+        out.extend_from_slice(&(n.len() as u32).to_be_bytes());
+        out.extend_from_slice(&n);
+        out.extend_from_slice(&e);
+        out
+    }
+
+    /// Parse the serialisation produced by [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 4 {
+            return None;
+        }
+        let n_len = u32::from_be_bytes(bytes[..4].try_into().ok()?) as usize;
+        if bytes.len() < 4 + n_len + 1 {
+            return None;
+        }
+        let n = BigUint::from_bytes_be(&bytes[4..4 + n_len]);
+        let e = BigUint::from_bytes_be(&bytes[4 + n_len..]);
+        if n.is_zero() || e.is_zero() {
+            return None;
+        }
+        let modulus_len = n.to_bytes_be().len();
+        Some(RsaPublicKey { n, e, modulus_len })
+    }
+
+    /// Encrypt `message` with randomized padding drawn from `pad_seed`.
+    pub fn encrypt(&self, message: &[u8], pad_seed: &[u8]) -> Result<Vec<u8>, RsaError> {
+        if message.len() > self.max_message_len() {
+            return Err(RsaError::MessageTooLong);
+        }
+        // Padded block: 0x00 0x02 <non-zero random bytes> 0x00 <message>
+        let mut rng = DeterministicRng::new(pad_seed);
+        let pad_len = self.modulus_len - 3 - message.len();
+        let mut block = Vec::with_capacity(self.modulus_len);
+        block.push(0x00);
+        block.push(0x02);
+        for _ in 0..pad_len {
+            let mut byte = [0u8; 1];
+            loop {
+                rng.fill(&mut byte);
+                if byte[0] != 0 {
+                    break;
+                }
+            }
+            block.push(byte[0]);
+        }
+        block.push(0x00);
+        block.extend_from_slice(message);
+        debug_assert_eq!(block.len(), self.modulus_len);
+
+        let m = BigUint::from_bytes_be(&block);
+        let c = m.modpow(&self.e, &self.n);
+        Ok(c.to_bytes_be_padded(self.modulus_len))
+    }
+}
+
+impl RsaPrivateKey {
+    /// Decrypt a ciphertext produced by the matching public key.
+    pub fn decrypt(&self, ciphertext: &[u8]) -> Result<Vec<u8>, RsaError> {
+        if ciphertext.len() != self.modulus_len {
+            return Err(RsaError::InvalidCiphertext);
+        }
+        let c = BigUint::from_bytes_be(ciphertext);
+        if c.cmp_big(&self.n) != std::cmp::Ordering::Less {
+            return Err(RsaError::InvalidCiphertext);
+        }
+        let m = c.modpow(&self.d, &self.n);
+        let block = m.to_bytes_be_padded(self.modulus_len);
+        // Expect 0x00 0x02 <pad> 0x00 <message>.
+        if block.len() < 3 + MIN_PAD || block[0] != 0x00 || block[1] != 0x02 {
+            return Err(RsaError::InvalidCiphertext);
+        }
+        let sep = block[2..]
+            .iter()
+            .position(|&b| b == 0)
+            .ok_or(RsaError::InvalidCiphertext)?;
+        if sep < MIN_PAD {
+            return Err(RsaError::InvalidCiphertext);
+        }
+        Ok(block[2 + sep + 1..].to_vec())
+    }
+
+    /// Modulus length in bytes.
+    pub fn modulus_len(&self) -> usize {
+        self.modulus_len
+    }
+}
+
+/// Compute `d = e^{-1} mod phi` for a small (machine-word) public exponent
+/// using the identity `d = (1 + k*phi) / e` where `k = -phi^{-1} mod e`.
+fn invert_small_exponent(e: u64, phi: &BigUint) -> Option<BigUint> {
+    let phi_mod_e = phi.mod_small(e);
+    let inv = mod_inverse_u64(phi_mod_e, e)?;
+    // k = (-phi^{-1}) mod e = (e - inv) mod e
+    let k = (e - inv) % e;
+    let numerator = phi.mul_small(k).add_small(1);
+    let (d, rem) = numerator.div_rem_small(e);
+    if rem != 0 {
+        return None;
+    }
+    Some(d)
+}
+
+/// Modular inverse of `a` modulo `m` for machine words (extended Euclid).
+fn mod_inverse_u64(a: u64, m: u64) -> Option<u64> {
+    if m == 0 {
+        return None;
+    }
+    let (mut old_r, mut r) = (a as i128, m as i128);
+    let (mut old_s, mut s) = (1i128, 0i128);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_s, s) = (s, old_s - q * s);
+    }
+    if old_r != 1 {
+        return None;
+    }
+    let mut inv = old_s % m as i128;
+    if inv < 0 {
+        inv += m as i128;
+    }
+    Some(inv as u64)
+}
+
+const SMALL_PRIMES: [u64; 54] = [
+    3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257,
+];
+
+fn generate_prime(bits: usize, rng: &mut DeterministicRng) -> BigUint {
+    assert!(bits >= 16, "prime too small");
+    loop {
+        let byte_len = bits.div_ceil(8);
+        let mut bytes = rng.bytes(byte_len);
+        // Force the exact bit length (top bit set) and oddness.
+        let top_bit = (bits - 1) % 8;
+        let mask = if top_bit == 7 {
+            0xffu8
+        } else {
+            (1u8 << (top_bit + 1)) - 1
+        };
+        bytes[0] &= mask;
+        bytes[0] |= 1 << top_bit;
+        // Also set the second-highest bit so p*q has full length.
+        if bits >= 2 {
+            let second = bits - 2;
+            let idx = byte_len - 1 - second / 8;
+            bytes[idx] |= 1 << (second % 8);
+        }
+        *bytes.last_mut().expect("nonempty") |= 1;
+        let candidate = BigUint::from_bytes_be(&bytes);
+
+        if SMALL_PRIMES
+            .iter()
+            .any(|&p| candidate.mod_small(p) == 0 && candidate != BigUint::from_u64(p))
+        {
+            continue;
+        }
+        if is_probable_prime(&candidate, 16, rng) {
+            return candidate;
+        }
+    }
+}
+
+/// Miller–Rabin primality test.  For values that fit in 63 bits a fixed set
+/// of deterministic witnesses is used (exact for that range); larger values
+/// use `rounds` random 62-bit bases, which cannot collide with a multiple of
+/// the (much larger) candidate.
+fn is_probable_prime(n: &BigUint, rounds: usize, rng: &mut DeterministicRng) -> bool {
+    // Dispose of small and even values first.
+    if n.cmp_big(&BigUint::from_u64(2)) == std::cmp::Ordering::Less {
+        return false;
+    }
+    for &p in SMALL_PRIMES.iter().chain(std::iter::once(&2u64)) {
+        if *n == BigUint::from_u64(p) {
+            return true;
+        }
+        if n.mod_small(p) == 0 {
+            return false;
+        }
+    }
+
+    // n - 1 = d * 2^s with d odd.
+    let n_minus_1 = n.sub_small(1);
+    let mut d = n_minus_1.clone();
+    let mut s = 0usize;
+    while d.is_even() {
+        d = d.shr_bits(1);
+        s += 1;
+    }
+
+    // Deterministic witness set for n < 3.3 * 10^24 (covers all u64 values);
+    // random bases otherwise.
+    let small = n.bit_len() <= 63;
+    let deterministic_bases: [u64; 12] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37];
+    let total = if small {
+        deterministic_bases.len()
+    } else {
+        rounds
+    };
+
+    'witness: for round in 0..total {
+        let a = if small {
+            BigUint::from_u64(deterministic_bases[round])
+        } else {
+            BigUint::from_u64(rng.next_in_range(2, 1u64 << 62))
+        };
+        let mut x = a.modpow(&d, n);
+        if x == BigUint::one() || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..s.saturating_sub(1) {
+            x = x.modpow(&BigUint::from_u64(2), n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_keypair() -> RsaKeyPair {
+        // 512-bit keys keep debug-mode tests fast while exercising the full
+        // multi-limb code paths.
+        RsaKeyPair::generate(512, b"stegfs test key seed")
+    }
+
+    #[test]
+    fn keygen_is_deterministic() {
+        let a = RsaKeyPair::generate(256, b"seed-x");
+        let b = RsaKeyPair::generate(256, b"seed-x");
+        assert_eq!(a.public, b.public);
+        let c = RsaKeyPair::generate(256, b"seed-y");
+        assert_ne!(a.public, c.public);
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let kp = test_keypair();
+        let message = b"budget.xls:FAK=0123456789abcdef";
+        let ct = kp.public.encrypt(message, b"pad-seed").unwrap();
+        assert_eq!(ct.len(), kp.public.modulus_len());
+        assert_eq!(kp.private.decrypt(&ct).unwrap(), message);
+    }
+
+    #[test]
+    fn empty_message_roundtrip() {
+        let kp = test_keypair();
+        let ct = kp.public.encrypt(b"", b"pad").unwrap();
+        assert_eq!(kp.private.decrypt(&ct).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn message_too_long_rejected() {
+        let kp = test_keypair();
+        let too_long = vec![0u8; kp.public.max_message_len() + 1];
+        assert_eq!(
+            kp.public.encrypt(&too_long, b"pad"),
+            Err(RsaError::MessageTooLong)
+        );
+        let just_right = vec![7u8; kp.public.max_message_len()];
+        let ct = kp.public.encrypt(&just_right, b"pad").unwrap();
+        assert_eq!(kp.private.decrypt(&ct).unwrap(), just_right);
+    }
+
+    #[test]
+    fn wrong_key_fails_to_decrypt() {
+        let kp1 = RsaKeyPair::generate(512, b"recipient");
+        let kp2 = RsaKeyPair::generate(512, b"impostor");
+        let ct = kp1.public.encrypt(b"secret entry", b"pad").unwrap();
+        // Either an explicit error or garbage that differs from the message.
+        match kp2.private.decrypt(&ct) {
+            Err(_) => {}
+            Ok(pt) => assert_ne!(pt, b"secret entry"),
+        }
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected_or_garbled() {
+        let kp = test_keypair();
+        let mut ct = kp.public.encrypt(b"share this file", b"pad").unwrap();
+        ct[10] ^= 0xff;
+        match kp.private.decrypt(&ct) {
+            Err(_) => {}
+            Ok(pt) => assert_ne!(pt, b"share this file"),
+        }
+    }
+
+    #[test]
+    fn ciphertext_length_validation() {
+        let kp = test_keypair();
+        assert_eq!(
+            kp.private.decrypt(&[0u8; 10]),
+            Err(RsaError::InvalidCiphertext)
+        );
+    }
+
+    #[test]
+    fn public_key_serialization_roundtrip() {
+        let kp = test_keypair();
+        let bytes = kp.public.to_bytes();
+        let parsed = RsaPublicKey::from_bytes(&bytes).unwrap();
+        assert_eq!(parsed, kp.public);
+        // Encryption under the parsed key is still decryptable.
+        let ct = parsed.encrypt(b"roundtrip", b"pad").unwrap();
+        assert_eq!(kp.private.decrypt(&ct).unwrap(), b"roundtrip");
+    }
+
+    #[test]
+    fn public_key_parse_rejects_garbage() {
+        assert!(RsaPublicKey::from_bytes(&[]).is_none());
+        assert!(RsaPublicKey::from_bytes(&[0, 0, 0, 200, 1, 2, 3]).is_none());
+    }
+
+    #[test]
+    fn mod_inverse_u64_basics() {
+        assert_eq!(mod_inverse_u64(3, 11), Some(4));
+        assert_eq!(mod_inverse_u64(10, 17), Some(12));
+        assert_eq!(mod_inverse_u64(6, 9), None); // not coprime
+        assert_eq!(mod_inverse_u64(5, 0), None);
+    }
+
+    #[test]
+    fn miller_rabin_classifies_known_values() {
+        let mut rng = DeterministicRng::new(b"mr");
+        for p in [2u64, 3, 5, 7, 65537, 1_000_000_007, 2_147_483_647] {
+            assert!(
+                is_probable_prime(&BigUint::from_u64(p), 16, &mut rng),
+                "{p} should be prime"
+            );
+        }
+        for c in [1u64, 4, 9, 15, 561, 1105, 1729, 2465, 6601, 1_000_000_008] {
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), 16, &mut rng),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn generated_primes_have_requested_length() {
+        let mut rng = DeterministicRng::new(b"prime-len");
+        for bits in [64usize, 96, 128] {
+            let p = generate_prime(bits, &mut rng);
+            assert_eq!(p.bit_len(), bits, "requested {bits} bits");
+            assert!(!p.is_even());
+        }
+    }
+
+    #[test]
+    fn different_pad_seeds_give_different_ciphertexts() {
+        let kp = test_keypair();
+        let c1 = kp.public.encrypt(b"same message", b"pad-1").unwrap();
+        let c2 = kp.public.encrypt(b"same message", b"pad-2").unwrap();
+        assert_ne!(c1, c2);
+        assert_eq!(kp.private.decrypt(&c1).unwrap(), b"same message");
+        assert_eq!(kp.private.decrypt(&c2).unwrap(), b"same message");
+    }
+}

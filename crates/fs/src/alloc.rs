@@ -1,0 +1,340 @@
+//! Block allocation policies.
+//!
+//! The paper's evaluation compares schemes whose *only* difference at the
+//! plain-file level is where blocks land on the platter:
+//!
+//! * **CleanDisk** — a freshly formatted volume where every file occupies
+//!   contiguous blocks ([`AllocPolicy::Contiguous`]).
+//! * **FragDisk** — a well-used volume where files are broken into fragments
+//!   of 8 blocks ([`AllocPolicy::Fragmented`] with `run = 8`, the value used
+//!   in §5.1).
+//! * **StegFS** — hidden data blocks are "assigned randomly from any free
+//!   space by consulting the bitmap" (§3.1), i.e. [`AllocPolicy::Random`].
+//!
+//! [`Allocator`] turns a policy plus the bitmap into a concrete list of block
+//! numbers for a file of a given length.
+
+use crate::bitmap::Bitmap;
+use crate::error::{FsError, FsResult};
+use stegfs_crypto::prng::DeterministicRng;
+
+/// Where newly allocated blocks should be placed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocPolicy {
+    /// First free block, scanning forward from the last allocation.
+    FirstFit,
+    /// The whole file in one contiguous run (paper baseline *CleanDisk*).
+    Contiguous,
+    /// Contiguous runs of `run` blocks, scattered wherever they fit (paper
+    /// baseline *FragDisk*, `run = 8`).
+    Fragmented {
+        /// Number of blocks per fragment.
+        run: u64,
+    },
+    /// Uniformly random free blocks (what StegFS uses for hidden objects).
+    Random,
+}
+
+impl AllocPolicy {
+    /// The fragment length used by the paper for FragDisk.
+    pub fn frag_disk() -> Self {
+        AllocPolicy::Fragmented { run: 8 }
+    }
+}
+
+impl Default for AllocPolicy {
+    fn default() -> Self {
+        AllocPolicy::FirstFit
+    }
+}
+
+/// Stateful allocator bound to a data region of the volume.
+pub struct Allocator {
+    policy: AllocPolicy,
+    region_start: u64,
+    region_end: u64,
+    cursor: u64,
+    rng: DeterministicRng,
+}
+
+impl Allocator {
+    /// Create an allocator for blocks in `[region_start, region_end)`.
+    ///
+    /// `seed` drives the `Random` policy (and tie-breaking elsewhere); using
+    /// a fixed seed makes experiments reproducible.
+    pub fn new(policy: AllocPolicy, region_start: u64, region_end: u64, seed: &[u8]) -> Self {
+        assert!(region_start < region_end, "empty allocation region");
+        Allocator {
+            policy,
+            region_start,
+            region_end,
+            cursor: region_start,
+            rng: DeterministicRng::new(seed),
+        }
+    }
+
+    /// The policy this allocator implements.
+    pub fn policy(&self) -> &AllocPolicy {
+        &self.policy
+    }
+
+    /// Replace the policy (the experiments flip a mounted volume between
+    /// CleanDisk-style and FragDisk-style loading).
+    pub fn set_policy(&mut self, policy: AllocPolicy) {
+        self.policy = policy;
+    }
+
+    /// Allocate a single block and mark it in the bitmap.
+    pub fn allocate_one(&mut self, bitmap: &mut Bitmap) -> FsResult<u64> {
+        let block = match &self.policy {
+            AllocPolicy::Random => self.pick_random_free(bitmap)?,
+            _ => bitmap
+                .find_free_from(self.cursor, self.region_start, self.region_end)
+                .ok_or(FsError::NoSpace)?,
+        };
+        bitmap.allocate(block)?;
+        self.cursor = if block + 1 >= self.region_end {
+            self.region_start
+        } else {
+            block + 1
+        };
+        Ok(block)
+    }
+
+    /// Allocate `count` blocks for a file according to the policy and mark
+    /// them in the bitmap.  The returned order is the logical block order of
+    /// the file.
+    pub fn allocate_file(&mut self, bitmap: &mut Bitmap, count: u64) -> FsResult<Vec<u64>> {
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        if bitmap.free_in_region(self.region_start, self.region_end) < count {
+            return Err(FsError::NoSpace);
+        }
+        match self.policy.clone() {
+            AllocPolicy::FirstFit => {
+                let mut blocks = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    blocks.push(self.allocate_one(bitmap)?);
+                }
+                Ok(blocks)
+            }
+            AllocPolicy::Contiguous => {
+                let start = bitmap
+                    .find_free_run(count, self.cursor, self.region_start, self.region_end)
+                    .or_else(|| {
+                        bitmap.find_free_run(count, self.region_start, self.region_start, self.region_end)
+                    })
+                    .ok_or(FsError::NoSpace)?;
+                let blocks: Vec<u64> = (start..start + count).collect();
+                for &b in &blocks {
+                    bitmap.allocate(b)?;
+                }
+                self.cursor = start + count;
+                Ok(blocks)
+            }
+            AllocPolicy::Fragmented { run } => {
+                let run = run.max(1);
+                let mut blocks = Vec::with_capacity(count as usize);
+                let mut remaining = count;
+                while remaining > 0 {
+                    let want = remaining.min(run);
+                    // Scatter fragments: jump the cursor pseudo-randomly so
+                    // consecutive fragments of one file land far apart, as on
+                    // a well-aged volume.
+                    let jump = self
+                        .rng
+                        .next_below(self.region_end - self.region_start);
+                    let hint = self.region_start + jump;
+                    let start = bitmap
+                        .find_free_run(want, hint, self.region_start, self.region_end)
+                        .or_else(|| {
+                            bitmap.find_free_run(
+                                want,
+                                self.region_start,
+                                self.region_start,
+                                self.region_end,
+                            )
+                        })
+                        .ok_or(FsError::NoSpace)?;
+                    for b in start..start + want {
+                        bitmap.allocate(b)?;
+                        blocks.push(b);
+                    }
+                    remaining -= want;
+                }
+                Ok(blocks)
+            }
+            AllocPolicy::Random => {
+                let mut blocks = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let b = self.pick_random_free(bitmap)?;
+                    bitmap.allocate(b)?;
+                    blocks.push(b);
+                }
+                Ok(blocks)
+            }
+        }
+    }
+
+    /// Pick (but do not mark) a uniformly random free block in the region.
+    pub fn pick_random_free(&mut self, bitmap: &Bitmap) -> FsResult<u64> {
+        let span = self.region_end - self.region_start;
+        // Try random probes first; fall back to a linear scan from a random
+        // origin when the region is nearly full.
+        for _ in 0..64 {
+            let candidate = self.region_start + self.rng.next_below(span);
+            if !bitmap.is_allocated(candidate) {
+                return Ok(candidate);
+            }
+        }
+        let origin = self.region_start + self.rng.next_below(span);
+        bitmap
+            .find_free_from(origin, self.region_start, self.region_end)
+            .ok_or(FsError::NoSpace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Superblock;
+
+    fn fixture() -> (Bitmap, u64, u64) {
+        let sb = Superblock::compute(1024, 8192, 256).unwrap();
+        let start = sb.data_start;
+        let end = sb.total_blocks;
+        (Bitmap::new(&sb), start, end)
+    }
+
+    #[test]
+    fn contiguous_allocates_a_single_run() {
+        let (mut bm, start, end) = fixture();
+        let mut alloc = Allocator::new(AllocPolicy::Contiguous, start, end, b"seed");
+        let blocks = alloc.allocate_file(&mut bm, 100).unwrap();
+        assert_eq!(blocks.len(), 100);
+        for w in blocks.windows(2) {
+            assert_eq!(w[1], w[0] + 1, "must be contiguous");
+        }
+        // A second file continues after the first, still contiguous.
+        let blocks2 = alloc.allocate_file(&mut bm, 50).unwrap();
+        assert_eq!(blocks2[0], blocks[99] + 1);
+    }
+
+    #[test]
+    fn fragmented_allocates_runs_of_eight() {
+        let (mut bm, start, end) = fixture();
+        let mut alloc = Allocator::new(AllocPolicy::frag_disk(), start, end, b"seed");
+        let blocks = alloc.allocate_file(&mut bm, 64).unwrap();
+        assert_eq!(blocks.len(), 64);
+        // Every 8-block chunk is internally contiguous.
+        for chunk in blocks.chunks(8) {
+            for w in chunk.windows(2) {
+                assert_eq!(w[1], w[0] + 1);
+            }
+        }
+        // But the file as a whole is not one contiguous run.
+        let contiguous = blocks.windows(2).all(|w| w[1] == w[0] + 1);
+        assert!(!contiguous, "fragments should be scattered");
+    }
+
+    #[test]
+    fn random_spreads_blocks() {
+        let (mut bm, start, end) = fixture();
+        let mut alloc = Allocator::new(AllocPolicy::Random, start, end, b"seed");
+        let blocks = alloc.allocate_file(&mut bm, 200).unwrap();
+        assert_eq!(blocks.len(), 200);
+        // All distinct and all within the region.
+        let mut sorted = blocks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 200);
+        assert!(blocks.iter().all(|&b| b >= start && b < end));
+        // Not contiguous in logical order.
+        let contiguous = blocks.windows(2).filter(|w| w[1] == w[0] + 1).count();
+        assert!(contiguous < 50, "random allocation should rarely be sequential");
+    }
+
+    #[test]
+    fn first_fit_fills_front_to_back() {
+        let (mut bm, start, end) = fixture();
+        let mut alloc = Allocator::new(AllocPolicy::FirstFit, start, end, b"seed");
+        let blocks = alloc.allocate_file(&mut bm, 10).unwrap();
+        assert_eq!(blocks, (start..start + 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn no_space_detected_before_partial_allocation() {
+        let (mut bm, start, end) = fixture();
+        let span = end - start;
+        let mut alloc = Allocator::new(AllocPolicy::FirstFit, start, end, b"seed");
+        alloc.allocate_file(&mut bm, span - 5).unwrap();
+        let before = bm.allocated_blocks();
+        assert!(matches!(
+            alloc.allocate_file(&mut bm, 10),
+            Err(FsError::NoSpace)
+        ));
+        assert_eq!(
+            bm.allocated_blocks(),
+            before,
+            "failed allocation must not leak blocks"
+        );
+        // The remaining 5 can still be taken.
+        assert_eq!(alloc.allocate_file(&mut bm, 5).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn contiguous_fails_when_no_run_exists_even_if_space_does() {
+        let (mut bm, start, end) = fixture();
+        // Checkerboard: allocate every other block so no run of 2 exists.
+        let mut b = start;
+        while b < end {
+            bm.allocate(b).unwrap();
+            b += 2;
+        }
+        let mut alloc = Allocator::new(AllocPolicy::Contiguous, start, end, b"seed");
+        assert!(matches!(
+            alloc.allocate_file(&mut bm, 2),
+            Err(FsError::NoSpace)
+        ));
+        // FirstFit still succeeds with the scattered singles.
+        let mut ff = Allocator::new(AllocPolicy::FirstFit, start, end, b"seed");
+        assert_eq!(ff.allocate_file(&mut bm, 2).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn random_allocation_near_full_falls_back_to_scan() {
+        let (mut bm, start, end) = fixture();
+        let span = end - start;
+        let mut alloc = Allocator::new(AllocPolicy::Random, start, end, b"seed");
+        // Fill all but three blocks.
+        let mut ff = Allocator::new(AllocPolicy::FirstFit, start, end, b"ff");
+        ff.allocate_file(&mut bm, span - 3).unwrap();
+        let picked = alloc.allocate_file(&mut bm, 3).unwrap();
+        assert_eq!(picked.len(), 3);
+        assert_eq!(bm.free_in_region(start, end), 0);
+        assert!(matches!(
+            alloc.allocate_one(&mut bm),
+            Err(FsError::NoSpace)
+        ));
+    }
+
+    #[test]
+    fn zero_count_allocation_is_empty() {
+        let (mut bm, start, end) = fixture();
+        let mut alloc = Allocator::new(AllocPolicy::Contiguous, start, end, b"seed");
+        assert!(alloc.allocate_file(&mut bm, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn same_seed_same_random_layout() {
+        let (mut bm1, start, end) = fixture();
+        let (mut bm2, _, _) = fixture();
+        let mut a1 = Allocator::new(AllocPolicy::Random, start, end, b"same");
+        let mut a2 = Allocator::new(AllocPolicy::Random, start, end, b"same");
+        assert_eq!(
+            a1.allocate_file(&mut bm1, 50).unwrap(),
+            a2.allocate_file(&mut bm2, 50).unwrap()
+        );
+    }
+}

@@ -1,0 +1,347 @@
+//! The block bitmap.
+//!
+//! One bit per block: 0 = free, 1 = allocated, exactly as in Figure 1 of the
+//! paper.  The bitmap is the *only* structure shared by plain and hidden
+//! objects — hidden files mark their blocks here so the space is not handed
+//! out again, but nothing else about them is recorded anywhere visible.
+//!
+//! The bitmap is held in memory while the file system is mounted and written
+//! back block-by-block; only bitmap blocks that actually changed are flushed.
+
+use crate::error::{FsError, FsResult};
+use crate::layout::Superblock;
+use stegfs_blockdev::BlockDevice;
+use std::collections::BTreeSet;
+
+/// In-memory copy of the on-disk block bitmap with dirty tracking.
+pub struct Bitmap {
+    bits: Vec<u8>,
+    total_blocks: u64,
+    block_size: usize,
+    bitmap_start: u64,
+    dirty_bitmap_blocks: BTreeSet<u64>,
+    allocated: u64,
+}
+
+impl Bitmap {
+    /// Create a fresh all-free bitmap for a volume described by `sb`.
+    pub fn new(sb: &Superblock) -> Self {
+        let bytes = (sb.total_blocks as usize).div_ceil(8);
+        Bitmap {
+            bits: vec![0u8; bytes],
+            total_blocks: sb.total_blocks,
+            block_size: sb.block_size as usize,
+            bitmap_start: sb.bitmap_start,
+            dirty_bitmap_blocks: BTreeSet::new(),
+            allocated: 0,
+        }
+    }
+
+    /// Load the bitmap from the device.
+    pub fn load(sb: &Superblock, dev: &mut dyn BlockDevice) -> FsResult<Self> {
+        let mut bits = Vec::with_capacity((sb.total_blocks as usize).div_ceil(8));
+        let mut buf = vec![0u8; sb.block_size as usize];
+        for i in 0..sb.bitmap_blocks {
+            dev.read_block(sb.bitmap_start + i, &mut buf)?;
+            bits.extend_from_slice(&buf);
+        }
+        bits.truncate((sb.total_blocks as usize).div_ceil(8));
+        let allocated = bits.iter().map(|b| b.count_ones() as u64).sum::<u64>();
+        // Bits beyond total_blocks in the final byte are never set by this
+        // implementation, so the popcount is exact.
+        Ok(Bitmap {
+            bits,
+            total_blocks: sb.total_blocks,
+            block_size: sb.block_size as usize,
+            bitmap_start: sb.bitmap_start,
+            dirty_bitmap_blocks: BTreeSet::new(),
+            allocated,
+        })
+    }
+
+    /// Total number of blocks tracked.
+    pub fn total_blocks(&self) -> u64 {
+        self.total_blocks
+    }
+
+    /// Number of blocks currently marked allocated.
+    pub fn allocated_blocks(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Number of blocks currently free.
+    pub fn free_blocks(&self) -> u64 {
+        self.total_blocks - self.allocated
+    }
+
+    fn check(&self, block: u64) -> FsResult<()> {
+        if block >= self.total_blocks {
+            return Err(FsError::Corrupt(format!(
+                "bitmap access to block {block} beyond volume end {}",
+                self.total_blocks
+            )));
+        }
+        Ok(())
+    }
+
+    /// True if `block` is marked allocated.
+    pub fn is_allocated(&self, block: u64) -> bool {
+        debug_assert!(block < self.total_blocks);
+        let byte = (block / 8) as usize;
+        let bit = block % 8;
+        (self.bits[byte] >> bit) & 1 == 1
+    }
+
+    fn mark_dirty(&mut self, block: u64) {
+        // Which bitmap block stores the bit for `block`?
+        let bits_per_block = self.block_size as u64 * 8;
+        self.dirty_bitmap_blocks.insert(block / bits_per_block);
+    }
+
+    /// Mark `block` allocated.  Returns an error if it was already allocated
+    /// (double allocation indicates a logic bug or corruption).
+    pub fn allocate(&mut self, block: u64) -> FsResult<()> {
+        self.check(block)?;
+        if self.is_allocated(block) {
+            return Err(FsError::Corrupt(format!("block {block} already allocated")));
+        }
+        let byte = (block / 8) as usize;
+        self.bits[byte] |= 1 << (block % 8);
+        self.allocated += 1;
+        self.mark_dirty(block);
+        Ok(())
+    }
+
+    /// Mark `block` free.  Returns an error if it was already free.
+    pub fn free(&mut self, block: u64) -> FsResult<()> {
+        self.check(block)?;
+        if !self.is_allocated(block) {
+            return Err(FsError::Corrupt(format!("block {block} already free")));
+        }
+        let byte = (block / 8) as usize;
+        self.bits[byte] &= !(1 << (block % 8));
+        self.allocated -= 1;
+        self.mark_dirty(block);
+        Ok(())
+    }
+
+    /// Find the first free block at or after `start` within `[region_start,
+    /// region_end)`, wrapping around once.
+    pub fn find_free_from(&self, start: u64, region_start: u64, region_end: u64) -> Option<u64> {
+        if region_start >= region_end {
+            return None;
+        }
+        let start = start.clamp(region_start, region_end - 1);
+        let mut b = start;
+        loop {
+            if !self.is_allocated(b) {
+                return Some(b);
+            }
+            b += 1;
+            if b >= region_end {
+                b = region_start;
+            }
+            if b == start {
+                return None;
+            }
+        }
+    }
+
+    /// Find a run of `len` consecutive free blocks within `[region_start,
+    /// region_end)`, searching from `hint`.
+    pub fn find_free_run(
+        &self,
+        len: u64,
+        hint: u64,
+        region_start: u64,
+        region_end: u64,
+    ) -> Option<u64> {
+        if len == 0 || region_start >= region_end || region_end - region_start < len {
+            return None;
+        }
+        let hint = hint.clamp(region_start, region_end - 1);
+        // Search from the hint to the end, then from the region start to the
+        // hint, so a fresh volume fills front-to-back (contiguous files).
+        let search = |from: u64, to: u64| -> Option<u64> {
+            let mut run_start = from;
+            let mut run_len = 0u64;
+            let mut b = from;
+            while b < to {
+                if self.is_allocated(b) {
+                    run_len = 0;
+                    run_start = b + 1;
+                } else {
+                    run_len += 1;
+                    if run_len == len {
+                        return Some(run_start);
+                    }
+                }
+                b += 1;
+            }
+            None
+        };
+        search(hint, region_end).or_else(|| search(region_start, (hint + len).min(region_end)))
+    }
+
+    /// Count free blocks within `[region_start, region_end)`.
+    pub fn free_in_region(&self, region_start: u64, region_end: u64) -> u64 {
+        (region_start..region_end)
+            .filter(|&b| !self.is_allocated(b))
+            .count() as u64
+    }
+
+    /// Write all dirty bitmap blocks back to the device.
+    pub fn flush(&mut self, dev: &mut dyn BlockDevice) -> FsResult<()> {
+        let dirty: Vec<u64> = self.dirty_bitmap_blocks.iter().copied().collect();
+        for bitmap_block in dirty {
+            let mut buf = vec![0u8; self.block_size];
+            let byte_start = (bitmap_block as usize) * self.block_size;
+            let byte_end = (byte_start + self.block_size).min(self.bits.len());
+            if byte_start < self.bits.len() {
+                buf[..byte_end - byte_start].copy_from_slice(&self.bits[byte_start..byte_end]);
+            }
+            dev.write_block(self.bitmap_start + bitmap_block, &buf)?;
+        }
+        self.dirty_bitmap_blocks.clear();
+        Ok(())
+    }
+
+    /// Number of bitmap blocks currently dirty (exposed for tests).
+    pub fn dirty_count(&self) -> usize {
+        self.dirty_bitmap_blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stegfs_blockdev::MemBlockDevice;
+
+    fn small_sb() -> Superblock {
+        Superblock::compute(1024, 4096, 256).unwrap()
+    }
+
+    #[test]
+    fn allocate_and_free_update_counts() {
+        let sb = small_sb();
+        let mut bm = Bitmap::new(&sb);
+        assert_eq!(bm.free_blocks(), 4096);
+        bm.allocate(100).unwrap();
+        bm.allocate(101).unwrap();
+        assert!(bm.is_allocated(100));
+        assert!(!bm.is_allocated(99));
+        assert_eq!(bm.allocated_blocks(), 2);
+        bm.free(100).unwrap();
+        assert_eq!(bm.allocated_blocks(), 1);
+        assert!(!bm.is_allocated(100));
+    }
+
+    #[test]
+    fn double_allocate_and_double_free_rejected() {
+        let sb = small_sb();
+        let mut bm = Bitmap::new(&sb);
+        bm.allocate(5).unwrap();
+        assert!(bm.allocate(5).is_err());
+        bm.free(5).unwrap();
+        assert!(bm.free(5).is_err());
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let sb = small_sb();
+        let mut bm = Bitmap::new(&sb);
+        assert!(bm.allocate(4096).is_err());
+        assert!(bm.free(9999).is_err());
+    }
+
+    #[test]
+    fn find_free_from_wraps() {
+        let sb = small_sb();
+        let mut bm = Bitmap::new(&sb);
+        // Fill 10..20, search starting at 15 inside region [10, 20): nothing.
+        for b in 10..20 {
+            bm.allocate(b).unwrap();
+        }
+        assert_eq!(bm.find_free_from(15, 10, 20), None);
+        // Region [10, 25): first free after 15 is 20.
+        assert_eq!(bm.find_free_from(15, 10, 25), Some(20));
+        // Wrap: region [5, 20) starting at 15 -> free blocks are 5..10.
+        assert_eq!(bm.find_free_from(15, 5, 20), Some(5));
+    }
+
+    #[test]
+    fn find_free_run_basic() {
+        let sb = small_sb();
+        let mut bm = Bitmap::new(&sb);
+        assert_eq!(bm.find_free_run(8, 0, 0, 4096), Some(0));
+        // Poke a hole so the first run of 8 starts later.
+        for b in 0..5 {
+            bm.allocate(b).unwrap();
+        }
+        bm.allocate(7).unwrap();
+        assert_eq!(bm.find_free_run(8, 0, 0, 4096), Some(8));
+        // A run of 2 fits in the gap 5..7.
+        assert_eq!(bm.find_free_run(2, 0, 0, 4096), Some(5));
+        // Run longer than the region fails.
+        assert_eq!(bm.find_free_run(100, 0, 0, 50), None);
+        assert_eq!(bm.find_free_run(0, 0, 0, 4096), None);
+    }
+
+    #[test]
+    fn find_free_run_respects_hint_then_wraps() {
+        let sb = small_sb();
+        let mut bm = Bitmap::new(&sb);
+        // Allocate everything from 2000 on so a hint past it must wrap back.
+        for b in 2000..4096 {
+            bm.allocate(b).unwrap();
+        }
+        assert_eq!(bm.find_free_run(4, 3000, 0, 4096), Some(0));
+        assert_eq!(bm.find_free_run(4, 100, 0, 4096), Some(100));
+    }
+
+    #[test]
+    fn free_in_region_counts() {
+        let sb = small_sb();
+        let mut bm = Bitmap::new(&sb);
+        for b in 10..20 {
+            bm.allocate(b).unwrap();
+        }
+        assert_eq!(bm.free_in_region(0, 30), 20);
+        assert_eq!(bm.free_in_region(10, 20), 0);
+    }
+
+    #[test]
+    fn flush_and_reload_roundtrip() {
+        let sb = small_sb();
+        let mut dev = MemBlockDevice::new(1024, 4096);
+        let mut bm = Bitmap::new(&sb);
+        for b in [0u64, 7, 8, 1000, 4095] {
+            bm.allocate(b).unwrap();
+        }
+        assert!(bm.dirty_count() > 0);
+        bm.flush(&mut dev).unwrap();
+        assert_eq!(bm.dirty_count(), 0);
+
+        let loaded = Bitmap::load(&sb, &mut dev).unwrap();
+        assert_eq!(loaded.allocated_blocks(), 5);
+        for b in [0u64, 7, 8, 1000, 4095] {
+            assert!(loaded.is_allocated(b), "block {b}");
+        }
+        assert!(!loaded.is_allocated(1));
+    }
+
+    #[test]
+    fn flush_only_writes_dirty_blocks() {
+        // A volume large enough to need several bitmap blocks: 64k blocks at
+        // 1 KB block size -> 8192 bits per bitmap block -> 8 bitmap blocks.
+        let sb = Superblock::compute(1024, 65536, 256).unwrap();
+        let metered = stegfs_blockdev::MeteredDevice::new(MemBlockDevice::new(1024, 65536));
+        let stats = metered.stats_handle();
+        let mut dev = metered;
+        let mut bm = Bitmap::new(&sb);
+        bm.allocate(0).unwrap(); // bit in bitmap block 0
+        bm.allocate(60000).unwrap(); // bit in bitmap block 7
+        bm.flush(&mut dev).unwrap();
+        assert_eq!(stats.snapshot().writes, 2, "only two bitmap blocks dirty");
+    }
+}

@@ -1,0 +1,126 @@
+//! Error type for the plain file-system layer.
+
+use stegfs_blockdev::BlockError;
+
+/// Result alias for file-system operations.
+pub type FsResult<T> = Result<T, FsError>;
+
+/// Errors reported by [`crate::PlainFs`].
+#[derive(Debug)]
+pub enum FsError {
+    /// The named file or directory does not exist.
+    NotFound(String),
+    /// The name already exists in the target directory.
+    AlreadyExists(String),
+    /// A path component that must be a directory is a regular file.
+    NotADirectory(String),
+    /// A directory was used where a regular file is required.
+    IsADirectory(String),
+    /// A directory that must be empty still contains entries.
+    DirectoryNotEmpty(String),
+    /// The volume has no free block (or no free inode) left.
+    NoSpace,
+    /// The path is syntactically invalid (empty component, missing leading
+    /// `/`, embedded NUL, over-long name).
+    InvalidPath(String),
+    /// The file would exceed the maximum size representable by the inode's
+    /// block map at this block size.
+    FileTooLarge {
+        /// Requested size in bytes.
+        requested: u64,
+        /// Maximum representable size in bytes.
+        maximum: u64,
+    },
+    /// On-disk structures are inconsistent (bad magic, impossible pointer…).
+    Corrupt(String),
+    /// Error from the underlying block device.
+    Block(BlockError),
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "no such file or directory: {p}"),
+            FsError::AlreadyExists(p) => write!(f, "already exists: {p}"),
+            FsError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            FsError::IsADirectory(p) => write!(f, "is a directory: {p}"),
+            FsError::DirectoryNotEmpty(p) => write!(f, "directory not empty: {p}"),
+            FsError::NoSpace => write!(f, "no space left on volume"),
+            FsError::InvalidPath(p) => write!(f, "invalid path: {p}"),
+            FsError::FileTooLarge { requested, maximum } => {
+                write!(f, "file of {requested} bytes exceeds maximum {maximum} bytes")
+            }
+            FsError::Corrupt(msg) => write!(f, "file system corrupt: {msg}"),
+            FsError::Block(e) => write!(f, "block device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FsError::Block(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BlockError> for FsError {
+    fn from(e: BlockError) -> Self {
+        FsError::Block(e)
+    }
+}
+
+impl FsError {
+    /// True if this error means "the object was not found" (used by callers
+    /// that probe for existence).
+    pub fn is_not_found(&self) -> bool {
+        matches!(self, FsError::NotFound(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<(FsError, &str)> = vec![
+            (FsError::NotFound("/a".into()), "no such file"),
+            (FsError::AlreadyExists("/a".into()), "already exists"),
+            (FsError::NotADirectory("/a".into()), "not a directory"),
+            (FsError::IsADirectory("/a".into()), "is a directory"),
+            (FsError::DirectoryNotEmpty("/a".into()), "not empty"),
+            (FsError::NoSpace, "no space"),
+            (FsError::InvalidPath("x".into()), "invalid path"),
+            (
+                FsError::FileTooLarge {
+                    requested: 10,
+                    maximum: 5,
+                },
+                "exceeds maximum",
+            ),
+            (FsError::Corrupt("bad magic".into()), "corrupt"),
+        ];
+        for (err, needle) in cases {
+            assert!(
+                err.to_string().contains(needle),
+                "{err} should mention {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn block_error_conversion() {
+        let be = BlockError::OutOfRange { block: 3, total: 2 };
+        let fe: FsError = be.into();
+        assert!(matches!(fe, FsError::Block(_)));
+        assert!(fe.to_string().contains("block device error"));
+    }
+
+    #[test]
+    fn is_not_found_helper() {
+        assert!(FsError::NotFound("/x".into()).is_not_found());
+        assert!(!FsError::NoSpace.is_not_found());
+    }
+}

@@ -1,0 +1,982 @@
+//! The [`PlainFs`] facade: format, mount, and path-based file operations.
+//!
+//! `PlainFs` is the "native file system" of the reproduction.  Used on its
+//! own with the [`AllocPolicy::Contiguous`] or [`AllocPolicy::Fragmented`]
+//! policies it is the paper's CleanDisk / FragDisk baseline; used underneath
+//! `stegfs-core` it provides the central directory, the bitmap, and raw block
+//! access for hidden objects.
+
+use crate::alloc::{AllocPolicy, Allocator};
+use crate::bitmap::Bitmap;
+use crate::dir::{decode_entries, encode_entries, split_parent, split_path, DirEntry};
+use crate::error::{FsError, FsResult};
+use crate::inode::{FileKind, Inode, InodeId, InodeTable, DIRECT_POINTERS, NO_BLOCK};
+use crate::layout::Superblock;
+use stegfs_blockdev::BlockDevice;
+
+/// Options controlling [`PlainFs::format`].
+#[derive(Debug, Clone)]
+pub struct FormatOptions {
+    /// Number of inodes ("central directory" capacity).  Defaults to one
+    /// inode per 16 blocks.
+    pub inode_count: Option<u64>,
+    /// Fill every block of the volume with pseudorandom bytes at format time.
+    ///
+    /// This is the step that makes StegFS possible: used (encrypted) blocks
+    /// become indistinguishable from never-used ones.  It is optional here
+    /// because the plain baselines do not need it and it dominates format
+    /// time for gigabyte volumes.
+    pub fill_random: bool,
+    /// Seed for the random fill and for allocation tie-breaking.
+    pub seed: u64,
+    /// Block allocation policy installed after formatting.
+    pub policy: AllocPolicy,
+}
+
+impl Default for FormatOptions {
+    fn default() -> Self {
+        FormatOptions {
+            inode_count: None,
+            fill_random: false,
+            seed: 0x5747_f5_2003,
+            policy: AllocPolicy::FirstFit,
+        }
+    }
+}
+
+impl FormatOptions {
+    /// Options matching the StegFS paper: random fill on, random data-block
+    /// placement available.
+    pub fn stegfs_defaults() -> Self {
+        FormatOptions {
+            fill_random: true,
+            ..FormatOptions::default()
+        }
+    }
+}
+
+/// A mounted plain file system.
+pub struct PlainFs<D: BlockDevice> {
+    dev: D,
+    sb: Superblock,
+    bitmap: Bitmap,
+    inodes: InodeTable,
+    alloc: Allocator,
+}
+
+/// Fast non-cryptographic fill used to write "randomly generated patterns"
+/// into every block at format time (§3.1).  Indistinguishability from AES
+/// ciphertext is a modelling assumption documented in DESIGN.md; the fill
+/// only needs to look uniform, not be cryptographically strong.
+fn fill_pseudorandom(buf: &mut [u8], mut state: u64) {
+    if state == 0 {
+        state = 0x9e37_79b9_7f4a_7c15;
+    }
+    for chunk in buf.chunks_mut(8) {
+        // xorshift64*
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let value = state.wrapping_mul(0x2545_f491_4f6c_dd1d).to_le_bytes();
+        let n = chunk.len();
+        chunk.copy_from_slice(&value[..n]);
+    }
+}
+
+impl<D: BlockDevice> PlainFs<D> {
+    // ------------------------------------------------------------------
+    // Format / mount
+    // ------------------------------------------------------------------
+
+    /// Format `dev` and return the mounted file system.
+    pub fn format(mut dev: D, opts: FormatOptions) -> FsResult<Self> {
+        let block_size = dev.block_size() as u32;
+        let total_blocks = dev.total_blocks();
+        let inode_count = opts
+            .inode_count
+            .unwrap_or_else(|| (total_blocks / 16).max(64));
+        let sb = Superblock::compute(block_size, total_blocks, inode_count)?;
+
+        // Optionally fill the whole volume with pseudorandom patterns.
+        if opts.fill_random {
+            let mut buf = vec![0u8; block_size as usize];
+            for b in 0..total_blocks {
+                fill_pseudorandom(&mut buf, opts.seed ^ b.wrapping_mul(0x9e37_79b9));
+                dev.write_block(b, &buf)?;
+            }
+        }
+
+        // Superblock.
+        dev.write_block(0, &sb.serialize(block_size as usize))?;
+
+        // Fresh bitmap with the metadata region marked allocated.
+        let mut bitmap = Bitmap::new(&sb);
+        for b in 0..sb.data_start {
+            bitmap.allocate(b)?;
+        }
+
+        // Zero the bitmap region and the inode table.  Even when the rest of
+        // the volume is random fill, these structures must parse (the bitmap
+        // blocks untouched by the allocations above would otherwise still
+        // hold random bytes on disk and corrupt a later mount).
+        let zero = vec![0u8; block_size as usize];
+        for b in 0..sb.bitmap_blocks {
+            dev.write_block(sb.bitmap_start + b, &zero)?;
+        }
+        for b in 0..sb.inode_table_blocks {
+            dev.write_block(sb.inode_table_start + b, &zero)?;
+        }
+
+        let inodes = InodeTable::new(sb.clone());
+        let seed_bytes = opts.seed.to_be_bytes();
+        let mut fs = PlainFs {
+            alloc: Allocator::new(opts.policy, sb.data_start, sb.total_blocks, &seed_bytes),
+            dev,
+            sb: sb.clone(),
+            bitmap,
+            inodes,
+        };
+
+        // Root directory: inode 0, initially empty.
+        let root = Inode::empty(FileKind::Directory);
+        fs.inodes.write(&mut fs.dev, sb.root_inode, &root)?;
+        fs.sync()?;
+        Ok(fs)
+    }
+
+    /// Mount an already-formatted volume.
+    pub fn mount(mut dev: D, policy: AllocPolicy, seed: u64) -> FsResult<Self> {
+        let mut sb_buf = vec![0u8; dev.block_size()];
+        dev.read_block(0, &mut sb_buf)?;
+        let sb = Superblock::deserialize(&sb_buf)?;
+        if sb.block_size as usize != dev.block_size() || sb.total_blocks != dev.total_blocks() {
+            return Err(FsError::Corrupt(format!(
+                "superblock geometry ({} x {}) does not match device ({} x {})",
+                sb.block_size,
+                sb.total_blocks,
+                dev.block_size(),
+                dev.total_blocks()
+            )));
+        }
+        let bitmap = Bitmap::load(&sb, &mut dev)?;
+        let inodes = InodeTable::new(sb.clone());
+        let seed_bytes = seed.to_be_bytes();
+        Ok(PlainFs {
+            alloc: Allocator::new(policy, sb.data_start, sb.total_blocks, &seed_bytes),
+            dev,
+            sb,
+            bitmap,
+            inodes,
+        })
+    }
+
+    /// Flush the bitmap and the device.
+    pub fn sync(&mut self) -> FsResult<()> {
+        self.bitmap.flush(&mut self.dev)?;
+        self.dev.flush()?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// The volume's superblock.
+    pub fn superblock(&self) -> &Superblock {
+        &self.sb
+    }
+
+    /// Block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.sb.block_size as usize
+    }
+
+    /// Number of free blocks in the data region.
+    pub fn free_data_blocks(&self) -> u64 {
+        self.bitmap
+            .free_in_region(self.sb.data_start, self.sb.total_blocks)
+    }
+
+    /// Number of blocks in the data region (free or not).
+    pub fn data_blocks(&self) -> u64 {
+        self.sb.data_blocks()
+    }
+
+    /// True if `block` is currently marked allocated in the bitmap.
+    pub fn is_block_allocated(&self, block: u64) -> bool {
+        self.bitmap.is_allocated(block)
+    }
+
+    /// Change the data-block allocation policy.
+    pub fn set_alloc_policy(&mut self, policy: AllocPolicy) {
+        self.alloc.set_policy(policy);
+    }
+
+    /// Mutable access to the underlying device (used by the timing harness).
+    pub fn device_mut(&mut self) -> &mut D {
+        &mut self.dev
+    }
+
+    /// Consume the file system, returning the device (after a sync).
+    pub fn unmount(mut self) -> FsResult<D> {
+        self.sync()?;
+        Ok(self.dev)
+    }
+
+    // ------------------------------------------------------------------
+    // Raw block interface for the StegFS layer
+    // ------------------------------------------------------------------
+
+    /// Allocate one free data-region block chosen uniformly at random and
+    /// mark it in the bitmap, without recording it in any inode.  This is the
+    /// primitive hidden files are built from.
+    pub fn allocate_random_block(&mut self) -> FsResult<u64> {
+        let block = self.alloc.pick_random_free(&self.bitmap)?;
+        self.bitmap.allocate(block)?;
+        Ok(block)
+    }
+
+    /// Mark a specific data-region block allocated (used when the keyed
+    /// locator has chosen a header position, and by recovery).
+    pub fn allocate_specific_block(&mut self, block: u64) -> FsResult<()> {
+        if !self.sb.in_data_region(block) {
+            return Err(FsError::Corrupt(format!(
+                "block {block} outside the data region"
+            )));
+        }
+        self.bitmap.allocate(block)
+    }
+
+    /// Release a block that was allocated through the raw interface.
+    pub fn free_raw_block(&mut self, block: u64) -> FsResult<()> {
+        if !self.sb.in_data_region(block) {
+            return Err(FsError::Corrupt(format!(
+                "block {block} outside the data region"
+            )));
+        }
+        self.bitmap.free(block)
+    }
+
+    /// Read a raw block (any region).
+    pub fn read_raw_block(&mut self, block: u64) -> FsResult<Vec<u8>> {
+        let mut buf = vec![0u8; self.block_size()];
+        self.dev.read_block(block, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Write a raw block (any region).
+    pub fn write_raw_block(&mut self, block: u64, data: &[u8]) -> FsResult<()> {
+        self.dev.write_block(block, data)?;
+        Ok(())
+    }
+
+    /// Every block referenced by the central directory (inode-table metadata
+    /// is not included): file data blocks, directory data blocks, and
+    /// indirect-pointer blocks.  Backup uses this to decide which allocated
+    /// blocks must be imaged raw (those *not* in this set).
+    pub fn plain_object_blocks(&mut self) -> FsResult<Vec<u64>> {
+        let mut all = Vec::new();
+        let inodes = self.inodes.scan_allocated(&mut self.dev)?;
+        for (_, inode) in inodes {
+            let (data, meta) = self.collect_blocks(&inode)?;
+            all.extend(data);
+            all.extend(meta);
+        }
+        all.sort_unstable();
+        all.dedup();
+        Ok(all)
+    }
+
+    // ------------------------------------------------------------------
+    // Path-based operations
+    // ------------------------------------------------------------------
+
+    fn resolve(&mut self, path: &str) -> FsResult<(InodeId, Inode)> {
+        let comps = split_path(path)?;
+        let mut id = self.sb.root_inode;
+        let mut inode = self.inodes.read(&mut self.dev, id)?;
+        for comp in comps {
+            if inode.kind != FileKind::Directory {
+                return Err(FsError::NotADirectory(path.to_string()));
+            }
+            let entries = self.read_dir_inode(&inode)?;
+            match entries.iter().find(|e| e.name == comp) {
+                Some(entry) => {
+                    id = entry.inode;
+                    inode = self.inodes.read(&mut self.dev, id)?;
+                }
+                None => return Err(FsError::NotFound(path.to_string())),
+            }
+        }
+        Ok((id, inode))
+    }
+
+    fn resolve_parent(&mut self, path: &str) -> FsResult<(InodeId, Inode, String)> {
+        let (parent_comps, name) = split_parent(path)?;
+        let parent_path = if parent_comps.is_empty() {
+            "/".to_string()
+        } else {
+            format!("/{}", parent_comps.join("/"))
+        };
+        let (pid, pinode) = self.resolve(&parent_path)?;
+        if pinode.kind != FileKind::Directory {
+            return Err(FsError::NotADirectory(parent_path));
+        }
+        Ok((pid, pinode, name.to_string()))
+    }
+
+    /// True if `path` exists.
+    pub fn exists(&mut self, path: &str) -> FsResult<bool> {
+        match self.resolve(path) {
+            Ok(_) => Ok(true),
+            Err(e) if e.is_not_found() => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Kind and size of the object at `path`.
+    pub fn stat(&mut self, path: &str) -> FsResult<(FileKind, u64)> {
+        let (_, inode) = self.resolve(path)?;
+        Ok((inode.kind, inode.size))
+    }
+
+    /// List the entries of the directory at `path`.
+    pub fn list_dir(&mut self, path: &str) -> FsResult<Vec<DirEntry>> {
+        let (_, inode) = self.resolve(path)?;
+        if inode.kind != FileKind::Directory {
+            return Err(FsError::NotADirectory(path.to_string()));
+        }
+        self.read_dir_inode(&inode)
+    }
+
+    /// Create an empty directory at `path`.
+    pub fn create_dir(&mut self, path: &str) -> FsResult<InodeId> {
+        self.create_object(path, FileKind::Directory)
+    }
+
+    /// Create an empty regular file at `path`.
+    pub fn create_file(&mut self, path: &str) -> FsResult<InodeId> {
+        self.create_object(path, FileKind::File)
+    }
+
+    fn create_object(&mut self, path: &str, kind: FileKind) -> FsResult<InodeId> {
+        let (pid, pinode, name) = self.resolve_parent(path)?;
+        let entries = self.read_dir_inode(&pinode)?;
+        if entries.iter().any(|e| e.name == name) {
+            return Err(FsError::AlreadyExists(path.to_string()));
+        }
+        let id = self
+            .inodes
+            .find_free(&mut self.dev)?
+            .ok_or(FsError::NoSpace)?;
+        self.inodes.write(&mut self.dev, id, &Inode::empty(kind))?;
+
+        let mut entries = entries;
+        entries.push(DirEntry {
+            name,
+            inode: id,
+            kind,
+        });
+        self.write_dir_inode(pid, &entries)?;
+        Ok(id)
+    }
+
+    /// Write `data` as the complete contents of the file at `path`, creating
+    /// the file if it does not exist and truncating it if it does.
+    pub fn write_file(&mut self, path: &str, data: &[u8]) -> FsResult<()> {
+        let id = match self.resolve(path) {
+            Ok((id, inode)) => {
+                if inode.kind != FileKind::File {
+                    return Err(FsError::IsADirectory(path.to_string()));
+                }
+                id
+            }
+            Err(e) if e.is_not_found() => self.create_file(path)?,
+            Err(e) => return Err(e),
+        };
+        self.write_inode_contents(id, data)
+    }
+
+    /// Read the complete contents of the file at `path`.
+    pub fn read_file(&mut self, path: &str) -> FsResult<Vec<u8>> {
+        let (_, inode) = self.resolve(path)?;
+        if inode.kind != FileKind::File {
+            return Err(FsError::IsADirectory(path.to_string()));
+        }
+        self.read_inode_contents(&inode)
+    }
+
+    /// Read `len` bytes starting at `offset` from the file at `path`.
+    /// Reading past the end returns the available prefix.
+    pub fn read_file_range(&mut self, path: &str, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        let (_, inode) = self.resolve(path)?;
+        if inode.kind != FileKind::File {
+            return Err(FsError::IsADirectory(path.to_string()));
+        }
+        if offset >= inode.size {
+            return Ok(Vec::new());
+        }
+        let end = (offset + len as u64).min(inode.size);
+        let bs = self.block_size() as u64;
+        let first_block = offset / bs;
+        let last_block = (end - 1) / bs;
+        let blocks = self.collect_blocks(&inode)?.0;
+        let mut out = Vec::with_capacity((end - offset) as usize);
+        for logical in first_block..=last_block {
+            let physical = *blocks.get(logical as usize).ok_or_else(|| {
+                FsError::Corrupt(format!("file shorter than its size field at {path}"))
+            })?;
+            let block_data = self.read_raw_block(physical)?;
+            let block_start = logical * bs;
+            let from = offset.max(block_start) - block_start;
+            let to = (end.min(block_start + bs)) - block_start;
+            out.extend_from_slice(&block_data[from as usize..to as usize]);
+        }
+        Ok(out)
+    }
+
+    /// Overwrite part of an existing file in place.  The range
+    /// `[offset, offset + data.len())` must lie within the file's current
+    /// size; in-place updates never move or reallocate blocks, which is what
+    /// the block-interleaved multi-user experiments rely on.
+    pub fn write_file_range(&mut self, path: &str, offset: u64, data: &[u8]) -> FsResult<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        let (_, inode) = self.resolve(path)?;
+        if inode.kind != FileKind::File {
+            return Err(FsError::IsADirectory(path.to_string()));
+        }
+        let end = offset + data.len() as u64;
+        if end > inode.size {
+            return Err(FsError::FileTooLarge {
+                requested: end,
+                maximum: inode.size,
+            });
+        }
+        let bs = self.block_size() as u64;
+        let (blocks, _) = self.collect_blocks(&inode)?;
+        let first = offset / bs;
+        let last = (end - 1) / bs;
+        for logical in first..=last {
+            let physical = *blocks.get(logical as usize).ok_or_else(|| {
+                FsError::Corrupt(format!("file shorter than its size field at {path}"))
+            })?;
+            let block_start = logical * bs;
+            let from = offset.max(block_start) - block_start;
+            let to = end.min(block_start + bs) - block_start;
+            let src_from = (block_start + from - offset) as usize;
+            let src_to = (block_start + to - offset) as usize;
+            if from == 0 && to == bs {
+                // Whole-block overwrite: no read needed.
+                self.dev
+                    .write_block(physical, &data[src_from..src_to])?;
+            } else {
+                let mut buf = self.read_raw_block(physical)?;
+                buf[from as usize..to as usize].copy_from_slice(&data[src_from..src_to]);
+                self.dev.write_block(physical, &buf)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Delete the file or (empty) directory at `path`.
+    pub fn delete(&mut self, path: &str) -> FsResult<()> {
+        let (id, inode) = self.resolve(path)?;
+        if id == self.sb.root_inode {
+            return Err(FsError::InvalidPath("cannot delete the root".into()));
+        }
+        if inode.kind == FileKind::Directory && !self.read_dir_inode(&inode)?.is_empty() {
+            return Err(FsError::DirectoryNotEmpty(path.to_string()));
+        }
+        // Free all blocks.
+        let (data, meta) = self.collect_blocks(&inode)?;
+        for b in data.into_iter().chain(meta) {
+            self.bitmap.free(b)?;
+        }
+        // Clear the inode and the parent entry.
+        self.inodes
+            .write(&mut self.dev, id, &Inode::empty(FileKind::Free))?;
+        let (pid, pinode, name) = self.resolve_parent(path)?;
+        let mut entries = self.read_dir_inode(&pinode)?;
+        entries.retain(|e| e.name != name);
+        self.write_dir_inode(pid, &entries)?;
+        Ok(())
+    }
+
+    /// Total bytes stored in plain files (not directories), used by the
+    /// space-utilization experiments.
+    pub fn total_plain_file_bytes(&mut self) -> FsResult<u64> {
+        let inodes = self.inodes.scan_allocated(&mut self.dev)?;
+        Ok(inodes
+            .iter()
+            .filter(|(_, i)| i.kind == FileKind::File)
+            .map(|(_, i)| i.size)
+            .sum())
+    }
+
+    // ------------------------------------------------------------------
+    // Inode-level plumbing
+    // ------------------------------------------------------------------
+
+    fn read_dir_inode(&mut self, inode: &Inode) -> FsResult<Vec<DirEntry>> {
+        let raw = self.read_inode_contents(inode)?;
+        decode_entries(&raw)
+    }
+
+    fn write_dir_inode(&mut self, id: InodeId, entries: &[DirEntry]) -> FsResult<()> {
+        self.write_inode_contents(id, &encode_entries(entries))
+    }
+
+    /// Read a file's full contents by walking its block map.
+    fn read_inode_contents(&mut self, inode: &Inode) -> FsResult<Vec<u8>> {
+        let (blocks, _) = self.collect_blocks(inode)?;
+        let mut out = Vec::with_capacity(inode.size as usize);
+        for &b in &blocks {
+            out.extend_from_slice(&self.read_raw_block(b)?);
+        }
+        out.truncate(inode.size as usize);
+        Ok(out)
+    }
+
+    /// Replace a file's contents: free old blocks, allocate new ones with the
+    /// current policy, write the data, and rebuild the block map.
+    fn write_inode_contents(&mut self, id: InodeId, data: &[u8]) -> FsResult<()> {
+        let bs = self.block_size();
+        let max = Inode::max_file_size(bs);
+        if data.len() as u64 > max {
+            return Err(FsError::FileTooLarge {
+                requested: data.len() as u64,
+                maximum: max,
+            });
+        }
+        let old = self.inodes.read(&mut self.dev, id)?;
+        let kind = old.kind;
+        // Free the old blocks first so rewrites of large files do not need
+        // twice the space.
+        let (old_data, old_meta) = self.collect_blocks(&old)?;
+        for b in old_data.into_iter().chain(old_meta) {
+            self.bitmap.free(b)?;
+        }
+
+        let count = (data.len() as u64).div_ceil(bs as u64);
+        let blocks = self.alloc.allocate_file(&mut self.bitmap, count)?;
+        for (i, &b) in blocks.iter().enumerate() {
+            let start = i * bs;
+            let end = ((i + 1) * bs).min(data.len());
+            let mut buf = vec![0u8; bs];
+            buf[..end - start].copy_from_slice(&data[start..end]);
+            self.dev.write_block(b, &buf)?;
+        }
+
+        let mut inode = Inode::empty(kind);
+        inode.size = data.len() as u64;
+        self.build_block_map(&mut inode, &blocks)?;
+        self.inodes.write(&mut self.dev, id, &inode)?;
+        Ok(())
+    }
+
+    /// Build the direct/indirect block map of `inode` for the given data
+    /// blocks, allocating pointer blocks as needed.
+    fn build_block_map(&mut self, inode: &mut Inode, blocks: &[u64]) -> FsResult<()> {
+        let bs = self.block_size();
+        let ptrs_per_block = bs / 8;
+
+        for (i, &b) in blocks.iter().take(DIRECT_POINTERS).enumerate() {
+            inode.direct[i] = b;
+        }
+        if blocks.len() <= DIRECT_POINTERS {
+            return Ok(());
+        }
+
+        let rest = &blocks[DIRECT_POINTERS..];
+        let (single, double_rest) = rest.split_at(rest.len().min(ptrs_per_block));
+
+        // Single indirect block.
+        let ind_block = self.alloc.allocate_one(&mut self.bitmap)?;
+        self.write_pointer_block(ind_block, single)?;
+        inode.indirect = ind_block;
+
+        if double_rest.is_empty() {
+            return Ok(());
+        }
+
+        // Double indirect: a block of pointers to pointer blocks.
+        let mut level1 = Vec::new();
+        for chunk in double_rest.chunks(ptrs_per_block) {
+            let leaf = self.alloc.allocate_one(&mut self.bitmap)?;
+            self.write_pointer_block(leaf, chunk)?;
+            level1.push(leaf);
+        }
+        if level1.len() > ptrs_per_block {
+            return Err(FsError::FileTooLarge {
+                requested: blocks.len() as u64 * bs as u64,
+                maximum: Inode::max_file_size(bs),
+            });
+        }
+        let dbl = self.alloc.allocate_one(&mut self.bitmap)?;
+        self.write_pointer_block(dbl, &level1)?;
+        inode.double_indirect = dbl;
+        Ok(())
+    }
+
+    fn write_pointer_block(&mut self, block: u64, pointers: &[u64]) -> FsResult<()> {
+        let bs = self.block_size();
+        let mut buf = vec![0xffu8; bs]; // NO_BLOCK everywhere by default
+        for (i, &p) in pointers.iter().enumerate() {
+            buf[i * 8..i * 8 + 8].copy_from_slice(&p.to_be_bytes());
+        }
+        self.write_raw_block(block, &buf)
+    }
+
+    fn read_pointer_block(&mut self, block: u64) -> FsResult<Vec<u64>> {
+        let buf = self.read_raw_block(block)?;
+        Ok(buf
+            .chunks_exact(8)
+            .map(|c| u64::from_be_bytes(c.try_into().unwrap()))
+            .take_while(|&p| p != NO_BLOCK)
+            .collect())
+    }
+
+    /// Collect `(data blocks in logical order, metadata pointer blocks)`.
+    fn collect_blocks(&mut self, inode: &Inode) -> FsResult<(Vec<u64>, Vec<u64>)> {
+        let bs = self.block_size() as u64;
+        let expected = inode.size.div_ceil(bs) as usize;
+        let mut data = Vec::with_capacity(expected);
+        let mut meta = Vec::new();
+
+        for &b in inode.direct.iter() {
+            if b == NO_BLOCK || data.len() >= expected {
+                break;
+            }
+            data.push(b);
+        }
+        if inode.indirect != NO_BLOCK {
+            meta.push(inode.indirect);
+            for p in self.read_pointer_block(inode.indirect)? {
+                if data.len() >= expected {
+                    break;
+                }
+                data.push(p);
+            }
+        }
+        if inode.double_indirect != NO_BLOCK {
+            meta.push(inode.double_indirect);
+            let level1 = self.read_pointer_block(inode.double_indirect)?;
+            for leaf in level1 {
+                meta.push(leaf);
+                for p in self.read_pointer_block(leaf)? {
+                    if data.len() >= expected {
+                        break;
+                    }
+                    data.push(p);
+                }
+            }
+        }
+        Ok((data, meta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stegfs_blockdev::MemBlockDevice;
+
+    fn new_fs(blocks: u64) -> PlainFs<MemBlockDevice> {
+        PlainFs::format(MemBlockDevice::new(1024, blocks), FormatOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn format_and_mount_roundtrip() {
+        let fs = new_fs(4096);
+        let sb = fs.superblock().clone();
+        let dev = fs.unmount().unwrap();
+        let mut fs2 = PlainFs::mount(dev, AllocPolicy::FirstFit, 1).unwrap();
+        assert_eq!(fs2.superblock(), &sb);
+        assert!(fs2.list_dir("/").unwrap().is_empty());
+    }
+
+    #[test]
+    fn mount_rejects_unformatted_volume() {
+        let dev = MemBlockDevice::new(1024, 256);
+        assert!(PlainFs::mount(dev, AllocPolicy::FirstFit, 0).is_err());
+    }
+
+    #[test]
+    fn small_file_roundtrip() {
+        let mut fs = new_fs(4096);
+        fs.write_file("/hello.txt", b"hello, stegfs").unwrap();
+        assert_eq!(fs.read_file("/hello.txt").unwrap(), b"hello, stegfs");
+        let (kind, size) = fs.stat("/hello.txt").unwrap();
+        assert_eq!(kind, FileKind::File);
+        assert_eq!(size, 13);
+    }
+
+    #[test]
+    fn empty_file_roundtrip() {
+        let mut fs = new_fs(4096);
+        fs.write_file("/empty", b"").unwrap();
+        assert_eq!(fs.read_file("/empty").unwrap(), Vec::<u8>::new());
+        assert_eq!(fs.stat("/empty").unwrap().1, 0);
+    }
+
+    #[test]
+    fn large_file_uses_indirect_blocks() {
+        let mut fs = new_fs(8192);
+        // 300 KB needs 300 blocks > 12 direct + 128 indirect -> double indirect.
+        let data: Vec<u8> = (0..300 * 1024u32).map(|i| (i % 251) as u8).collect();
+        fs.write_file("/big.bin", &data).unwrap();
+        assert_eq!(fs.read_file("/big.bin").unwrap(), data);
+    }
+
+    #[test]
+    fn file_rewrite_truncates_and_reuses_space() {
+        let mut fs = new_fs(4096);
+        let big = vec![1u8; 100 * 1024];
+        fs.write_file("/f", &big).unwrap();
+        let free_after_big = fs.free_data_blocks();
+        fs.write_file("/f", b"small now").unwrap();
+        assert!(fs.free_data_blocks() > free_after_big);
+        assert_eq!(fs.read_file("/f").unwrap(), b"small now");
+    }
+
+    #[test]
+    fn read_range() {
+        let mut fs = new_fs(4096);
+        let data: Vec<u8> = (0..5000u32).map(|i| (i % 256) as u8).collect();
+        fs.write_file("/r", &data).unwrap();
+        assert_eq!(fs.read_file_range("/r", 0, 10).unwrap(), &data[0..10]);
+        assert_eq!(
+            fs.read_file_range("/r", 1020, 10).unwrap(),
+            &data[1020..1030],
+            "range spanning a block boundary"
+        );
+        assert_eq!(fs.read_file_range("/r", 4990, 100).unwrap(), &data[4990..]);
+        assert!(fs.read_file_range("/r", 10_000, 10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn directories_nest() {
+        let mut fs = new_fs(4096);
+        fs.create_dir("/docs").unwrap();
+        fs.create_dir("/docs/2026").unwrap();
+        fs.write_file("/docs/2026/notes.txt", b"meeting notes").unwrap();
+        assert_eq!(fs.read_file("/docs/2026/notes.txt").unwrap(), b"meeting notes");
+        let listing = fs.list_dir("/docs").unwrap();
+        assert_eq!(listing.len(), 1);
+        assert_eq!(listing[0].name, "2026");
+        assert_eq!(listing[0].kind, FileKind::Directory);
+        assert_eq!(fs.list_dir("/docs/2026").unwrap()[0].name, "notes.txt");
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut fs = new_fs(4096);
+        fs.create_file("/a").unwrap();
+        assert!(matches!(
+            fs.create_file("/a"),
+            Err(FsError::AlreadyExists(_))
+        ));
+        assert!(matches!(fs.create_dir("/a"), Err(FsError::AlreadyExists(_))));
+    }
+
+    #[test]
+    fn missing_paths_and_bad_types() {
+        let mut fs = new_fs(4096);
+        assert!(matches!(
+            fs.read_file("/nope"),
+            Err(FsError::NotFound(_))
+        ));
+        assert!(matches!(
+            fs.create_file("/nodir/file"),
+            Err(FsError::NotFound(_))
+        ));
+        fs.write_file("/plain", b"x").unwrap();
+        assert!(matches!(
+            fs.create_file("/plain/child"),
+            Err(FsError::NotADirectory(_))
+        ));
+        fs.create_dir("/d").unwrap();
+        assert!(matches!(fs.read_file("/d"), Err(FsError::IsADirectory(_))));
+        assert!(matches!(
+            fs.list_dir("/plain"),
+            Err(FsError::NotADirectory(_))
+        ));
+        assert!(!fs.exists("/ghost").unwrap());
+        assert!(fs.exists("/plain").unwrap());
+    }
+
+    #[test]
+    fn delete_frees_blocks_and_entries() {
+        let mut fs = new_fs(4096);
+        let before = fs.free_data_blocks();
+        fs.write_file("/victim", &vec![9u8; 50 * 1024]).unwrap();
+        assert!(fs.free_data_blocks() < before);
+        fs.delete("/victim").unwrap();
+        assert_eq!(fs.free_data_blocks(), before);
+        assert!(!fs.exists("/victim").unwrap());
+    }
+
+    #[test]
+    fn delete_nonempty_dir_rejected_then_allowed_when_empty() {
+        let mut fs = new_fs(4096);
+        fs.create_dir("/d").unwrap();
+        fs.write_file("/d/f", b"x").unwrap();
+        assert!(matches!(
+            fs.delete("/d"),
+            Err(FsError::DirectoryNotEmpty(_))
+        ));
+        fs.delete("/d/f").unwrap();
+        fs.delete("/d").unwrap();
+        assert!(!fs.exists("/d").unwrap());
+    }
+
+    #[test]
+    fn cannot_delete_root() {
+        let mut fs = new_fs(4096);
+        assert!(fs.delete("/").is_err());
+    }
+
+    #[test]
+    fn no_space_is_reported_cleanly() {
+        // Tiny volume: 64 blocks of 1 KB, most of it metadata.
+        let mut fs = new_fs(64);
+        fs.create_file("/huge").unwrap();
+        let free = fs.free_data_blocks();
+        let too_big = vec![0u8; ((free + 10) * 1024) as usize];
+        assert!(matches!(
+            fs.write_file("/huge", &too_big),
+            Err(FsError::NoSpace)
+        ));
+        // The failed write must not leak blocks permanently.
+        assert_eq!(fs.free_data_blocks(), free);
+    }
+
+    #[test]
+    fn file_too_large_rejected() {
+        let mut fs = new_fs(4096);
+        let max = Inode::max_file_size(1024);
+        let oversized = vec![0u8; max as usize + 1024];
+        assert!(matches!(
+            fs.write_file("/way-too-big", &oversized),
+            Err(FsError::FileTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn contiguous_policy_places_file_sequentially() {
+        let dev = MemBlockDevice::new(1024, 4096);
+        let mut fs = PlainFs::format(
+            dev,
+            FormatOptions {
+                policy: AllocPolicy::Contiguous,
+                ..FormatOptions::default()
+            },
+        )
+        .unwrap();
+        fs.write_file("/seq", &vec![3u8; 64 * 1024]).unwrap();
+        let (_, inode) = fs.resolve("/seq").unwrap();
+        let (blocks, _) = fs.collect_blocks(&inode).unwrap();
+        for w in blocks.windows(2) {
+            assert_eq!(w[1], w[0] + 1);
+        }
+    }
+
+    #[test]
+    fn random_fill_format_leaves_working_fs() {
+        let dev = MemBlockDevice::new(1024, 512);
+        let mut fs = PlainFs::format(
+            dev,
+            FormatOptions {
+                fill_random: true,
+                ..FormatOptions::default()
+            },
+        )
+        .unwrap();
+        // The data region is random, not zero.
+        let sb = fs.superblock().clone();
+        let probe = fs.read_raw_block(sb.data_start + 5).unwrap();
+        assert!(probe.iter().any(|&b| b != 0));
+        // And the file system still works.
+        fs.write_file("/x", b"works").unwrap();
+        assert_eq!(fs.read_file("/x").unwrap(), b"works");
+    }
+
+    #[test]
+    fn raw_block_interface_respects_data_region() {
+        let mut fs = new_fs(4096);
+        let b = fs.allocate_random_block().unwrap();
+        assert!(fs.superblock().in_data_region(b));
+        assert!(fs.is_block_allocated(b));
+        fs.write_raw_block(b, &vec![0xee; 1024]).unwrap();
+        assert_eq!(fs.read_raw_block(b).unwrap(), vec![0xee; 1024]);
+        fs.free_raw_block(b).unwrap();
+        assert!(!fs.is_block_allocated(b));
+        // Metadata blocks cannot be allocated or freed through the raw API.
+        assert!(fs.allocate_specific_block(0).is_err());
+        assert!(fs.free_raw_block(0).is_err());
+    }
+
+    #[test]
+    fn raw_allocations_invisible_to_central_directory() {
+        let mut fs = new_fs(4096);
+        fs.write_file("/visible", &vec![1u8; 4096]).unwrap();
+        let visible = fs.plain_object_blocks().unwrap();
+        let hidden = fs.allocate_random_block().unwrap();
+        let after = fs.plain_object_blocks().unwrap();
+        assert_eq!(visible, after, "raw allocation must not appear in the central directory");
+        assert!(!after.contains(&hidden));
+        // But the bitmap knows the block is taken.
+        assert!(fs.is_block_allocated(hidden));
+    }
+
+    #[test]
+    fn total_plain_file_bytes_counts_files_only() {
+        let mut fs = new_fs(4096);
+        fs.create_dir("/d").unwrap();
+        fs.write_file("/d/a", &vec![0u8; 1000]).unwrap();
+        fs.write_file("/b", &vec![0u8; 500]).unwrap();
+        assert_eq!(fs.total_plain_file_bytes().unwrap(), 1500);
+    }
+
+    #[test]
+    fn write_file_range_overwrites_in_place() {
+        let mut fs = new_fs(4096);
+        let data: Vec<u8> = (0..5000u32).map(|i| (i % 256) as u8).collect();
+        fs.write_file("/f", &data).unwrap();
+        let free_before = fs.free_data_blocks();
+
+        fs.write_file_range("/f", 1000, &[0xaa; 100]).unwrap();
+        let mut expected = data.clone();
+        expected[1000..1100].copy_from_slice(&[0xaa; 100]);
+        assert_eq!(fs.read_file("/f").unwrap(), expected);
+        // Aligned whole-block overwrite.
+        fs.write_file_range("/f", 1024, &[0xbb; 1024]).unwrap();
+        expected[1024..2048].copy_from_slice(&[0xbb; 1024]);
+        assert_eq!(fs.read_file("/f").unwrap(), expected);
+        // No allocation happened.
+        assert_eq!(fs.free_data_blocks(), free_before);
+        // Beyond-EOF updates are rejected.
+        assert!(fs.write_file_range("/f", 4999, &[0u8; 10]).is_err());
+        // Empty updates are no-ops.
+        fs.write_file_range("/f", 0, &[]).unwrap();
+    }
+
+    #[test]
+    fn many_files_survive_remount() {
+        let mut fs = new_fs(16384);
+        for i in 0..50 {
+            fs.write_file(&format!("/file-{i}"), format!("contents {i}").as_bytes())
+                .unwrap();
+        }
+        let dev = fs.unmount().unwrap();
+        let mut fs = PlainFs::mount(dev, AllocPolicy::FirstFit, 0).unwrap();
+        for i in 0..50 {
+            assert_eq!(
+                fs.read_file(&format!("/file-{i}")).unwrap(),
+                format!("contents {i}").as_bytes()
+            );
+        }
+        assert_eq!(fs.list_dir("/").unwrap().len(), 50);
+    }
+}

@@ -1,0 +1,333 @@
+//! Inodes and the inode table (the paper's "central directory").
+//!
+//! Every *plain* file and directory is described by an inode stored in a
+//! fixed-size on-disk table.  Hidden StegFS objects are deliberately **not**
+//! represented here — their inode-like metadata lives inside the hidden
+//! object itself (`stegfs-core::header`).
+//!
+//! Each inode maps a file to its blocks through 12 direct pointers, one
+//! single-indirect block and one double-indirect block, like a miniature
+//! ext2.  With the paper's default 1 KB blocks that supports files up to
+//! ~16 MB, far beyond the 2 MB maximum in the workloads.
+
+use crate::error::{FsError, FsResult};
+use crate::layout::{Superblock, INODE_SIZE};
+use stegfs_blockdev::BlockDevice;
+
+/// Index of an inode within the inode table.
+pub type InodeId = u64;
+
+/// Number of direct block pointers in an inode.
+pub const DIRECT_POINTERS: usize = 12;
+
+/// Sentinel for "no block assigned".
+pub const NO_BLOCK: u64 = u64::MAX;
+
+/// What an inode describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// The inode slot is unused.
+    Free,
+    /// A regular file.
+    File,
+    /// A directory.
+    Directory,
+}
+
+impl FileKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            FileKind::Free => 0,
+            FileKind::File => 1,
+            FileKind::Directory => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> FsResult<Self> {
+        match b {
+            0 => Ok(FileKind::Free),
+            1 => Ok(FileKind::File),
+            2 => Ok(FileKind::Directory),
+            other => Err(FsError::Corrupt(format!("invalid inode kind {other}"))),
+        }
+    }
+}
+
+/// An on-disk inode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inode {
+    /// What this inode describes.
+    pub kind: FileKind,
+    /// Length of the file in bytes (or of the serialised directory).
+    pub size: u64,
+    /// Direct block pointers ([`NO_BLOCK`] when unassigned).
+    pub direct: [u64; DIRECT_POINTERS],
+    /// Single-indirect block pointer.
+    pub indirect: u64,
+    /// Double-indirect block pointer.
+    pub double_indirect: u64,
+}
+
+impl Inode {
+    /// A fresh, empty inode of the given kind.
+    pub fn empty(kind: FileKind) -> Self {
+        Inode {
+            kind,
+            size: 0,
+            direct: [NO_BLOCK; DIRECT_POINTERS],
+            indirect: NO_BLOCK,
+            double_indirect: NO_BLOCK,
+        }
+    }
+
+    /// Serialise into [`INODE_SIZE`] bytes.
+    pub fn serialize(&self) -> [u8; INODE_SIZE] {
+        let mut buf = [0u8; INODE_SIZE];
+        buf[0] = self.kind.to_byte();
+        buf[8..16].copy_from_slice(&self.size.to_be_bytes());
+        for (i, &ptr) in self.direct.iter().enumerate() {
+            let off = 16 + i * 8;
+            buf[off..off + 8].copy_from_slice(&ptr.to_be_bytes());
+        }
+        buf[112..120].copy_from_slice(&self.indirect.to_be_bytes());
+        buf[120..128].copy_from_slice(&self.double_indirect.to_be_bytes());
+        buf
+    }
+
+    /// Parse an inode from [`INODE_SIZE`] bytes.
+    pub fn deserialize(buf: &[u8]) -> FsResult<Self> {
+        if buf.len() < INODE_SIZE {
+            return Err(FsError::Corrupt("inode buffer too small".into()));
+        }
+        let kind = FileKind::from_byte(buf[0])?;
+        let get_u64 = |off: usize| u64::from_be_bytes(buf[off..off + 8].try_into().unwrap());
+        let mut direct = [NO_BLOCK; DIRECT_POINTERS];
+        for (i, slot) in direct.iter_mut().enumerate() {
+            *slot = get_u64(16 + i * 8);
+        }
+        Ok(Inode {
+            kind,
+            size: get_u64(8),
+            direct,
+            indirect: get_u64(112),
+            double_indirect: get_u64(120),
+        })
+    }
+
+    /// Maximum file size representable with this inode layout at the given
+    /// block size.
+    pub fn max_file_size(block_size: usize) -> u64 {
+        let ptrs_per_block = (block_size / 8) as u64;
+        let blocks =
+            DIRECT_POINTERS as u64 + ptrs_per_block + ptrs_per_block * ptrs_per_block;
+        blocks * block_size as u64
+    }
+}
+
+/// Reader/writer for the on-disk inode table.
+pub struct InodeTable {
+    sb: Superblock,
+}
+
+impl InodeTable {
+    /// Create a view over the inode table described by `sb`.
+    pub fn new(sb: Superblock) -> Self {
+        InodeTable { sb }
+    }
+
+    /// Number of inodes in the table.
+    pub fn count(&self) -> u64 {
+        self.sb.inode_count
+    }
+
+    fn location(&self, id: InodeId) -> FsResult<(u64, usize)> {
+        if id >= self.sb.inode_count {
+            return Err(FsError::Corrupt(format!(
+                "inode {id} out of range ({} inodes)",
+                self.sb.inode_count
+            )));
+        }
+        let per_block = self.sb.inodes_per_block();
+        let block = self.sb.inode_table_start + id / per_block;
+        let offset = (id % per_block) as usize * INODE_SIZE;
+        Ok((block, offset))
+    }
+
+    /// Read inode `id` from the device.
+    pub fn read(&self, dev: &mut dyn BlockDevice, id: InodeId) -> FsResult<Inode> {
+        let (block, offset) = self.location(id)?;
+        let mut buf = vec![0u8; self.sb.block_size as usize];
+        dev.read_block(block, &mut buf)?;
+        Inode::deserialize(&buf[offset..offset + INODE_SIZE])
+    }
+
+    /// Write inode `id` to the device (read-modify-write of its block).
+    pub fn write(&self, dev: &mut dyn BlockDevice, id: InodeId, inode: &Inode) -> FsResult<()> {
+        let (block, offset) = self.location(id)?;
+        let mut buf = vec![0u8; self.sb.block_size as usize];
+        dev.read_block(block, &mut buf)?;
+        buf[offset..offset + INODE_SIZE].copy_from_slice(&inode.serialize());
+        dev.write_block(block, &buf)?;
+        Ok(())
+    }
+
+    /// Find the first free inode slot, scanning from inode 0.
+    pub fn find_free(&self, dev: &mut dyn BlockDevice) -> FsResult<Option<InodeId>> {
+        let per_block = self.sb.inodes_per_block();
+        let mut buf = vec![0u8; self.sb.block_size as usize];
+        for table_block in 0..self.sb.inode_table_blocks {
+            dev.read_block(self.sb.inode_table_start + table_block, &mut buf)?;
+            for slot in 0..per_block {
+                let id = table_block * per_block + slot;
+                if id >= self.sb.inode_count {
+                    return Ok(None);
+                }
+                let off = slot as usize * INODE_SIZE;
+                if FileKind::from_byte(buf[off])? == FileKind::Free {
+                    return Ok(Some(id));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Iterate over every allocated inode, returning `(id, inode)` pairs.
+    /// Used by backup (to learn which blocks belong to plain files) and by
+    /// consistency checks.
+    pub fn scan_allocated(&self, dev: &mut dyn BlockDevice) -> FsResult<Vec<(InodeId, Inode)>> {
+        let per_block = self.sb.inodes_per_block();
+        let mut out = Vec::new();
+        let mut buf = vec![0u8; self.sb.block_size as usize];
+        for table_block in 0..self.sb.inode_table_blocks {
+            dev.read_block(self.sb.inode_table_start + table_block, &mut buf)?;
+            for slot in 0..per_block {
+                let id = table_block * per_block + slot;
+                if id >= self.sb.inode_count {
+                    break;
+                }
+                let off = slot as usize * INODE_SIZE;
+                let inode = Inode::deserialize(&buf[off..off + INODE_SIZE])?;
+                if inode.kind != FileKind::Free {
+                    out.push((id, inode));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stegfs_blockdev::MemBlockDevice;
+
+    #[test]
+    fn inode_serialization_roundtrip() {
+        let mut inode = Inode::empty(FileKind::File);
+        inode.size = 123_456;
+        inode.direct[0] = 77;
+        inode.direct[11] = 99;
+        inode.indirect = 1000;
+        inode.double_indirect = 2000;
+        let buf = inode.serialize();
+        assert_eq!(buf.len(), INODE_SIZE);
+        assert_eq!(Inode::deserialize(&buf).unwrap(), inode);
+    }
+
+    #[test]
+    fn empty_inode_has_no_blocks() {
+        let inode = Inode::empty(FileKind::Directory);
+        assert_eq!(inode.size, 0);
+        assert!(inode.direct.iter().all(|&b| b == NO_BLOCK));
+        assert_eq!(inode.indirect, NO_BLOCK);
+        assert_eq!(inode.double_indirect, NO_BLOCK);
+    }
+
+    #[test]
+    fn deserialize_rejects_bad_kind() {
+        let mut buf = [0u8; INODE_SIZE];
+        buf[0] = 9;
+        assert!(Inode::deserialize(&buf).is_err());
+        assert!(Inode::deserialize(&buf[..50]).is_err());
+    }
+
+    #[test]
+    fn max_file_size_covers_paper_workloads() {
+        // 2 MB files must be representable at every block size in Figure 9.
+        for bs in [512usize, 1024, 2048, 4096, 8192, 16384, 32768, 65536] {
+            assert!(
+                Inode::max_file_size(bs) >= 2 * 1024 * 1024,
+                "block size {bs}"
+            );
+        }
+    }
+
+    fn table_fixture() -> (InodeTable, MemBlockDevice) {
+        let sb = Superblock::compute(1024, 4096, 64).unwrap();
+        let dev = MemBlockDevice::new(1024, 4096);
+        (InodeTable::new(sb), dev)
+    }
+
+    #[test]
+    fn table_read_write_roundtrip() {
+        let (table, mut dev) = table_fixture();
+        let mut inode = Inode::empty(FileKind::File);
+        inode.size = 42;
+        inode.direct[3] = 777;
+        table.write(&mut dev, 10, &inode).unwrap();
+        assert_eq!(table.read(&mut dev, 10).unwrap(), inode);
+        // Neighbouring slots unaffected.
+        assert_eq!(table.read(&mut dev, 9).unwrap().kind, FileKind::Free);
+        assert_eq!(table.read(&mut dev, 11).unwrap().kind, FileKind::Free);
+    }
+
+    #[test]
+    fn table_rejects_out_of_range() {
+        let (table, mut dev) = table_fixture();
+        assert!(table.read(&mut dev, 64).is_err());
+        assert!(table
+            .write(&mut dev, 1000, &Inode::empty(FileKind::File))
+            .is_err());
+    }
+
+    #[test]
+    fn find_free_skips_allocated() {
+        let (table, mut dev) = table_fixture();
+        assert_eq!(table.find_free(&mut dev).unwrap(), Some(0));
+        table
+            .write(&mut dev, 0, &Inode::empty(FileKind::Directory))
+            .unwrap();
+        table
+            .write(&mut dev, 1, &Inode::empty(FileKind::File))
+            .unwrap();
+        assert_eq!(table.find_free(&mut dev).unwrap(), Some(2));
+    }
+
+    #[test]
+    fn find_free_exhausted() {
+        let (table, mut dev) = table_fixture();
+        for id in 0..table.count() {
+            table
+                .write(&mut dev, id, &Inode::empty(FileKind::File))
+                .unwrap();
+        }
+        assert_eq!(table.find_free(&mut dev).unwrap(), None);
+    }
+
+    #[test]
+    fn scan_allocated_lists_only_used_inodes() {
+        let (table, mut dev) = table_fixture();
+        let mut a = Inode::empty(FileKind::File);
+        a.size = 1;
+        let mut b = Inode::empty(FileKind::Directory);
+        b.size = 2;
+        table.write(&mut dev, 3, &a).unwrap();
+        table.write(&mut dev, 40, &b).unwrap();
+        let scanned = table.scan_allocated(&mut dev).unwrap();
+        assert_eq!(scanned.len(), 2);
+        assert_eq!(scanned[0].0, 3);
+        assert_eq!(scanned[0].1, a);
+        assert_eq!(scanned[1].0, 40);
+        assert_eq!(scanned[1].1, b);
+    }
+}

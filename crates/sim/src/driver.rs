@@ -1,0 +1,305 @@
+//! The multi-user access driver.
+//!
+//! Reproduces the measurement procedure of §5.3/§5.4: a set of files is
+//! loaded onto the volume, the clock is reset, and then each user accesses
+//! its files either **interleaved** block-by-block with every other user
+//! (heavily loaded server) or **serially**, one whole file at a time (lightly
+//! loaded server).  The *access time* of a file is the simulated time between
+//! its first and last chunk completing — which is why it grows with the
+//! number of concurrent users even though the per-chunk service times do not.
+
+use crate::schemes::{SchemeInstance, SchemeKind};
+use crate::workload::{AccessPattern, FileSpec};
+
+/// Whether the measured pass reads or overwrites the files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operation {
+    /// Read every chunk of every file.
+    Read,
+    /// Overwrite every chunk of every file in place.
+    Write,
+}
+
+/// Result of one measured pass.
+#[derive(Debug, Clone)]
+pub struct AccessResult {
+    /// Scheme under test.
+    pub scheme: SchemeKind,
+    /// Operation measured.
+    pub operation: Operation,
+    /// Number of concurrent users.
+    pub users: usize,
+    /// Per-file access times in simulated seconds.
+    pub per_file_s: Vec<f64>,
+    /// Total simulated time for the whole pass.
+    pub total_s: f64,
+    /// Total bytes accessed.
+    pub bytes: u64,
+}
+
+impl AccessResult {
+    /// Mean access time per file in seconds.
+    pub fn avg_access_time_s(&self) -> f64 {
+        if self.per_file_s.is_empty() {
+            0.0
+        } else {
+            self.per_file_s.iter().sum::<f64>() / self.per_file_s.len() as f64
+        }
+    }
+
+    /// Access time normalised per kilobyte accessed (Figure 8's metric).
+    pub fn normalized_s_per_kb(&self) -> f64 {
+        if self.bytes == 0 {
+            0.0
+        } else {
+            self.per_file_s.iter().sum::<f64>() / (self.bytes as f64 / 1024.0)
+        }
+    }
+}
+
+struct FileProgress {
+    spec_index: usize,
+    chunks: u64,
+    next_chunk: u64,
+    start_s: Option<f64>,
+    end_s: Option<f64>,
+}
+
+struct UserQueue {
+    files: Vec<usize>, // indices into the progress table
+    current: usize,
+}
+
+/// Run one measured pass of `op` over `specs` with `users` concurrent users.
+///
+/// The scheme must already have been prepared with the same specs; the clock
+/// is reset at the start of the pass.
+pub fn run_access(
+    scheme: &mut dyn SchemeInstance,
+    specs: &[FileSpec],
+    users: usize,
+    pattern: AccessPattern,
+    op: Operation,
+) -> Result<AccessResult, String> {
+    if users == 0 {
+        return Err("need at least one user".into());
+    }
+    let clock = scheme.clock();
+    clock.reset();
+
+    let mut progress: Vec<FileProgress> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| FileProgress {
+            spec_index: i,
+            chunks: scheme.chunk_count(spec),
+            next_chunk: 0,
+            start_s: None,
+            end_s: None,
+        })
+        .collect();
+
+    // Files are dealt to users round-robin, as if each user owned a share of
+    // the file population.
+    let mut queues: Vec<UserQueue> = (0..users)
+        .map(|_| UserQueue {
+            files: Vec::new(),
+            current: 0,
+        })
+        .collect();
+    for (i, _) in specs.iter().enumerate() {
+        queues[i % users].files.push(i);
+    }
+
+    let chunk_buf = vec![0xa5u8; scheme.chunk_size()];
+    let issue = |scheme: &mut dyn SchemeInstance,
+                     progress: &mut Vec<FileProgress>,
+                     file_idx: usize|
+     -> Result<bool, String> {
+        let p = &mut progress[file_idx];
+        if p.next_chunk >= p.chunks {
+            return Ok(true);
+        }
+        if p.start_s.is_none() {
+            p.start_s = Some(clock.elapsed_secs());
+        }
+        let spec = &specs[p.spec_index];
+        match op {
+            Operation::Read => scheme.read_chunk(p.spec_index, spec, p.next_chunk)?,
+            Operation::Write => {
+                scheme.write_chunk(p.spec_index, spec, p.next_chunk, &chunk_buf)?
+            }
+        }
+        p.next_chunk += 1;
+        if p.next_chunk >= p.chunks {
+            p.end_s = Some(clock.elapsed_secs());
+            return Ok(true);
+        }
+        Ok(false)
+    };
+
+    match pattern {
+        AccessPattern::Interleaved => {
+            // Round-robin: one chunk per user per turn.
+            let mut remaining = specs.len();
+            while remaining > 0 {
+                let mut advanced = false;
+                for queue in queues.iter_mut() {
+                    if queue.current >= queue.files.len() {
+                        continue;
+                    }
+                    let file_idx = queue.files[queue.current];
+                    let finished = issue(scheme, &mut progress, file_idx)?;
+                    advanced = true;
+                    if finished {
+                        queue.current += 1;
+                        remaining -= 1;
+                    }
+                }
+                if !advanced {
+                    break;
+                }
+            }
+        }
+        AccessPattern::Serial => {
+            // Users one after the other; each file completed before the next.
+            for queue in &queues {
+                for &file_idx in &queue.files {
+                    loop {
+                        if issue(scheme, &mut progress, file_idx)? {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let per_file_s: Vec<f64> = progress
+        .iter()
+        .map(|p| match (p.start_s, p.end_s) {
+            (Some(start), Some(end)) => end - start,
+            _ => 0.0,
+        })
+        .collect();
+    let bytes = specs.iter().map(|s| s.size).sum();
+
+    Ok(AccessResult {
+        scheme: scheme.kind(),
+        operation: op,
+        users,
+        per_file_s,
+        total_s: clock.elapsed_secs(),
+        bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::build_scheme;
+    use crate::workload::WorkloadParams;
+
+    fn run(
+        kind: SchemeKind,
+        users: usize,
+        pattern: AccessPattern,
+        op: Operation,
+    ) -> AccessResult {
+        let mut params = WorkloadParams::tiny_test();
+        params.users = users;
+        let specs = params.generate_files();
+        let mut scheme = build_scheme(kind, &params).unwrap();
+        scheme.prepare(&specs, &params).unwrap();
+        run_access(scheme.as_mut(), &specs, users, pattern, op).unwrap()
+    }
+
+    #[test]
+    fn read_pass_produces_positive_times() {
+        let result = run(
+            SchemeKind::CleanDisk,
+            1,
+            AccessPattern::Serial,
+            Operation::Read,
+        );
+        assert_eq!(result.per_file_s.len(), 6);
+        assert!(result.avg_access_time_s() > 0.0);
+        assert!(result.total_s > 0.0);
+        assert!(result.normalized_s_per_kb() > 0.0);
+        assert!(result
+            .per_file_s
+            .iter()
+            .all(|&t| t > 0.0 && t <= result.total_s + 1e-9));
+    }
+
+    #[test]
+    fn interleaving_slows_cleandisk_but_not_much_stegfs() {
+        // The mechanism behind Figure 7: CleanDisk loses its sequentiality
+        // advantage when interleaved, StegFS never had one.
+        let clean_1 = run(
+            SchemeKind::CleanDisk,
+            1,
+            AccessPattern::Serial,
+            Operation::Read,
+        )
+        .avg_access_time_s();
+        let clean_4 = run(
+            SchemeKind::CleanDisk,
+            4,
+            AccessPattern::Interleaved,
+            Operation::Read,
+        )
+        .avg_access_time_s();
+        assert!(
+            clean_4 > clean_1 * 2.0,
+            "interleaving should slow CleanDisk: {clean_1:.3}s vs {clean_4:.3}s"
+        );
+
+        let steg_1 = run(
+            SchemeKind::StegFs,
+            1,
+            AccessPattern::Serial,
+            Operation::Read,
+        )
+        .avg_access_time_s();
+        let steg_4 = run(
+            SchemeKind::StegFs,
+            4,
+            AccessPattern::Interleaved,
+            Operation::Read,
+        )
+        .avg_access_time_s();
+        // StegFS slows down because of queueing behind other users, but by a
+        // smaller *multiple* than CleanDisk does.
+        assert!(
+            steg_4 / steg_1 < clean_4 / clean_1,
+            "StegFS ratio {:.2} should be below CleanDisk ratio {:.2}",
+            steg_4 / steg_1,
+            clean_4 / clean_1
+        );
+    }
+
+    #[test]
+    fn write_pass_works_for_all_schemes() {
+        for kind in SchemeKind::all() {
+            let result = run(kind, 2, AccessPattern::Interleaved, Operation::Write);
+            assert!(result.avg_access_time_s() > 0.0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn zero_users_rejected() {
+        let params = WorkloadParams::tiny_test();
+        let specs = params.generate_files();
+        let mut scheme = build_scheme(SchemeKind::CleanDisk, &params).unwrap();
+        scheme.prepare(&specs, &params).unwrap();
+        assert!(run_access(
+            scheme.as_mut(),
+            &specs,
+            0,
+            AccessPattern::Serial,
+            Operation::Read
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! Compare StegFS against the prior steganographic schemes and the native
+//! file system on the same simulated disk — a miniature version of the
+//! paper's Section 5 that runs in well under a minute.
+//!
+//! Run with `cargo run --release -p stegfs-examples --bin compare_schemes`.
+
+use stegfs_examples::section;
+use stegfs_sim::experiments::{
+    figure7, render_access_rows, render_space_summary, space_summary,
+};
+use stegfs_sim::WorkloadParams;
+
+fn main() {
+    // A small workload keeps this example interactive; the repro binary in
+    // stegfs-bench runs the full sweeps.
+    let mut params = WorkloadParams::scaled_quick();
+    params.volume_mb = 32;
+    params.file_count = 12;
+    params.file_size_min = 128 * 1024;
+    params.file_size_max = 256 * 1024;
+
+    section("Access time vs concurrency (miniature Figure 7)");
+    match figure7(&params, &[1, 4, 8]) {
+        Ok(rows) => println!(
+            "{}",
+            render_access_rows("Access time by scheme", "users", &rows, false)
+        ),
+        Err(e) => eprintln!("experiment failed: {e}"),
+    }
+    println!("Expected shape: StegCover far above everyone; StegRand above StegFS;");
+    println!("CleanDisk/FragDisk fastest alone but converging towards StegFS as users grow.");
+
+    section("Effective space utilization (miniature Section 5.2)");
+    match space_summary(32, 7) {
+        Ok(rows) => println!("{}", render_space_summary(&rows)),
+        Err(e) => eprintln!("experiment failed: {e}"),
+    }
+    println!("Expected shape: StegFS above 80%, StegCover around 75%, StegRand in single digits.");
+
+    println!();
+    println!("done.");
+}

@@ -1,0 +1,47 @@
+//! Shared helpers for the runnable examples.
+//!
+//! The binaries in this package (`quickstart`, `hidden_vault`,
+//! `compare_schemes`, `backup_restore`) demonstrate the public API of the
+//! StegFS reproduction end to end.  Run them with, e.g.:
+//!
+//! ```text
+//! cargo run -p stegfs-examples --bin quickstart
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use stegfs_blockdev::MemBlockDevice;
+use stegfs_core::{StegFs, StegParams};
+
+/// Create an in-memory StegFS volume of `megabytes` MB with 1 KB blocks and
+/// parameters sized for interactive examples (small dummy files, no random
+/// fill so start-up is instant).
+pub fn demo_volume(megabytes: u64) -> StegFs<MemBlockDevice> {
+    let device = MemBlockDevice::with_capacity_mb(1024, megabytes);
+    let params = StegParams {
+        dummy_file_count: 4,
+        dummy_file_size: 64 * 1024,
+        random_fill: false,
+        ..StegParams::default()
+    };
+    StegFs::format(device, params).expect("formatting an in-memory volume cannot fail")
+}
+
+/// Pretty-print a section header.
+pub fn section(title: &str) {
+    println!();
+    println!("== {title} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_volume_is_usable() {
+        let mut fs = demo_volume(16);
+        fs.write_plain("/hello", b"world").unwrap();
+        assert_eq!(fs.read_plain("/hello").unwrap(), b"world");
+    }
+}

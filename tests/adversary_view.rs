@@ -1,0 +1,214 @@
+//! Tests written from the adversary's point of view: what can an attacker
+//! with full knowledge of the implementation and raw access to the device
+//! actually learn?
+//!
+//! These encode the paper's threat model (§1, §3): hidden objects must leave
+//! no trace in the central directory, wrong keys must behave exactly like
+//! missing objects, and allocated-but-unaccounted blocks must be
+//! indistinguishable from abandoned blocks and random fill.
+
+use stegfs_blockdev::MemBlockDevice;
+use stegfs_core::{ObjectKind, StegFs};
+use stegfs_tests::{full_feature_params, payload, test_volume};
+
+const OWNER: &str = "the real key";
+
+/// Shannon entropy (bits per byte) of a buffer.
+fn entropy_bits_per_byte(data: &[u8]) -> f64 {
+    let mut counts = [0u64; 256];
+    for &b in data {
+        counts[b as usize] += 1;
+    }
+    let n = data.len() as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+#[test]
+fn central_directory_never_mentions_hidden_objects() {
+    let mut fs = test_volume(8192);
+    fs.write_plain("/innocent.txt", b"cover traffic").unwrap();
+    fs.steg_create("the-secret", OWNER, ObjectKind::File).unwrap();
+    fs.write_hidden_with_key("the-secret", OWNER, &payload(1, 150 * 1024))
+        .unwrap();
+
+    // Nothing in any plain listing refers to the hidden object.
+    let listing = fs.list_plain_dir("/").unwrap();
+    assert!(listing.iter().all(|name| !name.contains("secret")));
+
+    // The blocks of every plain object do not include any block holding the
+    // hidden object's data (verified indirectly: freeing the hidden object
+    // releases blocks that were never part of the plain set).
+    let plain_blocks = fs.plain_fs_mut().plain_object_blocks().unwrap();
+    let before_free = fs.space_report().unwrap().free_blocks;
+    fs.delete_hidden("the-secret", OWNER).unwrap();
+    let after_free = fs.space_report().unwrap().free_blocks;
+    assert!(after_free > before_free + 140);
+    // Plain set unchanged by the deletion.
+    assert_eq!(fs.plain_fs_mut().plain_object_blocks().unwrap(), plain_blocks);
+}
+
+#[test]
+fn wrong_key_is_indistinguishable_from_absent_object() {
+    let mut fs = test_volume(4096);
+    fs.steg_create("exists", OWNER, ObjectKind::File).unwrap();
+    fs.write_hidden_with_key("exists", OWNER, b"present").unwrap();
+
+    let wrong_key = fs.read_hidden_with_key("exists", "guessed key").unwrap_err();
+    let absent = fs.read_hidden_with_key("never-created", "guessed key").unwrap_err();
+    // Same variant, same deniable phrasing.
+    assert!(wrong_key.is_not_found());
+    assert!(absent.is_not_found());
+    let w = wrong_key.to_string().replace("exists", "<name>");
+    let a = absent.to_string().replace("never-created", "<name>");
+    assert_eq!(w, a, "error text must not distinguish the two cases");
+}
+
+#[test]
+fn hidden_blocks_look_like_random_fill_on_the_raw_device() {
+    // Format with random fill, write a highly structured hidden file, then
+    // inspect the raw device: every allocated-but-unaccounted block should
+    // have the same high entropy as the untouched random fill.
+    let mut fs = test_volume(4096);
+    let structured = vec![0u8; 120 * 1024]; // all zeros: worst case plaintext
+    fs.steg_create("zeros", OWNER, ObjectKind::File).unwrap();
+    fs.write_hidden_with_key("zeros", OWNER, &structured).unwrap();
+
+    let plain_blocks: std::collections::HashSet<u64> = fs
+        .plain_fs_mut()
+        .plain_object_blocks()
+        .unwrap()
+        .into_iter()
+        .collect();
+    let sb = fs.plain_fs_mut().superblock().clone();
+
+    let mut unaccounted = Vec::new();
+    let mut free_fill = Vec::new();
+    for block in sb.data_start..sb.total_blocks {
+        let allocated = fs.plain_fs_mut().is_block_allocated(block);
+        if allocated && !plain_blocks.contains(&block) {
+            unaccounted.push(block);
+        } else if !allocated {
+            free_fill.push(block);
+        }
+    }
+    assert!(unaccounted.len() > 120, "hidden + dummy + abandoned blocks");
+
+    // Sample entropy of both populations.
+    let mut unaccounted_bytes = Vec::new();
+    for &b in unaccounted.iter().take(64) {
+        unaccounted_bytes.extend(fs.plain_fs_mut().read_raw_block(b).unwrap());
+    }
+    let mut free_bytes = Vec::new();
+    for &b in free_fill.iter().take(64) {
+        free_bytes.extend(fs.plain_fs_mut().read_raw_block(b).unwrap());
+    }
+    let e_hidden = entropy_bits_per_byte(&unaccounted_bytes);
+    let e_free = entropy_bits_per_byte(&free_bytes);
+    assert!(
+        e_hidden > 7.5,
+        "allocated-but-unaccounted blocks must look random (entropy {e_hidden:.2})"
+    );
+    assert!(
+        (e_hidden - e_free).abs() < 0.3,
+        "hidden blocks ({e_hidden:.2} bits/byte) must match free fill ({e_free:.2} bits/byte)"
+    );
+    // And the all-zero plaintext never appears on the device.
+    let zero_block = vec![0u8; 1024];
+    for &b in unaccounted.iter().take(64) {
+        assert_ne!(fs.plain_fs_mut().read_raw_block(b).unwrap(), zero_block);
+    }
+}
+
+#[test]
+fn snapshot_differencing_cannot_separate_real_files_from_dummies() {
+    // An attacker who diffs bitmap snapshots sees allocations change between
+    // snapshots.  Because dummy files are rewritten too (and real files hold
+    // internal free pools), the per-snapshot deltas include dummy activity,
+    // so new allocations cannot be attributed to real hidden data.
+    let mut fs = test_volume(8192);
+    let sb = fs.plain_fs_mut().superblock().clone();
+    let snapshot = |fs: &mut StegFs<MemBlockDevice>| -> Vec<bool> {
+        (sb.data_start..sb.total_blocks)
+            .map(|b| fs.plain_fs_mut().is_block_allocated(b))
+            .collect()
+    };
+
+    let before = snapshot(&mut fs);
+    // Interval 1: only dummy maintenance runs.
+    fs.touch_dummy_files().unwrap();
+    let after_dummies = snapshot(&mut fs);
+    // Interval 2: a real hidden file is created as well as dummy maintenance.
+    fs.steg_create("real", OWNER, ObjectKind::File).unwrap();
+    fs.write_hidden_with_key("real", OWNER, &payload(9, 64 * 1024))
+        .unwrap();
+    fs.touch_dummy_files().unwrap();
+    let after_real = snapshot(&mut fs);
+
+    let delta = |a: &[bool], b: &[bool]| a.iter().zip(b).filter(|(x, y)| x != y).count();
+    let dummy_only_delta = delta(&before, &after_dummies);
+    let with_real_delta = delta(&after_dummies, &after_real);
+    // Both intervals show allocation churn; the dummy-only interval is not
+    // silent, which is exactly what denies the attacker a clean signal.
+    assert!(
+        dummy_only_delta > 0,
+        "dummy maintenance must itself change the bitmap"
+    );
+    assert!(with_real_delta > 0);
+}
+
+#[test]
+fn formatting_without_random_fill_would_leak_and_is_therefore_detectable() {
+    // Negative control for the entropy test above: on a volume formatted
+    // *without* random fill, free blocks are all zeros, so allocated
+    // encrypted blocks stand out starkly.  This documents why the paper's
+    // format step writes random patterns everywhere.
+    // No random fill, and none of the other camouflage either, so the only
+    // allocated-but-unaccounted blocks are the encrypted ones of the hidden
+    // file itself.
+    let params = stegfs_core::StegParams {
+        random_fill: false,
+        abandoned_pct: 0.0,
+        dummy_file_count: 0,
+        free_blocks_min: 0,
+        free_blocks_max: 0,
+        ..full_feature_params()
+    };
+    let mut fs = StegFs::format(MemBlockDevice::new(1024, 4096), params).unwrap();
+    fs.steg_create("obvious", OWNER, ObjectKind::File).unwrap();
+    fs.write_hidden_with_key("obvious", OWNER, &vec![0u8; 50 * 1024])
+        .unwrap();
+
+    let sb = fs.plain_fs_mut().superblock().clone();
+    let plain_blocks: std::collections::HashSet<u64> = fs
+        .plain_fs_mut()
+        .plain_object_blocks()
+        .unwrap()
+        .into_iter()
+        .collect();
+    let mut free_sample = Vec::new();
+    let mut hidden_sample = Vec::new();
+    for block in sb.data_start..sb.total_blocks {
+        let allocated = fs.plain_fs_mut().is_block_allocated(block);
+        if !allocated && free_sample.len() < 32 * 1024 {
+            free_sample.extend(fs.plain_fs_mut().read_raw_block(block).unwrap());
+        } else if allocated
+            && !plain_blocks.contains(&block)
+            && hidden_sample.len() < 32 * 1024
+        {
+            hidden_sample.extend(fs.plain_fs_mut().read_raw_block(block).unwrap());
+        }
+    }
+    let e_free = entropy_bits_per_byte(&free_sample);
+    let e_hidden = entropy_bits_per_byte(&hidden_sample);
+    assert!(e_free < 1.0, "zero-filled free space has near-zero entropy");
+    assert!(e_hidden > 7.0, "encrypted blocks are high entropy");
+    // The gap is the leak: an adversary can spot hidden data immediately.
+    assert!(e_hidden - e_free > 5.0);
+}

@@ -1,0 +1,37 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+#![forbid(unsafe_code)]
+
+use stegfs_blockdev::MemBlockDevice;
+use stegfs_core::{StegFs, StegParams};
+
+/// Parameters small enough for integration tests but with every feature
+/// (abandoned blocks, dummy files, random fill) switched on, so the tests
+/// exercise the same code paths as a production format.
+pub fn full_feature_params() -> StegParams {
+    StegParams {
+        abandoned_pct: 2.0,
+        free_blocks_min: 1,
+        free_blocks_max: 6,
+        dummy_file_count: 3,
+        dummy_file_size: 8 * 1024,
+        max_locator_probes: 50_000,
+        volume_seed: 0xdead_beef,
+        random_fill: true,
+    }
+}
+
+/// Format a fresh in-memory StegFS volume of `blocks` 1 KB blocks with the
+/// full-feature parameters.
+pub fn test_volume(blocks: u64) -> StegFs<MemBlockDevice> {
+    StegFs::format(MemBlockDevice::new(1024, blocks), full_feature_params())
+        .expect("formatting an in-memory test volume")
+}
+
+/// Deterministic pseudo-random payload for test files.
+pub fn payload(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = stegfs_crypto::prng::XorShiftRng::new(seed);
+    let mut data = vec![0u8; len];
+    rng.fill(&mut data);
+    data
+}
