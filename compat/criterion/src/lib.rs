@@ -1,0 +1,241 @@
+//! Offline shim for the subset of the Criterion.rs API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so this path dependency
+//! stands in for the real crate.  It keeps the statistical machinery out and
+//! the calling convention in: benches compile unchanged, run a handful of
+//! timed iterations, and print a one-line mean per benchmark.  Swapping the
+//! path dependency for the real `criterion` restores full measurements
+//! without touching any bench source.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, Criterion's optimisation barrier.
+pub use std::hint::black_box;
+
+/// Upper bound on wall time spent measuring one benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+/// Upper bound on measured iterations per benchmark.
+const MAX_ITERS: u64 = 20;
+
+/// Identifier of a single benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark named `function_name` parameterised by `parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A benchmark identified by its parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Throughput annotation for a benchmark group (recorded, echoed in output).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Accepted for CLI compatibility; arguments are ignored by the shim.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().id, None, &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes samples itself.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotate the group with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.throughput, &mut f);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let mut wrapped = |b: &mut Bencher| f(b, input);
+        run_one(&full, self.throughput, &mut wrapped);
+        self
+    }
+
+    /// Finish the group (a no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            self.iters += 1;
+            self.elapsed = start.elapsed();
+            if self.iters >= MAX_ITERS || self.elapsed >= MEASURE_BUDGET {
+                break;
+            }
+        }
+    }
+
+    /// Time repeated calls of `routine`, re-running `setup` (untimed) before
+    /// each call.
+    pub fn iter_with_setup<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+    ) {
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+            if self.iters >= MAX_ITERS || self.elapsed >= MEASURE_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, f: &mut F) {
+    let mut b = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean = if b.iters > 0 {
+        b.elapsed / b.iters as u32
+    } else {
+        Duration::ZERO
+    };
+    match throughput {
+        Some(Throughput::Bytes(n)) if !mean.is_zero() => {
+            let mbps = n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0);
+            println!(
+                "bench {name}: {mean:?}/iter ({b_iters} iters, {mbps:.1} MiB/s)",
+                b_iters = b.iters
+            );
+        }
+        Some(Throughput::Elements(n)) if !mean.is_zero() => {
+            let eps = n as f64 / mean.as_secs_f64();
+            println!(
+                "bench {name}: {mean:?}/iter ({b_iters} iters, {eps:.0} elem/s)",
+                b_iters = b.iters
+            );
+        }
+        _ => println!("bench {name}: {mean:?}/iter ({} iters)", b.iters),
+    }
+}
+
+/// Collect benchmark functions into a named group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` from one or more `criterion_group!` runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

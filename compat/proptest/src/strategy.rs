@@ -1,0 +1,272 @@
+//! Value-generation strategies for the shimmed property runner.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating pseudo-random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Types with a canonical full-range strategy, obtained via [`any`].
+pub trait Arbitrary: Sized {
+    /// Produce one arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy over the full value range of `A` (`any::<u8>()` etc.).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<A> {
+    _marker: PhantomData<A>,
+}
+
+/// The canonical full-range strategy for `A`.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any {
+        _marker: PhantomData,
+    }
+}
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )+};
+}
+
+impl_strategy_int_range!(u8, u16, u32, u64, usize);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// String-pattern strategy: a `&str` literal is interpreted as a sequence of
+/// char-class atoms, e.g. `"[a-z][a-z0-9-]{0,16}"`.  This covers the regex
+/// subset the workspace's properties actually use: literal characters,
+/// `[...]` classes with ranges, and `{n}` / `{m,n}` quantifiers.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let span = (atom.max - atom.min) as u64;
+            let reps = atom.min + rng.below(span + 1) as usize;
+            for _ in 0..reps {
+                let idx = rng.below(atom.chars.len() as u64) as usize;
+                out.push(atom.chars[idx]);
+            }
+        }
+        out
+    }
+}
+
+struct Atom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .expect("unclosed [ in pattern")
+                    + i;
+                let set = expand_class(&chars[i + 1..close]);
+                i = close + 1;
+                set
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars.get(i).expect("dangling escape in pattern");
+                i += 1;
+                vec![c]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unclosed { in pattern")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad quantifier"),
+                    hi.trim().parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad quantifier order in pattern");
+        assert!(!set.is_empty(), "empty char class in pattern");
+        atoms.push(Atom {
+            chars: set,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+fn expand_class(body: &[char]) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            assert!(lo <= hi, "inverted range in char class");
+            for c in lo..=hi {
+                set.push(c);
+            }
+            i += 3;
+        } else {
+            set.push(body[i]);
+            i += 1;
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        for _ in 0..1000 {
+            let v = (3u8..7).generate(&mut rng);
+            assert!((3..7).contains(&v));
+            let v = (10usize..=10).generate(&mut rng);
+            assert_eq!(v, 10);
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = TestRng::deterministic("patterns");
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9-]{0,16}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 17);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            let s = "[a-zA-Z0-9 ]{4,24}".generate(&mut rng);
+            assert!(s.len() >= 4 && s.len() <= 24);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let mut rng = TestRng::deterministic("vecs");
+        for _ in 0..200 {
+            let v = crate::collection::vec(any::<u8>(), 2..5).generate(&mut rng);
+            assert!(v.len() >= 2 && v.len() < 5);
+        }
+    }
+}

@@ -23,8 +23,8 @@ fn tables() -> &'static Tables {
         let mut log = [0u8; 256];
         let mut exp = [0u8; 512];
         let mut x: u8 = 1;
-        for i in 0..255usize {
-            exp[i] = x;
+        for (i, e) in exp.iter_mut().enumerate().take(255) {
+            *e = x;
             log[x as usize] = i as u8;
             x = mul_slow(x, GENERATOR);
         }
@@ -139,12 +139,12 @@ pub fn solve(matrix: &[Vec<u8>], rhs: &[u8]) -> Option<Vec<u8>> {
             *v = div(*v, p);
         }
         // Eliminate the column from all other rows.
-        for row in 0..n {
-            if row != col && m[row][col] != 0 {
-                let factor = m[row][col];
-                for k in 0..=n {
-                    let sub = mul(factor, m[col][k]);
-                    m[row][k] = add(m[row][k], sub);
+        let pivot_row = m[col].clone();
+        for (row, row_vals) in m.iter_mut().enumerate().take(n) {
+            if row != col && row_vals[col] != 0 {
+                let factor = row_vals[col];
+                for (cell, &pv) in row_vals.iter_mut().zip(&pivot_row) {
+                    *cell = add(*cell, mul(factor, pv));
                 }
             }
         }

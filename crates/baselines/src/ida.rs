@@ -75,9 +75,9 @@ impl Ida {
         for g in 0..groups {
             // Coefficients of this group's polynomial (zero padded).
             let mut coeffs = vec![0u8; self.m];
-            for i in 0..self.m {
+            for (i, c) in coeffs.iter_mut().enumerate() {
                 if let Some(&b) = data.get(g * self.m + i) {
-                    coeffs[i] = b;
+                    *c = b;
                 }
             }
             for share in shares.iter_mut() {

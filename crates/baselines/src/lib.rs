@@ -98,7 +98,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(BaselineError::NotFound("x".into()).to_string().contains("wrong password"));
+        assert!(BaselineError::NotFound("x".into())
+            .to_string()
+            .contains("wrong password"));
         assert!(BaselineError::DataLoss {
             name: "f".into(),
             lost_block: 3
@@ -112,6 +114,8 @@ mod tests {
         }
         .to_string()
         .contains("exceeds"));
-        assert!(BaselineError::Invalid("bad".into()).to_string().contains("bad"));
+        assert!(BaselineError::Invalid("bad".into())
+            .to_string()
+            .contains("bad"));
     }
 }

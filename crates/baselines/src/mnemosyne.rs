@@ -79,7 +79,12 @@ impl<D: BlockDevice> Mnemosyne<D> {
         let bs = self.dev.block_size();
         for (piece_idx, chunk) in share.data.chunks(payload).enumerate() {
             let mut block = vec![0u8; bs];
-            block[..TAG_LEN].copy_from_slice(&self.tag(name, password, share.index, piece_idx as u64));
+            block[..TAG_LEN].copy_from_slice(&self.tag(
+                name,
+                password,
+                share.index,
+                piece_idx as u64,
+            ));
             block[TAG_LEN..TAG_LEN + LEN_FIELD]
                 .copy_from_slice(&(chunk.len() as u16).to_be_bytes());
             block[TAG_LEN + LEN_FIELD..TAG_LEN + LEN_FIELD + chunk.len()].copy_from_slice(chunk);
@@ -106,8 +111,8 @@ impl<D: BlockDevice> Mnemosyne<D> {
             if !stegfs_crypto::ct::ct_eq(&block[..TAG_LEN], &tag) {
                 return Ok(None); // this share is damaged
             }
-            let len =
-                u16::from_be_bytes(block[TAG_LEN..TAG_LEN + LEN_FIELD].try_into().unwrap()) as usize;
+            let len = u16::from_be_bytes(block[TAG_LEN..TAG_LEN + LEN_FIELD].try_into().unwrap())
+                as usize;
             if len > payload {
                 return Ok(None);
             }

@@ -49,7 +49,7 @@ impl<D: BlockDevice> StegCover<D> {
     /// covers for files of at most 2 MB).
     pub fn format(mut dev: D, cover_size_bytes: u64, subset_size: usize) -> BaselineResult<Self> {
         let bs = dev.block_size() as u64;
-        if cover_size_bytes == 0 || cover_size_bytes % bs != 0 {
+        if cover_size_bytes == 0 || !cover_size_bytes.is_multiple_of(bs) {
             return Err(BaselineError::Invalid(format!(
                 "cover size {cover_size_bytes} is not a multiple of the block size {bs}"
             )));
@@ -343,7 +343,11 @@ mod tests {
         let mut cover = store_16mb();
         for i in 0..10 {
             cover
-                .store(&format!("file-{i}"), "pw", format!("contents {i}").as_bytes())
+                .store(
+                    &format!("file-{i}"),
+                    "pw",
+                    format!("contents {i}").as_bytes(),
+                )
                 .unwrap();
         }
         for i in 0..10 {

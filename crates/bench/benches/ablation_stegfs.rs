@@ -57,7 +57,8 @@ fn ablation_locator_occupancy(c: &mut Criterion) {
                     StegFs::format(MemBlockDevice::new(1024, 8192), params_with(1.0, 4)).unwrap();
                 fs.steg_create("needle", "uak", ObjectKind::File).unwrap();
                 for i in 0..n {
-                    fs.write_plain(&format!("/hay-{i}"), &vec![0u8; 8 * 1024]).unwrap();
+                    fs.write_plain(&format!("/hay-{i}"), &vec![0u8; 8 * 1024])
+                        .unwrap();
                 }
                 b.iter(|| fs.open_hidden("needle", "uak").unwrap());
             },

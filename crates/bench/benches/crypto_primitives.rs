@@ -38,16 +38,12 @@ fn bench_aes(c: &mut Criterion) {
     for size in [1024usize, 2 * 1024 * 1024] {
         let mut data = vec![0x5au8; size];
         group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(
-            BenchmarkId::new("ctr_transform", size),
-            &size,
-            |b, _| {
-                b.iter(|| {
-                    let iv = derive_iv(&[7u8; 32], 9);
-                    ctr.apply(&iv, &mut data);
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("ctr_transform", size), &size, |b, _| {
+            b.iter(|| {
+                let iv = derive_iv(&[7u8; 32], 9);
+                ctr.apply(&iv, &mut data);
+            });
+        });
     }
     group.finish();
 }

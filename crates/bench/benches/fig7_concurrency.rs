@@ -13,7 +13,11 @@ fn fig7(c: &mut Criterion) {
     group.sample_size(10);
     let params = bench_workload();
     let specs = params.generate_files();
-    for kind in [SchemeKind::CleanDisk, SchemeKind::StegFs, SchemeKind::StegRand] {
+    for kind in [
+        SchemeKind::CleanDisk,
+        SchemeKind::StegFs,
+        SchemeKind::StegRand,
+    ] {
         for users in [1usize, 8] {
             group.bench_with_input(
                 BenchmarkId::new(kind.label(), users),

@@ -10,7 +10,11 @@ fn fig9(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9_block_size");
     group.sample_size(10);
     for block_size in [1024usize, 8192, 65536] {
-        for kind in [SchemeKind::CleanDisk, SchemeKind::FragDisk, SchemeKind::StegFs] {
+        for kind in [
+            SchemeKind::CleanDisk,
+            SchemeKind::FragDisk,
+            SchemeKind::StegFs,
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(kind.label(), block_size),
                 &block_size,

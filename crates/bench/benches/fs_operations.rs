@@ -39,7 +39,8 @@ fn bench_plain_fs(c: &mut Criterion) {
         );
     });
 
-    let mut fs = PlainFs::format(MemBlockDevice::new(1024, 8192), FormatOptions::default()).unwrap();
+    let mut fs =
+        PlainFs::format(MemBlockDevice::new(1024, 8192), FormatOptions::default()).unwrap();
     fs.write_file("/f", &data).unwrap();
     group.bench_function("read_256k", |b| {
         b.iter(|| fs.read_file("/f").unwrap());
@@ -81,7 +82,8 @@ fn bench_hidden_fs(c: &mut Criterion) {
                 fs.steg_create("target", "uak", ObjectKind::File).unwrap();
                 // Crowd the volume so the locator has to skip allocated blocks.
                 for i in 0..occupancy {
-                    fs.write_plain(&format!("/crowd-{i}"), &vec![0u8; 4096]).unwrap();
+                    fs.write_plain(&format!("/crowd-{i}"), &vec![0u8; 4096])
+                        .unwrap();
                 }
                 b.iter(|| fs.open_hidden("target", "uak").unwrap());
             },

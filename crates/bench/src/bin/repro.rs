@@ -10,8 +10,8 @@
 //! the paper's 1 GB / 100 × (1–2 MB) configuration (expect a long run).
 
 use stegfs_sim::experiments::{
-    figure6, figure7, figure8, figure9, render_access_rows, render_figure6,
-    render_space_summary, space_summary, tables,
+    figure6, figure7, figure8, figure9, render_access_rows, render_figure6, render_space_summary,
+    space_summary, tables,
 };
 use stegfs_sim::WorkloadParams;
 
@@ -99,7 +99,14 @@ fn main() {
         (WorkloadParams::scaled_quick(), 128, 2, 64)
     };
 
-    println!("StegFS reproduction — {} scale", if opts.full { "paper (1 GB)" } else { "scaled (64-128 MB)" });
+    println!(
+        "StegFS reproduction — {} scale",
+        if opts.full {
+            "paper (1 GB)"
+        } else {
+            "scaled (64-128 MB)"
+        }
+    );
     println!("================================================================");
     println!();
 

@@ -154,7 +154,11 @@ mod tests {
         cache.read_block(5, &mut buf).unwrap();
         cache.read_block(5, &mut buf).unwrap();
         cache.read_block(5, &mut buf).unwrap();
-        assert_eq!(io.snapshot().reads, 1, "only the first read reaches the device");
+        assert_eq!(
+            io.snapshot().reads,
+            1,
+            "only the first read reaches the device"
+        );
         assert_eq!(cache.stats().hits, 2);
         assert_eq!(cache.stats().misses, 1);
     }

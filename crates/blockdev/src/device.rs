@@ -164,6 +164,34 @@ impl SharedDevice {
         let mut guard = self.inner.lock();
         f(guard.as_mut())
     }
+
+    /// Read one block through a shared (`&self`) handle.
+    ///
+    /// The `BlockDevice` trait takes `&mut self`; these helpers let code that
+    /// only holds a clone of the handle — a reader thread, an adversary
+    /// scanning the raw volume — do I/O without declaring the handle `mut`.
+    pub fn read_block_shared(&self, block: BlockId) -> BlockResult<Vec<u8>> {
+        self.with(|d| d.read_block_vec(block))
+    }
+
+    /// Write one block through a shared (`&self`) handle.
+    pub fn write_block_shared(&self, block: BlockId, buf: &[u8]) -> BlockResult<()> {
+        self.with(|d| d.write_block(block, buf))
+    }
+
+    /// Number of clones of this handle currently alive.
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.inner)
+    }
+
+    /// Recover the boxed inner device if this is the last handle; otherwise
+    /// return the handle unchanged.
+    pub fn try_into_inner(self) -> Result<Box<dyn BlockDevice + Send>, SharedDevice> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(mutex) => Ok(mutex.into_inner()),
+            Err(inner) => Err(SharedDevice { inner }),
+        }
+    }
 }
 
 impl BlockDevice for SharedDevice {
@@ -286,5 +314,31 @@ mod tests {
         let dev = SharedDevice::new(MemBlockDevice::new(32, 2));
         let total = dev.with(|d| d.total_blocks());
         assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn shared_device_shared_ref_io() {
+        let dev = SharedDevice::new(MemBlockDevice::new(64, 4));
+        let reader = dev.clone();
+        dev.write_block_shared(1, &[0x5a; 64]).unwrap();
+        assert_eq!(reader.read_block_shared(1).unwrap(), vec![0x5a; 64]);
+        assert_eq!(dev.handle_count(), 2);
+    }
+
+    #[test]
+    fn shared_device_try_into_inner() {
+        let dev = SharedDevice::new(MemBlockDevice::new(64, 4));
+        let clone = dev.clone();
+        // Two handles alive: recovery fails and returns the handle.
+        let dev = match dev.try_into_inner() {
+            Err(handle) => handle,
+            Ok(_) => panic!("unwrap must fail while a clone is alive"),
+        };
+        drop(clone);
+        // Last handle: recovery succeeds.
+        let Ok(inner) = dev.try_into_inner() else {
+            panic!("sole handle must unwrap");
+        };
+        assert_eq!(inner.total_blocks(), 4);
     }
 }

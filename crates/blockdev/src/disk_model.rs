@@ -376,7 +376,9 @@ mod tests {
         let mut m2 = model_1kb();
         m2.read(1000);
         // Random pattern far apart.
-        let rand: f64 = (0..100u64).map(|i| m2.read((i * 7919 + 13) % 1_000_000)).sum();
+        let rand: f64 = (0..100u64)
+            .map(|i| m2.read((i * 7919 + 13) % 1_000_000))
+            .sum();
 
         assert!(
             rand > seq * 10.0,
@@ -428,7 +430,10 @@ mod tests {
     fn rotational_latency_from_rpm() {
         let p = DiskParameters::ultra_ata_100();
         let lat = p.avg_rotational_latency_ms();
-        assert!((lat - 4.1666).abs() < 0.01, "7200 rpm -> ~4.17 ms, got {lat}");
+        assert!(
+            (lat - 4.1666).abs() < 0.01,
+            "7200 rpm -> ~4.17 ms, got {lat}"
+        );
         assert_eq!(DiskParameters::ssd_like().avg_rotational_latency_ms(), 0.0);
     }
 

@@ -33,7 +33,10 @@ impl fmt::Display for BlockError {
                 write!(f, "block {block} out of range (device has {total} blocks)")
             }
             BlockError::BadBufferLength { got, expected } => {
-                write!(f, "buffer length {got} does not match block size {expected}")
+                write!(
+                    f,
+                    "buffer length {got} does not match block size {expected}"
+                )
             }
             BlockError::Io(e) => write!(f, "I/O error: {e}"),
         }
@@ -63,8 +66,14 @@ impl PartialEq for BlockError {
                 BlockError::OutOfRange { block: c, total: d },
             ) => a == c && b == d,
             (
-                BlockError::BadBufferLength { got: a, expected: b },
-                BlockError::BadBufferLength { got: c, expected: d },
+                BlockError::BadBufferLength {
+                    got: a,
+                    expected: b,
+                },
+                BlockError::BadBufferLength {
+                    got: c,
+                    expected: d,
+                },
             ) => a == c && b == d,
             (BlockError::Io(a), BlockError::Io(b)) => a.kind() == b.kind(),
             _ => false,
@@ -80,9 +89,12 @@ mod tests {
     fn display_messages() {
         let e = BlockError::OutOfRange { block: 9, total: 4 };
         assert!(e.to_string().contains("block 9"));
-        let e = BlockError::BadBufferLength { got: 10, expected: 1024 };
+        let e = BlockError::BadBufferLength {
+            got: 10,
+            expected: 1024,
+        };
         assert!(e.to_string().contains("1024"));
-        let e = BlockError::Io(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let e = BlockError::Io(std::io::Error::other("boom"));
         assert!(e.to_string().contains("boom"));
     }
 
@@ -99,7 +111,10 @@ mod tests {
         );
         assert_ne!(
             BlockError::OutOfRange { block: 1, total: 2 },
-            BlockError::BadBufferLength { got: 1, expected: 2 }
+            BlockError::BadBufferLength {
+                got: 1,
+                expected: 2
+            }
         );
     }
 }

@@ -95,7 +95,11 @@ mod tests {
 
     fn temp_path(name: &str) -> std::path::PathBuf {
         let mut p = std::env::temp_dir();
-        p.push(format!("stegfs-blockdev-test-{}-{}", std::process::id(), name));
+        p.push(format!(
+            "stegfs-blockdev-test-{}-{}",
+            std::process::id(),
+            name
+        ));
         p
     }
 

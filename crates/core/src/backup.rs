@@ -51,10 +51,7 @@ impl BackupImage {
     /// Overhead of the image relative to the raw volume: the number of bytes
     /// devoted to raw block images (the paper's backup-cost argument).
     pub fn raw_image_bytes(&self) -> u64 {
-        self.hidden_blocks
-            .iter()
-            .map(|(_, d)| d.len() as u64)
-            .sum()
+        self.hidden_blocks.iter().map(|(_, d)| d.len() as u64).sum()
     }
 
     /// Serialise and authenticate with `admin_key`.

@@ -278,7 +278,7 @@ mod tests {
 
     #[test]
     fn header_fits_smallest_block_size() {
-        assert!(HEADER_LEN <= 512, "header is {HEADER_LEN} bytes");
+        const { assert!(HEADER_LEN <= 512) }
     }
 
     #[test]
@@ -315,7 +315,9 @@ mod tests {
     fn random_garbage_rejected() {
         // A block of pseudo-random bytes should never parse: the signature
         // check alone rejects it.
-        let garbage: Vec<u8> = (0..1024u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let garbage: Vec<u8> = (0..1024u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
         assert!(HiddenHeader::parse_if_match(&garbage, &sig(7), 1 << 20).is_none());
     }
 

@@ -237,10 +237,7 @@ mod tests {
     #[test]
     fn empty_directory_roundtrip() {
         let dir = UakDirectory::new();
-        assert_eq!(
-            UakDirectory::deserialize(&dir.serialize()).unwrap(),
-            dir
-        );
+        assert_eq!(UakDirectory::deserialize(&dir.serialize()).unwrap(), dir);
     }
 
     #[test]

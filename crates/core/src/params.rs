@@ -135,21 +135,29 @@ mod tests {
 
     #[test]
     fn invalid_combinations_rejected() {
-        let mut p = StegParams::default();
-        p.abandoned_pct = 90.0;
+        let p = StegParams {
+            abandoned_pct: 90.0,
+            ..StegParams::default()
+        };
         assert!(p.validate().is_err());
 
-        let mut p = StegParams::default();
-        p.free_blocks_max = FREE_POOL_CAPACITY + 1;
+        let p = StegParams {
+            free_blocks_max: FREE_POOL_CAPACITY + 1,
+            ..StegParams::default()
+        };
         assert!(p.validate().is_err());
 
-        let mut p = StegParams::default();
-        p.free_blocks_min = 11;
-        p.free_blocks_max = 10;
+        let p = StegParams {
+            free_blocks_min: 11,
+            free_blocks_max: 10,
+            ..StegParams::default()
+        };
         assert!(p.validate().is_err());
 
-        let mut p = StegParams::default();
-        p.max_locator_probes = 0;
+        let p = StegParams {
+            max_locator_probes: 0,
+            ..StegParams::default()
+        };
         assert!(p.validate().is_err());
     }
 }

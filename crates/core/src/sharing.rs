@@ -179,9 +179,7 @@ mod tests {
         let env = ShareEnvelope::seal(&e, &kp.public, b"entropy-6").unwrap();
         let raw = env.as_bytes();
         // Neither the object name nor the FAK bytes appear in the clear.
-        assert!(!raw
-            .windows(e.name.len())
-            .any(|w| w == e.name.as_bytes()));
+        assert!(!raw.windows(e.name.len()).any(|w| w == e.name.as_bytes()));
         assert!(!raw.windows(FAK_LEN).any(|w| w == e.fak));
     }
 

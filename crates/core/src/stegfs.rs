@@ -100,6 +100,18 @@ pub struct HiddenHandle {
     object: HiddenObject,
 }
 
+impl HiddenHandle {
+    /// Current size in bytes of the object behind this handle.
+    pub fn size(&self) -> u64 {
+        self.object.size()
+    }
+
+    /// File or directory.
+    pub fn kind(&self) -> ObjectKind {
+        self.object.kind()
+    }
+}
+
 /// A mounted StegFS volume.
 pub struct StegFs<D: BlockDevice> {
     fs: PlainFs<D>,
@@ -136,7 +148,7 @@ impl<D: BlockDevice> StegFs<D> {
             fak_counter: 0,
             config: VolumeConfig {
                 abandoned_count: 0,
-                dummy_seed: params.volume_seed ^ 0x6475_6d6d_79u64,
+                dummy_seed: params.volume_seed ^ 0x0064_756d_6d79_u64,
                 dummy_count: params.dummy_file_count as u32,
                 dummy_size: params.dummy_file_size,
             },
@@ -333,7 +345,10 @@ impl<D: BlockDevice> StegFs<D> {
         ObjectKeys::derive(UAK_DIRECTORY_NAME, uak.as_bytes())
     }
 
-    fn load_uak_directory(&mut self, uak: &str) -> StegResult<(UakDirectory, Option<HiddenObject>)> {
+    fn load_uak_directory(
+        &mut self,
+        uak: &str,
+    ) -> StegResult<(UakDirectory, Option<HiddenObject>)> {
         let keys = Self::uak_keys(uak);
         match hidden::open(&mut self.fs, UAK_DIRECTORY_NAME, &keys, &self.params) {
             Ok(obj) => {
@@ -552,6 +567,110 @@ impl<D: BlockDevice> StegFs<D> {
         hidden::write_range(&mut self.fs, &handle.keys, &handle.object, offset, data)
     }
 
+    /// Public form of the UAK-directory lookup: resolve `objname` under
+    /// `uak` to its directory entry.  Layers above (the VFS front-end) cache
+    /// the entry per user session so repeated opens skip the directory walk.
+    pub fn lookup_entry(&mut self, objname: &str, uak: &str) -> StegResult<DirectoryEntry> {
+        self.entry_for(objname, uak)
+    }
+
+    /// Open a hidden object directly from a (possibly cached) directory
+    /// entry, skipping the UAK-directory walk that [`Self::open_hidden`]
+    /// performs.
+    pub fn open_hidden_entry(&mut self, entry: &DirectoryEntry) -> StegResult<HiddenHandle> {
+        let keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
+        let object = hidden::open(&mut self.fs, &entry.physical_name, &keys, &self.params)?;
+        Ok(HiddenHandle {
+            name: entry.name.clone(),
+            keys,
+            object,
+        })
+    }
+
+    /// Write `data` at `offset` through an open handle, extending the object
+    /// (and zero-filling any gap) when the range passes the current end.
+    ///
+    /// In-bounds updates patch blocks in place; extending rewrites the object
+    /// through the free-pool recycling path, so the handle's cached header is
+    /// refreshed — which is why this takes `&mut HiddenHandle` where the
+    /// in-place [`Self::write_range_at`] does not.
+    pub fn write_at_handle(
+        &mut self,
+        handle: &mut HiddenHandle,
+        offset: u64,
+        data: &[u8],
+    ) -> StegResult<()> {
+        if handle.object.kind() != ObjectKind::File {
+            return Err(StegError::WrongObjectKind {
+                name: handle.name.clone(),
+                expected: ObjectKind::File,
+            });
+        }
+        if data.is_empty() {
+            return Ok(());
+        }
+        let end = offset
+            .checked_add(data.len() as u64)
+            .ok_or(StegError::NoSpace)?;
+        if end <= handle.object.size() {
+            return hidden::write_range(&mut self.fs, &handle.keys, &handle.object, offset, data);
+        }
+        // Grow to `end` at block granularity (zero-filling any gap), then
+        // patch the written range in place — O(append), not O(file).
+        hidden::resize(
+            &mut self.fs,
+            &handle.keys,
+            &mut handle.object,
+            end,
+            &self.params,
+            &mut self.rng,
+        )?;
+        hidden::write_range(&mut self.fs, &handle.keys, &handle.object, offset, data)
+    }
+
+    /// Set the size of the object behind `handle` to `new_len`, truncating or
+    /// zero-extending as needed.
+    pub fn truncate_handle(&mut self, handle: &mut HiddenHandle, new_len: u64) -> StegResult<()> {
+        if handle.object.kind() != ObjectKind::File {
+            return Err(StegError::WrongObjectKind {
+                name: handle.name.clone(),
+                expected: ObjectKind::File,
+            });
+        }
+        if new_len == handle.object.size() {
+            return Ok(());
+        }
+        hidden::resize(
+            &mut self.fs,
+            &handle.keys,
+            &mut handle.object,
+            new_len,
+            &self.params,
+            &mut self.rng,
+        )
+    }
+
+    /// Rename the hidden object `objname` to `newname` within `uak`'s
+    /// directory.  Only the directory entry changes; the physical name, FAK
+    /// and every block of the object stay put, so outstanding shares of the
+    /// `(physical name, FAK)` pair keep working.
+    pub fn rename_hidden(&mut self, objname: &str, newname: &str, uak: &str) -> StegResult<()> {
+        if newname.is_empty() || newname.contains('\0') {
+            return Err(StegError::InvalidName(newname.to_string()));
+        }
+        let (mut dir, existing) = self.load_uak_directory(uak)?;
+        if dir.find(newname).is_some() {
+            return Err(StegError::AlreadyExists(newname.to_string()));
+        }
+        let mut entry = dir
+            .remove(objname)
+            .ok_or_else(|| StegError::NotFound(objname.to_string()))?;
+        entry.name = newname.to_string();
+        dir.insert(entry)?;
+        self.session.disconnect(objname);
+        self.save_uak_directory(uak, &dir, existing)
+    }
+
     fn read_hidden_entry(&mut self, entry: &DirectoryEntry) -> StegResult<Vec<u8>> {
         let keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
         let obj = hidden::open(&mut self.fs, &entry.physical_name, &keys, &self.params)?;
@@ -559,8 +678,10 @@ impl<D: BlockDevice> StegFs<D> {
     }
 
     /// Delete the hidden object `objname` and remove it from the UAK
-    /// directory.
-    pub fn delete_hidden(&mut self, objname: &str, uak: &str) -> StegResult<()> {
+    /// directory.  Returns the removed entry so callers that track objects
+    /// by physical name (the VFS object cache) need not re-walk the
+    /// directory just to learn it.
+    pub fn delete_hidden(&mut self, objname: &str, uak: &str) -> StegResult<DirectoryEntry> {
         let (mut dir, existing) = self.load_uak_directory(uak)?;
         let entry = dir
             .remove(objname)
@@ -569,7 +690,8 @@ impl<D: BlockDevice> StegFs<D> {
         let obj = hidden::open(&mut self.fs, &entry.physical_name, &keys, &self.params)?;
         hidden::delete(&mut self.fs, &keys, &obj, &mut self.rng)?;
         self.session.disconnect(objname);
-        self.save_uak_directory(uak, &dir, existing)
+        self.save_uak_directory(uak, &dir, existing)?;
+        Ok(entry)
     }
 
     /// `steg_hide`: convert the plain file at `pathname` into the hidden
@@ -587,7 +709,8 @@ impl<D: BlockDevice> StegFs<D> {
     pub fn steg_unhide(&mut self, pathname: &str, objname: &str, uak: &str) -> StegResult<()> {
         let data = self.read_hidden_with_key(objname, uak)?;
         self.fs.write_file(pathname, &data)?;
-        self.delete_hidden(objname, uak)
+        self.delete_hidden(objname, uak)?;
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -684,7 +807,12 @@ impl<D: BlockDevice> StegFs<D> {
             });
         }
         let keys = ObjectKeys::derive(&parent_entry.physical_name, &parent_entry.fak);
-        let obj = hidden::open(&mut self.fs, &parent_entry.physical_name, &keys, &self.params)?;
+        let obj = hidden::open(
+            &mut self.fs,
+            &parent_entry.physical_name,
+            &keys,
+            &self.params,
+        )?;
         let raw = hidden::read(&mut self.fs, &keys, &obj)?;
         let mut children = if raw.is_empty() {
             UakDirectory::new()
@@ -697,15 +825,15 @@ impl<D: BlockDevice> StegFs<D> {
 
         // Create the child object itself.
         let fak = self.generate_fak(child_name);
-        let physical_name = format!(
-            "{}:{}/{}",
-            Self::owner_tag(uak),
-            parent,
-            child_name
-        );
+        let physical_name = format!("{}:{}/{}", Self::owner_tag(uak), parent, child_name);
         let child_keys = ObjectKeys::derive(&physical_name, &fak);
-        let mut child_obj =
-            hidden::create(&mut self.fs, &physical_name, &child_keys, kind, &self.params)?;
+        let mut child_obj = hidden::create(
+            &mut self.fs,
+            &physical_name,
+            &child_keys,
+            kind,
+            &self.params,
+        )?;
         if kind == ObjectKind::Directory {
             hidden::write(
                 &mut self.fs,
@@ -724,8 +852,12 @@ impl<D: BlockDevice> StegFs<D> {
         })?;
 
         // Persist the updated listing into the parent.
-        let mut parent_obj =
-            hidden::open(&mut self.fs, &parent_entry.physical_name, &keys, &self.params)?;
+        let mut parent_obj = hidden::open(
+            &mut self.fs,
+            &parent_entry.physical_name,
+            &keys,
+            &self.params,
+        )?;
         hidden::write(
             &mut self.fs,
             &keys,
@@ -750,7 +882,12 @@ impl<D: BlockDevice> StegFs<D> {
             });
         }
         let keys = ObjectKeys::derive(&parent_entry.physical_name, &parent_entry.fak);
-        let obj = hidden::open(&mut self.fs, &parent_entry.physical_name, &keys, &self.params)?;
+        let obj = hidden::open(
+            &mut self.fs,
+            &parent_entry.physical_name,
+            &keys,
+            &self.params,
+        )?;
         let raw = hidden::read(&mut self.fs, &keys, &obj)?;
         let children = if raw.is_empty() {
             UakDirectory::new()
@@ -1041,7 +1178,8 @@ mod tests {
         let mut fs = small_fs();
         fs.write_plain("/notes.txt", b"shopping list").unwrap();
         fs.create_plain_dir("/docs").unwrap();
-        fs.write_plain("/docs/report.txt", b"quarterly report").unwrap();
+        fs.write_plain("/docs/report.txt", b"quarterly report")
+            .unwrap();
         assert_eq!(fs.read_plain("/notes.txt").unwrap(), b"shopping list");
         let names = fs.list_plain_dir("/").unwrap();
         assert!(names.contains(&"notes.txt".to_string()));
@@ -1088,7 +1226,8 @@ mod tests {
             Err(StegError::AlreadyExists(_))
         ));
         // The same name under a different UAK is fine.
-        fs.steg_create("x", "another uak", ObjectKind::File).unwrap();
+        fs.steg_create("x", "another uak", ObjectKind::File)
+            .unwrap();
     }
 
     #[test]
@@ -1111,14 +1250,17 @@ mod tests {
         let mut fs = small_fs();
         fs.write_plain("/diary.txt", b"dear diary").unwrap();
         fs.steg_hide("/diary.txt", "diary", UAK).unwrap();
-        assert!(!fs.plain_exists("/diary.txt").unwrap(), "plain source deleted");
-        assert_eq!(fs.read_hidden_with_key("diary", UAK).unwrap(), b"dear diary");
-
-        fs.steg_unhide("/diary-restored.txt", "diary", UAK).unwrap();
+        assert!(
+            !fs.plain_exists("/diary.txt").unwrap(),
+            "plain source deleted"
+        );
         assert_eq!(
-            fs.read_plain("/diary-restored.txt").unwrap(),
+            fs.read_hidden_with_key("diary", UAK).unwrap(),
             b"dear diary"
         );
+
+        fs.steg_unhide("/diary-restored.txt", "diary", UAK).unwrap();
+        assert_eq!(fs.read_plain("/diary-restored.txt").unwrap(), b"dear diary");
         assert!(fs
             .read_hidden_with_key("diary", UAK)
             .unwrap_err()
@@ -1208,7 +1350,8 @@ mod tests {
 
         // The recipient now reads (and can update) the same object.
         assert_eq!(
-            fs.read_hidden_with_key("design-doc", recipient_uak).unwrap(),
+            fs.read_hidden_with_key("design-doc", recipient_uak)
+                .unwrap(),
             b"shared contents"
         );
         fs.write_hidden_with_key("design-doc", recipient_uak, b"recipient edit")
@@ -1226,8 +1369,10 @@ mod tests {
         let recipient_uak = "recipient key";
         let recipient_keys = stegfs_crypto::rsa::RsaKeyPair::generate(512, b"recipient rsa 2");
 
-        fs.steg_create("contract", owner_uak, ObjectKind::File).unwrap();
-        fs.write_hidden_with_key("contract", owner_uak, b"v1").unwrap();
+        fs.steg_create("contract", owner_uak, ObjectKind::File)
+            .unwrap();
+        fs.write_hidden_with_key("contract", owner_uak, b"v1")
+            .unwrap();
         let envelope = fs
             .steg_getentry("contract", owner_uak, &recipient_keys.public)
             .unwrap();
@@ -1347,8 +1492,12 @@ mod tests {
         ]);
         fs.steg_create("addresses", hierarchy.uak_at(0).unwrap(), ObjectKind::File)
             .unwrap();
-        fs.steg_create("real-budget", hierarchy.uak_at(1).unwrap(), ObjectKind::File)
-            .unwrap();
+        fs.steg_create(
+            "real-budget",
+            hierarchy.uak_at(1).unwrap(),
+            ObjectKind::File,
+        )
+        .unwrap();
 
         // Signing on at level 0 discloses only the innocuous file.
         let visible: Vec<String> = hierarchy
@@ -1412,13 +1561,126 @@ mod tests {
     }
 
     #[test]
+    fn write_at_handle_extends_and_patches() {
+        let mut fs = small_fs();
+        fs.steg_create("grow", UAK, ObjectKind::File).unwrap();
+        let mut h = fs.open_hidden("grow", UAK).unwrap();
+
+        // Writing into an empty object extends it.
+        fs.write_at_handle(&mut h, 0, b"hello world").unwrap();
+        assert_eq!(h.size(), 11);
+        assert_eq!(
+            fs.read_hidden_with_key("grow", UAK).unwrap(),
+            b"hello world"
+        );
+
+        // In-bounds writes patch in place.
+        fs.write_at_handle(&mut h, 6, b"stegf").unwrap();
+        assert_eq!(
+            fs.read_hidden_with_key("grow", UAK).unwrap(),
+            b"hello stegf"
+        );
+
+        // Writing past the end zero-fills the gap.
+        fs.write_at_handle(&mut h, 20, b"tail").unwrap();
+        assert_eq!(h.size(), 24);
+        let data = fs.read_hidden_with_key("grow", UAK).unwrap();
+        assert_eq!(&data[..11], b"hello stegf");
+        assert_eq!(&data[11..20], &[0u8; 9]);
+        assert_eq!(&data[20..], b"tail");
+
+        // Empty writes never extend.
+        fs.write_at_handle(&mut h, 1000, b"").unwrap();
+        assert_eq!(h.size(), 24);
+    }
+
+    #[test]
+    fn truncate_handle_shrinks_and_zero_extends() {
+        let mut fs = small_fs();
+        fs.steg_create("t", UAK, ObjectKind::File).unwrap();
+        fs.write_hidden_with_key("t", UAK, &vec![7u8; 5000])
+            .unwrap();
+        let mut h = fs.open_hidden("t", UAK).unwrap();
+
+        fs.truncate_handle(&mut h, 100).unwrap();
+        assert_eq!(h.size(), 100);
+        assert_eq!(fs.read_hidden_with_key("t", UAK).unwrap(), vec![7u8; 100]);
+
+        fs.truncate_handle(&mut h, 300).unwrap();
+        let data = fs.read_hidden_with_key("t", UAK).unwrap();
+        assert_eq!(&data[..100], &[7u8; 100][..]);
+        assert_eq!(&data[100..], &[0u8; 200][..]);
+
+        // Truncating a directory is a kind error.
+        fs.steg_create("d", UAK, ObjectKind::Directory).unwrap();
+        let mut hd = fs.open_hidden("d", UAK).unwrap();
+        assert!(matches!(
+            fs.truncate_handle(&mut hd, 0),
+            Err(StegError::WrongObjectKind { .. })
+        ));
+    }
+
+    #[test]
+    fn rename_hidden_updates_directory_only() {
+        let mut fs = small_fs();
+        fs.steg_create("old-name", UAK, ObjectKind::File).unwrap();
+        fs.write_hidden_with_key("old-name", UAK, b"payload")
+            .unwrap();
+        let before = fs.lookup_entry("old-name", UAK).unwrap();
+
+        fs.rename_hidden("old-name", "new-name", UAK).unwrap();
+        assert!(fs
+            .read_hidden_with_key("old-name", UAK)
+            .unwrap_err()
+            .is_not_found());
+        assert_eq!(
+            fs.read_hidden_with_key("new-name", UAK).unwrap(),
+            b"payload"
+        );
+
+        // Physical identity is preserved — only the directory entry changed.
+        let after = fs.lookup_entry("new-name", UAK).unwrap();
+        assert_eq!(after.physical_name, before.physical_name);
+        assert_eq!(after.fak, before.fak);
+
+        // Conflicts and bad names are rejected.
+        fs.steg_create("other", UAK, ObjectKind::File).unwrap();
+        assert!(matches!(
+            fs.rename_hidden("new-name", "other", UAK),
+            Err(StegError::AlreadyExists(_))
+        ));
+        assert!(matches!(
+            fs.rename_hidden("new-name", "", UAK),
+            Err(StegError::InvalidName(_))
+        ));
+        assert!(matches!(
+            fs.rename_hidden("ghost", "x", UAK),
+            Err(StegError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn open_hidden_entry_skips_directory_walk() {
+        let mut fs = small_fs();
+        fs.steg_create("cached", UAK, ObjectKind::File).unwrap();
+        fs.write_hidden_with_key("cached", UAK, b"via entry")
+            .unwrap();
+        let entry = fs.lookup_entry("cached", UAK).unwrap();
+        // The entry alone is enough to open and read — no UAK needed.
+        let h = fs.open_hidden_entry(&entry).unwrap();
+        assert_eq!(h.kind(), ObjectKind::File);
+        assert_eq!(fs.read_range_at(&h, 0, 64).unwrap(), b"via entry");
+    }
+
+    #[test]
     fn hidden_range_reads_and_writes() {
         let mut fs = small_fs();
         let data: Vec<u8> = (0..10_000u32).map(|i| (i % 256) as u8).collect();
         fs.steg_create("ranged", UAK, ObjectKind::File).unwrap();
         fs.write_hidden_with_key("ranged", UAK, &data).unwrap();
         assert_eq!(
-            fs.read_hidden_range_with_key("ranged", UAK, 2000, 500).unwrap(),
+            fs.read_hidden_range_with_key("ranged", UAK, 2000, 500)
+                .unwrap(),
             &data[2000..2500]
         );
         fs.write_hidden_range_with_key("ranged", UAK, 2048, &[9u8; 1024])
@@ -1430,8 +1692,8 @@ mod tests {
 
     #[test]
     fn large_hidden_file_roundtrip() {
-        let mut fs = StegFs::format(MemBlockDevice::new(1024, 16384), StegParams::for_tests())
-            .unwrap();
+        let mut fs =
+            StegFs::format(MemBlockDevice::new(1024, 16384), StegParams::for_tests()).unwrap();
         let data: Vec<u8> = (0..2 * 1024 * 1024u32).map(|i| (i % 251) as u8).collect();
         fs.steg_create("big", UAK, ObjectKind::File).unwrap();
         fs.write_hidden_with_key("big", UAK, &data).unwrap();

@@ -97,7 +97,7 @@ impl BigUint {
 
     /// True if the value is even (0 counts as even).
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Number of significant bits (0 for the value 0).
@@ -345,7 +345,10 @@ impl MontgomeryCtx {
     /// Panics if the modulus is zero or even.
     pub fn new(modulus: &BigUint) -> Self {
         assert!(!modulus.is_zero(), "modulus must be nonzero");
-        assert!(!modulus.is_even(), "Montgomery arithmetic requires an odd modulus");
+        assert!(
+            !modulus.is_even(),
+            "Montgomery arithmetic requires an odd modulus"
+        );
         let limbs = modulus.limbs.len();
         let n0 = modulus.limbs[0];
 
@@ -385,11 +388,11 @@ impl MontgomeryCtx {
         let s = self.limbs;
         let mut t = vec![0u64; s + 2];
 
-        for i in 0..s {
-            // t += a[i] * b
+        for &ai in a.iter().take(s) {
+            // t += ai * b
             let mut carry = 0u128;
             for j in 0..s {
-                let cur = t[j] as u128 + (a[i] as u128) * (b[j] as u128) + carry;
+                let cur = t[j] as u128 + (ai as u128) * (b[j] as u128) + carry;
                 t[j] = cur as u64;
                 carry = cur >> 64;
             }
@@ -430,7 +433,7 @@ impl MontgomeryCtx {
         self.mont_mul(&padded, &self.r2)
     }
 
-    fn from_mont(&self, a: &[u64]) -> BigUint {
+    fn mont_back(&self, a: &[u64]) -> BigUint {
         let one = {
             let mut v = vec![0u64; self.limbs];
             v[0] = 1;
@@ -458,7 +461,7 @@ impl MontgomeryCtx {
                 acc = self.mont_mul(&acc, &base_m);
             }
         }
-        self.from_mont(&acc)
+        self.mont_back(&acc)
     }
 }
 

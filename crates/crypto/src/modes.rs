@@ -82,7 +82,7 @@ impl CbcCipher {
 
     /// Decrypt and strip PKCS#7 padding.
     pub fn decrypt(&self, iv: &[u8; BLOCK_LEN], ciphertext: &[u8]) -> Result<Vec<u8>, CipherError> {
-        if ciphertext.is_empty() || ciphertext.len() % BLOCK_LEN != 0 {
+        if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(BLOCK_LEN) {
             return Err(CipherError::BadLength);
         }
         let mut out = Vec::with_capacity(ciphertext.len());
@@ -153,7 +153,7 @@ fn pkcs7_pad(data: &[u8]) -> Vec<u8> {
     let pad = BLOCK_LEN - (data.len() % BLOCK_LEN);
     let mut out = Vec::with_capacity(data.len() + pad);
     out.extend_from_slice(data);
-    out.extend(std::iter::repeat(pad as u8).take(pad));
+    out.extend(std::iter::repeat_n(pad as u8, pad));
     out
 }
 
@@ -187,12 +187,9 @@ mod tests {
         let nonce: [u8; 16] = from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff")
             .try_into()
             .unwrap();
-        let plaintext = from_hex(
-            "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51",
-        );
-        let expected = from_hex(
-            "601ec313775789a5b7a7f504bbf3d228f443e3ca4d62b59aca84e990cacaf5c5",
-        );
+        let plaintext =
+            from_hex("6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51");
+        let expected = from_hex("601ec313775789a5b7a7f504bbf3d228f443e3ca4d62b59aca84e990cacaf5c5");
         let ctr = CtrCipher::new(&key);
         assert_eq!(ctr.transform(&nonce, &plaintext), expected);
     }

@@ -324,7 +324,11 @@ impl XorShiftRng {
     /// Seed the generator (a zero seed is remapped to a fixed constant).
     pub fn new(seed: u64) -> Self {
         XorShiftRng {
-            state: if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed },
+            state: if seed == 0 {
+                0x9e37_79b9_7f4a_7c15
+            } else {
+                seed
+            },
         }
     }
 

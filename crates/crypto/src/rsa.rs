@@ -323,6 +323,9 @@ fn is_probable_prime(n: &BigUint, rounds: usize, rng: &mut DeterministicRng) -> 
         rounds
     };
 
+    // Indexing keeps the RNG draw order identical to the original loop
+    // (pre-collecting bases would change key-generation determinism).
+    #[allow(clippy::needless_range_loop)]
     'witness: for round in 0..total {
         let a = if small {
             BigUint::from_u64(deterministic_bases[round])

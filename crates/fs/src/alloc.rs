@@ -19,9 +19,10 @@ use crate::error::{FsError, FsResult};
 use stegfs_crypto::prng::DeterministicRng;
 
 /// Where newly allocated blocks should be placed.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum AllocPolicy {
     /// First free block, scanning forward from the last allocation.
+    #[default]
     FirstFit,
     /// The whole file in one contiguous run (paper baseline *CleanDisk*).
     Contiguous,
@@ -39,12 +40,6 @@ impl AllocPolicy {
     /// The fragment length used by the paper for FragDisk.
     pub fn frag_disk() -> Self {
         AllocPolicy::Fragmented { run: 8 }
-    }
-}
-
-impl Default for AllocPolicy {
-    fn default() -> Self {
-        AllocPolicy::FirstFit
     }
 }
 
@@ -123,7 +118,12 @@ impl Allocator {
                 let start = bitmap
                     .find_free_run(count, self.cursor, self.region_start, self.region_end)
                     .or_else(|| {
-                        bitmap.find_free_run(count, self.region_start, self.region_start, self.region_end)
+                        bitmap.find_free_run(
+                            count,
+                            self.region_start,
+                            self.region_start,
+                            self.region_end,
+                        )
                     })
                     .ok_or(FsError::NoSpace)?;
                 let blocks: Vec<u64> = (start..start + count).collect();
@@ -142,9 +142,7 @@ impl Allocator {
                     // Scatter fragments: jump the cursor pseudo-randomly so
                     // consecutive fragments of one file land far apart, as on
                     // a well-aged volume.
-                    let jump = self
-                        .rng
-                        .next_below(self.region_end - self.region_start);
+                    let jump = self.rng.next_below(self.region_end - self.region_start);
                     let hint = self.region_start + jump;
                     let start = bitmap
                         .find_free_run(want, hint, self.region_start, self.region_end)
@@ -252,7 +250,10 @@ mod tests {
         assert!(blocks.iter().all(|&b| b >= start && b < end));
         // Not contiguous in logical order.
         let contiguous = blocks.windows(2).filter(|w| w[1] == w[0] + 1).count();
-        assert!(contiguous < 50, "random allocation should rarely be sequential");
+        assert!(
+            contiguous < 50,
+            "random allocation should rarely be sequential"
+        );
     }
 
     #[test]
@@ -313,10 +314,7 @@ mod tests {
         let picked = alloc.allocate_file(&mut bm, 3).unwrap();
         assert_eq!(picked.len(), 3);
         assert_eq!(bm.free_in_region(start, end), 0);
-        assert!(matches!(
-            alloc.allocate_one(&mut bm),
-            Err(FsError::NoSpace)
-        ));
+        assert!(matches!(alloc.allocate_one(&mut bm), Err(FsError::NoSpace)));
     }
 
     #[test]

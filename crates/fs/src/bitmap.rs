@@ -10,8 +10,8 @@
 
 use crate::error::{FsError, FsResult};
 use crate::layout::Superblock;
-use stegfs_blockdev::BlockDevice;
 use std::collections::BTreeSet;
+use stegfs_blockdev::BlockDevice;
 
 /// In-memory copy of the on-disk block bitmap with dirty tracking.
 pub struct Bitmap {

@@ -48,7 +48,10 @@ impl std::fmt::Display for FsError {
             FsError::NoSpace => write!(f, "no space left on volume"),
             FsError::InvalidPath(p) => write!(f, "invalid path: {p}"),
             FsError::FileTooLarge { requested, maximum } => {
-                write!(f, "file of {requested} bytes exceeds maximum {maximum} bytes")
+                write!(
+                    f,
+                    "file of {requested} bytes exceeds maximum {maximum} bytes"
+                )
             }
             FsError::Corrupt(msg) => write!(f, "file system corrupt: {msg}"),
             FsError::Block(e) => write!(f, "block device error: {e}"),

@@ -38,7 +38,7 @@ impl Default for FormatOptions {
         FormatOptions {
             inode_count: None,
             fill_random: false,
-            seed: 0x5747_f5_2003,
+            seed: 0x0057_47f5_2003,
             policy: AllocPolicy::FirstFit,
         }
     }
@@ -413,26 +413,7 @@ impl<D: BlockDevice> PlainFs<D> {
         if inode.kind != FileKind::File {
             return Err(FsError::IsADirectory(path.to_string()));
         }
-        if offset >= inode.size {
-            return Ok(Vec::new());
-        }
-        let end = (offset + len as u64).min(inode.size);
-        let bs = self.block_size() as u64;
-        let first_block = offset / bs;
-        let last_block = (end - 1) / bs;
-        let blocks = self.collect_blocks(&inode)?.0;
-        let mut out = Vec::with_capacity((end - offset) as usize);
-        for logical in first_block..=last_block {
-            let physical = *blocks.get(logical as usize).ok_or_else(|| {
-                FsError::Corrupt(format!("file shorter than its size field at {path}"))
-            })?;
-            let block_data = self.read_raw_block(physical)?;
-            let block_start = logical * bs;
-            let from = offset.max(block_start) - block_start;
-            let to = (end.min(block_start + bs)) - block_start;
-            out.extend_from_slice(&block_data[from as usize..to as usize]);
-        }
-        Ok(out)
+        self.read_range_of(&inode, offset, len)
     }
 
     /// Overwrite part of an existing file in place.  The range
@@ -447,6 +428,90 @@ impl<D: BlockDevice> PlainFs<D> {
         if inode.kind != FileKind::File {
             return Err(FsError::IsADirectory(path.to_string()));
         }
+        self.write_range_of(&inode, offset, data)
+    }
+
+    // ------------------------------------------------------------------
+    // Inode-handle operations
+    //
+    // A path re-resolves on every call, so an open file tracked by path
+    // silently retargets when something renames or replaces it.  Layers that
+    // hold files open across operations (the VFS open-file table) pin the
+    // inode id instead: it survives renames and goes cleanly stale (the slot
+    // reads as `Free`) on delete.
+    // ------------------------------------------------------------------
+
+    /// Resolve the regular file at `path` to its inode id.
+    pub fn resolve_file(&mut self, path: &str) -> FsResult<InodeId> {
+        let (id, inode) = self.resolve(path)?;
+        if inode.kind != FileKind::File {
+            return Err(FsError::IsADirectory(path.to_string()));
+        }
+        Ok(id)
+    }
+
+    fn load_file_inode(&mut self, id: InodeId) -> FsResult<Inode> {
+        let inode = self.inodes.read(&mut self.dev, id)?;
+        match inode.kind {
+            FileKind::File => Ok(inode),
+            FileKind::Directory => Err(FsError::IsADirectory(format!("inode {id}"))),
+            // A freed slot means the file was deleted out from under the
+            // handle; report the ordinary not-found.
+            FileKind::Free => Err(FsError::NotFound(format!("inode {id}"))),
+        }
+    }
+
+    /// Size in bytes of the regular file behind `id`.
+    pub fn inode_file_size(&mut self, id: InodeId) -> FsResult<u64> {
+        Ok(self.load_file_inode(id)?.size)
+    }
+
+    /// Read `len` bytes at `offset` from the regular file behind `id`.
+    pub fn read_inode_range(&mut self, id: InodeId, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        let inode = self.load_file_inode(id)?;
+        self.read_range_of(&inode, offset, len)
+    }
+
+    /// Overwrite part of the regular file behind `id` in place (the range
+    /// must lie within the current size).
+    pub fn write_inode_range(&mut self, id: InodeId, offset: u64, data: &[u8]) -> FsResult<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        let inode = self.load_file_inode(id)?;
+        self.write_range_of(&inode, offset, data)
+    }
+
+    /// Replace the whole contents of the regular file behind `id`.
+    pub fn write_inode_file(&mut self, id: InodeId, data: &[u8]) -> FsResult<()> {
+        self.load_file_inode(id)?;
+        self.write_inode_contents(id, data)
+    }
+
+    fn read_range_of(&mut self, inode: &Inode, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        if offset >= inode.size {
+            return Ok(Vec::new());
+        }
+        let end = (offset + len as u64).min(inode.size);
+        let bs = self.block_size() as u64;
+        let first_block = offset / bs;
+        let last_block = (end - 1) / bs;
+        let blocks = self.collect_blocks(inode)?.0;
+        let mut out = Vec::with_capacity((end - offset) as usize);
+        for logical in first_block..=last_block {
+            let physical = *blocks
+                .get(logical as usize)
+                .ok_or_else(|| FsError::Corrupt("file shorter than its size field".into()))?;
+            let block_data = self.read_raw_block(physical)?;
+            let block_start = logical * bs;
+            let from = offset.max(block_start) - block_start;
+            let to = (end.min(block_start + bs)) - block_start;
+            out.extend_from_slice(&block_data[from as usize..to as usize]);
+        }
+        Ok(out)
+    }
+
+    fn write_range_of(&mut self, inode: &Inode, offset: u64, data: &[u8]) -> FsResult<()> {
         let end = offset + data.len() as u64;
         if end > inode.size {
             return Err(FsError::FileTooLarge {
@@ -455,13 +520,13 @@ impl<D: BlockDevice> PlainFs<D> {
             });
         }
         let bs = self.block_size() as u64;
-        let (blocks, _) = self.collect_blocks(&inode)?;
+        let (blocks, _) = self.collect_blocks(inode)?;
         let first = offset / bs;
         let last = (end - 1) / bs;
         for logical in first..=last {
-            let physical = *blocks.get(logical as usize).ok_or_else(|| {
-                FsError::Corrupt(format!("file shorter than its size field at {path}"))
-            })?;
+            let physical = *blocks
+                .get(logical as usize)
+                .ok_or_else(|| FsError::Corrupt("file shorter than its size field".into()))?;
             let block_start = logical * bs;
             let from = offset.max(block_start) - block_start;
             let to = end.min(block_start + bs) - block_start;
@@ -469,8 +534,7 @@ impl<D: BlockDevice> PlainFs<D> {
             let src_to = (block_start + to - offset) as usize;
             if from == 0 && to == bs {
                 // Whole-block overwrite: no read needed.
-                self.dev
-                    .write_block(physical, &data[src_from..src_to])?;
+                self.dev.write_block(physical, &data[src_from..src_to])?;
             } else {
                 let mut buf = self.read_raw_block(physical)?;
                 buf[from as usize..to as usize].copy_from_slice(&data[src_from..src_to]);
@@ -478,6 +542,53 @@ impl<D: BlockDevice> PlainFs<D> {
             }
         }
         Ok(())
+    }
+
+    /// Rename (or move) the object at `from` to `to`, both within the plain
+    /// namespace.  The destination must not already exist; a directory cannot
+    /// be moved into its own subtree.  Only directory entries change — the
+    /// inode and all data blocks stay where they are.
+    pub fn rename(&mut self, from: &str, to: &str) -> FsResult<()> {
+        let (id, inode) = self.resolve(from)?;
+        if id == self.sb.root_inode {
+            return Err(FsError::InvalidPath("cannot rename the root".into()));
+        }
+        if self.exists(to)? {
+            return Err(FsError::AlreadyExists(to.to_string()));
+        }
+        let from_prefix = format!("{}/", from.trim_end_matches('/'));
+        if inode.kind == FileKind::Directory && to.starts_with(&from_prefix) {
+            return Err(FsError::InvalidPath(format!(
+                "cannot move {from} into its own subtree"
+            )));
+        }
+        let (new_pid, _, new_name) = self.resolve_parent(to)?;
+        let (old_pid, old_pinode, old_name) = self.resolve_parent(from)?;
+
+        if old_pid == new_pid {
+            let mut entries = self.read_dir_inode(&old_pinode)?;
+            let entry = entries
+                .iter_mut()
+                .find(|e| e.name == old_name)
+                .ok_or_else(|| FsError::NotFound(from.to_string()))?;
+            entry.name = new_name;
+            return self.write_dir_inode(old_pid, &entries);
+        }
+
+        // Link into the new parent first: a failure here (e.g. NoSpace while
+        // growing the directory) leaves the object reachable at its old path.
+        let new_pinode = self.inodes.read(&mut self.dev, new_pid)?;
+        let mut new_entries = self.read_dir_inode(&new_pinode)?;
+        new_entries.push(DirEntry {
+            name: new_name,
+            inode: id,
+            kind: inode.kind,
+        });
+        self.write_dir_inode(new_pid, &new_entries)?;
+
+        let mut old_entries = self.read_dir_inode(&old_pinode)?;
+        old_entries.retain(|e| e.name != old_name);
+        self.write_dir_inode(old_pid, &old_entries)
     }
 
     /// Delete the file or (empty) directory at `path`.
@@ -760,8 +871,12 @@ mod tests {
         let mut fs = new_fs(4096);
         fs.create_dir("/docs").unwrap();
         fs.create_dir("/docs/2026").unwrap();
-        fs.write_file("/docs/2026/notes.txt", b"meeting notes").unwrap();
-        assert_eq!(fs.read_file("/docs/2026/notes.txt").unwrap(), b"meeting notes");
+        fs.write_file("/docs/2026/notes.txt", b"meeting notes")
+            .unwrap();
+        assert_eq!(
+            fs.read_file("/docs/2026/notes.txt").unwrap(),
+            b"meeting notes"
+        );
         let listing = fs.list_dir("/docs").unwrap();
         assert_eq!(listing.len(), 1);
         assert_eq!(listing[0].name, "2026");
@@ -777,16 +892,16 @@ mod tests {
             fs.create_file("/a"),
             Err(FsError::AlreadyExists(_))
         ));
-        assert!(matches!(fs.create_dir("/a"), Err(FsError::AlreadyExists(_))));
+        assert!(matches!(
+            fs.create_dir("/a"),
+            Err(FsError::AlreadyExists(_))
+        ));
     }
 
     #[test]
     fn missing_paths_and_bad_types() {
         let mut fs = new_fs(4096);
-        assert!(matches!(
-            fs.read_file("/nope"),
-            Err(FsError::NotFound(_))
-        ));
+        assert!(matches!(fs.read_file("/nope"), Err(FsError::NotFound(_))));
         assert!(matches!(
             fs.create_file("/nodir/file"),
             Err(FsError::NotFound(_))
@@ -924,7 +1039,10 @@ mod tests {
         let visible = fs.plain_object_blocks().unwrap();
         let hidden = fs.allocate_random_block().unwrap();
         let after = fs.plain_object_blocks().unwrap();
-        assert_eq!(visible, after, "raw allocation must not appear in the central directory");
+        assert_eq!(
+            visible, after,
+            "raw allocation must not appear in the central directory"
+        );
         assert!(!after.contains(&hidden));
         // But the bitmap knows the block is taken.
         assert!(fs.is_block_allocated(hidden));
@@ -960,6 +1078,84 @@ mod tests {
         assert!(fs.write_file_range("/f", 4999, &[0u8; 10]).is_err());
         // Empty updates are no-ops.
         fs.write_file_range("/f", 0, &[]).unwrap();
+    }
+
+    #[test]
+    fn rename_within_and_across_directories() {
+        let mut fs = new_fs(4096);
+        fs.write_file("/a.txt", b"contents").unwrap();
+        fs.create_dir("/dir").unwrap();
+
+        // Same-directory rename.
+        fs.rename("/a.txt", "/b.txt").unwrap();
+        assert!(!fs.exists("/a.txt").unwrap());
+        assert_eq!(fs.read_file("/b.txt").unwrap(), b"contents");
+
+        // Cross-directory move.
+        fs.rename("/b.txt", "/dir/c.txt").unwrap();
+        assert!(!fs.exists("/b.txt").unwrap());
+        assert_eq!(fs.read_file("/dir/c.txt").unwrap(), b"contents");
+        assert_eq!(fs.list_dir("/dir").unwrap().len(), 1);
+
+        // Directories move too, carrying their contents.
+        fs.rename("/dir", "/renamed").unwrap();
+        assert_eq!(fs.read_file("/renamed/c.txt").unwrap(), b"contents");
+    }
+
+    #[test]
+    fn inode_handles_survive_rename_and_go_stale_on_delete() {
+        let mut fs = new_fs(4096);
+        fs.write_file("/a", b"pinned contents").unwrap();
+        let id = fs.resolve_file("/a").unwrap();
+
+        // The inode handle keeps working across a rename...
+        fs.rename("/a", "/b").unwrap();
+        assert_eq!(fs.read_inode_range(id, 0, 100).unwrap(), b"pinned contents");
+        fs.write_inode_range(id, 0, b"P").unwrap();
+        assert_eq!(fs.read_file("/b").unwrap(), b"Pinned contents");
+        fs.write_inode_file(id, b"new").unwrap();
+        assert_eq!(fs.inode_file_size(id).unwrap(), 3);
+
+        // ...and goes cleanly stale on delete.
+        fs.delete("/b").unwrap();
+        assert!(fs.read_inode_range(id, 0, 1).unwrap_err().is_not_found());
+        assert!(fs.inode_file_size(id).unwrap_err().is_not_found());
+        assert!(fs
+            .write_inode_range(id, 0, b"x")
+            .unwrap_err()
+            .is_not_found());
+
+        // Directories are not file handles.
+        fs.create_dir("/d").unwrap();
+        assert!(matches!(
+            fs.resolve_file("/d"),
+            Err(FsError::IsADirectory(_))
+        ));
+    }
+
+    #[test]
+    fn rename_rejects_conflicts_and_cycles() {
+        let mut fs = new_fs(4096);
+        fs.write_file("/a", b"a").unwrap();
+        fs.write_file("/b", b"b").unwrap();
+        fs.create_dir("/d").unwrap();
+
+        assert!(matches!(
+            fs.rename("/a", "/b"),
+            Err(FsError::AlreadyExists(_))
+        ));
+        assert!(matches!(
+            fs.rename("/missing", "/x"),
+            Err(FsError::NotFound(_))
+        ));
+        assert!(matches!(
+            fs.rename("/d", "/d/sub"),
+            Err(FsError::InvalidPath(_))
+        ));
+        assert!(matches!(fs.rename("/", "/x"), Err(FsError::InvalidPath(_))));
+        // Nothing was disturbed.
+        assert_eq!(fs.read_file("/a").unwrap(), b"a");
+        assert_eq!(fs.read_file("/b").unwrap(), b"b");
     }
 
     #[test]

@@ -118,8 +118,7 @@ impl Inode {
     /// block size.
     pub fn max_file_size(block_size: usize) -> u64 {
         let ptrs_per_block = (block_size / 8) as u64;
-        let blocks =
-            DIRECT_POINTERS as u64 + ptrs_per_block + ptrs_per_block * ptrs_per_block;
+        let blocks = DIRECT_POINTERS as u64 + ptrs_per_block + ptrs_per_block * ptrs_per_block;
         blocks * block_size as u64
     }
 }

@@ -113,8 +113,8 @@ pub fn run_access(
 
     let chunk_buf = vec![0xa5u8; scheme.chunk_size()];
     let issue = |scheme: &mut dyn SchemeInstance,
-                     progress: &mut Vec<FileProgress>,
-                     file_idx: usize|
+                 progress: &mut Vec<FileProgress>,
+                 file_idx: usize|
      -> Result<bool, String> {
         let p = &mut progress[file_idx];
         if p.next_chunk >= p.chunks {
@@ -126,9 +126,7 @@ pub fn run_access(
         let spec = &specs[p.spec_index];
         match op {
             Operation::Read => scheme.read_chunk(p.spec_index, spec, p.next_chunk)?,
-            Operation::Write => {
-                scheme.write_chunk(p.spec_index, spec, p.next_chunk, &chunk_buf)?
-            }
+            Operation::Write => scheme.write_chunk(p.spec_index, spec, p.next_chunk, &chunk_buf)?,
         }
         p.next_chunk += 1;
         if p.next_chunk >= p.chunks {
@@ -200,12 +198,7 @@ mod tests {
     use crate::schemes::build_scheme;
     use crate::workload::WorkloadParams;
 
-    fn run(
-        kind: SchemeKind,
-        users: usize,
-        pattern: AccessPattern,
-        op: Operation,
-    ) -> AccessResult {
+    fn run(kind: SchemeKind, users: usize, pattern: AccessPattern, op: Operation) -> AccessResult {
         let mut params = WorkloadParams::tiny_test();
         params.users = users;
         let specs = params.generate_files();

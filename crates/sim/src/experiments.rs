@@ -58,13 +58,19 @@ pub fn tables() -> String {
         "Table 2: Physical resource parameters (simulated disk model)",
         &["parameter", "value"],
         &[
-            vec!["Disk model".into(), "Ultra ATA/100 class (simulated)".into()],
+            vec![
+                "Disk model".into(),
+                "Ultra ATA/100 class (simulated)".into(),
+            ],
             vec!["Spindle speed".into(), format!("{} rpm", disk.rpm)],
             vec![
                 "Track-to-track seek".into(),
                 format!("{} ms", disk.track_to_track_ms),
             ],
-            vec!["Full-stroke seek".into(), format!("{} ms", disk.full_stroke_ms)],
+            vec![
+                "Full-stroke seek".into(),
+                format!("{} ms", disk.full_stroke_ms),
+            ],
             vec![
                 "Avg rotational latency".into(),
                 format!("{:.2} ms", disk.avg_rotational_latency_ms()),
@@ -85,7 +91,10 @@ pub fn tables() -> String {
         "Table 3: Workload parameters",
         &["parameter", "default"],
         &[
-            vec!["Size of each disk block".into(), format!("{} KB", wl.block_size / 1024)],
+            vec![
+                "Size of each disk block".into(),
+                format!("{} KB", wl.block_size / 1024),
+            ],
             vec![
                 "Size of each file".into(),
                 format!(
@@ -163,8 +172,11 @@ pub fn figure6(volume_mb: u64, trials: usize, seed: u64) -> Vec<Fig6Row> {
         for &r in &replications {
             let mut total_util = 0.0;
             for t in 0..trials.max(1) {
-                let mut model =
-                    StegRandSpaceModel::new(total_blocks, r, seed ^ (t as u64) << 32 ^ bs ^ r as u64);
+                let mut model = StegRandSpaceModel::new(
+                    total_blocks,
+                    r,
+                    seed ^ (t as u64) << 32 ^ bs ^ r as u64,
+                );
                 let outcome = model.run_until_loss(bs, |rng| {
                     // Files uniform in (1, 2] MB as in the paper's workload.
                     let bytes = rng.next_in_range(1024 * 1024 + 1, 2 * 1024 * 1024);
@@ -331,7 +343,12 @@ pub fn figure9(params: &WorkloadParams, block_sizes: &[usize]) -> Result<Vec<Acc
 }
 
 /// Render Fig 7/8/9 rows as a pair of text tables (read and write).
-pub fn render_access_rows(title: &str, x_label: &str, rows: &[AccessRow], normalized: bool) -> String {
+pub fn render_access_rows(
+    title: &str,
+    x_label: &str,
+    rows: &[AccessRow],
+    normalized: bool,
+) -> String {
     let xs: Vec<f64> = {
         let mut v: Vec<f64> = rows.iter().map(|r| r.x).collect();
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -551,15 +568,11 @@ mod tests {
                 .clone()
         };
         // StegCover is the outlier, far above everyone else.
-        assert!(
-            get(SchemeKind::StegCover, 1.0).read_s > get(SchemeKind::StegFs, 1.0).read_s * 3.0
-        );
+        assert!(get(SchemeKind::StegCover, 1.0).read_s > get(SchemeKind::StegFs, 1.0).read_s * 3.0);
         // At a single user CleanDisk beats StegFS; with concurrency the gap
         // narrows (ratio falls).
-        let ratio_1 =
-            get(SchemeKind::StegFs, 1.0).read_s / get(SchemeKind::CleanDisk, 1.0).read_s;
-        let ratio_4 =
-            get(SchemeKind::StegFs, 4.0).read_s / get(SchemeKind::CleanDisk, 4.0).read_s;
+        let ratio_1 = get(SchemeKind::StegFs, 1.0).read_s / get(SchemeKind::CleanDisk, 1.0).read_s;
+        let ratio_4 = get(SchemeKind::StegFs, 4.0).read_s / get(SchemeKind::CleanDisk, 4.0).read_s;
         assert!(ratio_1 > 1.0);
         assert!(ratio_4 < ratio_1);
         let rendered = render_access_rows("Figure 7", "users", &rows, false);

@@ -24,7 +24,13 @@ pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
         cells
             .iter()
             .enumerate()
-            .map(|(i, c)| format!(" {:<width$} ", c, width = widths.get(i).copied().unwrap_or(0)))
+            .map(|(i, c)| {
+                format!(
+                    " {:<width$} ",
+                    c,
+                    width = widths.get(i).copied().unwrap_or(0)
+                )
+            })
             .collect::<Vec<_>>()
             .join("|")
     };
@@ -81,7 +87,7 @@ mod tests {
     fn float_formatting() {
         assert_eq!(fmt_f64(0.0), "0");
         assert_eq!(fmt_f64(0.12345), "0.1235");
-        assert_eq!(fmt_f64(3.14159), "3.14");
+        assert_eq!(fmt_f64(5.4321), "5.43");
         assert_eq!(fmt_f64(123.456), "123.5");
     }
 }

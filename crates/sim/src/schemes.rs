@@ -99,8 +99,7 @@ pub trait SchemeInstance {
     }
 
     /// Read one chunk of a prepared file.
-    fn read_chunk(&mut self, file_index: usize, spec: &FileSpec, chunk: u64)
-        -> Result<(), String>;
+    fn read_chunk(&mut self, file_index: usize, spec: &FileSpec, chunk: u64) -> Result<(), String>;
 
     /// Overwrite one chunk of a prepared file.
     fn write_chunk(
@@ -207,7 +206,9 @@ impl SchemeInstance for PlainScheme {
     fn prepare(&mut self, specs: &[FileSpec], params: &WorkloadParams) -> Result<(), String> {
         for (i, spec) in specs.iter().enumerate() {
             let content = params.generate_content(i, spec.size);
-            self.fs.write_file(&Self::path(spec), &content).map_err(err)?;
+            self.fs
+                .write_file(&Self::path(spec), &content)
+                .map_err(err)?;
         }
         Ok(())
     }
@@ -223,7 +224,9 @@ impl SchemeInstance for PlainScheme {
         chunk: u64,
     ) -> Result<(), String> {
         let offset = chunk * self.block_size as u64;
-        let len = self.block_size.min((spec.size - offset.min(spec.size)) as usize);
+        let len = self
+            .block_size
+            .min((spec.size - offset.min(spec.size)) as usize);
         self.fs
             .read_file_range(&Self::path(spec), offset, len.max(1))
             .map(|_| ())
@@ -299,8 +302,11 @@ impl SchemeInstance for StegFsScheme {
         // Open all files once, like a user who has connected their objects.
         self.handles.clear();
         for spec in specs {
-            self.handles
-                .push(self.fs.open_hidden(&spec.name, EXPERIMENT_UAK).map_err(err)?);
+            self.handles.push(
+                self.fs
+                    .open_hidden(&spec.name, EXPERIMENT_UAK)
+                    .map_err(err)?,
+            );
         }
         Ok(())
     }
@@ -309,18 +315,15 @@ impl SchemeInstance for StegFsScheme {
         self.block_size
     }
 
-    fn read_chunk(
-        &mut self,
-        file_index: usize,
-        spec: &FileSpec,
-        chunk: u64,
-    ) -> Result<(), String> {
+    fn read_chunk(&mut self, file_index: usize, spec: &FileSpec, chunk: u64) -> Result<(), String> {
         let handle = self
             .handles
             .get(file_index)
             .ok_or_else(|| format!("file {file_index} was not prepared"))?;
         let offset = chunk * self.block_size as u64;
-        let len = self.block_size.min((spec.size.saturating_sub(offset)) as usize);
+        let len = self
+            .block_size
+            .min((spec.size.saturating_sub(offset)) as usize);
         self.fs
             .read_range_at(handle, offset, len.max(1))
             .map(|_| ())
@@ -420,7 +423,10 @@ impl SchemeInstance for StegCoverScheme {
             .homes
             .get(file_index)
             .ok_or_else(|| format!("file {file_index} was not prepared"))?;
-        self.store.read_block_of(home, chunk).map(|_| ()).map_err(err)
+        self.store
+            .read_block_of(home, chunk)
+            .map(|_| ())
+            .map_err(err)
     }
 
     fn write_chunk(

@@ -1,0 +1,122 @@
+//! Error type for the VFS front-end.
+
+use stegfs_core::StegError;
+use stegfs_fs::FsError;
+
+/// Result alias for VFS operations.
+pub type VfsResult<T> = Result<T, VfsError>;
+
+/// Errors reported by [`crate::Vfs`].
+#[derive(Debug)]
+pub enum VfsError {
+    /// The handle is not in the open-file table (never opened, already
+    /// closed, or its object was unlinked underneath it).
+    BadHandle(u64),
+    /// The session id is not signed on.
+    BadSession(u64),
+    /// The handle was opened without read access.
+    NotReadable,
+    /// The handle was opened without write access.
+    NotWritable,
+    /// The path does not parse (missing `/plain` / `/hidden` prefix, empty
+    /// component, embedded NUL).
+    InvalidPath(String),
+    /// Rename across the plain/hidden boundary: moving data between the two
+    /// worlds changes its visibility and must be an explicit
+    /// `steg_hide`/`steg_unhide`, never an implicit side effect of `rename`.
+    CrossNamespace {
+        /// Source path.
+        from: String,
+        /// Destination path.
+        to: String,
+    },
+    /// A directory was used where a file is required.
+    IsDirectory(String),
+    /// A file was used where a directory is required.
+    NotADirectory(String),
+    /// The operation is structurally valid but not supported at this depth of
+    /// the hidden namespace (e.g. unlinking a child inside a hidden
+    /// directory).
+    Unsupported(String),
+    /// Error from the StegFS layer (which includes, via [`StegError::Fs`],
+    /// errors from the plain file system and the block device).
+    Steg(StegError),
+}
+
+impl std::fmt::Display for VfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VfsError::BadHandle(h) => write!(f, "bad or stale file handle: {h}"),
+            VfsError::BadSession(s) => write!(f, "no such session: {s}"),
+            VfsError::NotReadable => write!(f, "handle was not opened for reading"),
+            VfsError::NotWritable => write!(f, "handle was not opened for writing"),
+            VfsError::InvalidPath(p) => write!(f, "invalid VFS path: {p}"),
+            VfsError::CrossNamespace { from, to } => {
+                write!(f, "cannot rename across namespaces: {from} -> {to}")
+            }
+            VfsError::IsDirectory(p) => write!(f, "is a directory: {p}"),
+            VfsError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            VfsError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+            VfsError::Steg(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for VfsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VfsError::Steg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StegError> for VfsError {
+    fn from(e: StegError) -> Self {
+        VfsError::Steg(e)
+    }
+}
+
+impl From<FsError> for VfsError {
+    fn from(e: FsError) -> Self {
+        VfsError::Steg(StegError::from(e))
+    }
+}
+
+impl VfsError {
+    /// True for the deniable "not found / wrong key / stale handle" family —
+    /// the cases an adversary must not be able to tell apart.
+    pub fn is_not_found(&self) -> bool {
+        match self {
+            VfsError::BadHandle(_) => true,
+            VfsError::Steg(StegError::NotFound(_)) => true,
+            VfsError::Steg(StegError::Fs(e)) => e.is_not_found(),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn not_found_family() {
+        assert!(VfsError::BadHandle(7).is_not_found());
+        assert!(VfsError::from(StegError::NotFound("x".into())).is_not_found());
+        assert!(VfsError::from(FsError::NotFound("/x".into())).is_not_found());
+        assert!(!VfsError::NotReadable.is_not_found());
+        assert!(!VfsError::from(StegError::NoSpace).is_not_found());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(VfsError::BadSession(3).to_string().contains("session"));
+        assert!(VfsError::CrossNamespace {
+            from: "/plain/a".into(),
+            to: "/hidden/b".into()
+        }
+        .to_string()
+        .contains("namespaces"));
+    }
+}

@@ -1,0 +1,112 @@
+//! The unified VFS namespace.
+//!
+//! One rooted path space covers both worlds:
+//!
+//! ```text
+//! /                  the namespace root (two fixed entries)
+//! /plain/...         the central directory — what every user (and the
+//!                    adversary) sees
+//! /hidden/...        the hidden objects registered under the *session's*
+//!                    user access key — a different tree for every session,
+//!                    and empty for a session whose key matches nothing
+//! ```
+//!
+//! The split is load-bearing: the paper's driver grafts connected hidden
+//! objects into the user's working directory, and the equivalent here is
+//! that `/hidden` resolves against per-session state, never against any
+//! shared structure.
+
+use crate::error::{VfsError, VfsResult};
+
+/// A parsed VFS path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VfsPath {
+    /// `/` — the namespace root.
+    Root,
+    /// `/plain` or `/plain/...` — the carried plain-file-system path,
+    /// normalised to start with `/` (`/plain` itself carries `/`).
+    Plain(String),
+    /// `/hidden` — the root of the session's hidden tree.
+    HiddenRoot,
+    /// `/hidden/a/b/...` — the hidden-object component chain.
+    Hidden(Vec<String>),
+}
+
+impl VfsPath {
+    /// Parse a string into a [`VfsPath`].
+    pub fn parse(path: &str) -> VfsResult<VfsPath> {
+        let invalid = || VfsError::InvalidPath(path.to_string());
+        if !path.starts_with('/') || path.contains('\0') {
+            return Err(invalid());
+        }
+        let comps: Vec<&str> = path.split('/').skip(1).filter(|c| !c.is_empty()).collect();
+        if path.split('/').skip(1).any(|c| c == "." || c == "..") {
+            // No dot-navigation: every path is absolute and canonical.
+            return Err(invalid());
+        }
+        match comps.split_first() {
+            None => Ok(VfsPath::Root),
+            Some((&"plain", rest)) => {
+                let mut p = String::from("/");
+                p.push_str(&rest.join("/"));
+                Ok(VfsPath::Plain(p))
+            }
+            Some((&"hidden", rest)) => {
+                if rest.is_empty() {
+                    Ok(VfsPath::HiddenRoot)
+                } else {
+                    Ok(VfsPath::Hidden(
+                        rest.iter().map(|s| s.to_string()).collect(),
+                    ))
+                }
+            }
+            Some(_) => Err(invalid()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_three_regions() {
+        assert_eq!(VfsPath::parse("/").unwrap(), VfsPath::Root);
+        assert_eq!(
+            VfsPath::parse("/plain").unwrap(),
+            VfsPath::Plain("/".into())
+        );
+        assert_eq!(
+            VfsPath::parse("/plain/docs/report.txt").unwrap(),
+            VfsPath::Plain("/docs/report.txt".into())
+        );
+        assert_eq!(VfsPath::parse("/hidden").unwrap(), VfsPath::HiddenRoot);
+        assert_eq!(
+            VfsPath::parse("/hidden/vault/passwords").unwrap(),
+            VfsPath::Hidden(vec!["vault".into(), "passwords".into()])
+        );
+    }
+
+    #[test]
+    fn normalises_redundant_slashes() {
+        assert_eq!(
+            VfsPath::parse("/plain//a///b").unwrap(),
+            VfsPath::Plain("/a/b".into())
+        );
+        assert_eq!(VfsPath::parse("/hidden/").unwrap(), VfsPath::HiddenRoot);
+    }
+
+    #[test]
+    fn rejects_bad_paths() {
+        for bad in [
+            "",
+            "plain/x",
+            "/elsewhere",
+            "/plain/../etc",
+            "/hidden/.",
+            "/pl\0ain",
+        ] {
+            assert!(VfsPath::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! The sharded open-file table.
+//!
+//! Handle bookkeeping (offsets, access modes, targets) is hot and tiny, so it
+//! gets its own concurrency domain: handles are distributed over
+//! `SHARD_COUNT` independently locked maps, and no shard lock is ever held
+//! across a file-system operation.  The kernel analogue is the system
+//! open-file table in front of the driver of Figure 5.
+
+use crate::error::{VfsError, VfsResult};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of independently locked table shards (a power of two).
+pub const SHARD_COUNT: usize = 16;
+
+/// An open file handle, as handed to callers.  Plain `Copy` data — cheap to
+/// pass between threads; all state lives in the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VfsHandle(pub(crate) u64);
+
+impl VfsHandle {
+    /// The raw handle number (stable for the lifetime of the open file).
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+/// What an open handle points at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Target {
+    /// A plain file, pinned by inode id.  Pinning the inode (not the path)
+    /// keeps the handle on the same file across renames, and makes it go
+    /// stale (the inode slot reads as free) rather than silently retarget
+    /// when the path is unlinked and recreated.
+    Plain { inode: stegfs_fs::InodeId },
+    /// A hidden file, by physical (locator) name — the key into the shared
+    /// object cache — plus the cache generation observed at open time.  The
+    /// generation pins the handle to the exact object incarnation: after an
+    /// unlink-and-recreate under the same name, stale handles must not touch
+    /// (or un-refcount) the new object.
+    Hidden { physical: String, gen: u64 },
+}
+
+/// Per-handle state.
+#[derive(Debug, Clone)]
+pub(crate) struct OpenFile {
+    pub session: u64,
+    pub target: Target,
+    pub offset: u64,
+    pub read: bool,
+    pub write: bool,
+    pub append: bool,
+}
+
+/// Options controlling [`crate::Vfs::open`], mirroring `std::fs::OpenOptions`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpenOptions {
+    pub(crate) read: bool,
+    pub(crate) write: bool,
+    pub(crate) create: bool,
+    pub(crate) truncate: bool,
+    pub(crate) append: bool,
+}
+
+impl OpenOptions {
+    /// Start from all-off options.
+    pub fn new() -> Self {
+        OpenOptions::default()
+    }
+
+    /// Read-only preset.
+    pub fn read_only() -> Self {
+        OpenOptions::new().read(true)
+    }
+
+    /// Read+write+create preset, the common writable open.
+    pub fn read_write() -> Self {
+        OpenOptions::new().read(true).write(true).create(true)
+    }
+
+    /// Allow reads through the handle.
+    pub fn read(mut self, yes: bool) -> Self {
+        self.read = yes;
+        self
+    }
+
+    /// Allow writes through the handle.
+    pub fn write(mut self, yes: bool) -> Self {
+        self.write = yes;
+        self
+    }
+
+    /// Create the file if it does not exist (requires `write`).
+    pub fn create(mut self, yes: bool) -> Self {
+        self.create = yes;
+        self
+    }
+
+    /// Truncate the file to zero length on open (requires `write`).
+    pub fn truncate(mut self, yes: bool) -> Self {
+        self.truncate = yes;
+        self
+    }
+
+    /// Position every streaming write at the end of file.
+    pub fn append(mut self, yes: bool) -> Self {
+        self.append = yes;
+        self
+    }
+}
+
+/// The sharded table itself.
+pub(crate) struct OpenFileTable {
+    shards: Vec<Mutex<HashMap<u64, OpenFile>>>,
+    next: AtomicU64,
+}
+
+impl OpenFileTable {
+    pub fn new() -> Self {
+        OpenFileTable {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            next: AtomicU64::new(1),
+        }
+    }
+
+    fn shard(&self, handle: u64) -> &Mutex<HashMap<u64, OpenFile>> {
+        &self.shards[(handle as usize) & (SHARD_COUNT - 1)]
+    }
+
+    /// Insert a new open file, returning its handle.
+    pub fn insert(&self, file: OpenFile) -> VfsHandle {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        self.shard(id).lock().insert(id, file);
+        VfsHandle(id)
+    }
+
+    /// Snapshot the state of `handle`.
+    pub fn get(&self, handle: VfsHandle) -> VfsResult<OpenFile> {
+        self.shard(handle.0)
+            .lock()
+            .get(&handle.0)
+            .cloned()
+            .ok_or(VfsError::BadHandle(handle.0))
+    }
+
+    /// Run `f` with exclusive access to the handle's state, holding the shard
+    /// lock for the duration.  This is what makes *streaming* ops (which read
+    /// and then advance the shared offset) atomic per handle; the cost is
+    /// that other handles on the same shard wait, so purely positional ops
+    /// should use [`Self::get`] instead.
+    ///
+    /// Lock order: a shard lock may be taken *before* the core lock, never
+    /// after — every caller that holds the core lock must have released it
+    /// before touching the table.
+    pub fn with_file_mut<R>(
+        &self,
+        handle: VfsHandle,
+        f: impl FnOnce(&mut OpenFile) -> VfsResult<R>,
+    ) -> VfsResult<R> {
+        let mut shard = self.shard(handle.0).lock();
+        let file = shard
+            .get_mut(&handle.0)
+            .ok_or(VfsError::BadHandle(handle.0))?;
+        f(file)
+    }
+
+    /// Remove `handle`, returning its state.
+    pub fn remove(&self, handle: VfsHandle) -> VfsResult<OpenFile> {
+        self.shard(handle.0)
+            .lock()
+            .remove(&handle.0)
+            .ok_or(VfsError::BadHandle(handle.0))
+    }
+
+    /// Remove every handle belonging to `session`, returning their states.
+    pub fn remove_session(&self, session: u64) -> Vec<OpenFile> {
+        let mut removed = Vec::new();
+        for shard in &self.shards {
+            let mut map = shard.lock();
+            let ids: Vec<u64> = map
+                .iter()
+                .filter(|(_, f)| f.session == session)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in ids {
+                if let Some(f) = map.remove(&id) {
+                    removed.push(f);
+                }
+            }
+        }
+        removed
+    }
+
+    /// Number of currently open handles (all sessions).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(session: u64) -> OpenFile {
+        OpenFile {
+            session,
+            target: Target::Plain { inode: 7 },
+            offset: 0,
+            read: true,
+            write: false,
+            append: false,
+        }
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let t = OpenFileTable::new();
+        let h = t.insert(file(1));
+        assert_eq!(t.get(h).unwrap().session, 1);
+        t.with_file_mut(h, |f| {
+            f.offset = 42;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(t.get(h).unwrap().offset, 42);
+        assert_eq!(t.len(), 1);
+        t.remove(h).unwrap();
+        assert!(matches!(t.get(h), Err(VfsError::BadHandle(_))));
+        assert!(matches!(t.remove(h), Err(VfsError::BadHandle(_))));
+        assert!(matches!(
+            t.with_file_mut(h, |_| Ok(())),
+            Err(VfsError::BadHandle(_))
+        ));
+    }
+
+    #[test]
+    fn handles_are_unique_across_shards() {
+        let t = OpenFileTable::new();
+        let handles: Vec<VfsHandle> = (0..100).map(|i| t.insert(file(i % 3))).collect();
+        let mut raw: Vec<u64> = handles.iter().map(|h| h.raw()).collect();
+        raw.sort_unstable();
+        raw.dedup();
+        assert_eq!(raw.len(), 100);
+        assert_eq!(t.len(), 100);
+    }
+
+    #[test]
+    fn remove_session_sweeps_only_that_session() {
+        let t = OpenFileTable::new();
+        for i in 0..30 {
+            t.insert(file(i % 2));
+        }
+        let removed = t.remove_session(0);
+        assert_eq!(removed.len(), 15);
+        assert_eq!(t.len(), 15);
+        assert!(t.remove_session(0).is_empty());
+    }
+
+    #[test]
+    fn open_options_builder() {
+        let o = OpenOptions::read_write().append(true);
+        assert!(o.read && o.write && o.create && o.append && !o.truncate);
+        let o = OpenOptions::read_only();
+        assert!(o.read && !o.write && !o.create);
+    }
+}

@@ -1,0 +1,1016 @@
+//! The [`Vfs`] front-end proper.
+
+use crate::error::{VfsError, VfsResult};
+use crate::path::VfsPath;
+use crate::table::{OpenFile, OpenFileTable, OpenOptions, Target, VfsHandle};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::io::SeekFrom;
+use std::sync::atomic::{AtomicU64, Ordering};
+use stegfs_blockdev::BlockDevice;
+use stegfs_core::session::{ConnectedObject, Session};
+use stegfs_core::{
+    DirectoryEntry, HiddenHandle, ObjectKind, SpaceReport, StegFs, StegParams, StegResult,
+    UakDirectory,
+};
+use stegfs_fs::FileKind;
+
+/// A signed-on user session, identified by an opaque id.
+///
+/// A session wraps one User Access Key plus a [`stegfs_core::session::Session`]
+/// of connected objects; `/hidden` resolves against exactly this state, so
+/// hidden objects are visible only to the sessions holding their key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionId(u64);
+
+impl SessionId {
+    /// The raw session number.
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Kind of a namespace node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A regular file (plain or hidden).
+    File,
+    /// A directory (plain, hidden, or one of the fixed namespace roots).
+    Directory,
+}
+
+/// Result of [`Vfs::stat`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VfsStat {
+    /// File or directory.
+    pub kind: NodeKind,
+    /// Size in bytes (0 for directories).
+    pub size: u64,
+}
+
+/// One entry returned by [`Vfs::readdir`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VfsDirEntry {
+    /// Component name.
+    pub name: String,
+    /// File or directory.
+    pub kind: NodeKind,
+}
+
+struct SharedObject {
+    handle: HiddenHandle,
+    refs: usize,
+    /// Incarnation tag: every insertion into the cache gets a fresh value,
+    /// and handles carry the value they opened against.  A stale handle
+    /// (whose object was unlinked, even if an object of the same name — and
+    /// therefore the same deterministic physical name — was created since)
+    /// can then never read, write or un-refcount the new incarnation.
+    gen: u64,
+}
+
+struct VfsCore<D: BlockDevice> {
+    fs: StegFs<D>,
+    /// Open hidden objects, keyed by physical name.  All VFS handles to the
+    /// same object share one [`HiddenHandle`], so a rewrite through one
+    /// handle (which relocates blocks through the free pool) is immediately
+    /// visible — never stale — through every other.
+    objects: HashMap<String, SharedObject>,
+    next_gen: u64,
+}
+
+impl<D: BlockDevice> VfsCore<D> {
+    /// Look up the shared object a hidden handle refers to, treating a
+    /// generation mismatch exactly like a missing entry (stale handle).
+    fn object(&self, physical: &str, gen: u64) -> Option<&SharedObject> {
+        self.objects.get(physical).filter(|so| so.gen == gen)
+    }
+
+    fn object_mut(&mut self, physical: &str, gen: u64) -> Option<&mut SharedObject> {
+        self.objects.get_mut(physical).filter(|so| so.gen == gen)
+    }
+}
+
+struct SessionState {
+    uak: String,
+    connected: Session,
+}
+
+/// A concurrent, handle-based virtual file system over a StegFS volume.
+///
+/// `Vfs` puts the missing kernel half of the paper's Figure 5 in front of
+/// [`StegFs`]: a unified path namespace (`/plain/...` shared by everyone,
+/// `/hidden/...` per session), an open-file table with positional and
+/// streaming I/O, and sign-on sessions.  The volume sits behind a
+/// [`parking_lot::RwLock`] and handle bookkeeping behind a sharded table, so
+/// any number of threads can interleave plain and hidden operations on one
+/// shared volume — the workload of the paper's Figure 7 concurrency
+/// experiment.
+///
+/// Deniability is preserved through the new layer: signing on never validates
+/// the key (there is nothing to validate against), a wrong-key session simply
+/// sees an empty `/hidden`, and every "no such object / wrong key / stale
+/// handle" case reports through the same [`VfsError::is_not_found`] family.
+pub struct Vfs<D: BlockDevice> {
+    core: RwLock<VfsCore<D>>,
+    sessions: RwLock<HashMap<u64, SessionState>>,
+    table: OpenFileTable,
+    next_session: AtomicU64,
+}
+
+impl<D: BlockDevice> Vfs<D> {
+    // ------------------------------------------------------------------
+    // Construction / teardown
+    // ------------------------------------------------------------------
+
+    /// Wrap an already mounted [`StegFs`].
+    pub fn new(fs: StegFs<D>) -> Self {
+        Vfs {
+            core: RwLock::new(VfsCore {
+                fs,
+                objects: HashMap::new(),
+                next_gen: 0,
+            }),
+            sessions: RwLock::new(HashMap::new()),
+            table: OpenFileTable::new(),
+            next_session: AtomicU64::new(1),
+        }
+    }
+
+    /// Format `dev` as a fresh StegFS volume and serve it.
+    pub fn format(dev: D, params: StegParams) -> VfsResult<Self> {
+        Ok(Vfs::new(StegFs::format(dev, params)?))
+    }
+
+    /// Mount an existing StegFS volume and serve it.
+    pub fn mount(dev: D, params: StegParams) -> VfsResult<Self> {
+        Ok(Vfs::new(StegFs::mount(dev, params)?))
+    }
+
+    /// Tear the front-end down, recovering the [`StegFs`] underneath.
+    pub fn into_stegfs(self) -> StegFs<D> {
+        self.core.into_inner().fs
+    }
+
+    /// Flush everything and return the underlying device.
+    pub fn unmount(self) -> StegResult<D> {
+        self.into_stegfs().unmount()
+    }
+
+    /// Flush metadata to the device.
+    pub fn sync(&self) -> VfsResult<()> {
+        Ok(self.core.write().fs.sync()?)
+    }
+
+    /// Aggregate block accounting of the served volume.
+    pub fn space_report(&self) -> VfsResult<SpaceReport> {
+        Ok(self.core.write().fs.space_report()?)
+    }
+
+    /// Number of currently open handles across all sessions.
+    pub fn open_handles(&self) -> usize {
+        self.table.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Sessions
+    // ------------------------------------------------------------------
+
+    /// Sign a user on with a User Access Key and get a session.
+    ///
+    /// Deliberately infallible: there is no key registry to check against —
+    /// that absence is the hiding property.  A key that matches nothing
+    /// yields a session whose `/hidden` is empty, indistinguishable from a
+    /// correct key with no hidden objects.
+    pub fn signon(&self, uak: &str) -> SessionId {
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        self.sessions.write().insert(
+            id,
+            SessionState {
+                uak: uak.to_string(),
+                connected: Session::new(),
+            },
+        );
+        SessionId(id)
+    }
+
+    /// Sign a session off: every handle it still holds is closed and its
+    /// connected-object table is dropped (the paper disconnects all objects
+    /// at logoff).
+    pub fn signoff(&self, session: SessionId) -> VfsResult<()> {
+        self.sessions
+            .write()
+            .remove(&session.0)
+            .ok_or(VfsError::BadSession(session.0))?;
+        let swept = self.table.remove_session(session.0);
+        let mut core = self.core.write();
+        for file in swept {
+            if let Target::Hidden { physical, gen } = file.target {
+                release_object(&mut core, &physical, gen);
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of live sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.read().len()
+    }
+
+    /// `steg_connect` through the VFS: resolve `name` under the session's key
+    /// and cache it (and, for a directory, its offspring) in the session, so
+    /// subsequent opens skip the UAK-directory walk and the objects appear in
+    /// the session's `/hidden` listing.
+    pub fn connect(&self, session: SessionId, name: &str) -> VfsResult<()> {
+        let uak = self.session_uak(session)?;
+        let mut core = self.core.write();
+        let entry = core.fs.lookup_entry(name, &uak)?;
+        let mut gathered = Vec::new();
+        collect_offspring(&mut core.fs, &entry, &mut gathered)?;
+        drop(core);
+        let mut sessions = self.sessions.write();
+        let state = sessions
+            .get_mut(&session.0)
+            .ok_or(VfsError::BadSession(session.0))?;
+        for e in &gathered {
+            state.connected.connect(ConnectedObject::from(e));
+        }
+        Ok(())
+    }
+
+    /// Remove `name` from the session's connected set.  Returns true if it
+    /// was connected.
+    pub fn disconnect(&self, session: SessionId, name: &str) -> VfsResult<bool> {
+        let mut sessions = self.sessions.write();
+        let state = sessions
+            .get_mut(&session.0)
+            .ok_or(VfsError::BadSession(session.0))?;
+        Ok(state.connected.disconnect(name))
+    }
+
+    /// Names of the session's connected objects.
+    pub fn connected_objects(&self, session: SessionId) -> VfsResult<Vec<String>> {
+        let sessions = self.sessions.read();
+        let state = sessions
+            .get(&session.0)
+            .ok_or(VfsError::BadSession(session.0))?;
+        Ok(state.connected.connected_names())
+    }
+
+    fn session_uak(&self, session: SessionId) -> VfsResult<String> {
+        self.sessions
+            .read()
+            .get(&session.0)
+            .map(|s| s.uak.clone())
+            .ok_or(VfsError::BadSession(session.0))
+    }
+
+    fn cached_entry(&self, session: SessionId, name: &str) -> Option<DirectoryEntry> {
+        let sessions = self.sessions.read();
+        let obj = sessions.get(&session.0)?.connected.get(name)?;
+        Some(DirectoryEntry {
+            name: obj.name.clone(),
+            physical_name: obj.physical_name.clone(),
+            fak: obj.fak,
+            kind: obj.kind,
+        })
+    }
+
+    fn cache_entry(&self, session: SessionId, entry: &DirectoryEntry) {
+        if let Some(state) = self.sessions.write().get_mut(&session.0) {
+            state.connected.connect(ConnectedObject::from(entry));
+        }
+    }
+
+    /// Resolve a hidden component chain and run `f` on the result.
+    ///
+    /// The session's connected cache is a *hint*, never truth: another
+    /// session holding the same key may have unlinked or renamed the object
+    /// since it was cached.  So when a cache-assisted resolution (or `f`
+    /// itself, e.g. the object open) reports not-found, the cached entry is
+    /// dropped and the walk retried from disk before the error is believed.
+    fn with_hidden_entry<R>(
+        &self,
+        session: SessionId,
+        uak: &str,
+        comps: &[String],
+        mut f: impl FnMut(&mut VfsCore<D>, &DirectoryEntry) -> VfsResult<R>,
+    ) -> VfsResult<R> {
+        let mut cached = self.cached_entry(session, &comps[0]);
+        loop {
+            let used_cache = cached.is_some();
+            let mut core = self.core.write();
+            let result = resolve_hidden(&mut core, uak, comps, cached.take())
+                .and_then(|entry| f(&mut core, &entry));
+            match result {
+                Err(e) if e.is_not_found() && used_cache => {
+                    drop(core);
+                    let _ = self.disconnect(session, &comps[0]);
+                    // `cached` is now None: the next pass walks from disk.
+                }
+                other => return other,
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Namespace operations
+    // ------------------------------------------------------------------
+
+    /// Stat a path in the unified namespace.
+    pub fn stat(&self, session: SessionId, path: &str) -> VfsResult<VfsStat> {
+        let uak = self.session_uak(session)?;
+        match VfsPath::parse(path)? {
+            VfsPath::Root | VfsPath::HiddenRoot => Ok(VfsStat {
+                kind: NodeKind::Directory,
+                size: 0,
+            }),
+            VfsPath::Plain(p) => {
+                let mut core = self.core.write();
+                let (kind, size) = core.fs.plain_fs_mut().stat(&p)?;
+                Ok(VfsStat {
+                    kind: plain_kind(kind, &p)?,
+                    size,
+                })
+            }
+            VfsPath::Hidden(comps) => {
+                self.with_hidden_entry(session, &uak, &comps, |core, entry| match entry.kind {
+                    ObjectKind::Directory => Ok(VfsStat {
+                        kind: NodeKind::Directory,
+                        size: 0,
+                    }),
+                    ObjectKind::File => {
+                        let size = match core.objects.get(&entry.physical_name) {
+                            Some(so) => so.handle.size(),
+                            None => core.fs.open_hidden_entry(entry)?.size(),
+                        };
+                        Ok(VfsStat {
+                            kind: NodeKind::File,
+                            size,
+                        })
+                    }
+                })
+            }
+        }
+    }
+
+    /// List a directory in the unified namespace.
+    ///
+    /// `/` always shows exactly `plain` and `hidden`; what `/hidden` shows
+    /// depends entirely on the session's key (its UAK directory plus any
+    /// connected objects), so two sessions see two different trees over the
+    /// same volume.
+    pub fn readdir(&self, session: SessionId, path: &str) -> VfsResult<Vec<VfsDirEntry>> {
+        let uak = self.session_uak(session)?;
+        match VfsPath::parse(path)? {
+            VfsPath::Root => Ok(vec![
+                VfsDirEntry {
+                    name: "plain".into(),
+                    kind: NodeKind::Directory,
+                },
+                VfsDirEntry {
+                    name: "hidden".into(),
+                    kind: NodeKind::Directory,
+                },
+            ]),
+            VfsPath::Plain(p) => {
+                let mut core = self.core.write();
+                let entries = core.fs.plain_fs_mut().list_dir(&p)?;
+                Ok(entries
+                    .into_iter()
+                    .map(|e| VfsDirEntry {
+                        name: e.name,
+                        kind: match e.kind {
+                            FileKind::Directory => NodeKind::Directory,
+                            _ => NodeKind::File,
+                        },
+                    })
+                    .collect())
+            }
+            VfsPath::HiddenRoot => {
+                let mut core = self.core.write();
+                let mut out: Vec<VfsDirEntry> = core
+                    .fs
+                    .list_hidden(&uak)?
+                    .into_iter()
+                    .map(|(name, kind)| VfsDirEntry {
+                        name,
+                        kind: object_kind(kind),
+                    })
+                    .collect();
+                drop(core);
+                // Connected objects (e.g. offspring of a connected directory,
+                // or shared entries) are part of the session's view too.
+                let sessions = self.sessions.read();
+                if let Some(state) = sessions.get(&session.0) {
+                    for name in state.connected.connected_names() {
+                        if !out.iter().any(|e| e.name == name) {
+                            if let Some(obj) = state.connected.get(&name) {
+                                out.push(VfsDirEntry {
+                                    name,
+                                    kind: object_kind(obj.kind),
+                                });
+                            }
+                        }
+                    }
+                }
+                out.sort_by(|a, b| a.name.cmp(&b.name));
+                Ok(out)
+            }
+            VfsPath::Hidden(comps) => {
+                self.with_hidden_entry(session, &uak, &comps, |core, entry| {
+                    if entry.kind != ObjectKind::Directory {
+                        return Err(VfsError::NotADirectory(path.to_string()));
+                    }
+                    let children = read_hidden_directory(&mut core.fs, entry)?;
+                    Ok(children
+                        .entries
+                        .iter()
+                        .map(|e| VfsDirEntry {
+                            name: e.name.clone(),
+                            kind: object_kind(e.kind),
+                        })
+                        .collect())
+                })
+            }
+        }
+    }
+
+    /// Create a directory.
+    ///
+    /// In the hidden namespace this supports the depths the core API can
+    /// express: a top-level hidden directory, or a child of one.
+    pub fn mkdir(&self, session: SessionId, path: &str) -> VfsResult<()> {
+        let uak = self.session_uak(session)?;
+        match VfsPath::parse(path)? {
+            VfsPath::Root | VfsPath::HiddenRoot => Err(VfsError::from(
+                stegfs_core::StegError::AlreadyExists(path.to_string()),
+            )),
+            VfsPath::Plain(p) => {
+                let mut core = self.core.write();
+                core.fs.create_plain_dir(&p)?;
+                Ok(())
+            }
+            VfsPath::Hidden(comps) => {
+                let mut core = self.core.write();
+                match comps.as_slice() {
+                    [name] => core.fs.steg_create(name, &uak, ObjectKind::Directory)?,
+                    [parent, child] => {
+                        core.fs
+                            .create_in_hidden_dir(parent, child, &uak, ObjectKind::Directory)?
+                    }
+                    _ => {
+                        return Err(VfsError::Unsupported(format!(
+                            "hidden directories nest at most two levels deep: {path}"
+                        )))
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Remove a file or empty directory.
+    pub fn unlink(&self, session: SessionId, path: &str) -> VfsResult<()> {
+        let uak = self.session_uak(session)?;
+        match VfsPath::parse(path)? {
+            VfsPath::Root | VfsPath::HiddenRoot => Err(VfsError::InvalidPath(path.to_string())),
+            VfsPath::Plain(p) => {
+                let mut core = self.core.write();
+                core.fs.delete_plain(&p)?;
+                Ok(())
+            }
+            VfsPath::Hidden(comps) => {
+                let [name] = comps.as_slice() else {
+                    return Err(VfsError::Unsupported(format!(
+                        "unlink inside a hidden directory is not yet supported: {path}"
+                    )));
+                };
+                let mut core = self.core.write();
+                let entry = core.fs.delete_hidden(name, &uak)?;
+                // Outstanding handles to the object go stale: dropping the
+                // shared object makes every later access report the same
+                // not-found family an adversary already sees.
+                core.objects.remove(&entry.physical_name);
+                drop(core);
+                if let Some(state) = self.sessions.write().get_mut(&session.0) {
+                    state.connected.disconnect(name);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Rename within a namespace (`/plain` to `/plain`, or a top-level
+    /// `/hidden` name to another).  Crossing the boundary is refused — that
+    /// conversion is the explicit, deliberate `steg_hide` / `steg_unhide`.
+    pub fn rename(&self, session: SessionId, from: &str, to: &str) -> VfsResult<()> {
+        let uak = self.session_uak(session)?;
+        match (VfsPath::parse(from)?, VfsPath::parse(to)?) {
+            (VfsPath::Plain(a), VfsPath::Plain(b)) => {
+                let mut core = self.core.write();
+                core.fs.plain_fs_mut().rename(&a, &b)?;
+                Ok(())
+            }
+            (VfsPath::Hidden(a), VfsPath::Hidden(b)) => {
+                let ([old], [new]) = (a.as_slice(), b.as_slice()) else {
+                    return Err(VfsError::Unsupported(format!(
+                        "rename inside hidden directories is not yet supported: {from} -> {to}"
+                    )));
+                };
+                let mut core = self.core.write();
+                core.fs.rename_hidden(old, new, &uak)?;
+                drop(core);
+                if let Some(state) = self.sessions.write().get_mut(&session.0) {
+                    state.connected.disconnect(old);
+                }
+                Ok(())
+            }
+            (VfsPath::Plain(_), VfsPath::Hidden(_)) | (VfsPath::Hidden(_), VfsPath::Plain(_)) => {
+                Err(VfsError::CrossNamespace {
+                    from: from.to_string(),
+                    to: to.to_string(),
+                })
+            }
+            _ => Err(VfsError::InvalidPath(format!("{from} -> {to}"))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Handle operations
+    // ------------------------------------------------------------------
+
+    /// Open a file and get a handle.
+    pub fn open(&self, session: SessionId, path: &str, opts: OpenOptions) -> VfsResult<VfsHandle> {
+        if !opts.read && !opts.write {
+            return Err(VfsError::Unsupported(
+                "open requires read or write access".into(),
+            ));
+        }
+        if (opts.create || opts.truncate || opts.append) && !opts.write {
+            return Err(VfsError::NotWritable);
+        }
+        let uak = self.session_uak(session)?;
+        match VfsPath::parse(path)? {
+            VfsPath::Root | VfsPath::HiddenRoot => Err(VfsError::IsDirectory(path.to_string())),
+            VfsPath::Plain(p) if p == "/" => Err(VfsError::IsDirectory(path.to_string())),
+            VfsPath::Plain(p) => {
+                let mut core = self.core.write();
+                match core.fs.plain_fs_mut().stat(&p) {
+                    Ok((FileKind::Directory, _)) => {
+                        return Err(VfsError::IsDirectory(path.to_string()))
+                    }
+                    Ok(_) => {
+                        if opts.truncate {
+                            core.fs.write_plain(&p, &[])?;
+                        }
+                    }
+                    Err(e) if e.is_not_found() && opts.create => {
+                        core.fs.write_plain(&p, &[])?;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+                // Pin the inode, not the path: the handle must keep following
+                // this file across renames and go stale on delete, never
+                // silently retarget to whatever later occupies the path.
+                let inode = core.fs.plain_fs_mut().resolve_file(&p)?;
+                let offset = if opts.append {
+                    core.fs.plain_fs_mut().inode_file_size(inode)?
+                } else {
+                    0
+                };
+                drop(core);
+                self.finish_open(
+                    session,
+                    OpenFile {
+                        session: session.0,
+                        target: Target::Plain { inode },
+                        offset,
+                        read: opts.read,
+                        write: opts.write,
+                        append: opts.append,
+                    },
+                )
+            }
+            VfsPath::Hidden(comps) => {
+                // Resolve and pin the shared object; returns everything the
+                // open-file entry needs.  Runs under `with_hidden_entry`, so
+                // a stale session cache falls back to a from-disk walk.
+                let mut ensure = |core: &mut VfsCore<D>,
+                                  entry: &DirectoryEntry|
+                 -> VfsResult<(String, u64, u64, DirectoryEntry)> {
+                    if entry.kind != ObjectKind::File {
+                        return Err(VfsError::IsDirectory(path.to_string()));
+                    }
+                    let physical = entry.physical_name.clone();
+                    core.next_gen += 1;
+                    let fresh_gen = core.next_gen;
+                    let VfsCore { fs, objects, .. } = &mut *core;
+                    if !objects.contains_key(&physical) {
+                        let handle = fs.open_hidden_entry(entry)?;
+                        objects.insert(
+                            physical.clone(),
+                            SharedObject {
+                                handle,
+                                refs: 0,
+                                gen: fresh_gen,
+                            },
+                        );
+                    }
+                    if opts.truncate {
+                        let so = objects.get_mut(&physical).expect("just ensured");
+                        let result = fs.truncate_handle(&mut so.handle, 0);
+                        if result.is_err() && so.refs == 0 {
+                            objects.remove(&physical);
+                        }
+                        result?;
+                    }
+                    let so = objects.get_mut(&physical).expect("just ensured");
+                    so.refs += 1;
+                    let offset = if opts.append { so.handle.size() } else { 0 };
+                    Ok((physical, so.gen, offset, entry.clone()))
+                };
+
+                let resolved = match self.with_hidden_entry(session, &uak, &comps, &mut ensure) {
+                    Ok(v) => Ok(v),
+                    Err(e) if e.is_not_found() && opts.create => {
+                        {
+                            let mut core = self.core.write();
+                            let created = match comps.as_slice() {
+                                [name] => core.fs.steg_create(name, &uak, ObjectKind::File),
+                                [parent, child] => core.fs.create_in_hidden_dir(
+                                    parent,
+                                    child,
+                                    &uak,
+                                    ObjectKind::File,
+                                ),
+                                _ => return Err(e),
+                            };
+                            match created {
+                                Ok(()) => {}
+                                // Raced another creator: the object exists
+                                // now, which is all we wanted.
+                                Err(stegfs_core::StegError::AlreadyExists(_)) => {}
+                                Err(err) => return Err(err.into()),
+                            }
+                        }
+                        self.with_hidden_entry(session, &uak, &comps, &mut ensure)
+                    }
+                    Err(e) => Err(e),
+                };
+                let (physical, gen, offset, entry) = resolved?;
+
+                // Cache the resolution in the session (the `steg_connect`
+                // fast path for the next open).
+                if comps.len() == 1 {
+                    self.cache_entry(session, &entry);
+                }
+                self.finish_open(
+                    session,
+                    OpenFile {
+                        session: session.0,
+                        target: Target::Hidden { physical, gen },
+                        offset,
+                        read: opts.read,
+                        write: opts.write,
+                        append: opts.append,
+                    },
+                )
+            }
+        }
+    }
+
+    /// Insert the open file and re-validate the session.  A signoff racing
+    /// the open may have swept the table *before* our insert landed; its
+    /// handle would then leak (and pin a shared object's refcount) forever.
+    /// Re-checking after the insert closes the window: whichever side runs
+    /// last cleans up.
+    fn finish_open(&self, session: SessionId, file: OpenFile) -> VfsResult<VfsHandle> {
+        let handle = self.table.insert(file);
+        if !self.sessions.read().contains_key(&session.0) {
+            let _ = self.close(handle);
+            return Err(VfsError::BadSession(session.0));
+        }
+        Ok(handle)
+    }
+
+    /// Close a handle.  Idempotence is not offered: closing twice reports the
+    /// same stale-handle error as any other use-after-close.
+    pub fn close(&self, handle: VfsHandle) -> VfsResult<()> {
+        let file = self.table.remove(handle)?;
+        if let Target::Hidden { physical, gen } = file.target {
+            release_object(&mut self.core.write(), &physical, gen);
+        }
+        Ok(())
+    }
+
+    /// Positional read: `len` bytes at `offset`, without touching the
+    /// handle's stream position.  Reads past end-of-file return the available
+    /// prefix (possibly empty).
+    pub fn read_at(&self, handle: VfsHandle, offset: u64, len: usize) -> VfsResult<Vec<u8>> {
+        let file = self.table.get(handle)?;
+        if !file.read {
+            return Err(VfsError::NotReadable);
+        }
+        let mut core = self.core.write();
+        do_read(&mut core, handle, &file.target, offset, len)
+    }
+
+    /// Positional write at `offset`, extending the file as needed, without
+    /// touching the handle's stream position.
+    pub fn write_at(&self, handle: VfsHandle, offset: u64, data: &[u8]) -> VfsResult<()> {
+        let file = self.table.get(handle)?;
+        if !file.write {
+            return Err(VfsError::NotWritable);
+        }
+        let mut core = self.core.write();
+        do_write(&mut core, handle, &file.target, offset, data)
+    }
+
+    /// Streaming read from the handle's current offset, advancing it.
+    /// Atomic per handle: two threads streaming on one handle each consume a
+    /// distinct range, as with a shared POSIX file description.
+    pub fn read(&self, handle: VfsHandle, len: usize) -> VfsResult<Vec<u8>> {
+        self.table.with_file_mut(handle, |file| {
+            if !file.read {
+                return Err(VfsError::NotReadable);
+            }
+            let mut core = self.core.write();
+            let out = do_read(&mut core, handle, &file.target, file.offset, len)?;
+            drop(core);
+            file.offset += out.len() as u64;
+            Ok(out)
+        })
+    }
+
+    /// Streaming write at the handle's current offset (or at end-of-file for
+    /// append handles), advancing it.  Atomic per handle, like [`Self::read`].
+    pub fn write(&self, handle: VfsHandle, data: &[u8]) -> VfsResult<()> {
+        self.table.with_file_mut(handle, |file| {
+            if !file.write {
+                return Err(VfsError::NotWritable);
+            }
+            let mut core = self.core.write();
+            let offset = if file.append {
+                target_size(&mut core, handle, &file.target)?
+            } else {
+                file.offset
+            };
+            do_write(&mut core, handle, &file.target, offset, data)?;
+            drop(core);
+            file.offset = offset + data.len() as u64;
+            Ok(())
+        })
+    }
+
+    /// Reposition the handle's stream offset; returns the new offset.
+    /// Seeking past end-of-file is allowed (a later write zero-fills the
+    /// gap, as on POSIX).
+    pub fn seek(&self, handle: VfsHandle, pos: SeekFrom) -> VfsResult<u64> {
+        self.table.with_file_mut(handle, |file| {
+            let base: i128 = match pos {
+                SeekFrom::Start(_) => 0,
+                SeekFrom::Current(_) => file.offset as i128,
+                SeekFrom::End(_) => {
+                    let mut core = self.core.write();
+                    target_size(&mut core, handle, &file.target)? as i128
+                }
+            };
+            let delta: i128 = match pos {
+                SeekFrom::Start(n) => n as i128,
+                SeekFrom::Current(n) | SeekFrom::End(n) => n as i128,
+            };
+            let target = base + delta;
+            if !(0..=u64::MAX as i128).contains(&target) {
+                return Err(VfsError::Unsupported(format!(
+                    "seek to negative or overflowing offset {target}"
+                )));
+            }
+            file.offset = target as u64;
+            Ok(target as u64)
+        })
+    }
+
+    /// Set the file's length, truncating or zero-extending.
+    pub fn truncate(&self, handle: VfsHandle, new_len: u64) -> VfsResult<()> {
+        let file = self.table.get(handle)?;
+        if !file.write {
+            return Err(VfsError::NotWritable);
+        }
+        let mut core = self.core.write();
+        match &file.target {
+            Target::Plain { inode } => plain_rewrite(&mut core.fs, *inode, new_len, None),
+            Target::Hidden { physical, gen } => {
+                let VfsCore { fs, objects, .. } = &mut *core;
+                let so = objects
+                    .get_mut(physical)
+                    .filter(|so| so.gen == *gen)
+                    .ok_or(VfsError::BadHandle(handle.0))?;
+                Ok(fs.truncate_handle(&mut so.handle, new_len)?)
+            }
+        }
+    }
+
+    /// Current size of the file behind `handle`.
+    pub fn handle_size(&self, handle: VfsHandle) -> VfsResult<u64> {
+        let file = self.table.get(handle)?;
+        let mut core = self.core.write();
+        target_size(&mut core, handle, &file.target)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Internal I/O plumbing (free functions so streaming ops can run inside a
+// `with_file_mut` closure without re-borrowing the `Vfs`)
+// ----------------------------------------------------------------------
+
+fn do_read<D: BlockDevice>(
+    core: &mut VfsCore<D>,
+    handle: VfsHandle,
+    target: &Target,
+    offset: u64,
+    len: usize,
+) -> VfsResult<Vec<u8>> {
+    match target {
+        Target::Plain { inode } => Ok(core
+            .fs
+            .plain_fs_mut()
+            .read_inode_range(*inode, offset, len)?),
+        Target::Hidden { physical, gen } => {
+            if core.object(physical, *gen).is_none() {
+                return Err(VfsError::BadHandle(handle.0));
+            }
+            let VfsCore { fs, objects, .. } = &mut *core;
+            let so = objects.get(physical).expect("checked above");
+            Ok(fs.read_range_at(&so.handle, offset, len)?)
+        }
+    }
+}
+
+fn do_write<D: BlockDevice>(
+    core: &mut VfsCore<D>,
+    handle: VfsHandle,
+    target: &Target,
+    offset: u64,
+    data: &[u8],
+) -> VfsResult<()> {
+    match target {
+        Target::Plain { inode } => {
+            if data.is_empty() {
+                return Ok(());
+            }
+            let size = core.fs.plain_fs_mut().inode_file_size(*inode)?;
+            let end = offset
+                .checked_add(data.len() as u64)
+                .ok_or(stegfs_core::StegError::NoSpace)?;
+            if end <= size {
+                // In place: no reallocation, no rewrite.
+                core.fs
+                    .plain_fs_mut()
+                    .write_inode_range(*inode, offset, data)?;
+                Ok(())
+            } else {
+                plain_rewrite(&mut core.fs, *inode, end, Some((offset, data)))
+            }
+        }
+        Target::Hidden { physical, gen } => {
+            if core.object(physical, *gen).is_none() {
+                return Err(VfsError::BadHandle(handle.0));
+            }
+            let VfsCore { fs, objects, .. } = &mut *core;
+            let so = objects.get_mut(physical).expect("checked above");
+            Ok(fs.write_at_handle(&mut so.handle, offset, data)?)
+        }
+    }
+}
+
+fn target_size<D: BlockDevice>(
+    core: &mut VfsCore<D>,
+    handle: VfsHandle,
+    target: &Target,
+) -> VfsResult<u64> {
+    match target {
+        Target::Plain { inode } => Ok(core.fs.plain_fs_mut().inode_file_size(*inode)?),
+        Target::Hidden { physical, gen } => Ok(core
+            .object(physical, *gen)
+            .ok_or(VfsError::BadHandle(handle.0))?
+            .handle
+            .size()),
+    }
+}
+
+/// The one read-resize-splice-rewrite implementation for plain files, shared
+/// by extending writes and truncate.  Refuses lengths beyond the volume's
+/// capacity *before* materialising anything, so a seek to 1 TB followed by a
+/// 1-byte write reports `NoSpace` instead of attempting a 1 TB allocation.
+fn plain_rewrite<D: BlockDevice>(
+    fs: &mut StegFs<D>,
+    inode: stegfs_fs::InodeId,
+    new_len: u64,
+    patch: Option<(u64, &[u8])>,
+) -> VfsResult<()> {
+    let sb = fs.plain_fs_mut().superblock();
+    let capacity = sb.total_blocks * sb.block_size as u64;
+    if new_len > capacity {
+        return Err(stegfs_core::StegError::NoSpace.into());
+    }
+    let size = fs.plain_fs_mut().inode_file_size(inode)?;
+    let mut contents = fs
+        .plain_fs_mut()
+        .read_inode_range(inode, 0, size as usize)?;
+    contents.resize(new_len as usize, 0);
+    if let Some((offset, data)) = patch {
+        contents[offset as usize..offset as usize + data.len()].copy_from_slice(data);
+    }
+    fs.plain_fs_mut().write_inode_file(inode, &contents)?;
+    Ok(())
+}
+
+fn plain_kind(kind: FileKind, path: &str) -> VfsResult<NodeKind> {
+    match kind {
+        FileKind::Directory => Ok(NodeKind::Directory),
+        FileKind::File => Ok(NodeKind::File),
+        _ => Err(VfsError::InvalidPath(path.to_string())),
+    }
+}
+
+fn object_kind(kind: ObjectKind) -> NodeKind {
+    match kind {
+        ObjectKind::Directory => NodeKind::Directory,
+        ObjectKind::File => NodeKind::File,
+    }
+}
+
+/// Drop one reference to a shared hidden object, evicting it when the last
+/// handle goes away.  The generation check makes this a no-op for stale
+/// handles whose object was unlinked (and possibly recreated under the same
+/// name) after they opened it.
+fn release_object<D: BlockDevice>(core: &mut VfsCore<D>, physical: &str, gen: u64) {
+    if let Some(so) = core.object_mut(physical, gen) {
+        so.refs -= 1;
+        if so.refs == 0 {
+            core.objects.remove(physical);
+        }
+    }
+}
+
+/// Read the child listing of a hidden directory entry.
+fn read_hidden_directory<D: BlockDevice>(
+    fs: &mut StegFs<D>,
+    entry: &DirectoryEntry,
+) -> VfsResult<UakDirectory> {
+    let handle = fs.open_hidden_entry(entry)?;
+    let size = handle.size();
+    let raw = fs.read_range_at(&handle, 0, size as usize)?;
+    if raw.is_empty() {
+        Ok(UakDirectory::new())
+    } else {
+        Ok(UakDirectory::deserialize(&raw)?)
+    }
+}
+
+/// Resolve a `/hidden` component chain to its final directory entry.
+///
+/// The first component resolves through the session cache (if `cached`) or
+/// the UAK directory; every further component resolves through the listing of
+/// the hidden directory above it — each listing carries full `(physical name,
+/// FAK)` entries, so offspring need no extra key material, exactly as in the
+/// paper's `steg_connect`.
+fn resolve_hidden<D: BlockDevice>(
+    core: &mut VfsCore<D>,
+    uak: &str,
+    comps: &[String],
+    cached: Option<DirectoryEntry>,
+) -> VfsResult<DirectoryEntry> {
+    let mut entry = match cached {
+        Some(e) => e,
+        None => core.fs.lookup_entry(&comps[0], uak)?,
+    };
+    for comp in &comps[1..] {
+        if entry.kind != ObjectKind::Directory {
+            return Err(VfsError::NotADirectory(comps.join("/")));
+        }
+        let children = read_hidden_directory(&mut core.fs, &entry)?;
+        entry = children
+            .find(comp)
+            .cloned()
+            .ok_or_else(|| stegfs_core::StegError::NotFound(comp.clone()))?;
+    }
+    Ok(entry)
+}
+
+/// Collect `entry` and, recursively, the offspring of hidden directories —
+/// the connect set of the paper's `steg_connect`.
+fn collect_offspring<D: BlockDevice>(
+    fs: &mut StegFs<D>,
+    entry: &DirectoryEntry,
+    out: &mut Vec<DirectoryEntry>,
+) -> VfsResult<()> {
+    out.push(entry.clone());
+    if entry.kind == ObjectKind::Directory {
+        let children = read_hidden_directory(fs, entry)?;
+        for child in &children.entries {
+            collect_offspring(fs, child, out)?;
+        }
+    }
+    Ok(())
+}

@@ -13,11 +13,13 @@ fn main() {
     let uak = "owner key";
 
     section("Populate the volume");
-    fs.write_plain("/readme.txt", b"ordinary visible file").unwrap();
+    fs.write_plain("/readme.txt", b"ordinary visible file")
+        .unwrap();
     fs.create_plain_dir("/projects").unwrap();
     fs.write_plain("/projects/plan.txt", b"visible project plan")
         .unwrap();
-    fs.steg_create("hidden-ledger", uak, ObjectKind::File).unwrap();
+    fs.steg_create("hidden-ledger", uak, ObjectKind::File)
+        .unwrap();
     fs.write_hidden_with_key("hidden-ledger", uak, b"the ledger nobody admits exists")
         .unwrap();
 

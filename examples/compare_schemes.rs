@@ -5,9 +5,7 @@
 //! Run with `cargo run --release -p stegfs-examples --bin compare_schemes`.
 
 use stegfs_examples::section;
-use stegfs_sim::experiments::{
-    figure7, render_access_rows, render_space_summary, space_summary,
-};
+use stegfs_sim::experiments::{figure7, render_access_rows, render_space_summary, space_summary};
 use stegfs_sim::WorkloadParams;
 
 fn main() {

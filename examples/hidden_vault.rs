@@ -28,8 +28,12 @@ fn main() {
     section("Level 0 (disclosable): an address book");
     fs.steg_create("address-book", &everyday, ObjectKind::File)
         .unwrap();
-    fs.write_hidden_with_key("address-book", &everyday, b"mum: 555-0101, dentist: 555-0199")
-        .unwrap();
+    fs.write_hidden_with_key(
+        "address-book",
+        &everyday,
+        b"mum: 555-0101, dentist: 555-0199",
+    )
+    .unwrap();
 
     section("Level 1 (deniable): a hidden directory of sensitive files");
     fs.steg_create("vault", &deniable, ObjectKind::Directory)
@@ -44,17 +48,24 @@ fn main() {
         .unwrap();
     fs.write_hidden("draft-story", b"working title: what the audit missed")
         .unwrap();
-    println!("connected after steg_connect(vault): {:?}", fs.connected_objects());
+    println!(
+        "connected after steg_connect(vault): {:?}",
+        fs.connected_objects()
+    );
     fs.disconnect_all();
     println!("connected after logoff: {:?}", fs.connected_objects());
 
     section("Under compulsion: disclose level 0, deny level 1");
     for uak in alice.visible_at(0).unwrap() {
-        println!("objects visible with the disclosed key: {:?}", fs.list_hidden(uak).unwrap());
+        println!(
+            "objects visible with the disclosed key: {:?}",
+            fs.list_hidden(uak).unwrap()
+        );
     }
     println!(
         "the deniable level is indistinguishable from not existing: {}",
-        fs.read_hidden_with_key("vault", "some guessed key").unwrap_err()
+        fs.read_hidden_with_key("vault", "some guessed key")
+            .unwrap_err()
     );
 
     // ------------------------------------------------------------------
@@ -87,7 +98,8 @@ fn main() {
     );
     println!(
         "bob now gets: {}",
-        fs.read_hidden_with_key("address-book", bob_uak).unwrap_err()
+        fs.read_hidden_with_key("address-book", bob_uak)
+            .unwrap_err()
     );
 
     println!();

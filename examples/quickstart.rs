@@ -1,51 +1,81 @@
-//! Quickstart: the core promise of StegFS in a dozen lines.
+//! Quickstart: the core promise of StegFS in a dozen lines, exercised
+//! through the `stegfs-vfs` front-end — the mountable surface with sessions,
+//! paths and file handles that a kernel driver (or FUSE mount) would expose.
 //!
 //! A plain file is visible to everyone; a hidden file is invisible — and
-//! *deniable* — to anyone without its user access key, even someone holding
+//! *deniable* — to any session without its user access key, even one holding
 //! the raw device.
 //!
 //! Run with `cargo run -p stegfs-examples --bin quickstart`.
 
-use stegfs_core::ObjectKind;
-use stegfs_examples::{demo_volume, section};
+use stegfs_examples::{demo_vfs, section};
+use stegfs_vfs::OpenOptions;
 
 fn main() {
-    // A 32 MB in-memory StegFS volume (use FileBlockDevice for a persistent one).
-    let mut fs = demo_volume(32);
+    // A 32 MB in-memory StegFS volume served through the VFS (use
+    // FileBlockDevice for a persistent one).
+    let vfs = demo_vfs(32);
 
     section("Plain files: the part everyone can see");
-    fs.write_plain("/shopping-list.txt", b"eggs, milk, decoy documents")
+    let alice = vfs.signon("correct horse battery staple");
+    vfs.mkdir(alice, "/plain/work").unwrap();
+    let h = vfs
+        .open(alice, "/plain/shopping-list.txt", OpenOptions::read_write())
         .unwrap();
-    fs.create_plain_dir("/work").unwrap();
-    fs.write_plain("/work/report.txt", b"quarterly report, nothing to see")
+    vfs.write_at(h, 0, b"eggs, milk, decoy documents").unwrap();
+    vfs.close(h).unwrap();
+    let h = vfs
+        .open(alice, "/plain/work/report.txt", OpenOptions::read_write())
         .unwrap();
-    println!("plain listing of /: {:?}", fs.list_plain_dir("/").unwrap());
+    vfs.write_at(h, 0, b"quarterly report, nothing to see")
+        .unwrap();
+    vfs.close(h).unwrap();
+    println!(
+        "listing of /plain: {:?}",
+        names(&vfs.readdir(alice, "/plain").unwrap())
+    );
 
     section("Hidden files: only the right key reveals them");
-    let uak = "correct horse battery staple";
-    fs.steg_create("real-budget", uak, ObjectKind::File).unwrap();
-    fs.write_hidden_with_key("real-budget", uak, b"the numbers we don't show the auditor")
+    let h = vfs
+        .open(alice, "/hidden/real-budget", OpenOptions::read_write())
         .unwrap();
-
-    let recovered = fs.read_hidden_with_key("real-budget", uak).unwrap();
+    vfs.write_at(h, 0, b"the numbers we don't show the auditor")
+        .unwrap();
+    // Handles support positional and streaming access, like any fd.
+    let recovered = vfs.read_at(h, 0, 1024).unwrap();
+    vfs.close(h).unwrap();
+    println!("with the key:    {:?}", String::from_utf8_lossy(&recovered));
     println!(
-        "with the key:    {:?}",
-        String::from_utf8_lossy(&recovered)
+        "alice's /hidden: {:?}",
+        names(&vfs.readdir(alice, "/hidden").unwrap())
     );
 
     section("Plausible deniability");
-    // The plain listing has not changed — the hidden object is not in the
-    // central directory.
-    println!("plain listing of /: {:?}", fs.list_plain_dir("/").unwrap());
+    // A different session — the auditor, the adversary — signs on with a
+    // guessed key.  Sign-on cannot fail: there is no key registry to check
+    // against, and that absence is the hiding property.
+    let snoop = vfs.signon("rubber hose guess");
+    println!(
+        "snoop's /plain:  {:?}",
+        names(&vfs.readdir(snoop, "/plain").unwrap())
+    );
+    println!(
+        "snoop's /hidden: {:?}  (same volume!)",
+        names(&vfs.readdir(snoop, "/hidden").unwrap())
+    );
     // A wrong key cannot even establish that the object exists: the error is
     // identical to the one for a name that was never created.
-    let wrong = fs.read_hidden_with_key("real-budget", "rubber hose guess");
-    let never = fs.read_hidden_with_key("file-that-never-existed", uak);
+    let wrong = vfs.open(snoop, "/hidden/real-budget", OpenOptions::read_only());
+    let never = vfs.open(
+        alice,
+        "/hidden/file-that-never-existed",
+        OpenOptions::read_only(),
+    );
     println!("wrong key   -> {}", wrong.unwrap_err());
     println!("never stored-> {}", never.unwrap_err());
 
     section("Space accounting");
-    let report = fs.space_report().unwrap();
+    let report = vfs.space_report().unwrap();
     println!(
         "total {} blocks | metadata {} | plain {} | abandoned {} | hidden+dummy {} | free {}",
         report.total_blocks,
@@ -57,4 +87,8 @@ fn main() {
     );
     println!();
     println!("done.");
+}
+
+fn names(entries: &[stegfs_vfs::VfsDirEntry]) -> Vec<&str> {
+    entries.iter().map(|e| e.name.as_str()).collect()
 }

@@ -28,6 +28,21 @@ pub fn demo_volume(megabytes: u64) -> StegFs<MemBlockDevice> {
     StegFs::format(device, params).expect("formatting an in-memory volume cannot fail")
 }
 
+/// Create an in-memory StegFS volume like [`demo_volume`], served through
+/// the `stegfs-vfs` front-end on a [`stegfs_blockdev::SharedDevice`] — the
+/// multi-session, handle-based surface.
+pub fn demo_vfs(megabytes: u64) -> stegfs_vfs::Vfs<stegfs_blockdev::SharedDevice> {
+    let device =
+        stegfs_blockdev::SharedDevice::new(MemBlockDevice::with_capacity_mb(1024, megabytes));
+    let params = StegParams {
+        dummy_file_count: 4,
+        dummy_file_size: 64 * 1024,
+        random_fill: false,
+        ..StegParams::default()
+    };
+    stegfs_vfs::Vfs::format(device, params).expect("formatting an in-memory volume cannot fail")
+}
+
 /// Pretty-print a section header.
 pub fn section(title: &str) {
     println!();
@@ -43,5 +58,17 @@ mod tests {
         let mut fs = demo_volume(16);
         fs.write_plain("/hello", b"world").unwrap();
         assert_eq!(fs.read_plain("/hello").unwrap(), b"world");
+    }
+
+    #[test]
+    fn demo_vfs_is_usable() {
+        let vfs = demo_vfs(16);
+        let s = vfs.signon("demo key");
+        let h = vfs
+            .open(s, "/plain/hello", stegfs_vfs::OpenOptions::read_write())
+            .unwrap();
+        vfs.write_at(h, 0, b"world").unwrap();
+        assert_eq!(vfs.read_at(h, 0, 5).unwrap(), b"world");
+        vfs.close(h).unwrap();
     }
 }

@@ -34,7 +34,8 @@ fn entropy_bits_per_byte(data: &[u8]) -> f64 {
 fn central_directory_never_mentions_hidden_objects() {
     let mut fs = test_volume(8192);
     fs.write_plain("/innocent.txt", b"cover traffic").unwrap();
-    fs.steg_create("the-secret", OWNER, ObjectKind::File).unwrap();
+    fs.steg_create("the-secret", OWNER, ObjectKind::File)
+        .unwrap();
     fs.write_hidden_with_key("the-secret", OWNER, &payload(1, 150 * 1024))
         .unwrap();
 
@@ -51,17 +52,25 @@ fn central_directory_never_mentions_hidden_objects() {
     let after_free = fs.space_report().unwrap().free_blocks;
     assert!(after_free > before_free + 140);
     // Plain set unchanged by the deletion.
-    assert_eq!(fs.plain_fs_mut().plain_object_blocks().unwrap(), plain_blocks);
+    assert_eq!(
+        fs.plain_fs_mut().plain_object_blocks().unwrap(),
+        plain_blocks
+    );
 }
 
 #[test]
 fn wrong_key_is_indistinguishable_from_absent_object() {
     let mut fs = test_volume(4096);
     fs.steg_create("exists", OWNER, ObjectKind::File).unwrap();
-    fs.write_hidden_with_key("exists", OWNER, b"present").unwrap();
+    fs.write_hidden_with_key("exists", OWNER, b"present")
+        .unwrap();
 
-    let wrong_key = fs.read_hidden_with_key("exists", "guessed key").unwrap_err();
-    let absent = fs.read_hidden_with_key("never-created", "guessed key").unwrap_err();
+    let wrong_key = fs
+        .read_hidden_with_key("exists", "guessed key")
+        .unwrap_err();
+    let absent = fs
+        .read_hidden_with_key("never-created", "guessed key")
+        .unwrap_err();
     // Same variant, same deniable phrasing.
     assert!(wrong_key.is_not_found());
     assert!(absent.is_not_found());
@@ -78,7 +87,8 @@ fn hidden_blocks_look_like_random_fill_on_the_raw_device() {
     let mut fs = test_volume(4096);
     let structured = vec![0u8; 120 * 1024]; // all zeros: worst case plaintext
     fs.steg_create("zeros", OWNER, ObjectKind::File).unwrap();
-    fs.write_hidden_with_key("zeros", OWNER, &structured).unwrap();
+    fs.write_hidden_with_key("zeros", OWNER, &structured)
+        .unwrap();
 
     let plain_blocks: std::collections::HashSet<u64> = fs
         .plain_fs_mut()
@@ -198,10 +208,7 @@ fn formatting_without_random_fill_would_leak_and_is_therefore_detectable() {
         let allocated = fs.plain_fs_mut().is_block_allocated(block);
         if !allocated && free_sample.len() < 32 * 1024 {
             free_sample.extend(fs.plain_fs_mut().read_raw_block(block).unwrap());
-        } else if allocated
-            && !plain_blocks.contains(&block)
-            && hidden_sample.len() < 32 * 1024
-        {
+        } else if allocated && !plain_blocks.contains(&block) && hidden_sample.len() < 32 * 1024 {
             hidden_sample.extend(fs.plain_fs_mut().read_raw_block(block).unwrap());
         }
     }

@@ -128,7 +128,10 @@ fn stegfs_and_baselines_all_deny_wrong_credentials_identically() {
     let mut fs = test_volume(4096);
     fs.steg_create("x", "right", ObjectKind::File).unwrap();
     fs.write_hidden_with_key("x", "right", &data).unwrap();
-    assert!(fs.read_hidden_with_key("x", "wrong").unwrap_err().is_not_found());
+    assert!(fs
+        .read_hidden_with_key("x", "wrong")
+        .unwrap_err()
+        .is_not_found());
 
     let mut cover = StegCover::format(MemBlockDevice::new(1024, 8192), 256 * 1024, 8).unwrap();
     cover.store("x", "right", &data).unwrap();

@@ -15,11 +15,13 @@ fn full_lifecycle_survives_remounts_and_recovery() {
 
     // Plain tree.
     fs.create_plain_dir("/docs").unwrap();
-    fs.write_plain("/docs/visible.txt", b"ordinary file").unwrap();
+    fs.write_plain("/docs/visible.txt", b"ordinary file")
+        .unwrap();
 
     // Hidden objects for two users, including a large multi-chain file.
     let big = payload(1, 700 * 1024);
-    fs.steg_create("alice-big", ALICE, ObjectKind::File).unwrap();
+    fs.steg_create("alice-big", ALICE, ObjectKind::File)
+        .unwrap();
     fs.write_hidden_with_key("alice-big", ALICE, &big).unwrap();
     fs.steg_create("bob-notes", BOB, ObjectKind::File).unwrap();
     fs.write_hidden_with_key("bob-notes", BOB, b"bob's hidden notes")
@@ -35,7 +37,10 @@ fn full_lifecycle_survives_remounts_and_recovery() {
     // Remount and verify everything.
     let dev = fs.unmount().unwrap();
     let mut fs = StegFs::mount(dev, full_feature_params()).unwrap();
-    assert_eq!(fs.read_plain("/docs/visible.txt").unwrap(), b"ordinary file");
+    assert_eq!(
+        fs.read_plain("/docs/visible.txt").unwrap(),
+        b"ordinary file"
+    );
     assert_eq!(fs.read_hidden_with_key("alice-big", ALICE).unwrap(), big);
     assert_eq!(
         fs.read_hidden_with_key("bob-notes", BOB).unwrap(),
@@ -58,11 +63,16 @@ fn full_lifecycle_survives_remounts_and_recovery() {
 
     // Share alice-big with Bob, verify, then revoke.
     let bob_rsa = RsaKeyPair::generate(512, b"bob rsa e2e");
-    let envelope = fs.steg_getentry("alice-big", ALICE, &bob_rsa.public).unwrap();
+    let envelope = fs
+        .steg_getentry("alice-big", ALICE, &bob_rsa.public)
+        .unwrap();
     fs.steg_addentry(&envelope, &bob_rsa.private, BOB).unwrap();
     assert_eq!(fs.read_hidden_with_key("alice-big", BOB).unwrap(), big);
     fs.revoke_sharing("alice-big", ALICE).unwrap();
-    assert!(fs.read_hidden_with_key("alice-big", BOB).unwrap_err().is_not_found());
+    assert!(fs
+        .read_hidden_with_key("alice-big", BOB)
+        .unwrap_err()
+        .is_not_found());
     assert_eq!(fs.read_hidden_with_key("alice-big", ALICE).unwrap(), big);
 
     // Back up, destroy, recover onto a brand new device.
@@ -79,7 +89,10 @@ fn full_lifecycle_survives_remounts_and_recovery() {
         recovered.read_plain("/docs/visible.txt").unwrap(),
         b"ordinary file"
     );
-    assert_eq!(recovered.read_hidden_with_key("alice-big", ALICE).unwrap(), big);
+    assert_eq!(
+        recovered.read_hidden_with_key("alice-big", ALICE).unwrap(),
+        big
+    );
     assert_eq!(
         recovered.read_hidden_with_key("bob-notes", BOB).unwrap(),
         b"bob's hidden notes"
@@ -95,17 +108,22 @@ fn unhide_round_trips_through_plain_namespace() {
 
     fs.steg_unhide("/now-public.bin", "secret", ALICE).unwrap();
     assert_eq!(fs.read_plain("/now-public.bin").unwrap(), content);
-    assert!(fs.read_hidden_with_key("secret", ALICE).unwrap_err().is_not_found());
+    assert!(fs
+        .read_hidden_with_key("secret", ALICE)
+        .unwrap_err()
+        .is_not_found());
     assert!(fs.list_hidden(ALICE).unwrap().is_empty());
 }
 
 #[test]
 fn sessions_expose_connected_objects_only() {
     let mut fs = test_volume(4096);
-    fs.steg_create("vault", ALICE, ObjectKind::Directory).unwrap();
+    fs.steg_create("vault", ALICE, ObjectKind::Directory)
+        .unwrap();
     fs.create_in_hidden_dir("vault", "inner", ALICE, ObjectKind::File)
         .unwrap();
-    fs.steg_create("loose-file", ALICE, ObjectKind::File).unwrap();
+    fs.steg_create("loose-file", ALICE, ObjectKind::File)
+        .unwrap();
 
     fs.steg_connect("vault", ALICE).unwrap();
     let mut connected = fs.connected_objects();
@@ -118,9 +136,10 @@ fn sessions_expose_connected_objects_only() {
     fs.write_hidden("inner", b"written via session").unwrap();
     fs.disconnect_all();
     assert!(fs.connected_objects().is_empty());
-    assert_eq!(
-        fs.read_hidden_with_key("inner", ALICE).unwrap_err().is_not_found(),
-        true,
+    assert!(
+        fs.read_hidden_with_key("inner", ALICE)
+            .unwrap_err()
+            .is_not_found(),
         "children created inside a hidden dir are not in the UAK directory"
     );
     // But reconnecting the vault reaches it again.
@@ -136,7 +155,8 @@ fn hidden_data_survives_heavy_plain_churn() {
     let mut fs = test_volume(8192);
     let secret = payload(3, 200 * 1024);
     fs.steg_create("precious", ALICE, ObjectKind::File).unwrap();
-    fs.write_hidden_with_key("precious", ALICE, &secret).unwrap();
+    fs.write_hidden_with_key("precious", ALICE, &secret)
+        .unwrap();
 
     for round in 0..8 {
         for i in 0..12 {
@@ -161,8 +181,10 @@ fn hidden_data_survives_heavy_plain_churn() {
 fn dummy_file_maintenance_does_not_disturb_user_data() {
     let mut fs = test_volume(8192);
     let secret = payload(4, 100 * 1024);
-    fs.steg_create("user-data", ALICE, ObjectKind::File).unwrap();
-    fs.write_hidden_with_key("user-data", ALICE, &secret).unwrap();
+    fs.steg_create("user-data", ALICE, ObjectKind::File)
+        .unwrap();
+    fs.write_hidden_with_key("user-data", ALICE, &secret)
+        .unwrap();
     fs.write_plain("/plain.txt", b"plain data").unwrap();
 
     for _ in 0..5 {

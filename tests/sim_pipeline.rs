@@ -111,7 +111,10 @@ fn interleaved_write_load_converges_stegfs_with_native_fs() {
     };
     let ratio_1 = measure(SchemeKind::StegFs, 1) / measure(SchemeKind::CleanDisk, 1);
     let ratio_4 = measure(SchemeKind::StegFs, 4) / measure(SchemeKind::CleanDisk, 4);
-    assert!(ratio_1 > 2.0, "alone, StegFS writes are clearly slower ({ratio_1:.1}x)");
+    assert!(
+        ratio_1 > 2.0,
+        "alone, StegFS writes are clearly slower ({ratio_1:.1}x)"
+    );
     assert!(
         ratio_4 < ratio_1 / 2.0,
         "under concurrency the gap must collapse ({ratio_1:.1}x -> {ratio_4:.1}x)"

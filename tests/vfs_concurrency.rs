@@ -1,0 +1,245 @@
+//! Multi-threaded stress tests for the `stegfs-vfs` front-end: the workload
+//! shape of the paper's Figure 7 concurrency experiment, expressed through
+//! real handles on one shared volume — N threads interleaving plain reads
+//! and writes with hidden reads and writes, while adversary sessions keep
+//! checking that nothing hidden ever becomes visible to them.
+
+use std::io::SeekFrom;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use stegfs_blockdev::{MemBlockDevice, SharedDevice};
+use stegfs_core::StegParams;
+use stegfs_tests::full_feature_params;
+use stegfs_vfs::{OpenOptions, Vfs};
+
+const SECRET_UAK: &str = "the real user access key";
+const ROUNDS: usize = 24;
+
+fn stress_volume() -> Arc<Vfs<SharedDevice>> {
+    // 16 MB with every camouflage feature on, as in a production format.
+    let dev = SharedDevice::new(MemBlockDevice::new(1024, 16384));
+    Arc::new(Vfs::format(dev, full_feature_params()).expect("format"))
+}
+
+/// Deterministic per-(worker, round) payload so every reader can validate
+/// whatever write it observes.
+fn payload(worker: usize, round: usize, len: usize) -> Vec<u8> {
+    let tag = (worker * 131 + round * 17) as u8;
+    (0..len).map(|i| tag ^ (i % 251) as u8).collect()
+}
+
+#[test]
+fn mixed_plain_hidden_traffic_from_many_threads() {
+    let vfs = stress_volume();
+    let checks = Arc::new(AtomicUsize::new(0));
+
+    // 12 threads >= the acceptance bar of 8: 4 plain workers, 4 hidden
+    // workers, 2 hidden re-readers, 2 adversaries.
+    let plain_workers = 4usize;
+    let hidden_workers = 4usize;
+    let rereaders = 2usize;
+    let adversaries = 2usize;
+    let total = plain_workers + hidden_workers + rereaders + adversaries;
+    let barrier = Arc::new(Barrier::new(total));
+    let mut handles = Vec::new();
+
+    for w in 0..plain_workers {
+        let vfs = Arc::clone(&vfs);
+        let barrier = Arc::clone(&barrier);
+        let checks = Arc::clone(&checks);
+        handles.push(thread::spawn(move || {
+            let session = vfs.signon(&format!("plain worker {w}"));
+            barrier.wait();
+            for round in 0..ROUNDS {
+                let path = format!("/plain/worker-{w}-{}.dat", round % 3);
+                let h = vfs
+                    .open(session, &path, OpenOptions::read_write())
+                    .expect("open plain");
+                let data = payload(w, round, 600 + round * 13);
+                vfs.write_at(h, 0, &data).expect("write plain");
+                let back = vfs.read_at(h, 0, data.len()).expect("read plain");
+                assert_eq!(back, data, "plain roundtrip w={w} round={round}");
+                // Positional re-read of a slice.
+                let slice = vfs.read_at(h, 100, 50).expect("pread plain");
+                assert_eq!(slice, &data[100..150]);
+                vfs.close(h).expect("close plain");
+                checks.fetch_add(1, Ordering::Relaxed);
+            }
+            vfs.signoff(session).expect("signoff");
+        }));
+    }
+
+    for w in 0..hidden_workers {
+        let vfs = Arc::clone(&vfs);
+        let barrier = Arc::clone(&barrier);
+        let checks = Arc::clone(&checks);
+        handles.push(thread::spawn(move || {
+            let session = vfs.signon(SECRET_UAK);
+            barrier.wait();
+            for round in 0..ROUNDS {
+                let path = format!("/hidden/vault-{w}");
+                let h = vfs
+                    .open(session, &path, OpenOptions::read_write())
+                    .expect("open hidden");
+                let data = payload(w, round, 900 + round * 29);
+                vfs.write_at(h, 0, &data).expect("write hidden");
+                let back = vfs.read_at(h, 0, data.len()).expect("read hidden");
+                assert_eq!(back, data, "hidden roundtrip w={w} round={round}");
+                // Streaming access through the same handle.
+                vfs.seek(h, SeekFrom::Start(10)).expect("seek");
+                assert_eq!(vfs.read(h, 20).expect("stream read"), &data[10..30]);
+                vfs.close(h).expect("close hidden");
+                checks.fetch_add(1, Ordering::Relaxed);
+            }
+            vfs.signoff(session).expect("signoff");
+        }));
+    }
+
+    for r in 0..rereaders {
+        let vfs = Arc::clone(&vfs);
+        let barrier = Arc::clone(&barrier);
+        let checks = Arc::clone(&checks);
+        handles.push(thread::spawn(move || {
+            let session = vfs.signon(SECRET_UAK);
+            barrier.wait();
+            for round in 0..ROUNDS {
+                // Re-read whatever some writer last committed; any
+                // well-formed payload is acceptable, torn data is not.
+                let target = format!("/hidden/vault-{}", (r + round) % 4);
+                match vfs.open(session, &target, OpenOptions::read_only()) {
+                    Ok(h) => {
+                        let size = vfs.handle_size(h).expect("size") as usize;
+                        if size > 0 {
+                            let data = vfs.read_at(h, 0, size).expect("read");
+                            assert_eq!(data.len(), size);
+                            let tag = data[0];
+                            for (i, &b) in data.iter().enumerate() {
+                                assert_eq!(
+                                    b,
+                                    tag ^ (i % 251) as u8,
+                                    "torn hidden read at byte {i} of {target}"
+                                );
+                            }
+                        }
+                        vfs.close(h).expect("close");
+                        checks.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Not created yet by its writer: the same not-found the
+                    // adversary sees, which is fine and deniable.
+                    Err(e) => assert!(e.is_not_found(), "unexpected error: {e}"),
+                }
+            }
+            vfs.signoff(session).expect("signoff");
+        }));
+    }
+
+    for a in 0..adversaries {
+        let vfs = Arc::clone(&vfs);
+        let barrier = Arc::clone(&barrier);
+        let checks = Arc::clone(&checks);
+        handles.push(thread::spawn(move || {
+            let session = vfs.signon(&format!("adversary guess #{a}"));
+            barrier.wait();
+            for round in 0..ROUNDS {
+                // The hidden tree is empty under a wrong key — always.
+                assert!(
+                    vfs.readdir(session, "/hidden").expect("readdir").is_empty(),
+                    "hidden object leaked to adversary session"
+                );
+                // Guessing names fails with the indistinguishable error.
+                let guess = format!("/hidden/vault-{}", round % 4);
+                assert!(vfs.stat(session, &guess).unwrap_err().is_not_found());
+                assert!(vfs
+                    .open(session, &guess, OpenOptions::read_only())
+                    .unwrap_err()
+                    .is_not_found());
+                // The plain namespace never mentions hidden names.
+                for entry in vfs.readdir(session, "/plain").expect("plain ls") {
+                    assert!(
+                        !entry.name.contains("vault"),
+                        "hidden name in plain listing: {}",
+                        entry.name
+                    );
+                }
+                checks.fetch_add(1, Ordering::Relaxed);
+            }
+            vfs.signoff(session).expect("signoff");
+        }));
+    }
+
+    for h in handles {
+        h.join().expect("worker thread panicked");
+    }
+
+    assert!(checks.load(Ordering::Relaxed) >= (total - rereaders) * ROUNDS);
+    assert_eq!(vfs.open_handles(), 0, "every handle was closed");
+    assert_eq!(vfs.session_count(), 0, "every session signed off");
+
+    // After the storm: the volume is intact and the hidden data survives a
+    // remount, readable only with the key.
+    let report = vfs.space_report().expect("space report");
+    assert!(report.free_blocks > 0);
+    let vfs = Arc::into_inner(vfs).expect("sole owner");
+    let dev = vfs.unmount().expect("unmount");
+    let vfs = Vfs::mount(dev, full_feature_params()).expect("remount");
+    let owner = vfs.signon(SECRET_UAK);
+    assert_eq!(vfs.readdir(owner, "/hidden").expect("ls").len(), 4);
+    let snoop = vfs.signon("still guessing");
+    assert!(vfs.readdir(snoop, "/hidden").expect("ls").is_empty());
+}
+
+#[test]
+fn many_threads_share_one_hidden_file_positionally() {
+    // 8 threads, one object, disjoint 512-byte strips: concurrent pread /
+    // pwrite through per-thread handles must not interleave into torn data.
+    let dev = SharedDevice::new(MemBlockDevice::new(1024, 8192));
+    let vfs = Arc::new(Vfs::format(dev, StegParams::for_tests()).expect("format"));
+    let threads = 8usize;
+    let strip = 512usize;
+
+    // Pre-size the file so every strip write is in place.
+    let owner = vfs.signon(SECRET_UAK);
+    let h = vfs
+        .open(owner, "/hidden/shared-arena", OpenOptions::read_write())
+        .expect("open");
+    vfs.write_at(h, 0, &vec![0u8; threads * strip])
+        .expect("prefill");
+    vfs.close(h).expect("close");
+
+    let barrier = Arc::new(Barrier::new(threads));
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let vfs = Arc::clone(&vfs);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let session = vfs.signon(SECRET_UAK);
+                let h = vfs
+                    .open(session, "/hidden/shared-arena", OpenOptions::read_write())
+                    .expect("open");
+                barrier.wait();
+                for round in 0..16 {
+                    let data = payload(t, round, strip);
+                    vfs.write_at(h, (t * strip) as u64, &data).expect("pwrite");
+                    let back = vfs.read_at(h, (t * strip) as u64, strip).expect("pread");
+                    assert_eq!(back, data, "strip {t} torn in round {round}");
+                }
+                vfs.close(h).expect("close");
+                vfs.signoff(session).expect("signoff");
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("strip worker panicked");
+    }
+
+    // Every strip holds its final round intact.
+    let h = vfs
+        .open(owner, "/hidden/shared-arena", OpenOptions::read_only())
+        .expect("reopen");
+    for t in 0..threads {
+        let got = vfs.read_at(h, (t * strip) as u64, strip).expect("read");
+        assert_eq!(got, payload(t, 15, strip), "final strip {t}");
+    }
+    vfs.close(h).expect("close");
+}

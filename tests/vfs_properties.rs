@@ -1,0 +1,197 @@
+//! Property tests for VFS handle semantics: arbitrary sequences of
+//! positional writes, positional reads, seeks, streaming I/O and truncates
+//! are applied in lockstep to a plain handle, a hidden handle and a plain
+//! `Vec<u8>` model — all three must agree at every step and at the end.
+
+use proptest::prelude::*;
+use std::io::SeekFrom;
+use stegfs_blockdev::{MemBlockDevice, SharedDevice};
+use stegfs_core::StegParams;
+use stegfs_vfs::{OpenOptions, Vfs, VfsHandle};
+
+/// One encoded operation: (opcode, position argument, length argument).
+type Op = (u8, usize, usize);
+
+const MAX_FILE: usize = 48 * 1024;
+
+fn quick_params() -> StegParams {
+    StegParams {
+        random_fill: false,
+        dummy_file_count: 0,
+        ..StegParams::for_tests()
+    }
+}
+
+/// Apply one op to the reference model, returning what the VFS must observe.
+struct Model {
+    data: Vec<u8>,
+    pos: u64,
+}
+
+fn pattern(seed: usize, len: usize) -> Vec<u8> {
+    (0..len).map(|i| ((seed + i * 7) % 256) as u8).collect()
+}
+
+/// Run `ops` against `handle`, checking every step against `model`.
+fn drive(
+    vfs: &Vfs<SharedDevice>,
+    handle: VfsHandle,
+    model: &mut Model,
+    ops: &[Op],
+) -> Result<(), TestCaseError> {
+    for (step, &(code, pos_arg, len_arg)) in ops.iter().enumerate() {
+        let len = model.data.len();
+        match code % 6 {
+            // Positional write somewhere within [0, len + 4k): may extend.
+            0 => {
+                let offset = pos_arg % (len + 1);
+                let n = len_arg % 2048;
+                if offset + n > MAX_FILE {
+                    continue;
+                }
+                let data = pattern(step, n);
+                vfs.write_at(handle, offset as u64, &data)
+                    .map_err(|e| TestCaseError::fail(format!("write_at: {e}")))?;
+                if !data.is_empty() {
+                    if model.data.len() < offset + n {
+                        model.data.resize(offset + n, 0);
+                    }
+                    model.data[offset..offset + n].copy_from_slice(&data);
+                }
+            }
+            // Positional read anywhere, including past EOF.
+            1 => {
+                let offset = pos_arg % (len + 512 + 1);
+                let n = len_arg % 4096;
+                let got = vfs
+                    .read_at(handle, offset as u64, n)
+                    .map_err(|e| TestCaseError::fail(format!("read_at: {e}")))?;
+                let start = offset.min(model.data.len());
+                let end = (offset + n).min(model.data.len());
+                prop_assert_eq!(&got, &model.data[start..end], "read_at step {}", step);
+            }
+            // Truncate: shrink or zero-extend.
+            2 => {
+                let new_len = pos_arg % (MAX_FILE + 1);
+                vfs.truncate(handle, new_len as u64)
+                    .map_err(|e| TestCaseError::fail(format!("truncate: {e}")))?;
+                model.data.resize(new_len, 0);
+                let size = vfs
+                    .handle_size(handle)
+                    .map_err(|e| TestCaseError::fail(format!("size: {e}")))?;
+                prop_assert_eq!(size, new_len as u64, "size after truncate step {}", step);
+            }
+            // Seek (absolute, relative, or from end) — past-EOF allowed.
+            3 => {
+                let target = match len_arg % 3 {
+                    0 => SeekFrom::Start((pos_arg % (MAX_FILE + 512)) as u64),
+                    1 => {
+                        let delta = (pos_arg % 1024) as i64 - 512;
+                        if model.pos as i64 + delta < 0 {
+                            SeekFrom::Start(0)
+                        } else {
+                            SeekFrom::Current(delta)
+                        }
+                    }
+                    _ => SeekFrom::End(-((pos_arg % (model.data.len() + 1)) as i64)),
+                };
+                let new_pos = vfs
+                    .seek(handle, target)
+                    .map_err(|e| TestCaseError::fail(format!("seek: {e}")))?;
+                model.pos = match target {
+                    SeekFrom::Start(n) => n,
+                    SeekFrom::Current(d) => (model.pos as i64 + d) as u64,
+                    SeekFrom::End(d) => (model.data.len() as i64 + d) as u64,
+                };
+                prop_assert_eq!(new_pos, model.pos, "seek result step {}", step);
+            }
+            // Streaming read advances the offset.
+            4 => {
+                let n = len_arg % 2048;
+                let got = vfs
+                    .read(handle, n)
+                    .map_err(|e| TestCaseError::fail(format!("read: {e}")))?;
+                let start = (model.pos as usize).min(model.data.len());
+                let end = (model.pos as usize + n).min(model.data.len());
+                prop_assert_eq!(&got, &model.data[start..end], "read step {}", step);
+                model.pos += got.len() as u64;
+            }
+            // Streaming write advances the offset and zero-fills seek gaps.
+            _ => {
+                let n = len_arg % 1024;
+                if model.pos as usize + n > MAX_FILE {
+                    continue;
+                }
+                let data = pattern(step * 31 + 7, n);
+                vfs.write(handle, &data)
+                    .map_err(|e| TestCaseError::fail(format!("write: {e}")))?;
+                if !data.is_empty() {
+                    let offset = model.pos as usize;
+                    if model.data.len() < offset + n {
+                        model.data.resize(offset + n, 0);
+                    }
+                    model.data[offset..offset + n].copy_from_slice(&data);
+                }
+                model.pos += n as u64;
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn handle_semantics_match_vec_model(
+        ops in proptest::collection::vec(
+            (any::<u8>(), 0usize..64 * 1024, 0usize..4096),
+            1..40
+        )
+    ) {
+        let dev = SharedDevice::new(MemBlockDevice::new(1024, 8192));
+        let vfs = Vfs::format(dev, quick_params()).unwrap();
+        let session = vfs.signon("property key");
+
+        // The same op sequence drives a hidden file and a plain file; both
+        // must track the model exactly.
+        for path in ["/hidden/model", "/plain/model"] {
+            let handle = vfs.open(session, path, OpenOptions::read_write()).unwrap();
+            let mut model = Model { data: Vec::new(), pos: 0 };
+            drive(&vfs, handle, &mut model, &ops)?;
+
+            // Final state: sizes agree and the full contents agree.
+            let size = vfs.handle_size(handle).unwrap();
+            prop_assert_eq!(size, model.data.len() as u64, "final size of {}", path);
+            let contents = vfs.read_at(handle, 0, model.data.len() + 1).unwrap();
+            prop_assert_eq!(contents, model.data, "final contents of {}", path);
+            vfs.close(handle).unwrap();
+        }
+    }
+
+    #[test]
+    fn truncate_grow_shrink_cycles_preserve_prefix(
+        sizes in proptest::collection::vec(0usize..20_000, 1..12)
+    ) {
+        let dev = SharedDevice::new(MemBlockDevice::new(1024, 8192));
+        let vfs = Vfs::format(dev, quick_params()).unwrap();
+        let session = vfs.signon("trunc key");
+        let h = vfs.open(session, "/hidden/t", OpenOptions::read_write()).unwrap();
+
+        let seed = pattern(99, 20_000);
+        vfs.write_at(h, 0, &seed[..sizes[0].min(seed.len())]).unwrap();
+        let mut model: Vec<u8> = seed[..sizes[0].min(seed.len())].to_vec();
+
+        for &s in &sizes {
+            vfs.truncate(h, s as u64).unwrap();
+            model.resize(s, 0);
+            prop_assert_eq!(vfs.handle_size(h).unwrap(), s as u64);
+        }
+        let final_contents = vfs.read_at(h, 0, model.len() + 1).unwrap();
+        prop_assert_eq!(final_contents, model);
+        vfs.close(h).unwrap();
+    }
+}
