@@ -2,7 +2,7 @@
 //! Algorithm (and AES, though the AES implementation in `stegfs-crypto` keeps
 //! its own inlined helpers).
 //!
-//! The field is GF(2)[x] / (x⁸ + x⁴ + x³ + x + 1), i.e. the AES polynomial
+//! The field is GF(2)\[x\] / (x⁸ + x⁴ + x³ + x + 1), i.e. the AES polynomial
 //! 0x11b.  Multiplication uses log/antilog tables built at first use.
 
 /// The reduction polynomial (x⁸ + x⁴ + x³ + x + 1).

@@ -28,7 +28,7 @@ pub struct Mnemosyne<D: BlockDevice> {
 
 impl<D: BlockDevice> Mnemosyne<D> {
     /// Initialise a volume with random fill and an (m, n) dispersal codec.
-    pub fn format(mut dev: D, m: usize, n: usize) -> BaselineResult<Self> {
+    pub fn format(dev: D, m: usize, n: usize) -> BaselineResult<Self> {
         let ida = Ida::new(m, n)?;
         let mut rng = XorShiftRng::new(0x4d4e_454d_4f53_594e);
         let mut buf = vec![0u8; dev.block_size()];

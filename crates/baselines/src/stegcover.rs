@@ -47,7 +47,7 @@ impl<D: BlockDevice> StegCover<D> {
     /// `cover_size_bytes` must be a multiple of the device block size and
     /// large enough for the biggest file to be stored (the paper uses 2 MB
     /// covers for files of at most 2 MB).
-    pub fn format(mut dev: D, cover_size_bytes: u64, subset_size: usize) -> BaselineResult<Self> {
+    pub fn format(dev: D, cover_size_bytes: u64, subset_size: usize) -> BaselineResult<Self> {
         let bs = dev.block_size() as u64;
         if cover_size_bytes == 0 || !cover_size_bytes.is_multiple_of(bs) {
             return Err(BaselineError::Invalid(format!(

@@ -28,7 +28,7 @@ fn ablation_space_overhead(c: &mut Criterion) {
     ] {
         group.bench_function(BenchmarkId::from_parameter(label), |b| {
             b.iter(|| {
-                let mut fs = StegFs::format(
+                let fs = StegFs::format(
                     MemBlockDevice::new(1024, 8192),
                     params_with(abandoned, fb_max),
                 )
@@ -53,7 +53,7 @@ fn ablation_locator_occupancy(c: &mut Criterion) {
             BenchmarkId::new("open_hidden", occupancy_files),
             &occupancy_files,
             |b, &n| {
-                let mut fs =
+                let fs =
                     StegFs::format(MemBlockDevice::new(1024, 8192), params_with(1.0, 4)).unwrap();
                 fs.steg_create("needle", "uak", ObjectKind::File).unwrap();
                 for i in 0..n {

@@ -1,94 +1,43 @@
-//! Figure 7, VFS edition: concurrent access time through the `stegfs-vfs`
+//! Figure 7, VFS edition: concurrent access through the `stegfs-vfs`
 //! front-end with *real OS threads* driving handle-based I/O on one shared
 //! volume — the scenario the paper measures with its kernel driver, which
 //! the library-level fig7 bench can only interleave cooperatively.
+//!
+//! Since the shared-reference core redesign there is no global volume lock,
+//! so this bench is a thread-*scaling* sweep: 1/2/4/8/12 threads over
+//! disjoint and shared working sets.  Disjoint throughput should rise with
+//! thread count; shared throughput is the per-object contention floor.
+//! `repro --vfs-scaling` runs the same sweep standalone and records ops/sec
+//! per point in `BENCH.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::sync::{Arc, Barrier};
-use std::thread;
-use stegfs_blockdev::{MemBlockDevice, SharedDevice};
-use stegfs_core::StegParams;
-use stegfs_vfs::{OpenOptions, Vfs};
-
-const FILE_KB: usize = 64;
-const FILES_PER_USER: usize = 4;
-
-fn params() -> StegParams {
-    StegParams {
-        random_fill: false,
-        dummy_file_count: 0,
-        ..StegParams::for_tests()
-    }
-}
-
-fn build_volume(users: usize) -> Arc<Vfs<SharedDevice>> {
-    let dev = SharedDevice::new(MemBlockDevice::with_capacity_mb(1024, 32));
-    let vfs = Vfs::format(dev, params()).expect("format");
-    let data = vec![0x5au8; FILE_KB * 1024];
-    for u in 0..users {
-        let s = vfs.signon(&format!("user {u}"));
-        for f in 0..FILES_PER_USER {
-            // Half the working set plain, half hidden: mixed traffic.
-            let path = if f % 2 == 0 {
-                format!("/plain/u{u}-f{f}")
-            } else {
-                format!("/hidden/u{u}-f{f}")
-            };
-            let h = vfs.open(s, &path, OpenOptions::read_write()).expect("open");
-            vfs.write_at(h, 0, &data).expect("prepare");
-            vfs.close(h).expect("close");
-        }
-    }
-    Arc::new(vfs)
-}
-
-fn one_pass(vfs: &Arc<Vfs<SharedDevice>>, users: usize, write: bool) {
-    let barrier = Arc::new(Barrier::new(users));
-    let workers: Vec<_> = (0..users)
-        .map(|u| {
-            let vfs = Arc::clone(vfs);
-            let barrier = Arc::clone(&barrier);
-            thread::spawn(move || {
-                let s = vfs.signon(&format!("user {u}"));
-                barrier.wait();
-                let data = vec![u as u8; FILE_KB * 1024];
-                for f in 0..FILES_PER_USER {
-                    let path = if f % 2 == 0 {
-                        format!("/plain/u{u}-f{f}")
-                    } else {
-                        format!("/hidden/u{u}-f{f}")
-                    };
-                    let h = vfs.open(s, &path, OpenOptions::read_write()).expect("open");
-                    if write {
-                        vfs.write_at(h, 0, &data).expect("write");
-                    } else {
-                        let got = vfs.read_at(h, 0, FILE_KB * 1024).expect("read");
-                        assert_eq!(got.len(), FILE_KB * 1024);
-                    }
-                    vfs.close(h).expect("close");
-                }
-                vfs.signoff(s).expect("signoff");
-            })
-        })
-        .collect();
-    for w in workers {
-        w.join().expect("bench worker");
-    }
-}
+use stegfs_bench::vfs_scaling::{run_sweep, THREAD_COUNTS};
 
 fn fig7_vfs(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_vfs_concurrency");
     group.sample_size(10);
-    for users in [1usize, 2, 8] {
-        let vfs = build_volume(users);
-        group.bench_with_input(BenchmarkId::new("read", users), &users, |b, &users| {
-            b.iter(|| one_pass(&vfs, users, false));
-        });
-        group.bench_with_input(BenchmarkId::new("write", users), &users, |b, &users| {
-            b.iter(|| one_pass(&vfs, users, true));
-        });
+    for mode in ["disjoint", "shared"] {
+        for &threads in &THREAD_COUNTS {
+            let vfs = stegfs_bench::vfs_scaling::bench_volume(threads, mode);
+            for (op, write) in [("read", false), ("write", true)] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{mode}/{op}"), threads),
+                    &threads,
+                    |b, &threads| {
+                        b.iter(|| {
+                            stegfs_bench::vfs_scaling::bench_pass(&vfs, threads, mode, write, 4)
+                        });
+                    },
+                );
+            }
+        }
     }
     group.finish();
+
+    // One quick standalone sweep so `cargo bench` also prints the ops/sec
+    // trajectory in the scaling shape the acceptance criteria quote.
+    let points = run_sweep(16);
+    println!("{}", stegfs_bench::vfs_scaling::render(&points));
 }
 
 criterion_group!(benches, fig7_vfs);

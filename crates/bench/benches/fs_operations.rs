@@ -35,12 +35,11 @@ fn bench_plain_fs(c: &mut Criterion) {
                 )
                 .unwrap()
             },
-            |mut fs| fs.write_file("/f", &data).unwrap(),
+            |fs| fs.write_file("/f", &data).unwrap(),
         );
     });
 
-    let mut fs =
-        PlainFs::format(MemBlockDevice::new(1024, 8192), FormatOptions::default()).unwrap();
+    let fs = PlainFs::format(MemBlockDevice::new(1024, 8192), FormatOptions::default()).unwrap();
     fs.write_file("/f", &data).unwrap();
     group.bench_function("read_256k", |b| {
         b.iter(|| fs.read_file("/f").unwrap());
@@ -56,16 +55,15 @@ fn bench_hidden_fs(c: &mut Criterion) {
     group.bench_function("write_256k", |b| {
         b.iter_with_setup(
             || {
-                let mut fs =
-                    StegFs::format(MemBlockDevice::new(1024, 8192), steg_params()).unwrap();
+                let fs = StegFs::format(MemBlockDevice::new(1024, 8192), steg_params()).unwrap();
                 fs.steg_create("f", "uak", ObjectKind::File).unwrap();
                 fs
             },
-            |mut fs| fs.write_hidden_with_key("f", "uak", &data).unwrap(),
+            |fs| fs.write_hidden_with_key("f", "uak", &data).unwrap(),
         );
     });
 
-    let mut fs = StegFs::format(MemBlockDevice::new(1024, 8192), steg_params()).unwrap();
+    let fs = StegFs::format(MemBlockDevice::new(1024, 8192), steg_params()).unwrap();
     fs.steg_create("f", "uak", ObjectKind::File).unwrap();
     fs.write_hidden_with_key("f", "uak", &data).unwrap();
     group.bench_function("read_256k", |b| {
@@ -77,8 +75,7 @@ fn bench_hidden_fs(c: &mut Criterion) {
             BenchmarkId::new("open_after_occupancy", occupancy),
             &occupancy,
             |b, &occupancy| {
-                let mut fs =
-                    StegFs::format(MemBlockDevice::new(1024, 8192), steg_params()).unwrap();
+                let fs = StegFs::format(MemBlockDevice::new(1024, 8192), steg_params()).unwrap();
                 fs.steg_create("target", "uak", ObjectKind::File).unwrap();
                 // Crowd the volume so the locator has to skip allocated blocks.
                 for i in 0..occupancy {

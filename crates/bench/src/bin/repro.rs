@@ -1,7 +1,7 @@
 //! `repro` — regenerate the tables and figures of the StegFS paper.
 //!
 //! ```text
-//! repro [--full] [--table N] [--fig N] [--space-summary] [--all]
+//! repro [--full] [--table N] [--fig N] [--space-summary] [--vfs-scaling] [--all]
 //! ```
 //!
 //! With no arguments (or `--all`) every artefact is produced.  The default
@@ -20,6 +20,7 @@ struct Options {
     tables: bool,
     figures: Vec<u32>,
     space: bool,
+    vfs_scaling: bool,
 }
 
 fn parse_args() -> Options {
@@ -29,6 +30,7 @@ fn parse_args() -> Options {
         tables: false,
         figures: Vec::new(),
         space: false,
+        vfs_scaling: false,
     };
     let mut any_selection = false;
     let mut i = 0;
@@ -39,6 +41,7 @@ fn parse_args() -> Options {
                 opts.tables = true;
                 opts.figures = vec![6, 7, 8, 9];
                 opts.space = true;
+                opts.vfs_scaling = true;
                 any_selection = true;
             }
             "--table" => {
@@ -63,6 +66,10 @@ fn parse_args() -> Options {
                 opts.space = true;
                 any_selection = true;
             }
+            "--vfs-scaling" => {
+                opts.vfs_scaling = true;
+                any_selection = true;
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other}")),
         }
@@ -72,6 +79,7 @@ fn parse_args() -> Options {
         opts.tables = true;
         opts.figures = vec![6, 7, 8, 9];
         opts.space = true;
+        opts.vfs_scaling = true;
     }
     opts
 }
@@ -81,7 +89,7 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: repro [--full] [--all] [--tables] [--fig N]... [--space-summary]\n\
+        "usage: repro [--full] [--all] [--tables] [--fig N]... [--space-summary] [--vfs-scaling]\n\
          \n\
          Regenerates the tables and figures of 'StegFS: A Steganographic File\n\
          System' (Pang, Tan, Zhou — ICDE 2003).  Default scale is a 64 MB\n\
@@ -179,6 +187,21 @@ fn main() {
         match space_summary(space_volume_mb, params.seed) {
             Ok(rows) => println!("{}", render_space_summary(&rows)),
             Err(e) => eprintln!("space summary failed: {e}"),
+        }
+    }
+
+    if opts.vfs_scaling {
+        // Thread-scaling sweep through the shared-reference VFS front-end:
+        // disjoint-object throughput should rise with thread count now that
+        // the global volume write lock is gone.  The trajectory is recorded
+        // in BENCH.json so successive PRs can be compared.
+        let ops_per_thread = if opts.full { 256 } else { 64 };
+        let points = stegfs_bench::vfs_scaling::run_sweep(ops_per_thread);
+        println!("{}", stegfs_bench::vfs_scaling::render(&points));
+        let json = stegfs_bench::vfs_scaling::to_json(&points);
+        match std::fs::write("BENCH.json", &json) {
+            Ok(()) => println!("wrote BENCH.json ({} points)", points.len()),
+            Err(e) => eprintln!("could not write BENCH.json: {e}"),
         }
     }
 }

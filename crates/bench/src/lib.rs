@@ -36,6 +36,8 @@ pub fn bench_workload() -> WorkloadParams {
 /// The user counts swept by the concurrency experiments.
 pub const USER_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
 
+pub mod vfs_scaling;
+
 /// The block sizes swept by the serial-access experiment (bytes).
 pub const BLOCK_SIZES: [usize; 8] = [512, 1024, 2048, 4096, 8192, 16384, 32768, 65536];
 

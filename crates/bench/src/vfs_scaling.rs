@@ -1,0 +1,262 @@
+//! Thread-scaling sweep over the `stegfs-vfs` front-end.
+//!
+//! The shared-reference core redesign removed the global volume write lock;
+//! this module measures what that bought: real OS threads driving handle I/O
+//! on one `Arc<Vfs>`, swept over thread counts, with two working-set shapes:
+//!
+//! * **disjoint** — every thread owns its files.  Threads contend only on
+//!   the allocator and the device, so throughput should *rise* with thread
+//!   count (it was flat behind the old global write lock).
+//! * **shared** — all threads hammer the same files.  The per-object locks
+//!   serialise them; this is the contention floor for comparison.
+//!
+//! The device underneath is a [`LatencyDevice`] over the striped in-memory
+//! volume: every block transfer *sleeps* a fixed service time, the way the
+//! paper's real Ultra ATA disk made every block access cost wall-clock time.
+//! That is what makes the sweep meaningful even on a small host: overlapped
+//! block I/O shows up as wall-clock speed-up, while anything still funnelled
+//! through a global lock stays flat.
+//!
+//! The sweep is wall-clock based (`std::time::Instant`), reporting ops/sec
+//! per `(threads, mode, op)` point.  `repro --vfs-scaling` records the
+//! result as JSON in `BENCH.json` so the trajectory is tracked across PRs.
+
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
+use stegfs_blockdev::{LatencyDevice, MemBlockDevice};
+use stegfs_core::StegParams;
+use stegfs_vfs::{OpenOptions, Vfs};
+
+/// The device used by the sweep.
+pub type SweepDevice = LatencyDevice<MemBlockDevice>;
+
+/// Simulated per-block service time (both directions).
+pub const BLOCK_LATENCY: Duration = Duration::from_micros(50);
+
+/// Thread counts swept by [`run_sweep`].
+pub const THREAD_COUNTS: [usize; 5] = [1, 2, 4, 8, 12];
+
+/// Size of each I/O operation (and of each file) in KiB.
+pub const FILE_KB: usize = 64;
+
+/// One measured point of the sweep.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Working-set shape: `"disjoint"` or `"shared"`.
+    pub mode: &'static str,
+    /// Operation: `"read"` or `"write"`.
+    pub op: &'static str,
+    /// Whole-file handle operations completed per second (all threads).
+    pub ops_per_sec: f64,
+    /// Total operations completed.
+    pub total_ops: u64,
+    /// Wall-clock time for the pass, in milliseconds.
+    pub elapsed_ms: f64,
+}
+
+fn params() -> StegParams {
+    StegParams {
+        random_fill: false,
+        dummy_file_count: 0,
+        ..StegParams::for_tests()
+    }
+}
+
+/// File path for `(thread, file)` under the given mode.  In shared mode all
+/// threads map onto thread 0's files.
+fn path_for(mode: &str, thread: usize, file: usize) -> String {
+    let owner = if mode == "shared" { 0 } else { thread };
+    // Half plain, half hidden: both namespaces must scale.
+    if file.is_multiple_of(2) {
+        format!("/plain/t{owner}-f{file}")
+    } else {
+        format!("/hidden/t{owner}-f{file}")
+    }
+}
+
+const FILES_PER_THREAD: usize = 2;
+
+fn build_volume(threads: usize, mode: &'static str) -> Arc<Vfs<SweepDevice>> {
+    let dev = LatencyDevice::symmetric(MemBlockDevice::with_capacity_mb(1024, 48), BLOCK_LATENCY);
+    let vfs = Vfs::format(dev, params()).expect("format");
+    let data = vec![0x5au8; FILE_KB * 1024];
+    let owners = if mode == "shared" { 1 } else { threads };
+    for t in 0..owners {
+        let s = vfs.signon("sweep key");
+        for f in 0..FILES_PER_THREAD {
+            let p = path_for(mode, t, f);
+            let h = vfs.open(s, &p, OpenOptions::read_write()).expect("open");
+            vfs.write_at(h, 0, &data).expect("prefill");
+            vfs.close(h).expect("close");
+        }
+        vfs.signoff(s).expect("signoff");
+    }
+    Arc::new(vfs)
+}
+
+fn one_pass(
+    vfs: &Arc<Vfs<SweepDevice>>,
+    threads: usize,
+    mode: &'static str,
+    write: bool,
+    ops_per_thread: usize,
+) -> (u64, f64) {
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let vfs = Arc::clone(vfs);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let s = vfs.signon("sweep key");
+                let data = vec![t as u8; FILE_KB * 1024];
+                // Open once, then do positional in-place I/O: the steady
+                // state of a long-lived handle, where the redesign pays off.
+                let handles: Vec<_> = (0..FILES_PER_THREAD)
+                    .map(|f| {
+                        vfs.open(s, &path_for(mode, t, f), OpenOptions::read_write())
+                            .expect("open")
+                    })
+                    .collect();
+                barrier.wait();
+                for op in 0..ops_per_thread {
+                    let h = handles[op % handles.len()];
+                    if write {
+                        vfs.write_at(h, 0, &data).expect("write");
+                    } else {
+                        let got = vfs.read_at(h, 0, FILE_KB * 1024).expect("read");
+                        assert_eq!(got.len(), FILE_KB * 1024);
+                    }
+                }
+                barrier.wait();
+                for h in handles {
+                    vfs.close(h).expect("close");
+                }
+                vfs.signoff(s).expect("signoff");
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    let start = Instant::now();
+    barrier.wait();
+    let elapsed = start.elapsed();
+    for w in workers {
+        w.join().expect("sweep worker");
+    }
+    let total = (threads * ops_per_thread) as u64;
+    (total, elapsed.as_secs_f64() * 1000.0)
+}
+
+/// Build a prepared volume for an externally driven pass (the criterion
+/// bench reuses one volume across iterations).
+pub fn bench_volume(threads: usize, mode: &'static str) -> Arc<Vfs<SweepDevice>> {
+    build_volume(threads, mode)
+}
+
+/// Run one externally driven pass over a [`bench_volume`], returning
+/// `(total ops, elapsed ms)`.
+pub fn bench_pass(
+    vfs: &Arc<Vfs<SweepDevice>>,
+    threads: usize,
+    mode: &'static str,
+    write: bool,
+    ops_per_thread: usize,
+) -> (u64, f64) {
+    one_pass(vfs, threads, mode, write, ops_per_thread)
+}
+
+/// Run the full sweep: every thread count, disjoint and shared working sets,
+/// reads and writes.  `ops_per_thread` trades precision for runtime; 64 is
+/// enough for a stable ranking, 256+ for quotable numbers.
+pub fn run_sweep(ops_per_thread: usize) -> Vec<ScalingPoint> {
+    let mut out = Vec::new();
+    for mode in ["disjoint", "shared"] {
+        for &threads in &THREAD_COUNTS {
+            let vfs = build_volume(threads, mode);
+            for (op, write) in [("read", false), ("write", true)] {
+                // One warm-up pass populates caches and steadies the layout.
+                one_pass(&vfs, threads, mode, write, ops_per_thread / 4 + 1);
+                let (total_ops, elapsed_ms) = one_pass(&vfs, threads, mode, write, ops_per_thread);
+                out.push(ScalingPoint {
+                    threads,
+                    mode,
+                    op,
+                    ops_per_sec: total_ops as f64 / (elapsed_ms / 1000.0),
+                    total_ops,
+                    elapsed_ms,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Render the sweep as a text table.
+pub fn render(points: &[ScalingPoint]) -> String {
+    let mut s = String::from(
+        "VFS thread-scaling sweep (64 KB whole-file handle ops, ops/sec)\n\
+         mode      op     threads      ops/sec   elapsed(ms)\n",
+    );
+    for p in points {
+        s.push_str(&format!(
+            "{:<9} {:<6} {:>7} {:>12.0} {:>13.1}\n",
+            p.mode, p.op, p.threads, p.ops_per_sec, p.elapsed_ms
+        ));
+    }
+    s
+}
+
+/// Serialise the sweep to JSON (hand-rolled: the workspace has no serde).
+pub fn to_json(points: &[ScalingPoint]) -> String {
+    let mut s = String::from("{\n  \"vfs_scaling\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"threads\": {}, \"mode\": \"{}\", \"op\": \"{}\", \"ops_per_sec\": {:.1}, \"total_ops\": {}, \"elapsed_ms\": {:.2}}}{}\n",
+            p.threads,
+            p.mode,
+            p.op,
+            p.ops_per_sec,
+            p.total_ops,
+            p.elapsed_ms,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_produces_all_points() {
+        // One thread count, minimal ops: just proves the harness works.
+        let vfs = build_volume(2, "disjoint");
+        let (ops, ms) = one_pass(&vfs, 2, "disjoint", true, 2);
+        assert_eq!(ops, 4);
+        assert!(ms > 0.0);
+        let vfs = build_volume(2, "shared");
+        let (ops, _) = one_pass(&vfs, 2, "shared", false, 2);
+        assert_eq!(ops, 4);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let points = vec![ScalingPoint {
+            threads: 4,
+            mode: "disjoint",
+            op: "read",
+            ops_per_sec: 123.4,
+            total_ops: 256,
+            elapsed_ms: 2074.9,
+        }];
+        let json = to_json(&points);
+        assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"vfs_scaling\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

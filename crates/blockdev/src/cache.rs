@@ -12,6 +12,7 @@
 
 use crate::device::{BlockDevice, BlockId};
 use crate::error::BlockResult;
+use parking_lot::Mutex;
 use std::collections::HashMap;
 
 /// Cache hit/miss counters.
@@ -25,14 +26,25 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
-/// Write-through LRU cache over a [`BlockDevice`].
-pub struct BufferCache<D: BlockDevice> {
-    inner: D,
-    capacity: usize,
+#[derive(Default)]
+struct CacheState {
     // block -> (data, last use tick)
     entries: HashMap<BlockId, (Vec<u8>, u64)>,
     tick: u64,
     stats: CacheStats,
+}
+
+/// Write-through LRU cache over a [`BlockDevice`].
+///
+/// One lock guards the whole cache, held across the device transfer on the
+/// miss/write paths: write-through consistency requires that a racing read
+/// cannot re-insert pre-write data over a fresh write.  Workloads that need
+/// parallel device I/O talk to the device directly (the VFS stack does not
+/// use this cache; the single-threaded simulation harness does).
+pub struct BufferCache<D: BlockDevice> {
+    inner: D,
+    capacity: usize,
+    state: Mutex<CacheState>,
 }
 
 impl<D: BlockDevice> BufferCache<D> {
@@ -45,31 +57,29 @@ impl<D: BlockDevice> BufferCache<D> {
         BufferCache {
             inner,
             capacity: capacity_blocks,
-            entries: HashMap::with_capacity(capacity_blocks),
-            tick: 0,
-            stats: CacheStats::default(),
+            state: Mutex::new(CacheState::default()),
         }
     }
 
     /// Cache statistics so far.
     pub fn stats(&self) -> CacheStats {
-        self.stats.clone()
+        self.state.lock().stats.clone()
     }
 
     /// Number of blocks currently cached.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.state.lock().entries.len()
     }
 
     /// True if the cache currently holds no blocks.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.state.lock().entries.is_empty()
     }
 
     /// Drop all cached blocks (the device already holds every write, so no
     /// data is lost).
-    pub fn invalidate(&mut self) {
-        self.entries.clear();
+    pub fn invalidate(&self) {
+        self.state.lock().entries.clear();
     }
 
     /// Access the wrapped device.
@@ -81,7 +91,9 @@ impl<D: BlockDevice> BufferCache<D> {
     pub fn into_inner(self) -> D {
         self.inner
     }
+}
 
+impl CacheState {
     fn touch(&mut self, block: BlockId) {
         self.tick += 1;
         if let Some(entry) = self.entries.get_mut(&block) {
@@ -89,9 +101,9 @@ impl<D: BlockDevice> BufferCache<D> {
         }
     }
 
-    fn insert(&mut self, block: BlockId, data: Vec<u8>) {
+    fn insert(&mut self, block: BlockId, data: Vec<u8>, capacity: usize) {
         self.tick += 1;
-        if self.entries.len() >= self.capacity && !self.entries.contains_key(&block) {
+        if self.entries.len() >= capacity && !self.entries.contains_key(&block) {
             // Evict the least recently used entry.
             if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, (_, t))| *t) {
                 self.entries.remove(&victim);
@@ -111,30 +123,34 @@ impl<D: BlockDevice> BlockDevice for BufferCache<D> {
         self.inner.total_blocks()
     }
 
-    fn read_block(&mut self, block: BlockId, buf: &mut [u8]) -> BlockResult<()> {
+    fn read_block(&self, block: BlockId, buf: &mut [u8]) -> BlockResult<()> {
+        let mut state = self.state.lock();
         if buf.len() == self.inner.block_size() {
-            if let Some((data, _)) = self.entries.get(&block) {
+            if let Some((data, _)) = state.entries.get(&block) {
                 buf.copy_from_slice(data);
-                self.stats.hits += 1;
-                self.touch(block);
+                state.stats.hits += 1;
+                state.touch(block);
                 return Ok(());
             }
         }
         self.inner.read_block(block, buf)?;
-        self.stats.misses += 1;
-        self.insert(block, buf.to_vec());
+        state.stats.misses += 1;
+        state.insert(block, buf.to_vec(), self.capacity);
         Ok(())
     }
 
-    fn write_block(&mut self, block: BlockId, buf: &[u8]) -> BlockResult<()> {
+    fn write_block(&self, block: BlockId, buf: &[u8]) -> BlockResult<()> {
         // Write-through: device first so a device error leaves the cache
-        // consistent with the (unchanged) device contents.
+        // consistent with the (unchanged) device contents; the state lock is
+        // held across the transfer so a racing miss cannot resurrect
+        // pre-write data.
+        let mut state = self.state.lock();
         self.inner.write_block(block, buf)?;
-        self.insert(block, buf.to_vec());
+        state.insert(block, buf.to_vec(), self.capacity);
         Ok(())
     }
 
-    fn flush(&mut self) -> BlockResult<()> {
+    fn flush(&self) -> BlockResult<()> {
         self.inner.flush()
     }
 }
@@ -149,7 +165,7 @@ mod tests {
     fn repeated_reads_hit_cache() {
         let metered = MeteredDevice::new(MemBlockDevice::new(64, 16));
         let io = metered.stats_handle();
-        let mut cache = BufferCache::new(metered, 8);
+        let cache = BufferCache::new(metered, 8);
         let mut buf = vec![0u8; 64];
         cache.read_block(5, &mut buf).unwrap();
         cache.read_block(5, &mut buf).unwrap();
@@ -167,7 +183,7 @@ mod tests {
     fn writes_are_write_through() {
         let metered = MeteredDevice::new(MemBlockDevice::new(64, 16));
         let io = metered.stats_handle();
-        let mut cache = BufferCache::new(metered, 8);
+        let cache = BufferCache::new(metered, 8);
         cache.write_block(3, &[0xaa; 64]).unwrap();
         assert_eq!(io.snapshot().writes, 1);
         // Read after write is a cache hit and returns the written data.
@@ -176,13 +192,13 @@ mod tests {
         assert_eq!(buf, vec![0xaa; 64]);
         assert_eq!(io.snapshot().reads, 0);
         // The device itself also holds the data.
-        let mut inner = cache.into_inner().into_inner();
+        let inner = cache.into_inner().into_inner();
         assert_eq!(inner.read_block_vec(3).unwrap(), vec![0xaa; 64]);
     }
 
     #[test]
     fn lru_eviction_prefers_old_entries() {
-        let mut cache = BufferCache::new(MemBlockDevice::new(64, 16), 2);
+        let cache = BufferCache::new(MemBlockDevice::new(64, 16), 2);
         let mut buf = vec![0u8; 64];
         cache.read_block(0, &mut buf).unwrap();
         cache.read_block(1, &mut buf).unwrap();
@@ -202,7 +218,7 @@ mod tests {
 
     #[test]
     fn invalidate_clears_entries_but_not_device() {
-        let mut cache = BufferCache::new(MemBlockDevice::new(64, 4), 4);
+        let cache = BufferCache::new(MemBlockDevice::new(64, 4), 4);
         cache.write_block(1, &[7u8; 64]).unwrap();
         assert!(!cache.is_empty());
         cache.invalidate();
@@ -214,7 +230,7 @@ mod tests {
 
     #[test]
     fn wrong_buffer_length_bypasses_cache_and_errors() {
-        let mut cache = BufferCache::new(MemBlockDevice::new(64, 4), 4);
+        let cache = BufferCache::new(MemBlockDevice::new(64, 4), 4);
         let mut small = vec![0u8; 10];
         assert!(cache.read_block(0, &mut small).is_err());
     }
@@ -227,7 +243,7 @@ mod tests {
 
     #[test]
     fn geometry_passthrough() {
-        let mut cache = BufferCache::new(MemBlockDevice::new(64, 4), 4);
+        let cache = BufferCache::new(MemBlockDevice::new(64, 4), 4);
         assert_eq!(cache.block_size(), 64);
         assert_eq!(cache.total_blocks(), 4);
         assert_eq!(cache.capacity_bytes(), 256);

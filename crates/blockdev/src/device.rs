@@ -13,6 +13,13 @@ pub type BlockId = u64;
 /// volume, the timing-model wrapper, the metering wrapper and the buffer
 /// cache — implements this trait, so the file-system layers above are
 /// agnostic to where the bytes actually live.
+///
+/// All I/O takes `&self`: a device is expected to admit *concurrent* block
+/// transfers, providing whatever interior locking it needs (the in-memory
+/// volume stripes its storage so disjoint blocks transfer in parallel; the
+/// file-backed volume serialises on its file handle).  This is what lets the
+/// shared-reference file-system layers above overlap block I/O from many
+/// threads instead of funnelling every transfer through one volume lock.
 pub trait BlockDevice {
     /// Size of each block in bytes.  Constant for the lifetime of the device.
     fn block_size(&self) -> usize;
@@ -23,15 +30,15 @@ pub trait BlockDevice {
     /// Read block `block` into `buf`.
     ///
     /// `buf.len()` must equal [`block_size`](Self::block_size).
-    fn read_block(&mut self, block: BlockId, buf: &mut [u8]) -> BlockResult<()>;
+    fn read_block(&self, block: BlockId, buf: &mut [u8]) -> BlockResult<()>;
 
     /// Write `buf` to block `block`.
     ///
     /// `buf.len()` must equal [`block_size`](Self::block_size).
-    fn write_block(&mut self, block: BlockId, buf: &[u8]) -> BlockResult<()>;
+    fn write_block(&self, block: BlockId, buf: &[u8]) -> BlockResult<()>;
 
     /// Flush any buffered state to the backing store.  Defaults to a no-op.
-    fn flush(&mut self) -> BlockResult<()> {
+    fn flush(&self) -> BlockResult<()> {
         Ok(())
     }
 
@@ -41,7 +48,7 @@ pub trait BlockDevice {
     }
 
     /// Convenience: read a block into a freshly allocated vector.
-    fn read_block_vec(&mut self, block: BlockId) -> BlockResult<Vec<u8>> {
+    fn read_block_vec(&self, block: BlockId) -> BlockResult<Vec<u8>> {
         let mut buf = vec![0u8; self.block_size()];
         self.read_block(block, &mut buf)?;
         Ok(buf)
@@ -66,13 +73,19 @@ pub(crate) fn check_access(
     Ok(())
 }
 
+/// Number of independently locked storage stripes in a [`MemBlockDevice`].
+pub const MEM_STRIPES: usize = 64;
+
 /// An in-memory block device.
 ///
 /// This is the workhorse backend for tests and for the performance
 /// experiments (which measure *simulated* disk time, not host I/O time).
+/// Storage is striped over [`MEM_STRIPES`] independently locked segments
+/// (block `b` lives in stripe `b % MEM_STRIPES`), so concurrent transfers of
+/// different blocks proceed in parallel.
 pub struct MemBlockDevice {
     block_size: usize,
-    data: Vec<u8>,
+    stripes: Vec<Mutex<Vec<u8>>>,
     total_blocks: u64,
 }
 
@@ -88,9 +101,13 @@ impl MemBlockDevice {
         let bytes = (block_size as u64)
             .checked_mul(total_blocks)
             .expect("device size overflows usize");
+        usize::try_from(bytes).expect("device too large for memory");
+        let blocks_per_stripe = (total_blocks as usize).div_ceil(MEM_STRIPES);
         MemBlockDevice {
             block_size,
-            data: vec![0u8; usize::try_from(bytes).expect("device too large for memory")],
+            stripes: (0..MEM_STRIPES)
+                .map(|_| Mutex::new(vec![0u8; blocks_per_stripe * block_size]))
+                .collect(),
             total_blocks,
         }
     }
@@ -102,10 +119,23 @@ impl MemBlockDevice {
         Self::new(block_size, total_blocks)
     }
 
-    /// Direct read-only access to the raw bytes (used by tests and by the
+    fn slot(&self, block: BlockId) -> (&Mutex<Vec<u8>>, usize) {
+        let stripe = (block as usize) % MEM_STRIPES;
+        let index = (block as usize) / MEM_STRIPES;
+        (&self.stripes[stripe], index * self.block_size)
+    }
+
+    /// Copy of the raw volume bytes in block order (used by tests and by the
     /// backup path, which images raw blocks).
-    pub fn raw(&self) -> &[u8] {
-        &self.data
+    pub fn snapshot_raw(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.total_blocks as usize * self.block_size];
+        for b in 0..self.total_blocks {
+            let (stripe, start) = self.slot(b);
+            let data = stripe.lock();
+            let dst = b as usize * self.block_size;
+            out[dst..dst + self.block_size].copy_from_slice(&data[start..start + self.block_size]);
+        }
+        out
     }
 }
 
@@ -118,17 +148,19 @@ impl BlockDevice for MemBlockDevice {
         self.total_blocks
     }
 
-    fn read_block(&mut self, block: BlockId, buf: &mut [u8]) -> BlockResult<()> {
+    fn read_block(&self, block: BlockId, buf: &mut [u8]) -> BlockResult<()> {
         check_access(block, self.total_blocks, buf.len(), self.block_size)?;
-        let start = block as usize * self.block_size;
-        buf.copy_from_slice(&self.data[start..start + self.block_size]);
+        let (stripe, start) = self.slot(block);
+        let data = stripe.lock();
+        buf.copy_from_slice(&data[start..start + self.block_size]);
         Ok(())
     }
 
-    fn write_block(&mut self, block: BlockId, buf: &[u8]) -> BlockResult<()> {
+    fn write_block(&self, block: BlockId, buf: &[u8]) -> BlockResult<()> {
         check_access(block, self.total_blocks, buf.len(), self.block_size)?;
-        let start = block as usize * self.block_size;
-        self.data[start..start + self.block_size].copy_from_slice(buf);
+        let (stripe, start) = self.slot(block);
+        let mut data = stripe.lock();
+        data[start..start + self.block_size].copy_from_slice(buf);
         Ok(())
     }
 }
@@ -203,15 +235,15 @@ impl BlockDevice for SharedDevice {
         self.inner.lock().total_blocks()
     }
 
-    fn read_block(&mut self, block: BlockId, buf: &mut [u8]) -> BlockResult<()> {
+    fn read_block(&self, block: BlockId, buf: &mut [u8]) -> BlockResult<()> {
         self.inner.lock().read_block(block, buf)
     }
 
-    fn write_block(&mut self, block: BlockId, buf: &[u8]) -> BlockResult<()> {
+    fn write_block(&self, block: BlockId, buf: &[u8]) -> BlockResult<()> {
         self.inner.lock().write_block(block, buf)
     }
 
-    fn flush(&mut self) -> BlockResult<()> {
+    fn flush(&self) -> BlockResult<()> {
         self.inner.lock().flush()
     }
 }
@@ -222,7 +254,7 @@ mod tests {
 
     #[test]
     fn read_back_what_was_written() {
-        let mut dev = MemBlockDevice::new(512, 8);
+        let dev = MemBlockDevice::new(512, 8);
         let pattern: Vec<u8> = (0..512).map(|i| (i % 256) as u8).collect();
         dev.write_block(3, &pattern).unwrap();
         let mut buf = vec![0u8; 512];
@@ -237,7 +269,7 @@ mod tests {
 
     #[test]
     fn out_of_range_rejected() {
-        let mut dev = MemBlockDevice::new(512, 8);
+        let dev = MemBlockDevice::new(512, 8);
         let buf = vec![0u8; 512];
         assert_eq!(
             dev.write_block(8, &buf),
@@ -255,7 +287,7 @@ mod tests {
 
     #[test]
     fn wrong_buffer_length_rejected() {
-        let mut dev = MemBlockDevice::new(512, 8);
+        let dev = MemBlockDevice::new(512, 8);
         let buf = vec![0u8; 100];
         assert_eq!(
             dev.write_block(0, &buf),
@@ -291,15 +323,15 @@ mod tests {
 
     #[test]
     fn read_block_vec_helper() {
-        let mut dev = MemBlockDevice::new(16, 4);
+        let dev = MemBlockDevice::new(16, 4);
         dev.write_block(1, &[7u8; 16]).unwrap();
         assert_eq!(dev.read_block_vec(1).unwrap(), vec![7u8; 16]);
     }
 
     #[test]
     fn shared_device_clones_view_same_storage() {
-        let mut a = SharedDevice::new(MemBlockDevice::new(64, 4));
-        let mut b = a.clone();
+        let a = SharedDevice::new(MemBlockDevice::new(64, 4));
+        let b = a.clone();
         a.write_block(2, &[0xaa; 64]).unwrap();
         let mut buf = vec![0u8; 64];
         b.read_block(2, &mut buf).unwrap();

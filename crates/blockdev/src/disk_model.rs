@@ -302,22 +302,29 @@ impl DiskModel {
 }
 
 /// A [`BlockDevice`] wrapper that charges every access to a [`DiskModel`].
+///
+/// The model's head/read-ahead state sits behind a mutex: a drive has one
+/// arm, so concurrent requests serialise their *accounting* (the data
+/// transfer itself happens in the wrapped device).
 pub struct SimDisk<D: BlockDevice> {
     inner: D,
-    model: DiskModel,
+    model: Mutex<DiskModel>,
 }
 
 impl<D: BlockDevice> SimDisk<D> {
     /// Wrap `inner` with the given physical parameters.
     pub fn new(inner: D, params: DiskParameters) -> Self {
         let model = DiskModel::new(params, inner.block_size(), inner.total_blocks());
-        SimDisk { inner, model }
+        SimDisk {
+            inner,
+            model: Mutex::new(model),
+        }
     }
 
     /// Handle onto the virtual clock (cloneable; survives moving the device
     /// into a file-system object).
     pub fn clock(&self) -> DiskClock {
-        self.model.clock()
+        self.model.lock().clock()
     }
 
     /// Access the underlying device.
@@ -340,19 +347,19 @@ impl<D: BlockDevice> BlockDevice for SimDisk<D> {
         self.inner.total_blocks()
     }
 
-    fn read_block(&mut self, block: BlockId, buf: &mut [u8]) -> BlockResult<()> {
+    fn read_block(&self, block: BlockId, buf: &mut [u8]) -> BlockResult<()> {
         self.inner.read_block(block, buf)?;
-        self.model.read(block);
+        self.model.lock().read(block);
         Ok(())
     }
 
-    fn write_block(&mut self, block: BlockId, buf: &[u8]) -> BlockResult<()> {
+    fn write_block(&self, block: BlockId, buf: &[u8]) -> BlockResult<()> {
         self.inner.write_block(block, buf)?;
-        self.model.write(block);
+        self.model.lock().write(block);
         Ok(())
     }
 
-    fn flush(&mut self) -> BlockResult<()> {
+    fn flush(&self) -> BlockResult<()> {
         self.inner.flush()
     }
 }
@@ -463,7 +470,7 @@ mod tests {
     #[test]
     fn simdisk_charges_time_and_preserves_data() {
         let mem = MemBlockDevice::new(512, 128);
-        let mut disk = SimDisk::new(mem, DiskParameters::ultra_ata_100());
+        let disk = SimDisk::new(mem, DiskParameters::ultra_ata_100());
         let clock = disk.clock();
         disk.write_block(7, &[9u8; 512]).unwrap();
         let mut buf = vec![0u8; 512];
@@ -480,7 +487,7 @@ mod tests {
     #[test]
     fn simdisk_errors_do_not_advance_clock() {
         let mem = MemBlockDevice::new(512, 8);
-        let mut disk = SimDisk::new(mem, DiskParameters::ultra_ata_100());
+        let disk = SimDisk::new(mem, DiskParameters::ultra_ata_100());
         let clock = disk.clock();
         let mut buf = vec![0u8; 512];
         assert!(disk.read_block(100, &mut buf).is_err());

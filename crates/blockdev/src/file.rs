@@ -6,14 +6,16 @@
 
 use crate::device::{check_access, BlockDevice, BlockId};
 use crate::error::BlockResult;
+use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 /// A volume stored in a single file; block `i` lives at byte offset
-/// `i * block_size`.
+/// `i * block_size`.  Transfers serialise on the file handle (the seek and
+/// the read/write must be one atomic pair).
 pub struct FileBlockDevice {
-    file: File,
+    file: Mutex<File>,
     block_size: usize,
     total_blocks: u64,
 }
@@ -35,7 +37,7 @@ impl FileBlockDevice {
             .open(path)?;
         file.set_len(block_size as u64 * total_blocks)?;
         Ok(FileBlockDevice {
-            file,
+            file: Mutex::new(file),
             block_size,
             total_blocks,
         })
@@ -50,7 +52,7 @@ impl FileBlockDevice {
         let len = file.metadata()?.len();
         let total_blocks = len / block_size as u64;
         Ok(FileBlockDevice {
-            file,
+            file: Mutex::new(file),
             block_size,
             total_blocks,
         })
@@ -66,24 +68,24 @@ impl BlockDevice for FileBlockDevice {
         self.total_blocks
     }
 
-    fn read_block(&mut self, block: BlockId, buf: &mut [u8]) -> BlockResult<()> {
+    fn read_block(&self, block: BlockId, buf: &mut [u8]) -> BlockResult<()> {
         check_access(block, self.total_blocks, buf.len(), self.block_size)?;
-        self.file
-            .seek(SeekFrom::Start(block * self.block_size as u64))?;
-        self.file.read_exact(buf)?;
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(block * self.block_size as u64))?;
+        file.read_exact(buf)?;
         Ok(())
     }
 
-    fn write_block(&mut self, block: BlockId, buf: &[u8]) -> BlockResult<()> {
+    fn write_block(&self, block: BlockId, buf: &[u8]) -> BlockResult<()> {
         check_access(block, self.total_blocks, buf.len(), self.block_size)?;
-        self.file
-            .seek(SeekFrom::Start(block * self.block_size as u64))?;
-        self.file.write_all(buf)?;
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(block * self.block_size as u64))?;
+        file.write_all(buf)?;
         Ok(())
     }
 
-    fn flush(&mut self) -> BlockResult<()> {
-        self.file.flush()?;
+    fn flush(&self) -> BlockResult<()> {
+        self.file.lock().flush()?;
         Ok(())
     }
 }
@@ -107,13 +109,13 @@ mod tests {
     fn create_write_reopen_read() {
         let path = temp_path("roundtrip");
         {
-            let mut dev = FileBlockDevice::create(&path, 256, 16).unwrap();
+            let dev = FileBlockDevice::create(&path, 256, 16).unwrap();
             assert_eq!(dev.total_blocks(), 16);
             dev.write_block(5, &[0x5a; 256]).unwrap();
             dev.flush().unwrap();
         }
         {
-            let mut dev = FileBlockDevice::open(&path, 256).unwrap();
+            let dev = FileBlockDevice::open(&path, 256).unwrap();
             assert_eq!(dev.total_blocks(), 16);
             assert_eq!(dev.block_size(), 256);
             let mut buf = vec![0u8; 256];
@@ -128,7 +130,7 @@ mod tests {
     #[test]
     fn out_of_range_and_bad_buffer() {
         let path = temp_path("bounds");
-        let mut dev = FileBlockDevice::create(&path, 128, 4).unwrap();
+        let dev = FileBlockDevice::create(&path, 128, 4).unwrap();
         assert_eq!(
             dev.write_block(4, &[0u8; 128]),
             Err(BlockError::OutOfRange { block: 4, total: 4 })

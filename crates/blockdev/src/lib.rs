@@ -21,10 +21,17 @@
 //!   simulated service time.
 //! * [`BufferCache`] — a small write-through LRU cache mirroring the role of
 //!   the kernel buffer cache in Figure 5 of the paper.
+//! * [`LatencyDevice`] — real-time per-block service latency (it actually
+//!   sleeps, outside every lock), used by the thread-scaling benchmarks to
+//!   show concurrent block I/O overlapping on the wall clock.
 //!
-//! All types are single-threaded by design except the shared handles
-//! ([`SharedDevice`]), which use a `parking_lot` mutex so the multi-user
-//! simulation can interleave requests from several logical users.
+//! [`BlockDevice`] I/O takes `&self`: every backend carries its own interior
+//! locking (the in-memory volume stripes its storage so disjoint blocks
+//! transfer in parallel; the file/cache/model wrappers serialise on the state
+//! they genuinely share), which is what lets the shared-reference file-system
+//! layers above drive one volume from many threads without a global device
+//! lock.  [`SharedDevice`] remains the cloneable boxed handle used where two
+//! owners need the same device object.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +41,7 @@ pub mod device;
 pub mod disk_model;
 pub mod error;
 pub mod file;
+pub mod latency;
 pub mod metered;
 
 pub use cache::BufferCache;
@@ -41,4 +49,5 @@ pub use device::{BlockDevice, BlockId, MemBlockDevice, SharedDevice};
 pub use disk_model::{DiskClock, DiskModel, DiskParameters, DiskStats, SimDisk};
 pub use error::{BlockError, BlockResult};
 pub use file::FileBlockDevice;
+pub use latency::LatencyDevice;
 pub use metered::{IoStats, MeteredDevice};

@@ -92,7 +92,7 @@ impl<D: BlockDevice> BlockDevice for MeteredDevice<D> {
         self.inner.total_blocks()
     }
 
-    fn read_block(&mut self, block: BlockId, buf: &mut [u8]) -> BlockResult<()> {
+    fn read_block(&self, block: BlockId, buf: &mut [u8]) -> BlockResult<()> {
         self.inner.read_block(block, buf)?;
         let mut s = self.stats.lock();
         s.reads += 1;
@@ -100,7 +100,7 @@ impl<D: BlockDevice> BlockDevice for MeteredDevice<D> {
         Ok(())
     }
 
-    fn write_block(&mut self, block: BlockId, buf: &[u8]) -> BlockResult<()> {
+    fn write_block(&self, block: BlockId, buf: &[u8]) -> BlockResult<()> {
         self.inner.write_block(block, buf)?;
         let mut s = self.stats.lock();
         s.writes += 1;
@@ -108,7 +108,7 @@ impl<D: BlockDevice> BlockDevice for MeteredDevice<D> {
         Ok(())
     }
 
-    fn flush(&mut self) -> BlockResult<()> {
+    fn flush(&self) -> BlockResult<()> {
         self.inner.flush()
     }
 }
@@ -120,7 +120,7 @@ mod tests {
 
     #[test]
     fn counts_reads_and_writes() {
-        let mut dev = MeteredDevice::new(MemBlockDevice::new(256, 16));
+        let dev = MeteredDevice::new(MemBlockDevice::new(256, 16));
         let handle = dev.stats_handle();
         let buf = vec![1u8; 256];
         dev.write_block(0, &buf).unwrap();
@@ -137,7 +137,7 @@ mod tests {
 
     #[test]
     fn failed_operations_not_counted() {
-        let mut dev = MeteredDevice::new(MemBlockDevice::new(256, 4));
+        let dev = MeteredDevice::new(MemBlockDevice::new(256, 4));
         let handle = dev.stats_handle();
         let buf = vec![1u8; 256];
         assert!(dev.write_block(99, &buf).is_err());
@@ -148,7 +148,7 @@ mod tests {
 
     #[test]
     fn reset_clears_counters() {
-        let mut dev = MeteredDevice::new(MemBlockDevice::new(128, 4));
+        let dev = MeteredDevice::new(MemBlockDevice::new(128, 4));
         let handle = dev.stats_handle();
         dev.write_block(0, &[0u8; 128]).unwrap();
         assert_ne!(handle.snapshot(), IoStats::default());
@@ -158,13 +158,13 @@ mod tests {
 
     #[test]
     fn passthrough_geometry_and_data() {
-        let mut dev = MeteredDevice::new(MemBlockDevice::new(128, 4));
+        let dev = MeteredDevice::new(MemBlockDevice::new(128, 4));
         assert_eq!(dev.block_size(), 128);
         assert_eq!(dev.total_blocks(), 4);
         dev.write_block(3, &[0x42; 128]).unwrap();
         assert_eq!(dev.read_block_vec(3).unwrap(), vec![0x42; 128]);
         dev.flush().unwrap();
         let inner = dev.into_inner();
-        assert_eq!(inner.raw()[3 * 128], 0x42);
+        assert_eq!(inner.snapshot_raw()[3 * 128], 0x42);
     }
 }

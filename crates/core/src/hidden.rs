@@ -46,7 +46,7 @@ impl HiddenObject {
 }
 
 fn write_encrypted<D: BlockDevice>(
-    fs: &mut PlainFs<D>,
+    fs: &PlainFs<D>,
     keys: &ObjectKeys,
     block: u64,
     plaintext_block: &[u8],
@@ -58,7 +58,7 @@ fn write_encrypted<D: BlockDevice>(
 }
 
 fn read_decrypted<D: BlockDevice>(
-    fs: &mut PlainFs<D>,
+    fs: &PlainFs<D>,
     keys: &ObjectKeys,
     block: u64,
 ) -> StegResult<Vec<u8>> {
@@ -72,15 +72,30 @@ fn read_decrypted<D: BlockDevice>(
 /// The header lands at the first free block of the keyed candidate sequence;
 /// the internal free pool is immediately stocked with `FB_max` random blocks.
 pub fn create<D: BlockDevice>(
-    fs: &mut PlainFs<D>,
+    fs: &PlainFs<D>,
     physical_name: &str,
     keys: &ObjectKeys,
     kind: ObjectKind,
     params: &StegParams,
 ) -> StegResult<HiddenObject> {
-    let (header_block, _probes) =
-        find_free_header_slot(fs, physical_name, keys, params.max_locator_probes)?;
-    fs.allocate_specific_block(header_block)?;
+    // Claiming the slot is a separate step from finding it, so two creators
+    // racing down different candidate sequences may pick the same free block.
+    // The loser's atomic claim fails and it simply probes on: the next walk
+    // skips the now-allocated block.
+    let header_block = {
+        let mut attempts = 0usize;
+        loop {
+            let (candidate, _probes) =
+                find_free_header_slot(fs, physical_name, keys, params.max_locator_probes)?;
+            if fs.try_allocate_specific_block(candidate)? {
+                break candidate;
+            }
+            attempts += 1;
+            if attempts > 64 {
+                return Err(StegError::NoSpace);
+            }
+        }
+    };
 
     let mut header = HiddenHeader::new(*keys.signature(), kind);
     // Stock the internal free pool (§3.1: "StegFS straightaway allocates
@@ -103,7 +118,7 @@ pub fn create<D: BlockDevice>(
 
 /// Open an existing hidden object by walking the candidate sequence.
 pub fn open<D: BlockDevice>(
-    fs: &mut PlainFs<D>,
+    fs: &PlainFs<D>,
     physical_name: &str,
     keys: &ObjectKeys,
     params: &StegParams,
@@ -123,7 +138,7 @@ pub fn open<D: BlockDevice>(
 /// Read the inode chain of `obj`, returning the data blocks in logical order
 /// together with the chain blocks themselves.
 fn read_chain<D: BlockDevice>(
-    fs: &mut PlainFs<D>,
+    fs: &PlainFs<D>,
     keys: &ObjectKeys,
     obj: &HiddenObject,
 ) -> StegResult<(Vec<u64>, Vec<u64>)> {
@@ -152,7 +167,7 @@ fn chain_blocks_guard(chain_blocks: &[u64], total: u64) -> bool {
 
 /// Read the full contents of a hidden object.
 pub fn read<D: BlockDevice>(
-    fs: &mut PlainFs<D>,
+    fs: &PlainFs<D>,
     keys: &ObjectKeys,
     obj: &HiddenObject,
 ) -> StegResult<Vec<u8>> {
@@ -167,7 +182,7 @@ pub fn read<D: BlockDevice>(
 
 /// Read `len` bytes starting at `offset` (clamped to the object size).
 pub fn read_range<D: BlockDevice>(
-    fs: &mut PlainFs<D>,
+    fs: &PlainFs<D>,
     keys: &ObjectKeys,
     obj: &HiddenObject,
     offset: u64,
@@ -202,7 +217,7 @@ pub fn read_range<D: BlockDevice>(
 /// re-encrypted individually (the multi-user experiments update files at
 /// block granularity).
 pub fn write_range<D: BlockDevice>(
-    fs: &mut PlainFs<D>,
+    fs: &PlainFs<D>,
     keys: &ObjectKeys,
     obj: &HiddenObject,
     offset: u64,
@@ -241,33 +256,42 @@ pub fn write_range<D: BlockDevice>(
 }
 
 /// Take one block for new data: prefer the internal free pool (choosing a
-/// random member, per §3.1), fall back to a fresh random block.
+/// random member, per §3.1), then a fresh random block, and only under space
+/// pressure a block the current operation is recycling from the object's
+/// previous incarnation.
+///
+/// Preferring fresh blocks keeps rewrites *churning the bitmap* — dummy-file
+/// maintenance depends on rewrites allocating new random blocks and freeing
+/// old ones, so snapshot differencing cannot attribute deltas to real data.
+/// Recycled blocks stay marked allocated in the bitmap throughout (they are
+/// never freed mid-operation), so a failing rewrite can never leave the
+/// object's still-current header pointing at blocks another thread has been
+/// handed; on a nearly full volume they are consumed in place, which is what
+/// lets a rewrite or truncation succeed without double the footprint.
+/// Blocks drawn fresh from the volume are recorded in `fresh` so a failing
+/// operation can return them instead of leaking them (with the
+/// shared-reference API a concurrent writer can consume the space between
+/// our capacity check and the allocations).
 fn take_block<D: BlockDevice>(
-    fs: &mut PlainFs<D>,
+    fs: &PlainFs<D>,
     header: &mut HiddenHeader,
     rng: &mut DeterministicRng,
+    recycled: &mut Vec<u64>,
+    fresh: &mut Vec<u64>,
 ) -> StegResult<u64> {
     if !header.free_pool.is_empty() {
         let idx = rng.next_below(header.free_pool.len() as u64) as usize;
         return Ok(header.free_pool.swap_remove(idx));
     }
-    Ok(fs.allocate_random_block()?)
-}
-
-/// Give a no-longer-needed block back: into the pool while it has room
-/// (`FB_max`), otherwise back to the file system.
-fn release_block<D: BlockDevice>(
-    fs: &mut PlainFs<D>,
-    header: &mut HiddenHeader,
-    params: &StegParams,
-    block: u64,
-) -> StegResult<()> {
-    if header.free_pool.len() < params.free_blocks_max {
-        header.free_pool.push(block);
-        Ok(())
-    } else {
-        fs.free_raw_block(block)?;
-        Ok(())
+    match fs.allocate_random_block() {
+        Ok(block) => {
+            fresh.push(block);
+            Ok(block)
+        }
+        Err(stegfs_fs::FsError::NoSpace) if !recycled.is_empty() => {
+            Ok(recycled.pop().expect("checked non-empty"))
+        }
+        Err(e) => Err(e.into()),
     }
 }
 
@@ -278,7 +302,7 @@ fn release_block<D: BlockDevice>(
 /// free pool; new blocks are drawn from the pool first and then from random
 /// free space.
 pub fn write<D: BlockDevice>(
-    fs: &mut PlainFs<D>,
+    fs: &PlainFs<D>,
     keys: &ObjectKeys,
     obj: &mut HiddenObject,
     data: &[u8],
@@ -289,61 +313,107 @@ pub fn write<D: BlockDevice>(
     let total = fs.superblock().total_blocks;
     let needed = (data.len() as u64).div_ceil(bs as u64);
 
-    // Recycle the old blocks.
+    // Make sure the volume can hold the new contents *before* recycling
+    // anything: refusing up front leaves the object untouched, whereas the
+    // old freed-then-checked order let a refused update return the object's
+    // own data blocks to the volume.  The check counts the recycled blocks
+    // as available because they come back to us below.
     let (old_data, old_chain) = read_chain(fs, keys, obj)?;
-    let mut header = obj.header.clone();
-    for b in old_data.into_iter().chain(old_chain) {
-        release_block(fs, &mut header, params, b)?;
-    }
-
-    // Make sure the volume can hold the new contents before taking anything.
     let chain_capacity = InodeChainBlock::capacity(bs) as u64;
     let chain_needed = needed.div_ceil(chain_capacity.max(1));
-    let available = fs.free_data_blocks() + header.free_pool.len() as u64;
+    let available = fs.free_data_blocks()
+        + obj.header.free_pool.len() as u64
+        + old_data.len() as u64
+        + old_chain.len() as u64;
     if available < needed + chain_needed {
-        // Restore is not required: the recycled blocks are still listed in
-        // the pool or have been freed, and the header has not been rewritten,
-        // so the object still describes the old data blocks.  We simply
-        // refuse the update.
         return Err(StegError::NoSpace);
     }
 
-    // Write the data blocks.
-    let mut data_blocks = Vec::with_capacity(needed as usize);
-    for i in 0..needed as usize {
-        let block = take_block(fs, &mut header, rng)?;
-        let start = i * bs;
-        let end = ((i + 1) * bs).min(data.len());
-        let mut plain = vec![0u8; bs];
-        plain[..end - start].copy_from_slice(&data[start..end]);
-        write_encrypted(fs, keys, block, &plain)?;
-        data_blocks.push(block);
+    // The old blocks are *recycled in place*: they stay allocated in the
+    // bitmap and are consumed directly as new data/chain blocks, never freed
+    // mid-operation.  The capacity check above is advisory once other
+    // writers run in parallel, so from here on track freshly allocated
+    // blocks and hand them back if the operation fails part-way.  On such a
+    // failure the object's previous header stays current and every block it
+    // names is still allocated — though blocks already consumed for new data
+    // have had their *contents* overwritten (recycling is what makes a
+    // rewrite affordable; full atomicity would need disjoint space).
+    let mut header = obj.header.clone();
+    let mut recycled: Vec<u64> = old_data.into_iter().chain(old_chain).collect();
+    let mut fresh = Vec::new();
+    let result = (|| -> StegResult<()> {
+        // Write the data blocks.
+        let mut data_blocks = Vec::with_capacity(needed as usize);
+        for i in 0..needed as usize {
+            let block = take_block(fs, &mut header, rng, &mut recycled, &mut fresh)?;
+            let start = i * bs;
+            let end = ((i + 1) * bs).min(data.len());
+            let mut plain = vec![0u8; bs];
+            plain[..end - start].copy_from_slice(&data[start..end]);
+            write_encrypted(fs, keys, block, &plain)?;
+            data_blocks.push(block);
+        }
+
+        // Build the inode chain (allocate chain blocks the same way).
+        let chain_head = build_chain(
+            fs,
+            keys,
+            &mut header,
+            &data_blocks,
+            rng,
+            &mut recycled,
+            &mut fresh,
+        )?;
+
+        // Absorb surplus recycled blocks into the pool (a pure header-local
+        // move — nothing is freed yet) and top the pool back up if it is
+        // still below the lower bound.
+        while header.free_pool.len() < params.free_blocks_max {
+            match recycled.pop() {
+                Some(b) => header.free_pool.push(b),
+                None => break,
+            }
+        }
+        top_up_pool(fs, &mut header, params, &mut fresh)?;
+
+        // Publish the new header.
+        header.size = data.len() as u64;
+        header.data_block_count = data_blocks.len() as u64;
+        header.inode_chain = chain_head;
+        debug_assert!(header.inode_chain == NO_BLOCK || header.inode_chain < total);
+        write_encrypted(fs, keys, obj.header_block, &header.serialize(bs))?;
+        Ok(())
+    })();
+    match result {
+        Ok(()) => {
+            obj.header = header;
+            // Only now that the new header is current may the old
+            // incarnation's surplus return to the volume: a failure anywhere
+            // above must leave every block the old header names allocated.
+            for b in recycled {
+                fs.free_raw_block(b)?;
+            }
+            Ok(())
+        }
+        Err(e) => {
+            for b in fresh {
+                let _ = fs.free_raw_block(b);
+            }
+            Err(e)
+        }
     }
-
-    // Build the inode chain (allocate chain blocks the same way).
-    let chain_head = build_chain(fs, keys, &mut header, &data_blocks, rng)?;
-
-    // Top the pool back up if it has fallen below the lower bound.
-    top_up_pool(fs, &mut header, params)?;
-
-    // Publish the new header.
-    header.size = data.len() as u64;
-    header.data_block_count = data_blocks.len() as u64;
-    header.inode_chain = chain_head;
-    debug_assert!(header.inode_chain == NO_BLOCK || header.inode_chain < total);
-    write_encrypted(fs, keys, obj.header_block, &header.serialize(bs))?;
-    obj.header = header;
-    Ok(())
 }
 
 /// Serialise `data_blocks` into a fresh inode chain, drawing chain blocks
 /// from the pool / free space; returns the chain head (or [`NO_BLOCK`]).
 fn build_chain<D: BlockDevice>(
-    fs: &mut PlainFs<D>,
+    fs: &PlainFs<D>,
     keys: &ObjectKeys,
     header: &mut HiddenHeader,
     data_blocks: &[u64],
     rng: &mut DeterministicRng,
+    recycled: &mut Vec<u64>,
+    fresh: &mut Vec<u64>,
 ) -> StegResult<u64> {
     if data_blocks.is_empty() {
         return Ok(NO_BLOCK);
@@ -353,7 +423,7 @@ fn build_chain<D: BlockDevice>(
     let chunks: Vec<&[u64]> = data_blocks.chunks(chain_capacity).collect();
     let mut chain_block_numbers = Vec::with_capacity(chunks.len());
     for _ in &chunks {
-        chain_block_numbers.push(take_block(fs, header, rng)?);
+        chain_block_numbers.push(take_block(fs, header, rng, recycled, fresh)?);
     }
     for (i, chunk) in chunks.iter().enumerate() {
         let next = chain_block_numbers.get(i + 1).copied().unwrap_or(NO_BLOCK);
@@ -367,16 +437,22 @@ fn build_chain<D: BlockDevice>(
 }
 
 /// Refill the internal free pool to `FB_max` once it has dropped below
-/// `FB_min` (§3.1).
+/// `FB_min` (§3.1).  Newly allocated pool blocks are recorded in `fresh`:
+/// until the header naming them is published they exist only in a local
+/// clone, so a later failure must return them to the volume.
 fn top_up_pool<D: BlockDevice>(
-    fs: &mut PlainFs<D>,
+    fs: &PlainFs<D>,
     header: &mut HiddenHeader,
     params: &StegParams,
+    fresh: &mut Vec<u64>,
 ) -> StegResult<()> {
     if header.free_pool.len() < params.free_blocks_min {
         while header.free_pool.len() < params.free_blocks_max {
             match fs.allocate_random_block() {
-                Ok(b) => header.free_pool.push(b),
+                Ok(b) => {
+                    header.free_pool.push(b);
+                    fresh.push(b);
+                }
                 Err(stegfs_fs::FsError::NoSpace) => break,
                 Err(e) => return Err(e.into()),
             }
@@ -387,7 +463,7 @@ fn top_up_pool<D: BlockDevice>(
 
 /// Set the object's size to `new_len` at block granularity.
 ///
-/// Unlike [`write`], the cost is proportional to the *change* (plus the
+/// Unlike [`write()`](self::write), the cost is proportional to the *change* (plus the
 /// chain rebuild), not to the object's total size: shrinking recycles only
 /// the surplus blocks through the free pool and zeroes the cut tail of the
 /// last kept block; growing appends zero-filled blocks.  Existing data
@@ -395,11 +471,11 @@ fn top_up_pool<D: BlockDevice>(
 /// VFS O(append) instead of O(file).
 ///
 /// Invariant maintained (and relied on): within the last data block, every
-/// byte beyond `size` is zero — [`write`] pads with zeros and the shrink
+/// byte beyond `size` is zero — [`write()`](self::write) pads with zeros and the shrink
 /// path below re-zeroes, so a later extension exposes zeros, never stale
 /// plaintext.
 pub fn resize<D: BlockDevice>(
-    fs: &mut PlainFs<D>,
+    fs: &PlainFs<D>,
     keys: &ObjectKeys,
     obj: &mut HiddenObject,
     new_len: u64,
@@ -414,64 +490,102 @@ pub fn resize<D: BlockDevice>(
     let new_count = new_len.div_ceil(bs);
     let (mut data_blocks, old_chain) = read_chain(fs, keys, obj)?;
     let mut header = obj.header.clone();
+    // As in [`write()`](self::write): surplus blocks are recycled in place
+    // (still allocated, consumed before fresh space, released only at the
+    // end), so a mid-operation failure never frees blocks the still-current
+    // header references.
+    let mut recycled: Vec<u64> = old_chain;
+    let mut fresh = Vec::new();
 
-    if new_len < old_len {
-        for b in data_blocks.drain(new_count as usize..) {
-            release_block(fs, &mut header, params, b)?;
+    let result = (|| -> StegResult<()> {
+        if new_len < old_len {
+            recycled.extend(data_blocks.drain(new_count as usize..));
+            // Zero the cut tail of the last kept block so the truncated bytes
+            // cannot resurface on a later extension.
+            let tail = (new_len % bs) as usize;
+            if tail != 0 {
+                let last = *data_blocks.last().expect("tail implies a kept block");
+                let mut plain = read_decrypted(fs, keys, last)?;
+                plain[tail..].fill(0);
+                write_encrypted(fs, keys, last, &plain)?;
+            }
+        } else {
+            // Capacity check before taking anything: the recycled chain
+            // blocks come back to us, so count them as available.
+            let extra = new_count.saturating_sub(data_blocks.len() as u64);
+            let chain_capacity = InodeChainBlock::capacity(fs.block_size()).max(1) as u64;
+            let chain_needed = new_count.div_ceil(chain_capacity);
+            let available =
+                fs.free_data_blocks() + header.free_pool.len() as u64 + recycled.len() as u64;
+            if available < extra + chain_needed {
+                return Err(StegError::NoSpace);
+            }
+            let zero = vec![0u8; fs.block_size()];
+            for _ in 0..extra {
+                let block = take_block(fs, &mut header, rng, &mut recycled, &mut fresh)?;
+                write_encrypted(fs, keys, block, &zero)?;
+                data_blocks.push(block);
+            }
         }
-        // Zero the cut tail of the last kept block so the truncated bytes
-        // cannot resurface on a later extension.
-        let tail = (new_len % bs) as usize;
-        if tail != 0 {
-            let last = *data_blocks.last().expect("tail implies a kept block");
-            let mut plain = read_decrypted(fs, keys, last)?;
-            plain[tail..].fill(0);
-            write_encrypted(fs, keys, last, &plain)?;
+
+        // Rebuild the chain from the recycled blocks first, absorb surplus
+        // into the pool (header-local; nothing freed yet), and top up.
+        let chain_head = build_chain(
+            fs,
+            keys,
+            &mut header,
+            &data_blocks,
+            rng,
+            &mut recycled,
+            &mut fresh,
+        )?;
+        while header.free_pool.len() < params.free_blocks_max {
+            match recycled.pop() {
+                Some(b) => header.free_pool.push(b),
+                None => break,
+            }
         }
-    } else {
-        // Capacity check before taking anything: the recycled chain blocks
-        // come back to us, so count them as available.
-        let extra = new_count.saturating_sub(data_blocks.len() as u64);
-        let chain_capacity = InodeChainBlock::capacity(fs.block_size()).max(1) as u64;
-        let chain_needed = new_count.div_ceil(chain_capacity);
-        let available =
-            fs.free_data_blocks() + header.free_pool.len() as u64 + old_chain.len() as u64;
-        if available < extra + chain_needed {
-            return Err(StegError::NoSpace);
+        top_up_pool(fs, &mut header, params, &mut fresh)?;
+
+        header.size = new_len;
+        header.data_block_count = data_blocks.len() as u64;
+        header.inode_chain = chain_head;
+        write_encrypted(
+            fs,
+            keys,
+            obj.header_block,
+            &header.serialize(fs.block_size()),
+        )?;
+        Ok(())
+    })();
+    match result {
+        Ok(()) => {
+            obj.header = header;
+            // Surplus returns to the volume only after the publish; see
+            // [`write()`](self::write).
+            for b in recycled {
+                fs.free_raw_block(b)?;
+            }
+            Ok(())
         }
-        let zero = vec![0u8; fs.block_size()];
-        for _ in 0..extra {
-            let block = take_block(fs, &mut header, rng)?;
-            write_encrypted(fs, keys, block, &zero)?;
-            data_blocks.push(block);
+        Err(e) => {
+            // Return the blocks this attempt drew fresh from the volume;
+            // every block the previous (still current) header names remains
+            // allocated, though recycled blocks consumed before the failure
+            // may have had their contents overwritten.
+            for b in fresh {
+                let _ = fs.free_raw_block(b);
+            }
+            Err(e)
         }
     }
-
-    // Rebuild the chain, recycling the old chain blocks first.
-    for b in old_chain {
-        release_block(fs, &mut header, params, b)?;
-    }
-    let chain_head = build_chain(fs, keys, &mut header, &data_blocks, rng)?;
-    top_up_pool(fs, &mut header, params)?;
-
-    header.size = new_len;
-    header.data_block_count = data_blocks.len() as u64;
-    header.inode_chain = chain_head;
-    write_encrypted(
-        fs,
-        keys,
-        obj.header_block,
-        &header.serialize(fs.block_size()),
-    )?;
-    obj.header = header;
-    Ok(())
 }
 
 /// Delete a hidden object: every block it holds (data, chain, pool, header)
 /// is returned to the file system, and the header block is overwritten with
 /// fresh pseudorandom fill so no stale signature survives on disk.
 pub fn delete<D: BlockDevice>(
-    fs: &mut PlainFs<D>,
+    fs: &PlainFs<D>,
     keys: &ObjectKeys,
     obj: &HiddenObject,
     rng: &mut DeterministicRng,
@@ -494,7 +608,7 @@ pub fn delete<D: BlockDevice>(
 /// All blocks currently owned by the object (header, chain, data, pool).
 /// Used by the space accounting in the experiments.
 pub fn owned_blocks<D: BlockDevice>(
-    fs: &mut PlainFs<D>,
+    fs: &PlainFs<D>,
     keys: &ObjectKeys,
     obj: &HiddenObject,
 ) -> StegResult<Vec<u64>> {
@@ -530,9 +644,9 @@ mod tests {
 
     #[test]
     fn create_open_roundtrip() {
-        let (mut fs, keys, params, _) = fixture();
+        let (fs, keys, params, _) = fixture();
         let created = create(
-            &mut fs,
+            &fs,
             "u1:/secret/budget.xls",
             &keys,
             ObjectKind::File,
@@ -540,7 +654,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(created.header.free_pool.len(), params.free_blocks_max);
-        let opened = open(&mut fs, "u1:/secret/budget.xls", &keys, &params).unwrap();
+        let opened = open(&fs, "u1:/secret/budget.xls", &keys, &params).unwrap();
         assert_eq!(opened.header_block, created.header_block);
         assert_eq!(opened.header, created.header);
         assert_eq!(opened.kind(), ObjectKind::File);
@@ -549,17 +663,17 @@ mod tests {
 
     #[test]
     fn empty_object_reads_empty() {
-        let (mut fs, keys, params, _) = fixture();
-        let obj = create(&mut fs, "n", &keys, ObjectKind::File, &params).unwrap();
-        assert_eq!(read(&mut fs, &keys, &obj).unwrap(), Vec::<u8>::new());
+        let (fs, keys, params, _) = fixture();
+        let obj = create(&fs, "n", &keys, ObjectKind::File, &params).unwrap();
+        assert_eq!(read(&fs, &keys, &obj).unwrap(), Vec::<u8>::new());
     }
 
     #[test]
     fn write_read_roundtrip_small() {
-        let (mut fs, keys, params, mut rng) = fixture();
-        let mut obj = create(&mut fs, "n", &keys, ObjectKind::File, &params).unwrap();
+        let (fs, keys, params, mut rng) = fixture();
+        let mut obj = create(&fs, "n", &keys, ObjectKind::File, &params).unwrap();
         write(
-            &mut fs,
+            &fs,
             &keys,
             &mut obj,
             b"hello hidden world",
@@ -568,75 +682,67 @@ mod tests {
         )
         .unwrap();
         assert_eq!(obj.size(), 18);
-        assert_eq!(read(&mut fs, &keys, &obj).unwrap(), b"hello hidden world");
+        assert_eq!(read(&fs, &keys, &obj).unwrap(), b"hello hidden world");
         // And through a fresh open.
-        let reopened = open(&mut fs, "n", &keys, &params).unwrap();
-        assert_eq!(
-            read(&mut fs, &keys, &reopened).unwrap(),
-            b"hello hidden world"
-        );
+        let reopened = open(&fs, "n", &keys, &params).unwrap();
+        assert_eq!(read(&fs, &keys, &reopened).unwrap(), b"hello hidden world");
     }
 
     #[test]
     fn write_read_roundtrip_multi_chain() {
-        let (mut fs, keys, params, mut rng) = fixture();
-        let mut obj = create(&mut fs, "big", &keys, ObjectKind::File, &params).unwrap();
+        let (fs, keys, params, mut rng) = fixture();
+        let mut obj = create(&fs, "big", &keys, ObjectKind::File, &params).unwrap();
         // 400 KB needs 400 data blocks -> 4 chain blocks at 1 KB block size.
         let data: Vec<u8> = (0..400 * 1024u32).map(|i| (i % 251) as u8).collect();
-        write(&mut fs, &keys, &mut obj, &data, &params, &mut rng).unwrap();
-        assert_eq!(read(&mut fs, &keys, &obj).unwrap(), data);
+        write(&fs, &keys, &mut obj, &data, &params, &mut rng).unwrap();
+        assert_eq!(read(&fs, &keys, &obj).unwrap(), data);
         assert_eq!(obj.header.data_block_count, 400);
     }
 
     #[test]
     fn read_range_matches_full_read() {
-        let (mut fs, keys, params, mut rng) = fixture();
-        let mut obj = create(&mut fs, "r", &keys, ObjectKind::File, &params).unwrap();
+        let (fs, keys, params, mut rng) = fixture();
+        let mut obj = create(&fs, "r", &keys, ObjectKind::File, &params).unwrap();
         let data: Vec<u8> = (0..10_000u32).map(|i| (i % 256) as u8).collect();
-        write(&mut fs, &keys, &mut obj, &data, &params, &mut rng).unwrap();
+        write(&fs, &keys, &mut obj, &data, &params, &mut rng).unwrap();
+        assert_eq!(read_range(&fs, &keys, &obj, 0, 100).unwrap(), &data[..100]);
         assert_eq!(
-            read_range(&mut fs, &keys, &obj, 0, 100).unwrap(),
-            &data[..100]
-        );
-        assert_eq!(
-            read_range(&mut fs, &keys, &obj, 1020, 10).unwrap(),
+            read_range(&fs, &keys, &obj, 1020, 10).unwrap(),
             &data[1020..1030]
         );
         assert_eq!(
-            read_range(&mut fs, &keys, &obj, 9_990, 100).unwrap(),
+            read_range(&fs, &keys, &obj, 9_990, 100).unwrap(),
             &data[9_990..]
         );
-        assert!(read_range(&mut fs, &keys, &obj, 20_000, 5)
-            .unwrap()
-            .is_empty());
+        assert!(read_range(&fs, &keys, &obj, 20_000, 5).unwrap().is_empty());
     }
 
     #[test]
     fn write_range_patches_in_place() {
-        let (mut fs, keys, params, mut rng) = fixture();
-        let mut obj = create(&mut fs, "patch", &keys, ObjectKind::File, &params).unwrap();
+        let (fs, keys, params, mut rng) = fixture();
+        let mut obj = create(&fs, "patch", &keys, ObjectKind::File, &params).unwrap();
         let data: Vec<u8> = (0..5000u32).map(|i| (i % 256) as u8).collect();
-        write(&mut fs, &keys, &mut obj, &data, &params, &mut rng).unwrap();
+        write(&fs, &keys, &mut obj, &data, &params, &mut rng).unwrap();
         let free_before = fs.free_data_blocks();
 
-        write_range(&mut fs, &keys, &obj, 1000, &[0xaa; 200]).unwrap();
+        write_range(&fs, &keys, &obj, 1000, &[0xaa; 200]).unwrap();
         let mut expected = data.clone();
         expected[1000..1200].copy_from_slice(&[0xaa; 200]);
-        assert_eq!(read(&mut fs, &keys, &obj).unwrap(), expected);
+        assert_eq!(read(&fs, &keys, &obj).unwrap(), expected);
         assert_eq!(fs.free_data_blocks(), free_before, "no allocation");
         // Past-EOF patches rejected, empty patches allowed.
-        assert!(write_range(&mut fs, &keys, &obj, 4990, &[0u8; 20]).is_err());
-        write_range(&mut fs, &keys, &obj, 0, &[]).unwrap();
+        assert!(write_range(&fs, &keys, &obj, 4990, &[0u8; 20]).is_err());
+        write_range(&fs, &keys, &obj, 0, &[]).unwrap();
     }
 
     #[test]
     fn rewrite_replaces_contents_without_leaking_blocks() {
-        let (mut fs, keys, params, mut rng) = fixture();
-        let mut obj = create(&mut fs, "w", &keys, ObjectKind::File, &params).unwrap();
+        let (fs, keys, params, mut rng) = fixture();
+        let mut obj = create(&fs, "w", &keys, ObjectKind::File, &params).unwrap();
         let free_before = fs.free_data_blocks();
 
         write(
-            &mut fs,
+            &fs,
             &keys,
             &mut obj,
             &vec![1u8; 100 * 1024],
@@ -645,7 +751,7 @@ mod tests {
         )
         .unwrap();
         write(
-            &mut fs,
+            &fs,
             &keys,
             &mut obj,
             &vec![2u8; 50 * 1024],
@@ -653,8 +759,8 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        write(&mut fs, &keys, &mut obj, b"tiny", &params, &mut rng).unwrap();
-        assert_eq!(read(&mut fs, &keys, &obj).unwrap(), b"tiny");
+        write(&fs, &keys, &mut obj, b"tiny", &params, &mut rng).unwrap();
+        assert_eq!(read(&fs, &keys, &obj).unwrap(), b"tiny");
 
         // Blocks used now: header + <=1 data + <=1 chain + pool (bounded by
         // FB_max).  Everything else must have been returned to the volume.
@@ -668,10 +774,10 @@ mod tests {
 
     #[test]
     fn free_pool_absorbs_truncation_up_to_fb_max() {
-        let (mut fs, keys, params, mut rng) = fixture();
-        let mut obj = create(&mut fs, "p", &keys, ObjectKind::File, &params).unwrap();
+        let (fs, keys, params, mut rng) = fixture();
+        let mut obj = create(&fs, "p", &keys, ObjectKind::File, &params).unwrap();
         write(
-            &mut fs,
+            &fs,
             &keys,
             &mut obj,
             &vec![7u8; 3 * 1024],
@@ -680,7 +786,7 @@ mod tests {
         )
         .unwrap();
         // Shrink to zero: the freed blocks flow into the pool, capped at FB_max.
-        write(&mut fs, &keys, &mut obj, b"", &params, &mut rng).unwrap();
+        write(&fs, &keys, &mut obj, b"", &params, &mut rng).unwrap();
         assert!(obj.header.free_pool.len() <= params.free_blocks_max);
         assert!(!obj.header.free_pool.is_empty());
         assert_eq!(obj.header.data_block_count, 0);
@@ -689,15 +795,15 @@ mod tests {
 
     #[test]
     fn pool_topped_up_when_below_minimum() {
-        let (mut fs, keys, mut params, mut rng) = fixture();
+        let (fs, keys, mut params, mut rng) = fixture();
         params.free_blocks_min = 3;
         params.free_blocks_max = 4;
-        let mut obj = create(&mut fs, "t", &keys, ObjectKind::File, &params).unwrap();
+        let mut obj = create(&fs, "t", &keys, ObjectKind::File, &params).unwrap();
         assert_eq!(obj.header.free_pool.len(), 4);
         // Writing 6 blocks of data consumes the whole pool (4) and more, so
         // afterwards the pool must be topped back up to FB_max.
         write(
-            &mut fs,
+            &fs,
             &keys,
             &mut obj,
             &vec![1u8; 6 * 1024],
@@ -710,20 +816,20 @@ mod tests {
 
     #[test]
     fn resize_preserves_prefix_and_zero_fills() {
-        let (mut fs, keys, params, mut rng) = fixture();
-        let mut obj = create(&mut fs, "rz", &keys, ObjectKind::File, &params).unwrap();
+        let (fs, keys, params, mut rng) = fixture();
+        let mut obj = create(&fs, "rz", &keys, ObjectKind::File, &params).unwrap();
         let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
-        write(&mut fs, &keys, &mut obj, &data, &params, &mut rng).unwrap();
+        write(&fs, &keys, &mut obj, &data, &params, &mut rng).unwrap();
 
         // Shrink to a non-block boundary.
-        resize(&mut fs, &keys, &mut obj, 2500, &params, &mut rng).unwrap();
+        resize(&fs, &keys, &mut obj, 2500, &params, &mut rng).unwrap();
         assert_eq!(obj.size(), 2500);
-        assert_eq!(read(&mut fs, &keys, &obj).unwrap(), &data[..2500]);
+        assert_eq!(read(&fs, &keys, &obj).unwrap(), &data[..2500]);
 
         // Grow again: the cut region must come back as zeros, not as the
         // old plaintext.
-        resize(&mut fs, &keys, &mut obj, 6000, &params, &mut rng).unwrap();
-        let got = read(&mut fs, &keys, &obj).unwrap();
+        resize(&fs, &keys, &mut obj, 6000, &params, &mut rng).unwrap();
+        let got = read(&fs, &keys, &obj).unwrap();
         assert_eq!(&got[..2500], &data[..2500]);
         assert!(
             got[2500..].iter().all(|&b| b == 0),
@@ -731,16 +837,16 @@ mod tests {
         );
 
         // Reopen sees the resized state.
-        let reopened = open(&mut fs, "rz", &keys, &params).unwrap();
+        let reopened = open(&fs, "rz", &keys, &params).unwrap();
         assert_eq!(reopened.size(), 6000);
     }
 
     #[test]
     fn resize_does_not_move_existing_data_blocks() {
-        let (mut fs, keys, params, mut rng) = fixture();
-        let mut obj = create(&mut fs, "stable", &keys, ObjectKind::File, &params).unwrap();
+        let (fs, keys, params, mut rng) = fixture();
+        let mut obj = create(&fs, "stable", &keys, ObjectKind::File, &params).unwrap();
         write(
-            &mut fs,
+            &fs,
             &keys,
             &mut obj,
             &vec![9u8; 8 * 1024],
@@ -748,13 +854,13 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        let before: std::collections::HashSet<u64> = owned_blocks(&mut fs, &keys, &obj)
+        let before: std::collections::HashSet<u64> = owned_blocks(&fs, &keys, &obj)
             .unwrap()
             .into_iter()
             .collect();
 
-        resize(&mut fs, &keys, &mut obj, 64 * 1024, &params, &mut rng).unwrap();
-        let after: std::collections::HashSet<u64> = owned_blocks(&mut fs, &keys, &obj)
+        resize(&fs, &keys, &mut obj, 64 * 1024, &params, &mut rng).unwrap();
+        let after: std::collections::HashSet<u64> = owned_blocks(&fs, &keys, &obj)
             .unwrap()
             .into_iter()
             .collect();
@@ -763,61 +869,51 @@ mod tests {
         // read instead of set inclusion for them).
         let mut expected = vec![9u8; 8 * 1024];
         expected.extend(vec![0u8; 56 * 1024]);
-        assert_eq!(read(&mut fs, &keys, &obj).unwrap(), expected);
+        assert_eq!(read(&fs, &keys, &obj).unwrap(), expected);
         assert!(after.len() > before.len());
     }
 
     #[test]
     fn resize_to_zero_and_no_space() {
-        let (mut fs, keys, params, mut rng) = fixture();
+        let (fs, keys, params, mut rng) = fixture();
         let free_start = fs.free_data_blocks();
-        let mut obj = create(&mut fs, "z", &keys, ObjectKind::File, &params).unwrap();
-        write(
-            &mut fs,
-            &keys,
-            &mut obj,
-            &vec![1u8; 5000],
-            &params,
-            &mut rng,
-        )
-        .unwrap();
+        let mut obj = create(&fs, "z", &keys, ObjectKind::File, &params).unwrap();
+        write(&fs, &keys, &mut obj, &vec![1u8; 5000], &params, &mut rng).unwrap();
 
-        resize(&mut fs, &keys, &mut obj, 0, &params, &mut rng).unwrap();
+        resize(&fs, &keys, &mut obj, 0, &params, &mut rng).unwrap();
         assert_eq!(obj.size(), 0);
         assert_eq!(obj.header.data_block_count, 0);
         assert_eq!(obj.header.inode_chain, NO_BLOCK);
-        assert!(read(&mut fs, &keys, &obj).unwrap().is_empty());
+        assert!(read(&fs, &keys, &obj).unwrap().is_empty());
 
         // An absurd growth request fails cleanly without touching the object.
         assert!(matches!(
-            resize(&mut fs, &keys, &mut obj, u64::MAX / 2, &params, &mut rng),
+            resize(&fs, &keys, &mut obj, u64::MAX / 2, &params, &mut rng),
             Err(StegError::NoSpace)
         ));
         assert_eq!(obj.size(), 0);
 
         // Deleting returns every block.
-        delete(&mut fs, &keys, &obj, &mut rng).unwrap();
+        delete(&fs, &keys, &obj, &mut rng).unwrap();
         assert_eq!(fs.free_data_blocks(), free_start);
     }
 
     #[test]
     fn wrong_key_cannot_open_or_read() {
-        let (mut fs, keys, params, mut rng) = fixture();
-        let mut obj = create(&mut fs, "s", &keys, ObjectKind::File, &params).unwrap();
-        write(&mut fs, &keys, &mut obj, b"classified", &params, &mut rng).unwrap();
+        let (fs, keys, params, mut rng) = fixture();
+        let mut obj = create(&fs, "s", &keys, ObjectKind::File, &params).unwrap();
+        write(&fs, &keys, &mut obj, b"classified", &params, &mut rng).unwrap();
         let wrong = ObjectKeys::derive("s", b"wrong key");
-        assert!(open(&mut fs, "s", &wrong, &params)
-            .unwrap_err()
-            .is_not_found());
+        assert!(open(&fs, "s", &wrong, &params).unwrap_err().is_not_found());
     }
 
     #[test]
     fn delete_returns_all_blocks_and_scrubs_header() {
-        let (mut fs, keys, params, mut rng) = fixture();
+        let (fs, keys, params, mut rng) = fixture();
         let free_before = fs.free_data_blocks();
-        let mut obj = create(&mut fs, "d", &keys, ObjectKind::File, &params).unwrap();
+        let mut obj = create(&fs, "d", &keys, ObjectKind::File, &params).unwrap();
         write(
-            &mut fs,
+            &fs,
             &keys,
             &mut obj,
             &vec![5u8; 40 * 1024],
@@ -827,21 +923,19 @@ mod tests {
         .unwrap();
         assert!(fs.free_data_blocks() < free_before);
 
-        delete(&mut fs, &keys, &obj, &mut rng).unwrap();
+        delete(&fs, &keys, &obj, &mut rng).unwrap();
         assert_eq!(fs.free_data_blocks(), free_before, "all blocks returned");
         // The object can no longer be found.
-        assert!(open(&mut fs, "d", &keys, &params)
-            .unwrap_err()
-            .is_not_found());
+        assert!(open(&fs, "d", &keys, &params).unwrap_err().is_not_found());
     }
 
     #[test]
     fn owned_blocks_accounts_for_everything() {
-        let (mut fs, keys, params, mut rng) = fixture();
+        let (fs, keys, params, mut rng) = fixture();
         let free_start = fs.free_data_blocks();
-        let mut obj = create(&mut fs, "o", &keys, ObjectKind::File, &params).unwrap();
+        let mut obj = create(&fs, "o", &keys, ObjectKind::File, &params).unwrap();
         write(
-            &mut fs,
+            &fs,
             &keys,
             &mut obj,
             &vec![9u8; 20 * 1024],
@@ -849,7 +943,7 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        let owned = owned_blocks(&mut fs, &keys, &obj).unwrap();
+        let owned = owned_blocks(&fs, &keys, &obj).unwrap();
         let consumed = free_start - fs.free_data_blocks();
         assert_eq!(owned.len() as u64, consumed);
         assert!(owned.contains(&obj.header_block));
@@ -857,11 +951,11 @@ mod tests {
 
     #[test]
     fn hidden_blocks_never_appear_in_central_directory() {
-        let (mut fs, keys, params, mut rng) = fixture();
+        let (fs, keys, params, mut rng) = fixture();
         fs.write_file("/plain.txt", b"visible data").unwrap();
-        let mut obj = create(&mut fs, "h", &keys, ObjectKind::File, &params).unwrap();
+        let mut obj = create(&fs, "h", &keys, ObjectKind::File, &params).unwrap();
         write(
-            &mut fs,
+            &fs,
             &keys,
             &mut obj,
             &vec![3u8; 30 * 1024],
@@ -871,7 +965,7 @@ mod tests {
         .unwrap();
 
         let plain_blocks = fs.plain_object_blocks().unwrap();
-        let hidden = owned_blocks(&mut fs, &keys, &obj).unwrap();
+        let hidden = owned_blocks(&fs, &keys, &obj).unwrap();
         for b in &hidden {
             assert!(
                 !plain_blocks.contains(b),
@@ -888,33 +982,32 @@ mod tests {
     fn no_space_write_fails_cleanly() {
         // Small volume: fill most of it with a plain file, then try to write
         // a hidden object that cannot fit.
-        let mut fs =
-            PlainFs::format(MemBlockDevice::new(1024, 512), FormatOptions::default()).unwrap();
+        let fs = PlainFs::format(MemBlockDevice::new(1024, 512), FormatOptions::default()).unwrap();
         let keys = ObjectKeys::derive("x", b"k");
         let params = StegParams::for_tests();
         let mut rng = DeterministicRng::new(b"r");
-        let mut obj = create(&mut fs, "x", &keys, ObjectKind::File, &params).unwrap();
+        let mut obj = create(&fs, "x", &keys, ObjectKind::File, &params).unwrap();
         let free = fs.free_data_blocks();
         let too_big = vec![0u8; ((free + 16) * 1024) as usize];
         assert!(matches!(
-            write(&mut fs, &keys, &mut obj, &too_big, &params, &mut rng),
+            write(&fs, &keys, &mut obj, &too_big, &params, &mut rng),
             Err(StegError::NoSpace)
         ));
     }
 
     #[test]
     fn two_objects_do_not_interfere() {
-        let (mut fs, _, params, mut rng) = fixture();
+        let (fs, _, params, mut rng) = fixture();
         let ka = ObjectKeys::derive("a", b"key-a");
         let kb = ObjectKeys::derive("b", b"key-b");
-        let mut a = create(&mut fs, "a", &ka, ObjectKind::File, &params).unwrap();
-        let mut b = create(&mut fs, "b", &kb, ObjectKind::File, &params).unwrap();
-        write(&mut fs, &ka, &mut a, &vec![0xaa; 10_000], &params, &mut rng).unwrap();
-        write(&mut fs, &kb, &mut b, &vec![0xbb; 20_000], &params, &mut rng).unwrap();
-        assert_eq!(read(&mut fs, &ka, &a).unwrap(), vec![0xaa; 10_000]);
-        assert_eq!(read(&mut fs, &kb, &b).unwrap(), vec![0xbb; 20_000]);
-        let blocks_a = owned_blocks(&mut fs, &ka, &a).unwrap();
-        let blocks_b = owned_blocks(&mut fs, &kb, &b).unwrap();
+        let mut a = create(&fs, "a", &ka, ObjectKind::File, &params).unwrap();
+        let mut b = create(&fs, "b", &kb, ObjectKind::File, &params).unwrap();
+        write(&fs, &ka, &mut a, &vec![0xaa; 10_000], &params, &mut rng).unwrap();
+        write(&fs, &kb, &mut b, &vec![0xbb; 20_000], &params, &mut rng).unwrap();
+        assert_eq!(read(&fs, &ka, &a).unwrap(), vec![0xaa; 10_000]);
+        assert_eq!(read(&fs, &kb, &b).unwrap(), vec![0xbb; 20_000]);
+        let blocks_a = owned_blocks(&fs, &ka, &a).unwrap();
+        let blocks_b = owned_blocks(&fs, &kb, &b).unwrap();
         assert!(blocks_a.iter().all(|x| !blocks_b.contains(x)));
     }
 }

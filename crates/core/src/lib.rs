@@ -40,7 +40,7 @@
 //! // random fill — which wants a gigabyte-class volume; the test preset keeps
 //! // this example snappy.)
 //! let dev = MemBlockDevice::new(1024, 8192);
-//! let mut fs = StegFs::format(dev, StegParams::for_tests()).unwrap();
+//! let fs = StegFs::format(dev, StegParams::for_tests()).unwrap();
 //!
 //! // A plain file, visible to everyone.
 //! fs.write_plain("/readme.txt", b"nothing to see here").unwrap();

@@ -51,7 +51,7 @@ pub struct Located {
 /// Walk the candidate sequence until a *free data-region* block is found to
 /// hold a new header.  Returns `(block, probes)`.
 pub fn find_free_header_slot<D: BlockDevice>(
-    fs: &mut PlainFs<D>,
+    fs: &PlainFs<D>,
     physical_name: &str,
     keys: &ObjectKeys,
     max_probes: usize,
@@ -74,7 +74,7 @@ pub fn find_free_header_slot<D: BlockDevice>(
 /// Failure is reported as [`StegError::NotFound`] — indistinguishable from
 /// "no such object", by design.
 pub fn locate_header<D: BlockDevice>(
-    fs: &mut PlainFs<D>,
+    fs: &PlainFs<D>,
     physical_name: &str,
     keys: &ObjectKeys,
     max_probes: usize,
@@ -121,7 +121,7 @@ mod tests {
     }
 
     fn write_header_at(
-        fs: &mut PlainFs<MemBlockDevice>,
+        fs: &PlainFs<MemBlockDevice>,
         block: u64,
         keys: &ObjectKeys,
         kind: ObjectKind,
@@ -135,10 +135,10 @@ mod tests {
 
     #[test]
     fn free_slot_is_deterministic_for_same_name_and_key() {
-        let mut fs = test_fs();
+        let fs = test_fs();
         let keys = ObjectKeys::derive("u1:/secret", b"key");
-        let (a, probes_a) = find_free_header_slot(&mut fs, "u1:/secret", &keys, 1000).unwrap();
-        let (b, probes_b) = find_free_header_slot(&mut fs, "u1:/secret", &keys, 1000).unwrap();
+        let (a, probes_a) = find_free_header_slot(&fs, "u1:/secret", &keys, 1000).unwrap();
+        let (b, probes_b) = find_free_header_slot(&fs, "u1:/secret", &keys, 1000).unwrap();
         assert_eq!(a, b);
         assert_eq!(probes_a, probes_b);
         assert!(fs.superblock().in_data_region(a));
@@ -146,22 +146,22 @@ mod tests {
 
     #[test]
     fn free_slot_skips_allocated_candidates() {
-        let mut fs = test_fs();
+        let fs = test_fs();
         let keys = ObjectKeys::derive("obj", b"key");
-        let (first, _) = find_free_header_slot(&mut fs, "obj", &keys, 1000).unwrap();
+        let (first, _) = find_free_header_slot(&fs, "obj", &keys, 1000).unwrap();
         fs.allocate_specific_block(first).unwrap();
-        let (second, probes) = find_free_header_slot(&mut fs, "obj", &keys, 1000).unwrap();
+        let (second, probes) = find_free_header_slot(&fs, "obj", &keys, 1000).unwrap();
         assert_ne!(first, second);
         assert!(probes >= 2);
     }
 
     #[test]
     fn locate_finds_header_written_at_free_slot() {
-        let mut fs = test_fs();
+        let fs = test_fs();
         let keys = ObjectKeys::derive("u1:/budget", b"fak");
-        let (slot, _) = find_free_header_slot(&mut fs, "u1:/budget", &keys, 1000).unwrap();
-        write_header_at(&mut fs, slot, &keys, ObjectKind::File);
-        let located = locate_header(&mut fs, "u1:/budget", &keys, 1000).unwrap();
+        let (slot, _) = find_free_header_slot(&fs, "u1:/budget", &keys, 1000).unwrap();
+        write_header_at(&fs, slot, &keys, ObjectKind::File);
+        let located = locate_header(&fs, "u1:/budget", &keys, 1000).unwrap();
         assert_eq!(located.block, slot);
         assert_eq!(located.header.kind, ObjectKind::File);
         assert!(located.probes >= 1);
@@ -169,18 +169,18 @@ mod tests {
 
     #[test]
     fn locate_with_wrong_key_reports_not_found() {
-        let mut fs = test_fs();
+        let fs = test_fs();
         let keys = ObjectKeys::derive("u1:/budget", b"fak");
-        let (slot, _) = find_free_header_slot(&mut fs, "u1:/budget", &keys, 1000).unwrap();
-        write_header_at(&mut fs, slot, &keys, ObjectKind::File);
+        let (slot, _) = find_free_header_slot(&fs, "u1:/budget", &keys, 1000).unwrap();
+        write_header_at(&fs, slot, &keys, ObjectKind::File);
 
         let wrong = ObjectKeys::derive("u1:/budget", b"not the fak");
-        let err = locate_header(&mut fs, "u1:/budget", &wrong, 2000).unwrap_err();
+        let err = locate_header(&fs, "u1:/budget", &wrong, 2000).unwrap_err();
         assert!(err.is_not_found());
 
         // And a completely different name with the right key also fails.
         let other = ObjectKeys::derive("u1:/other", b"fak");
-        assert!(locate_header(&mut fs, "u1:/other", &other, 2000)
+        assert!(locate_header(&fs, "u1:/other", &other, 2000)
             .unwrap_err()
             .is_not_found());
     }
@@ -191,10 +191,10 @@ mod tests {
         // blocks earlier in the candidate sequence get allocated to other
         // (plain or hidden) data.  Lookup must skip them and still find the
         // right header.
-        let mut fs = test_fs();
+        let fs = test_fs();
         let keys = ObjectKeys::derive("obj", b"key");
-        let (slot, _) = find_free_header_slot(&mut fs, "obj", &keys, 1000).unwrap();
-        write_header_at(&mut fs, slot, &keys, ObjectKind::File);
+        let (slot, _) = find_free_header_slot(&fs, "obj", &keys, 1000).unwrap();
+        write_header_at(&fs, slot, &keys, ObjectKind::File);
 
         // Allocate every candidate that precedes the header in the sequence
         // and fill it with unrelated data.
@@ -211,33 +211,33 @@ mod tests {
             }
         }
 
-        let located = locate_header(&mut fs, "obj", &keys, 10_000).unwrap();
+        let located = locate_header(&fs, "obj", &keys, 10_000).unwrap();
         assert_eq!(located.block, slot);
         assert!(located.probes >= 1);
     }
 
     #[test]
     fn exhausted_probe_budget_reports_errors() {
-        let mut fs = test_fs();
+        let fs = test_fs();
         let keys = ObjectKeys::derive("missing", b"key");
-        assert!(locate_header(&mut fs, "missing", &keys, 5)
+        assert!(locate_header(&fs, "missing", &keys, 5)
             .unwrap_err()
             .is_not_found());
         // With a pathologically small budget creation also gives up cleanly.
         assert!(matches!(
-            find_free_header_slot(&mut fs, "missing", &keys, 0),
+            find_free_header_slot(&fs, "missing", &keys, 0),
             Err(StegError::NoSpace)
         ));
     }
 
     #[test]
     fn different_objects_get_different_slots() {
-        let mut fs = test_fs();
+        let fs = test_fs();
         let mut slots = std::collections::HashSet::new();
         for i in 0..20 {
             let name = format!("user:/file-{i}");
             let keys = ObjectKeys::derive(&name, b"key");
-            let (slot, _) = find_free_header_slot(&mut fs, &name, &keys, 1000).unwrap();
+            let (slot, _) = find_free_header_slot(&fs, &name, &keys, 1000).unwrap();
             fs.allocate_specific_block(slot).unwrap();
             slots.insert(slot);
         }

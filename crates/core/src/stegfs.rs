@@ -5,6 +5,34 @@
 //! backup into the API of Section 4 of the paper.  Plain files behave exactly
 //! as on the underlying [`PlainFs`]; hidden objects are reachable only with
 //! the right keys.
+//!
+//! # Concurrency
+//!
+//! Every hot-path operation takes `&self`; the volume can sit behind a plain
+//! `Arc` and serve any number of threads.  Internally the state is split into
+//! independently locked shards:
+//!
+//! * the [`PlainFs`] underneath brings its own sharding (allocator lock,
+//!   namespace lock, per-inode stripes, device lock);
+//! * **UAK shards** serialise read-modify-write cycles on one User Access
+//!   Key's hidden directory, so two users (or two threads of one user)
+//!   cannot lose each other's `steg_create` / `delete` / `rename`;
+//! * **object shards** serialise operations on one hidden object (keyed by
+//!   its physical name), so a rewrite that relocates blocks through the free
+//!   pool cannot interleave with another rewrite of the same object;
+//! * the session table, the FAK generator and the RNG have their own tiny
+//!   locks and are never held across I/O.
+//!
+//! Lock order (outer to inner): `UAK shard < object shard <` the `PlainFs`
+//! locks (`namespace < inode-stripe < allocator < device`).  No operation
+//! acquires two UAK shards or two object shards at once.
+//!
+//! The handle-based operations ([`StegFs::read_range_at`],
+//! [`StegFs::write_range_at`], [`StegFs::write_at_handle`],
+//! [`StegFs::truncate_handle`]) deliberately take no object shard: a
+//! [`HiddenHandle`] caches the object's block map, so the *caller* owns
+//! serialisation per handle target.  The `stegfs-vfs` front-end does exactly
+//! that with one lock per open object; single-threaded users need nothing.
 
 use crate::backup::{BackupImage, PlainEntry};
 use crate::crypt::ObjectKeys;
@@ -15,6 +43,8 @@ use crate::keys::{DirectoryEntry, UakDirectory, FAK_LEN, UAK_DIRECTORY_NAME};
 use crate::params::StegParams;
 use crate::session::{ConnectedObject, Session};
 use crate::sharing::ShareEnvelope;
+use parking_lot::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
 use stegfs_blockdev::BlockDevice;
 use stegfs_crypto::prng::DeterministicRng;
 use stegfs_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
@@ -29,6 +59,12 @@ use stegfs_fs::{AllocPolicy, FileKind, FormatOptions, PlainFs};
 pub const CONFIG_PATH: &str = "/.stegfs";
 
 const CONFIG_MAGIC: &[u8; 8] = b"STEGCFG1";
+
+/// Number of UAK-directory shard locks.
+const UAK_SHARDS: usize = 16;
+
+/// Number of hidden-object shard locks.
+const OBJECT_SHARDS: usize = 64;
 
 /// Aggregate block accounting of a mounted volume, used by the
 /// space-utilization experiments (§5.2).
@@ -112,20 +148,42 @@ impl HiddenHandle {
     }
 }
 
+fn shard_index(key: &str, len: usize) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % len
+}
+
 /// A mounted StegFS volume.
 pub struct StegFs<D: BlockDevice> {
     fs: PlainFs<D>,
     params: StegParams,
-    session: Session,
-    rng: DeterministicRng,
-    fak_counter: u64,
+    session: Mutex<Session>,
+    rng: Mutex<DeterministicRng>,
+    fak_counter: AtomicU64,
     config: VolumeConfig,
+    uak_locks: Vec<Mutex<()>>,
+    object_locks: Vec<Mutex<()>>,
 }
 
 impl<D: BlockDevice> StegFs<D> {
     // ------------------------------------------------------------------
     // Format / mount / unmount
     // ------------------------------------------------------------------
+
+    fn assemble(fs: PlainFs<D>, params: StegParams, config: VolumeConfig) -> Self {
+        StegFs {
+            fs,
+            rng: Mutex::new(DeterministicRng::new(&params.volume_seed.to_be_bytes())),
+            session: Mutex::new(Session::new()),
+            fak_counter: AtomicU64::new(0),
+            config,
+            params,
+            uak_locks: (0..UAK_SHARDS).map(|_| Mutex::new(())).collect(),
+            object_locks: (0..OBJECT_SHARDS).map(|_| Mutex::new(())).collect(),
+        }
+    }
 
     /// Format `dev` as a StegFS volume: random fill (if enabled), abandoned
     /// blocks, dummy hidden files and the configuration file.
@@ -141,21 +199,15 @@ impl<D: BlockDevice> StegFs<D> {
             },
         )?;
 
-        let mut stegfs = StegFs {
-            fs,
-            rng: DeterministicRng::new(&params.volume_seed.to_be_bytes()),
-            session: Session::new(),
-            fak_counter: 0,
-            config: VolumeConfig {
-                abandoned_count: 0,
-                dummy_seed: params.volume_seed ^ 0x0064_756d_6d79_u64,
-                dummy_count: params.dummy_file_count as u32,
-                dummy_size: params.dummy_file_size,
-            },
-            params,
+        let config = VolumeConfig {
+            abandoned_count: 0,
+            dummy_seed: params.volume_seed ^ 0x0064_756d_6d79_u64,
+            dummy_count: params.dummy_file_count as u32,
+            dummy_size: params.dummy_file_size,
         };
+        let mut stegfs = Self::assemble(fs, params, config);
 
-        stegfs.create_abandoned_blocks()?;
+        stegfs.config.abandoned_count = stegfs.create_abandoned_blocks()?;
         stegfs.create_dummy_files()?;
         stegfs.store_config()?;
         stegfs.fs.sync()?;
@@ -167,7 +219,7 @@ impl<D: BlockDevice> StegFs<D> {
     /// found through their keys alone.
     pub fn mount(dev: D, params: StegParams) -> StegResult<Self> {
         params.validate()?;
-        let mut fs = PlainFs::mount(dev, AllocPolicy::FirstFit, params.volume_seed)?;
+        let fs = PlainFs::mount(dev, AllocPolicy::FirstFit, params.volume_seed)?;
         let config = match fs.read_file(CONFIG_PATH) {
             Ok(data) => VolumeConfig::deserialize(&data).ok_or_else(|| {
                 StegError::Fs(stegfs_fs::FsError::Corrupt(
@@ -182,24 +234,17 @@ impl<D: BlockDevice> StegFs<D> {
             },
             Err(e) => return Err(e.into()),
         };
-        Ok(StegFs {
-            fs,
-            rng: DeterministicRng::new(&params.volume_seed.to_be_bytes()),
-            session: Session::new(),
-            fak_counter: 0,
-            config,
-            params,
-        })
+        Ok(Self::assemble(fs, params, config))
     }
 
     /// Flush all state and return the underlying device.
-    pub fn unmount(mut self) -> StegResult<D> {
-        self.session.disconnect_all();
+    pub fn unmount(self) -> StegResult<D> {
+        self.session.lock().disconnect_all();
         Ok(self.fs.unmount()?)
     }
 
     /// Flush metadata to the device without unmounting.
-    pub fn sync(&mut self) -> StegResult<()> {
+    pub fn sync(&self) -> StegResult<()> {
         Ok(self.fs.sync()?)
     }
 
@@ -209,12 +254,30 @@ impl<D: BlockDevice> StegFs<D> {
     }
 
     /// Direct access to the plain file-system layer (used by the experiment
-    /// harness and by tests).
-    pub fn plain_fs_mut(&mut self) -> &mut PlainFs<D> {
-        &mut self.fs
+    /// harness, the VFS front-end and tests).  The plain layer's own API is
+    /// fully shared-reference, so no `&mut` variant is needed any more.
+    pub fn plain_fs(&self) -> &PlainFs<D> {
+        &self.fs
     }
 
-    fn store_config(&mut self) -> StegResult<()> {
+    /// Fork an independent byte generator off the volume RNG.  The fork
+    /// happens under the RNG lock; the returned generator is then used
+    /// without any lock, so long-running writes do not serialise on shared
+    /// randomness.
+    fn fork_rng(&self) -> DeterministicRng {
+        let mut rng = self.rng.lock();
+        DeterministicRng::new(&rng.bytes(32))
+    }
+
+    fn uak_guard(&self, uak: &str) -> MutexGuard<'_, ()> {
+        self.uak_locks[shard_index(uak, self.uak_locks.len())].lock()
+    }
+
+    fn object_guard(&self, physical: &str) -> MutexGuard<'_, ()> {
+        self.object_locks[shard_index(physical, self.object_locks.len())].lock()
+    }
+
+    fn store_config(&self) -> StegResult<()> {
         let bytes = self.config.serialize();
         self.fs.write_file(CONFIG_PATH, &bytes)?;
         Ok(())
@@ -224,7 +287,7 @@ impl<D: BlockDevice> StegFs<D> {
     // Format-time camouflage: abandoned blocks and dummy files
     // ------------------------------------------------------------------
 
-    fn create_abandoned_blocks(&mut self) -> StegResult<()> {
+    fn create_abandoned_blocks(&self) -> StegResult<u64> {
         let data_blocks = self.fs.data_blocks();
         let target = (data_blocks as f64 * self.params.abandoned_pct / 100.0).round() as u64;
         let mut created = 0;
@@ -235,8 +298,7 @@ impl<D: BlockDevice> StegFs<D> {
                 Err(e) => return Err(e.into()),
             }
         }
-        self.config.abandoned_count = created;
-        Ok(())
+        Ok(created)
     }
 
     fn dummy_identity(&self, index: u32) -> (String, [u8; FAK_LEN]) {
@@ -249,23 +311,14 @@ impl<D: BlockDevice> StegFs<D> {
         (name, fak)
     }
 
-    fn create_dummy_files(&mut self) -> StegResult<()> {
+    fn create_dummy_files(&self) -> StegResult<()> {
         for i in 0..self.config.dummy_count {
             let (name, fak) = self.dummy_identity(i);
             let keys = ObjectKeys::derive(&name, &fak);
-            let mut obj =
-                hidden::create(&mut self.fs, &name, &keys, ObjectKind::File, &self.params)?;
-            let content = self
-                .rng
-                .bytes(self.config.dummy_size.min(usize::MAX as u64) as usize);
-            hidden::write(
-                &mut self.fs,
-                &keys,
-                &mut obj,
-                &content,
-                &self.params,
-                &mut self.rng,
-            )?;
+            let mut obj = hidden::create(&self.fs, &name, &keys, ObjectKind::File, &self.params)?;
+            let mut rng = self.fork_rng();
+            let content = rng.bytes(self.config.dummy_size.min(usize::MAX as u64) as usize);
+            hidden::write(&self.fs, &keys, &mut obj, &content, &self.params, &mut rng)?;
         }
         Ok(())
     }
@@ -273,25 +326,20 @@ impl<D: BlockDevice> StegFs<D> {
     /// Rewrite every dummy hidden file with fresh content.  The paper's
     /// driver does this periodically so that bitmap changes between snapshots
     /// cannot be attributed to real hidden files.
-    pub fn touch_dummy_files(&mut self) -> StegResult<usize> {
+    pub fn touch_dummy_files(&self) -> StegResult<usize> {
         let mut touched = 0;
         for i in 0..self.config.dummy_count {
             let (name, fak) = self.dummy_identity(i);
             let keys = ObjectKeys::derive(&name, &fak);
-            let mut obj = match hidden::open(&mut self.fs, &name, &keys, &self.params) {
+            let _obj_lock = self.object_guard(&name);
+            let mut obj = match hidden::open(&self.fs, &name, &keys, &self.params) {
                 Ok(o) => o,
                 Err(StegError::NotFound(_)) => continue,
                 Err(e) => return Err(e),
             };
-            let content = self.rng.bytes(self.config.dummy_size as usize);
-            hidden::write(
-                &mut self.fs,
-                &keys,
-                &mut obj,
-                &content,
-                &self.params,
-                &mut self.rng,
-            )?;
+            let mut rng = self.fork_rng();
+            let content = rng.bytes(self.config.dummy_size as usize);
+            hidden::write(&self.fs, &keys, &mut obj, &content, &self.params, &mut rng)?;
             touched += 1;
         }
         Ok(touched)
@@ -302,28 +350,28 @@ impl<D: BlockDevice> StegFs<D> {
     // ------------------------------------------------------------------
 
     /// Write a plain (visible) file.
-    pub fn write_plain(&mut self, path: &str, data: &[u8]) -> StegResult<()> {
+    pub fn write_plain(&self, path: &str, data: &[u8]) -> StegResult<()> {
         Ok(self.fs.write_file(path, data)?)
     }
 
     /// Read a plain file.
-    pub fn read_plain(&mut self, path: &str) -> StegResult<Vec<u8>> {
+    pub fn read_plain(&self, path: &str) -> StegResult<Vec<u8>> {
         Ok(self.fs.read_file(path)?)
     }
 
     /// Create a plain directory.
-    pub fn create_plain_dir(&mut self, path: &str) -> StegResult<()> {
+    pub fn create_plain_dir(&self, path: &str) -> StegResult<()> {
         self.fs.create_dir(path)?;
         Ok(())
     }
 
     /// Delete a plain file or empty directory.
-    pub fn delete_plain(&mut self, path: &str) -> StegResult<()> {
+    pub fn delete_plain(&self, path: &str) -> StegResult<()> {
         Ok(self.fs.delete(path)?)
     }
 
     /// List a plain directory (hidden objects never appear here).
-    pub fn list_plain_dir(&mut self, path: &str) -> StegResult<Vec<String>> {
+    pub fn list_plain_dir(&self, path: &str) -> StegResult<Vec<String>> {
         Ok(self
             .fs
             .list_dir(path)?
@@ -333,7 +381,7 @@ impl<D: BlockDevice> StegFs<D> {
     }
 
     /// True if a plain object exists at `path`.
-    pub fn plain_exists(&mut self, path: &str) -> StegResult<bool> {
+    pub fn plain_exists(&self, path: &str) -> StegResult<bool> {
         Ok(self.fs.exists(path)?)
     }
 
@@ -345,14 +393,12 @@ impl<D: BlockDevice> StegFs<D> {
         ObjectKeys::derive(UAK_DIRECTORY_NAME, uak.as_bytes())
     }
 
-    fn load_uak_directory(
-        &mut self,
-        uak: &str,
-    ) -> StegResult<(UakDirectory, Option<HiddenObject>)> {
+    /// Load the UAK directory.  Caller holds the UAK shard lock.
+    fn load_uak_directory(&self, uak: &str) -> StegResult<(UakDirectory, Option<HiddenObject>)> {
         let keys = Self::uak_keys(uak);
-        match hidden::open(&mut self.fs, UAK_DIRECTORY_NAME, &keys, &self.params) {
+        match hidden::open(&self.fs, UAK_DIRECTORY_NAME, &keys, &self.params) {
             Ok(obj) => {
-                let raw = hidden::read(&mut self.fs, &keys, &obj)?;
+                let raw = hidden::read(&self.fs, &keys, &obj)?;
                 let dir = if raw.is_empty() {
                     UakDirectory::new()
                 } else {
@@ -365,8 +411,9 @@ impl<D: BlockDevice> StegFs<D> {
         }
     }
 
+    /// Persist the UAK directory.  Caller holds the UAK shard lock.
     fn save_uak_directory(
-        &mut self,
+        &self,
         uak: &str,
         dir: &UakDirectory,
         existing: Option<HiddenObject>,
@@ -375,25 +422,27 @@ impl<D: BlockDevice> StegFs<D> {
         let mut obj = match existing {
             Some(obj) => obj,
             None => hidden::create(
-                &mut self.fs,
+                &self.fs,
                 UAK_DIRECTORY_NAME,
                 &keys,
                 ObjectKind::Directory,
                 &self.params,
             )?,
         };
+        let mut rng = self.fork_rng();
         hidden::write(
-            &mut self.fs,
+            &self.fs,
             &keys,
             &mut obj,
             &dir.serialize(),
             &self.params,
-            &mut self.rng,
+            &mut rng,
         )
     }
 
     /// The names (and kinds) of all hidden objects registered under `uak`.
-    pub fn list_hidden(&mut self, uak: &str) -> StegResult<Vec<(String, ObjectKind)>> {
+    pub fn list_hidden(&self, uak: &str) -> StegResult<Vec<(String, ObjectKind)>> {
+        let _uak_lock = self.uak_guard(uak);
         let (dir, _) = self.load_uak_directory(uak)?;
         Ok(dir
             .entries
@@ -411,18 +460,19 @@ impl<D: BlockDevice> StegFs<D> {
         digest[..8].iter().map(|b| format!("{b:02x}")).collect()
     }
 
-    fn generate_fak(&mut self, objname: &str) -> [u8; FAK_LEN] {
-        self.fak_counter += 1;
-        let noise = self.rng.bytes(32);
+    fn generate_fak(&self, objname: &str) -> [u8; FAK_LEN] {
+        let counter = self.fak_counter.fetch_add(1, Ordering::Relaxed) + 1;
+        let noise = self.rng.lock().bytes(32);
         sha256_concat(&[
             b"stegfs-fak",
             &noise,
-            &self.fak_counter.to_be_bytes(),
+            &counter.to_be_bytes(),
             objname.as_bytes(),
         ])
     }
 
-    fn entry_for(&mut self, objname: &str, uak: &str) -> StegResult<DirectoryEntry> {
+    fn entry_for(&self, objname: &str, uak: &str) -> StegResult<DirectoryEntry> {
+        let _uak_lock = self.uak_guard(uak);
         let (dir, _) = self.load_uak_directory(uak)?;
         dir.find(objname)
             .cloned()
@@ -431,10 +481,11 @@ impl<D: BlockDevice> StegFs<D> {
 
     /// `steg_create`: create an empty hidden file or directory named
     /// `objname`, registered under `uak`.
-    pub fn steg_create(&mut self, objname: &str, uak: &str, kind: ObjectKind) -> StegResult<()> {
+    pub fn steg_create(&self, objname: &str, uak: &str, kind: ObjectKind) -> StegResult<()> {
         if objname.is_empty() || objname.contains('\0') {
             return Err(StegError::InvalidName(objname.to_string()));
         }
+        let _uak_lock = self.uak_guard(uak);
         let (mut dir, existing) = self.load_uak_directory(uak)?;
         if dir.find(objname).is_some() {
             return Err(StegError::AlreadyExists(objname.to_string()));
@@ -442,16 +493,17 @@ impl<D: BlockDevice> StegFs<D> {
         let fak = self.generate_fak(objname);
         let physical_name = format!("{}:{}", Self::owner_tag(uak), objname);
         let keys = ObjectKeys::derive(&physical_name, &fak);
-        let mut obj = hidden::create(&mut self.fs, &physical_name, &keys, kind, &self.params)?;
+        let mut obj = hidden::create(&self.fs, &physical_name, &keys, kind, &self.params)?;
         if kind == ObjectKind::Directory {
             // A hidden directory starts out as an empty child listing.
+            let mut rng = self.fork_rng();
             hidden::write(
-                &mut self.fs,
+                &self.fs,
                 &keys,
                 &mut obj,
                 &UakDirectory::new().serialize(),
                 &self.params,
-                &mut self.rng,
+                &mut rng,
             )?;
         }
         dir.insert(DirectoryEntry {
@@ -465,17 +517,12 @@ impl<D: BlockDevice> StegFs<D> {
 
     /// Write the full contents of the hidden file `objname` (registered under
     /// `uak`).
-    pub fn write_hidden_with_key(
-        &mut self,
-        objname: &str,
-        uak: &str,
-        data: &[u8],
-    ) -> StegResult<()> {
+    pub fn write_hidden_with_key(&self, objname: &str, uak: &str, data: &[u8]) -> StegResult<()> {
         let entry = self.entry_for(objname, uak)?;
         self.write_hidden_entry(&entry, data)
     }
 
-    fn write_hidden_entry(&mut self, entry: &DirectoryEntry, data: &[u8]) -> StegResult<()> {
+    fn write_hidden_entry(&self, entry: &DirectoryEntry, data: &[u8]) -> StegResult<()> {
         if entry.kind != ObjectKind::File {
             return Err(StegError::WrongObjectKind {
                 name: entry.name.clone(),
@@ -483,62 +530,57 @@ impl<D: BlockDevice> StegFs<D> {
             });
         }
         let keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
-        let mut obj = hidden::open(&mut self.fs, &entry.physical_name, &keys, &self.params)?;
-        hidden::write(
-            &mut self.fs,
-            &keys,
-            &mut obj,
-            data,
-            &self.params,
-            &mut self.rng,
-        )
+        let _obj_lock = self.object_guard(&entry.physical_name);
+        let mut obj = hidden::open(&self.fs, &entry.physical_name, &keys, &self.params)?;
+        let mut rng = self.fork_rng();
+        hidden::write(&self.fs, &keys, &mut obj, data, &self.params, &mut rng)
     }
 
     /// Read the full contents of the hidden file `objname` (registered under
     /// `uak`).
-    pub fn read_hidden_with_key(&mut self, objname: &str, uak: &str) -> StegResult<Vec<u8>> {
+    pub fn read_hidden_with_key(&self, objname: &str, uak: &str) -> StegResult<Vec<u8>> {
         let entry = self.entry_for(objname, uak)?;
         self.read_hidden_entry(&entry)
     }
 
     /// Read `len` bytes of the hidden file `objname` starting at `offset`.
     pub fn read_hidden_range_with_key(
-        &mut self,
+        &self,
         objname: &str,
         uak: &str,
         offset: u64,
         len: usize,
     ) -> StegResult<Vec<u8>> {
-        let handle = self.open_hidden(objname, uak)?;
-        self.read_range_at(&handle, offset, len)
+        let entry = self.entry_for(objname, uak)?;
+        let keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
+        let _obj_lock = self.object_guard(&entry.physical_name);
+        let object = hidden::open(&self.fs, &entry.physical_name, &keys, &self.params)?;
+        hidden::read_range(&self.fs, &keys, &object, offset, len)
     }
 
     /// Overwrite part of the hidden file `objname` in place (the range must
     /// already exist).
     pub fn write_hidden_range_with_key(
-        &mut self,
+        &self,
         objname: &str,
         uak: &str,
         offset: u64,
         data: &[u8],
     ) -> StegResult<()> {
-        let handle = self.open_hidden(objname, uak)?;
-        self.write_range_at(&handle, offset, data)
+        let entry = self.entry_for(objname, uak)?;
+        let keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
+        let _obj_lock = self.object_guard(&entry.physical_name);
+        let object = hidden::open(&self.fs, &entry.physical_name, &keys, &self.params)?;
+        hidden::write_range(&self.fs, &keys, &object, offset, data)
     }
 
     /// Open a hidden file once and keep a handle for repeated positional
     /// access — the analogue of holding an open file descriptor after
     /// `steg_connect` in the kernel driver, so that every `read()` does not
     /// pay the locator walk again.
-    pub fn open_hidden(&mut self, objname: &str, uak: &str) -> StegResult<HiddenHandle> {
+    pub fn open_hidden(&self, objname: &str, uak: &str) -> StegResult<HiddenHandle> {
         let entry = self.entry_for(objname, uak)?;
-        let keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
-        let object = hidden::open(&mut self.fs, &entry.physical_name, &keys, &self.params)?;
-        Ok(HiddenHandle {
-            name: objname.to_string(),
-            keys,
-            object,
-        })
+        self.open_hidden_entry(&entry)
     }
 
     /// Size in bytes of the object behind `handle`.
@@ -547,39 +589,43 @@ impl<D: BlockDevice> StegFs<D> {
     }
 
     /// Read `len` bytes at `offset` through an open handle.
+    ///
+    /// Handle operations rely on caller-side serialisation per object; see
+    /// the module-level concurrency notes.
     pub fn read_range_at(
-        &mut self,
+        &self,
         handle: &HiddenHandle,
         offset: u64,
         len: usize,
     ) -> StegResult<Vec<u8>> {
-        hidden::read_range(&mut self.fs, &handle.keys, &handle.object, offset, len)
+        hidden::read_range(&self.fs, &handle.keys, &handle.object, offset, len)
     }
 
     /// Overwrite bytes at `offset` through an open handle (in place; the
     /// range must lie within the current size).
     pub fn write_range_at(
-        &mut self,
+        &self,
         handle: &HiddenHandle,
         offset: u64,
         data: &[u8],
     ) -> StegResult<()> {
-        hidden::write_range(&mut self.fs, &handle.keys, &handle.object, offset, data)
+        hidden::write_range(&self.fs, &handle.keys, &handle.object, offset, data)
     }
 
     /// Public form of the UAK-directory lookup: resolve `objname` under
     /// `uak` to its directory entry.  Layers above (the VFS front-end) cache
     /// the entry per user session so repeated opens skip the directory walk.
-    pub fn lookup_entry(&mut self, objname: &str, uak: &str) -> StegResult<DirectoryEntry> {
+    pub fn lookup_entry(&self, objname: &str, uak: &str) -> StegResult<DirectoryEntry> {
         self.entry_for(objname, uak)
     }
 
     /// Open a hidden object directly from a (possibly cached) directory
     /// entry, skipping the UAK-directory walk that [`Self::open_hidden`]
     /// performs.
-    pub fn open_hidden_entry(&mut self, entry: &DirectoryEntry) -> StegResult<HiddenHandle> {
+    pub fn open_hidden_entry(&self, entry: &DirectoryEntry) -> StegResult<HiddenHandle> {
         let keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
-        let object = hidden::open(&mut self.fs, &entry.physical_name, &keys, &self.params)?;
+        let _obj_lock = self.object_guard(&entry.physical_name);
+        let object = hidden::open(&self.fs, &entry.physical_name, &keys, &self.params)?;
         Ok(HiddenHandle {
             name: entry.name.clone(),
             keys,
@@ -595,7 +641,7 @@ impl<D: BlockDevice> StegFs<D> {
     /// refreshed — which is why this takes `&mut HiddenHandle` where the
     /// in-place [`Self::write_range_at`] does not.
     pub fn write_at_handle(
-        &mut self,
+        &self,
         handle: &mut HiddenHandle,
         offset: u64,
         data: &[u8],
@@ -613,24 +659,25 @@ impl<D: BlockDevice> StegFs<D> {
             .checked_add(data.len() as u64)
             .ok_or(StegError::NoSpace)?;
         if end <= handle.object.size() {
-            return hidden::write_range(&mut self.fs, &handle.keys, &handle.object, offset, data);
+            return hidden::write_range(&self.fs, &handle.keys, &handle.object, offset, data);
         }
         // Grow to `end` at block granularity (zero-filling any gap), then
         // patch the written range in place — O(append), not O(file).
+        let mut rng = self.fork_rng();
         hidden::resize(
-            &mut self.fs,
+            &self.fs,
             &handle.keys,
             &mut handle.object,
             end,
             &self.params,
-            &mut self.rng,
+            &mut rng,
         )?;
-        hidden::write_range(&mut self.fs, &handle.keys, &handle.object, offset, data)
+        hidden::write_range(&self.fs, &handle.keys, &handle.object, offset, data)
     }
 
     /// Set the size of the object behind `handle` to `new_len`, truncating or
     /// zero-extending as needed.
-    pub fn truncate_handle(&mut self, handle: &mut HiddenHandle, new_len: u64) -> StegResult<()> {
+    pub fn truncate_handle(&self, handle: &mut HiddenHandle, new_len: u64) -> StegResult<()> {
         if handle.object.kind() != ObjectKind::File {
             return Err(StegError::WrongObjectKind {
                 name: handle.name.clone(),
@@ -640,13 +687,14 @@ impl<D: BlockDevice> StegFs<D> {
         if new_len == handle.object.size() {
             return Ok(());
         }
+        let mut rng = self.fork_rng();
         hidden::resize(
-            &mut self.fs,
+            &self.fs,
             &handle.keys,
             &mut handle.object,
             new_len,
             &self.params,
-            &mut self.rng,
+            &mut rng,
         )
     }
 
@@ -654,10 +702,11 @@ impl<D: BlockDevice> StegFs<D> {
     /// directory.  Only the directory entry changes; the physical name, FAK
     /// and every block of the object stay put, so outstanding shares of the
     /// `(physical name, FAK)` pair keep working.
-    pub fn rename_hidden(&mut self, objname: &str, newname: &str, uak: &str) -> StegResult<()> {
+    pub fn rename_hidden(&self, objname: &str, newname: &str, uak: &str) -> StegResult<()> {
         if newname.is_empty() || newname.contains('\0') {
             return Err(StegError::InvalidName(newname.to_string()));
         }
+        let _uak_lock = self.uak_guard(uak);
         let (mut dir, existing) = self.load_uak_directory(uak)?;
         if dir.find(newname).is_some() {
             return Err(StegError::AlreadyExists(newname.to_string()));
@@ -667,36 +716,42 @@ impl<D: BlockDevice> StegFs<D> {
             .ok_or_else(|| StegError::NotFound(objname.to_string()))?;
         entry.name = newname.to_string();
         dir.insert(entry)?;
-        self.session.disconnect(objname);
+        self.session.lock().disconnect(objname);
         self.save_uak_directory(uak, &dir, existing)
     }
 
-    fn read_hidden_entry(&mut self, entry: &DirectoryEntry) -> StegResult<Vec<u8>> {
+    fn read_hidden_entry(&self, entry: &DirectoryEntry) -> StegResult<Vec<u8>> {
         let keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
-        let obj = hidden::open(&mut self.fs, &entry.physical_name, &keys, &self.params)?;
-        hidden::read(&mut self.fs, &keys, &obj)
+        let _obj_lock = self.object_guard(&entry.physical_name);
+        let obj = hidden::open(&self.fs, &entry.physical_name, &keys, &self.params)?;
+        hidden::read(&self.fs, &keys, &obj)
     }
 
     /// Delete the hidden object `objname` and remove it from the UAK
     /// directory.  Returns the removed entry so callers that track objects
     /// by physical name (the VFS object cache) need not re-walk the
     /// directory just to learn it.
-    pub fn delete_hidden(&mut self, objname: &str, uak: &str) -> StegResult<DirectoryEntry> {
+    pub fn delete_hidden(&self, objname: &str, uak: &str) -> StegResult<DirectoryEntry> {
+        let _uak_lock = self.uak_guard(uak);
         let (mut dir, existing) = self.load_uak_directory(uak)?;
         let entry = dir
             .remove(objname)
             .ok_or_else(|| StegError::NotFound(objname.to_string()))?;
         let keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
-        let obj = hidden::open(&mut self.fs, &entry.physical_name, &keys, &self.params)?;
-        hidden::delete(&mut self.fs, &keys, &obj, &mut self.rng)?;
-        self.session.disconnect(objname);
+        {
+            let _obj_lock = self.object_guard(&entry.physical_name);
+            let obj = hidden::open(&self.fs, &entry.physical_name, &keys, &self.params)?;
+            let mut rng = self.fork_rng();
+            hidden::delete(&self.fs, &keys, &obj, &mut rng)?;
+        }
+        self.session.lock().disconnect(objname);
         self.save_uak_directory(uak, &dir, existing)?;
         Ok(entry)
     }
 
     /// `steg_hide`: convert the plain file at `pathname` into the hidden
     /// object `objname`; the plain source is deleted on success.
-    pub fn steg_hide(&mut self, pathname: &str, objname: &str, uak: &str) -> StegResult<()> {
+    pub fn steg_hide(&self, pathname: &str, objname: &str, uak: &str) -> StegResult<()> {
         let data = self.fs.read_file(pathname)?;
         self.steg_create(objname, uak, ObjectKind::File)?;
         self.write_hidden_with_key(objname, uak, &data)?;
@@ -706,7 +761,7 @@ impl<D: BlockDevice> StegFs<D> {
 
     /// `steg_unhide`: convert the hidden object `objname` back into a plain
     /// file at `pathname`; the hidden source is deleted on success.
-    pub fn steg_unhide(&mut self, pathname: &str, objname: &str, uak: &str) -> StegResult<()> {
+    pub fn steg_unhide(&self, pathname: &str, objname: &str, uak: &str) -> StegResult<()> {
         let data = self.read_hidden_with_key(objname, uak)?;
         self.fs.write_file(pathname, &data)?;
         self.delete_hidden(objname, uak)?;
@@ -720,22 +775,15 @@ impl<D: BlockDevice> StegFs<D> {
     /// `steg_connect`: make `objname` (and, for directories, its offspring)
     /// visible in the current session, so subsequent reads and writes do not
     /// need the UAK again.
-    pub fn steg_connect(&mut self, objname: &str, uak: &str) -> StegResult<()> {
+    pub fn steg_connect(&self, objname: &str, uak: &str) -> StegResult<()> {
         let entry = self.entry_for(objname, uak)?;
         self.connect_entry(&entry)
     }
 
-    fn connect_entry(&mut self, entry: &DirectoryEntry) -> StegResult<()> {
-        self.session.connect(ConnectedObject::from(entry));
+    fn connect_entry(&self, entry: &DirectoryEntry) -> StegResult<()> {
+        self.session.lock().connect(ConnectedObject::from(entry));
         if entry.kind == ObjectKind::Directory {
-            let keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
-            let obj = hidden::open(&mut self.fs, &entry.physical_name, &keys, &self.params)?;
-            let raw = hidden::read(&mut self.fs, &keys, &obj)?;
-            let children = if raw.is_empty() {
-                UakDirectory::new()
-            } else {
-                UakDirectory::deserialize(&raw)?
-            };
+            let children = self.read_directory_listing(entry)?;
             for child in &children.entries {
                 self.connect_entry(child)?;
             }
@@ -745,35 +793,35 @@ impl<D: BlockDevice> StegFs<D> {
 
     /// `steg_disconnect`: remove `objname` from the session.  Returns true if
     /// it was connected.
-    pub fn steg_disconnect(&mut self, objname: &str) -> bool {
-        self.session.disconnect(objname)
+    pub fn steg_disconnect(&self, objname: &str) -> bool {
+        self.session.lock().disconnect(objname)
     }
 
     /// Disconnect every object (the paper does this automatically at logoff).
-    pub fn disconnect_all(&mut self) {
-        self.session.disconnect_all();
+    pub fn disconnect_all(&self) {
+        self.session.lock().disconnect_all();
     }
 
     /// Names of all currently connected hidden objects.
     pub fn connected_objects(&self) -> Vec<String> {
-        self.session.connected_names()
+        self.session.lock().connected_names()
     }
 
     /// Read a connected hidden file by name.
-    pub fn read_hidden(&mut self, objname: &str) -> StegResult<Vec<u8>> {
+    pub fn read_hidden(&self, objname: &str) -> StegResult<Vec<u8>> {
         let entry = self.connected_entry(objname)?;
         self.read_hidden_entry(&entry)
     }
 
     /// Write a connected hidden file by name.
-    pub fn write_hidden(&mut self, objname: &str, data: &[u8]) -> StegResult<()> {
+    pub fn write_hidden(&self, objname: &str, data: &[u8]) -> StegResult<()> {
         let entry = self.connected_entry(objname)?;
         self.write_hidden_entry(&entry, data)
     }
 
     fn connected_entry(&self, objname: &str) -> StegResult<DirectoryEntry> {
-        let c = self
-            .session
+        let session = self.session.lock();
+        let c = session
             .get(objname)
             .ok_or_else(|| StegError::NotConnected(objname.to_string()))?;
         Ok(DirectoryEntry {
@@ -788,12 +836,45 @@ impl<D: BlockDevice> StegFs<D> {
     // Hidden directories
     // ------------------------------------------------------------------
 
+    /// Read the child listing of a hidden directory object.  Takes the
+    /// object's shard, so a concurrent listing rewrite cannot tear the read.
+    fn read_directory_listing(&self, entry: &DirectoryEntry) -> StegResult<UakDirectory> {
+        let _obj_lock = self.object_guard(&entry.physical_name);
+        self.read_listing_locked(entry)
+    }
+
+    /// As [`Self::read_directory_listing`] but with the object shard already
+    /// held by the caller.
+    fn read_listing_locked(&self, entry: &DirectoryEntry) -> StegResult<UakDirectory> {
+        let keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
+        let obj = hidden::open(&self.fs, &entry.physical_name, &keys, &self.params)?;
+        let raw = hidden::read(&self.fs, &keys, &obj)?;
+        if raw.is_empty() {
+            Ok(UakDirectory::new())
+        } else {
+            Ok(UakDirectory::deserialize(&raw)?)
+        }
+    }
+
+    /// Read the child listing of the hidden directory described by `entry`.
+    /// This is the building block the VFS uses to resolve `/hidden/dir/child`
+    /// paths from cached entries without re-walking the UAK directory.
+    pub fn read_hidden_dir_listing(&self, entry: &DirectoryEntry) -> StegResult<UakDirectory> {
+        if entry.kind != ObjectKind::Directory {
+            return Err(StegError::WrongObjectKind {
+                name: entry.name.clone(),
+                expected: ObjectKind::Directory,
+            });
+        }
+        self.read_directory_listing(entry)
+    }
+
     /// Create a new hidden file or directory *inside* the hidden directory
     /// `parent` (registered under `uak`).  Returns the child's object name,
     /// which is registered only in the parent's listing, not in the UAK
     /// directory.
     pub fn create_in_hidden_dir(
-        &mut self,
+        &self,
         parent: &str,
         child_name: &str,
         uak: &str,
@@ -807,18 +888,10 @@ impl<D: BlockDevice> StegFs<D> {
             });
         }
         let keys = ObjectKeys::derive(&parent_entry.physical_name, &parent_entry.fak);
-        let obj = hidden::open(
-            &mut self.fs,
-            &parent_entry.physical_name,
-            &keys,
-            &self.params,
-        )?;
-        let raw = hidden::read(&mut self.fs, &keys, &obj)?;
-        let mut children = if raw.is_empty() {
-            UakDirectory::new()
-        } else {
-            UakDirectory::deserialize(&raw)?
-        };
+        // The parent's shard serialises the listing read-modify-write against
+        // concurrent child creation in the same directory.
+        let _parent_lock = self.object_guard(&parent_entry.physical_name);
+        let mut children = self.read_listing_locked(&parent_entry)?;
         if children.find(child_name).is_some() {
             return Err(StegError::AlreadyExists(child_name.to_string()));
         }
@@ -827,21 +900,17 @@ impl<D: BlockDevice> StegFs<D> {
         let fak = self.generate_fak(child_name);
         let physical_name = format!("{}:{}/{}", Self::owner_tag(uak), parent, child_name);
         let child_keys = ObjectKeys::derive(&physical_name, &fak);
-        let mut child_obj = hidden::create(
-            &mut self.fs,
-            &physical_name,
-            &child_keys,
-            kind,
-            &self.params,
-        )?;
+        let mut child_obj =
+            hidden::create(&self.fs, &physical_name, &child_keys, kind, &self.params)?;
         if kind == ObjectKind::Directory {
+            let mut rng = self.fork_rng();
             hidden::write(
-                &mut self.fs,
+                &self.fs,
                 &child_keys,
                 &mut child_obj,
                 &UakDirectory::new().serialize(),
                 &self.params,
-                &mut self.rng,
+                &mut rng,
             )?;
         }
         children.insert(DirectoryEntry {
@@ -852,25 +921,22 @@ impl<D: BlockDevice> StegFs<D> {
         })?;
 
         // Persist the updated listing into the parent.
-        let mut parent_obj = hidden::open(
-            &mut self.fs,
-            &parent_entry.physical_name,
-            &keys,
-            &self.params,
-        )?;
+        let mut parent_obj =
+            hidden::open(&self.fs, &parent_entry.physical_name, &keys, &self.params)?;
+        let mut rng = self.fork_rng();
         hidden::write(
-            &mut self.fs,
+            &self.fs,
             &keys,
             &mut parent_obj,
             &children.serialize(),
             &self.params,
-            &mut self.rng,
+            &mut rng,
         )
     }
 
     /// List the children of the hidden directory `parent`.
     pub fn list_hidden_dir(
-        &mut self,
+        &self,
         parent: &str,
         uak: &str,
     ) -> StegResult<Vec<(String, ObjectKind)>> {
@@ -881,19 +947,7 @@ impl<D: BlockDevice> StegFs<D> {
                 expected: ObjectKind::Directory,
             });
         }
-        let keys = ObjectKeys::derive(&parent_entry.physical_name, &parent_entry.fak);
-        let obj = hidden::open(
-            &mut self.fs,
-            &parent_entry.physical_name,
-            &keys,
-            &self.params,
-        )?;
-        let raw = hidden::read(&mut self.fs, &keys, &obj)?;
-        let children = if raw.is_empty() {
-            UakDirectory::new()
-        } else {
-            UakDirectory::deserialize(&raw)?
-        };
+        let children = self.read_directory_listing(&parent_entry)?;
         Ok(children
             .entries
             .iter()
@@ -908,13 +962,13 @@ impl<D: BlockDevice> StegFs<D> {
     /// `steg_getentry`: produce an encrypted share envelope for `objname`
     /// that only the holder of `recipient`'s private key can open.
     pub fn steg_getentry(
-        &mut self,
+        &self,
         objname: &str,
         uak: &str,
         recipient: &RsaPublicKey,
     ) -> StegResult<ShareEnvelope> {
         let entry = self.entry_for(objname, uak)?;
-        let entropy = self.rng.bytes(32);
+        let entropy = self.rng.lock().bytes(32);
         ShareEnvelope::seal(&entry, recipient, &entropy)
     }
 
@@ -922,12 +976,13 @@ impl<D: BlockDevice> StegFs<D> {
     /// register the shared object under this user's `uak`.  Returns the
     /// object name that was added.
     pub fn steg_addentry(
-        &mut self,
+        &self,
         envelope: &ShareEnvelope,
         private_key: &RsaPrivateKey,
         uak: &str,
     ) -> StegResult<String> {
         let entry = envelope.open(private_key)?;
+        let _uak_lock = self.uak_guard(uak);
         let (mut dir, existing) = self.load_uak_directory(uak)?;
         let name = entry.name.clone();
         dir.insert(entry)?;
@@ -938,7 +993,8 @@ impl<D: BlockDevice> StegFs<D> {
     /// Revoke a previously shared object: re-key it under a fresh FAK (and a
     /// fresh physical name) so that recipients of the old `(name, FAK)` pair
     /// lose access, as described at the end of §3.2.
-    pub fn revoke_sharing(&mut self, objname: &str, uak: &str) -> StegResult<()> {
+    pub fn revoke_sharing(&self, objname: &str, uak: &str) -> StegResult<()> {
+        let _uak_lock = self.uak_guard(uak);
         let (mut dir, existing) = self.load_uak_directory(uak)?;
         let entry = dir
             .remove(objname)
@@ -946,38 +1002,41 @@ impl<D: BlockDevice> StegFs<D> {
 
         // Read the current contents with the old key.
         let old_keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
-        let old_obj = hidden::open(&mut self.fs, &entry.physical_name, &old_keys, &self.params)?;
-        let data = hidden::read(&mut self.fs, &old_keys, &old_obj)?;
+        let data = {
+            let _obj_lock = self.object_guard(&entry.physical_name);
+            let old_obj = hidden::open(&self.fs, &entry.physical_name, &old_keys, &self.params)?;
+            hidden::read(&self.fs, &old_keys, &old_obj)?
+        };
 
         // Create the replacement under a fresh FAK and physical name.
-        self.fak_counter += 1;
+        let revision = self.fak_counter.fetch_add(1, Ordering::Relaxed) + 1;
         let fak = self.generate_fak(objname);
-        let physical_name = format!(
-            "{}:{}#rev{}",
-            Self::owner_tag(uak),
-            objname,
-            self.fak_counter
-        );
+        let physical_name = format!("{}:{}#rev{}", Self::owner_tag(uak), objname, revision);
         let new_keys = ObjectKeys::derive(&physical_name, &fak);
         let mut new_obj = hidden::create(
-            &mut self.fs,
+            &self.fs,
             &physical_name,
             &new_keys,
             entry.kind,
             &self.params,
         )?;
+        let mut rng = self.fork_rng();
         hidden::write(
-            &mut self.fs,
+            &self.fs,
             &new_keys,
             &mut new_obj,
             &data,
             &self.params,
-            &mut self.rng,
+            &mut rng,
         )?;
 
         // Destroy the old object, invalidating every outstanding copy of the
         // old FAK.
-        hidden::delete(&mut self.fs, &old_keys, &old_obj, &mut self.rng)?;
+        {
+            let _obj_lock = self.object_guard(&entry.physical_name);
+            let old_obj = hidden::open(&self.fs, &entry.physical_name, &old_keys, &self.params)?;
+            hidden::delete(&self.fs, &old_keys, &old_obj, &mut rng)?;
+        }
 
         dir.insert(DirectoryEntry {
             name: objname.to_string(),
@@ -992,7 +1051,7 @@ impl<D: BlockDevice> StegFs<D> {
     // Backup and recovery (steg_backup / steg_recovery)
     // ------------------------------------------------------------------
 
-    fn walk_plain_tree(&mut self, path: &str, out: &mut Vec<PlainEntry>) -> StegResult<()> {
+    fn walk_plain_tree(&self, path: &str, out: &mut Vec<PlainEntry>) -> StegResult<()> {
         for entry in self.fs.list_dir(path)? {
             let child_path = if path == "/" {
                 format!("/{}", entry.name)
@@ -1024,7 +1083,10 @@ impl<D: BlockDevice> StegFs<D> {
     /// `steg_backup`: produce an authenticated backup image containing the
     /// raw contents of every allocated-but-unaccounted block plus the
     /// contents of every plain file.
-    pub fn steg_backup(&mut self, admin_key: &[u8]) -> StegResult<Vec<u8>> {
+    ///
+    /// Backup snapshots the bitmap block by block; run it on a quiescent
+    /// volume (no concurrent writers) for a consistent image.
+    pub fn steg_backup(&self, admin_key: &[u8]) -> StegResult<Vec<u8>> {
         let sb = self.fs.superblock().clone();
         let plain_blocks: std::collections::HashSet<u64> =
             self.fs.plain_object_blocks()?.into_iter().collect();
@@ -1073,7 +1135,7 @@ impl<D: BlockDevice> StegFs<D> {
         }
 
         // A fresh plain file system; hidden blocks are then grafted back in.
-        let mut fs = PlainFs::format(
+        let fs = PlainFs::format(
             dev,
             FormatOptions {
                 fill_random: params.random_fill,
@@ -1115,14 +1177,7 @@ impl<D: BlockDevice> StegFs<D> {
             },
         };
 
-        Ok(StegFs {
-            fs,
-            rng: DeterministicRng::new(&params.volume_seed.to_be_bytes()),
-            session: Session::new(),
-            fak_counter: 0,
-            config,
-            params,
-        })
+        Ok(Self::assemble(fs, params, config))
     }
 
     // ------------------------------------------------------------------
@@ -1130,7 +1185,7 @@ impl<D: BlockDevice> StegFs<D> {
     // ------------------------------------------------------------------
 
     /// Aggregate block accounting for the space-utilization experiments.
-    pub fn space_report(&mut self) -> StegResult<SpaceReport> {
+    pub fn space_report(&self) -> StegResult<SpaceReport> {
         let sb = self.fs.superblock().clone();
         let plain_blocks = self.fs.plain_object_blocks()?.len() as u64;
         let free_blocks = self.fs.free_data_blocks();
@@ -1164,7 +1219,7 @@ mod tests {
 
     #[test]
     fn format_creates_dummies_and_abandoned_blocks() {
-        let mut fs = small_fs();
+        let fs = small_fs();
         let report = fs.space_report().unwrap();
         assert!(report.abandoned_blocks > 0);
         assert!(report.hidden_blocks > 0, "dummy files occupy hidden blocks");
@@ -1175,7 +1230,7 @@ mod tests {
 
     #[test]
     fn plain_files_work_alongside_hidden_objects() {
-        let mut fs = small_fs();
+        let fs = small_fs();
         fs.write_plain("/notes.txt", b"shopping list").unwrap();
         fs.create_plain_dir("/docs").unwrap();
         fs.write_plain("/docs/report.txt", b"quarterly report")
@@ -1190,7 +1245,7 @@ mod tests {
 
     #[test]
     fn hidden_create_write_read_roundtrip() {
-        let mut fs = small_fs();
+        let fs = small_fs();
         fs.steg_create("budget", UAK, ObjectKind::File).unwrap();
         fs.write_hidden_with_key("budget", UAK, b"the real numbers")
             .unwrap();
@@ -1206,7 +1261,7 @@ mod tests {
 
     #[test]
     fn wrong_uak_sees_nothing() {
-        let mut fs = small_fs();
+        let fs = small_fs();
         fs.steg_create("budget", UAK, ObjectKind::File).unwrap();
         fs.write_hidden_with_key("budget", UAK, b"secret").unwrap();
         // A different UAK has an empty directory and cannot find the object.
@@ -1219,7 +1274,7 @@ mod tests {
 
     #[test]
     fn duplicate_hidden_names_rejected_per_uak() {
-        let mut fs = small_fs();
+        let fs = small_fs();
         fs.steg_create("x", UAK, ObjectKind::File).unwrap();
         assert!(matches!(
             fs.steg_create("x", UAK, ObjectKind::File),
@@ -1232,7 +1287,7 @@ mod tests {
 
     #[test]
     fn hidden_objects_invisible_in_plain_listings() {
-        let mut fs = small_fs();
+        let fs = small_fs();
         fs.write_plain("/visible.txt", b"plain").unwrap();
         fs.steg_create("invisible", UAK, ObjectKind::File).unwrap();
         fs.write_hidden_with_key("invisible", UAK, b"hidden data")
@@ -1247,7 +1302,7 @@ mod tests {
 
     #[test]
     fn steg_hide_and_unhide_roundtrip() {
-        let mut fs = small_fs();
+        let fs = small_fs();
         fs.write_plain("/diary.txt", b"dear diary").unwrap();
         fs.steg_hide("/diary.txt", "diary", UAK).unwrap();
         assert!(
@@ -1269,7 +1324,7 @@ mod tests {
 
     #[test]
     fn connect_read_write_disconnect() {
-        let mut fs = small_fs();
+        let fs = small_fs();
         fs.steg_create("plans", UAK, ObjectKind::File).unwrap();
         fs.write_hidden_with_key("plans", UAK, b"v1").unwrap();
 
@@ -1293,7 +1348,7 @@ mod tests {
 
     #[test]
     fn connecting_directory_reveals_children() {
-        let mut fs = small_fs();
+        let fs = small_fs();
         fs.steg_create("vault", UAK, ObjectKind::Directory).unwrap();
         fs.create_in_hidden_dir("vault", "passwords", UAK, ObjectKind::File)
             .unwrap();
@@ -1312,7 +1367,7 @@ mod tests {
 
     #[test]
     fn duplicate_children_rejected() {
-        let mut fs = small_fs();
+        let fs = small_fs();
         fs.steg_create("vault", UAK, ObjectKind::Directory).unwrap();
         fs.create_in_hidden_dir("vault", "a", UAK, ObjectKind::File)
             .unwrap();
@@ -1330,7 +1385,7 @@ mod tests {
 
     #[test]
     fn sharing_between_two_users() {
-        let mut fs = small_fs();
+        let fs = small_fs();
         let owner_uak = "owner key";
         let recipient_uak = "recipient key";
         let recipient_keys = stegfs_crypto::rsa::RsaKeyPair::generate(512, b"recipient rsa");
@@ -1364,7 +1419,7 @@ mod tests {
 
     #[test]
     fn revocation_cuts_off_old_fak() {
-        let mut fs = small_fs();
+        let fs = small_fs();
         let owner_uak = "owner key";
         let recipient_uak = "recipient key";
         let recipient_keys = stegfs_crypto::rsa::RsaKeyPair::generate(512, b"recipient rsa 2");
@@ -1399,14 +1454,14 @@ mod tests {
 
     #[test]
     fn survives_unmount_and_remount() {
-        let mut fs = small_fs();
+        let fs = small_fs();
         fs.write_plain("/p.txt", b"plain").unwrap();
         fs.steg_create("h", UAK, ObjectKind::File).unwrap();
         fs.write_hidden_with_key("h", UAK, b"hidden across remount")
             .unwrap();
         let dev = fs.unmount().unwrap();
 
-        let mut fs = StegFs::mount(dev, StegParams::for_tests()).unwrap();
+        let fs = StegFs::mount(dev, StegParams::for_tests()).unwrap();
         assert_eq!(fs.read_plain("/p.txt").unwrap(), b"plain");
         assert_eq!(
             fs.read_hidden_with_key("h", UAK).unwrap(),
@@ -1416,7 +1471,7 @@ mod tests {
 
     #[test]
     fn backup_and_recovery_preserve_hidden_and_plain_data() {
-        let mut fs = small_fs();
+        let fs = small_fs();
         fs.write_plain("/plain.txt", b"plain data").unwrap();
         fs.create_plain_dir("/dir").unwrap();
         fs.write_plain("/dir/nested.txt", b"nested").unwrap();
@@ -1428,7 +1483,7 @@ mod tests {
 
         // Recover onto a brand-new device.
         let fresh = MemBlockDevice::new(1024, 8192);
-        let mut recovered =
+        let recovered =
             StegFs::steg_recovery(fresh, &image, b"admin key", StegParams::for_tests()).unwrap();
         assert_eq!(recovered.read_plain("/plain.txt").unwrap(), b"plain data");
         assert_eq!(recovered.read_plain("/dir/nested.txt").unwrap(), b"nested");
@@ -1448,7 +1503,7 @@ mod tests {
 
     #[test]
     fn backup_rejects_mismatched_geometry() {
-        let mut fs = small_fs();
+        let fs = small_fs();
         let image = fs.steg_backup(b"k").unwrap();
         let smaller = MemBlockDevice::new(1024, 4096);
         assert!(matches!(
@@ -1459,7 +1514,7 @@ mod tests {
 
     #[test]
     fn touch_dummy_files_rewrites_them() {
-        let mut fs = small_fs();
+        let fs = small_fs();
         let touched = fs.touch_dummy_files().unwrap();
         assert_eq!(touched, StegParams::for_tests().dummy_file_count);
         // Space accounting stays sane afterwards.
@@ -1470,7 +1525,7 @@ mod tests {
 
     #[test]
     fn space_report_tracks_hidden_growth() {
-        let mut fs = small_fs();
+        let fs = small_fs();
         let before = fs.space_report().unwrap();
         fs.steg_create("grow", UAK, ObjectKind::File).unwrap();
         fs.write_hidden_with_key("grow", UAK, &vec![7u8; 100 * 1024])
@@ -1485,7 +1540,7 @@ mod tests {
     #[test]
     fn access_hierarchy_supports_selective_disclosure() {
         use crate::keys::AccessHierarchy;
-        let mut fs = small_fs();
+        let fs = small_fs();
         let hierarchy = AccessHierarchy::new(vec![
             "level-0 everyday".to_string(),
             "level-1 sensitive".to_string(),
@@ -1522,7 +1577,7 @@ mod tests {
 
     #[test]
     fn invalid_names_rejected() {
-        let mut fs = small_fs();
+        let fs = small_fs();
         assert!(matches!(
             fs.steg_create("", UAK, ObjectKind::File),
             Err(StegError::InvalidName(_))
@@ -1535,7 +1590,7 @@ mod tests {
 
     #[test]
     fn write_to_hidden_directory_as_file_is_rejected() {
-        let mut fs = small_fs();
+        let fs = small_fs();
         fs.steg_create("d", UAK, ObjectKind::Directory).unwrap();
         assert!(matches!(
             fs.write_hidden_with_key("d", UAK, b"nope"),
@@ -1545,7 +1600,7 @@ mod tests {
 
     #[test]
     fn delete_hidden_removes_object_and_frees_space() {
-        let mut fs = small_fs();
+        let fs = small_fs();
         fs.steg_create("temp", UAK, ObjectKind::File).unwrap();
         fs.write_hidden_with_key("temp", UAK, &vec![1u8; 50 * 1024])
             .unwrap();
@@ -1562,7 +1617,7 @@ mod tests {
 
     #[test]
     fn write_at_handle_extends_and_patches() {
-        let mut fs = small_fs();
+        let fs = small_fs();
         fs.steg_create("grow", UAK, ObjectKind::File).unwrap();
         let mut h = fs.open_hidden("grow", UAK).unwrap();
 
@@ -1596,7 +1651,7 @@ mod tests {
 
     #[test]
     fn truncate_handle_shrinks_and_zero_extends() {
-        let mut fs = small_fs();
+        let fs = small_fs();
         fs.steg_create("t", UAK, ObjectKind::File).unwrap();
         fs.write_hidden_with_key("t", UAK, &vec![7u8; 5000])
             .unwrap();
@@ -1622,7 +1677,7 @@ mod tests {
 
     #[test]
     fn rename_hidden_updates_directory_only() {
-        let mut fs = small_fs();
+        let fs = small_fs();
         fs.steg_create("old-name", UAK, ObjectKind::File).unwrap();
         fs.write_hidden_with_key("old-name", UAK, b"payload")
             .unwrap();
@@ -1661,7 +1716,7 @@ mod tests {
 
     #[test]
     fn open_hidden_entry_skips_directory_walk() {
-        let mut fs = small_fs();
+        let fs = small_fs();
         fs.steg_create("cached", UAK, ObjectKind::File).unwrap();
         fs.write_hidden_with_key("cached", UAK, b"via entry")
             .unwrap();
@@ -1674,7 +1729,7 @@ mod tests {
 
     #[test]
     fn hidden_range_reads_and_writes() {
-        let mut fs = small_fs();
+        let fs = small_fs();
         let data: Vec<u8> = (0..10_000u32).map(|i| (i % 256) as u8).collect();
         fs.steg_create("ranged", UAK, ObjectKind::File).unwrap();
         fs.write_hidden_with_key("ranged", UAK, &data).unwrap();
@@ -1692,11 +1747,46 @@ mod tests {
 
     #[test]
     fn large_hidden_file_roundtrip() {
-        let mut fs =
-            StegFs::format(MemBlockDevice::new(1024, 16384), StegParams::for_tests()).unwrap();
+        let fs = StegFs::format(MemBlockDevice::new(1024, 16384), StegParams::for_tests()).unwrap();
         let data: Vec<u8> = (0..2 * 1024 * 1024u32).map(|i| (i % 251) as u8).collect();
         fs.steg_create("big", UAK, ObjectKind::File).unwrap();
         fs.write_hidden_with_key("big", UAK, &data).unwrap();
         assert_eq!(fs.read_hidden_with_key("big", UAK).unwrap(), data);
+    }
+
+    #[test]
+    fn shared_reference_api_serves_many_threads() {
+        use std::sync::Arc;
+        let fs = Arc::new(
+            StegFs::format(MemBlockDevice::new(1024, 16384), StegParams::for_tests()).unwrap(),
+        );
+        let threads = 6usize;
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let fs = Arc::clone(&fs);
+                std::thread::spawn(move || {
+                    // Each thread its own UAK: disjoint hidden namespaces.
+                    let uak = format!("thread key {t}");
+                    for round in 0..4 {
+                        let name = format!("obj-{round}");
+                        fs.steg_create(&name, &uak, ObjectKind::File).unwrap();
+                        let data = vec![(t * 37 + round) as u8; 4000 + round * 512];
+                        fs.write_hidden_with_key(&name, &uak, &data).unwrap();
+                        assert_eq!(fs.read_hidden_with_key(&name, &uak).unwrap(), data);
+                    }
+                    fs.delete_hidden("obj-0", &uak).unwrap();
+                    assert_eq!(fs.list_hidden(&uak).unwrap().len(), 3);
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        // Every namespace still resolves only under its own key.
+        for t in 0..threads {
+            let uak = format!("thread key {t}");
+            assert_eq!(fs.list_hidden(&uak).unwrap().len(), 3);
+        }
+        assert!(fs.list_hidden("stranger").unwrap().is_empty());
     }
 }

@@ -26,7 +26,7 @@
 //!
 //! The module layout is:
 //!
-//! * [`sha256`] — SHA-256 and the incremental hasher.
+//! * [`mod@sha256`] — SHA-256 and the incremental hasher.
 //! * [`hmac`] — HMAC-SHA256.
 //! * [`aes`] — the AES-128/192/256 block cipher.
 //! * [`modes`] — CBC and CTR modes over AES, plus PKCS#7 padding helpers.

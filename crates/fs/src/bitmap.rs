@@ -38,7 +38,7 @@ impl Bitmap {
     }
 
     /// Load the bitmap from the device.
-    pub fn load(sb: &Superblock, dev: &mut dyn BlockDevice) -> FsResult<Self> {
+    pub fn load(sb: &Superblock, dev: &dyn BlockDevice) -> FsResult<Self> {
         let mut bits = Vec::with_capacity((sb.total_blocks as usize).div_ceil(8));
         let mut buf = vec![0u8; sb.block_size as usize];
         for i in 0..sb.bitmap_blocks {
@@ -191,7 +191,7 @@ impl Bitmap {
     }
 
     /// Write all dirty bitmap blocks back to the device.
-    pub fn flush(&mut self, dev: &mut dyn BlockDevice) -> FsResult<()> {
+    pub fn flush(&mut self, dev: &dyn BlockDevice) -> FsResult<()> {
         let dirty: Vec<u64> = self.dirty_bitmap_blocks.iter().copied().collect();
         for bitmap_block in dirty {
             let mut buf = vec![0u8; self.block_size];
@@ -313,16 +313,16 @@ mod tests {
     #[test]
     fn flush_and_reload_roundtrip() {
         let sb = small_sb();
-        let mut dev = MemBlockDevice::new(1024, 4096);
+        let dev = MemBlockDevice::new(1024, 4096);
         let mut bm = Bitmap::new(&sb);
         for b in [0u64, 7, 8, 1000, 4095] {
             bm.allocate(b).unwrap();
         }
         assert!(bm.dirty_count() > 0);
-        bm.flush(&mut dev).unwrap();
+        bm.flush(&dev).unwrap();
         assert_eq!(bm.dirty_count(), 0);
 
-        let loaded = Bitmap::load(&sb, &mut dev).unwrap();
+        let loaded = Bitmap::load(&sb, &dev).unwrap();
         assert_eq!(loaded.allocated_blocks(), 5);
         for b in [0u64, 7, 8, 1000, 4095] {
             assert!(loaded.is_allocated(b), "block {b}");
@@ -337,11 +337,11 @@ mod tests {
         let sb = Superblock::compute(1024, 65536, 256).unwrap();
         let metered = stegfs_blockdev::MeteredDevice::new(MemBlockDevice::new(1024, 65536));
         let stats = metered.stats_handle();
-        let mut dev = metered;
+        let dev = metered;
         let mut bm = Bitmap::new(&sb);
         bm.allocate(0).unwrap(); // bit in bitmap block 0
         bm.allocate(60000).unwrap(); // bit in bitmap block 7
-        bm.flush(&mut dev).unwrap();
+        bm.flush(&dev).unwrap();
         assert_eq!(stats.snapshot().writes, 2, "only two bitmap blocks dirty");
     }
 }

@@ -5,6 +5,40 @@
 //! policies it is the paper's CleanDisk / FragDisk baseline; used underneath
 //! `stegfs-core` it provides the central directory, the bitmap, and raw block
 //! access for hidden objects.
+//!
+//! # Concurrency
+//!
+//! Every public operation takes `&self`: the file system is sharded into
+//! independently locked regions so that threads working on *different* files
+//! overlap their block I/O and only contend where they genuinely share state:
+//!
+//! * **allocator lock** — one mutex over the bitmap and the allocation
+//!   policy.  Held only while bits flip, never across device I/O of file
+//!   contents.
+//! * **namespace lock** — a reader/writer lock over the directory tree and
+//!   the inode-slot table.  Path resolution and listings take it shared;
+//!   create / rename / delete take it exclusively.  *Path-based* content
+//!   operations (`read_file`, `write_file`, …) keep the shared guard across
+//!   their content I/O — that is what pins the path→inode binding against a
+//!   delete+create recycling the inode id — so namespace mutations wait for
+//!   in-flight path-based transfers.  Inode-handle operations (the VFS hot
+//!   path) never touch the namespace lock; they serialise on their stripe
+//!   alone.
+//! * **inode stripes** — [`STRIPE_COUNT`] mutexes, one per inode-id class,
+//!   serialising content reads/writes *per file* (concurrent whole-file
+//!   rewrites of one inode must not double-free its old blocks).  Two
+//!   different files almost always hash to different stripes and proceed in
+//!   parallel.
+//! * **the device itself** — [`BlockDevice`] I/O takes `&self` and carries
+//!   its own interior locking (the in-memory backend stripes its storage),
+//!   so block transfers from different files overlap all the way down.
+//!
+//! Lock order (outer to inner, i.e. acquire left before right):
+//! `namespace < inode-stripe < allocator < inode-table-stripe <
+//! device-internal`.  Deletion takes
+//! the namespace lock exclusively and then the victim's stripe, so an
+//! in-flight content operation (which holds only the stripe) always
+//! completes before its blocks are freed.
 
 use crate::alloc::{AllocPolicy, Allocator};
 use crate::bitmap::Bitmap;
@@ -12,7 +46,11 @@ use crate::dir::{decode_entries, encode_entries, split_parent, split_path, DirEn
 use crate::error::{FsError, FsResult};
 use crate::inode::{FileKind, Inode, InodeId, InodeTable, DIRECT_POINTERS, NO_BLOCK};
 use crate::layout::Superblock;
+use parking_lot::{Mutex, RwLock};
 use stegfs_blockdev::BlockDevice;
+
+/// Number of per-inode content stripes (see the module docs).
+pub const STRIPE_COUNT: usize = 64;
 
 /// Options controlling [`PlainFs::format`].
 #[derive(Debug, Clone)]
@@ -55,13 +93,30 @@ impl FormatOptions {
     }
 }
 
+/// The bitmap and the allocator share one lock: every allocation consults the
+/// bitmap and every bitmap update invalidates allocator cursors.
+struct AllocState {
+    bitmap: Bitmap,
+    alloc: Allocator,
+}
+
 /// A mounted plain file system.
+///
+/// All operations take `&self`; see the module docs for the locking scheme.
 pub struct PlainFs<D: BlockDevice> {
     dev: D,
     sb: Superblock,
-    bitmap: Bitmap,
     inodes: InodeTable,
-    alloc: Allocator,
+    alloc: Mutex<AllocState>,
+    namespace: RwLock<()>,
+    stripes: Vec<Mutex<()>>,
+    /// One inode-table *block* packs several inodes, and writing one inode
+    /// is a read-modify-write of its whole block — two inodes of the same
+    /// table block live on different content stripes, so without this lock
+    /// their concurrent updates would overwrite each other.  Striped by
+    /// table-block index; innermost of the file-system locks (wraps only
+    /// the device transfer).
+    itable_stripes: Vec<Mutex<()>>,
 }
 
 /// Fast non-cryptographic fill used to write "randomly generated patterns"
@@ -88,8 +143,24 @@ impl<D: BlockDevice> PlainFs<D> {
     // Format / mount
     // ------------------------------------------------------------------
 
+    fn assemble(dev: D, sb: Superblock, bitmap: Bitmap, policy: AllocPolicy, seed: u64) -> Self {
+        let seed_bytes = seed.to_be_bytes();
+        PlainFs {
+            alloc: Mutex::new(AllocState {
+                alloc: Allocator::new(policy, sb.data_start, sb.total_blocks, &seed_bytes),
+                bitmap,
+            }),
+            dev,
+            inodes: InodeTable::new(sb.clone()),
+            sb,
+            namespace: RwLock::new(()),
+            stripes: (0..STRIPE_COUNT).map(|_| Mutex::new(())).collect(),
+            itable_stripes: (0..STRIPE_COUNT).map(|_| Mutex::new(())).collect(),
+        }
+    }
+
     /// Format `dev` and return the mounted file system.
-    pub fn format(mut dev: D, opts: FormatOptions) -> FsResult<Self> {
+    pub fn format(dev: D, opts: FormatOptions) -> FsResult<Self> {
         let block_size = dev.block_size() as u32;
         let total_blocks = dev.total_blocks();
         let inode_count = opts
@@ -127,25 +198,18 @@ impl<D: BlockDevice> PlainFs<D> {
             dev.write_block(sb.inode_table_start + b, &zero)?;
         }
 
-        let inodes = InodeTable::new(sb.clone());
-        let seed_bytes = opts.seed.to_be_bytes();
-        let mut fs = PlainFs {
-            alloc: Allocator::new(opts.policy, sb.data_start, sb.total_blocks, &seed_bytes),
-            dev,
-            sb: sb.clone(),
-            bitmap,
-            inodes,
-        };
+        let root_inode = sb.root_inode;
+        let fs = Self::assemble(dev, sb, bitmap, opts.policy, opts.seed);
 
         // Root directory: inode 0, initially empty.
         let root = Inode::empty(FileKind::Directory);
-        fs.inodes.write(&mut fs.dev, sb.root_inode, &root)?;
+        fs.write_inode(root_inode, &root)?;
         fs.sync()?;
         Ok(fs)
     }
 
     /// Mount an already-formatted volume.
-    pub fn mount(mut dev: D, policy: AllocPolicy, seed: u64) -> FsResult<Self> {
+    pub fn mount(dev: D, policy: AllocPolicy, seed: u64) -> FsResult<Self> {
         let mut sb_buf = vec![0u8; dev.block_size()];
         dev.read_block(0, &mut sb_buf)?;
         let sb = Superblock::deserialize(&sb_buf)?;
@@ -158,21 +222,13 @@ impl<D: BlockDevice> PlainFs<D> {
                 dev.total_blocks()
             )));
         }
-        let bitmap = Bitmap::load(&sb, &mut dev)?;
-        let inodes = InodeTable::new(sb.clone());
-        let seed_bytes = seed.to_be_bytes();
-        Ok(PlainFs {
-            alloc: Allocator::new(policy, sb.data_start, sb.total_blocks, &seed_bytes),
-            dev,
-            sb,
-            bitmap,
-            inodes,
-        })
+        let bitmap = Bitmap::load(&sb, &dev)?;
+        Ok(Self::assemble(dev, sb, bitmap, policy, seed))
     }
 
     /// Flush the bitmap and the device.
-    pub fn sync(&mut self) -> FsResult<()> {
-        self.bitmap.flush(&mut self.dev)?;
+    pub fn sync(&self) -> FsResult<()> {
+        self.alloc.lock().bitmap.flush(&self.dev)?;
         self.dev.flush()?;
         Ok(())
     }
@@ -193,7 +249,9 @@ impl<D: BlockDevice> PlainFs<D> {
 
     /// Number of free blocks in the data region.
     pub fn free_data_blocks(&self) -> u64 {
-        self.bitmap
+        self.alloc
+            .lock()
+            .bitmap
             .free_in_region(self.sb.data_start, self.sb.total_blocks)
     }
 
@@ -204,21 +262,27 @@ impl<D: BlockDevice> PlainFs<D> {
 
     /// True if `block` is currently marked allocated in the bitmap.
     pub fn is_block_allocated(&self, block: u64) -> bool {
-        self.bitmap.is_allocated(block)
+        self.alloc.lock().bitmap.is_allocated(block)
     }
 
     /// Change the data-block allocation policy.
-    pub fn set_alloc_policy(&mut self, policy: AllocPolicy) {
-        self.alloc.set_policy(policy);
+    pub fn set_alloc_policy(&self, policy: AllocPolicy) {
+        self.alloc.lock().alloc.set_policy(policy);
     }
 
-    /// Mutable access to the underlying device (used by the timing harness).
+    /// Mutable access to the underlying device (used by the timing harness;
+    /// requires exclusive ownership, which is why this one keeps `&mut`).
     pub fn device_mut(&mut self) -> &mut D {
         &mut self.dev
     }
 
+    /// Shared access to the underlying device.
+    pub fn device(&self) -> &D {
+        &self.dev
+    }
+
     /// Consume the file system, returning the device (after a sync).
-    pub fn unmount(mut self) -> FsResult<D> {
+    pub fn unmount(self) -> FsResult<D> {
         self.sync()?;
         Ok(self.dev)
     }
@@ -230,42 +294,62 @@ impl<D: BlockDevice> PlainFs<D> {
     /// Allocate one free data-region block chosen uniformly at random and
     /// mark it in the bitmap, without recording it in any inode.  This is the
     /// primitive hidden files are built from.
-    pub fn allocate_random_block(&mut self) -> FsResult<u64> {
-        let block = self.alloc.pick_random_free(&self.bitmap)?;
-        self.bitmap.allocate(block)?;
+    pub fn allocate_random_block(&self) -> FsResult<u64> {
+        let state = &mut *self.alloc.lock();
+        let block = state.alloc.pick_random_free(&state.bitmap)?;
+        state.bitmap.allocate(block)?;
         Ok(block)
     }
 
     /// Mark a specific data-region block allocated (used when the keyed
     /// locator has chosen a header position, and by recovery).
-    pub fn allocate_specific_block(&mut self, block: u64) -> FsResult<()> {
+    pub fn allocate_specific_block(&self, block: u64) -> FsResult<()> {
         if !self.sb.in_data_region(block) {
             return Err(FsError::Corrupt(format!(
                 "block {block} outside the data region"
             )));
         }
-        self.bitmap.allocate(block)
+        self.alloc.lock().bitmap.allocate(block)
+    }
+
+    /// Atomically check-and-allocate a specific data-region block.  Returns
+    /// `Ok(false)` — instead of the corruption error of
+    /// [`Self::allocate_specific_block`] — when the block is already taken,
+    /// which is how concurrent hidden-object creators resolve losing the race
+    /// for a header slot: they simply probe on.
+    pub fn try_allocate_specific_block(&self, block: u64) -> FsResult<bool> {
+        if !self.sb.in_data_region(block) {
+            return Err(FsError::Corrupt(format!(
+                "block {block} outside the data region"
+            )));
+        }
+        let state = &mut *self.alloc.lock();
+        if state.bitmap.is_allocated(block) {
+            return Ok(false);
+        }
+        state.bitmap.allocate(block)?;
+        Ok(true)
     }
 
     /// Release a block that was allocated through the raw interface.
-    pub fn free_raw_block(&mut self, block: u64) -> FsResult<()> {
+    pub fn free_raw_block(&self, block: u64) -> FsResult<()> {
         if !self.sb.in_data_region(block) {
             return Err(FsError::Corrupt(format!(
                 "block {block} outside the data region"
             )));
         }
-        self.bitmap.free(block)
+        self.alloc.lock().bitmap.free(block)
     }
 
     /// Read a raw block (any region).
-    pub fn read_raw_block(&mut self, block: u64) -> FsResult<Vec<u8>> {
+    pub fn read_raw_block(&self, block: u64) -> FsResult<Vec<u8>> {
         let mut buf = vec![0u8; self.block_size()];
         self.dev.read_block(block, &mut buf)?;
         Ok(buf)
     }
 
     /// Write a raw block (any region).
-    pub fn write_raw_block(&mut self, block: u64, data: &[u8]) -> FsResult<()> {
+    pub fn write_raw_block(&self, block: u64, data: &[u8]) -> FsResult<()> {
         self.dev.write_block(block, data)?;
         Ok(())
     }
@@ -274,10 +358,23 @@ impl<D: BlockDevice> PlainFs<D> {
     /// is not included): file data blocks, directory data blocks, and
     /// indirect-pointer blocks.  Backup uses this to decide which allocated
     /// blocks must be imaged raw (those *not* in this set).
-    pub fn plain_object_blocks(&mut self) -> FsResult<Vec<u64>> {
+    pub fn plain_object_blocks(&self) -> FsResult<Vec<u64>> {
+        // The namespace read guard pins the *set* of allocated inodes
+        // (create/delete need it exclusively); each inode's stripe then pins
+        // its *block map*, so a concurrent content rewrite cannot free a
+        // pointer block out from under the walk.  Lock order namespace <
+        // stripe matches delete.
+        let _ns = self.namespace.read();
         let mut all = Vec::new();
-        let inodes = self.inodes.scan_allocated(&mut self.dev)?;
-        for (_, inode) in inodes {
+        let inodes = self.scan_allocated_inodes()?;
+        for (id, _) in inodes {
+            let _stripe = self.stripe(id).lock();
+            // Re-read under the stripe: the scanned copy may predate a
+            // rewrite that had not yet published its new block map.
+            let inode = self.read_inode(id)?;
+            if inode.kind == FileKind::Free {
+                continue;
+            }
             let (data, meta) = self.collect_blocks(&inode)?;
             all.extend(data);
             all.extend(meta);
@@ -288,13 +385,41 @@ impl<D: BlockDevice> PlainFs<D> {
     }
 
     // ------------------------------------------------------------------
+    // Device / inode-table plumbing (the device locks internally; callers
+    // hold whatever namespace or stripe guard the operation requires)
+    // ------------------------------------------------------------------
+
+    fn read_inode(&self, id: InodeId) -> FsResult<Inode> {
+        self.inodes.read(&self.dev, id)
+    }
+
+    fn write_inode(&self, id: InodeId, inode: &Inode) -> FsResult<()> {
+        let table_block = id / self.sb.inodes_per_block();
+        let _tb = self.itable_stripes[(table_block as usize) % STRIPE_COUNT].lock();
+        self.inodes.write(&self.dev, id, inode)
+    }
+
+    fn find_free_inode(&self) -> FsResult<Option<InodeId>> {
+        self.inodes.find_free(&self.dev)
+    }
+
+    fn scan_allocated_inodes(&self) -> FsResult<Vec<(InodeId, Inode)>> {
+        self.inodes.scan_allocated(&self.dev)
+    }
+
+    fn stripe(&self, id: InodeId) -> &Mutex<()> {
+        &self.stripes[(id as usize) % STRIPE_COUNT]
+    }
+
+    // ------------------------------------------------------------------
     // Path-based operations
     // ------------------------------------------------------------------
 
-    fn resolve(&mut self, path: &str) -> FsResult<(InodeId, Inode)> {
+    /// Walk `path` from the root.  Caller holds the namespace lock.
+    fn resolve(&self, path: &str) -> FsResult<(InodeId, Inode)> {
         let comps = split_path(path)?;
         let mut id = self.sb.root_inode;
-        let mut inode = self.inodes.read(&mut self.dev, id)?;
+        let mut inode = self.read_inode(id)?;
         for comp in comps {
             if inode.kind != FileKind::Directory {
                 return Err(FsError::NotADirectory(path.to_string()));
@@ -303,7 +428,7 @@ impl<D: BlockDevice> PlainFs<D> {
             match entries.iter().find(|e| e.name == comp) {
                 Some(entry) => {
                     id = entry.inode;
-                    inode = self.inodes.read(&mut self.dev, id)?;
+                    inode = self.read_inode(id)?;
                 }
                 None => return Err(FsError::NotFound(path.to_string())),
             }
@@ -311,7 +436,9 @@ impl<D: BlockDevice> PlainFs<D> {
         Ok((id, inode))
     }
 
-    fn resolve_parent(&mut self, path: &str) -> FsResult<(InodeId, Inode, String)> {
+    /// Resolve the parent directory of `path`.  Caller holds the namespace
+    /// lock.
+    fn resolve_parent(&self, path: &str) -> FsResult<(InodeId, Inode, String)> {
         let (parent_comps, name) = split_parent(path)?;
         let parent_path = if parent_comps.is_empty() {
             "/".to_string()
@@ -326,7 +453,8 @@ impl<D: BlockDevice> PlainFs<D> {
     }
 
     /// True if `path` exists.
-    pub fn exists(&mut self, path: &str) -> FsResult<bool> {
+    pub fn exists(&self, path: &str) -> FsResult<bool> {
+        let _ns = self.namespace.read();
         match self.resolve(path) {
             Ok(_) => Ok(true),
             Err(e) if e.is_not_found() => Ok(false),
@@ -335,13 +463,15 @@ impl<D: BlockDevice> PlainFs<D> {
     }
 
     /// Kind and size of the object at `path`.
-    pub fn stat(&mut self, path: &str) -> FsResult<(FileKind, u64)> {
+    pub fn stat(&self, path: &str) -> FsResult<(FileKind, u64)> {
+        let _ns = self.namespace.read();
         let (_, inode) = self.resolve(path)?;
         Ok((inode.kind, inode.size))
     }
 
     /// List the entries of the directory at `path`.
-    pub fn list_dir(&mut self, path: &str) -> FsResult<Vec<DirEntry>> {
+    pub fn list_dir(&self, path: &str) -> FsResult<Vec<DirEntry>> {
+        let _ns = self.namespace.read();
         let (_, inode) = self.resolve(path)?;
         if inode.kind != FileKind::Directory {
             return Err(FsError::NotADirectory(path.to_string()));
@@ -350,26 +480,24 @@ impl<D: BlockDevice> PlainFs<D> {
     }
 
     /// Create an empty directory at `path`.
-    pub fn create_dir(&mut self, path: &str) -> FsResult<InodeId> {
+    pub fn create_dir(&self, path: &str) -> FsResult<InodeId> {
         self.create_object(path, FileKind::Directory)
     }
 
     /// Create an empty regular file at `path`.
-    pub fn create_file(&mut self, path: &str) -> FsResult<InodeId> {
+    pub fn create_file(&self, path: &str) -> FsResult<InodeId> {
         self.create_object(path, FileKind::File)
     }
 
-    fn create_object(&mut self, path: &str, kind: FileKind) -> FsResult<InodeId> {
+    fn create_object(&self, path: &str, kind: FileKind) -> FsResult<InodeId> {
+        let _ns = self.namespace.write();
         let (pid, pinode, name) = self.resolve_parent(path)?;
         let entries = self.read_dir_inode(&pinode)?;
         if entries.iter().any(|e| e.name == name) {
             return Err(FsError::AlreadyExists(path.to_string()));
         }
-        let id = self
-            .inodes
-            .find_free(&mut self.dev)?
-            .ok_or(FsError::NoSpace)?;
-        self.inodes.write(&mut self.dev, id, &Inode::empty(kind))?;
+        let id = self.find_free_inode()?.ok_or(FsError::NoSpace)?;
+        self.write_inode(id, &Inode::empty(kind))?;
 
         let mut entries = entries;
         entries.push(DirEntry {
@@ -381,54 +509,65 @@ impl<D: BlockDevice> PlainFs<D> {
         Ok(id)
     }
 
-    /// Write `data` as the complete contents of the file at `path`, creating
-    /// the file if it does not exist and truncating it if it does.
-    pub fn write_file(&mut self, path: &str, data: &[u8]) -> FsResult<()> {
-        let id = match self.resolve(path) {
-            Ok((id, inode)) => {
-                if inode.kind != FileKind::File {
-                    return Err(FsError::IsADirectory(path.to_string()));
-                }
-                id
-            }
-            Err(e) if e.is_not_found() => self.create_file(path)?,
-            Err(e) => return Err(e),
-        };
-        self.write_inode_contents(id, data)
-    }
-
-    /// Read the complete contents of the file at `path`.
-    pub fn read_file(&mut self, path: &str) -> FsResult<Vec<u8>> {
-        let (_, inode) = self.resolve(path)?;
+    /// Resolve the regular file at `path`, then run `f` holding *both* the
+    /// namespace read guard and the inode's stripe.  Keeping the namespace
+    /// guard across the stripe acquisition pins the path→inode binding:
+    /// delete (and create, which can recycle a freed inode id for another
+    /// path) needs the namespace lock exclusively, so the operation can
+    /// never land on an unrelated file that inherited the id.  Acquiring a
+    /// stripe while holding the namespace guard matches delete's order
+    /// (`namespace < stripe`), so no cycle arises.
+    fn with_file_at_path<R>(
+        &self,
+        path: &str,
+        f: impl FnOnce(InodeId, &Inode) -> FsResult<R>,
+    ) -> FsResult<R> {
+        let _ns = self.namespace.read();
+        let (id, inode) = self.resolve(path)?;
         if inode.kind != FileKind::File {
             return Err(FsError::IsADirectory(path.to_string()));
         }
-        self.read_inode_contents(&inode)
+        let _stripe = self.stripe(id).lock();
+        f(id, &inode)
+    }
+
+    /// Write `data` as the complete contents of the file at `path`, creating
+    /// the file if it does not exist and truncating it if it does.  Loops
+    /// because a concurrent creator may win the create race, in which case
+    /// the fresh `AlreadyExists` simply means the file is now resolvable.
+    pub fn write_file(&self, path: &str, data: &[u8]) -> FsResult<()> {
+        loop {
+            match self.with_file_at_path(path, |id, _| self.write_inode_contents(id, data)) {
+                Err(e) if e.is_not_found() => {}
+                other => return other,
+            }
+            match self.create_object(path, FileKind::File) {
+                Ok(_) | Err(FsError::AlreadyExists(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Read the complete contents of the file at `path`.
+    pub fn read_file(&self, path: &str) -> FsResult<Vec<u8>> {
+        self.with_file_at_path(path, |_, inode| self.read_inode_contents(inode))
     }
 
     /// Read `len` bytes starting at `offset` from the file at `path`.
     /// Reading past the end returns the available prefix.
-    pub fn read_file_range(&mut self, path: &str, offset: u64, len: usize) -> FsResult<Vec<u8>> {
-        let (_, inode) = self.resolve(path)?;
-        if inode.kind != FileKind::File {
-            return Err(FsError::IsADirectory(path.to_string()));
-        }
-        self.read_range_of(&inode, offset, len)
+    pub fn read_file_range(&self, path: &str, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        self.with_file_at_path(path, |_, inode| self.read_range_of(inode, offset, len))
     }
 
     /// Overwrite part of an existing file in place.  The range
     /// `[offset, offset + data.len())` must lie within the file's current
     /// size; in-place updates never move or reallocate blocks, which is what
     /// the block-interleaved multi-user experiments rely on.
-    pub fn write_file_range(&mut self, path: &str, offset: u64, data: &[u8]) -> FsResult<()> {
+    pub fn write_file_range(&self, path: &str, offset: u64, data: &[u8]) -> FsResult<()> {
         if data.is_empty() {
             return Ok(());
         }
-        let (_, inode) = self.resolve(path)?;
-        if inode.kind != FileKind::File {
-            return Err(FsError::IsADirectory(path.to_string()));
-        }
-        self.write_range_of(&inode, offset, data)
+        self.with_file_at_path(path, |_, inode| self.write_range_of(inode, offset, data))
     }
 
     // ------------------------------------------------------------------
@@ -442,7 +581,8 @@ impl<D: BlockDevice> PlainFs<D> {
     // ------------------------------------------------------------------
 
     /// Resolve the regular file at `path` to its inode id.
-    pub fn resolve_file(&mut self, path: &str) -> FsResult<InodeId> {
+    pub fn resolve_file(&self, path: &str) -> FsResult<InodeId> {
+        let _ns = self.namespace.read();
         let (id, inode) = self.resolve(path)?;
         if inode.kind != FileKind::File {
             return Err(FsError::IsADirectory(path.to_string()));
@@ -450,8 +590,8 @@ impl<D: BlockDevice> PlainFs<D> {
         Ok(id)
     }
 
-    fn load_file_inode(&mut self, id: InodeId) -> FsResult<Inode> {
-        let inode = self.inodes.read(&mut self.dev, id)?;
+    fn load_file_inode(&self, id: InodeId) -> FsResult<Inode> {
+        let inode = self.read_inode(id)?;
         match inode.kind {
             FileKind::File => Ok(inode),
             FileKind::Directory => Err(FsError::IsADirectory(format!("inode {id}"))),
@@ -462,33 +602,36 @@ impl<D: BlockDevice> PlainFs<D> {
     }
 
     /// Size in bytes of the regular file behind `id`.
-    pub fn inode_file_size(&mut self, id: InodeId) -> FsResult<u64> {
+    pub fn inode_file_size(&self, id: InodeId) -> FsResult<u64> {
         Ok(self.load_file_inode(id)?.size)
     }
 
     /// Read `len` bytes at `offset` from the regular file behind `id`.
-    pub fn read_inode_range(&mut self, id: InodeId, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+    pub fn read_inode_range(&self, id: InodeId, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        let _stripe = self.stripe(id).lock();
         let inode = self.load_file_inode(id)?;
         self.read_range_of(&inode, offset, len)
     }
 
     /// Overwrite part of the regular file behind `id` in place (the range
     /// must lie within the current size).
-    pub fn write_inode_range(&mut self, id: InodeId, offset: u64, data: &[u8]) -> FsResult<()> {
+    pub fn write_inode_range(&self, id: InodeId, offset: u64, data: &[u8]) -> FsResult<()> {
         if data.is_empty() {
             return Ok(());
         }
+        let _stripe = self.stripe(id).lock();
         let inode = self.load_file_inode(id)?;
         self.write_range_of(&inode, offset, data)
     }
 
     /// Replace the whole contents of the regular file behind `id`.
-    pub fn write_inode_file(&mut self, id: InodeId, data: &[u8]) -> FsResult<()> {
+    pub fn write_inode_file(&self, id: InodeId, data: &[u8]) -> FsResult<()> {
+        let _stripe = self.stripe(id).lock();
         self.load_file_inode(id)?;
         self.write_inode_contents(id, data)
     }
 
-    fn read_range_of(&mut self, inode: &Inode, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+    fn read_range_of(&self, inode: &Inode, offset: u64, len: usize) -> FsResult<Vec<u8>> {
         if offset >= inode.size {
             return Ok(Vec::new());
         }
@@ -511,7 +654,7 @@ impl<D: BlockDevice> PlainFs<D> {
         Ok(out)
     }
 
-    fn write_range_of(&mut self, inode: &Inode, offset: u64, data: &[u8]) -> FsResult<()> {
+    fn write_range_of(&self, inode: &Inode, offset: u64, data: &[u8]) -> FsResult<()> {
         let end = offset + data.len() as u64;
         if end > inode.size {
             return Err(FsError::FileTooLarge {
@@ -534,11 +677,11 @@ impl<D: BlockDevice> PlainFs<D> {
             let src_to = (block_start + to - offset) as usize;
             if from == 0 && to == bs {
                 // Whole-block overwrite: no read needed.
-                self.dev.write_block(physical, &data[src_from..src_to])?;
+                self.write_raw_block(physical, &data[src_from..src_to])?;
             } else {
                 let mut buf = self.read_raw_block(physical)?;
                 buf[from as usize..to as usize].copy_from_slice(&data[src_from..src_to]);
-                self.dev.write_block(physical, &buf)?;
+                self.write_raw_block(physical, &buf)?;
             }
         }
         Ok(())
@@ -548,13 +691,16 @@ impl<D: BlockDevice> PlainFs<D> {
     /// namespace.  The destination must not already exist; a directory cannot
     /// be moved into its own subtree.  Only directory entries change — the
     /// inode and all data blocks stay where they are.
-    pub fn rename(&mut self, from: &str, to: &str) -> FsResult<()> {
+    pub fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+        let _ns = self.namespace.write();
         let (id, inode) = self.resolve(from)?;
         if id == self.sb.root_inode {
             return Err(FsError::InvalidPath("cannot rename the root".into()));
         }
-        if self.exists(to)? {
-            return Err(FsError::AlreadyExists(to.to_string()));
+        match self.resolve(to) {
+            Ok(_) => return Err(FsError::AlreadyExists(to.to_string())),
+            Err(e) if e.is_not_found() => {}
+            Err(e) => return Err(e),
         }
         let from_prefix = format!("{}/", from.trim_end_matches('/'));
         if inode.kind == FileKind::Directory && to.starts_with(&from_prefix) {
@@ -577,7 +723,7 @@ impl<D: BlockDevice> PlainFs<D> {
 
         // Link into the new parent first: a failure here (e.g. NoSpace while
         // growing the directory) leaves the object reachable at its old path.
-        let new_pinode = self.inodes.read(&mut self.dev, new_pid)?;
+        let new_pinode = self.read_inode(new_pid)?;
         let mut new_entries = self.read_dir_inode(&new_pinode)?;
         new_entries.push(DirEntry {
             name: new_name,
@@ -592,7 +738,8 @@ impl<D: BlockDevice> PlainFs<D> {
     }
 
     /// Delete the file or (empty) directory at `path`.
-    pub fn delete(&mut self, path: &str) -> FsResult<()> {
+    pub fn delete(&self, path: &str) -> FsResult<()> {
+        let _ns = self.namespace.write();
         let (id, inode) = self.resolve(path)?;
         if id == self.sb.root_inode {
             return Err(FsError::InvalidPath("cannot delete the root".into()));
@@ -600,14 +747,21 @@ impl<D: BlockDevice> PlainFs<D> {
         if inode.kind == FileKind::Directory && !self.read_dir_inode(&inode)?.is_empty() {
             return Err(FsError::DirectoryNotEmpty(path.to_string()));
         }
+        // Take the victim's stripe so an in-flight content operation on this
+        // inode finishes before its blocks are freed (namespace writers may
+        // take stripes; content ops never take the namespace lock, so the
+        // order is acyclic).
+        let _stripe = self.stripe(id).lock();
         // Free all blocks.
         let (data, meta) = self.collect_blocks(&inode)?;
-        for b in data.into_iter().chain(meta) {
-            self.bitmap.free(b)?;
+        {
+            let state = &mut *self.alloc.lock();
+            for b in data.into_iter().chain(meta) {
+                state.bitmap.free(b)?;
+            }
         }
         // Clear the inode and the parent entry.
-        self.inodes
-            .write(&mut self.dev, id, &Inode::empty(FileKind::Free))?;
+        self.write_inode(id, &Inode::empty(FileKind::Free))?;
         let (pid, pinode, name) = self.resolve_parent(path)?;
         let mut entries = self.read_dir_inode(&pinode)?;
         entries.retain(|e| e.name != name);
@@ -617,8 +771,9 @@ impl<D: BlockDevice> PlainFs<D> {
 
     /// Total bytes stored in plain files (not directories), used by the
     /// space-utilization experiments.
-    pub fn total_plain_file_bytes(&mut self) -> FsResult<u64> {
-        let inodes = self.inodes.scan_allocated(&mut self.dev)?;
+    pub fn total_plain_file_bytes(&self) -> FsResult<u64> {
+        let _ns = self.namespace.read();
+        let inodes = self.scan_allocated_inodes()?;
         Ok(inodes
             .iter()
             .filter(|(_, i)| i.kind == FileKind::File)
@@ -630,17 +785,17 @@ impl<D: BlockDevice> PlainFs<D> {
     // Inode-level plumbing
     // ------------------------------------------------------------------
 
-    fn read_dir_inode(&mut self, inode: &Inode) -> FsResult<Vec<DirEntry>> {
+    fn read_dir_inode(&self, inode: &Inode) -> FsResult<Vec<DirEntry>> {
         let raw = self.read_inode_contents(inode)?;
         decode_entries(&raw)
     }
 
-    fn write_dir_inode(&mut self, id: InodeId, entries: &[DirEntry]) -> FsResult<()> {
+    fn write_dir_inode(&self, id: InodeId, entries: &[DirEntry]) -> FsResult<()> {
         self.write_inode_contents(id, &encode_entries(entries))
     }
 
     /// Read a file's full contents by walking its block map.
-    fn read_inode_contents(&mut self, inode: &Inode) -> FsResult<Vec<u8>> {
+    fn read_inode_contents(&self, inode: &Inode) -> FsResult<Vec<u8>> {
         let (blocks, _) = self.collect_blocks(inode)?;
         let mut out = Vec::with_capacity(inode.size as usize);
         for &b in &blocks {
@@ -652,7 +807,10 @@ impl<D: BlockDevice> PlainFs<D> {
 
     /// Replace a file's contents: free old blocks, allocate new ones with the
     /// current policy, write the data, and rebuild the block map.
-    fn write_inode_contents(&mut self, id: InodeId, data: &[u8]) -> FsResult<()> {
+    ///
+    /// Callers serialise per inode: path and handle writers hold the inode's
+    /// stripe; directory writers hold the namespace lock exclusively.
+    fn write_inode_contents(&self, id: InodeId, data: &[u8]) -> FsResult<()> {
         let bs = self.block_size();
         let max = Inode::max_file_size(bs);
         if data.len() as u64 > max {
@@ -661,35 +819,49 @@ impl<D: BlockDevice> PlainFs<D> {
                 maximum: max,
             });
         }
-        let old = self.inodes.read(&mut self.dev, id)?;
-        let kind = old.kind;
-        // Free the old blocks first so rewrites of large files do not need
-        // twice the space.
-        let (old_data, old_meta) = self.collect_blocks(&old)?;
-        for b in old_data.into_iter().chain(old_meta) {
-            self.bitmap.free(b)?;
+        let old = self.read_inode(id)?;
+        if old.kind == FileKind::Free {
+            return Err(FsError::NotFound(format!("inode {id}")));
         }
-
+        let kind = old.kind;
+        let (old_data, old_meta) = self.collect_blocks(&old)?;
         let count = (data.len() as u64).div_ceil(bs as u64);
-        let blocks = self.alloc.allocate_file(&mut self.bitmap, count)?;
+
+        // Free the old blocks and claim the new ones under one allocator
+        // guard, so a concurrent allocation can neither observe the file
+        // holding double the space nor steal blocks between the two steps.
+        // Freeing first keeps the old behaviour that rewriting a large file
+        // does not need twice its footprint.
+        let blocks = {
+            let state = &mut *self.alloc.lock();
+            for b in old_data.into_iter().chain(old_meta) {
+                state.bitmap.free(b)?;
+            }
+            state.alloc.allocate_file(&mut state.bitmap, count)?
+        };
         for (i, &b) in blocks.iter().enumerate() {
             let start = i * bs;
             let end = ((i + 1) * bs).min(data.len());
             let mut buf = vec![0u8; bs];
             buf[..end - start].copy_from_slice(&data[start..end]);
-            self.dev.write_block(b, &buf)?;
+            self.write_raw_block(b, &buf)?;
         }
 
         let mut inode = Inode::empty(kind);
         inode.size = data.len() as u64;
         self.build_block_map(&mut inode, &blocks)?;
-        self.inodes.write(&mut self.dev, id, &inode)?;
+        self.write_inode(id, &inode)?;
         Ok(())
+    }
+
+    fn alloc_one(&self) -> FsResult<u64> {
+        let state = &mut *self.alloc.lock();
+        state.alloc.allocate_one(&mut state.bitmap)
     }
 
     /// Build the direct/indirect block map of `inode` for the given data
     /// blocks, allocating pointer blocks as needed.
-    fn build_block_map(&mut self, inode: &mut Inode, blocks: &[u64]) -> FsResult<()> {
+    fn build_block_map(&self, inode: &mut Inode, blocks: &[u64]) -> FsResult<()> {
         let bs = self.block_size();
         let ptrs_per_block = bs / 8;
 
@@ -704,7 +876,7 @@ impl<D: BlockDevice> PlainFs<D> {
         let (single, double_rest) = rest.split_at(rest.len().min(ptrs_per_block));
 
         // Single indirect block.
-        let ind_block = self.alloc.allocate_one(&mut self.bitmap)?;
+        let ind_block = self.alloc_one()?;
         self.write_pointer_block(ind_block, single)?;
         inode.indirect = ind_block;
 
@@ -715,7 +887,7 @@ impl<D: BlockDevice> PlainFs<D> {
         // Double indirect: a block of pointers to pointer blocks.
         let mut level1 = Vec::new();
         for chunk in double_rest.chunks(ptrs_per_block) {
-            let leaf = self.alloc.allocate_one(&mut self.bitmap)?;
+            let leaf = self.alloc_one()?;
             self.write_pointer_block(leaf, chunk)?;
             level1.push(leaf);
         }
@@ -725,13 +897,13 @@ impl<D: BlockDevice> PlainFs<D> {
                 maximum: Inode::max_file_size(bs),
             });
         }
-        let dbl = self.alloc.allocate_one(&mut self.bitmap)?;
+        let dbl = self.alloc_one()?;
         self.write_pointer_block(dbl, &level1)?;
         inode.double_indirect = dbl;
         Ok(())
     }
 
-    fn write_pointer_block(&mut self, block: u64, pointers: &[u64]) -> FsResult<()> {
+    fn write_pointer_block(&self, block: u64, pointers: &[u64]) -> FsResult<()> {
         let bs = self.block_size();
         let mut buf = vec![0xffu8; bs]; // NO_BLOCK everywhere by default
         for (i, &p) in pointers.iter().enumerate() {
@@ -740,7 +912,7 @@ impl<D: BlockDevice> PlainFs<D> {
         self.write_raw_block(block, &buf)
     }
 
-    fn read_pointer_block(&mut self, block: u64) -> FsResult<Vec<u64>> {
+    fn read_pointer_block(&self, block: u64) -> FsResult<Vec<u64>> {
         let buf = self.read_raw_block(block)?;
         Ok(buf
             .chunks_exact(8)
@@ -750,7 +922,7 @@ impl<D: BlockDevice> PlainFs<D> {
     }
 
     /// Collect `(data blocks in logical order, metadata pointer blocks)`.
-    fn collect_blocks(&mut self, inode: &Inode) -> FsResult<(Vec<u64>, Vec<u64>)> {
+    fn collect_blocks(&self, inode: &Inode) -> FsResult<(Vec<u64>, Vec<u64>)> {
         let bs = self.block_size() as u64;
         let expected = inode.size.div_ceil(bs) as usize;
         let mut data = Vec::with_capacity(expected);
@@ -802,7 +974,7 @@ mod tests {
         let fs = new_fs(4096);
         let sb = fs.superblock().clone();
         let dev = fs.unmount().unwrap();
-        let mut fs2 = PlainFs::mount(dev, AllocPolicy::FirstFit, 1).unwrap();
+        let fs2 = PlainFs::mount(dev, AllocPolicy::FirstFit, 1).unwrap();
         assert_eq!(fs2.superblock(), &sb);
         assert!(fs2.list_dir("/").unwrap().is_empty());
     }
@@ -815,7 +987,7 @@ mod tests {
 
     #[test]
     fn small_file_roundtrip() {
-        let mut fs = new_fs(4096);
+        let fs = new_fs(4096);
         fs.write_file("/hello.txt", b"hello, stegfs").unwrap();
         assert_eq!(fs.read_file("/hello.txt").unwrap(), b"hello, stegfs");
         let (kind, size) = fs.stat("/hello.txt").unwrap();
@@ -825,7 +997,7 @@ mod tests {
 
     #[test]
     fn empty_file_roundtrip() {
-        let mut fs = new_fs(4096);
+        let fs = new_fs(4096);
         fs.write_file("/empty", b"").unwrap();
         assert_eq!(fs.read_file("/empty").unwrap(), Vec::<u8>::new());
         assert_eq!(fs.stat("/empty").unwrap().1, 0);
@@ -833,7 +1005,7 @@ mod tests {
 
     #[test]
     fn large_file_uses_indirect_blocks() {
-        let mut fs = new_fs(8192);
+        let fs = new_fs(8192);
         // 300 KB needs 300 blocks > 12 direct + 128 indirect -> double indirect.
         let data: Vec<u8> = (0..300 * 1024u32).map(|i| (i % 251) as u8).collect();
         fs.write_file("/big.bin", &data).unwrap();
@@ -842,7 +1014,7 @@ mod tests {
 
     #[test]
     fn file_rewrite_truncates_and_reuses_space() {
-        let mut fs = new_fs(4096);
+        let fs = new_fs(4096);
         let big = vec![1u8; 100 * 1024];
         fs.write_file("/f", &big).unwrap();
         let free_after_big = fs.free_data_blocks();
@@ -853,7 +1025,7 @@ mod tests {
 
     #[test]
     fn read_range() {
-        let mut fs = new_fs(4096);
+        let fs = new_fs(4096);
         let data: Vec<u8> = (0..5000u32).map(|i| (i % 256) as u8).collect();
         fs.write_file("/r", &data).unwrap();
         assert_eq!(fs.read_file_range("/r", 0, 10).unwrap(), &data[0..10]);
@@ -868,7 +1040,7 @@ mod tests {
 
     #[test]
     fn directories_nest() {
-        let mut fs = new_fs(4096);
+        let fs = new_fs(4096);
         fs.create_dir("/docs").unwrap();
         fs.create_dir("/docs/2026").unwrap();
         fs.write_file("/docs/2026/notes.txt", b"meeting notes")
@@ -886,7 +1058,7 @@ mod tests {
 
     #[test]
     fn duplicate_names_rejected() {
-        let mut fs = new_fs(4096);
+        let fs = new_fs(4096);
         fs.create_file("/a").unwrap();
         assert!(matches!(
             fs.create_file("/a"),
@@ -900,7 +1072,7 @@ mod tests {
 
     #[test]
     fn missing_paths_and_bad_types() {
-        let mut fs = new_fs(4096);
+        let fs = new_fs(4096);
         assert!(matches!(fs.read_file("/nope"), Err(FsError::NotFound(_))));
         assert!(matches!(
             fs.create_file("/nodir/file"),
@@ -923,7 +1095,7 @@ mod tests {
 
     #[test]
     fn delete_frees_blocks_and_entries() {
-        let mut fs = new_fs(4096);
+        let fs = new_fs(4096);
         let before = fs.free_data_blocks();
         fs.write_file("/victim", &vec![9u8; 50 * 1024]).unwrap();
         assert!(fs.free_data_blocks() < before);
@@ -934,7 +1106,7 @@ mod tests {
 
     #[test]
     fn delete_nonempty_dir_rejected_then_allowed_when_empty() {
-        let mut fs = new_fs(4096);
+        let fs = new_fs(4096);
         fs.create_dir("/d").unwrap();
         fs.write_file("/d/f", b"x").unwrap();
         assert!(matches!(
@@ -948,14 +1120,14 @@ mod tests {
 
     #[test]
     fn cannot_delete_root() {
-        let mut fs = new_fs(4096);
+        let fs = new_fs(4096);
         assert!(fs.delete("/").is_err());
     }
 
     #[test]
     fn no_space_is_reported_cleanly() {
         // Tiny volume: 64 blocks of 1 KB, most of it metadata.
-        let mut fs = new_fs(64);
+        let fs = new_fs(64);
         fs.create_file("/huge").unwrap();
         let free = fs.free_data_blocks();
         let too_big = vec![0u8; ((free + 10) * 1024) as usize];
@@ -969,7 +1141,7 @@ mod tests {
 
     #[test]
     fn file_too_large_rejected() {
-        let mut fs = new_fs(4096);
+        let fs = new_fs(4096);
         let max = Inode::max_file_size(1024);
         let oversized = vec![0u8; max as usize + 1024];
         assert!(matches!(
@@ -981,7 +1153,7 @@ mod tests {
     #[test]
     fn contiguous_policy_places_file_sequentially() {
         let dev = MemBlockDevice::new(1024, 4096);
-        let mut fs = PlainFs::format(
+        let fs = PlainFs::format(
             dev,
             FormatOptions {
                 policy: AllocPolicy::Contiguous,
@@ -1000,7 +1172,7 @@ mod tests {
     #[test]
     fn random_fill_format_leaves_working_fs() {
         let dev = MemBlockDevice::new(1024, 512);
-        let mut fs = PlainFs::format(
+        let fs = PlainFs::format(
             dev,
             FormatOptions {
                 fill_random: true,
@@ -1019,7 +1191,7 @@ mod tests {
 
     #[test]
     fn raw_block_interface_respects_data_region() {
-        let mut fs = new_fs(4096);
+        let fs = new_fs(4096);
         let b = fs.allocate_random_block().unwrap();
         assert!(fs.superblock().in_data_region(b));
         assert!(fs.is_block_allocated(b));
@@ -1030,11 +1202,23 @@ mod tests {
         // Metadata blocks cannot be allocated or freed through the raw API.
         assert!(fs.allocate_specific_block(0).is_err());
         assert!(fs.free_raw_block(0).is_err());
+        assert!(fs.try_allocate_specific_block(0).is_err());
+    }
+
+    #[test]
+    fn try_allocate_specific_block_reports_losers() {
+        let fs = new_fs(4096);
+        let b = fs.superblock().data_start + 17;
+        assert!(fs.try_allocate_specific_block(b).unwrap());
+        // Second taker loses gracefully instead of reporting corruption.
+        assert!(!fs.try_allocate_specific_block(b).unwrap());
+        fs.free_raw_block(b).unwrap();
+        assert!(fs.try_allocate_specific_block(b).unwrap());
     }
 
     #[test]
     fn raw_allocations_invisible_to_central_directory() {
-        let mut fs = new_fs(4096);
+        let fs = new_fs(4096);
         fs.write_file("/visible", &vec![1u8; 4096]).unwrap();
         let visible = fs.plain_object_blocks().unwrap();
         let hidden = fs.allocate_random_block().unwrap();
@@ -1050,7 +1234,7 @@ mod tests {
 
     #[test]
     fn total_plain_file_bytes_counts_files_only() {
-        let mut fs = new_fs(4096);
+        let fs = new_fs(4096);
         fs.create_dir("/d").unwrap();
         fs.write_file("/d/a", &vec![0u8; 1000]).unwrap();
         fs.write_file("/b", &vec![0u8; 500]).unwrap();
@@ -1059,7 +1243,7 @@ mod tests {
 
     #[test]
     fn write_file_range_overwrites_in_place() {
-        let mut fs = new_fs(4096);
+        let fs = new_fs(4096);
         let data: Vec<u8> = (0..5000u32).map(|i| (i % 256) as u8).collect();
         fs.write_file("/f", &data).unwrap();
         let free_before = fs.free_data_blocks();
@@ -1082,7 +1266,7 @@ mod tests {
 
     #[test]
     fn rename_within_and_across_directories() {
-        let mut fs = new_fs(4096);
+        let fs = new_fs(4096);
         fs.write_file("/a.txt", b"contents").unwrap();
         fs.create_dir("/dir").unwrap();
 
@@ -1104,7 +1288,7 @@ mod tests {
 
     #[test]
     fn inode_handles_survive_rename_and_go_stale_on_delete() {
-        let mut fs = new_fs(4096);
+        let fs = new_fs(4096);
         fs.write_file("/a", b"pinned contents").unwrap();
         let id = fs.resolve_file("/a").unwrap();
 
@@ -1124,6 +1308,7 @@ mod tests {
             .write_inode_range(id, 0, b"x")
             .unwrap_err()
             .is_not_found());
+        assert!(fs.write_inode_file(id, b"x").unwrap_err().is_not_found());
 
         // Directories are not file handles.
         fs.create_dir("/d").unwrap();
@@ -1135,7 +1320,7 @@ mod tests {
 
     #[test]
     fn rename_rejects_conflicts_and_cycles() {
-        let mut fs = new_fs(4096);
+        let fs = new_fs(4096);
         fs.write_file("/a", b"a").unwrap();
         fs.write_file("/b", b"b").unwrap();
         fs.create_dir("/d").unwrap();
@@ -1160,13 +1345,13 @@ mod tests {
 
     #[test]
     fn many_files_survive_remount() {
-        let mut fs = new_fs(16384);
+        let fs = new_fs(16384);
         for i in 0..50 {
             fs.write_file(&format!("/file-{i}"), format!("contents {i}").as_bytes())
                 .unwrap();
         }
         let dev = fs.unmount().unwrap();
-        let mut fs = PlainFs::mount(dev, AllocPolicy::FirstFit, 0).unwrap();
+        let fs = PlainFs::mount(dev, AllocPolicy::FirstFit, 0).unwrap();
         for i in 0..50 {
             assert_eq!(
                 fs.read_file(&format!("/file-{i}")).unwrap(),
@@ -1174,5 +1359,65 @@ mod tests {
             );
         }
         assert_eq!(fs.list_dir("/").unwrap().len(), 50);
+    }
+
+    #[test]
+    fn inodes_sharing_a_table_block_update_concurrently() {
+        // Several inodes pack into one inode-table block; concurrent content
+        // rewrites of *different* files must not lose each other's inode
+        // updates through the table block's read-modify-write.
+        use std::sync::Arc;
+        let fs = Arc::new(new_fs(16384));
+        let files = 8usize;
+        for i in 0..files {
+            fs.write_file(&format!("/tb-{i}"), &[i as u8; 100]).unwrap();
+        }
+        let workers: Vec<_> = (0..files)
+            .map(|i| {
+                let fs = Arc::clone(&fs);
+                std::thread::spawn(move || {
+                    for round in 1..=12usize {
+                        let data = vec![i as u8; 512 * round];
+                        fs.write_file(&format!("/tb-{i}"), &data).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        for i in 0..files {
+            assert_eq!(
+                fs.read_file(&format!("/tb-{i}")).unwrap(),
+                vec![i as u8; 512 * 12],
+                "file {i} lost its final rewrite"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_reference_api_works_across_threads() {
+        use std::sync::Arc;
+        let fs = Arc::new(new_fs(16384));
+        let threads = 8usize;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let fs = Arc::clone(&fs);
+                std::thread::spawn(move || {
+                    for round in 0..8 {
+                        let path = format!("/t{t}-{}", round % 2);
+                        let data = vec![(t * 31 + round) as u8; 3000 + round * 100];
+                        fs.write_file(&path, &data).unwrap();
+                        assert_eq!(fs.read_file(&path).unwrap(), data);
+                    }
+                    fs.delete(&format!("/t{t}-0")).unwrap();
+                    fs.delete(&format!("/t{t}-1")).unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(fs.list_dir("/").unwrap().is_empty());
     }
 }

@@ -153,7 +153,7 @@ impl InodeTable {
     }
 
     /// Read inode `id` from the device.
-    pub fn read(&self, dev: &mut dyn BlockDevice, id: InodeId) -> FsResult<Inode> {
+    pub fn read(&self, dev: &dyn BlockDevice, id: InodeId) -> FsResult<Inode> {
         let (block, offset) = self.location(id)?;
         let mut buf = vec![0u8; self.sb.block_size as usize];
         dev.read_block(block, &mut buf)?;
@@ -161,7 +161,7 @@ impl InodeTable {
     }
 
     /// Write inode `id` to the device (read-modify-write of its block).
-    pub fn write(&self, dev: &mut dyn BlockDevice, id: InodeId, inode: &Inode) -> FsResult<()> {
+    pub fn write(&self, dev: &dyn BlockDevice, id: InodeId, inode: &Inode) -> FsResult<()> {
         let (block, offset) = self.location(id)?;
         let mut buf = vec![0u8; self.sb.block_size as usize];
         dev.read_block(block, &mut buf)?;
@@ -171,7 +171,7 @@ impl InodeTable {
     }
 
     /// Find the first free inode slot, scanning from inode 0.
-    pub fn find_free(&self, dev: &mut dyn BlockDevice) -> FsResult<Option<InodeId>> {
+    pub fn find_free(&self, dev: &dyn BlockDevice) -> FsResult<Option<InodeId>> {
         let per_block = self.sb.inodes_per_block();
         let mut buf = vec![0u8; self.sb.block_size as usize];
         for table_block in 0..self.sb.inode_table_blocks {
@@ -193,7 +193,7 @@ impl InodeTable {
     /// Iterate over every allocated inode, returning `(id, inode)` pairs.
     /// Used by backup (to learn which blocks belong to plain files) and by
     /// consistency checks.
-    pub fn scan_allocated(&self, dev: &mut dyn BlockDevice) -> FsResult<Vec<(InodeId, Inode)>> {
+    pub fn scan_allocated(&self, dev: &dyn BlockDevice) -> FsResult<Vec<(InodeId, Inode)>> {
         let per_block = self.sb.inodes_per_block();
         let mut out = Vec::new();
         let mut buf = vec![0u8; self.sb.block_size as usize];
@@ -269,60 +269,58 @@ mod tests {
 
     #[test]
     fn table_read_write_roundtrip() {
-        let (table, mut dev) = table_fixture();
+        let (table, dev) = table_fixture();
         let mut inode = Inode::empty(FileKind::File);
         inode.size = 42;
         inode.direct[3] = 777;
-        table.write(&mut dev, 10, &inode).unwrap();
-        assert_eq!(table.read(&mut dev, 10).unwrap(), inode);
+        table.write(&dev, 10, &inode).unwrap();
+        assert_eq!(table.read(&dev, 10).unwrap(), inode);
         // Neighbouring slots unaffected.
-        assert_eq!(table.read(&mut dev, 9).unwrap().kind, FileKind::Free);
-        assert_eq!(table.read(&mut dev, 11).unwrap().kind, FileKind::Free);
+        assert_eq!(table.read(&dev, 9).unwrap().kind, FileKind::Free);
+        assert_eq!(table.read(&dev, 11).unwrap().kind, FileKind::Free);
     }
 
     #[test]
     fn table_rejects_out_of_range() {
-        let (table, mut dev) = table_fixture();
-        assert!(table.read(&mut dev, 64).is_err());
+        let (table, dev) = table_fixture();
+        assert!(table.read(&dev, 64).is_err());
         assert!(table
-            .write(&mut dev, 1000, &Inode::empty(FileKind::File))
+            .write(&dev, 1000, &Inode::empty(FileKind::File))
             .is_err());
     }
 
     #[test]
     fn find_free_skips_allocated() {
-        let (table, mut dev) = table_fixture();
-        assert_eq!(table.find_free(&mut dev).unwrap(), Some(0));
+        let (table, dev) = table_fixture();
+        assert_eq!(table.find_free(&dev).unwrap(), Some(0));
         table
-            .write(&mut dev, 0, &Inode::empty(FileKind::Directory))
+            .write(&dev, 0, &Inode::empty(FileKind::Directory))
             .unwrap();
-        table
-            .write(&mut dev, 1, &Inode::empty(FileKind::File))
-            .unwrap();
-        assert_eq!(table.find_free(&mut dev).unwrap(), Some(2));
+        table.write(&dev, 1, &Inode::empty(FileKind::File)).unwrap();
+        assert_eq!(table.find_free(&dev).unwrap(), Some(2));
     }
 
     #[test]
     fn find_free_exhausted() {
-        let (table, mut dev) = table_fixture();
+        let (table, dev) = table_fixture();
         for id in 0..table.count() {
             table
-                .write(&mut dev, id, &Inode::empty(FileKind::File))
+                .write(&dev, id, &Inode::empty(FileKind::File))
                 .unwrap();
         }
-        assert_eq!(table.find_free(&mut dev).unwrap(), None);
+        assert_eq!(table.find_free(&dev).unwrap(), None);
     }
 
     #[test]
     fn scan_allocated_lists_only_used_inodes() {
-        let (table, mut dev) = table_fixture();
+        let (table, dev) = table_fixture();
         let mut a = Inode::empty(FileKind::File);
         a.size = 1;
         let mut b = Inode::empty(FileKind::Directory);
         b.size = 2;
-        table.write(&mut dev, 3, &a).unwrap();
-        table.write(&mut dev, 40, &b).unwrap();
-        let scanned = table.scan_allocated(&mut dev).unwrap();
+        table.write(&dev, 3, &a).unwrap();
+        table.write(&dev, 40, &b).unwrap();
+        let scanned = table.scan_allocated(&dev).unwrap();
         assert_eq!(scanned.len(), 2);
         assert_eq!(scanned[0].0, 3);
         assert_eq!(scanned[0].1, a);

@@ -420,7 +420,7 @@ pub fn space_summary(volume_mb: u64, seed: u64) -> Result<Vec<SpaceRow>, String>
     let mut steg_params = StegParams::for_experiments(seed);
     // Keep the paper's ~1% dummy footprint at any volume scale.
     steg_params.dummy_file_size = (capacity / 1000).clamp(16 * 1024, 1024 * 1024);
-    let mut stegfs = StegFs::format(device, steg_params).map_err(|e| e.to_string())?;
+    let stegfs = StegFs::format(device, steg_params).map_err(|e| e.to_string())?;
     let mut rng = stegfs_crypto::prng::XorShiftRng::new(seed ^ 0x51ace);
     let mut loaded_bytes = 0u64;
     let mut index = 0usize;

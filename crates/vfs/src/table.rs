@@ -3,13 +3,21 @@
 //! Handle bookkeeping (offsets, access modes, targets) is hot and tiny, so it
 //! gets its own concurrency domain: handles are distributed over
 //! `SHARD_COUNT` independently locked maps, and no shard lock is ever held
-//! across a file-system operation.  The kernel analogue is the system
-//! open-file table in front of the driver of Figure 5.
+//! across a file-system operation — except for *streaming* reads and writes,
+//! which must consume the shared offset atomically and therefore run their
+//! I/O inside `OpenFileTable::with_file_mut`.  The kernel analogue is the
+//! system open-file table in front of the driver of Figure 5.
+//!
+//! Each open file carries an `Arc` of its [`crate::vfs`] object entry, so
+//! positional I/O resolves straight from handle to per-object lock without
+//! ever touching the global object registry.
 
 use crate::error::{VfsError, VfsResult};
+use crate::vfs::ObjectEntry;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Number of independently locked table shards (a power of two).
 pub const SHARD_COUNT: usize = 16;
@@ -26,27 +34,14 @@ impl VfsHandle {
     }
 }
 
-/// What an open handle points at.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) enum Target {
-    /// A plain file, pinned by inode id.  Pinning the inode (not the path)
-    /// keeps the handle on the same file across renames, and makes it go
-    /// stale (the inode slot reads as free) rather than silently retarget
-    /// when the path is unlinked and recreated.
-    Plain { inode: stegfs_fs::InodeId },
-    /// A hidden file, by physical (locator) name — the key into the shared
-    /// object cache — plus the cache generation observed at open time.  The
-    /// generation pins the handle to the exact object incarnation: after an
-    /// unlink-and-recreate under the same name, stale handles must not touch
-    /// (or un-refcount) the new object.
-    Hidden { physical: String, gen: u64 },
-}
-
 /// Per-handle state.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub(crate) struct OpenFile {
     pub session: u64,
-    pub target: Target,
+    /// The shared object this handle refers to.  All handles on one object
+    /// hold the same entry, whose internal lock serialises their I/O; a
+    /// handle whose entry has been marked dead (unlink) is stale.
+    pub object: Arc<ObjectEntry>,
     pub offset: u64,
     pub read: bool,
     pub write: bool,
@@ -152,9 +147,8 @@ impl OpenFileTable {
     /// that other handles on the same shard wait, so purely positional ops
     /// should use [`Self::get`] instead.
     ///
-    /// Lock order: a shard lock may be taken *before* the core lock, never
-    /// after — every caller that holds the core lock must have released it
-    /// before touching the table.
+    /// Lock order: a shard lock is taken *before* any object or core lock,
+    /// never after.
     pub fn with_file_mut<R>(
         &self,
         handle: VfsHandle,
@@ -207,7 +201,7 @@ mod tests {
     fn file(session: u64) -> OpenFile {
         OpenFile {
             session,
-            target: Target::Plain { inode: 7 },
+            object: Arc::new(ObjectEntry::test_plain(7)),
             offset: 0,
             read: true,
             write: false,

@@ -1,19 +1,53 @@
 //! The [`Vfs`] front-end proper.
+//!
+//! # Locking architecture
+//!
+//! The pre-redesign `Vfs` funnelled every operation through one
+//! `RwLock<StegFs>` write guard because the core API took `&mut self`.  The
+//! core is now fully shared-reference with its own internal sharding, so the
+//! VFS keeps only the state the core cannot know about — sessions, the open
+//! file table, and the shared-object registry — each behind its own small
+//! lock:
+//!
+//! * **table shards** ([`crate::table`]) — handle bookkeeping; held across
+//!   I/O only for streaming ops, which must consume the shared offset
+//!   atomically.
+//! * **object registry** — `Mutex<HashMap<ObjectKey, Arc<ObjectEntry>>>`,
+//!   touched only by open / close / unlink.  Positional I/O goes straight
+//!   from the handle's `Arc` to the object lock without looking anything up.
+//! * **per-object lock** — one mutex inside each `ObjectEntry`,
+//!   serialising I/O on *that* object (and, for hidden objects, guarding the
+//!   shared [`HiddenHandle`] whose cached block map a rewrite refreshes).
+//!   Two handles on different objects never contend here.
+//! * **session table** — `RwLock<HashMap<u64, Arc<SessionState>>>`; lookups
+//!   clone the `Arc` under the shared read guard, so sign-ons do not stall
+//!   running I/O and I/O never blocks sign-ons.
+//!
+//! Lock order (outer to inner): `table shard < object registry < per-object
+//! lock <` the core's locks (`UAK shard < object shard < namespace <
+//! inode-stripe < allocator < device`).  Unlink resolves its path first
+//! (registry untouched), pins the victim's entry, then holds only that
+//! entry's object lock across the O(file-size) core delete, so in-flight I/O
+//! drains first and unrelated opens never stall behind it.  The entry stays
+//! registered (alive) until the delete succeeds — a racing open of the same
+//! object reuses it and goes stale with everyone else once the entry is
+//! marked dead (stale handles report [`VfsError::BadHandle`], which is in
+//! the deniable not-found family) and evicted.
 
 use crate::error::{VfsError, VfsResult};
 use crate::path::VfsPath;
-use crate::table::{OpenFile, OpenFileTable, OpenOptions, Target, VfsHandle};
-use parking_lot::RwLock;
+use crate::table::{OpenFile, OpenFileTable, OpenOptions, VfsHandle};
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::io::SeekFrom;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use stegfs_blockdev::BlockDevice;
 use stegfs_core::session::{ConnectedObject, Session};
 use stegfs_core::{
     DirectoryEntry, HiddenHandle, ObjectKind, SpaceReport, StegFs, StegParams, StegResult,
-    UakDirectory,
 };
-use stegfs_fs::FileKind;
+use stegfs_fs::{FileKind, InodeId};
 
 /// A signed-on user session, identified by an opaque id.
 ///
@@ -57,42 +91,74 @@ pub struct VfsDirEntry {
     pub kind: NodeKind,
 }
 
-struct SharedObject {
-    handle: HiddenHandle,
-    refs: usize,
-    /// Incarnation tag: every insertion into the cache gets a fresh value,
-    /// and handles carry the value they opened against.  A stale handle
-    /// (whose object was unlinked, even if an object of the same name — and
-    /// therefore the same deterministic physical name — was created since)
-    /// can then never read, write or un-refcount the new incarnation.
-    gen: u64,
+/// Key of an entry in the shared-object registry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) enum ObjectKey {
+    /// A plain file, pinned by inode id.  Pinning the inode (not the path)
+    /// keeps handles on the same file across renames.
+    Plain(InodeId),
+    /// A hidden object, by physical (locator) name.
+    Hidden(String),
 }
 
-struct VfsCore<D: BlockDevice> {
-    fs: StegFs<D>,
-    /// Open hidden objects, keyed by physical name.  All VFS handles to the
-    /// same object share one [`HiddenHandle`], so a rewrite through one
+/// What the per-object lock protects.
+pub(crate) enum TargetState {
+    /// Plain files keep their state (the inode) in the file system; the lock
+    /// only serialises content read-modify-write cycles.
+    Plain { inode: InodeId },
+    /// Hidden objects share one core handle so a rewrite through any VFS
     /// handle (which relocates blocks through the free pool) is immediately
     /// visible — never stale — through every other.
-    objects: HashMap<String, SharedObject>,
-    next_gen: u64,
+    Hidden { handle: Box<HiddenHandle> },
 }
 
-impl<D: BlockDevice> VfsCore<D> {
-    /// Look up the shared object a hidden handle refers to, treating a
-    /// generation mismatch exactly like a missing entry (stale handle).
-    fn object(&self, physical: &str, gen: u64) -> Option<&SharedObject> {
-        self.objects.get(physical).filter(|so| so.gen == gen)
+/// One live object in the registry.  All VFS handles to the same object hold
+/// the same `Arc`; `dead` flips exactly once, when the object is unlinked,
+/// after which every handle still holding the entry is stale.
+pub(crate) struct ObjectEntry {
+    key: ObjectKey,
+    refs: AtomicUsize,
+    dead: AtomicBool,
+    io: Mutex<TargetState>,
+}
+
+impl ObjectEntry {
+    fn new(key: ObjectKey, state: TargetState) -> Self {
+        ObjectEntry {
+            key,
+            refs: AtomicUsize::new(1),
+            dead: AtomicBool::new(false),
+            io: Mutex::new(state),
+        }
     }
 
-    fn object_mut(&mut self, physical: &str, gen: u64) -> Option<&mut SharedObject> {
-        self.objects.get_mut(physical).filter(|so| so.gen == gen)
+    fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
     }
+
+    fn mark_dead(&self) {
+        self.dead.store(true, Ordering::Release);
+    }
+
+    /// Test-only constructor used by the open-file-table unit tests.
+    #[cfg(test)]
+    pub(crate) fn test_plain(inode: InodeId) -> Self {
+        ObjectEntry::new(ObjectKey::Plain(inode), TargetState::Plain { inode })
+    }
+}
+
+/// Where a write lands: a fixed position, or end-of-file resolved under the
+/// object lock (append handles must read the size and write in one hold, or
+/// two appending handles would land on the same offset).
+#[derive(Clone, Copy)]
+enum WriteOffset {
+    At(u64),
+    End,
 }
 
 struct SessionState {
     uak: String,
-    connected: Session,
+    connected: Mutex<Session>,
 }
 
 /// A concurrent, handle-based virtual file system over a StegFS volume.
@@ -100,19 +166,22 @@ struct SessionState {
 /// `Vfs` puts the missing kernel half of the paper's Figure 5 in front of
 /// [`StegFs`]: a unified path namespace (`/plain/...` shared by everyone,
 /// `/hidden/...` per session), an open-file table with positional and
-/// streaming I/O, and sign-on sessions.  The volume sits behind a
-/// [`parking_lot::RwLock`] and handle bookkeeping behind a sharded table, so
-/// any number of threads can interleave plain and hidden operations on one
-/// shared volume — the workload of the paper's Figure 7 concurrency
-/// experiment.
+/// streaming I/O, and sign-on sessions.  There is no global volume lock any
+/// more: sessions resolve under a shared read guard, every open object has
+/// its own lock, and the core underneath shards the allocator, the
+/// namespaces and the device — so threads working on different files overlap
+/// their block I/O and only allocator and directory mutations contend.  See
+/// the module docs for the full lock order.
 ///
 /// Deniability is preserved through the new layer: signing on never validates
 /// the key (there is nothing to validate against), a wrong-key session simply
 /// sees an empty `/hidden`, and every "no such object / wrong key / stale
 /// handle" case reports through the same [`VfsError::is_not_found`] family.
 pub struct Vfs<D: BlockDevice> {
-    core: RwLock<VfsCore<D>>,
-    sessions: RwLock<HashMap<u64, SessionState>>,
+    fs: StegFs<D>,
+    /// Open shared objects, keyed by inode (plain) or physical name (hidden).
+    objects: Mutex<HashMap<ObjectKey, Arc<ObjectEntry>>>,
+    sessions: RwLock<HashMap<u64, Arc<SessionState>>>,
     table: OpenFileTable,
     next_session: AtomicU64,
 }
@@ -125,11 +194,8 @@ impl<D: BlockDevice> Vfs<D> {
     /// Wrap an already mounted [`StegFs`].
     pub fn new(fs: StegFs<D>) -> Self {
         Vfs {
-            core: RwLock::new(VfsCore {
-                fs,
-                objects: HashMap::new(),
-                next_gen: 0,
-            }),
+            fs,
+            objects: Mutex::new(HashMap::new()),
             sessions: RwLock::new(HashMap::new()),
             table: OpenFileTable::new(),
             next_session: AtomicU64::new(1),
@@ -148,7 +214,7 @@ impl<D: BlockDevice> Vfs<D> {
 
     /// Tear the front-end down, recovering the [`StegFs`] underneath.
     pub fn into_stegfs(self) -> StegFs<D> {
-        self.core.into_inner().fs
+        self.fs
     }
 
     /// Flush everything and return the underlying device.
@@ -156,14 +222,15 @@ impl<D: BlockDevice> Vfs<D> {
         self.into_stegfs().unmount()
     }
 
-    /// Flush metadata to the device.
+    /// Flush metadata to the device.  Runs concurrently with ordinary I/O —
+    /// no exclusive volume guard is needed any more.
     pub fn sync(&self) -> VfsResult<()> {
-        Ok(self.core.write().fs.sync()?)
+        Ok(self.fs.sync()?)
     }
 
     /// Aggregate block accounting of the served volume.
     pub fn space_report(&self) -> VfsResult<SpaceReport> {
-        Ok(self.core.write().fs.space_report()?)
+        Ok(self.fs.space_report()?)
     }
 
     /// Number of currently open handles across all sessions.
@@ -185,10 +252,10 @@ impl<D: BlockDevice> Vfs<D> {
         let id = self.next_session.fetch_add(1, Ordering::Relaxed);
         self.sessions.write().insert(
             id,
-            SessionState {
+            Arc::new(SessionState {
                 uak: uak.to_string(),
-                connected: Session::new(),
-            },
+                connected: Mutex::new(Session::new()),
+            }),
         );
         SessionId(id)
     }
@@ -201,12 +268,8 @@ impl<D: BlockDevice> Vfs<D> {
             .write()
             .remove(&session.0)
             .ok_or(VfsError::BadSession(session.0))?;
-        let swept = self.table.remove_session(session.0);
-        let mut core = self.core.write();
-        for file in swept {
-            if let Target::Hidden { physical, gen } = file.target {
-                release_object(&mut core, &physical, gen);
-            }
+        for file in self.table.remove_session(session.0) {
+            self.release_ref(&file.object);
         }
         Ok(())
     }
@@ -222,17 +285,13 @@ impl<D: BlockDevice> Vfs<D> {
     /// the session's `/hidden` listing.
     pub fn connect(&self, session: SessionId, name: &str) -> VfsResult<()> {
         let uak = self.session_uak(session)?;
-        let mut core = self.core.write();
-        let entry = core.fs.lookup_entry(name, &uak)?;
+        let entry = self.fs.lookup_entry(name, &uak)?;
         let mut gathered = Vec::new();
-        collect_offspring(&mut core.fs, &entry, &mut gathered)?;
-        drop(core);
-        let mut sessions = self.sessions.write();
-        let state = sessions
-            .get_mut(&session.0)
-            .ok_or(VfsError::BadSession(session.0))?;
+        self.collect_offspring(&entry, &mut gathered)?;
+        let state = self.session_state(session)?;
+        let mut connected = state.connected.lock();
         for e in &gathered {
-            state.connected.connect(ConnectedObject::from(e));
+            connected.connect(ConnectedObject::from(e));
         }
         Ok(())
     }
@@ -240,33 +299,34 @@ impl<D: BlockDevice> Vfs<D> {
     /// Remove `name` from the session's connected set.  Returns true if it
     /// was connected.
     pub fn disconnect(&self, session: SessionId, name: &str) -> VfsResult<bool> {
-        let mut sessions = self.sessions.write();
-        let state = sessions
-            .get_mut(&session.0)
-            .ok_or(VfsError::BadSession(session.0))?;
-        Ok(state.connected.disconnect(name))
+        let state = self.session_state(session)?;
+        let mut connected = state.connected.lock();
+        Ok(connected.disconnect(name))
     }
 
     /// Names of the session's connected objects.
     pub fn connected_objects(&self, session: SessionId) -> VfsResult<Vec<String>> {
-        let sessions = self.sessions.read();
-        let state = sessions
-            .get(&session.0)
-            .ok_or(VfsError::BadSession(session.0))?;
-        Ok(state.connected.connected_names())
+        let state = self.session_state(session)?;
+        let connected = state.connected.lock();
+        Ok(connected.connected_names())
     }
 
-    fn session_uak(&self, session: SessionId) -> VfsResult<String> {
+    fn session_state(&self, session: SessionId) -> VfsResult<Arc<SessionState>> {
         self.sessions
             .read()
             .get(&session.0)
-            .map(|s| s.uak.clone())
+            .cloned()
             .ok_or(VfsError::BadSession(session.0))
     }
 
+    fn session_uak(&self, session: SessionId) -> VfsResult<String> {
+        Ok(self.session_state(session)?.uak.clone())
+    }
+
     fn cached_entry(&self, session: SessionId, name: &str) -> Option<DirectoryEntry> {
-        let sessions = self.sessions.read();
-        let obj = sessions.get(&session.0)?.connected.get(name)?;
+        let state = self.sessions.read().get(&session.0).cloned()?;
+        let connected = state.connected.lock();
+        let obj = connected.get(name)?;
         Some(DirectoryEntry {
             name: obj.name.clone(),
             physical_name: obj.physical_name.clone(),
@@ -276,8 +336,8 @@ impl<D: BlockDevice> Vfs<D> {
     }
 
     fn cache_entry(&self, session: SessionId, entry: &DirectoryEntry) {
-        if let Some(state) = self.sessions.write().get_mut(&session.0) {
-            state.connected.connect(ConnectedObject::from(entry));
+        if let Ok(state) = self.session_state(session) {
+            state.connected.lock().connect(ConnectedObject::from(entry));
         }
     }
 
@@ -293,21 +353,182 @@ impl<D: BlockDevice> Vfs<D> {
         session: SessionId,
         uak: &str,
         comps: &[String],
-        mut f: impl FnMut(&mut VfsCore<D>, &DirectoryEntry) -> VfsResult<R>,
+        mut f: impl FnMut(&DirectoryEntry) -> VfsResult<R>,
     ) -> VfsResult<R> {
         let mut cached = self.cached_entry(session, &comps[0]);
         loop {
             let used_cache = cached.is_some();
-            let mut core = self.core.write();
-            let result = resolve_hidden(&mut core, uak, comps, cached.take())
-                .and_then(|entry| f(&mut core, &entry));
+            let result = self
+                .resolve_hidden(uak, comps, cached.take())
+                .and_then(|entry| f(&entry));
             match result {
                 Err(e) if e.is_not_found() && used_cache => {
-                    drop(core);
                     let _ = self.disconnect(session, &comps[0]);
                     // `cached` is now None: the next pass walks from disk.
                 }
                 other => return other,
+            }
+        }
+    }
+
+    /// Resolve a `/hidden` component chain to its final directory entry.
+    ///
+    /// The first component resolves through the session cache (if `cached`)
+    /// or the UAK directory; every further component resolves through the
+    /// listing of the hidden directory above it — each listing carries full
+    /// `(physical name, FAK)` entries, so offspring need no extra key
+    /// material, exactly as in the paper's `steg_connect`.
+    fn resolve_hidden(
+        &self,
+        uak: &str,
+        comps: &[String],
+        cached: Option<DirectoryEntry>,
+    ) -> VfsResult<DirectoryEntry> {
+        let mut entry = match cached {
+            Some(e) => e,
+            None => self.fs.lookup_entry(&comps[0], uak)?,
+        };
+        for comp in &comps[1..] {
+            if entry.kind != ObjectKind::Directory {
+                return Err(VfsError::NotADirectory(comps.join("/")));
+            }
+            let children = self.fs.read_hidden_dir_listing(&entry)?;
+            entry = children
+                .find(comp)
+                .cloned()
+                .ok_or_else(|| stegfs_core::StegError::NotFound(comp.clone()))?;
+        }
+        Ok(entry)
+    }
+
+    /// Collect `entry` and, recursively, the offspring of hidden directories
+    /// — the connect set of the paper's `steg_connect`.
+    fn collect_offspring(
+        &self,
+        entry: &DirectoryEntry,
+        out: &mut Vec<DirectoryEntry>,
+    ) -> VfsResult<()> {
+        out.push(entry.clone());
+        if entry.kind == ObjectKind::Directory {
+            let children = self.fs.read_hidden_dir_listing(entry)?;
+            for child in &children.entries {
+                self.collect_offspring(child, out)?;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Shared-object registry
+    // ------------------------------------------------------------------
+
+    /// Pin the registry entry for a plain inode, creating it on first open.
+    fn acquire_plain(&self, inode: InodeId) -> Arc<ObjectEntry> {
+        let mut map = self.objects.lock();
+        let key = ObjectKey::Plain(inode);
+        if let Some(e) = map.get(&key) {
+            if !e.is_dead() {
+                e.refs.fetch_add(1, Ordering::AcqRel);
+                return Arc::clone(e);
+            }
+        }
+        let e = Arc::new(ObjectEntry::new(key.clone(), TargetState::Plain { inode }));
+        map.insert(key, Arc::clone(&e));
+        e
+    }
+
+    /// Pin the registry entry for a hidden object, opening it through the
+    /// core on first use.  The locator walk is real device I/O, so it runs
+    /// *outside* the registry lock; a double-checked insert resolves racing
+    /// first-opens (the loser drops its redundant handle and joins the
+    /// winner's entry).  An unlink racing a first-open is serialised by the
+    /// core object shard and swept by unlink's post-delete registry pass.
+    fn acquire_hidden(&self, entry: &DirectoryEntry) -> VfsResult<Arc<ObjectEntry>> {
+        let key = ObjectKey::Hidden(entry.physical_name.clone());
+        {
+            let map = self.objects.lock();
+            if let Some(e) = map.get(&key) {
+                if !e.is_dead() {
+                    e.refs.fetch_add(1, Ordering::AcqRel);
+                    return Ok(Arc::clone(e));
+                }
+            }
+        }
+        let handle = Box::new(self.fs.open_hidden_entry(entry)?);
+        let mut map = self.objects.lock();
+        if let Some(e) = map.get(&key) {
+            if !e.is_dead() {
+                e.refs.fetch_add(1, Ordering::AcqRel);
+                return Ok(Arc::clone(e));
+            }
+        }
+        let e = Arc::new(ObjectEntry::new(
+            key.clone(),
+            TargetState::Hidden { handle },
+        ));
+        map.insert(key, Arc::clone(&e));
+        Ok(e)
+    }
+
+    /// Drop one pin; the last pin evicts the entry from the registry (unless
+    /// unlink already replaced or removed it — the `Arc` identity check keeps
+    /// a stale close from evicting a recreated object of the same name).
+    fn release_ref(&self, obj: &Arc<ObjectEntry>) {
+        let mut map = self.objects.lock();
+        if obj.refs.fetch_sub(1, Ordering::AcqRel) == 1 {
+            if let Some(current) = map.get(&obj.key) {
+                if Arc::ptr_eq(current, obj) {
+                    map.remove(&obj.key);
+                }
+            }
+        }
+    }
+
+    /// Remove `obj` from the registry if it is still the registered entry
+    /// for its key (unlink's post-delete cleanup; `Arc` identity guards a
+    /// recreated object of the same name).
+    fn evict_entry(&self, obj: &Arc<ObjectEntry>) {
+        let mut map = self.objects.lock();
+        if let Some(current) = map.get(&obj.key) {
+            if Arc::ptr_eq(current, obj) {
+                map.remove(&obj.key);
+            }
+        }
+    }
+
+    /// Apply open-time `truncate` / `append` under the object lock, returning
+    /// the handle's initial offset.
+    fn setup_handle(&self, obj: &Arc<ObjectEntry>, truncate: bool, append: bool) -> VfsResult<u64> {
+        if !truncate && !append {
+            return Ok(0);
+        }
+        let mut io = obj.io.lock();
+        // An unlink may have completed while we waited for the lock (it
+        // holds this lock across the delete); the object is then gone.
+        if obj.is_dead() {
+            return Err(VfsError::BadHandle(0));
+        }
+        match &mut *io {
+            TargetState::Plain { inode } => {
+                let inode = *inode;
+                if truncate {
+                    plain_rewrite(&self.fs, inode, 0, None)?;
+                }
+                if append {
+                    Ok(self.fs.plain_fs().inode_file_size(inode)?)
+                } else {
+                    Ok(0)
+                }
+            }
+            TargetState::Hidden { handle } => {
+                if truncate {
+                    self.fs.truncate_handle(handle, 0)?;
+                }
+                if append {
+                    Ok(handle.size())
+                } else {
+                    Ok(0)
+                }
             }
         }
     }
@@ -325,23 +546,37 @@ impl<D: BlockDevice> Vfs<D> {
                 size: 0,
             }),
             VfsPath::Plain(p) => {
-                let mut core = self.core.write();
-                let (kind, size) = core.fs.plain_fs_mut().stat(&p)?;
+                let (kind, size) = self.fs.plain_fs().stat(&p)?;
                 Ok(VfsStat {
                     kind: plain_kind(kind, &p)?,
                     size,
                 })
             }
             VfsPath::Hidden(comps) => {
-                self.with_hidden_entry(session, &uak, &comps, |core, entry| match entry.kind {
+                self.with_hidden_entry(session, &uak, &comps, |entry| match entry.kind {
                     ObjectKind::Directory => Ok(VfsStat {
                         kind: NodeKind::Directory,
                         size: 0,
                     }),
                     ObjectKind::File => {
-                        let size = match core.objects.get(&entry.physical_name) {
-                            Some(so) => so.handle.size(),
-                            None => core.fs.open_hidden_entry(entry)?.size(),
+                        // Prefer the live cached handle (it reflects
+                        // in-flight growth); fall back to a fresh open.
+                        let cached = self
+                            .objects
+                            .lock()
+                            .get(&ObjectKey::Hidden(entry.physical_name.clone()))
+                            .cloned();
+                        let size = match cached {
+                            Some(obj) if !obj.is_dead() => {
+                                let io = obj.io.lock();
+                                match &*io {
+                                    TargetState::Hidden { handle } => handle.size(),
+                                    TargetState::Plain { .. } => {
+                                        unreachable!("hidden key always maps to a hidden target")
+                                    }
+                                }
+                            }
+                            _ => self.fs.open_hidden_entry(entry)?.size(),
                         };
                         Ok(VfsStat {
                             kind: NodeKind::File,
@@ -373,8 +608,7 @@ impl<D: BlockDevice> Vfs<D> {
                 },
             ]),
             VfsPath::Plain(p) => {
-                let mut core = self.core.write();
-                let entries = core.fs.plain_fs_mut().list_dir(&p)?;
+                let entries = self.fs.plain_fs().list_dir(&p)?;
                 Ok(entries
                     .into_iter()
                     .map(|e| VfsDirEntry {
@@ -387,8 +621,7 @@ impl<D: BlockDevice> Vfs<D> {
                     .collect())
             }
             VfsPath::HiddenRoot => {
-                let mut core = self.core.write();
-                let mut out: Vec<VfsDirEntry> = core
+                let mut out: Vec<VfsDirEntry> = self
                     .fs
                     .list_hidden(&uak)?
                     .into_iter()
@@ -397,41 +630,38 @@ impl<D: BlockDevice> Vfs<D> {
                         kind: object_kind(kind),
                     })
                     .collect();
-                drop(core);
                 // Connected objects (e.g. offspring of a connected directory,
                 // or shared entries) are part of the session's view too.
-                let sessions = self.sessions.read();
-                if let Some(state) = sessions.get(&session.0) {
-                    for name in state.connected.connected_names() {
-                        if !out.iter().any(|e| e.name == name) {
-                            if let Some(obj) = state.connected.get(&name) {
-                                out.push(VfsDirEntry {
-                                    name,
-                                    kind: object_kind(obj.kind),
-                                });
-                            }
+                let state = self.session_state(session)?;
+                let connected = state.connected.lock();
+                for name in connected.connected_names() {
+                    if !out.iter().any(|e| e.name == name) {
+                        if let Some(obj) = connected.get(&name) {
+                            out.push(VfsDirEntry {
+                                name,
+                                kind: object_kind(obj.kind),
+                            });
                         }
                     }
                 }
+                drop(connected);
                 out.sort_by(|a, b| a.name.cmp(&b.name));
                 Ok(out)
             }
-            VfsPath::Hidden(comps) => {
-                self.with_hidden_entry(session, &uak, &comps, |core, entry| {
-                    if entry.kind != ObjectKind::Directory {
-                        return Err(VfsError::NotADirectory(path.to_string()));
-                    }
-                    let children = read_hidden_directory(&mut core.fs, entry)?;
-                    Ok(children
-                        .entries
-                        .iter()
-                        .map(|e| VfsDirEntry {
-                            name: e.name.clone(),
-                            kind: object_kind(e.kind),
-                        })
-                        .collect())
-                })
-            }
+            VfsPath::Hidden(comps) => self.with_hidden_entry(session, &uak, &comps, |entry| {
+                if entry.kind != ObjectKind::Directory {
+                    return Err(VfsError::NotADirectory(path.to_string()));
+                }
+                let children = self.fs.read_hidden_dir_listing(entry)?;
+                Ok(children
+                    .entries
+                    .iter()
+                    .map(|e| VfsDirEntry {
+                        name: e.name.clone(),
+                        kind: object_kind(e.kind),
+                    })
+                    .collect())
+            }),
         }
     }
 
@@ -446,16 +676,14 @@ impl<D: BlockDevice> Vfs<D> {
                 stegfs_core::StegError::AlreadyExists(path.to_string()),
             )),
             VfsPath::Plain(p) => {
-                let mut core = self.core.write();
-                core.fs.create_plain_dir(&p)?;
+                self.fs.create_plain_dir(&p)?;
                 Ok(())
             }
             VfsPath::Hidden(comps) => {
-                let mut core = self.core.write();
                 match comps.as_slice() {
-                    [name] => core.fs.steg_create(name, &uak, ObjectKind::Directory)?,
+                    [name] => self.fs.steg_create(name, &uak, ObjectKind::Directory)?,
                     [parent, child] => {
-                        core.fs
+                        self.fs
                             .create_in_hidden_dir(parent, child, &uak, ObjectKind::Directory)?
                     }
                     _ => {
@@ -470,13 +698,51 @@ impl<D: BlockDevice> Vfs<D> {
     }
 
     /// Remove a file or empty directory.
+    ///
+    /// The deletion itself is O(file size); the registry lock is held only
+    /// long enough to pin the victim's entry, *not* across the delete — so
+    /// opens and closes of unrelated objects are never stalled behind a
+    /// large unlink.  The pinned entry stays in the registry (alive) until
+    /// the delete succeeds, so a racing open of the same object reuses it
+    /// and simply goes stale (`BadHandle`, in the not-found family) with
+    /// everyone else.  Only an open racing the delete on an object *nobody*
+    /// had open can slip through the core and briefly hold a handle to freed
+    /// blocks; its reads fail or return noise until it is closed.
     pub fn unlink(&self, session: SessionId, path: &str) -> VfsResult<()> {
         let uak = self.session_uak(session)?;
         match VfsPath::parse(path)? {
             VfsPath::Root | VfsPath::HiddenRoot => Err(VfsError::InvalidPath(path.to_string())),
             VfsPath::Plain(p) => {
-                let mut core = self.core.write();
-                core.fs.delete_plain(&p)?;
+                // Resolve before touching the registry — path resolution is
+                // I/O and must not stall unrelated opens.  Pin the victim's
+                // object lock so in-flight handle I/O drains before its
+                // blocks are freed.
+                let inode = self.fs.plain_fs().resolve_file(&p).ok();
+                let cached =
+                    inode.and_then(|id| self.objects.lock().get(&ObjectKey::Plain(id)).cloned());
+                let io = cached.as_ref().map(|c| c.io.lock());
+                self.fs.delete_plain(&p)?;
+                if let Some(c) = &cached {
+                    c.mark_dead();
+                }
+                drop(io);
+                if let Some(c) = &cached {
+                    self.evict_entry(c);
+                }
+                // As in the hidden branch: an open racing this unlink may
+                // have registered a fresh entry for the inode while the
+                // delete ran.  The inode slot is free now and its id can be
+                // recycled by the next create, so that entry must die too or
+                // its handles would silently retarget.
+                if let Some(id) = inode {
+                    let late = self.objects.lock().get(&ObjectKey::Plain(id)).cloned();
+                    if let Some(late) = late {
+                        if !cached.as_ref().is_some_and(|c| Arc::ptr_eq(c, &late)) {
+                            late.mark_dead();
+                            self.evict_entry(&late);
+                        }
+                    }
+                }
                 Ok(())
             }
             VfsPath::Hidden(comps) => {
@@ -485,15 +751,46 @@ impl<D: BlockDevice> Vfs<D> {
                         "unlink inside a hidden directory is not yet supported: {path}"
                     )));
                 };
-                let mut core = self.core.write();
-                let entry = core.fs.delete_hidden(name, &uak)?;
-                // Outstanding handles to the object go stale: dropping the
-                // shared object makes every later access report the same
-                // not-found family an adversary already sees.
-                core.objects.remove(&entry.physical_name);
-                drop(core);
-                if let Some(state) = self.sessions.write().get_mut(&session.0) {
-                    state.connected.disconnect(name);
+                // Resolve the physical name first (outside the registry
+                // lock: it is a full UAK-directory walk) so the cached
+                // object can be pinned before its blocks are freed.  The
+                // physical name is stable for the object's lifetime, so the
+                // binding cannot change between the walk and the pin.
+                let physical = self
+                    .fs
+                    .lookup_entry(name, &uak)
+                    .ok()
+                    .map(|e| e.physical_name);
+                let cached =
+                    physical.and_then(|p| self.objects.lock().get(&ObjectKey::Hidden(p)).cloned());
+                let io = cached.as_ref().map(|c| c.io.lock());
+                let deleted = self.fs.delete_hidden(name, &uak)?;
+                if let Some(c) = &cached {
+                    c.mark_dead();
+                }
+                drop(io);
+                if let Some(c) = &cached {
+                    self.evict_entry(c);
+                }
+                // A first-open may have slipped a fresh entry into the
+                // registry while the delete ran (it won the core object
+                // shard before the delete freed the blocks).  Its object is
+                // gone now, so kill that entry too; a legitimate
+                // recreate-after-delete that lands in the same window is
+                // simply forced to reopen.
+                let late = self
+                    .objects
+                    .lock()
+                    .get(&ObjectKey::Hidden(deleted.physical_name.clone()))
+                    .cloned();
+                if let Some(late) = late {
+                    if !cached.as_ref().is_some_and(|c| Arc::ptr_eq(c, &late)) {
+                        late.mark_dead();
+                        self.evict_entry(&late);
+                    }
+                }
+                if let Ok(state) = self.session_state(session) {
+                    state.connected.lock().disconnect(name);
                 }
                 Ok(())
             }
@@ -507,8 +804,7 @@ impl<D: BlockDevice> Vfs<D> {
         let uak = self.session_uak(session)?;
         match (VfsPath::parse(from)?, VfsPath::parse(to)?) {
             (VfsPath::Plain(a), VfsPath::Plain(b)) => {
-                let mut core = self.core.write();
-                core.fs.plain_fs_mut().rename(&a, &b)?;
+                self.fs.plain_fs().rename(&a, &b)?;
                 Ok(())
             }
             (VfsPath::Hidden(a), VfsPath::Hidden(b)) => {
@@ -517,11 +813,9 @@ impl<D: BlockDevice> Vfs<D> {
                         "rename inside hidden directories is not yet supported: {from} -> {to}"
                     )));
                 };
-                let mut core = self.core.write();
-                core.fs.rename_hidden(old, new, &uak)?;
-                drop(core);
-                if let Some(state) = self.sessions.write().get_mut(&session.0) {
-                    state.connected.disconnect(old);
+                self.fs.rename_hidden(old, new, &uak)?;
+                if let Ok(state) = self.session_state(session) {
+                    state.connected.lock().disconnect(old);
                 }
                 Ok(())
             }
@@ -554,36 +848,52 @@ impl<D: BlockDevice> Vfs<D> {
             VfsPath::Root | VfsPath::HiddenRoot => Err(VfsError::IsDirectory(path.to_string())),
             VfsPath::Plain(p) if p == "/" => Err(VfsError::IsDirectory(path.to_string())),
             VfsPath::Plain(p) => {
-                let mut core = self.core.write();
-                match core.fs.plain_fs_mut().stat(&p) {
+                match self.fs.plain_fs().stat(&p) {
                     Ok((FileKind::Directory, _)) => {
                         return Err(VfsError::IsDirectory(path.to_string()))
                     }
-                    Ok(_) => {
-                        if opts.truncate {
-                            core.fs.write_plain(&p, &[])?;
-                        }
-                    }
+                    Ok(_) => {}
                     Err(e) if e.is_not_found() && opts.create => {
-                        core.fs.write_plain(&p, &[])?;
+                        // Create-only, never truncate: losing the create race
+                        // to a concurrent opener means the file exists now,
+                        // possibly already carrying the winner's data.
+                        match self.fs.plain_fs().create_file(&p) {
+                            Ok(_) => {}
+                            Err(stegfs_fs::FsError::AlreadyExists(_)) => {}
+                            Err(err) => return Err(err.into()),
+                        }
                     }
                     Err(e) => return Err(e.into()),
                 }
                 // Pin the inode, not the path: the handle must keep following
                 // this file across renames and go stale on delete, never
                 // silently retarget to whatever later occupies the path.
-                let inode = core.fs.plain_fs_mut().resolve_file(&p)?;
-                let offset = if opts.append {
-                    core.fs.plain_fs_mut().inode_file_size(inode)?
-                } else {
-                    0
+                let inode = self.fs.plain_fs().resolve_file(&p)?;
+                let obj = self.acquire_plain(inode);
+                // Re-validate after the pin: an unlink+create racing between
+                // the resolve and the registry insert can recycle the inode
+                // id for a *different* path.  Once our entry is registered,
+                // any later unlink of this inode finds and kills it, so a
+                // stable recheck here closes the silent-retarget window.
+                match self.fs.plain_fs().resolve_file(&p) {
+                    Ok(again) if again == inode => {}
+                    _ => {
+                        self.release_ref(&obj);
+                        return Err(VfsError::from(stegfs_fs::FsError::NotFound(p)));
+                    }
+                }
+                let offset = match self.setup_handle(&obj, opts.truncate, opts.append) {
+                    Ok(o) => o,
+                    Err(e) => {
+                        self.release_ref(&obj);
+                        return Err(e);
+                    }
                 };
-                drop(core);
                 self.finish_open(
                     session,
                     OpenFile {
                         session: session.0,
-                        target: Target::Plain { inode },
+                        object: obj,
                         offset,
                         read: opts.read,
                         write: opts.write,
@@ -592,72 +902,47 @@ impl<D: BlockDevice> Vfs<D> {
                 )
             }
             VfsPath::Hidden(comps) => {
-                // Resolve and pin the shared object; returns everything the
-                // open-file entry needs.  Runs under `with_hidden_entry`, so
-                // a stale session cache falls back to a from-disk walk.
-                let mut ensure = |core: &mut VfsCore<D>,
-                                  entry: &DirectoryEntry|
-                 -> VfsResult<(String, u64, u64, DirectoryEntry)> {
-                    if entry.kind != ObjectKind::File {
-                        return Err(VfsError::IsDirectory(path.to_string()));
-                    }
-                    let physical = entry.physical_name.clone();
-                    core.next_gen += 1;
-                    let fresh_gen = core.next_gen;
-                    let VfsCore { fs, objects, .. } = &mut *core;
-                    if !objects.contains_key(&physical) {
-                        let handle = fs.open_hidden_entry(entry)?;
-                        objects.insert(
-                            physical.clone(),
-                            SharedObject {
-                                handle,
-                                refs: 0,
-                                gen: fresh_gen,
-                            },
-                        );
-                    }
-                    if opts.truncate {
-                        let so = objects.get_mut(&physical).expect("just ensured");
-                        let result = fs.truncate_handle(&mut so.handle, 0);
-                        if result.is_err() && so.refs == 0 {
-                            objects.remove(&physical);
+                // Resolve and pin the shared object.  Runs under
+                // `with_hidden_entry`, so a stale session cache falls back to
+                // a from-disk walk.
+                let mut ensure =
+                    |entry: &DirectoryEntry| -> VfsResult<(Arc<ObjectEntry>, DirectoryEntry)> {
+                        if entry.kind != ObjectKind::File {
+                            return Err(VfsError::IsDirectory(path.to_string()));
                         }
-                        result?;
-                    }
-                    let so = objects.get_mut(&physical).expect("just ensured");
-                    so.refs += 1;
-                    let offset = if opts.append { so.handle.size() } else { 0 };
-                    Ok((physical, so.gen, offset, entry.clone()))
-                };
+                        Ok((self.acquire_hidden(entry)?, entry.clone()))
+                    };
 
                 let resolved = match self.with_hidden_entry(session, &uak, &comps, &mut ensure) {
                     Ok(v) => Ok(v),
                     Err(e) if e.is_not_found() && opts.create => {
-                        {
-                            let mut core = self.core.write();
-                            let created = match comps.as_slice() {
-                                [name] => core.fs.steg_create(name, &uak, ObjectKind::File),
-                                [parent, child] => core.fs.create_in_hidden_dir(
-                                    parent,
-                                    child,
-                                    &uak,
-                                    ObjectKind::File,
-                                ),
-                                _ => return Err(e),
-                            };
-                            match created {
-                                Ok(()) => {}
-                                // Raced another creator: the object exists
-                                // now, which is all we wanted.
-                                Err(stegfs_core::StegError::AlreadyExists(_)) => {}
-                                Err(err) => return Err(err.into()),
+                        let created = match comps.as_slice() {
+                            [name] => self.fs.steg_create(name, &uak, ObjectKind::File),
+                            [parent, child] => {
+                                self.fs
+                                    .create_in_hidden_dir(parent, child, &uak, ObjectKind::File)
                             }
+                            _ => return Err(e),
+                        };
+                        match created {
+                            Ok(()) => {}
+                            // Raced another creator: the object exists now,
+                            // which is all we wanted.
+                            Err(stegfs_core::StegError::AlreadyExists(_)) => {}
+                            Err(err) => return Err(err.into()),
                         }
                         self.with_hidden_entry(session, &uak, &comps, &mut ensure)
                     }
                     Err(e) => Err(e),
                 };
-                let (physical, gen, offset, entry) = resolved?;
+                let (obj, entry) = resolved?;
+                let offset = match self.setup_handle(&obj, opts.truncate, opts.append) {
+                    Ok(o) => o,
+                    Err(e) => {
+                        self.release_ref(&obj);
+                        return Err(e);
+                    }
+                };
 
                 // Cache the resolution in the session (the `steg_connect`
                 // fast path for the next open).
@@ -668,7 +953,7 @@ impl<D: BlockDevice> Vfs<D> {
                     session,
                     OpenFile {
                         session: session.0,
-                        target: Target::Hidden { physical, gen },
+                        object: obj,
                         offset,
                         read: opts.read,
                         write: opts.write,
@@ -697,9 +982,7 @@ impl<D: BlockDevice> Vfs<D> {
     /// same stale-handle error as any other use-after-close.
     pub fn close(&self, handle: VfsHandle) -> VfsResult<()> {
         let file = self.table.remove(handle)?;
-        if let Target::Hidden { physical, gen } = file.target {
-            release_object(&mut self.core.write(), &physical, gen);
-        }
+        self.release_ref(&file.object);
         Ok(())
     }
 
@@ -711,8 +994,7 @@ impl<D: BlockDevice> Vfs<D> {
         if !file.read {
             return Err(VfsError::NotReadable);
         }
-        let mut core = self.core.write();
-        do_read(&mut core, handle, &file.target, offset, len)
+        self.object_read(handle, &file, offset, len)
     }
 
     /// Positional write at `offset`, extending the file as needed, without
@@ -722,8 +1004,8 @@ impl<D: BlockDevice> Vfs<D> {
         if !file.write {
             return Err(VfsError::NotWritable);
         }
-        let mut core = self.core.write();
-        do_write(&mut core, handle, &file.target, offset, data)
+        self.object_write(handle, &file, WriteOffset::At(offset), data)
+            .map(|_| ())
     }
 
     /// Streaming read from the handle's current offset, advancing it.
@@ -734,30 +1016,30 @@ impl<D: BlockDevice> Vfs<D> {
             if !file.read {
                 return Err(VfsError::NotReadable);
             }
-            let mut core = self.core.write();
-            let out = do_read(&mut core, handle, &file.target, file.offset, len)?;
-            drop(core);
+            let snapshot = file.clone();
+            let out = self.object_read(handle, &snapshot, file.offset, len)?;
             file.offset += out.len() as u64;
             Ok(out)
         })
     }
 
     /// Streaming write at the handle's current offset (or at end-of-file for
-    /// append handles), advancing it.  Atomic per handle, like [`Self::read`].
+    /// append handles), advancing it.  Atomic per handle, like [`Self::read`];
+    /// for append handles the end-of-file lookup and the write happen under
+    /// one hold of the object lock, so appends through different handles
+    /// never land on the same offset.
     pub fn write(&self, handle: VfsHandle, data: &[u8]) -> VfsResult<()> {
         self.table.with_file_mut(handle, |file| {
             if !file.write {
                 return Err(VfsError::NotWritable);
             }
-            let mut core = self.core.write();
-            let offset = if file.append {
-                target_size(&mut core, handle, &file.target)?
+            let snapshot = file.clone();
+            let at = if file.append {
+                WriteOffset::End
             } else {
-                file.offset
+                WriteOffset::At(file.offset)
             };
-            do_write(&mut core, handle, &file.target, offset, data)?;
-            drop(core);
-            file.offset = offset + data.len() as u64;
+            file.offset = self.object_write(handle, &snapshot, at, data)?;
             Ok(())
         })
     }
@@ -771,8 +1053,8 @@ impl<D: BlockDevice> Vfs<D> {
                 SeekFrom::Start(_) => 0,
                 SeekFrom::Current(_) => file.offset as i128,
                 SeekFrom::End(_) => {
-                    let mut core = self.core.write();
-                    target_size(&mut core, handle, &file.target)? as i128
+                    let snapshot = file.clone();
+                    self.target_size(handle, &snapshot)? as i128
                 }
             };
             let delta: i128 = match pos {
@@ -796,132 +1078,140 @@ impl<D: BlockDevice> Vfs<D> {
         if !file.write {
             return Err(VfsError::NotWritable);
         }
-        let mut core = self.core.write();
-        match &file.target {
-            Target::Plain { inode } => plain_rewrite(&mut core.fs, *inode, new_len, None),
-            Target::Hidden { physical, gen } => {
-                let VfsCore { fs, objects, .. } = &mut *core;
-                let so = objects
-                    .get_mut(physical)
-                    .filter(|so| so.gen == *gen)
-                    .ok_or(VfsError::BadHandle(handle.0))?;
-                Ok(fs.truncate_handle(&mut so.handle, new_len)?)
-            }
+        let obj = &file.object;
+        let mut io = obj.io.lock();
+        if obj.is_dead() {
+            return Err(VfsError::BadHandle(handle.0));
+        }
+        match &mut *io {
+            TargetState::Plain { inode } => plain_rewrite(&self.fs, *inode, new_len, None),
+            TargetState::Hidden { handle: h } => Ok(self.fs.truncate_handle(h, new_len)?),
         }
     }
 
     /// Current size of the file behind `handle`.
     pub fn handle_size(&self, handle: VfsHandle) -> VfsResult<u64> {
         let file = self.table.get(handle)?;
-        let mut core = self.core.write();
-        target_size(&mut core, handle, &file.target)
+        self.target_size(handle, &file)
+    }
+
+    // ------------------------------------------------------------------
+    // Internal I/O plumbing
+    // ------------------------------------------------------------------
+
+    fn object_read(
+        &self,
+        handle: VfsHandle,
+        file: &OpenFile,
+        offset: u64,
+        len: usize,
+    ) -> VfsResult<Vec<u8>> {
+        let obj = &file.object;
+        let io = obj.io.lock();
+        if obj.is_dead() {
+            return Err(VfsError::BadHandle(handle.0));
+        }
+        match &*io {
+            TargetState::Plain { inode } => {
+                Ok(self.fs.plain_fs().read_inode_range(*inode, offset, len)?)
+            }
+            TargetState::Hidden { handle: h } => Ok(self.fs.read_range_at(h, offset, len)?),
+        }
+    }
+
+    /// Perform a write under one hold of the object lock, resolving
+    /// [`WriteOffset::End`] against the size *inside* that hold (append
+    /// atomicity across handles).  Returns the end position of the write,
+    /// which streaming callers adopt as the new stream offset.
+    fn object_write(
+        &self,
+        handle: VfsHandle,
+        file: &OpenFile,
+        at: WriteOffset,
+        data: &[u8],
+    ) -> VfsResult<u64> {
+        let obj = &file.object;
+        let mut io = obj.io.lock();
+        if obj.is_dead() {
+            return Err(VfsError::BadHandle(handle.0));
+        }
+        match &mut *io {
+            TargetState::Plain { inode } => {
+                let inode = *inode;
+                let size = self.fs.plain_fs().inode_file_size(inode)?;
+                let offset = match at {
+                    WriteOffset::At(o) => o,
+                    WriteOffset::End => size,
+                };
+                if data.is_empty() {
+                    return Ok(offset);
+                }
+                let end = offset
+                    .checked_add(data.len() as u64)
+                    .ok_or(stegfs_core::StegError::NoSpace)?;
+                if end <= size {
+                    // In place: no reallocation, no rewrite.
+                    self.fs.plain_fs().write_inode_range(inode, offset, data)?;
+                } else {
+                    plain_rewrite(&self.fs, inode, end, Some((offset, data)))?;
+                }
+                Ok(end)
+            }
+            TargetState::Hidden { handle: h } => {
+                let offset = match at {
+                    WriteOffset::At(o) => o,
+                    WriteOffset::End => h.size(),
+                };
+                if data.is_empty() {
+                    return Ok(offset);
+                }
+                self.fs.write_at_handle(h, offset, data)?;
+                Ok(offset + data.len() as u64)
+            }
+        }
+    }
+
+    fn target_size(&self, handle: VfsHandle, file: &OpenFile) -> VfsResult<u64> {
+        let obj = &file.object;
+        let io = obj.io.lock();
+        if obj.is_dead() {
+            return Err(VfsError::BadHandle(handle.0));
+        }
+        match &*io {
+            TargetState::Plain { inode } => Ok(self.fs.plain_fs().inode_file_size(*inode)?),
+            TargetState::Hidden { handle: h } => Ok(h.size()),
+        }
     }
 }
 
 // ----------------------------------------------------------------------
-// Internal I/O plumbing (free functions so streaming ops can run inside a
-// `with_file_mut` closure without re-borrowing the `Vfs`)
+// Free helpers
 // ----------------------------------------------------------------------
-
-fn do_read<D: BlockDevice>(
-    core: &mut VfsCore<D>,
-    handle: VfsHandle,
-    target: &Target,
-    offset: u64,
-    len: usize,
-) -> VfsResult<Vec<u8>> {
-    match target {
-        Target::Plain { inode } => Ok(core
-            .fs
-            .plain_fs_mut()
-            .read_inode_range(*inode, offset, len)?),
-        Target::Hidden { physical, gen } => {
-            if core.object(physical, *gen).is_none() {
-                return Err(VfsError::BadHandle(handle.0));
-            }
-            let VfsCore { fs, objects, .. } = &mut *core;
-            let so = objects.get(physical).expect("checked above");
-            Ok(fs.read_range_at(&so.handle, offset, len)?)
-        }
-    }
-}
-
-fn do_write<D: BlockDevice>(
-    core: &mut VfsCore<D>,
-    handle: VfsHandle,
-    target: &Target,
-    offset: u64,
-    data: &[u8],
-) -> VfsResult<()> {
-    match target {
-        Target::Plain { inode } => {
-            if data.is_empty() {
-                return Ok(());
-            }
-            let size = core.fs.plain_fs_mut().inode_file_size(*inode)?;
-            let end = offset
-                .checked_add(data.len() as u64)
-                .ok_or(stegfs_core::StegError::NoSpace)?;
-            if end <= size {
-                // In place: no reallocation, no rewrite.
-                core.fs
-                    .plain_fs_mut()
-                    .write_inode_range(*inode, offset, data)?;
-                Ok(())
-            } else {
-                plain_rewrite(&mut core.fs, *inode, end, Some((offset, data)))
-            }
-        }
-        Target::Hidden { physical, gen } => {
-            if core.object(physical, *gen).is_none() {
-                return Err(VfsError::BadHandle(handle.0));
-            }
-            let VfsCore { fs, objects, .. } = &mut *core;
-            let so = objects.get_mut(physical).expect("checked above");
-            Ok(fs.write_at_handle(&mut so.handle, offset, data)?)
-        }
-    }
-}
-
-fn target_size<D: BlockDevice>(
-    core: &mut VfsCore<D>,
-    handle: VfsHandle,
-    target: &Target,
-) -> VfsResult<u64> {
-    match target {
-        Target::Plain { inode } => Ok(core.fs.plain_fs_mut().inode_file_size(*inode)?),
-        Target::Hidden { physical, gen } => Ok(core
-            .object(physical, *gen)
-            .ok_or(VfsError::BadHandle(handle.0))?
-            .handle
-            .size()),
-    }
-}
 
 /// The one read-resize-splice-rewrite implementation for plain files, shared
 /// by extending writes and truncate.  Refuses lengths beyond the volume's
 /// capacity *before* materialising anything, so a seek to 1 TB followed by a
 /// 1-byte write reports `NoSpace` instead of attempting a 1 TB allocation.
+/// Callers hold the object lock of the inode, which serialises the
+/// read-modify-write.
 fn plain_rewrite<D: BlockDevice>(
-    fs: &mut StegFs<D>,
-    inode: stegfs_fs::InodeId,
+    fs: &StegFs<D>,
+    inode: InodeId,
     new_len: u64,
     patch: Option<(u64, &[u8])>,
 ) -> VfsResult<()> {
-    let sb = fs.plain_fs_mut().superblock();
+    let sb = fs.plain_fs().superblock();
     let capacity = sb.total_blocks * sb.block_size as u64;
     if new_len > capacity {
         return Err(stegfs_core::StegError::NoSpace.into());
     }
-    let size = fs.plain_fs_mut().inode_file_size(inode)?;
-    let mut contents = fs
-        .plain_fs_mut()
-        .read_inode_range(inode, 0, size as usize)?;
+    let size = fs.plain_fs().inode_file_size(inode)?;
+    let mut contents = fs.plain_fs().read_inode_range(inode, 0, size as usize)?;
     contents.resize(new_len as usize, 0);
     if let Some((offset, data)) = patch {
         contents[offset as usize..offset as usize + data.len()].copy_from_slice(data);
     }
-    fs.plain_fs_mut().write_inode_file(inode, &contents)?;
+    fs.plain_fs().write_inode_file(inode, &contents)?;
     Ok(())
 }
 
@@ -938,79 +1228,4 @@ fn object_kind(kind: ObjectKind) -> NodeKind {
         ObjectKind::Directory => NodeKind::Directory,
         ObjectKind::File => NodeKind::File,
     }
-}
-
-/// Drop one reference to a shared hidden object, evicting it when the last
-/// handle goes away.  The generation check makes this a no-op for stale
-/// handles whose object was unlinked (and possibly recreated under the same
-/// name) after they opened it.
-fn release_object<D: BlockDevice>(core: &mut VfsCore<D>, physical: &str, gen: u64) {
-    if let Some(so) = core.object_mut(physical, gen) {
-        so.refs -= 1;
-        if so.refs == 0 {
-            core.objects.remove(physical);
-        }
-    }
-}
-
-/// Read the child listing of a hidden directory entry.
-fn read_hidden_directory<D: BlockDevice>(
-    fs: &mut StegFs<D>,
-    entry: &DirectoryEntry,
-) -> VfsResult<UakDirectory> {
-    let handle = fs.open_hidden_entry(entry)?;
-    let size = handle.size();
-    let raw = fs.read_range_at(&handle, 0, size as usize)?;
-    if raw.is_empty() {
-        Ok(UakDirectory::new())
-    } else {
-        Ok(UakDirectory::deserialize(&raw)?)
-    }
-}
-
-/// Resolve a `/hidden` component chain to its final directory entry.
-///
-/// The first component resolves through the session cache (if `cached`) or
-/// the UAK directory; every further component resolves through the listing of
-/// the hidden directory above it — each listing carries full `(physical name,
-/// FAK)` entries, so offspring need no extra key material, exactly as in the
-/// paper's `steg_connect`.
-fn resolve_hidden<D: BlockDevice>(
-    core: &mut VfsCore<D>,
-    uak: &str,
-    comps: &[String],
-    cached: Option<DirectoryEntry>,
-) -> VfsResult<DirectoryEntry> {
-    let mut entry = match cached {
-        Some(e) => e,
-        None => core.fs.lookup_entry(&comps[0], uak)?,
-    };
-    for comp in &comps[1..] {
-        if entry.kind != ObjectKind::Directory {
-            return Err(VfsError::NotADirectory(comps.join("/")));
-        }
-        let children = read_hidden_directory(&mut core.fs, &entry)?;
-        entry = children
-            .find(comp)
-            .cloned()
-            .ok_or_else(|| stegfs_core::StegError::NotFound(comp.clone()))?;
-    }
-    Ok(entry)
-}
-
-/// Collect `entry` and, recursively, the offspring of hidden directories —
-/// the connect set of the paper's `steg_connect`.
-fn collect_offspring<D: BlockDevice>(
-    fs: &mut StegFs<D>,
-    entry: &DirectoryEntry,
-    out: &mut Vec<DirectoryEntry>,
-) -> VfsResult<()> {
-    out.push(entry.clone());
-    if entry.kind == ObjectKind::Directory {
-        let children = read_hidden_directory(fs, entry)?;
-        for child in &children.entries {
-            collect_offspring(fs, child, out)?;
-        }
-    }
-    Ok(())
 }

@@ -9,7 +9,7 @@ use stegfs_core::{ObjectKind, StegFs, StegParams};
 use stegfs_examples::{demo_volume, section};
 
 fn main() {
-    let mut fs = demo_volume(32);
+    let fs = demo_volume(32);
     let uak = "owner key";
 
     section("Populate the volume");
@@ -45,7 +45,7 @@ fn main() {
         random_fill: false,
         ..StegParams::default()
     };
-    let mut recovered = StegFs::steg_recovery(fresh, &image, admin_key, params).unwrap();
+    let recovered = StegFs::steg_recovery(fresh, &image, admin_key, params).unwrap();
 
     println!(
         "plain file restored:  {:?}",

@@ -13,7 +13,7 @@ use stegfs_crypto::rsa::RsaKeyPair;
 use stegfs_examples::{demo_volume, section};
 
 fn main() {
-    let mut fs = demo_volume(32);
+    let fs = demo_volume(32);
 
     // ------------------------------------------------------------------
     // Alice's two access levels.

@@ -55,7 +55,7 @@ mod tests {
 
     #[test]
     fn demo_volume_is_usable() {
-        let mut fs = demo_volume(16);
+        let fs = demo_volume(16);
         fs.write_plain("/hello", b"world").unwrap();
         assert_eq!(fs.read_plain("/hello").unwrap(), b"world");
     }

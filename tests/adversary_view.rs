@@ -32,7 +32,7 @@ fn entropy_bits_per_byte(data: &[u8]) -> f64 {
 
 #[test]
 fn central_directory_never_mentions_hidden_objects() {
-    let mut fs = test_volume(8192);
+    let fs = test_volume(8192);
     fs.write_plain("/innocent.txt", b"cover traffic").unwrap();
     fs.steg_create("the-secret", OWNER, ObjectKind::File)
         .unwrap();
@@ -46,21 +46,18 @@ fn central_directory_never_mentions_hidden_objects() {
     // The blocks of every plain object do not include any block holding the
     // hidden object's data (verified indirectly: freeing the hidden object
     // releases blocks that were never part of the plain set).
-    let plain_blocks = fs.plain_fs_mut().plain_object_blocks().unwrap();
+    let plain_blocks = fs.plain_fs().plain_object_blocks().unwrap();
     let before_free = fs.space_report().unwrap().free_blocks;
     fs.delete_hidden("the-secret", OWNER).unwrap();
     let after_free = fs.space_report().unwrap().free_blocks;
     assert!(after_free > before_free + 140);
     // Plain set unchanged by the deletion.
-    assert_eq!(
-        fs.plain_fs_mut().plain_object_blocks().unwrap(),
-        plain_blocks
-    );
+    assert_eq!(fs.plain_fs().plain_object_blocks().unwrap(), plain_blocks);
 }
 
 #[test]
 fn wrong_key_is_indistinguishable_from_absent_object() {
-    let mut fs = test_volume(4096);
+    let fs = test_volume(4096);
     fs.steg_create("exists", OWNER, ObjectKind::File).unwrap();
     fs.write_hidden_with_key("exists", OWNER, b"present")
         .unwrap();
@@ -84,24 +81,24 @@ fn hidden_blocks_look_like_random_fill_on_the_raw_device() {
     // Format with random fill, write a highly structured hidden file, then
     // inspect the raw device: every allocated-but-unaccounted block should
     // have the same high entropy as the untouched random fill.
-    let mut fs = test_volume(4096);
+    let fs = test_volume(4096);
     let structured = vec![0u8; 120 * 1024]; // all zeros: worst case plaintext
     fs.steg_create("zeros", OWNER, ObjectKind::File).unwrap();
     fs.write_hidden_with_key("zeros", OWNER, &structured)
         .unwrap();
 
     let plain_blocks: std::collections::HashSet<u64> = fs
-        .plain_fs_mut()
+        .plain_fs()
         .plain_object_blocks()
         .unwrap()
         .into_iter()
         .collect();
-    let sb = fs.plain_fs_mut().superblock().clone();
+    let sb = fs.plain_fs().superblock().clone();
 
     let mut unaccounted = Vec::new();
     let mut free_fill = Vec::new();
     for block in sb.data_start..sb.total_blocks {
-        let allocated = fs.plain_fs_mut().is_block_allocated(block);
+        let allocated = fs.plain_fs().is_block_allocated(block);
         if allocated && !plain_blocks.contains(&block) {
             unaccounted.push(block);
         } else if !allocated {
@@ -113,11 +110,11 @@ fn hidden_blocks_look_like_random_fill_on_the_raw_device() {
     // Sample entropy of both populations.
     let mut unaccounted_bytes = Vec::new();
     for &b in unaccounted.iter().take(64) {
-        unaccounted_bytes.extend(fs.plain_fs_mut().read_raw_block(b).unwrap());
+        unaccounted_bytes.extend(fs.plain_fs().read_raw_block(b).unwrap());
     }
     let mut free_bytes = Vec::new();
     for &b in free_fill.iter().take(64) {
-        free_bytes.extend(fs.plain_fs_mut().read_raw_block(b).unwrap());
+        free_bytes.extend(fs.plain_fs().read_raw_block(b).unwrap());
     }
     let e_hidden = entropy_bits_per_byte(&unaccounted_bytes);
     let e_free = entropy_bits_per_byte(&free_bytes);
@@ -132,7 +129,7 @@ fn hidden_blocks_look_like_random_fill_on_the_raw_device() {
     // And the all-zero plaintext never appears on the device.
     let zero_block = vec![0u8; 1024];
     for &b in unaccounted.iter().take(64) {
-        assert_ne!(fs.plain_fs_mut().read_raw_block(b).unwrap(), zero_block);
+        assert_ne!(fs.plain_fs().read_raw_block(b).unwrap(), zero_block);
     }
 }
 
@@ -143,10 +140,10 @@ fn snapshot_differencing_cannot_separate_real_files_from_dummies() {
     // internal free pools), the per-snapshot deltas include dummy activity,
     // so new allocations cannot be attributed to real hidden data.
     let mut fs = test_volume(8192);
-    let sb = fs.plain_fs_mut().superblock().clone();
+    let sb = fs.plain_fs().superblock().clone();
     let snapshot = |fs: &mut StegFs<MemBlockDevice>| -> Vec<bool> {
         (sb.data_start..sb.total_blocks)
-            .map(|b| fs.plain_fs_mut().is_block_allocated(b))
+            .map(|b| fs.plain_fs().is_block_allocated(b))
             .collect()
     };
 
@@ -190,14 +187,14 @@ fn formatting_without_random_fill_would_leak_and_is_therefore_detectable() {
         free_blocks_max: 0,
         ..full_feature_params()
     };
-    let mut fs = StegFs::format(MemBlockDevice::new(1024, 4096), params).unwrap();
+    let fs = StegFs::format(MemBlockDevice::new(1024, 4096), params).unwrap();
     fs.steg_create("obvious", OWNER, ObjectKind::File).unwrap();
     fs.write_hidden_with_key("obvious", OWNER, &vec![0u8; 50 * 1024])
         .unwrap();
 
-    let sb = fs.plain_fs_mut().superblock().clone();
+    let sb = fs.plain_fs().superblock().clone();
     let plain_blocks: std::collections::HashSet<u64> = fs
-        .plain_fs_mut()
+        .plain_fs()
         .plain_object_blocks()
         .unwrap()
         .into_iter()
@@ -205,11 +202,11 @@ fn formatting_without_random_fill_would_leak_and_is_therefore_detectable() {
     let mut free_sample = Vec::new();
     let mut hidden_sample = Vec::new();
     for block in sb.data_start..sb.total_blocks {
-        let allocated = fs.plain_fs_mut().is_block_allocated(block);
+        let allocated = fs.plain_fs().is_block_allocated(block);
         if !allocated && free_sample.len() < 32 * 1024 {
-            free_sample.extend(fs.plain_fs_mut().read_raw_block(block).unwrap());
+            free_sample.extend(fs.plain_fs().read_raw_block(block).unwrap());
         } else if allocated && !plain_blocks.contains(&block) && hidden_sample.len() < 32 * 1024 {
-            hidden_sample.extend(fs.plain_fs_mut().read_raw_block(block).unwrap());
+            hidden_sample.extend(fs.plain_fs().read_raw_block(block).unwrap());
         }
     }
     let e_free = entropy_bits_per_byte(&free_sample);

@@ -1,0 +1,175 @@
+//! Stress and property tests for the shared block allocator under the
+//! shared-reference core API: many threads allocating and freeing hidden
+//! objects on one volume must never hand one block to two live objects, and
+//! the free bitmap must balance once everything is deleted.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread;
+use stegfs_blockdev::MemBlockDevice;
+use stegfs_core::crypt::ObjectKeys;
+use stegfs_core::{hidden, ObjectKind, StegFs, StegParams};
+
+/// Parameters with a *deterministic* free-pool size (`FB_min == FB_max`), so
+/// that after any write the pool holds exactly `FB_max` blocks and the
+/// end-of-round free count is reproducible across rounds.
+fn stress_params() -> StegParams {
+    StegParams {
+        random_fill: false,
+        dummy_file_count: 0,
+        abandoned_pct: 0.0,
+        free_blocks_min: 4,
+        free_blocks_max: 4,
+        ..StegParams::for_tests()
+    }
+}
+
+fn uak_for(thread: usize) -> String {
+    format!("stress thread key {thread}")
+}
+
+/// One round of parallel object churn: every thread creates, rewrites and
+/// deletes hidden objects under its own UAK, all against one shared
+/// allocator and bitmap.
+fn churn_round(fs: &Arc<StegFs<MemBlockDevice>>, seeds: &[u64], sizes: &[usize]) {
+    let workers: Vec<_> = (0..seeds.len())
+        .map(|t| {
+            let fs = Arc::clone(fs);
+            let seed = seeds[t];
+            let size = sizes[t];
+            thread::spawn(move || {
+                let uak = uak_for(t);
+                // Two objects per thread; the first is deleted mid-round so
+                // frees interleave with everyone else's allocations.
+                fs.steg_create("ephemeral", &uak, ObjectKind::File).unwrap();
+                let data: Vec<u8> = (0..size).map(|i| (seed as usize + i) as u8).collect();
+                fs.write_hidden_with_key("ephemeral", &uak, &data).unwrap();
+
+                fs.steg_create("durable", &uak, ObjectKind::File).unwrap();
+                fs.write_hidden_with_key("durable", &uak, &data).unwrap();
+
+                fs.delete_hidden("ephemeral", &uak).unwrap();
+
+                // Rewrite (shrink or grow) to push blocks through the free
+                // pool while other threads allocate.
+                let second = vec![seed as u8; size / 2 + 1];
+                fs.write_hidden_with_key("durable", &uak, &second).unwrap();
+                assert_eq!(fs.read_hidden_with_key("durable", &uak).unwrap(), second);
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("churn worker panicked");
+    }
+}
+
+/// Blocks owned by every live hidden object reachable from the given UAKs,
+/// including each UAK directory object itself.
+fn live_owned_blocks(fs: &StegFs<MemBlockDevice>, uaks: &[String]) -> HashMap<u64, String> {
+    let mut owner_of: HashMap<u64, String> = HashMap::new();
+    let mut claim = |fs: &StegFs<MemBlockDevice>, label: String, physical: &str, key: &[u8]| {
+        let keys = ObjectKeys::derive(physical, key);
+        let obj = hidden::open(fs.plain_fs(), physical, &keys, fs.params()).unwrap();
+        for b in hidden::owned_blocks(fs.plain_fs(), &keys, &obj).unwrap() {
+            assert!(
+                fs.plain_fs().is_block_allocated(b),
+                "{label}: owned block {b} not marked allocated"
+            );
+            if let Some(other) = owner_of.insert(b, label.clone()) {
+                panic!("block {b} owned by both {other} and {label}");
+            }
+        }
+    };
+    for uak in uaks {
+        // The UAK directory object.
+        claim(
+            fs,
+            format!("uak-dir[{uak}]"),
+            stegfs_core::keys::UAK_DIRECTORY_NAME,
+            uak.as_bytes(),
+        );
+        // Every object it lists.
+        for (name, _) in fs.list_hidden(uak).unwrap() {
+            let entry = fs.lookup_entry(&name, uak).unwrap();
+            claim(
+                fs,
+                format!("{uak}/{name}"),
+                &entry.physical_name,
+                &entry.fak,
+            );
+        }
+    }
+    owner_of
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 4,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn parallel_alloc_free_never_double_owns_and_bitmap_balances(
+        seeds in proptest::collection::vec(any::<u64>(), 6..=6),
+        sizes in proptest::collection::vec(2_000usize..24_000, 6..=6),
+    ) {
+        let fs = Arc::new(
+            StegFs::format(MemBlockDevice::new(1024, 16384), stress_params()).unwrap(),
+        );
+        let uaks: Vec<String> = (0..seeds.len()).map(uak_for).collect();
+
+        churn_round(&fs, &seeds, &sizes);
+
+        // Invariant 1: no block is owned by two live objects, and every
+        // owned block is marked allocated in the shared bitmap.
+        let owned = live_owned_blocks(&fs, &uaks);
+        prop_assert!(!owned.is_empty());
+
+        // Invariant 2: deleting every object returns its blocks; a second,
+        // identical round then lands on exactly the same free count, so no
+        // round leaks blocks (UAK directories persist with deterministic
+        // free pools because FB_min == FB_max).
+        for uak in &uaks {
+            for (name, _) in fs.list_hidden(uak).unwrap() {
+                fs.delete_hidden(&name, uak).unwrap();
+            }
+            prop_assert!(fs.list_hidden(uak).unwrap().is_empty());
+        }
+        let free_after_round1 = fs.plain_fs().free_data_blocks();
+
+        churn_round(&fs, &seeds, &sizes);
+        for uak in &uaks {
+            for (name, _) in fs.list_hidden(uak).unwrap() {
+                fs.delete_hidden(&name, uak).unwrap();
+            }
+        }
+        let free_after_round2 = fs.plain_fs().free_data_blocks();
+        prop_assert_eq!(
+            free_after_round1,
+            free_after_round2,
+            "allocator leaked blocks across identical rounds"
+        );
+    }
+}
+
+/// Non-property variant pinned to a high thread count: raw allocator
+/// contention with reads validating data integrity throughout.
+#[test]
+fn twelve_threads_of_allocator_churn_stay_consistent() {
+    let fs = Arc::new(StegFs::format(MemBlockDevice::new(1024, 16384), stress_params()).unwrap());
+    let seeds: Vec<u64> = (0..12).map(|t| 0x9e37 + t as u64).collect();
+    let sizes: Vec<usize> = (0..12).map(|t| 3_000 + t * 700).collect();
+    churn_round(&fs, &seeds, &sizes);
+    let uaks: Vec<String> = (0..12).map(uak_for).collect();
+    let owned = live_owned_blocks(&fs, &uaks);
+    assert!(owned.len() > 12, "every durable object owns blocks");
+    // The volume survives a remount with every durable object intact.
+    let fs = Arc::into_inner(fs).expect("sole owner");
+    let dev = fs.unmount().unwrap();
+    let fs = StegFs::mount(dev, stress_params()).unwrap();
+    for (t, uak) in uaks.iter().enumerate() {
+        let expected = vec![seeds[t] as u8; sizes[t] / 2 + 1];
+        assert_eq!(fs.read_hidden_with_key("durable", uak).unwrap(), expected);
+    }
+}

@@ -13,7 +13,7 @@ fn stegfs_never_loses_data_where_stegrand_does() {
     // read everything back.  StegFS must return every byte; StegRand is
     // expected to have destroyed something.
     let uak = "loader";
-    let mut stegfs = test_volume(4096); // 4 MB
+    let stegfs = test_volume(4096); // 4 MB
     let mut stegrand = StegRand::format(MemBlockDevice::new(1024, 4096), 4).unwrap();
 
     let mut stored = Vec::new();
@@ -79,7 +79,7 @@ fn stegfs_uses_an_order_of_magnitude_fewer_ios_than_stegcover() {
     // StegFS on a metered device.
     let metered = MeteredDevice::new(MemBlockDevice::new(1024, 16 * 1024));
     let steg_stats = metered.stats_handle();
-    let mut fs = stegfs_core::StegFs::format(
+    let fs = stegfs_core::StegFs::format(
         metered,
         stegfs_core::StegParams {
             random_fill: false,
@@ -125,7 +125,7 @@ fn mnemosyne_needs_less_space_than_replication_for_equal_tolerance() {
 fn stegfs_and_baselines_all_deny_wrong_credentials_identically() {
     let data = payload(5, 8 * 1024);
 
-    let mut fs = test_volume(4096);
+    let fs = test_volume(4096);
     fs.steg_create("x", "right", ObjectKind::File).unwrap();
     fs.write_hidden_with_key("x", "right", &data).unwrap();
     assert!(fs

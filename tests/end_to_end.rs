@@ -11,7 +11,7 @@ const BOB: &str = "bob uak";
 
 #[test]
 fn full_lifecycle_survives_remounts_and_recovery() {
-    let mut fs = test_volume(8192);
+    let fs = test_volume(8192);
 
     // Plain tree.
     fs.create_plain_dir("/docs").unwrap();
@@ -36,7 +36,7 @@ fn full_lifecycle_survives_remounts_and_recovery() {
 
     // Remount and verify everything.
     let dev = fs.unmount().unwrap();
-    let mut fs = StegFs::mount(dev, full_feature_params()).unwrap();
+    let fs = StegFs::mount(dev, full_feature_params()).unwrap();
     assert_eq!(
         fs.read_plain("/docs/visible.txt").unwrap(),
         b"ordinary file"
@@ -78,7 +78,7 @@ fn full_lifecycle_survives_remounts_and_recovery() {
     // Back up, destroy, recover onto a brand new device.
     let image = fs.steg_backup(b"admin").unwrap();
     drop(fs);
-    let mut recovered = StegFs::steg_recovery(
+    let recovered = StegFs::steg_recovery(
         MemBlockDevice::new(1024, 8192),
         &image,
         b"admin",
@@ -101,7 +101,7 @@ fn full_lifecycle_survives_remounts_and_recovery() {
 
 #[test]
 fn unhide_round_trips_through_plain_namespace() {
-    let mut fs = test_volume(4096);
+    let fs = test_volume(4096);
     let content = payload(2, 40 * 1024);
     fs.steg_create("secret", ALICE, ObjectKind::File).unwrap();
     fs.write_hidden_with_key("secret", ALICE, &content).unwrap();
@@ -117,7 +117,7 @@ fn unhide_round_trips_through_plain_namespace() {
 
 #[test]
 fn sessions_expose_connected_objects_only() {
-    let mut fs = test_volume(4096);
+    let fs = test_volume(4096);
     fs.steg_create("vault", ALICE, ObjectKind::Directory)
         .unwrap();
     fs.create_in_hidden_dir("vault", "inner", ALICE, ObjectKind::File)
@@ -152,7 +152,7 @@ fn hidden_data_survives_heavy_plain_churn() {
     // Hidden blocks are protected by the bitmap even though the central
     // directory knows nothing about them: create/delete lots of plain files
     // around a hidden one and make sure it is never overwritten.
-    let mut fs = test_volume(8192);
+    let fs = test_volume(8192);
     let secret = payload(3, 200 * 1024);
     fs.steg_create("precious", ALICE, ObjectKind::File).unwrap();
     fs.write_hidden_with_key("precious", ALICE, &secret)
@@ -179,7 +179,7 @@ fn hidden_data_survives_heavy_plain_churn() {
 
 #[test]
 fn dummy_file_maintenance_does_not_disturb_user_data() {
-    let mut fs = test_volume(8192);
+    let fs = test_volume(8192);
     let secret = payload(4, 100 * 1024);
     fs.steg_create("user-data", ALICE, ObjectKind::File)
         .unwrap();

@@ -32,7 +32,7 @@ proptest! {
             1 => AllocPolicy::Contiguous,
             _ => AllocPolicy::frag_disk(),
         };
-        let mut fs = PlainFs::format(
+        let fs = PlainFs::format(
             MemBlockDevice::new(1024, 2048),
             FormatOptions { policy, ..FormatOptions::default() },
         ).unwrap();
@@ -46,7 +46,7 @@ proptest! {
         offset_frac in 0.0f64..1.0,
         len in 1usize..5_000
     ) {
-        let mut fs = PlainFs::format(
+        let fs = PlainFs::format(
             MemBlockDevice::new(1024, 2048),
             FormatOptions::default(),
         ).unwrap();
@@ -64,7 +64,7 @@ proptest! {
         uak in "[a-zA-Z0-9 ]{4,24}",
         name in "[a-z][a-z0-9-]{0,16}"
     ) {
-        let mut fs = StegFs::format(MemBlockDevice::new(1024, 4096), quick_steg_params()).unwrap();
+        let fs = StegFs::format(MemBlockDevice::new(1024, 4096), quick_steg_params()).unwrap();
         fs.steg_create(&name, &uak, ObjectKind::File).unwrap();
         fs.write_hidden_with_key(&name, &uak, &data).unwrap();
         prop_assert_eq!(fs.read_hidden_with_key(&name, &uak).unwrap(), data);
@@ -77,7 +77,7 @@ proptest! {
     fn hidden_rewrite_never_leaks_blocks(
         sizes in proptest::collection::vec(0usize..50_000, 1..5)
     ) {
-        let mut fs = StegFs::format(MemBlockDevice::new(1024, 4096), quick_steg_params()).unwrap();
+        let fs = StegFs::format(MemBlockDevice::new(1024, 4096), quick_steg_params()).unwrap();
         fs.steg_create("rw", "key", ObjectKind::File).unwrap();
         let baseline = fs.space_report().unwrap().free_blocks;
         let mut last = Vec::new();

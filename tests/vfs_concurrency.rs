@@ -190,6 +190,89 @@ fn mixed_plain_hidden_traffic_from_many_threads() {
 }
 
 #[test]
+fn writers_progress_while_a_streaming_handle_stays_open() {
+    // Regression test for the shared-reference redesign: under the old
+    // global write lock every operation queued behind one guard; now an open
+    // streaming handle on one file must not impede writers of *other* files.
+    // A holder keeps one hidden file open and streams it continuously while
+    // two writers chew through their own files; everyone must finish, and
+    // the holder must still be mid-stream (handle open) when the writers do.
+    let dev = SharedDevice::new(MemBlockDevice::new(1024, 16384));
+    let vfs = Arc::new(Vfs::format(dev, StegParams::for_tests()).expect("format"));
+    let writers_done = Arc::new(AtomicUsize::new(0));
+    let holder_ready = Arc::new(Barrier::new(3));
+
+    // Pre-create the streamed file.
+    let owner = vfs.signon(SECRET_UAK);
+    let h = vfs
+        .open(owner, "/hidden/long-stream", OpenOptions::read_write())
+        .expect("open");
+    let streamed = payload(99, 0, 32 * 1024);
+    vfs.write_at(h, 0, &streamed).expect("prefill");
+    vfs.close(h).expect("close");
+    vfs.signoff(owner).expect("signoff");
+
+    let holder = {
+        let vfs = Arc::clone(&vfs);
+        let writers_done = Arc::clone(&writers_done);
+        let holder_ready = Arc::clone(&holder_ready);
+        let streamed = streamed.clone();
+        thread::spawn(move || {
+            let s = vfs.signon(SECRET_UAK);
+            let h = vfs
+                .open(s, "/hidden/long-stream", OpenOptions::read_only())
+                .expect("open stream");
+            holder_ready.wait();
+            // Stream in small chunks, wrapping around, until both writers
+            // are done — the handle stays open the whole time.
+            let mut wrapped = 0usize;
+            while writers_done.load(Ordering::Acquire) < 2 || wrapped < 1 {
+                let chunk = vfs.read(h, 1024).expect("stream chunk");
+                if chunk.is_empty() {
+                    vfs.seek(h, SeekFrom::Start(0)).expect("rewind");
+                    wrapped += 1;
+                    continue;
+                }
+            }
+            // Validate one full pass at the end.
+            vfs.seek(h, SeekFrom::Start(0)).expect("rewind");
+            let all = vfs.read_at(h, 0, streamed.len()).expect("full read");
+            assert_eq!(all, streamed, "stream torn by concurrent writers");
+            vfs.close(h).expect("close");
+            vfs.signoff(s).expect("signoff");
+        })
+    };
+
+    let writers: Vec<_> = (0..2usize)
+        .map(|w| {
+            let vfs = Arc::clone(&vfs);
+            let writers_done = Arc::clone(&writers_done);
+            let holder_ready = Arc::clone(&holder_ready);
+            thread::spawn(move || {
+                let s = vfs.signon(SECRET_UAK);
+                holder_ready.wait();
+                for round in 0..12 {
+                    let path = format!("/hidden/writer-{w}");
+                    let h = vfs.open(s, &path, OpenOptions::read_write()).expect("open");
+                    let data = payload(w * 7, round, 4096 + round * 97);
+                    vfs.write_at(h, 0, &data).expect("write");
+                    assert_eq!(vfs.read_at(h, 0, data.len()).expect("read"), data);
+                    vfs.close(h).expect("close");
+                }
+                writers_done.fetch_add(1, Ordering::Release);
+                vfs.signoff(s).expect("signoff");
+            })
+        })
+        .collect();
+
+    for w in writers {
+        w.join().expect("writer panicked");
+    }
+    holder.join().expect("holder panicked");
+    assert_eq!(vfs.open_handles(), 0);
+}
+
+#[test]
 fn many_threads_share_one_hidden_file_positionally() {
     // 8 threads, one object, disjoint 512-byte strips: concurrent pread /
     // pwrite through per-thread handles must not interleave into torn data.
