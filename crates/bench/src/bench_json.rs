@@ -1,0 +1,198 @@
+//! Section-merging writer for `BENCH.json`.
+//!
+//! `BENCH.json` is one flat JSON object whose top-level keys are benchmark
+//! sections (`"vfs_scaling"`, `"engine_scaling"`, ...), each written by a
+//! different `repro` flag.  Rewriting the whole file from one sweep would
+//! silently drop every other sweep's trajectory, so this module *merges*: it
+//! scans the existing file's top-level sections (a tiny purpose-built
+//! scanner — the workspace has no serde), replaces or appends the section
+//! being written, and preserves everything else verbatim.
+
+/// Split the top level of a JSON object into `(key, raw value)` pairs, in
+/// order.  Returns `None` when `text` is not a parseable flat object (the
+/// caller then starts a fresh file).  Values are kept as raw slices — the
+/// scanner only needs to find their extents, which takes brace/bracket depth
+/// tracking and string awareness, not a full JSON parser.
+fn split_sections(text: &str) -> Option<Vec<(String, String)>> {
+    let bytes = text.as_bytes();
+    let mut i = skip_ws(bytes, 0);
+    if bytes.get(i) != Some(&b'{') {
+        return None;
+    }
+    i += 1;
+    let mut out = Vec::new();
+    loop {
+        i = skip_ws(bytes, i);
+        match bytes.get(i) {
+            Some(&b'}') => return Some(out),
+            Some(&b'"') => {}
+            _ => return None,
+        }
+        let (key, after_key) = scan_string(bytes, i)?;
+        i = skip_ws(bytes, after_key);
+        if bytes.get(i) != Some(&b':') {
+            return None;
+        }
+        i = skip_ws(bytes, i + 1);
+        let value_start = i;
+        i = scan_value(bytes, i)?;
+        out.push((key, text[value_start..i].trim().to_string()));
+        i = skip_ws(bytes, i);
+        match bytes.get(i) {
+            Some(&b',') => i += 1,
+            Some(&b'}') => return Some(out),
+            _ => return None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
+    while matches!(bytes.get(i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+        i += 1;
+    }
+    i
+}
+
+/// Scan the string starting at `bytes[start] == b'"'`; returns the unescaped
+/// content (escapes are preserved raw — keys here are plain identifiers) and
+/// the index just past the closing quote.
+fn scan_string(bytes: &[u8], start: usize) -> Option<(String, usize)> {
+    let mut i = start + 1;
+    let mut s = String::new();
+    loop {
+        match bytes.get(i)? {
+            b'"' => return Some((s, i + 1)),
+            b'\\' => {
+                s.push(*bytes.get(i + 1)? as char);
+                i += 2;
+            }
+            &c => {
+                s.push(c as char);
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Scan one JSON value starting at `start`; returns the index just past it.
+fn scan_value(bytes: &[u8], start: usize) -> Option<usize> {
+    match bytes.get(start)? {
+        b'"' => scan_string(bytes, start).map(|(_, end)| end),
+        b'{' | b'[' => {
+            let mut depth = 0usize;
+            let mut i = start;
+            loop {
+                match bytes.get(i)? {
+                    b'{' | b'[' => depth += 1,
+                    b'}' | b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some(i + 1);
+                        }
+                    }
+                    b'"' => {
+                        i = scan_string(bytes, i)?.1;
+                        continue;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+        // A scalar: runs to the next comma or closing brace at this level.
+        _ => {
+            let mut i = start;
+            while !matches!(bytes.get(i), None | Some(b',' | b'}' | b']')) {
+                i += 1;
+            }
+            Some(i)
+        }
+    }
+}
+
+/// Merge `(key, value_json)` into `existing` (the previous file contents, or
+/// `None` / unparseable to start fresh), returning the new file contents.
+/// The section replaces an existing entry of the same key in place and
+/// appends otherwise; every other section is preserved byte for byte.
+pub fn merge_section(existing: Option<&str>, key: &str, value_json: &str) -> String {
+    let mut sections = existing.and_then(split_sections).unwrap_or_default();
+    let value = value_json.trim().to_string();
+    match sections.iter_mut().find(|(k, _)| k == key) {
+        Some(slot) => slot.1 = value,
+        None => sections.push((key.to_string(), value)),
+    }
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in sections.iter().enumerate() {
+        out.push_str(&format!(
+            "  \"{}\": {}{}\n",
+            k,
+            v,
+            if i + 1 == sections.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Read `path` (tolerating a missing file), merge the section, write back.
+pub fn update_file(path: &str, key: &str, value_json: &str) -> std::io::Result<()> {
+    let existing = std::fs::read_to_string(path).ok();
+    std::fs::write(path, merge_section(existing.as_deref(), key, value_json))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_file_gets_one_section() {
+        let out = merge_section(None, "a", "[1, 2]");
+        assert_eq!(out, "{\n  \"a\": [1, 2]\n}\n");
+    }
+
+    #[test]
+    fn merging_preserves_other_sections() {
+        let first = merge_section(None, "vfs_scaling", "[{\"threads\": 1}]");
+        let second = merge_section(Some(&first), "engine_scaling", "[{\"workers\": 12}]");
+        assert!(second.contains("\"vfs_scaling\": [{\"threads\": 1}]"));
+        assert!(second.contains("\"engine_scaling\": [{\"workers\": 12}]"));
+        // Re-writing a section replaces it in place, keeping the other.
+        let third = merge_section(Some(&second), "vfs_scaling", "[{\"threads\": 2}]");
+        assert!(third.contains("\"vfs_scaling\": [{\"threads\": 2}]"));
+        assert!(!third.contains("\"threads\": 1"));
+        assert!(third.contains("\"engine_scaling\": [{\"workers\": 12}]"));
+        // The result stays parseable by our own scanner.
+        assert_eq!(split_sections(&third).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn real_bench_shapes_roundtrip() {
+        let json = "{\n  \"vfs_scaling\": [\n    {\"threads\": 1, \"mode\": \"disjoint\", \
+                    \"ops_per_sec\": 117.3},\n    {\"threads\": 12, \"mode\": \"shared\", \
+                    \"ops_per_sec\": 114.8}\n  ]\n}\n";
+        let sections = split_sections(json).unwrap();
+        assert_eq!(sections.len(), 1);
+        assert_eq!(sections[0].0, "vfs_scaling");
+        assert!(sections[0].1.starts_with('['));
+        let merged = merge_section(Some(json), "engine_scaling", "[]");
+        let again = split_sections(&merged).unwrap();
+        assert_eq!(again.len(), 2);
+        assert_eq!(again[0].1, sections[0].1, "old section preserved verbatim");
+    }
+
+    #[test]
+    fn garbage_input_starts_fresh() {
+        for garbage in ["", "not json", "[1,2,3]", "{\"unterminated\": "] {
+            let out = merge_section(Some(garbage), "k", "7");
+            assert_eq!(out, "{\n  \"k\": 7\n}\n");
+        }
+    }
+
+    #[test]
+    fn strings_with_braces_do_not_confuse_the_scanner() {
+        let tricky = "{\"a\": \"”{[\\\"}]\", \"b\": [1, \"x}\"], \"c\": 3.5}";
+        let sections = split_sections(tricky).unwrap();
+        assert_eq!(sections.len(), 3);
+        assert_eq!(sections[2], ("c".to_string(), "3.5".to_string()));
+    }
+}

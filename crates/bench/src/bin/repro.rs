@@ -1,7 +1,8 @@
 //! `repro` — regenerate the tables and figures of the StegFS paper.
 //!
 //! ```text
-//! repro [--full] [--table N] [--fig N] [--space-summary] [--vfs-scaling] [--all]
+//! repro [--full] [--smoke] [--table N] [--fig N] [--space-summary]
+//!       [--vfs-scaling] [--engine-scaling] [--all]
 //! ```
 //!
 //! With no arguments (or `--all`) every artefact is produced.  The default
@@ -17,31 +18,37 @@ use stegfs_sim::WorkloadParams;
 
 struct Options {
     full: bool,
+    smoke: bool,
     tables: bool,
     figures: Vec<u32>,
     space: bool,
     vfs_scaling: bool,
+    engine_scaling: bool,
 }
 
 fn parse_args() -> Options {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut opts = Options {
         full: false,
+        smoke: false,
         tables: false,
         figures: Vec::new(),
         space: false,
         vfs_scaling: false,
+        engine_scaling: false,
     };
     let mut any_selection = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--full" => opts.full = true,
+            "--smoke" => opts.smoke = true,
             "--all" => {
                 opts.tables = true;
                 opts.figures = vec![6, 7, 8, 9];
                 opts.space = true;
                 opts.vfs_scaling = true;
+                opts.engine_scaling = true;
                 any_selection = true;
             }
             "--table" => {
@@ -70,6 +77,10 @@ fn parse_args() -> Options {
                 opts.vfs_scaling = true;
                 any_selection = true;
             }
+            "--engine-scaling" => {
+                opts.engine_scaling = true;
+                any_selection = true;
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other}")),
         }
@@ -80,6 +91,7 @@ fn parse_args() -> Options {
         opts.figures = vec![6, 7, 8, 9];
         opts.space = true;
         opts.vfs_scaling = true;
+        opts.engine_scaling = true;
     }
     opts
 }
@@ -89,11 +101,13 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: repro [--full] [--all] [--tables] [--fig N]... [--space-summary] [--vfs-scaling]\n\
+        "usage: repro [--full] [--smoke] [--all] [--tables] [--fig N]... [--space-summary]\n\
+         \t[--vfs-scaling] [--engine-scaling]\n\
          \n\
          Regenerates the tables and figures of 'StegFS: A Steganographic File\n\
          System' (Pang, Tan, Zhou — ICDE 2003).  Default scale is a 64 MB\n\
-         volume; --full uses the paper's 1 GB configuration."
+         volume; --full uses the paper's 1 GB configuration; --smoke shrinks\n\
+         the scaling sweeps to a seconds-long CI-sized run."
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -195,12 +209,47 @@ fn main() {
         // disjoint-object throughput should rise with thread count now that
         // the global volume write lock is gone.  The trajectory is recorded
         // in BENCH.json so successive PRs can be compared.
-        let ops_per_thread = if opts.full { 256 } else { 64 };
-        let points = stegfs_bench::vfs_scaling::run_sweep(ops_per_thread);
+        let (ops_per_thread, counts): (usize, &[usize]) = if opts.smoke {
+            (8, &[1, 4])
+        } else if opts.full {
+            (256, &stegfs_bench::vfs_scaling::THREAD_COUNTS)
+        } else {
+            (64, &stegfs_bench::vfs_scaling::THREAD_COUNTS)
+        };
+        let points = stegfs_bench::vfs_scaling::run_sweep_over(ops_per_thread, counts);
         println!("{}", stegfs_bench::vfs_scaling::render(&points));
-        let json = stegfs_bench::vfs_scaling::to_json(&points);
-        match std::fs::write("BENCH.json", &json) {
-            Ok(()) => println!("wrote BENCH.json ({} points)", points.len()),
+        let section = stegfs_bench::vfs_scaling::section_json(&points);
+        match stegfs_bench::bench_json::update_file("BENCH.json", "vfs_scaling", &section) {
+            Ok(()) => println!(
+                "merged vfs_scaling into BENCH.json ({} points)",
+                points.len()
+            ),
+            Err(e) => eprintln!("could not write BENCH.json: {e}"),
+        }
+    }
+
+    if opts.engine_scaling {
+        // Worker-scaling sweep through the request engine: the same
+        // LatencyDevice configuration as the VFS sweep, but requests flow
+        // from 12 depth-1 clients through the engine's queue and worker
+        // pool, and the batched I/O path serves each ~64 KiB operation with
+        // one overlapped device submission.
+        use stegfs_bench::engine_scaling as es;
+        let (clients, ops_per_client, counts): (usize, usize, &[usize]) = if opts.smoke {
+            (4, 4, &[1, 4])
+        } else if opts.full {
+            (es::CLIENTS, 128, &es::WORKER_COUNTS)
+        } else {
+            (es::CLIENTS, 32, &es::WORKER_COUNTS)
+        };
+        let points = es::run_sweep(clients, ops_per_client, counts);
+        println!("{}", es::render(&points));
+        let section = es::section_json(&points);
+        match stegfs_bench::bench_json::update_file("BENCH.json", "engine_scaling", &section) {
+            Ok(()) => println!(
+                "merged engine_scaling into BENCH.json ({} points)",
+                points.len()
+            ),
             Err(e) => eprintln!("could not write BENCH.json: {e}"),
         }
     }

@@ -1,0 +1,305 @@
+//! Worker-scaling sweep through the `stegfs-engine` request engine.
+//!
+//! The paper's Figures 7–9 measure StegFS as a *server*: many users submit
+//! file operations, the kernel driver executes them against one volume.
+//! [`crate::vfs_scaling`] measures the raw `Vfs` under direct threads; this
+//! sweep measures the same volume behind the request engine — a fixed
+//! multi-user client population (12 depth-1 clients, the shape of the
+//! paper's Figure 7 runs) against an engine of 1/2/4/8/12 workers, so the
+//! curve shows how much of the offered concurrency the engine's worker pool
+//! actually converts into throughput.
+//!
+//! The file set reuses [`stegfs_sim::FileSpec`] generation (uniform sizes
+//! just under 64 KiB, half `/plain`, half `/hidden`), and the device is the
+//! same [`LatencyDevice`] configuration as the VFS sweep, so the two
+//! `BENCH.json` sections are directly comparable.  Since the I/O path now
+//! batches whole extent lists into single submissions, a 64 KiB operation
+//! costs one overlapped service time instead of ~64 sequential ones — the
+//! engine curve must therefore sit at or above the direct-`Vfs` trajectory,
+//! which `repro --engine-scaling` records next to it.
+
+use crate::vfs_scaling::BLOCK_LATENCY;
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
+use stegfs_blockdev::{LatencyDevice, MemBlockDevice};
+use stegfs_core::StegParams;
+use stegfs_engine::{Client, Engine, Request, Response};
+use stegfs_sim::{FileSpec, WorkloadParams};
+use stegfs_vfs::{OpenOptions, Vfs, VfsHandle};
+
+/// The device behind the sweep (shared with the VFS sweep).
+pub type SweepDevice = LatencyDevice<MemBlockDevice>;
+
+/// Worker counts swept by [`run_sweep`].
+pub const WORKER_COUNTS: [usize; 5] = [1, 2, 4, 8, 12];
+
+/// Number of concurrent depth-1 clients (the multi-user population).
+pub const CLIENTS: usize = 12;
+
+/// Files per client: one plain, one hidden.
+const FILES_PER_CLIENT: usize = 2;
+
+/// One measured point of the engine sweep.
+#[derive(Debug, Clone)]
+pub struct EnginePoint {
+    /// Number of engine worker threads.
+    pub workers: usize,
+    /// Number of submitting clients.
+    pub clients: usize,
+    /// Operation: `"read"` or `"write"`.
+    pub op: &'static str,
+    /// Whole-file requests completed per second (all clients).
+    pub ops_per_sec: f64,
+    /// Total requests completed.
+    pub total_ops: u64,
+    /// Wall-clock time of the pass, in milliseconds.
+    pub elapsed_ms: f64,
+    /// Mean submit-to-completion latency per request, in milliseconds.
+    pub mean_latency_ms: f64,
+}
+
+fn params() -> StegParams {
+    StegParams {
+        random_fill: false,
+        dummy_file_count: 0,
+        ..StegParams::for_tests()
+    }
+}
+
+/// The workload file set: sizes drawn by the sim generator (Table 3 shape,
+/// scaled to the sweep's 64 KiB operation size).
+fn file_set(clients: usize) -> Vec<FileSpec> {
+    let workload = WorkloadParams {
+        volume_mb: 48,
+        file_count: clients * FILES_PER_CLIENT,
+        file_size_min: 63 * 1024,
+        file_size_max: 64 * 1024,
+        ..WorkloadParams::scaled_quick()
+    };
+    workload.generate_files()
+}
+
+/// Unified-namespace path of spec `index` for `client`: even files plain,
+/// odd files hidden, so both namespaces carry half the load.
+fn path_for(specs: &[FileSpec], client: usize, file: usize) -> String {
+    let index = client * FILES_PER_CLIENT + file;
+    let name = &specs[index].name;
+    if file.is_multiple_of(2) {
+        format!("/plain/{name}")
+    } else {
+        format!("/hidden/{name}")
+    }
+}
+
+fn build_volume(specs: &[FileSpec], clients: usize) -> Arc<Vfs<SweepDevice>> {
+    let dev = LatencyDevice::symmetric(MemBlockDevice::with_capacity_mb(1024, 48), BLOCK_LATENCY);
+    let vfs = Vfs::format(dev, params()).expect("format");
+    for c in 0..clients {
+        let s = vfs.signon("sweep key");
+        for f in 0..FILES_PER_CLIENT {
+            let index = c * FILES_PER_CLIENT + f;
+            let p = path_for(specs, c, f);
+            let h = vfs.open(s, &p, OpenOptions::read_write()).expect("open");
+            vfs.write_at(h, 0, &vec![0x5au8; specs[index].size as usize])
+                .expect("prefill");
+            vfs.close(h).expect("close");
+        }
+        vfs.signoff(s).expect("signoff");
+    }
+    Arc::new(vfs)
+}
+
+fn open_through_engine(client: &Client<SweepDevice>, path: &str) -> VfsHandle {
+    match client
+        .call(Request::Open {
+            path: path.into(),
+            opts: OpenOptions::read_write(),
+        })
+        .result
+        .expect("engine open")
+    {
+        Response::Handle(h) => h,
+        other => panic!("open returned {other:?}"),
+    }
+}
+
+/// One measured pass: every client streams `ops_per_client` whole-file
+/// depth-1 requests through the engine.  Returns
+/// `(total ops, elapsed ms, mean latency ms)`.
+fn one_pass(
+    engine: &Arc<Engine<SweepDevice>>,
+    specs: &Arc<Vec<FileSpec>>,
+    clients: usize,
+    write: bool,
+    ops_per_client: usize,
+) -> (u64, f64, f64) {
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let engine = Arc::clone(engine);
+            let specs = Arc::clone(specs);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let client = engine.client("sweep key");
+                let handles: Vec<(VfsHandle, usize)> = (0..FILES_PER_CLIENT)
+                    .map(|f| {
+                        let index = c * FILES_PER_CLIENT + f;
+                        (
+                            open_through_engine(&client, &path_for(&specs, c, f)),
+                            specs[index].size as usize,
+                        )
+                    })
+                    .collect();
+                barrier.wait();
+                let mut latency = Duration::ZERO;
+                for op in 0..ops_per_client {
+                    let (h, size) = handles[op % handles.len()];
+                    let completion = if write {
+                        client.call(Request::WriteAt {
+                            handle: h,
+                            offset: 0,
+                            data: vec![c as u8; size],
+                        })
+                    } else {
+                        client.call(Request::ReadAt {
+                            handle: h,
+                            offset: 0,
+                            len: size,
+                        })
+                    };
+                    match completion.result.expect("engine op") {
+                        Response::Data(d) => assert_eq!(d.len(), size),
+                        Response::Written(n) => assert_eq!(n, size),
+                        other => panic!("unexpected {other:?}"),
+                    }
+                    latency += completion.latency;
+                }
+                barrier.wait();
+                for (h, _) in handles {
+                    client.call(Request::Close { handle: h });
+                }
+                client.signoff().expect("signoff");
+                latency
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    let start = Instant::now();
+    barrier.wait();
+    let elapsed = start.elapsed();
+    let mut latency_total = Duration::ZERO;
+    for w in workers {
+        latency_total += w.join().expect("sweep client");
+    }
+    let total = (clients * ops_per_client) as u64;
+    (
+        total,
+        elapsed.as_secs_f64() * 1000.0,
+        latency_total.as_secs_f64() * 1000.0 / total as f64,
+    )
+}
+
+/// Run the sweep: for each worker count, a fresh volume and engine, a
+/// warm-up pass, then a measured read pass and a measured write pass.
+pub fn run_sweep(
+    clients: usize,
+    ops_per_client: usize,
+    worker_counts: &[usize],
+) -> Vec<EnginePoint> {
+    let specs = Arc::new(file_set(clients));
+    let mut out = Vec::new();
+    for &workers in worker_counts {
+        let vfs = build_volume(&specs, clients);
+        let engine = Arc::new(Engine::start(vfs, workers));
+        for (op, write) in [("read", false), ("write", true)] {
+            one_pass(&engine, &specs, clients, write, ops_per_client / 4 + 1);
+            let (total_ops, elapsed_ms, mean_latency_ms) =
+                one_pass(&engine, &specs, clients, write, ops_per_client);
+            out.push(EnginePoint {
+                workers,
+                clients,
+                op,
+                ops_per_sec: total_ops as f64 / (elapsed_ms / 1000.0),
+                total_ops,
+                elapsed_ms,
+                mean_latency_ms,
+            });
+        }
+        Arc::try_unwrap(engine)
+            .unwrap_or_else(|_| panic!("engine still shared"))
+            .shutdown();
+    }
+    out
+}
+
+/// Render the sweep as a text table.
+pub fn render(points: &[EnginePoint]) -> String {
+    let mut s = String::from(
+        "Engine worker-scaling sweep (~64 KB whole-file requests, 12 clients)\n\
+         op     workers      ops/sec   elapsed(ms)   mean latency(ms)\n",
+    );
+    for p in points {
+        s.push_str(&format!(
+            "{:<6} {:>7} {:>12.0} {:>13.1} {:>18.2}\n",
+            p.op, p.workers, p.ops_per_sec, p.elapsed_ms, p.mean_latency_ms
+        ));
+    }
+    s
+}
+
+/// Serialise the sweep to the `engine_scaling` JSON section (an array; the
+/// caller merges it into `BENCH.json` next to the other sections).
+pub fn section_json(points: &[EnginePoint]) -> String {
+    let mut s = String::from("[\n");
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workers\": {}, \"clients\": {}, \"op\": \"{}\", \"ops_per_sec\": {:.1}, \
+             \"total_ops\": {}, \"elapsed_ms\": {:.2}, \"mean_latency_ms\": {:.2}}}{}\n",
+            p.workers,
+            p.clients,
+            p.op,
+            p.ops_per_sec,
+            p.total_ops,
+            p.elapsed_ms,
+            p.mean_latency_ms,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_produces_points() {
+        let points = run_sweep(2, 2, &[2]);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert_eq!(p.total_ops, 4);
+            assert!(p.ops_per_sec > 0.0);
+            assert!(p.mean_latency_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn section_json_is_well_formed_enough() {
+        let json = section_json(&[EnginePoint {
+            workers: 12,
+            clients: 12,
+            op: "read",
+            ops_per_sec: 1234.5,
+            total_ops: 768,
+            elapsed_ms: 622.2,
+            mean_latency_ms: 9.7,
+        }]);
+        assert!(json.contains("\"workers\": 12"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let merged = crate::bench_json::merge_section(None, "engine_scaling", &json);
+        assert!(merged.contains("\"engine_scaling\""));
+    }
+}

@@ -172,9 +172,15 @@ pub fn bench_pass(
 /// reads and writes.  `ops_per_thread` trades precision for runtime; 64 is
 /// enough for a stable ranking, 256+ for quotable numbers.
 pub fn run_sweep(ops_per_thread: usize) -> Vec<ScalingPoint> {
+    run_sweep_over(ops_per_thread, &THREAD_COUNTS)
+}
+
+/// As [`run_sweep`], restricted to the given thread counts (the `--smoke`
+/// CI variant sweeps a two-point subset).
+pub fn run_sweep_over(ops_per_thread: usize, thread_counts: &[usize]) -> Vec<ScalingPoint> {
     let mut out = Vec::new();
     for mode in ["disjoint", "shared"] {
-        for &threads in &THREAD_COUNTS {
+        for &threads in thread_counts {
             let vfs = build_volume(threads, mode);
             for (op, write) in [("read", false), ("write", true)] {
                 // One warm-up pass populates caches and steadies the layout.
@@ -209,9 +215,10 @@ pub fn render(points: &[ScalingPoint]) -> String {
     s
 }
 
-/// Serialise the sweep to JSON (hand-rolled: the workspace has no serde).
-pub fn to_json(points: &[ScalingPoint]) -> String {
-    let mut s = String::from("{\n  \"vfs_scaling\": [\n");
+/// Serialise the sweep to the `vfs_scaling` JSON section (an array; the
+/// caller merges it into `BENCH.json` next to the other sections).
+pub fn section_json(points: &[ScalingPoint]) -> String {
+    let mut s = String::from("[\n");
     for (i, p) in points.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"threads\": {}, \"mode\": \"{}\", \"op\": \"{}\", \"ops_per_sec\": {:.1}, \"total_ops\": {}, \"elapsed_ms\": {:.2}}}{}\n",
@@ -224,7 +231,7 @@ pub fn to_json(points: &[ScalingPoint]) -> String {
             if i + 1 == points.len() { "" } else { "," }
         ));
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ]");
     s
 }
 
@@ -254,9 +261,10 @@ mod tests {
             total_ops: 256,
             elapsed_ms: 2074.9,
         }];
-        let json = to_json(&points);
-        assert!(json.contains("\"threads\": 4"));
-        assert!(json.contains("\"vfs_scaling\""));
-        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let section = section_json(&points);
+        assert!(section.contains("\"threads\": 4"));
+        assert_eq!(section.matches('{').count(), section.matches('}').count());
+        let merged = crate::bench_json::merge_section(None, "vfs_scaling", &section);
+        assert!(merged.contains("\"vfs_scaling\""));
     }
 }

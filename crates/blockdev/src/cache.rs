@@ -150,6 +150,54 @@ impl<D: BlockDevice> BlockDevice for BufferCache<D> {
         Ok(())
     }
 
+    // Batched reads serve hits from the cache and gather every miss into one
+    // inner submission; batched writes go through in one submission and then
+    // populate the cache.  Both run under one hold of the cache lock, the
+    // same consistency rule as the single-block paths.
+    fn read_blocks(&self, blocks: &[BlockId], buf: &mut [u8]) -> BlockResult<()> {
+        let bs = self.inner.block_size();
+        if buf.len() != blocks.len() * bs {
+            // Delegate the error shape to the inner device.
+            return self.inner.read_blocks(blocks, buf);
+        }
+        let mut state = self.state.lock();
+        let mut missing: Vec<(usize, BlockId)> = Vec::new();
+        for (i, &block) in blocks.iter().enumerate() {
+            if let Some((data, _)) = state.entries.get(&block) {
+                buf[i * bs..(i + 1) * bs].copy_from_slice(data);
+                state.stats.hits += 1;
+                state.touch(block);
+            } else {
+                missing.push((i, block));
+            }
+        }
+        if missing.is_empty() {
+            return Ok(());
+        }
+        let miss_blocks: Vec<BlockId> = missing.iter().map(|&(_, b)| b).collect();
+        let mut miss_buf = vec![0u8; miss_blocks.len() * bs];
+        self.inner.read_blocks(&miss_blocks, &mut miss_buf)?;
+        for (j, &(i, block)) in missing.iter().enumerate() {
+            let data = &miss_buf[j * bs..(j + 1) * bs];
+            buf[i * bs..(i + 1) * bs].copy_from_slice(data);
+            state.stats.misses += 1;
+            state.insert(block, data.to_vec(), self.capacity);
+        }
+        Ok(())
+    }
+
+    fn write_blocks(&self, blocks: &[BlockId], buf: &[u8]) -> BlockResult<()> {
+        let mut state = self.state.lock();
+        self.inner.write_blocks(blocks, buf)?;
+        let bs = self.inner.block_size();
+        if buf.len() == blocks.len() * bs {
+            for (i, &block) in blocks.iter().enumerate() {
+                state.insert(block, buf[i * bs..(i + 1) * bs].to_vec(), self.capacity);
+            }
+        }
+        Ok(())
+    }
+
     fn flush(&self) -> BlockResult<()> {
         self.inner.flush()
     }
@@ -214,6 +262,45 @@ mod tests {
         let misses_before = cache.stats().misses;
         cache.read_block(1, &mut buf).unwrap();
         assert_eq!(cache.stats().misses, misses_before + 1);
+    }
+
+    #[test]
+    fn batched_read_gathers_misses_into_one_submission() {
+        let metered = MeteredDevice::new(MemBlockDevice::new(64, 16));
+        let io = metered.stats_handle();
+        let cache = BufferCache::new(metered, 8);
+        // Warm blocks 2 and 5.
+        let mut one = vec![0u8; 64];
+        cache.read_block(2, &mut one).unwrap();
+        cache.read_block(5, &mut one).unwrap();
+        io.reset();
+        // Batch of 4: two hits, two misses -> one inner submission of 2.
+        let mut buf = vec![0u8; 4 * 64];
+        cache.read_blocks(&[2, 3, 5, 6], &mut buf).unwrap();
+        let s = io.snapshot();
+        assert_eq!(s.reads, 2, "only the misses reach the device");
+        assert_eq!(s.read_submissions, 1, "misses gathered into one batch");
+        assert_eq!(cache.stats().hits, 2);
+        // A repeat of the same batch is now all hits.
+        cache.read_blocks(&[2, 3, 5, 6], &mut buf).unwrap();
+        assert_eq!(io.snapshot().reads, 2);
+    }
+
+    #[test]
+    fn batched_write_is_write_through_and_caches() {
+        let metered = MeteredDevice::new(MemBlockDevice::new(64, 16));
+        let io = metered.stats_handle();
+        let cache = BufferCache::new(metered, 8);
+        let data: Vec<u8> = (0..3 * 64).map(|i| (i % 251) as u8).collect();
+        cache.write_blocks(&[1, 4, 7], &data).unwrap();
+        let s = io.snapshot();
+        assert_eq!(s.writes, 3);
+        assert_eq!(s.write_submissions, 1);
+        // Reads come straight from the cache.
+        let mut buf = vec![0u8; 3 * 64];
+        cache.read_blocks(&[1, 4, 7], &mut buf).unwrap();
+        assert_eq!(buf, data);
+        assert_eq!(io.snapshot().reads, 0);
     }
 
     #[test]

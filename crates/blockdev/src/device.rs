@@ -37,6 +37,38 @@ pub trait BlockDevice {
     /// `buf.len()` must equal [`block_size`](Self::block_size).
     fn write_block(&self, block: BlockId, buf: &[u8]) -> BlockResult<()>;
 
+    /// Read a batch of blocks in **one submission**: `buf` is the
+    /// concatenation of the blocks named by `blocks`, in order, so
+    /// `buf.len()` must equal `blocks.len() * block_size`.
+    ///
+    /// The default implementation loops block at a time, so every backend is
+    /// automatically batch-capable; backends with a cheaper bulk path
+    /// override it ([`MemBlockDevice`] copies under one pass,
+    /// [`crate::LatencyDevice`] charges the batch one *overlapped* service
+    /// time instead of sleeping per block, [`crate::MeteredDevice`] counts
+    /// the whole batch as a single submission).  Batches may name the same
+    /// block more than once; writes apply in order, so the last write wins,
+    /// exactly as the fallback loop behaves.
+    fn read_blocks(&self, blocks: &[BlockId], buf: &mut [u8]) -> BlockResult<()> {
+        let bs = self.block_size();
+        check_batch(blocks.len(), buf.len(), bs)?;
+        for (i, &block) in blocks.iter().enumerate() {
+            self.read_block(block, &mut buf[i * bs..(i + 1) * bs])?;
+        }
+        Ok(())
+    }
+
+    /// Write a batch of blocks in **one submission**; the counterpart of
+    /// [`read_blocks`](Self::read_blocks), with the same layout contract.
+    fn write_blocks(&self, blocks: &[BlockId], buf: &[u8]) -> BlockResult<()> {
+        let bs = self.block_size();
+        check_batch(blocks.len(), buf.len(), bs)?;
+        for (i, &block) in blocks.iter().enumerate() {
+            self.write_block(block, &buf[i * bs..(i + 1) * bs])?;
+        }
+        Ok(())
+    }
+
     /// Flush any buffered state to the backing store.  Defaults to a no-op.
     fn flush(&self) -> BlockResult<()> {
         Ok(())
@@ -53,6 +85,22 @@ pub trait BlockDevice {
         self.read_block(block, &mut buf)?;
         Ok(buf)
     }
+}
+
+pub(crate) fn check_batch(blocks: usize, buf_len: usize, block_size: usize) -> BlockResult<()> {
+    let expected = blocks
+        .checked_mul(block_size)
+        .ok_or(BlockError::BadBufferLength {
+            got: buf_len,
+            expected: usize::MAX,
+        })?;
+    if buf_len != expected {
+        return Err(BlockError::BadBufferLength {
+            got: buf_len,
+            expected,
+        });
+    }
+    Ok(())
 }
 
 pub(crate) fn check_access(
@@ -163,6 +211,47 @@ impl BlockDevice for MemBlockDevice {
         data[start..start + self.block_size].copy_from_slice(buf);
         Ok(())
     }
+
+    // The native batch paths validate the whole submission up front, then
+    // stream the copies in one pass (one stripe acquisition per block, no
+    // per-block re-validation or dispatch).
+    fn read_blocks(&self, blocks: &[BlockId], buf: &mut [u8]) -> BlockResult<()> {
+        check_batch(blocks.len(), buf.len(), self.block_size)?;
+        for &block in blocks {
+            if block >= self.total_blocks {
+                return Err(BlockError::OutOfRange {
+                    block,
+                    total: self.total_blocks,
+                });
+            }
+        }
+        for (i, &block) in blocks.iter().enumerate() {
+            let (stripe, start) = self.slot(block);
+            let data = stripe.lock();
+            buf[i * self.block_size..(i + 1) * self.block_size]
+                .copy_from_slice(&data[start..start + self.block_size]);
+        }
+        Ok(())
+    }
+
+    fn write_blocks(&self, blocks: &[BlockId], buf: &[u8]) -> BlockResult<()> {
+        check_batch(blocks.len(), buf.len(), self.block_size)?;
+        for &block in blocks {
+            if block >= self.total_blocks {
+                return Err(BlockError::OutOfRange {
+                    block,
+                    total: self.total_blocks,
+                });
+            }
+        }
+        for (i, &block) in blocks.iter().enumerate() {
+            let (stripe, start) = self.slot(block);
+            let mut data = stripe.lock();
+            data[start..start + self.block_size]
+                .copy_from_slice(&buf[i * self.block_size..(i + 1) * self.block_size]);
+        }
+        Ok(())
+    }
 }
 
 /// A cloneable, thread-safe handle to a block device.
@@ -241,6 +330,16 @@ impl BlockDevice for SharedDevice {
 
     fn write_block(&self, block: BlockId, buf: &[u8]) -> BlockResult<()> {
         self.inner.lock().write_block(block, buf)
+    }
+
+    // Forward batches whole, so a wrapped device that counts or overlaps
+    // submissions sees one submission, not a loop of singles.
+    fn read_blocks(&self, blocks: &[BlockId], buf: &mut [u8]) -> BlockResult<()> {
+        self.inner.lock().read_blocks(blocks, buf)
+    }
+
+    fn write_blocks(&self, blocks: &[BlockId], buf: &[u8]) -> BlockResult<()> {
+        self.inner.lock().write_blocks(blocks, buf)
     }
 
     fn flush(&self) -> BlockResult<()> {

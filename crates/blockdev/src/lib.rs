@@ -8,7 +8,15 @@
 //! user-space pieces:
 //!
 //! * [`BlockDevice`] — the trait every storage backend implements: fixed-size
-//!   blocks, addressed by [`BlockId`], read and written whole.
+//!   blocks, addressed by [`BlockId`], read and written whole.  Besides the
+//!   single-block transfers it carries a *batched* submission pair
+//!   ([`BlockDevice::read_blocks`] / [`BlockDevice::write_blocks`]): the
+//!   file-system layers hand a whole extent list down in one call, so a
+//!   multi-block object read costs one submission instead of one round-trip
+//!   per block.  Every backend is batch-capable (the trait provides a
+//!   fallback loop); the in-memory volume, the cache and the meter implement
+//!   it natively, and [`LatencyDevice`] *overlaps* the batch — one service
+//!   time per submission, io_uring-style, instead of a sleep per block.
 //! * [`MemBlockDevice`] — a `Vec`-backed volume used by unit tests and the
 //!   simulation experiments (a 1 GB volume of 1 KB blocks fits comfortably in
 //!   memory).

@@ -22,12 +22,25 @@ pub struct IoStats {
     pub bytes_read: u64,
     /// Bytes written.
     pub bytes_written: u64,
+    /// Number of read *submissions*: a single [`BlockDevice::read_block`]
+    /// counts one, and a whole [`BlockDevice::read_blocks`] batch counts one
+    /// — so `reads - read_submissions` is the number of block transfers that
+    /// rode along in batches.
+    pub read_submissions: u64,
+    /// Number of write submissions (see
+    /// [`read_submissions`](Self::read_submissions)).
+    pub write_submissions: u64,
 }
 
 impl IoStats {
     /// Total number of I/O operations.
     pub fn total_ops(&self) -> u64 {
         self.reads + self.writes
+    }
+
+    /// Total number of submissions (batched or single).
+    pub fn total_submissions(&self) -> u64 {
+        self.read_submissions + self.write_submissions
     }
 }
 
@@ -96,6 +109,7 @@ impl<D: BlockDevice> BlockDevice for MeteredDevice<D> {
         self.inner.read_block(block, buf)?;
         let mut s = self.stats.lock();
         s.reads += 1;
+        s.read_submissions += 1;
         s.bytes_read += buf.len() as u64;
         Ok(())
     }
@@ -104,6 +118,36 @@ impl<D: BlockDevice> BlockDevice for MeteredDevice<D> {
         self.inner.write_block(block, buf)?;
         let mut s = self.stats.lock();
         s.writes += 1;
+        s.write_submissions += 1;
+        s.bytes_written += buf.len() as u64;
+        Ok(())
+    }
+
+    // A batch is one submission carrying n transfers; forwarding it whole
+    // also lets a wrapped LatencyDevice overlap the batch.  Empty batches
+    // transfer nothing and count nothing (as LatencyDevice charges them
+    // nothing), keeping `reads - read_submissions` an exact measure of the
+    // transfers that rode along in batches.
+    fn read_blocks(&self, blocks: &[BlockId], buf: &mut [u8]) -> BlockResult<()> {
+        self.inner.read_blocks(blocks, buf)?;
+        if blocks.is_empty() {
+            return Ok(());
+        }
+        let mut s = self.stats.lock();
+        s.reads += blocks.len() as u64;
+        s.read_submissions += 1;
+        s.bytes_read += buf.len() as u64;
+        Ok(())
+    }
+
+    fn write_blocks(&self, blocks: &[BlockId], buf: &[u8]) -> BlockResult<()> {
+        self.inner.write_blocks(blocks, buf)?;
+        if blocks.is_empty() {
+            return Ok(());
+        }
+        let mut s = self.stats.lock();
+        s.writes += blocks.len() as u64;
+        s.write_submissions += 1;
         s.bytes_written += buf.len() as u64;
         Ok(())
     }
@@ -133,6 +177,27 @@ mod tests {
         assert_eq!(stats.bytes_read, 256);
         assert_eq!(stats.bytes_written, 512);
         assert_eq!(stats.total_ops(), 3);
+    }
+
+    #[test]
+    fn batches_count_one_submission() {
+        let dev = MeteredDevice::new(MemBlockDevice::new(256, 32));
+        let handle = dev.stats_handle();
+        let blocks: Vec<u64> = (4..20).collect();
+        let data = vec![9u8; 16 * 256];
+        dev.write_blocks(&blocks, &data).unwrap();
+        let mut out = vec![0u8; 16 * 256];
+        dev.read_blocks(&blocks, &mut out).unwrap();
+        let mut single = vec![0u8; 256];
+        dev.read_block(0, &mut single).unwrap();
+        let s = handle.snapshot();
+        assert_eq!(s.writes, 16);
+        assert_eq!(s.write_submissions, 1);
+        assert_eq!(s.reads, 17);
+        assert_eq!(s.read_submissions, 2);
+        assert_eq!(s.bytes_written, 16 * 256);
+        assert_eq!(s.total_submissions(), 3);
+        assert_eq!(out, data);
     }
 
     #[test]

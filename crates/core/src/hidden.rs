@@ -67,6 +67,40 @@ fn read_decrypted<D: BlockDevice>(
     Ok(buf)
 }
 
+/// Read a whole extent list in **one batched device submission**, then
+/// decrypt each block in place (the cipher is keyed per block number, so the
+/// crypto stays per-block while the I/O batches).
+fn read_decrypted_many<D: BlockDevice>(
+    fs: &PlainFs<D>,
+    keys: &ObjectKeys,
+    blocks: &[u64],
+) -> StegResult<Vec<u8>> {
+    let bs = fs.block_size();
+    let mut buf = fs.read_raw_blocks(blocks)?;
+    for (i, &block) in blocks.iter().enumerate() {
+        keys.decrypt_block(block, &mut buf[i * bs..(i + 1) * bs]);
+    }
+    Ok(buf)
+}
+
+/// Encrypt `plaintext` (the concatenation of the blocks' contents) per block
+/// **in place** — every caller hands over a scratch buffer it is done with —
+/// and write the whole extent list in **one batched device submission**.
+fn write_encrypted_many<D: BlockDevice>(
+    fs: &PlainFs<D>,
+    keys: &ObjectKeys,
+    blocks: &[u64],
+    mut plaintext: Vec<u8>,
+) -> StegResult<()> {
+    let bs = fs.block_size();
+    debug_assert_eq!(plaintext.len(), blocks.len() * bs);
+    for (i, &block) in blocks.iter().enumerate() {
+        keys.encrypt_block(block, &mut plaintext[i * bs..(i + 1) * bs]);
+    }
+    fs.write_raw_blocks(blocks, &plaintext)?;
+    Ok(())
+}
+
 /// Create a new hidden object and write its initial (empty) header.
 ///
 /// The header lands at the first free block of the keyed candidate sequence;
@@ -165,17 +199,15 @@ fn chain_blocks_guard(chain_blocks: &[u64], total: u64) -> bool {
     chain_blocks.len() as u64 > total
 }
 
-/// Read the full contents of a hidden object.
+/// Read the full contents of a hidden object: one chain walk, then the whole
+/// extent list in one batched submission.
 pub fn read<D: BlockDevice>(
     fs: &PlainFs<D>,
     keys: &ObjectKeys,
     obj: &HiddenObject,
 ) -> StegResult<Vec<u8>> {
     let (data_blocks, _) = read_chain(fs, keys, obj)?;
-    let mut out = Vec::with_capacity(obj.header.size as usize);
-    for &b in &data_blocks {
-        out.extend_from_slice(&read_decrypted(fs, keys, b)?);
-    }
+    let mut out = read_decrypted_many(fs, keys, &data_blocks)?;
     out.truncate(obj.header.size as usize);
     Ok(out)
 }
@@ -188,28 +220,24 @@ pub fn read_range<D: BlockDevice>(
     offset: u64,
     len: usize,
 ) -> StegResult<Vec<u8>> {
-    if offset >= obj.header.size {
+    if len == 0 || offset >= obj.header.size {
         return Ok(Vec::new());
     }
     let end = (offset + len as u64).min(obj.header.size);
     let bs = fs.block_size() as u64;
     let (data_blocks, _) = read_chain(fs, keys, obj)?;
-    let first = offset / bs;
-    let last = (end - 1) / bs;
-    let mut out = Vec::with_capacity((end - offset) as usize);
-    for logical in first..=last {
-        let physical = *data_blocks.get(logical as usize).ok_or_else(|| {
-            StegError::Fs(stegfs_fs::FsError::Corrupt(
-                "hidden object shorter than its size field".into(),
-            ))
-        })?;
-        let block = read_decrypted(fs, keys, physical)?;
-        let block_start = logical * bs;
-        let from = offset.max(block_start) - block_start;
-        let to = end.min(block_start + bs) - block_start;
-        out.extend_from_slice(&block[from as usize..to as usize]);
-    }
-    Ok(out)
+    let first = (offset / bs) as usize;
+    let last = ((end - 1) / bs) as usize;
+    let span = data_blocks.get(first..=last).ok_or_else(|| {
+        StegError::Fs(stegfs_fs::FsError::Corrupt(
+            "hidden object shorter than its size field".into(),
+        ))
+    })?;
+    // One batched submission covers the whole extent of the range.
+    let plain = read_decrypted_many(fs, keys, span)?;
+    let from = (offset - first as u64 * bs) as usize;
+    let to = (end - first as u64 * bs) as usize;
+    Ok(plain[from..to].to_vec())
 }
 
 /// Overwrite part of an existing hidden object in place.  The range must lie
@@ -235,24 +263,27 @@ pub fn write_range<D: BlockDevice>(
     }
     let bs = fs.block_size() as u64;
     let (data_blocks, _) = read_chain(fs, keys, obj)?;
-    let first = offset / bs;
-    let last = (end - 1) / bs;
-    for logical in first..=last {
-        let physical = *data_blocks.get(logical as usize).ok_or_else(|| {
-            StegError::Fs(stegfs_fs::FsError::Corrupt(
-                "hidden object shorter than its size field".into(),
-            ))
-        })?;
-        let block_start = logical * bs;
-        let from = (offset.max(block_start) - block_start) as usize;
-        let to = (end.min(block_start + bs) - block_start) as usize;
-        let src_from = (block_start + from as u64 - offset) as usize;
-        let src_to = (block_start + to as u64 - offset) as usize;
-        let mut plain = read_decrypted(fs, keys, physical)?;
-        plain[from..to].copy_from_slice(&data[src_from..src_to]);
-        write_encrypted(fs, keys, physical, &plain)?;
-    }
-    Ok(())
+    let first = (offset / bs) as usize;
+    let last = ((end - 1) / bs) as usize;
+    let span = data_blocks.get(first..=last).ok_or_else(|| {
+        StegError::Fs(stegfs_fs::FsError::Corrupt(
+            "hidden object shorter than its size field".into(),
+        ))
+    })?;
+    // Batched read-modify-write: only a partial head or tail block needs its
+    // old contents (fully covered middle blocks are rebuilt from `data`; the
+    // edge selection is the shared [`stegfs_fs::rmw`] plan), so at most two
+    // edge blocks come up in one submission and the whole patched extent
+    // goes back down in one submission.
+    let span_start = first as u64 * bs;
+    let bs = bs as usize;
+    let plan = stegfs_fs::rmw::plan(span, offset, end, span_start, bs);
+    let edge_plain = read_decrypted_many(fs, keys, &plan.edges)?;
+    let mut plain = vec![0u8; span.len() * bs];
+    plan.seed_edges(&edge_plain, &mut plain, bs);
+    let from = (offset - span_start) as usize;
+    plain[from..from + data.len()].copy_from_slice(data);
+    write_encrypted_many(fs, keys, span, plain)
 }
 
 /// Take one block for new data: prefer the internal free pool (choosing a
@@ -342,17 +373,15 @@ pub fn write<D: BlockDevice>(
     let mut recycled: Vec<u64> = old_data.into_iter().chain(old_chain).collect();
     let mut fresh = Vec::new();
     let result = (|| -> StegResult<()> {
-        // Write the data blocks.
+        // Claim every data block first, then push the whole extent list down
+        // as one batched submission (the zero tail pads the final block).
         let mut data_blocks = Vec::with_capacity(needed as usize);
-        for i in 0..needed as usize {
-            let block = take_block(fs, &mut header, rng, &mut recycled, &mut fresh)?;
-            let start = i * bs;
-            let end = ((i + 1) * bs).min(data.len());
-            let mut plain = vec![0u8; bs];
-            plain[..end - start].copy_from_slice(&data[start..end]);
-            write_encrypted(fs, keys, block, &plain)?;
-            data_blocks.push(block);
+        for _ in 0..needed {
+            data_blocks.push(take_block(fs, &mut header, rng, &mut recycled, &mut fresh)?);
         }
+        let mut padded = vec![0u8; data_blocks.len() * bs];
+        padded[..data.len()].copy_from_slice(data);
+        write_encrypted_many(fs, keys, &data_blocks, padded)?;
 
         // Build the inode chain (allocate chain blocks the same way).
         let chain_head = build_chain(
@@ -425,14 +454,18 @@ fn build_chain<D: BlockDevice>(
     for _ in &chunks {
         chain_block_numbers.push(take_block(fs, header, rng, recycled, fresh)?);
     }
+    // Serialise every chain block, then write the whole chain in one batched
+    // submission.
+    let mut plain = vec![0u8; chunks.len() * bs];
     for (i, chunk) in chunks.iter().enumerate() {
         let next = chain_block_numbers.get(i + 1).copied().unwrap_or(NO_BLOCK);
         let chain = InodeChainBlock {
             next,
             pointers: chunk.to_vec(),
         };
-        write_encrypted(fs, keys, chain_block_numbers[i], &chain.serialize(bs))?;
+        plain[i * bs..(i + 1) * bs].copy_from_slice(&chain.serialize(bs));
     }
+    write_encrypted_many(fs, keys, &chain_block_numbers, plain)?;
     Ok(chain_block_numbers[0])
 }
 
@@ -520,12 +553,15 @@ pub fn resize<D: BlockDevice>(
             if available < extra + chain_needed {
                 return Err(StegError::NoSpace);
             }
-            let zero = vec![0u8; fs.block_size()];
+            // Claim the new tail blocks, then zero-fill them all in one
+            // batched submission.
+            let mut grown = Vec::with_capacity(extra as usize);
             for _ in 0..extra {
-                let block = take_block(fs, &mut header, rng, &mut recycled, &mut fresh)?;
-                write_encrypted(fs, keys, block, &zero)?;
-                data_blocks.push(block);
+                grown.push(take_block(fs, &mut header, rng, &mut recycled, &mut fresh)?);
             }
+            let zeros = vec![0u8; grown.len() * fs.block_size()];
+            write_encrypted_many(fs, keys, &grown, zeros)?;
+            data_blocks.extend(grown);
         }
 
         // Rebuild the chain from the recycled blocks first, absorb surplus
@@ -715,6 +751,9 @@ mod tests {
             &data[9_990..]
         );
         assert!(read_range(&fs, &keys, &obj, 20_000, 5).unwrap().is_empty());
+        // Zero-length reads are empty, not an underflow (offset 0 included).
+        assert!(read_range(&fs, &keys, &obj, 0, 0).unwrap().is_empty());
+        assert!(read_range(&fs, &keys, &obj, 1024, 0).unwrap().is_empty());
     }
 
     #[test]

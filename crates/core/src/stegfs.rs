@@ -25,7 +25,10 @@
 //!
 //! Lock order (outer to inner): `UAK shard < object shard <` the `PlainFs`
 //! locks (`namespace < inode-stripe < allocator < device`).  No operation
-//! acquires two UAK shards or two object shards at once.
+//! acquires two UAK shards at once.  The hidden-directory child operations
+//! ([`StegFs::remove_dir_child`]) are the one case that needs *two object
+//! shards* (the parent's listing and the child object); they acquire the
+//! pair in ascending shard-index order, so no cycle can form.
 //!
 //! The handle-based operations ([`StegFs::read_range_at`],
 //! [`StegFs::write_range_at`], [`StegFs::write_at_handle`],
@@ -728,9 +731,10 @@ impl<D: BlockDevice> StegFs<D> {
     }
 
     /// Delete the hidden object `objname` and remove it from the UAK
-    /// directory.  Returns the removed entry so callers that track objects
-    /// by physical name (the VFS object cache) need not re-walk the
-    /// directory just to learn it.
+    /// directory.  A hidden directory must be empty (deleting a populated
+    /// listing would orphan its children's blocks forever).  Returns the
+    /// removed entry so callers that track objects by physical name (the
+    /// VFS object cache) need not re-walk the directory just to learn it.
     pub fn delete_hidden(&self, objname: &str, uak: &str) -> StegResult<DirectoryEntry> {
         let _uak_lock = self.uak_guard(uak);
         let (mut dir, existing) = self.load_uak_directory(uak)?;
@@ -741,6 +745,11 @@ impl<D: BlockDevice> StegFs<D> {
         {
             let _obj_lock = self.object_guard(&entry.physical_name);
             let obj = hidden::open(&self.fs, &entry.physical_name, &keys, &self.params)?;
+            if entry.kind == ObjectKind::Directory {
+                // The on-disk UAK directory is only rewritten below, so
+                // refusing here leaves the object fully intact.
+                self.ensure_hidden_dir_empty(&keys, &obj, objname)?;
+            }
             let mut rng = self.fork_rng();
             hidden::delete(&self.fs, &keys, &obj, &mut rng)?;
         }
@@ -953,6 +962,195 @@ impl<D: BlockDevice> StegFs<D> {
             .iter()
             .map(|e| (e.name.clone(), e.kind))
             .collect())
+    }
+
+    /// Refuse to destroy a hidden directory that still lists children
+    /// (destroying a populated listing would orphan their blocks forever).
+    /// Caller holds the object's shard and has already opened `obj`.
+    fn ensure_hidden_dir_empty(
+        &self,
+        keys: &ObjectKeys,
+        obj: &HiddenObject,
+        name: &str,
+    ) -> StegResult<()> {
+        let raw = hidden::read(&self.fs, keys, obj)?;
+        let listing = if raw.is_empty() {
+            UakDirectory::new()
+        } else {
+            UakDirectory::deserialize(&raw)?
+        };
+        if !listing.entries.is_empty() {
+            return Err(StegError::Fs(stegfs_fs::FsError::DirectoryNotEmpty(
+                name.to_string(),
+            )));
+        }
+        Ok(())
+    }
+
+    /// Remove (and destroy) the child `child_name` of the hidden directory
+    /// described by `parent`, returning the removed child's entry.  A child
+    /// directory must be empty.
+    ///
+    /// This is the one operation that holds **two object shards** — the
+    /// parent's (serialising the listing read-modify-write) and the child's
+    /// (so in-flight I/O on the child drains before its blocks are freed).
+    /// The pair is acquired in ascending shard-index order; when the child's
+    /// shard sorts below the parent's, the parent shard is released and the
+    /// pair re-acquired in order, revalidating the listing afterwards.
+    ///
+    /// The child is unpublished from the parent's listing *before* its
+    /// blocks are freed, so a racing lookup can never be handed an entry
+    /// whose object is already gone; a crash between the two steps leaks the
+    /// child's blocks (allocated, unreferenced) rather than corrupting the
+    /// directory.
+    pub fn remove_dir_child(
+        &self,
+        parent: &DirectoryEntry,
+        child_name: &str,
+    ) -> StegResult<DirectoryEntry> {
+        if parent.kind != ObjectKind::Directory {
+            return Err(StegError::WrongObjectKind {
+                name: parent.name.clone(),
+                expected: ObjectKind::Directory,
+            });
+        }
+        let pidx = shard_index(&parent.physical_name, self.object_locks.len());
+        loop {
+            let pguard = self.object_locks[pidx].lock();
+            let children = self.read_listing_locked(parent)?;
+            let child = children
+                .find(child_name)
+                .cloned()
+                .ok_or_else(|| StegError::NotFound(child_name.to_string()))?;
+            let cidx = shard_index(&child.physical_name, self.object_locks.len());
+            if cidx == pidx {
+                // One mutex covers both objects; it is already held.
+                return self.remove_child_locked(parent, children, child, pguard, None);
+            }
+            if cidx > pidx {
+                let cguard = self.object_locks[cidx].lock();
+                return self.remove_child_locked(parent, children, child, pguard, Some(cguard));
+            }
+            // The child's shard sorts first: release, re-acquire in order,
+            // and revalidate the listing (it may have changed meanwhile).
+            drop(pguard);
+            let cguard = self.object_locks[cidx].lock();
+            let pguard = self.object_locks[pidx].lock();
+            let children = self.read_listing_locked(parent)?;
+            match children.find(child_name) {
+                Some(c) if c.physical_name == child.physical_name && c.fak == child.fak => {
+                    let child = c.clone();
+                    return self.remove_child_locked(parent, children, child, pguard, Some(cguard));
+                }
+                // The entry changed (or vanished) while unlocked; retry from
+                // the top so the fresh binding is re-resolved.
+                _ => continue,
+            }
+        }
+    }
+
+    /// Second half of [`Self::remove_dir_child`]: both shards held.
+    fn remove_child_locked(
+        &self,
+        parent: &DirectoryEntry,
+        mut children: UakDirectory,
+        child: DirectoryEntry,
+        _parent_shard: MutexGuard<'_, ()>,
+        _child_shard: Option<MutexGuard<'_, ()>>,
+    ) -> StegResult<DirectoryEntry> {
+        let child_keys = ObjectKeys::derive(&child.physical_name, &child.fak);
+        let child_obj = hidden::open(&self.fs, &child.physical_name, &child_keys, &self.params)?;
+        if child.kind == ObjectKind::Directory {
+            self.ensure_hidden_dir_empty(&child_keys, &child_obj, &child.name)?;
+        }
+
+        // Unpublish, then destroy.
+        children.remove(&child.name);
+        let parent_keys = ObjectKeys::derive(&parent.physical_name, &parent.fak);
+        let mut parent_obj =
+            hidden::open(&self.fs, &parent.physical_name, &parent_keys, &self.params)?;
+        let mut rng = self.fork_rng();
+        hidden::write(
+            &self.fs,
+            &parent_keys,
+            &mut parent_obj,
+            &children.serialize(),
+            &self.params,
+            &mut rng,
+        )?;
+        hidden::delete(&self.fs, &child_keys, &child_obj, &mut rng)?;
+        self.session.lock().disconnect(&child.name);
+        Ok(child)
+    }
+
+    /// Rename the child `old` of the hidden directory described by `parent`
+    /// to `new`.  Only the listing entry changes — the child's physical name,
+    /// FAK and blocks stay put, so open handles and outstanding shares keep
+    /// working, exactly as with [`Self::rename_hidden`] at top level.
+    pub fn rename_dir_child(
+        &self,
+        parent: &DirectoryEntry,
+        old: &str,
+        new: &str,
+    ) -> StegResult<()> {
+        if parent.kind != ObjectKind::Directory {
+            return Err(StegError::WrongObjectKind {
+                name: parent.name.clone(),
+                expected: ObjectKind::Directory,
+            });
+        }
+        if new.is_empty() || new.contains('\0') {
+            return Err(StegError::InvalidName(new.to_string()));
+        }
+        let _parent_lock = self.object_guard(&parent.physical_name);
+        let mut children = self.read_listing_locked(parent)?;
+        if children.find(new).is_some() {
+            return Err(StegError::AlreadyExists(new.to_string()));
+        }
+        let mut entry = children
+            .remove(old)
+            .ok_or_else(|| StegError::NotFound(old.to_string()))?;
+        entry.name = new.to_string();
+        children.insert(entry)?;
+        let parent_keys = ObjectKeys::derive(&parent.physical_name, &parent.fak);
+        let mut parent_obj =
+            hidden::open(&self.fs, &parent.physical_name, &parent_keys, &self.params)?;
+        let mut rng = self.fork_rng();
+        hidden::write(
+            &self.fs,
+            &parent_keys,
+            &mut parent_obj,
+            &children.serialize(),
+            &self.params,
+            &mut rng,
+        )?;
+        self.session.lock().disconnect(old);
+        Ok(())
+    }
+
+    /// Name-based convenience for [`Self::remove_dir_child`]: delete the
+    /// child `child` of the top-level hidden directory `parent` (registered
+    /// under `uak`).
+    pub fn delete_in_hidden_dir(
+        &self,
+        parent: &str,
+        child: &str,
+        uak: &str,
+    ) -> StegResult<DirectoryEntry> {
+        let parent_entry = self.entry_for(parent, uak)?;
+        self.remove_dir_child(&parent_entry, child)
+    }
+
+    /// Name-based convenience for [`Self::rename_dir_child`].
+    pub fn rename_in_hidden_dir(
+        &self,
+        parent: &str,
+        old: &str,
+        new: &str,
+        uak: &str,
+    ) -> StegResult<()> {
+        let parent_entry = self.entry_for(parent, uak)?;
+        self.rename_dir_child(&parent_entry, old, new)
     }
 
     // ------------------------------------------------------------------
@@ -1363,6 +1561,108 @@ mod tests {
         // Children are readable through the session.
         fs.write_hidden("passwords", b"hunter2").unwrap();
         assert_eq!(fs.read_hidden("passwords").unwrap(), b"hunter2");
+    }
+
+    #[test]
+    fn delete_and_rename_inside_hidden_dir() {
+        let fs = small_fs();
+        fs.steg_create("vault", UAK, ObjectKind::Directory).unwrap();
+        let free_empty = fs.plain_fs().free_data_blocks();
+        fs.create_in_hidden_dir("vault", "a", UAK, ObjectKind::File)
+            .unwrap();
+        fs.create_in_hidden_dir("vault", "b", UAK, ObjectKind::File)
+            .unwrap();
+        let parent = fs.lookup_entry("vault", UAK).unwrap();
+        let a = fs
+            .read_hidden_dir_listing(&parent)
+            .unwrap()
+            .find("a")
+            .cloned()
+            .unwrap();
+        fs.write_hidden_entry(&a, &vec![7u8; 10 * 1024]).unwrap();
+
+        // Rename keeps the contents and the physical identity.
+        fs.rename_in_hidden_dir("vault", "a", "renamed", UAK)
+            .unwrap();
+        let listing = fs.list_hidden_dir("vault", UAK).unwrap();
+        assert!(listing.iter().any(|(n, _)| n == "renamed"));
+        assert!(!listing.iter().any(|(n, _)| n == "a"));
+        let renamed = fs
+            .read_hidden_dir_listing(&parent)
+            .unwrap()
+            .find("renamed")
+            .cloned()
+            .unwrap();
+        assert_eq!(renamed.physical_name, a.physical_name);
+        assert!(matches!(
+            fs.rename_in_hidden_dir("vault", "renamed", "b", UAK),
+            Err(StegError::AlreadyExists(_))
+        ));
+        assert!(fs
+            .rename_in_hidden_dir("vault", "ghost", "x", UAK)
+            .unwrap_err()
+            .is_not_found());
+
+        // Deleting returns the child's blocks and unpublishes the entry.
+        let removed = fs.delete_in_hidden_dir("vault", "renamed", UAK).unwrap();
+        assert_eq!(removed.physical_name, a.physical_name);
+        fs.delete_in_hidden_dir("vault", "b", UAK).unwrap();
+        assert!(fs.list_hidden_dir("vault", UAK).unwrap().is_empty());
+        assert_eq!(fs.plain_fs().free_data_blocks(), free_empty);
+        assert!(fs
+            .delete_in_hidden_dir("vault", "renamed", UAK)
+            .unwrap_err()
+            .is_not_found());
+    }
+
+    #[test]
+    fn delete_in_hidden_dir_requires_empty_subdirectory() {
+        let fs = small_fs();
+        fs.steg_create("vault", UAK, ObjectKind::Directory).unwrap();
+        fs.create_in_hidden_dir("vault", "sub", UAK, ObjectKind::Directory)
+            .unwrap();
+        let parent = fs.lookup_entry("vault", UAK).unwrap();
+        let sub = fs
+            .read_hidden_dir_listing(&parent)
+            .unwrap()
+            .find("sub")
+            .cloned()
+            .unwrap();
+        // Nest a grandchild through the entry-based API.
+        let child_dir_keys = ObjectKeys::derive(&sub.physical_name, &sub.fak);
+        let mut sub_obj = hidden::open(
+            fs.plain_fs(),
+            &sub.physical_name,
+            &child_dir_keys,
+            fs.params(),
+        )
+        .unwrap();
+        let mut listing = UakDirectory::new();
+        listing
+            .insert(DirectoryEntry {
+                name: "grandchild".into(),
+                physical_name: "gp".into(),
+                fak: [0u8; FAK_LEN],
+                kind: ObjectKind::File,
+            })
+            .unwrap();
+        let mut rng = stegfs_crypto::prng::DeterministicRng::new(b"t");
+        hidden::write(
+            fs.plain_fs(),
+            &child_dir_keys,
+            &mut sub_obj,
+            &listing.serialize(),
+            fs.params(),
+            &mut rng,
+        )
+        .unwrap();
+
+        assert!(matches!(
+            fs.delete_in_hidden_dir("vault", "sub", UAK),
+            Err(StegError::Fs(stegfs_fs::FsError::DirectoryNotEmpty(_)))
+        ));
+        // Still listed after the refusal.
+        assert_eq!(fs.list_hidden_dir("vault", UAK).unwrap().len(), 1);
     }
 
     #[test]

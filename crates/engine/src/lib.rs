@@ -1,0 +1,230 @@
+//! # stegfs-engine
+//!
+//! A thread-pool request engine in front of [`stegfs_vfs::Vfs`] — the role
+//! the paper's kernel driver plays for its multi-user server experiments
+//! (§5.3/§5.4): any number of clients submit file-system requests, N worker
+//! threads execute them against one shared volume, and every request comes
+//! back as a completion carrying its own latency.
+//!
+//! The whole stack below is shared-reference (`&self` end to end since the
+//! core redesign), so the engine holds exactly one `Arc<Vfs>` and nothing
+//! else global: adding workers adds parallelism, not lock traffic.
+//!
+//! ## Request/completion lifecycle
+//!
+//! 1. [`Engine::client`] signs a User Access Key on and returns a
+//!    [`Client`] — the engine-side analogue of a connection.  A wrong key is
+//!    *not* an error (there is nothing to validate against — that absence is
+//!    the hiding property); the client simply sees an empty `/hidden`.
+//! 2. [`Client::submit`] stamps the request with a per-client
+//!    [`RequestId`] and a submission time, and pushes it onto the engine's
+//!    shared queue.  Submission never blocks on I/O.
+//! 3. A worker pops the job, executes it against the `Vfs` (this is where
+//!    all file-system locking and block I/O happens), and pushes a
+//!    [`Completion`] — result, queue-to-completion latency, and pure service
+//!    time — onto the submitting client's completion queue.
+//! 4. [`Client::recv`] / [`Client::try_recv`] / [`Client::wait_for`] drain
+//!    completions; [`Client::call`] is the blocking submit-and-wait
+//!    convenience.  Completions of *different* requests may arrive out of
+//!    submission order (that is the point of N workers).
+//!
+//! [`Engine::shutdown`] (and `Drop`) stops accepting submissions, lets the
+//! workers **drain the queue**, then joins them — every accepted request is
+//! completed, so a client that receives one completion per submission can
+//! never hang.  A request that *panics* mid-execution poisons the engine:
+//! its unwind may have left volume invariants half-mutated, so no further
+//! request **begins executing** against the volume — queued work drains as
+//! error completions and new submissions are refused.  Requests already
+//! running on sibling workers at the moment of the panic do finish (there
+//! is no cooperative cancellation); poisoning bounds the exposure to that
+//! in-flight window.  Fail-stop, not limp-on.
+//!
+//! ## Lock order
+//!
+//! The engine adds two leaf locks to the stack and holds neither across
+//! file-system work:
+//!
+//! * the **job queue lock** — taken by `submit` (push) and by idle workers
+//!   (pop); released before the request executes;
+//! * each client's **completion queue lock** — taken by the finishing worker
+//!   (push) and by `recv` (pop).
+//!
+//! A worker executing a request therefore holds *no* engine lock; inside the
+//! `Vfs` the documented order `table shard < per-handle offset lock < object
+//! registry < per-object lock < core locks` applies unchanged.  Handles are
+//! capabilities: they are valid engine-wide, and a client is expected to use
+//! the ones its own session opened (exactly like file descriptors handed
+//! across a process boundary).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod request;
+
+pub use engine::{Client, Engine};
+pub use request::{Completion, Request, RequestId, Response};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+    use stegfs_blockdev::MemBlockDevice;
+    use stegfs_core::StegParams;
+    use stegfs_vfs::{OpenOptions, Vfs, VfsHandle};
+
+    fn small_engine(workers: usize) -> Engine<MemBlockDevice> {
+        let vfs = Vfs::format(MemBlockDevice::new(1024, 8192), StegParams::for_tests()).unwrap();
+        Engine::start(Arc::new(vfs), workers)
+    }
+
+    fn opened(c: &Client<MemBlockDevice>, path: &str) -> VfsHandle {
+        match c
+            .call(Request::Open {
+                path: path.into(),
+                opts: OpenOptions::read_write(),
+            })
+            .result
+            .unwrap()
+        {
+            Response::Handle(h) => h,
+            other => panic!("expected a handle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_request_surface_roundtrips() {
+        let engine = small_engine(3);
+        let client = engine.client("alice key");
+
+        let h = opened(&client, "/hidden/budget");
+        let w = client.call(Request::WriteAt {
+            handle: h,
+            offset: 0,
+            data: b"the real numbers".to_vec(),
+        });
+        assert!(matches!(w.result, Ok(Response::Written(16))));
+        assert!(w.latency >= w.service);
+
+        // Streaming read + seek through the engine.
+        let seeked = client.call(Request::Seek {
+            handle: h,
+            pos: std::io::SeekFrom::Start(4),
+        });
+        assert!(matches!(seeked.result, Ok(Response::Offset(4))));
+        let data = client.call(Request::Read { handle: h, len: 4 });
+        match data.result.unwrap() {
+            Response::Data(d) => assert_eq!(d, b"real"),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let st = client.call(Request::Stat {
+            path: "/hidden/budget".into(),
+        });
+        match st.result.unwrap() {
+            Response::Stat(s) => assert_eq!(s.size, 16),
+            other => panic!("unexpected {other:?}"),
+        }
+        let dir = client.call(Request::Readdir {
+            path: "/hidden".into(),
+        });
+        match dir.result.unwrap() {
+            Response::Listing(entries) => assert_eq!(entries.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            client.call(Request::Close { handle: h }).result,
+            Ok(Response::Unit)
+        ));
+        assert!(matches!(
+            client
+                .call(Request::Unlink {
+                    path: "/hidden/budget".into(),
+                })
+                .result,
+            Ok(Response::Unit)
+        ));
+        // Errors come back as completions in the same deniable family.
+        let gone = client.call(Request::Stat {
+            path: "/hidden/budget".into(),
+        });
+        assert!(gone.result.unwrap_err().is_not_found());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn pipelined_submissions_complete_out_of_order_but_fully() {
+        let engine = small_engine(4);
+        let client = engine.client("k");
+        let h = opened(&client, "/plain/data");
+        client
+            .call(Request::WriteAt {
+                handle: h,
+                offset: 0,
+                data: vec![7u8; 4096],
+            })
+            .result
+            .unwrap();
+
+        let ids: Vec<RequestId> = (0..32)
+            .map(|i| {
+                client
+                    .submit(Request::ReadAt {
+                        handle: h,
+                        offset: (i % 4) * 1024,
+                        len: 1024,
+                    })
+                    .unwrap()
+            })
+            .collect();
+        for id in &ids {
+            let c = client.wait_for(*id);
+            assert_eq!(c.id, *id);
+            match c.result.unwrap() {
+                Response::Data(d) => assert_eq!(d, vec![7u8; 1024]),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(engine.completed(), 32 + 2);
+        assert!(client.try_recv().is_none(), "nothing left over");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_requests() {
+        let engine = small_engine(1);
+        let client = engine.client("k");
+        let h = opened(&client, "/plain/f");
+        let mut expected = Vec::new();
+        for i in 0..8u64 {
+            expected.push(
+                client
+                    .submit(Request::WriteAt {
+                        handle: h,
+                        offset: 0,
+                        data: vec![i as u8; 512],
+                    })
+                    .unwrap(),
+            );
+        }
+        engine.shutdown();
+        // Every accepted request completed, in *some* order.
+        let mut got: Vec<RequestId> = (0..8).map(|_| client.recv().id).collect();
+        got.sort_unstable();
+        assert_eq!(got, expected);
+        // New submissions are refused once the engine is gone.
+        assert!(client.submit(Request::Stat { path: "/".into() }).is_err());
+    }
+
+    #[test]
+    fn per_request_latency_is_recorded() {
+        let engine = small_engine(2);
+        let client = engine.client("k");
+        let c = client.call(Request::Readdir { path: "/".into() });
+        assert!(c.result.is_ok());
+        assert!(c.latency >= c.service);
+        assert!(c.latency < Duration::from_secs(5));
+        engine.shutdown();
+    }
+}

@@ -1,0 +1,119 @@
+//! The request/response vocabulary of the engine.
+
+use std::io::SeekFrom;
+use std::time::Duration;
+use stegfs_vfs::{OpenOptions, VfsDirEntry, VfsHandle, VfsResult, VfsStat};
+
+/// Identifier of a submitted request, unique **per client** (each client
+/// numbers its own submissions from 1).
+pub type RequestId = u64;
+
+/// One file-system request, covering both namespaces: paths starting with
+/// `/plain` resolve in the shared central directory, paths starting with
+/// `/hidden` resolve against the submitting client's session key.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Open a file, yielding a [`Response::Handle`].
+    Open {
+        /// Unified-namespace path (`/plain/...` or `/hidden/...`).
+        path: String,
+        /// Access-mode options, as for [`stegfs_vfs::Vfs::open`].
+        opts: OpenOptions,
+    },
+    /// Close a handle.
+    Close {
+        /// The handle to close.
+        handle: VfsHandle,
+    },
+    /// Streaming read at the handle's current offset, advancing it.
+    Read {
+        /// Source handle.
+        handle: VfsHandle,
+        /// Maximum number of bytes to read.
+        len: usize,
+    },
+    /// Positional read; does not touch the stream offset.
+    ReadAt {
+        /// Source handle.
+        handle: VfsHandle,
+        /// Byte offset to read from.
+        offset: u64,
+        /// Maximum number of bytes to read.
+        len: usize,
+    },
+    /// Streaming write at the handle's current offset (or at end-of-file for
+    /// append handles), advancing it.
+    Write {
+        /// Destination handle.
+        handle: VfsHandle,
+        /// Bytes to write.
+        data: Vec<u8>,
+    },
+    /// Positional write, extending the file as needed.
+    WriteAt {
+        /// Destination handle.
+        handle: VfsHandle,
+        /// Byte offset to write at.
+        offset: u64,
+        /// Bytes to write.
+        data: Vec<u8>,
+    },
+    /// Reposition the handle's stream offset.
+    Seek {
+        /// The handle whose offset moves.
+        handle: VfsHandle,
+        /// Target position.
+        pos: SeekFrom,
+    },
+    /// Stat a path.
+    Stat {
+        /// Path to stat.
+        path: String,
+    },
+    /// List a directory.
+    Readdir {
+        /// Directory path.
+        path: String,
+    },
+    /// Remove a file or empty directory.
+    Unlink {
+        /// Path to remove.
+        path: String,
+    },
+}
+
+/// The successful payload of a completed request.
+#[derive(Debug)]
+pub enum Response {
+    /// An opened handle ([`Request::Open`]).
+    Handle(VfsHandle),
+    /// Bytes read ([`Request::Read`] / [`Request::ReadAt`]).
+    Data(Vec<u8>),
+    /// Number of bytes written ([`Request::Write`] / [`Request::WriteAt`]).
+    Written(usize),
+    /// The stream offset after a [`Request::Seek`].
+    Offset(u64),
+    /// Stat result ([`Request::Stat`]).
+    Stat(VfsStat),
+    /// Directory listing ([`Request::Readdir`]).
+    Listing(Vec<VfsDirEntry>),
+    /// No payload ([`Request::Close`] / [`Request::Unlink`]).
+    Unit,
+}
+
+/// The terminal record of one request: its result plus its timing, delivered
+/// to the submitting client's completion queue.
+#[derive(Debug)]
+pub struct Completion {
+    /// Id the request was submitted under.
+    pub id: RequestId,
+    /// The outcome.  Errors travel the same deniable families as direct
+    /// `Vfs` calls — through the engine, "wrong key", "never existed" and
+    /// "stale handle" remain indistinguishable
+    /// ([`stegfs_vfs::VfsError::is_not_found`]).
+    pub result: VfsResult<Response>,
+    /// Submission-to-completion wall-clock time (includes queue wait).
+    pub latency: Duration,
+    /// Pure execution time on the worker (excludes queue wait).
+    pub service: Duration,
+}

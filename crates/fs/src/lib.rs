@@ -35,6 +35,7 @@ pub mod error;
 pub mod fs;
 pub mod inode;
 pub mod layout;
+pub mod rmw;
 
 pub use alloc::AllocPolicy;
 pub use error::{FsError, FsResult};

@@ -1,0 +1,103 @@
+//! Edge planning for in-place multi-block overwrites.
+//!
+//! An in-place overwrite of the byte range `[offset, end)` across a span of
+//! blocks needs old contents only for a *partial* head and/or tail block —
+//! fully covered middle blocks are rebuilt from the new data.  Both the
+//! plain layer ([`crate::PlainFs`]) and the hidden-object layer in
+//! `stegfs-core` perform this read-modify-write at batch granularity; this
+//! module holds the one copy of the edge-selection and splice logic they
+//! share, so the two write paths cannot silently diverge.
+
+/// Which blocks of a span need their old contents fetched before an
+/// in-place overwrite, and how the fetched bytes seed the span buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RmwPlan {
+    head_partial: bool,
+    tail_partial: bool,
+    /// Physical block numbers to fetch (0, 1 or 2 entries, in span order);
+    /// a single-block span that is partial at both ends appears once.
+    pub edges: Vec<u64>,
+}
+
+/// Plan the edge fetch for overwriting `[offset, end)` of the blocks in
+/// `span`, where `span` starts at absolute byte `span_start` and covers the
+/// whole range.
+pub fn plan(span: &[u64], offset: u64, end: u64, span_start: u64, block_size: usize) -> RmwPlan {
+    debug_assert!(!span.is_empty());
+    debug_assert!(span_start <= offset && offset < end);
+    let head_partial = offset != span_start;
+    let tail_partial = !end.is_multiple_of(block_size as u64);
+    let mut edges = Vec::new();
+    if head_partial {
+        edges.push(span[0]);
+    }
+    if tail_partial && (span.len() > 1 || !head_partial) {
+        edges.push(*span.last().expect("span is non-empty"));
+    }
+    RmwPlan {
+        head_partial,
+        tail_partial,
+        edges,
+    }
+}
+
+impl RmwPlan {
+    /// Seed `buf` (the span-sized scratch the new contents are assembled in)
+    /// with the fetched edge contents — `edge_data` is the concatenation of
+    /// the [`edges`](Self::edges) blocks, in order.  Middle blocks are left
+    /// untouched; the caller splices the new data over the top afterwards.
+    pub fn seed_edges(&self, edge_data: &[u8], buf: &mut [u8], block_size: usize) {
+        debug_assert_eq!(edge_data.len(), self.edges.len() * block_size);
+        if self.head_partial {
+            buf[..block_size].copy_from_slice(&edge_data[..block_size]);
+        }
+        if self.tail_partial {
+            let n = buf.len();
+            buf[n - block_size..].copy_from_slice(&edge_data[edge_data.len() - block_size..]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BS: usize = 4;
+
+    #[test]
+    fn aligned_range_needs_no_edges() {
+        let p = plan(&[10, 11], 8, 16, 8, BS);
+        assert!(p.edges.is_empty());
+        let mut buf = vec![0u8; 8];
+        p.seed_edges(&[], &mut buf, BS);
+        assert_eq!(buf, vec![0u8; 8]);
+    }
+
+    #[test]
+    fn partial_head_and_tail_fetch_both_edges() {
+        let p = plan(&[10, 11, 12], 9, 19, 8, BS);
+        assert_eq!(p.edges, vec![10, 12]);
+        let mut buf = vec![0u8; 12];
+        let edges: Vec<u8> = (1..=8).collect();
+        p.seed_edges(&edges, &mut buf, BS);
+        assert_eq!(buf, vec![1, 2, 3, 4, 0, 0, 0, 0, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn single_partial_block_fetches_once_and_seeds_whole() {
+        // One block, partial at both ends: one fetch covers both roles.
+        let p = plan(&[10], 9, 11, 8, BS);
+        assert_eq!(p.edges, vec![10]);
+        let mut buf = vec![0u8; 4];
+        p.seed_edges(&[7, 8, 9, 10], &mut buf, BS);
+        assert_eq!(buf, vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn head_only_and_tail_only() {
+        let p = plan(&[10, 11], 9, 16, 8, BS);
+        assert_eq!(p.edges, vec![10]);
+        let p = plan(&[10, 11], 8, 15, 8, BS);
+        assert_eq!(p.edges, vec![11]);
+    }
+}

@@ -238,6 +238,62 @@ mod tests {
     }
 
     #[test]
+    fn unlink_and_rename_inside_hidden_directories() {
+        let vfs = small_vfs();
+        let s = vfs.signon("k");
+        vfs.mkdir(s, "/hidden/vault").unwrap();
+        let h = vfs
+            .open(s, "/hidden/vault/secrets", OpenOptions::read_write())
+            .unwrap();
+        vfs.write_at(h, 0, b"keep me moving").unwrap();
+        vfs.close(h).unwrap();
+
+        // Rename within the directory: contents follow the new name.
+        vfs.rename(s, "/hidden/vault/secrets", "/hidden/vault/renamed")
+            .unwrap();
+        assert!(vfs
+            .stat(s, "/hidden/vault/secrets")
+            .unwrap_err()
+            .is_not_found());
+        assert_eq!(vfs.stat(s, "/hidden/vault/renamed").unwrap().size, 14);
+
+        // Moving between hidden directories (or to top level) is refused.
+        vfs.mkdir(s, "/hidden/other").unwrap();
+        assert!(matches!(
+            vfs.rename(s, "/hidden/vault/renamed", "/hidden/other/renamed"),
+            Err(VfsError::Unsupported(_))
+        ));
+        assert!(matches!(
+            vfs.rename(s, "/hidden/vault/renamed", "/hidden/renamed"),
+            Err(VfsError::Unsupported(_))
+        ));
+
+        // An open handle goes stale when the child is unlinked underneath it.
+        let h = vfs
+            .open(s, "/hidden/vault/renamed", OpenOptions::read_write())
+            .unwrap();
+        vfs.unlink(s, "/hidden/vault/renamed").unwrap();
+        assert!(vfs.read_at(h, 0, 4).unwrap_err().is_not_found());
+        vfs.close(h).unwrap();
+        assert!(vfs.readdir(s, "/hidden/vault").unwrap().is_empty());
+        assert!(vfs
+            .unlink(s, "/hidden/vault/renamed")
+            .unwrap_err()
+            .is_not_found());
+
+        // A non-empty hidden subdirectory cannot be unlinked; empty can.
+        let h = vfs
+            .open(s, "/hidden/vault/again", OpenOptions::read_write())
+            .unwrap();
+        vfs.write_at(h, 0, b"x").unwrap();
+        vfs.close(h).unwrap();
+        assert!(vfs.unlink(s, "/hidden/vault").is_err());
+        vfs.unlink(s, "/hidden/vault/again").unwrap();
+        vfs.unlink(s, "/hidden/vault").unwrap();
+        assert!(vfs.stat(s, "/hidden/vault").unwrap_err().is_not_found());
+    }
+
+    #[test]
     fn rename_and_unlink() {
         let vfs = small_vfs();
         let s = vfs.signon("k");

@@ -1,12 +1,15 @@
 //! The sharded open-file table.
 //!
-//! Handle bookkeeping (offsets, access modes, targets) is hot and tiny, so it
-//! gets its own concurrency domain: handles are distributed over
-//! `SHARD_COUNT` independently locked maps, and no shard lock is ever held
-//! across a file-system operation — except for *streaming* reads and writes,
-//! which must consume the shared offset atomically and therefore run their
-//! I/O inside `OpenFileTable::with_file_mut`.  The kernel analogue is the
-//! system open-file table in front of the driver of Figure 5.
+//! Handle bookkeeping (access modes, targets, the stream offset's home) is
+//! hot and tiny, so it gets its own concurrency domain: handles are
+//! distributed over `SHARD_COUNT` independently locked maps, and a shard
+//! lock is **never** held across a file-system operation.  The stream offset
+//! lives behind its own *per-handle* mutex (`OpenFile::offset`): streaming
+//! reads and writes consume the shared offset atomically by holding that
+//! one-handle lock across their I/O, so a slow streaming handle parks only
+//! itself — it no longer stalls the 1-of-16 table shard it happens to hash
+//! to.  The kernel analogue is the system open-file table in front of the
+//! driver of Figure 5, with the offset in the file description.
 //!
 //! Each open file carries an `Arc` of its [`crate::vfs`] object entry, so
 //! positional I/O resolves straight from handle to per-object lock without
@@ -42,7 +45,11 @@ pub(crate) struct OpenFile {
     /// hold the same entry, whose internal lock serialises their I/O; a
     /// handle whose entry has been marked dead (unlink) is stale.
     pub object: Arc<ObjectEntry>,
-    pub offset: u64,
+    /// The stream offset, behind its own per-handle lock.  Streaming ops
+    /// hold this lock across their object I/O (that is what makes a shared
+    /// POSIX-style offset consume atomically); positional ops never touch
+    /// it.  Lock order: offset lock < object lock — never the reverse.
+    pub offset: Arc<Mutex<u64>>,
     pub read: bool,
     pub write: bool,
     pub append: bool,
@@ -141,26 +148,6 @@ impl OpenFileTable {
             .ok_or(VfsError::BadHandle(handle.0))
     }
 
-    /// Run `f` with exclusive access to the handle's state, holding the shard
-    /// lock for the duration.  This is what makes *streaming* ops (which read
-    /// and then advance the shared offset) atomic per handle; the cost is
-    /// that other handles on the same shard wait, so purely positional ops
-    /// should use [`Self::get`] instead.
-    ///
-    /// Lock order: a shard lock is taken *before* any object or core lock,
-    /// never after.
-    pub fn with_file_mut<R>(
-        &self,
-        handle: VfsHandle,
-        f: impl FnOnce(&mut OpenFile) -> VfsResult<R>,
-    ) -> VfsResult<R> {
-        let mut shard = self.shard(handle.0).lock();
-        let file = shard
-            .get_mut(&handle.0)
-            .ok_or(VfsError::BadHandle(handle.0))?;
-        f(file)
-    }
-
     /// Remove `handle`, returning its state.
     pub fn remove(&self, handle: VfsHandle) -> VfsResult<OpenFile> {
         self.shard(handle.0)
@@ -202,7 +189,7 @@ mod tests {
         OpenFile {
             session,
             object: Arc::new(ObjectEntry::test_plain(7)),
-            offset: 0,
+            offset: Arc::new(Mutex::new(0)),
             read: true,
             write: false,
             append: false,
@@ -214,20 +201,13 @@ mod tests {
         let t = OpenFileTable::new();
         let h = t.insert(file(1));
         assert_eq!(t.get(h).unwrap().session, 1);
-        t.with_file_mut(h, |f| {
-            f.offset = 42;
-            Ok(())
-        })
-        .unwrap();
-        assert_eq!(t.get(h).unwrap().offset, 42);
+        // The offset cell is shared between snapshots of the same handle.
+        *t.get(h).unwrap().offset.lock() = 42;
+        assert_eq!(*t.get(h).unwrap().offset.lock(), 42);
         assert_eq!(t.len(), 1);
         t.remove(h).unwrap();
         assert!(matches!(t.get(h), Err(VfsError::BadHandle(_))));
         assert!(matches!(t.remove(h), Err(VfsError::BadHandle(_))));
-        assert!(matches!(
-            t.with_file_mut(h, |_| Ok(())),
-            Err(VfsError::BadHandle(_))
-        ));
     }
 
     #[test]

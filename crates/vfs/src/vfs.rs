@@ -9,9 +9,12 @@
 //! file table, and the shared-object registry — each behind its own small
 //! lock:
 //!
-//! * **table shards** ([`crate::table`]) — handle bookkeeping; held across
-//!   I/O only for streaming ops, which must consume the shared offset
-//!   atomically.
+//! * **table shards** ([`crate::table`]) — handle bookkeeping only, never
+//!   held across I/O.
+//! * **per-handle offset lock** — each open file's stream offset sits behind
+//!   its own mutex; streaming ops hold it across the object I/O so the
+//!   shared offset consumes atomically, while a parked streaming handle
+//!   stalls nobody but itself (positional I/O never touches it).
 //! * **object registry** — `Mutex<HashMap<ObjectKey, Arc<ObjectEntry>>>`,
 //!   touched only by open / close / unlink.  Positional I/O goes straight
 //!   from the handle's `Arc` to the object lock without looking anything up.
@@ -23,7 +26,8 @@
 //!   clone the `Arc` under the shared read guard, so sign-ons do not stall
 //!   running I/O and I/O never blocks sign-ons.
 //!
-//! Lock order (outer to inner): `table shard < object registry < per-object
+//! Lock order (outer to inner): `table shard < per-handle offset lock <
+//! object registry < per-object
 //! lock <` the core's locks (`UAK shard < object shard < namespace <
 //! inode-stripe < allocator < device`).  Unlink resolves its path first
 //! (registry untouched), pins the victim's entry, then holds only that
@@ -747,9 +751,9 @@ impl<D: BlockDevice> Vfs<D> {
             }
             VfsPath::Hidden(comps) => {
                 let [name] = comps.as_slice() else {
-                    return Err(VfsError::Unsupported(format!(
-                        "unlink inside a hidden directory is not yet supported: {path}"
-                    )));
+                    // A child inside a hidden directory: resolve the parent
+                    // chain, then remove through the core's child API.
+                    return self.unlink_hidden_child(session, &uak, &comps);
                 };
                 // Resolve the physical name first (outside the registry
                 // lock: it is a full UAK-directory walk) so the cached
@@ -797,9 +801,65 @@ impl<D: BlockDevice> Vfs<D> {
         }
     }
 
-    /// Rename within a namespace (`/plain` to `/plain`, or a top-level
-    /// `/hidden` name to another).  Crossing the boundary is refused — that
-    /// conversion is the explicit, deliberate `steg_hide` / `steg_unhide`.
+    /// Unlink `comps` (length >= 2): a child inside a hidden directory.
+    /// Mirrors the single-level branch: pin the child's registry entry so
+    /// in-flight handle I/O drains before the core frees its blocks, then
+    /// sweep any entry a racing open slipped in during the delete.
+    fn unlink_hidden_child(
+        &self,
+        session: SessionId,
+        uak: &str,
+        comps: &[String],
+    ) -> VfsResult<()> {
+        let (parent_comps, child) = comps.split_at(comps.len() - 1);
+        let child = &child[0];
+        self.with_hidden_entry(session, uak, parent_comps, |parent_entry| {
+            let listing = self.fs.read_hidden_dir_listing(parent_entry)?;
+            let child_entry = listing
+                .find(child)
+                .cloned()
+                .ok_or_else(|| stegfs_core::StegError::NotFound(child.clone()))?;
+            let cached = self
+                .objects
+                .lock()
+                .get(&ObjectKey::Hidden(child_entry.physical_name.clone()))
+                .cloned();
+            let io = cached.as_ref().map(|c| c.io.lock());
+            let deleted = self.fs.remove_dir_child(parent_entry, child)?;
+            if let Some(c) = &cached {
+                c.mark_dead();
+            }
+            drop(io);
+            if let Some(c) = &cached {
+                self.evict_entry(c);
+            }
+            let late = self
+                .objects
+                .lock()
+                .get(&ObjectKey::Hidden(deleted.physical_name.clone()))
+                .cloned();
+            if let Some(late) = late {
+                if !cached.as_ref().is_some_and(|c| Arc::ptr_eq(c, &late)) {
+                    late.mark_dead();
+                    self.evict_entry(&late);
+                }
+            }
+            Ok(())
+        })?;
+        // The child may also be connected at top level (steg_connect pulls
+        // offspring into the session); drop that cache entry.
+        if let Ok(state) = self.session_state(session) {
+            state.connected.lock().disconnect(child);
+        }
+        Ok(())
+    }
+
+    /// Rename within a namespace (`/plain` to `/plain`, a top-level
+    /// `/hidden` name to another, or a child of a hidden directory to a new
+    /// name *within the same directory*).  Crossing the plain/hidden
+    /// boundary is refused — that conversion is the explicit, deliberate
+    /// `steg_hide` / `steg_unhide` — and so is moving a hidden object
+    /// between directories (the physical name encodes the parent chain).
     pub fn rename(&self, session: SessionId, from: &str, to: &str) -> VfsResult<()> {
         let uak = self.session_uak(session)?;
         match (VfsPath::parse(from)?, VfsPath::parse(to)?) {
@@ -808,16 +868,28 @@ impl<D: BlockDevice> Vfs<D> {
                 Ok(())
             }
             (VfsPath::Hidden(a), VfsPath::Hidden(b)) => {
-                let ([old], [new]) = (a.as_slice(), b.as_slice()) else {
-                    return Err(VfsError::Unsupported(format!(
-                        "rename inside hidden directories is not yet supported: {from} -> {to}"
-                    )));
-                };
-                self.fs.rename_hidden(old, new, &uak)?;
-                if let Ok(state) = self.session_state(session) {
-                    state.connected.lock().disconnect(old);
+                if let ([old], [new]) = (a.as_slice(), b.as_slice()) {
+                    self.fs.rename_hidden(old, new, &uak)?;
+                    if let Ok(state) = self.session_state(session) {
+                        state.connected.lock().disconnect(old);
+                    }
+                    return Ok(());
                 }
-                Ok(())
+                if a.len() == b.len() && a.len() >= 2 && a[..a.len() - 1] == b[..b.len() - 1] {
+                    let parent_comps = &a[..a.len() - 1];
+                    let old = a.last().expect("len >= 2");
+                    let new = b.last().expect("len >= 2");
+                    self.with_hidden_entry(session, &uak, parent_comps, |parent_entry| {
+                        Ok(self.fs.rename_dir_child(parent_entry, old, new)?)
+                    })?;
+                    if let Ok(state) = self.session_state(session) {
+                        state.connected.lock().disconnect(old);
+                    }
+                    return Ok(());
+                }
+                Err(VfsError::Unsupported(format!(
+                    "hidden renames must stay within one directory: {from} -> {to}"
+                )))
             }
             (VfsPath::Plain(_), VfsPath::Hidden(_)) | (VfsPath::Hidden(_), VfsPath::Plain(_)) => {
                 Err(VfsError::CrossNamespace {
@@ -894,7 +966,7 @@ impl<D: BlockDevice> Vfs<D> {
                     OpenFile {
                         session: session.0,
                         object: obj,
-                        offset,
+                        offset: Arc::new(Mutex::new(offset)),
                         read: opts.read,
                         write: opts.write,
                         append: opts.append,
@@ -954,7 +1026,7 @@ impl<D: BlockDevice> Vfs<D> {
                     OpenFile {
                         session: session.0,
                         object: obj,
-                        offset,
+                        offset: Arc::new(Mutex::new(offset)),
                         read: opts.read,
                         write: opts.write,
                         append: opts.append,
@@ -1010,17 +1082,19 @@ impl<D: BlockDevice> Vfs<D> {
 
     /// Streaming read from the handle's current offset, advancing it.
     /// Atomic per handle: two threads streaming on one handle each consume a
-    /// distinct range, as with a shared POSIX file description.
+    /// distinct range, as with a shared POSIX file description.  The offset
+    /// lives behind its own per-handle lock, held across the object I/O —
+    /// so a slow stream parks only this handle, never the table shard other
+    /// handles hash to.
     pub fn read(&self, handle: VfsHandle, len: usize) -> VfsResult<Vec<u8>> {
-        self.table.with_file_mut(handle, |file| {
-            if !file.read {
-                return Err(VfsError::NotReadable);
-            }
-            let snapshot = file.clone();
-            let out = self.object_read(handle, &snapshot, file.offset, len)?;
-            file.offset += out.len() as u64;
-            Ok(out)
-        })
+        let file = self.table.get(handle)?;
+        if !file.read {
+            return Err(VfsError::NotReadable);
+        }
+        let mut offset = file.offset.lock();
+        let out = self.object_read(handle, &file, *offset, len)?;
+        *offset += out.len() as u64;
+        Ok(out)
     }
 
     /// Streaming write at the handle's current offset (or at end-of-file for
@@ -1029,47 +1103,44 @@ impl<D: BlockDevice> Vfs<D> {
     /// one hold of the object lock, so appends through different handles
     /// never land on the same offset.
     pub fn write(&self, handle: VfsHandle, data: &[u8]) -> VfsResult<()> {
-        self.table.with_file_mut(handle, |file| {
-            if !file.write {
-                return Err(VfsError::NotWritable);
-            }
-            let snapshot = file.clone();
-            let at = if file.append {
-                WriteOffset::End
-            } else {
-                WriteOffset::At(file.offset)
-            };
-            file.offset = self.object_write(handle, &snapshot, at, data)?;
-            Ok(())
-        })
+        let file = self.table.get(handle)?;
+        if !file.write {
+            return Err(VfsError::NotWritable);
+        }
+        let mut offset = file.offset.lock();
+        let at = if file.append {
+            WriteOffset::End
+        } else {
+            WriteOffset::At(*offset)
+        };
+        *offset = self.object_write(handle, &file, at, data)?;
+        Ok(())
     }
 
     /// Reposition the handle's stream offset; returns the new offset.
     /// Seeking past end-of-file is allowed (a later write zero-fills the
-    /// gap, as on POSIX).
+    /// gap, as on POSIX).  Takes only the per-handle offset lock — a parked
+    /// streaming handle elsewhere in the table never delays a seek here.
     pub fn seek(&self, handle: VfsHandle, pos: SeekFrom) -> VfsResult<u64> {
-        self.table.with_file_mut(handle, |file| {
-            let base: i128 = match pos {
-                SeekFrom::Start(_) => 0,
-                SeekFrom::Current(_) => file.offset as i128,
-                SeekFrom::End(_) => {
-                    let snapshot = file.clone();
-                    self.target_size(handle, &snapshot)? as i128
-                }
-            };
-            let delta: i128 = match pos {
-                SeekFrom::Start(n) => n as i128,
-                SeekFrom::Current(n) | SeekFrom::End(n) => n as i128,
-            };
-            let target = base + delta;
-            if !(0..=u64::MAX as i128).contains(&target) {
-                return Err(VfsError::Unsupported(format!(
-                    "seek to negative or overflowing offset {target}"
-                )));
-            }
-            file.offset = target as u64;
-            Ok(target as u64)
-        })
+        let file = self.table.get(handle)?;
+        let mut offset = file.offset.lock();
+        let base: i128 = match pos {
+            SeekFrom::Start(_) => 0,
+            SeekFrom::Current(_) => *offset as i128,
+            SeekFrom::End(_) => self.target_size(handle, &file)? as i128,
+        };
+        let delta: i128 = match pos {
+            SeekFrom::Start(n) => n as i128,
+            SeekFrom::Current(n) | SeekFrom::End(n) => n as i128,
+        };
+        let target = base + delta;
+        if !(0..=u64::MAX as i128).contains(&target) {
+            return Err(VfsError::Unsupported(format!(
+                "seek to negative or overflowing offset {target}"
+            )));
+        }
+        *offset = target as u64;
+        Ok(target as u64)
     }
 
     /// Set the file's length, truncating or zero-extending.

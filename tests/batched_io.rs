@@ -1,0 +1,187 @@
+//! Batched block I/O: equivalence and submission-count guarantees.
+//!
+//! Two families of checks:
+//!
+//! * a property test that `read_blocks` / `write_blocks` is observably
+//!   identical to the block-at-a-time loop on **every** device
+//!   implementation (the trait's default, the native in-memory/cache/meter
+//!   paths, the shared handle, the timing models);
+//! * metered assertions that the file-system layers actually *use* the batch
+//!   path: a multi-block read or write of a 16-block object reaches the
+//!   device as **one** batched submission, for plain files and hidden
+//!   objects alike.
+
+use proptest::prelude::*;
+use std::time::Duration;
+use stegfs_blockdev::{
+    BlockDevice, BufferCache, DiskParameters, LatencyDevice, MemBlockDevice, MeteredDevice,
+    SharedDevice, SimDisk,
+};
+use stegfs_core::crypt::ObjectKeys;
+use stegfs_core::{hidden, ObjectKind, StegParams};
+use stegfs_crypto::prng::DeterministicRng;
+use stegfs_fs::{FormatOptions, PlainFs};
+
+const BS: usize = 256;
+const TOTAL: u64 = 64;
+
+/// Write via one batched submission, read back block at a time — then write
+/// block at a time, read back via one batched submission.  Both directions
+/// must agree bytewise with the loop semantics on `dev`.
+fn assert_batch_equals_loop<D: BlockDevice>(dev: &D, blocks: &[u64], seed: u8) {
+    let data: Vec<u8> = (0..blocks.len() * BS)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+        .collect();
+
+    dev.write_blocks(blocks, &data).unwrap();
+    let mut single = vec![0u8; BS];
+    for (i, &b) in blocks.iter().enumerate() {
+        dev.read_block(b, &mut single).unwrap();
+        assert_eq!(single, &data[i * BS..(i + 1) * BS], "block {b} via loop");
+    }
+
+    let reversed: Vec<u8> = data.iter().rev().copied().collect();
+    for (i, &b) in blocks.iter().enumerate() {
+        dev.write_block(b, &reversed[i * BS..(i + 1) * BS]).unwrap();
+    }
+    let mut batched = vec![0u8; blocks.len() * BS];
+    dev.read_blocks(blocks, &mut batched).unwrap();
+    assert_eq!(batched, reversed, "batched read disagrees with loop writes");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn batched_io_equals_block_at_a_time_on_every_device(
+        raw in proptest::collection::vec(0u64..TOTAL, 1..24),
+        seed in any::<u64>(),
+    ) {
+        // Distinct blocks keep the property crisp (ordering of duplicate
+        // writes is covered by `duplicate_blocks_apply_in_order`).
+        let mut blocks = raw.clone();
+        blocks.sort_unstable();
+        blocks.dedup();
+        let seed = seed as u8;
+
+        assert_batch_equals_loop(&MemBlockDevice::new(BS, TOTAL), &blocks, seed);
+        assert_batch_equals_loop(
+            &LatencyDevice::symmetric(MemBlockDevice::new(BS, TOTAL), Duration::from_micros(20)),
+            &blocks,
+            seed,
+        );
+        assert_batch_equals_loop(&MeteredDevice::new(MemBlockDevice::new(BS, TOTAL)), &blocks, seed);
+        assert_batch_equals_loop(&BufferCache::new(MemBlockDevice::new(BS, TOTAL), 8), &blocks, seed);
+        assert_batch_equals_loop(&SharedDevice::new(MemBlockDevice::new(BS, TOTAL)), &blocks, seed);
+        // SimDisk exercises the trait's default (loop) implementation.
+        assert_batch_equals_loop(
+            &SimDisk::new(MemBlockDevice::new(BS, TOTAL), DiskParameters::ultra_ata_100()),
+            &blocks,
+            seed,
+        );
+    }
+}
+
+#[test]
+fn duplicate_blocks_apply_in_order() {
+    // A batch naming one block twice behaves like the loop: last write wins.
+    for dev in [
+        Box::new(MemBlockDevice::new(BS, TOTAL)) as Box<dyn BlockDevice>,
+        Box::new(BufferCache::new(MemBlockDevice::new(BS, TOTAL), 4)),
+        Box::new(MeteredDevice::new(MemBlockDevice::new(BS, TOTAL))),
+    ] {
+        let mut data = vec![1u8; 2 * BS];
+        data[BS..].fill(2);
+        dev.write_blocks(&[7, 7], &data).unwrap();
+        assert_eq!(dev.read_block_vec(7).unwrap(), vec![2u8; BS]);
+        // And a duplicate read batch returns the block twice.
+        let mut out = vec![0u8; 2 * BS];
+        dev.read_blocks(&[7, 7], &mut out).unwrap();
+        assert_eq!(out, vec![2u8; 2 * BS]);
+    }
+}
+
+#[test]
+fn batch_geometry_errors_match_the_loop() {
+    let dev = MemBlockDevice::new(BS, TOTAL);
+    let mut buf = vec![0u8; 2 * BS];
+    // Out-of-range block anywhere in the batch fails the whole submission.
+    assert!(dev.read_blocks(&[0, TOTAL], &mut buf).is_err());
+    assert!(dev.write_blocks(&[0, TOTAL], &buf).is_err());
+    // Mismatched buffer length is rejected up front.
+    assert!(dev.read_blocks(&[0], &mut buf).is_err());
+    assert!(dev.write_blocks(&[0, 1, 2], &buf).is_err());
+}
+
+// ----------------------------------------------------------------------
+// The layers above must *route* multi-block object I/O through one batch.
+// ----------------------------------------------------------------------
+
+const OBJECT_BLOCKS: usize = 16;
+
+#[test]
+fn plain_16_block_file_io_is_one_batched_submission() {
+    let dev = MeteredDevice::new(MemBlockDevice::new(1024, 8192));
+    let stats = dev.stats_handle();
+    let fs = PlainFs::format(dev, FormatOptions::default()).unwrap();
+    let data = vec![0xa5u8; OBJECT_BLOCKS * 1024];
+    fs.write_file("/f", &data).unwrap();
+    let id = fs.resolve_file("/f").unwrap();
+
+    // Whole-file rewrite: 16 data blocks in ONE submission, plus the
+    // indirect pointer block and the inode-table block as singles.
+    stats.reset();
+    fs.write_inode_file(id, &data).unwrap();
+    let s = stats.snapshot();
+    assert_eq!(s.writes, 18, "16 data + 1 pointer + 1 inode block: {s:?}");
+    assert_eq!(
+        s.write_submissions, 3,
+        "the 16-block extent must ride one batched submission: {s:?}"
+    );
+
+    // Whole-range read: inode + pointer block as singles, the 16-block
+    // extent as ONE submission.
+    stats.reset();
+    assert_eq!(fs.read_inode_range(id, 0, data.len()).unwrap(), data);
+    let s = stats.snapshot();
+    assert_eq!(s.reads, 18, "1 inode + 1 pointer + 16 data: {s:?}");
+    assert_eq!(
+        s.read_submissions, 3,
+        "the 16-block extent must ride one batched submission: {s:?}"
+    );
+}
+
+#[test]
+fn hidden_16_block_object_io_is_one_batched_submission() {
+    let dev = MeteredDevice::new(MemBlockDevice::new(1024, 8192));
+    let stats = dev.stats_handle();
+    let fs = PlainFs::format(dev, FormatOptions::default()).unwrap();
+    let keys = ObjectKeys::derive("batched", b"fak");
+    let params = StegParams::for_tests();
+    let mut rng = DeterministicRng::new(b"batched-io");
+    let mut obj = hidden::create(&fs, "batched", &keys, ObjectKind::File, &params).unwrap();
+    let data = vec![0x3cu8; OBJECT_BLOCKS * 1024];
+    hidden::write(&fs, &keys, &mut obj, &data, &params, &mut rng).unwrap();
+
+    // Rewrite: 16 data blocks in ONE submission, one chain block and the
+    // header as further submissions, and the old chain read as one single.
+    stats.reset();
+    hidden::write(&fs, &keys, &mut obj, &data, &params, &mut rng).unwrap();
+    let s = stats.snapshot();
+    assert_eq!(s.writes, 18, "16 data + 1 chain + 1 header: {s:?}");
+    assert_eq!(
+        s.write_submissions, 3,
+        "the 16-block extent must ride one batched submission: {s:?}"
+    );
+
+    // Read: one single for the chain block, ONE batch for all 16 data
+    // blocks.
+    stats.reset();
+    assert_eq!(hidden::read(&fs, &keys, &obj).unwrap(), data);
+    let s = stats.snapshot();
+    assert_eq!(s.reads, 17, "1 chain + 16 data: {s:?}");
+    assert_eq!(
+        s.read_submissions, 2,
+        "the 16-block extent must ride one batched submission: {s:?}"
+    );
+}

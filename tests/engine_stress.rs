@@ -1,0 +1,238 @@
+//! Request-engine stress: 12 workers, mixed plain/hidden request streams
+//! from concurrent clients, an adversary session interleaved throughout.
+//!
+//! Asserts three things end to end:
+//!
+//! * **completion counts** — every submitted request completes exactly once
+//!   (per-client and engine-wide totals agree);
+//! * **error families** — legitimate traffic succeeds, and each failure the
+//!   adversary provokes lands in the deniable not-found family;
+//! * **indistinguishability** — through the engine, probing an existing
+//!   object with the wrong key and probing a name that never existed return
+//!   the *same* error variant, for stat, open and unlink alike.
+
+use std::io::SeekFrom;
+use std::sync::Arc;
+use std::thread;
+use stegfs_blockdev::MemBlockDevice;
+use stegfs_core::{StegError, StegParams};
+use stegfs_engine::{Engine, Request, Response};
+use stegfs_vfs::{OpenOptions, Vfs, VfsError, VfsHandle};
+
+const WORKERS: usize = 12;
+const CLIENTS: usize = 6;
+const ROUNDS: usize = 6;
+const CHUNK: usize = 1500;
+
+fn stress_params() -> StegParams {
+    StegParams {
+        random_fill: false,
+        dummy_file_count: 0,
+        abandoned_pct: 0.0,
+        ..StegParams::for_tests()
+    }
+}
+
+fn open_handle(client: &stegfs_engine::Client<MemBlockDevice>, path: &str) -> VfsHandle {
+    match client
+        .call(Request::Open {
+            path: path.into(),
+            opts: OpenOptions::read_write(),
+        })
+        .result
+        .expect("open")
+    {
+        Response::Handle(h) => h,
+        other => panic!("open returned {other:?}"),
+    }
+}
+
+#[test]
+fn engine_stress_mixed_clients_with_adversary() {
+    let vfs =
+        Arc::new(Vfs::format(MemBlockDevice::new(1024, 32768), stress_params()).expect("format"));
+    let engine = Arc::new(Engine::start(Arc::clone(&vfs), WORKERS));
+
+    // Legitimate clients: even ids drive /plain, odd ids /hidden (each
+    // hidden client under its own key).  Every client runs open → pipelined
+    // positional writes → verified reads → streaming seek/read → stat →
+    // readdir → unlink → close, and reports how many requests it submitted.
+    let legit: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let engine = Arc::clone(&engine);
+            thread::spawn(move || -> u64 {
+                let client = engine.client(&format!("stress key {c}"));
+                let path = if c.is_multiple_of(2) {
+                    format!("/plain/stress-{c}")
+                } else {
+                    format!("/hidden/stress-{c}")
+                };
+                let mut submitted = 0u64;
+                let h = open_handle(&client, &path);
+                submitted += 1;
+
+                for round in 0..ROUNDS {
+                    // A burst of pipelined writes...
+                    let ids: Vec<_> = (0..4u64)
+                        .map(|i| {
+                            client
+                                .submit(Request::WriteAt {
+                                    handle: h,
+                                    offset: i * CHUNK as u64,
+                                    data: vec![c as u8 ^ round as u8; CHUNK],
+                                })
+                                .expect("submit write")
+                        })
+                        .collect();
+                    submitted += ids.len() as u64;
+                    for id in ids {
+                        let c = client.wait_for(id);
+                        assert!(matches!(c.result, Ok(Response::Written(CHUNK))));
+                        assert!(c.latency >= c.service);
+                    }
+                    // ...then verified reads of the same ranges...
+                    for i in 0..4u64 {
+                        let done = client.call(Request::ReadAt {
+                            handle: h,
+                            offset: i * CHUNK as u64,
+                            len: CHUNK,
+                        });
+                        submitted += 1;
+                        match done.result.expect("read") {
+                            Response::Data(d) => {
+                                assert_eq!(d, vec![c as u8 ^ round as u8; CHUNK])
+                            }
+                            other => panic!("unexpected {other:?}"),
+                        }
+                    }
+                    // ...and a streaming seek + read.
+                    let s = client.call(Request::Seek {
+                        handle: h,
+                        pos: SeekFrom::Start(CHUNK as u64),
+                    });
+                    submitted += 1;
+                    assert!(matches!(s.result, Ok(Response::Offset(_))));
+                    let r = client.call(Request::Read { handle: h, len: 64 });
+                    submitted += 1;
+                    match r.result.expect("stream read") {
+                        Response::Data(d) => assert_eq!(d.len(), 64),
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }
+
+                let st = client.call(Request::Stat { path: path.clone() });
+                submitted += 1;
+                match st.result.expect("stat") {
+                    Response::Stat(s) => assert_eq!(s.size, 4 * CHUNK as u64),
+                    other => panic!("unexpected {other:?}"),
+                }
+                let parent = if c.is_multiple_of(2) {
+                    "/plain"
+                } else {
+                    "/hidden"
+                };
+                let dir = client.call(Request::Readdir {
+                    path: parent.into(),
+                });
+                submitted += 1;
+                match dir.result.expect("readdir") {
+                    Response::Listing(entries) => {
+                        assert!(entries.iter().any(|e| path.ends_with(&e.name)))
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+
+                submitted += 1;
+                assert!(matches!(
+                    client.call(Request::Close { handle: h }).result,
+                    Ok(Response::Unit)
+                ));
+                submitted += 1;
+                assert!(matches!(
+                    client.call(Request::Unlink { path: path.clone() }).result,
+                    Ok(Response::Unit)
+                ));
+                assert_eq!(client.pending_completions(), 0);
+                client.signoff().expect("signoff");
+                submitted
+            })
+        })
+        .collect();
+
+    // The adversary runs interleaved with the legitimate burst: a session
+    // under a guessed key probing names that exist (under other keys) and
+    // names that never existed.  Both probes must come back as the same
+    // error variant, request by request.
+    let adversary = {
+        let engine = Arc::clone(&engine);
+        thread::spawn(move || -> u64 {
+            let snoop = engine.client("guessed key");
+            let mut submitted = 0u64;
+            for round in 0..ROUNDS {
+                // stress-1/3/5 exist under other keys; "never-existed-N"
+                // matches nothing anywhere.
+                for name in ["stress-1", "stress-3", "stress-5"] {
+                    let existing = format!("/hidden/{name}");
+                    let phantom = format!("/hidden/never-existed-{round}");
+                    for probe in [
+                        Request::Stat {
+                            path: existing.clone(),
+                        },
+                        Request::Stat {
+                            path: phantom.clone(),
+                        },
+                        Request::Open {
+                            path: existing.clone(),
+                            opts: OpenOptions::read_only(),
+                        },
+                        Request::Open {
+                            path: phantom.clone(),
+                            opts: OpenOptions::read_only(),
+                        },
+                        Request::Unlink { path: existing },
+                        Request::Unlink { path: phantom },
+                    ] {
+                        let done = snoop.call(probe);
+                        submitted += 1;
+                        let err = done.result.expect_err("adversary must see nothing");
+                        assert!(err.is_not_found(), "family leak: {err}");
+                        // Wrong key and never-existed are the *same variant*,
+                        // not merely the same family.
+                        assert!(
+                            matches!(err, VfsError::Steg(StegError::NotFound(_))),
+                            "variant leak: {err:?}"
+                        );
+                    }
+                }
+                // The adversary's own /hidden stays empty throughout.
+                let dir = snoop.call(Request::Readdir {
+                    path: "/hidden".into(),
+                });
+                submitted += 1;
+                match dir.result.expect("readdir") {
+                    Response::Listing(entries) => assert!(entries.is_empty()),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            snoop.signoff().expect("signoff");
+            submitted
+        })
+    };
+
+    let mut total = 0u64;
+    for worker in legit {
+        total += worker.join().expect("legit client");
+    }
+    total += adversary.join().expect("adversary");
+
+    assert_eq!(
+        engine.completed(),
+        total,
+        "every submitted request completes exactly once"
+    );
+    assert_eq!(vfs.open_handles(), 0, "all handles closed");
+    assert_eq!(vfs.session_count(), 0, "all sessions signed off");
+    Arc::try_unwrap(engine)
+        .unwrap_or_else(|_| panic!("engine still shared"))
+        .shutdown();
+}

@@ -326,3 +326,130 @@ fn many_threads_share_one_hidden_file_positionally() {
     }
     vfs.close(h).expect("close");
 }
+
+/// A device that can be armed to *park* the next block read inside the
+/// device until the test releases it — a deterministic way to freeze a
+/// streaming handle mid-I/O, with whatever locks the VFS holds at that
+/// point still held.
+struct ParkNextRead {
+    inner: MemBlockDevice,
+    armed: Arc<std::sync::atomic::AtomicBool>,
+    parked: Arc<Barrier>,
+    release: Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>,
+}
+
+impl ParkNextRead {
+    fn maybe_park(&self) {
+        if self.armed.swap(false, Ordering::AcqRel) {
+            self.parked.wait();
+            let (flag, cvar) = &*self.release;
+            let mut released = flag.lock().expect("release lock");
+            while !*released {
+                released = cvar.wait(released).expect("release wait");
+            }
+        }
+    }
+}
+
+impl stegfs_blockdev::BlockDevice for ParkNextRead {
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn total_blocks(&self) -> u64 {
+        self.inner.total_blocks()
+    }
+
+    fn read_block(&self, block: u64, buf: &mut [u8]) -> stegfs_blockdev::BlockResult<()> {
+        self.maybe_park();
+        self.inner.read_block(block, buf)
+    }
+
+    fn write_block(&self, block: u64, buf: &[u8]) -> stegfs_blockdev::BlockResult<()> {
+        self.inner.write_block(block, buf)
+    }
+
+    // read_blocks/write_blocks use the trait's default loop, so an armed
+    // gate also parks the first block of a batched submission.
+}
+
+#[test]
+fn parked_streaming_handle_does_not_block_its_table_shard() {
+    // Regression test for the per-handle stream-offset locks: streaming I/O
+    // used to run under the open-file-table shard lock, so a stalled stream
+    // on one handle blocked *positional* I/O and seeks on every unrelated
+    // handle that hashed to the same 1-of-16 shard.  Now the offset lives
+    // behind a per-handle mutex: with a streaming read provably frozen
+    // inside the device, same-shard positional I/O and seeks must complete.
+    let armed = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let parked = Arc::new(Barrier::new(2));
+    let release = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+    let dev = ParkNextRead {
+        inner: MemBlockDevice::new(1024, 16384),
+        armed: Arc::clone(&armed),
+        parked: Arc::clone(&parked),
+        release: Arc::clone(&release),
+    };
+    let vfs = Arc::new(Vfs::format(dev, StegParams::for_tests()).expect("format"));
+    let s = vfs.signon(SECRET_UAK);
+
+    // Two unrelated files, prefilled.
+    for path in ["/hidden/stream-target", "/plain/bystander"] {
+        let h = vfs.open(s, path, OpenOptions::read_write()).expect("open");
+        vfs.write_at(h, 0, &payload(3, 7, 8 * 1024))
+            .expect("prefill");
+        vfs.close(h).expect("close");
+    }
+
+    let stream = vfs
+        .open(s, "/hidden/stream-target", OpenOptions::read_only())
+        .expect("open stream");
+    // Open bystander handles until one lands on the stream handle's table
+    // shard (handle ids are sequential, so at most SHARD_COUNT opens).
+    let bystander = loop {
+        let h = vfs
+            .open(s, "/plain/bystander", OpenOptions::read_write())
+            .expect("open bystander");
+        if h.raw() % stegfs_vfs::table::SHARD_COUNT as u64
+            == stream.raw() % stegfs_vfs::table::SHARD_COUNT as u64
+        {
+            break h;
+        }
+        vfs.close(h).expect("close mismatched");
+    };
+
+    // Freeze a streaming read mid-device-I/O: it parks holding the stream
+    // handle's offset lock (and its object lock), which under the old
+    // design was the table shard lock instead.
+    armed.store(true, Ordering::Release);
+    let streamer = {
+        let vfs = Arc::clone(&vfs);
+        thread::spawn(move || {
+            let chunk = vfs.read(stream, 4096).expect("streaming read");
+            assert_eq!(chunk, payload(3, 7, 8 * 1024)[..4096]);
+            vfs.close(stream).expect("close stream");
+        })
+    };
+    parked.wait(); // the stream is now provably frozen inside the device
+
+    // Same-shard positional I/O and seeks must complete while it is parked.
+    let got = vfs.read_at(bystander, 1024, 2048).expect("positional read");
+    assert_eq!(got, payload(3, 7, 8 * 1024)[1024..3072]);
+    vfs.write_at(bystander, 0, b"unblocked")
+        .expect("positional write");
+    assert_eq!(
+        vfs.seek(bystander, SeekFrom::Start(512)).expect("seek"),
+        512
+    );
+    assert_eq!(vfs.handle_size(bystander).expect("size"), 8 * 1024);
+
+    // Release the parked stream and let everything finish.
+    {
+        let (flag, cvar) = &*release;
+        *flag.lock().expect("release lock") = true;
+        cvar.notify_all();
+    }
+    streamer.join().expect("streamer");
+    vfs.close(bystander).expect("close bystander");
+    vfs.signoff(s).expect("signoff");
+}
