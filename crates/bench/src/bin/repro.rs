@@ -24,6 +24,7 @@ struct Options {
     space: bool,
     vfs_scaling: bool,
     engine_scaling: bool,
+    durability: bool,
 }
 
 fn parse_args() -> Options {
@@ -36,6 +37,7 @@ fn parse_args() -> Options {
         space: false,
         vfs_scaling: false,
         engine_scaling: false,
+        durability: false,
     };
     let mut any_selection = false;
     let mut i = 0;
@@ -49,6 +51,7 @@ fn parse_args() -> Options {
                 opts.space = true;
                 opts.vfs_scaling = true;
                 opts.engine_scaling = true;
+                opts.durability = true;
                 any_selection = true;
             }
             "--table" => {
@@ -81,6 +84,10 @@ fn parse_args() -> Options {
                 opts.engine_scaling = true;
                 any_selection = true;
             }
+            "--durability" => {
+                opts.durability = true;
+                any_selection = true;
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other}")),
         }
@@ -92,6 +99,7 @@ fn parse_args() -> Options {
         opts.space = true;
         opts.vfs_scaling = true;
         opts.engine_scaling = true;
+        opts.durability = true;
     }
     opts
 }
@@ -102,7 +110,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: repro [--full] [--smoke] [--all] [--tables] [--fig N]... [--space-summary]\n\
-         \t[--vfs-scaling] [--engine-scaling]\n\
+         \t[--vfs-scaling] [--engine-scaling] [--durability]\n\
          \n\
          Regenerates the tables and figures of 'StegFS: A Steganographic File\n\
          System' (Pang, Tan, Zhou — ICDE 2003).  Default scale is a 64 MB\n\
@@ -248,6 +256,33 @@ fn main() {
         match stegfs_bench::bench_json::update_file("BENCH.json", "engine_scaling", &section) {
             Ok(()) => println!(
                 "merged engine_scaling into BENCH.json ({} points)",
+                points.len()
+            ),
+            Err(e) => eprintln!("could not write BENCH.json: {e}"),
+        }
+    }
+
+    if opts.durability {
+        // Durability sweep: the same engine workload over three stacks —
+        // no journal (write-through), journal + write-through cache, and
+        // journal + write-back cache with group commit — on a LatencyDevice
+        // that prices the flush barrier.  Write-back + group commit must
+        // recover most of the unjournaled throughput while staying
+        // crash-consistent.
+        use stegfs_bench::durability as dur;
+        let (clients, ops_per_client, workers) = if opts.smoke {
+            (4, 6, 4)
+        } else if opts.full {
+            (dur::CLIENTS, 96, dur::WORKERS)
+        } else {
+            (dur::CLIENTS, 48, dur::WORKERS)
+        };
+        let points = dur::run_sweep(clients, ops_per_client, workers);
+        println!("{}", dur::render(&points));
+        let section = dur::section_json(&points);
+        match stegfs_bench::bench_json::update_file("BENCH.json", "durability", &section) {
+            Ok(()) => println!(
+                "merged durability into BENCH.json ({} points)",
                 points.len()
             ),
             Err(e) => eprintln!("could not write BENCH.json: {e}"),

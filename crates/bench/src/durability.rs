@@ -1,0 +1,334 @@
+//! Durability sweep: what does crash consistency cost, and what does
+//! write-back + group commit buy back?
+//!
+//! Three configurations run the same workload — 12 clients streaming small
+//! durable writes through the request engine — over the same
+//! [`LatencyDevice`] (50 µs per submission, 500 µs per flush barrier, the
+//! shape of a disk with a priced cache flush):
+//!
+//! * **`no_journal`** — the pre-durability stack: write-through cache, no
+//!   journal, nothing is crash-consistent.  The throughput ceiling.
+//! * **`write_through`** — journaled, write-through cache: every operation
+//!   commits through the journal (slot batch + barrier + in-place batch),
+//!   with each in-place write paying its own device submission.
+//! * **`write_back`** — journaled, write-back cache + group commit: in-place
+//!   writes dirty the cache and ride the *next group's* single batched
+//!   write-out, and one flush barrier covers every transaction that reached
+//!   the commit gate together.  Same crash guarantees as `write_through`,
+//!   most of the throughput of `no_journal` back.
+//!
+//! `repro --durability` records the three trajectories in the `durability`
+//! section of `BENCH.json`.
+
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
+use stegfs_blockdev::{BufferCache, CacheMode, LatencyDevice, MemBlockDevice};
+use stegfs_core::StegParams;
+use stegfs_engine::{Client, Engine, Request, Response};
+use stegfs_vfs::{OpenOptions, Vfs, VfsHandle};
+
+/// Per-submission service time (same as the VFS/engine sweeps).
+pub const BLOCK_LATENCY: Duration = Duration::from_micros(50);
+
+/// Per-barrier (flush) service time: the cache-flush + FUA cost a real disk
+/// charges for durability.
+pub const FLUSH_LATENCY: Duration = Duration::from_micros(500);
+
+/// Number of submitting clients.
+pub const CLIENTS: usize = 12;
+
+/// Engine workers executing the requests.
+pub const WORKERS: usize = 8;
+
+/// Size of each durable write (bytes).
+const WRITE_SIZE: usize = 4 * 1024;
+
+/// Size of each prefilled file (bytes); writes patch within it, so the
+/// journaled transaction is an in-place redo record, not a reallocation.
+const FILE_SIZE: usize = 16 * 1024;
+
+/// The device stack under test.
+pub type SweepDevice = BufferCache<LatencyDevice<MemBlockDevice>>;
+
+/// The three durability configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurabilityMode {
+    /// Write-through cache, no journal: fast and crash-unsafe.
+    NoJournal,
+    /// Journal + write-through cache.
+    WriteThrough,
+    /// Journal + write-back cache + group commit.
+    WriteBackGroupCommit,
+}
+
+impl DurabilityMode {
+    /// All modes, in presentation order.
+    pub const ALL: [DurabilityMode; 3] = [
+        DurabilityMode::NoJournal,
+        DurabilityMode::WriteThrough,
+        DurabilityMode::WriteBackGroupCommit,
+    ];
+
+    /// Stable identifier used in tables and `BENCH.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            DurabilityMode::NoJournal => "no_journal",
+            DurabilityMode::WriteThrough => "write_through",
+            DurabilityMode::WriteBackGroupCommit => "write_back",
+        }
+    }
+
+    fn journal_blocks(self) -> u64 {
+        match self {
+            DurabilityMode::NoJournal => 0,
+            _ => 1024,
+        }
+    }
+
+    fn cache_mode(self) -> CacheMode {
+        match self {
+            DurabilityMode::WriteBackGroupCommit => CacheMode::WriteBack,
+            _ => CacheMode::WriteThrough,
+        }
+    }
+}
+
+/// One measured point of the durability sweep.
+#[derive(Debug, Clone)]
+pub struct DurabilityPoint {
+    /// Configuration name (see [`DurabilityMode::name`]).
+    pub mode: &'static str,
+    /// Whether writes in this mode are crash-consistent.
+    pub durable: bool,
+    /// Number of submitting clients.
+    pub clients: usize,
+    /// Engine worker threads.
+    pub workers: usize,
+    /// Durable 4 KiB writes completed per second (all clients).
+    pub ops_per_sec: f64,
+    /// Total writes completed.
+    pub total_ops: u64,
+    /// Wall-clock time of the measured pass, in milliseconds.
+    pub elapsed_ms: f64,
+    /// Mean submit-to-completion latency per write, in milliseconds.
+    pub mean_latency_ms: f64,
+}
+
+fn params(mode: DurabilityMode) -> StegParams {
+    StegParams {
+        random_fill: false,
+        dummy_file_count: 0,
+        journal_blocks: mode.journal_blocks(),
+        ..StegParams::for_tests()
+    }
+}
+
+fn build_volume(mode: DurabilityMode, clients: usize) -> Arc<Vfs<SweepDevice>> {
+    let disk = LatencyDevice::symmetric(MemBlockDevice::with_capacity_mb(1024, 48), BLOCK_LATENCY)
+        .with_flush_latency(FLUSH_LATENCY);
+    let dev = BufferCache::with_mode(disk, 4096, mode.cache_mode());
+    let vfs = Vfs::format(dev, params(mode)).expect("format");
+    for c in 0..clients {
+        let s = vfs.signon("durability key");
+        for (ns, path) in [("plain", plain_path(c)), ("hidden", hidden_path(c))] {
+            let h = vfs
+                .open(s, &path, OpenOptions::read_write().create(true))
+                .unwrap_or_else(|e| panic!("create {ns} file: {e}"));
+            vfs.write_at(h, 0, &vec![0x5au8; FILE_SIZE])
+                .expect("prefill");
+            vfs.close(h).expect("close");
+        }
+        vfs.signoff(s).expect("signoff");
+    }
+    vfs.sync().expect("initial checkpoint");
+    Arc::new(vfs)
+}
+
+fn plain_path(client: usize) -> String {
+    format!("/plain/dur-{client}.dat")
+}
+
+fn hidden_path(client: usize) -> String {
+    format!("/hidden/dur-{client}")
+}
+
+fn open_through_engine(client: &Client<SweepDevice>, path: &str) -> VfsHandle {
+    match client
+        .call(Request::Open {
+            path: path.into(),
+            opts: OpenOptions::read_write(),
+        })
+        .result
+        .expect("engine open")
+    {
+        Response::Handle(h) => h,
+        other => panic!("open returned {other:?}"),
+    }
+}
+
+/// One measured pass: every client alternates durable 4 KiB writes between
+/// its plain and its hidden file.  Returns `(total ops, elapsed ms, mean
+/// latency ms)`.
+fn one_pass(
+    engine: &Arc<Engine<SweepDevice>>,
+    clients: usize,
+    ops_per_client: usize,
+) -> (u64, f64, f64) {
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let engine = Arc::clone(engine);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let client = engine.client("durability key");
+                let handles = [
+                    open_through_engine(&client, &plain_path(c)),
+                    open_through_engine(&client, &hidden_path(c)),
+                ];
+                barrier.wait();
+                let mut latency = Duration::ZERO;
+                for op in 0..ops_per_client {
+                    let h = handles[op % 2];
+                    let offset = (op % (FILE_SIZE / WRITE_SIZE)) * WRITE_SIZE;
+                    let completion = client.call(Request::WriteAt {
+                        handle: h,
+                        offset: offset as u64,
+                        data: vec![(c * 31 + op) as u8; WRITE_SIZE],
+                    });
+                    match completion.result.expect("durable write") {
+                        Response::Written(n) => assert_eq!(n, WRITE_SIZE),
+                        other => panic!("unexpected {other:?}"),
+                    }
+                    latency += completion.latency;
+                }
+                barrier.wait();
+                for h in handles {
+                    client.call(Request::Close { handle: h });
+                }
+                client.signoff().expect("signoff");
+                latency
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    let start = Instant::now();
+    barrier.wait();
+    let elapsed = start.elapsed();
+    let mut latency_total = Duration::ZERO;
+    for t in threads {
+        latency_total += t.join().expect("durability client");
+    }
+    let total = (clients * ops_per_client) as u64;
+    (
+        total,
+        elapsed.as_secs_f64() * 1000.0,
+        latency_total.as_secs_f64() * 1000.0 / total as f64,
+    )
+}
+
+/// Run the sweep: for each mode, a fresh volume and engine, a warm-up pass,
+/// then a measured pass.
+pub fn run_sweep(clients: usize, ops_per_client: usize, workers: usize) -> Vec<DurabilityPoint> {
+    let mut out = Vec::new();
+    for mode in DurabilityMode::ALL {
+        let vfs = build_volume(mode, clients);
+        let engine = Arc::new(Engine::start(vfs, workers));
+        one_pass(&engine, clients, ops_per_client / 4 + 1);
+        let (total_ops, elapsed_ms, mean_latency_ms) = one_pass(&engine, clients, ops_per_client);
+        out.push(DurabilityPoint {
+            mode: mode.name(),
+            durable: mode != DurabilityMode::NoJournal,
+            clients,
+            workers,
+            ops_per_sec: total_ops as f64 / (elapsed_ms / 1000.0),
+            total_ops,
+            elapsed_ms,
+            mean_latency_ms,
+        });
+        Arc::try_unwrap(engine)
+            .unwrap_or_else(|_| panic!("engine still shared"))
+            .shutdown();
+    }
+    out
+}
+
+/// Render the sweep as a text table.
+pub fn render(points: &[DurabilityPoint]) -> String {
+    let clients = points.first().map_or(CLIENTS, |p| p.clients);
+    let mut s = format!(
+        "Durability sweep (4 KiB durable writes, {clients} clients, priced flush barrier)\n\
+         mode           durable      ops/sec   elapsed(ms)   mean latency(ms)\n",
+    );
+    for p in points {
+        s.push_str(&format!(
+            "{:<14} {:>7} {:>12.0} {:>13.1} {:>18.2}\n",
+            p.mode,
+            if p.durable { "yes" } else { "no" },
+            p.ops_per_sec,
+            p.elapsed_ms,
+            p.mean_latency_ms
+        ));
+    }
+    s
+}
+
+/// Serialise the sweep to the `durability` JSON section (an array; the
+/// caller merges it into `BENCH.json` next to the other sections).
+pub fn section_json(points: &[DurabilityPoint]) -> String {
+    let mut s = String::from("[\n");
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"durable\": {}, \"clients\": {}, \"workers\": {}, \
+             \"ops_per_sec\": {:.1}, \"total_ops\": {}, \"elapsed_ms\": {:.2}, \
+             \"mean_latency_ms\": {:.2}}}{}\n",
+            p.mode,
+            p.durable,
+            p.clients,
+            p.workers,
+            p.ops_per_sec,
+            p.total_ops,
+            p.elapsed_ms,
+            p.mean_latency_ms,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_produces_all_modes() {
+        let points = run_sweep(2, 2, 2);
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert_eq!(p.total_ops, 4);
+            assert!(p.ops_per_sec > 0.0);
+        }
+        assert!(!points[0].durable);
+        assert!(points[1].durable && points[2].durable);
+    }
+
+    #[test]
+    fn section_json_merges() {
+        let json = section_json(&[DurabilityPoint {
+            mode: "write_back",
+            durable: true,
+            clients: 12,
+            workers: 8,
+            ops_per_sec: 321.0,
+            total_ops: 768,
+            elapsed_ms: 100.0,
+            mean_latency_ms: 12.0,
+        }]);
+        assert!(json.contains("\"mode\": \"write_back\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let merged = crate::bench_json::merge_section(None, "durability", &json);
+        assert!(merged.contains("\"durability\""));
+    }
+}

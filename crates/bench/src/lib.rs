@@ -37,6 +37,7 @@ pub fn bench_workload() -> WorkloadParams {
 pub const USER_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
 
 pub mod bench_json;
+pub mod durability;
 pub mod engine_scaling;
 pub mod vfs_scaling;
 

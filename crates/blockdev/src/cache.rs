@@ -1,4 +1,4 @@
-//! A small write-through LRU buffer cache.
+//! A small LRU buffer cache, write-through or write-back.
 //!
 //! Figure 5 of the paper places StegFS above the Linux buffer cache.  The
 //! cache is not essential to the steganographic design, but it matters for
@@ -6,14 +6,34 @@
 //! and inode-table blocks) are touched on every operation and would otherwise
 //! dominate the simulated I/O time in a way the real system never exhibits.
 //!
-//! The cache is write-through: writes update both the cache and the
-//! underlying device, so the on-"disk" image is always current and crash /
-//! backup experiments can image the raw device at any point.
+//! Two modes ([`CacheMode`]):
+//!
+//! * **write-through** (the default, and the only mode before the journal
+//!   landed): writes update both the cache and the underlying device, so the
+//!   on-"disk" image is always current and crash / backup experiments can
+//!   image the raw device at any point.
+//! * **write-back**: writes dirty the cache and reach the device only at
+//!   [`flush`](BlockDevice::flush) (one batched submission for all dirty
+//!   blocks, then the inner barrier) or when a dirty block is evicted.  This
+//!   is the mode the journaled stack runs in: the journal's group commit
+//!   provides the flush barriers, so many small writes amortize into one
+//!   device submission — the write-back win `repro --durability` measures.
+//!   Crash consistency in this mode comes entirely from the journal: the
+//!   cache itself promises only that a successful `flush` is a barrier.
 
-use crate::device::{BlockDevice, BlockId};
-use crate::error::BlockResult;
+use crate::device::{check_batch, BlockDevice, BlockId};
+use crate::error::{BlockError, BlockResult};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+
+/// Write policy of a [`BufferCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheMode {
+    /// Every write goes straight to the device (and the cache).
+    WriteThrough,
+    /// Writes dirty the cache; the device sees them at flush or eviction.
+    WriteBack,
+}
 
 /// Cache hit/miss counters.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -24,41 +44,73 @@ pub struct CacheStats {
     pub misses: u64,
     /// Number of cache entries evicted.
     pub evictions: u64,
+    /// Dirty blocks written to the device by flushes or evictions
+    /// (write-back mode only).
+    pub write_backs: u64,
+}
+
+struct Entry {
+    data: Vec<u8>,
+    tick: u64,
+    dirty: bool,
 }
 
 #[derive(Default)]
 struct CacheState {
-    // block -> (data, last use tick)
-    entries: HashMap<BlockId, (Vec<u8>, u64)>,
+    entries: HashMap<BlockId, Entry>,
     tick: u64,
     stats: CacheStats,
 }
 
-/// Write-through LRU cache over a [`BlockDevice`].
+/// LRU cache over a [`BlockDevice`]; see the module docs for the two modes.
 ///
 /// One lock guards the whole cache, held across the device transfer on the
-/// miss/write paths: write-through consistency requires that a racing read
-/// cannot re-insert pre-write data over a fresh write.  Workloads that need
+/// miss/write paths: consistency requires that a racing read cannot
+/// re-insert pre-write data over a fresh write.  Workloads that need
 /// parallel device I/O talk to the device directly (the VFS stack does not
-/// use this cache; the single-threaded simulation harness does).
+/// use this cache for content I/O; the journaled write path and the
+/// single-threaded simulation harness do).
 pub struct BufferCache<D: BlockDevice> {
     inner: D,
     capacity: usize,
+    mode: CacheMode,
     state: Mutex<CacheState>,
 }
 
 impl<D: BlockDevice> BufferCache<D> {
-    /// Create a cache holding at most `capacity_blocks` blocks.
+    /// Create a write-through cache holding at most `capacity_blocks` blocks.
     ///
     /// # Panics
     /// Panics if `capacity_blocks` is zero.
     pub fn new(inner: D, capacity_blocks: usize) -> Self {
+        Self::with_mode(inner, capacity_blocks, CacheMode::WriteThrough)
+    }
+
+    /// Create a write-back cache holding at most `capacity_blocks` blocks.
+    ///
+    /// # Panics
+    /// Panics if `capacity_blocks` is zero.
+    pub fn new_write_back(inner: D, capacity_blocks: usize) -> Self {
+        Self::with_mode(inner, capacity_blocks, CacheMode::WriteBack)
+    }
+
+    /// Create a cache with an explicit [`CacheMode`].
+    ///
+    /// # Panics
+    /// Panics if `capacity_blocks` is zero.
+    pub fn with_mode(inner: D, capacity_blocks: usize, mode: CacheMode) -> Self {
         assert!(capacity_blocks > 0, "cache must hold at least one block");
         BufferCache {
             inner,
             capacity: capacity_blocks,
+            mode,
             state: Mutex::new(CacheState::default()),
         }
+    }
+
+    /// The cache's write policy.
+    pub fn mode(&self) -> CacheMode {
+        self.mode
     }
 
     /// Cache statistics so far.
@@ -76,10 +128,23 @@ impl<D: BlockDevice> BufferCache<D> {
         self.state.lock().entries.is_empty()
     }
 
-    /// Drop all cached blocks (the device already holds every write, so no
-    /// data is lost).
-    pub fn invalidate(&self) {
-        self.state.lock().entries.clear();
+    /// Number of dirty blocks awaiting write-back.
+    pub fn dirty_blocks(&self) -> usize {
+        self.state
+            .lock()
+            .entries
+            .values()
+            .filter(|e| e.dirty)
+            .count()
+    }
+
+    /// Drop all cached blocks.  In write-back mode, dirty blocks are first
+    /// written to the device (without a barrier) so no data is lost.
+    pub fn invalidate(&self) -> BlockResult<()> {
+        let mut state = self.state.lock();
+        self.write_back_dirty(&mut state)?;
+        state.entries.clear();
+        Ok(())
     }
 
     /// Access the wrapped device.
@@ -87,30 +152,97 @@ impl<D: BlockDevice> BufferCache<D> {
         &mut self.inner
     }
 
-    /// Unwrap the cache, returning the underlying device.
+    /// Unwrap the cache, returning the underlying device.  Dirty blocks are
+    /// **not** written back; call [`flush`](BlockDevice::flush) first.
     pub fn into_inner(self) -> D {
         self.inner
+    }
+
+    /// Write every dirty block down in one batched submission (no barrier).
+    /// Caller holds the state lock.
+    fn write_back_dirty(&self, state: &mut CacheState) -> BlockResult<()> {
+        let bs = self.inner.block_size();
+        let mut dirty: Vec<BlockId> = state
+            .entries
+            .iter()
+            .filter(|(_, e)| e.dirty)
+            .map(|(&b, _)| b)
+            .collect();
+        if dirty.is_empty() {
+            return Ok(());
+        }
+        dirty.sort_unstable();
+        let mut buf = vec![0u8; dirty.len() * bs];
+        for (i, b) in dirty.iter().enumerate() {
+            buf[i * bs..(i + 1) * bs].copy_from_slice(&state.entries[b].data);
+        }
+        self.inner.write_blocks(&dirty, &buf)?;
+        for b in &dirty {
+            if let Some(e) = state.entries.get_mut(b) {
+                e.dirty = false;
+            }
+        }
+        state.stats.write_backs += dirty.len() as u64;
+        Ok(())
+    }
+
+    /// Insert (or refresh) an entry, evicting the LRU victim if needed.  A
+    /// dirty victim is written to the device first, so eviction never loses
+    /// data.  Caller holds the state lock.
+    fn insert(
+        &self,
+        state: &mut CacheState,
+        block: BlockId,
+        data: Vec<u8>,
+        dirty: bool,
+    ) -> BlockResult<()> {
+        state.tick += 1;
+        let tick = state.tick;
+        if state.entries.len() >= self.capacity && !state.entries.contains_key(&block) {
+            if let Some((&victim, _)) = state.entries.iter().min_by_key(|(_, e)| e.tick) {
+                let entry = state.entries.remove(&victim).expect("victim exists");
+                if entry.dirty {
+                    self.inner.write_block(victim, &entry.data)?;
+                    state.stats.write_backs += 1;
+                }
+                state.stats.evictions += 1;
+            }
+        }
+        let dirty = dirty
+            || state
+                .entries
+                .get(&block)
+                .is_some_and(|e| e.dirty && self.mode == CacheMode::WriteBack);
+        state.entries.insert(block, Entry { data, tick, dirty });
+        Ok(())
+    }
+
+    /// Validate a write's geometry against the inner device so write-back
+    /// mode reports errors at write time, like write-through does.
+    fn check_write(&self, block: BlockId, len: usize) -> BlockResult<()> {
+        if block >= self.inner.total_blocks() {
+            return Err(BlockError::OutOfRange {
+                block,
+                total: self.inner.total_blocks(),
+            });
+        }
+        if len != self.inner.block_size() {
+            return Err(BlockError::BadBufferLength {
+                got: len,
+                expected: self.inner.block_size(),
+            });
+        }
+        Ok(())
     }
 }
 
 impl CacheState {
     fn touch(&mut self, block: BlockId) {
         self.tick += 1;
+        let tick = self.tick;
         if let Some(entry) = self.entries.get_mut(&block) {
-            entry.1 = self.tick;
+            entry.tick = tick;
         }
-    }
-
-    fn insert(&mut self, block: BlockId, data: Vec<u8>, capacity: usize) {
-        self.tick += 1;
-        if self.entries.len() >= capacity && !self.entries.contains_key(&block) {
-            // Evict the least recently used entry.
-            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, (_, t))| *t) {
-                self.entries.remove(&victim);
-                self.stats.evictions += 1;
-            }
-        }
-        self.entries.insert(block, (data, self.tick));
     }
 }
 
@@ -126,8 +258,8 @@ impl<D: BlockDevice> BlockDevice for BufferCache<D> {
     fn read_block(&self, block: BlockId, buf: &mut [u8]) -> BlockResult<()> {
         let mut state = self.state.lock();
         if buf.len() == self.inner.block_size() {
-            if let Some((data, _)) = state.entries.get(&block) {
-                buf.copy_from_slice(data);
+            if let Some(entry) = state.entries.get(&block) {
+                buf.copy_from_slice(&entry.data);
                 state.stats.hits += 1;
                 state.touch(block);
                 return Ok(());
@@ -135,25 +267,33 @@ impl<D: BlockDevice> BlockDevice for BufferCache<D> {
         }
         self.inner.read_block(block, buf)?;
         state.stats.misses += 1;
-        state.insert(block, buf.to_vec(), self.capacity);
+        self.insert(&mut state, block, buf.to_vec(), false)?;
         Ok(())
     }
 
     fn write_block(&self, block: BlockId, buf: &[u8]) -> BlockResult<()> {
-        // Write-through: device first so a device error leaves the cache
-        // consistent with the (unchanged) device contents; the state lock is
-        // held across the transfer so a racing miss cannot resurrect
-        // pre-write data.
         let mut state = self.state.lock();
-        self.inner.write_block(block, buf)?;
-        state.insert(block, buf.to_vec(), self.capacity);
-        Ok(())
+        match self.mode {
+            CacheMode::WriteThrough => {
+                // Device first so a device error leaves the cache consistent
+                // with the (unchanged) device contents; the state lock is
+                // held across the transfer so a racing miss cannot resurrect
+                // pre-write data.
+                self.inner.write_block(block, buf)?;
+                self.insert(&mut state, block, buf.to_vec(), false)
+            }
+            CacheMode::WriteBack => {
+                self.check_write(block, buf.len())?;
+                self.insert(&mut state, block, buf.to_vec(), true)
+            }
+        }
     }
 
     // Batched reads serve hits from the cache and gather every miss into one
-    // inner submission; batched writes go through in one submission and then
-    // populate the cache.  Both run under one hold of the cache lock, the
-    // same consistency rule as the single-block paths.
+    // inner submission; batched writes go through in one submission
+    // (write-through) or dirty the cache (write-back).  Both run under one
+    // hold of the cache lock, the same consistency rule as the single-block
+    // paths.
     fn read_blocks(&self, blocks: &[BlockId], buf: &mut [u8]) -> BlockResult<()> {
         let bs = self.inner.block_size();
         if buf.len() != blocks.len() * bs {
@@ -163,8 +303,8 @@ impl<D: BlockDevice> BlockDevice for BufferCache<D> {
         let mut state = self.state.lock();
         let mut missing: Vec<(usize, BlockId)> = Vec::new();
         for (i, &block) in blocks.iter().enumerate() {
-            if let Some((data, _)) = state.entries.get(&block) {
-                buf[i * bs..(i + 1) * bs].copy_from_slice(data);
+            if let Some(entry) = state.entries.get(&block) {
+                buf[i * bs..(i + 1) * bs].copy_from_slice(&entry.data);
                 state.stats.hits += 1;
                 state.touch(block);
             } else {
@@ -181,24 +321,44 @@ impl<D: BlockDevice> BlockDevice for BufferCache<D> {
             let data = &miss_buf[j * bs..(j + 1) * bs];
             buf[i * bs..(i + 1) * bs].copy_from_slice(data);
             state.stats.misses += 1;
-            state.insert(block, data.to_vec(), self.capacity);
+            self.insert(&mut state, block, data.to_vec(), false)?;
         }
         Ok(())
     }
 
     fn write_blocks(&self, blocks: &[BlockId], buf: &[u8]) -> BlockResult<()> {
-        let mut state = self.state.lock();
-        self.inner.write_blocks(blocks, buf)?;
         let bs = self.inner.block_size();
-        if buf.len() == blocks.len() * bs {
-            for (i, &block) in blocks.iter().enumerate() {
-                state.insert(block, buf[i * bs..(i + 1) * bs].to_vec(), self.capacity);
+        let mut state = self.state.lock();
+        match self.mode {
+            CacheMode::WriteThrough => {
+                self.inner.write_blocks(blocks, buf)?;
+                if buf.len() == blocks.len() * bs {
+                    for (i, &block) in blocks.iter().enumerate() {
+                        self.insert(&mut state, block, buf[i * bs..(i + 1) * bs].to_vec(), false)?;
+                    }
+                }
+                Ok(())
+            }
+            CacheMode::WriteBack => {
+                check_batch(blocks.len(), buf.len(), bs)?;
+                for &block in blocks {
+                    self.check_write(block, bs)?;
+                }
+                for (i, &block) in blocks.iter().enumerate() {
+                    self.insert(&mut state, block, buf[i * bs..(i + 1) * bs].to_vec(), true)?;
+                }
+                Ok(())
             }
         }
-        Ok(())
     }
 
+    /// The barrier: write-back mode pushes every dirty block down in one
+    /// batched submission, then flushes the inner device.
     fn flush(&self) -> BlockResult<()> {
+        {
+            let mut state = self.state.lock();
+            self.write_back_dirty(&mut state)?;
+        }
         self.inner.flush()
     }
 }
@@ -242,6 +402,69 @@ mod tests {
         // The device itself also holds the data.
         let inner = cache.into_inner().into_inner();
         assert_eq!(inner.read_block_vec(3).unwrap(), vec![0xaa; 64]);
+    }
+
+    #[test]
+    fn write_back_defers_until_flush() {
+        let metered = MeteredDevice::new(MemBlockDevice::new(64, 16));
+        let io = metered.stats_handle();
+        let cache = BufferCache::new_write_back(metered, 8);
+        assert_eq!(cache.mode(), CacheMode::WriteBack);
+        cache.write_block(3, &[0xaa; 64]).unwrap();
+        cache.write_blocks(&[4, 5], &[0xbb; 128]).unwrap();
+        assert_eq!(io.snapshot().writes, 0, "nothing reaches the device yet");
+        assert_eq!(cache.dirty_blocks(), 3);
+        // Reads see the dirty data.
+        let mut buf = vec![0u8; 64];
+        cache.read_block(4, &mut buf).unwrap();
+        assert_eq!(buf, vec![0xbb; 64]);
+        // One flush pushes all three in one batched submission.
+        cache.flush().unwrap();
+        let s = io.snapshot();
+        assert_eq!(s.writes, 3);
+        assert_eq!(s.write_submissions, 1);
+        assert_eq!(cache.dirty_blocks(), 0);
+        assert_eq!(cache.stats().write_backs, 3);
+        // A second flush writes nothing.
+        cache.flush().unwrap();
+        assert_eq!(io.snapshot().writes, 3);
+        let inner = cache.into_inner().into_inner();
+        assert_eq!(inner.read_block_vec(3).unwrap(), vec![0xaa; 64]);
+        assert_eq!(inner.read_block_vec(5).unwrap(), vec![0xbb; 64]);
+    }
+
+    #[test]
+    fn write_back_eviction_preserves_dirty_data() {
+        let metered = MeteredDevice::new(MemBlockDevice::new(64, 16));
+        let io = metered.stats_handle();
+        let cache = BufferCache::new_write_back(metered, 2);
+        cache.write_block(0, &[1; 64]).unwrap();
+        cache.write_block(1, &[2; 64]).unwrap();
+        cache.write_block(2, &[3; 64]).unwrap(); // evicts dirty block 0
+        assert_eq!(io.snapshot().writes, 1, "evicted dirty block written down");
+        assert_eq!(cache.stats().evictions, 1);
+        let mut buf = vec![0u8; 64];
+        cache.read_block(0, &mut buf).unwrap(); // re-reads the written-back data
+        assert_eq!(buf, vec![1u8; 64]);
+        cache.flush().unwrap();
+        let inner = cache.into_inner().into_inner();
+        for (b, v) in [(0u64, 1u8), (1, 2), (2, 3)] {
+            assert_eq!(inner.read_block_vec(b).unwrap(), vec![v; 64]);
+        }
+    }
+
+    #[test]
+    fn write_back_rejects_bad_writes_at_write_time() {
+        let cache = BufferCache::new_write_back(MemBlockDevice::new(64, 4), 4);
+        assert!(matches!(
+            cache.write_block(99, &[0; 64]),
+            Err(BlockError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            cache.write_block(0, &[0; 5]),
+            Err(BlockError::BadBufferLength { .. })
+        ));
+        assert!(cache.write_blocks(&[99], &[0; 64]).is_err());
     }
 
     #[test]
@@ -308,7 +531,18 @@ mod tests {
         let cache = BufferCache::new(MemBlockDevice::new(64, 4), 4);
         cache.write_block(1, &[7u8; 64]).unwrap();
         assert!(!cache.is_empty());
-        cache.invalidate();
+        cache.invalidate().unwrap();
+        assert!(cache.is_empty());
+        let mut buf = vec![0u8; 64];
+        cache.read_block(1, &mut buf).unwrap();
+        assert_eq!(buf, vec![7u8; 64]);
+    }
+
+    #[test]
+    fn write_back_invalidate_preserves_dirty_data() {
+        let cache = BufferCache::new_write_back(MemBlockDevice::new(64, 4), 4);
+        cache.write_block(1, &[7u8; 64]).unwrap();
+        cache.invalidate().unwrap();
         assert!(cache.is_empty());
         let mut buf = vec![0u8; 64];
         cache.read_block(1, &mut buf).unwrap();

@@ -1,0 +1,389 @@
+//! Crash fault injection for durability testing.
+//!
+//! [`CrashDevice`] models a volatile write cache in front of stable storage,
+//! the way a real disk (or the OS page cache) behaves across a power cut:
+//!
+//! * writes land in a **pending set** and are immediately visible to reads,
+//!   but nothing reaches the wrapped device until [`flush`](BlockDevice::flush)
+//!   — the barrier every journaling protocol is built on;
+//! * [`crash`](CrashDevice::crash) simulates the power cut: a seeded,
+//!   deterministic choice applies some pending writes, drops others, and
+//!   *tears* a few (only a prefix of the block's bytes survives) — batched
+//!   submissions tear per block, so a crash can land mid-batch;
+//! * [`fail_after_writes`](CrashDevice::fail_after_writes) arms a trip wire
+//!   that makes the device start refusing writes after N more block writes,
+//!   so a test can stop a multi-block update at any interior point before
+//!   crashing it.
+//!
+//! The wrapper is cloneable ([`Arc`]-shared): the file system under test owns
+//! one handle while the test harness keeps another to pull the plug and to
+//! remount the surviving state.
+
+use crate::device::{check_batch, BlockDevice, BlockId};
+use crate::error::{BlockError, BlockResult};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What [`CrashDevice::crash`] did to each pending write.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrashReport {
+    /// Pending writes applied whole.
+    pub applied: usize,
+    /// Pending writes dropped entirely.
+    pub dropped: usize,
+    /// Pending writes torn (a proper prefix survived).
+    pub torn: usize,
+}
+
+struct Pending {
+    /// Unsynced writes in submission order (one entry per block write, even
+    /// within a batch).
+    log: Vec<(BlockId, Vec<u8>)>,
+    /// Latest pending image per block, for read-back.
+    latest: HashMap<BlockId, Vec<u8>>,
+    /// Remaining writes before the injected failure trips (`None` = armed
+    /// off).
+    writes_until_fail: Option<u64>,
+    /// Once tripped, every write and flush fails until the next crash.
+    failed: bool,
+    flushes: u64,
+}
+
+struct Shared<D: BlockDevice> {
+    inner: D,
+    pending: Mutex<Pending>,
+}
+
+/// A fault-injection wrapper that buffers unsynced writes and can "lose
+/// power" at any point.  See the module docs for the model.
+pub struct CrashDevice<D: BlockDevice> {
+    shared: Arc<Shared<D>>,
+}
+
+impl<D: BlockDevice> Clone for CrashDevice<D> {
+    fn clone(&self) -> Self {
+        CrashDevice {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<D: BlockDevice> CrashDevice<D> {
+    /// Wrap `inner`.  The returned handle (and every clone) shares one
+    /// pending set and one stable store.
+    pub fn new(inner: D) -> Self {
+        CrashDevice {
+            shared: Arc::new(Shared {
+                inner,
+                pending: Mutex::new(Pending {
+                    log: Vec::new(),
+                    latest: HashMap::new(),
+                    writes_until_fail: None,
+                    failed: false,
+                    flushes: 0,
+                }),
+            }),
+        }
+    }
+
+    /// Number of block writes currently buffered (not yet flushed).
+    pub fn pending_writes(&self) -> usize {
+        self.shared.pending.lock().log.len()
+    }
+
+    /// Number of successful flush barriers so far.
+    pub fn flushes(&self) -> u64 {
+        self.shared.pending.lock().flushes
+    }
+
+    /// Arm the failure trip wire: after `n` more block writes succeed, every
+    /// subsequent write and flush fails with an I/O error, freezing the
+    /// pending set mid-update until [`crash`](Self::crash) is called.
+    pub fn fail_after_writes(&self, n: u64) {
+        let mut p = self.shared.pending.lock();
+        p.writes_until_fail = Some(n);
+        p.failed = false;
+    }
+
+    /// Disarm the trip wire and clear a tripped failure without crashing.
+    pub fn clear_failure(&self) {
+        let mut p = self.shared.pending.lock();
+        p.writes_until_fail = None;
+        p.failed = false;
+    }
+
+    /// Pull the plug: deterministically (by `seed`) apply, drop, or tear the
+    /// pending writes in submission order, then clear the pending set and
+    /// any armed failure.  The device remains usable afterwards — remount it
+    /// to observe the surviving state.
+    pub fn crash(&self, seed: u64) -> CrashReport {
+        let mut p = self.shared.pending.lock();
+        let mut rng = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut next = || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let mut report = CrashReport::default();
+        let log = std::mem::take(&mut p.log);
+        for (block, data) in log {
+            match next() % 100 {
+                // Half the queue tends to make it to the platter whole...
+                0..=49 => {
+                    let _ = self.shared.inner.write_block(block, &data);
+                    report.applied += 1;
+                }
+                // ...a third is lost entirely...
+                50..=84 => report.dropped += 1,
+                // ...and the rest is torn: only a proper prefix survives
+                // over whatever the stable store already held.
+                _ => {
+                    if let Ok(mut old) = self.shared.inner.read_block_vec(block) {
+                        let cut = 1 + (next() as usize) % (data.len().max(2) - 1);
+                        old[..cut].copy_from_slice(&data[..cut]);
+                        let _ = self.shared.inner.write_block(block, &old);
+                    }
+                    report.torn += 1;
+                }
+            }
+        }
+        p.latest.clear();
+        p.writes_until_fail = None;
+        p.failed = false;
+        report
+    }
+
+    fn admit_write(&self, p: &mut Pending) -> BlockResult<()> {
+        if p.failed {
+            return Err(injected_failure());
+        }
+        if let Some(left) = p.writes_until_fail {
+            if left == 0 {
+                p.failed = true;
+                return Err(injected_failure());
+            }
+            p.writes_until_fail = Some(left - 1);
+        }
+        Ok(())
+    }
+}
+
+fn injected_failure() -> BlockError {
+    BlockError::Io(std::io::Error::other("injected crash: device unreachable"))
+}
+
+impl<D: BlockDevice> BlockDevice for CrashDevice<D> {
+    fn block_size(&self) -> usize {
+        self.shared.inner.block_size()
+    }
+
+    fn total_blocks(&self) -> u64 {
+        self.shared.inner.total_blocks()
+    }
+
+    fn read_block(&self, block: BlockId, buf: &mut [u8]) -> BlockResult<()> {
+        let p = self.shared.pending.lock();
+        if buf.len() == self.block_size() {
+            if let Some(data) = p.latest.get(&block) {
+                buf.copy_from_slice(data);
+                return Ok(());
+            }
+        }
+        self.shared.inner.read_block(block, buf)
+    }
+
+    fn write_block(&self, block: BlockId, buf: &[u8]) -> BlockResult<()> {
+        if block >= self.total_blocks() {
+            return Err(BlockError::OutOfRange {
+                block,
+                total: self.total_blocks(),
+            });
+        }
+        if buf.len() != self.block_size() {
+            return Err(BlockError::BadBufferLength {
+                got: buf.len(),
+                expected: self.block_size(),
+            });
+        }
+        let mut p = self.shared.pending.lock();
+        self.admit_write(&mut p)?;
+        p.log.push((block, buf.to_vec()));
+        p.latest.insert(block, buf.to_vec());
+        Ok(())
+    }
+
+    fn read_blocks(&self, blocks: &[BlockId], buf: &mut [u8]) -> BlockResult<()> {
+        let bs = self.block_size();
+        check_batch(blocks.len(), buf.len(), bs)?;
+        // Serve pending hits, gather misses into one inner submission.
+        let mut missing: Vec<(usize, BlockId)> = Vec::new();
+        {
+            let p = self.shared.pending.lock();
+            for (i, &block) in blocks.iter().enumerate() {
+                match p.latest.get(&block) {
+                    Some(data) => buf[i * bs..(i + 1) * bs].copy_from_slice(data),
+                    None => missing.push((i, block)),
+                }
+            }
+        }
+        if missing.is_empty() {
+            return Ok(());
+        }
+        let miss_blocks: Vec<BlockId> = missing.iter().map(|&(_, b)| b).collect();
+        let mut miss_buf = vec![0u8; miss_blocks.len() * bs];
+        self.shared.inner.read_blocks(&miss_blocks, &mut miss_buf)?;
+        for (j, &(i, _)) in missing.iter().enumerate() {
+            buf[i * bs..(i + 1) * bs].copy_from_slice(&miss_buf[j * bs..(j + 1) * bs]);
+        }
+        Ok(())
+    }
+
+    // Batched writes enqueue one pending entry per block, so a crash (or the
+    // failure trip wire) can land in the middle of a batch.
+    fn write_blocks(&self, blocks: &[BlockId], buf: &[u8]) -> BlockResult<()> {
+        let bs = self.block_size();
+        check_batch(blocks.len(), buf.len(), bs)?;
+        let total = self.total_blocks();
+        for &block in blocks {
+            if block >= total {
+                return Err(BlockError::OutOfRange { block, total });
+            }
+        }
+        let mut p = self.shared.pending.lock();
+        for (i, &block) in blocks.iter().enumerate() {
+            self.admit_write(&mut p)?;
+            let data = buf[i * bs..(i + 1) * bs].to_vec();
+            p.log.push((block, data.clone()));
+            p.latest.insert(block, data);
+        }
+        Ok(())
+    }
+
+    /// The barrier: every pending write reaches stable storage before this
+    /// returns.  After a successful flush there is nothing left to tear.
+    fn flush(&self) -> BlockResult<()> {
+        let mut p = self.shared.pending.lock();
+        if p.failed {
+            return Err(injected_failure());
+        }
+        let log = std::mem::take(&mut p.log);
+        for (block, data) in &log {
+            self.shared.inner.write_block(*block, data)?;
+        }
+        p.latest.clear();
+        self.shared.inner.flush()?;
+        p.flushes += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::MemBlockDevice;
+
+    const BS: usize = 64;
+
+    #[test]
+    fn reads_see_unsynced_writes_but_stable_store_does_not() {
+        let dev = CrashDevice::new(MemBlockDevice::new(BS, 8));
+        dev.write_block(3, &[7u8; BS]).unwrap();
+        assert_eq!(dev.read_block_vec(3).unwrap(), vec![7u8; BS]);
+        assert_eq!(dev.pending_writes(), 1);
+        // Crash with a seed that drops everything is not guaranteed, so
+        // instead verify the pending/flush split directly: a clone sees the
+        // write, flushing empties the queue.
+        let clone = dev.clone();
+        assert_eq!(clone.read_block_vec(3).unwrap(), vec![7u8; BS]);
+        dev.flush().unwrap();
+        assert_eq!(dev.pending_writes(), 0);
+        assert_eq!(dev.flushes(), 1);
+        assert_eq!(dev.read_block_vec(3).unwrap(), vec![7u8; BS]);
+    }
+
+    #[test]
+    fn crash_loses_or_tears_unsynced_writes_only() {
+        for seed in 0..32u64 {
+            let dev = CrashDevice::new(MemBlockDevice::new(BS, 8));
+            dev.write_block(0, &[0xaa; BS]).unwrap();
+            dev.flush().unwrap(); // durable
+            dev.write_block(0, &[0xbb; BS]).unwrap(); // at risk
+            dev.write_block(1, &[0xcc; BS]).unwrap(); // at risk
+            let report = dev.crash(seed);
+            assert_eq!(report.applied + report.dropped + report.torn, 2);
+            assert_eq!(dev.pending_writes(), 0);
+            let b0 = dev.read_block_vec(0).unwrap();
+            // Block 0 is the old durable data, the new data, or a tear of
+            // the two; block 1 is zeros, the new data, or a tear.
+            assert!(b0.iter().all(|&b| b == 0xaa || b == 0xbb));
+            let b1 = dev.read_block_vec(1).unwrap();
+            assert!(b1.iter().all(|&b| b == 0 || b == 0xcc));
+        }
+    }
+
+    #[test]
+    fn torn_batch_is_possible() {
+        // With per-block pending entries, some seed must tear a batch apart.
+        let mut seen_partial = false;
+        for seed in 0..64u64 {
+            let dev = CrashDevice::new(MemBlockDevice::new(BS, 16));
+            let blocks: Vec<u64> = (0..8).collect();
+            let data = vec![0x5au8; 8 * BS];
+            dev.write_blocks(&blocks, &data).unwrap();
+            dev.crash(seed);
+            let survived = (0..8)
+                .filter(|&b| dev.read_block_vec(b).unwrap() == vec![0x5au8; BS])
+                .count();
+            if survived > 0 && survived < 8 {
+                seen_partial = true;
+                break;
+            }
+        }
+        assert!(seen_partial, "no seed produced a mid-batch crash");
+    }
+
+    #[test]
+    fn fail_after_writes_trips_and_crash_clears() {
+        let dev = CrashDevice::new(MemBlockDevice::new(BS, 8));
+        dev.fail_after_writes(2);
+        dev.write_block(0, &[1; BS]).unwrap();
+        dev.write_block(1, &[2; BS]).unwrap();
+        assert!(dev.write_block(2, &[3; BS]).is_err());
+        assert!(dev.flush().is_err(), "tripped device refuses the barrier");
+        dev.crash(1);
+        dev.write_block(2, &[3; BS]).unwrap();
+        dev.flush().unwrap();
+        assert_eq!(dev.read_block_vec(2).unwrap(), vec![3; BS]);
+    }
+
+    #[test]
+    fn batched_reads_merge_pending_and_stable() {
+        let dev = CrashDevice::new(MemBlockDevice::new(BS, 8));
+        dev.write_block(1, &[9; BS]).unwrap();
+        dev.flush().unwrap();
+        dev.write_block(2, &[8; BS]).unwrap(); // pending
+        let mut buf = vec![0u8; 3 * BS];
+        dev.read_blocks(&[1, 2, 3], &mut buf).unwrap();
+        assert_eq!(&buf[..BS], &[9u8; BS][..]);
+        assert_eq!(&buf[BS..2 * BS], &[8u8; BS][..]);
+        assert_eq!(&buf[2 * BS..], &[0u8; BS][..]);
+    }
+
+    #[test]
+    fn geometry_and_bad_args() {
+        let dev = CrashDevice::new(MemBlockDevice::new(BS, 8));
+        assert_eq!(dev.block_size(), BS);
+        assert_eq!(dev.total_blocks(), 8);
+        assert!(matches!(
+            dev.write_block(99, &[0; BS]),
+            Err(BlockError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            dev.write_block(0, &[0; 10]),
+            Err(BlockError::BadBufferLength { .. })
+        ));
+        assert!(dev.write_blocks(&[99], &[0; BS]).is_err());
+    }
+}

@@ -25,22 +25,33 @@ pub struct LatencyDevice<D: BlockDevice> {
     inner: D,
     read_latency: Duration,
     write_latency: Duration,
+    flush_latency: Duration,
 }
 
 impl<D: BlockDevice> LatencyDevice<D> {
     /// Wrap `inner`, charging `read_latency` / `write_latency` of wall-clock
-    /// sleep per block transfer.
+    /// sleep per block transfer.  Flush barriers are free until
+    /// [`with_flush_latency`](Self::with_flush_latency) prices them.
     pub fn new(inner: D, read_latency: Duration, write_latency: Duration) -> Self {
         LatencyDevice {
             inner,
             read_latency,
             write_latency,
+            flush_latency: Duration::ZERO,
         }
     }
 
     /// Wrap `inner` with one symmetric per-block service time.
     pub fn symmetric(inner: D, latency: Duration) -> Self {
         Self::new(inner, latency, latency)
+    }
+
+    /// Charge `latency` of wall-clock sleep per flush barrier — the cache
+    /// write-back + FUA cost a real disk charges for durability, and the
+    /// quantity group commit exists to amortize.
+    pub fn with_flush_latency(mut self, latency: Duration) -> Self {
+        self.flush_latency = latency;
+        self
     }
 
     /// Unwrap, discarding the latency model.
@@ -92,6 +103,9 @@ impl<D: BlockDevice> BlockDevice for LatencyDevice<D> {
     }
 
     fn flush(&self) -> BlockResult<()> {
+        if !self.flush_latency.is_zero() {
+            std::thread::sleep(self.flush_latency);
+        }
         self.inner.flush()
     }
 }

@@ -27,8 +27,13 @@
 //!   virtual clock, which is what the performance experiments measure.
 //! * [`MeteredDevice`] — wraps any device and counts reads, writes and
 //!   simulated service time.
-//! * [`BufferCache`] — a small write-through LRU cache mirroring the role of
-//!   the kernel buffer cache in Figure 5 of the paper.
+//! * [`BufferCache`] — a small LRU cache mirroring the role of the kernel
+//!   buffer cache in Figure 5 of the paper; write-through by default, with a
+//!   write-back mode ([`CacheMode`]) for the journaled stack, where the
+//!   journal's group-commit flushes provide the barriers.
+//! * [`CrashDevice`] — fault injection for the durability tests: buffers
+//!   unsynced writes, and `crash()` applies, drops or tears an arbitrary
+//!   seeded subset of them (including mid-batch) before remount.
 //! * [`LatencyDevice`] — real-time per-block service latency (it actually
 //!   sleeps, outside every lock), used by the thread-scaling benchmarks to
 //!   show concurrent block I/O overlapping on the wall clock.
@@ -45,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod crash;
 pub mod device;
 pub mod disk_model;
 pub mod error;
@@ -52,7 +58,8 @@ pub mod file;
 pub mod latency;
 pub mod metered;
 
-pub use cache::BufferCache;
+pub use cache::{BufferCache, CacheMode};
+pub use crash::{CrashDevice, CrashReport};
 pub use device::{BlockDevice, BlockId, MemBlockDevice, SharedDevice};
 pub use disk_model::{DiskClock, DiskModel, DiskParameters, DiskStats, SimDisk};
 pub use error::{BlockError, BlockResult};

@@ -19,7 +19,7 @@ use crate::locator::{find_free_header_slot, locate_header, Located};
 use crate::params::StegParams;
 use stegfs_blockdev::BlockDevice;
 use stegfs_crypto::prng::DeterministicRng;
-use stegfs_fs::PlainFs;
+use stegfs_fs::{FsTxn, PlainFs};
 
 /// An open hidden object: its header block number and current header state.
 #[derive(Debug, Clone)]
@@ -46,14 +46,14 @@ impl HiddenObject {
 }
 
 fn write_encrypted<D: BlockDevice>(
-    fs: &PlainFs<D>,
+    txn: &mut FsTxn<'_, D>,
     keys: &ObjectKeys,
     block: u64,
     plaintext_block: &[u8],
 ) -> StegResult<()> {
     let mut buf = plaintext_block.to_vec();
     keys.encrypt_block(block, &mut buf);
-    fs.write_raw_block(block, &buf)?;
+    txn.write_raw_block(block, &buf)?;
     Ok(())
 }
 
@@ -85,19 +85,20 @@ fn read_decrypted_many<D: BlockDevice>(
 
 /// Encrypt `plaintext` (the concatenation of the blocks' contents) per block
 /// **in place** — every caller hands over a scratch buffer it is done with —
-/// and write the whole extent list in **one batched device submission**.
+/// and write the whole extent list in **one batched device submission** (or
+/// stage it into the transaction's redo buffer on a journaled volume).
 fn write_encrypted_many<D: BlockDevice>(
-    fs: &PlainFs<D>,
+    txn: &mut FsTxn<'_, D>,
     keys: &ObjectKeys,
     blocks: &[u64],
     mut plaintext: Vec<u8>,
 ) -> StegResult<()> {
-    let bs = fs.block_size();
+    let bs = txn.block_size();
     debug_assert_eq!(plaintext.len(), blocks.len() * bs);
     for (i, &block) in blocks.iter().enumerate() {
         keys.encrypt_block(block, &mut plaintext[i * bs..(i + 1) * bs]);
     }
-    fs.write_raw_blocks(blocks, &plaintext)?;
+    txn.write_raw_blocks(blocks, &plaintext)?;
     Ok(())
 }
 
@@ -105,6 +106,8 @@ fn write_encrypted_many<D: BlockDevice>(
 ///
 /// The header lands at the first free block of the keyed candidate sequence;
 /// the internal free pool is immediately stocked with `FB_max` random blocks.
+/// The header write is one transaction: on a journaled volume a crash either
+/// yields the complete (empty) object or nothing.
 pub fn create<D: BlockDevice>(
     fs: &PlainFs<D>,
     physical_name: &str,
@@ -112,6 +115,7 @@ pub fn create<D: BlockDevice>(
     kind: ObjectKind,
     params: &StegParams,
 ) -> StegResult<HiddenObject> {
+    let mut txn = fs.begin_txn();
     // Claiming the slot is a separate step from finding it, so two creators
     // racing down different candidate sequences may pick the same free block.
     // The loser's atomic claim fails and it simply probes on: the next walk
@@ -121,7 +125,7 @@ pub fn create<D: BlockDevice>(
         loop {
             let (candidate, _probes) =
                 find_free_header_slot(fs, physical_name, keys, params.max_locator_probes)?;
-            if fs.try_allocate_specific_block(candidate)? {
+            if txn.try_allocate_specific_block(candidate)? {
                 break candidate;
             }
             attempts += 1;
@@ -135,14 +139,20 @@ pub fn create<D: BlockDevice>(
     // Stock the internal free pool (§3.1: "StegFS straightaway allocates
     // several blocks to the file").
     for _ in 0..params.free_blocks_max {
-        match fs.allocate_random_block() {
+        match txn.allocate_random_block() {
             Ok(b) => header.free_pool.push(b),
             Err(stegfs_fs::FsError::NoSpace) => break,
             Err(e) => return Err(e.into()),
         }
     }
 
-    write_encrypted(fs, keys, header_block, &header.serialize(fs.block_size()))?;
+    write_encrypted(
+        &mut txn,
+        keys,
+        header_block,
+        &header.serialize(fs.block_size()),
+    )?;
+    txn.commit()?;
     Ok(HiddenObject {
         header_block,
         header,
@@ -274,7 +284,9 @@ pub fn write_range<D: BlockDevice>(
     // old contents (fully covered middle blocks are rebuilt from `data`; the
     // edge selection is the shared [`stegfs_fs::rmw`] plan), so at most two
     // edge blocks come up in one submission and the whole patched extent
-    // goes back down in one submission.
+    // goes back down in one submission.  The patch is one transaction: an
+    // in-place update of live data is exactly the write a crash must not
+    // tear.
     let span_start = first as u64 * bs;
     let bs = bs as usize;
     let plan = stegfs_fs::rmw::plan(span, offset, end, span_start, bs);
@@ -283,7 +295,10 @@ pub fn write_range<D: BlockDevice>(
     plan.seed_edges(&edge_plain, &mut plain, bs);
     let from = (offset - span_start) as usize;
     plain[from..from + data.len()].copy_from_slice(data);
-    write_encrypted_many(fs, keys, span, plain)
+    let mut txn = fs.begin_txn();
+    write_encrypted_many(&mut txn, keys, span, plain)?;
+    txn.commit()?;
+    Ok(())
 }
 
 /// Take one block for new data: prefer the internal free pool (choosing a
@@ -299,26 +314,22 @@ pub fn write_range<D: BlockDevice>(
 /// object's still-current header pointing at blocks another thread has been
 /// handed; on a nearly full volume they are consumed in place, which is what
 /// lets a rewrite or truncation succeed without double the footprint.
-/// Blocks drawn fresh from the volume are recorded in `fresh` so a failing
-/// operation can return them instead of leaking them (with the
-/// shared-reference API a concurrent writer can consume the space between
-/// our capacity check and the allocations).
+/// Blocks drawn fresh from the volume are tracked by the transaction, which
+/// returns them to the volume if the operation fails before committing
+/// (with the shared-reference API a concurrent writer can consume the space
+/// between our capacity check and the allocations).
 fn take_block<D: BlockDevice>(
-    fs: &PlainFs<D>,
+    txn: &mut FsTxn<'_, D>,
     header: &mut HiddenHeader,
     rng: &mut DeterministicRng,
     recycled: &mut Vec<u64>,
-    fresh: &mut Vec<u64>,
 ) -> StegResult<u64> {
     if !header.free_pool.is_empty() {
         let idx = rng.next_below(header.free_pool.len() as u64) as usize;
         return Ok(header.free_pool.swap_remove(idx));
     }
-    match fs.allocate_random_block() {
-        Ok(block) => {
-            fresh.push(block);
-            Ok(block)
-        }
+    match txn.allocate_random_block() {
+        Ok(block) => Ok(block),
         Err(stegfs_fs::FsError::NoSpace) if !recycled.is_empty() => {
             Ok(recycled.pop().expect("checked non-empty"))
         }
@@ -363,96 +374,86 @@ pub fn write<D: BlockDevice>(
     // The old blocks are *recycled in place*: they stay allocated in the
     // bitmap and are consumed directly as new data/chain blocks, never freed
     // mid-operation.  The capacity check above is advisory once other
-    // writers run in parallel, so from here on track freshly allocated
-    // blocks and hand them back if the operation fails part-way.  On such a
-    // failure the object's previous header stays current and every block it
-    // names is still allocated — though blocks already consumed for new data
-    // have had their *contents* overwritten (recycling is what makes a
-    // rewrite affordable; full atomicity would need disjoint space).
+    // writers run in parallel, so every fresh allocation is tracked by the
+    // transaction, which hands it back if the operation fails part-way.  On
+    // such a failure the object's previous header stays current and every
+    // block it names is still allocated — on a journaled volume even the
+    // recycled blocks' *contents* survive, because nothing reaches the
+    // device before commit; write-through volumes keep the old caveat that
+    // consumed recycled blocks may already be overwritten.
     let mut header = obj.header.clone();
     let mut recycled: Vec<u64> = old_data.into_iter().chain(old_chain).collect();
-    let mut fresh = Vec::new();
-    let result = (|| -> StegResult<()> {
-        // Claim every data block first, then push the whole extent list down
-        // as one batched submission (the zero tail pads the final block).
-        let mut data_blocks = Vec::with_capacity(needed as usize);
-        for _ in 0..needed {
-            data_blocks.push(take_block(fs, &mut header, rng, &mut recycled, &mut fresh)?);
-        }
-        let mut padded = vec![0u8; data_blocks.len() * bs];
-        padded[..data.len()].copy_from_slice(data);
-        write_encrypted_many(fs, keys, &data_blocks, padded)?;
+    let mut txn = fs.begin_txn();
 
-        // Build the inode chain (allocate chain blocks the same way).
-        let chain_head = build_chain(
-            fs,
-            keys,
-            &mut header,
-            &data_blocks,
-            rng,
-            &mut recycled,
-            &mut fresh,
-        )?;
+    // Claim every data block first, then push the whole extent list down
+    // as one batched submission (the zero tail pads the final block).
+    let mut data_blocks = Vec::with_capacity(needed as usize);
+    for _ in 0..needed {
+        data_blocks.push(take_block(&mut txn, &mut header, rng, &mut recycled)?);
+    }
+    let mut padded = vec![0u8; data_blocks.len() * bs];
+    padded[..data.len()].copy_from_slice(data);
+    write_encrypted_many(&mut txn, keys, &data_blocks, padded)?;
 
-        // Absorb surplus recycled blocks into the pool (a pure header-local
-        // move — nothing is freed yet) and top the pool back up if it is
-        // still below the lower bound.
-        while header.free_pool.len() < params.free_blocks_max {
-            match recycled.pop() {
-                Some(b) => header.free_pool.push(b),
-                None => break,
-            }
-        }
-        top_up_pool(fs, &mut header, params, &mut fresh)?;
+    // Build the inode chain (allocate chain blocks the same way).
+    let chain_head = build_chain(
+        &mut txn,
+        keys,
+        &mut header,
+        &data_blocks,
+        rng,
+        &mut recycled,
+    )?;
 
-        // Publish the new header.
-        header.size = data.len() as u64;
-        header.data_block_count = data_blocks.len() as u64;
-        header.inode_chain = chain_head;
-        debug_assert!(header.inode_chain == NO_BLOCK || header.inode_chain < total);
-        write_encrypted(fs, keys, obj.header_block, &header.serialize(bs))?;
-        Ok(())
-    })();
-    match result {
-        Ok(()) => {
-            obj.header = header;
-            // Only now that the new header is current may the old
-            // incarnation's surplus return to the volume: a failure anywhere
-            // above must leave every block the old header names allocated.
-            for b in recycled {
-                fs.free_raw_block(b)?;
-            }
-            Ok(())
-        }
-        Err(e) => {
-            for b in fresh {
-                let _ = fs.free_raw_block(b);
-            }
-            Err(e)
+    // Absorb surplus recycled blocks into the pool (a pure header-local
+    // move — nothing is freed yet) and top the pool back up if it is
+    // still below the lower bound.
+    while header.free_pool.len() < params.free_blocks_max {
+        match recycled.pop() {
+            Some(b) => header.free_pool.push(b),
+            None => break,
         }
     }
+    top_up_pool(&mut txn, &mut header, params)?;
+
+    // Publish the new header, release the old incarnation's surplus, and
+    // commit.  The frees ride in the same transaction (deferred to its
+    // commit on a journaled volume), so the surplus returns to the volume
+    // only together with the header that stops referencing it; a failure
+    // anywhere above drops the transaction and leaves every block the old
+    // header names allocated.
+    header.size = data.len() as u64;
+    header.data_block_count = data_blocks.len() as u64;
+    header.inode_chain = chain_head;
+    debug_assert!(header.inode_chain == NO_BLOCK || header.inode_chain < total);
+    write_encrypted(&mut txn, keys, obj.header_block, &header.serialize(bs))?;
+    for b in recycled {
+        txn.free_block(b)?;
+    }
+    txn.commit()?;
+    obj.header = header;
+    Ok(())
 }
 
 /// Serialise `data_blocks` into a fresh inode chain, drawing chain blocks
 /// from the pool / free space; returns the chain head (or [`NO_BLOCK`]).
 fn build_chain<D: BlockDevice>(
-    fs: &PlainFs<D>,
+    txn: &mut FsTxn<'_, D>,
     keys: &ObjectKeys,
     header: &mut HiddenHeader,
     data_blocks: &[u64],
     rng: &mut DeterministicRng,
     recycled: &mut Vec<u64>,
-    fresh: &mut Vec<u64>,
 ) -> StegResult<u64> {
     if data_blocks.is_empty() {
         return Ok(NO_BLOCK);
     }
-    let bs = fs.block_size();
+    let bs = txn.block_size();
     let chain_capacity = InodeChainBlock::capacity(bs).max(1);
     let chunks: Vec<&[u64]> = data_blocks.chunks(chain_capacity).collect();
     let mut chain_block_numbers = Vec::with_capacity(chunks.len());
     for _ in &chunks {
-        chain_block_numbers.push(take_block(fs, header, rng, recycled, fresh)?);
+        chain_block_numbers.push(take_block(txn, header, rng, recycled)?);
     }
     // Serialise every chain block, then write the whole chain in one batched
     // submission.
@@ -465,27 +466,23 @@ fn build_chain<D: BlockDevice>(
         };
         plain[i * bs..(i + 1) * bs].copy_from_slice(&chain.serialize(bs));
     }
-    write_encrypted_many(fs, keys, &chain_block_numbers, plain)?;
+    write_encrypted_many(txn, keys, &chain_block_numbers, plain)?;
     Ok(chain_block_numbers[0])
 }
 
 /// Refill the internal free pool to `FB_max` once it has dropped below
-/// `FB_min` (§3.1).  Newly allocated pool blocks are recorded in `fresh`:
-/// until the header naming them is published they exist only in a local
-/// clone, so a later failure must return them to the volume.
+/// `FB_min` (§3.1).  Newly allocated pool blocks are tracked by the
+/// transaction: until the header naming them commits they exist only in a
+/// local clone, so a failure returns them to the volume automatically.
 fn top_up_pool<D: BlockDevice>(
-    fs: &PlainFs<D>,
+    txn: &mut FsTxn<'_, D>,
     header: &mut HiddenHeader,
     params: &StegParams,
-    fresh: &mut Vec<u64>,
 ) -> StegResult<()> {
     if header.free_pool.len() < params.free_blocks_min {
         while header.free_pool.len() < params.free_blocks_max {
-            match fs.allocate_random_block() {
-                Ok(b) => {
-                    header.free_pool.push(b);
-                    fresh.push(b);
-                }
+            match txn.allocate_random_block() {
+                Ok(b) => header.free_pool.push(b),
                 Err(stegfs_fs::FsError::NoSpace) => break,
                 Err(e) => return Err(e.into()),
             }
@@ -524,97 +521,81 @@ pub fn resize<D: BlockDevice>(
     let (mut data_blocks, old_chain) = read_chain(fs, keys, obj)?;
     let mut header = obj.header.clone();
     // As in [`write()`](self::write): surplus blocks are recycled in place
-    // (still allocated, consumed before fresh space, released only at the
-    // end), so a mid-operation failure never frees blocks the still-current
-    // header references.
+    // (still allocated, consumed before fresh space, released only with the
+    // commit), so a mid-operation failure never frees blocks the
+    // still-current header references, and the transaction returns fresh
+    // allocations to the volume on failure.
     let mut recycled: Vec<u64> = old_chain;
-    let mut fresh = Vec::new();
+    let mut txn = fs.begin_txn();
 
-    let result = (|| -> StegResult<()> {
-        if new_len < old_len {
-            recycled.extend(data_blocks.drain(new_count as usize..));
-            // Zero the cut tail of the last kept block so the truncated bytes
-            // cannot resurface on a later extension.
-            let tail = (new_len % bs) as usize;
-            if tail != 0 {
-                let last = *data_blocks.last().expect("tail implies a kept block");
-                let mut plain = read_decrypted(fs, keys, last)?;
-                plain[tail..].fill(0);
-                write_encrypted(fs, keys, last, &plain)?;
-            }
-        } else {
-            // Capacity check before taking anything: the recycled chain
-            // blocks come back to us, so count them as available.
-            let extra = new_count.saturating_sub(data_blocks.len() as u64);
-            let chain_capacity = InodeChainBlock::capacity(fs.block_size()).max(1) as u64;
-            let chain_needed = new_count.div_ceil(chain_capacity);
-            let available =
-                fs.free_data_blocks() + header.free_pool.len() as u64 + recycled.len() as u64;
-            if available < extra + chain_needed {
-                return Err(StegError::NoSpace);
-            }
-            // Claim the new tail blocks, then zero-fill them all in one
-            // batched submission.
-            let mut grown = Vec::with_capacity(extra as usize);
-            for _ in 0..extra {
-                grown.push(take_block(fs, &mut header, rng, &mut recycled, &mut fresh)?);
-            }
-            let zeros = vec![0u8; grown.len() * fs.block_size()];
-            write_encrypted_many(fs, keys, &grown, zeros)?;
-            data_blocks.extend(grown);
+    if new_len < old_len {
+        recycled.extend(data_blocks.drain(new_count as usize..));
+        // Zero the cut tail of the last kept block so the truncated bytes
+        // cannot resurface on a later extension.
+        let tail = (new_len % bs) as usize;
+        if tail != 0 {
+            let last = *data_blocks.last().expect("tail implies a kept block");
+            let mut plain = read_decrypted(fs, keys, last)?;
+            plain[tail..].fill(0);
+            write_encrypted(&mut txn, keys, last, &plain)?;
         }
+    } else {
+        // Capacity check before taking anything: the recycled chain
+        // blocks come back to us, so count them as available.
+        let extra = new_count.saturating_sub(data_blocks.len() as u64);
+        let chain_capacity = InodeChainBlock::capacity(fs.block_size()).max(1) as u64;
+        let chain_needed = new_count.div_ceil(chain_capacity);
+        let available =
+            fs.free_data_blocks() + header.free_pool.len() as u64 + recycled.len() as u64;
+        if available < extra + chain_needed {
+            return Err(StegError::NoSpace);
+        }
+        // Claim the new tail blocks, then zero-fill them all in one
+        // batched submission.
+        let mut grown = Vec::with_capacity(extra as usize);
+        for _ in 0..extra {
+            grown.push(take_block(&mut txn, &mut header, rng, &mut recycled)?);
+        }
+        let zeros = vec![0u8; grown.len() * fs.block_size()];
+        write_encrypted_many(&mut txn, keys, &grown, zeros)?;
+        data_blocks.extend(grown);
+    }
 
-        // Rebuild the chain from the recycled blocks first, absorb surplus
-        // into the pool (header-local; nothing freed yet), and top up.
-        let chain_head = build_chain(
-            fs,
-            keys,
-            &mut header,
-            &data_blocks,
-            rng,
-            &mut recycled,
-            &mut fresh,
-        )?;
-        while header.free_pool.len() < params.free_blocks_max {
-            match recycled.pop() {
-                Some(b) => header.free_pool.push(b),
-                None => break,
-            }
-        }
-        top_up_pool(fs, &mut header, params, &mut fresh)?;
-
-        header.size = new_len;
-        header.data_block_count = data_blocks.len() as u64;
-        header.inode_chain = chain_head;
-        write_encrypted(
-            fs,
-            keys,
-            obj.header_block,
-            &header.serialize(fs.block_size()),
-        )?;
-        Ok(())
-    })();
-    match result {
-        Ok(()) => {
-            obj.header = header;
-            // Surplus returns to the volume only after the publish; see
-            // [`write()`](self::write).
-            for b in recycled {
-                fs.free_raw_block(b)?;
-            }
-            Ok(())
-        }
-        Err(e) => {
-            // Return the blocks this attempt drew fresh from the volume;
-            // every block the previous (still current) header names remains
-            // allocated, though recycled blocks consumed before the failure
-            // may have had their contents overwritten.
-            for b in fresh {
-                let _ = fs.free_raw_block(b);
-            }
-            Err(e)
+    // Rebuild the chain from the recycled blocks first, absorb surplus
+    // into the pool (header-local; nothing freed yet), and top up.
+    let chain_head = build_chain(
+        &mut txn,
+        keys,
+        &mut header,
+        &data_blocks,
+        rng,
+        &mut recycled,
+    )?;
+    while header.free_pool.len() < params.free_blocks_max {
+        match recycled.pop() {
+            Some(b) => header.free_pool.push(b),
+            None => break,
         }
     }
+    top_up_pool(&mut txn, &mut header, params)?;
+
+    header.size = new_len;
+    header.data_block_count = data_blocks.len() as u64;
+    header.inode_chain = chain_head;
+    write_encrypted(
+        &mut txn,
+        keys,
+        obj.header_block,
+        &header.serialize(fs.block_size()),
+    )?;
+    // The surplus returns to the volume with the commit that publishes the
+    // header which stops referencing it; see [`write()`](self::write).
+    for b in recycled {
+        txn.free_block(b)?;
+    }
+    txn.commit()?;
+    obj.header = header;
+    Ok(())
 }
 
 /// Delete a hidden object: every block it holds (data, chain, pool, header)
@@ -626,18 +607,23 @@ pub fn delete<D: BlockDevice>(
     obj: &HiddenObject,
     rng: &mut DeterministicRng,
 ) -> StegResult<()> {
+    // One transaction: the header scrub and every free commit together, so a
+    // crash mid-delete leaves the object either whole or entirely gone —
+    // never a findable header whose blocks have been handed out.
+    let mut txn = fs.begin_txn();
     let (data_blocks, chain_blocks) = read_chain(fs, keys, obj)?;
     for b in data_blocks
         .into_iter()
         .chain(chain_blocks)
         .chain(obj.header.free_pool.iter().copied())
     {
-        fs.free_raw_block(b)?;
+        txn.free_block(b)?;
     }
     // Scrub the header so the signature cannot be found again, then free it.
     let noise = rng.bytes(fs.block_size());
-    fs.write_raw_block(obj.header_block, &noise)?;
-    fs.free_raw_block(obj.header_block)?;
+    txn.write_raw_block(obj.header_block, &noise)?;
+    txn.free_block(obj.header_block)?;
+    txn.commit()?;
     Ok(())
 }
 

@@ -40,6 +40,14 @@ pub struct StegParams {
     /// Required for the hiding property; the performance experiments may
     /// disable it to shorten set-up, as it does not affect timing results.
     pub random_fill: bool,
+    /// Blocks reserved for the write-ahead journal at format time (0 = no
+    /// journal, the paper's original write-through behaviour).  With a
+    /// journal, every multi-block update — plain or hidden — is
+    /// crash-atomic, and the region must be sized larger than the largest
+    /// single update (a file rewrite of N blocks needs roughly N + N/40 + 2
+    /// slots); [`crate::StegFs::format`] validates this against
+    /// [`dummy_file_size`](Self::dummy_file_size).
+    pub journal_blocks: u64,
 }
 
 impl Default for StegParams {
@@ -53,6 +61,7 @@ impl Default for StegParams {
             max_locator_probes: 100_000,
             volume_seed: 0x5743_2003,
             random_fill: true,
+            journal_blocks: 0,
         }
     }
 }
@@ -70,6 +79,7 @@ impl StegParams {
             max_locator_probes: 50_000,
             volume_seed: 42,
             random_fill: false,
+            journal_blocks: 0,
         }
     }
 
@@ -78,6 +88,7 @@ impl StegParams {
     pub fn for_experiments(seed: u64) -> Self {
         StegParams {
             random_fill: false,
+            journal_blocks: 0,
             volume_seed: seed,
             ..StegParams::default()
         }

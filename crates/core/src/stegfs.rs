@@ -189,9 +189,33 @@ impl<D: BlockDevice> StegFs<D> {
     }
 
     /// Format `dev` as a StegFS volume: random fill (if enabled), abandoned
-    /// blocks, dummy hidden files and the configuration file.
+    /// blocks, dummy hidden files and the configuration file.  With
+    /// [`StegParams::journal_blocks`] set, the volume reserves a write-ahead
+    /// journal and every subsequent multi-block update is crash-atomic.
     pub fn format(dev: D, params: StegParams) -> StegResult<Self> {
         params.validate()?;
+        if params.journal_blocks > 0 {
+            // The journal ring must hold the largest single update this
+            // configuration will produce — a dummy-file rewrite — plus its
+            // intent/commit overhead, using the journal crate's own slot
+            // arithmetic, with headroom for the anchors and a few
+            // concurrent committers.
+            let bs = dev.block_size();
+            let dummy_blocks = params.dummy_file_size.div_ceil(bs.max(1) as u64) as usize;
+            let chain_cap = crate::header::InodeChainBlock::capacity(bs).max(1);
+            // Targets: data blocks + chain blocks + header + a margin of
+            // bitmap blocks.
+            let targets = dummy_blocks + dummy_blocks.div_ceil(chain_cap) + 1 + 4;
+            let needed =
+                stegfs_journal::record::slots_for(targets, bs) + stegfs_journal::ANCHOR_SLOTS + 8;
+            if params.journal_blocks < needed {
+                return Err(StegError::InvalidParameter(format!(
+                    "journal of {} blocks cannot hold a {}-byte dummy-file rewrite \
+                     (needs at least {} blocks at block size {})",
+                    params.journal_blocks, params.dummy_file_size, needed, bs
+                )));
+            }
+        }
         let fs = PlainFs::format(
             dev,
             FormatOptions {
@@ -199,6 +223,7 @@ impl<D: BlockDevice> StegFs<D> {
                 seed: params.volume_seed,
                 policy: AllocPolicy::FirstFit,
                 inode_count: None,
+                journal_blocks: params.journal_blocks,
             },
         )?;
 
@@ -879,9 +904,8 @@ impl<D: BlockDevice> StegFs<D> {
     }
 
     /// Create a new hidden file or directory *inside* the hidden directory
-    /// `parent` (registered under `uak`).  Returns the child's object name,
-    /// which is registered only in the parent's listing, not in the UAK
-    /// directory.
+    /// `parent` (registered under `uak`).  The child is registered only in
+    /// the parent's listing, not in the UAK directory.
     pub fn create_in_hidden_dir(
         &self,
         parent: &str,
@@ -890,24 +914,42 @@ impl<D: BlockDevice> StegFs<D> {
         kind: ObjectKind,
     ) -> StegResult<()> {
         let parent_entry = self.entry_for(parent, uak)?;
-        if parent_entry.kind != ObjectKind::Directory {
+        self.create_dir_child(&parent_entry, child_name, kind)
+    }
+
+    /// Create a new hidden file or directory inside the hidden directory
+    /// described by `parent` — an entry resolved at **any** depth (the VFS
+    /// walks `/hidden/a/b/c` to the `b` entry and creates `c` here).  The
+    /// child's physical name extends the parent's, so offspring at every
+    /// level resolve from the listing chain alone, exactly as in the paper's
+    /// `steg_connect`.
+    pub fn create_dir_child(
+        &self,
+        parent: &DirectoryEntry,
+        child_name: &str,
+        kind: ObjectKind,
+    ) -> StegResult<()> {
+        if parent.kind != ObjectKind::Directory {
             return Err(StegError::WrongObjectKind {
-                name: parent.to_string(),
+                name: parent.name.clone(),
                 expected: ObjectKind::Directory,
             });
         }
-        let keys = ObjectKeys::derive(&parent_entry.physical_name, &parent_entry.fak);
+        if child_name.is_empty() || child_name.contains('\0') || child_name.contains('/') {
+            return Err(StegError::InvalidName(child_name.to_string()));
+        }
+        let keys = ObjectKeys::derive(&parent.physical_name, &parent.fak);
         // The parent's shard serialises the listing read-modify-write against
         // concurrent child creation in the same directory.
-        let _parent_lock = self.object_guard(&parent_entry.physical_name);
-        let mut children = self.read_listing_locked(&parent_entry)?;
+        let _parent_lock = self.object_guard(&parent.physical_name);
+        let mut children = self.read_listing_locked(parent)?;
         if children.find(child_name).is_some() {
             return Err(StegError::AlreadyExists(child_name.to_string()));
         }
 
         // Create the child object itself.
         let fak = self.generate_fak(child_name);
-        let physical_name = format!("{}:{}/{}", Self::owner_tag(uak), parent, child_name);
+        let physical_name = format!("{}/{}", parent.physical_name, child_name);
         let child_keys = ObjectKeys::derive(&physical_name, &fak);
         let mut child_obj =
             hidden::create(&self.fs, &physical_name, &child_keys, kind, &self.params)?;
@@ -930,12 +972,13 @@ impl<D: BlockDevice> StegFs<D> {
         })?;
 
         // Persist the updated listing into the parent.
+        let parent_keys = keys;
         let mut parent_obj =
-            hidden::open(&self.fs, &parent_entry.physical_name, &keys, &self.params)?;
+            hidden::open(&self.fs, &parent.physical_name, &parent_keys, &self.params)?;
         let mut rng = self.fork_rng();
         hidden::write(
             &self.fs,
-            &keys,
+            &parent_keys,
             &mut parent_obj,
             &children.serialize(),
             &self.params,
@@ -1333,6 +1376,8 @@ impl<D: BlockDevice> StegFs<D> {
         }
 
         // A fresh plain file system; hidden blocks are then grafted back in.
+        // The journal size must match the original format or the grafted
+        // block numbers would land in a shifted data region.
         let fs = PlainFs::format(
             dev,
             FormatOptions {
@@ -1340,6 +1385,7 @@ impl<D: BlockDevice> StegFs<D> {
                 seed: params.volume_seed,
                 policy: AllocPolicy::FirstFit,
                 inode_count: None,
+                journal_blocks: params.journal_blocks,
             },
         )?;
 

@@ -328,5 +328,7 @@ fn execute<D: BlockDevice>(
         Request::Stat { path } => vfs.stat(session, &path).map(Response::Stat),
         Request::Readdir { path } => vfs.readdir(session, &path).map(Response::Listing),
         Request::Unlink { path } => vfs.unlink(session, &path).map(|()| Response::Unit),
+        Request::Fsync { handle } => vfs.fsync(handle).map(|()| Response::Unit),
+        Request::SyncAll => vfs.sync().map(|()| Response::Unit),
     }
 }

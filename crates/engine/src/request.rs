@@ -80,6 +80,18 @@ pub enum Request {
         /// Path to remove.
         path: String,
     },
+    /// Flush the state behind a handle to stable storage.  On a journaled
+    /// volume this checkpoints; concurrent `Fsync`s from different workers
+    /// share one device barrier (group commit), so a fsync-heavy client mix
+    /// does not serialise the pool behind the flush latency.
+    Fsync {
+        /// The handle whose state must be durable.
+        handle: VfsHandle,
+    },
+    /// Checkpoint the whole volume: flush the cache, advance the journal
+    /// tail, and persist the anchor.  After the completion arrives, a crash
+    /// replays nothing.
+    SyncAll,
 }
 
 /// The successful payload of a completed request.
@@ -97,7 +109,8 @@ pub enum Response {
     Stat(VfsStat),
     /// Directory listing ([`Request::Readdir`]).
     Listing(Vec<VfsDirEntry>),
-    /// No payload ([`Request::Close`] / [`Request::Unlink`]).
+    /// No payload ([`Request::Close`] / [`Request::Unlink`] /
+    /// [`Request::Fsync`] / [`Request::SyncAll`]).
     Unit,
 }
 

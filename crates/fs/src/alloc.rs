@@ -199,7 +199,7 @@ mod tests {
     use crate::layout::Superblock;
 
     fn fixture() -> (Bitmap, u64, u64) {
-        let sb = Superblock::compute(1024, 8192, 256).unwrap();
+        let sb = Superblock::compute(1024, 8192, 256, 0).unwrap();
         let start = sb.data_start;
         let end = sb.total_blocks;
         (Bitmap::new(&sb), start, end)

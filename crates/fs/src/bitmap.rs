@@ -194,12 +194,7 @@ impl Bitmap {
     pub fn flush(&mut self, dev: &dyn BlockDevice) -> FsResult<()> {
         let dirty: Vec<u64> = self.dirty_bitmap_blocks.iter().copied().collect();
         for bitmap_block in dirty {
-            let mut buf = vec![0u8; self.block_size];
-            let byte_start = (bitmap_block as usize) * self.block_size;
-            let byte_end = (byte_start + self.block_size).min(self.bits.len());
-            if byte_start < self.bits.len() {
-                buf[..byte_end - byte_start].copy_from_slice(&self.bits[byte_start..byte_end]);
-            }
+            let buf = self.serialize_block(bitmap_block);
             dev.write_block(self.bitmap_start + bitmap_block, &buf)?;
         }
         self.dirty_bitmap_blocks.clear();
@@ -210,6 +205,30 @@ impl Bitmap {
     pub fn dirty_count(&self) -> usize {
         self.dirty_bitmap_blocks.len()
     }
+
+    /// Index (within the bitmap region) of the bitmap block that stores the
+    /// allocation bit of `block`.
+    pub fn bitmap_block_of(&self, block: u64) -> u64 {
+        block / (self.block_size as u64 * 8)
+    }
+
+    /// Device block number of the bitmap block at region index `index`.
+    pub fn device_block_of(&self, index: u64) -> u64 {
+        self.bitmap_start + index
+    }
+
+    /// Serialise the current contents of the bitmap block at region index
+    /// `index` — the snapshot the journal stages so a committed allocation
+    /// survives a crash.
+    pub fn serialize_block(&self, index: u64) -> Vec<u8> {
+        let mut buf = vec![0u8; self.block_size];
+        let byte_start = (index as usize) * self.block_size;
+        let byte_end = (byte_start + self.block_size).min(self.bits.len());
+        if byte_start < self.bits.len() {
+            buf[..byte_end - byte_start].copy_from_slice(&self.bits[byte_start..byte_end]);
+        }
+        buf
+    }
 }
 
 #[cfg(test)]
@@ -218,7 +237,7 @@ mod tests {
     use stegfs_blockdev::MemBlockDevice;
 
     fn small_sb() -> Superblock {
-        Superblock::compute(1024, 4096, 256).unwrap()
+        Superblock::compute(1024, 4096, 256, 0).unwrap()
     }
 
     #[test]
@@ -334,7 +353,7 @@ mod tests {
     fn flush_only_writes_dirty_blocks() {
         // A volume large enough to need several bitmap blocks: 64k blocks at
         // 1 KB block size -> 8192 bits per bitmap block -> 8 bitmap blocks.
-        let sb = Superblock::compute(1024, 65536, 256).unwrap();
+        let sb = Superblock::compute(1024, 65536, 256, 0).unwrap();
         let metered = stegfs_blockdev::MeteredDevice::new(MemBlockDevice::new(1024, 65536));
         let stats = metered.stats_handle();
         let dev = metered;

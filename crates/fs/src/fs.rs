@@ -40,8 +40,11 @@
 //! device serves the batch with one overlapped service time.
 //!
 //! Lock order (outer to inner, i.e. acquire left before right):
-//! `namespace < inode-stripe < allocator < inode-table-stripe <
-//! device-internal`.  Deletion takes
+//! `namespace < inode-stripe < inode-table-stripe < allocator <
+//! journal-internal < device-internal`.  No path holds the allocator lock
+//! while acquiring an inode-table stripe; the journaled commit path
+//! ([`crate::txn`]) relies on the reverse nesting (table stripes first, then
+//! the allocator for the bitmap snapshot).  Deletion takes
 //! the namespace lock exclusively and then the victim's stripe, so an
 //! in-flight content operation (which holds only the stripe) always
 //! completes before its blocks are freed.
@@ -52,8 +55,10 @@ use crate::dir::{decode_entries, encode_entries, split_parent, split_path, DirEn
 use crate::error::{FsError, FsResult};
 use crate::inode::{FileKind, Inode, InodeId, InodeTable, DIRECT_POINTERS, NO_BLOCK};
 use crate::layout::Superblock;
-use parking_lot::{Mutex, RwLock};
+use crate::txn::FsTxn;
+use parking_lot::{Mutex, MutexGuard, RwLock};
 use stegfs_blockdev::BlockDevice;
+use stegfs_journal::{Journal, JournalGeometry};
 
 /// Number of per-inode content stripes (see the module docs).
 pub const STRIPE_COUNT: usize = 64;
@@ -75,6 +80,11 @@ pub struct FormatOptions {
     pub seed: u64,
     /// Block allocation policy installed after formatting.
     pub policy: AllocPolicy,
+    /// Blocks reserved for the write-ahead journal (0 = no journal, the
+    /// pre-durability write-through behaviour).  A journaled volume must
+    /// size the region larger than its largest single multi-block update;
+    /// see `stegfs_journal` for the slot arithmetic.
+    pub journal_blocks: u64,
 }
 
 impl Default for FormatOptions {
@@ -84,6 +94,7 @@ impl Default for FormatOptions {
             fill_random: false,
             seed: 0x0057_47f5_2003,
             policy: AllocPolicy::FirstFit,
+            journal_blocks: 0,
         }
     }
 }
@@ -123,6 +134,10 @@ pub struct PlainFs<D: BlockDevice> {
     /// table-block index; innermost of the file-system locks (wraps only
     /// the device transfer).
     itable_stripes: Vec<Mutex<()>>,
+    /// The write-ahead journal, when the volume was formatted with one.
+    /// Every mutating operation then runs as an [`FsTxn`] and becomes
+    /// crash-atomic; see [`crate::txn`] for the protocol.
+    journal: Option<Journal>,
 }
 
 /// Fast non-cryptographic fill used to write "randomly generated patterns"
@@ -149,7 +164,14 @@ impl<D: BlockDevice> PlainFs<D> {
     // Format / mount
     // ------------------------------------------------------------------
 
-    fn assemble(dev: D, sb: Superblock, bitmap: Bitmap, policy: AllocPolicy, seed: u64) -> Self {
+    fn assemble(
+        dev: D,
+        sb: Superblock,
+        bitmap: Bitmap,
+        policy: AllocPolicy,
+        seed: u64,
+        journal: Option<Journal>,
+    ) -> Self {
         let seed_bytes = seed.to_be_bytes();
         PlainFs {
             alloc: Mutex::new(AllocState {
@@ -162,6 +184,15 @@ impl<D: BlockDevice> PlainFs<D> {
             namespace: RwLock::new(()),
             stripes: (0..STRIPE_COUNT).map(|_| Mutex::new(())).collect(),
             itable_stripes: (0..STRIPE_COUNT).map(|_| Mutex::new(())).collect(),
+            journal,
+        }
+    }
+
+    fn journal_geometry(sb: &Superblock) -> JournalGeometry {
+        JournalGeometry {
+            start: sb.journal_start,
+            blocks: sb.journal_blocks,
+            block_size: sb.block_size as usize,
         }
     }
 
@@ -172,7 +203,12 @@ impl<D: BlockDevice> PlainFs<D> {
         let inode_count = opts
             .inode_count
             .unwrap_or_else(|| (total_blocks / 16).max(64));
-        let sb = Superblock::compute(block_size, total_blocks, inode_count)?;
+        let mut sb =
+            Superblock::compute(block_size, total_blocks, inode_count, opts.journal_blocks)?;
+        // The journal salt is volume-public (it only buys uniformity, not
+        // secrecy — see the journal crate's docs); derive it from the format
+        // seed so formatting is deterministic.
+        sb.journal_salt = opts.seed.rotate_left(17) ^ 0x6a6f_7572_6e61_6c21;
 
         // Optionally fill the whole volume with pseudorandom patterns.
         if opts.fill_random {
@@ -203,9 +239,30 @@ impl<D: BlockDevice> PlainFs<D> {
         for b in 0..sb.inode_table_blocks {
             dev.write_block(sb.inode_table_start + b, &zero)?;
         }
+        // The journal salt derives deterministically from the seed, so a
+        // reused device could hold old transactions that still decode under
+        // this volume's journal key — and the first mount would replay them
+        // over the fresh volume.  The random fill above already scrubbed the
+        // region; without it, scrub explicitly.
+        if sb.journal_blocks > 0 && !opts.fill_random {
+            for b in sb.journal_start..sb.journal_start + sb.journal_blocks {
+                dev.write_block(b, &zero)?;
+            }
+        }
+
+        // An initial anchor pair declares the (empty) journal over the
+        // freshly scrubbed ring.
+        let journal = if sb.journal_blocks > 0 {
+            Some(
+                Journal::format(Self::journal_geometry(&sb), sb.journal_salt, &dev)
+                    .map_err(FsError::from)?,
+            )
+        } else {
+            None
+        };
 
         let root_inode = sb.root_inode;
-        let fs = Self::assemble(dev, sb, bitmap, opts.policy, opts.seed);
+        let fs = Self::assemble(dev, sb, bitmap, opts.policy, opts.seed, journal);
 
         // Root directory: inode 0, initially empty.
         let root = Inode::empty(FileKind::Directory);
@@ -215,6 +272,13 @@ impl<D: BlockDevice> PlainFs<D> {
     }
 
     /// Mount an already-formatted volume.
+    ///
+    /// On a journaled volume this **replays** first: committed transactions
+    /// that never fully reached their home locations are redone, torn or
+    /// uncommitted ones are discarded — and only then are the bitmap and
+    /// directory structures trusted.  Replay needs no user keys (hidden
+    /// payloads were journaled as ciphertext), so mounting after a crash
+    /// leaks nothing about hidden objects.
     pub fn mount(dev: D, policy: AllocPolicy, seed: u64) -> FsResult<Self> {
         let mut sb_buf = vec![0u8; dev.block_size()];
         dev.read_block(0, &mut sb_buf)?;
@@ -228,15 +292,117 @@ impl<D: BlockDevice> PlainFs<D> {
                 dev.total_blocks()
             )));
         }
+        let journal = if sb.journal_blocks > 0 {
+            let journal = Journal::open(Self::journal_geometry(&sb), sb.journal_salt)
+                .map_err(FsError::from)?;
+            journal.replay(&dev).map_err(FsError::from)?;
+            Some(journal)
+        } else {
+            None
+        };
         let bitmap = Bitmap::load(&sb, &dev)?;
-        Ok(Self::assemble(dev, sb, bitmap, policy, seed))
+        Ok(Self::assemble(dev, sb, bitmap, policy, seed, journal))
     }
 
-    /// Flush the bitmap and the device.
+    /// Flush the bitmap and the device; on a journaled volume this is also
+    /// the checkpoint — after `sync` returns, every committed update is in
+    /// place on stable storage and a crash replays nothing.
     pub fn sync(&self) -> FsResult<()> {
         self.alloc.lock().bitmap.flush(&self.dev)?;
-        self.dev.flush()?;
+        match &self.journal {
+            Some(journal) => journal.sync(&self.dev).map_err(FsError::from)?,
+            None => self.dev.flush()?,
+        }
         Ok(())
+    }
+
+    /// True when the volume carries a write-ahead journal (mutating
+    /// operations are then crash-atomic transactions).
+    pub fn journaled(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Begin a transaction.  On an unjournaled volume the returned
+    /// transaction is a transparent write-through shim, so callers use one
+    /// code path for both modes.
+    pub fn begin_txn(&self) -> FsTxn<'_, D> {
+        FsTxn::new(self, self.journal.is_some())
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction plumbing (used by crate::txn)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn journal_ref(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
+    /// `(absolute table block, byte offset)` of inode `id`.
+    pub(crate) fn inode_location(&self, id: InodeId) -> FsResult<(u64, usize)> {
+        self.inodes.location(id)
+    }
+
+    /// Lock the inode-table stripes covering `abs_blocks` (absolute table
+    /// block numbers), in ascending stripe order, deduplicated.
+    pub(crate) fn lock_itable_stripes(
+        &self,
+        abs_blocks: impl Iterator<Item = u64>,
+    ) -> Vec<MutexGuard<'_, ()>> {
+        let mut idx: Vec<usize> = abs_blocks
+            .map(|b| ((b - self.sb.inode_table_start) as usize) % STRIPE_COUNT)
+            .collect();
+        idx.sort_unstable();
+        idx.dedup();
+        idx.into_iter()
+            .map(|i| self.itable_stripes[i].lock())
+            .collect()
+    }
+
+    /// Run `f` with the bitmap under the allocator lock.
+    pub(crate) fn with_alloc_state<R>(
+        &self,
+        f: impl FnOnce(&mut Bitmap) -> FsResult<R>,
+    ) -> FsResult<R> {
+        let state = &mut *self.alloc.lock();
+        f(&mut state.bitmap)
+    }
+
+    /// Re-serialise the **current** in-memory state of the given bitmap
+    /// blocks (region indices) to the device, under the allocator lock.
+    ///
+    /// The journal apply path calls this after applying a transaction's
+    /// staged images: concurrent commits apply their snapshots of a shared
+    /// bitmap block in arbitrary order, so the last word on the device must
+    /// come from the live bitmap (always newest truth, serialised by the
+    /// allocator lock), never from a possibly-stale snapshot.
+    pub(crate) fn rewrite_bitmap_blocks(
+        &self,
+        indices: &std::collections::BTreeSet<u64>,
+    ) -> FsResult<()> {
+        let state = &mut *self.alloc.lock();
+        for &idx in indices {
+            let data = state.bitmap.serialize_block(idx);
+            self.dev
+                .write_block(state.bitmap.device_block_of(idx), &data)?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn read_inode_raw(&self, id: InodeId) -> FsResult<Inode> {
+        self.read_inode(id)
+    }
+
+    pub(crate) fn write_inode_direct(&self, id: InodeId, inode: &Inode) -> FsResult<()> {
+        self.write_inode(id, inode)
+    }
+
+    pub(crate) fn allocate_file_blocks_raw(&self, count: u64) -> FsResult<Vec<u64>> {
+        let state = &mut *self.alloc.lock();
+        state.alloc.allocate_file(&mut state.bitmap, count)
+    }
+
+    pub(crate) fn allocate_one_raw(&self) -> FsResult<u64> {
+        self.alloc_one()
     }
 
     // ------------------------------------------------------------------
@@ -526,7 +692,12 @@ impl<D: BlockDevice> PlainFs<D> {
             return Err(FsError::AlreadyExists(path.to_string()));
         }
         let id = self.find_free_inode()?.ok_or(FsError::NoSpace)?;
-        self.write_inode(id, &Inode::empty(kind))?;
+        // One transaction covers the new inode and the parent-directory
+        // update, so a crash can never publish a directory entry whose inode
+        // slot is still free (or vice versa — an orphan inode slot is the
+        // worst a torn create can leak, and only on unjournaled volumes).
+        let mut txn = self.begin_txn();
+        txn.set_inode(id, &Inode::empty(kind))?;
 
         let mut entries = entries;
         entries.push(DirEntry {
@@ -534,7 +705,8 @@ impl<D: BlockDevice> PlainFs<D> {
             inode: id,
             kind,
         });
-        self.write_dir_inode(pid, &entries)?;
+        self.write_dir_inode(&mut txn, pid, &entries)?;
+        txn.commit()?;
         Ok(id)
     }
 
@@ -566,7 +738,11 @@ impl<D: BlockDevice> PlainFs<D> {
     /// the fresh `AlreadyExists` simply means the file is now resolvable.
     pub fn write_file(&self, path: &str, data: &[u8]) -> FsResult<()> {
         loop {
-            match self.with_file_at_path(path, |id, _| self.write_inode_contents(id, data)) {
+            match self.with_file_at_path(path, |id, _| {
+                let mut txn = self.begin_txn();
+                self.write_inode_contents(&mut txn, id, data)?;
+                txn.commit()
+            }) {
                 Err(e) if e.is_not_found() => {}
                 other => return other,
             }
@@ -596,7 +772,11 @@ impl<D: BlockDevice> PlainFs<D> {
         if data.is_empty() {
             return Ok(());
         }
-        self.with_file_at_path(path, |_, inode| self.write_range_of(inode, offset, data))
+        self.with_file_at_path(path, |_, inode| {
+            let mut txn = self.begin_txn();
+            self.write_range_of(&mut txn, inode, offset, data)?;
+            txn.commit()
+        })
     }
 
     // ------------------------------------------------------------------
@@ -650,14 +830,18 @@ impl<D: BlockDevice> PlainFs<D> {
         }
         let _stripe = self.stripe(id).lock();
         let inode = self.load_file_inode(id)?;
-        self.write_range_of(&inode, offset, data)
+        let mut txn = self.begin_txn();
+        self.write_range_of(&mut txn, &inode, offset, data)?;
+        txn.commit()
     }
 
     /// Replace the whole contents of the regular file behind `id`.
     pub fn write_inode_file(&self, id: InodeId, data: &[u8]) -> FsResult<()> {
         let _stripe = self.stripe(id).lock();
         self.load_file_inode(id)?;
-        self.write_inode_contents(id, data)
+        let mut txn = self.begin_txn();
+        self.write_inode_contents(&mut txn, id, data)?;
+        txn.commit()
     }
 
     fn read_range_of(&self, inode: &Inode, offset: u64, len: usize) -> FsResult<Vec<u8>> {
@@ -679,7 +863,13 @@ impl<D: BlockDevice> PlainFs<D> {
         Ok(raw[from..to].to_vec())
     }
 
-    fn write_range_of(&self, inode: &Inode, offset: u64, data: &[u8]) -> FsResult<()> {
+    fn write_range_of(
+        &self,
+        txn: &mut FsTxn<'_, D>,
+        inode: &Inode,
+        offset: u64,
+        data: &[u8],
+    ) -> FsResult<()> {
         let end = offset + data.len() as u64;
         if end > inode.size {
             return Err(FsError::FileTooLarge {
@@ -700,14 +890,16 @@ impl<D: BlockDevice> PlainFs<D> {
         // Read-modify-write at batch granularity: only a partial head or
         // tail block needs its old contents (see [`crate::rmw`]), and those
         // edge reads share one submission; the patched span then goes down
-        // as one submission.
+        // as one submission (or stages into the journal transaction — an
+        // in-place patch of live data is exactly the write a crash must not
+        // tear).
         let plan = crate::rmw::plan(span, offset, end, span_start, bs);
-        let edge_data = self.read_raw_blocks(&plan.edges)?;
+        let edge_data = txn.read_raw_blocks(&plan.edges)?;
         let mut buf = vec![0u8; span.len() * bs];
         plan.seed_edges(&edge_data, &mut buf, bs);
         let from = (offset - span_start) as usize;
         buf[from..from + data.len()].copy_from_slice(data);
-        self.write_raw_blocks(span, &buf)
+        txn.write_raw_blocks(span, &buf)
     }
 
     /// Rename (or move) the object at `from` to `to`, both within the plain
@@ -741,11 +933,17 @@ impl<D: BlockDevice> PlainFs<D> {
                 .find(|e| e.name == old_name)
                 .ok_or_else(|| FsError::NotFound(from.to_string()))?;
             entry.name = new_name;
-            return self.write_dir_inode(old_pid, &entries);
+            let mut txn = self.begin_txn();
+            self.write_dir_inode(&mut txn, old_pid, &entries)?;
+            return txn.commit();
         }
 
-        // Link into the new parent first: a failure here (e.g. NoSpace while
-        // growing the directory) leaves the object reachable at its old path.
+        // Both directory updates share one transaction, so on a journaled
+        // volume a crash can never leave the object linked twice or not at
+        // all.  Unjournaled, link into the new parent first: a failure (e.g.
+        // NoSpace while growing the directory) then leaves the object
+        // reachable at its old path.
+        let mut txn = self.begin_txn();
         let new_pinode = self.read_inode(new_pid)?;
         let mut new_entries = self.read_dir_inode(&new_pinode)?;
         new_entries.push(DirEntry {
@@ -753,11 +951,12 @@ impl<D: BlockDevice> PlainFs<D> {
             inode: id,
             kind: inode.kind,
         });
-        self.write_dir_inode(new_pid, &new_entries)?;
+        self.write_dir_inode(&mut txn, new_pid, &new_entries)?;
 
         let mut old_entries = self.read_dir_inode(&old_pinode)?;
         old_entries.retain(|e| e.name != old_name);
-        self.write_dir_inode(old_pid, &old_entries)
+        self.write_dir_inode(&mut txn, old_pid, &old_entries)?;
+        txn.commit()
     }
 
     /// Delete the file or (empty) directory at `path`.
@@ -775,21 +974,21 @@ impl<D: BlockDevice> PlainFs<D> {
         // take stripes; content ops never take the namespace lock, so the
         // order is acyclic).
         let _stripe = self.stripe(id).lock();
-        // Free all blocks.
+        // One transaction: the frees, the inode clear and the parent update
+        // commit together (on a journaled volume the frees defer to commit,
+        // so a crash mid-delete leaves the object whole).
+        let mut txn = self.begin_txn();
         let (data, meta) = self.collect_blocks(&inode)?;
-        {
-            let state = &mut *self.alloc.lock();
-            for b in data.into_iter().chain(meta) {
-                state.bitmap.free(b)?;
-            }
+        for b in data.into_iter().chain(meta) {
+            txn.free_block(b)?;
         }
         // Clear the inode and the parent entry.
-        self.write_inode(id, &Inode::empty(FileKind::Free))?;
+        txn.set_inode(id, &Inode::empty(FileKind::Free))?;
         let (pid, pinode, name) = self.resolve_parent(path)?;
         let mut entries = self.read_dir_inode(&pinode)?;
         entries.retain(|e| e.name != name);
-        self.write_dir_inode(pid, &entries)?;
-        Ok(())
+        self.write_dir_inode(&mut txn, pid, &entries)?;
+        txn.commit()
     }
 
     /// Total bytes stored in plain files (not directories), used by the
@@ -813,8 +1012,13 @@ impl<D: BlockDevice> PlainFs<D> {
         decode_entries(&raw)
     }
 
-    fn write_dir_inode(&self, id: InodeId, entries: &[DirEntry]) -> FsResult<()> {
-        self.write_inode_contents(id, &encode_entries(entries))
+    fn write_dir_inode(
+        &self,
+        txn: &mut FsTxn<'_, D>,
+        id: InodeId,
+        entries: &[DirEntry],
+    ) -> FsResult<()> {
+        self.write_inode_contents(txn, id, &encode_entries(entries))
     }
 
     /// Read a file's full contents: one chain walk for the block map, then
@@ -827,11 +1031,17 @@ impl<D: BlockDevice> PlainFs<D> {
     }
 
     /// Replace a file's contents: free old blocks, allocate new ones with the
-    /// current policy, write the data, and rebuild the block map.
+    /// current policy, write the data, and rebuild the block map — all within
+    /// the caller's transaction.
     ///
     /// Callers serialise per inode: path and handle writers hold the inode's
     /// stripe; directory writers hold the namespace lock exclusively.
-    fn write_inode_contents(&self, id: InodeId, data: &[u8]) -> FsResult<()> {
+    fn write_inode_contents(
+        &self,
+        txn: &mut FsTxn<'_, D>,
+        id: InodeId,
+        data: &[u8],
+    ) -> FsResult<()> {
         let bs = self.block_size();
         let max = Inode::max_file_size(bs);
         if data.len() as u64 > max {
@@ -840,7 +1050,7 @@ impl<D: BlockDevice> PlainFs<D> {
                 maximum: max,
             });
         }
-        let old = self.read_inode(id)?;
+        let old = txn.read_inode(id)?;
         if old.kind == FileKind::Free {
             return Err(FsError::NotFound(format!("inode {id}")));
         }
@@ -848,12 +1058,24 @@ impl<D: BlockDevice> PlainFs<D> {
         let (old_data, old_meta) = self.collect_blocks(&old)?;
         let count = (data.len() as u64).div_ceil(bs as u64);
 
-        // Free the old blocks and claim the new ones under one allocator
-        // guard, so a concurrent allocation can neither observe the file
-        // holding double the space nor steal blocks between the two steps.
-        // Freeing first keeps the old behaviour that rewriting a large file
-        // does not need twice its footprint.
-        let blocks = {
+        let blocks = if txn.journaled() {
+            // Journaled: the old blocks stay allocated until the commit that
+            // stops referencing them is durable, so the new blocks claim
+            // disjoint space first and the frees defer (a rewrite briefly
+            // needs both footprints — the price of never freeing blocks a
+            // crash-surviving inode still points at).
+            let blocks = txn.allocate_file_blocks(count)?;
+            for b in old_data.into_iter().chain(old_meta) {
+                txn.free_block(b)?;
+            }
+            blocks
+        } else {
+            // Write-through: free the old blocks and claim the new ones
+            // under one allocator guard, so a concurrent allocation can
+            // neither observe the file holding double the space nor steal
+            // blocks between the two steps.  Freeing first keeps the old
+            // behaviour that rewriting a large file does not need twice its
+            // footprint.
             let state = &mut *self.alloc.lock();
             for b in old_data.into_iter().chain(old_meta) {
                 state.bitmap.free(b)?;
@@ -864,12 +1086,12 @@ impl<D: BlockDevice> PlainFs<D> {
         // pads the final block).
         let mut padded = vec![0u8; blocks.len() * bs];
         padded[..data.len()].copy_from_slice(data);
-        self.write_raw_blocks(&blocks, &padded)?;
+        txn.write_raw_blocks(&blocks, &padded)?;
 
         let mut inode = Inode::empty(kind);
         inode.size = data.len() as u64;
-        self.build_block_map(&mut inode, &blocks)?;
-        self.write_inode(id, &inode)?;
+        self.build_block_map(txn, &mut inode, &blocks)?;
+        txn.set_inode(id, &inode)?;
         Ok(())
     }
 
@@ -880,7 +1102,12 @@ impl<D: BlockDevice> PlainFs<D> {
 
     /// Build the direct/indirect block map of `inode` for the given data
     /// blocks, allocating pointer blocks as needed.
-    fn build_block_map(&self, inode: &mut Inode, blocks: &[u64]) -> FsResult<()> {
+    fn build_block_map(
+        &self,
+        txn: &mut FsTxn<'_, D>,
+        inode: &mut Inode,
+        blocks: &[u64],
+    ) -> FsResult<()> {
         let bs = self.block_size();
         let ptrs_per_block = bs / 8;
 
@@ -895,8 +1122,8 @@ impl<D: BlockDevice> PlainFs<D> {
         let (single, double_rest) = rest.split_at(rest.len().min(ptrs_per_block));
 
         // Single indirect block.
-        let ind_block = self.alloc_one()?;
-        self.write_pointer_block(ind_block, single)?;
+        let ind_block = txn.allocate_one()?;
+        self.write_pointer_block(txn, ind_block, single)?;
         inode.indirect = ind_block;
 
         if double_rest.is_empty() {
@@ -906,8 +1133,8 @@ impl<D: BlockDevice> PlainFs<D> {
         // Double indirect: a block of pointers to pointer blocks.
         let mut level1 = Vec::new();
         for chunk in double_rest.chunks(ptrs_per_block) {
-            let leaf = self.alloc_one()?;
-            self.write_pointer_block(leaf, chunk)?;
+            let leaf = txn.allocate_one()?;
+            self.write_pointer_block(txn, leaf, chunk)?;
             level1.push(leaf);
         }
         if level1.len() > ptrs_per_block {
@@ -916,19 +1143,24 @@ impl<D: BlockDevice> PlainFs<D> {
                 maximum: Inode::max_file_size(bs),
             });
         }
-        let dbl = self.alloc_one()?;
-        self.write_pointer_block(dbl, &level1)?;
+        let dbl = txn.allocate_one()?;
+        self.write_pointer_block(txn, dbl, &level1)?;
         inode.double_indirect = dbl;
         Ok(())
     }
 
-    fn write_pointer_block(&self, block: u64, pointers: &[u64]) -> FsResult<()> {
+    fn write_pointer_block(
+        &self,
+        txn: &mut FsTxn<'_, D>,
+        block: u64,
+        pointers: &[u64],
+    ) -> FsResult<()> {
         let bs = self.block_size();
         let mut buf = vec![0xffu8; bs]; // NO_BLOCK everywhere by default
         for (i, &p) in pointers.iter().enumerate() {
             buf[i * 8..i * 8 + 8].copy_from_slice(&p.to_be_bytes());
         }
-        self.write_raw_block(block, &buf)
+        txn.write_raw_block(block, &buf)
     }
 
     fn read_pointer_block(&self, block: u64) -> FsResult<Vec<u64>> {
@@ -1170,6 +1402,162 @@ mod tests {
             fs.write_file("/way-too-big", &oversized),
             Err(FsError::FileTooLarge { .. })
         ));
+    }
+
+    fn new_journaled_fs(blocks: u64) -> PlainFs<stegfs_blockdev::CrashDevice<MemBlockDevice>> {
+        let dev = stegfs_blockdev::CrashDevice::new(MemBlockDevice::new(1024, blocks));
+        PlainFs::format(
+            dev,
+            FormatOptions {
+                journal_blocks: 256,
+                ..FormatOptions::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn journaled_volume_roundtrips_all_operations() {
+        let fs = new_journaled_fs(4096);
+        assert!(fs.journaled());
+        let free0 = fs.free_data_blocks();
+        fs.create_dir("/d").unwrap();
+        fs.write_file("/d/f", &vec![7u8; 30 * 1024]).unwrap();
+        fs.write_file("/d/f", &vec![8u8; 10 * 1024]).unwrap();
+        fs.write_file_range("/d/f", 1000, &[0xaa; 2000]).unwrap();
+        fs.rename("/d/f", "/d/g").unwrap();
+        let mut expected = vec![8u8; 10 * 1024];
+        expected[1000..3000].copy_from_slice(&[0xaa; 2000]);
+        assert_eq!(fs.read_file("/d/g").unwrap(), expected);
+        fs.delete("/d/g").unwrap();
+        fs.delete("/d").unwrap();
+        assert_eq!(fs.free_data_blocks(), free0, "journaled ops leak no blocks");
+
+        // Remount (with replay) and keep working.
+        fs.write_file("/still-here", b"after remount").unwrap();
+        let dev = fs.unmount().unwrap();
+        let fs2 = PlainFs::mount(dev, AllocPolicy::FirstFit, 1).unwrap();
+        assert!(fs2.journaled());
+        assert_eq!(fs2.read_file("/still-here").unwrap(), b"after remount");
+    }
+
+    #[test]
+    fn journaled_commit_survives_crash_of_home_writes() {
+        // A committed write whose in-place images were still pending when
+        // the power cut must be redone by replay at mount.
+        for seed in 0..8u64 {
+            let dev = stegfs_blockdev::CrashDevice::new(MemBlockDevice::new(1024, 2048));
+            let fs = PlainFs::format(
+                dev.clone(),
+                FormatOptions {
+                    journal_blocks: 128,
+                    ..FormatOptions::default()
+                },
+            )
+            .unwrap();
+            let payload: Vec<u8> = (0..20 * 1024u32).map(|i| (i % 251) as u8).collect();
+            fs.write_file("/durable", &payload).unwrap();
+            drop(fs); // no unmount: the "process" dies
+            dev.crash(seed);
+            let fs = PlainFs::mount(dev.clone(), AllocPolicy::FirstFit, 1).unwrap();
+            assert_eq!(
+                fs.read_file("/durable").unwrap(),
+                payload,
+                "seed {seed}: committed write lost"
+            );
+        }
+    }
+
+    #[test]
+    fn torn_uncommitted_update_vanishes_on_replay() {
+        // Stop a rewrite mid-flight with the failure trip wire, crash, and
+        // remount: the old contents must be intact.
+        for seed in 0..8u64 {
+            let dev = stegfs_blockdev::CrashDevice::new(MemBlockDevice::new(1024, 2048));
+            let fs = PlainFs::format(
+                dev.clone(),
+                FormatOptions {
+                    journal_blocks: 128,
+                    ..FormatOptions::default()
+                },
+            )
+            .unwrap();
+            let old: Vec<u8> = (0..16 * 1024u32).map(|i| (i % 239) as u8).collect();
+            fs.write_file("/f", &old).unwrap();
+            fs.sync().unwrap();
+            // Let a handful of writes through, then cut the cord mid-update.
+            dev.fail_after_writes(3 + seed % 9);
+            let _ = fs.write_file("/f", &vec![0x5au8; 16 * 1024]);
+            drop(fs);
+            dev.crash(seed);
+            let fs = PlainFs::mount(dev.clone(), AllocPolicy::FirstFit, 1).unwrap();
+            assert_eq!(
+                fs.read_file("/f").unwrap(),
+                old,
+                "seed {seed}: torn rewrite corrupted the old contents"
+            );
+        }
+    }
+
+    #[test]
+    fn reformat_never_replays_the_previous_volume() {
+        // The journal salt derives deterministically from the format seed,
+        // so re-formatting a reused device reproduces the old journal keys.
+        // Un-checkpointed transactions from the previous life must not
+        // decode — and must never replay over the fresh volume at its first
+        // mount.
+        let dev = stegfs_blockdev::CrashDevice::new(MemBlockDevice::new(1024, 2048));
+        let opts = || FormatOptions {
+            journal_blocks: 64,
+            ..FormatOptions::default()
+        };
+        let fs = PlainFs::format(dev.clone(), opts()).unwrap();
+        fs.write_file("/old", &vec![9u8; 8 * 1024]).unwrap();
+        drop(fs); // no unmount: the ring still holds the committed records
+
+        let fs = PlainFs::format(dev.clone(), opts()).unwrap();
+        drop(fs); // again no unmount: the first mount replays
+        let fs = PlainFs::mount(dev.clone(), AllocPolicy::FirstFit, 1).unwrap();
+        assert!(
+            !fs.exists("/old").unwrap(),
+            "re-format resurrected the previous volume's namespace"
+        );
+        fs.write_file("/new", b"fresh volume works").unwrap();
+        assert_eq!(fs.read_file("/new").unwrap(), b"fresh volume works");
+    }
+
+    #[test]
+    fn oversized_journal_tx_fails_cleanly_without_freeing_live_blocks() {
+        // A rewrite whose transaction cannot fit the journal ring must fail
+        // with NoSpace and leave the file — and the allocator — untouched:
+        // the tentatively applied frees are restored under the allocator
+        // lock, so no live block is ever handed out.
+        let dev = MemBlockDevice::new(1024, 4096);
+        let fs = PlainFs::format(
+            dev,
+            FormatOptions {
+                journal_blocks: 32, // ring of 30 slots
+                ..FormatOptions::default()
+            },
+        )
+        .unwrap();
+        let data: Vec<u8> = (0..20 * 1024u32).map(|i| (i % 241) as u8).collect();
+        fs.write_file("/f", &data).unwrap();
+        let free_before = fs.free_data_blocks();
+
+        // 60 KiB needs ~60 payload slots — more than the ring holds.
+        let err = fs.write_file("/f", &vec![7u8; 60 * 1024]).unwrap_err();
+        assert!(matches!(err, FsError::NoSpace), "got {err}");
+        assert_eq!(fs.read_file("/f").unwrap(), data, "old contents corrupted");
+        assert_eq!(
+            fs.free_data_blocks(),
+            free_before,
+            "failed commit leaked or freed blocks"
+        );
+        // The volume keeps working, and the file is still rewritable with a
+        // fitting size.
+        fs.write_file("/f", b"small").unwrap();
+        assert_eq!(fs.read_file("/f").unwrap(), b"small");
     }
 
     #[test]

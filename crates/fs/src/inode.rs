@@ -139,7 +139,7 @@ impl InodeTable {
         self.sb.inode_count
     }
 
-    fn location(&self, id: InodeId) -> FsResult<(u64, usize)> {
+    pub(crate) fn location(&self, id: InodeId) -> FsResult<(u64, usize)> {
         if id >= self.sb.inode_count {
             return Err(FsError::Corrupt(format!(
                 "inode {id} out of range ({} inodes)",
@@ -262,7 +262,7 @@ mod tests {
     }
 
     fn table_fixture() -> (InodeTable, MemBlockDevice) {
-        let sb = Superblock::compute(1024, 4096, 64).unwrap();
+        let sb = Superblock::compute(1024, 4096, 64, 0).unwrap();
         let dev = MemBlockDevice::new(1024, 4096);
         (InodeTable::new(sb), dev)
     }

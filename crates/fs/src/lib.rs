@@ -36,9 +36,11 @@ pub mod fs;
 pub mod inode;
 pub mod layout;
 pub mod rmw;
+pub mod txn;
 
 pub use alloc::AllocPolicy;
 pub use error::{FsError, FsResult};
 pub use fs::{FormatOptions, PlainFs};
 pub use inode::{FileKind, Inode, InodeId};
 pub use layout::Superblock;
+pub use txn::FsTxn;

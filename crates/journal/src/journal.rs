@@ -1,0 +1,1046 @@
+//! The write-ahead intent journal: transactions, group commit, checkpointing
+//! and crash replay.
+//!
+//! # Protocol
+//!
+//! A transaction ([`Tx`]) is a redo buffer: the file-system layers stage
+//! every block image a multi-block update intends to write, then call
+//! [`Journal::commit`], which
+//!
+//! 1. allocates a run of ring slots and sequence numbers,
+//! 2. writes the sealed intent / payload / commit slots to the journal
+//!    region,
+//! 3. waits for a **group flush** — one device barrier amortized over every
+//!    transaction that reached this point since the previous barrier (this is
+//!    the group-commit win the engine benchmarks measure), and only then
+//! 4. applies the staged images to their home locations in one batched
+//!    submission.
+//!
+//! A crash before step 3 completes leaves at most a torn slot run, which
+//! replay discards — the home locations were never touched, so uncommitted
+//! updates simply vanish.  A crash after step 3 may tear the home writes
+//! arbitrarily; replay redoes them from the journal.  Either way the volume
+//! remounts into a state where every committed update is complete and every
+//! uncommitted one is absent.
+//!
+//! # Lock and flush ordering
+//!
+//! The journal has two internal locks, both *leaves* of the whole stack's
+//! lock order (they are acquired below every file-system lock and are never
+//! held while calling back up):
+//!
+//! 1. the **log state** mutex (ring head, live transaction list, sequence
+//!    counter) — may be held across journal-region device I/O and, on the
+//!    rare space-reclaim path, across a device flush;
+//! 2. the **commit gate** (a std `Mutex` + `Condvar`) — serialises group
+//!    flushes; held only around bookkeeping, never across the flush itself.
+//!
+//! The log state mutex may take the commit gate; the gate never takes the
+//! log state.  Checkpointing never reuses a ring slot until an anchor
+//! recording a tail past it has been flushed, so replay can trust that any
+//! slot at or after the durable anchor tail belongs to the current log.
+
+use crate::record::{
+    intent_capacity, open_payload, open_slot, seal_payload, seal_slot, slots_for, JournalKeys,
+    Slot, SlotBody, SlotKind, ANCHOR_SLOTS,
+};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex as StdMutex, PoisonError};
+use stegfs_blockdev::{BlockDevice, BlockError};
+
+/// Result alias for journal operations.
+pub type JournalResult<T> = Result<T, JournalError>;
+
+/// Errors reported by the journal.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The underlying device failed.
+    Device(BlockError),
+    /// A transaction needs more ring slots than the journal has (or than are
+    /// currently reclaimable).  The journal must be sized larger than the
+    /// largest single multi-block update it will carry.
+    Full {
+        /// Slots the transaction needs.
+        needed: u64,
+        /// Ring slots the journal has in total.
+        capacity: u64,
+    },
+    /// The journal region described by the superblock is unusable.
+    Geometry(String),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Device(e) => write!(f, "journal device error: {e}"),
+            JournalError::Full { needed, capacity } => write!(
+                f,
+                "transaction needs {needed} journal slots but the ring holds {capacity}"
+            ),
+            JournalError::Geometry(msg) => write!(f, "bad journal geometry: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<BlockError> for JournalError {
+    fn from(e: BlockError) -> Self {
+        JournalError::Device(e)
+    }
+}
+
+/// Placement of the journal region on the device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalGeometry {
+    /// First block of the journal region.
+    pub start: u64,
+    /// Total blocks in the region (anchors + ring).
+    pub blocks: u64,
+    /// Device block size in bytes.
+    pub block_size: usize,
+}
+
+impl JournalGeometry {
+    fn ring_slots(&self) -> u64 {
+        self.blocks.saturating_sub(ANCHOR_SLOTS)
+    }
+
+    fn ring_block(&self, slot: u64) -> u64 {
+        self.start + ANCHOR_SLOTS + (slot % self.ring_slots())
+    }
+}
+
+/// A redo buffer: the staged block images of one multi-block update.
+///
+/// Writes deduplicate by block (last wins), so an update that touches the
+/// same block twice journals and applies one image.
+#[derive(Default)]
+pub struct Tx {
+    writes: Vec<(u64, Vec<u8>)>,
+    index: HashMap<u64, usize>,
+}
+
+impl Tx {
+    /// Create an empty transaction.
+    pub fn new() -> Self {
+        Tx::default()
+    }
+
+    /// Stage `data` as the new image of `block`.
+    pub fn write(&mut self, block: u64, data: Vec<u8>) {
+        match self.index.get(&block) {
+            Some(&i) => self.writes[i].1 = data,
+            None => {
+                self.index.insert(block, self.writes.len());
+                self.writes.push((block, data));
+            }
+        }
+    }
+
+    /// The staged image of `block`, if any (read-your-writes overlay).
+    pub fn read(&self, block: u64) -> Option<&[u8]> {
+        self.index.get(&block).map(|&i| self.writes[i].1.as_slice())
+    }
+
+    /// Number of distinct blocks staged.
+    pub fn len(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// True when nothing has been staged.
+    pub fn is_empty(&self) -> bool {
+        self.writes.is_empty()
+    }
+}
+
+/// `(target block, image)` pairs of one transaction.
+type TxWrites = Vec<(u64, Vec<u8>)>;
+
+/// A transaction whose slot run and sequence numbers are allocated but not
+/// yet written; produced by [`Journal::stage`], consumed by
+/// [`Journal::complete`].
+pub struct StagedTx {
+    tx: Tx,
+    first_seq: u64,
+    first_slot: u64,
+    nslots: u64,
+}
+
+/// One committed-but-not-yet-reclaimable transaction in the ring.
+struct LiveTx {
+    first_seq: u64,
+    slots: u64,
+    /// Flush epoch after which the home-location writes are durable and the
+    /// slots may be reclaimed; `u64::MAX` until the apply step finishes.
+    reclaimable_at: u64,
+}
+
+struct LogState {
+    next_seq: u64,
+    /// Ring slot index where the next allocation starts.
+    head: u64,
+    /// Ring slots between the durable anchor tail and the head.
+    used: u64,
+    /// Tail recorded by the last durable anchor.
+    durable_tail_seq: u64,
+    live: VecDeque<LiveTx>,
+}
+
+struct GateState {
+    completed: u64,
+    flushing: bool,
+}
+
+/// Group-commit gate: one flush serves every committer that arrived before
+/// it started.
+struct CommitGate {
+    state: StdMutex<GateState>,
+    cv: Condvar,
+    completed: AtomicU64,
+}
+
+impl CommitGate {
+    fn new() -> Self {
+        CommitGate {
+            state: StdMutex::new(GateState {
+                completed: 0,
+                flushing: false,
+            }),
+            cv: Condvar::new(),
+            completed: AtomicU64::new(0),
+        }
+    }
+
+    fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Acquire)
+    }
+
+    /// `(completed, flushing)` snapshot, for computing when a just-finished
+    /// apply becomes durable.
+    fn epoch(&self) -> (u64, bool) {
+        let g = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        (g.completed, g.flushing)
+    }
+
+    /// Block until a device flush that *started after this call* has
+    /// completed.  Whoever finds the gate idle becomes the leader and
+    /// flushes once for every waiter.
+    fn flush_covering<D: BlockDevice>(&self, dev: &D) -> JournalResult<()> {
+        let mut g = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let need = g.completed + 1 + u64::from(g.flushing);
+        loop {
+            if g.completed >= need {
+                return Ok(());
+            }
+            if !g.flushing {
+                g.flushing = true;
+                drop(g);
+                let result = dev.flush();
+                g = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+                g.flushing = false;
+                if result.is_ok() {
+                    g.completed += 1;
+                    self.completed.store(g.completed, Ordering::Release);
+                }
+                self.cv.notify_all();
+                result?;
+            } else {
+                g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+}
+
+/// What [`Journal::replay`] found and did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Committed transactions redone.
+    pub committed: usize,
+    /// Incomplete or torn transactions discarded.
+    pub discarded: usize,
+    /// Home-location blocks rewritten from the journal.
+    pub blocks_recovered: usize,
+}
+
+/// The write-ahead journal over a reserved device region.
+///
+/// All methods take `&self`; see the module docs for the internal lock order
+/// and the commit protocol.
+pub struct Journal {
+    geo: JournalGeometry,
+    keys: JournalKeys,
+    state: Mutex<LogState>,
+    gate: CommitGate,
+}
+
+impl Journal {
+    /// Open a journal over an already-formatted region.  Call
+    /// [`replay`](Self::replay) before trusting any other on-device state.
+    pub fn open(geo: JournalGeometry, salt: u64) -> JournalResult<Self> {
+        if geo.ring_slots() < 4 {
+            return Err(JournalError::Geometry(format!(
+                "journal region of {} blocks leaves fewer than 4 ring slots",
+                geo.blocks
+            )));
+        }
+        if geo.block_size < 128 {
+            return Err(JournalError::Geometry(format!(
+                "block size {} too small for journal slots",
+                geo.block_size
+            )));
+        }
+        Ok(Journal {
+            keys: JournalKeys::derive(salt),
+            state: Mutex::new(LogState {
+                next_seq: 1,
+                head: 0,
+                used: 0,
+                durable_tail_seq: 1,
+                live: VecDeque::new(),
+            }),
+            gate: CommitGate::new(),
+            geo,
+        })
+    }
+
+    /// Format the journal region: write **both** anchor slots declaring an
+    /// empty log, so no stale anchor from a previous life of the device can
+    /// outrank them at the first replay.  The caller is responsible for the
+    /// ring slots themselves no longer decoding under this journal's key
+    /// (`PlainFs::format` overwrites the region — random fill or zeros —
+    /// precisely because the salt derives deterministically from the format
+    /// seed, so re-formatting a reused device could otherwise leave old
+    /// transactions replayable).
+    pub fn format<D: BlockDevice>(geo: JournalGeometry, salt: u64, dev: &D) -> JournalResult<Self> {
+        let journal = Self::open(geo, salt)?;
+        journal.write_anchor(dev, 0, 1)?;
+        journal.write_anchor(dev, 1, 1)?;
+        dev.flush()?;
+        Ok(journal)
+    }
+
+    /// The region geometry.
+    pub fn geometry(&self) -> &JournalGeometry {
+        &self.geo
+    }
+
+    /// Ring capacity in slots.
+    pub fn capacity_slots(&self) -> u64 {
+        self.geo.ring_slots()
+    }
+
+    /// Largest number of target blocks a single transaction can carry.
+    pub fn max_tx_targets(&self) -> u64 {
+        let ring = self.geo.ring_slots();
+        let mut t = ring.saturating_sub(2);
+        while t > 0 && slots_for(t as usize, self.geo.block_size) > ring {
+            t -= 1;
+        }
+        t
+    }
+
+    fn write_anchor<D: BlockDevice>(&self, dev: &D, seq: u64, tail_seq: u64) -> JournalResult<()> {
+        let abs = self.geo.start + (seq % ANCHOR_SLOTS);
+        let slot = Slot {
+            kind: SlotKind::Anchor,
+            seq,
+            txid: 0,
+            body: SlotBody::Anchor { tail_seq },
+        };
+        let sealed = seal_slot(&self.keys, abs, &slot, self.geo.block_size);
+        dev.write_block(abs, &sealed)?;
+        Ok(())
+    }
+
+    /// Reclaim ring space: pop reclaimable live transactions off the front,
+    /// persist an anchor past them, and shrink `used`.  Called with the log
+    /// state held; may flush the device.
+    fn reclaim<D: BlockDevice>(
+        &self,
+        dev: &D,
+        state: &mut LogState,
+        needed: u64,
+    ) -> JournalResult<()> {
+        let ring = self.geo.ring_slots();
+        if needed > ring {
+            return Err(JournalError::Full {
+                needed,
+                capacity: ring,
+            });
+        }
+        let mut flushed_once = false;
+        while state.used + needed > ring {
+            let completed = self.gate.completed();
+            // Count the reclaimable front run without popping it: if the
+            // anchor write or its flush fails, the entries must stay live so
+            // a later pass (or a remount) can still account for their slots.
+            let mut freed = 0u64;
+            let mut eligible = 0usize;
+            for t in state.live.iter() {
+                if t.reclaimable_at > completed {
+                    break;
+                }
+                freed += t.slots;
+                eligible += 1;
+            }
+            if freed > 0 {
+                let tail = state
+                    .live
+                    .get(eligible)
+                    .map(|t| t.first_seq)
+                    .unwrap_or(state.next_seq);
+                let anchor_seq = state.next_seq;
+                state.next_seq += 1;
+                self.write_anchor(dev, anchor_seq, tail)?;
+                // The anchor must be durable before any reclaimed slot is
+                // overwritten, or replay could mistake a half-overwritten
+                // old transaction for the current log.
+                self.gate.flush_covering(dev)?;
+                state.live.drain(..eligible);
+                state.durable_tail_seq = tail;
+                state.used -= freed;
+                continue;
+            }
+            // Nothing reclaimable yet.  If transactions are merely waiting
+            // for a flush to make their home writes durable, flush once and
+            // retry; otherwise the ring is genuinely full of un-applied
+            // transactions (concurrent committers mid-protocol).
+            if !flushed_once
+                && state
+                    .live
+                    .iter()
+                    .any(|t| t.reclaimable_at != u64::MAX && t.reclaimable_at > completed)
+            {
+                self.gate.flush_covering(dev)?;
+                flushed_once = true;
+                continue;
+            }
+            return Err(JournalError::Full {
+                needed,
+                capacity: ring,
+            });
+        }
+        Ok(())
+    }
+
+    /// Commit `tx`: journal its intent, group-flush, then apply the staged
+    /// images to their home locations.  On return the update is durable.
+    /// Equivalent to [`stage`](Self::stage) followed by
+    /// [`complete`](Self::complete).
+    pub fn commit<D: BlockDevice>(&self, dev: &D, tx: Tx) -> JournalResult<()> {
+        match self.stage(dev, tx)? {
+            Some(staged) => self.complete(dev, staged),
+            None => Ok(()),
+        }
+    }
+
+    /// First half of a commit: allocate the transaction's slot run and
+    /// sequence numbers (reclaiming ring space if needed).  No transaction
+    /// data touches the device yet.
+    ///
+    /// Callers that snapshot shared state into the transaction (the bitmap)
+    /// call `stage` while still holding the lock guarding that state, so
+    /// snapshot order and replay (sequence) order agree; the expensive half
+    /// ([`complete`](Self::complete)) then runs outside that lock.  Returns
+    /// `None` for an empty transaction.
+    pub fn stage<D: BlockDevice>(&self, dev: &D, tx: Tx) -> JournalResult<Option<StagedTx>> {
+        if tx.is_empty() {
+            return Ok(None);
+        }
+        let nslots = slots_for(tx.len(), self.geo.block_size);
+        let state = &mut *self.state.lock();
+        self.reclaim(dev, state, nslots)?;
+        let first_seq = state.next_seq;
+        let first_slot = state.head;
+        state.next_seq += nslots;
+        state.head = (state.head + nslots) % self.geo.ring_slots();
+        state.used += nslots;
+        state.live.push_back(LiveTx {
+            first_seq,
+            slots: nslots,
+            reclaimable_at: u64::MAX,
+        });
+        Ok(Some(StagedTx {
+            tx,
+            first_seq,
+            first_slot,
+            nslots,
+        }))
+    }
+
+    /// Second half of a commit: [`persist`](Self::persist) (the commit
+    /// point) followed by [`apply`](Self::apply).
+    ///
+    /// An error after the flush step means the transaction may replay on the
+    /// next mount even though the caller sees a failure — the usual fsync
+    /// contract (a failed commit is *allowed* to be durable, never required).
+    pub fn complete<D: BlockDevice>(&self, dev: &D, staged: StagedTx) -> JournalResult<()> {
+        self.persist(dev, &staged)?;
+        self.apply(dev, staged, || Ok(()))
+    }
+
+    /// Make a staged transaction durable: seal and write its slot run, then
+    /// wait for the group flush — the commit point.
+    ///
+    /// On an error the transaction did **not** (reliably) commit: its slots
+    /// are marked reclaimable and callers should treat the operation as
+    /// failed and roll back their own state.  (After a *flush* error the
+    /// slots might still have reached the platter whole, so a crash before
+    /// the slots are reclaimed can legitimately resurrect the transaction —
+    /// the fsync contract.  A volume that sees persist errors should be
+    /// remounted.)
+    pub fn persist<D: BlockDevice>(&self, dev: &D, staged: &StagedTx) -> JournalResult<()> {
+        let StagedTx {
+            tx,
+            first_seq,
+            first_slot,
+            nslots,
+        } = staged;
+        let (first_seq, first_slot, nslots) = (*first_seq, *first_slot, *nslots);
+        let bs = self.geo.block_size;
+        let n_targets = tx.len();
+
+        // On any failure before the flush returns, the transaction's slots
+        // stay allocated but hold garbage (or a never-committed run); mark
+        // it immediately reclaimable so the ring is not wedged.
+        let abandon = |err: JournalError| -> JournalError {
+            let state = &mut *self.state.lock();
+            if let Some(t) = state.live.iter_mut().find(|t| t.first_seq == first_seq) {
+                t.reclaimable_at = 0;
+            }
+            err
+        };
+
+        // Seal the whole run: interleaved intents and payloads, then commit.
+        let cap = intent_capacity(bs).max(1);
+        let mut blocks = Vec::with_capacity(nslots as usize);
+        let mut images = Vec::with_capacity(nslots as usize * bs);
+        let mut seq = first_seq;
+        let mut slot = first_slot;
+        let mut idx = 0usize;
+        while idx < n_targets {
+            let chunk_end = (idx + cap).min(n_targets);
+            let chunk = &tx.writes[idx..chunk_end];
+            // Payload seqs follow the intent's seq immediately.
+            let mut entries = Vec::with_capacity(chunk.len());
+            for (i, (target, image)) in chunk.iter().enumerate() {
+                let payload_seq = seq + 1 + i as u64;
+                entries.push((*target, self.keys.payload_check(image, payload_seq)));
+            }
+            let intent = Slot {
+                kind: SlotKind::Intent,
+                seq,
+                txid: first_seq,
+                body: SlotBody::Intent {
+                    n_targets: n_targets as u32,
+                    first_index: idx as u32,
+                    entries,
+                },
+            };
+            let abs = self.geo.ring_block(slot);
+            blocks.push(abs);
+            images.extend_from_slice(&seal_slot(&self.keys, abs, &intent, bs));
+            seq += 1;
+            slot += 1;
+            for (_, image) in chunk {
+                let abs = self.geo.ring_block(slot);
+                blocks.push(abs);
+                images.extend_from_slice(&seal_payload(&self.keys, abs, image));
+                seq += 1;
+                slot += 1;
+            }
+            idx = chunk_end;
+        }
+        let commit_slot = Slot {
+            kind: SlotKind::Commit,
+            seq,
+            txid: first_seq,
+            body: SlotBody::Commit {
+                n_targets: n_targets as u32,
+                total_slots: nslots as u32,
+            },
+        };
+        let abs = self.geo.ring_block(slot);
+        blocks.push(abs);
+        images.extend_from_slice(&seal_slot(&self.keys, abs, &commit_slot, bs));
+
+        dev.write_blocks(&blocks, &images)
+            .map_err(|e| abandon(e.into()))?;
+
+        // The group flush is the commit point.
+        self.gate.flush_covering(dev).map_err(abandon)?;
+        Ok(())
+    }
+
+    /// Apply a persisted (committed) transaction's staged images to their
+    /// home locations in one batched submission, run `post_apply` (the
+    /// caller's chance to re-assert shared home blocks — the bitmap — in a
+    /// newest-state-wins way under its own lock), and only then make the
+    /// transaction's slots reclaimable.
+    ///
+    /// A failure anywhere leaves the transaction committed but
+    /// un-checkpointed: its slots are never reclaimed, so the next replay
+    /// redoes it.
+    pub fn apply<D: BlockDevice, F: FnOnce() -> JournalResult<()>>(
+        &self,
+        dev: &D,
+        staged: StagedTx,
+        post_apply: F,
+    ) -> JournalResult<()> {
+        let (targets, data) = flatten_writes(&staged.tx.writes, self.geo.block_size);
+        dev.write_blocks(&targets, &data)?;
+        post_apply()?;
+
+        // The home writes become durable at the next flush that starts
+        // after this point.
+        let (completed, flushing) = self.gate.epoch();
+        let durable_at = completed + 1 + u64::from(flushing);
+        let state = &mut *self.state.lock();
+        if let Some(t) = state
+            .live
+            .iter_mut()
+            .find(|t| t.first_seq == staged.first_seq)
+        {
+            t.reclaimable_at = durable_at;
+        }
+        Ok(())
+    }
+
+    /// Checkpoint: flush the device (making every applied transaction's home
+    /// writes durable), advance the tail over all of them, and persist the
+    /// anchor.  After `sync` returns, a crash replays nothing.
+    pub fn sync<D: BlockDevice>(&self, dev: &D) -> JournalResult<()> {
+        self.gate.flush_covering(dev)?;
+        let state = &mut *self.state.lock();
+        let completed = self.gate.completed();
+        // As in `reclaim`: count the reclaimable front run, persist the
+        // anchor, and only then pop — an anchor failure must leave the
+        // entries live so their slots stay accounted for.
+        let mut freed = 0u64;
+        let mut eligible = 0usize;
+        for t in state.live.iter() {
+            if t.reclaimable_at > completed {
+                break;
+            }
+            freed += t.slots;
+            eligible += 1;
+        }
+        let tail = state
+            .live
+            .get(eligible)
+            .map(|t| t.first_seq)
+            .unwrap_or(state.next_seq);
+        if freed == 0 && tail == state.durable_tail_seq {
+            return Ok(());
+        }
+        let anchor_seq = state.next_seq;
+        state.next_seq += 1;
+        self.write_anchor(dev, anchor_seq, tail)?;
+        self.gate.flush_covering(dev)?;
+        state.live.drain(..eligible);
+        state.durable_tail_seq = tail;
+        state.used -= freed;
+        Ok(())
+    }
+
+    /// Scan the journal region, redo every committed transaction, and reset
+    /// the log.  Must run at mount, before any other structure is read.
+    ///
+    /// Replay needs **no user keys**: hidden-object payloads were staged as
+    /// object-key ciphertext, so redoing them restores exactly the bytes the
+    /// crashed commit meant to write, and wrong-key lookups after replay
+    /// remain indistinguishable from never-existed objects.
+    pub fn replay<D: BlockDevice>(&self, dev: &D) -> JournalResult<ReplayReport> {
+        let bs = self.geo.block_size;
+        let ring = self.geo.ring_slots();
+
+        // Durable anchor: the newest valid one of the pair.
+        let mut tail_seq = 0u64;
+        let mut anchor_seq = 0u64;
+        for i in 0..ANCHOR_SLOTS {
+            let raw = dev.read_block_vec(self.geo.start + i)?;
+            if let Some(Slot {
+                kind: SlotKind::Anchor,
+                seq,
+                body: SlotBody::Anchor { tail_seq: t },
+                ..
+            }) = open_slot(&self.keys, self.geo.start + i, &raw)
+            {
+                if seq >= anchor_seq {
+                    anchor_seq = seq;
+                    tail_seq = t;
+                }
+            }
+        }
+
+        // Read the whole ring (in bounded batches) and classify each slot.
+        let mut raws: Vec<Vec<u8>> = Vec::with_capacity(ring as usize);
+        const BATCH: u64 = 256;
+        let mut at = 0u64;
+        while at < ring {
+            let n = BATCH.min(ring - at);
+            let blocks: Vec<u64> = (at..at + n).map(|s| self.geo.ring_block(s)).collect();
+            let mut buf = vec![0u8; n as usize * bs];
+            dev.read_blocks(&blocks, &mut buf)?;
+            for i in 0..n as usize {
+                raws.push(buf[i * bs..(i + 1) * bs].to_vec());
+            }
+            at += n;
+        }
+        let decoded: Vec<Option<Slot>> = raws
+            .iter()
+            .enumerate()
+            .map(|(s, raw)| open_slot(&self.keys, self.geo.ring_block(s as u64), raw))
+            .collect();
+
+        // Walk every intent that opens a transaction (first_index == 0).
+        let mut committed: Vec<(u64, TxWrites)> = Vec::new();
+        let mut discarded = 0usize;
+        let mut max_seq = anchor_seq.max(tail_seq);
+        for slot in decoded.iter().flatten() {
+            max_seq = max_seq.max(slot.seq);
+        }
+        for start in 0..ring as usize {
+            let Some(Slot {
+                kind: SlotKind::Intent,
+                seq: first_seq,
+                txid,
+                body:
+                    SlotBody::Intent {
+                        n_targets,
+                        first_index: 0,
+                        ..
+                    },
+            }) = decoded[start].clone()
+            else {
+                continue;
+            };
+            if first_seq < tail_seq || txid != first_seq {
+                continue;
+            }
+            match self.walk_tx(&decoded, &raws, start as u64, first_seq, n_targets) {
+                Some(writes) => committed.push((first_seq, writes)),
+                None => discarded += 1,
+            }
+        }
+
+        // Redo in sequence order; later transactions win on shared blocks.
+        committed.sort_by_key(|(seq, _)| *seq);
+        let mut recovered = 0usize;
+        for (_, writes) in &committed {
+            let (targets, data) = flatten_writes(writes, bs);
+            recovered += targets.len();
+            dev.write_blocks(&targets, &data)?;
+        }
+        if !committed.is_empty() {
+            dev.flush()?;
+        }
+
+        // Reset the log past everything we saw, so stale slots can never be
+        // replayed twice against post-mount writes.
+        let reset_seq = max_seq + 2;
+        {
+            let state = &mut *self.state.lock();
+            state.next_seq = reset_seq + 1;
+            state.head = 0;
+            state.used = 0;
+            state.durable_tail_seq = reset_seq + 1;
+            state.live.clear();
+        }
+        self.write_anchor(dev, reset_seq, reset_seq + 1)?;
+        dev.flush()?;
+        Ok(ReplayReport {
+            committed: committed.len(),
+            discarded,
+            blocks_recovered: recovered,
+        })
+    }
+
+    /// Validate one transaction's slot run starting at ring slot `start`.
+    /// Returns its `(target, image)` list if every intent, payload and the
+    /// commit slot check out; `None` for anything torn or incomplete.
+    fn walk_tx(
+        &self,
+        decoded: &[Option<Slot>],
+        raws: &[Vec<u8>],
+        start: u64,
+        first_seq: u64,
+        n_targets: u32,
+    ) -> Option<TxWrites> {
+        let ring = self.geo.ring_slots();
+        let total = slots_for(n_targets as usize, self.geo.block_size);
+        if total > ring {
+            return None;
+        }
+        let mut writes = Vec::with_capacity(n_targets as usize);
+        let mut cursor = start;
+        let mut seq = first_seq;
+        let mut idx = 0u32;
+        loop {
+            // Expect an intent at `cursor` with `first_index == idx`.
+            let intent = decoded[(cursor % ring) as usize].as_ref()?;
+            let (slot_targets, slot_first) = match (&intent.kind, &intent.body) {
+                (
+                    SlotKind::Intent,
+                    SlotBody::Intent {
+                        n_targets: nt,
+                        first_index,
+                        entries,
+                    },
+                ) if *nt == n_targets && intent.seq == seq && intent.txid == first_seq => {
+                    (entries.clone(), *first_index)
+                }
+                _ => return None,
+            };
+            if slot_first != idx {
+                return None;
+            }
+            cursor += 1;
+            seq += 1;
+            for (target, check) in &slot_targets {
+                let raw = &raws[(cursor % ring) as usize];
+                let image = open_payload(&self.keys, self.geo.ring_block(cursor), raw);
+                if self.keys.payload_check(&image, seq) != *check {
+                    return None;
+                }
+                writes.push((*target, image));
+                cursor += 1;
+                seq += 1;
+                idx += 1;
+            }
+            if idx >= n_targets {
+                break;
+            }
+            if slot_targets.is_empty() {
+                return None; // an empty non-final intent cannot make progress
+            }
+        }
+        // The commit slot terminates the run.
+        let commit = decoded[(cursor % ring) as usize].as_ref()?;
+        match (&commit.kind, &commit.body) {
+            (
+                SlotKind::Commit,
+                SlotBody::Commit {
+                    n_targets: nt,
+                    total_slots,
+                },
+            ) if *nt == n_targets
+                && commit.seq == seq
+                && commit.txid == first_seq
+                && u64::from(*total_slots) == total =>
+            {
+                Some(writes)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Flatten `(block, image)` pairs into the parallel arrays
+/// [`BlockDevice::write_blocks`] takes.
+fn flatten_writes(writes: &[(u64, Vec<u8>)], block_size: usize) -> (Vec<u64>, Vec<u8>) {
+    let mut targets = Vec::with_capacity(writes.len());
+    let mut data = Vec::with_capacity(writes.len() * block_size);
+    for (block, image) in writes {
+        targets.push(*block);
+        data.extend_from_slice(image);
+    }
+    (targets, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use stegfs_blockdev::MemBlockDevice;
+
+    const BS: usize = 512;
+
+    fn fixture(journal_blocks: u64, total: u64) -> (MemBlockDevice, Journal) {
+        let dev = MemBlockDevice::new(BS, total);
+        let geo = JournalGeometry {
+            start: 1,
+            blocks: journal_blocks,
+            block_size: BS,
+        };
+        let journal = Journal::format(geo, 0xabcd, &dev).unwrap();
+        (dev, journal)
+    }
+
+    fn reopen(journal: &Journal) -> Journal {
+        Journal::open(journal.geometry().clone(), 0xabcd).unwrap()
+    }
+
+    #[test]
+    fn commit_applies_and_replay_is_idempotent() {
+        let (dev, journal) = fixture(32, 128);
+        let mut tx = Tx::new();
+        tx.write(100, vec![0xaa; BS]);
+        tx.write(101, vec![0xbb; BS]);
+        tx.write(100, vec![0xac; BS]); // last write wins
+        journal.commit(&dev, tx).unwrap();
+        assert_eq!(dev.read_block_vec(100).unwrap(), vec![0xac; BS]);
+        assert_eq!(dev.read_block_vec(101).unwrap(), vec![0xbb; BS]);
+
+        // Replay on a fresh journal object redoes (harmlessly) or skips.
+        let report = reopen(&journal).replay(&dev).unwrap();
+        assert!(report.committed <= 1);
+        assert_eq!(dev.read_block_vec(100).unwrap(), vec![0xac; BS]);
+    }
+
+    #[test]
+    fn unapplied_committed_tx_is_replayed() {
+        let (dev, journal) = fixture(32, 128);
+        // Simulate "slots durable, home writes lost": commit normally, then
+        // clobber the home locations as a crash that tore the apply would.
+        let mut tx = Tx::new();
+        tx.write(100, vec![0x11; BS]);
+        tx.write(110, vec![0x22; BS]);
+        journal.commit(&dev, tx).unwrap();
+        dev.write_block(100, &vec![0u8; BS]).unwrap();
+        dev.write_block(110, &vec![0u8; BS]).unwrap();
+
+        let report = reopen(&journal).replay(&dev).unwrap();
+        assert_eq!(report.committed, 1);
+        assert_eq!(report.blocks_recovered, 2);
+        assert_eq!(dev.read_block_vec(100).unwrap(), vec![0x11; BS]);
+        assert_eq!(dev.read_block_vec(110).unwrap(), vec![0x22; BS]);
+    }
+
+    #[test]
+    fn torn_slot_discards_the_whole_tx() {
+        let (dev, journal) = fixture(32, 128);
+        let before = dev.read_block_vec(100).unwrap();
+        let mut tx = Tx::new();
+        tx.write(100, vec![0x77; BS]);
+        journal.commit(&dev, tx).unwrap();
+        // Tear the payload slot (ring slot 1 = start + ANCHOR_SLOTS + 1) and
+        // restore the home block, as if neither survived the crash.
+        let payload_block = 1 + ANCHOR_SLOTS + 1;
+        let mut torn = dev.read_block_vec(payload_block).unwrap();
+        torn[40] ^= 0xff;
+        dev.write_block(payload_block, &torn).unwrap();
+        dev.write_block(100, &before).unwrap();
+
+        let report = reopen(&journal).replay(&dev).unwrap();
+        assert_eq!(report.committed, 0);
+        assert_eq!(report.discarded, 1);
+        assert_eq!(dev.read_block_vec(100).unwrap(), before);
+    }
+
+    #[test]
+    fn sync_checkpoints_so_replay_finds_nothing() {
+        let (dev, journal) = fixture(32, 128);
+        let mut tx = Tx::new();
+        tx.write(120, vec![9; BS]);
+        journal.commit(&dev, tx).unwrap();
+        journal.sync(&dev).unwrap();
+        let report = reopen(&journal).replay(&dev).unwrap();
+        assert_eq!(report, ReplayReport::default());
+        assert_eq!(dev.read_block_vec(120).unwrap(), vec![9; BS]);
+    }
+
+    #[test]
+    fn ring_wraps_and_reclaims() {
+        // Ring of 14 slots; each 2-target tx takes 4 slots.  20 commits force
+        // many wraps and anchor-gated reclaims.
+        let (dev, journal) = fixture(ANCHOR_SLOTS + 14, 256);
+        for i in 0..20u64 {
+            let mut tx = Tx::new();
+            tx.write(100 + (i % 8), vec![i as u8; BS]);
+            tx.write(120 + (i % 8), vec![i as u8 ^ 0xff; BS]);
+            journal.commit(&dev, tx).unwrap();
+        }
+        for i in 12..20u64 {
+            assert_eq!(
+                dev.read_block_vec(100 + (i % 8)).unwrap(),
+                vec![i as u8; BS]
+            );
+        }
+        let report = reopen(&journal).replay(&dev).unwrap();
+        // Everything still in the ring replays idempotently.
+        for i in 12..20u64 {
+            assert_eq!(
+                dev.read_block_vec(100 + (i % 8)).unwrap(),
+                vec![i as u8; BS]
+            );
+        }
+        assert!(report.discarded <= 20);
+    }
+
+    #[test]
+    fn oversized_tx_rejected() {
+        let (dev, journal) = fixture(ANCHOR_SLOTS + 6, 256);
+        let mut tx = Tx::new();
+        for b in 0..8u64 {
+            tx.write(100 + b, vec![1; BS]);
+        }
+        match journal.commit(&dev, tx) {
+            Err(JournalError::Full { .. }) => {}
+            other => panic!("expected Full, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_intent_tx_roundtrips() {
+        // More targets than one intent slot carries at BS=512.
+        let cap = intent_capacity(BS);
+        let n = cap + 3;
+        let (dev, journal) = fixture(ANCHOR_SLOTS + slots_for(n, BS) + 2, 512);
+        let mut tx = Tx::new();
+        for i in 0..n as u64 {
+            tx.write(200 + i, vec![(i % 251) as u8; BS]);
+        }
+        journal.commit(&dev, tx).unwrap();
+        // Clobber the home writes and replay.
+        for i in 0..n as u64 {
+            dev.write_block(200 + i, &vec![0u8; BS]).unwrap();
+        }
+        let report = reopen(&journal).replay(&dev).unwrap();
+        assert_eq!(report.committed, 1);
+        for i in 0..n as u64 {
+            assert_eq!(
+                dev.read_block_vec(200 + i).unwrap(),
+                vec![(i % 251) as u8; BS]
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_commits_group_into_few_flushes() {
+        use std::thread;
+        let dev = Arc::new(MemBlockDevice::new(BS, 4096));
+        let geo = JournalGeometry {
+            start: 1,
+            blocks: 512,
+            block_size: BS,
+        };
+        let journal = Arc::new(Journal::format(geo, 1, dev.as_ref()).unwrap());
+        let threads: Vec<_> = (0..8u64)
+            .map(|t| {
+                let dev = Arc::clone(&dev);
+                let journal = Arc::clone(&journal);
+                thread::spawn(move || {
+                    for i in 0..16u64 {
+                        let mut tx = Tx::new();
+                        tx.write(1024 + t * 32 + (i % 32), vec![t as u8; BS]);
+                        journal.commit(dev.as_ref(), tx).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        for t in 0..8u64 {
+            assert_eq!(
+                dev.read_block_vec(1024 + t * 32).unwrap(),
+                vec![t as u8; BS]
+            );
+        }
+    }
+}

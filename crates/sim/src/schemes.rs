@@ -182,6 +182,7 @@ impl PlainScheme {
                 seed: params.seed,
                 fill_random: false,
                 inode_count: None,
+                journal_blocks: 0,
             },
         )
         .map_err(err)?;

@@ -228,7 +228,29 @@ impl<D: BlockDevice> Vfs<D> {
 
     /// Flush metadata to the device.  Runs concurrently with ordinary I/O —
     /// no exclusive volume guard is needed any more.
+    ///
+    /// This is the `PlainFs::sync` path surfaced at the top of the stack: on
+    /// a journaled volume it is also the **checkpoint** (dirty cache blocks
+    /// flush, the journal tail advances, and a crash afterwards replays
+    /// nothing), so callers outside the engine can force durability without
+    /// submitting a request.
     pub fn sync(&self) -> VfsResult<()> {
+        Ok(self.fs.sync()?)
+    }
+
+    /// Flush the state behind an open handle to stable storage.
+    ///
+    /// On a journaled volume every committed operation is already durable
+    /// when it returns (the journal group-commits each update), so `fsync`
+    /// reduces to validating the handle and checkpointing — which also
+    /// bounds replay work after a crash.  On an unjournaled volume it is the
+    /// classic best-effort metadata flush.  Concurrent `fsync`s share one
+    /// device barrier (group commit), which is what keeps it cheap under
+    /// many engine workers.
+    pub fn fsync(&self, handle: VfsHandle) -> VfsResult<()> {
+        // Validate the handle (stale handles report the deniable not-found
+        // family, like every other use).
+        self.table.get(handle)?;
         Ok(self.fs.sync()?)
     }
 
@@ -671,8 +693,10 @@ impl<D: BlockDevice> Vfs<D> {
 
     /// Create a directory.
     ///
-    /// In the hidden namespace this supports the depths the core API can
-    /// express: a top-level hidden directory, or a child of one.
+    /// Hidden directories nest at **arbitrary depth**: the parent chain of
+    /// `/hidden/a/b/c` resolves through the per-directory listings (each
+    /// listing carries full `(physical name, FAK)` entries), and the new
+    /// child is registered in its immediate parent alone.
     pub fn mkdir(&self, session: SessionId, path: &str) -> VfsResult<()> {
         let uak = self.session_uak(session)?;
         match VfsPath::parse(path)? {
@@ -684,20 +708,29 @@ impl<D: BlockDevice> Vfs<D> {
                 Ok(())
             }
             VfsPath::Hidden(comps) => {
-                match comps.as_slice() {
-                    [name] => self.fs.steg_create(name, &uak, ObjectKind::Directory)?,
-                    [parent, child] => {
-                        self.fs
-                            .create_in_hidden_dir(parent, child, &uak, ObjectKind::Directory)?
-                    }
-                    _ => {
-                        return Err(VfsError::Unsupported(format!(
-                            "hidden directories nest at most two levels deep: {path}"
-                        )))
-                    }
-                }
+                self.create_hidden(session, &uak, &comps, ObjectKind::Directory)?;
                 Ok(())
             }
+        }
+    }
+
+    /// Create a hidden object at any depth of `comps` (the component chain
+    /// under `/hidden`): top level goes through the UAK directory, deeper
+    /// levels resolve the parent chain and register the child in its parent
+    /// listing.
+    fn create_hidden(
+        &self,
+        session: SessionId,
+        uak: &str,
+        comps: &[String],
+        kind: ObjectKind,
+    ) -> VfsResult<()> {
+        match comps {
+            [] => Err(VfsError::InvalidPath("/hidden".into())),
+            [name] => Ok(self.fs.steg_create(name, uak, kind)?),
+            [parents @ .., child] => self.with_hidden_entry(session, uak, parents, |entry| {
+                Ok(self.fs.create_dir_child(entry, child, kind)?)
+            }),
         }
     }
 
@@ -988,20 +1021,13 @@ impl<D: BlockDevice> Vfs<D> {
                 let resolved = match self.with_hidden_entry(session, &uak, &comps, &mut ensure) {
                     Ok(v) => Ok(v),
                     Err(e) if e.is_not_found() && opts.create => {
-                        let created = match comps.as_slice() {
-                            [name] => self.fs.steg_create(name, &uak, ObjectKind::File),
-                            [parent, child] => {
-                                self.fs
-                                    .create_in_hidden_dir(parent, child, &uak, ObjectKind::File)
-                            }
-                            _ => return Err(e),
-                        };
-                        match created {
+                        // Create at any depth; the parent chain must exist.
+                        match self.create_hidden(session, &uak, &comps, ObjectKind::File) {
                             Ok(()) => {}
                             // Raced another creator: the object exists now,
                             // which is all we wanted.
-                            Err(stegfs_core::StegError::AlreadyExists(_)) => {}
-                            Err(err) => return Err(err.into()),
+                            Err(VfsError::Steg(stegfs_core::StegError::AlreadyExists(_))) => {}
+                            Err(err) => return Err(err),
                         }
                         self.with_hidden_entry(session, &uak, &comps, &mut ensure)
                     }

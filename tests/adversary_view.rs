@@ -7,9 +7,9 @@
 //! missing objects, and allocated-but-unaccounted blocks must be
 //! indistinguishable from abandoned blocks and random fill.
 
-use stegfs_blockdev::MemBlockDevice;
+use stegfs_blockdev::{BufferCache, CrashDevice, MemBlockDevice};
 use stegfs_core::{ObjectKind, StegFs};
-use stegfs_tests::{full_feature_params, payload, test_volume};
+use stegfs_tests::{full_feature_params, journaled_params, payload, test_volume};
 
 const OWNER: &str = "the real key";
 
@@ -168,6 +168,106 @@ fn snapshot_differencing_cannot_separate_real_files_from_dummies() {
         "dummy maintenance must itself change the bitmap"
     );
     assert!(with_real_delta > 0);
+}
+
+#[test]
+fn crashed_journaled_volume_reveals_nothing_to_the_inspector() {
+    // The strongest position the journal ever puts an adversary in: a
+    // journaled volume crashes in the middle of a hidden-file rewrite
+    // (header + chain + bitmap in flight), the power-cut tears the unsynced
+    // writes, and the inspector images the raw device — including the
+    // journal region — before and after replay.
+    let params = journaled_params(160);
+    let dev = CrashDevice::new(MemBlockDevice::new(1024, 8192));
+    let fs = StegFs::format(BufferCache::new_write_back(dev.clone(), 64), params.clone())
+        .expect("format journaled volume");
+    fs.write_plain("/cover.txt", b"innocent cover traffic")
+        .unwrap();
+    fs.steg_create("the-secret", OWNER, ObjectKind::File)
+        .unwrap();
+    fs.write_hidden_with_key("the-secret", OWNER, &vec![0u8; 60 * 1024])
+        .unwrap();
+    fs.sync().unwrap();
+
+    // Tear a rewrite mid-flight, then crash.
+    dev.fail_after_writes(17);
+    let _ = fs.write_hidden_with_key("the-secret", OWNER, &vec![0u8; 70 * 1024]);
+    drop(fs);
+    dev.crash(0x5eed);
+
+    // Remount (replay runs inside mount) and inspect the raw image, journal
+    // region included, as an adversary with the full implementation would.
+    let fs_probe = StegFs::mount(BufferCache::new_write_back(dev.clone(), 64), params.clone())
+        .expect("remount with replay");
+    let sb = fs_probe.plain_fs().superblock().clone();
+
+    // The journal region is uniform high entropy — indistinguishable
+    // from the random fill around it — and carries no plaintext
+    // structure that could tag records as hidden-file activity.
+    let mut journal_bytes = Vec::new();
+    for b in sb.journal_start..sb.journal_start + sb.journal_blocks {
+        journal_bytes.extend(fs_probe.plain_fs().read_raw_block(b).unwrap());
+    }
+    let e_journal = entropy_bits_per_byte(&journal_bytes);
+    assert!(
+        e_journal > 7.5,
+        "journal region must look like random fill (entropy {e_journal:.2})"
+    );
+    let zero_block = vec![0u8; 1024];
+    for b in sb.journal_start..sb.journal_start + sb.journal_blocks {
+        assert_ne!(
+            fs_probe.plain_fs().read_raw_block(b).unwrap(),
+            zero_block,
+            "journal block {b} is structured"
+        );
+    }
+
+    // Wrong key and never-existed remain indistinguishable after the
+    // crash + replay.
+    let wrong = fs_probe
+        .read_hidden_with_key("the-secret", "guessed key")
+        .unwrap_err();
+    let absent = fs_probe
+        .read_hidden_with_key("never-created", "guessed key")
+        .unwrap_err();
+    assert!(wrong.is_not_found());
+    assert!(absent.is_not_found());
+    let w = wrong.to_string().replace("the-secret", "<name>");
+    let a = absent.to_string().replace("never-created", "<name>");
+    assert_eq!(w, a, "crash + replay must not split the error families");
+
+    // The rightful owner still reads a complete (never torn) file.
+    let got = fs_probe.read_hidden_with_key("the-secret", OWNER).unwrap();
+    assert!(
+        got == vec![0u8; 60 * 1024] || got == vec![0u8; 70 * 1024],
+        "owner sees a torn rewrite of {} bytes",
+        got.len()
+    );
+
+    // Allocated-but-unaccounted blocks (hidden + dummies + abandoned)
+    // still match the free fill's entropy, as on a never-crashed volume.
+    let plain_blocks: std::collections::HashSet<u64> = fs_probe
+        .plain_fs()
+        .plain_object_blocks()
+        .unwrap()
+        .into_iter()
+        .collect();
+    let mut unaccounted_bytes = Vec::new();
+    let mut free_bytes = Vec::new();
+    for block in sb.data_start..sb.total_blocks {
+        let allocated = fs_probe.plain_fs().is_block_allocated(block);
+        if allocated && !plain_blocks.contains(&block) && unaccounted_bytes.len() < 64 * 1024 {
+            unaccounted_bytes.extend(fs_probe.plain_fs().read_raw_block(block).unwrap());
+        } else if !allocated && free_bytes.len() < 64 * 1024 {
+            free_bytes.extend(fs_probe.plain_fs().read_raw_block(block).unwrap());
+        }
+    }
+    let e_hidden = entropy_bits_per_byte(&unaccounted_bytes);
+    let e_free = entropy_bits_per_byte(&free_bytes);
+    assert!(
+        (e_hidden - e_free).abs() < 0.3,
+        "after a crash, unaccounted blocks ({e_hidden:.2}) must still match free fill ({e_free:.2})"
+    );
 }
 
 #[test]

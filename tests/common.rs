@@ -18,6 +18,17 @@ pub fn full_feature_params() -> StegParams {
         max_locator_probes: 50_000,
         volume_seed: 0xdead_beef,
         random_fill: true,
+        journal_blocks: 0,
+    }
+}
+
+/// [`full_feature_params`] plus a write-ahead journal, so the integration
+/// tests can exercise the crash-consistent configuration with every
+/// camouflage feature switched on.
+pub fn journaled_params(journal_blocks: u64) -> StegParams {
+    StegParams {
+        journal_blocks,
+        ..full_feature_params()
     }
 }
 

@@ -87,7 +87,10 @@ fn engine_stress_mixed_clients_with_adversary() {
                     submitted += ids.len() as u64;
                     for id in ids {
                         let c = client.wait_for(id);
-                        assert!(matches!(c.result, Ok(Response::Written(CHUNK))));
+                        match c.result {
+                            Ok(Response::Written(n)) => assert_eq!(n, CHUNK),
+                            other => panic!("write completion for {path}: {other:?}"),
+                        }
                         assert!(c.latency >= c.service);
                     }
                     // ...then verified reads of the same ranges...
@@ -235,4 +238,116 @@ fn engine_stress_mixed_clients_with_adversary() {
     Arc::try_unwrap(engine)
         .unwrap_or_else(|_| panic!("engine still shared"))
         .shutdown();
+}
+
+/// Durability through the engine: concurrent clients write and `Fsync` on a
+/// journaled write-back volume, the "machine" dies without unmounting, the
+/// disk tears its unsynced writes — and after remount every fsynced write is
+/// readable.  `SyncAll` checkpoints the whole volume the same way.
+#[test]
+fn fsync_group_commit_survives_a_crash() {
+    use stegfs_blockdev::{BufferCache, CrashDevice};
+
+    let params = StegParams {
+        dummy_file_count: 0,
+        journal_blocks: 256,
+        ..stress_params()
+    };
+    let dev = CrashDevice::new(MemBlockDevice::new(1024, 16384));
+    let vfs = Arc::new(
+        Vfs::format(
+            BufferCache::new_write_back(dev.clone(), 128),
+            params.clone(),
+        )
+        .expect("format journaled volume"),
+    );
+    let engine = Arc::new(Engine::start(Arc::clone(&vfs), 8));
+
+    let writers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let engine = Arc::clone(&engine);
+            thread::spawn(move || {
+                let client = engine.client("fsync stress key");
+                let path = format!("/hidden/durable-{c}");
+                let h = open_handle_on(&client, &path, true);
+                let data = vec![c as u8 ^ 0x55; 4000];
+                match client
+                    .call(Request::WriteAt {
+                        handle: h,
+                        offset: 0,
+                        data: data.clone(),
+                    })
+                    .result
+                    .expect("write")
+                {
+                    Response::Written(n) => assert_eq!(n, 4000),
+                    other => panic!("write returned {other:?}"),
+                }
+                // Concurrent fsyncs share one journal flush (group commit).
+                match client
+                    .call(Request::Fsync { handle: h })
+                    .result
+                    .expect("fsync")
+                {
+                    Response::Unit => {}
+                    other => panic!("fsync returned {other:?}"),
+                }
+                client.call(Request::Close { handle: h });
+                client.signoff().expect("signoff");
+                data
+            })
+        })
+        .collect();
+    let expected: Vec<Vec<u8>> = writers.into_iter().map(|w| w.join().unwrap()).collect();
+
+    // A volume-wide checkpoint request also completes.
+    let client = engine.client("fsync stress key");
+    match client.call(Request::SyncAll).result.expect("sync all") {
+        Response::Unit => {}
+        other => panic!("sync all returned {other:?}"),
+    }
+    client.signoff().expect("signoff");
+
+    // The machine dies: no unmount, the write-back cache evaporates, the
+    // disk keeps a torn subset of whatever was not yet flushed.
+    Arc::try_unwrap(engine)
+        .unwrap_or_else(|_| panic!("engine still shared"))
+        .shutdown();
+    drop(vfs);
+    dev.crash(0xf5f5);
+
+    // Remount (replay runs in mount): every fsynced write is intact.
+    let vfs = Vfs::mount(BufferCache::new_write_back(dev.clone(), 128), params).expect("remount");
+    let s = vfs.signon("fsync stress key");
+    for (c, data) in expected.iter().enumerate() {
+        let h = vfs
+            .open(s, &format!("/hidden/durable-{c}"), OpenOptions::read_only())
+            .expect("reopen");
+        assert_eq!(&vfs.read_at(h, 0, 4000).expect("read back"), data);
+        vfs.close(h).expect("close");
+    }
+    vfs.signoff(s).expect("signoff");
+}
+
+fn open_handle_on<D: stegfs_blockdev::BlockDevice + Send + Sync + 'static>(
+    client: &stegfs_engine::Client<D>,
+    path: &str,
+    create: bool,
+) -> VfsHandle {
+    let opts = if create {
+        OpenOptions::read_write().create(true)
+    } else {
+        OpenOptions::read_write()
+    };
+    match client
+        .call(Request::Open {
+            path: path.into(),
+            opts,
+        })
+        .result
+        .expect("open")
+    {
+        Response::Handle(h) => h,
+        other => panic!("open returned {other:?}"),
+    }
 }

@@ -1,0 +1,383 @@
+//! Randomized crash-point recovery harness for the write-ahead journal.
+//!
+//! Each case drives a mixed plain/hidden workload against the full journaled
+//! stack — `StegFs` over a **write-back** `BufferCache` over a `CrashDevice`
+//! — arms a failure trip wire so the device dies at an arbitrary interior
+//! write of an arbitrary operation, then pulls the plug
+//! (`CrashDevice::crash` applies, drops, or tears a seeded subset of the
+//! unsynced writes, including mid-batch) and remounts.  After replay:
+//!
+//! * every operation that **returned success** before the crash reads back
+//!   exactly (committed data is readable),
+//! * the one operation in flight at the crash is either fully present or
+//!   fully absent — never torn (the fsync contract: a failed commit may be
+//!   durable, never partial),
+//! * the allocator owns every live block exactly once (no double-allocated
+//!   blocks across plain files, hidden objects and their free pools),
+//! * a wrong-key probe remains byte-for-byte indistinguishable from probing
+//!   an object that never existed,
+//! * and the volume keeps working: new writes, a checkpoint, and a second
+//!   remount all succeed.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use stegfs_blockdev::{BufferCache, CrashDevice, MemBlockDevice};
+use stegfs_core::crypt::ObjectKeys;
+use stegfs_core::{hidden, ObjectKind, StegFs, StegParams};
+use stegfs_tests::{journaled_params, payload};
+
+const OWNER: &str = "crash-harness key";
+const CACHE_BLOCKS: usize = 64;
+
+type Stack = StegFs<BufferCache<CrashDevice<MemBlockDevice>>>;
+
+fn params() -> StegParams {
+    StegParams {
+        // Small dummies keep each case fast while still churning.
+        dummy_file_count: 2,
+        dummy_file_size: 4 * 1024,
+        ..journaled_params(160)
+    }
+}
+
+fn mount_stack(dev: &CrashDevice<MemBlockDevice>) -> Stack {
+    StegFs::mount(
+        BufferCache::new_write_back(dev.clone(), CACHE_BLOCKS),
+        params(),
+    )
+    .expect("remount after crash")
+}
+
+/// What the interrupted operation was about to do, so the post-crash check
+/// can accept either outcome (complete or absent) but never a torn one.
+enum Interrupted {
+    None,
+    Hidden {
+        name: String,
+        old: Option<Vec<u8>>,
+        new: Option<Vec<u8>>,
+    },
+    Plain {
+        path: String,
+        old: Option<Vec<u8>>,
+        new: Option<Vec<u8>>,
+    },
+}
+
+struct Driver {
+    fs: Option<Stack>,
+    dev: CrashDevice<MemBlockDevice>,
+    hidden_model: HashMap<String, Vec<u8>>,
+    plain_model: HashMap<String, Vec<u8>>,
+    interrupted: Interrupted,
+}
+
+impl Driver {
+    fn new() -> Self {
+        let dev = CrashDevice::new(MemBlockDevice::new(1024, 8192));
+        let fs = StegFs::format(
+            BufferCache::new_write_back(dev.clone(), CACHE_BLOCKS),
+            params(),
+        )
+        .expect("format journaled volume");
+        Driver {
+            fs: Some(fs),
+            dev,
+            hidden_model: HashMap::new(),
+            plain_model: HashMap::new(),
+            interrupted: Interrupted::None,
+        }
+    }
+
+    /// Run one decoded operation; returns false once the device has died.
+    fn step(&mut self, i: usize, word: u64) -> bool {
+        let fs = self.fs.as_ref().expect("fs alive");
+        let kind = word % 5;
+        let size = 512 + (word / 5 % 12_000) as usize;
+        let result = match kind {
+            // Create-or-rewrite a hidden file.
+            0 | 1 => {
+                let name = format!("h{}", word / 64 % 3);
+                let data = payload(word ^ i as u64, size);
+                let old = self.hidden_model.get(&name).cloned();
+                if old.is_none() {
+                    if let Err(e) = fs.steg_create(&name, OWNER, ObjectKind::File) {
+                        self.interrupted = Interrupted::Hidden {
+                            name,
+                            old: None,
+                            new: Some(Vec::new()),
+                        };
+                        return !is_device_death(&e);
+                    }
+                }
+                match fs.write_hidden_with_key(&name, OWNER, &data) {
+                    Ok(()) => {
+                        self.hidden_model.insert(name, data);
+                        Ok(())
+                    }
+                    Err(e) => {
+                        // A failed create-then-write may leave the empty
+                        // created object behind.
+                        let fallback = if old.is_none() {
+                            Some(Vec::new())
+                        } else {
+                            old.clone()
+                        };
+                        self.interrupted = Interrupted::Hidden {
+                            name,
+                            old: fallback,
+                            new: Some(data),
+                        };
+                        Err(e)
+                    }
+                }
+            }
+            // Write a plain file.
+            2 => {
+                let path = format!("/p{}", word / 64 % 3);
+                let data = payload(word ^ 0xbeef, size);
+                match fs.write_plain(&path, &data) {
+                    Ok(()) => {
+                        self.plain_model.insert(path, data);
+                        Ok(())
+                    }
+                    Err(e) => {
+                        self.interrupted = Interrupted::Plain {
+                            path: path.clone(),
+                            old: self.plain_model.get(&path).cloned(),
+                            new: Some(data),
+                        };
+                        Err(e)
+                    }
+                }
+            }
+            // Delete a hidden file (if one exists).
+            3 => {
+                let name = match self.hidden_model.keys().next() {
+                    Some(n) => n.clone(),
+                    None => return true,
+                };
+                match fs.delete_hidden(&name, OWNER) {
+                    Ok(_) => {
+                        self.hidden_model.remove(&name);
+                        Ok(())
+                    }
+                    Err(e) => {
+                        self.interrupted = Interrupted::Hidden {
+                            name: name.clone(),
+                            old: self.hidden_model.get(&name).cloned(),
+                            new: None,
+                        };
+                        Err(e)
+                    }
+                }
+            }
+            // Dummy maintenance: journaled churn the adversary also sees.
+            _ => fs.touch_dummy_files().map(|_| ()),
+        };
+        match result {
+            Ok(()) => true,
+            Err(e) => !is_device_death(&e),
+        }
+    }
+}
+
+/// True when the error is the injected device failure (the signal to stop
+/// submitting work and crash).
+fn is_device_death(e: &stegfs_core::StegError) -> bool {
+    e.to_string().contains("injected crash")
+}
+
+/// Read a hidden file after remount through a fresh key derivation.
+fn read_hidden(fs: &Stack, name: &str) -> Result<Vec<u8>, stegfs_core::StegError> {
+    fs.read_hidden_with_key(name, OWNER)
+}
+
+/// Owned-block accounting: every live object's blocks (data, chain, header,
+/// free pool) must be allocated and owned exactly once, disjoint from every
+/// plain block and from the metadata + journal regions.
+fn assert_no_double_ownership(fs: &Stack) {
+    let sb = fs.plain_fs().superblock().clone();
+    let mut owner_of: HashMap<u64, String> = HashMap::new();
+    for b in fs.plain_fs().plain_object_blocks().unwrap() {
+        assert!(sb.in_data_region(b), "plain block {b} outside data region");
+        owner_of.insert(b, "plain".into());
+    }
+    let mut claim = |physical: &str, key: &[u8], label: String| {
+        let keys = ObjectKeys::derive(physical, key);
+        let obj = match hidden::open(fs.plain_fs(), physical, &keys, fs.params()) {
+            Ok(obj) => obj,
+            // The object (e.g. the UAK directory before any hidden create
+            // committed) does not exist — nothing to claim.
+            Err(e) if e.is_not_found() => return,
+            Err(e) => panic!("{label}: open failed: {e}"),
+        };
+        for b in hidden::owned_blocks(fs.plain_fs(), &keys, &obj).unwrap() {
+            assert!(
+                fs.plain_fs().is_block_allocated(b),
+                "{label}: owned block {b} not marked allocated"
+            );
+            assert!(
+                sb.in_data_region(b),
+                "{label}: block {b} outside data region"
+            );
+            if let Some(other) = owner_of.insert(b, label.clone()) {
+                panic!("block {b} owned by both {other} and {label}");
+            }
+        }
+    };
+    claim(
+        stegfs_core::keys::UAK_DIRECTORY_NAME,
+        OWNER.as_bytes(),
+        "uak-dir".into(),
+    );
+    for (name, _) in fs.list_hidden(OWNER).unwrap() {
+        let entry = fs.lookup_entry(&name, OWNER).unwrap();
+        claim(&entry.physical_name, &entry.fak, format!("hidden/{name}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 10,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn crash_anywhere_recovers_consistently(
+        ops in proptest::collection::vec(any::<u64>(), 4..10),
+        crash_seed in any::<u64>(),
+        trip in any::<u64>(),
+    ) {
+        let mut driver = Driver::new();
+
+        // Arm the trip wire so the device dies at an arbitrary interior
+        // block write of an arbitrary operation.
+        let trip_op = (trip % (ops.len() as u64 + 1)) as usize;
+        let trip_writes = trip / 13 % 60;
+        for (i, &word) in ops.iter().enumerate() {
+            if i == trip_op {
+                driver.dev.fail_after_writes(trip_writes);
+            }
+            if !driver.step(i, word) {
+                break;
+            }
+        }
+
+        // Pull the plug: the process dies (no unmount, the write-back cache
+        // simply evaporates), the disk keeps a torn subset of unsynced
+        // writes.
+        drop(driver.fs.take());
+        driver.dev.crash(crash_seed);
+
+        // Remount: replay runs inside mount.
+        let fs = mount_stack(&driver.dev);
+
+        // Committed hidden data is readable, byte for byte.
+        for (name, expected) in &driver.hidden_model {
+            match &driver.interrupted {
+                Interrupted::Hidden { name: n, .. } if n == name => continue,
+                _ => {}
+            }
+            let got = read_hidden(&fs, name);
+            prop_assert_eq!(
+                got.as_ref().ok(),
+                Some(expected),
+                "committed hidden file {} unreadable after crash",
+                name
+            );
+        }
+        for (path, expected) in &driver.plain_model {
+            match &driver.interrupted {
+                Interrupted::Plain { path: p, .. } if p == path => continue,
+                _ => {}
+            }
+            prop_assert_eq!(&fs.read_plain(path).unwrap(), expected, "plain file {}", path);
+        }
+
+        // The interrupted operation is all-or-nothing, never torn.
+        match &driver.interrupted {
+            Interrupted::None => {}
+            Interrupted::Hidden { name, old, new } => {
+                let got = read_hidden(&fs, name).ok();
+                let acceptable = got.is_none()
+                    || got.as_ref() == old.as_ref()
+                    || got.as_ref() == new.as_ref();
+                prop_assert!(
+                    acceptable,
+                    "interrupted hidden op on {} left torn state: {:?} bytes",
+                    name,
+                    got.map(|g| g.len())
+                );
+            }
+            Interrupted::Plain { path, old, new } => {
+                let got = fs.read_plain(path).ok();
+                let acceptable = got.is_none()
+                    || got.as_ref() == old.as_ref()
+                    || got.as_ref() == new.as_ref();
+                prop_assert!(
+                    acceptable,
+                    "interrupted plain op on {} left torn state: {:?} bytes",
+                    path,
+                    got.map(|g| g.len())
+                );
+            }
+        }
+
+        // The allocator owns every live block exactly once.
+        assert_no_double_ownership(&fs);
+
+        // Wrong key and never-existed stay indistinguishable across the
+        // crash + replay.
+        let wrong = fs.read_hidden_with_key("h0", "guessed key").unwrap_err();
+        let absent = fs.read_hidden_with_key("never-created-name", "guessed key").unwrap_err();
+        prop_assert!(wrong.is_not_found());
+        prop_assert!(absent.is_not_found());
+        let w = wrong.to_string().replace("h0", "<name>");
+        let a = absent.to_string().replace("never-created-name", "<name>");
+        prop_assert_eq!(w, a, "error text distinguishes wrong key from absent");
+
+        // The volume keeps working: a fresh write survives a checkpoint and
+        // a second (clean) remount.
+        fs.steg_create("post-crash", OWNER, ObjectKind::File).unwrap();
+        let fresh = payload(0x0fe_u64 ^ crash_seed, 3000);
+        fs.write_hidden_with_key("post-crash", OWNER, &fresh).unwrap();
+        fs.sync().unwrap();
+        drop(fs);
+        driver.dev.crash(crash_seed.wrapping_add(1)); // nothing unsynced left to lose
+        let fs = mount_stack(&driver.dev);
+        prop_assert_eq!(read_hidden(&fs, "post-crash").unwrap(), fresh);
+    }
+}
+
+/// A focused regression: a torn *hidden-file rewrite* — header, chain and
+/// bitmap all in flight — must leave the previous contents fully readable.
+#[test]
+fn torn_hidden_rewrite_preserves_old_contents() {
+    for trip in [1u64, 3, 7, 12, 20, 33] {
+        let dev = CrashDevice::new(MemBlockDevice::new(1024, 8192));
+        let fs = StegFs::format(
+            BufferCache::new_write_back(dev.clone(), CACHE_BLOCKS),
+            params(),
+        )
+        .unwrap();
+        let old = payload(7, 24 * 1024);
+        fs.steg_create("victim", OWNER, ObjectKind::File).unwrap();
+        fs.write_hidden_with_key("victim", OWNER, &old).unwrap();
+        fs.sync().unwrap();
+
+        dev.fail_after_writes(trip);
+        let _ = fs.write_hidden_with_key("victim", OWNER, &payload(8, 30 * 1024));
+        drop(fs);
+        dev.crash(0xdead ^ trip);
+
+        let fs = mount_stack(&dev);
+        let got = fs.read_hidden_with_key("victim", OWNER).unwrap();
+        // All-or-nothing: the rewrite either committed entirely before the
+        // device died (possible for late trips) or rolled away entirely.
+        if got != old {
+            assert_eq!(got, payload(8, 30 * 1024), "trip {trip}: torn rewrite");
+        }
+        assert_no_double_ownership(&fs);
+    }
+}

@@ -453,3 +453,71 @@ fn parked_streaming_handle_does_not_block_its_table_shard() {
     vfs.close(bystander).expect("close bystander");
     vfs.signoff(s).expect("signoff");
 }
+
+#[test]
+fn hidden_namespace_nests_arbitrarily_deep() {
+    // Creation at depth >= 3: resolution always walked arbitrary depth, and
+    // since the journal PR creation does too — mkdir and open(create) both
+    // route through the parent chain at any level.
+    let vfs = stress_volume();
+    let s = vfs.signon(SECRET_UAK);
+
+    vfs.mkdir(s, "/hidden/a").expect("depth 1");
+    vfs.mkdir(s, "/hidden/a/b").expect("depth 2");
+    vfs.mkdir(s, "/hidden/a/b/c").expect("depth 3");
+    vfs.mkdir(s, "/hidden/a/b/c/d").expect("depth 4");
+
+    // Create a file four levels down through open(create).
+    let h = vfs
+        .open(
+            s,
+            "/hidden/a/b/c/d/deep.dat",
+            OpenOptions::read_write().create(true),
+        )
+        .expect("create deep file");
+    let data = payload(9, 4, 5000);
+    vfs.write_at(h, 0, &data).expect("write deep");
+    vfs.close(h).expect("close deep");
+
+    // The whole chain resolves: stat, readdir and read at every level.
+    assert_eq!(
+        vfs.stat(s, "/hidden/a/b/c/d/deep.dat").expect("stat").size,
+        5000
+    );
+    let listing = vfs.readdir(s, "/hidden/a/b/c").expect("readdir c");
+    assert_eq!(listing.len(), 1);
+    assert_eq!(listing[0].name, "d");
+    let h = vfs
+        .open(s, "/hidden/a/b/c/d/deep.dat", OpenOptions::read_only())
+        .expect("reopen deep");
+    assert_eq!(vfs.read_at(h, 0, 5000).expect("read deep"), data);
+    vfs.close(h).expect("close");
+
+    // Mutations at depth: rename within the directory, then unlink.
+    vfs.rename(s, "/hidden/a/b/c/d/deep.dat", "/hidden/a/b/c/d/renamed.dat")
+        .expect("rename at depth");
+    vfs.unlink(s, "/hidden/a/b/c/d/renamed.dat")
+        .expect("unlink at depth");
+    vfs.unlink(s, "/hidden/a/b/c/d").expect("rmdir d");
+
+    // A second session with the same key sees the same tree; a wrong-key
+    // session sees nothing at any depth.
+    let s2 = vfs.signon(SECRET_UAK);
+    assert_eq!(vfs.readdir(s2, "/hidden/a/b").expect("readdir b").len(), 1);
+    let intruder = vfs.signon("wrong key entirely");
+    assert!(vfs
+        .stat(intruder, "/hidden/a/b/c")
+        .expect_err("hidden from intruder")
+        .is_not_found());
+    // Creating under a parent the key cannot resolve fails deniably.
+    assert!(vfs
+        .mkdir(intruder, "/hidden/a/b/x")
+        .expect_err("cannot create under unresolvable parent")
+        .is_not_found());
+
+    // Duplicate creation at depth is refused.
+    assert!(vfs.mkdir(s, "/hidden/a/b/c").is_err());
+    vfs.signoff(s).expect("signoff");
+    vfs.signoff(s2).expect("signoff 2");
+    vfs.signoff(intruder).expect("signoff intruder");
+}
