@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--full] [--smoke] [--table N] [--fig N] [--space-summary]
-//!       [--vfs-scaling] [--engine-scaling] [--all]
+//!       [--vfs-scaling] [--engine-scaling] [--readpath] [--all]
 //! ```
 //!
 //! With no arguments (or `--all`) every artefact is produced.  The default
@@ -25,6 +25,7 @@ struct Options {
     vfs_scaling: bool,
     engine_scaling: bool,
     durability: bool,
+    readpath: bool,
 }
 
 fn parse_args() -> Options {
@@ -38,6 +39,7 @@ fn parse_args() -> Options {
         vfs_scaling: false,
         engine_scaling: false,
         durability: false,
+        readpath: false,
     };
     let mut any_selection = false;
     let mut i = 0;
@@ -52,6 +54,7 @@ fn parse_args() -> Options {
                 opts.vfs_scaling = true;
                 opts.engine_scaling = true;
                 opts.durability = true;
+                opts.readpath = true;
                 any_selection = true;
             }
             "--table" => {
@@ -88,6 +91,10 @@ fn parse_args() -> Options {
                 opts.durability = true;
                 any_selection = true;
             }
+            "--readpath" => {
+                opts.readpath = true;
+                any_selection = true;
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other}")),
         }
@@ -100,6 +107,7 @@ fn parse_args() -> Options {
         opts.vfs_scaling = true;
         opts.engine_scaling = true;
         opts.durability = true;
+        opts.readpath = true;
     }
     opts
 }
@@ -110,7 +118,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: repro [--full] [--smoke] [--all] [--tables] [--fig N]... [--space-summary]\n\
-         \t[--vfs-scaling] [--engine-scaling] [--durability]\n\
+         \t[--vfs-scaling] [--engine-scaling] [--durability] [--readpath]\n\
          \n\
          Regenerates the tables and figures of 'StegFS: A Steganographic File\n\
          System' (Pang, Tan, Zhou — ICDE 2003).  Default scale is a 64 MB\n\
@@ -258,6 +266,28 @@ fn main() {
                 "merged engine_scaling into BENCH.json ({} points)",
                 points.len()
             ),
+            Err(e) => eprintln!("could not write BENCH.json: {e}"),
+        }
+    }
+
+    if opts.readpath {
+        // Read-path cache sweep: disabled / cold / warm whole-file hidden
+        // reads on the standard LatencyDevice.  Warm rounds must beat cold
+        // rounds by well over the 1.5x acceptance bar; the hit/miss deltas
+        // land in BENCH.json alongside the throughput.
+        use stegfs_bench::readpath as rp;
+        let (files, rounds) = if opts.smoke {
+            (4, 2)
+        } else if opts.full {
+            (rp::FILES, 2 * rp::ROUNDS)
+        } else {
+            (rp::FILES, rp::ROUNDS)
+        };
+        let points = rp::run_sweep(files, rounds);
+        println!("{}", rp::render(&points));
+        let section = rp::section_json(&points);
+        match stegfs_bench::bench_json::update_file("BENCH.json", "readpath", &section) {
+            Ok(()) => println!("merged readpath into BENCH.json ({} points)", points.len()),
             Err(e) => eprintln!("could not write BENCH.json: {e}"),
         }
     }

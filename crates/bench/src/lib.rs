@@ -39,6 +39,7 @@ pub const USER_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
 pub mod bench_json;
 pub mod durability;
 pub mod engine_scaling;
+pub mod readpath;
 pub mod vfs_scaling;
 
 /// The block sizes swept by the serial-access experiment (bytes).

@@ -1,0 +1,308 @@
+//! Cold-vs-warm sweep of the hidden-object read path.
+//!
+//! PR 3 batched the device I/O and PR 4 made writes crash-consistent; the
+//! read path still paid full price on every access — locator walk, chain
+//! decryption, per-block AES — no matter how recently the same object was
+//! read.  The read-path cache (`stegfs_core::readcache`) removes that
+//! redundancy *within a signed-on session*; this sweep measures exactly
+//! that seam, on the same [`LatencyDevice`] configuration as the
+//! `vfs_scaling` / `engine_scaling` sections so the numbers are directly
+//! comparable:
+//!
+//! * **disabled** — the cache switched off (`readpath_cache_blocks: 0`),
+//!   i.e. the pre-cache behaviour.
+//! * **cold** — cache on, but every round runs in a fresh session (sign-off
+//!   purges everything), so every read misses.  This is the price of the
+//!   deniability rule "no plaintext outlives its session".
+//! * **warm** — cache on, one long-lived session, a priming round, then
+//!   measured rounds that hit.
+//!
+//! Each op is a whole-file positional read of a ~64 KiB hidden file through
+//! the VFS.  The pass rows carry the cache hit/miss deltas next to the
+//! throughput, and `repro --readpath` merges the result into `BENCH.json`
+//! as the `readpath` section.
+
+use crate::vfs_scaling::BLOCK_LATENCY;
+use std::sync::Arc;
+use std::time::Instant;
+use stegfs_blockdev::{LatencyDevice, MemBlockDevice};
+use stegfs_core::{CacheStats, StegParams};
+use stegfs_vfs::{OpenOptions, Vfs};
+
+/// The device behind the sweep (shared with the VFS/engine sweeps).
+pub type SweepDevice = LatencyDevice<MemBlockDevice>;
+
+/// Default number of hidden files in the working set.
+pub const FILES: usize = 12;
+
+/// Size of each file in KiB (one whole-file read per op).
+pub const FILE_KB: usize = 64;
+
+/// Default measured rounds over the whole working set.
+pub const ROUNDS: usize = 16;
+
+/// One measured pass of the sweep.
+#[derive(Debug, Clone)]
+pub struct ReadpathPoint {
+    /// `"disabled"`, `"cold"` or `"warm"`.
+    pub pass: &'static str,
+    /// Whole-file reads per second.
+    pub ops_per_sec: f64,
+    /// Total reads in the pass.
+    pub total_ops: u64,
+    /// Wall-clock time of the pass, in milliseconds.
+    pub elapsed_ms: f64,
+    /// Cache-counter deltas over the pass.
+    pub header_hits: u64,
+    /// Header lookups that walked the locator.
+    pub header_misses: u64,
+    /// Extent-map hits (chain walk skipped).
+    pub extent_hits: u64,
+    /// Extent-map misses (chain walked).
+    pub extent_misses: u64,
+    /// Plaintext blocks served from RAM.
+    pub block_hits: u64,
+    /// Plaintext blocks read and decrypted.
+    pub block_misses: u64,
+}
+
+fn params(cache_blocks: usize) -> StegParams {
+    StegParams {
+        random_fill: false,
+        dummy_file_count: 0,
+        readpath_cache_blocks: cache_blocks,
+        ..StegParams::for_tests()
+    }
+}
+
+fn file_path(i: usize) -> String {
+    format!("/hidden/readpath-{i}")
+}
+
+fn build_volume(cache_blocks: usize, files: usize) -> Arc<Vfs<SweepDevice>> {
+    let dev = LatencyDevice::symmetric(MemBlockDevice::with_capacity_mb(1024, 48), BLOCK_LATENCY);
+    let vfs = Vfs::format(dev, params(cache_blocks)).expect("format");
+    let s = vfs.signon("readpath key");
+    for i in 0..files {
+        let h = vfs
+            .open(s, &file_path(i), OpenOptions::read_write())
+            .expect("open");
+        vfs.write_at(h, 0, &vec![i as u8; FILE_KB * 1024])
+            .expect("prefill");
+        vfs.close(h).expect("close");
+    }
+    vfs.signoff(s).expect("signoff");
+    Arc::new(vfs)
+}
+
+/// Read every file once through `session`-scoped handles; returns the op
+/// count.
+fn read_round(vfs: &Vfs<SweepDevice>, files: usize) -> u64 {
+    let s = vfs.signon("readpath key");
+    let mut ops = 0u64;
+    for i in 0..files {
+        let h = vfs
+            .open(s, &file_path(i), OpenOptions::read_only())
+            .expect("open");
+        let data = vfs.read_at(h, 0, FILE_KB * 1024).expect("read");
+        assert_eq!(data.len(), FILE_KB * 1024);
+        vfs.close(h).expect("close");
+        ops += 1;
+    }
+    vfs.signoff(s).expect("signoff");
+    ops
+}
+
+/// As [`read_round`] but inside one already-open session (no purge).
+fn read_round_in_session(
+    vfs: &Vfs<SweepDevice>,
+    session: stegfs_vfs::SessionId,
+    files: usize,
+) -> u64 {
+    let mut ops = 0u64;
+    for i in 0..files {
+        let h = vfs
+            .open(session, &file_path(i), OpenOptions::read_only())
+            .expect("open");
+        let data = vfs.read_at(h, 0, FILE_KB * 1024).expect("read");
+        assert_eq!(data.len(), FILE_KB * 1024);
+        vfs.close(h).expect("close");
+        ops += 1;
+    }
+    ops
+}
+
+fn delta(after: &CacheStats, before: &CacheStats, point: &mut ReadpathPoint) {
+    point.header_hits = after.header_hits - before.header_hits;
+    point.header_misses = after.header_misses - before.header_misses;
+    point.extent_hits = after.extent_hits - before.extent_hits;
+    point.extent_misses = after.extent_misses - before.extent_misses;
+    point.block_hits = after.block_hits - before.block_hits;
+    point.block_misses = after.block_misses - before.block_misses;
+}
+
+fn blank(pass: &'static str, total_ops: u64, elapsed_ms: f64) -> ReadpathPoint {
+    ReadpathPoint {
+        pass,
+        ops_per_sec: total_ops as f64 / (elapsed_ms / 1000.0),
+        total_ops,
+        elapsed_ms,
+        header_hits: 0,
+        header_misses: 0,
+        extent_hits: 0,
+        extent_misses: 0,
+        block_hits: 0,
+        block_misses: 0,
+    }
+}
+
+/// Run the three passes; `files` hidden files of [`FILE_KB`] KiB, `rounds`
+/// measured rounds each.
+pub fn run_sweep(files: usize, rounds: usize) -> Vec<ReadpathPoint> {
+    let mut out = Vec::new();
+
+    // Pass 1: cache disabled — the pre-cache read path, every time.
+    {
+        let vfs = build_volume(0, files);
+        read_round(&vfs, files); // device warm-up, no cache to warm
+        let start = Instant::now();
+        let mut ops = 0;
+        for _ in 0..rounds {
+            ops += read_round(&vfs, files);
+        }
+        let elapsed = start.elapsed().as_secs_f64() * 1000.0;
+        out.push(blank("disabled", ops, elapsed));
+    }
+
+    // Pass 2 + 3 share a volume: cold rounds (fresh session per round, so
+    // sign-off purges between rounds) then warm rounds (one session, primed).
+    let vfs = build_volume(StegParams::default().readpath_cache_blocks, files);
+    {
+        let before = vfs.cache_stats();
+        let start = Instant::now();
+        let mut ops = 0;
+        for _ in 0..rounds {
+            ops += read_round(&vfs, files);
+        }
+        let elapsed = start.elapsed().as_secs_f64() * 1000.0;
+        let mut point = blank("cold", ops, elapsed);
+        delta(&vfs.cache_stats(), &before, &mut point);
+        out.push(point);
+    }
+    {
+        let s = vfs.signon("readpath key");
+        read_round_in_session(&vfs, s, files); // priming round
+        let before = vfs.cache_stats();
+        let start = Instant::now();
+        let mut ops = 0;
+        for _ in 0..rounds {
+            ops += read_round_in_session(&vfs, s, files);
+        }
+        let elapsed = start.elapsed().as_secs_f64() * 1000.0;
+        let mut point = blank("warm", ops, elapsed);
+        delta(&vfs.cache_stats(), &before, &mut point);
+        out.push(point);
+        vfs.signoff(s).expect("signoff");
+        // The sign-off purge is part of the contract: nothing stays resident.
+        assert_eq!(vfs.cache_stats().resident_blocks, 0);
+    }
+    out
+}
+
+/// Render the sweep as a text table.
+pub fn render(points: &[ReadpathPoint]) -> String {
+    let mut s = String::from(
+        "Read-path cache sweep (~64 KB whole-file hidden reads, 1 thread)\n\
+         pass         ops/sec   elapsed(ms)   hdr hit/miss   ext hit/miss   blk hit/miss\n",
+    );
+    for p in points {
+        s.push_str(&format!(
+            "{:<9} {:>10.0} {:>13.1} {:>8}/{:<6} {:>8}/{:<6} {:>8}/{:<6}\n",
+            p.pass,
+            p.ops_per_sec,
+            p.elapsed_ms,
+            p.header_hits,
+            p.header_misses,
+            p.extent_hits,
+            p.extent_misses,
+            p.block_hits,
+            p.block_misses,
+        ));
+    }
+    let warm = points.iter().find(|p| p.pass == "warm");
+    let cold = points.iter().find(|p| p.pass == "cold");
+    if let (Some(w), Some(c)) = (warm, cold) {
+        s.push_str(&format!(
+            "warm/cold speed-up: {:.1}x\n",
+            w.ops_per_sec / c.ops_per_sec
+        ));
+    }
+    s
+}
+
+/// Serialise the sweep to the `readpath` JSON section (an array; the caller
+/// merges it into `BENCH.json` next to the other sections).
+pub fn section_json(points: &[ReadpathPoint]) -> String {
+    let mut s = String::from("[\n");
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"pass\": \"{}\", \"ops_per_sec\": {:.1}, \"total_ops\": {}, \
+             \"elapsed_ms\": {:.2}, \"header_hits\": {}, \"header_misses\": {}, \
+             \"extent_hits\": {}, \"extent_misses\": {}, \"block_hits\": {}, \
+             \"block_misses\": {}}}{}\n",
+            p.pass,
+            p.ops_per_sec,
+            p.total_ops,
+            p.elapsed_ms,
+            p.header_hits,
+            p.header_misses,
+            p.extent_hits,
+            p.extent_misses,
+            p.block_hits,
+            p.block_misses,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_warm_beats_cold() {
+        let points = run_sweep(2, 2);
+        assert_eq!(points.len(), 3);
+        let cold = points.iter().find(|p| p.pass == "cold").unwrap();
+        let warm = points.iter().find(|p| p.pass == "warm").unwrap();
+        assert_eq!(cold.total_ops, 4);
+        // Within one cold round the UAK directory itself warms up (it is
+        // read once per open), so a few hits are expected — but the data
+        // blocks, which dominate, must all miss.
+        assert!(
+            cold.block_misses > cold.block_hits,
+            "fresh sessions must mostly miss: {cold:?}"
+        );
+        assert!(
+            warm.block_misses == 0 && warm.block_hits > 0,
+            "primed session must only hit: {warm:?}"
+        );
+        assert!(
+            warm.ops_per_sec > cold.ops_per_sec,
+            "warm {} <= cold {}",
+            warm.ops_per_sec,
+            cold.ops_per_sec
+        );
+    }
+
+    #[test]
+    fn section_json_is_well_formed_enough() {
+        let json = section_json(&run_sweep(1, 1));
+        assert!(json.contains("\"pass\": \"warm\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let merged = crate::bench_json::merge_section(None, "readpath", &json);
+        assert!(merged.contains("\"readpath\""));
+    }
+}

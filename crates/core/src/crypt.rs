@@ -28,10 +28,19 @@ use stegfs_crypto::sha256::DIGEST_LEN;
 pub const SIGNATURE_LEN: usize = 32;
 
 /// The derived key material of one hidden object.
+///
+/// Besides the raw key bytes, `ObjectKeys` caches the **expanded CTR key
+/// schedule**: AES key expansion runs once in [`ObjectKeys::derive`], and
+/// [`encrypt_block`](Self::encrypt_block) / [`decrypt_block`](Self::decrypt_block)
+/// reuse the cached [`CtrCipher`] for every block.  Before this, each block
+/// operation rebuilt the schedule from `enc_key`, so warm hidden reads paid
+/// one key expansion *per block*; now they pay one per object (asserted by
+/// the `one_key_expansion_per_object_not_per_block` test below).
 pub struct ObjectKeys {
     master: [u8; DIGEST_LEN],
     enc_key: [u8; DIGEST_LEN],
     signature: [u8; SIGNATURE_LEN],
+    cipher: CtrCipher,
 }
 
 impl ObjectKeys {
@@ -41,10 +50,12 @@ impl ObjectKeys {
         let master = derive_key(fak, b"stegfs/object", physical_name.as_bytes());
         let enc_key = derive_subkey(&master, b"block-encryption");
         let signature = derive_subkey(&master, b"signature");
+        let cipher = CtrCipher::new(&enc_key);
         ObjectKeys {
             master,
             enc_key,
             signature,
+            cipher,
         }
     }
 
@@ -58,11 +69,11 @@ impl ObjectKeys {
         &self.master
     }
 
-    /// Encrypt a block in place for storage at physical block `block_no`.
+    /// Encrypt a block in place for storage at physical block `block_no`,
+    /// reusing the key schedule expanded at derivation time.
     pub fn encrypt_block(&self, block_no: u64, data: &mut [u8]) {
-        let cipher = CtrCipher::new(&self.enc_key);
         let iv = derive_iv(&self.enc_key, block_no);
-        cipher.apply(&iv, data);
+        self.cipher.apply(&iv, data);
     }
 
     /// Decrypt a block in place that was read from physical block `block_no`.
@@ -111,6 +122,40 @@ mod tests {
 
         k.decrypt_block(5, &mut at_5);
         assert_eq!(at_5, original);
+    }
+
+    #[test]
+    fn one_key_expansion_per_object_not_per_block() {
+        // Micro-bench guard for the cached cipher schedule: deriving the key
+        // set expands the AES key a bounded number of times (the CTR cipher,
+        // plus whatever the KDF uses internally), and encrypting many blocks
+        // afterwards expands it ZERO more times.  Other tests run in
+        // parallel, so assert on deltas around operations that this thread
+        // fully controls.
+        let keys = ObjectKeys::derive("u1:/expansion-counter", b"fak");
+        let mut block = vec![0xa5u8; 4096];
+        // Warm up any lazily initialised state, then measure.
+        keys.encrypt_block(0, &mut block);
+        // The counter is process-global and other tests derive keys
+        // concurrently, so any single window can pick up noise.  Noise only
+        // ever *adds*, so take the minimum delta over several windows: with
+        // per-block expansion every window would read >= 256; without it the
+        // quietest window reads (near) zero.
+        let min_delta = (0..5)
+            .map(|round| {
+                let before = stegfs_crypto::aes::Aes::key_expansions();
+                for i in 1..=256u64 {
+                    keys.encrypt_block(round * 1000 + i, &mut block);
+                }
+                stegfs_crypto::aes::Aes::key_expansions() - before
+            })
+            .min()
+            .expect("five rounds");
+        assert!(
+            min_delta < 256,
+            "block encryption re-expanded the key per block \
+             ({min_delta} expansions for 256 blocks in the quietest window)"
+        );
     }
 
     #[test]

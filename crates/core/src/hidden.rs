@@ -17,6 +17,8 @@ use crate::error::{StegError, StegResult};
 use crate::header::{HiddenHeader, InodeChainBlock, ObjectKind, NO_BLOCK};
 use crate::locator::{find_free_header_slot, locate_header, Located};
 use crate::params::StegParams;
+use crate::readcache::{scratch, ExtentList, ReadCache};
+use std::sync::Arc;
 use stegfs_blockdev::BlockDevice;
 use stegfs_crypto::prng::DeterministicRng;
 use stegfs_fs::{FsTxn, PlainFs};
@@ -51,32 +53,41 @@ fn write_encrypted<D: BlockDevice>(
     block: u64,
     plaintext_block: &[u8],
 ) -> StegResult<()> {
-    let mut buf = plaintext_block.to_vec();
+    let mut buf = scratch::take(plaintext_block.len());
+    buf.copy_from_slice(plaintext_block);
     keys.encrypt_block(block, &mut buf);
-    txn.write_raw_block(block, &buf)?;
+    let result = txn.write_raw_block(block, &buf);
+    scratch::put(buf);
+    result?;
     Ok(())
 }
 
+/// Read and decrypt one block into a pooled scratch buffer; return it with
+/// [`scratch::put`] when done.
 fn read_decrypted<D: BlockDevice>(
     fs: &PlainFs<D>,
     keys: &ObjectKeys,
     block: u64,
 ) -> StegResult<Vec<u8>> {
-    let mut buf = fs.read_raw_block(block)?;
+    let mut buf = scratch::take(fs.block_size());
+    fs.read_raw_blocks_into(&[block], &mut buf)?;
     keys.decrypt_block(block, &mut buf);
     Ok(buf)
 }
 
 /// Read a whole extent list in **one batched device submission**, then
 /// decrypt each block in place (the cipher is keyed per block number, so the
-/// crypto stays per-block while the I/O batches).
+/// crypto stays per-block while the I/O batches).  The returned buffer comes
+/// from the thread's scratch pool; callers that do not hand it to their own
+/// caller should return it with [`scratch::put`].
 fn read_decrypted_many<D: BlockDevice>(
     fs: &PlainFs<D>,
     keys: &ObjectKeys,
     blocks: &[u64],
 ) -> StegResult<Vec<u8>> {
     let bs = fs.block_size();
-    let mut buf = fs.read_raw_blocks(blocks)?;
+    let mut buf = scratch::take(blocks.len() * bs);
+    fs.read_raw_blocks_into(blocks, &mut buf)?;
     for (i, &block) in blocks.iter().enumerate() {
         keys.decrypt_block(block, &mut buf[i * bs..(i + 1) * bs]);
     }
@@ -86,7 +97,8 @@ fn read_decrypted_many<D: BlockDevice>(
 /// Encrypt `plaintext` (the concatenation of the blocks' contents) per block
 /// **in place** — every caller hands over a scratch buffer it is done with —
 /// and write the whole extent list in **one batched device submission** (or
-/// stage it into the transaction's redo buffer on a journaled volume).
+/// stage it into the transaction's redo buffer on a journaled volume).  The
+/// buffer is zeroed and returned to the thread's scratch pool afterwards.
 fn write_encrypted_many<D: BlockDevice>(
     txn: &mut FsTxn<'_, D>,
     keys: &ObjectKeys,
@@ -98,7 +110,9 @@ fn write_encrypted_many<D: BlockDevice>(
     for (i, &block) in blocks.iter().enumerate() {
         keys.encrypt_block(block, &mut plaintext[i * bs..(i + 1) * bs]);
     }
-    txn.write_raw_blocks(blocks, &plaintext)?;
+    let result = txn.write_raw_blocks(blocks, &plaintext);
+    scratch::put(plaintext);
+    result?;
     Ok(())
 }
 
@@ -179,6 +193,146 @@ pub fn open<D: BlockDevice>(
     })
 }
 
+/// [`open`], accelerated by the read cache: a hit returns the decrypted
+/// header without touching the device (and reports `probes == 0`); a miss
+/// walks the locator as usual and installs the result.  Misses — including
+/// wrong-key lookups — behave exactly like [`open`], so deniability is
+/// untouched.
+pub fn open_cached<D: BlockDevice>(
+    fs: &PlainFs<D>,
+    physical_name: &str,
+    keys: &ObjectKeys,
+    params: &StegParams,
+    cache: &ReadCache,
+) -> StegResult<HiddenObject> {
+    if let Some(hit) = cache.lookup_header(keys.signature()) {
+        return Ok(HiddenObject {
+            header_block: hit.header_block,
+            header: hit.header,
+            probes: 0,
+        });
+    }
+    let started = cache.begin();
+    let obj = open(fs, physical_name, keys, params)?;
+    cache.store_header(
+        keys.signature(),
+        started,
+        obj.header_block,
+        obj.header.clone(),
+    );
+    Ok(obj)
+}
+
+/// The extent map of `obj`, from the cache when it still matches the
+/// caller's header, or from a chain walk (whose result is installed).
+/// Returns the entry generation used to tag this object's plaintext blocks.
+fn cached_chain<D: BlockDevice>(
+    fs: &PlainFs<D>,
+    keys: &ObjectKeys,
+    obj: &HiddenObject,
+    cache: &ReadCache,
+) -> StegResult<(u64, Arc<ExtentList>)> {
+    if let Some(hit) = cache.lookup_extents(
+        keys.signature(),
+        obj.header.inode_chain,
+        obj.header.data_block_count,
+    ) {
+        return Ok(hit);
+    }
+    let started = cache.begin();
+    // Guard against cache poisoning: `obj` may be a *stale* snapshot (a
+    // long-lived core-level handle whose object was since rewritten through
+    // a name-based path).  Its chain walk must then serve only this caller —
+    // installing it would hand the stale header to every fresh open.  The
+    // header is trusted when the cached entry still vouches for it; with no
+    // entry (first read, or invalidated since the handle opened) the header
+    // block on disk is re-read and compared — one extra block on a path that
+    // is about to walk the whole chain anyway.
+    let trusted = match cache.peek_header(keys.signature()) {
+        Some((header_block, header)) => header_block == obj.header_block && header == obj.header,
+        None => cache.enabled() && header_matches_disk(fs, keys, obj)?,
+    };
+    let (data_blocks, chain_blocks) = read_chain(fs, keys, obj)?;
+    let extents = Arc::new(ExtentList {
+        data_blocks,
+        chain_blocks,
+    });
+    let gen = if trusted {
+        cache.store_extents(
+            keys.signature(),
+            started,
+            obj.header_block,
+            obj.header.clone(),
+            Arc::clone(&extents),
+        )
+    } else {
+        crate::readcache::DEAD_GEN
+    };
+    Ok((gen, extents))
+}
+
+/// True if the on-disk header block still decrypts and parses to exactly the
+/// header the caller holds.
+fn header_matches_disk<D: BlockDevice>(
+    fs: &PlainFs<D>,
+    keys: &ObjectKeys,
+    obj: &HiddenObject,
+) -> StegResult<bool> {
+    let mut raw = scratch::take(fs.block_size());
+    fs.read_raw_blocks_into(&[obj.header_block], &mut raw)?;
+    keys.decrypt_block(obj.header_block, &mut raw);
+    let parsed = HiddenHeader::parse_if_match(&raw, keys.signature(), fs.superblock().total_blocks);
+    scratch::put(raw);
+    Ok(parsed.is_some_and(|h| h == obj.header))
+}
+
+/// Read the plaintext of `span` (block numbers in logical order), serving
+/// what it can from the plaintext cache and fetching the rest — plus any
+/// not-yet-cached `readahead` blocks — in **one** batched device
+/// submission.  Fetched blocks are decrypted once and installed under `gen`.
+/// The returned buffer comes from the scratch pool.
+fn read_blocks_cached<D: BlockDevice>(
+    fs: &PlainFs<D>,
+    keys: &ObjectKeys,
+    gen: u64,
+    span: &[u64],
+    readahead: &[u64],
+    cache: &ReadCache,
+) -> StegResult<Vec<u8>> {
+    let bs = fs.block_size();
+    let mut out = scratch::take(span.len() * bs);
+    let mut fetch: Vec<u64> = Vec::new();
+    let mut fetch_slot: Vec<usize> = Vec::new();
+    for (i, &block) in span.iter().enumerate() {
+        if !cache.get_block_into(gen, block, &mut out[i * bs..(i + 1) * bs]) {
+            fetch.push(block);
+            fetch_slot.push(i);
+        }
+    }
+    let demand = fetch.len();
+    fetch.extend(
+        readahead
+            .iter()
+            .copied()
+            .filter(|&b| !cache.contains_block(gen, b)),
+    );
+    if !fetch.is_empty() {
+        let mut buf = scratch::take(fetch.len() * bs);
+        fs.read_raw_blocks_into(&fetch, &mut buf)?;
+        for (j, &block) in fetch.iter().enumerate() {
+            let chunk = &mut buf[j * bs..(j + 1) * bs];
+            keys.decrypt_block(block, chunk);
+            cache.put_block(keys.signature(), gen, block, chunk);
+        }
+        for (j, &slot) in fetch_slot.iter().enumerate() {
+            debug_assert!(j < demand);
+            out[slot * bs..(slot + 1) * bs].copy_from_slice(&buf[j * bs..(j + 1) * bs]);
+        }
+        scratch::put(buf);
+    }
+    Ok(out)
+}
+
 /// Read the inode chain of `obj`, returning the data blocks in logical order
 /// together with the chain blocks themselves.
 fn read_chain<D: BlockDevice>(
@@ -193,7 +347,9 @@ fn read_chain<D: BlockDevice>(
     while next != NO_BLOCK {
         chain_blocks.push(next);
         let buf = read_decrypted(fs, keys, next)?;
-        let chain = InodeChainBlock::deserialize(&buf, total)?;
+        let chain = InodeChainBlock::deserialize(&buf, total);
+        scratch::put(buf);
+        let chain = chain?;
         data_blocks.extend_from_slice(&chain.pointers);
         next = chain.next;
         if chain_blocks_guard(&chain_blocks, total) {
@@ -216,8 +372,19 @@ pub fn read<D: BlockDevice>(
     keys: &ObjectKeys,
     obj: &HiddenObject,
 ) -> StegResult<Vec<u8>> {
-    let (data_blocks, _) = read_chain(fs, keys, obj)?;
-    let mut out = read_decrypted_many(fs, keys, &data_blocks)?;
+    read_cached(fs, keys, obj, ReadCache::disabled())
+}
+
+/// [`read`], served through the read cache: a warm object costs neither
+/// device reads nor decryption.
+pub fn read_cached<D: BlockDevice>(
+    fs: &PlainFs<D>,
+    keys: &ObjectKeys,
+    obj: &HiddenObject,
+    cache: &ReadCache,
+) -> StegResult<Vec<u8>> {
+    let (gen, extents) = cached_chain(fs, keys, obj, cache)?;
+    let mut out = read_blocks_cached(fs, keys, gen, &extents.data_blocks, &[], cache)?;
     out.truncate(obj.header.size as usize);
     Ok(out)
 }
@@ -230,12 +397,30 @@ pub fn read_range<D: BlockDevice>(
     offset: u64,
     len: usize,
 ) -> StegResult<Vec<u8>> {
+    read_range_cached(fs, keys, obj, offset, len, 0, ReadCache::disabled())
+}
+
+/// [`read_range`], served through the read cache, with optional streaming
+/// readahead: up to `readahead_blocks` blocks past the requested range ride
+/// along in the same batched submission and land in the plaintext cache, so
+/// a sequential scan pays one device round-trip per readahead window
+/// instead of one per request.
+pub fn read_range_cached<D: BlockDevice>(
+    fs: &PlainFs<D>,
+    keys: &ObjectKeys,
+    obj: &HiddenObject,
+    offset: u64,
+    len: usize,
+    readahead_blocks: usize,
+    cache: &ReadCache,
+) -> StegResult<Vec<u8>> {
     if len == 0 || offset >= obj.header.size {
         return Ok(Vec::new());
     }
     let end = (offset + len as u64).min(obj.header.size);
     let bs = fs.block_size() as u64;
-    let (data_blocks, _) = read_chain(fs, keys, obj)?;
+    let (gen, extents) = cached_chain(fs, keys, obj, cache)?;
+    let data_blocks = &extents.data_blocks;
     let first = (offset / bs) as usize;
     let last = ((end - 1) / bs) as usize;
     let span = data_blocks.get(first..=last).ok_or_else(|| {
@@ -243,11 +428,23 @@ pub fn read_range<D: BlockDevice>(
             "hidden object shorter than its size field".into(),
         ))
     })?;
-    // One batched submission covers the whole extent of the range.
-    let plain = read_decrypted_many(fs, keys, span)?;
+    // Readahead only pays off when the prefetched plaintext can be kept.
+    let readahead = if cache.enabled() && readahead_blocks > 0 {
+        let ra_end = (last + 1)
+            .saturating_add(readahead_blocks)
+            .min(data_blocks.len());
+        &data_blocks[last + 1..ra_end]
+    } else {
+        &data_blocks[..0]
+    };
+    // One batched submission covers the whole extent of the range (plus the
+    // readahead window).
+    let plain = read_blocks_cached(fs, keys, gen, span, readahead, cache)?;
     let from = (offset - first as u64 * bs) as usize;
     let to = (end - first as u64 * bs) as usize;
-    Ok(plain[from..to].to_vec())
+    let out = plain[from..to].to_vec();
+    scratch::put(plain);
+    Ok(out)
 }
 
 /// Overwrite part of an existing hidden object in place.  The range must lie
@@ -291,8 +488,9 @@ pub fn write_range<D: BlockDevice>(
     let bs = bs as usize;
     let plan = stegfs_fs::rmw::plan(span, offset, end, span_start, bs);
     let edge_plain = read_decrypted_many(fs, keys, &plan.edges)?;
-    let mut plain = vec![0u8; span.len() * bs];
+    let mut plain = scratch::take(span.len() * bs);
     plan.seed_edges(&edge_plain, &mut plain, bs);
+    scratch::put(edge_plain);
     let from = (offset - span_start) as usize;
     plain[from..from + data.len()].copy_from_slice(data);
     let mut txn = fs.begin_txn();
@@ -391,7 +589,7 @@ pub fn write<D: BlockDevice>(
     for _ in 0..needed {
         data_blocks.push(take_block(&mut txn, &mut header, rng, &mut recycled)?);
     }
-    let mut padded = vec![0u8; data_blocks.len() * bs];
+    let mut padded = scratch::take(data_blocks.len() * bs);
     padded[..data.len()].copy_from_slice(data);
     write_encrypted_many(&mut txn, keys, &data_blocks, padded)?;
 
@@ -457,7 +655,7 @@ fn build_chain<D: BlockDevice>(
     }
     // Serialise every chain block, then write the whole chain in one batched
     // submission.
-    let mut plain = vec![0u8; chunks.len() * bs];
+    let mut plain = scratch::take(chunks.len() * bs);
     for (i, chunk) in chunks.iter().enumerate() {
         let next = chain_block_numbers.get(i + 1).copied().unwrap_or(NO_BLOCK);
         let chain = InodeChainBlock {
@@ -537,7 +735,9 @@ pub fn resize<D: BlockDevice>(
             let last = *data_blocks.last().expect("tail implies a kept block");
             let mut plain = read_decrypted(fs, keys, last)?;
             plain[tail..].fill(0);
-            write_encrypted(&mut txn, keys, last, &plain)?;
+            let result = write_encrypted(&mut txn, keys, last, &plain);
+            scratch::put(plain);
+            result?;
         }
     } else {
         // Capacity check before taking anything: the recycled chain
@@ -556,7 +756,7 @@ pub fn resize<D: BlockDevice>(
         for _ in 0..extra {
             grown.push(take_block(&mut txn, &mut header, rng, &mut recycled)?);
         }
-        let zeros = vec![0u8; grown.len() * fs.block_size()];
+        let zeros = scratch::take(grown.len() * fs.block_size());
         write_encrypted_many(&mut txn, keys, &grown, zeros)?;
         data_blocks.extend(grown);
     }

@@ -67,6 +67,7 @@ pub mod hidden;
 pub mod keys;
 pub mod locator;
 pub mod params;
+pub mod readcache;
 pub mod session;
 pub mod sharing;
 pub mod stegfs;
@@ -76,5 +77,6 @@ pub use error::{StegError, StegResult};
 pub use header::{HiddenHeader, ObjectKind};
 pub use keys::{AccessHierarchy, DirectoryEntry, UakDirectory};
 pub use params::StegParams;
+pub use readcache::CacheStats;
 pub use sharing::ShareEnvelope;
 pub use stegfs::{HiddenHandle, SpaceReport, StegFs};

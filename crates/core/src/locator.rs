@@ -18,6 +18,7 @@
 use crate::crypt::{ObjectKeys, SIGNATURE_LEN};
 use crate::error::{StegError, StegResult};
 use crate::header::HiddenHeader;
+use crate::readcache::scratch;
 use stegfs_blockdev::BlockDevice;
 use stegfs_crypto::prng::BlockLocator;
 use stegfs_fs::PlainFs;
@@ -87,18 +88,26 @@ pub fn locate_header<D: BlockDevice>(
         if !fs.is_block_allocated(candidate) {
             continue;
         }
+        // The probe walk is the locator's hot loop: the candidate block goes
+        // into a pooled scratch buffer and the signature test runs on a
+        // stack-allocated prefix, so walking past other objects' blocks
+        // allocates nothing.
+        let mut raw = scratch::take(block_size);
+        fs.read_raw_blocks_into(&[candidate], &mut raw)?;
         // Cheap first pass: decrypt only the signature prefix.
-        let raw = fs.read_raw_block(candidate)?;
-        let mut prefix = raw[..PROBE_PREFIX.min(block_size)].to_vec();
-        keys.decrypt_block(candidate, &mut prefix);
+        let take = PROBE_PREFIX.min(block_size);
+        let mut prefix = [0u8; PROBE_PREFIX];
+        prefix[..take].copy_from_slice(&raw[..take]);
+        keys.decrypt_block(candidate, &mut prefix[..take]);
         if !stegfs_crypto::ct::ct_eq(&prefix[..SIGNATURE_LEN], keys.signature()) {
+            scratch::put(raw);
             continue;
         }
         // Full decrypt and parse.
-        let mut full = raw;
-        keys.decrypt_block(candidate, &mut full);
-        if let Some(header) = HiddenHeader::parse_if_match(&full, keys.signature(), sb.total_blocks)
-        {
+        keys.decrypt_block(candidate, &mut raw);
+        let header = HiddenHeader::parse_if_match(&raw, keys.signature(), sb.total_blocks);
+        scratch::put(raw);
+        if let Some(header) = header {
             return Ok(Located {
                 block: candidate,
                 header,

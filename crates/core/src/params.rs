@@ -48,6 +48,12 @@ pub struct StegParams {
     /// slots); [`crate::StegFs::format`] validates this against
     /// [`dummy_file_size`](Self::dummy_file_size).
     pub journal_blocks: u64,
+    /// Capacity of the RAM-only read-path cache, in decrypted data blocks
+    /// (0 disables it, restoring the paper's literal decrypt-on-every-read
+    /// behaviour).  The cache is session-scoped and purged at sign-off; it
+    /// never changes what reaches the disk — see [`crate::readcache`] for
+    /// the full contract.
+    pub readpath_cache_blocks: usize,
 }
 
 impl Default for StegParams {
@@ -62,6 +68,7 @@ impl Default for StegParams {
             volume_seed: 0x5743_2003,
             random_fill: true,
             journal_blocks: 0,
+            readpath_cache_blocks: 4096,
         }
     }
 }
@@ -80,6 +87,7 @@ impl StegParams {
             volume_seed: 42,
             random_fill: false,
             journal_blocks: 0,
+            readpath_cache_blocks: 1024,
         }
     }
 

@@ -1,0 +1,819 @@
+//! Deniability-safe read-path caching for hidden objects.
+//!
+//! The paper decrypts hidden blocks "on-the-fly during retrieval", and the
+//! reproduction used to do so literally: every hidden read re-walked the
+//! keyed locator, re-decrypted the header and inode-chain blocks and
+//! re-decrypted every data block, so a warm read cost nearly as much as a
+//! cold one.  [`ReadCache`] removes the redundant work while keeping the
+//! on-disk image — the only thing the adversary ever sees — bit-identical.
+//!
+//! # The cache contract: what may be cached where, and when it must die
+//!
+//! Everything in this module is **RAM only**.  Nothing here is ever
+//! serialised, journaled, or written to the device; a cached and an uncached
+//! run of the same workload produce byte-identical disk images (asserted by
+//! `tests/readpath_cache.rs`).
+//!
+//! Two things are cached, both keyed by material derived from the object's
+//! access key (so a cache entry is exactly as secret as the key that created
+//! it):
+//!
+//! * **Per-object header + extent maps** — the decrypted
+//!   [`HiddenHeader`] and the data/chain block lists of the inode chain,
+//!   keyed by the object's 256-bit signature.  A hit skips the
+//!   `locate_header` probe walk *and* the chain decryption entirely.
+//! * **Decrypted data blocks** — a sharded LRU of plaintext block images,
+//!   keyed by `(entry generation, physical block)`.  A hit skips both the
+//!   device read and the AES-CTR pass.
+//!
+//! When entries must die:
+//!
+//! * **Any mutation of the object** — write, resize/truncate, in-place range
+//!   write, rename, unlink, re-key (sharing revocation), dummy-file rewrite —
+//!   invalidates its entry ([`ReadCache::invalidate`]).  Invalidation bumps a
+//!   global *generation*; a reader that started its disk walk before the
+//!   bump cannot install a stale entry afterwards (the insert is rejected),
+//!   and plaintext blocks cached under the dead entry generation become
+//!   unreachable even if the same physical block is later recycled into
+//!   another object.
+//! * **Session sign-off** — the VFS purges *everything*
+//!   ([`ReadCache::purge`]) whenever a session signs off (and at
+//!   `disconnect_all`/unmount), so no decrypted byte outlives the session
+//!   that could legitimately read it.  Purged and evicted plaintext buffers
+//!   are zeroed before they are freed ([`zeroize`]).
+//! * **Remount** — the cache lives inside the mounted [`crate::StegFs`]
+//!   value and is never persisted, so a crash-replay remount starts provably
+//!   empty.
+//!
+//! The cache never makes a *negative* claim: a miss falls through to the
+//! normal locator/decrypt path, so wrong-key lookups behave exactly as
+//! before (deniable not-found), and nothing about timing distinguishes "no
+//! such object" from "not cached".
+//!
+//! # Coherence model
+//!
+//! The cache is coherent for every mutation that goes through
+//! [`crate::StegFs`] — which is every mutation the public API can express.
+//! Writing to a hidden object by calling [`crate::hidden`] functions
+//! directly on the underlying `PlainFs` of a *live, cached* `StegFs`
+//! bypasses invalidation and is unsupported (the same pre-existing rule as
+//! bypassing the object shards).
+
+use crate::crypt::SIGNATURE_LEN;
+use crate::header::HiddenHeader;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of independently locked shards for each of the two maps.
+const SHARDS: usize = 16;
+
+/// Entry generation that never matches a live entry: block lookups and
+/// inserts under it are no-ops.  Used when an insert lost against a
+/// concurrent invalidation.
+pub const DEAD_GEN: u64 = u64::MAX;
+
+/// Cache key: the object's signature (unique per `(physical name, FAK)`
+/// pair, so two UAK directories sharing the reserved physical name can never
+/// collide).
+pub type ObjectSig = [u8; SIGNATURE_LEN];
+
+/// The cached block map of one hidden object: its data blocks in logical
+/// order plus the chain blocks that encode them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtentList {
+    /// Data blocks in logical order.
+    pub data_blocks: Vec<u64>,
+    /// Inode-chain blocks in walk order.
+    pub chain_blocks: Vec<u64>,
+}
+
+/// One cached object: decrypted header, its location, and (once a read has
+/// walked the chain) the extent list.  `gen` tags the plaintext blocks this
+/// object may have in the block cache.
+struct CachedObject {
+    gen: u64,
+    header_block: u64,
+    header: HiddenHeader,
+    extents: Option<Arc<ExtentList>>,
+}
+
+/// Result of a successful header lookup.
+pub struct CachedOpen {
+    /// Entry generation (tags this object's plaintext blocks).
+    pub gen: u64,
+    /// Physical block holding the header.
+    pub header_block: u64,
+    /// Decrypted header.
+    pub header: HiddenHeader,
+}
+
+struct BlockEntry {
+    data: Vec<u8>,
+    tick: u64,
+}
+
+#[derive(Default)]
+struct BlockShard {
+    map: HashMap<(u64, u64), BlockEntry>,
+    tick: u64,
+    bytes: u64,
+}
+
+/// Snapshot of the cache counters, printed by the benches next to the
+/// device-level `IoStats`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Header lookups served from the cache (locator walk skipped).
+    pub header_hits: u64,
+    /// Header lookups that fell through to the locator.
+    pub header_misses: u64,
+    /// Extent-map lookups served from the cache (chain walk skipped).
+    pub extent_hits: u64,
+    /// Extent-map lookups that fell through to the chain walk.
+    pub extent_misses: u64,
+    /// Plaintext data blocks served from the cache.
+    pub block_hits: u64,
+    /// Plaintext data blocks that had to be read and decrypted.
+    pub block_misses: u64,
+    /// Plaintext blocks evicted (zeroed) to stay within capacity.
+    pub evictions: u64,
+    /// Object invalidations (mutations observed).
+    pub invalidations: u64,
+    /// Inserts dropped because an invalidation raced the disk walk.
+    pub rejected_inserts: u64,
+    /// Full purges (sign-off / unmount).
+    pub purges: u64,
+    /// Plaintext blocks currently resident.
+    pub resident_blocks: u64,
+    /// Plaintext bytes currently resident.
+    pub resident_bytes: u64,
+    /// Object header/extent entries currently resident.
+    pub resident_objects: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    header_hits: AtomicU64,
+    header_misses: AtomicU64,
+    extent_hits: AtomicU64,
+    extent_misses: AtomicU64,
+    block_hits: AtomicU64,
+    block_misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+    rejected_inserts: AtomicU64,
+    purges: AtomicU64,
+}
+
+/// Overwrite a buffer with zeros in a way the optimiser cannot elide, then
+/// let it drop.  Used for every evicted, purged or pooled plaintext buffer.
+pub fn zeroize(buf: &mut [u8]) {
+    buf.fill(0);
+    // The black_box makes the zeroed contents observable, so the fill above
+    // cannot be removed as a dead store ahead of the deallocation.
+    std::hint::black_box(&*buf);
+}
+
+/// The read-path cache of one mounted volume.  See the module docs for the
+/// full contract; in one line: *decrypted state may be cached in RAM for as
+/// long as the mutating API is told about every mutation and a sign-off
+/// purges everything.*
+pub struct ReadCache {
+    /// Total plaintext-block capacity (0 disables all caching).
+    capacity_blocks: usize,
+    /// Global invalidation generation: bumped by every invalidate/purge.
+    /// Readers snapshot it before a disk walk; inserts are rejected if it
+    /// moved, so a stale walk can never overwrite a fresher invalidation.
+    global_gen: AtomicU64,
+    /// Source of per-entry generations for block-cache tagging.
+    next_entry_gen: AtomicU64,
+    objects: Vec<Mutex<HashMap<ObjectSig, CachedObject>>>,
+    blocks: Vec<Mutex<BlockShard>>,
+    counters: Counters,
+}
+
+fn object_shard(sig: &ObjectSig) -> usize {
+    // The signature is already uniform (HMAC output); its first byte shards.
+    sig[0] as usize % SHARDS
+}
+
+fn block_shard(block: u64) -> usize {
+    (block as usize) % SHARDS
+}
+
+impl ReadCache {
+    /// A cache holding at most `capacity_blocks` decrypted blocks
+    /// (0 disables caching entirely: every lookup misses, every insert is a
+    /// no-op, and reads behave exactly as before this layer existed).
+    pub fn new(capacity_blocks: usize) -> Self {
+        ReadCache {
+            capacity_blocks,
+            global_gen: AtomicU64::new(0),
+            // 0 is a valid entry gen; DEAD_GEN (u64::MAX) never is.
+            next_entry_gen: AtomicU64::new(0),
+            objects: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            blocks: (0..SHARDS)
+                .map(|_| Mutex::new(BlockShard::default()))
+                .collect(),
+            counters: Counters::default(),
+        }
+    }
+
+    /// True if the cache can hold anything at all.
+    pub fn enabled(&self) -> bool {
+        self.capacity_blocks > 0
+    }
+
+    /// Snapshot the global generation *before* starting a disk walk whose
+    /// result will be inserted; pass the snapshot to the `store_*` call.
+    pub fn begin(&self) -> u64 {
+        self.global_gen.load(Ordering::Acquire)
+    }
+
+    fn fresh_entry_gen(&self) -> u64 {
+        self.next_entry_gen.fetch_add(1, Ordering::Relaxed)
+    }
+
+    // ------------------------------------------------------------------
+    // Header / extent map
+    // ------------------------------------------------------------------
+
+    /// The cached header of `sig` without touching the hit/miss counters —
+    /// the freshness probe `hidden::cached_chain` uses to decide whether a
+    /// caller-supplied header may be (re)installed.
+    pub fn peek_header(&self, sig: &ObjectSig) -> Option<(u64, HiddenHeader)> {
+        if !self.enabled() {
+            return None;
+        }
+        let shard = self.objects[object_shard(sig)].lock();
+        shard
+            .get(sig)
+            .map(|obj| (obj.header_block, obj.header.clone()))
+    }
+
+    /// Look up the cached header of `sig` (skipping the locator walk on a
+    /// hit).
+    pub fn lookup_header(&self, sig: &ObjectSig) -> Option<CachedOpen> {
+        if !self.enabled() {
+            return None;
+        }
+        let shard = self.objects[object_shard(sig)].lock();
+        match shard.get(sig) {
+            Some(obj) => {
+                self.counters.header_hits.fetch_add(1, Ordering::Relaxed);
+                Some(CachedOpen {
+                    gen: obj.gen,
+                    header_block: obj.header_block,
+                    header: obj.header.clone(),
+                })
+            }
+            None => {
+                self.counters.header_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Look up the cached extent list of `sig`, but only if it still indexes
+    /// the chain the caller's header names (`chain_head`, `count`) — a
+    /// cached map from a previous incarnation never resolves.
+    pub fn lookup_extents(
+        &self,
+        sig: &ObjectSig,
+        chain_head: u64,
+        count: u64,
+    ) -> Option<(u64, Arc<ExtentList>)> {
+        if !self.enabled() {
+            return None;
+        }
+        let shard = self.objects[object_shard(sig)].lock();
+        let hit = shard.get(sig).and_then(|obj| {
+            let ext = obj.extents.as_ref()?;
+            let matches =
+                obj.header.inode_chain == chain_head && ext.data_blocks.len() as u64 == count;
+            matches.then(|| (obj.gen, Arc::clone(ext)))
+        });
+        match hit {
+            Some(found) => {
+                self.counters.extent_hits.fetch_add(1, Ordering::Relaxed);
+                Some(found)
+            }
+            None => {
+                self.counters.extent_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Install (or refresh) the header of `sig`, read during a walk that
+    /// began at generation `started`.  Rejected (a no-op) if any
+    /// invalidation or purge happened since `started`.
+    pub fn store_header(
+        &self,
+        sig: &ObjectSig,
+        started: u64,
+        header_block: u64,
+        header: HiddenHeader,
+    ) {
+        self.store(sig, started, header_block, header, None);
+    }
+
+    /// Install the extent list of `sig` alongside its header; returns the
+    /// entry generation to tag plaintext-block inserts with, or [`DEAD_GEN`]
+    /// when the insert was rejected.
+    pub fn store_extents(
+        &self,
+        sig: &ObjectSig,
+        started: u64,
+        header_block: u64,
+        header: HiddenHeader,
+        extents: Arc<ExtentList>,
+    ) -> u64 {
+        self.store(sig, started, header_block, header, Some(extents))
+    }
+
+    fn store(
+        &self,
+        sig: &ObjectSig,
+        started: u64,
+        header_block: u64,
+        header: HiddenHeader,
+        extents: Option<Arc<ExtentList>>,
+    ) -> u64 {
+        if !self.enabled() {
+            return DEAD_GEN;
+        }
+        let mut shard = self.objects[object_shard(sig)].lock();
+        // The generation check runs under the shard lock, and invalidate()
+        // bumps the generation *before* taking the shard lock — so either we
+        // see the bump here and reject, or the invalidation runs after us
+        // and removes the entry we are about to insert.  Either way no stale
+        // entry survives an invalidation.
+        if self.global_gen.load(Ordering::Acquire) != started {
+            self.counters
+                .rejected_inserts
+                .fetch_add(1, Ordering::Relaxed);
+            return DEAD_GEN;
+        }
+        match shard.get_mut(sig) {
+            Some(obj) if obj.header_block == header_block && obj.header == header => {
+                // Same incarnation: keep the gen (existing cached blocks stay
+                // valid), optionally add the extents.
+                if let Some(ext) = extents {
+                    obj.extents = Some(ext);
+                }
+                obj.gen
+            }
+            other => {
+                let gen = self.fresh_entry_gen();
+                let obj = CachedObject {
+                    gen,
+                    header_block,
+                    header,
+                    extents,
+                };
+                match other {
+                    Some(slot) => *slot = obj,
+                    None => {
+                        shard.insert(*sig, obj);
+                    }
+                }
+                gen
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Plaintext block cache
+    // ------------------------------------------------------------------
+
+    /// Copy the cached plaintext of `block` (under entry generation `gen`)
+    /// straight into `out`; returns false on a miss.  Copying under the
+    /// shard lock keeps the hot hit path allocation-free and never hands
+    /// out an owned plaintext buffer that could be dropped un-zeroed.
+    pub fn get_block_into(&self, gen: u64, block: u64, out: &mut [u8]) -> bool {
+        if !self.enabled() || gen == DEAD_GEN {
+            return false;
+        }
+        let mut shard = self.blocks[block_shard(block)].lock();
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(&(gen, block)) {
+            Some(entry) => {
+                entry.tick = tick;
+                out.copy_from_slice(&entry.data);
+                self.counters.block_hits.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            None => {
+                self.counters.block_misses.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// True if `block` is resident under entry generation `gen`.  Unlike
+    /// [`Self::get_block_into`] this records no hit/miss and does not touch
+    /// the LRU order — it is the readahead filter's probe.
+    pub fn contains_block(&self, gen: u64, block: u64) -> bool {
+        if !self.enabled() || gen == DEAD_GEN {
+            return false;
+        }
+        self.blocks[block_shard(block)]
+            .lock()
+            .map
+            .contains_key(&(gen, block))
+    }
+
+    /// Insert the plaintext of `block` under entry generation `gen`,
+    /// evicting (and zeroing) least-recently-used blocks to stay within the
+    /// per-shard capacity.
+    ///
+    /// The insert is accepted only while `gen` is still the live generation
+    /// of `sig`'s entry, verified — and held — under the object shard lock,
+    /// so a reader that lost a race against [`Self::invalidate`] cannot
+    /// park un-zeroed plaintext of the old incarnation under a dead key.
+    /// Lock order: object shard < block shard (same as `invalidate`).
+    pub fn put_block(&self, sig: &ObjectSig, gen: u64, block: u64, data: &[u8]) {
+        if !self.enabled() || gen == DEAD_GEN {
+            return;
+        }
+        let object_guard = self.objects[object_shard(sig)].lock();
+        if object_guard.get(sig).map(|o| o.gen) != Some(gen) {
+            // Invalidated (or replaced) since the reader picked up `gen`:
+            // the plaintext belongs to a dead incarnation — drop it.
+            self.counters
+                .rejected_inserts
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let per_shard = (self.capacity_blocks / SHARDS).max(1);
+        let mut shard = self.blocks[block_shard(block)].lock();
+        shard.tick += 1;
+        let tick = shard.tick;
+        let entry = BlockEntry {
+            data: data.to_vec(),
+            tick,
+        };
+        shard.bytes += entry.data.len() as u64;
+        if let Some(mut old) = shard.map.insert((gen, block), entry) {
+            shard.bytes -= old.data.len() as u64;
+            zeroize(&mut old.data);
+        }
+        while shard.map.len() > per_shard {
+            // Per-shard maps are small (capacity / SHARDS), so a min-scan
+            // eviction is noise next to the AES work a miss costs.
+            let victim = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| *k)
+                .expect("non-empty map");
+            if let Some(mut evicted) = shard.map.remove(&victim) {
+                shard.bytes -= evicted.data.len() as u64;
+                zeroize(&mut evicted.data);
+                self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Invalidation and purge
+    // ------------------------------------------------------------------
+
+    /// Drop everything cached for `sig` (call after any mutation of the
+    /// object).  The object's plaintext blocks are removed and zeroed; the
+    /// generation bump makes any insert racing this call land dead.
+    pub fn invalidate(&self, sig: &ObjectSig) {
+        if !self.enabled() {
+            return;
+        }
+        // Bump first (see store() for the ordering argument).
+        self.global_gen.fetch_add(1, Ordering::AcqRel);
+        self.counters.invalidations.fetch_add(1, Ordering::Relaxed);
+        // The object shard stays held across the block sweep: `put_block`
+        // verifies the entry's liveness under this same lock, so once the
+        // entry is gone no further plaintext of its generation can be
+        // inserted, and everything inserted before is swept here.
+        let mut object_guard = self.objects[object_shard(sig)].lock();
+        if let Some(obj) = object_guard.remove(sig) {
+            if let Some(ext) = obj.extents {
+                for &block in &ext.data_blocks {
+                    let mut shard = self.blocks[block_shard(block)].lock();
+                    if let Some(mut e) = shard.map.remove(&(obj.gen, block)) {
+                        shard.bytes -= e.data.len() as u64;
+                        zeroize(&mut e.data);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drop and zero **everything** — the sign-off/unmount hook.  After this
+    /// returns, [`CacheStats::resident_blocks`] and
+    /// [`CacheStats::resident_bytes`] are zero and no decrypted byte from
+    /// before the purge is reachable through the cache.
+    pub fn purge(&self) {
+        if !self.enabled() {
+            return;
+        }
+        self.global_gen.fetch_add(1, Ordering::AcqRel);
+        self.counters.purges.fetch_add(1, Ordering::Relaxed);
+        for shard in &self.objects {
+            shard.lock().clear();
+        }
+        for shard in &self.blocks {
+            let mut shard = shard.lock();
+            for (_, entry) in shard.map.iter_mut() {
+                zeroize(&mut entry.data);
+            }
+            shard.map.clear();
+            shard.bytes = 0;
+        }
+    }
+
+    /// Snapshot the counters (residency computed live from the shards).
+    pub fn stats(&self) -> CacheStats {
+        let mut resident_blocks = 0u64;
+        let mut resident_bytes = 0u64;
+        for shard in &self.blocks {
+            let shard = shard.lock();
+            resident_blocks += shard.map.len() as u64;
+            resident_bytes += shard.bytes;
+        }
+        let resident_objects = self
+            .objects
+            .iter()
+            .map(|s| s.lock().len() as u64)
+            .sum::<u64>();
+        let c = &self.counters;
+        CacheStats {
+            header_hits: c.header_hits.load(Ordering::Relaxed),
+            header_misses: c.header_misses.load(Ordering::Relaxed),
+            extent_hits: c.extent_hits.load(Ordering::Relaxed),
+            extent_misses: c.extent_misses.load(Ordering::Relaxed),
+            block_hits: c.block_hits.load(Ordering::Relaxed),
+            block_misses: c.block_misses.load(Ordering::Relaxed),
+            evictions: c.evictions.load(Ordering::Relaxed),
+            invalidations: c.invalidations.load(Ordering::Relaxed),
+            rejected_inserts: c.rejected_inserts.load(Ordering::Relaxed),
+            purges: c.purges.load(Ordering::Relaxed),
+            resident_blocks,
+            resident_bytes,
+            resident_objects,
+        }
+    }
+
+    /// A shared always-empty cache for callers of the pre-cache `hidden::*`
+    /// API (capacity 0: every lookup misses, every insert is a no-op).
+    pub fn disabled() -> &'static ReadCache {
+        static DISABLED: std::sync::OnceLock<ReadCache> = std::sync::OnceLock::new();
+        DISABLED.get_or_init(|| ReadCache::new(0))
+    }
+}
+
+/// A tiny thread-local pool of scratch buffers for the hidden read/write
+/// paths, so every batched operation stops allocating (and leaking traces of
+/// plaintext into) a fresh `Vec`.  Buffers are zeroed *before* they enter
+/// the pool, so the pool itself never holds plaintext.
+pub(crate) mod scratch {
+    use std::cell::RefCell;
+
+    thread_local! {
+        static POOL: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Buffers retained per thread; engine workers are a fixed pool, so this
+    /// bounds the idle footprint.
+    const MAX_POOLED: usize = 8;
+    /// Never hoard buffers beyond this capacity.
+    const MAX_POOLED_CAPACITY: usize = 4 << 20;
+
+    /// Take a zero-filled buffer of exactly `len` bytes, reusing a pooled
+    /// allocation when one is available.
+    pub fn take(len: usize) -> Vec<u8> {
+        let pooled = POOL.with(|p| p.borrow_mut().pop());
+        match pooled {
+            Some(mut v) => {
+                // Pooled buffers are zeroed and emptied by `put`, so this
+                // only fills fresh growth.
+                v.resize(len, 0);
+                v
+            }
+            None => vec![0u8; len],
+        }
+    }
+
+    /// Zero `v` and return it to the pool (or drop it if the pool is full).
+    pub fn put(mut v: Vec<u8>) {
+        super::zeroize(&mut v);
+        v.clear();
+        if v.capacity() == 0 || v.capacity() > MAX_POOLED_CAPACITY {
+            return;
+        }
+        POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < MAX_POOLED {
+                pool.push(v);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::ObjectKind;
+
+    fn header(size: u64) -> HiddenHeader {
+        let mut h = HiddenHeader::new([7u8; SIGNATURE_LEN], ObjectKind::File);
+        h.size = size;
+        h
+    }
+
+    #[test]
+    fn disabled_cache_never_stores() {
+        let c = ReadCache::new(0);
+        let sig = [1u8; SIGNATURE_LEN];
+        let started = c.begin();
+        c.store_header(&sig, started, 5, header(0));
+        assert!(c.lookup_header(&sig).is_none());
+        c.put_block(&sig, 0, 9, b"plaintext");
+        let mut out = [0u8; 9];
+        assert!(!c.get_block_into(0, 9, &mut out));
+        assert_eq!(c.stats().resident_blocks, 0);
+    }
+
+    #[test]
+    fn header_roundtrip_and_invalidation() {
+        let c = ReadCache::new(64);
+        let sig = [2u8; SIGNATURE_LEN];
+        let started = c.begin();
+        c.store_header(&sig, started, 42, header(100));
+        let hit = c.lookup_header(&sig).expect("hit");
+        assert_eq!(hit.header_block, 42);
+        assert_eq!(hit.header.size, 100);
+        c.invalidate(&sig);
+        assert!(c.lookup_header(&sig).is_none());
+        let s = c.stats();
+        assert_eq!(s.header_hits, 1);
+        assert_eq!(s.invalidations, 1);
+    }
+
+    #[test]
+    fn racing_insert_after_invalidation_is_rejected() {
+        let c = ReadCache::new(64);
+        let sig = [3u8; SIGNATURE_LEN];
+        let started = c.begin();
+        // An invalidation lands while the "disk walk" is in flight.
+        c.invalidate(&sig);
+        c.store_header(&sig, started, 7, header(1));
+        assert!(
+            c.lookup_header(&sig).is_none(),
+            "stale insert must not land"
+        );
+        let gen = c.store_extents(
+            &sig,
+            started,
+            7,
+            header(1),
+            Arc::new(ExtentList {
+                data_blocks: vec![10],
+                chain_blocks: vec![],
+            }),
+        );
+        assert_eq!(gen, DEAD_GEN);
+        c.put_block(&sig, gen, 10, b"should not stick");
+        let mut out = [0u8; 16];
+        assert!(!c.get_block_into(gen, 10, &mut out));
+        assert!(c.stats().rejected_inserts >= 1);
+    }
+
+    #[test]
+    fn extent_lookup_requires_matching_chain() {
+        let c = ReadCache::new(64);
+        let sig = [4u8; SIGNATURE_LEN];
+        let mut h = header(2048);
+        h.inode_chain = 99;
+        h.data_block_count = 2;
+        let ext = Arc::new(ExtentList {
+            data_blocks: vec![10, 11],
+            chain_blocks: vec![99],
+        });
+        let gen = c.store_extents(&sig, c.begin(), 5, h, ext);
+        assert_ne!(gen, DEAD_GEN);
+        assert!(c.lookup_extents(&sig, 99, 2).is_some());
+        // A header naming a different chain (stale caller) never matches.
+        assert!(c.lookup_extents(&sig, 98, 2).is_none());
+        assert!(c.lookup_extents(&sig, 99, 3).is_none());
+    }
+
+    /// Install a live entry for `sig` whose extents cover `blocks`; returns
+    /// the entry generation block inserts must carry.
+    fn live_entry(c: &ReadCache, sig: &ObjectSig, blocks: &[u64]) -> u64 {
+        let gen = c.store_extents(
+            sig,
+            c.begin(),
+            1,
+            header(blocks.len() as u64 * 64),
+            Arc::new(ExtentList {
+                data_blocks: blocks.to_vec(),
+                chain_blocks: vec![],
+            }),
+        );
+        assert_ne!(gen, DEAD_GEN);
+        gen
+    }
+
+    #[test]
+    fn block_cache_lru_evicts_and_counts_bytes() {
+        // Capacity below one per shard rounds up to 1 per shard.
+        let c = ReadCache::new(SHARDS);
+        let sig = [9u8; SIGNATURE_LEN];
+        // Same shard: blocks congruent modulo SHARDS.
+        let b0 = 0u64;
+        let b1 = SHARDS as u64;
+        let b2 = 2 * SHARDS as u64;
+        let gen = live_entry(&c, &sig, &[b0, b1, b2]);
+        let mut out = [0u8; 64];
+        c.put_block(&sig, gen, b0, &[0xaa; 64]);
+        c.put_block(&sig, gen, b1, &[0xbb; 64]);
+        assert!(c.get_block_into(gen, b1, &mut out), "b1 most recently used");
+        assert_eq!(out, [0xbb; 64]);
+        c.put_block(&sig, gen, b2, &[0xcc; 64]);
+        // Shard holds one entry: only the newest survives.
+        assert!(c.get_block_into(gen, b2, &mut out));
+        assert_eq!(out, [0xcc; 64]);
+        assert!(!c.get_block_into(gen, b0, &mut out));
+        let s = c.stats();
+        assert!(s.evictions >= 2);
+        assert_eq!(s.resident_blocks, 1);
+        assert_eq!(s.resident_bytes, 64);
+    }
+
+    #[test]
+    fn put_under_dead_generation_is_rejected() {
+        // The race finding: a reader holds (gen, extents), the object is
+        // invalidated mid-read, and the reader's late insert must land
+        // nowhere (no un-zeroed plaintext parked under a dead key).
+        let c = ReadCache::new(256);
+        let sig = [10u8; SIGNATURE_LEN];
+        let gen = live_entry(&c, &sig, &[5]);
+        c.invalidate(&sig);
+        c.put_block(&sig, gen, 5, b"plaintext of the dead incarnation");
+        assert_eq!(c.stats().resident_blocks, 0, "dead insert stuck");
+        assert!(c.stats().rejected_inserts >= 1);
+    }
+
+    #[test]
+    fn purge_leaves_zero_resident() {
+        let c = ReadCache::new(256);
+        let sig = [5u8; SIGNATURE_LEN];
+        let blocks: Vec<u64> = (0..32).collect();
+        let gen = live_entry(&c, &sig, &blocks);
+        for &b in &blocks {
+            c.put_block(&sig, gen, b, &[1u8; 128]);
+        }
+        assert!(c.stats().resident_blocks > 0);
+        c.purge();
+        let s = c.stats();
+        assert_eq!(s.resident_blocks, 0);
+        assert_eq!(s.resident_bytes, 0);
+        assert_eq!(s.resident_objects, 0);
+        assert_eq!(s.purges, 1);
+        let mut out = [0u8; 128];
+        assert!(!c.get_block_into(gen, 0, &mut out));
+    }
+
+    #[test]
+    fn generation_tagging_isolates_incarnations() {
+        let c = ReadCache::new(256);
+        let sig = [6u8; SIGNATURE_LEN];
+        // Old incarnation caches block 50, is invalidated (rewrite), and
+        // block 50 is recycled into the new incarnation under a new gen.
+        let old_gen = live_entry(&c, &sig, &[50]);
+        c.put_block(&sig, old_gen, 50, b"old plaintext");
+        c.invalidate(&sig);
+        let new_gen = live_entry(&c, &sig, &[50]);
+        // The new incarnation reads under its own gen: no alias either way.
+        let mut out = [0u8; 13];
+        assert!(!c.get_block_into(new_gen, 50, &mut out));
+        assert!(!c.get_block_into(old_gen, 50, &mut out));
+    }
+
+    #[test]
+    fn scratch_pool_reuses_and_zeroes() {
+        let mut v = scratch::take(128);
+        assert_eq!(v, vec![0u8; 128]);
+        v.fill(0x5a);
+        let cap = v.capacity();
+        scratch::put(v);
+        let v2 = scratch::take(64);
+        assert_eq!(v2, vec![0u8; 64], "pooled buffer must come back zeroed");
+        assert!(v2.capacity() >= 64);
+        // Usually the very same allocation comes back.
+        let _ = cap;
+    }
+}

@@ -7,6 +7,11 @@
 //! connected, an object can be read and written by name without re-supplying
 //! the UAK, and disconnecting (or dropping the session) makes it invisible
 //! again.  Nothing about a session ever touches the disk.
+//!
+//! Sessions also scope the read-path cache ([`crate::readcache`]): decrypted
+//! headers, extent maps and plaintext blocks may live in RAM only while a
+//! session that could read them is signed on.  [`crate::StegFs::disconnect_all`]
+//! (the paper's logoff) and the VFS sign-off purge and zero all of it.
 
 use crate::header::ObjectKind;
 use crate::keys::{DirectoryEntry, FAK_LEN};

@@ -44,6 +44,7 @@ use crate::header::ObjectKind;
 use crate::hidden::{self, HiddenObject};
 use crate::keys::{DirectoryEntry, UakDirectory, FAK_LEN, UAK_DIRECTORY_NAME};
 use crate::params::StegParams;
+use crate::readcache::{CacheStats, ReadCache};
 use crate::session::{ConnectedObject, Session};
 use crate::sharing::ShareEnvelope;
 use parking_lot::{Mutex, MutexGuard};
@@ -168,6 +169,11 @@ pub struct StegFs<D: BlockDevice> {
     config: VolumeConfig,
     uak_locks: Vec<Mutex<()>>,
     object_locks: Vec<Mutex<()>>,
+    /// RAM-only read-path cache (headers, extent maps, decrypted blocks).
+    /// Every mutating method invalidates the object it touched; sign-off
+    /// and unmount purge everything.  See [`crate::readcache`] for the
+    /// contract.
+    read_cache: ReadCache,
 }
 
 impl<D: BlockDevice> StegFs<D> {
@@ -182,6 +188,7 @@ impl<D: BlockDevice> StegFs<D> {
             session: Mutex::new(Session::new()),
             fak_counter: AtomicU64::new(0),
             config,
+            read_cache: ReadCache::new(params.readpath_cache_blocks),
             params,
             uak_locks: (0..UAK_SHARDS).map(|_| Mutex::new(())).collect(),
             object_locks: (0..OBJECT_SHARDS).map(|_| Mutex::new(())).collect(),
@@ -268,7 +275,22 @@ impl<D: BlockDevice> StegFs<D> {
     /// Flush all state and return the underlying device.
     pub fn unmount(self) -> StegResult<D> {
         self.session.lock().disconnect_all();
+        self.read_cache.purge();
         Ok(self.fs.unmount()?)
+    }
+
+    /// Counters of the RAM-only read-path cache, surfaced next to the
+    /// device-level `IoStats` by the benches.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.read_cache.stats()
+    }
+
+    /// Drop and zero every cached decrypted byte (headers, extent maps and
+    /// plaintext blocks).  The VFS calls this on every session sign-off, so
+    /// no plaintext outlives the session that could read it; it is also part
+    /// of [`Self::disconnect_all`] and [`Self::unmount`].
+    pub fn purge_read_caches(&self) {
+        self.read_cache.purge();
     }
 
     /// Flush metadata to the device without unmounting.
@@ -367,7 +389,9 @@ impl<D: BlockDevice> StegFs<D> {
             };
             let mut rng = self.fork_rng();
             let content = rng.bytes(self.config.dummy_size as usize);
-            hidden::write(&self.fs, &keys, &mut obj, &content, &self.params, &mut rng)?;
+            let result = hidden::write(&self.fs, &keys, &mut obj, &content, &self.params, &mut rng);
+            self.read_cache.invalidate(keys.signature());
+            result?;
             touched += 1;
         }
         Ok(touched)
@@ -422,11 +446,22 @@ impl<D: BlockDevice> StegFs<D> {
     }
 
     /// Load the UAK directory.  Caller holds the UAK shard lock.
+    ///
+    /// UAK directories are themselves hidden objects and the hottest read
+    /// path of all (every name lookup walks one), so they go through the
+    /// read cache like any other object; [`Self::save_uak_directory`]
+    /// invalidates.
     fn load_uak_directory(&self, uak: &str) -> StegResult<(UakDirectory, Option<HiddenObject>)> {
         let keys = Self::uak_keys(uak);
-        match hidden::open(&self.fs, UAK_DIRECTORY_NAME, &keys, &self.params) {
+        match hidden::open_cached(
+            &self.fs,
+            UAK_DIRECTORY_NAME,
+            &keys,
+            &self.params,
+            &self.read_cache,
+        ) {
             Ok(obj) => {
-                let raw = hidden::read(&self.fs, &keys, &obj)?;
+                let raw = hidden::read_cached(&self.fs, &keys, &obj, &self.read_cache)?;
                 let dir = if raw.is_empty() {
                     UakDirectory::new()
                 } else {
@@ -458,14 +493,18 @@ impl<D: BlockDevice> StegFs<D> {
             )?,
         };
         let mut rng = self.fork_rng();
-        hidden::write(
+        let result = hidden::write(
             &self.fs,
             &keys,
             &mut obj,
             &dir.serialize(),
             &self.params,
             &mut rng,
-        )
+        );
+        // Invalidate even on failure: a partially attempted rewrite leaves
+        // the cached map's validity unknown, and a miss is always safe.
+        self.read_cache.invalidate(keys.signature());
+        result
     }
 
     /// The names (and kinds) of all hidden objects registered under `uak`.
@@ -559,9 +598,17 @@ impl<D: BlockDevice> StegFs<D> {
         }
         let keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
         let _obj_lock = self.object_guard(&entry.physical_name);
-        let mut obj = hidden::open(&self.fs, &entry.physical_name, &keys, &self.params)?;
+        let mut obj = hidden::open_cached(
+            &self.fs,
+            &entry.physical_name,
+            &keys,
+            &self.params,
+            &self.read_cache,
+        )?;
         let mut rng = self.fork_rng();
-        hidden::write(&self.fs, &keys, &mut obj, data, &self.params, &mut rng)
+        let result = hidden::write(&self.fs, &keys, &mut obj, data, &self.params, &mut rng);
+        self.read_cache.invalidate(keys.signature());
+        result
     }
 
     /// Read the full contents of the hidden file `objname` (registered under
@@ -582,8 +629,14 @@ impl<D: BlockDevice> StegFs<D> {
         let entry = self.entry_for(objname, uak)?;
         let keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
         let _obj_lock = self.object_guard(&entry.physical_name);
-        let object = hidden::open(&self.fs, &entry.physical_name, &keys, &self.params)?;
-        hidden::read_range(&self.fs, &keys, &object, offset, len)
+        let object = hidden::open_cached(
+            &self.fs,
+            &entry.physical_name,
+            &keys,
+            &self.params,
+            &self.read_cache,
+        )?;
+        hidden::read_range_cached(&self.fs, &keys, &object, offset, len, 0, &self.read_cache)
     }
 
     /// Overwrite part of the hidden file `objname` in place (the range must
@@ -598,8 +651,16 @@ impl<D: BlockDevice> StegFs<D> {
         let entry = self.entry_for(objname, uak)?;
         let keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
         let _obj_lock = self.object_guard(&entry.physical_name);
-        let object = hidden::open(&self.fs, &entry.physical_name, &keys, &self.params)?;
-        hidden::write_range(&self.fs, &keys, &object, offset, data)
+        let object = hidden::open_cached(
+            &self.fs,
+            &entry.physical_name,
+            &keys,
+            &self.params,
+            &self.read_cache,
+        )?;
+        let result = hidden::write_range(&self.fs, &keys, &object, offset, data);
+        self.read_cache.invalidate(keys.signature());
+        result
     }
 
     /// Open a hidden file once and keep a handle for repeated positional
@@ -626,7 +687,29 @@ impl<D: BlockDevice> StegFs<D> {
         offset: u64,
         len: usize,
     ) -> StegResult<Vec<u8>> {
-        hidden::read_range(&self.fs, &handle.keys, &handle.object, offset, len)
+        self.read_range_at_with_readahead(handle, offset, len, 0)
+    }
+
+    /// [`Self::read_range_at`] with streaming readahead: up to
+    /// `readahead_blocks` blocks past the requested range ride along in the
+    /// same batched device submission and land in the plaintext cache.  The
+    /// VFS passes a non-zero hint when a handle is reading sequentially.
+    pub fn read_range_at_with_readahead(
+        &self,
+        handle: &HiddenHandle,
+        offset: u64,
+        len: usize,
+        readahead_blocks: usize,
+    ) -> StegResult<Vec<u8>> {
+        hidden::read_range_cached(
+            &self.fs,
+            &handle.keys,
+            &handle.object,
+            offset,
+            len,
+            readahead_blocks,
+            &self.read_cache,
+        )
     }
 
     /// Overwrite bytes at `offset` through an open handle (in place; the
@@ -637,7 +720,9 @@ impl<D: BlockDevice> StegFs<D> {
         offset: u64,
         data: &[u8],
     ) -> StegResult<()> {
-        hidden::write_range(&self.fs, &handle.keys, &handle.object, offset, data)
+        let result = hidden::write_range(&self.fs, &handle.keys, &handle.object, offset, data);
+        self.read_cache.invalidate(handle.keys.signature());
+        result
     }
 
     /// Public form of the UAK-directory lookup: resolve `objname` under
@@ -653,7 +738,13 @@ impl<D: BlockDevice> StegFs<D> {
     pub fn open_hidden_entry(&self, entry: &DirectoryEntry) -> StegResult<HiddenHandle> {
         let keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
         let _obj_lock = self.object_guard(&entry.physical_name);
-        let object = hidden::open(&self.fs, &entry.physical_name, &keys, &self.params)?;
+        let object = hidden::open_cached(
+            &self.fs,
+            &entry.physical_name,
+            &keys,
+            &self.params,
+            &self.read_cache,
+        )?;
         Ok(HiddenHandle {
             name: entry.name.clone(),
             keys,
@@ -687,20 +778,24 @@ impl<D: BlockDevice> StegFs<D> {
             .checked_add(data.len() as u64)
             .ok_or(StegError::NoSpace)?;
         if end <= handle.object.size() {
-            return hidden::write_range(&self.fs, &handle.keys, &handle.object, offset, data);
+            let result = hidden::write_range(&self.fs, &handle.keys, &handle.object, offset, data);
+            self.read_cache.invalidate(handle.keys.signature());
+            return result;
         }
         // Grow to `end` at block granularity (zero-filling any gap), then
         // patch the written range in place — O(append), not O(file).
         let mut rng = self.fork_rng();
-        hidden::resize(
+        let result = hidden::resize(
             &self.fs,
             &handle.keys,
             &mut handle.object,
             end,
             &self.params,
             &mut rng,
-        )?;
-        hidden::write_range(&self.fs, &handle.keys, &handle.object, offset, data)
+        )
+        .and_then(|()| hidden::write_range(&self.fs, &handle.keys, &handle.object, offset, data));
+        self.read_cache.invalidate(handle.keys.signature());
+        result
     }
 
     /// Set the size of the object behind `handle` to `new_len`, truncating or
@@ -716,14 +811,16 @@ impl<D: BlockDevice> StegFs<D> {
             return Ok(());
         }
         let mut rng = self.fork_rng();
-        hidden::resize(
+        let result = hidden::resize(
             &self.fs,
             &handle.keys,
             &mut handle.object,
             new_len,
             &self.params,
             &mut rng,
-        )
+        );
+        self.read_cache.invalidate(handle.keys.signature());
+        result
     }
 
     /// Rename the hidden object `objname` to `newname` within `uak`'s
@@ -743,6 +840,10 @@ impl<D: BlockDevice> StegFs<D> {
             .remove(objname)
             .ok_or_else(|| StegError::NotFound(objname.to_string()))?;
         entry.name = newname.to_string();
+        // The object itself is untouched by a rename, but the conservative
+        // contract is that *every* namespace mutation invalidates.
+        self.read_cache
+            .invalidate(ObjectKeys::derive(&entry.physical_name, &entry.fak).signature());
         dir.insert(entry)?;
         self.session.lock().disconnect(objname);
         self.save_uak_directory(uak, &dir, existing)
@@ -751,8 +852,14 @@ impl<D: BlockDevice> StegFs<D> {
     fn read_hidden_entry(&self, entry: &DirectoryEntry) -> StegResult<Vec<u8>> {
         let keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
         let _obj_lock = self.object_guard(&entry.physical_name);
-        let obj = hidden::open(&self.fs, &entry.physical_name, &keys, &self.params)?;
-        hidden::read(&self.fs, &keys, &obj)
+        let obj = hidden::open_cached(
+            &self.fs,
+            &entry.physical_name,
+            &keys,
+            &self.params,
+            &self.read_cache,
+        )?;
+        hidden::read_cached(&self.fs, &keys, &obj, &self.read_cache)
     }
 
     /// Delete the hidden object `objname` and remove it from the UAK
@@ -776,7 +883,9 @@ impl<D: BlockDevice> StegFs<D> {
                 self.ensure_hidden_dir_empty(&keys, &obj, objname)?;
             }
             let mut rng = self.fork_rng();
-            hidden::delete(&self.fs, &keys, &obj, &mut rng)?;
+            let result = hidden::delete(&self.fs, &keys, &obj, &mut rng);
+            self.read_cache.invalidate(keys.signature());
+            result?;
         }
         self.session.lock().disconnect(objname);
         self.save_uak_directory(uak, &dir, existing)?;
@@ -831,9 +940,12 @@ impl<D: BlockDevice> StegFs<D> {
         self.session.lock().disconnect(objname)
     }
 
-    /// Disconnect every object (the paper does this automatically at logoff).
+    /// Disconnect every object (the paper does this automatically at
+    /// logoff).  Logoff also means no one is left who may read cached
+    /// plaintext, so the read caches are purged and zeroed.
     pub fn disconnect_all(&self) {
         self.session.lock().disconnect_all();
+        self.read_cache.purge();
     }
 
     /// Names of all currently connected hidden objects.
@@ -881,8 +993,14 @@ impl<D: BlockDevice> StegFs<D> {
     /// held by the caller.
     fn read_listing_locked(&self, entry: &DirectoryEntry) -> StegResult<UakDirectory> {
         let keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
-        let obj = hidden::open(&self.fs, &entry.physical_name, &keys, &self.params)?;
-        let raw = hidden::read(&self.fs, &keys, &obj)?;
+        let obj = hidden::open_cached(
+            &self.fs,
+            &entry.physical_name,
+            &keys,
+            &self.params,
+            &self.read_cache,
+        )?;
+        let raw = hidden::read_cached(&self.fs, &keys, &obj, &self.read_cache)?;
         if raw.is_empty() {
             Ok(UakDirectory::new())
         } else {
@@ -976,14 +1094,16 @@ impl<D: BlockDevice> StegFs<D> {
         let mut parent_obj =
             hidden::open(&self.fs, &parent.physical_name, &parent_keys, &self.params)?;
         let mut rng = self.fork_rng();
-        hidden::write(
+        let result = hidden::write(
             &self.fs,
             &parent_keys,
             &mut parent_obj,
             &children.serialize(),
             &self.params,
             &mut rng,
-        )
+        );
+        self.read_cache.invalidate(parent_keys.signature());
+        result
     }
 
     /// List the children of the hidden directory `parent`.
@@ -1113,15 +1233,19 @@ impl<D: BlockDevice> StegFs<D> {
         let mut parent_obj =
             hidden::open(&self.fs, &parent.physical_name, &parent_keys, &self.params)?;
         let mut rng = self.fork_rng();
-        hidden::write(
+        let result = hidden::write(
             &self.fs,
             &parent_keys,
             &mut parent_obj,
             &children.serialize(),
             &self.params,
             &mut rng,
-        )?;
-        hidden::delete(&self.fs, &child_keys, &child_obj, &mut rng)?;
+        );
+        self.read_cache.invalidate(parent_keys.signature());
+        result?;
+        let result = hidden::delete(&self.fs, &child_keys, &child_obj, &mut rng);
+        self.read_cache.invalidate(child_keys.signature());
+        result?;
         self.session.lock().disconnect(&child.name);
         Ok(child)
     }
@@ -1154,19 +1278,23 @@ impl<D: BlockDevice> StegFs<D> {
             .remove(old)
             .ok_or_else(|| StegError::NotFound(old.to_string()))?;
         entry.name = new.to_string();
+        self.read_cache
+            .invalidate(ObjectKeys::derive(&entry.physical_name, &entry.fak).signature());
         children.insert(entry)?;
         let parent_keys = ObjectKeys::derive(&parent.physical_name, &parent.fak);
         let mut parent_obj =
             hidden::open(&self.fs, &parent.physical_name, &parent_keys, &self.params)?;
         let mut rng = self.fork_rng();
-        hidden::write(
+        let result = hidden::write(
             &self.fs,
             &parent_keys,
             &mut parent_obj,
             &children.serialize(),
             &self.params,
             &mut rng,
-        )?;
+        );
+        self.read_cache.invalidate(parent_keys.signature());
+        result?;
         self.session.lock().disconnect(old);
         Ok(())
     }
@@ -1276,7 +1404,9 @@ impl<D: BlockDevice> StegFs<D> {
         {
             let _obj_lock = self.object_guard(&entry.physical_name);
             let old_obj = hidden::open(&self.fs, &entry.physical_name, &old_keys, &self.params)?;
-            hidden::delete(&self.fs, &old_keys, &old_obj, &mut rng)?;
+            let result = hidden::delete(&self.fs, &old_keys, &old_obj, &mut rng);
+            self.read_cache.invalidate(old_keys.signature());
+            result?;
         }
 
         dir.insert(DirectoryEntry {

@@ -90,6 +90,9 @@ impl KeySize {
     }
 }
 
+/// Process-wide count of key schedules built (see [`Aes::key_expansions`]).
+static KEY_EXPANSIONS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
 /// An expanded AES key ready to encrypt or decrypt 16-byte blocks.
 #[derive(Clone)]
 pub struct Aes {
@@ -115,9 +118,21 @@ impl Aes {
         Self::with_key_size(key, size)
     }
 
+    /// Number of key expansions performed by this process so far.
+    ///
+    /// Key expansion is the expensive, once-per-key part of AES; layers above
+    /// are expected to build an [`Aes`] (or a cipher wrapping one) once per
+    /// object and reuse it across blocks.  This process-wide counter lets
+    /// tests assert that discipline: snapshot it, run N block operations, and
+    /// require that the count grew by the number of *keys*, not blocks.
+    pub fn key_expansions() -> u64 {
+        KEY_EXPANSIONS.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
     /// Expand a key whose size is stated explicitly.
     pub fn with_key_size(key: &[u8], size: KeySize) -> Self {
         assert_eq!(key.len(), size.key_words() * 4, "key length mismatch");
+        KEY_EXPANSIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let nk = size.key_words();
         let rounds = size.rounds();
         let total_words = 4 * (rounds + 1);

@@ -104,14 +104,30 @@ impl CbcCipher {
 }
 
 /// AES-CTR keystream cipher: length-preserving, random-access friendly.
+///
+/// `CtrCipher` *is* the expanded key schedule: [`CtrCipher::new`] runs AES
+/// key expansion once, and every subsequent [`apply`](CtrCipher::apply) call
+/// reuses the cached round keys.  Hot paths that encrypt many blocks under
+/// one key (the hidden-object layer's `ObjectKeys`) must therefore build
+/// the cipher once per key and hold on to it — constructing a fresh
+/// `CtrCipher` per block re-pays the expansion every time.  The discipline
+/// is testable via [`Aes::key_expansions`].
+#[derive(Clone)]
 pub struct CtrCipher {
     aes: Aes,
 }
 
 impl CtrCipher {
     /// Create a CTR cipher from raw AES key material (16/24/32 bytes).
+    /// This is the one place key expansion happens; reuse the returned
+    /// cipher for every block encrypted under this key.
     pub fn new(key: &[u8]) -> Self {
         CtrCipher { aes: Aes::new(key) }
+    }
+
+    /// Wrap an already expanded AES key schedule.
+    pub fn from_aes(aes: Aes) -> Self {
+        CtrCipher { aes }
     }
 
     /// XOR `data` in place with the keystream generated from `nonce`.

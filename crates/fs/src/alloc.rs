@@ -44,6 +44,13 @@ impl AllocPolicy {
 }
 
 /// Stateful allocator bound to a data region of the volume.
+///
+/// First-fit allocation rotates a cursor past each allocation; together with
+/// the bitmap's word-level scan and next-free hint (see [`Bitmap`]), finding
+/// the next free block on a fragmented, mostly full volume costs a handful
+/// of 64-block word probes instead of an O(volume) bit walk — and the
+/// up-front capacity check in [`Allocator::allocate_file`] is a word-level
+/// popcount rather than a per-bit filter.
 pub struct Allocator {
     policy: AllocPolicy,
     region_start: u64,
@@ -178,8 +185,8 @@ impl Allocator {
     /// Pick (but do not mark) a uniformly random free block in the region.
     pub fn pick_random_free(&mut self, bitmap: &Bitmap) -> FsResult<u64> {
         let span = self.region_end - self.region_start;
-        // Try random probes first; fall back to a linear scan from a random
-        // origin when the region is nearly full.
+        // Try random probes first; fall back to a (word-level) scan from a
+        // random origin when the region is nearly full.
         for _ in 0..64 {
             let candidate = self.region_start + self.rng.next_below(span);
             if !bitmap.is_allocated(candidate) {

@@ -530,12 +530,20 @@ impl<D: BlockDevice> PlainFs<D> {
     /// returning the concatenated block contents in `blocks` order.  This is
     /// the raw primitive the hidden-object layer reads its extents through.
     pub fn read_raw_blocks(&self, blocks: &[u64]) -> FsResult<Vec<u8>> {
-        if blocks.is_empty() {
-            return Ok(Vec::new());
-        }
         let mut buf = vec![0u8; blocks.len() * self.block_size()];
-        self.dev.read_blocks(blocks, &mut buf)?;
+        self.read_raw_blocks_into(blocks, &mut buf)?;
         Ok(buf)
+    }
+
+    /// As [`Self::read_raw_blocks`], but into a caller-supplied buffer of
+    /// exactly `blocks.len() * block_size` bytes — the allocation-free
+    /// variant the hidden layer's pooled scratch buffers use.
+    pub fn read_raw_blocks_into(&self, blocks: &[u64], buf: &mut [u8]) -> FsResult<()> {
+        if blocks.is_empty() {
+            return Ok(());
+        }
+        self.dev.read_blocks(blocks, buf)?;
+        Ok(())
     }
 
     /// Write a whole extent list in **one batched device submission**.

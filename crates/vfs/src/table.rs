@@ -37,6 +37,29 @@ impl VfsHandle {
     }
 }
 
+/// The state behind a handle's per-handle offset lock: the stream offset
+/// itself plus where the previous *streaming read* ended, which is what
+/// detects a sequential scan (and arms readahead) without any extra lock.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StreamPos {
+    /// Current stream offset.
+    pub pos: u64,
+    /// End offset of the handle's previous streaming read; `u64::MAX`
+    /// before the first read and after any write (a fresh scan must prove
+    /// itself sequential again before readahead arms).
+    pub last_read_end: u64,
+}
+
+impl StreamPos {
+    /// A fresh position (no streaming history).
+    pub fn new(pos: u64) -> Self {
+        StreamPos {
+            pos,
+            last_read_end: u64::MAX,
+        }
+    }
+}
+
 /// Per-handle state.
 #[derive(Clone)]
 pub(crate) struct OpenFile {
@@ -45,11 +68,11 @@ pub(crate) struct OpenFile {
     /// hold the same entry, whose internal lock serialises their I/O; a
     /// handle whose entry has been marked dead (unlink) is stale.
     pub object: Arc<ObjectEntry>,
-    /// The stream offset, behind its own per-handle lock.  Streaming ops
+    /// The stream position, behind its own per-handle lock.  Streaming ops
     /// hold this lock across their object I/O (that is what makes a shared
     /// POSIX-style offset consume atomically); positional ops never touch
     /// it.  Lock order: offset lock < object lock — never the reverse.
-    pub offset: Arc<Mutex<u64>>,
+    pub offset: Arc<Mutex<StreamPos>>,
     pub read: bool,
     pub write: bool,
     pub append: bool,
@@ -189,7 +212,7 @@ mod tests {
         OpenFile {
             session,
             object: Arc::new(ObjectEntry::test_plain(7)),
-            offset: Arc::new(Mutex::new(0)),
+            offset: Arc::new(Mutex::new(StreamPos::new(0))),
             read: true,
             write: false,
             append: false,
@@ -202,8 +225,8 @@ mod tests {
         let h = t.insert(file(1));
         assert_eq!(t.get(h).unwrap().session, 1);
         // The offset cell is shared between snapshots of the same handle.
-        *t.get(h).unwrap().offset.lock() = 42;
-        assert_eq!(*t.get(h).unwrap().offset.lock(), 42);
+        t.get(h).unwrap().offset.lock().pos = 42;
+        assert_eq!(t.get(h).unwrap().offset.lock().pos, 42);
         assert_eq!(t.len(), 1);
         t.remove(h).unwrap();
         assert!(matches!(t.get(h), Err(VfsError::BadHandle(_))));

@@ -40,7 +40,7 @@
 
 use crate::error::{VfsError, VfsResult};
 use crate::path::VfsPath;
-use crate::table::{OpenFile, OpenFileTable, OpenOptions, VfsHandle};
+use crate::table::{OpenFile, OpenFileTable, OpenOptions, StreamPos, VfsHandle};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::io::SeekFrom;
@@ -49,9 +49,17 @@ use std::sync::Arc;
 use stegfs_blockdev::BlockDevice;
 use stegfs_core::session::{ConnectedObject, Session};
 use stegfs_core::{
-    DirectoryEntry, HiddenHandle, ObjectKind, SpaceReport, StegFs, StegParams, StegResult,
+    CacheStats, DirectoryEntry, HiddenHandle, ObjectKind, SpaceReport, StegFs, StegParams,
+    StegResult,
 };
 use stegfs_fs::{FileKind, InodeId};
+
+/// Blocks prefetched past a sequential streaming read.  The prefetch rides
+/// the *same* batched device submission as the demand blocks and lands in
+/// the core's plaintext cache, so the next chunk of the scan is served from
+/// RAM.  Armed only once a handle's streaming reads prove back-to-back
+/// (see [`StreamPos`]); positional reads never prefetch.
+const READAHEAD_BLOCKS: usize = 8;
 
 /// A signed-on user session, identified by an opaque id.
 ///
@@ -286,9 +294,12 @@ impl<D: BlockDevice> Vfs<D> {
         SessionId(id)
     }
 
-    /// Sign a session off: every handle it still holds is closed and its
+    /// Sign a session off: every handle it still holds is closed, its
     /// connected-object table is dropped (the paper disconnects all objects
-    /// at logoff).
+    /// at logoff), and the volume's read caches are **purged and zeroed** —
+    /// no decrypted byte may outlive a session that could read it, so
+    /// sign-off conservatively scrubs everything the session might have
+    /// pulled into RAM (see `stegfs_core::readcache`).
     pub fn signoff(&self, session: SessionId) -> VfsResult<()> {
         self.sessions
             .write()
@@ -297,7 +308,15 @@ impl<D: BlockDevice> Vfs<D> {
         for file in self.table.remove_session(session.0) {
             self.release_ref(&file.object);
         }
+        self.fs.purge_read_caches();
         Ok(())
+    }
+
+    /// Counters of the core's read-path cache (hits, misses, evictions,
+    /// resident plaintext), surfaced next to the device `IoStats` by the
+    /// benches.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.fs.cache_stats()
     }
 
     /// Number of live sessions.
@@ -999,7 +1018,7 @@ impl<D: BlockDevice> Vfs<D> {
                     OpenFile {
                         session: session.0,
                         object: obj,
-                        offset: Arc::new(Mutex::new(offset)),
+                        offset: Arc::new(Mutex::new(StreamPos::new(offset))),
                         read: opts.read,
                         write: opts.write,
                         append: opts.append,
@@ -1052,7 +1071,7 @@ impl<D: BlockDevice> Vfs<D> {
                     OpenFile {
                         session: session.0,
                         object: obj,
-                        offset: Arc::new(Mutex::new(offset)),
+                        offset: Arc::new(Mutex::new(StreamPos::new(offset))),
                         read: opts.read,
                         write: opts.write,
                         append: opts.append,
@@ -1117,9 +1136,18 @@ impl<D: BlockDevice> Vfs<D> {
         if !file.read {
             return Err(VfsError::NotReadable);
         }
-        let mut offset = file.offset.lock();
-        let out = self.object_read(handle, &file, *offset, len)?;
-        *offset += out.len() as u64;
+        let mut sp = file.offset.lock();
+        // Readahead arms once this handle's streaming reads are proven
+        // back-to-back: this read starts exactly where the previous one
+        // ended.  Seeks and writes break the streak.
+        let readahead = if sp.pos == sp.last_read_end {
+            READAHEAD_BLOCKS
+        } else {
+            0
+        };
+        let out = self.object_read_ahead(handle, &file, sp.pos, len, readahead)?;
+        sp.pos += out.len() as u64;
+        sp.last_read_end = sp.pos;
         Ok(out)
     }
 
@@ -1133,13 +1161,15 @@ impl<D: BlockDevice> Vfs<D> {
         if !file.write {
             return Err(VfsError::NotWritable);
         }
-        let mut offset = file.offset.lock();
+        let mut sp = file.offset.lock();
         let at = if file.append {
             WriteOffset::End
         } else {
-            WriteOffset::At(*offset)
+            WriteOffset::At(sp.pos)
         };
-        *offset = self.object_write(handle, &file, at, data)?;
+        sp.pos = self.object_write(handle, &file, at, data)?;
+        // A write through the handle ends any read streak.
+        sp.last_read_end = u64::MAX;
         Ok(())
     }
 
@@ -1149,10 +1179,10 @@ impl<D: BlockDevice> Vfs<D> {
     /// streaming handle elsewhere in the table never delays a seek here.
     pub fn seek(&self, handle: VfsHandle, pos: SeekFrom) -> VfsResult<u64> {
         let file = self.table.get(handle)?;
-        let mut offset = file.offset.lock();
+        let mut sp = file.offset.lock();
         let base: i128 = match pos {
             SeekFrom::Start(_) => 0,
-            SeekFrom::Current(_) => *offset as i128,
+            SeekFrom::Current(_) => sp.pos as i128,
             SeekFrom::End(_) => self.target_size(handle, &file)? as i128,
         };
         let delta: i128 = match pos {
@@ -1165,7 +1195,12 @@ impl<D: BlockDevice> Vfs<D> {
                 "seek to negative or overflowing offset {target}"
             )));
         }
-        *offset = target as u64;
+        sp.pos = target as u64;
+        // Repositioning breaks the sequential streak (a seek back to the
+        // streak's end re-arms on the next read anyway).
+        if sp.pos != sp.last_read_end {
+            sp.last_read_end = u64::MAX;
+        }
         Ok(target as u64)
     }
 
@@ -1203,6 +1238,21 @@ impl<D: BlockDevice> Vfs<D> {
         offset: u64,
         len: usize,
     ) -> VfsResult<Vec<u8>> {
+        self.object_read_ahead(handle, file, offset, len, 0)
+    }
+
+    /// [`Self::object_read`] with a readahead hint for hidden objects: the
+    /// hinted blocks past the range ride the same batched submission into
+    /// the plaintext cache.  Plain files already sit behind the buffer
+    /// cache, so the hint only applies to the hidden path.
+    fn object_read_ahead(
+        &self,
+        handle: VfsHandle,
+        file: &OpenFile,
+        offset: u64,
+        len: usize,
+        readahead: usize,
+    ) -> VfsResult<Vec<u8>> {
         let obj = &file.object;
         let io = obj.io.lock();
         if obj.is_dead() {
@@ -1212,7 +1262,9 @@ impl<D: BlockDevice> Vfs<D> {
             TargetState::Plain { inode } => {
                 Ok(self.fs.plain_fs().read_inode_range(*inode, offset, len)?)
             }
-            TargetState::Hidden { handle: h } => Ok(self.fs.read_range_at(h, offset, len)?),
+            TargetState::Hidden { handle: h } => Ok(self
+                .fs
+                .read_range_at_with_readahead(h, offset, len, readahead)?),
         }
     }
 

@@ -19,6 +19,7 @@ pub fn full_feature_params() -> StegParams {
         volume_seed: 0xdead_beef,
         random_fill: true,
         journal_blocks: 0,
+        readpath_cache_blocks: 1024,
     }
 }
 

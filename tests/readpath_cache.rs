@@ -1,0 +1,410 @@
+//! Cache-coherence and deniability tests for the read-path cache.
+//!
+//! The contract under test (see `stegfs_core::readcache`): decrypted state
+//! may be cached in RAM only as long as (a) every mutation through the
+//! public API invalidates it, (b) sign-off purges and zeroes everything,
+//! and (c) nothing about the on-disk image changes — a cached volume and an
+//! uncached volume running the same workload are bit-identical on disk.
+
+#![forbid(unsafe_code)]
+
+use stegfs_blockdev::{BlockDevice, BufferCache, CrashDevice, MemBlockDevice};
+use stegfs_core::{ObjectKind, StegFs, StegParams};
+use stegfs_tests::{journaled_params, payload};
+use stegfs_vfs::{OpenOptions, Vfs};
+
+const OWNER: &str = "readpath cache key";
+
+fn cached_params() -> StegParams {
+    StegParams {
+        readpath_cache_blocks: 2048,
+        ..StegParams::for_tests()
+    }
+}
+
+fn small_fs() -> StegFs<MemBlockDevice> {
+    StegFs::format(MemBlockDevice::new(1024, 8192), cached_params()).unwrap()
+}
+
+// ----------------------------------------------------------------------
+// Coherence: every mutation invalidates
+// ----------------------------------------------------------------------
+
+#[test]
+fn overwrite_truncate_rename_unlink_invalidate_stegfs() {
+    let fs = small_fs();
+    fs.steg_create("doc", OWNER, ObjectKind::File).unwrap();
+    let v1 = payload(1, 20_000);
+    fs.write_hidden_with_key("doc", OWNER, &v1).unwrap();
+
+    // Populate the cache (twice, so the second read is a known warm hit).
+    assert_eq!(fs.read_hidden_with_key("doc", OWNER).unwrap(), v1);
+    let before = fs.cache_stats();
+    assert_eq!(fs.read_hidden_with_key("doc", OWNER).unwrap(), v1);
+    let after = fs.cache_stats();
+    assert!(
+        after.block_hits > before.block_hits,
+        "second read must hit: {after:?}"
+    );
+
+    // Overwrite: the cached extents and plaintext must not survive.
+    let v2 = payload(2, 12_345);
+    fs.write_hidden_with_key("doc", OWNER, &v2).unwrap();
+    assert_eq!(fs.read_hidden_with_key("doc", OWNER).unwrap(), v2);
+
+    // In-place range write through the entry path.
+    fs.write_hidden_range_with_key("doc", OWNER, 100, &[0xaa; 600])
+        .unwrap();
+    let mut expect = v2.clone();
+    expect[100..700].copy_from_slice(&[0xaa; 600]);
+    assert_eq!(fs.read_hidden_with_key("doc", OWNER).unwrap(), expect);
+
+    // Truncate through a handle.
+    let mut h = fs.open_hidden("doc", OWNER).unwrap();
+    fs.truncate_handle(&mut h, 500).unwrap();
+    assert_eq!(
+        fs.read_hidden_with_key("doc", OWNER).unwrap(),
+        &expect[..500]
+    );
+
+    // Extend through a handle (zero fill must show, not stale plaintext).
+    fs.truncate_handle(&mut h, 1500).unwrap();
+    let grown = fs.read_hidden_with_key("doc", OWNER).unwrap();
+    assert_eq!(&grown[..500], &expect[..500]);
+    assert!(grown[500..].iter().all(|&b| b == 0));
+
+    // Rename: old name gone, new name reads current content.
+    fs.rename_hidden("doc", "doc2", OWNER).unwrap();
+    assert!(fs
+        .read_hidden_with_key("doc", OWNER)
+        .unwrap_err()
+        .is_not_found());
+    assert_eq!(fs.read_hidden_with_key("doc2", OWNER).unwrap(), grown);
+
+    // Unlink: reads must fail afterwards, however warm the cache was.
+    assert_eq!(fs.read_hidden_with_key("doc2", OWNER).unwrap(), grown);
+    fs.delete_hidden("doc2", OWNER).unwrap();
+    assert!(fs
+        .read_hidden_with_key("doc2", OWNER)
+        .unwrap_err()
+        .is_not_found());
+
+    // Recreate under the same name: must read the new object's content,
+    // never the deleted one's cached plaintext.
+    fs.steg_create("doc2", OWNER, ObjectKind::File).unwrap();
+    let v3 = payload(3, 4_000);
+    fs.write_hidden_with_key("doc2", OWNER, &v3).unwrap();
+    assert_eq!(fs.read_hidden_with_key("doc2", OWNER).unwrap(), v3);
+}
+
+#[test]
+fn stale_core_handle_cannot_poison_the_cache() {
+    // A core-level handle snapshots the object's header at open time; a
+    // name-based rewrite afterwards leaves it stale (documented, pre-cache
+    // behaviour).  What must NOT happen is a read through the stale handle
+    // re-installing the old header into the shared cache, so that *fresh*
+    // name-based reads — which walk from disk and must see the new content —
+    // get served the dead incarnation.
+    let fs = small_fs();
+    fs.steg_create("doc", OWNER, ObjectKind::File).unwrap();
+    let v1 = payload(50, 8_000);
+    fs.write_hidden_with_key("doc", OWNER, &v1).unwrap();
+
+    let stale = fs.open_hidden("doc", OWNER).unwrap(); // snapshots v1 header
+
+    let v2 = payload(51, 12_500); // different size and block map
+    fs.write_hidden_with_key("doc", OWNER, &v2).unwrap();
+
+    // Reading through the stale handle walks the dead chain; whatever it
+    // returns (garbage or an error) is the handle's own problem...
+    let _ = fs.read_range_at(&stale, 0, 1024);
+    // ...but fresh reads must see v2, not the header the stale walk carried.
+    assert_eq!(fs.read_hidden_with_key("doc", OWNER).unwrap(), v2);
+    assert_eq!(fs.read_hidden_with_key("doc", OWNER).unwrap(), v2);
+    let fresh = fs.open_hidden("doc", OWNER).unwrap();
+    assert_eq!(fs.handle_size(&fresh), v2.len() as u64);
+}
+
+#[test]
+fn vfs_coherence_across_two_sessions() {
+    let vfs = Vfs::format(MemBlockDevice::new(1024, 8192), cached_params()).unwrap();
+    let a = vfs.signon(OWNER);
+    let b = vfs.signon(OWNER);
+
+    let h = vfs
+        .open(a, "/hidden/shared", OpenOptions::read_write())
+        .unwrap();
+    let v1 = payload(10, 30_000);
+    vfs.write_at(h, 0, &v1).unwrap();
+
+    // Session B reads (warming the cache), then A overwrites, then B must
+    // see the overwrite — the cache may never serve B the stale bytes.
+    let hb = vfs
+        .open(b, "/hidden/shared", OpenOptions::read_only())
+        .unwrap();
+    assert_eq!(vfs.read_at(hb, 0, v1.len()).unwrap(), v1);
+    assert_eq!(vfs.read_at(hb, 0, v1.len()).unwrap(), v1);
+
+    let v2 = payload(11, 30_000);
+    vfs.write_at(h, 0, &v2).unwrap();
+    assert_eq!(vfs.read_at(hb, 0, v2.len()).unwrap(), v2);
+
+    // Truncate through A, read through B.
+    vfs.truncate(h, 1000).unwrap();
+    assert_eq!(vfs.read_at(hb, 0, 30_000).unwrap(), &v2[..1000]);
+
+    vfs.close(h).unwrap();
+    vfs.close(hb).unwrap();
+
+    // Unlink through A; B's path lookups must report deniable not-found.
+    vfs.unlink(a, "/hidden/shared").unwrap();
+    let err = vfs
+        .open(b, "/hidden/shared", OpenOptions::read_only())
+        .unwrap_err();
+    assert!(err.is_not_found());
+
+    vfs.signoff(a).unwrap();
+    vfs.signoff(b).unwrap();
+}
+
+#[test]
+fn hidden_directory_listings_stay_coherent() {
+    let fs = small_fs();
+    fs.steg_create("vault", OWNER, ObjectKind::Directory)
+        .unwrap();
+    fs.create_in_hidden_dir("vault", "a", OWNER, ObjectKind::File)
+        .unwrap();
+    // Read the listing twice (cached), then mutate it and re-read.
+    assert_eq!(fs.list_hidden_dir("vault", OWNER).unwrap().len(), 1);
+    assert_eq!(fs.list_hidden_dir("vault", OWNER).unwrap().len(), 1);
+    fs.create_in_hidden_dir("vault", "b", OWNER, ObjectKind::File)
+        .unwrap();
+    assert_eq!(fs.list_hidden_dir("vault", OWNER).unwrap().len(), 2);
+    fs.rename_in_hidden_dir("vault", "a", "a2", OWNER).unwrap();
+    let names: Vec<String> = fs
+        .list_hidden_dir("vault", OWNER)
+        .unwrap()
+        .into_iter()
+        .map(|(n, _)| n)
+        .collect();
+    assert!(names.contains(&"a2".to_string()) && !names.contains(&"a".to_string()));
+    fs.delete_in_hidden_dir("vault", "a2", OWNER).unwrap();
+    assert_eq!(fs.list_hidden_dir("vault", OWNER).unwrap().len(), 1);
+}
+
+// ----------------------------------------------------------------------
+// Sign-off purge: no plaintext outlives the session
+// ----------------------------------------------------------------------
+
+#[test]
+fn signoff_purges_every_cached_plaintext_byte() {
+    let vfs = Vfs::format(MemBlockDevice::new(1024, 8192), cached_params()).unwrap();
+    let s = vfs.signon(OWNER);
+    for i in 0..3 {
+        let path = format!("/hidden/secret-{i}");
+        let h = vfs.open(s, &path, OpenOptions::read_write()).unwrap();
+        vfs.write_at(h, 0, &payload(i, 25_000)).unwrap();
+        let _ = vfs.read_at(h, 0, 25_000).unwrap();
+        let _ = vfs.read_at(h, 0, 25_000).unwrap();
+        vfs.close(h).unwrap();
+    }
+    let stats = vfs.cache_stats();
+    assert!(stats.resident_blocks > 0, "reads must populate: {stats:?}");
+    assert!(stats.resident_bytes > 0);
+    assert!(stats.block_hits > 0);
+
+    vfs.signoff(s).unwrap();
+    let stats = vfs.cache_stats();
+    assert_eq!(
+        stats.resident_blocks, 0,
+        "sign-off left plaintext: {stats:?}"
+    );
+    assert_eq!(stats.resident_bytes, 0);
+    assert_eq!(stats.resident_objects, 0);
+    assert!(stats.purges >= 1);
+}
+
+#[test]
+fn disconnect_all_and_unmount_purge_at_core_level() {
+    let fs = small_fs();
+    fs.steg_create("s", OWNER, ObjectKind::File).unwrap();
+    fs.write_hidden_with_key("s", OWNER, &payload(9, 10_000))
+        .unwrap();
+    let _ = fs.read_hidden_with_key("s", OWNER).unwrap();
+    assert!(fs.cache_stats().resident_blocks > 0);
+    fs.disconnect_all();
+    let stats = fs.cache_stats();
+    assert_eq!(stats.resident_blocks, 0);
+    assert_eq!(stats.resident_objects, 0);
+}
+
+// ----------------------------------------------------------------------
+// Crash + remount: the cache never survives a mount
+// ----------------------------------------------------------------------
+
+#[test]
+fn crash_then_remount_serves_replayed_state_not_cache() {
+    type Stack = StegFs<BufferCache<CrashDevice<MemBlockDevice>>>;
+    let params = StegParams {
+        dummy_file_count: 1,
+        dummy_file_size: 4 * 1024,
+        readpath_cache_blocks: 1024,
+        ..journaled_params(160)
+    };
+    let dev = CrashDevice::new(MemBlockDevice::new(1024, 8192));
+    let fs: Stack =
+        StegFs::format(BufferCache::new_write_back(dev.clone(), 64), params.clone()).unwrap();
+
+    let v1 = payload(21, 18_000);
+    fs.steg_create("ledger", OWNER, ObjectKind::File).unwrap();
+    fs.write_hidden_with_key("ledger", OWNER, &v1).unwrap();
+    fs.sync().unwrap();
+    // Warm the cache thoroughly on the pre-crash mount.
+    assert_eq!(fs.read_hidden_with_key("ledger", OWNER).unwrap(), v1);
+    assert_eq!(fs.read_hidden_with_key("ledger", OWNER).unwrap(), v1);
+
+    // Start an overwrite and kill the device partway through it.
+    let v2 = payload(22, 18_000);
+    dev.fail_after_writes(7);
+    let _ = fs.write_hidden_with_key("ledger", OWNER, &v2);
+    drop(fs);
+    dev.crash(0xc0ffee);
+
+    // The remounted volume has a provably empty cache; the journal replay
+    // decides between old and new, and the read must match the *disk*,
+    // not anything the previous mount had cached.
+    let fs: Stack = StegFs::mount(BufferCache::new_write_back(dev.clone(), 64), params).unwrap();
+    assert_eq!(fs.cache_stats().resident_blocks, 0);
+    let got = fs.read_hidden_with_key("ledger", OWNER).unwrap();
+    assert!(
+        got == v1 || got == v2,
+        "torn read after crash: {} bytes",
+        got.len()
+    );
+    // And the remount is fully writable/readable going forward.
+    let v3 = payload(23, 9_000);
+    fs.write_hidden_with_key("ledger", OWNER, &v3).unwrap();
+    assert_eq!(fs.read_hidden_with_key("ledger", OWNER).unwrap(), v3);
+}
+
+// ----------------------------------------------------------------------
+// Deniability: the disk never changes because of the cache
+// ----------------------------------------------------------------------
+
+/// The same single-threaded workload on two volumes differing only in
+/// whether the read cache exists.  Reads are interleaved everywhere so a
+/// cache that leaked anything into the write path (or to disk) would
+/// diverge the images.
+fn run_workload(fs: &StegFs<MemBlockDevice>) {
+    fs.write_plain("/cover.txt", b"innocuous plain data")
+        .unwrap();
+    for i in 0..3u64 {
+        let name = format!("obj-{i}");
+        fs.steg_create(&name, OWNER, ObjectKind::File).unwrap();
+        fs.write_hidden_with_key(&name, OWNER, &payload(i, 9_000 + i as usize * 1024))
+            .unwrap();
+        let _ = fs.read_hidden_with_key(&name, OWNER).unwrap();
+        let _ = fs.read_hidden_with_key(&name, OWNER).unwrap();
+    }
+    fs.write_hidden_with_key("obj-1", OWNER, &payload(40, 3_000))
+        .unwrap();
+    let _ = fs.read_hidden_with_key("obj-1", OWNER).unwrap();
+    let mut h = fs.open_hidden("obj-2", OWNER).unwrap();
+    fs.truncate_handle(&mut h, 2_000).unwrap();
+    let _ = fs.read_range_at(&h, 0, 2_000).unwrap();
+    fs.rename_hidden("obj-0", "obj-renamed", OWNER).unwrap();
+    let _ = fs.read_hidden_with_key("obj-renamed", OWNER).unwrap();
+    fs.delete_hidden("obj-renamed", OWNER).unwrap();
+    let _ = fs.list_hidden(OWNER).unwrap();
+    fs.touch_dummy_files().unwrap();
+    let _ = fs.read_hidden_with_key("obj-1", OWNER).unwrap();
+}
+
+#[test]
+fn disk_image_bit_identical_with_and_without_cache() {
+    let with_cache = StegFs::format(
+        MemBlockDevice::new(1024, 8192),
+        StegParams {
+            readpath_cache_blocks: 2048,
+            ..StegParams::for_tests()
+        },
+    )
+    .unwrap();
+    let without_cache = StegFs::format(
+        MemBlockDevice::new(1024, 8192),
+        StegParams {
+            readpath_cache_blocks: 0,
+            ..StegParams::for_tests()
+        },
+    )
+    .unwrap();
+
+    run_workload(&with_cache);
+    run_workload(&without_cache);
+    // The cached run must actually have cached something, or this test
+    // proves nothing.
+    assert!(with_cache.cache_stats().block_hits > 0);
+    assert_eq!(without_cache.cache_stats().block_hits, 0);
+
+    let dev_a = with_cache.unmount().unwrap();
+    let dev_b = without_cache.unmount().unwrap();
+    assert_eq!(dev_a.total_blocks(), dev_b.total_blocks());
+    let mut buf_a = vec![0u8; dev_a.block_size()];
+    let mut buf_b = vec![0u8; dev_b.block_size()];
+    for block in 0..dev_a.total_blocks() {
+        dev_a.read_block(block, &mut buf_a).unwrap();
+        dev_b.read_block(block, &mut buf_b).unwrap();
+        assert_eq!(buf_a, buf_b, "divergence at block {block}");
+    }
+}
+
+// ----------------------------------------------------------------------
+// Streaming readahead
+// ----------------------------------------------------------------------
+
+#[test]
+fn sequential_streaming_reads_prefetch_into_the_cache() {
+    let vfs = Vfs::format(MemBlockDevice::new(1024, 8192), cached_params()).unwrap();
+    let s = vfs.signon(OWNER);
+    let h = vfs
+        .open(s, "/hidden/stream", OpenOptions::read_write())
+        .unwrap();
+    let data = payload(31, 32 * 1024); // 32 blocks at 1 KiB
+    vfs.write_at(h, 0, &data).unwrap();
+    vfs.close(h).unwrap();
+
+    // Fresh handle, 1 KiB streaming chunks over the whole file.
+    let h = vfs
+        .open(s, "/hidden/stream", OpenOptions::read_only())
+        .unwrap();
+    let before = vfs.cache_stats();
+    let mut got = Vec::new();
+    loop {
+        let chunk = vfs.read(h, 1024).unwrap();
+        if chunk.is_empty() {
+            break;
+        }
+        got.extend_from_slice(&chunk);
+    }
+    assert_eq!(got, data);
+    let after = vfs.cache_stats();
+    let misses = after.block_misses - before.block_misses;
+    let hits = after.block_hits - before.block_hits;
+    // 32 one-block reads: without readahead every one would miss.  With
+    // the 8-block window armed from the second read on, only a handful of
+    // submissions touch the device.
+    assert!(misses <= 8, "readahead did not batch: {misses} misses");
+    assert!(hits >= 24, "prefetched blocks were not served: {hits} hits");
+    vfs.close(h).unwrap();
+
+    // A positional re-read of the same range is all hits now.
+    let h = vfs
+        .open(s, "/hidden/stream", OpenOptions::read_only())
+        .unwrap();
+    let before = vfs.cache_stats();
+    assert_eq!(vfs.read_at(h, 0, data.len()).unwrap(), data);
+    let after = vfs.cache_stats();
+    assert_eq!(after.block_misses, before.block_misses);
+    vfs.close(h).unwrap();
+    vfs.signoff(s).unwrap();
+}
