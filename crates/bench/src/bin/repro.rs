@@ -128,8 +128,37 @@ fn usage(msg: &str) -> ! {
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
 
+/// One `percentiles` entry: a sweep point's latency distribution, keyed by
+/// the sweep it came from.  Collected across whichever sweeps ran and merged
+/// into `BENCH.json` as one section so CI can assert on it.
+struct PercentileEntry {
+    sweep: &'static str,
+    concurrency: usize,
+    op: &'static str,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+fn percentiles_json(entries: &[PercentileEntry]) -> String {
+    let mut s = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"sweep\": \"{}\", \"concurrency\": {}, \"op\": \"{}\", \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}{}\n",
+            e.sweep,
+            e.concurrency,
+            e.op,
+            e.p50_ms,
+            e.p99_ms,
+            if i + 1 == entries.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]");
+    s
+}
+
 fn main() {
     let opts = parse_args();
+    let mut percentiles: Vec<PercentileEntry> = Vec::new();
 
     let (params, fig6_volume_mb, fig6_trials, space_volume_mb) = if opts.full {
         (WorkloadParams::paper_defaults(), 1024, 3, 1024)
@@ -234,6 +263,13 @@ fn main() {
         };
         let points = stegfs_bench::vfs_scaling::run_sweep_over(ops_per_thread, counts);
         println!("{}", stegfs_bench::vfs_scaling::render(&points));
+        percentiles.extend(points.iter().map(|p| PercentileEntry {
+            sweep: "vfs_scaling",
+            concurrency: p.threads,
+            op: p.op,
+            p50_ms: p.p50_us / 1000.0,
+            p99_ms: p.p99_us / 1000.0,
+        }));
         let section = stegfs_bench::vfs_scaling::section_json(&points);
         match stegfs_bench::bench_json::update_file("BENCH.json", "vfs_scaling", &section) {
             Ok(()) => println!(
@@ -258,15 +294,39 @@ fn main() {
         } else {
             (es::CLIENTS, 32, &es::WORKER_COUNTS)
         };
-        let points = es::run_sweep(clients, ops_per_client, counts);
-        println!("{}", es::render(&points));
-        let section = es::section_json(&points);
+        let sweep = es::run_sweep(clients, ops_per_client, counts);
+        println!("{}", es::render(&sweep.points));
+        percentiles.extend(sweep.points.iter().map(|p| PercentileEntry {
+            sweep: "engine_scaling",
+            concurrency: p.workers,
+            op: p.op,
+            p50_ms: p.p50_ms,
+            p99_ms: p.p99_ms,
+        }));
+        let section = es::section_json(&sweep.points);
         match stegfs_bench::bench_json::update_file("BENCH.json", "engine_scaling", &section) {
             Ok(()) => println!(
                 "merged engine_scaling into BENCH.json ({} points)",
-                points.len()
+                sweep.points.len()
             ),
             Err(e) => eprintln!("could not write BENCH.json: {e}"),
+        }
+        if let Some(contention) = &sweep.contention {
+            let (source, wait_ns) = contention.dominant();
+            println!(
+                "contention profile (write @ {} workers): dominant wait source {} ({:.1} ms total wait)",
+                contention.workers,
+                source,
+                wait_ns as f64 / 1e6
+            );
+            match stegfs_bench::bench_json::update_file(
+                "BENCH.json",
+                "contention",
+                &contention.section_json(),
+            ) {
+                Ok(()) => println!("merged contention into BENCH.json"),
+                Err(e) => eprintln!("could not write BENCH.json: {e}"),
+            }
         }
     }
 
@@ -314,6 +374,17 @@ fn main() {
             Ok(()) => println!(
                 "merged durability into BENCH.json ({} points)",
                 points.len()
+            ),
+            Err(e) => eprintln!("could not write BENCH.json: {e}"),
+        }
+    }
+
+    if !percentiles.is_empty() {
+        let section = percentiles_json(&percentiles);
+        match stegfs_bench::bench_json::update_file("BENCH.json", "percentiles", &section) {
+            Ok(()) => println!(
+                "merged percentiles into BENCH.json ({} entries)",
+                percentiles.len()
             ),
             Err(e) => eprintln!("could not write BENCH.json: {e}"),
         }

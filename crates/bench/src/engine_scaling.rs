@@ -57,6 +57,68 @@ pub struct EnginePoint {
     pub elapsed_ms: f64,
     /// Mean submit-to-completion latency per request, in milliseconds.
     pub mean_latency_ms: f64,
+    /// Median submit-to-completion latency, in milliseconds (from the
+    /// volume's obs registry, reset per measured pass).
+    pub p50_ms: f64,
+    /// 99th-percentile submit-to-completion latency, in milliseconds.
+    pub p99_ms: f64,
+    /// Wall-clock spent *outside* the measured pass for this point: volume
+    /// build + engine start (amortised over the point's ops) + warm-up.
+    pub setup_ms: f64,
+}
+
+/// The contention profile of one measured pass: the full obs snapshot plus
+/// which wait source dominated.  `repro` merges it into `BENCH.json` as the
+/// `contention` section, turning "writes collapse at 12 workers" into a
+/// named, quantified culprit.
+pub struct ContentionReport {
+    /// Worker count of the profiled pass.
+    pub workers: usize,
+    /// Operation of the profiled pass.
+    pub op: &'static str,
+    /// Registry snapshot covering exactly the measured pass (reset before).
+    pub snapshot: stegfs_obs::Snapshot,
+}
+
+impl ContentionReport {
+    /// The wait source with the largest total wait: one of the named lock
+    /// families or the journal commit gate.  Returns `(name, total wait
+    /// ns)`.
+    pub fn dominant(&self) -> (&'static str, u64) {
+        let mut best = ("none", 0u64);
+        for (name, lock) in &self.snapshot.locks {
+            if lock.wait.total > best.1 {
+                best = (name, lock.wait.total);
+            }
+        }
+        if self.snapshot.gate.stall_ns.total > best.1 {
+            best = ("journal.commit_gate", self.snapshot.gate.stall_ns.total);
+        }
+        best
+    }
+
+    /// Serialise as the `contention` JSON section.
+    pub fn section_json(&self) -> String {
+        let (source, wait_ns) = self.dominant();
+        format!(
+            "{{\"workers\": {}, \"op\": \"{}\", \"dominant_wait_source\": \"{}\", \
+             \"dominant_wait_total_ns\": {}, \"snapshot\": {}}}",
+            self.workers,
+            self.op,
+            source,
+            wait_ns,
+            self.snapshot.to_json()
+        )
+    }
+}
+
+/// Result of [`run_sweep`]: the throughput/latency points plus the
+/// contention profile of the heaviest write pass.
+pub struct EngineSweep {
+    /// One point per `(worker count, op)`.
+    pub points: Vec<EnginePoint>,
+    /// Obs snapshot of the write pass at the highest worker count.
+    pub contention: Option<ContentionReport>,
 }
 
 fn params() -> StegParams {
@@ -201,23 +263,47 @@ fn one_pass(
     )
 }
 
+/// [`stegfs_obs::ENGINE_OPS`] index of the request type a pass issues.
+fn pass_op_index(write: bool) -> usize {
+    if write {
+        5 // write_at
+    } else {
+        3 // read_at
+    }
+}
+
 /// Run the sweep: for each worker count, a fresh volume and engine, a
-/// warm-up pass, then a measured read pass and a measured write pass.
-pub fn run_sweep(
-    clients: usize,
-    ops_per_client: usize,
-    worker_counts: &[usize],
-) -> Vec<EnginePoint> {
+/// warm-up pass, then a measured read pass and a measured write pass.  The
+/// obs registry is reset before each measured pass, so its percentiles and
+/// the returned [`ContentionReport`] (write pass, highest worker count)
+/// cover exactly that pass.
+pub fn run_sweep(clients: usize, ops_per_client: usize, worker_counts: &[usize]) -> EngineSweep {
     let specs = Arc::new(file_set(clients));
-    let mut out = Vec::new();
+    let mut points = Vec::new();
+    let mut contention = None;
+    let max_workers = worker_counts.iter().copied().max().unwrap_or(0);
     for &workers in worker_counts {
+        let build_start = Instant::now();
         let vfs = build_volume(&specs, clients);
         let engine = Arc::new(Engine::start(vfs, workers));
+        // The volume build serves both ops of this worker count equally.
+        let build_ms = build_start.elapsed().as_secs_f64() * 1000.0 / 2.0;
         for (op, write) in [("read", false), ("write", true)] {
+            let warm_start = Instant::now();
             one_pass(&engine, &specs, clients, write, ops_per_client / 4 + 1);
+            let setup_ms = build_ms + warm_start.elapsed().as_secs_f64() * 1000.0;
+            let obs = Arc::clone(engine.vfs().obs());
+            obs.reset();
             let (total_ops, elapsed_ms, mean_latency_ms) =
                 one_pass(&engine, &specs, clients, write, ops_per_client);
-            out.push(EnginePoint {
+            let snapshot = obs.snapshot();
+            let latency = snapshot
+                .engine
+                .latency
+                .get(pass_op_index(write))
+                .copied()
+                .unwrap_or_default();
+            points.push(EnginePoint {
                 workers,
                 clients,
                 op,
@@ -225,25 +311,42 @@ pub fn run_sweep(
                 total_ops,
                 elapsed_ms,
                 mean_latency_ms,
+                p50_ms: latency.p50 as f64 / 1e6,
+                p99_ms: latency.p99 as f64 / 1e6,
+                setup_ms,
             });
+            if write && workers == max_workers {
+                contention = Some(ContentionReport {
+                    workers,
+                    op,
+                    snapshot,
+                });
+            }
         }
         Arc::try_unwrap(engine)
             .unwrap_or_else(|_| panic!("engine still shared"))
             .shutdown();
     }
-    out
+    EngineSweep { points, contention }
 }
 
 /// Render the sweep as a text table.
 pub fn render(points: &[EnginePoint]) -> String {
     let mut s = String::from(
         "Engine worker-scaling sweep (~64 KB whole-file requests, 12 clients)\n\
-         op     workers      ops/sec   elapsed(ms)   mean latency(ms)\n",
+         op     workers      ops/sec   setup(ms)   elapsed(ms)   mean(ms)   p50(ms)   p99(ms)\n",
     );
     for p in points {
         s.push_str(&format!(
-            "{:<6} {:>7} {:>12.0} {:>13.1} {:>18.2}\n",
-            p.op, p.workers, p.ops_per_sec, p.elapsed_ms, p.mean_latency_ms
+            "{:<6} {:>7} {:>12.0} {:>11.1} {:>13.1} {:>10.2} {:>9.2} {:>9.2}\n",
+            p.op,
+            p.workers,
+            p.ops_per_sec,
+            p.setup_ms,
+            p.elapsed_ms,
+            p.mean_latency_ms,
+            p.p50_ms,
+            p.p99_ms
         ));
     }
     s
@@ -256,7 +359,8 @@ pub fn section_json(points: &[EnginePoint]) -> String {
     for (i, p) in points.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"workers\": {}, \"clients\": {}, \"op\": \"{}\", \"ops_per_sec\": {:.1}, \
-             \"total_ops\": {}, \"elapsed_ms\": {:.2}, \"mean_latency_ms\": {:.2}}}{}\n",
+             \"total_ops\": {}, \"elapsed_ms\": {:.2}, \"mean_latency_ms\": {:.2}, \
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"setup_ms\": {:.2}}}{}\n",
             p.workers,
             p.clients,
             p.op,
@@ -264,6 +368,9 @@ pub fn section_json(points: &[EnginePoint]) -> String {
             p.total_ops,
             p.elapsed_ms,
             p.mean_latency_ms,
+            p.p50_ms,
+            p.p99_ms,
+            p.setup_ms,
             if i + 1 == points.len() { "" } else { "," }
         ));
     }
@@ -276,14 +383,23 @@ mod tests {
     use super::*;
 
     #[test]
-    fn tiny_sweep_produces_points() {
-        let points = run_sweep(2, 2, &[2]);
-        assert_eq!(points.len(), 2);
-        for p in &points {
+    fn tiny_sweep_produces_points_and_contention() {
+        let sweep = run_sweep(2, 2, &[2]);
+        assert_eq!(sweep.points.len(), 2);
+        for p in &sweep.points {
             assert_eq!(p.total_ops, 4);
             assert!(p.ops_per_sec > 0.0);
             assert!(p.mean_latency_ms > 0.0);
+            assert!(p.p50_ms > 0.0, "p50 must come from the measured pass");
+            assert!(p.p99_ms >= p.p50_ms);
+            assert!(p.setup_ms > 0.0);
         }
+        let contention = sweep.contention.expect("write pass profiled");
+        assert_eq!(contention.op, "write");
+        let json = contention.section_json();
+        assert!(json.contains("\"dominant_wait_source\""));
+        assert!(json.contains("\"engine.queue\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]
@@ -296,8 +412,12 @@ mod tests {
             total_ops: 768,
             elapsed_ms: 622.2,
             mean_latency_ms: 9.7,
+            p50_ms: 8.8,
+            p99_ms: 20.4,
+            setup_ms: 350.0,
         }]);
         assert!(json.contains("\"workers\": 12"));
+        assert!(json.contains("\"p99_ms\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         let merged = crate::bench_json::merge_section(None, "engine_scaling", &json);
         assert!(merged.contains("\"engine_scaling\""));

@@ -26,6 +26,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 use stegfs_blockdev::{LatencyDevice, MemBlockDevice};
 use stegfs_core::StegParams;
+use stegfs_obs::Histogram;
 use stegfs_vfs::{OpenOptions, Vfs};
 
 /// The device used by the sweep.
@@ -55,6 +56,14 @@ pub struct ScalingPoint {
     pub total_ops: u64,
     /// Wall-clock time for the pass, in milliseconds.
     pub elapsed_ms: f64,
+    /// Median per-operation latency, in microseconds (sharded log-linear
+    /// histogram recorded by the measured pass itself).
+    pub p50_us: f64,
+    /// 99th-percentile per-operation latency, in microseconds.
+    pub p99_us: f64,
+    /// Wall-clock spent outside the measured pass for this point: volume
+    /// build (split across the point's ops) + warm-up.
+    pub setup_ms: f64,
 }
 
 fn params() -> StegParams {
@@ -103,12 +112,14 @@ fn one_pass(
     mode: &'static str,
     write: bool,
     ops_per_thread: usize,
+    latency: &Arc<Histogram>,
 ) -> (u64, f64) {
     let barrier = Arc::new(Barrier::new(threads + 1));
     let workers: Vec<_> = (0..threads)
         .map(|t| {
             let vfs = Arc::clone(vfs);
             let barrier = Arc::clone(&barrier);
+            let latency = Arc::clone(latency);
             thread::spawn(move || {
                 let s = vfs.signon("sweep key");
                 let data = vec![t as u8; FILE_KB * 1024];
@@ -121,13 +132,18 @@ fn one_pass(
                     })
                     .collect();
                 barrier.wait();
+                let timed = latency.is_enabled();
                 for op in 0..ops_per_thread {
                     let h = handles[op % handles.len()];
+                    let start = if timed { Some(Instant::now()) } else { None };
                     if write {
                         vfs.write_at(h, 0, &data).expect("write");
                     } else {
                         let got = vfs.read_at(h, 0, FILE_KB * 1024).expect("read");
                         assert_eq!(got.len(), FILE_KB * 1024);
+                    }
+                    if let Some(start) = start {
+                        latency.record(start.elapsed().as_nanos() as u64);
                     }
                 }
                 barrier.wait();
@@ -165,7 +181,14 @@ pub fn bench_pass(
     write: bool,
     ops_per_thread: usize,
 ) -> (u64, f64) {
-    one_pass(vfs, threads, mode, write, ops_per_thread)
+    one_pass(
+        vfs,
+        threads,
+        mode,
+        write,
+        ops_per_thread,
+        &Arc::new(Histogram::disabled()),
+    )
 }
 
 /// Run the full sweep: every thread count, disjoint and shared working sets,
@@ -181,11 +204,27 @@ pub fn run_sweep_over(ops_per_thread: usize, thread_counts: &[usize]) -> Vec<Sca
     let mut out = Vec::new();
     for mode in ["disjoint", "shared"] {
         for &threads in thread_counts {
+            let build_start = Instant::now();
             let vfs = build_volume(threads, mode);
+            // The volume is shared by the read and the write point; split its
+            // build cost evenly between them for per-point setup accounting.
+            let build_ms = build_start.elapsed().as_secs_f64() * 1000.0 / 2.0;
             for (op, write) in [("read", false), ("write", true)] {
                 // One warm-up pass populates caches and steadies the layout.
-                one_pass(&vfs, threads, mode, write, ops_per_thread / 4 + 1);
-                let (total_ops, elapsed_ms) = one_pass(&vfs, threads, mode, write, ops_per_thread);
+                let warm_start = Instant::now();
+                one_pass(
+                    &vfs,
+                    threads,
+                    mode,
+                    write,
+                    ops_per_thread / 4 + 1,
+                    &Arc::new(Histogram::disabled()),
+                );
+                let setup_ms = build_ms + warm_start.elapsed().as_secs_f64() * 1000.0;
+                let latency = Arc::new(Histogram::new());
+                let (total_ops, elapsed_ms) =
+                    one_pass(&vfs, threads, mode, write, ops_per_thread, &latency);
+                let lat = latency.summary();
                 out.push(ScalingPoint {
                     threads,
                     mode,
@@ -193,6 +232,9 @@ pub fn run_sweep_over(ops_per_thread: usize, thread_counts: &[usize]) -> Vec<Sca
                     ops_per_sec: total_ops as f64 / (elapsed_ms / 1000.0),
                     total_ops,
                     elapsed_ms,
+                    p50_us: lat.p50 as f64 / 1_000.0,
+                    p99_us: lat.p99 as f64 / 1_000.0,
+                    setup_ms,
                 });
             }
         }
@@ -204,12 +246,12 @@ pub fn run_sweep_over(ops_per_thread: usize, thread_counts: &[usize]) -> Vec<Sca
 pub fn render(points: &[ScalingPoint]) -> String {
     let mut s = String::from(
         "VFS thread-scaling sweep (64 KB whole-file handle ops, ops/sec)\n\
-         mode      op     threads      ops/sec   elapsed(ms)\n",
+         mode      op     threads      ops/sec   setup(ms)   elapsed(ms)    p50(us)    p99(us)\n",
     );
     for p in points {
         s.push_str(&format!(
-            "{:<9} {:<6} {:>7} {:>12.0} {:>13.1}\n",
-            p.mode, p.op, p.threads, p.ops_per_sec, p.elapsed_ms
+            "{:<9} {:<6} {:>7} {:>12.0} {:>11.1} {:>13.1} {:>10.0} {:>10.0}\n",
+            p.mode, p.op, p.threads, p.ops_per_sec, p.setup_ms, p.elapsed_ms, p.p50_us, p.p99_us
         ));
     }
     s
@@ -221,13 +263,16 @@ pub fn section_json(points: &[ScalingPoint]) -> String {
     let mut s = String::from("[\n");
     for (i, p) in points.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"threads\": {}, \"mode\": \"{}\", \"op\": \"{}\", \"ops_per_sec\": {:.1}, \"total_ops\": {}, \"elapsed_ms\": {:.2}}}{}\n",
+            "    {{\"threads\": {}, \"mode\": \"{}\", \"op\": \"{}\", \"ops_per_sec\": {:.1}, \"total_ops\": {}, \"elapsed_ms\": {:.2}, \"setup_ms\": {:.2}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}}{}\n",
             p.threads,
             p.mode,
             p.op,
             p.ops_per_sec,
             p.total_ops,
             p.elapsed_ms,
+            p.setup_ms,
+            p.p50_us,
+            p.p99_us,
             if i + 1 == points.len() { "" } else { "," }
         ));
     }
@@ -243,11 +288,23 @@ mod tests {
     fn tiny_sweep_produces_all_points() {
         // One thread count, minimal ops: just proves the harness works.
         let vfs = build_volume(2, "disjoint");
-        let (ops, ms) = one_pass(&vfs, 2, "disjoint", true, 2);
+        let latency = Arc::new(Histogram::new());
+        let (ops, ms) = one_pass(&vfs, 2, "disjoint", true, 2, &latency);
         assert_eq!(ops, 4);
         assert!(ms > 0.0);
+        let lat = latency.summary();
+        assert_eq!(lat.count, 4);
+        assert!(lat.p50 > 0);
+        assert!(lat.p99 >= lat.p50);
         let vfs = build_volume(2, "shared");
-        let (ops, _) = one_pass(&vfs, 2, "shared", false, 2);
+        let (ops, _) = one_pass(
+            &vfs,
+            2,
+            "shared",
+            false,
+            2,
+            &Arc::new(Histogram::disabled()),
+        );
         assert_eq!(ops, 4);
     }
 
@@ -260,6 +317,9 @@ mod tests {
             ops_per_sec: 123.4,
             total_ops: 256,
             elapsed_ms: 2074.9,
+            p50_us: 812.0,
+            p99_us: 1904.5,
+            setup_ms: 310.2,
         }];
         let section = section_json(&points);
         assert!(section.contains("\"threads\": 4"));

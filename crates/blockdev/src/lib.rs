@@ -57,6 +57,7 @@ pub mod error;
 pub mod file;
 pub mod latency;
 pub mod metered;
+pub mod observed;
 
 pub use cache::{BufferCache, CacheMode};
 pub use crash::{CrashDevice, CrashReport};
@@ -66,3 +67,4 @@ pub use error::{BlockError, BlockResult};
 pub use file::FileBlockDevice;
 pub use latency::LatencyDevice;
 pub use metered::{IoStats, MeteredDevice};
+pub use observed::ObservedDevice;

@@ -1,0 +1,196 @@
+//! [`ObservedDevice`] — metrics-instrumented wrapper around any device.
+//!
+//! Unlike [`crate::MeteredDevice`] (which counts I/O and simulated service
+//! time into its own `IoStats`), this wrapper feeds the volume-wide
+//! observability registry: submission counts, batch sizes, and wall-clock
+//! latency histograms land in a shared [`DeviceStats`] from `stegfs-obs`.
+//! The file-system layer owns one of these around its device so *all*
+//! metadata, journal, and data I/O is metered at a single choke point.
+//!
+//! With a disabled stats handle (the default until the volume attaches its
+//! registry) the wrapper never reads the clock and forwards straight
+//! through, preserving the zero-cost opt-out.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+use stegfs_obs::DeviceStats;
+
+use crate::device::{BlockDevice, BlockId};
+use crate::error::BlockResult;
+
+/// A [`BlockDevice`] that records submissions, batch sizes and latency
+/// into a shared [`DeviceStats`].
+pub struct ObservedDevice<D> {
+    inner: D,
+    stats: Arc<DeviceStats>,
+    enabled: bool,
+}
+
+impl<D: BlockDevice> ObservedDevice<D> {
+    /// Wrap `inner` with a detached (disabled) stats handle.
+    pub fn new(inner: D) -> Self {
+        ObservedDevice {
+            inner,
+            stats: Arc::new(DeviceStats::new(false)),
+            enabled: false,
+        }
+    }
+
+    /// Attach the registry's device stats (requires exclusive access; done
+    /// once while the volume is being assembled).
+    pub fn set_stats(&mut self, stats: Arc<DeviceStats>, enabled: bool) {
+        self.stats = stats;
+        self.enabled = enabled;
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped device.
+    pub fn inner_mut(&mut self) -> &mut D {
+        &mut self.inner
+    }
+
+    /// Unwrap, returning the inner device.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+
+    #[inline]
+    fn clock(&self) -> Option<Instant> {
+        if self.enabled {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for ObservedDevice<D> {
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn total_blocks(&self) -> u64 {
+        self.inner.total_blocks()
+    }
+
+    fn read_block(&self, block: BlockId, buf: &mut [u8]) -> BlockResult<()> {
+        let start = self.clock();
+        let result = self.inner.read_block(block, buf);
+        if let Some(start) = start {
+            self.stats.reads.fetch_add(1, Ordering::Relaxed);
+            self.stats.blocks_read.fetch_add(1, Ordering::Relaxed);
+            self.stats.read_batch.record(1);
+            self.stats.read_ns.record(start.elapsed().as_nanos() as u64);
+        }
+        result
+    }
+
+    fn write_block(&self, block: BlockId, buf: &[u8]) -> BlockResult<()> {
+        let start = self.clock();
+        let result = self.inner.write_block(block, buf);
+        if let Some(start) = start {
+            self.stats.writes.fetch_add(1, Ordering::Relaxed);
+            self.stats.blocks_written.fetch_add(1, Ordering::Relaxed);
+            self.stats.write_batch.record(1);
+            self.stats
+                .write_ns
+                .record(start.elapsed().as_nanos() as u64);
+        }
+        result
+    }
+
+    fn read_blocks(&self, blocks: &[BlockId], buf: &mut [u8]) -> BlockResult<()> {
+        let start = self.clock();
+        let result = self.inner.read_blocks(blocks, buf);
+        if let Some(start) = start {
+            self.stats.reads.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .blocks_read
+                .fetch_add(blocks.len() as u64, Ordering::Relaxed);
+            self.stats.read_batch.record(blocks.len() as u64);
+            self.stats.read_ns.record(start.elapsed().as_nanos() as u64);
+        }
+        result
+    }
+
+    fn write_blocks(&self, blocks: &[BlockId], buf: &[u8]) -> BlockResult<()> {
+        let start = self.clock();
+        let result = self.inner.write_blocks(blocks, buf);
+        if let Some(start) = start {
+            self.stats.writes.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .blocks_written
+                .fetch_add(blocks.len() as u64, Ordering::Relaxed);
+            self.stats.write_batch.record(blocks.len() as u64);
+            self.stats
+                .write_ns
+                .record(start.elapsed().as_nanos() as u64);
+        }
+        result
+    }
+
+    fn flush(&self) -> BlockResult<()> {
+        let start = self.clock();
+        let result = self.inner.flush();
+        if let Some(start) = start {
+            self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .flush_ns
+                .record(start.elapsed().as_nanos() as u64);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::MemBlockDevice;
+    use stegfs_obs::Obs;
+
+    #[test]
+    fn detached_wrapper_forwards_without_counting() {
+        let dev = ObservedDevice::new(MemBlockDevice::new(128, 64));
+        let buf = vec![7u8; 128];
+        dev.write_block(3, &buf).unwrap();
+        assert_eq!(dev.read_block_vec(3).unwrap(), buf);
+        assert_eq!(dev.stats.summary().writes, 0);
+    }
+
+    #[test]
+    fn attached_wrapper_counts_submissions_and_batches() {
+        let obs = Obs::new(true);
+        let mut dev = ObservedDevice::new(MemBlockDevice::new(128, 64));
+        dev.set_stats(obs.device.clone(), true);
+        let buf = vec![1u8; 128 * 3];
+        dev.write_blocks(&[1, 2, 3], &buf).unwrap();
+        let mut out = vec![0u8; 128 * 3];
+        dev.read_blocks(&[1, 2, 3], &mut out).unwrap();
+        dev.flush().unwrap();
+        let s = obs.device.summary();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.blocks_written, 3);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.blocks_read, 3);
+        assert_eq!(s.flushes, 1);
+        assert_eq!(s.write_batch.count, 1);
+        assert!(s.write_batch.max >= 3);
+        assert!(s.read_ns.count == 1);
+    }
+
+    #[test]
+    fn unwraps_to_inner_device() {
+        let mut dev = ObservedDevice::new(MemBlockDevice::new(64, 16));
+        dev.write_block(0, &[9u8; 64]).unwrap();
+        assert_eq!(dev.inner().read_block_vec(0).unwrap(), vec![9u8; 64]);
+        dev.inner_mut();
+        let inner = dev.into_inner();
+        assert_eq!(inner.read_block_vec(0).unwrap(), vec![9u8; 64]);
+    }
+}

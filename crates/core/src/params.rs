@@ -54,6 +54,14 @@ pub struct StegParams {
     /// never changes what reaches the disk — see [`crate::readcache`] for
     /// the full contract.
     pub readpath_cache_blocks: usize,
+    /// Whether the RAM-only observability registry (`stegfs-obs`) collects
+    /// anything.  The instrumentation is always compiled in; with this
+    /// `false` every histogram has zero shards, no clock is ever read and
+    /// every record call is a branch-and-return.  Either way nothing
+    /// observable reaches the disk and metric names/shapes are static, so
+    /// the setting has no bearing on deniability — only on the (small)
+    /// collection overhead.
+    pub obs_enabled: bool,
 }
 
 impl Default for StegParams {
@@ -69,6 +77,7 @@ impl Default for StegParams {
             random_fill: true,
             journal_blocks: 0,
             readpath_cache_blocks: 4096,
+            obs_enabled: true,
         }
     }
 }
@@ -88,6 +97,7 @@ impl StegParams {
             random_fill: false,
             journal_blocks: 0,
             readpath_cache_blocks: 1024,
+            obs_enabled: true,
         }
     }
 

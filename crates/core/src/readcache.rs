@@ -36,11 +36,14 @@
 //!   and plaintext blocks cached under the dead entry generation become
 //!   unreachable even if the same physical block is later recycled into
 //!   another object.
-//! * **Session sign-off** — the VFS purges *everything*
-//!   ([`ReadCache::purge`]) whenever a session signs off (and at
-//!   `disconnect_all`/unmount), so no decrypted byte outlives the session
-//!   that could legitimately read it.  Purged and evicted plaintext buffers
-//!   are zeroed before they are freed ([`zeroize`]).
+//! * **Session sign-off** — the VFS purges the departing session's scope
+//!   ([`ReadCache::purge_scope`]): every entry tagged with that session's
+//!   keys, plus every entry whose owner was never established, is removed
+//!   and zeroed, so no decrypted byte outlives the session that could
+//!   legitimately read it.  Entries other live sessions resolved through
+//!   their own keys stay warm.  `disconnect_all` and unmount still purge
+//!   *everything* ([`ReadCache::purge`]).  Purged and evicted plaintext
+//!   buffers are zeroed before they are freed ([`zeroize`]).
 //! * **Remount** — the cache lives inside the mounted [`crate::StegFs`]
 //!   value and is never persisted, so a crash-replay remount starts provably
 //!   empty.
@@ -62,9 +65,11 @@
 use crate::crypt::SIGNATURE_LEN;
 use crate::header::HiddenHeader;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+use stegfs_obs::ReadCacheStats;
 
 /// Number of independently locked shards for each of the two maps.
 const SHARDS: usize = 16;
@@ -94,6 +99,10 @@ pub struct ExtentList {
 /// object may have in the block cache.
 struct CachedObject {
     gen: u64,
+    /// Session scope this entry belongs to (0 = unscoped; see
+    /// [`ReadCache::tag_scope`]).  Scoped purges remove matching *and*
+    /// unscoped entries, so an untagged entry can never outlive a sign-off.
+    scope: u64,
     header_block: u64,
     header: HiddenHeader,
     extents: Option<Arc<ExtentList>>,
@@ -145,6 +154,8 @@ pub struct CacheStats {
     pub rejected_inserts: u64,
     /// Full purges (sign-off / unmount).
     pub purges: u64,
+    /// Scoped purges (one departing session's entries swept).
+    pub scoped_purges: u64,
     /// Plaintext blocks currently resident.
     pub resident_blocks: u64,
     /// Plaintext bytes currently resident.
@@ -165,6 +176,7 @@ struct Counters {
     invalidations: AtomicU64,
     rejected_inserts: AtomicU64,
     purges: AtomicU64,
+    scoped_purges: AtomicU64,
 }
 
 /// Overwrite a buffer with zeros in a way the optimiser cannot elide, then
@@ -192,6 +204,13 @@ pub struct ReadCache {
     objects: Vec<Mutex<HashMap<ObjectSig, CachedObject>>>,
     blocks: Vec<Mutex<BlockShard>>,
     counters: Counters,
+    /// Session scope of each signature, fed by the lookup paths that *do*
+    /// know which access key resolved the object ([`Self::tag_scope`]).
+    /// Consulted on insert so cached entries carry their owning session.
+    scopes: Mutex<HashMap<ObjectSig, u64>>,
+    /// Latency histograms of the volume's observability registry (disabled
+    /// handle until [`Self::set_obs`]).
+    obs: Arc<ReadCacheStats>,
 }
 
 fn object_shard(sig: &ObjectSig) -> usize {
@@ -218,6 +237,23 @@ impl ReadCache {
                 .map(|_| Mutex::new(BlockShard::default()))
                 .collect(),
             counters: Counters::default(),
+            scopes: Mutex::new(HashMap::new()),
+            obs: Arc::new(ReadCacheStats::new(false)),
+        }
+    }
+
+    /// Attach the volume's observability histograms (done once during
+    /// assembly, before the cache is shared).
+    pub fn set_obs(&mut self, stats: Arc<ReadCacheStats>) {
+        self.obs = stats;
+    }
+
+    #[inline]
+    fn clock(&self) -> Option<Instant> {
+        if self.obs.is_enabled() {
+            Some(Instant::now())
+        } else {
+            None
         }
     }
 
@@ -345,6 +381,9 @@ impl ReadCache {
         if !self.enabled() {
             return DEAD_GEN;
         }
+        // Read the scope tag before taking the shard lock (no path ever
+        // holds both the scope table and a shard lock at once).
+        let scope = self.scopes.lock().get(sig).copied().unwrap_or(0);
         let mut shard = self.objects[object_shard(sig)].lock();
         // The generation check runs under the shard lock, and invalidate()
         // bumps the generation *before* taking the shard lock — so either we
@@ -360,9 +399,12 @@ impl ReadCache {
         match shard.get_mut(sig) {
             Some(obj) if obj.header_block == header_block && obj.header == header => {
                 // Same incarnation: keep the gen (existing cached blocks stay
-                // valid), optionally add the extents.
+                // valid), optionally add the extents and a late scope tag.
                 if let Some(ext) = extents {
                     obj.extents = Some(ext);
+                }
+                if scope != 0 {
+                    obj.scope = scope;
                 }
                 obj.gen
             }
@@ -370,6 +412,7 @@ impl ReadCache {
                 let gen = self.fresh_entry_gen();
                 let obj = CachedObject {
                     gen,
+                    scope,
                     header_block,
                     header,
                     extents,
@@ -385,6 +428,24 @@ impl ReadCache {
         }
     }
 
+    /// Record that `sig` was resolved through the session identified by
+    /// `scope` (any stable non-zero value derived from the session's user
+    /// access key).  Entries installed for `sig` from now on carry the tag,
+    /// and [`Self::purge_scope`] for that value sweeps them.  The table
+    /// holds signatures and opaque scope ids only — no key material.
+    pub fn tag_scope(&self, sig: &ObjectSig, scope: u64) {
+        if !self.enabled() || scope == 0 {
+            return;
+        }
+        self.scopes.lock().insert(*sig, scope);
+        // An already-resident entry (cached before the tag existed) gets
+        // tagged in place so it does not linger as "unscoped" forever.
+        let mut shard = self.objects[object_shard(sig)].lock();
+        if let Some(obj) = shard.get_mut(sig) {
+            obj.scope = scope;
+        }
+    }
+
     // ------------------------------------------------------------------
     // Plaintext block cache
     // ------------------------------------------------------------------
@@ -397,6 +458,7 @@ impl ReadCache {
         if !self.enabled() || gen == DEAD_GEN {
             return false;
         }
+        let start = self.clock();
         let mut shard = self.blocks[block_shard(block)].lock();
         shard.tick += 1;
         let tick = shard.tick;
@@ -404,11 +466,19 @@ impl ReadCache {
             Some(entry) => {
                 entry.tick = tick;
                 out.copy_from_slice(&entry.data);
+                drop(shard);
                 self.counters.block_hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(start) = start {
+                    self.obs.hit_ns.record(start.elapsed().as_nanos() as u64);
+                }
                 true
             }
             None => {
+                drop(shard);
                 self.counters.block_misses.fetch_add(1, Ordering::Relaxed);
+                if let Some(start) = start {
+                    self.obs.miss_ns.record(start.elapsed().as_nanos() as u64);
+                }
                 false
             }
         }
@@ -463,6 +533,7 @@ impl ReadCache {
             zeroize(&mut old.data);
         }
         while shard.map.len() > per_shard {
+            let start = self.clock();
             // Per-shard maps are small (capacity / SHARDS), so a min-scan
             // eviction is noise next to the AES work a miss costs.
             let victim = shard
@@ -475,6 +546,9 @@ impl ReadCache {
                 shard.bytes -= evicted.data.len() as u64;
                 zeroize(&mut evicted.data);
                 self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+                if let Some(start) = start {
+                    self.obs.evict_ns.record(start.elapsed().as_nanos() as u64);
+                }
             }
         }
     }
@@ -497,6 +571,7 @@ impl ReadCache {
         // verifies the entry's liveness under this same lock, so once the
         // entry is gone no further plaintext of its generation can be
         // inserted, and everything inserted before is swept here.
+        let start = self.clock();
         let mut object_guard = self.objects[object_shard(sig)].lock();
         if let Some(obj) = object_guard.remove(sig) {
             if let Some(ext) = obj.extents {
@@ -509,6 +584,65 @@ impl ReadCache {
                 }
             }
         }
+        drop(object_guard);
+        if let Some(start) = start {
+            self.obs
+                .zeroize_ns
+                .record(start.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Drop and zero every entry belonging to the departing session `scope`
+    /// — plus every *unscoped* entry, so nothing whose owner is unknown can
+    /// outlive a sign-off.  Entries other live sessions resolved through
+    /// their own keys stay warm; the volume-wide [`Self::purge`] remains the
+    /// unmount/disconnect-all hammer.
+    pub fn purge_scope(&self, scope: u64) {
+        if !self.enabled() || scope == 0 {
+            return;
+        }
+        let start = self.clock();
+        // Bump first, same ordering argument as `invalidate`: in-flight
+        // walks that started before the sign-off cannot install afterwards.
+        self.global_gen.fetch_add(1, Ordering::AcqRel);
+        self.counters.scoped_purges.fetch_add(1, Ordering::Relaxed);
+        self.scopes.lock().retain(|_, s| *s != scope);
+        // Sweep matching (and unscoped) object entries, collecting their
+        // generations; then sweep the block shards by generation so no
+        // plaintext survives even if an extent list was never installed.
+        let mut dead_gens = HashSet::new();
+        for shard in &self.objects {
+            let mut shard = shard.lock();
+            shard.retain(|_, obj| {
+                let dies = obj.scope == scope || obj.scope == 0;
+                if dies {
+                    dead_gens.insert(obj.gen);
+                }
+                !dies
+            });
+        }
+        if !dead_gens.is_empty() {
+            for shard in &self.blocks {
+                let mut shard = shard.lock();
+                let victims: Vec<(u64, u64)> = shard
+                    .map
+                    .keys()
+                    .filter(|(gen, _)| dead_gens.contains(gen))
+                    .copied()
+                    .collect();
+                for key in victims {
+                    if let Some(mut e) = shard.map.remove(&key) {
+                        shard.bytes -= e.data.len() as u64;
+                        zeroize(&mut e.data);
+                    }
+                }
+            }
+        }
+        if let Some(start) = start {
+            self.obs
+                .zeroize_ns
+                .record(start.elapsed().as_nanos() as u64);
+        }
     }
 
     /// Drop and zero **everything** — the sign-off/unmount hook.  After this
@@ -519,8 +653,10 @@ impl ReadCache {
         if !self.enabled() {
             return;
         }
+        let start = self.clock();
         self.global_gen.fetch_add(1, Ordering::AcqRel);
         self.counters.purges.fetch_add(1, Ordering::Relaxed);
+        self.scopes.lock().clear();
         for shard in &self.objects {
             shard.lock().clear();
         }
@@ -531,6 +667,11 @@ impl ReadCache {
             }
             shard.map.clear();
             shard.bytes = 0;
+        }
+        if let Some(start) = start {
+            self.obs
+                .zeroize_ns
+                .record(start.elapsed().as_nanos() as u64);
         }
     }
 
@@ -560,6 +701,7 @@ impl ReadCache {
             invalidations: c.invalidations.load(Ordering::Relaxed),
             rejected_inserts: c.rejected_inserts.load(Ordering::Relaxed),
             purges: c.purges.load(Ordering::Relaxed),
+            scoped_purges: c.scoped_purges.load(Ordering::Relaxed),
             resident_blocks,
             resident_bytes,
             resident_objects,
@@ -801,6 +943,87 @@ mod tests {
         let mut out = [0u8; 13];
         assert!(!c.get_block_into(new_gen, 50, &mut out));
         assert!(!c.get_block_into(old_gen, 50, &mut out));
+    }
+
+    #[test]
+    fn scoped_purge_sweeps_own_and_unscoped_entries_only() {
+        let c = ReadCache::new(256);
+        let (alice, bob) = (11u64, 22u64);
+        let sig_a = [1u8; SIGNATURE_LEN];
+        let sig_b = [2u8; SIGNATURE_LEN];
+        let sig_u = [3u8; SIGNATURE_LEN];
+        c.tag_scope(&sig_a, alice);
+        c.tag_scope(&sig_b, bob);
+        let gen_a = live_entry(&c, &sig_a, &[100]);
+        let gen_b = live_entry(&c, &sig_b, &[101]);
+        let gen_u = live_entry(&c, &sig_u, &[102]); // never tagged
+        c.put_block(&sig_a, gen_a, 100, &[0xaa; 32]);
+        c.put_block(&sig_b, gen_b, 101, &[0xbb; 32]);
+        c.put_block(&sig_u, gen_u, 102, &[0xcc; 32]);
+
+        c.purge_scope(alice);
+
+        // Alice's entry and the unscoped one are gone; Bob's stays warm.
+        assert!(c.lookup_header(&sig_a).is_none());
+        assert!(c.lookup_header(&sig_u).is_none());
+        assert!(c.lookup_header(&sig_b).is_some());
+        let mut out = [0u8; 32];
+        assert!(!c.get_block_into(gen_a, 100, &mut out));
+        assert!(!c.get_block_into(gen_u, 102, &mut out));
+        assert!(c.get_block_into(gen_b, 101, &mut out));
+        assert_eq!(out, [0xbb; 32]);
+        assert_eq!(c.stats().scoped_purges, 1);
+        assert_eq!(c.stats().resident_blocks, 1);
+    }
+
+    #[test]
+    fn scoped_purge_blocks_late_inserts_from_departed_walks() {
+        // A walk in flight when the session signs off must not re-install.
+        let c = ReadCache::new(64);
+        let sig = [7u8; SIGNATURE_LEN];
+        c.tag_scope(&sig, 42);
+        let started = c.begin();
+        c.purge_scope(42);
+        c.store_header(&sig, started, 9, header(3));
+        assert!(c.lookup_header(&sig).is_none(), "stale walk re-installed");
+    }
+
+    #[test]
+    fn tag_scope_tags_resident_entries_in_place() {
+        let c = ReadCache::new(64);
+        let sig = [8u8; SIGNATURE_LEN];
+        let gen = live_entry(&c, &sig, &[60]);
+        c.put_block(&sig, gen, 60, &[1u8; 16]);
+        // Entry cached before any tag existed; tagging it now scopes it.
+        c.tag_scope(&sig, 5);
+        c.purge_scope(99); // some other session leaves...
+        assert!(c.lookup_header(&sig).is_some(), "tagged entry swept early");
+        c.purge_scope(5); // ...then its owner does
+        assert!(c.lookup_header(&sig).is_none());
+        let mut out = [0u8; 16];
+        assert!(!c.get_block_into(gen, 60, &mut out));
+    }
+
+    #[test]
+    fn obs_histograms_record_cache_traffic() {
+        let obs = stegfs_obs::Obs::new(true);
+        let mut c = ReadCache::new(SHARDS);
+        c.set_obs(obs.readcache.clone());
+        let sig = [12u8; SIGNATURE_LEN];
+        let b0 = 0u64;
+        let b1 = SHARDS as u64; // same shard as b0: forces an eviction
+        let gen = live_entry(&c, &sig, &[b0, b1]);
+        let mut out = [0u8; 16];
+        c.put_block(&sig, gen, b0, &[9u8; 16]);
+        assert!(c.get_block_into(gen, b0, &mut out));
+        assert!(!c.get_block_into(gen, b1, &mut out));
+        c.put_block(&sig, gen, b1, &[8u8; 16]);
+        c.purge();
+        let s = obs.readcache.summary();
+        assert_eq!(s.hit_ns.count, 1);
+        assert_eq!(s.miss_ns.count, 1);
+        assert_eq!(s.evict_ns.count, 1);
+        assert_eq!(s.zeroize_ns.count, 1);
     }
 
     #[test]

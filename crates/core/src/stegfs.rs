@@ -47,13 +47,15 @@ use crate::params::StegParams;
 use crate::readcache::{CacheStats, ReadCache};
 use crate::session::{ConnectedObject, Session};
 use crate::sharing::ShareEnvelope;
-use parking_lot::{Mutex, MutexGuard};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use stegfs_blockdev::BlockDevice;
 use stegfs_crypto::prng::DeterministicRng;
 use stegfs_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
 use stegfs_crypto::sha256::sha256_concat;
 use stegfs_fs::{AllocPolicy, FileKind, FormatOptions, PlainFs};
+use stegfs_obs::{Obs, TimedMutex, TimedMutexGuard};
 
 /// Path of the plain configuration file holding the (non-secret) volume
 /// statistics: abandoned-block count, dummy-file parameters and the dummy
@@ -167,13 +169,17 @@ pub struct StegFs<D: BlockDevice> {
     rng: Mutex<DeterministicRng>,
     fak_counter: AtomicU64,
     config: VolumeConfig,
-    uak_locks: Vec<Mutex<()>>,
-    object_locks: Vec<Mutex<()>>,
+    uak_locks: Vec<TimedMutex<()>>,
+    object_locks: Vec<TimedMutex<()>>,
     /// RAM-only read-path cache (headers, extent maps, decrypted blocks).
     /// Every mutating method invalidates the object it touched; sign-off
-    /// and unmount purge everything.  See [`crate::readcache`] for the
-    /// contract.
+    /// purges the departing session's scope, unmount purges everything.
+    /// See [`crate::readcache`] for the contract.
     read_cache: ReadCache,
+    /// Volume-wide observability registry (RAM only, deniability-safe —
+    /// see `stegfs-obs`).  Shared with every layer underneath and handed
+    /// to the VFS/engine above.
+    obs: Arc<Obs>,
 }
 
 impl<D: BlockDevice> StegFs<D> {
@@ -181,17 +187,26 @@ impl<D: BlockDevice> StegFs<D> {
     // Format / mount / unmount
     // ------------------------------------------------------------------
 
-    fn assemble(fs: PlainFs<D>, params: StegParams, config: VolumeConfig) -> Self {
+    fn assemble(mut fs: PlainFs<D>, params: StegParams, config: VolumeConfig) -> Self {
+        let obs = Obs::new(params.obs_enabled);
+        fs.attach_obs(&obs);
+        let mut read_cache = ReadCache::new(params.readpath_cache_blocks);
+        read_cache.set_obs(obs.readcache.clone());
         StegFs {
             fs,
             rng: Mutex::new(DeterministicRng::new(&params.volume_seed.to_be_bytes())),
             session: Mutex::new(Session::new()),
             fak_counter: AtomicU64::new(0),
             config,
-            read_cache: ReadCache::new(params.readpath_cache_blocks),
+            read_cache,
             params,
-            uak_locks: (0..UAK_SHARDS).map(|_| Mutex::new(())).collect(),
-            object_locks: (0..OBJECT_SHARDS).map(|_| Mutex::new(())).collect(),
+            uak_locks: (0..UAK_SHARDS)
+                .map(|_| TimedMutex::with_stats((), obs.uak_shards.clone()))
+                .collect(),
+            object_locks: (0..OBJECT_SHARDS)
+                .map(|_| TimedMutex::with_stats((), obs.object_shards.clone()))
+                .collect(),
+            obs,
         }
     }
 
@@ -286,11 +301,27 @@ impl<D: BlockDevice> StegFs<D> {
     }
 
     /// Drop and zero every cached decrypted byte (headers, extent maps and
-    /// plaintext blocks).  The VFS calls this on every session sign-off, so
-    /// no plaintext outlives the session that could read it; it is also part
-    /// of [`Self::disconnect_all`] and [`Self::unmount`].
+    /// plaintext blocks), volume-wide.  Part of [`Self::disconnect_all`] and
+    /// [`Self::unmount`]; per-session sign-off uses the narrower
+    /// [`Self::purge_session_caches`].
     pub fn purge_read_caches(&self) {
         self.read_cache.purge();
+    }
+
+    /// Drop and zero the cached decrypted state a departing session could
+    /// reach through `uak`: every cache entry resolved through this key —
+    /// plus any entry whose owning session was never established — is
+    /// swept, while entries other live sessions loaded through their own
+    /// keys stay warm.  The VFS calls this on every sign-off.
+    pub fn purge_session_caches(&self, uak: &str) {
+        self.read_cache.purge_scope(Self::session_scope(uak));
+    }
+
+    /// The volume's observability registry: RAM-only histograms, counters
+    /// and the bounded trace ring.  See `stegfs-obs` for the deniability
+    /// contract (static shapes, no key-derived values, nothing persisted).
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
     }
 
     /// Flush metadata to the device without unmounting.
@@ -319,12 +350,20 @@ impl<D: BlockDevice> StegFs<D> {
         DeterministicRng::new(&rng.bytes(32))
     }
 
-    fn uak_guard(&self, uak: &str) -> MutexGuard<'_, ()> {
+    fn uak_guard(&self, uak: &str) -> TimedMutexGuard<'_, ()> {
         self.uak_locks[shard_index(uak, self.uak_locks.len())].lock()
     }
 
-    fn object_guard(&self, physical: &str) -> MutexGuard<'_, ()> {
+    fn object_guard(&self, physical: &str) -> TimedMutexGuard<'_, ()> {
         self.object_locks[shard_index(physical, self.object_locks.len())].lock()
+    }
+
+    /// Opaque cache-scope id of a session: a keyed digest of the UAK, so the
+    /// scope table never holds key material, ORed with 1 so 0 stays the
+    /// "unscoped" sentinel.
+    fn session_scope(uak: &str) -> u64 {
+        let digest = sha256_concat(&[b"stegfs-cache-scope", uak.as_bytes()]);
+        u64::from_be_bytes(digest[..8].try_into().expect("8 bytes")) | 1
     }
 
     fn store_config(&self) -> StegResult<()> {
@@ -453,6 +492,10 @@ impl<D: BlockDevice> StegFs<D> {
     /// invalidates.
     fn load_uak_directory(&self, uak: &str) -> StegResult<(UakDirectory, Option<HiddenObject>)> {
         let keys = Self::uak_keys(uak);
+        // Tag before the walk so entries installed by it carry the session
+        // scope (sign-off sweeps exactly this session's entries).
+        self.read_cache
+            .tag_scope(keys.signature(), Self::session_scope(uak));
         match hidden::open_cached(
             &self.fs,
             UAK_DIRECTORY_NAME,
@@ -541,9 +584,16 @@ impl<D: BlockDevice> StegFs<D> {
     fn entry_for(&self, objname: &str, uak: &str) -> StegResult<DirectoryEntry> {
         let _uak_lock = self.uak_guard(uak);
         let (dir, _) = self.load_uak_directory(uak)?;
-        dir.find(objname)
+        let entry = dir
+            .find(objname)
             .cloned()
-            .ok_or_else(|| StegError::NotFound(objname.to_string()))
+            .ok_or_else(|| StegError::NotFound(objname.to_string()))?;
+        // The object is about to be opened through this session's keys:
+        // scope whatever the read paths cache for it to this session.
+        let keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
+        self.read_cache
+            .tag_scope(keys.signature(), Self::session_scope(uak));
+        Ok(entry)
     }
 
     /// `steg_create`: create an empty hidden file or directory named
@@ -1218,8 +1268,8 @@ impl<D: BlockDevice> StegFs<D> {
         parent: &DirectoryEntry,
         mut children: UakDirectory,
         child: DirectoryEntry,
-        _parent_shard: MutexGuard<'_, ()>,
-        _child_shard: Option<MutexGuard<'_, ()>>,
+        _parent_shard: TimedMutexGuard<'_, ()>,
+        _child_shard: Option<TimedMutexGuard<'_, ()>>,
     ) -> StegResult<DirectoryEntry> {
         let child_keys = ObjectKeys::derive(&child.physical_name, &child.fak);
         let child_obj = hidden::open(&self.fs, &child.physical_name, &child_keys, &self.params)?;

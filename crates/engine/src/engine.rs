@@ -4,10 +4,11 @@
 use crate::request::{Completion, Request, RequestId, Response};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, TryLockError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 use stegfs_blockdev::BlockDevice;
+use stegfs_obs::{LockStats, Obs, ENGINE_OPS};
 use stegfs_vfs::{SessionId, Vfs, VfsError, VfsResult};
 
 /// One queued unit of work.
@@ -31,6 +32,54 @@ struct EngineShared {
     /// error completions, and nobody hangs.
     poisoned: AtomicBool,
     completed: AtomicU64,
+    /// The volume's observability registry (queue-lock contention, queue
+    /// depth, per-op latency).  Grabbed from the VFS at engine start.
+    obs: Arc<Obs>,
+}
+
+/// Lock the engine queue, feeding the wait into the registry's
+/// `engine.queue` lock family.  The engine queue pairs a std `Mutex` with a
+/// `Condvar`, so it cannot adopt `TimedMutex` wholesale; this helper covers
+/// the acquisition (the contended part — `Condvar` re-locks are wake-ups,
+/// not competition).
+fn lock_queue<'a>(
+    queue: &'a Mutex<VecDeque<Job>>,
+    stats: &LockStats,
+) -> MutexGuard<'a, VecDeque<Job>> {
+    if !stats.is_enabled() {
+        return queue.lock().expect("engine queue poisoned");
+    }
+    match queue.try_lock() {
+        Ok(g) => {
+            stats.note_uncontended();
+            g
+        }
+        Err(TryLockError::WouldBlock) => {
+            let start = Instant::now();
+            let g = queue.lock().expect("engine queue poisoned");
+            stats.note_contended(start.elapsed().as_nanos() as u64);
+            g
+        }
+        Err(TryLockError::Poisoned(_)) => panic!("engine queue poisoned"),
+    }
+}
+
+/// Index of a request in [`ENGINE_OPS`] (one latency histogram per op type).
+fn op_index(request: &Request) -> usize {
+    match request {
+        Request::Open { .. } => 0,
+        Request::Close { .. } => 1,
+        Request::Read { .. } => 2,
+        Request::ReadAt { .. } => 3,
+        Request::Write { .. } => 4,
+        Request::WriteAt { .. } => 5,
+        Request::Seek { .. } => 6,
+        Request::Stat { .. } => 7,
+        Request::Readdir { .. } => 8,
+        Request::Unlink { .. } => 9,
+        Request::Fsync { .. } => 10,
+        Request::SyncAll => 11,
+    }
 }
 
 /// A client's completion queue.
@@ -63,6 +112,7 @@ impl<D: BlockDevice + Send + Sync + 'static> Engine<D> {
             shutting_down: AtomicBool::new(false),
             poisoned: AtomicBool::new(false),
             completed: AtomicU64::new(0),
+            obs: Arc::clone(vfs.obs()),
         });
         let workers = (0..workers)
             .map(|_| {
@@ -171,7 +221,7 @@ impl<D: BlockDevice + Send + Sync + 'static> Client<D> {
             // here is therefore always visible to a still-running worker —
             // it can never slip into a queue whose pool has already drained
             // and exited.
-            let mut q = self.engine.queue.lock().expect("engine queue poisoned");
+            let mut q = lock_queue(&self.engine.queue, &self.engine.obs.engine_queue);
             if self.engine.shutting_down.load(Ordering::Acquire) {
                 return Err(VfsError::Unsupported("engine is shut down".into()));
             }
@@ -181,6 +231,7 @@ impl<D: BlockDevice + Send + Sync + 'static> Client<D> {
                 ));
             }
             q.push_back(job);
+            self.engine.obs.engine.note_queue_depth(q.len() as u64);
         }
         self.engine.job_ready.notify_one();
         Ok(id)
@@ -244,7 +295,7 @@ impl<D: BlockDevice + Send + Sync + 'static> Client<D> {
 fn worker_loop<D: BlockDevice + Send + Sync>(vfs: &Vfs<D>, shared: &EngineShared) {
     loop {
         let job = {
-            let mut q = shared.queue.lock().expect("engine queue poisoned");
+            let mut q = lock_queue(&shared.queue, &shared.obs.engine_queue);
             loop {
                 if let Some(job) = q.pop_front() {
                     break job;
@@ -269,6 +320,7 @@ fn worker_loop<D: BlockDevice + Send + Sync>(vfs: &Vfs<D>, shared: &EngineShared
         // `AssertUnwindSafe` is justified by that bound plus the error-only
         // drain, not by any stronger isolation.
         let request = job.request;
+        let op = op_index(&request);
         let result = if shared.poisoned.load(Ordering::Acquire) {
             Err(VfsError::Unsupported(
                 "engine poisoned by an earlier panicking request".into(),
@@ -288,6 +340,15 @@ fn worker_loop<D: BlockDevice + Send + Sync>(vfs: &Vfs<D>, shared: &EngineShared
             latency: job.submitted.elapsed(),
             service: started.elapsed(),
         };
+        if shared.obs.is_enabled() {
+            let service_ns = completion.service.as_nanos() as u64;
+            shared.obs.engine.record_completion(
+                op,
+                completion.latency.as_nanos() as u64,
+                service_ns,
+            );
+            shared.obs.trace_span("engine", ENGINE_OPS[op], service_ns);
+        }
         // Count before delivering: a client that has received every one of
         // its completions must observe the full count.
         shared.completed.fetch_add(1, Ordering::Relaxed);

@@ -56,9 +56,11 @@ use crate::error::{FsError, FsResult};
 use crate::inode::{FileKind, Inode, InodeId, InodeTable, DIRECT_POINTERS, NO_BLOCK};
 use crate::layout::Superblock;
 use crate::txn::FsTxn;
-use parking_lot::{Mutex, MutexGuard, RwLock};
-use stegfs_blockdev::BlockDevice;
+use parking_lot::{Mutex, MutexGuard};
+use std::sync::Arc;
+use stegfs_blockdev::{BlockDevice, ObservedDevice};
 use stegfs_journal::{Journal, JournalGeometry};
+use stegfs_obs::{Obs, TimedMutex, TimedRwLock};
 
 /// Number of per-inode content stripes (see the module docs).
 pub const STRIPE_COUNT: usize = 64;
@@ -121,11 +123,11 @@ struct AllocState {
 ///
 /// All operations take `&self`; see the module docs for the locking scheme.
 pub struct PlainFs<D: BlockDevice> {
-    dev: D,
+    dev: ObservedDevice<D>,
     sb: Superblock,
     inodes: InodeTable,
-    alloc: Mutex<AllocState>,
-    namespace: RwLock<()>,
+    alloc: TimedMutex<AllocState>,
+    namespace: TimedRwLock<()>,
     stripes: Vec<Mutex<()>>,
     /// One inode-table *block* packs several inodes, and writing one inode
     /// is a read-modify-write of its whole block — two inodes of the same
@@ -174,14 +176,14 @@ impl<D: BlockDevice> PlainFs<D> {
     ) -> Self {
         let seed_bytes = seed.to_be_bytes();
         PlainFs {
-            alloc: Mutex::new(AllocState {
+            alloc: TimedMutex::new(AllocState {
                 alloc: Allocator::new(policy, sb.data_start, sb.total_blocks, &seed_bytes),
                 bitmap,
             }),
-            dev,
+            dev: ObservedDevice::new(dev),
             inodes: InodeTable::new(sb.clone()),
             sb,
-            namespace: RwLock::new(()),
+            namespace: TimedRwLock::new(()),
             stripes: (0..STRIPE_COUNT).map(|_| Mutex::new(())).collect(),
             itable_stripes: (0..STRIPE_COUNT).map(|_| Mutex::new(())).collect(),
             journal,
@@ -445,18 +447,38 @@ impl<D: BlockDevice> PlainFs<D> {
     /// Mutable access to the underlying device (used by the timing harness;
     /// requires exclusive ownership, which is why this one keeps `&mut`).
     pub fn device_mut(&mut self) -> &mut D {
-        &mut self.dev
+        self.dev.inner_mut()
     }
 
     /// Shared access to the underlying device.
     pub fn device(&self) -> &D {
+        self.dev.inner()
+    }
+
+    /// The metrics-instrumented device wrapper itself.  The transaction
+    /// layer hands this to the journal so journal I/O is metered like every
+    /// other device access.
+    pub(crate) fn observed_device(&self) -> &ObservedDevice<D> {
         &self.dev
+    }
+
+    /// Wire this file system into a volume-wide observability registry:
+    /// the device wrapper, the allocator mutex, the namespace lock, and the
+    /// journal all start reporting into `obs`.  Called once during volume
+    /// assembly, before the file system is shared.
+    pub fn attach_obs(&mut self, obs: &Arc<Obs>) {
+        self.dev.set_stats(obs.device.clone(), obs.is_enabled());
+        self.alloc.set_stats(obs.alloc_lock.clone());
+        self.namespace.set_stats(obs.namespace_lock.clone());
+        if let Some(journal) = &mut self.journal {
+            journal.attach_obs(obs);
+        }
     }
 
     /// Consume the file system, returning the device (after a sync).
     pub fn unmount(self) -> FsResult<D> {
         self.sync()?;
-        Ok(self.dev)
+        Ok(self.dev.into_inner())
     }
 
     // ------------------------------------------------------------------
@@ -1450,6 +1472,67 @@ mod tests {
     }
 
     #[test]
+    fn update_larger_than_journal_ring_commits_in_chunks() {
+        // Regression: an update whose write set exceeds the journal ring
+        // used to fail with NoSpace; it must now commit as a sequence of
+        // ring-sized transactions.
+        let dev = MemBlockDevice::new(1024, 4096);
+        let fs = PlainFs::format(
+            dev,
+            FormatOptions {
+                journal_blocks: 16, // tiny ring: ~12 targets per transaction
+                ..FormatOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(fs.journaled());
+        let ring_targets = fs.journal_ref().unwrap().max_tx_targets();
+        let free0 = fs.free_data_blocks();
+
+        // 100 blocks of payload — an order of magnitude over the ring.
+        let payload: Vec<u8> = (0..100 * 1024u32).map(|i| (i % 239) as u8).collect();
+        assert!(100 > ring_targets, "fixture must exceed the ring");
+        fs.write_file("/big", &payload).unwrap();
+        assert_eq!(fs.read_file("/big").unwrap(), payload);
+
+        // Rewrites (freeing the old chain) and deletes chunk too, and the
+        // accounting stays exact.
+        let smaller: Vec<u8> = (0..40 * 1024u32).map(|i| (i % 31) as u8).collect();
+        fs.write_file("/big", &smaller).unwrap();
+        assert_eq!(fs.read_file("/big").unwrap(), smaller);
+        fs.delete("/big").unwrap();
+        assert_eq!(fs.free_data_blocks(), free0, "chunked ops leak no blocks");
+
+        // Replay after a clean unmount finds nothing to redo.
+        let dev = fs.unmount().unwrap();
+        let fs2 = PlainFs::mount(dev, AllocPolicy::FirstFit, 1).unwrap();
+        assert!(fs2.read_file("/big").is_err());
+        assert_eq!(fs2.free_data_blocks(), free0);
+    }
+
+    #[test]
+    fn attached_obs_observes_lock_and_device_activity() {
+        let mut fs = new_fs(4096);
+        let obs = stegfs_obs::Obs::new(true);
+        fs.attach_obs(&obs);
+        fs.write_file("/observed", &vec![3u8; 8 * 1024]).unwrap();
+        fs.sync().unwrap();
+        let snap = obs.snapshot();
+        let alloc = snap.lock("fs.alloc").unwrap();
+        assert!(alloc.acquisitions > 0, "allocator lock never counted");
+        assert!(snap.device.writes > 0, "device writes never counted");
+        assert!(snap.device.write_ns.count > 0);
+        // Disabled registry: same operations, nothing recorded.
+        let mut fs = new_fs(4096);
+        let off = stegfs_obs::Obs::disabled();
+        fs.attach_obs(&off);
+        fs.write_file("/quiet", b"x").unwrap();
+        let snap = off.snapshot();
+        assert_eq!(snap.lock("fs.alloc").unwrap().acquisitions, 0);
+        assert_eq!(snap.device.writes, 0);
+    }
+
+    #[test]
     fn journaled_commit_survives_crash_of_home_writes() {
         // A committed write whose in-place images were still pending when
         // the power cut must be redone by replay at mount.
@@ -1535,37 +1618,46 @@ mod tests {
     }
 
     #[test]
-    fn oversized_journal_tx_fails_cleanly_without_freeing_live_blocks() {
-        // A rewrite whose transaction cannot fit the journal ring must fail
-        // with NoSpace and leave the file — and the allocator — untouched:
-        // the tentatively applied frees are restored under the allocator
-        // lock, so no live block is ever handed out.
-        let dev = MemBlockDevice::new(1024, 4096);
-        let fs = PlainFs::format(
-            dev,
-            FormatOptions {
-                journal_blocks: 32, // ring of 30 slots
-                ..FormatOptions::default()
-            },
-        )
-        .unwrap();
-        let data: Vec<u8> = (0..20 * 1024u32).map(|i| (i % 241) as u8).collect();
-        fs.write_file("/f", &data).unwrap();
-        let free_before = fs.free_data_blocks();
+    fn crash_during_chunked_rewrite_leaves_volume_consistent() {
+        // An oversized rewrite streams through the ring as several
+        // transactions; power loss in the middle may leave a prefix of them
+        // applied, but after replay the volume must mount, unrelated files
+        // must be intact, and the allocator must keep working.
+        let keep: Vec<u8> = (0..8 * 1024u32).map(|i| (i % 251) as u8).collect();
+        for seed in 0..4u64 {
+            let dev = stegfs_blockdev::CrashDevice::new(MemBlockDevice::new(1024, 4096));
+            let fs = PlainFs::format(
+                dev,
+                FormatOptions {
+                    journal_blocks: 16,
+                    ..FormatOptions::default()
+                },
+            )
+            .unwrap();
+            fs.write_file("/keep", &keep).unwrap();
+            fs.write_file("/f", &vec![1u8; 20 * 1024]).unwrap();
+            fs.sync().unwrap();
 
-        // 60 KiB needs ~60 payload slots — more than the ring holds.
-        let err = fs.write_file("/f", &vec![7u8; 60 * 1024]).unwrap_err();
-        assert!(matches!(err, FsError::NoSpace), "got {err}");
-        assert_eq!(fs.read_file("/f").unwrap(), data, "old contents corrupted");
-        assert_eq!(
-            fs.free_data_blocks(),
-            free_before,
-            "failed commit leaked or freed blocks"
-        );
-        // The volume keeps working, and the file is still rewritable with a
-        // fitting size.
-        fs.write_file("/f", b"small").unwrap();
-        assert_eq!(fs.read_file("/f").unwrap(), b"small");
+            // Trip the device partway through the chunk sequence: the
+            // rewrite fails, then the plug is pulled on whatever is pending.
+            let dev = fs.device().clone();
+            dev.fail_after_writes(40 + seed * 25);
+            let _ = fs.write_file("/f", &vec![9u8; 80 * 1024]);
+            drop(fs);
+            dev.crash(seed);
+
+            let fs2 = PlainFs::mount(dev, AllocPolicy::FirstFit, 1).unwrap();
+            assert_eq!(
+                fs2.read_file("/keep").unwrap(),
+                keep,
+                "seed {seed}: unrelated file damaged by chunked-rewrite crash"
+            );
+            // The allocator still hands out usable space.
+            fs2.write_file("/after", &vec![5u8; 12 * 1024]).unwrap();
+            assert_eq!(fs2.read_file("/after").unwrap(), vec![5u8; 12 * 1024]);
+            fs2.delete("/after").unwrap();
+            let _ = fs2.unmount().unwrap();
+        }
     }
 
     #[test]

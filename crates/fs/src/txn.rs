@@ -22,16 +22,25 @@
 //! durable, the block must stay allocated, or a crash could leave it owned
 //! by both its old object and a later allocation.
 //!
-//! Two bounded, deliberate imperfections: (1) a transaction larger than the
-//! journal ring fails cleanly with `NoSpace` — size the journal for the
-//! largest single update (`StegParams::journal_blocks` documents the
-//! arithmetic, and `StegFs::format` validates the dummy-file bound); (2) a
-//! committing transaction's bitmap snapshot may capture a *concurrent,
-//! later-aborted* transaction's allocation bits, so a crash can leak those
-//! blocks as allocated-but-unreferenced.  Leaked blocks are
-//! indistinguishable from the abandoned blocks the format deliberately
-//! scatters (§3.1 of the paper) — camouflage, not corruption — and never
-//! double-own (the crash harness asserts this).
+//! Two bounded, deliberate imperfections: (1) an update larger than the
+//! journal ring commits as a *sequence* of ring-sized transactions — data
+//! chunks first, then one final transaction carrying the inode-table
+//! read-modify-writes and the bitmap snapshot.  Each chunk is individually
+//! crash-atomic and the final transaction is the logical commit point
+//! (object references and the bitmap change only there), but a crash or
+//! failure mid-sequence can leave a prefix of the new images applied in
+//! place: freshly allocated blocks revert to camouflage, while blocks the
+//! update was rewriting *in place* can be left torn.  Concurrent threads
+//! never observe the partial state (callers hold their operation guards
+//! across commit), and on a failed chunk sequence the journal anchor is
+//! advanced past the already-committed chunks so they can never replay
+//! over blocks a later allocation reuses.  (2) a committing transaction's
+//! bitmap snapshot may capture a *concurrent, later-aborted* transaction's
+//! allocation bits, so a crash can leak those blocks as
+//! allocated-but-unreferenced.  Leaked blocks are indistinguishable from
+//! the abandoned blocks the format deliberately scatters (§3.1 of the
+//! paper) — camouflage, not corruption — and never double-own (the crash
+//! harness asserts this).
 //!
 //! # Lock and flush ordering
 //!
@@ -57,7 +66,7 @@ use crate::fs::PlainFs;
 use crate::inode::{Inode, InodeId};
 use std::collections::{BTreeMap, BTreeSet};
 use stegfs_blockdev::BlockDevice;
-use stegfs_journal::{JournalError, Tx};
+use stegfs_journal::{Journal, JournalError, Tx};
 
 impl From<JournalError> for FsError {
     fn from(e: JournalError) -> Self {
@@ -320,6 +329,90 @@ impl<'a, D: BlockDevice> FsTxn<'a, D> {
             tx.write(table_block, buf);
         }
 
+        // Which bitmap blocks (region indices) the final transaction will
+        // snapshot.  The block→bitmap-block mapping is static geometry, so
+        // computing it up front (under a brief lock hold) both sizes the
+        // final chunk exactly and is reused at staging time.
+        let mut indices: BTreeSet<u64> = BTreeSet::new();
+        fs.with_alloc_state(|bitmap| {
+            for &b in &self.touched {
+                indices.insert(bitmap.bitmap_block_of(b));
+            }
+            Ok(())
+        })?;
+
+        // An update larger than the journal ring commits as a sequence of
+        // ring-sized transactions: data chunks first, then the final
+        // transaction with the inode-table blocks (staged last, so they sit
+        // at the tail of the write set) and the bitmap snapshot — the
+        // logical commit point.  See the module docs for the weakened (but
+        // bounded) crash semantics of the chunked path.
+        let max = journal.max_tx_targets() as usize;
+        let final_budget = max.saturating_sub(indices.len());
+        if final_budget == 0 {
+            // Even the bitmap snapshot alone exceeds the ring.
+            return Err(FsError::NoSpace);
+        }
+        let mut chunked = false;
+        if tx.len() > final_budget {
+            chunked = true;
+            let mut preliminary = std::mem::take(&mut tx).into_writes();
+            let final_writes = preliminary.split_off(preliminary.len() - final_budget);
+            while !preliminary.is_empty() {
+                let rest = if preliminary.len() > max {
+                    preliminary.split_off(max)
+                } else {
+                    Vec::new()
+                };
+                let mut chunk = Tx::new();
+                for (block, data) in preliminary {
+                    chunk.write(block, data);
+                }
+                preliminary = rest;
+                if let Err(e) = Self::commit_chunk(fs, journal, chunk) {
+                    // Earlier chunks are committed and applied; advance the
+                    // anchor past them so they can never replay over blocks
+                    // Drop is about to free for reuse.
+                    let _ = journal.sync(fs.observed_device());
+                    return Err(e);
+                }
+            }
+            for (block, data) in final_writes {
+                tx.write(block, data);
+            }
+        }
+
+        let result = self.commit_final(tx, journal, &indices);
+        if result.is_err() && chunked {
+            let _ = journal.sync(fs.observed_device());
+        }
+        result
+    }
+
+    /// Stage, persist and apply one preliminary chunk of an oversized
+    /// update.  Chunks carry only freshly written block images — no shared
+    /// state — so they commit outside the allocator lock.
+    fn commit_chunk(fs: &'a PlainFs<D>, journal: &Journal, chunk: Tx) -> FsResult<()> {
+        let Some(staged) = journal
+            .stage(fs.observed_device(), chunk)
+            .map_err(FsError::from)?
+        else {
+            return Ok(());
+        };
+        journal.persist(fs.observed_device(), &staged)?;
+        journal.apply(fs.observed_device(), staged, || Ok(()))?;
+        Ok(())
+    }
+
+    /// The (ring-sized) final transaction: bitmap snapshot, journal commit
+    /// point, deferred frees, in-place apply.
+    fn commit_final(
+        &mut self,
+        mut tx: Tx,
+        journal: &Journal,
+        indices: &BTreeSet<u64>,
+    ) -> FsResult<()> {
+        let fs = self.fs;
         // The bitmap snapshot, staged under the allocator lock together
         // with the journal sequence assignment.  The deferred frees are
         // applied *tentatively* — serialise, then undo — all under one lock
@@ -327,22 +420,18 @@ impl<'a, D: BlockDevice> FsTxn<'a, D> {
         // but until the transaction is durable no other thread can observe
         // (or be handed) a freed block, so a failure at any later step
         // leaves nothing to take back.
-        let mut indices: BTreeSet<u64> = BTreeSet::new();
         let staged = fs.with_alloc_state(|bitmap| {
             for &b in &self.deferred_frees {
                 bitmap.free(b)?;
             }
-            for &b in &self.touched {
-                indices.insert(bitmap.bitmap_block_of(b));
-            }
-            for &idx in &indices {
+            for &idx in indices {
                 tx.write(bitmap.device_block_of(idx), bitmap.serialize_block(idx));
             }
             for &b in &self.deferred_frees {
                 bitmap.allocate(b)?; // undo: nothing escaped the lock
             }
             journal
-                .stage(fs.device(), std::mem::take(&mut tx))
+                .stage(fs.observed_device(), std::mem::take(&mut tx))
                 .map_err(FsError::from)
         })?;
         let Some(staged) = staged else {
@@ -356,7 +445,7 @@ impl<'a, D: BlockDevice> FsTxn<'a, D> {
         // happen.  (After a *flush* error the slots could still have hit
         // the platter — see `Journal::persist`; a volume that reports
         // persist errors should be remounted.)
-        journal.persist(fs.device(), &staged)?;
+        journal.persist(fs.observed_device(), &staged)?;
         self.committed = true;
 
         // Durable now: release the deferred frees for real (the blocks
@@ -373,8 +462,8 @@ impl<'a, D: BlockDevice> FsTxn<'a, D> {
             }
             Ok(())
         })?;
-        journal.apply(fs.device(), staged, || {
-            fs.rewrite_bitmap_blocks(&indices).map_err(|e| match e {
+        journal.apply(fs.observed_device(), staged, || {
+            fs.rewrite_bitmap_blocks(indices).map_err(|e| match e {
                 FsError::Block(b) => stegfs_journal::JournalError::Device(b),
                 other => stegfs_journal::JournalError::Device(stegfs_blockdev::BlockError::Io(
                     std::io::Error::other(other.to_string()),

@@ -44,12 +44,13 @@ use crate::record::{
     intent_capacity, open_payload, open_slot, seal_payload, seal_slot, slots_for, JournalKeys,
     Slot, SlotBody, SlotKind, ANCHOR_SLOTS,
 };
-use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex as StdMutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
+use std::time::Instant;
 use stegfs_blockdev::{BlockDevice, BlockError};
+use stegfs_obs::{GateStats, Obs, TimedMutex};
 
 /// Result alias for journal operations.
 pub type JournalResult<T> = Result<T, JournalError>;
@@ -155,6 +156,14 @@ impl Tx {
     pub fn is_empty(&self) -> bool {
         self.writes.is_empty()
     }
+
+    /// Consume the transaction, returning its `(block, image)` pairs in
+    /// staging order (deduplicated, last write wins).  Callers that must
+    /// split an oversized update into several ring-sized transactions use
+    /// this to repartition the write set.
+    pub fn into_writes(self) -> Vec<(u64, Vec<u8>)> {
+        self.writes
+    }
 }
 
 /// `(target block, image)` pairs of one transaction.
@@ -193,6 +202,9 @@ struct LogState {
 struct GateState {
     completed: u64,
     flushing: bool,
+    /// Callers currently inside `flush_covering` (metrics only: the batch
+    /// size a finishing flush reports is the number of callers it covers).
+    waiters: u64,
 }
 
 /// Group-commit gate: one flush serves every committer that arrived before
@@ -201,6 +213,9 @@ struct CommitGate {
     state: StdMutex<GateState>,
     cv: Condvar,
     completed: AtomicU64,
+    /// Group-commit metrics (flush count, batch sizes, caller stalls);
+    /// detached/disabled until the volume attaches its registry.
+    stats: Arc<GateStats>,
 }
 
 impl CommitGate {
@@ -209,9 +224,11 @@ impl CommitGate {
             state: StdMutex::new(GateState {
                 completed: 0,
                 flushing: false,
+                waiters: 0,
             }),
             cv: Condvar::new(),
             completed: AtomicU64::new(0),
+            stats: Arc::new(GateStats::new(false)),
         }
     }
 
@@ -230,11 +247,17 @@ impl CommitGate {
     /// completed.  Whoever finds the gate idle becomes the leader and
     /// flushes once for every waiter.
     fn flush_covering<D: BlockDevice>(&self, dev: &D) -> JournalResult<()> {
+        let stall_timer = if self.stats.is_enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        };
         let mut g = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        g.waiters += 1;
         let need = g.completed + 1 + u64::from(g.flushing);
-        loop {
+        let outcome = loop {
             if g.completed >= need {
-                return Ok(());
+                break Ok(());
             }
             if !g.flushing {
                 g.flushing = true;
@@ -245,13 +268,29 @@ impl CommitGate {
                 if result.is_ok() {
                     g.completed += 1;
                     self.completed.store(g.completed, Ordering::Release);
+                    if stall_timer.is_some() {
+                        self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+                        // Everyone currently inside the gate (leader
+                        // included) is covered by this flush.
+                        self.stats.batch.record(g.waiters);
+                    }
                 }
                 self.cv.notify_all();
-                result?;
+                if let Err(e) = result {
+                    break Err(JournalError::from(e));
+                }
             } else {
                 g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
             }
+        };
+        g.waiters -= 1;
+        drop(g);
+        if let Some(start) = stall_timer {
+            self.stats
+                .stall_ns
+                .record(start.elapsed().as_nanos() as u64);
         }
+        outcome
     }
 }
 
@@ -273,7 +312,7 @@ pub struct ReplayReport {
 pub struct Journal {
     geo: JournalGeometry,
     keys: JournalKeys,
-    state: Mutex<LogState>,
+    state: TimedMutex<LogState>,
     gate: CommitGate,
 }
 
@@ -295,7 +334,7 @@ impl Journal {
         }
         Ok(Journal {
             keys: JournalKeys::derive(salt),
-            state: Mutex::new(LogState {
+            state: TimedMutex::new(LogState {
                 next_seq: 1,
                 head: 0,
                 used: 0,
@@ -326,6 +365,16 @@ impl Journal {
     /// The region geometry.
     pub fn geometry(&self) -> &JournalGeometry {
         &self.geo
+    }
+
+    /// Wire this journal into a volume-wide observability registry: the
+    /// log-state mutex reports as `journal.state` and the commit gate's
+    /// group-commit metrics (flush count, batch sizes, caller stalls) land
+    /// in the registry's [`GateStats`].  Called once during volume assembly,
+    /// before the journal is shared.
+    pub fn attach_obs(&mut self, obs: &Arc<Obs>) {
+        self.state.set_stats(obs.journal_state.clone());
+        self.gate.stats = obs.gate.clone();
     }
 
     /// Ring capacity in slots.

@@ -1,0 +1,629 @@
+//! # stegfs-obs — deniability-safe observability for the StegFS stack
+//!
+//! A zero-dependency (std + the `parking_lot` shim), `&self`-friendly
+//! metrics layer threaded through every tier of the filesystem: sharded
+//! log-linear latency [`Histogram`]s, a per-layer metrics registry
+//! ([`Obs`]), contention-instrumented lock wrappers
+//! ([`TimedMutex`]/[`TimedRwLock`]), and a RAM-only ring buffer of recent
+//! trace spans ([`TraceRing`]).
+//!
+//! # Deniability contract
+//!
+//! The same bar the read cache meets, applied to instrumentation:
+//!
+//! - **Metric names and shapes are static and key-independent.** Every
+//!   metric name is a `&'static str` baked into the binary; the set of
+//!   metrics, histogram bucket layout, and JSON keys of a [`Snapshot`] are
+//!   identical for an empty volume and one stuffed with hidden objects.
+//!   An adversary diffing two snapshots learns aggregate load, never
+//!   *which* objects exist.
+//! - **Values never embed secrets.** Counters and histograms carry only
+//!   counts and durations — no object signatures, keys, paths, plaintext,
+//!   or block addresses of hidden objects are ever recorded.
+//! - **RAM only.** Nothing here is ever persisted to the volume; the disk
+//!   image is bit-identical whether collection is enabled or not.
+//! - **Trace buffers zeroize** on `signoff`/unmount via
+//!   [`TraceRing::zeroize`].
+//!
+//! # Zero-cost opt-out
+//!
+//! [`Obs::disabled`] (selected by `StegParams::obs_enabled = false`)
+//! allocates no histogram shards and never reads the clock: disabled
+//! histograms early-return, [`TimedMutex`] degenerates to a plain lock,
+//! and the trace ring has zero capacity. The instrumentation compiles in
+//! but collection cost is a predictable branch per hook.
+
+#![forbid(unsafe_code)]
+
+mod hist;
+mod lock;
+mod trace;
+
+pub use hist::{HistSummary, Histogram, NUM_BUCKETS};
+pub use lock::{
+    LockStats, LockSummary, TimedMutex, TimedMutexGuard, TimedRwLock, TimedRwLockReadGuard,
+    TimedRwLockWriteGuard,
+};
+pub use trace::{TraceEvent, TraceRing};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default trace ring capacity (events) when collection is enabled.
+pub const TRACE_CAPACITY: usize = 1024;
+
+/// Static labels for the engine's request taxonomy, in wire order. The
+/// engine maps each request variant to an index into this table.
+pub const ENGINE_OPS: [&str; 12] = [
+    "open", "close", "read", "read_at", "write", "write_at", "seek", "stat", "readdir", "unlink",
+    "fsync", "sync_all",
+];
+
+/// Block-device level counters and latency histograms.
+pub struct DeviceStats {
+    pub reads: AtomicU64,
+    pub writes: AtomicU64,
+    pub flushes: AtomicU64,
+    pub blocks_read: AtomicU64,
+    pub blocks_written: AtomicU64,
+    /// Blocks per read submission.
+    pub read_batch: Histogram,
+    /// Blocks per write submission.
+    pub write_batch: Histogram,
+    pub read_ns: Histogram,
+    pub write_ns: Histogram,
+    pub flush_ns: Histogram,
+}
+
+impl DeviceStats {
+    /// Construct; `enabled = false` allocates no histogram shards.
+    pub fn new(enabled: bool) -> Self {
+        DeviceStats {
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            blocks_read: AtomicU64::new(0),
+            blocks_written: AtomicU64::new(0),
+            read_batch: Histogram::maybe(enabled),
+            write_batch: Histogram::maybe(enabled),
+            read_ns: Histogram::maybe(enabled),
+            write_ns: Histogram::maybe(enabled),
+            flush_ns: Histogram::maybe(enabled),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.flushes.store(0, Ordering::Relaxed);
+        self.blocks_read.store(0, Ordering::Relaxed);
+        self.blocks_written.store(0, Ordering::Relaxed);
+        self.read_batch.reset();
+        self.write_batch.reset();
+        self.read_ns.reset();
+        self.write_ns.reset();
+        self.flush_ns.reset();
+    }
+
+    pub fn summary(&self) -> DeviceSummary {
+        DeviceSummary {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            blocks_read: self.blocks_read.load(Ordering::Relaxed),
+            blocks_written: self.blocks_written.load(Ordering::Relaxed),
+            read_batch: self.read_batch.summary(),
+            write_batch: self.write_batch.summary(),
+            read_ns: self.read_ns.summary(),
+            write_ns: self.write_ns.summary(),
+            flush_ns: self.flush_ns.summary(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeviceSummary {
+    pub reads: u64,
+    pub writes: u64,
+    pub flushes: u64,
+    pub blocks_read: u64,
+    pub blocks_written: u64,
+    pub read_batch: HistSummary,
+    pub write_batch: HistSummary,
+    pub read_ns: HistSummary,
+    pub write_ns: HistSummary,
+    pub flush_ns: HistSummary,
+}
+
+impl DeviceSummary {
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"reads\": {}, \"writes\": {}, \"flushes\": {}, \"blocks_read\": {}, \"blocks_written\": {}, \"read_batch\": {}, \"write_batch\": {}, \"read_latency\": {}, \"write_latency\": {}, \"flush_latency\": {}}}",
+            self.reads,
+            self.writes,
+            self.flushes,
+            self.blocks_read,
+            self.blocks_written,
+            self.read_batch.to_json(),
+            self.write_batch.to_json(),
+            self.read_ns.to_json(),
+            self.write_ns.to_json(),
+            self.flush_ns.to_json()
+        )
+    }
+}
+
+/// Journal group-commit gate metrics: how many transactions each physical
+/// flush covers, and how long callers stall waiting for coverage.
+pub struct GateStats {
+    /// Physical `dev.flush()` calls issued by gate leaders.
+    pub flushes: AtomicU64,
+    /// Callers satisfied per physical flush (leader + waiters).
+    pub batch: Histogram,
+    /// Per-caller time from entering the gate to coverage.
+    pub stall_ns: Histogram,
+}
+
+impl GateStats {
+    /// Construct; `enabled = false` allocates no histogram shards.
+    pub fn new(enabled: bool) -> Self {
+        Self::build(enabled)
+    }
+
+    /// True when this handle actually collects (histograms have shards).
+    pub fn is_enabled(&self) -> bool {
+        self.batch.is_enabled()
+    }
+
+    fn build(enabled: bool) -> Self {
+        GateStats {
+            flushes: AtomicU64::new(0),
+            batch: Histogram::maybe(enabled),
+            stall_ns: Histogram::maybe(enabled),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.flushes.store(0, Ordering::Relaxed);
+        self.batch.reset();
+        self.stall_ns.reset();
+    }
+
+    pub fn summary(&self) -> GateSummary {
+        GateSummary {
+            flushes: self.flushes.load(Ordering::Relaxed),
+            batch: self.batch.summary(),
+            stall_ns: self.stall_ns.summary(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GateSummary {
+    pub flushes: u64,
+    pub batch: HistSummary,
+    pub stall_ns: HistSummary,
+}
+
+impl GateSummary {
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"flushes\": {}, \"batch\": {}, \"stall\": {}}}",
+            self.flushes,
+            self.batch.to_json(),
+            self.stall_ns.to_json()
+        )
+    }
+}
+
+/// Read-cache operation latencies. Hit/miss/evict/zeroize counts are the
+/// `count` fields of the respective histograms.
+pub struct ReadCacheStats {
+    pub hit_ns: Histogram,
+    pub miss_ns: Histogram,
+    pub evict_ns: Histogram,
+    pub zeroize_ns: Histogram,
+}
+
+impl ReadCacheStats {
+    /// Construct; `enabled = false` allocates no histogram shards.
+    pub fn new(enabled: bool) -> Self {
+        Self::build(enabled)
+    }
+
+    /// True when this handle actually collects.
+    pub fn is_enabled(&self) -> bool {
+        self.hit_ns.is_enabled()
+    }
+
+    fn build(enabled: bool) -> Self {
+        ReadCacheStats {
+            hit_ns: Histogram::maybe(enabled),
+            miss_ns: Histogram::maybe(enabled),
+            evict_ns: Histogram::maybe(enabled),
+            zeroize_ns: Histogram::maybe(enabled),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.hit_ns.reset();
+        self.miss_ns.reset();
+        self.evict_ns.reset();
+        self.zeroize_ns.reset();
+    }
+
+    pub fn summary(&self) -> ReadCacheSummary {
+        ReadCacheSummary {
+            hit_ns: self.hit_ns.summary(),
+            miss_ns: self.miss_ns.summary(),
+            evict_ns: self.evict_ns.summary(),
+            zeroize_ns: self.zeroize_ns.summary(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReadCacheSummary {
+    pub hit_ns: HistSummary,
+    pub miss_ns: HistSummary,
+    pub evict_ns: HistSummary,
+    pub zeroize_ns: HistSummary,
+}
+
+impl ReadCacheSummary {
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"hit\": {}, \"miss\": {}, \"evict\": {}, \"zeroize\": {}}}",
+            self.hit_ns.to_json(),
+            self.miss_ns.to_json(),
+            self.evict_ns.to_json(),
+            self.zeroize_ns.to_json()
+        )
+    }
+}
+
+/// Request-engine metrics: queue depth high-water mark and per-op-type
+/// latency (submit → completion) plus overall service time.
+pub struct EngineStats {
+    pub queue_depth_hwm: AtomicU64,
+    /// Submit-to-completion latency, one histogram per [`ENGINE_OPS`] entry.
+    pub latency: Vec<Histogram>,
+    /// Execution time only (dequeue → result), all ops merged.
+    pub service_ns: Histogram,
+}
+
+impl EngineStats {
+    /// Construct; `enabled = false` allocates no histogram shards.
+    pub fn new(enabled: bool) -> Self {
+        Self::build(enabled)
+    }
+
+    /// True when this handle actually collects.
+    pub fn is_enabled(&self) -> bool {
+        self.service_ns.is_enabled()
+    }
+
+    fn build(enabled: bool) -> Self {
+        EngineStats {
+            queue_depth_hwm: AtomicU64::new(0),
+            latency: (0..ENGINE_OPS.len())
+                .map(|_| Histogram::maybe(enabled))
+                .collect(),
+            service_ns: Histogram::maybe(enabled),
+        }
+    }
+
+    /// Raise the queue-depth high-water mark to at least `depth`.
+    #[inline]
+    pub fn note_queue_depth(&self, depth: u64) {
+        self.queue_depth_hwm.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Record one completed request by [`ENGINE_OPS`] index.
+    #[inline]
+    pub fn record_completion(&self, op: usize, latency_ns: u64, service_ns: u64) {
+        if let Some(h) = self.latency.get(op) {
+            h.record(latency_ns);
+        }
+        self.service_ns.record(service_ns);
+    }
+
+    pub fn reset(&self) {
+        self.queue_depth_hwm.store(0, Ordering::Relaxed);
+        for h in &self.latency {
+            h.reset();
+        }
+        self.service_ns.reset();
+    }
+
+    pub fn summary(&self) -> EngineSummary {
+        EngineSummary {
+            queue_depth_hwm: self.queue_depth_hwm.load(Ordering::Relaxed),
+            latency: self.latency.iter().map(Histogram::summary).collect(),
+            service_ns: self.service_ns.summary(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+pub struct EngineSummary {
+    pub queue_depth_hwm: u64,
+    pub latency: Vec<HistSummary>,
+    pub service_ns: HistSummary,
+}
+
+impl EngineSummary {
+    pub fn to_json(&self) -> String {
+        let mut ops = String::new();
+        for (i, name) in ENGINE_OPS.iter().enumerate() {
+            if i > 0 {
+                ops.push_str(", ");
+            }
+            let summary = self.latency.get(i).copied().unwrap_or_default();
+            ops.push_str(&format!("\"{}\": {}", name, summary.to_json()));
+        }
+        format!(
+            "{{\"queue_depth_hwm\": {}, \"service\": {}, \"latency\": {{{}}}}}",
+            self.queue_depth_hwm,
+            self.service_ns.to_json(),
+            ops
+        )
+    }
+}
+
+/// The per-volume metrics registry. One [`Obs`] is created per mounted
+/// volume and shared (via `Arc`) by every layer: the observed block device,
+/// the plain filesystem's allocator and namespace locks, the journal's
+/// log-state lock and commit gate, the read cache, the object/UAK shard
+/// locks, and the request engine.
+pub struct Obs {
+    enabled: bool,
+    epoch: Instant,
+    /// Allocator mutex (`fs.alloc`).
+    pub alloc_lock: Arc<LockStats>,
+    /// Plain-namespace rwlock (`fs.namespace`).
+    pub namespace_lock: Arc<LockStats>,
+    /// Journal log-state mutex (`journal.state`).
+    pub journal_state: Arc<LockStats>,
+    /// Hidden-object shard mutex family (`core.object_shards`).
+    pub object_shards: Arc<LockStats>,
+    /// UAK-directory shard mutex family (`core.uak_shards`).
+    pub uak_shards: Arc<LockStats>,
+    /// Engine submission-queue mutex (`engine.queue`).
+    pub engine_queue: Arc<LockStats>,
+    pub device: Arc<DeviceStats>,
+    pub gate: Arc<GateStats>,
+    pub readcache: Arc<ReadCacheStats>,
+    pub engine: Arc<EngineStats>,
+    pub trace: TraceRing,
+}
+
+/// Fixed lock-metric names, in snapshot order.
+pub const LOCK_NAMES: [&str; 6] = [
+    "fs.alloc",
+    "fs.namespace",
+    "journal.state",
+    "core.object_shards",
+    "core.uak_shards",
+    "engine.queue",
+];
+
+impl Obs {
+    pub fn new(enabled: bool) -> Arc<Self> {
+        Arc::new(Obs {
+            enabled,
+            epoch: Instant::now(),
+            alloc_lock: LockStats::new(enabled),
+            namespace_lock: LockStats::new(enabled),
+            journal_state: LockStats::new(enabled),
+            object_shards: LockStats::new(enabled),
+            uak_shards: LockStats::new(enabled),
+            engine_queue: LockStats::new(enabled),
+            device: Arc::new(DeviceStats::new(enabled)),
+            gate: Arc::new(GateStats::new(enabled)),
+            readcache: Arc::new(ReadCacheStats::new(enabled)),
+            engine: Arc::new(EngineStats::new(enabled)),
+            trace: TraceRing::new(if enabled { TRACE_CAPACITY } else { 0 }),
+        })
+    }
+
+    pub fn disabled() -> Arc<Self> {
+        Self::new(false)
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Nanoseconds since this registry was created (trace timestamps).
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Record a trace span ending now with duration `dur_ns`.
+    #[inline]
+    pub fn trace_span(&self, layer: &'static str, op: &'static str, dur_ns: u64) {
+        if self.enabled {
+            self.trace
+                .record(layer, op, self.now_ns().saturating_sub(dur_ns), dur_ns);
+        }
+    }
+
+    /// Zero every counter and histogram (not the trace ring). Used to scope
+    /// a measurement window to e.g. one sweep pass.
+    pub fn reset(&self) {
+        self.alloc_lock.reset();
+        self.namespace_lock.reset();
+        self.journal_state.reset();
+        self.object_shards.reset();
+        self.uak_shards.reset();
+        self.engine_queue.reset();
+        self.device.reset();
+        self.gate.reset();
+        self.readcache.reset();
+        self.engine.reset();
+    }
+
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            enabled: self.enabled,
+            locks: LOCK_NAMES
+                .iter()
+                .zip([
+                    &self.alloc_lock,
+                    &self.namespace_lock,
+                    &self.journal_state,
+                    &self.object_shards,
+                    &self.uak_shards,
+                    &self.engine_queue,
+                ])
+                .map(|(name, stats)| (*name, stats.summary()))
+                .collect(),
+            device: self.device.summary(),
+            gate: self.gate.summary(),
+            readcache: self.readcache.summary(),
+            engine: self.engine.summary(),
+            trace_accepted: self.trace.accepted(),
+            trace_dropped: self.trace.dropped(),
+        }
+    }
+}
+
+/// Point-in-time merged view of an [`Obs`] registry. The field set, lock
+/// names, and JSON key structure are fixed at compile time (see the crate
+/// deniability contract).
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    pub enabled: bool,
+    pub locks: Vec<(&'static str, LockSummary)>,
+    pub device: DeviceSummary,
+    pub gate: GateSummary,
+    pub readcache: ReadCacheSummary,
+    pub engine: EngineSummary,
+    pub trace_accepted: u64,
+    pub trace_dropped: u64,
+}
+
+impl Snapshot {
+    /// Summary for a named lock family from [`LOCK_NAMES`].
+    pub fn lock(&self, name: &str) -> Option<&LockSummary> {
+        self.locks.iter().find(|(n, _)| *n == name).map(|(_, s)| s)
+    }
+
+    /// The lock JSON object: `{"fs.alloc": {...}, ...}`.
+    pub fn locks_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, summary)) in self.locks.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": {}", name, summary.to_json()));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Full fixed-shape JSON export.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"enabled\": {}, \"locks\": {}, \"device\": {}, \"journal_gate\": {}, \"readcache\": {}, \"engine\": {}, \"trace\": {{\"accepted\": {}, \"dropped\": {}}}}}",
+            self.enabled,
+            self.locks_json(),
+            self.device.to_json(),
+            self.gate.to_json(),
+            self.readcache.to_json(),
+            self.engine.to_json(),
+            self.trace_accepted,
+            self.trace_dropped
+        )
+    }
+
+    /// The JSON with every integer value replaced by `N`: two snapshots
+    /// have the same shape iff their normalized forms are equal. Metric
+    /// keys survive normalization because they are identical on both sides
+    /// by construction.
+    pub fn shape(&self) -> String {
+        let mut out = String::new();
+        let mut in_digits = false;
+        for c in self.to_json().chars() {
+            if c.is_ascii_digit() {
+                if !in_digits {
+                    out.push('N');
+                    in_digits = true;
+                }
+            } else {
+                in_digits = false;
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_shape_is_static() {
+        let a = Obs::new(true);
+        let b = Obs::new(true);
+        // Wildly different activity...
+        for i in 0..500 {
+            a.device.read_ns.record(i * 37);
+            a.alloc_lock.note_contended(i);
+            a.engine.record_completion((i % 12) as usize, i, i / 2);
+        }
+        b.gate.batch.record(3);
+        // ...same shape.
+        assert_eq!(a.snapshot().shape(), b.snapshot().shape());
+    }
+
+    #[test]
+    fn disabled_registry_still_snapshots() {
+        let obs = Obs::disabled();
+        obs.device.read_ns.record(100);
+        obs.trace_span("engine", "read", 50);
+        let snap = obs.snapshot();
+        assert!(!snap.enabled);
+        assert_eq!(snap.device.read_ns.count, 0);
+        assert!(obs.trace.is_zeroed());
+        // Shape matches the enabled registry except the "enabled" flag.
+        let enabled_shape = Obs::new(true).snapshot().shape();
+        assert_eq!(
+            snap.shape().replace("false", "true"),
+            enabled_shape.replace("false", "true")
+        );
+    }
+
+    #[test]
+    fn snapshot_json_mentions_required_lock_names() {
+        let json = Obs::new(true).snapshot().to_json();
+        for name in LOCK_NAMES {
+            assert!(json.contains(name), "missing {name}");
+        }
+        assert!(json.contains("journal_gate"));
+        assert!(json.contains("queue_depth_hwm"));
+    }
+
+    #[test]
+    fn reset_scopes_measurement_window() {
+        let obs = Obs::new(true);
+        obs.device.reads.fetch_add(10, Ordering::Relaxed);
+        obs.engine.note_queue_depth(7);
+        obs.reset();
+        let snap = obs.snapshot();
+        assert_eq!(snap.device.reads, 0);
+        assert_eq!(snap.engine.queue_depth_hwm, 0);
+    }
+
+    #[test]
+    fn trace_span_records_when_enabled() {
+        let obs = Obs::new(true);
+        obs.trace_span("journal", "commit", 1_000);
+        assert_eq!(obs.trace.accepted(), 1);
+        obs.trace.zeroize();
+        assert!(obs.trace.is_zeroed());
+    }
+}

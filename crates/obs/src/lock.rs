@@ -1,0 +1,434 @@
+//! Contention-instrumented lock wrappers.
+//!
+//! [`TimedMutex`] / [`TimedRwLock`] wrap the `parking_lot` primitives and
+//! account acquisitions, contended acquisitions, wait time, and hold time
+//! into a shared [`LockStats`]. Several locks (e.g. all 64 object-shard
+//! mutexes) can share one `Arc<LockStats>` so a whole lock *family* reports
+//! as a single metric.
+//!
+//! The fast path is `try_lock`: an uncontended acquisition costs two relaxed
+//! counter increments plus (when enabled) one `Instant::now()` for hold-time
+//! tracking. When the stats handle is disabled no clock is read at all and
+//! the wrapper behaves exactly like the underlying lock.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::hist::{HistSummary, Histogram};
+
+/// Shared contention accounting for one lock or lock family.
+pub struct LockStats {
+    enabled: AtomicBool,
+    acquisitions: AtomicU64,
+    contended: AtomicU64,
+    wait: Histogram,
+    hold: Histogram,
+}
+
+impl LockStats {
+    pub fn new(enabled: bool) -> Arc<Self> {
+        Arc::new(LockStats {
+            enabled: AtomicBool::new(enabled),
+            acquisitions: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+            wait: Histogram::maybe(enabled),
+            hold: Histogram::maybe(enabled),
+        })
+    }
+
+    pub fn disabled() -> Arc<Self> {
+        Self::new(false)
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn record_acquire(&self, contended: bool, wait_ns: u64) {
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        if contended {
+            self.contended.fetch_add(1, Ordering::Relaxed);
+            self.wait.record(wait_ns);
+        }
+    }
+
+    #[inline]
+    fn record_hold(&self, hold_ns: u64) {
+        self.hold.record(hold_ns);
+    }
+
+    /// Zero all counters and histograms (measurement-window scoping).
+    pub fn reset(&self) {
+        self.acquisitions.store(0, Ordering::Relaxed);
+        self.contended.store(0, Ordering::Relaxed);
+        self.wait.reset();
+        self.hold.reset();
+    }
+
+    pub fn summary(&self) -> LockSummary {
+        LockSummary {
+            acquisitions: self.acquisitions.load(Ordering::Relaxed),
+            contended: self.contended.load(Ordering::Relaxed),
+            wait: self.wait.summary(),
+            hold: self.hold.summary(),
+        }
+    }
+
+    /// Manual accounting hooks for locks that cannot be wrapped (e.g. a
+    /// `std::sync::Mutex` paired with a `Condvar`).
+    #[inline]
+    pub fn note_uncontended(&self) {
+        if self.is_enabled() {
+            self.record_acquire(false, 0);
+        }
+    }
+
+    #[inline]
+    pub fn note_contended(&self, wait_ns: u64) {
+        if self.is_enabled() {
+            self.record_acquire(true, wait_ns);
+        }
+    }
+}
+
+/// Point-in-time view of a [`LockStats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LockSummary {
+    pub acquisitions: u64,
+    pub contended: u64,
+    pub wait: HistSummary,
+    pub hold: HistSummary,
+}
+
+impl LockSummary {
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"acquisitions\": {}, \"contended\": {}, \"wait\": {}, \"hold\": {}}}",
+            self.acquisitions,
+            self.contended,
+            self.wait.to_json(),
+            self.hold.to_json()
+        )
+    }
+}
+
+/// A mutex that accounts acquisitions, contention, wait and hold time into
+/// a shared [`LockStats`].
+pub struct TimedMutex<T> {
+    inner: Mutex<T>,
+    stats: Arc<LockStats>,
+}
+
+impl<T> TimedMutex<T> {
+    /// New mutex with a detached (disabled) stats handle. Use
+    /// [`Self::set_stats`] to join a lock family after construction.
+    pub fn new(value: T) -> Self {
+        TimedMutex {
+            inner: Mutex::new(value),
+            stats: LockStats::disabled(),
+        }
+    }
+
+    pub fn with_stats(value: T, stats: Arc<LockStats>) -> Self {
+        TimedMutex {
+            inner: Mutex::new(value),
+            stats,
+        }
+    }
+
+    /// Swap the stats handle (requires exclusive access, i.e. during setup).
+    pub fn set_stats(&mut self, stats: Arc<LockStats>) {
+        self.stats = stats;
+    }
+
+    pub fn stats(&self) -> &Arc<LockStats> {
+        &self.stats
+    }
+
+    #[inline]
+    pub fn lock(&self) -> TimedMutexGuard<'_, T> {
+        if !self.stats.is_enabled() {
+            return TimedMutexGuard {
+                guard: self.inner.lock(),
+                stats: &self.stats,
+                held_since: None,
+            };
+        }
+        let guard = match self.inner.try_lock() {
+            Some(g) => {
+                self.stats.record_acquire(false, 0);
+                g
+            }
+            None => {
+                let start = Instant::now();
+                let g = self.inner.lock();
+                self.stats
+                    .record_acquire(true, start.elapsed().as_nanos() as u64);
+                g
+            }
+        };
+        TimedMutexGuard {
+            guard,
+            stats: &self.stats,
+            held_since: Some(Instant::now()),
+        }
+    }
+
+    pub fn try_lock(&self) -> Option<TimedMutexGuard<'_, T>> {
+        let guard = self.inner.try_lock()?;
+        let enabled = self.stats.is_enabled();
+        if enabled {
+            self.stats.record_acquire(false, 0);
+        }
+        Some(TimedMutexGuard {
+            guard,
+            stats: &self.stats,
+            held_since: if enabled { Some(Instant::now()) } else { None },
+        })
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+pub struct TimedMutexGuard<'a, T> {
+    guard: parking_lot::MutexGuard<'a, T>,
+    stats: &'a LockStats,
+    held_since: Option<Instant>,
+}
+
+impl<T> Deref for TimedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> DerefMut for TimedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T> Drop for TimedMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(start) = self.held_since {
+            self.stats.record_hold(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// An rwlock with the same accounting as [`TimedMutex`]. Reader and writer
+/// acquisitions share one stats handle; hold time is recorded for both.
+pub struct TimedRwLock<T> {
+    inner: RwLock<T>,
+    stats: Arc<LockStats>,
+}
+
+impl<T> TimedRwLock<T> {
+    pub fn new(value: T) -> Self {
+        TimedRwLock {
+            inner: RwLock::new(value),
+            stats: LockStats::disabled(),
+        }
+    }
+
+    pub fn with_stats(value: T, stats: Arc<LockStats>) -> Self {
+        TimedRwLock {
+            inner: RwLock::new(value),
+            stats,
+        }
+    }
+
+    pub fn set_stats(&mut self, stats: Arc<LockStats>) {
+        self.stats = stats;
+    }
+
+    pub fn stats(&self) -> &Arc<LockStats> {
+        &self.stats
+    }
+
+    #[inline]
+    pub fn read(&self) -> TimedRwLockReadGuard<'_, T> {
+        if !self.stats.is_enabled() {
+            return TimedRwLockReadGuard {
+                guard: self.inner.read(),
+                stats: &self.stats,
+                held_since: None,
+            };
+        }
+        let start = Instant::now();
+        let guard = self.inner.read();
+        let wait = start.elapsed().as_nanos() as u64;
+        // The std shim has no try_read; treat any measurable wait as
+        // contention so the wait histogram stays meaningful.
+        self.stats.record_acquire(wait > 1_000, wait);
+        TimedRwLockReadGuard {
+            guard,
+            stats: &self.stats,
+            held_since: Some(Instant::now()),
+        }
+    }
+
+    #[inline]
+    pub fn write(&self) -> TimedRwLockWriteGuard<'_, T> {
+        if !self.stats.is_enabled() {
+            return TimedRwLockWriteGuard {
+                guard: self.inner.write(),
+                stats: &self.stats,
+                held_since: None,
+            };
+        }
+        let start = Instant::now();
+        let guard = self.inner.write();
+        let wait = start.elapsed().as_nanos() as u64;
+        self.stats.record_acquire(wait > 1_000, wait);
+        TimedRwLockWriteGuard {
+            guard,
+            stats: &self.stats,
+            held_since: Some(Instant::now()),
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+pub struct TimedRwLockReadGuard<'a, T> {
+    guard: parking_lot::RwLockReadGuard<'a, T>,
+    stats: &'a LockStats,
+    held_since: Option<Instant>,
+}
+
+impl<T> Deref for TimedRwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> Drop for TimedRwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(start) = self.held_since {
+            self.stats.record_hold(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+pub struct TimedRwLockWriteGuard<'a, T> {
+    guard: parking_lot::RwLockWriteGuard<'a, T>,
+    stats: &'a LockStats,
+    held_since: Option<Instant>,
+}
+
+impl<T> Deref for TimedRwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> DerefMut for TimedRwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T> Drop for TimedRwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(start) = self.held_since {
+            self.stats.record_hold(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_lock_counts_acquisition() {
+        let stats = LockStats::new(true);
+        let m = TimedMutex::with_stats(0u32, Arc::clone(&stats));
+        {
+            let mut g = m.lock();
+            *g += 1;
+        }
+        let s = stats.summary();
+        assert_eq!(s.acquisitions, 1);
+        assert_eq!(s.contended, 0);
+        assert_eq!(s.hold.count, 1);
+    }
+
+    #[test]
+    fn contended_lock_records_wait() {
+        use std::thread;
+        use std::time::Duration;
+        let stats = LockStats::new(true);
+        let m = Arc::new(TimedMutex::with_stats(0u32, Arc::clone(&stats)));
+        let m2 = Arc::clone(&m);
+        let g = m.lock();
+        let t = thread::spawn(move || {
+            let _g = m2.lock();
+        });
+        thread::sleep(Duration::from_millis(20));
+        drop(g);
+        t.join().unwrap();
+        let s = stats.summary();
+        assert_eq!(s.acquisitions, 2);
+        assert_eq!(s.contended, 1);
+        assert!(s.wait.total >= 10_000_000, "wait = {} ns", s.wait.total);
+    }
+
+    #[test]
+    fn disabled_stats_record_nothing() {
+        let m = TimedMutex::new(5u32);
+        assert_eq!(*m.lock(), 5);
+        let s = m.stats().summary();
+        assert_eq!(s.acquisitions, 0);
+        assert_eq!(s.hold.count, 0);
+    }
+
+    #[test]
+    fn shared_family_merges_counts() {
+        let stats = LockStats::new(true);
+        let a = TimedMutex::with_stats(0u32, Arc::clone(&stats));
+        let b = TimedMutex::with_stats(0u32, Arc::clone(&stats));
+        drop(a.lock());
+        drop(b.lock());
+        assert_eq!(stats.summary().acquisitions, 2);
+    }
+
+    #[test]
+    fn rwlock_counts_readers_and_writers() {
+        let stats = LockStats::new(true);
+        let l = TimedRwLock::with_stats(1u32, Arc::clone(&stats));
+        {
+            let r = l.read();
+            assert_eq!(*r, 1);
+        }
+        {
+            let mut w = l.write();
+            *w = 2;
+        }
+        let s = stats.summary();
+        assert_eq!(s.acquisitions, 2);
+        assert_eq!(s.hold.count, 2);
+    }
+}

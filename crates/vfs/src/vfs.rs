@@ -296,19 +296,24 @@ impl<D: BlockDevice> Vfs<D> {
 
     /// Sign a session off: every handle it still holds is closed, its
     /// connected-object table is dropped (the paper disconnects all objects
-    /// at logoff), and the volume's read caches are **purged and zeroed** —
-    /// no decrypted byte may outlive a session that could read it, so
-    /// sign-off conservatively scrubs everything the session might have
-    /// pulled into RAM (see `stegfs_core::readcache`).
+    /// at logoff), and every read-cache entry the session's keys could
+    /// reach is **purged and zeroed** — no decrypted byte may outlive a
+    /// session that could read it, while entries other live sessions
+    /// resolved through their own keys stay warm (see
+    /// `stegfs_core::readcache`).  The RAM-only observability trace ring is
+    /// zeroed as well, so no record of the departing session's activity
+    /// pattern survives it.
     pub fn signoff(&self, session: SessionId) -> VfsResult<()> {
-        self.sessions
+        let state = self
+            .sessions
             .write()
             .remove(&session.0)
             .ok_or(VfsError::BadSession(session.0))?;
         for file in self.table.remove_session(session.0) {
             self.release_ref(&file.object);
         }
-        self.fs.purge_read_caches();
+        self.fs.purge_session_caches(&state.uak);
+        self.fs.obs().trace.zeroize();
         Ok(())
     }
 
@@ -317,6 +322,13 @@ impl<D: BlockDevice> Vfs<D> {
     /// benches.
     pub fn cache_stats(&self) -> CacheStats {
         self.fs.cache_stats()
+    }
+
+    /// The volume's observability registry (histograms, contention
+    /// counters, trace ring).  RAM only; see `stegfs-obs` for the
+    /// deniability contract.
+    pub fn obs(&self) -> &std::sync::Arc<stegfs_obs::Obs> {
+        self.fs.obs()
     }
 
     /// Number of live sessions.

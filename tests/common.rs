@@ -20,6 +20,7 @@ pub fn full_feature_params() -> StegParams {
         random_fill: true,
         journal_blocks: 0,
         readpath_cache_blocks: 1024,
+        obs_enabled: true,
     }
 }
 

@@ -1,0 +1,170 @@
+//! Deniability tests for the observability layer (`stegfs-obs`).
+//!
+//! The obs registry trades visibility for nothing: an adversary who can read
+//! the metrics output (or image RAM after a sign-off, or image the disk with
+//! instrumentation on) must learn exactly what they would learn without it.
+//! These tests pin the three load-bearing claims:
+//!
+//! 1. The snapshot's *shape* — every key, label, and metric name — is a
+//!    static property of the binary, identical whether or not hidden objects
+//!    exist or were ever touched.  Only numeric magnitudes vary.
+//! 2. The RAM-only trace ring is scrubbed on session sign-off.
+//! 3. The on-disk image is bit-identical with observability on and off:
+//!    nothing about the registry is ever persisted.
+
+use std::sync::Arc;
+use stegfs_blockdev::MemBlockDevice;
+use stegfs_core::{ObjectKind, StegFs, StegParams};
+use stegfs_engine::{Engine, Request, Response};
+use stegfs_tests::{full_feature_params, payload};
+use stegfs_vfs::{OpenOptions, Vfs};
+
+const OWNER: &str = "the real key";
+
+fn obs_params() -> StegParams {
+    StegParams {
+        obs_enabled: true,
+        ..full_feature_params()
+    }
+}
+
+/// Run a workload on a fresh volume and return the obs snapshot.  When
+/// `hidden` is set, the workload also creates, rewrites, and reads hidden
+/// objects; op counts deliberately differ so only the *values* can diverge.
+fn snapshot_after_workload(hidden: bool) -> stegfs_obs::Snapshot {
+    let fs = StegFs::format(MemBlockDevice::new(1024, 8192), obs_params()).unwrap();
+    fs.write_plain("/cover.txt", &payload(1, 32 * 1024))
+        .unwrap();
+    fs.write_plain("/cover2.txt", &payload(2, 16 * 1024))
+        .unwrap();
+    fs.read_plain("/cover.txt").unwrap();
+    if hidden {
+        fs.steg_create("secret-a", OWNER, ObjectKind::File).unwrap();
+        fs.write_hidden_with_key("secret-a", OWNER, &payload(3, 96 * 1024))
+            .unwrap();
+        fs.read_hidden_with_key("secret-a", OWNER).unwrap();
+        fs.write_hidden_with_key("secret-a", OWNER, &payload(4, 48 * 1024))
+            .unwrap();
+    }
+    fs.sync().unwrap();
+    fs.obs().snapshot()
+}
+
+#[test]
+fn snapshot_shape_is_independent_of_hidden_activity() {
+    let without = snapshot_after_workload(false);
+    let with = snapshot_after_workload(true);
+    // Byte-identical shape: same keys, same labels, same structure.  Only
+    // digit runs (the measured magnitudes) are allowed to differ.
+    assert_eq!(
+        without.shape(),
+        with.shape(),
+        "metric names/structure must not depend on hidden objects"
+    );
+    // And the JSON never embeds workload identifiers: names, keys, paths.
+    let json = with.to_json();
+    for leak in ["secret-a", OWNER, "cover", "/"] {
+        assert!(
+            !json.contains(leak),
+            "snapshot JSON must not contain {leak:?}"
+        );
+    }
+}
+
+#[test]
+fn trace_ring_is_zeroized_on_signoff() {
+    let dev = MemBlockDevice::new(1024, 8192);
+    let vfs = Arc::new(Vfs::format(dev, obs_params()).unwrap());
+    let engine = Arc::new(Engine::start(Arc::clone(&vfs), 2));
+    let client = engine.client(OWNER);
+    let h = match client
+        .call(Request::Open {
+            path: "/hidden/diary".into(),
+            opts: OpenOptions::read_write(),
+        })
+        .result
+        .unwrap()
+    {
+        Response::Handle(h) => h,
+        other => panic!("open returned {other:?}"),
+    };
+    match client
+        .call(Request::WriteAt {
+            handle: h,
+            offset: 0,
+            data: payload(5, 8 * 1024),
+        })
+        .result
+        .unwrap()
+    {
+        Response::Written(n) => assert_eq!(n, 8 * 1024),
+        other => panic!("write returned {other:?}"),
+    }
+    client.call(Request::Close { handle: h });
+    assert!(
+        vfs.obs().trace.accepted() > 0,
+        "engine ops must land spans in the trace ring"
+    );
+    client.signoff().unwrap();
+    assert!(
+        vfs.obs().trace.is_zeroed(),
+        "signoff must scrub the trace ring"
+    );
+    Arc::try_unwrap(engine)
+        .unwrap_or_else(|_| panic!("engine still shared"))
+        .shutdown();
+}
+
+/// Image every block of the volume through the raw-read path.
+fn image(fs: &StegFs<MemBlockDevice>) -> Vec<u8> {
+    let total = fs.plain_fs().superblock().total_blocks;
+    let mut out = Vec::new();
+    for b in 0..total {
+        out.extend(fs.plain_fs().read_raw_block(b).unwrap());
+    }
+    out
+}
+
+#[test]
+fn disk_image_is_bit_identical_with_obs_on_and_off() {
+    let run = |obs_enabled: bool| -> Vec<u8> {
+        let params = StegParams {
+            obs_enabled,
+            ..full_feature_params()
+        };
+        let fs = StegFs::format(MemBlockDevice::new(1024, 4096), params).unwrap();
+        fs.write_plain("/cover.txt", &payload(7, 24 * 1024))
+            .unwrap();
+        fs.steg_create("secret", OWNER, ObjectKind::File).unwrap();
+        fs.write_hidden_with_key("secret", OWNER, &payload(8, 64 * 1024))
+            .unwrap();
+        fs.read_hidden_with_key("secret", OWNER).unwrap();
+        fs.sync().unwrap();
+        image(&fs)
+    };
+    assert_eq!(
+        run(true),
+        run(false),
+        "instrumentation must leave no mark on the volume"
+    );
+}
+
+#[test]
+fn disabled_registry_collects_nothing() {
+    let params = StegParams {
+        obs_enabled: false,
+        ..full_feature_params()
+    };
+    let fs = StegFs::format(MemBlockDevice::new(1024, 4096), params).unwrap();
+    fs.write_plain("/cover.txt", &payload(9, 16 * 1024))
+        .unwrap();
+    fs.sync().unwrap();
+    let snap = fs.obs().snapshot();
+    assert!(!snap.enabled);
+    for (name, lock) in &snap.locks {
+        assert_eq!(lock.acquisitions, 0, "{name} counted while disabled");
+    }
+    assert_eq!(snap.device.reads, 0);
+    assert_eq!(snap.device.writes, 0);
+    assert_eq!(snap.trace_accepted, 0);
+}
