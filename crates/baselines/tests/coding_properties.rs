@@ -1,0 +1,116 @@
+//! Property-based tests for the coding math the survival subsystem builds
+//! on: GF(2^8) must actually be a field, and Rabin's IDA must survive the
+//! loss of any `n - m` shares — for *arbitrary* share subsets, not just the
+//! first `m` the unit tests pick.
+
+use proptest::prelude::*;
+use stegfs_baselines::gf256;
+use stegfs_baselines::ida::Share;
+use stegfs_baselines::Ida;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        ..ProptestConfig::default()
+    })]
+
+    // ---------------------------------------------------------------
+    // GF(256) field axioms
+    // ---------------------------------------------------------------
+
+    #[test]
+    fn gf256_addition_group(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+        // Commutative, associative, identity 0, every element self-inverse
+        // (characteristic 2).
+        prop_assert_eq!(gf256::add(a, b), gf256::add(b, a));
+        prop_assert_eq!(
+            gf256::add(gf256::add(a, b), c),
+            gf256::add(a, gf256::add(b, c))
+        );
+        prop_assert_eq!(gf256::add(a, 0), a);
+        prop_assert_eq!(gf256::add(a, a), 0);
+    }
+
+    #[test]
+    fn gf256_multiplicative_group(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+        prop_assert_eq!(gf256::mul(a, b), gf256::mul(b, a));
+        prop_assert_eq!(
+            gf256::mul(gf256::mul(a, b), c),
+            gf256::mul(a, gf256::mul(b, c))
+        );
+        prop_assert_eq!(gf256::mul(a, 1), a);
+        prop_assert_eq!(gf256::mul(a, 0), 0);
+        // The table-driven multiply must agree with the shift-and-add one.
+        prop_assert_eq!(gf256::mul(a, b), gf256::mul_slow(a, b));
+        if a != 0 {
+            prop_assert_eq!(gf256::mul(a, gf256::inv(a)), 1);
+            prop_assert_eq!(gf256::div(gf256::mul(a, b), a), b);
+        }
+    }
+
+    #[test]
+    fn gf256_distributivity(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+        prop_assert_eq!(
+            gf256::mul(a, gf256::add(b, c)),
+            gf256::add(gf256::mul(a, b), gf256::mul(a, c))
+        );
+    }
+
+    // ---------------------------------------------------------------
+    // IDA round trip under arbitrary share loss
+    // ---------------------------------------------------------------
+
+    #[test]
+    fn ida_survives_any_n_minus_m_share_losses(
+        data in proptest::collection::vec(any::<u8>(), 1..2048),
+        params in 0usize..5,
+        subset_seed in any::<u64>()
+    ) {
+        let (m, n) = [(1, 2), (2, 3), (2, 4), (3, 5), (4, 6)][params];
+        let ida = Ida::new(m, n).unwrap();
+        let shares = ida.split(&data);
+        prop_assert_eq!(shares.len(), n);
+
+        // Drop n - m shares chosen by the seed: keep an arbitrary m-subset.
+        let mut pool: Vec<Share> = shares;
+        let mut rng = subset_seed ^ 0x9e37_79b9_7f4a_7c15;
+        while pool.len() > m {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            let drop_at = (rng % pool.len() as u64) as usize;
+            pool.swap_remove(drop_at);
+        }
+
+        let rebuilt = ida.reconstruct(&pool, data.len()).unwrap();
+        prop_assert_eq!(&rebuilt[..data.len()], &data[..]);
+        // The tail beyond data_len is the zero padding of the last group.
+        prop_assert!(rebuilt[data.len()..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn ida_split_is_deterministic(
+        data in proptest::collection::vec(any::<u8>(), 1..512)
+    ) {
+        // Determinism is what lets the scavenger rebuild a damaged share to
+        // the byte-identical ciphertext the volume originally held.
+        let ida = Ida::new(2, 4).unwrap();
+        let a = ida.split(&data);
+        let b = ida.split(&data);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert_eq!(x.index, y.index);
+            prop_assert_eq!(&x.data, &y.data);
+        }
+    }
+
+    #[test]
+    fn ida_fewer_than_m_shares_reconstruct_nothing(
+        data in proptest::collection::vec(any::<u8>(), 1..512)
+    ) {
+        let ida = Ida::new(3, 5).unwrap();
+        let shares = ida.split(&data);
+        prop_assert!(ida.reconstruct(&shares[..2], data.len()).is_err());
+        prop_assert!(ida.reconstruct(&[], data.len()).is_err());
+    }
+}

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--full] [--smoke] [--table N] [--fig N] [--space-summary]
-//!       [--vfs-scaling] [--engine-scaling] [--readpath] [--all]
+//!       [--vfs-scaling] [--engine-scaling] [--readpath] [--survival]
+//!       [--scavenge] [--all]
 //! ```
 //!
 //! With no arguments (or `--all`) every artefact is produced.  The default
@@ -26,6 +27,8 @@ struct Options {
     engine_scaling: bool,
     durability: bool,
     readpath: bool,
+    survival: bool,
+    scavenge_demo: bool,
 }
 
 fn parse_args() -> Options {
@@ -40,6 +43,8 @@ fn parse_args() -> Options {
         engine_scaling: false,
         durability: false,
         readpath: false,
+        survival: false,
+        scavenge_demo: false,
     };
     let mut any_selection = false;
     let mut i = 0;
@@ -55,6 +60,7 @@ fn parse_args() -> Options {
                 opts.engine_scaling = true;
                 opts.durability = true;
                 opts.readpath = true;
+                opts.survival = true;
                 any_selection = true;
             }
             "--table" => {
@@ -95,6 +101,14 @@ fn parse_args() -> Options {
                 opts.readpath = true;
                 any_selection = true;
             }
+            "--survival" => {
+                opts.survival = true;
+                any_selection = true;
+            }
+            "--scavenge" => {
+                opts.scavenge_demo = true;
+                any_selection = true;
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other}")),
         }
@@ -108,6 +122,7 @@ fn parse_args() -> Options {
         opts.engine_scaling = true;
         opts.durability = true;
         opts.readpath = true;
+        opts.survival = true;
     }
     opts
 }
@@ -119,6 +134,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: repro [--full] [--smoke] [--all] [--tables] [--fig N]... [--space-summary]\n\
          \t[--vfs-scaling] [--engine-scaling] [--durability] [--readpath]\n\
+         \t[--survival] [--scavenge]\n\
          \n\
          Regenerates the tables and figures of 'StegFS: A Steganographic File\n\
          System' (Pang, Tan, Zhou — ICDE 2003).  Default scale is a 64 MB\n\
@@ -377,6 +393,47 @@ fn main() {
             ),
             Err(e) => eprintln!("could not write BENCH.json: {e}"),
         }
+    }
+
+    if opts.survival {
+        // Survivability sweep: write amplification vs survival rate under
+        // randomized share damage, one point per durability policy, with an
+        // offline scavenge pass between damage and the verdict reads.  The
+        // smoke variant additionally pins the exact k-of-n boundary
+        // (destroy n-m shares per group -> byte-identical; one more ->
+        // fail closed), which is what CI asserts on.
+        use stegfs_bench::survival as sv;
+        if opts.smoke {
+            match sv::smoke() {
+                Ok(()) => println!("survival smoke: k-of-n boundary holds (recover at n-m losses, fail closed beyond)"),
+                Err(e) => {
+                    eprintln!("survival smoke FAILED: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        let (files, file_kb, damage_frac) = if opts.smoke {
+            (2, 4, 0.12)
+        } else if opts.full {
+            (12, 64, 0.15)
+        } else {
+            (6, 32, 0.15)
+        };
+        let points = sv::run_sweep(files, file_kb, damage_frac, 0x5743_2003);
+        println!("{}", sv::render(&points));
+        let section = sv::section_json(&points);
+        match stegfs_bench::bench_json::update_file("BENCH.json", "survival", &section) {
+            Ok(()) => println!("merged survival into BENCH.json ({} points)", points.len()),
+            Err(e) => eprintln!("could not write BENCH.json: {e}"),
+        }
+    }
+
+    if opts.scavenge_demo {
+        // Offline scavenger walk-through: damage a coded volume beyond what
+        // a plain one could take, then repair it in place and print the
+        // report — the operator-facing view of `stegfs_survival::scavenge`.
+        use stegfs_bench::survival as sv;
+        println!("{}", sv::scavenge_demo());
     }
 
     if !percentiles.is_empty() {

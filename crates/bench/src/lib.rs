@@ -40,6 +40,7 @@ pub mod bench_json;
 pub mod durability;
 pub mod engine_scaling;
 pub mod readpath;
+pub mod survival;
 pub mod vfs_scaling;
 
 /// The block sizes swept by the serial-access experiment (bytes).

@@ -1,0 +1,386 @@
+//! Survivability sweep: write amplification vs survival under damage.
+//!
+//! Each durability policy buys damage tolerance with extra share blocks:
+//! `Replicate(r)` writes every logical block `r` times, `Disperse{m,n}`
+//! writes `n` shares per `m` logical blocks.  This sweep prices that trade
+//! directly.  For every policy it
+//!
+//! 1. formats a volume on a [`CorruptingDevice`], creates a working set of
+//!    hidden files and measures the **write amplification** actually paid
+//!    (physical share blocks per logical data block, padding included);
+//! 2. damages a seeded random fraction of all share blocks (mixed bit
+//!    flips, zeroed blocks and junk overwrites);
+//! 3. runs the keyed scavenger and then re-reads every file, counting how
+//!    many come back **byte-identical** — the survival rate.
+//!
+//! `smoke()` is the CI gate: it pins the exact k-of-n boundary — destroying
+//! any `n - m` shares of every group must leave every byte recoverable
+//! (warm read *and* offline repair), and destroying one more share must
+//! fail closed with no partial plaintext.
+
+use std::fmt::Write as _;
+use stegfs_blockdev::{CorruptingDevice, MemBlockDevice};
+use stegfs_core::{ObjectKind, Policy, StegFs, StegParams};
+use stegfs_survival::scavenge;
+
+/// Access key owning the sweep's working set.
+const UAK: &str = "survival sweep key";
+
+/// The policies swept, with display labels.
+pub const POLICIES: [(&str, Policy); 6] = [
+    ("plain", Policy::Plain),
+    ("replicate-2", Policy::Replicate(2)),
+    ("replicate-3", Policy::Replicate(3)),
+    ("disperse-2of3", Policy::Disperse { m: 2, n: 3 }),
+    ("disperse-2of4", Policy::Disperse { m: 2, n: 4 }),
+    ("disperse-3of5", Policy::Disperse { m: 3, n: 5 }),
+];
+
+/// One policy's measured point.
+#[derive(Debug, Clone)]
+pub struct SurvivalPoint {
+    /// Display label of the policy.
+    pub policy: &'static str,
+    /// Reconstruction threshold (logical blocks per group).
+    pub m: usize,
+    /// Shares stored per group.
+    pub n: usize,
+    /// Measured physical share blocks per logical data block.
+    pub write_amp: f64,
+    /// Hidden files in the working set.
+    pub objects: usize,
+    /// Share blocks damaged by the injector.
+    pub blocks_damaged: usize,
+    /// Objects the scavenger repaired in place.
+    pub objects_repaired: usize,
+    /// Objects the scavenger declared unrecoverable.
+    pub objects_lost: usize,
+    /// Fraction of objects that read back byte-identical after the
+    /// scavenge pass.
+    pub survival_rate: f64,
+}
+
+fn params(policy: Policy) -> StegParams {
+    StegParams {
+        random_fill: false,
+        dummy_file_count: 0,
+        hidden_policy: policy,
+        ..StegParams::for_tests()
+    }
+}
+
+fn content(index: usize, len: usize) -> Vec<u8> {
+    // Deterministic, non-uniform per file so a torn read cannot pass.
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(index as u8))
+        .collect()
+}
+
+fn build_volume(
+    policy: Policy,
+    files: usize,
+    file_kb: usize,
+) -> StegFs<CorruptingDevice<MemBlockDevice>> {
+    let dev = CorruptingDevice::new(MemBlockDevice::new(1024, 16384));
+    let fs = StegFs::format(dev, params(policy)).expect("format");
+    for i in 0..files {
+        let name = format!("survival-{i}");
+        fs.steg_create(&name, UAK, ObjectKind::File)
+            .expect("create");
+        fs.write_hidden_with_key(&name, UAK, &content(i, file_kb * 1024))
+            .expect("write");
+    }
+    fs
+}
+
+/// Run the sweep: `files` hidden files of `file_kb` KiB per policy, with
+/// `damage_frac` of all share blocks damaged (seeded by `seed`).
+pub fn run_sweep(files: usize, file_kb: usize, damage_frac: f64, seed: u64) -> Vec<SurvivalPoint> {
+    let bs = 1024usize;
+    let logical_per_file = (file_kb * 1024).div_ceil(bs);
+    POLICIES
+        .iter()
+        .map(|&(label, policy)| {
+            let fs = build_volume(policy, files, file_kb);
+            let (m, n) = policy.shares();
+
+            let mut all_shares: Vec<u64> = Vec::new();
+            for i in 0..files {
+                let groups = fs
+                    .hidden_share_extents(&format!("survival-{i}"), UAK)
+                    .expect("extents");
+                all_shares.extend(groups.into_iter().flatten());
+            }
+            let write_amp = all_shares.len() as f64 / (files * logical_per_file) as f64;
+
+            let damage_count = ((all_shares.len() as f64) * damage_frac).round() as usize;
+            let dev = fs.plain_fs().device().clone();
+            dev.corrupt_random_in(&all_shares, damage_count, seed)
+                .expect("damage");
+            fs.purge_read_caches();
+
+            let report = scavenge(&fs, &[UAK]).expect("scavenge");
+            let survived = (0..files)
+                .filter(|&i| {
+                    fs.read_hidden_with_key(&format!("survival-{i}"), UAK)
+                        .is_ok_and(|got| got == content(i, file_kb * 1024))
+                })
+                .count();
+
+            SurvivalPoint {
+                policy: label,
+                m,
+                n,
+                write_amp,
+                objects: files,
+                blocks_damaged: damage_count,
+                objects_repaired: report.objects_repaired,
+                objects_lost: report.objects_lost,
+                survival_rate: survived as f64 / files as f64,
+            }
+        })
+        .collect()
+}
+
+/// CI smoke: pin the exact k-of-n recovery boundary for `Disperse{2,4}`.
+///
+/// Destroying any `n - m` shares of *every* group must leave every byte
+/// recoverable both by a warm (degraded) read and by offline repair; one
+/// more destroyed share in any group must fail closed — a clean error, no
+/// partial plaintext.  Returns an error message instead of panicking so
+/// `repro` can print context.
+pub fn smoke() -> Result<(), String> {
+    let policy = Policy::Disperse { m: 2, n: 4 };
+    let (m, n) = policy.shares();
+    let files = 3usize;
+    let file_kb = 8usize;
+    let fs = build_volume(policy, files, file_kb);
+    let dev = fs.plain_fs().device().clone();
+
+    // Phase 1: exactly n - m shares of every group destroyed.
+    for i in 0..files {
+        let groups = fs
+            .hidden_share_extents(&format!("survival-{i}"), UAK)
+            .map_err(|e| format!("extents: {e}"))?;
+        for (g, group) in groups.iter().enumerate() {
+            for k in 0..(n - m) {
+                // Mix the damage modes across groups.
+                let victim = group[(g + k) % n];
+                if k % 2 == 0 {
+                    dev.zero_block(victim).map_err(|e| format!("zero: {e}"))?;
+                } else {
+                    dev.overwrite_region(victim, 1, victim ^ 0xdead)
+                        .map_err(|e| format!("junk: {e}"))?;
+                }
+            }
+        }
+    }
+    fs.purge_read_caches();
+
+    // Degraded reads must already be byte-identical (checksum fallback).
+    for i in 0..files {
+        let got = fs
+            .read_hidden_with_key(&format!("survival-{i}"), UAK)
+            .map_err(|e| format!("degraded read of survival-{i} failed: {e}"))?;
+        if got != content(i, file_kb * 1024) {
+            return Err(format!(
+                "degraded read of survival-{i} is not byte-identical"
+            ));
+        }
+    }
+
+    // Offline repair must rebuild every destroyed share and leave nothing
+    // lost; afterwards reads come from fully healed groups.
+    let report = scavenge(&fs, &[UAK]).map_err(|e| format!("scavenge: {e}"))?;
+    if !report.all_recovered() || report.objects_repaired != files {
+        return Err(format!("scavenge did not repair everything: {report:?}"));
+    }
+    fs.purge_read_caches();
+    for i in 0..files {
+        let got = fs
+            .read_hidden_with_key(&format!("survival-{i}"), UAK)
+            .map_err(|e| format!("post-repair read of survival-{i} failed: {e}"))?;
+        if got != content(i, file_kb * 1024) {
+            return Err(format!(
+                "post-repair read of survival-{i} is not byte-identical"
+            ));
+        }
+    }
+
+    // Phase 2: one more share destroyed in one group of file 0 — beyond
+    // tolerance.  The read must fail closed and the scavenger must report
+    // the object lost without writing anything.
+    let groups = fs
+        .hidden_share_extents("survival-0", UAK)
+        .map_err(|e| format!("extents: {e}"))?;
+    for &b in groups[0].iter().take(n - m + 1) {
+        dev.zero_block(b).map_err(|e| format!("zero: {e}"))?;
+    }
+    fs.purge_read_caches();
+    match fs.read_hidden_with_key("survival-0", UAK) {
+        Ok(_) => return Err("read beyond tolerance returned data".into()),
+        Err(e) => {
+            let msg = e.to_string();
+            if !msg.contains("live shares") {
+                return Err(format!("expected a fail-closed share error, got: {msg}"));
+            }
+        }
+    }
+    let report = scavenge(&fs, &[UAK]).map_err(|e| format!("scavenge: {e}"))?;
+    if report.objects_lost != 1 || report.lost != vec!["survival-0".to_string()] {
+        return Err(format!("expected exactly survival-0 lost: {report:?}"));
+    }
+    // The other files are untouched by the second round of damage.
+    for i in 1..files {
+        let got = fs
+            .read_hidden_with_key(&format!("survival-{i}"), UAK)
+            .map_err(|e| format!("bystander read of survival-{i} failed: {e}"))?;
+        if got != content(i, file_kb * 1024) {
+            return Err(format!("bystander survival-{i} is not byte-identical"));
+        }
+    }
+    Ok(())
+}
+
+/// Operator-facing walk-through of the offline scavenger: build a coded
+/// volume, damage it, repair it in place, and narrate the result.  This is
+/// what `repro --scavenge` prints.
+pub fn scavenge_demo() -> String {
+    let mut s =
+        String::from("Offline scavenge demo (Disperse{m:2, n:4}, damage then keyed repair)\n");
+    let policy = Policy::Disperse { m: 2, n: 4 };
+    let files = 4usize;
+    let file_kb = 16usize;
+    let fs = build_volume(policy, files, file_kb);
+    let dev = fs.plain_fs().device().clone();
+
+    let mut all_shares: Vec<u64> = Vec::new();
+    for i in 0..files {
+        let groups = fs
+            .hidden_share_extents(&format!("survival-{i}"), UAK)
+            .expect("extents");
+        all_shares.extend(groups.into_iter().flatten());
+    }
+    let damage = dev
+        .corrupt_random_in(&all_shares, all_shares.len() / 5, 0xda_ba_9e)
+        .expect("damage");
+    fs.purge_read_caches();
+    let _ = writeln!(
+        s,
+        "damaged {} of {} share blocks ({} bit-rotted, {} zeroed, {} overwritten)",
+        damage.blocks_damaged(),
+        all_shares.len(),
+        damage.blocks_bitflipped,
+        damage.blocks_zeroed,
+        damage.blocks_overwritten,
+    );
+
+    let report = scavenge(&fs, &[UAK]).expect("scavenge");
+    let _ = writeln!(
+        s,
+        "scavenge: {} scanned, {} intact, {} repaired ({} shares rewritten), {} lost",
+        report.objects_scanned,
+        report.objects_intact,
+        report.objects_repaired,
+        report.shares_rewritten,
+        report.objects_lost,
+    );
+    for name in &report.lost {
+        let _ = writeln!(s, "  lost: {name}");
+    }
+    let survived = (0..files)
+        .filter(|&i| {
+            fs.read_hidden_with_key(&format!("survival-{i}"), UAK)
+                .is_ok_and(|got| got == content(i, file_kb * 1024))
+        })
+        .count();
+    let _ = writeln!(
+        s,
+        "post-repair verification: {survived}/{files} byte-identical"
+    );
+    s
+}
+
+/// Render the sweep as a text table.
+pub fn render(points: &[SurvivalPoint]) -> String {
+    let mut s = String::from(
+        "Survivability sweep (randomized share damage, then keyed scavenge)\n\
+         policy           m/n    write-amp   objects   damaged   repaired   lost   survival\n",
+    );
+    for p in points {
+        let _ = writeln!(
+            s,
+            "{:<15} {:>2}/{:<2} {:>10.2} {:>9} {:>9} {:>10} {:>6} {:>9.0}%",
+            p.policy,
+            p.m,
+            p.n,
+            p.write_amp,
+            p.objects,
+            p.blocks_damaged,
+            p.objects_repaired,
+            p.objects_lost,
+            p.survival_rate * 100.0,
+        );
+    }
+    s
+}
+
+/// Serialise the sweep to the `survival` JSON section (an array; the caller
+/// merges it into `BENCH.json` next to the other sections).
+pub fn section_json(points: &[SurvivalPoint]) -> String {
+    let mut s = String::from("[\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"policy\": \"{}\", \"m\": {}, \"n\": {}, \"write_amp\": {:.3}, \
+             \"objects\": {}, \"blocks_damaged\": {}, \"objects_repaired\": {}, \
+             \"objects_lost\": {}, \"survival_rate\": {:.3}}}{}",
+            p.policy,
+            p.m,
+            p.n,
+            p.write_amp,
+            p.objects,
+            p.blocks_damaged,
+            p.objects_repaired,
+            p.objects_lost,
+            p.survival_rate,
+            if i + 1 == points.len() { "" } else { "," }
+        );
+    }
+    s.push_str("  ]");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_pins_the_recovery_boundary() {
+        smoke().unwrap();
+    }
+
+    #[test]
+    fn tiny_sweep_orders_policies_sanely() {
+        let points = run_sweep(2, 4, 0.12, 99);
+        assert_eq!(points.len(), POLICIES.len());
+        let by = |name: &str| points.iter().find(|p| p.policy == name).unwrap();
+        // Amplification reflects the policy (padding can only raise it).
+        assert!((by("plain").write_amp - 1.0).abs() < 0.01);
+        assert!(by("replicate-2").write_amp >= 2.0);
+        assert!(by("disperse-2of4").write_amp >= 2.0);
+        assert!(by("disperse-2of3").write_amp < by("replicate-2").write_amp);
+        // Redundant policies must not survive worse than plain under the
+        // same damage fraction (plain repairs nothing by construction).
+        assert_eq!(by("plain").objects_repaired, 0);
+    }
+
+    #[test]
+    fn section_json_is_well_formed_enough() {
+        let json = section_json(&run_sweep(1, 2, 0.1, 7));
+        assert!(json.contains("\"policy\": \"disperse-2of4\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let merged = crate::bench_json::merge_section(None, "survival", &json);
+        assert!(merged.contains("\"survival\""));
+    }
+}

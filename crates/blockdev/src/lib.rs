@@ -34,6 +34,9 @@
 //! * [`CrashDevice`] — fault injection for the durability tests: buffers
 //!   unsynced writes, and `crash()` applies, drops or tears an arbitrary
 //!   seeded subset of them (including mid-batch) before remount.
+//! * [`CorruptingDevice`] — the damage analogue for the survivability
+//!   tests: seeded bit flips, block zeroing and region overwrites applied
+//!   to data *at rest*, exercised by the coded read path and the scavenger.
 //! * [`LatencyDevice`] — real-time per-block service latency (it actually
 //!   sleeps, outside every lock), used by the thread-scaling benchmarks to
 //!   show concurrent block I/O overlapping on the wall clock.
@@ -50,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod corrupt;
 pub mod crash;
 pub mod device;
 pub mod disk_model;
@@ -60,6 +64,7 @@ pub mod metered;
 pub mod observed;
 
 pub use cache::{BufferCache, CacheMode};
+pub use corrupt::{CorruptingDevice, CorruptionReport};
 pub use crash::{CrashDevice, CrashReport};
 pub use device::{BlockDevice, BlockId, MemBlockDevice, SharedDevice};
 pub use disk_model::{DiskClock, DiskModel, DiskParameters, DiskStats, SimDisk};

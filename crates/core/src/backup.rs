@@ -16,8 +16,9 @@
 //! rejected rather than silently restored.
 
 use crate::error::{StegError, StegResult};
+use stegfs_blockdev::BlockDevice;
 use stegfs_crypto::hmac::hmac_sha256;
-use stegfs_fs::FileKind;
+use stegfs_fs::{FileKind, PlainFs};
 
 /// Magic prefix of a serialised backup image.
 const MAGIC: &[u8; 8] = b"STEGBKP1";
@@ -52,6 +53,25 @@ impl BackupImage {
     /// devoted to raw block images (the paper's backup-cost argument).
     pub fn raw_image_bytes(&self) -> u64 {
         self.hidden_blocks.iter().map(|(_, d)| d.len() as u64).sum()
+    }
+
+    /// Graft the imaged hidden blocks back into `fs` at their original
+    /// addresses, as one transaction: allocation and raw contents land
+    /// together, so on a journaled volume a crash mid-recovery yields either
+    /// the complete hidden region or none of it — never a bitmap that claims
+    /// blocks whose contents were lost (the old raw-loop restore could).
+    pub fn graft<D: BlockDevice>(&self, fs: &PlainFs<D>) -> StegResult<()> {
+        let mut txn = fs.begin_txn();
+        for (block, data) in &self.hidden_blocks {
+            if !txn.try_allocate_specific_block(*block)? {
+                return Err(StegError::InvalidBackup(format!(
+                    "imaged block {block} is already allocated on the target volume"
+                )));
+            }
+            txn.write_raw_block(*block, data)?;
+        }
+        txn.commit()?;
+        Ok(())
     }
 
     /// Serialise and authenticate with `admin_key`.

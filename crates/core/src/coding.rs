@@ -1,0 +1,312 @@
+//! Per-object durability policies: how a hidden object's logical bytes map
+//! onto the physical blocks that store them.
+//!
+//! The paper's random-placement scheme survives *deletion pressure* (free
+//! blocks being handed to plain files) but not *damage*: every hidden block
+//! is unique, so one overwritten or bit-rotted extent kills the object.  The
+//! Mnemosyne line of work (Hand & Roscoe, cited in §2 of the paper) names
+//! the fix: disperse each object into `n` cipher-shares such that **any `m`
+//! of them** reconstruct it — Rabin's Information Dispersal Algorithm,
+//! implemented in [`stegfs_baselines::Ida`] and promoted here from a
+//! benchmark baseline into the core write path.
+//!
+//! A [`Policy`] travels in the (encrypted, signature-checked) object header,
+//! so every object picks its own durability/space trade-off:
+//!
+//! * [`Policy::Plain`] — one physical block per logical block, no
+//!   redundancy.  The original layout and the wire-compatible default: its
+//!   header tag is the byte that was previously reserved-as-zero.
+//! * [`Policy::Replicate`] — `r` full copies of every logical block (the
+//!   `m = 1` special case of IDA; expansion `r`).
+//! * [`Policy::Disperse`] — `n` shares per group of `m` logical blocks, any
+//!   `m` reconstruct (expansion `n / m` — Mnemosyne's space advantage over
+//!   replication).
+//!
+//! **Deniability is unchanged.**  Shares are AES-CTR'd per block with the
+//! object key exactly like plain hidden blocks, so on the raw device a
+//! share extent is the same uniformly-random ciphertext as any other hidden
+//! block, abandoned block, or random fill; the policy itself, the share
+//! checksums and the group structure all live inside ciphertext that only
+//! the access key reveals.  Wrong key still reads as never-existed.
+
+use crate::error::{StegError, StegResult};
+use stegfs_baselines::ida::Share;
+use stegfs_baselines::Ida;
+use stegfs_crypto::sha256::sha256_concat;
+
+/// Durability policy of one hidden object, carried in its header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Policy {
+    /// One physical block per logical block; no redundancy (the original
+    /// StegFS layout, and the on-disk default).
+    #[default]
+    Plain,
+    /// `r` full copies of every logical block (expansion `r`).
+    Replicate(u8),
+    /// `n` shares per group of `m` logical blocks; any `m` shares
+    /// reconstruct the group (expansion `n / m`).
+    Disperse {
+        /// Shares required for reconstruction.
+        m: u8,
+        /// Shares stored.
+        n: u8,
+    },
+}
+
+impl Policy {
+    /// `(m, n)`: shares required / shares stored per group.  `Plain` is the
+    /// degenerate `(1, 1)` code; `Replicate(r)` is `(1, r)`.
+    pub fn shares(&self) -> (usize, usize) {
+        match *self {
+            Policy::Plain => (1, 1),
+            Policy::Replicate(r) => (1, r as usize),
+            Policy::Disperse { m, n } => (m as usize, n as usize),
+        }
+    }
+
+    /// True for every policy that stores shares (and per-share checksums)
+    /// instead of the logical blocks themselves.
+    pub fn is_coded(&self) -> bool {
+        !matches!(self, Policy::Plain)
+    }
+
+    /// `(m, n)` for coded policies, `None` for `Plain`.
+    pub fn coding(&self) -> Option<(usize, usize)> {
+        if self.is_coded() {
+            Some(self.shares())
+        } else {
+            None
+        }
+    }
+
+    /// Storage expansion factor `n / m`.
+    pub fn expansion(&self) -> f64 {
+        let (m, n) = self.shares();
+        n as f64 / m as f64
+    }
+
+    /// Extra share losses the object survives per group (`n - m`).
+    pub fn tolerated_losses(&self) -> usize {
+        let (m, n) = self.shares();
+        n - m
+    }
+
+    /// Reject degenerate parameters (`Replicate(0)`, `m = 0`, `m > n`).
+    pub fn validate(&self) -> StegResult<()> {
+        let (m, n) = self.shares();
+        if m == 0 || n == 0 || m > n || n > 255 {
+            return Err(StegError::InvalidParameter(format!(
+                "durability policy requires 0 < m <= n <= 255, got m={m}, n={n}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Header encoding: `(tag, m, n)`.  Tag 0 is `Plain` and occupies the
+    /// byte that older headers wrote as reserved-zero, so pre-policy volumes
+    /// parse unchanged.
+    pub(crate) fn to_header_bytes(self) -> (u8, u8, u8) {
+        match self {
+            Policy::Plain => (0, 0, 0),
+            Policy::Replicate(r) => (1, 1, r),
+            Policy::Disperse { m, n } => (2, m, n),
+        }
+    }
+
+    /// Inverse of [`to_header_bytes`](Self::to_header_bytes).  Returns
+    /// `None` for unknown tags or implausible `(m, n)` — callers treat that
+    /// the same as a signature mismatch.
+    pub(crate) fn from_header_bytes(tag: u8, m: u8, n: u8) -> Option<Policy> {
+        match tag {
+            0 => Some(Policy::Plain),
+            1 if m == 1 && n >= 1 => Some(Policy::Replicate(n)),
+            2 if m >= 1 && n >= m => Some(Policy::Disperse { m, n }),
+            _ => None,
+        }
+    }
+}
+
+/// Domain-separated 8-byte checksum of one share's plaintext, stored next
+/// to the share pointer in the (encrypted) inode chain.  Detects damaged
+/// shares before they poison a reconstruction; an adversary never sees it.
+pub(crate) fn share_checksum(share: &[u8]) -> u64 {
+    let digest = sha256_concat(&[b"stegfs-share-csum", share]);
+    u64::from_be_bytes(digest[..8].try_into().expect("8-byte prefix"))
+}
+
+/// Split one group's `m * block_size` plaintext bytes into `n` shares of
+/// exactly `block_size` bytes each.  Deterministic: re-splitting the same
+/// plaintext reproduces the original shares byte for byte, which is what
+/// lets the scavenger rewrite a damaged share without touching the others.
+pub(crate) fn split_group(group: &[u8], m: usize, n: usize) -> Vec<Share> {
+    debug_assert_eq!(group.len() % m, 0);
+    Ida::new(m, n).expect("validated policy").split(group)
+}
+
+/// Reconstruct one group's `m * block_size` plaintext bytes from at least
+/// `m` checksum-verified shares (`(1-based share index, share bytes)`).
+pub(crate) fn reconstruct_group(
+    good: &[(u8, Vec<u8>)],
+    m: usize,
+    n: usize,
+    block_size: usize,
+) -> StegResult<Vec<u8>> {
+    if good.len() < m {
+        return Err(damage(format!(
+            "share group has {} live shares, {m} required",
+            good.len()
+        )));
+    }
+    let ida = Ida::new(m, n).map_err(|e| damage(e.to_string()))?;
+    let shares: Vec<Share> = good[..m]
+        .iter()
+        .map(|(index, data)| Share {
+            index: *index,
+            data: data.clone(),
+        })
+        .collect();
+    ida.reconstruct(&shares, m * block_size)
+        .map_err(|e| damage(e.to_string()))
+}
+
+/// Encode `data` into the concatenated share stream of a coded object:
+/// `groups * n` blocks of `block_size` bytes, group-major (group 0's shares
+/// 1..=n, then group 1's, ...), plus one checksum per share block.  The last
+/// group is zero padded, exactly like the tail of a plain object's last
+/// block.
+pub(crate) fn encode_groups(
+    data: &[u8],
+    block_size: usize,
+    m: usize,
+    n: usize,
+) -> (Vec<u8>, Vec<u64>) {
+    use crate::readcache::scratch;
+    let group_bytes = m * block_size;
+    let groups = data.len().div_ceil(group_bytes);
+    let mut out = scratch::take(groups * n * block_size);
+    let mut csums = Vec::with_capacity(groups * n);
+    let mut group_buf = scratch::take(group_bytes);
+    for g in 0..groups {
+        let start = g * group_bytes;
+        let end = (start + group_bytes).min(data.len());
+        group_buf[..end - start].copy_from_slice(&data[start..end]);
+        group_buf[end - start..].fill(0);
+        for (j, share) in split_group(&group_buf, m, n).into_iter().enumerate() {
+            debug_assert_eq!(share.data.len(), block_size);
+            csums.push(share_checksum(&share.data));
+            out[(g * n + j) * block_size..(g * n + j + 1) * block_size]
+                .copy_from_slice(&share.data);
+        }
+    }
+    scratch::put(group_buf);
+    (out, csums)
+}
+
+/// The error family for unrecoverable damage: a clean failure, carrying no
+/// partial plaintext.
+pub(crate) fn damage(msg: String) -> StegError {
+    StegError::Fs(stegfs_fs::FsError::Corrupt(msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_share_counts_and_expansion() {
+        assert_eq!(Policy::Plain.shares(), (1, 1));
+        assert_eq!(Policy::Replicate(3).shares(), (1, 3));
+        assert_eq!(Policy::Disperse { m: 3, n: 5 }.shares(), (3, 5));
+        assert!(!Policy::Plain.is_coded());
+        assert!(Policy::Replicate(2).is_coded());
+        assert_eq!(Policy::Plain.coding(), None);
+        assert_eq!(Policy::Disperse { m: 2, n: 4 }.coding(), Some((2, 4)));
+        assert_eq!(Policy::Replicate(3).expansion(), 3.0);
+        assert_eq!(Policy::Disperse { m: 2, n: 4 }.tolerated_losses(), 2);
+    }
+
+    #[test]
+    fn policy_validation() {
+        assert!(Policy::Plain.validate().is_ok());
+        assert!(Policy::Replicate(1).validate().is_ok());
+        assert!(Policy::Disperse { m: 3, n: 3 }.validate().is_ok());
+        assert!(Policy::Replicate(0).validate().is_err());
+        assert!(Policy::Disperse { m: 0, n: 2 }.validate().is_err());
+        assert!(Policy::Disperse { m: 4, n: 2 }.validate().is_err());
+    }
+
+    #[test]
+    fn header_bytes_roundtrip() {
+        for policy in [
+            Policy::Plain,
+            Policy::Replicate(2),
+            Policy::Replicate(255),
+            Policy::Disperse { m: 2, n: 4 },
+            Policy::Disperse { m: 4, n: 4 },
+        ] {
+            let (tag, m, n) = policy.to_header_bytes();
+            assert_eq!(Policy::from_header_bytes(tag, m, n), Some(policy));
+        }
+        // Legacy headers: tag 0 with zeroed trailing bytes is Plain.
+        assert_eq!(Policy::from_header_bytes(0, 0, 0), Some(Policy::Plain));
+        // Unknown tags and implausible parameters are rejected.
+        assert_eq!(Policy::from_header_bytes(3, 2, 4), None);
+        assert_eq!(Policy::from_header_bytes(1, 2, 4), None);
+        assert_eq!(Policy::from_header_bytes(2, 5, 4), None);
+        assert_eq!(Policy::from_header_bytes(2, 0, 4), None);
+    }
+
+    #[test]
+    fn encode_reconstruct_roundtrip() {
+        let bs = 64;
+        let (m, n) = (3, 5);
+        let data: Vec<u8> = (0..bs * 7 + 13).map(|i| (i * 37 % 251) as u8).collect();
+        let (stream, csums) = encode_groups(&data, bs, m, n);
+        let groups = data.len().div_ceil(m * bs);
+        assert_eq!(stream.len(), groups * n * bs);
+        assert_eq!(csums.len(), groups * n);
+        let mut decoded = Vec::new();
+        for g in 0..groups {
+            // Any m of the n shares reconstruct — take the *last* m here.
+            let good: Vec<(u8, Vec<u8>)> = (n - m..n)
+                .map(|j| {
+                    let block = &stream[(g * n + j) * bs..(g * n + j + 1) * bs];
+                    assert_eq!(csums[g * n + j], share_checksum(block));
+                    ((j + 1) as u8, block.to_vec())
+                })
+                .collect();
+            decoded.extend(reconstruct_group(&good, m, n, bs).unwrap());
+        }
+        decoded.truncate(data.len());
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn encode_is_deterministic() {
+        let data: Vec<u8> = (0..1000).map(|i| (i % 256) as u8).collect();
+        let a = encode_groups(&data, 128, 2, 4);
+        let b = encode_groups(&data, 128, 2, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn too_few_shares_fail_closed() {
+        let bs = 32;
+        let data = vec![0xabu8; bs * 2];
+        let (stream, _) = encode_groups(&data, bs, 2, 3);
+        let one = vec![(1u8, stream[..bs].to_vec())];
+        let err = reconstruct_group(&one, 2, 3, bs).unwrap_err();
+        assert!(err.to_string().contains("live shares"));
+    }
+
+    #[test]
+    fn replication_shares_are_full_copies() {
+        let bs = 16;
+        let data = vec![7u8; bs];
+        let (stream, _) = encode_groups(&data, bs, 1, 3);
+        assert_eq!(stream.len(), 3 * bs);
+        for j in 0..3 {
+            assert_eq!(&stream[j * bs..(j + 1) * bs], &data[..]);
+        }
+    }
+}

@@ -7,9 +7,14 @@
 //!   hashing from the physical name and access key, so the key cannot be
 //!   recovered from it),
 //! * a link to the **inode chain** that indexes all data blocks of the
-//!   object, and
+//!   object,
 //! * the **free-block pool**: a list of blocks held by the file but not yet
-//!   carrying data, which defeats attackers who difference bitmap snapshots.
+//!   carrying data, which defeats attackers who difference bitmap snapshots,
+//!   and
+//! * the object's durability [`Policy`]: whether the data blocks are the
+//!   logical blocks themselves or k-of-n coded shares of them.  The policy
+//!   tag reuses the byte older headers wrote as reserved-zero, so
+//!   pre-policy volumes parse unchanged (as [`Policy::Plain`]).
 //!
 //! The header is always encrypted before it reaches the device, so none of
 //! these fields are visible to an observer.
@@ -18,6 +23,7 @@
 //! with zeros to the block size before encryption.  It fits the smallest
 //! block size the paper considers (512 bytes).
 
+use crate::coding::Policy;
 use crate::crypt::SIGNATURE_LEN;
 use crate::error::{StegError, StegResult};
 
@@ -29,7 +35,9 @@ pub const FREE_POOL_CAPACITY: usize = 16;
 pub const NO_BLOCK: u64 = u64::MAX;
 
 /// Serialised header length in bytes (excluding padding to the block size).
-pub const HEADER_LEN: usize = SIGNATURE_LEN + 1 + 1 + 8 + 8 + 8 + 2 + FREE_POOL_CAPACITY * 8;
+/// The trailing two bytes are the policy's `(m, n)`; its tag sits in the
+/// formerly-reserved byte after the object kind.
+pub const HEADER_LEN: usize = SIGNATURE_LEN + 1 + 1 + 8 + 8 + 8 + 2 + FREE_POOL_CAPACITY * 8 + 2;
 
 /// Whether a hidden object is a file or a directory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,11 +103,20 @@ pub struct HiddenHeader {
     pub inode_chain: u64,
     /// The internal pool of free blocks held by this object.
     pub free_pool: Vec<u64>,
+    /// Durability policy: how [`data_block_count`](Self::data_block_count)
+    /// physical blocks encode the object's logical bytes.
+    pub policy: Policy,
 }
 
 impl HiddenHeader {
     /// A fresh header for an empty object.
     pub fn new(signature: [u8; SIGNATURE_LEN], kind: ObjectKind) -> Self {
+        Self::with_policy(signature, kind, Policy::Plain)
+    }
+
+    /// A fresh header for an empty object with an explicit durability
+    /// policy.
+    pub fn with_policy(signature: [u8; SIGNATURE_LEN], kind: ObjectKind, policy: Policy) -> Self {
         HiddenHeader {
             signature,
             kind,
@@ -107,6 +124,7 @@ impl HiddenHeader {
             data_block_count: 0,
             inode_chain: NO_BLOCK,
             free_pool: Vec::new(),
+            policy,
         }
     }
 
@@ -125,9 +143,10 @@ impl HiddenHeader {
         let mut off = 0;
         buf[off..off + SIGNATURE_LEN].copy_from_slice(&self.signature);
         off += SIGNATURE_LEN;
+        let (policy_tag, policy_m, policy_n) = self.policy.to_header_bytes();
         buf[off] = self.kind.to_byte();
         off += 1;
-        buf[off] = 0; // reserved flags
+        buf[off] = policy_tag; // 0 == Plain, the former reserved-flags byte
         off += 1;
         buf[off..off + 8].copy_from_slice(&self.size.to_be_bytes());
         off += 8;
@@ -142,6 +161,9 @@ impl HiddenHeader {
             buf[off..off + 8].copy_from_slice(&v.to_be_bytes());
             off += 8;
         }
+        buf[off] = policy_m;
+        buf[off + 1] = policy_n;
+        off += 2;
         debug_assert_eq!(off, HEADER_LEN);
         buf
     }
@@ -164,6 +186,7 @@ impl HiddenHeader {
         }
         let mut off = SIGNATURE_LEN;
         let kind = ObjectKind::from_byte(buf[off])?;
+        let policy_tag = buf[off + 1];
         off += 2;
         let get_u64 = |o: usize| u64::from_be_bytes(buf[o..o + 8].try_into().unwrap());
         let size = get_u64(off);
@@ -188,6 +211,16 @@ impl HiddenHeader {
         if inode_chain != NO_BLOCK && inode_chain >= total_blocks {
             return None;
         }
+        let policy_mn_off = SIGNATURE_LEN + 2 + 8 + 8 + 8 + 2 + FREE_POOL_CAPACITY * 8;
+        let policy =
+            Policy::from_header_bytes(policy_tag, buf[policy_mn_off], buf[policy_mn_off + 1])?;
+        // A coded object's physical block count must be a whole number of
+        // n-share groups; anything else is as implausible as a bad pointer.
+        if let Some((_, n)) = policy.coding() {
+            if data_block_count % n as u64 != 0 {
+                return None;
+            }
+        }
         Some(HiddenHeader {
             signature: *expected_signature,
             kind,
@@ -195,6 +228,7 @@ impl HiddenHeader {
             data_block_count,
             inode_chain,
             free_pool,
+            policy,
         })
     }
 }
@@ -202,40 +236,74 @@ impl HiddenHeader {
 /// One block of the inode chain of a hidden object.
 ///
 /// ```text
-/// [next: u64][count: u16][pointer...]
+/// plain: [next: u64][count: u16][pointer...]
+/// coded: [next: u64][count: u16][(pointer, checksum)...]
 /// ```
 ///
-/// The chain stores the object's data-block numbers in logical order.  Like
-/// every other hidden block it is encrypted before hitting the device.
+/// The chain stores the object's data-block numbers in logical order — for
+/// coded objects, share-block numbers in group-major order, each paired
+/// with the 8-byte checksum of its share plaintext so a damaged share is
+/// detected before it poisons a reconstruction.  Like every other hidden
+/// block the chain is encrypted before hitting the device, so the checksums
+/// (and the coded/plain distinction itself) are invisible to an observer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InodeChainBlock {
     /// Next block in the chain, or [`NO_BLOCK`].
     pub next: u64,
     /// Data-block pointers stored in this chain block.
     pub pointers: Vec<u64>,
+    /// Per-share checksums, parallel to `pointers`.  Empty for plain
+    /// objects (their chain keeps the pre-policy byte layout).
+    pub csums: Vec<u64>,
 }
 
 impl InodeChainBlock {
-    /// Number of pointers that fit into one chain block of `block_size`.
+    /// Number of pointers that fit into one plain chain block.
     pub fn capacity(block_size: usize) -> usize {
-        (block_size - 10) / 8
+        Self::capacity_for(block_size, false)
     }
 
-    /// Serialise into exactly `block_size` bytes.
+    /// Number of pointers that fit into one chain block of `block_size`:
+    /// 8 bytes per entry plain, 16 (pointer + checksum) coded.
+    pub fn capacity_for(block_size: usize, coded: bool) -> usize {
+        (block_size - 10) / if coded { 16 } else { 8 }
+    }
+
+    /// Serialise a plain chain block into exactly `block_size` bytes.
     pub fn serialize(&self, block_size: usize) -> Vec<u8> {
-        assert!(self.pointers.len() <= Self::capacity(block_size));
+        self.serialize_for(block_size, false)
+    }
+
+    /// Serialise into exactly `block_size` bytes, in the plain or coded
+    /// layout.
+    pub fn serialize_for(&self, block_size: usize, coded: bool) -> Vec<u8> {
+        assert!(self.pointers.len() <= Self::capacity_for(block_size, coded));
+        if coded {
+            assert_eq!(self.pointers.len(), self.csums.len());
+        } else {
+            assert!(self.csums.is_empty(), "plain chain carries no checksums");
+        }
         let mut buf = vec![0u8; block_size];
         buf[0..8].copy_from_slice(&self.next.to_be_bytes());
         buf[8..10].copy_from_slice(&(self.pointers.len() as u16).to_be_bytes());
+        let entry = if coded { 16 } else { 8 };
         for (i, &p) in self.pointers.iter().enumerate() {
-            let off = 10 + i * 8;
+            let off = 10 + i * entry;
             buf[off..off + 8].copy_from_slice(&p.to_be_bytes());
+            if coded {
+                buf[off + 8..off + 16].copy_from_slice(&self.csums[i].to_be_bytes());
+            }
         }
         buf
     }
 
-    /// Parse a decrypted chain block.
+    /// Parse a decrypted plain chain block.
     pub fn deserialize(buf: &[u8], total_blocks: u64) -> StegResult<Self> {
+        Self::deserialize_for(buf, total_blocks, false)
+    }
+
+    /// Parse a decrypted chain block in the plain or coded layout.
+    pub fn deserialize_for(buf: &[u8], total_blocks: u64, coded: bool) -> StegResult<Self> {
         if buf.len() < 10 {
             return Err(StegError::Fs(stegfs_fs::FsError::Corrupt(
                 "inode chain block too short".into(),
@@ -243,14 +311,16 @@ impl InodeChainBlock {
         }
         let next = u64::from_be_bytes(buf[0..8].try_into().unwrap());
         let count = u16::from_be_bytes(buf[8..10].try_into().unwrap()) as usize;
-        if count > Self::capacity(buf.len()) {
+        if count > Self::capacity_for(buf.len(), coded) {
             return Err(StegError::Fs(stegfs_fs::FsError::Corrupt(
                 "inode chain count exceeds capacity".into(),
             )));
         }
+        let entry = if coded { 16 } else { 8 };
         let mut pointers = Vec::with_capacity(count);
+        let mut csums = Vec::with_capacity(if coded { count } else { 0 });
         for i in 0..count {
-            let off = 10 + i * 8;
+            let off = 10 + i * entry;
             let p = u64::from_be_bytes(buf[off..off + 8].try_into().unwrap());
             if p >= total_blocks {
                 return Err(StegError::Fs(stegfs_fs::FsError::Corrupt(format!(
@@ -258,13 +328,22 @@ impl InodeChainBlock {
                 ))));
             }
             pointers.push(p);
+            if coded {
+                csums.push(u64::from_be_bytes(
+                    buf[off + 8..off + 16].try_into().unwrap(),
+                ));
+            }
         }
         if next != NO_BLOCK && next >= total_blocks {
             return Err(StegError::Fs(stegfs_fs::FsError::Corrupt(
                 "inode chain next pointer outside volume".into(),
             )));
         }
-        Ok(InodeChainBlock { next, pointers })
+        Ok(InodeChainBlock {
+            next,
+            pointers,
+            csums,
+        })
     }
 }
 
@@ -369,6 +448,7 @@ mod tests {
         let block = InodeChainBlock {
             next: 77,
             pointers: (100..100 + cap as u64).collect(),
+            csums: vec![],
         };
         let buf = block.serialize(1024);
         assert_eq!(InodeChainBlock::deserialize(&buf, 10_000).unwrap(), block);
@@ -379,6 +459,7 @@ mod tests {
         let block = InodeChainBlock {
             next: NO_BLOCK,
             pointers: vec![5, 6],
+            csums: vec![],
         };
         let mut buf = block.serialize(512);
         // Corrupt the count to something impossible.
@@ -389,6 +470,7 @@ mod tests {
         let bad = InodeChainBlock {
             next: NO_BLOCK,
             pointers: vec![5_000],
+            csums: vec![],
         };
         let buf = bad.serialize(512);
         assert!(InodeChainBlock::deserialize(&buf, 1_000).is_err());
@@ -396,10 +478,75 @@ mod tests {
         let bad = InodeChainBlock {
             next: 5_000,
             pointers: vec![],
+            csums: vec![],
         };
         let buf = bad.serialize(512);
         assert!(InodeChainBlock::deserialize(&buf, 1_000).is_err());
         assert!(InodeChainBlock::deserialize(&[0u8; 4], 1_000).is_err());
+    }
+
+    #[test]
+    fn header_policy_roundtrip() {
+        for policy in [
+            Policy::Replicate(3),
+            Policy::Disperse { m: 2, n: 4 },
+            Policy::Disperse { m: 3, n: 5 },
+        ] {
+            let mut h = HiddenHeader::with_policy(sig(0x21), ObjectKind::File, policy);
+            let (_, n) = policy.shares();
+            h.size = 4096;
+            h.data_block_count = 4 * n as u64;
+            let buf = h.serialize(1024);
+            let parsed = HiddenHeader::parse_if_match(&buf, &sig(0x21), 100_000).unwrap();
+            assert_eq!(parsed.policy, policy);
+            assert_eq!(parsed, h);
+        }
+    }
+
+    #[test]
+    fn legacy_zero_padded_header_parses_as_plain() {
+        // A pre-policy header serialised the reserved byte and the (then
+        // nonexistent) trailing bytes as zero; parsing must yield Plain.
+        let mut h = HiddenHeader::new(sig(0x33), ObjectKind::File);
+        h.size = 99;
+        let buf = h.serialize(512);
+        let parsed = HiddenHeader::parse_if_match(&buf, &sig(0x33), 1_000).unwrap();
+        assert_eq!(parsed.policy, Policy::Plain);
+    }
+
+    #[test]
+    fn implausible_policy_rejected() {
+        // Matching signature but a coded block count that is not a whole
+        // number of share groups: reject, like any other implausible field.
+        let mut h =
+            HiddenHeader::with_policy(sig(0x44), ObjectKind::File, Policy::Disperse { m: 2, n: 4 });
+        h.data_block_count = 7; // not a multiple of n = 4
+        let buf = h.serialize(512);
+        assert!(HiddenHeader::parse_if_match(&buf, &sig(0x44), 1_000).is_none());
+        // Unknown policy tag.
+        let h = HiddenHeader::new(sig(0x45), ObjectKind::File);
+        let mut buf = h.serialize(512);
+        buf[SIGNATURE_LEN + 1] = 9;
+        assert!(HiddenHeader::parse_if_match(&buf, &sig(0x45), 1_000).is_none());
+    }
+
+    #[test]
+    fn coded_chain_roundtrip_and_capacity() {
+        let cap = InodeChainBlock::capacity_for(1024, true);
+        assert_eq!(cap, (1024 - 10) / 16);
+        let block = InodeChainBlock {
+            next: 42,
+            pointers: (200..200 + cap as u64).collect(),
+            csums: (900..900 + cap as u64).collect(),
+        };
+        let buf = block.serialize_for(1024, true);
+        assert_eq!(
+            InodeChainBlock::deserialize_for(&buf, 10_000, true).unwrap(),
+            block
+        );
+        // Misreading the coded layout as plain interleaves checksums into
+        // the pointer stream, which the pointer plausibility check catches.
+        assert!(InodeChainBlock::deserialize(&buf, 250).is_err());
     }
 
     #[test]

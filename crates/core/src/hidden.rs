@@ -11,7 +11,15 @@
 //! (topping the pool back up when it drops below `FB_min`); truncation feeds
 //! freed blocks back into the pool and only returns the excess beyond
 //! `FB_max` to the file system.
+//!
+//! Objects carry a per-object durability [`Policy`]: a coded object stores
+//! `n` cipher-shares per group of `m` logical blocks (any `m` reconstruct —
+//! see [`crate::coding`]), the read path falls back through surviving
+//! shares on checksum mismatch, and [`repair`] rewrites damaged shares from
+//! the survivors.  On the raw device shares are indistinguishable from any
+//! other hidden block.
 
+use crate::coding::{self, Policy};
 use crate::crypt::ObjectKeys;
 use crate::error::{StegError, StegResult};
 use crate::header::{HiddenHeader, InodeChainBlock, ObjectKind, NO_BLOCK};
@@ -129,6 +137,21 @@ pub fn create<D: BlockDevice>(
     kind: ObjectKind,
     params: &StegParams,
 ) -> StegResult<HiddenObject> {
+    create_with_policy(fs, physical_name, keys, kind, Policy::Plain, params)
+}
+
+/// [`create`] with an explicit durability policy.  The policy travels in the
+/// encrypted header, so it costs nothing observable: a coded object's
+/// creation is indistinguishable from a plain one's.
+pub fn create_with_policy<D: BlockDevice>(
+    fs: &PlainFs<D>,
+    physical_name: &str,
+    keys: &ObjectKeys,
+    kind: ObjectKind,
+    policy: Policy,
+    params: &StegParams,
+) -> StegResult<HiddenObject> {
+    policy.validate()?;
     let mut txn = fs.begin_txn();
     // Claiming the slot is a separate step from finding it, so two creators
     // racing down different candidate sequences may pick the same free block.
@@ -149,7 +172,7 @@ pub fn create<D: BlockDevice>(
         }
     };
 
-    let mut header = HiddenHeader::new(*keys.signature(), kind);
+    let mut header = HiddenHeader::with_policy(*keys.signature(), kind, policy);
     // Stock the internal free pool (§3.1: "StegFS straightaway allocates
     // several blocks to the file").
     for _ in 0..params.free_blocks_max {
@@ -252,10 +275,12 @@ fn cached_chain<D: BlockDevice>(
         Some((header_block, header)) => header_block == obj.header_block && header == obj.header,
         None => cache.enabled() && header_matches_disk(fs, keys, obj)?,
     };
-    let (data_blocks, chain_blocks) = read_chain(fs, keys, obj)?;
+    let (data_blocks, chain_blocks, share_csums) = read_chain(fs, keys, obj)?;
     let extents = Arc::new(ExtentList {
         data_blocks,
         chain_blocks,
+        share_csums,
+        coding: obj.header.policy.coding(),
     });
     let gen = if trusted {
         cache.store_extents(
@@ -334,23 +359,27 @@ fn read_blocks_cached<D: BlockDevice>(
 }
 
 /// Read the inode chain of `obj`, returning the data blocks in logical order
-/// together with the chain blocks themselves.
+/// (for coded objects: share blocks in group-major order), the chain blocks
+/// themselves, and the per-share checksums (empty for plain objects).
 fn read_chain<D: BlockDevice>(
     fs: &PlainFs<D>,
     keys: &ObjectKeys,
     obj: &HiddenObject,
-) -> StegResult<(Vec<u64>, Vec<u64>)> {
+) -> StegResult<(Vec<u64>, Vec<u64>, Vec<u64>)> {
     let total = fs.superblock().total_blocks;
+    let coded = obj.header.policy.is_coded();
     let mut data_blocks = Vec::with_capacity(obj.header.data_block_count as usize);
+    let mut share_csums = Vec::new();
     let mut chain_blocks = Vec::new();
     let mut next = obj.header.inode_chain;
     while next != NO_BLOCK {
         chain_blocks.push(next);
         let buf = read_decrypted(fs, keys, next)?;
-        let chain = InodeChainBlock::deserialize(&buf, total);
+        let chain = InodeChainBlock::deserialize_for(&buf, total, coded);
         scratch::put(buf);
         let chain = chain?;
         data_blocks.extend_from_slice(&chain.pointers);
+        share_csums.extend_from_slice(&chain.csums);
         next = chain.next;
         if chain_blocks_guard(&chain_blocks, total) {
             return Err(StegError::Fs(stegfs_fs::FsError::Corrupt(
@@ -358,11 +387,163 @@ fn read_chain<D: BlockDevice>(
             )));
         }
     }
-    Ok((data_blocks, chain_blocks))
+    Ok((data_blocks, chain_blocks, share_csums))
 }
 
 fn chain_blocks_guard(chain_blocks: &[u64], total: u64) -> bool {
     chain_blocks.len() as u64 > total
+}
+
+/// Decode the requested groups of a coded object, returning `m * block_size`
+/// plaintext bytes per group in `groups` order (a scratch-pool buffer).
+///
+/// Two-phase fetch: the first `m` shares of every group come up in one
+/// batched submission (the common, undamaged case reads exactly as many
+/// blocks as a plain object would); any group with a checksum mismatch then
+/// falls back through its remaining shares — again one batch for all
+/// degraded groups — instead of erroring.  A group with fewer than `m`
+/// surviving shares fails closed: the error carries no partial plaintext.
+fn decode_groups<D: BlockDevice>(
+    fs: &PlainFs<D>,
+    keys: &ObjectKeys,
+    data_blocks: &[u64],
+    share_csums: &[u64],
+    m: usize,
+    n: usize,
+    groups: &[usize],
+) -> StegResult<Vec<u8>> {
+    let bs = fs.block_size();
+    if data_blocks.len() != share_csums.len() || !data_blocks.len().is_multiple_of(n) {
+        return Err(coding::damage(
+            "coded chain does not pair every share with a checksum".into(),
+        ));
+    }
+    let primary: Vec<u64> = groups
+        .iter()
+        .flat_map(|&g| data_blocks[g * n..g * n + m].iter().copied())
+        .collect();
+    let buf = read_decrypted_many(fs, keys, &primary)?;
+    let mut good: Vec<Vec<(u8, Vec<u8>)>> = vec![Vec::new(); groups.len()];
+    let mut degraded: Vec<usize> = Vec::new();
+    for (gi, &g) in groups.iter().enumerate() {
+        for j in 0..m {
+            let share = &buf[(gi * m + j) * bs..(gi * m + j + 1) * bs];
+            if coding::share_checksum(share) == share_csums[g * n + j] {
+                good[gi].push(((j + 1) as u8, share.to_vec()));
+            }
+        }
+        if good[gi].len() < m {
+            degraded.push(gi);
+        }
+    }
+    scratch::put(buf);
+    if !degraded.is_empty() && n > m {
+        let extra = n - m;
+        let fallback: Vec<u64> = degraded
+            .iter()
+            .flat_map(|&gi| {
+                let g = groups[gi];
+                data_blocks[g * n + m..(g + 1) * n].iter().copied()
+            })
+            .collect();
+        let buf = read_decrypted_many(fs, keys, &fallback)?;
+        for (di, &gi) in degraded.iter().enumerate() {
+            let g = groups[gi];
+            for j in 0..extra {
+                let share = &buf[(di * extra + j) * bs..(di * extra + j + 1) * bs];
+                if coding::share_checksum(share) == share_csums[g * n + m + j] {
+                    good[gi].push(((m + j + 1) as u8, share.to_vec()));
+                }
+            }
+        }
+        scratch::put(buf);
+    }
+    let mut out = scratch::take(groups.len() * m * bs);
+    for (gi, &g) in groups.iter().enumerate() {
+        if good[gi].len() < m {
+            scratch::put(out);
+            return Err(coding::damage(format!(
+                "share group {g} has {} live shares, {m} required",
+                good[gi].len()
+            )));
+        }
+        match coding::reconstruct_group(&good[gi], m, n, bs) {
+            Ok(plain) => out[gi * m * bs..(gi + 1) * m * bs].copy_from_slice(&plain),
+            Err(e) => {
+                scratch::put(out);
+                return Err(e);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Read logical blocks `first..=last` of a coded object, serving what it can
+/// from the plaintext cache (keyed by *logical index* — the share blocks
+/// themselves are never cached) and decoding the missing groups.  Every
+/// freshly decoded block is installed under `gen`, so a warm object costs
+/// neither device reads nor Vandermonde solves.  Returns a scratch-pool
+/// buffer of `(last - first + 1)` blocks.
+#[allow(clippy::too_many_arguments)]
+fn read_coded_range<D: BlockDevice>(
+    fs: &PlainFs<D>,
+    keys: &ObjectKeys,
+    gen: u64,
+    extents: &ExtentList,
+    m: usize,
+    n: usize,
+    first: usize,
+    last: usize,
+    cache: &ReadCache,
+) -> StegResult<Vec<u8>> {
+    let bs = fs.block_size();
+    let logical_count = (extents.data_blocks.len() / n.max(1)) * m;
+    if last >= logical_count {
+        return Err(StegError::Fs(stegfs_fs::FsError::Corrupt(
+            "hidden object shorter than its size field".into(),
+        )));
+    }
+    let mut out = scratch::take((last - first + 1) * bs);
+    let mut missing: Vec<usize> = Vec::new();
+    for i in first..=last {
+        let slot = (i - first) * bs;
+        if !cache.get_block_into(gen, i as u64, &mut out[slot..slot + bs]) {
+            let g = i / m;
+            if missing.last() != Some(&g) {
+                missing.push(g);
+            }
+        }
+    }
+    if !missing.is_empty() {
+        let decoded = match decode_groups(
+            fs,
+            keys,
+            &extents.data_blocks,
+            &extents.share_csums,
+            m,
+            n,
+            &missing,
+        ) {
+            Ok(d) => d,
+            Err(e) => {
+                scratch::put(out);
+                return Err(e);
+            }
+        };
+        for (gi, &g) in missing.iter().enumerate() {
+            for k in 0..m {
+                let logical = g * m + k;
+                let chunk = &decoded[(gi * m + k) * bs..(gi * m + k + 1) * bs];
+                cache.put_block(keys.signature(), gen, logical as u64, chunk);
+                if logical >= first && logical <= last {
+                    let slot = (logical - first) * bs;
+                    out[slot..slot + bs].copy_from_slice(chunk);
+                }
+            }
+        }
+        scratch::put(decoded);
+    }
+    Ok(out)
 }
 
 /// Read the full contents of a hidden object: one chain walk, then the whole
@@ -384,7 +565,15 @@ pub fn read_cached<D: BlockDevice>(
     cache: &ReadCache,
 ) -> StegResult<Vec<u8>> {
     let (gen, extents) = cached_chain(fs, keys, obj, cache)?;
-    let mut out = read_blocks_cached(fs, keys, gen, &extents.data_blocks, &[], cache)?;
+    let mut out = if let Some((m, n)) = obj.header.policy.coding() {
+        if obj.header.size == 0 {
+            return Ok(Vec::new());
+        }
+        let last = (obj.header.size as usize - 1) / fs.block_size();
+        read_coded_range(fs, keys, gen, &extents, m, n, 0, last, cache)?
+    } else {
+        read_blocks_cached(fs, keys, gen, &extents.data_blocks, &[], cache)?
+    };
     out.truncate(obj.header.size as usize);
     Ok(out)
 }
@@ -420,9 +609,19 @@ pub fn read_range_cached<D: BlockDevice>(
     let end = (offset + len as u64).min(obj.header.size);
     let bs = fs.block_size() as u64;
     let (gen, extents) = cached_chain(fs, keys, obj, cache)?;
-    let data_blocks = &extents.data_blocks;
     let first = (offset / bs) as usize;
     let last = ((end - 1) / bs) as usize;
+    if let Some((m, n)) = obj.header.policy.coding() {
+        // Decoding already brings in whole groups of `m` blocks (which the
+        // cache keeps), so there is no separate readahead window.
+        let plain = read_coded_range(fs, keys, gen, &extents, m, n, first, last, cache)?;
+        let from = (offset - first as u64 * bs) as usize;
+        let to = (end - first as u64 * bs) as usize;
+        let out = plain[from..to].to_vec();
+        scratch::put(plain);
+        return Ok(out);
+    }
+    let data_blocks = &extents.data_blocks;
     let span = data_blocks.get(first..=last).ok_or_else(|| {
         StegError::Fs(stegfs_fs::FsError::Corrupt(
             "hidden object shorter than its size field".into(),
@@ -468,8 +667,11 @@ pub fn write_range<D: BlockDevice>(
             maximum: obj.header.size,
         }));
     }
+    if let Some((m, n)) = obj.header.policy.coding() {
+        return write_range_coded(fs, keys, obj, offset, data, m, n);
+    }
     let bs = fs.block_size() as u64;
-    let (data_blocks, _) = read_chain(fs, keys, obj)?;
+    let (data_blocks, _, _) = read_chain(fs, keys, obj)?;
     let first = (offset / bs) as usize;
     let last = ((end - 1) / bs) as usize;
     let span = data_blocks.get(first..=last).ok_or_else(|| {
@@ -495,6 +697,68 @@ pub fn write_range<D: BlockDevice>(
     plain[from..from + data.len()].copy_from_slice(data);
     let mut txn = fs.begin_txn();
     write_encrypted_many(&mut txn, keys, span, plain)?;
+    txn.commit()?;
+    Ok(())
+}
+
+/// [`write_range`] for coded objects: decode the affected groups (with the
+/// usual fall-back through surviving shares), patch the plaintext, re-encode
+/// and rewrite those groups' full share extents together with every chain
+/// node whose checksum entries they own — one transaction, so a crash never
+/// leaves a group whose shares disagree with its recorded checksums.
+fn write_range_coded<D: BlockDevice>(
+    fs: &PlainFs<D>,
+    keys: &ObjectKeys,
+    obj: &HiddenObject,
+    offset: u64,
+    data: &[u8],
+    m: usize,
+    n: usize,
+) -> StegResult<()> {
+    let bs = fs.block_size();
+    let end = offset + data.len() as u64;
+    let (data_blocks, chain_blocks, share_csums) = read_chain(fs, keys, obj)?;
+    let group_bytes = (m * bs) as u64;
+    let g0 = (offset / group_bytes) as usize;
+    let g1 = ((end - 1) / group_bytes) as usize;
+    if g1 >= data_blocks.len() / n.max(1) {
+        return Err(StegError::Fs(stegfs_fs::FsError::Corrupt(
+            "hidden object shorter than its size field".into(),
+        )));
+    }
+    let groups: Vec<usize> = (g0..=g1).collect();
+    let mut plain = decode_groups(fs, keys, &data_blocks, &share_csums, m, n, &groups)?;
+    let from = (offset - g0 as u64 * group_bytes) as usize;
+    plain[from..from + data.len()].copy_from_slice(data);
+    let (payload, new_csums) = coding::encode_groups(&plain, bs, m, n);
+    scratch::put(plain);
+
+    let first_entry = g0 * n;
+    let last_entry = (g1 + 1) * n - 1;
+    let span = &data_blocks[first_entry..=last_entry];
+    let mut txn = fs.begin_txn();
+    write_encrypted_many(&mut txn, keys, span, payload)?;
+    let cap = InodeChainBlock::capacity_for(bs, true).max(1);
+    let total = fs.superblock().total_blocks;
+    for (node, &chain_block) in chain_blocks
+        .iter()
+        .enumerate()
+        .take(last_entry / cap + 1)
+        .skip(first_entry / cap)
+    {
+        let buf = read_decrypted(fs, keys, chain_block)?;
+        let parsed = InodeChainBlock::deserialize_for(&buf, total, true);
+        scratch::put(buf);
+        let mut parsed = parsed?;
+        let node_start = node * cap;
+        for (i, csum) in parsed.csums.iter_mut().enumerate() {
+            let e = node_start + i;
+            if e >= first_entry && e <= last_entry {
+                *csum = new_csums[e - first_entry];
+            }
+        }
+        write_encrypted(&mut txn, keys, chain_block, &parsed.serialize_for(bs, true))?;
+    }
     txn.commit()?;
     Ok(())
 }
@@ -551,21 +815,35 @@ pub fn write<D: BlockDevice>(
 ) -> StegResult<()> {
     let bs = fs.block_size();
     let total = fs.superblock().total_blocks;
-    let needed = (data.len() as u64).div_ceil(bs as u64);
+    let coded = obj.header.policy.is_coded();
+
+    // Encode first: a coded object stores `groups * n` share blocks, a plain
+    // one `ceil(len / bs)` data blocks (the zero tail pads the final block
+    // or group either way).
+    let (payload, csums) = match obj.header.policy.coding() {
+        Some((m, n)) => coding::encode_groups(data, bs, m, n),
+        None => {
+            let mut padded = scratch::take(data.len().div_ceil(bs) * bs);
+            padded[..data.len()].copy_from_slice(data);
+            (padded, Vec::new())
+        }
+    };
+    let needed = (payload.len() / bs) as u64;
 
     // Make sure the volume can hold the new contents *before* recycling
     // anything: refusing up front leaves the object untouched, whereas the
     // old freed-then-checked order let a refused update return the object's
     // own data blocks to the volume.  The check counts the recycled blocks
     // as available because they come back to us below.
-    let (old_data, old_chain) = read_chain(fs, keys, obj)?;
-    let chain_capacity = InodeChainBlock::capacity(bs) as u64;
+    let (old_data, old_chain, _) = read_chain(fs, keys, obj)?;
+    let chain_capacity = InodeChainBlock::capacity_for(bs, coded) as u64;
     let chain_needed = needed.div_ceil(chain_capacity.max(1));
     let available = fs.free_data_blocks()
         + obj.header.free_pool.len() as u64
         + old_data.len() as u64
         + old_chain.len() as u64;
     if available < needed + chain_needed {
+        scratch::put(payload);
         return Err(StegError::NoSpace);
     }
 
@@ -583,15 +861,14 @@ pub fn write<D: BlockDevice>(
     let mut recycled: Vec<u64> = old_data.into_iter().chain(old_chain).collect();
     let mut txn = fs.begin_txn();
 
-    // Claim every data block first, then push the whole extent list down
-    // as one batched submission (the zero tail pads the final block).
+    // Claim every data block first — every share of a coded object gets its
+    // own independently drawn block — then push the whole extent list down
+    // as one batched submission.
     let mut data_blocks = Vec::with_capacity(needed as usize);
     for _ in 0..needed {
         data_blocks.push(take_block(&mut txn, &mut header, rng, &mut recycled)?);
     }
-    let mut padded = scratch::take(data_blocks.len() * bs);
-    padded[..data.len()].copy_from_slice(data);
-    write_encrypted_many(&mut txn, keys, &data_blocks, padded)?;
+    write_encrypted_many(&mut txn, keys, &data_blocks, payload)?;
 
     // Build the inode chain (allocate chain blocks the same way).
     let chain_head = build_chain(
@@ -599,6 +876,7 @@ pub fn write<D: BlockDevice>(
         keys,
         &mut header,
         &data_blocks,
+        &csums,
         rng,
         &mut recycled,
     )?;
@@ -633,21 +911,25 @@ pub fn write<D: BlockDevice>(
     Ok(())
 }
 
-/// Serialise `data_blocks` into a fresh inode chain, drawing chain blocks
-/// from the pool / free space; returns the chain head (or [`NO_BLOCK`]).
+/// Serialise `data_blocks` (paired with `csums` for coded objects) into a
+/// fresh inode chain, drawing chain blocks from the pool / free space;
+/// returns the chain head (or [`NO_BLOCK`]).
 fn build_chain<D: BlockDevice>(
     txn: &mut FsTxn<'_, D>,
     keys: &ObjectKeys,
     header: &mut HiddenHeader,
     data_blocks: &[u64],
+    csums: &[u64],
     rng: &mut DeterministicRng,
     recycled: &mut Vec<u64>,
 ) -> StegResult<u64> {
     if data_blocks.is_empty() {
         return Ok(NO_BLOCK);
     }
+    let coded = header.policy.is_coded();
+    debug_assert_eq!(csums.len(), if coded { data_blocks.len() } else { 0 });
     let bs = txn.block_size();
-    let chain_capacity = InodeChainBlock::capacity(bs).max(1);
+    let chain_capacity = InodeChainBlock::capacity_for(bs, coded).max(1);
     let chunks: Vec<&[u64]> = data_blocks.chunks(chain_capacity).collect();
     let mut chain_block_numbers = Vec::with_capacity(chunks.len());
     for _ in &chunks {
@@ -658,11 +940,17 @@ fn build_chain<D: BlockDevice>(
     let mut plain = scratch::take(chunks.len() * bs);
     for (i, chunk) in chunks.iter().enumerate() {
         let next = chain_block_numbers.get(i + 1).copied().unwrap_or(NO_BLOCK);
+        let start = i * chain_capacity;
         let chain = InodeChainBlock {
             next,
             pointers: chunk.to_vec(),
+            csums: if coded {
+                csums[start..start + chunk.len()].to_vec()
+            } else {
+                Vec::new()
+            },
         };
-        plain[i * bs..(i + 1) * bs].copy_from_slice(&chain.serialize(bs));
+        plain[i * bs..(i + 1) * bs].copy_from_slice(&chain.serialize_for(bs, coded));
     }
     write_encrypted_many(txn, keys, &chain_block_numbers, plain)?;
     Ok(chain_block_numbers[0])
@@ -714,9 +1002,12 @@ pub fn resize<D: BlockDevice>(
     if new_len == old_len {
         return Ok(());
     }
+    if obj.header.policy.is_coded() {
+        return resize_coded(fs, keys, obj, new_len, params, rng);
+    }
     let bs = fs.block_size() as u64;
     let new_count = new_len.div_ceil(bs);
-    let (mut data_blocks, old_chain) = read_chain(fs, keys, obj)?;
+    let (mut data_blocks, old_chain, _) = read_chain(fs, keys, obj)?;
     let mut header = obj.header.clone();
     // As in [`write()`](self::write): surplus blocks are recycled in place
     // (still allocated, consumed before fresh space, released only with the
@@ -768,6 +1059,7 @@ pub fn resize<D: BlockDevice>(
         keys,
         &mut header,
         &data_blocks,
+        &[],
         rng,
         &mut recycled,
     )?;
@@ -798,6 +1090,137 @@ pub fn resize<D: BlockDevice>(
     Ok(())
 }
 
+/// [`resize`] for coded objects: groups couple `m` logical blocks, so a
+/// size change re-encodes the whole object — cost `O(size)`, unlike the
+/// plain path's `O(change)`.  The capacity pre-check runs before any
+/// plaintext is materialised, so an absurd growth request fails cleanly.
+fn resize_coded<D: BlockDevice>(
+    fs: &PlainFs<D>,
+    keys: &ObjectKeys,
+    obj: &mut HiddenObject,
+    new_len: u64,
+    params: &StegParams,
+    rng: &mut DeterministicRng,
+) -> StegResult<()> {
+    let bs = fs.block_size() as u64;
+    let (m, n) = obj.header.policy.shares();
+    let groups = new_len.div_ceil(bs * m as u64);
+    let needed = groups.saturating_mul(n as u64);
+    let cap = InodeChainBlock::capacity_for(fs.block_size(), true).max(1) as u64;
+    let chain_needed = needed.div_ceil(cap);
+    let (old_data, old_chain, _) = read_chain(fs, keys, obj)?;
+    let available = fs.free_data_blocks()
+        + obj.header.free_pool.len() as u64
+        + old_data.len() as u64
+        + old_chain.len() as u64;
+    if available < needed + chain_needed {
+        return Err(StegError::NoSpace);
+    }
+    let mut data = read(fs, keys, obj)?;
+    data.resize(new_len as usize, 0);
+    write(fs, keys, obj, &data, params, rng)
+}
+
+/// Outcome of an offline [`repair`] pass over one hidden object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairOutcome {
+    /// Every share verified against its checksum; nothing was written.
+    Intact,
+    /// Damage was found and reversed: the listed number of share blocks
+    /// were reconstructed from surviving shares and rewritten in place.
+    Repaired {
+        /// Share blocks rebuilt and rewritten.
+        shares_rebuilt: usize,
+    },
+    /// At least one group has fewer than `m` surviving shares.  The object
+    /// is unrecoverable and **nothing was written** — repair fails closed
+    /// rather than committing a partial reconstruction.
+    Lost {
+        /// Groups that cannot be reconstructed.
+        groups_lost: usize,
+    },
+}
+
+/// Verify every share of a coded object against its recorded checksum and
+/// rewrite the damaged ones from the survivors.
+///
+/// Splitting is deterministic and the per-block cipher is keyed by block
+/// number, so a rebuilt share re-encrypts to the byte-identical ciphertext
+/// the volume originally held — a repaired image is indistinguishable from
+/// one that was never damaged.  Plain objects carry no redundancy and
+/// report [`RepairOutcome::Intact`] untouched.  All rewrites ride in one
+/// transaction; an unrecoverable object writes nothing at all.
+pub fn repair<D: BlockDevice>(
+    fs: &PlainFs<D>,
+    keys: &ObjectKeys,
+    obj: &HiddenObject,
+) -> StegResult<RepairOutcome> {
+    let Some((m, n)) = obj.header.policy.coding() else {
+        return Ok(RepairOutcome::Intact);
+    };
+    let bs = fs.block_size();
+    let (data_blocks, _, share_csums) = read_chain(fs, keys, obj)?;
+    if data_blocks.is_empty() {
+        return Ok(RepairOutcome::Intact);
+    }
+    if data_blocks.len() != share_csums.len() || !data_blocks.len().is_multiple_of(n) {
+        return Err(coding::damage(
+            "coded chain does not pair every share with a checksum".into(),
+        ));
+    }
+    let buf = read_decrypted_many(fs, keys, &data_blocks)?;
+    let groups = data_blocks.len() / n;
+    let mut good: Vec<Vec<(u8, Vec<u8>)>> = vec![Vec::new(); groups];
+    let mut bad: Vec<Vec<usize>> = vec![Vec::new(); groups];
+    for g in 0..groups {
+        for j in 0..n {
+            let idx = g * n + j;
+            let share = &buf[idx * bs..(idx + 1) * bs];
+            if coding::share_checksum(share) == share_csums[idx] {
+                good[g].push(((j + 1) as u8, share.to_vec()));
+            } else {
+                bad[g].push(j);
+            }
+        }
+    }
+    scratch::put(buf);
+    let groups_lost = good.iter().filter(|g| g.len() < m).count();
+    if groups_lost > 0 {
+        return Ok(RepairOutcome::Lost { groups_lost });
+    }
+    let shares_rebuilt: usize = bad.iter().map(|b| b.len()).sum();
+    if shares_rebuilt == 0 {
+        return Ok(RepairOutcome::Intact);
+    }
+    let mut txn = fs.begin_txn();
+    for g in 0..groups {
+        if bad[g].is_empty() {
+            continue;
+        }
+        let plain = coding::reconstruct_group(&good[g], m, n, bs)?;
+        let shares = coding::split_group(&plain, m, n);
+        for &j in &bad[g] {
+            write_encrypted(&mut txn, keys, data_blocks[g * n + j], &shares[j].data)?;
+        }
+    }
+    txn.commit()?;
+    Ok(RepairOutcome::Repaired { shares_rebuilt })
+}
+
+/// The object's data blocks chunked per coding group: `n` share blocks per
+/// group (plain objects report each block as its own single-entry group).
+/// The corruption experiments and the survival smoke use this map to
+/// destroy a chosen number of shares per group.
+pub fn share_extents<D: BlockDevice>(
+    fs: &PlainFs<D>,
+    keys: &ObjectKeys,
+    obj: &HiddenObject,
+) -> StegResult<Vec<Vec<u64>>> {
+    let (_, n) = obj.header.policy.shares();
+    let (data_blocks, _, _) = read_chain(fs, keys, obj)?;
+    Ok(data_blocks.chunks(n.max(1)).map(|c| c.to_vec()).collect())
+}
+
 /// Delete a hidden object: every block it holds (data, chain, pool, header)
 /// is returned to the file system, and the header block is overwritten with
 /// fresh pseudorandom fill so no stale signature survives on disk.
@@ -811,7 +1234,7 @@ pub fn delete<D: BlockDevice>(
     // crash mid-delete leaves the object either whole or entirely gone —
     // never a findable header whose blocks have been handed out.
     let mut txn = fs.begin_txn();
-    let (data_blocks, chain_blocks) = read_chain(fs, keys, obj)?;
+    let (data_blocks, chain_blocks, _) = read_chain(fs, keys, obj)?;
     for b in data_blocks
         .into_iter()
         .chain(chain_blocks)
@@ -834,7 +1257,7 @@ pub fn owned_blocks<D: BlockDevice>(
     keys: &ObjectKeys,
     obj: &HiddenObject,
 ) -> StegResult<Vec<u64>> {
-    let (data_blocks, chain_blocks) = read_chain(fs, keys, obj)?;
+    let (data_blocks, chain_blocks, _) = read_chain(fs, keys, obj)?;
     let mut all = vec![obj.header_block];
     all.extend(data_blocks);
     all.extend(chain_blocks);
@@ -1234,5 +1657,236 @@ mod tests {
         let blocks_a = owned_blocks(&fs, &ka, &a).unwrap();
         let blocks_b = owned_blocks(&fs, &kb, &b).unwrap();
         assert!(blocks_a.iter().all(|x| !blocks_b.contains(x)));
+    }
+
+    /// Overwrite `block` with junk, leaving it allocated — the damage a
+    /// failing sector or a hostile overwrite inflicts.
+    fn smash(fs: &PlainFs<MemBlockDevice>, block: u64, seed: u8) {
+        let junk: Vec<u8> = (0..fs.block_size())
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect();
+        let mut txn = fs.begin_txn();
+        txn.write_raw_block(block, &junk).unwrap();
+        txn.commit().unwrap();
+    }
+
+    fn coded_fixture(
+        policy: Policy,
+        name: &str,
+    ) -> (
+        PlainFs<MemBlockDevice>,
+        ObjectKeys,
+        StegParams,
+        DeterministicRng,
+        HiddenObject,
+    ) {
+        let (fs, _, params, rng) = fixture();
+        let keys = ObjectKeys::derive(name, b"coded key");
+        let obj = create_with_policy(&fs, name, &keys, ObjectKind::File, policy, &params).unwrap();
+        (fs, keys, params, rng, obj)
+    }
+
+    #[test]
+    fn coded_write_read_roundtrip() {
+        for policy in [
+            Policy::Replicate(3),
+            Policy::Disperse { m: 2, n: 3 },
+            Policy::Disperse { m: 3, n: 5 },
+        ] {
+            let (fs, keys, params, mut rng, mut obj) = coded_fixture(policy, "coded");
+            let data: Vec<u8> = (0..7 * 1024 + 123u32).map(|i| (i % 253) as u8).collect();
+            write(&fs, &keys, &mut obj, &data, &params, &mut rng).unwrap();
+            let (_, n) = policy.shares();
+            assert_eq!(obj.header.data_block_count % n as u64, 0);
+            assert_eq!(read(&fs, &keys, &obj).unwrap(), data);
+            // Through a fresh open too (exercises the coded chain parse).
+            let reopened = open(&fs, "coded", &keys, &params).unwrap();
+            assert_eq!(reopened.header.policy, policy);
+            assert_eq!(read(&fs, &keys, &reopened).unwrap(), data);
+            assert_eq!(
+                read_range(&fs, &keys, &reopened, 1000, 3000).unwrap(),
+                &data[1000..4000]
+            );
+        }
+    }
+
+    #[test]
+    fn coded_read_survives_n_minus_m_losses_per_group() {
+        let policy = Policy::Disperse { m: 2, n: 4 };
+        let (fs, keys, params, mut rng, mut obj) = coded_fixture(policy, "lossy");
+        let data: Vec<u8> = (0..6 * 1024u32).map(|i| (i % 241) as u8).collect();
+        write(&fs, &keys, &mut obj, &data, &params, &mut rng).unwrap();
+        // Destroy n - m = 2 shares in *every* group.
+        for (g, group) in share_extents(&fs, &keys, &obj).unwrap().iter().enumerate() {
+            assert_eq!(group.len(), 4);
+            smash(&fs, group[0], g as u8);
+            smash(&fs, group[2], g as u8 ^ 0x5a);
+        }
+        assert_eq!(read(&fs, &keys, &obj).unwrap(), data, "fallback decode");
+        assert_eq!(
+            read_range(&fs, &keys, &obj, 2048, 100).unwrap(),
+            &data[2048..2148]
+        );
+    }
+
+    #[test]
+    fn coded_read_fails_closed_beyond_tolerance() {
+        let policy = Policy::Disperse { m: 2, n: 3 };
+        let (fs, keys, params, mut rng, mut obj) = coded_fixture(policy, "gone");
+        let data = vec![0x42u8; 5 * 1024];
+        write(&fs, &keys, &mut obj, &data, &params, &mut rng).unwrap();
+        let groups = share_extents(&fs, &keys, &obj).unwrap();
+        // Kill n - m + 1 = 2 shares of group 0: unrecoverable.
+        smash(&fs, groups[0][0], 1);
+        smash(&fs, groups[0][1], 2);
+        let err = read(&fs, &keys, &obj).unwrap_err();
+        assert!(
+            err.to_string().contains("live shares"),
+            "clean error: {err}"
+        );
+        // No partial plaintext: a range read inside the dead group fails too.
+        assert!(read_range(&fs, &keys, &obj, 0, 10).is_err());
+        // Other groups remain readable on their own.
+        assert_eq!(
+            read_range(&fs, &keys, &obj, 2 * 1024, 1024).unwrap(),
+            &data[2 * 1024..3 * 1024]
+        );
+    }
+
+    #[test]
+    fn repair_restores_byte_identical_ciphertext() {
+        let policy = Policy::Disperse { m: 2, n: 4 };
+        let (fs, keys, params, mut rng, mut obj) = coded_fixture(policy, "fixme");
+        let data: Vec<u8> = (0..5 * 1024u32).map(|i| (i % 199) as u8).collect();
+        write(&fs, &keys, &mut obj, &data, &params, &mut rng).unwrap();
+        assert_eq!(repair(&fs, &keys, &obj).unwrap(), RepairOutcome::Intact);
+
+        let groups = share_extents(&fs, &keys, &obj).unwrap();
+        let victims = [groups[0][1], groups[0][3], groups[1][0]];
+        let bs = fs.block_size();
+        let mut before = vec![0u8; victims.len() * bs];
+        fs.read_raw_blocks_into(&victims, &mut before).unwrap();
+        for (i, &v) in victims.iter().enumerate() {
+            smash(&fs, v, i as u8);
+        }
+        assert_eq!(
+            repair(&fs, &keys, &obj).unwrap(),
+            RepairOutcome::Repaired { shares_rebuilt: 3 }
+        );
+        let mut after = vec![0u8; victims.len() * bs];
+        fs.read_raw_blocks_into(&victims, &mut after).unwrap();
+        assert_eq!(before, after, "rebuilt shares must be byte-identical");
+        assert_eq!(read(&fs, &keys, &obj).unwrap(), data);
+        assert_eq!(repair(&fs, &keys, &obj).unwrap(), RepairOutcome::Intact);
+    }
+
+    #[test]
+    fn repair_fails_closed_when_unrecoverable() {
+        let policy = Policy::Disperse { m: 2, n: 3 };
+        let (fs, keys, params, mut rng, mut obj) = coded_fixture(policy, "dead");
+        write(
+            &fs,
+            &keys,
+            &mut obj,
+            &vec![9u8; 3 * 1024],
+            &params,
+            &mut rng,
+        )
+        .unwrap();
+        let groups = share_extents(&fs, &keys, &obj).unwrap();
+        smash(&fs, groups[0][0], 1);
+        smash(&fs, groups[0][1], 2);
+        smash(&fs, groups[0][2], 3);
+        let bs = fs.block_size();
+        let mut before = vec![0u8; 3 * bs];
+        fs.read_raw_blocks_into(&groups[0], &mut before).unwrap();
+        assert_eq!(
+            repair(&fs, &keys, &obj).unwrap(),
+            RepairOutcome::Lost { groups_lost: 1 }
+        );
+        // Fail closed: a lost object is left exactly as found.
+        let mut after = vec![0u8; 3 * bs];
+        fs.read_raw_blocks_into(&groups[0], &mut after).unwrap();
+        assert_eq!(before, after, "lost repair must not write");
+    }
+
+    #[test]
+    fn coded_write_range_patches_and_updates_checksums() {
+        let policy = Policy::Disperse { m: 2, n: 3 };
+        let (fs, keys, params, mut rng, mut obj) = coded_fixture(policy, "patch2");
+        let data: Vec<u8> = (0..8 * 1024u32).map(|i| (i % 256) as u8).collect();
+        write(&fs, &keys, &mut obj, &data, &params, &mut rng).unwrap();
+        let free_before = fs.free_data_blocks();
+        // Patch across a group boundary (groups are m * bs = 2 KB here).
+        write_range(&fs, &keys, &obj, 1500, &[0xcc; 2000]).unwrap();
+        let mut expected = data.clone();
+        expected[1500..3500].copy_from_slice(&[0xcc; 2000]);
+        assert_eq!(read(&fs, &keys, &obj).unwrap(), expected);
+        assert_eq!(fs.free_data_blocks(), free_before, "no allocation");
+        // The checksums the chain now records match the new shares: repair
+        // sees an intact object, and damage within tolerance still heals.
+        assert_eq!(repair(&fs, &keys, &obj).unwrap(), RepairOutcome::Intact);
+        let groups = share_extents(&fs, &keys, &obj).unwrap();
+        smash(&fs, groups[0][1], 7);
+        assert_eq!(read(&fs, &keys, &obj).unwrap(), expected);
+    }
+
+    #[test]
+    fn coded_resize_roundtrip() {
+        let policy = Policy::Disperse { m: 2, n: 3 };
+        let (fs, keys, params, mut rng, mut obj) = coded_fixture(policy, "rz2");
+        let data: Vec<u8> = (0..5 * 1024u32).map(|i| (i % 251) as u8).collect();
+        write(&fs, &keys, &mut obj, &data, &params, &mut rng).unwrap();
+        resize(&fs, &keys, &mut obj, 1500, &params, &mut rng).unwrap();
+        assert_eq!(read(&fs, &keys, &obj).unwrap(), &data[..1500]);
+        resize(&fs, &keys, &mut obj, 4000, &params, &mut rng).unwrap();
+        let got = read(&fs, &keys, &obj).unwrap();
+        assert_eq!(&got[..1500], &data[..1500]);
+        assert!(got[1500..].iter().all(|&b| b == 0));
+        // An absurd growth request fails cleanly before materialising.
+        assert!(matches!(
+            resize(&fs, &keys, &mut obj, u64::MAX / 4, &params, &mut rng),
+            Err(StegError::NoSpace)
+        ));
+        assert_eq!(obj.size(), 4000);
+    }
+
+    #[test]
+    fn coded_cached_reads_survive_damage_after_invalidation() {
+        let policy = Policy::Disperse { m: 2, n: 4 };
+        let (fs, keys, params, mut rng, mut obj) = coded_fixture(policy, "warm");
+        let data: Vec<u8> = (0..4 * 1024u32).map(|i| (i % 239) as u8).collect();
+        write(&fs, &keys, &mut obj, &data, &params, &mut rng).unwrap();
+        let cache = ReadCache::new(64);
+        assert_eq!(read_cached(&fs, &keys, &obj, &cache).unwrap(), data);
+        // Damage within tolerance, then serve warm: the cache still holds
+        // the decoded logical blocks, so the read never sees the damage.
+        let groups = share_extents(&fs, &keys, &obj).unwrap();
+        for (g, group) in groups.iter().enumerate() {
+            smash(&fs, group[0], g as u8);
+        }
+        assert_eq!(read_cached(&fs, &keys, &obj, &cache).unwrap(), data);
+        // Cold again: the decode path falls back through surviving shares.
+        cache.invalidate(keys.signature());
+        assert_eq!(read_cached(&fs, &keys, &obj, &cache).unwrap(), data);
+    }
+
+    #[test]
+    fn coded_delete_returns_all_blocks() {
+        let policy = Policy::Disperse { m: 3, n: 5 };
+        let (fs, keys, params, mut rng, mut obj) = coded_fixture(policy, "bye");
+        let free_before = fs.free_data_blocks() + params.free_blocks_max as u64 + 1;
+        write(
+            &fs,
+            &keys,
+            &mut obj,
+            &vec![4u8; 9 * 1024],
+            &params,
+            &mut rng,
+        )
+        .unwrap();
+        delete(&fs, &keys, &obj, &mut rng).unwrap();
+        assert_eq!(fs.free_data_blocks(), free_before);
+        assert!(open(&fs, "bye", &keys, &params).unwrap_err().is_not_found());
     }
 }

@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod backup;
+pub mod coding;
 pub mod crypt;
 pub mod error;
 pub mod header;
@@ -73,8 +74,10 @@ pub mod sharing;
 pub mod stegfs;
 
 pub use backup::BackupImage;
+pub use coding::Policy;
 pub use error::{StegError, StegResult};
 pub use header::{HiddenHeader, ObjectKind};
+pub use hidden::RepairOutcome;
 pub use keys::{AccessHierarchy, DirectoryEntry, UakDirectory};
 pub use params::StegParams;
 pub use readcache::CacheStats;

@@ -1,5 +1,6 @@
 //! StegFS configuration parameters (Table 1 of the paper).
 
+use crate::coding::Policy;
 use crate::error::{StegError, StegResult};
 use crate::header::FREE_POOL_CAPACITY;
 
@@ -62,6 +63,14 @@ pub struct StegParams {
     /// the setting has no bearing on deniability — only on the (small)
     /// collection overhead.
     pub obs_enabled: bool,
+    /// Default durability policy for user-created hidden objects (files
+    /// created through the `steg_*` API and hidden directories).  Dummy
+    /// files and UAK directories always stay [`Policy::Plain`]; individual
+    /// objects can override this via
+    /// [`crate::StegFs::steg_create_with_policy`].  Shares are ordinary
+    /// encrypted hidden blocks on disk, so the setting is invisible to an
+    /// adversary.
+    pub hidden_policy: Policy,
 }
 
 impl Default for StegParams {
@@ -78,6 +87,7 @@ impl Default for StegParams {
             journal_blocks: 0,
             readpath_cache_blocks: 4096,
             obs_enabled: true,
+            hidden_policy: Policy::Plain,
         }
     }
 }
@@ -98,6 +108,7 @@ impl StegParams {
             journal_blocks: 0,
             readpath_cache_blocks: 1024,
             obs_enabled: true,
+            hidden_policy: Policy::Plain,
         }
     }
 
@@ -137,6 +148,7 @@ impl StegParams {
                 "max_locator_probes must be positive".into(),
             ));
         }
+        self.hidden_policy.validate()?;
         Ok(())
     }
 }
@@ -185,6 +197,12 @@ mod tests {
 
         let p = StegParams {
             max_locator_probes: 0,
+            ..StegParams::default()
+        };
+        assert!(p.validate().is_err());
+
+        let p = StegParams {
+            hidden_policy: Policy::Disperse { m: 4, n: 2 },
             ..StegParams::default()
         };
         assert!(p.validate().is_err());

@@ -88,10 +88,45 @@ pub type ObjectSig = [u8; SIGNATURE_LEN];
 /// order plus the chain blocks that encode them.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExtentList {
-    /// Data blocks in logical order.
+    /// Data blocks in logical order (for coded objects: share blocks in
+    /// group-major order).
     pub data_blocks: Vec<u64>,
     /// Inode-chain blocks in walk order.
     pub chain_blocks: Vec<u64>,
+    /// Per-share checksums parallel to `data_blocks`; empty for plain
+    /// objects.
+    pub share_csums: Vec<u64>,
+    /// `(m, n)` of the object's durability policy, `None` for plain.
+    /// Decides the key space of the plaintext-block cache (see
+    /// [`Self::block_cache_keys`]).
+    pub coding: Option<(usize, usize)>,
+}
+
+impl ExtentList {
+    /// An extent list for a plain (uncoded) object.
+    pub fn plain(data_blocks: Vec<u64>, chain_blocks: Vec<u64>) -> Self {
+        ExtentList {
+            data_blocks,
+            chain_blocks,
+            share_csums: Vec::new(),
+            coding: None,
+        }
+    }
+
+    /// Every key the object may occupy in the plaintext-block cache.  Plain
+    /// objects cache decrypted blocks under their physical block numbers;
+    /// coded objects cache *decoded logical* blocks under logical indices
+    /// (the share blocks themselves are never cached), so invalidation must
+    /// sweep logical keys `0 .. groups * m`.
+    pub fn block_cache_keys(&self) -> Vec<u64> {
+        match self.coding {
+            None => self.data_blocks.clone(),
+            Some((m, n)) => {
+                let groups = self.data_blocks.len() / n.max(1);
+                (0..(groups * m) as u64).collect()
+            }
+        }
+    }
 }
 
 /// One cached object: decrypted header, its location, and (once a read has
@@ -575,7 +610,7 @@ impl ReadCache {
         let mut object_guard = self.objects[object_shard(sig)].lock();
         if let Some(obj) = object_guard.remove(sig) {
             if let Some(ext) = obj.extents {
-                for &block in &ext.data_blocks {
+                for block in ext.block_cache_keys() {
                     let mut shard = self.blocks[block_shard(block)].lock();
                     if let Some(mut e) = shard.map.remove(&(obj.gen, block)) {
                         shard.bytes -= e.data.len() as u64;
@@ -821,10 +856,7 @@ mod tests {
             started,
             7,
             header(1),
-            Arc::new(ExtentList {
-                data_blocks: vec![10],
-                chain_blocks: vec![],
-            }),
+            Arc::new(ExtentList::plain(vec![10], vec![])),
         );
         assert_eq!(gen, DEAD_GEN);
         c.put_block(&sig, gen, 10, b"should not stick");
@@ -840,10 +872,7 @@ mod tests {
         let mut h = header(2048);
         h.inode_chain = 99;
         h.data_block_count = 2;
-        let ext = Arc::new(ExtentList {
-            data_blocks: vec![10, 11],
-            chain_blocks: vec![99],
-        });
+        let ext = Arc::new(ExtentList::plain(vec![10, 11], vec![99]));
         let gen = c.store_extents(&sig, c.begin(), 5, h, ext);
         assert_ne!(gen, DEAD_GEN);
         assert!(c.lookup_extents(&sig, 99, 2).is_some());
@@ -860,10 +889,7 @@ mod tests {
             c.begin(),
             1,
             header(blocks.len() as u64 * 64),
-            Arc::new(ExtentList {
-                data_blocks: blocks.to_vec(),
-                chain_blocks: vec![],
-            }),
+            Arc::new(ExtentList::plain(blocks.to_vec(), vec![])),
         );
         assert_ne!(gen, DEAD_GEN);
         gen
@@ -943,6 +969,37 @@ mod tests {
         let mut out = [0u8; 13];
         assert!(!c.get_block_into(new_gen, 50, &mut out));
         assert!(!c.get_block_into(old_gen, 50, &mut out));
+    }
+
+    #[test]
+    fn coded_invalidation_sweeps_logical_keys() {
+        // A coded object's plaintext cache holds *decoded logical* blocks
+        // under logical indices; invalidate must sweep those, not the
+        // physical share block numbers it never caches under.
+        let c = ReadCache::new(256);
+        let sig = [13u8; SIGNATURE_LEN];
+        let mut h = header(4 * 64);
+        h.policy = crate::coding::Policy::Disperse { m: 2, n: 4 };
+        h.data_block_count = 8;
+        let ext = Arc::new(ExtentList {
+            data_blocks: vec![500, 501, 502, 503, 600, 601, 602, 603],
+            chain_blocks: vec![],
+            share_csums: vec![0; 8],
+            coding: Some((2, 4)),
+        });
+        assert_eq!(ext.block_cache_keys(), vec![0, 1, 2, 3]);
+        let gen = c.store_extents(&sig, c.begin(), 1, h, ext);
+        assert_ne!(gen, DEAD_GEN);
+        for logical in 0..4u64 {
+            c.put_block(&sig, gen, logical, &[logical as u8; 64]);
+        }
+        assert_eq!(c.stats().resident_blocks, 4);
+        c.invalidate(&sig);
+        assert_eq!(
+            c.stats().resident_blocks,
+            0,
+            "decoded logical blocks survived invalidation"
+        );
     }
 
     #[test]

@@ -38,6 +38,7 @@
 //! that with one lock per open object; single-threaded users need nothing.
 
 use crate::backup::{BackupImage, PlainEntry};
+use crate::coding::Policy;
 use crate::crypt::ObjectKeys;
 use crate::error::{StegError, StegResult};
 use crate::header::ObjectKind;
@@ -329,6 +330,15 @@ impl<D: BlockDevice> StegFs<D> {
         Ok(self.fs.sync()?)
     }
 
+    /// Durability barrier for `fsync`-grade callers: on a journaled volume
+    /// this flushes only the staged journal slots needed to cover every
+    /// commit so far (no checkpoint, no reclaim), so one busy object's
+    /// `fsync` does not pay for checkpointing the whole ring.  On an
+    /// unjournaled volume it degrades to a full [`Self::sync`].
+    pub fn fsync_barrier(&self) -> StegResult<()> {
+        Ok(self.fs.flush_barrier()?)
+    }
+
     /// The volume parameters.
     pub fn params(&self) -> &StegParams {
         &self.params
@@ -597,8 +607,24 @@ impl<D: BlockDevice> StegFs<D> {
     }
 
     /// `steg_create`: create an empty hidden file or directory named
-    /// `objname`, registered under `uak`.
+    /// `objname`, registered under `uak`.  The object gets the volume's
+    /// default durability policy
+    /// ([`StegParams::hidden_policy`](crate::StegParams)).
     pub fn steg_create(&self, objname: &str, uak: &str, kind: ObjectKind) -> StegResult<()> {
+        self.steg_create_with_policy(objname, uak, kind, self.params.hidden_policy)
+    }
+
+    /// [`Self::steg_create`] with an explicit per-object durability policy.
+    /// Shares are ordinary encrypted hidden blocks placed by independent
+    /// locator probes, so a coded object's creation is indistinguishable
+    /// from a plain one's on the raw device.
+    pub fn steg_create_with_policy(
+        &self,
+        objname: &str,
+        uak: &str,
+        kind: ObjectKind,
+        policy: Policy,
+    ) -> StegResult<()> {
         if objname.is_empty() || objname.contains('\0') {
             return Err(StegError::InvalidName(objname.to_string()));
         }
@@ -610,7 +636,14 @@ impl<D: BlockDevice> StegFs<D> {
         let fak = self.generate_fak(objname);
         let physical_name = format!("{}:{}", Self::owner_tag(uak), objname);
         let keys = ObjectKeys::derive(&physical_name, &fak);
-        let mut obj = hidden::create(&self.fs, &physical_name, &keys, kind, &self.params)?;
+        let mut obj = hidden::create_with_policy(
+            &self.fs,
+            &physical_name,
+            &keys,
+            kind,
+            policy,
+            &self.params,
+        )?;
         if kind == ObjectKind::Directory {
             // A hidden directory starts out as an empty child listing.
             let mut rng = self.fork_rng();
@@ -630,6 +663,35 @@ impl<D: BlockDevice> StegFs<D> {
             kind,
         })?;
         self.save_uak_directory(uak, &dir, existing)
+    }
+
+    /// Verify and, where possible, repair one hidden object in place from
+    /// its surviving shares (the scavenger's per-object step; see
+    /// [`hidden::repair`] for the byte-identical-rewrite argument).  Plain
+    /// objects report [`RepairOutcome::Intact`](hidden::RepairOutcome)
+    /// untouched; an unrecoverable object writes nothing.
+    pub fn scavenge_entry(&self, entry: &DirectoryEntry) -> StegResult<hidden::RepairOutcome> {
+        let keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
+        let _obj_lock = self.object_guard(&entry.physical_name);
+        let obj = hidden::open(&self.fs, &entry.physical_name, &keys, &self.params)?;
+        let outcome = hidden::repair(&self.fs, &keys, &obj)?;
+        if matches!(outcome, hidden::RepairOutcome::Repaired { .. }) {
+            // Any cached plaintext decoded from the damaged shares is stale.
+            self.read_cache.invalidate(keys.signature());
+        }
+        Ok(outcome)
+    }
+
+    /// The data blocks of `objname` chunked per coding group (`n` share
+    /// blocks per group; plain objects report singleton groups).  The
+    /// corruption experiments use this map to destroy a chosen number of
+    /// shares per group.
+    pub fn hidden_share_extents(&self, objname: &str, uak: &str) -> StegResult<Vec<Vec<u64>>> {
+        let entry = self.entry_for(objname, uak)?;
+        let keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
+        let _obj_lock = self.object_guard(&entry.physical_name);
+        let obj = hidden::open(&self.fs, &entry.physical_name, &keys, &self.params)?;
+        hidden::share_extents(&self.fs, &keys, &obj)
     }
 
     /// Write the full contents of the hidden file `objname` (registered under
@@ -1119,8 +1181,14 @@ impl<D: BlockDevice> StegFs<D> {
         let fak = self.generate_fak(child_name);
         let physical_name = format!("{}/{}", parent.physical_name, child_name);
         let child_keys = ObjectKeys::derive(&physical_name, &fak);
-        let mut child_obj =
-            hidden::create(&self.fs, &physical_name, &child_keys, kind, &self.params)?;
+        let mut child_obj = hidden::create_with_policy(
+            &self.fs,
+            &physical_name,
+            &child_keys,
+            kind,
+            self.params.hidden_policy,
+            &self.params,
+        )?;
         if kind == ObjectKind::Directory {
             let mut rng = self.fork_rng();
             hidden::write(
@@ -1569,10 +1637,9 @@ impl<D: BlockDevice> StegFs<D> {
             },
         )?;
 
-        for (block, data) in &image.hidden_blocks {
-            fs.allocate_specific_block(*block)?;
-            fs.write_raw_block(*block, data)?;
-        }
+        // One transaction (journaled when the volume is): the bitmap claims
+        // and the raw block contents commit together.
+        image.graft(&fs)?;
 
         for entry in &image.plain_entries {
             match entry.kind {

@@ -318,6 +318,24 @@ impl<D: BlockDevice> PlainFs<D> {
         Ok(())
     }
 
+    /// Durability barrier without a checkpoint: on a journaled volume,
+    /// block until every transaction committed so far is crash-durable
+    /// (their journal records are on stable storage; replay redoes any
+    /// whose home writes were in flight) **without** advancing the tail,
+    /// writing an anchor or flushing the bitmap — one group flush instead
+    /// of a full [`Self::sync`].  On an unjournaled volume writes go
+    /// straight to their home locations, so the barrier degrades to the
+    /// full flush that `sync` would do.
+    pub fn flush_barrier(&self) -> FsResult<()> {
+        match &self.journal {
+            Some(journal) => journal.flush_barrier(&self.dev).map_err(FsError::from),
+            None => {
+                self.alloc.lock().bitmap.flush(&self.dev)?;
+                Ok(self.dev.flush()?)
+            }
+        }
+    }
+
     /// True when the volume carries a write-ahead journal (mutating
     /// operations are then crash-atomic transactions).
     pub fn journaled(&self) -> bool {

@@ -659,6 +659,16 @@ impl Journal {
         Ok(())
     }
 
+    /// Durability barrier without a checkpoint: block until a device flush
+    /// that started after this call has completed, making every transaction
+    /// committed so far crash-durable (replay will redo any whose home
+    /// writes were still in flight).  Unlike [`Self::sync`] it advances no
+    /// tail and writes no anchor, so an `fsync`-grade caller pays one group
+    /// flush instead of checkpointing the whole ring.
+    pub fn flush_barrier<D: BlockDevice>(&self, dev: &D) -> JournalResult<()> {
+        self.gate.flush_covering(dev)
+    }
+
     /// Checkpoint: flush the device (making every applied transaction's home
     /// writes durable), advance the tail over all of them, and persist the
     /// anchor.  After `sync` returns, a crash replays nothing.
@@ -991,6 +1001,26 @@ mod tests {
         let report = reopen(&journal).replay(&dev).unwrap();
         assert_eq!(report, ReplayReport::default());
         assert_eq!(dev.read_block_vec(120).unwrap(), vec![9; BS]);
+    }
+
+    #[test]
+    fn flush_barrier_is_durable_but_not_a_checkpoint() {
+        let (dev, journal) = fixture(32, 128);
+        let mut tx = Tx::new();
+        tx.write(120, vec![9; BS]);
+        journal.commit(&dev, tx).unwrap();
+        journal.flush_barrier(&dev).unwrap();
+
+        // The barrier advanced no tail and wrote no anchor: the committed
+        // transaction is still live in the ring, so a crash that tears the
+        // home write is repaired by replay (that is what makes the barrier
+        // a durability point).
+        dev.write_block(120, &vec![0u8; BS]).unwrap();
+        let report = reopen(&journal).replay(&dev).unwrap();
+        assert_eq!(report.committed, 1);
+        assert_eq!(dev.read_block_vec(120).unwrap(), vec![9; BS]);
+        // (Contrast with `sync_checkpoints_so_replay_finds_nothing`: after a
+        // full sync the same replay finds an empty log.)
     }
 
     #[test]

@@ -1,0 +1,36 @@
+//! # stegfs-survival
+//!
+//! k-of-n survivability for the StegFS reproduction.
+//!
+//! A StegFS volume hides objects so well that nobody — including the file
+//! system — can enumerate them.  That is precisely what makes media damage
+//! dangerous: a conventional `fsck` cannot find hidden objects to check,
+//! and an unlucky sector loss silently destroys data that no scan will
+//! ever miss.  This crate closes the gap with two pieces:
+//!
+//! * the **durability policies** live in `stegfs-core`
+//!   ([`Policy::Replicate`] and [`Policy::Disperse`] spread each logical
+//!   block group over `n` share blocks, any `m` of which reconstruct it;
+//!   shares are ordinary encrypted hidden blocks placed by independent
+//!   locator probes, so a coded volume is indistinguishable from a plain
+//!   one);
+//! * the **keyed offline scavenger** ([`scavenge()`]) walks every hidden
+//!   object reachable with a set of access keys, verifies each share
+//!   against its recorded checksum, and rewrites damaged shares from the
+//!   survivors.  Because splitting is deterministic and the per-block
+//!   cipher is keyed by block number, a repaired image is byte-identical
+//!   to one that was never damaged.
+//!
+//! The scavenger is *keyed* by necessity: without the access keys, hidden
+//! objects cannot be found — which is the deniability property, not a
+//! limitation.  Objects whose keys are not supplied are simply not
+//! visited, exactly as an adversary would (not) see them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod scavenge;
+
+pub use scavenge::{scavenge, ScavengeReport};
+pub use stegfs_core::hidden::RepairOutcome;
+pub use stegfs_core::Policy;

@@ -248,18 +248,20 @@ impl<D: BlockDevice> Vfs<D> {
 
     /// Flush the state behind an open handle to stable storage.
     ///
-    /// On a journaled volume every committed operation is already durable
-    /// when it returns (the journal group-commits each update), so `fsync`
-    /// reduces to validating the handle and checkpointing — which also
-    /// bounds replay work after a crash.  On an unjournaled volume it is the
-    /// classic best-effort metadata flush.  Concurrent `fsync`s share one
-    /// device barrier (group commit), which is what keeps it cheap under
-    /// many engine workers.
+    /// On a journaled volume this is a **durability barrier, not a
+    /// checkpoint**: it waits for one device flush covering every commit
+    /// staged so far (after which replay redoes anything still in flight)
+    /// but does not advance the journal tail, write an anchor or flush the
+    /// bitmap — so one busy object's `fsync` never pays for checkpointing
+    /// the whole ring.  Use [`Self::sync`] for the full checkpoint.  On an
+    /// unjournaled volume it is the classic best-effort metadata flush.
+    /// Concurrent `fsync`s share one device barrier (group commit), which
+    /// is what keeps it cheap under many engine workers.
     pub fn fsync(&self, handle: VfsHandle) -> VfsResult<()> {
         // Validate the handle (stale handles report the deniable not-found
         // family, like every other use).
         self.table.get(handle)?;
-        Ok(self.fs.sync()?)
+        Ok(self.fs.fsync_barrier()?)
     }
 
     /// Aggregate block accounting of the served volume.

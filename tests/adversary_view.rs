@@ -270,6 +270,108 @@ fn crashed_journaled_volume_reveals_nothing_to_the_inspector() {
     );
 }
 
+/// Entropy of a volume's allocated-but-unaccounted blocks plus the count
+/// of such blocks — the complete statistical view an adversary gets of the
+/// hidden population.
+fn unaccounted_profile(fs: &StegFs<MemBlockDevice>) -> (f64, usize) {
+    let sb = fs.plain_fs().superblock().clone();
+    let plain_blocks: std::collections::HashSet<u64> = fs
+        .plain_fs()
+        .plain_object_blocks()
+        .unwrap()
+        .into_iter()
+        .collect();
+    let mut sample = Vec::new();
+    let mut count = 0usize;
+    for block in sb.data_start..sb.total_blocks {
+        if fs.plain_fs().is_block_allocated(block) && !plain_blocks.contains(&block) {
+            count += 1;
+            if sample.len() < 96 * 1024 {
+                sample.extend(fs.plain_fs().read_raw_block(block).unwrap());
+            }
+        }
+    }
+    (entropy_bits_per_byte(&sample), count)
+}
+
+#[test]
+fn dispersed_volume_is_statistically_indistinguishable_from_a_plain_one() {
+    // Same volume geometry, same seed, same logical content — one volume
+    // stores the hidden file Plain, the other dispersed 2-of-4.  The
+    // dispersed volume allocates more blocks (that is the price of
+    // redundancy, and on its own says nothing: dummies, abandoned blocks
+    // and bigger files move that number too), but the *blocks themselves*
+    // must be statistically identical: shares are AES-CTR ciphertext placed
+    // by independent locator probes, exactly like every other hidden block.
+    let plain_fs = StegFs::format(
+        MemBlockDevice::new(1024, 8192),
+        stegfs_tests::full_feature_params(),
+    )
+    .unwrap();
+    let coded_fs = StegFs::format(
+        MemBlockDevice::new(1024, 8192),
+        stegfs_tests::coded_params(2, 4),
+    )
+    .unwrap();
+    for fs in [&plain_fs, &coded_fs] {
+        fs.steg_create("payload", OWNER, ObjectKind::File).unwrap();
+        fs.write_hidden_with_key("payload", OWNER, &vec![0u8; 80 * 1024])
+            .unwrap();
+    }
+
+    let (e_plain, n_plain) = unaccounted_profile(&plain_fs);
+    let (e_coded, n_coded) = unaccounted_profile(&coded_fs);
+    assert!(n_coded > n_plain, "dispersal stores extra share blocks");
+    assert!(
+        e_plain > 7.5 && e_coded > 7.5,
+        "both populations look like random fill ({e_plain:.2} vs {e_coded:.2})"
+    );
+    assert!(
+        (e_plain - e_coded).abs() < 0.1,
+        "share blocks must not be statistically separable from plain hidden \
+         blocks ({e_plain:.3} vs {e_coded:.3} bits/byte)"
+    );
+    // The worst-case plaintext (all zeros, stored 4 ways) never surfaces.
+    let sb = coded_fs.plain_fs().superblock().clone();
+    let zero_block = vec![0u8; 1024];
+    for block in sb.data_start..sb.total_blocks {
+        if coded_fs.plain_fs().is_block_allocated(block) {
+            assert_ne!(
+                coded_fs.plain_fs().read_raw_block(block).unwrap(),
+                zero_block
+            );
+        }
+    }
+}
+
+#[test]
+fn wrong_key_on_a_dispersed_volume_still_reads_as_never_existed() {
+    let fs = StegFs::format(
+        MemBlockDevice::new(1024, 8192),
+        stegfs_tests::coded_params(2, 4),
+    )
+    .unwrap();
+    fs.steg_create("coded-secret", OWNER, ObjectKind::File)
+        .unwrap();
+    fs.write_hidden_with_key("coded-secret", OWNER, &payload(3, 30 * 1024))
+        .unwrap();
+
+    let wrong = fs
+        .read_hidden_with_key("coded-secret", "guessed key")
+        .unwrap_err();
+    let absent = fs
+        .read_hidden_with_key("never-created", "guessed key")
+        .unwrap_err();
+    assert!(wrong.is_not_found());
+    assert!(absent.is_not_found());
+    let w = wrong.to_string().replace("coded-secret", "<name>");
+    let a = absent.to_string().replace("never-created", "<name>");
+    assert_eq!(
+        w, a,
+        "a coded object under the wrong key must read as never-existed"
+    );
+}
+
 #[test]
 fn formatting_without_random_fill_would_leak_and_is_therefore_detectable() {
     // Negative control for the entropy test above: on a volume formatted

@@ -3,7 +3,7 @@
 #![forbid(unsafe_code)]
 
 use stegfs_blockdev::MemBlockDevice;
-use stegfs_core::{StegFs, StegParams};
+use stegfs_core::{Policy, StegFs, StegParams};
 
 /// Parameters small enough for integration tests but with every feature
 /// (abandoned blocks, dummy files, random fill) switched on, so the tests
@@ -21,6 +21,16 @@ pub fn full_feature_params() -> StegParams {
         journal_blocks: 0,
         readpath_cache_blocks: 1024,
         obs_enabled: true,
+        hidden_policy: Policy::Plain,
+    }
+}
+
+/// [`full_feature_params`] with a default coded durability policy, so every
+/// hidden object the test creates is dispersed `m`-of-`n`.
+pub fn coded_params(m: u8, n: u8) -> StegParams {
+    StegParams {
+        hidden_policy: Policy::Disperse { m, n },
+        ..full_feature_params()
     }
 }
 
