@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! repro [--full] [--smoke] [--table N] [--fig N] [--space-summary]
-//!       [--vfs-scaling] [--engine-scaling] [--readpath] [--survival]
-//!       [--scavenge] [--all]
+//!       [--vfs-scaling] [--engine-scaling] [--readpath] [--writepath]
+//!       [--survival] [--scavenge] [--all]
 //! ```
 //!
 //! With no arguments (or `--all`) every artefact is produced.  The default
@@ -27,6 +27,7 @@ struct Options {
     engine_scaling: bool,
     durability: bool,
     readpath: bool,
+    writepath: bool,
     survival: bool,
     scavenge_demo: bool,
 }
@@ -43,6 +44,7 @@ fn parse_args() -> Options {
         engine_scaling: false,
         durability: false,
         readpath: false,
+        writepath: false,
         survival: false,
         scavenge_demo: false,
     };
@@ -60,6 +62,7 @@ fn parse_args() -> Options {
                 opts.engine_scaling = true;
                 opts.durability = true;
                 opts.readpath = true;
+                opts.writepath = true;
                 opts.survival = true;
                 any_selection = true;
             }
@@ -101,6 +104,10 @@ fn parse_args() -> Options {
                 opts.readpath = true;
                 any_selection = true;
             }
+            "--writepath" => {
+                opts.writepath = true;
+                any_selection = true;
+            }
             "--survival" => {
                 opts.survival = true;
                 any_selection = true;
@@ -122,6 +129,7 @@ fn parse_args() -> Options {
         opts.engine_scaling = true;
         opts.durability = true;
         opts.readpath = true;
+        opts.writepath = true;
         opts.survival = true;
     }
     opts
@@ -134,7 +142,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: repro [--full] [--smoke] [--all] [--tables] [--fig N]... [--space-summary]\n\
          \t[--vfs-scaling] [--engine-scaling] [--durability] [--readpath]\n\
-         \t[--survival] [--scavenge]\n\
+         \t[--writepath] [--survival] [--scavenge]\n\
          \n\
          Regenerates the tables and figures of 'StegFS: A Steganographic File\n\
          System' (Pang, Tan, Zhou — ICDE 2003).  Default scale is a 64 MB\n\
@@ -364,6 +372,42 @@ fn main() {
         let section = rp::section_json(&points);
         match stegfs_bench::bench_json::update_file("BENCH.json", "readpath", &section) {
             Ok(()) => println!("merged readpath into BENCH.json ({} points)", points.len()),
+            Err(e) => eprintln!("could not write BENCH.json: {e}"),
+        }
+    }
+
+    if opts.writepath {
+        // Write-path sweep: cold vs warm-chain full rewrites (the
+        // cache-aware write path) and sharded vs globally serialized
+        // disjoint rewrites (the sharded allocator vs the old single-lock
+        // baseline).  Both phases land in BENCH.json as `writepath`, and
+        // the rewrite percentiles join the `percentiles` section CI
+        // asserts on.
+        use stegfs_bench::writepath as wp;
+        let (rounds, ops_per_thread, counts): (usize, usize, &[usize]) = if opts.smoke {
+            (6, 4, &[1, 4])
+        } else if opts.full {
+            (64, 48, &wp::THREAD_COUNTS)
+        } else {
+            (24, 16, &wp::THREAD_COUNTS)
+        };
+        let points = wp::run_sweep(rounds, ops_per_thread, counts);
+        println!("{}", wp::render(&points));
+        percentiles.extend(
+            points
+                .iter()
+                .filter(|p| p.phase == "rewrite" || p.variant == "sharded")
+                .map(|p| PercentileEntry {
+                    sweep: "writepath",
+                    concurrency: p.threads,
+                    op: p.variant,
+                    p50_ms: p.p50_us / 1000.0,
+                    p99_ms: p.p99_us / 1000.0,
+                }),
+        );
+        let section = wp::section_json(&points);
+        match stegfs_bench::bench_json::update_file("BENCH.json", "writepath", &section) {
+            Ok(()) => println!("merged writepath into BENCH.json ({} points)", points.len()),
             Err(e) => eprintln!("could not write BENCH.json: {e}"),
         }
     }

@@ -42,6 +42,7 @@ pub mod engine_scaling;
 pub mod readpath;
 pub mod survival;
 pub mod vfs_scaling;
+pub mod writepath;
 
 /// The block sizes swept by the serial-access experiment (bytes).
 pub const BLOCK_SIZES: [usize; 8] = [512, 1024, 2048, 4096, 8192, 16384, 32768, 65536];

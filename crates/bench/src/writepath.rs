@@ -1,0 +1,272 @@
+//! Write-path sweep: what the sharded allocator and the cache-aware write
+//! path bought.
+//!
+//! Two phases, both on a [`LatencyDevice`] that prices every block transfer
+//! the way the paper's Ultra ATA disk did:
+//!
+//! * **rewrite** — single-threaded full rewrites of one hidden file, *cold*
+//!   (read caches purged before every rewrite, so the chain walk pays
+//!   device latency) versus *warm* (back-to-back rewrites; the write path
+//!   serves the chain from the generation-checked extent cache and does
+//!   zero chain-walk I/O).  The gap is the tentpole's cache-aware-write
+//!   win.
+//! * **scaling** — disjoint whole-file rewrites from N threads, *sharded*
+//!   (the per-segment bitmap locks, as shipped) versus *serialized* (the
+//!   same workload behind one global mutex, emulating the old single
+//!   allocator lock).  The sharded curve should rise with threads; the
+//!   serialized one is the flat baseline it broke away from.
+//!
+//! `repro --writepath` records both phases as the `writepath` section of
+//! `BENCH.json`; the `--smoke` CI variant additionally lands the rewrite
+//! percentiles in the `percentiles` section, where CI asserts
+//! `0 < p50 <= p99`.
+
+use std::sync::{Arc, Barrier, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+use stegfs_blockdev::{LatencyDevice, MemBlockDevice};
+use stegfs_core::{ObjectKind, StegFs, StegParams};
+use stegfs_obs::Histogram;
+
+/// The device used by the sweep.
+pub type SweepDevice = LatencyDevice<MemBlockDevice>;
+
+/// Simulated per-block service time (both directions).
+pub const BLOCK_LATENCY: Duration = Duration::from_micros(50);
+
+/// Thread counts swept by the scaling phase.
+pub const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Size of the rewritten file in KiB.
+pub const FILE_KB: usize = 64;
+
+const UAK: &str = "writepath sweep key";
+
+/// One measured point of the sweep.
+#[derive(Debug, Clone)]
+pub struct WritepathPoint {
+    /// `"rewrite"` (single-threaded cold/warm) or `"scaling"` (threaded).
+    pub phase: &'static str,
+    /// `"cold"` / `"warm"` for rewrites; `"sharded"` / `"serialized"` for
+    /// the scaling phase.
+    pub variant: &'static str,
+    /// Worker threads (1 for the rewrite phase).
+    pub threads: usize,
+    /// Whole-file rewrites completed per second (all threads).
+    pub ops_per_sec: f64,
+    /// Total rewrites completed.
+    pub total_ops: u64,
+    /// Wall-clock time for the measured pass, in milliseconds.
+    pub elapsed_ms: f64,
+    /// Median per-rewrite latency, in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-rewrite latency, in microseconds.
+    pub p99_us: f64,
+}
+
+fn params() -> StegParams {
+    StegParams {
+        random_fill: false,
+        dummy_file_count: 0,
+        ..StegParams::for_tests()
+    }
+}
+
+fn fresh_volume() -> StegFs<SweepDevice> {
+    let dev = LatencyDevice::symmetric(MemBlockDevice::with_capacity_mb(1024, 48), BLOCK_LATENCY);
+    StegFs::format(dev, params()).expect("format writepath volume")
+}
+
+/// Single-threaded rewrite pass: `rounds` full rewrites of one 64 KiB
+/// hidden file, cold (purging the read caches before every rewrite) or
+/// warm (chain served from the extent cache the previous rewrite
+/// republished).
+fn rewrite_point(variant: &'static str, rounds: usize) -> WritepathPoint {
+    let fs = fresh_volume();
+    fs.steg_create("wp", UAK, ObjectKind::File).expect("create");
+    fs.write_hidden_with_key("wp", UAK, &vec![0xa5u8; FILE_KB * 1024])
+        .expect("prefill");
+    // One read warms the extent map for the first warm-round rewrite.
+    let _ = fs.read_hidden_with_key("wp", UAK).expect("warm read");
+
+    let latency = Histogram::new();
+    let start = Instant::now();
+    for r in 0..rounds {
+        if variant == "cold" {
+            fs.purge_read_caches();
+        }
+        let body = vec![r as u8; FILE_KB * 1024];
+        let t0 = Instant::now();
+        fs.write_hidden_with_key("wp", UAK, &body).expect("rewrite");
+        latency.record(t0.elapsed().as_nanos() as u64);
+    }
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let lat = latency.summary();
+    WritepathPoint {
+        phase: "rewrite",
+        variant,
+        threads: 1,
+        ops_per_sec: rounds as f64 / (elapsed_ms / 1000.0),
+        total_ops: rounds as u64,
+        elapsed_ms,
+        p50_us: lat.p50 as f64 / 1_000.0,
+        p99_us: lat.p99 as f64 / 1_000.0,
+    }
+}
+
+/// Threaded scaling pass: every thread rewrites its own hidden file (its
+/// own UAK, so nothing above the allocator is shared).  `serialized` wraps
+/// each rewrite in one global mutex — the old single-allocator-lock write
+/// curve, reconstructed as a baseline.
+fn scaling_point(variant: &'static str, threads: usize, ops_per_thread: usize) -> WritepathPoint {
+    let fs = Arc::new(fresh_volume());
+    for t in 0..threads {
+        let uak = format!("{UAK} {t}");
+        fs.steg_create("wp", &uak, ObjectKind::File)
+            .expect("create");
+        fs.write_hidden_with_key("wp", &uak, &vec![t as u8; FILE_KB * 1024])
+            .expect("prefill");
+    }
+    let gate = (variant == "serialized").then(|| Arc::new(Mutex::new(())));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let latency = Arc::new(Histogram::new());
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let fs = Arc::clone(&fs);
+            let barrier = Arc::clone(&barrier);
+            let latency = Arc::clone(&latency);
+            let gate = gate.clone();
+            thread::spawn(move || {
+                let uak = format!("{UAK} {t}");
+                let data = vec![t as u8 ^ 0x55; FILE_KB * 1024];
+                barrier.wait();
+                for _ in 0..ops_per_thread {
+                    let t0 = Instant::now();
+                    let _held = gate.as_ref().map(|g| g.lock().expect("gate"));
+                    fs.write_hidden_with_key("wp", &uak, &data).expect("write");
+                    drop(_held);
+                    latency.record(t0.elapsed().as_nanos() as u64);
+                }
+                barrier.wait();
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    let start = Instant::now();
+    barrier.wait();
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1000.0;
+    for w in workers {
+        w.join().expect("writepath worker");
+    }
+    let total_ops = (threads * ops_per_thread) as u64;
+    let lat = latency.summary();
+    WritepathPoint {
+        phase: "scaling",
+        variant,
+        threads,
+        ops_per_sec: total_ops as f64 / (elapsed_ms / 1000.0),
+        total_ops,
+        elapsed_ms,
+        p50_us: lat.p50 as f64 / 1_000.0,
+        p99_us: lat.p99 as f64 / 1_000.0,
+    }
+}
+
+/// Run the full sweep: cold and warm rewrites, then sharded and serialized
+/// scaling over `thread_counts`.
+pub fn run_sweep(
+    rounds: usize,
+    ops_per_thread: usize,
+    thread_counts: &[usize],
+) -> Vec<WritepathPoint> {
+    let mut out = Vec::new();
+    for variant in ["cold", "warm"] {
+        out.push(rewrite_point(variant, rounds));
+    }
+    for variant in ["sharded", "serialized"] {
+        for &threads in thread_counts {
+            out.push(scaling_point(variant, threads, ops_per_thread));
+        }
+    }
+    out
+}
+
+/// Render the sweep as a text table.
+pub fn render(points: &[WritepathPoint]) -> String {
+    let mut s = String::from(
+        "Write-path sweep (64 KiB whole-file hidden rewrites, ops/sec)\n\
+         phase     variant      threads      ops/sec   elapsed(ms)    p50(us)    p99(us)\n",
+    );
+    for p in points {
+        s.push_str(&format!(
+            "{:<9} {:<12} {:>7} {:>12.0} {:>13.1} {:>10.0} {:>10.0}\n",
+            p.phase, p.variant, p.threads, p.ops_per_sec, p.elapsed_ms, p.p50_us, p.p99_us
+        ));
+    }
+    s
+}
+
+/// Serialise the sweep to the `writepath` JSON section (an array; the
+/// caller merges it into `BENCH.json` next to the other sections).
+pub fn section_json(points: &[WritepathPoint]) -> String {
+    let mut s = String::from("[\n");
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"phase\": \"{}\", \"variant\": \"{}\", \"threads\": {}, \"ops_per_sec\": {:.1}, \"total_ops\": {}, \"elapsed_ms\": {:.2}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}}{}\n",
+            p.phase,
+            p.variant,
+            p.threads,
+            p.ops_per_sec,
+            p.total_ops,
+            p.elapsed_ms,
+            p.p50_us,
+            p.p99_us,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_produces_all_points() {
+        let points = run_sweep(2, 2, &[2]);
+        assert_eq!(points.len(), 4); // cold, warm, sharded@2, serialized@2
+        for p in &points {
+            assert!(
+                p.ops_per_sec > 0.0,
+                "{}/{} has no throughput",
+                p.phase,
+                p.variant
+            );
+            assert!(p.p50_us > 0.0, "{}/{} has zero p50", p.phase, p.variant);
+            assert!(p.p99_us >= p.p50_us, "{}/{} p99 < p50", p.phase, p.variant);
+        }
+        assert_eq!(points[0].variant, "cold");
+        assert_eq!(points[1].variant, "warm");
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let points = vec![WritepathPoint {
+            phase: "rewrite",
+            variant: "warm",
+            threads: 1,
+            ops_per_sec: 456.7,
+            total_ops: 24,
+            elapsed_ms: 52.5,
+            p50_us: 1800.0,
+            p99_us: 2950.0,
+        }];
+        let section = section_json(&points);
+        assert!(section.contains("\"variant\": \"warm\""));
+        assert_eq!(section.matches('{').count(), section.matches('}').count());
+        let merged = crate::bench_json::merge_section(None, "writepath", &section);
+        assert!(merged.contains("\"writepath\""));
+    }
+}

@@ -657,6 +657,24 @@ pub fn write_range<D: BlockDevice>(
     offset: u64,
     data: &[u8],
 ) -> StegResult<()> {
+    write_range_cached(fs, keys, obj, offset, data, ReadCache::disabled())
+}
+
+/// [`write_range`], accelerated by the read cache: the extent map comes
+/// from the cache when warm, and since an in-place patch leaves the chain
+/// untouched the *same* extent list is re-installed after the commit — only
+/// the plaintext blocks drop (their generation dies with the invalidation),
+/// which is exactly the set the patch made stale.  Coded objects rewrite
+/// their chain nodes' checksums, so their entry is invalidated without a
+/// re-install (the next operation walks cold).
+pub fn write_range_cached<D: BlockDevice>(
+    fs: &PlainFs<D>,
+    keys: &ObjectKeys,
+    obj: &HiddenObject,
+    offset: u64,
+    data: &[u8],
+    cache: &ReadCache,
+) -> StegResult<()> {
     if data.is_empty() {
         return Ok(());
     }
@@ -668,10 +686,33 @@ pub fn write_range<D: BlockDevice>(
         }));
     }
     if let Some((m, n)) = obj.header.policy.coding() {
-        return write_range_coded(fs, keys, obj, offset, data, m, n);
+        let result = write_range_coded(fs, keys, obj, offset, data, m, n);
+        cache.invalidate(keys.signature());
+        return result;
     }
+    let (_, extents) = match cached_chain(fs, keys, obj, cache) {
+        Ok(hit) => hit,
+        Err(e) => {
+            cache.invalidate(keys.signature());
+            return Err(e);
+        }
+    };
+    let outcome = write_range_plain(fs, keys, offset, data, &extents.data_blocks)
+        .map(|()| extents.as_ref().clone());
+    republish(keys, obj, outcome, cache)
+}
+
+/// The in-place patch core of [`write_range`] for plain objects, against an
+/// already-resolved extent list.
+fn write_range_plain<D: BlockDevice>(
+    fs: &PlainFs<D>,
+    keys: &ObjectKeys,
+    offset: u64,
+    data: &[u8],
+    data_blocks: &[u64],
+) -> StegResult<()> {
+    let end = offset + data.len() as u64;
     let bs = fs.block_size() as u64;
-    let (data_blocks, _, _) = read_chain(fs, keys, obj)?;
     let first = (offset / bs) as usize;
     let last = ((end - 1) / bs) as usize;
     let span = data_blocks.get(first..=last).ok_or_else(|| {
@@ -813,6 +854,87 @@ pub fn write<D: BlockDevice>(
     params: &StegParams,
     rng: &mut DeterministicRng,
 ) -> StegResult<()> {
+    write_cached(fs, keys, obj, data, params, rng, ReadCache::disabled())
+}
+
+/// [`write()`], accelerated by the read cache: the old incarnation's extent
+/// map — the chain walk every rewrite starts with — comes from the cache
+/// when warm, so a warm rewrite does **zero chain-walk I/O**.  After the
+/// commit the object's entry is invalidated and the *new* header + extent
+/// list are installed in its place (invalidate-on-publish: plaintext blocks
+/// of the old incarnation die with its generation), so the next read *or*
+/// write of the object is warm too.  A failed write only invalidates.
+pub fn write_cached<D: BlockDevice>(
+    fs: &PlainFs<D>,
+    keys: &ObjectKeys,
+    obj: &mut HiddenObject,
+    data: &[u8],
+    params: &StegParams,
+    rng: &mut DeterministicRng,
+    cache: &ReadCache,
+) -> StegResult<()> {
+    let (old_data, old_chain) = match chain_for_update(fs, keys, obj, cache) {
+        Ok(chain) => chain,
+        Err(e) => {
+            cache.invalidate(keys.signature());
+            return Err(e);
+        }
+    };
+    let outcome = write_with_extents(fs, keys, obj, data, params, rng, old_data, old_chain);
+    republish(keys, obj, outcome, cache)
+}
+
+/// The old chain of an object about to be rewritten: from the extent cache
+/// when warm (zero chain-walk I/O), from the disk walk otherwise.
+fn chain_for_update<D: BlockDevice>(
+    fs: &PlainFs<D>,
+    keys: &ObjectKeys,
+    obj: &HiddenObject,
+    cache: &ReadCache,
+) -> StegResult<(Vec<u64>, Vec<u64>)> {
+    let (_, extents) = cached_chain(fs, keys, obj, cache)?;
+    Ok((extents.data_blocks.clone(), extents.chain_blocks.clone()))
+}
+
+/// Publish a mutation's outcome to the cache: the old incarnation's entry
+/// (and its plaintext blocks) is dropped unconditionally, and on success the
+/// freshly committed header + extent list are installed in its place.  On a
+/// failed mutation the entry is only dropped — on an unjournaled volume the
+/// failure may have torn the object, and even on a journaled one the header
+/// snapshot in `obj` is no longer vouched for.
+fn republish(
+    keys: &ObjectKeys,
+    obj: &HiddenObject,
+    outcome: StegResult<ExtentList>,
+    cache: &ReadCache,
+) -> StegResult<()> {
+    cache.invalidate(keys.signature());
+    let extents = outcome?;
+    let started = cache.begin();
+    cache.store_extents(
+        keys.signature(),
+        started,
+        obj.header_block,
+        obj.header.clone(),
+        Arc::new(extents),
+    );
+    Ok(())
+}
+
+/// The rewrite core of [`write()`] / [`write_cached`], against an
+/// already-resolved old chain (`old_data`, `old_chain`).  Returns the new
+/// incarnation's extent list on success (with `obj.header` updated).
+#[allow(clippy::too_many_arguments)]
+fn write_with_extents<D: BlockDevice>(
+    fs: &PlainFs<D>,
+    keys: &ObjectKeys,
+    obj: &mut HiddenObject,
+    data: &[u8],
+    params: &StegParams,
+    rng: &mut DeterministicRng,
+    old_data: Vec<u64>,
+    old_chain: Vec<u64>,
+) -> StegResult<ExtentList> {
     let bs = fs.block_size();
     let total = fs.superblock().total_blocks;
     let coded = obj.header.policy.is_coded();
@@ -835,7 +957,6 @@ pub fn write<D: BlockDevice>(
     // old freed-then-checked order let a refused update return the object's
     // own data blocks to the volume.  The check counts the recycled blocks
     // as available because they come back to us below.
-    let (old_data, old_chain, _) = read_chain(fs, keys, obj)?;
     let chain_capacity = InodeChainBlock::capacity_for(bs, coded) as u64;
     let chain_needed = needed.div_ceil(chain_capacity.max(1));
     let available = fs.free_data_blocks()
@@ -871,7 +992,7 @@ pub fn write<D: BlockDevice>(
     write_encrypted_many(&mut txn, keys, &data_blocks, payload)?;
 
     // Build the inode chain (allocate chain blocks the same way).
-    let chain_head = build_chain(
+    let chain_blocks = build_chain(
         &mut txn,
         keys,
         &mut header,
@@ -900,20 +1021,27 @@ pub fn write<D: BlockDevice>(
     // header names allocated.
     header.size = data.len() as u64;
     header.data_block_count = data_blocks.len() as u64;
-    header.inode_chain = chain_head;
+    header.inode_chain = chain_blocks.first().copied().unwrap_or(NO_BLOCK);
     debug_assert!(header.inode_chain == NO_BLOCK || header.inode_chain < total);
     write_encrypted(&mut txn, keys, obj.header_block, &header.serialize(bs))?;
     for b in recycled {
         txn.free_block(b)?;
     }
     txn.commit()?;
+    let coding = header.policy.coding();
     obj.header = header;
-    Ok(())
+    Ok(ExtentList {
+        data_blocks,
+        chain_blocks,
+        share_csums: csums,
+        coding,
+    })
 }
 
 /// Serialise `data_blocks` (paired with `csums` for coded objects) into a
 /// fresh inode chain, drawing chain blocks from the pool / free space;
-/// returns the chain head (or [`NO_BLOCK`]).
+/// returns the chain blocks in walk order (empty for an empty object — the
+/// head is `first().copied().unwrap_or(NO_BLOCK)`).
 fn build_chain<D: BlockDevice>(
     txn: &mut FsTxn<'_, D>,
     keys: &ObjectKeys,
@@ -922,9 +1050,9 @@ fn build_chain<D: BlockDevice>(
     csums: &[u64],
     rng: &mut DeterministicRng,
     recycled: &mut Vec<u64>,
-) -> StegResult<u64> {
+) -> StegResult<Vec<u64>> {
     if data_blocks.is_empty() {
-        return Ok(NO_BLOCK);
+        return Ok(Vec::new());
     }
     let coded = header.policy.is_coded();
     debug_assert_eq!(csums.len(), if coded { data_blocks.len() } else { 0 });
@@ -953,7 +1081,7 @@ fn build_chain<D: BlockDevice>(
         plain[i * bs..(i + 1) * bs].copy_from_slice(&chain.serialize_for(bs, coded));
     }
     write_encrypted_many(txn, keys, &chain_block_numbers, plain)?;
-    Ok(chain_block_numbers[0])
+    Ok(chain_block_numbers)
 }
 
 /// Refill the internal free pool to `FB_max` once it has dropped below
@@ -998,16 +1126,57 @@ pub fn resize<D: BlockDevice>(
     params: &StegParams,
     rng: &mut DeterministicRng,
 ) -> StegResult<()> {
+    resize_cached(fs, keys, obj, new_len, params, rng, ReadCache::disabled())
+}
+
+/// [`resize`], accelerated by the read cache: the old chain comes from the
+/// cache when warm, and the new header + extent list are installed after
+/// the commit (same invalidate-on-publish contract as [`write_cached`]).
+pub fn resize_cached<D: BlockDevice>(
+    fs: &PlainFs<D>,
+    keys: &ObjectKeys,
+    obj: &mut HiddenObject,
+    new_len: u64,
+    params: &StegParams,
+    rng: &mut DeterministicRng,
+    cache: &ReadCache,
+) -> StegResult<()> {
     let old_len = obj.header.size;
     if new_len == old_len {
         return Ok(());
     }
     if obj.header.policy.is_coded() {
-        return resize_coded(fs, keys, obj, new_len, params, rng);
+        // Re-encodes through the full write path, which republishes itself.
+        return resize_coded(fs, keys, obj, new_len, params, rng, cache);
     }
+    let (old_data, old_chain) = match chain_for_update(fs, keys, obj, cache) {
+        Ok(chain) => chain,
+        Err(e) => {
+            cache.invalidate(keys.signature());
+            return Err(e);
+        }
+    };
+    let outcome = resize_with_extents(fs, keys, obj, new_len, params, rng, old_data, old_chain);
+    republish(keys, obj, outcome, cache)
+}
+
+/// The plain-object core of [`resize`], against an already-resolved old
+/// chain.  Returns the new incarnation's extent list on success.
+#[allow(clippy::too_many_arguments)]
+fn resize_with_extents<D: BlockDevice>(
+    fs: &PlainFs<D>,
+    keys: &ObjectKeys,
+    obj: &mut HiddenObject,
+    new_len: u64,
+    params: &StegParams,
+    rng: &mut DeterministicRng,
+    old_data: Vec<u64>,
+    old_chain: Vec<u64>,
+) -> StegResult<ExtentList> {
+    let old_len = obj.header.size;
     let bs = fs.block_size() as u64;
     let new_count = new_len.div_ceil(bs);
-    let (mut data_blocks, old_chain, _) = read_chain(fs, keys, obj)?;
+    let mut data_blocks = old_data;
     let mut header = obj.header.clone();
     // As in [`write()`](self::write): surplus blocks are recycled in place
     // (still allocated, consumed before fresh space, released only with the
@@ -1054,7 +1223,7 @@ pub fn resize<D: BlockDevice>(
 
     // Rebuild the chain from the recycled blocks first, absorb surplus
     // into the pool (header-local; nothing freed yet), and top up.
-    let chain_head = build_chain(
+    let chain_blocks = build_chain(
         &mut txn,
         keys,
         &mut header,
@@ -1073,7 +1242,7 @@ pub fn resize<D: BlockDevice>(
 
     header.size = new_len;
     header.data_block_count = data_blocks.len() as u64;
-    header.inode_chain = chain_head;
+    header.inode_chain = chain_blocks.first().copied().unwrap_or(NO_BLOCK);
     write_encrypted(
         &mut txn,
         keys,
@@ -1087,7 +1256,7 @@ pub fn resize<D: BlockDevice>(
     }
     txn.commit()?;
     obj.header = header;
-    Ok(())
+    Ok(ExtentList::plain(data_blocks, chain_blocks))
 }
 
 /// [`resize`] for coded objects: groups couple `m` logical blocks, so a
@@ -1101,6 +1270,7 @@ fn resize_coded<D: BlockDevice>(
     new_len: u64,
     params: &StegParams,
     rng: &mut DeterministicRng,
+    cache: &ReadCache,
 ) -> StegResult<()> {
     let bs = fs.block_size() as u64;
     let (m, n) = obj.header.policy.shares();
@@ -1108,7 +1278,7 @@ fn resize_coded<D: BlockDevice>(
     let needed = groups.saturating_mul(n as u64);
     let cap = InodeChainBlock::capacity_for(fs.block_size(), true).max(1) as u64;
     let chain_needed = needed.div_ceil(cap);
-    let (old_data, old_chain, _) = read_chain(fs, keys, obj)?;
+    let (old_data, old_chain) = chain_for_update(fs, keys, obj, cache)?;
     let available = fs.free_data_blocks()
         + obj.header.free_pool.len() as u64
         + old_data.len() as u64
@@ -1116,9 +1286,9 @@ fn resize_coded<D: BlockDevice>(
     if available < needed + chain_needed {
         return Err(StegError::NoSpace);
     }
-    let mut data = read(fs, keys, obj)?;
+    let mut data = read_cached(fs, keys, obj, cache)?;
     data.resize(new_len as usize, 0);
-    write(fs, keys, obj, &data, params, rng)
+    write_cached(fs, keys, obj, &data, params, rng, cache)
 }
 
 /// Outcome of an offline [`repair`] pass over one hidden object.

@@ -71,6 +71,14 @@ pub struct StegParams {
     /// encrypted hidden blocks on disk, so the setting is invisible to an
     /// adversary.
     pub hidden_policy: Policy,
+    /// Run the background checkpoint daemon on journaled volumes: a thread
+    /// that advances the journal tail and anchors off the commit path, so
+    /// foreground writers rarely pay for ring reclamation themselves.  The
+    /// daemon writes nothing a foreground `sync` would not write (the same
+    /// checksummed anchor records), so it has no bearing on deniability.
+    /// No-op without a journal.  The front-ends consult this at mount time;
+    /// [`crate::StegFs::start_checkpoint_daemon`] starts it explicitly.
+    pub checkpoint_daemon: bool,
 }
 
 impl Default for StegParams {
@@ -88,6 +96,7 @@ impl Default for StegParams {
             readpath_cache_blocks: 4096,
             obs_enabled: true,
             hidden_policy: Policy::Plain,
+            checkpoint_daemon: false,
         }
     }
 }
@@ -109,6 +118,7 @@ impl StegParams {
             readpath_cache_blocks: 1024,
             obs_enabled: true,
             hidden_policy: Policy::Plain,
+            checkpoint_daemon: false,
         }
     }
 

@@ -16,7 +16,10 @@
 //!   namespace lock, per-inode stripes, device lock);
 //! * **UAK shards** serialise read-modify-write cycles on one User Access
 //!   Key's hidden directory, so two users (or two threads of one user)
-//!   cannot lose each other's `steg_create` / `delete` / `rename`;
+//!   cannot lose each other's `steg_create` / `delete` / `rename`.  A
+//!   create builds the new object *before* taking the shard and holds it
+//!   only for the directory rewrite (the publish window), unwinding the
+//!   unpublished object if it lost the name race;
 //! * **object shards** serialise operations on one hidden object (keyed by
 //!   its physical name), so a rewrite that relocates blocks through the free
 //!   pool cannot interleave with another rewrite of the same object;
@@ -24,8 +27,10 @@
 //!   locks and are never held across I/O.
 //!
 //! Lock order (outer to inner): `UAK shard < object shard <` the `PlainFs`
-//! locks (`namespace < inode-stripe < allocator < device`).  No operation
-//! acquires two UAK shards at once.  The hidden-directory child operations
+//! locks (`namespace < inode-stripe < inode-table-stripe < allocator-meta <
+//! bitmap-segment < journal < device` — see `stegfs-fs` for the sharded
+//! allocator's segment discipline).  No operation acquires two UAK shards at
+//! once.  The hidden-directory child operations
 //! ([`StegFs::remove_dir_child`]) are the one case that needs *two object
 //! shards* (the parent's listing and the child object); they acquire the
 //! pair in ascending shard-index order, so no cycle can form.
@@ -339,6 +344,31 @@ impl<D: BlockDevice> StegFs<D> {
         Ok(self.fs.flush_barrier()?)
     }
 
+    /// Start the background checkpoint daemon: on a journaled volume, a
+    /// thread that advances the journal tail and checksummed anchors off
+    /// the commit path (see `PlainFs::start_checkpoint_daemon`).  The
+    /// front-ends call this at mount time when
+    /// [`StegParams::checkpoint_daemon`] is set; [`Self::unmount`] drains
+    /// and stops it.  No-op without a journal or when already running.
+    pub fn start_checkpoint_daemon(&mut self)
+    where
+        D: Send + Sync + 'static,
+    {
+        self.fs.start_checkpoint_daemon();
+    }
+
+    /// True when the background checkpoint daemon is running.
+    pub fn checkpoint_daemon_running(&self) -> bool {
+        self.fs.checkpoint_daemon_running()
+    }
+
+    /// Stop the checkpoint daemon; with `drain` it checkpoints once more
+    /// before exiting.  `drain = false` models a killed process (crash
+    /// tests).
+    pub fn stop_checkpoint_daemon(&self, drain: bool) {
+        self.fs.stop_checkpoint_daemon(drain);
+    }
+
     /// The volume parameters.
     pub fn params(&self) -> &StegParams {
         &self.params
@@ -438,9 +468,15 @@ impl<D: BlockDevice> StegFs<D> {
             };
             let mut rng = self.fork_rng();
             let content = rng.bytes(self.config.dummy_size as usize);
-            let result = hidden::write(&self.fs, &keys, &mut obj, &content, &self.params, &mut rng);
-            self.read_cache.invalidate(keys.signature());
-            result?;
+            hidden::write_cached(
+                &self.fs,
+                &keys,
+                &mut obj,
+                &content,
+                &self.params,
+                &mut rng,
+                &self.read_cache,
+            )?;
             touched += 1;
         }
         Ok(touched)
@@ -546,18 +582,19 @@ impl<D: BlockDevice> StegFs<D> {
             )?,
         };
         let mut rng = self.fork_rng();
-        let result = hidden::write(
+        // The cache-aware write serves the rewrite's chain walk from the
+        // cached extent map (the directory was just read through it, so the
+        // map is warm), invalidates before touching anything and republishes
+        // the new map on success — a failed attempt leaves a safe miss.
+        hidden::write_cached(
             &self.fs,
             &keys,
             &mut obj,
             &dir.serialize(),
             &self.params,
             &mut rng,
-        );
-        // Invalidate even on failure: a partially attempted rewrite leaves
-        // the cached map's validity unknown, and a miss is always safe.
-        self.read_cache.invalidate(keys.signature());
-        result
+            &self.read_cache,
+        )
     }
 
     /// The names (and kinds) of all hidden objects registered under `uak`.
@@ -628,11 +665,12 @@ impl<D: BlockDevice> StegFs<D> {
         if objname.is_empty() || objname.contains('\0') {
             return Err(StegError::InvalidName(objname.to_string()));
         }
-        let _uak_lock = self.uak_guard(uak);
-        let (mut dir, existing) = self.load_uak_directory(uak)?;
-        if dir.find(objname).is_some() {
-            return Err(StegError::AlreadyExists(objname.to_string()));
-        }
+        // Build the object *outside* the UAK shard: allocating and writing
+        // its blocks is the expensive part of a create, and it touches only
+        // freshly generated keys no other thread can observe.  The shard is
+        // held just for the directory read-modify-write — the publish
+        // window — so concurrent creates under one UAK serialise on a
+        // directory rewrite, not on whole-object I/O.
         let fak = self.generate_fak(objname);
         let physical_name = format!("{}:{}", Self::owner_tag(uak), objname);
         let keys = ObjectKeys::derive(&physical_name, &fak);
@@ -655,6 +693,16 @@ impl<D: BlockDevice> StegFs<D> {
                 &self.params,
                 &mut rng,
             )?;
+        }
+        let _uak_lock = self.uak_guard(uak);
+        let (mut dir, existing) = self.load_uak_directory(uak)?;
+        if dir.find(objname).is_some() {
+            // Lost the publish race (or the name predates us): unwind the
+            // never-published object.  Its keys never left this call, so
+            // deleting it returns the blocks with no visible trace.
+            let mut rng = self.fork_rng();
+            let _ = hidden::delete(&self.fs, &keys, &obj, &mut rng);
+            return Err(StegError::AlreadyExists(objname.to_string()));
         }
         dir.insert(DirectoryEntry {
             name: objname.to_string(),
@@ -718,9 +766,15 @@ impl<D: BlockDevice> StegFs<D> {
             &self.read_cache,
         )?;
         let mut rng = self.fork_rng();
-        let result = hidden::write(&self.fs, &keys, &mut obj, data, &self.params, &mut rng);
-        self.read_cache.invalidate(keys.signature());
-        result
+        hidden::write_cached(
+            &self.fs,
+            &keys,
+            &mut obj,
+            data,
+            &self.params,
+            &mut rng,
+            &self.read_cache,
+        )
     }
 
     /// Read the full contents of the hidden file `objname` (registered under
@@ -770,9 +824,7 @@ impl<D: BlockDevice> StegFs<D> {
             &self.params,
             &self.read_cache,
         )?;
-        let result = hidden::write_range(&self.fs, &keys, &object, offset, data);
-        self.read_cache.invalidate(keys.signature());
-        result
+        hidden::write_range_cached(&self.fs, &keys, &object, offset, data, &self.read_cache)
     }
 
     /// Open a hidden file once and keep a handle for repeated positional
@@ -832,9 +884,14 @@ impl<D: BlockDevice> StegFs<D> {
         offset: u64,
         data: &[u8],
     ) -> StegResult<()> {
-        let result = hidden::write_range(&self.fs, &handle.keys, &handle.object, offset, data);
-        self.read_cache.invalidate(handle.keys.signature());
-        result
+        hidden::write_range_cached(
+            &self.fs,
+            &handle.keys,
+            &handle.object,
+            offset,
+            data,
+            &self.read_cache,
+        )
     }
 
     /// Public form of the UAK-directory lookup: resolve `objname` under
@@ -890,24 +947,35 @@ impl<D: BlockDevice> StegFs<D> {
             .checked_add(data.len() as u64)
             .ok_or(StegError::NoSpace)?;
         if end <= handle.object.size() {
-            let result = hidden::write_range(&self.fs, &handle.keys, &handle.object, offset, data);
-            self.read_cache.invalidate(handle.keys.signature());
-            return result;
+            return hidden::write_range_cached(
+                &self.fs,
+                &handle.keys,
+                &handle.object,
+                offset,
+                data,
+                &self.read_cache,
+            );
         }
         // Grow to `end` at block granularity (zero-filling any gap), then
         // patch the written range in place — O(append), not O(file).
         let mut rng = self.fork_rng();
-        let result = hidden::resize(
+        hidden::resize_cached(
             &self.fs,
             &handle.keys,
             &mut handle.object,
             end,
             &self.params,
             &mut rng,
+            &self.read_cache,
+        )?;
+        hidden::write_range_cached(
+            &self.fs,
+            &handle.keys,
+            &handle.object,
+            offset,
+            data,
+            &self.read_cache,
         )
-        .and_then(|()| hidden::write_range(&self.fs, &handle.keys, &handle.object, offset, data));
-        self.read_cache.invalidate(handle.keys.signature());
-        result
     }
 
     /// Set the size of the object behind `handle` to `new_len`, truncating or
@@ -923,16 +991,15 @@ impl<D: BlockDevice> StegFs<D> {
             return Ok(());
         }
         let mut rng = self.fork_rng();
-        let result = hidden::resize(
+        hidden::resize_cached(
             &self.fs,
             &handle.keys,
             &mut handle.object,
             new_len,
             &self.params,
             &mut rng,
-        );
-        self.read_cache.invalidate(handle.keys.signature());
-        result
+            &self.read_cache,
+        )
     }
 
     /// Rename the hidden object `objname` to `newname` within `uak`'s
@@ -1207,21 +1274,26 @@ impl<D: BlockDevice> StegFs<D> {
             kind,
         })?;
 
-        // Persist the updated listing into the parent.
+        // Persist the updated listing into the parent.  The listing was just
+        // read through the cache, so the rewrite's chain walk is free.
         let parent_keys = keys;
-        let mut parent_obj =
-            hidden::open(&self.fs, &parent.physical_name, &parent_keys, &self.params)?;
+        let mut parent_obj = hidden::open_cached(
+            &self.fs,
+            &parent.physical_name,
+            &parent_keys,
+            &self.params,
+            &self.read_cache,
+        )?;
         let mut rng = self.fork_rng();
-        let result = hidden::write(
+        hidden::write_cached(
             &self.fs,
             &parent_keys,
             &mut parent_obj,
             &children.serialize(),
             &self.params,
             &mut rng,
-        );
-        self.read_cache.invalidate(parent_keys.signature());
-        result
+            &self.read_cache,
+        )
     }
 
     /// List the children of the hidden directory `parent`.
@@ -1348,19 +1420,23 @@ impl<D: BlockDevice> StegFs<D> {
         // Unpublish, then destroy.
         children.remove(&child.name);
         let parent_keys = ObjectKeys::derive(&parent.physical_name, &parent.fak);
-        let mut parent_obj =
-            hidden::open(&self.fs, &parent.physical_name, &parent_keys, &self.params)?;
+        let mut parent_obj = hidden::open_cached(
+            &self.fs,
+            &parent.physical_name,
+            &parent_keys,
+            &self.params,
+            &self.read_cache,
+        )?;
         let mut rng = self.fork_rng();
-        let result = hidden::write(
+        hidden::write_cached(
             &self.fs,
             &parent_keys,
             &mut parent_obj,
             &children.serialize(),
             &self.params,
             &mut rng,
-        );
-        self.read_cache.invalidate(parent_keys.signature());
-        result?;
+            &self.read_cache,
+        )?;
         let result = hidden::delete(&self.fs, &child_keys, &child_obj, &mut rng);
         self.read_cache.invalidate(child_keys.signature());
         result?;
@@ -1400,19 +1476,23 @@ impl<D: BlockDevice> StegFs<D> {
             .invalidate(ObjectKeys::derive(&entry.physical_name, &entry.fak).signature());
         children.insert(entry)?;
         let parent_keys = ObjectKeys::derive(&parent.physical_name, &parent.fak);
-        let mut parent_obj =
-            hidden::open(&self.fs, &parent.physical_name, &parent_keys, &self.params)?;
+        let mut parent_obj = hidden::open_cached(
+            &self.fs,
+            &parent.physical_name,
+            &parent_keys,
+            &self.params,
+            &self.read_cache,
+        )?;
         let mut rng = self.fork_rng();
-        let result = hidden::write(
+        hidden::write_cached(
             &self.fs,
             &parent_keys,
             &mut parent_obj,
             &children.serialize(),
             &self.params,
             &mut rng,
-        );
-        self.read_cache.invalidate(parent_keys.signature());
-        result?;
+            &self.read_cache,
+        )?;
         self.session.lock().disconnect(old);
         Ok(())
     }

@@ -3,9 +3,13 @@
 //! StegFS encrypts every block of a hidden object (header, inode blocks and
 //! data blocks) so that allocated-but-hidden blocks are indistinguishable from
 //! the pseudorandom fill written into the volume at format time.  The paper
-//! names AES as the block cipher; the table-based implementation here is the
-//! straightforward software variant, validated against the FIPS 197 and
-//! NIST SP 800-38A test vectors.
+//! names AES as the block cipher; the implementation here is the classic
+//! T-table software variant (SubBytes + ShiftRows + MixColumns fused into
+//! four 1 KiB lookup tables, four table reads per column per round — the
+//! form OpenSSL and the Linux kernel use without AES-NI), validated against
+//! the FIPS 197 and NIST SP 800-38A test vectors.  Every block in the write
+//! path crosses this cipher at least twice (object CTR + journal slot), so
+//! its per-block cost bounds hidden-I/O throughput on a CPU-saturated box.
 
 /// AES block size in bytes.
 pub const BLOCK_LEN: usize = 16;
@@ -44,22 +48,75 @@ const RCON: [u8; 11] = [
 ];
 
 #[inline]
-fn xtime(x: u8) -> u8 {
+const fn xtime(x: u8) -> u8 {
     (x << 1) ^ (((x >> 7) & 1) * 0x1b)
 }
 
 #[inline]
-fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+const fn gf_mul(mut a: u8, mut b: u8) -> u8 {
     let mut p = 0u8;
-    for _ in 0..8 {
+    let mut i = 0;
+    while i < 8 {
         if b & 1 != 0 {
             p ^= a;
         }
         a = xtime(a);
         b >>= 1;
+        i += 1;
     }
     p
 }
+
+// --- T-tables -------------------------------------------------------------
+//
+// One encryption round maps input columns (s0, s1, s2, s3) to
+//   t_j = TE0[s_j >> 24] ^ TE1[(s_{j+1} >> 16) & 0xff]
+//       ^ TE2[(s_{j+2} >> 8) & 0xff] ^ TE3[s_{j+3} & 0xff] ^ rk_j
+// where each TEi entry pre-combines SubBytes with that byte's MixColumns
+// contribution ([2,1,1,3] rotated per row).  Decryption uses the
+// "equivalent inverse cipher" (FIPS 197 §5.3.5): TD tables over INV_SBOX
+// with the [0e,09,0d,0b] matrix, and round keys pre-passed through
+// InvMixColumns so the round shape matches encryption.
+
+const fn te_entry(x: usize, rot: u32) -> u32 {
+    let s = SBOX[x];
+    let s2 = xtime(s);
+    let s3 = s2 ^ s;
+    let w = ((s2 as u32) << 24) | ((s as u32) << 16) | ((s as u32) << 8) | (s3 as u32);
+    w.rotate_right(rot)
+}
+
+const fn td_entry(x: usize, rot: u32) -> u32 {
+    let s = INV_SBOX[x];
+    let w = ((gf_mul(s, 0x0e) as u32) << 24)
+        | ((gf_mul(s, 0x09) as u32) << 16)
+        | ((gf_mul(s, 0x0d) as u32) << 8)
+        | (gf_mul(s, 0x0b) as u32);
+    w.rotate_right(rot)
+}
+
+const fn build_table(enc: bool, rot: u32) -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        t[i] = if enc {
+            te_entry(i, rot)
+        } else {
+            td_entry(i, rot)
+        };
+        i += 1;
+    }
+    t
+}
+
+const TE0: [u32; 256] = build_table(true, 0);
+const TE1: [u32; 256] = build_table(true, 8);
+const TE2: [u32; 256] = build_table(true, 16);
+const TE3: [u32; 256] = build_table(true, 24);
+const TD0: [u32; 256] = build_table(false, 0);
+const TD1: [u32; 256] = build_table(false, 8);
+const TD2: [u32; 256] = build_table(false, 16);
+const TD3: [u32; 256] = build_table(false, 24);
 
 /// Key size variants supported by [`Aes`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,9 +151,14 @@ impl KeySize {
 static KEY_EXPANSIONS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 /// An expanded AES key ready to encrypt or decrypt 16-byte blocks.
+///
+/// Holds both schedules: the encryption round keys as big-endian words, and
+/// the equivalent-inverse-cipher keys (round keys passed through
+/// InvMixColumns) that the T-table decryption rounds consume.
 #[derive(Clone)]
 pub struct Aes {
-    round_keys: Vec<[u8; BLOCK_LEN]>,
+    enc_keys: Vec<u32>,
+    dec_keys: Vec<u32>,
     rounds: usize,
 }
 
@@ -159,45 +221,115 @@ impl Aes {
             }
         }
 
-        let round_keys = (0..=rounds)
-            .map(|r| {
-                let mut rk = [0u8; BLOCK_LEN];
-                for c in 0..4 {
-                    rk[c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
-                }
-                rk
-            })
-            .collect();
+        let enc_keys: Vec<u32> = w.iter().map(|word| u32::from_be_bytes(*word)).collect();
 
-        Aes { round_keys, rounds }
+        // Equivalent inverse cipher: dk[0] = rk[last], middle round keys are
+        // InvMixColumns(rk[mirror]), dk[last] = rk[0].
+        let mut dec_keys = vec![0u32; enc_keys.len()];
+        for r in 0..=rounds {
+            for c in 0..4 {
+                let src = enc_keys[(rounds - r) * 4 + c];
+                dec_keys[r * 4 + c] = if r == 0 || r == rounds {
+                    src
+                } else {
+                    inv_mix_word(src)
+                };
+            }
+        }
+
+        Aes {
+            enc_keys,
+            dec_keys,
+            rounds,
+        }
     }
 
     /// Encrypt a single 16-byte block in place.
+    #[inline]
     pub fn encrypt_block(&self, block: &mut [u8; BLOCK_LEN]) {
-        add_round_key(block, &self.round_keys[0]);
-        for round in 1..self.rounds {
-            sub_bytes(block);
-            shift_rows(block);
-            mix_columns(block);
-            add_round_key(block, &self.round_keys[round]);
+        let rk = &self.enc_keys;
+        let (mut s0, mut s1, mut s2, mut s3) = load_state(block);
+        s0 ^= rk[0];
+        s1 ^= rk[1];
+        s2 ^= rk[2];
+        s3 ^= rk[3];
+        let mut i = 4;
+        for _ in 1..self.rounds {
+            let t0 = TE0[(s0 >> 24) as usize]
+                ^ TE1[((s1 >> 16) & 0xff) as usize]
+                ^ TE2[((s2 >> 8) & 0xff) as usize]
+                ^ TE3[(s3 & 0xff) as usize]
+                ^ rk[i];
+            let t1 = TE0[(s1 >> 24) as usize]
+                ^ TE1[((s2 >> 16) & 0xff) as usize]
+                ^ TE2[((s3 >> 8) & 0xff) as usize]
+                ^ TE3[(s0 & 0xff) as usize]
+                ^ rk[i + 1];
+            let t2 = TE0[(s2 >> 24) as usize]
+                ^ TE1[((s3 >> 16) & 0xff) as usize]
+                ^ TE2[((s0 >> 8) & 0xff) as usize]
+                ^ TE3[(s1 & 0xff) as usize]
+                ^ rk[i + 2];
+            let t3 = TE0[(s3 >> 24) as usize]
+                ^ TE1[((s0 >> 16) & 0xff) as usize]
+                ^ TE2[((s1 >> 8) & 0xff) as usize]
+                ^ TE3[(s2 & 0xff) as usize]
+                ^ rk[i + 3];
+            s0 = t0;
+            s1 = t1;
+            s2 = t2;
+            s3 = t3;
+            i += 4;
         }
-        sub_bytes(block);
-        shift_rows(block);
-        add_round_key(block, &self.round_keys[self.rounds]);
+        let t0 = sbox_word(s0, s1, s2, s3) ^ rk[i];
+        let t1 = sbox_word(s1, s2, s3, s0) ^ rk[i + 1];
+        let t2 = sbox_word(s2, s3, s0, s1) ^ rk[i + 2];
+        let t3 = sbox_word(s3, s0, s1, s2) ^ rk[i + 3];
+        store_state(block, t0, t1, t2, t3);
     }
 
     /// Decrypt a single 16-byte block in place.
+    #[inline]
     pub fn decrypt_block(&self, block: &mut [u8; BLOCK_LEN]) {
-        add_round_key(block, &self.round_keys[self.rounds]);
-        inv_shift_rows(block);
-        inv_sub_bytes(block);
-        for round in (1..self.rounds).rev() {
-            add_round_key(block, &self.round_keys[round]);
-            inv_mix_columns(block);
-            inv_shift_rows(block);
-            inv_sub_bytes(block);
+        let dk = &self.dec_keys;
+        let (mut s0, mut s1, mut s2, mut s3) = load_state(block);
+        s0 ^= dk[0];
+        s1 ^= dk[1];
+        s2 ^= dk[2];
+        s3 ^= dk[3];
+        let mut i = 4;
+        for _ in 1..self.rounds {
+            let t0 = TD0[(s0 >> 24) as usize]
+                ^ TD1[((s3 >> 16) & 0xff) as usize]
+                ^ TD2[((s2 >> 8) & 0xff) as usize]
+                ^ TD3[(s1 & 0xff) as usize]
+                ^ dk[i];
+            let t1 = TD0[(s1 >> 24) as usize]
+                ^ TD1[((s0 >> 16) & 0xff) as usize]
+                ^ TD2[((s3 >> 8) & 0xff) as usize]
+                ^ TD3[(s2 & 0xff) as usize]
+                ^ dk[i + 1];
+            let t2 = TD0[(s2 >> 24) as usize]
+                ^ TD1[((s1 >> 16) & 0xff) as usize]
+                ^ TD2[((s0 >> 8) & 0xff) as usize]
+                ^ TD3[(s3 & 0xff) as usize]
+                ^ dk[i + 2];
+            let t3 = TD0[(s3 >> 24) as usize]
+                ^ TD1[((s2 >> 16) & 0xff) as usize]
+                ^ TD2[((s1 >> 8) & 0xff) as usize]
+                ^ TD3[(s0 & 0xff) as usize]
+                ^ dk[i + 3];
+            s0 = t0;
+            s1 = t1;
+            s2 = t2;
+            s3 = t3;
+            i += 4;
         }
-        add_round_key(block, &self.round_keys[0]);
+        let t0 = inv_sbox_word(s0, s3, s2, s1) ^ dk[i];
+        let t1 = inv_sbox_word(s1, s0, s3, s2) ^ dk[i + 1];
+        let t2 = inv_sbox_word(s2, s1, s0, s3) ^ dk[i + 2];
+        let t3 = inv_sbox_word(s3, s2, s1, s0) ^ dk[i + 3];
+        store_state(block, t0, t1, t2, t3);
     }
 
     /// Number of AES rounds for this key size (10, 12 or 14).
@@ -207,91 +339,57 @@ impl Aes {
 }
 
 // The state is stored column-major as in FIPS 197: byte (row r, column c) is
-// state[c * 4 + r].
+// state[c * 4 + r], so column c loads as one big-endian u32 with row 0 in
+// the most significant byte.
 
 #[inline]
-fn add_round_key(state: &mut [u8; BLOCK_LEN], rk: &[u8; BLOCK_LEN]) {
-    for i in 0..BLOCK_LEN {
-        state[i] ^= rk[i];
-    }
+fn load_state(block: &[u8; BLOCK_LEN]) -> (u32, u32, u32, u32) {
+    (
+        u32::from_be_bytes([block[0], block[1], block[2], block[3]]),
+        u32::from_be_bytes([block[4], block[5], block[6], block[7]]),
+        u32::from_be_bytes([block[8], block[9], block[10], block[11]]),
+        u32::from_be_bytes([block[12], block[13], block[14], block[15]]),
+    )
 }
 
 #[inline]
-fn sub_bytes(state: &mut [u8; BLOCK_LEN]) {
-    for b in state.iter_mut() {
-        *b = SBOX[*b as usize];
-    }
+fn store_state(block: &mut [u8; BLOCK_LEN], s0: u32, s1: u32, s2: u32, s3: u32) {
+    block[0..4].copy_from_slice(&s0.to_be_bytes());
+    block[4..8].copy_from_slice(&s1.to_be_bytes());
+    block[8..12].copy_from_slice(&s2.to_be_bytes());
+    block[12..16].copy_from_slice(&s3.to_be_bytes());
 }
 
+/// Final encryption round for one output column: SubBytes + ShiftRows (row r
+/// reads column j+r), no MixColumns.
 #[inline]
-fn inv_sub_bytes(state: &mut [u8; BLOCK_LEN]) {
-    for b in state.iter_mut() {
-        *b = INV_SBOX[*b as usize];
-    }
+fn sbox_word(a: u32, b: u32, c: u32, d: u32) -> u32 {
+    ((SBOX[(a >> 24) as usize] as u32) << 24)
+        | ((SBOX[((b >> 16) & 0xff) as usize] as u32) << 16)
+        | ((SBOX[((c >> 8) & 0xff) as usize] as u32) << 8)
+        | (SBOX[(d & 0xff) as usize] as u32)
 }
 
+/// Final decryption round for one output column: InvSubBytes + InvShiftRows
+/// (row r reads column j-r).
 #[inline]
-fn shift_rows(state: &mut [u8; BLOCK_LEN]) {
-    let s = *state;
-    for r in 1..4 {
-        for c in 0..4 {
-            state[c * 4 + r] = s[((c + r) % 4) * 4 + r];
-        }
-    }
+fn inv_sbox_word(a: u32, b: u32, c: u32, d: u32) -> u32 {
+    ((INV_SBOX[(a >> 24) as usize] as u32) << 24)
+        | ((INV_SBOX[((b >> 16) & 0xff) as usize] as u32) << 16)
+        | ((INV_SBOX[((c >> 8) & 0xff) as usize] as u32) << 8)
+        | (INV_SBOX[(d & 0xff) as usize] as u32)
 }
 
-#[inline]
-fn inv_shift_rows(state: &mut [u8; BLOCK_LEN]) {
-    let s = *state;
-    for r in 1..4 {
-        for c in 0..4 {
-            state[((c + r) % 4) * 4 + r] = s[c * 4 + r];
-        }
-    }
-}
-
-#[inline]
-fn mix_columns(state: &mut [u8; BLOCK_LEN]) {
-    for c in 0..4 {
-        let col = [
-            state[c * 4],
-            state[c * 4 + 1],
-            state[c * 4 + 2],
-            state[c * 4 + 3],
-        ];
-        state[c * 4] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
-        state[c * 4 + 1] = col[0] ^ xtime(col[1]) ^ (xtime(col[2]) ^ col[2]) ^ col[3];
-        state[c * 4 + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ (xtime(col[3]) ^ col[3]);
-        state[c * 4 + 3] = (xtime(col[0]) ^ col[0]) ^ col[1] ^ col[2] ^ xtime(col[3]);
-    }
-}
-
-#[inline]
-fn inv_mix_columns(state: &mut [u8; BLOCK_LEN]) {
-    for c in 0..4 {
-        let col = [
-            state[c * 4],
-            state[c * 4 + 1],
-            state[c * 4 + 2],
-            state[c * 4 + 3],
-        ];
-        state[c * 4] = gf_mul(col[0], 0x0e)
-            ^ gf_mul(col[1], 0x0b)
-            ^ gf_mul(col[2], 0x0d)
-            ^ gf_mul(col[3], 0x09);
-        state[c * 4 + 1] = gf_mul(col[0], 0x09)
-            ^ gf_mul(col[1], 0x0e)
-            ^ gf_mul(col[2], 0x0b)
-            ^ gf_mul(col[3], 0x0d);
-        state[c * 4 + 2] = gf_mul(col[0], 0x0d)
-            ^ gf_mul(col[1], 0x09)
-            ^ gf_mul(col[2], 0x0e)
-            ^ gf_mul(col[3], 0x0b);
-        state[c * 4 + 3] = gf_mul(col[0], 0x0b)
-            ^ gf_mul(col[1], 0x0d)
-            ^ gf_mul(col[2], 0x09)
-            ^ gf_mul(col[3], 0x0e);
-    }
+/// InvMixColumns applied to one round-key word (schedule transform for the
+/// equivalent inverse cipher; runs once per key expansion).
+fn inv_mix_word(w: u32) -> u32 {
+    let [a, b, c, d] = w.to_be_bytes();
+    u32::from_be_bytes([
+        gf_mul(a, 0x0e) ^ gf_mul(b, 0x0b) ^ gf_mul(c, 0x0d) ^ gf_mul(d, 0x09),
+        gf_mul(a, 0x09) ^ gf_mul(b, 0x0e) ^ gf_mul(c, 0x0b) ^ gf_mul(d, 0x0d),
+        gf_mul(a, 0x0d) ^ gf_mul(b, 0x09) ^ gf_mul(c, 0x0e) ^ gf_mul(d, 0x0b),
+        gf_mul(a, 0x0b) ^ gf_mul(b, 0x0d) ^ gf_mul(c, 0x09) ^ gf_mul(d, 0x0e),
+    ])
 }
 
 #[cfg(test)]

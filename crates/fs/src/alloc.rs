@@ -13,10 +13,27 @@
 //!
 //! [`Allocator`] turns a policy plus the bitmap into a concrete list of block
 //! numbers for a file of a given length.
+//!
+//! # Division of labour with the sharded bitmap
+//!
+//! The allocator holds only *meta* state — the policy, the first-fit cursor
+//! and the placement RNG — and its lock is correspondingly tiny: drawing the
+//! randomness for a placement is a few dozen RNG steps, never an O(volume)
+//! scan and never device I/O.  The actual check-and-claim of each block
+//! happens in the [`Bitmap`]'s per-segment locks
+//! ([`Bitmap::claim_free_from`], [`Bitmap::claim_random`],
+//! [`Bitmap::claim_run`]), so concurrent writers placing blocks in different
+//! parts of the volume do not serialise on this struct at all.  Placement
+//! distribution is unchanged: the claim paths return exactly the blocks the
+//! old find-then-mark sequence picked.
 
 use crate::bitmap::Bitmap;
 use crate::error::{FsError, FsResult};
 use stegfs_crypto::prng::DeterministicRng;
+
+/// Number of uniformly random candidate blocks drawn per random placement
+/// before falling back to a scan from a random origin.
+pub const RANDOM_PROBES: usize = 64;
 
 /// Where newly allocated blocks should be placed.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -43,14 +60,24 @@ impl AllocPolicy {
     }
 }
 
+/// The random candidates for one placement, drawn up front under the
+/// allocator's meta lock so the claim itself runs lock-free of it.
+pub struct RandomProbes {
+    /// Candidate blocks, tried in order.
+    pub probes: [u64; RANDOM_PROBES],
+    /// Scan origin when every probe loses.
+    pub origin: u64,
+}
+
 /// Stateful allocator bound to a data region of the volume.
 ///
 /// First-fit allocation rotates a cursor past each allocation; together with
-/// the bitmap's word-level scan and next-free hint (see [`Bitmap`]), finding
-/// the next free block on a fragmented, mostly full volume costs a handful
-/// of 64-block word probes instead of an O(volume) bit walk — and the
-/// up-front capacity check in [`Allocator::allocate_file`] is a word-level
-/// popcount rather than a per-bit filter.
+/// the bitmap's word-level scan and per-shard next-free hints (see
+/// [`Bitmap`]), finding the next free block on a fragmented, mostly full
+/// volume costs a handful of 64-block word probes instead of an O(volume)
+/// bit walk — and the up-front capacity check in
+/// [`Allocator::allocate_file`] is a word-level popcount rather than a
+/// per-bit filter.
 pub struct Allocator {
     policy: AllocPolicy,
     region_start: u64,
@@ -86,117 +113,118 @@ impl Allocator {
         self.policy = policy;
     }
 
-    /// Allocate a single block and mark it in the bitmap.
-    pub fn allocate_one(&mut self, bitmap: &mut Bitmap) -> FsResult<u64> {
-        let block = match &self.policy {
-            AllocPolicy::Random => self.pick_random_free(bitmap)?,
-            _ => bitmap
-                .find_free_from(self.cursor, self.region_start, self.region_end)
-                .ok_or(FsError::NoSpace)?,
-        };
-        bitmap.allocate(block)?;
-        self.cursor = if block + 1 >= self.region_end {
+    /// Draw the random candidates for one placement.  Pure RNG work — the
+    /// caller claims against the bitmap afterwards, outside this lock.
+    pub fn draw_probes(&mut self) -> RandomProbes {
+        let span = self.region_end - self.region_start;
+        let mut probes = [0u64; RANDOM_PROBES];
+        for p in probes.iter_mut() {
+            *p = self.region_start + self.rng.next_below(span);
+        }
+        RandomProbes {
+            probes,
+            origin: self.region_start + self.rng.next_below(span),
+        }
+    }
+
+    fn claim_random(&mut self, bitmap: &Bitmap) -> FsResult<u64> {
+        let RandomProbes { probes, origin } = self.draw_probes();
+        bitmap
+            .claim_random(&probes, origin, self.region_start, self.region_end)
+            .ok_or(FsError::NoSpace)
+    }
+
+    fn bump_cursor(&mut self, next: u64) {
+        self.cursor = if next >= self.region_end {
             self.region_start
         } else {
-            block + 1
+            next
         };
+    }
+
+    /// Allocate a single block and mark it in the bitmap.
+    pub fn allocate_one(&mut self, bitmap: &Bitmap) -> FsResult<u64> {
+        let block = match &self.policy {
+            AllocPolicy::Random => self.claim_random(bitmap)?,
+            _ => bitmap
+                .claim_free_from(self.cursor, self.region_start, self.region_end)
+                .ok_or(FsError::NoSpace)?,
+        };
+        self.bump_cursor(block + 1);
         Ok(block)
     }
 
     /// Allocate `count` blocks for a file according to the policy and mark
     /// them in the bitmap.  The returned order is the logical block order of
-    /// the file.
-    pub fn allocate_file(&mut self, bitmap: &mut Bitmap, count: u64) -> FsResult<Vec<u64>> {
+    /// the file.  On failure every block this call claimed is released
+    /// again.
+    pub fn allocate_file(&mut self, bitmap: &Bitmap, count: u64) -> FsResult<Vec<u64>> {
         if count == 0 {
             return Ok(Vec::new());
         }
+        // Advisory capacity pre-check (exact when single-threaded): reject a
+        // doomed large allocation with one popcount instead of claiming and
+        // rolling back most of a region.
         if bitmap.free_in_region(self.region_start, self.region_end) < count {
             return Err(FsError::NoSpace);
         }
+        let mut claimed: Vec<u64> = Vec::with_capacity(count as usize);
+        let result = self.allocate_file_inner(bitmap, count, &mut claimed);
+        if result.is_err() {
+            // Failed allocation must not leak blocks.
+            for &b in &claimed {
+                let _ = bitmap.free(b);
+            }
+        }
+        result.map(|()| claimed)
+    }
+
+    fn allocate_file_inner(
+        &mut self,
+        bitmap: &Bitmap,
+        count: u64,
+        claimed: &mut Vec<u64>,
+    ) -> FsResult<()> {
         match self.policy.clone() {
             AllocPolicy::FirstFit => {
-                let mut blocks = Vec::with_capacity(count as usize);
                 for _ in 0..count {
-                    blocks.push(self.allocate_one(bitmap)?);
+                    claimed.push(self.allocate_one(bitmap)?);
                 }
-                Ok(blocks)
+                Ok(())
             }
             AllocPolicy::Contiguous => {
                 let start = bitmap
-                    .find_free_run(count, self.cursor, self.region_start, self.region_end)
-                    .or_else(|| {
-                        bitmap.find_free_run(
-                            count,
-                            self.region_start,
-                            self.region_start,
-                            self.region_end,
-                        )
-                    })
+                    .claim_run(count, self.cursor, self.region_start, self.region_end)
                     .ok_or(FsError::NoSpace)?;
-                let blocks: Vec<u64> = (start..start + count).collect();
-                for &b in &blocks {
-                    bitmap.allocate(b)?;
-                }
-                self.cursor = start + count;
-                Ok(blocks)
+                claimed.extend(start..start + count);
+                self.bump_cursor(start + count);
+                Ok(())
             }
             AllocPolicy::Fragmented { run } => {
                 let run = run.max(1);
-                let mut blocks = Vec::with_capacity(count as usize);
                 let mut remaining = count;
                 while remaining > 0 {
                     let want = remaining.min(run);
-                    // Scatter fragments: jump the cursor pseudo-randomly so
+                    // Scatter fragments: jump the hint pseudo-randomly so
                     // consecutive fragments of one file land far apart, as on
                     // a well-aged volume.
                     let jump = self.rng.next_below(self.region_end - self.region_start);
                     let hint = self.region_start + jump;
                     let start = bitmap
-                        .find_free_run(want, hint, self.region_start, self.region_end)
-                        .or_else(|| {
-                            bitmap.find_free_run(
-                                want,
-                                self.region_start,
-                                self.region_start,
-                                self.region_end,
-                            )
-                        })
+                        .claim_run(want, hint, self.region_start, self.region_end)
                         .ok_or(FsError::NoSpace)?;
-                    for b in start..start + want {
-                        bitmap.allocate(b)?;
-                        blocks.push(b);
-                    }
+                    claimed.extend(start..start + want);
                     remaining -= want;
                 }
-                Ok(blocks)
+                Ok(())
             }
             AllocPolicy::Random => {
-                let mut blocks = Vec::with_capacity(count as usize);
                 for _ in 0..count {
-                    let b = self.pick_random_free(bitmap)?;
-                    bitmap.allocate(b)?;
-                    blocks.push(b);
+                    claimed.push(self.claim_random(bitmap)?);
                 }
-                Ok(blocks)
+                Ok(())
             }
         }
-    }
-
-    /// Pick (but do not mark) a uniformly random free block in the region.
-    pub fn pick_random_free(&mut self, bitmap: &Bitmap) -> FsResult<u64> {
-        let span = self.region_end - self.region_start;
-        // Try random probes first; fall back to a (word-level) scan from a
-        // random origin when the region is nearly full.
-        for _ in 0..64 {
-            let candidate = self.region_start + self.rng.next_below(span);
-            if !bitmap.is_allocated(candidate) {
-                return Ok(candidate);
-            }
-        }
-        let origin = self.region_start + self.rng.next_below(span);
-        bitmap
-            .find_free_from(origin, self.region_start, self.region_end)
-            .ok_or(FsError::NoSpace)
     }
 }
 
@@ -214,23 +242,23 @@ mod tests {
 
     #[test]
     fn contiguous_allocates_a_single_run() {
-        let (mut bm, start, end) = fixture();
+        let (bm, start, end) = fixture();
         let mut alloc = Allocator::new(AllocPolicy::Contiguous, start, end, b"seed");
-        let blocks = alloc.allocate_file(&mut bm, 100).unwrap();
+        let blocks = alloc.allocate_file(&bm, 100).unwrap();
         assert_eq!(blocks.len(), 100);
         for w in blocks.windows(2) {
             assert_eq!(w[1], w[0] + 1, "must be contiguous");
         }
         // A second file continues after the first, still contiguous.
-        let blocks2 = alloc.allocate_file(&mut bm, 50).unwrap();
+        let blocks2 = alloc.allocate_file(&bm, 50).unwrap();
         assert_eq!(blocks2[0], blocks[99] + 1);
     }
 
     #[test]
     fn fragmented_allocates_runs_of_eight() {
-        let (mut bm, start, end) = fixture();
+        let (bm, start, end) = fixture();
         let mut alloc = Allocator::new(AllocPolicy::frag_disk(), start, end, b"seed");
-        let blocks = alloc.allocate_file(&mut bm, 64).unwrap();
+        let blocks = alloc.allocate_file(&bm, 64).unwrap();
         assert_eq!(blocks.len(), 64);
         // Every 8-block chunk is internally contiguous.
         for chunk in blocks.chunks(8) {
@@ -245,9 +273,9 @@ mod tests {
 
     #[test]
     fn random_spreads_blocks() {
-        let (mut bm, start, end) = fixture();
+        let (bm, start, end) = fixture();
         let mut alloc = Allocator::new(AllocPolicy::Random, start, end, b"seed");
-        let blocks = alloc.allocate_file(&mut bm, 200).unwrap();
+        let blocks = alloc.allocate_file(&bm, 200).unwrap();
         assert_eq!(blocks.len(), 200);
         // All distinct and all within the region.
         let mut sorted = blocks.clone();
@@ -265,21 +293,21 @@ mod tests {
 
     #[test]
     fn first_fit_fills_front_to_back() {
-        let (mut bm, start, end) = fixture();
+        let (bm, start, end) = fixture();
         let mut alloc = Allocator::new(AllocPolicy::FirstFit, start, end, b"seed");
-        let blocks = alloc.allocate_file(&mut bm, 10).unwrap();
+        let blocks = alloc.allocate_file(&bm, 10).unwrap();
         assert_eq!(blocks, (start..start + 10).collect::<Vec<_>>());
     }
 
     #[test]
     fn no_space_detected_before_partial_allocation() {
-        let (mut bm, start, end) = fixture();
+        let (bm, start, end) = fixture();
         let span = end - start;
         let mut alloc = Allocator::new(AllocPolicy::FirstFit, start, end, b"seed");
-        alloc.allocate_file(&mut bm, span - 5).unwrap();
+        alloc.allocate_file(&bm, span - 5).unwrap();
         let before = bm.allocated_blocks();
         assert!(matches!(
-            alloc.allocate_file(&mut bm, 10),
+            alloc.allocate_file(&bm, 10),
             Err(FsError::NoSpace)
         ));
         assert_eq!(
@@ -288,58 +316,84 @@ mod tests {
             "failed allocation must not leak blocks"
         );
         // The remaining 5 can still be taken.
-        assert_eq!(alloc.allocate_file(&mut bm, 5).unwrap().len(), 5);
+        assert_eq!(alloc.allocate_file(&bm, 5).unwrap().len(), 5);
     }
 
     #[test]
     fn contiguous_fails_when_no_run_exists_even_if_space_does() {
-        let (mut bm, start, end) = fixture();
+        let (bm, start, end) = fixture();
         // Checkerboard: allocate every other block so no run of 2 exists.
         let mut b = start;
         while b < end {
             bm.allocate(b).unwrap();
             b += 2;
         }
+        let before = bm.allocated_blocks();
         let mut alloc = Allocator::new(AllocPolicy::Contiguous, start, end, b"seed");
-        assert!(matches!(
-            alloc.allocate_file(&mut bm, 2),
-            Err(FsError::NoSpace)
-        ));
+        assert!(matches!(alloc.allocate_file(&bm, 2), Err(FsError::NoSpace)));
+        assert_eq!(
+            bm.allocated_blocks(),
+            before,
+            "failed claim fully rolled back"
+        );
         // FirstFit still succeeds with the scattered singles.
         let mut ff = Allocator::new(AllocPolicy::FirstFit, start, end, b"seed");
-        assert_eq!(ff.allocate_file(&mut bm, 2).unwrap().len(), 2);
+        assert_eq!(ff.allocate_file(&bm, 2).unwrap().len(), 2);
     }
 
     #[test]
     fn random_allocation_near_full_falls_back_to_scan() {
-        let (mut bm, start, end) = fixture();
+        let (bm, start, end) = fixture();
         let span = end - start;
         let mut alloc = Allocator::new(AllocPolicy::Random, start, end, b"seed");
         // Fill all but three blocks.
         let mut ff = Allocator::new(AllocPolicy::FirstFit, start, end, b"ff");
-        ff.allocate_file(&mut bm, span - 3).unwrap();
-        let picked = alloc.allocate_file(&mut bm, 3).unwrap();
+        ff.allocate_file(&bm, span - 3).unwrap();
+        let picked = alloc.allocate_file(&bm, 3).unwrap();
         assert_eq!(picked.len(), 3);
         assert_eq!(bm.free_in_region(start, end), 0);
-        assert!(matches!(alloc.allocate_one(&mut bm), Err(FsError::NoSpace)));
+        assert!(matches!(alloc.allocate_one(&bm), Err(FsError::NoSpace)));
     }
 
     #[test]
     fn zero_count_allocation_is_empty() {
-        let (mut bm, start, end) = fixture();
+        let (bm, start, end) = fixture();
         let mut alloc = Allocator::new(AllocPolicy::Contiguous, start, end, b"seed");
-        assert!(alloc.allocate_file(&mut bm, 0).unwrap().is_empty());
+        assert!(alloc.allocate_file(&bm, 0).unwrap().is_empty());
     }
 
     #[test]
     fn same_seed_same_random_layout() {
-        let (mut bm1, start, end) = fixture();
-        let (mut bm2, _, _) = fixture();
+        let (bm1, start, end) = fixture();
+        let (bm2, _, _) = fixture();
         let mut a1 = Allocator::new(AllocPolicy::Random, start, end, b"same");
         let mut a2 = Allocator::new(AllocPolicy::Random, start, end, b"same");
         assert_eq!(
-            a1.allocate_file(&mut bm1, 50).unwrap(),
-            a2.allocate_file(&mut bm2, 50).unwrap()
+            a1.allocate_file(&bm1, 50).unwrap(),
+            a2.allocate_file(&bm2, 50).unwrap()
         );
+    }
+
+    #[test]
+    fn probe_draws_do_not_depend_on_bitmap_state() {
+        // The placement randomness is drawn eagerly, so two allocators with
+        // the same seed stay in lockstep even when one sees a fuller bitmap
+        // (its claims just resolve differently) — this is what keeps the
+        // allocator meta-lock hold free of bitmap work.
+        let (bm1, start, end) = fixture();
+        let (bm2, _, _) = fixture();
+        for b in start..start + 500 {
+            bm2.allocate(b).unwrap();
+        }
+        let mut a1 = Allocator::new(AllocPolicy::Random, start, end, b"lockstep");
+        let mut a2 = Allocator::new(AllocPolicy::Random, start, end, b"lockstep");
+        for _ in 0..10 {
+            let p1 = a1.draw_probes();
+            let p2 = a2.draw_probes();
+            assert_eq!(p1.probes, p2.probes);
+            assert_eq!(p1.origin, p2.origin);
+            let _ = bm1.claim_random(&p1.probes, p1.origin, start, end);
+            let _ = bm2.claim_random(&p2.probes, p2.origin, start, end);
+        }
     }
 }

@@ -12,9 +12,14 @@
 //! independently locked regions so that threads working on *different* files
 //! overlap their block I/O and only contend where they genuinely share state:
 //!
-//! * **allocator lock** — one mutex over the bitmap and the allocation
-//!   policy.  Held only while bits flip, never across device I/O of file
-//!   contents.
+//! * **allocator meta lock + sharded bitmap segments** — the allocator
+//!   mutex now guards only placement *meta* state (policy, first-fit
+//!   cursor, the placement RNG): a hold is a few RNG draws, never a bitmap
+//!   scan.  The bitmap itself is split into [`crate::bitmap::BITMAP_SHARDS`]
+//!   independently locked segments (per-CPU-free-list style, each with its
+//!   own word-scan hint), so writers claiming blocks in different parts of
+//!   the volume flip bits fully in parallel.  Neither lock is held across
+//!   device I/O of file contents.
 //! * **namespace lock** — a reader/writer lock over the directory tree and
 //!   the inode-slot table.  Path resolution and listings take it shared;
 //!   create / rename / delete take it exclusively.  *Path-based* content
@@ -40,14 +45,17 @@
 //! device serves the batch with one overlapped service time.
 //!
 //! Lock order (outer to inner, i.e. acquire left before right):
-//! `namespace < inode-stripe < inode-table-stripe < allocator <
-//! journal-internal < device-internal`.  No path holds the allocator lock
-//! while acquiring an inode-table stripe; the journaled commit path
-//! ([`crate::txn`]) relies on the reverse nesting (table stripes first, then
-//! the allocator for the bitmap snapshot).  Deletion takes
-//! the namespace lock exclusively and then the victim's stripe, so an
-//! in-flight content operation (which holds only the stripe) always
-//! completes before its blocks are freed.
+//! `namespace < inode-stripe < inode-table-stripe < allocator-meta <
+//! bitmap-segment < journal-internal < device-internal`.  Bitmap segments
+//! are themselves ordered: multi-segment operations (commit snapshots,
+//! run searches, flush) lock them in ascending segment index, and
+//! single-segment claims hold exactly one.  No path holds the allocator
+//! meta lock or a segment while acquiring an inode-table stripe; the
+//! journaled commit path ([`crate::txn`]) relies on the reverse nesting
+//! (table stripes first, then the covering bitmap segments for the
+//! snapshot).  Deletion takes the namespace lock exclusively and then the
+//! victim's stripe, so an in-flight content operation (which holds only
+//! the stripe) always completes before its blocks are freed.
 
 use crate::alloc::{AllocPolicy, Allocator};
 use crate::bitmap::Bitmap;
@@ -57,7 +65,7 @@ use crate::inode::{FileKind, Inode, InodeId, InodeTable, DIRECT_POINTERS, NO_BLO
 use crate::layout::Superblock;
 use crate::txn::FsTxn;
 use parking_lot::{Mutex, MutexGuard};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use stegfs_blockdev::{BlockDevice, ObservedDevice};
 use stegfs_journal::{Journal, JournalGeometry};
 use stegfs_obs::{Obs, TimedMutex, TimedRwLock};
@@ -112,21 +120,37 @@ impl FormatOptions {
     }
 }
 
-/// The bitmap and the allocator share one lock: every allocation consults the
-/// bitmap and every bitmap update invalidates allocator cursors.
-struct AllocState {
-    bitmap: Bitmap,
-    alloc: Allocator,
+/// Shared state of the background checkpoint daemon (see
+/// [`PlainFs::start_checkpoint_daemon`]).
+struct DaemonState {
+    /// Set after every commit; the daemon clears it and checkpoints.
+    dirty: bool,
+    /// Ask the daemon to exit.
+    stop: bool,
+    /// On stop, run one final checkpoint first (clean shutdown) — `false`
+    /// simulates a killed process (crash tests).
+    drain: bool,
+}
+
+/// Handle to the running checkpoint daemon.
+struct CheckpointDaemon {
+    shared: Arc<(StdMutex<DaemonState>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
 }
 
 /// A mounted plain file system.
 ///
 /// All operations take `&self`; see the module docs for the locking scheme.
 pub struct PlainFs<D: BlockDevice> {
-    dev: ObservedDevice<D>,
+    dev: Arc<ObservedDevice<D>>,
     sb: Superblock,
     inodes: InodeTable,
-    alloc: TimedMutex<AllocState>,
+    /// The sharded block bitmap — interior-locked per segment; see
+    /// [`crate::bitmap`].
+    bitmap: Bitmap,
+    /// Placement meta state only (policy, cursor, RNG); block claims happen
+    /// under the bitmap's segment locks.
+    alloc: TimedMutex<Allocator>,
     namespace: TimedRwLock<()>,
     stripes: Vec<Mutex<()>>,
     /// One inode-table *block* packs several inodes, and writing one inode
@@ -138,8 +162,12 @@ pub struct PlainFs<D: BlockDevice> {
     itable_stripes: Vec<Mutex<()>>,
     /// The write-ahead journal, when the volume was formatted with one.
     /// Every mutating operation then runs as an [`FsTxn`] and becomes
-    /// crash-atomic; see [`crate::txn`] for the protocol.
-    journal: Option<Journal>,
+    /// crash-atomic; see [`crate::txn`] for the protocol.  Behind an `Arc`
+    /// so the checkpoint daemon can hold it across threads.
+    journal: Option<Arc<Journal>>,
+    /// Background checkpoint daemon, when started (see
+    /// [`Self::start_checkpoint_daemon`]).
+    checkpoint: StdMutex<Option<CheckpointDaemon>>,
 }
 
 /// Fast non-cryptographic fill used to write "randomly generated patterns"
@@ -176,17 +204,21 @@ impl<D: BlockDevice> PlainFs<D> {
     ) -> Self {
         let seed_bytes = seed.to_be_bytes();
         PlainFs {
-            alloc: TimedMutex::new(AllocState {
-                alloc: Allocator::new(policy, sb.data_start, sb.total_blocks, &seed_bytes),
-                bitmap,
-            }),
-            dev: ObservedDevice::new(dev),
+            alloc: TimedMutex::new(Allocator::new(
+                policy,
+                sb.data_start,
+                sb.total_blocks,
+                &seed_bytes,
+            )),
+            bitmap,
+            dev: Arc::new(ObservedDevice::new(dev)),
             inodes: InodeTable::new(sb.clone()),
             sb,
             namespace: TimedRwLock::new(()),
             stripes: (0..STRIPE_COUNT).map(|_| Mutex::new(())).collect(),
             itable_stripes: (0..STRIPE_COUNT).map(|_| Mutex::new(())).collect(),
-            journal,
+            journal: journal.map(Arc::new),
+            checkpoint: StdMutex::new(None),
         }
     }
 
@@ -225,7 +257,7 @@ impl<D: BlockDevice> PlainFs<D> {
         dev.write_block(0, &sb.serialize(block_size as usize))?;
 
         // Fresh bitmap with the metadata region marked allocated.
-        let mut bitmap = Bitmap::new(&sb);
+        let bitmap = Bitmap::new(&sb);
         for b in 0..sb.data_start {
             bitmap.allocate(b)?;
         }
@@ -310,9 +342,9 @@ impl<D: BlockDevice> PlainFs<D> {
     /// the checkpoint — after `sync` returns, every committed update is in
     /// place on stable storage and a crash replays nothing.
     pub fn sync(&self) -> FsResult<()> {
-        self.alloc.lock().bitmap.flush(&self.dev)?;
+        self.bitmap.flush(&*self.dev)?;
         match &self.journal {
-            Some(journal) => journal.sync(&self.dev).map_err(FsError::from)?,
+            Some(journal) => journal.sync(&*self.dev).map_err(FsError::from)?,
             None => self.dev.flush()?,
         }
         Ok(())
@@ -328,9 +360,9 @@ impl<D: BlockDevice> PlainFs<D> {
     /// full flush that `sync` would do.
     pub fn flush_barrier(&self) -> FsResult<()> {
         match &self.journal {
-            Some(journal) => journal.flush_barrier(&self.dev).map_err(FsError::from),
+            Some(journal) => journal.flush_barrier(&*self.dev).map_err(FsError::from),
             None => {
-                self.alloc.lock().bitmap.flush(&self.dev)?;
+                self.bitmap.flush(&*self.dev)?;
                 Ok(self.dev.flush()?)
             }
         }
@@ -354,7 +386,7 @@ impl<D: BlockDevice> PlainFs<D> {
     // ------------------------------------------------------------------
 
     pub(crate) fn journal_ref(&self) -> Option<&Journal> {
-        self.journal.as_ref()
+        self.journal.as_deref()
     }
 
     /// `(absolute table block, byte offset)` of inode `id`.
@@ -378,32 +410,32 @@ impl<D: BlockDevice> PlainFs<D> {
             .collect()
     }
 
-    /// Run `f` with the bitmap under the allocator lock.
-    pub(crate) fn with_alloc_state<R>(
-        &self,
-        f: impl FnOnce(&mut Bitmap) -> FsResult<R>,
-    ) -> FsResult<R> {
-        let state = &mut *self.alloc.lock();
-        f(&mut state.bitmap)
+    /// The sharded bitmap (interior-locked; see [`crate::bitmap`]).  The
+    /// transaction layer snapshots through
+    /// [`Bitmap::lock_blocks`][crate::bitmap::Bitmap::lock_blocks].
+    pub(crate) fn bitmap(&self) -> &Bitmap {
+        &self.bitmap
     }
 
     /// Re-serialise the **current** in-memory state of the given bitmap
-    /// blocks (region indices) to the device, under the allocator lock.
+    /// blocks (region indices) to the device, under their covering bitmap
+    /// segment locks.
     ///
     /// The journal apply path calls this after applying a transaction's
     /// staged images: concurrent commits apply their snapshots of a shared
     /// bitmap block in arbitrary order, so the last word on the device must
     /// come from the live bitmap (always newest truth, serialised by the
-    /// allocator lock), never from a possibly-stale snapshot.
+    /// segment locks — held *across* the device writes so no later update
+    /// can be overwritten by this serialisation going down stale), never
+    /// from a possibly-stale snapshot.
     pub(crate) fn rewrite_bitmap_blocks(
         &self,
         indices: &std::collections::BTreeSet<u64>,
     ) -> FsResult<()> {
-        let state = &mut *self.alloc.lock();
+        let guard = self.bitmap.lock_blocks(indices);
         for &idx in indices {
-            let data = state.bitmap.serialize_block(idx);
-            self.dev
-                .write_block(state.bitmap.device_block_of(idx), &data)?;
+            let data = guard.serialize_block(idx);
+            self.dev.write_block(guard.device_block_of(idx), &data)?;
         }
         Ok(())
     }
@@ -417,8 +449,7 @@ impl<D: BlockDevice> PlainFs<D> {
     }
 
     pub(crate) fn allocate_file_blocks_raw(&self, count: u64) -> FsResult<Vec<u64>> {
-        let state = &mut *self.alloc.lock();
-        state.alloc.allocate_file(&mut state.bitmap, count)
+        self.alloc.lock().allocate_file(&self.bitmap, count)
     }
 
     pub(crate) fn allocate_one_raw(&self) -> FsResult<u64> {
@@ -441,9 +472,7 @@ impl<D: BlockDevice> PlainFs<D> {
 
     /// Number of free blocks in the data region.
     pub fn free_data_blocks(&self) -> u64 {
-        self.alloc
-            .lock()
-            .bitmap
+        self.bitmap
             .free_in_region(self.sb.data_start, self.sb.total_blocks)
     }
 
@@ -454,18 +483,22 @@ impl<D: BlockDevice> PlainFs<D> {
 
     /// True if `block` is currently marked allocated in the bitmap.
     pub fn is_block_allocated(&self, block: u64) -> bool {
-        self.alloc.lock().bitmap.is_allocated(block)
+        self.bitmap.is_allocated(block)
     }
 
     /// Change the data-block allocation policy.
     pub fn set_alloc_policy(&self, policy: AllocPolicy) {
-        self.alloc.lock().alloc.set_policy(policy);
+        self.alloc.lock().set_policy(policy);
     }
 
     /// Mutable access to the underlying device (used by the timing harness;
-    /// requires exclusive ownership, which is why this one keeps `&mut`).
+    /// requires exclusive ownership, which is why this one keeps `&mut` —
+    /// and why it is unavailable while the checkpoint daemon holds a device
+    /// handle).
     pub fn device_mut(&mut self) -> &mut D {
-        self.dev.inner_mut()
+        Arc::get_mut(&mut self.dev)
+            .expect("device_mut requires exclusive ownership (checkpoint daemon running?)")
+            .inner_mut()
     }
 
     /// Shared access to the underlying device.
@@ -481,22 +514,144 @@ impl<D: BlockDevice> PlainFs<D> {
     }
 
     /// Wire this file system into a volume-wide observability registry:
-    /// the device wrapper, the allocator mutex, the namespace lock, and the
-    /// journal all start reporting into `obs`.  Called once during volume
-    /// assembly, before the file system is shared.
+    /// the device wrapper, the allocator meta mutex, the bitmap segment
+    /// locks (`fs.alloc.<shard>`), the namespace lock, and the journal all
+    /// start reporting into `obs`.  Called once during volume assembly,
+    /// before the file system is shared (and before the checkpoint daemon
+    /// starts — both hand out `Arc` clones this method must still be able
+    /// to mutate through).
     pub fn attach_obs(&mut self, obs: &Arc<Obs>) {
-        self.dev.set_stats(obs.device.clone(), obs.is_enabled());
+        Arc::get_mut(&mut self.dev)
+            .expect("attach_obs after the device was shared")
+            .set_stats(obs.device.clone(), obs.is_enabled());
         self.alloc.set_stats(obs.alloc_lock.clone());
+        self.bitmap.set_shard_stats(&obs.alloc_shards);
         self.namespace.set_stats(obs.namespace_lock.clone());
         if let Some(journal) = &mut self.journal {
-            journal.attach_obs(obs);
+            Arc::get_mut(journal)
+                .expect("attach_obs after the journal was shared")
+                .attach_obs(obs);
         }
     }
 
-    /// Consume the file system, returning the device (after a sync).
+    /// Start the background checkpoint daemon: a thread that advances the
+    /// journal tail and anchor (a full [`Journal::sync`]) off the commit
+    /// path whenever commits have happened, so foreground writers rarely
+    /// pay for ring reclamation or anchor writes themselves.  No-op on an
+    /// unjournaled volume or when already running.  Call after
+    /// [`Self::attach_obs`]; stop via [`Self::stop_checkpoint_daemon`]
+    /// (unmount drains and stops automatically).
+    pub fn start_checkpoint_daemon(&mut self)
+    where
+        D: Send + Sync + 'static,
+    {
+        let Some(journal) = self.journal.clone() else {
+            return;
+        };
+        let mut slot = self.checkpoint.lock().expect("checkpoint lock");
+        if slot.is_some() {
+            return;
+        }
+        let dev = Arc::clone(&self.dev);
+        let shared = Arc::new((
+            StdMutex::new(DaemonState {
+                dirty: false,
+                stop: false,
+                drain: true,
+            }),
+            Condvar::new(),
+        ));
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::spawn(move || {
+            let (state, cv) = &*thread_shared;
+            loop {
+                let mut guard = state.lock().expect("daemon state");
+                if !guard.dirty && !guard.stop {
+                    // Timed wait doubles as a liveness tick: if the file
+                    // system was dropped without unmount (crash tests), the
+                    // daemon is the journal's last holder and exits.
+                    guard = cv
+                        .wait_timeout(guard, std::time::Duration::from_millis(50))
+                        .expect("daemon state")
+                        .0;
+                }
+                let stop = guard.stop;
+                let drain = guard.drain;
+                let dirty = std::mem::replace(&mut guard.dirty, false);
+                drop(guard);
+                if stop {
+                    if drain && dirty {
+                        // Shutdown drain: one final checkpoint so unmount
+                        // hands back a volume that replays nothing.
+                        let _ = journal.sync(&*dev);
+                    }
+                    return;
+                }
+                if dirty {
+                    // Checkpoint errors are absorbed: the journal itself is
+                    // still correct (commits replay at next mount); the
+                    // foreground sees the error on its own explicit sync.
+                    let _ = journal.sync(&*dev);
+                } else if Arc::strong_count(&journal) == 1 {
+                    // Orphaned (fs dropped without unmount): exit without
+                    // touching the device again.
+                    return;
+                }
+            }
+        });
+        *slot = Some(CheckpointDaemon {
+            shared,
+            handle: Some(handle),
+        });
+    }
+
+    /// True when the background checkpoint daemon is running.
+    pub fn checkpoint_daemon_running(&self) -> bool {
+        self.checkpoint.lock().expect("checkpoint lock").is_some()
+    }
+
+    /// Stop the checkpoint daemon.  With `drain`, the daemon runs one final
+    /// checkpoint before exiting (clean shutdown); without, it exits
+    /// immediately — the crash tests use this to model a killed process
+    /// with a checkpoint still in flight.
+    pub fn stop_checkpoint_daemon(&self, drain: bool) {
+        let daemon = self.checkpoint.lock().expect("checkpoint lock").take();
+        if let Some(mut daemon) = daemon {
+            {
+                let (state, cv) = &*daemon.shared;
+                let mut guard = state.lock().expect("daemon state");
+                guard.stop = true;
+                guard.drain = drain;
+                cv.notify_one();
+            }
+            if let Some(handle) = daemon.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+
+    /// Tell the checkpoint daemon a commit happened (cheap flag + notify;
+    /// no-op when the daemon is not running).
+    pub(crate) fn notify_checkpoint(&self) {
+        if let Ok(slot) = self.checkpoint.lock() {
+            if let Some(daemon) = &*slot {
+                let (state, cv) = &*daemon.shared;
+                if let Ok(mut guard) = state.lock() {
+                    guard.dirty = true;
+                    cv.notify_one();
+                }
+            }
+        }
+    }
+
+    /// Consume the file system, returning the device (after draining the
+    /// checkpoint daemon and a final sync).
     pub fn unmount(self) -> FsResult<D> {
+        self.stop_checkpoint_daemon(true);
         self.sync()?;
-        Ok(self.dev.into_inner())
+        let dev = Arc::try_unwrap(self.dev)
+            .map_err(|_| FsError::Corrupt("device still shared at unmount".into()))?;
+        Ok(dev.into_inner())
     }
 
     // ------------------------------------------------------------------
@@ -506,11 +661,21 @@ impl<D: BlockDevice> PlainFs<D> {
     /// Allocate one free data-region block chosen uniformly at random and
     /// mark it in the bitmap, without recording it in any inode.  This is the
     /// primitive hidden files are built from.
+    ///
+    /// The hot path of hidden writes: the placement randomness is drawn
+    /// under the (tiny) allocator meta lock, then the claim itself runs
+    /// against the bitmap's segment locks — concurrent hidden writers
+    /// placing blocks in different segments proceed fully in parallel.
     pub fn allocate_random_block(&self) -> FsResult<u64> {
-        let state = &mut *self.alloc.lock();
-        let block = state.alloc.pick_random_free(&state.bitmap)?;
-        state.bitmap.allocate(block)?;
-        Ok(block)
+        let draw = self.alloc.lock().draw_probes();
+        self.bitmap
+            .claim_random(
+                &draw.probes,
+                draw.origin,
+                self.sb.data_start,
+                self.sb.total_blocks,
+            )
+            .ok_or(FsError::NoSpace)
     }
 
     /// Mark a specific data-region block allocated (used when the keyed
@@ -521,26 +686,22 @@ impl<D: BlockDevice> PlainFs<D> {
                 "block {block} outside the data region"
             )));
         }
-        self.alloc.lock().bitmap.allocate(block)
+        self.bitmap.allocate(block)
     }
 
     /// Atomically check-and-allocate a specific data-region block.  Returns
     /// `Ok(false)` — instead of the corruption error of
     /// [`Self::allocate_specific_block`] — when the block is already taken,
     /// which is how concurrent hidden-object creators resolve losing the race
-    /// for a header slot: they simply probe on.
+    /// for a header slot: they simply probe on.  Touches only the block's
+    /// bitmap segment, never the allocator meta lock.
     pub fn try_allocate_specific_block(&self, block: u64) -> FsResult<bool> {
         if !self.sb.in_data_region(block) {
             return Err(FsError::Corrupt(format!(
                 "block {block} outside the data region"
             )));
         }
-        let state = &mut *self.alloc.lock();
-        if state.bitmap.is_allocated(block) {
-            return Ok(false);
-        }
-        state.bitmap.allocate(block)?;
-        Ok(true)
+        self.bitmap.try_allocate(block)
     }
 
     /// Release a block that was allocated through the raw interface.
@@ -550,7 +711,7 @@ impl<D: BlockDevice> PlainFs<D> {
                 "block {block} outside the data region"
             )));
         }
-        self.alloc.lock().bitmap.free(block)
+        self.bitmap.free(block)
     }
 
     /// Read a raw block (any region).
@@ -633,21 +794,21 @@ impl<D: BlockDevice> PlainFs<D> {
     // ------------------------------------------------------------------
 
     fn read_inode(&self, id: InodeId) -> FsResult<Inode> {
-        self.inodes.read(&self.dev, id)
+        self.inodes.read(&*self.dev, id)
     }
 
     fn write_inode(&self, id: InodeId, inode: &Inode) -> FsResult<()> {
         let table_block = id / self.sb.inodes_per_block();
         let _tb = self.itable_stripes[(table_block as usize) % STRIPE_COUNT].lock();
-        self.inodes.write(&self.dev, id, inode)
+        self.inodes.write(&*self.dev, id, inode)
     }
 
     fn find_free_inode(&self) -> FsResult<Option<InodeId>> {
-        self.inodes.find_free(&self.dev)
+        self.inodes.find_free(&*self.dev)
     }
 
     fn scan_allocated_inodes(&self) -> FsResult<Vec<(InodeId, Inode)>> {
-        self.inodes.scan_allocated(&self.dev)
+        self.inodes.scan_allocated(&*self.dev)
     }
 
     fn stripe(&self, id: InodeId) -> &Mutex<()> {
@@ -1118,17 +1279,16 @@ impl<D: BlockDevice> PlainFs<D> {
             }
             blocks
         } else {
-            // Write-through: free the old blocks and claim the new ones
-            // under one allocator guard, so a concurrent allocation can
-            // neither observe the file holding double the space nor steal
-            // blocks between the two steps.  Freeing first keeps the old
-            // behaviour that rewriting a large file does not need twice its
-            // footprint.
-            let state = &mut *self.alloc.lock();
+            // Write-through: free the old blocks first, then claim the new
+            // set.  The inode's stripe already serialises rewrites of this
+            // file, so the only interleaving a concurrent writer can see is
+            // claiming a just-freed block — which is fine, it is free.
+            // Freeing first keeps the old behaviour that rewriting a large
+            // file does not need twice its footprint.
             for b in old_data.into_iter().chain(old_meta) {
-                state.bitmap.free(b)?;
+                self.bitmap.free(b)?;
             }
-            state.alloc.allocate_file(&mut state.bitmap, count)?
+            self.alloc.lock().allocate_file(&self.bitmap, count)?
         };
         // All data blocks go down in one batched submission (the zero tail
         // pads the final block).
@@ -1144,8 +1304,7 @@ impl<D: BlockDevice> PlainFs<D> {
     }
 
     fn alloc_one(&self) -> FsResult<u64> {
-        let state = &mut *self.alloc.lock();
-        state.alloc.allocate_one(&mut state.bitmap)
+        self.alloc.lock().allocate_one(&self.bitmap)
     }
 
     /// Build the direct/indirect block map of `inode` for the given data

@@ -47,15 +47,18 @@
 //! [`FsTxn::commit`] acquires, in order: the inode-table stripes of every
 //! deferred inode update (ascending stripe index, held across the journal
 //! apply so concurrent read-modify-writes of shared table blocks serialise),
-//! then the allocator lock (released before the commit's device I/O) under
-//! which the deferred frees apply *tentatively* (snapshot, then undo — they
-//! re-apply for real only once the transaction is durable), bitmap blocks
-//! snapshot, and the journal *stages* — staging under the allocator lock is
-//! what makes bitmap-snapshot order agree with journal sequence order.
-//! After the apply, the touched bitmap blocks are re-asserted from the live
-//! bitmap (again under the allocator lock), so concurrent commits applying
-//! snapshots of a shared bitmap block out of order can never leave a stale
-//! image as the device's last word.  The journal's own locks and the device
+//! then the bitmap **segment locks** covering every touched bitmap block
+//! (ascending segment index, released before the commit's device flush)
+//! under which the deferred frees apply *tentatively* (snapshot, then undo —
+//! they re-apply for real only once the transaction is durable), the touched
+//! bitmap blocks snapshot, and the journal *stages* — staging under the
+//! covering segment locks is what makes bitmap-snapshot order agree with
+//! journal sequence order for every block the snapshot covers.  Commits
+//! touching disjoint segments stage concurrently; that is the sharded-
+//! allocator win.  After the apply, the touched bitmap blocks are
+//! re-asserted from the live bitmap (again under their segment locks), so
+//! concurrent commits applying snapshots of a shared bitmap block out of
+//! order can never leave a stale image as the device's last word.  The journal's own locks and the device
 //! flush are leaves below all of this; see `stegfs_journal` for that side.
 //! Callers hold their operation's own guards (namespace / content stripe /
 //! object shard) across the whole transaction, commit included, so an
@@ -296,8 +299,8 @@ impl<'a, D: BlockDevice> FsTxn<'a, D> {
     /// Make the update durable.  Unjournaled volumes: a no-op (everything
     /// was written through already).  Journaled volumes: stage the deferred
     /// inode read-modify-writes and the touched bitmap blocks into the redo
-    /// buffer, journal it (sequence assigned under the allocator lock, see
-    /// the module docs), group-flush, and apply in place.
+    /// buffer, journal it (sequence assigned under the covering bitmap
+    /// segment locks, see the module docs), group-flush, and apply in place.
     pub fn commit(mut self) -> FsResult<()> {
         let Some(mut tx) = self.tx.take() else {
             self.committed = true;
@@ -330,16 +333,13 @@ impl<'a, D: BlockDevice> FsTxn<'a, D> {
         }
 
         // Which bitmap blocks (region indices) the final transaction will
-        // snapshot.  The block→bitmap-block mapping is static geometry, so
-        // computing it up front (under a brief lock hold) both sizes the
-        // final chunk exactly and is reused at staging time.
+        // snapshot.  The block→bitmap-block mapping is static geometry (no
+        // lock needed), so computing it up front both sizes the final chunk
+        // exactly and is reused at staging time.
         let mut indices: BTreeSet<u64> = BTreeSet::new();
-        fs.with_alloc_state(|bitmap| {
-            for &b in &self.touched {
-                indices.insert(bitmap.bitmap_block_of(b));
-            }
-            Ok(())
-        })?;
+        for &b in &self.touched {
+            indices.insert(fs.bitmap().bitmap_block_of(b));
+        }
 
         // An update larger than the journal ring commits as a sequence of
         // ring-sized transactions: data chunks first, then the final
@@ -358,6 +358,13 @@ impl<'a, D: BlockDevice> FsTxn<'a, D> {
             chunked = true;
             let mut preliminary = std::mem::take(&mut tx).into_writes();
             let final_writes = preliminary.split_off(preliminary.len() - final_budget);
+            // Preliminary chunks group into batches of up to half the ring:
+            // one journal submission and one group flush per batch instead
+            // of per chunk (`Journal::stage_many` / `persist_many`), while
+            // each chunk stays its own independently replayable transaction.
+            let group_budget = (journal.capacity_slots() / 2).max(1);
+            let mut group: Vec<Tx> = Vec::new();
+            let mut group_slots = 0u64;
             while !preliminary.is_empty() {
                 let rest = if preliminary.len() > max {
                     preliminary.split_off(max)
@@ -369,13 +376,25 @@ impl<'a, D: BlockDevice> FsTxn<'a, D> {
                     chunk.write(block, data);
                 }
                 preliminary = rest;
-                if let Err(e) = Self::commit_chunk(fs, journal, chunk) {
-                    // Earlier chunks are committed and applied; advance the
-                    // anchor past them so they can never replay over blocks
-                    // Drop is about to free for reuse.
-                    let _ = journal.sync(fs.observed_device());
-                    return Err(e);
+                let chunk_slots = journal.slots_for_targets(chunk.len());
+                if !group.is_empty() && group_slots + chunk_slots > group_budget {
+                    if let Err(e) =
+                        Self::commit_chunk_group(fs, journal, std::mem::take(&mut group))
+                    {
+                        // Earlier chunks are committed and applied; advance
+                        // the anchor past them so they can never replay over
+                        // blocks Drop is about to free for reuse.
+                        let _ = journal.sync(fs.observed_device());
+                        return Err(e);
+                    }
+                    group_slots = 0;
                 }
+                group_slots += chunk_slots;
+                group.push(chunk);
+            }
+            if let Err(e) = Self::commit_chunk_group(fs, journal, group) {
+                let _ = journal.sync(fs.observed_device());
+                return Err(e);
             }
             for (block, data) in final_writes {
                 tx.write(block, data);
@@ -386,21 +405,28 @@ impl<'a, D: BlockDevice> FsTxn<'a, D> {
         if result.is_err() && chunked {
             let _ = journal.sync(fs.observed_device());
         }
+        if result.is_ok() {
+            // Hand the (volatile-tail) checkpoint work to the daemon, if one
+            // is running — the commit path itself never pays for it.
+            fs.notify_checkpoint();
+        }
         result
     }
 
-    /// Stage, persist and apply one preliminary chunk of an oversized
-    /// update.  Chunks carry only freshly written block images — no shared
-    /// state — so they commit outside the allocator lock.
-    fn commit_chunk(fs: &'a PlainFs<D>, journal: &Journal, chunk: Tx) -> FsResult<()> {
-        let Some(staged) = journal
-            .stage(fs.observed_device(), chunk)
-            .map_err(FsError::from)?
-        else {
+    /// Stage, persist and apply a batch of preliminary chunks of an
+    /// oversized update: one journal submission and one group flush for the
+    /// whole batch, each chunk still its own crash-atomic transaction.
+    /// Chunks carry only freshly written block images — no shared state — so
+    /// the batch commits outside the bitmap segment locks.
+    fn commit_chunk_group(fs: &'a PlainFs<D>, journal: &Journal, chunks: Vec<Tx>) -> FsResult<()> {
+        let staged = journal
+            .stage_many(fs.observed_device(), chunks)
+            .map_err(FsError::from)?;
+        if staged.is_empty() {
             return Ok(());
-        };
-        journal.persist(fs.observed_device(), &staged)?;
-        journal.apply(fs.observed_device(), staged, || Ok(()))?;
+        }
+        journal.persist_many(fs.observed_device(), &staged)?;
+        journal.apply_many(fs.observed_device(), staged, || Ok(()))?;
         Ok(())
     }
 
@@ -413,27 +439,29 @@ impl<'a, D: BlockDevice> FsTxn<'a, D> {
         indices: &BTreeSet<u64>,
     ) -> FsResult<()> {
         let fs = self.fs;
-        // The bitmap snapshot, staged under the allocator lock together
-        // with the journal sequence assignment.  The deferred frees are
-        // applied *tentatively* — serialise, then undo — all under one lock
-        // hold: the snapshot shows the post-free state replay must restore,
-        // but until the transaction is durable no other thread can observe
-        // (or be handed) a freed block, so a failure at any later step
-        // leaves nothing to take back.
-        let staged = fs.with_alloc_state(|bitmap| {
+        // The bitmap snapshot, staged while holding the segment locks
+        // covering every touched bitmap block, together with the journal
+        // sequence assignment.  The deferred frees are applied *tentatively*
+        // — serialise, then undo — all under one guard hold: the snapshot
+        // shows the post-free state replay must restore, but until the
+        // transaction is durable no other thread can observe (or be handed)
+        // a freed block, so a failure at any later step leaves nothing to
+        // take back.
+        let staged = {
+            let mut guard = fs.bitmap().lock_blocks(indices);
             for &b in &self.deferred_frees {
-                bitmap.free(b)?;
+                guard.free(b)?;
             }
             for &idx in indices {
-                tx.write(bitmap.device_block_of(idx), bitmap.serialize_block(idx));
+                tx.write(guard.device_block_of(idx), guard.serialize_block(idx));
             }
             for &b in &self.deferred_frees {
-                bitmap.allocate(b)?; // undo: nothing escaped the lock
+                guard.allocate(b)?; // undo: nothing escaped the guard
             }
             journal
                 .stage(fs.observed_device(), std::mem::take(&mut tx))
-                .map_err(FsError::from)
-        })?;
+                .map_err(FsError::from)?
+        };
         let Some(staged) = staged else {
             self.committed = true;
             return Ok(());
@@ -451,17 +479,14 @@ impl<'a, D: BlockDevice> FsTxn<'a, D> {
         // Durable now: release the deferred frees for real (the blocks
         // stayed allocated throughout, so this cannot race), then apply the
         // staged images in place.  The post-apply callback re-asserts the
-        // touched bitmap blocks from the live bitmap under the allocator
-        // lock: concurrent commits apply their snapshots in arbitrary
+        // touched bitmap blocks from the live bitmap under their segment
+        // locks: concurrent commits apply their snapshots in arbitrary
         // order, and without the re-assert a stale snapshot could stand as
         // the device's last word once the journal tail advances past both
         // transactions.
-        fs.with_alloc_state(|bitmap| {
-            for &b in &self.deferred_frees {
-                bitmap.free(b)?;
-            }
-            Ok(())
-        })?;
+        for &b in &self.deferred_frees {
+            fs.bitmap().free(b)?;
+        }
         journal.apply(fs.observed_device(), staged, || {
             fs.rewrite_bitmap_blocks(indices).map_err(|e| match e {
                 FsError::Block(b) => stegfs_journal::JournalError::Device(b),

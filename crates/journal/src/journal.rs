@@ -503,22 +503,67 @@ impl Journal {
         let nslots = slots_for(tx.len(), self.geo.block_size);
         let state = &mut *self.state.lock();
         self.reclaim(dev, state, nslots)?;
+        Ok(Some(Self::stage_locked(state, &self.geo, tx, nslots)))
+    }
+
+    /// [`stage`](Self::stage) for a whole batch under a **single** log-state
+    /// hold: every transaction gets its own slot run and sequence numbers
+    /// (consecutive, in `txs` order), so each replays independently, but the
+    /// lock acquisition and any ring-space reclaim are paid once for the
+    /// batch.  Empty transactions are skipped.  On [`JournalError::Full`]
+    /// nothing was allocated — the batch must fit the ring whole, so callers
+    /// split oversized batches (see [`slots_for_targets`](Self::slots_for_targets)).
+    pub fn stage_many<D: BlockDevice>(
+        &self,
+        dev: &D,
+        txs: Vec<Tx>,
+    ) -> JournalResult<Vec<StagedTx>> {
+        let txs: Vec<Tx> = txs.into_iter().filter(|t| !t.is_empty()).collect();
+        if txs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let needed: u64 = txs
+            .iter()
+            .map(|t| slots_for(t.len(), self.geo.block_size))
+            .sum();
+        let state = &mut *self.state.lock();
+        self.reclaim(dev, state, needed)?;
+        Ok(txs
+            .into_iter()
+            .map(|tx| {
+                let nslots = slots_for(tx.len(), self.geo.block_size);
+                Self::stage_locked(state, &self.geo, tx, nslots)
+            })
+            .collect())
+    }
+
+    /// Allocate one transaction's slot run from an already-reclaimed log
+    /// state (shared by [`stage`](Self::stage) and
+    /// [`stage_many`](Self::stage_many)).
+    fn stage_locked(state: &mut LogState, geo: &JournalGeometry, tx: Tx, nslots: u64) -> StagedTx {
         let first_seq = state.next_seq;
         let first_slot = state.head;
         state.next_seq += nslots;
-        state.head = (state.head + nslots) % self.geo.ring_slots();
+        state.head = (state.head + nslots) % geo.ring_slots();
         state.used += nslots;
         state.live.push_back(LiveTx {
             first_seq,
             slots: nslots,
             reclaimable_at: u64::MAX,
         });
-        Ok(Some(StagedTx {
+        StagedTx {
             tx,
             first_seq,
             first_slot,
             nslots,
-        }))
+        }
+    }
+
+    /// Ring slots a transaction carrying `n` target blocks would occupy.
+    /// Callers batching transactions for [`stage_many`](Self::stage_many)
+    /// use this to keep a batch within the ring.
+    pub fn slots_for_targets(&self, n: usize) -> u64 {
+        slots_for(n, self.geo.block_size)
     }
 
     /// Second half of a commit: [`persist`](Self::persist) (the commit
@@ -543,6 +588,55 @@ impl Journal {
     /// the fsync contract.  A volume that sees persist errors should be
     /// remounted.)
     pub fn persist<D: BlockDevice>(&self, dev: &D, staged: &StagedTx) -> JournalResult<()> {
+        self.persist_many(dev, std::slice::from_ref(staged))
+    }
+
+    /// [`persist`](Self::persist) for a whole batch: seal every staged
+    /// transaction's slot run, submit them as **one** device write, and wait
+    /// for **one** group flush covering the entire batch — the shared commit
+    /// point.  Each transaction keeps its own slot run and commit record, so
+    /// replay still treats them independently; only the submission and the
+    /// flush are amortized.
+    ///
+    /// On an error the whole batch is abandoned (every transaction's slots
+    /// marked reclaimable) and the caller must treat all of them as failed —
+    /// the batch shares one commit point, so there is no per-transaction
+    /// partial success.
+    pub fn persist_many<D: BlockDevice>(&self, dev: &D, staged: &[StagedTx]) -> JournalResult<()> {
+        if staged.is_empty() {
+            return Ok(());
+        }
+        // On any failure before the flush returns, the transactions' slots
+        // stay allocated but hold garbage (or never-committed runs); mark
+        // them immediately reclaimable so the ring is not wedged.
+        let abandon = |err: JournalError| -> JournalError {
+            let state = &mut *self.state.lock();
+            for s in staged {
+                if let Some(t) = state.live.iter_mut().find(|t| t.first_seq == s.first_seq) {
+                    t.reclaimable_at = 0;
+                }
+            }
+            err
+        };
+
+        let total_slots: u64 = staged.iter().map(|s| s.nslots).sum();
+        let mut blocks = Vec::with_capacity(total_slots as usize);
+        let mut images = Vec::with_capacity(total_slots as usize * self.geo.block_size);
+        for s in staged {
+            self.seal_run(s, &mut blocks, &mut images);
+        }
+        dev.write_blocks(&blocks, &images)
+            .map_err(|e| abandon(e.into()))?;
+
+        // The group flush is the commit point (for the whole batch).
+        self.gate.flush_covering(dev).map_err(abandon)?;
+        Ok(())
+    }
+
+    /// Seal one staged transaction's slot run — interleaved intents and
+    /// payloads, then the commit record — appending the ring blocks and
+    /// sealed images to `blocks` / `images`.
+    fn seal_run(&self, staged: &StagedTx, blocks: &mut Vec<u64>, images: &mut Vec<u8>) {
         let StagedTx {
             tx,
             first_seq,
@@ -552,22 +646,7 @@ impl Journal {
         let (first_seq, first_slot, nslots) = (*first_seq, *first_slot, *nslots);
         let bs = self.geo.block_size;
         let n_targets = tx.len();
-
-        // On any failure before the flush returns, the transaction's slots
-        // stay allocated but hold garbage (or a never-committed run); mark
-        // it immediately reclaimable so the ring is not wedged.
-        let abandon = |err: JournalError| -> JournalError {
-            let state = &mut *self.state.lock();
-            if let Some(t) = state.live.iter_mut().find(|t| t.first_seq == first_seq) {
-                t.reclaimable_at = 0;
-            }
-            err
-        };
-
-        // Seal the whole run: interleaved intents and payloads, then commit.
         let cap = intent_capacity(bs).max(1);
-        let mut blocks = Vec::with_capacity(nslots as usize);
-        let mut images = Vec::with_capacity(nslots as usize * bs);
         let mut seq = first_seq;
         let mut slot = first_slot;
         let mut idx = 0usize;
@@ -616,13 +695,6 @@ impl Journal {
         let abs = self.geo.ring_block(slot);
         blocks.push(abs);
         images.extend_from_slice(&seal_slot(&self.keys, abs, &commit_slot, bs));
-
-        dev.write_blocks(&blocks, &images)
-            .map_err(|e| abandon(e.into()))?;
-
-        // The group flush is the commit point.
-        self.gate.flush_covering(dev).map_err(abandon)?;
-        Ok(())
     }
 
     /// Apply a persisted (committed) transaction's staged images to their
@@ -655,6 +727,47 @@ impl Journal {
             .find(|t| t.first_seq == staged.first_seq)
         {
             t.reclaimable_at = durable_at;
+        }
+        Ok(())
+    }
+
+    /// [`apply`](Self::apply) for a whole batch: one batched home-location
+    /// submission covering every transaction's staged images (in batch
+    /// order, so a later transaction's image wins on a shared block), one
+    /// `post_apply`, then every transaction's slots become reclaimable at
+    /// the same flush epoch.  A failure leaves the whole batch committed but
+    /// un-checkpointed — replay redoes all of it.
+    pub fn apply_many<D: BlockDevice, F: FnOnce() -> JournalResult<()>>(
+        &self,
+        dev: &D,
+        staged: Vec<StagedTx>,
+        post_apply: F,
+    ) -> JournalResult<()> {
+        if staged.is_empty() {
+            return Ok(());
+        }
+        let bs = self.geo.block_size;
+        let n: usize = staged.iter().map(|s| s.tx.len()).sum();
+        let mut targets = Vec::with_capacity(n);
+        let mut data = Vec::with_capacity(n * bs);
+        for s in &staged {
+            for (block, image) in &s.tx.writes {
+                targets.push(*block);
+                data.extend_from_slice(image);
+            }
+        }
+        dev.write_blocks(&targets, &data)?;
+        post_apply()?;
+
+        // The home writes become durable at the next flush that starts
+        // after this point.
+        let (completed, flushing) = self.gate.epoch();
+        let durable_at = completed + 1 + u64::from(flushing);
+        let state = &mut *self.state.lock();
+        for s in &staged {
+            if let Some(t) = state.live.iter_mut().find(|t| t.first_seq == s.first_seq) {
+                t.reclaimable_at = durable_at;
+            }
         }
         Ok(())
     }
@@ -1087,6 +1200,87 @@ mod tests {
                 vec![(i % 251) as u8; BS]
             );
         }
+    }
+
+    #[test]
+    fn batched_staging_replays_each_tx_independently() {
+        let (dev, journal) = fixture(64, 256);
+        let txs: Vec<Tx> = (0..3u64)
+            .map(|i| {
+                let mut tx = Tx::new();
+                tx.write(100 + i * 4, vec![i as u8 + 1; BS]);
+                tx.write(101 + i * 4, vec![i as u8 + 0x11; BS]);
+                tx
+            })
+            .collect();
+        let staged = journal.stage_many(&dev, txs).unwrap();
+        assert_eq!(staged.len(), 3);
+        journal.persist_many(&dev, &staged).unwrap();
+        // Crash before the apply: home blocks never written, but all three
+        // transactions share the durable commit point and must replay — each
+        // as its own transaction.
+        let report = reopen(&journal).replay(&dev).unwrap();
+        assert_eq!(report.committed, 3);
+        assert_eq!(report.blocks_recovered, 6);
+        for i in 0..3u64 {
+            assert_eq!(
+                dev.read_block_vec(100 + i * 4).unwrap(),
+                vec![i as u8 + 1; BS]
+            );
+            assert_eq!(
+                dev.read_block_vec(101 + i * 4).unwrap(),
+                vec![i as u8 + 0x11; BS]
+            );
+        }
+    }
+
+    #[test]
+    fn batched_apply_checkpoints_like_singles() {
+        let (dev, journal) = fixture(64, 256);
+        let txs: Vec<Tx> = (0..4u64)
+            .map(|i| {
+                let mut tx = Tx::new();
+                tx.write(140 + i, vec![0x40 + i as u8; BS]);
+                tx
+            })
+            .collect();
+        let staged = journal.stage_many(&dev, txs).unwrap();
+        journal.persist_many(&dev, &staged).unwrap();
+        journal.apply_many(&dev, staged, || Ok(())).unwrap();
+        for i in 0..4u64 {
+            assert_eq!(
+                dev.read_block_vec(140 + i).unwrap(),
+                vec![0x40 + i as u8; BS]
+            );
+        }
+        // After a full sync the batch is reclaimed exactly like individually
+        // committed transactions: replay finds an empty log.
+        journal.sync(&dev).unwrap();
+        let report = reopen(&journal).replay(&dev).unwrap();
+        assert_eq!(report, ReplayReport::default());
+    }
+
+    #[test]
+    fn batched_stage_rejects_overfull_batch_atomically() {
+        let (dev, journal) = fixture(ANCHOR_SLOTS + 8, 256);
+        // Each 2-target tx takes 4 slots; four of them need 16 > 8 ring slots.
+        let txs: Vec<Tx> = (0..4u64)
+            .map(|i| {
+                let mut tx = Tx::new();
+                tx.write(100 + i * 2, vec![1; BS]);
+                tx.write(101 + i * 2, vec![2; BS]);
+                tx
+            })
+            .collect();
+        match journal.stage_many(&dev, txs) {
+            Err(JournalError::Full { .. }) => {}
+            other => panic!("expected Full, got {:?}", other.map(|v| v.len())),
+        }
+        // Nothing was allocated: a ring-sized single tx still stages fine.
+        let mut tx = Tx::new();
+        tx.write(100, vec![3; BS]);
+        journal.commit(&dev, tx).unwrap();
+        assert_eq!(dev.read_block_vec(100).unwrap(), vec![3; BS]);
     }
 
     #[test]

@@ -380,8 +380,12 @@ impl EngineSummary {
 pub struct Obs {
     enabled: bool,
     epoch: Instant,
-    /// Allocator mutex (`fs.alloc`).
+    /// Allocator meta mutex (`fs.alloc`): policy, cursor, placement RNG.
     pub alloc_lock: Arc<LockStats>,
+    /// Bitmap segment mutex families (`fs.alloc.<shard>`), one per sharded
+    /// bitmap segment — the per-CPU-free-list style locks the write path
+    /// actually claims blocks under.
+    pub alloc_shards: Vec<Arc<LockStats>>,
     /// Plain-namespace rwlock (`fs.namespace`).
     pub namespace_lock: Arc<LockStats>,
     /// Journal log-state mutex (`journal.state`).
@@ -409,12 +413,30 @@ pub const LOCK_NAMES: [&str; 6] = [
     "engine.queue",
 ];
 
+/// Number of sharded bitmap-segment lock families. Fixed so the snapshot
+/// shape is static; the fs crate sizes its bitmap segments to match.
+pub const ALLOC_SHARDS: usize = 8;
+
+/// Fixed per-shard allocator lock names, appended after [`LOCK_NAMES`] in
+/// snapshot order.
+pub const ALLOC_SHARD_NAMES: [&str; ALLOC_SHARDS] = [
+    "fs.alloc.0",
+    "fs.alloc.1",
+    "fs.alloc.2",
+    "fs.alloc.3",
+    "fs.alloc.4",
+    "fs.alloc.5",
+    "fs.alloc.6",
+    "fs.alloc.7",
+];
+
 impl Obs {
     pub fn new(enabled: bool) -> Arc<Self> {
         Arc::new(Obs {
             enabled,
             epoch: Instant::now(),
             alloc_lock: LockStats::new(enabled),
+            alloc_shards: (0..ALLOC_SHARDS).map(|_| LockStats::new(enabled)).collect(),
             namespace_lock: LockStats::new(enabled),
             journal_state: LockStats::new(enabled),
             object_shards: LockStats::new(enabled),
@@ -454,6 +476,9 @@ impl Obs {
     /// a measurement window to e.g. one sweep pass.
     pub fn reset(&self) {
         self.alloc_lock.reset();
+        for shard in &self.alloc_shards {
+            shard.reset();
+        }
         self.namespace_lock.reset();
         self.journal_state.reset();
         self.object_shards.reset();
@@ -479,6 +504,12 @@ impl Obs {
                     &self.engine_queue,
                 ])
                 .map(|(name, stats)| (*name, stats.summary()))
+                .chain(
+                    ALLOC_SHARD_NAMES
+                        .iter()
+                        .zip(&self.alloc_shards)
+                        .map(|(name, stats)| (*name, stats.summary())),
+                )
                 .collect(),
             device: self.device.summary(),
             gate: self.gate.summary(),
@@ -600,7 +631,7 @@ mod tests {
     #[test]
     fn snapshot_json_mentions_required_lock_names() {
         let json = Obs::new(true).snapshot().to_json();
-        for name in LOCK_NAMES {
+        for name in LOCK_NAMES.iter().chain(ALLOC_SHARD_NAMES.iter()) {
             assert!(json.contains(name), "missing {name}");
         }
         assert!(json.contains("journal_gate"));

@@ -214,14 +214,32 @@ impl<D: BlockDevice> Vfs<D> {
         }
     }
 
-    /// Format `dev` as a fresh StegFS volume and serve it.
-    pub fn format(dev: D, params: StegParams) -> VfsResult<Self> {
-        Ok(Vfs::new(StegFs::format(dev, params)?))
+    /// Format `dev` as a fresh StegFS volume and serve it.  With
+    /// [`StegParams::checkpoint_daemon`] set (and a journal configured),
+    /// the background checkpoint daemon is started so foreground commits
+    /// rarely pay for ring reclamation; unmount drains and stops it.
+    pub fn format(dev: D, params: StegParams) -> VfsResult<Self>
+    where
+        D: Send + Sync + 'static,
+    {
+        let mut fs = StegFs::format(dev, params)?;
+        if fs.params().checkpoint_daemon {
+            fs.start_checkpoint_daemon();
+        }
+        Ok(Vfs::new(fs))
     }
 
-    /// Mount an existing StegFS volume and serve it.
-    pub fn mount(dev: D, params: StegParams) -> VfsResult<Self> {
-        Ok(Vfs::new(StegFs::mount(dev, params)?))
+    /// Mount an existing StegFS volume and serve it (checkpoint daemon as
+    /// in [`Self::format`]).
+    pub fn mount(dev: D, params: StegParams) -> VfsResult<Self>
+    where
+        D: Send + Sync + 'static,
+    {
+        let mut fs = StegFs::mount(dev, params)?;
+        if fs.params().checkpoint_daemon {
+            fs.start_checkpoint_daemon();
+        }
+        Ok(Vfs::new(fs))
     }
 
     /// Tear the front-end down, recovering the [`StegFs`] underneath.

@@ -10,6 +10,7 @@ use std::thread;
 use stegfs_blockdev::MemBlockDevice;
 use stegfs_core::crypt::ObjectKeys;
 use stegfs_core::{hidden, ObjectKind, StegFs, StegParams};
+use stegfs_tests::payload;
 
 /// Parameters with a *deterministic* free-pool size (`FB_min == FB_max`), so
 /// that after any write the pool holds exactly `FB_max` blocks and the
@@ -151,6 +152,107 @@ proptest! {
             "allocator leaked blocks across identical rounds"
         );
     }
+}
+
+/// A single object bigger than any one bitmap segment's share of the data
+/// region: its keyed probes land in one segment's neighbourhood, so the
+/// allocator must refill from (steal out of) other segments as each one
+/// drains.  Delete must then return every block, and an identical second
+/// pass must land on exactly the same free count — stealing cannot leak.
+#[test]
+fn cross_segment_claims_fill_and_drain_cleanly() {
+    let fs = StegFs::format(MemBlockDevice::new(1024, 16384), stress_params()).unwrap();
+    let uak = uak_for(0);
+    let data = payload(0x5e6, 8 * 1024 * 1024); // ~8k blocks of a ~16k volume
+    fs.steg_create("big", &uak, ObjectKind::File).unwrap();
+    fs.write_hidden_with_key("big", &uak, &data).unwrap();
+    assert_eq!(fs.read_hidden_with_key("big", &uak).unwrap(), data);
+
+    // The object's blocks must span well past one segment of the data
+    // region (the bitmap shards it 8 ways), or nothing was stolen.
+    let owned = live_owned_blocks(&fs, std::slice::from_ref(&uak));
+    let lo = owned.keys().min().copied().unwrap();
+    let hi = owned.keys().max().copied().unwrap();
+    let span = hi - lo;
+    let data_blocks = fs.plain_fs().data_blocks();
+    assert!(
+        span > data_blocks / 4,
+        "an {}-block object only spans {span} of {data_blocks} data blocks",
+        owned.len()
+    );
+
+    fs.delete_hidden("big", &uak).unwrap();
+    let free1 = fs.plain_fs().free_data_blocks();
+    fs.steg_create("big", &uak, ObjectKind::File).unwrap();
+    fs.write_hidden_with_key("big", &uak, &data).unwrap();
+    fs.delete_hidden("big", &uak).unwrap();
+    let free2 = fs.plain_fs().free_data_blocks();
+    assert_eq!(free1, free2, "cross-segment churn leaked blocks");
+}
+
+/// Layout compatibility: the sharded allocator is a pure in-memory
+/// reorganisation of the same on-disk bitmap format, so mounting a
+/// previously formatted volume, reading everything and unmounting must not
+/// change a single byte of the image.
+#[test]
+fn mount_read_unmount_round_trips_image_bit_identically() {
+    let fs = StegFs::format(MemBlockDevice::new(1024, 8192), stress_params()).unwrap();
+    let uak = uak_for(1);
+    let data = payload(0xc0de, 40_000);
+    fs.steg_create("doc", &uak, ObjectKind::File).unwrap();
+    fs.write_hidden_with_key("doc", &uak, &data).unwrap();
+    fs.write_plain("/visible.txt", b"plain bytes").unwrap();
+    let dev = fs.unmount().unwrap();
+    let before = dev.snapshot_raw();
+
+    let fs = StegFs::mount(dev, stress_params()).unwrap();
+    assert_eq!(fs.read_hidden_with_key("doc", &uak).unwrap(), data);
+    assert_eq!(fs.read_plain("/visible.txt").unwrap(), b"plain bytes");
+    let dev = fs.unmount().unwrap();
+    assert_eq!(
+        before,
+        dev.snapshot_raw(),
+        "mount + read + unmount changed the on-disk image"
+    );
+}
+
+/// The write-path cache must never change what reaches the disk: an
+/// identical single-threaded workload (full rewrites served from the warm
+/// chain, in-place range patches, truncate + extend through a handle,
+/// directory churn) run with the cache on and off must produce
+/// bit-identical images.
+#[test]
+fn write_path_cache_never_changes_the_disk_image() {
+    let run = |cache_blocks: usize| -> Vec<u8> {
+        let params = StegParams {
+            readpath_cache_blocks: cache_blocks,
+            ..stress_params()
+        };
+        let fs = StegFs::format(MemBlockDevice::new(1024, 8192), params).unwrap();
+        let uak = "image determinism key";
+        fs.steg_create("a", uak, ObjectKind::File).unwrap();
+        fs.write_hidden_with_key("a", uak, &payload(1, 20_000))
+            .unwrap();
+        // Warm full rewrite: with the cache on, the chain walk is served
+        // from RAM; the blocks written must be the same either way.
+        fs.write_hidden_with_key("a", uak, &payload(2, 26_000))
+            .unwrap();
+        fs.write_hidden_range_with_key("a", uak, 512, &payload(3, 2_000))
+            .unwrap();
+        let mut h = fs.open_hidden("a", uak).unwrap();
+        fs.truncate_handle(&mut h, 9_000).unwrap();
+        fs.write_at_handle(&mut h, 8_000, &payload(4, 4_000))
+            .unwrap();
+        fs.steg_create("dir", uak, ObjectKind::Directory).unwrap();
+        fs.create_in_hidden_dir("dir", "child", uak, ObjectKind::File)
+            .unwrap();
+        fs.unmount().unwrap().snapshot_raw()
+    };
+    assert_eq!(
+        run(0),
+        run(4096),
+        "write-path cache changed the on-disk image"
+    );
 }
 
 /// Non-property variant pinned to a high thread count: raw allocator

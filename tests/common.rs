@@ -22,6 +22,7 @@ pub fn full_feature_params() -> StegParams {
         readpath_cache_blocks: 1024,
         obs_enabled: true,
         hidden_policy: Policy::Plain,
+        checkpoint_daemon: false,
     }
 }
 

@@ -350,6 +350,99 @@ proptest! {
     }
 }
 
+/// The background checkpoint daemon advances the journal tail and anchors
+/// concurrently with foreground commits.  A kill with a checkpoint in
+/// flight (`stop_checkpoint_daemon(false)` models the dead process, the
+/// `CrashDevice` tears the unsynced writes) must replay cleanly: the
+/// daemon writes only the same checksummed anchor records a foreground
+/// sync writes, so replay cannot tell them apart.
+#[test]
+fn checkpoint_daemon_in_flight_replays_cleanly() {
+    for trip in [2u64, 5, 9, 17, 28, 45] {
+        let dev = CrashDevice::new(MemBlockDevice::new(1024, 8192));
+        let mut fs = StegFs::format(
+            BufferCache::new_write_back(dev.clone(), CACHE_BLOCKS),
+            StegParams {
+                checkpoint_daemon: true,
+                ..params()
+            },
+        )
+        .unwrap();
+        fs.start_checkpoint_daemon();
+        assert!(fs.checkpoint_daemon_running());
+
+        // Committed churn with the daemon live: every commit notifies it,
+        // so tail/anchor writes race the foreground from the start.
+        let mut committed: HashMap<String, Vec<u8>> = HashMap::new();
+        for k in 0..4u64 {
+            let name = format!("d{k}");
+            let data = payload(trip << 8 | k, 6 * 1024);
+            fs.steg_create(&name, OWNER, ObjectKind::File).unwrap();
+            fs.write_hidden_with_key(&name, OWNER, &data).unwrap();
+            committed.insert(name, data);
+        }
+
+        // Arm the trip wire and keep rewriting: the device dies at an
+        // arbitrary write — foreground payload, commit record or the
+        // daemon's checkpoint, whichever lands there.
+        dev.fail_after_writes(trip);
+        let mut interrupted: Option<(String, Vec<u8>)> = None;
+        for k in 0..4u64 {
+            let name = format!("d{k}");
+            let data = payload(0xda31_u64 ^ (trip << 8 | k), 9 * 1024);
+            match fs.write_hidden_with_key(&name, OWNER, &data) {
+                Ok(()) => {
+                    committed.insert(name, data);
+                }
+                Err(_) => {
+                    interrupted = Some((name, data));
+                    break;
+                }
+            }
+        }
+
+        // Kill: no drain, no unmount — the checkpoint may be mid-write.
+        fs.stop_checkpoint_daemon(false);
+        drop(fs);
+        dev.crash(0xc0ff_ee00 ^ trip);
+
+        let fs = mount_stack(&dev);
+        for (name, expected) in &committed {
+            match &interrupted {
+                Some((n, new)) if n == name => {
+                    // The in-flight rewrite is all-or-nothing.
+                    let got = fs.read_hidden_with_key(name, OWNER).unwrap();
+                    assert!(
+                        &got == expected || &got == new,
+                        "trip {trip}: interrupted rewrite of {name} torn"
+                    );
+                }
+                _ => {
+                    assert_eq!(
+                        fs.read_hidden_with_key(name, OWNER).unwrap(),
+                        *expected,
+                        "trip {trip}: committed {name} unreadable after daemon crash"
+                    );
+                }
+            }
+        }
+        assert_no_double_ownership(&fs);
+
+        // The recovered volume still runs a daemon, drains it on unmount
+        // and hands back a volume that remounts clean.
+        let mut fs = fs;
+        fs.start_checkpoint_daemon();
+        fs.write_hidden_with_key("d0", OWNER, b"after recovery")
+            .unwrap();
+        fs.unmount().unwrap(); // drains the daemon
+        let fs = mount_stack(&dev);
+        assert_eq!(
+            fs.read_hidden_with_key("d0", OWNER).unwrap(),
+            b"after recovery"
+        );
+    }
+}
+
 /// A focused regression: a torn *hidden-file rewrite* — header, chain and
 /// bitmap all in flight — must leave the previous contents fully readable.
 #[test]
