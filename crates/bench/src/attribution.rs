@@ -1,0 +1,443 @@
+//! Phase-attribution sweep: *where* does a request's latency go?
+//!
+//! The engine sweeps measure end-to-end percentiles; this sweep answers the
+//! follow-up question by running a journaled multi-user workload — the
+//! durability sweep's configuration (write-back cache, priced flush
+//! barrier, checkpoint daemon on) with reads mixed in — with causal span
+//! tracing active, and rolling each request type's span trees up into a
+//! per-phase table: p50/p99 self-time and share-of-total for `queue_wait`,
+//! `uak_shard`, `journal_stage`, `gate_flush`, `device_io`, `crypto`, and
+//! the rest of [`stegfs_obs::PHASE_NAMES`].  Because phases record *self*
+//! time (nested children subtracted), each op's phase totals partition its
+//! measured wall time — the per-phase sums stay consistent with the
+//! end-to-end totals by construction.
+//!
+//! `repro --attribution` records the table as the `attribution` section of
+//! `BENCH.json`; `repro --trace-export` replays the same workload with the
+//! chrome-trace capture buffer active and writes the resulting
+//! `chrome://tracing` / Perfetto JSON.
+
+use crate::durability::{BLOCK_LATENCY, FLUSH_LATENCY};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Duration;
+use stegfs_blockdev::{BufferCache, CacheMode, LatencyDevice, MemBlockDevice};
+use stegfs_core::StegParams;
+use stegfs_engine::{Client, Engine, Request, Response};
+use stegfs_obs::{HistSummary, WatchdogSummary, ENGINE_OPS};
+use stegfs_vfs::{OpenOptions, Vfs, VfsHandle};
+
+/// Size of each write (bytes).
+const WRITE_SIZE: usize = 4 * 1024;
+
+/// Size of each prefilled file (bytes).
+const FILE_SIZE: usize = 16 * 1024;
+
+/// The device stack under test (same as the durability sweep).
+pub type SweepDevice = BufferCache<LatencyDevice<MemBlockDevice>>;
+
+/// One phase's roll-up within one request type.
+#[derive(Debug, Clone)]
+pub struct PhaseRow {
+    /// Phase name (one of [`stegfs_obs::PHASE_NAMES`]).
+    pub phase: &'static str,
+    /// Self-time summary across the pass's requests of this type.
+    pub summary: HistSummary,
+    /// This phase's share of the op's total attributed time (0..=1).
+    pub share: f64,
+}
+
+/// One request type's attribution table.
+#[derive(Debug, Clone)]
+pub struct OpRow {
+    /// [`ENGINE_OPS`] name.
+    pub op: &'static str,
+    /// End-to-end (submit → completion) latency summary of the pass.
+    pub e2e: HistSummary,
+    /// Sum of every phase's total self-time for this op (ns).
+    pub phase_total_ns: u64,
+    /// Every phase, in [`stegfs_obs::PHASE_NAMES`] order (fixed shape).
+    pub phases: Vec<PhaseRow>,
+}
+
+/// Result of [`run`]: one row per exercised request type, plus the stall
+/// watchdog's view of the pass.
+pub struct AttributionRun {
+    /// Submitting clients.
+    pub clients: usize,
+    /// Engine workers.
+    pub workers: usize,
+    /// Rows for ops that completed at least one request, [`ENGINE_OPS`]
+    /// order.
+    pub ops: Vec<OpRow>,
+    /// Watchdog gauges covering the measured pass.
+    pub watchdog: WatchdogSummary,
+}
+
+fn params() -> StegParams {
+    StegParams {
+        random_fill: false,
+        dummy_file_count: 0,
+        journal_blocks: 1024,
+        checkpoint_daemon: true,
+        ..StegParams::for_tests()
+    }
+}
+
+fn plain_path(client: usize) -> String {
+    format!("/plain/attr-{client}.dat")
+}
+
+fn hidden_path(client: usize) -> String {
+    format!("/hidden/attr-{client}")
+}
+
+fn build_volume(clients: usize) -> Arc<Vfs<SweepDevice>> {
+    let disk = LatencyDevice::symmetric(MemBlockDevice::with_capacity_mb(1024, 48), BLOCK_LATENCY)
+        .with_flush_latency(FLUSH_LATENCY);
+    let dev = BufferCache::with_mode(disk, 4096, CacheMode::WriteBack);
+    let vfs = Vfs::format(dev, params()).expect("format");
+    for c in 0..clients {
+        let s = vfs.signon("attribution key");
+        for path in [plain_path(c), hidden_path(c)] {
+            let h = vfs
+                .open(s, &path, OpenOptions::read_write().create(true))
+                .expect("create");
+            vfs.write_at(h, 0, &vec![0x5au8; FILE_SIZE])
+                .expect("prefill");
+            vfs.close(h).expect("close");
+        }
+        vfs.signoff(s).expect("signoff");
+    }
+    vfs.sync().expect("initial checkpoint");
+    Arc::new(vfs)
+}
+
+fn open_through_engine(client: &Client<SweepDevice>, path: &str) -> VfsHandle {
+    match client
+        .call(Request::Open {
+            path: path.into(),
+            opts: OpenOptions::read_write(),
+        })
+        .result
+        .expect("engine open")
+    {
+        Response::Handle(h) => h,
+        other => panic!("open returned {other:?}"),
+    }
+}
+
+/// One pass in the paper's per-access model: every iteration is a whole
+/// file access — open, one 4 KiB I/O, close — alternating between the
+/// client's plain and hidden file.  Hidden opens resolve the UAK directory
+/// under the uak shard locks (the convoy the attribution table exists to
+/// expose); writes are journaled in-place patches except every eighth,
+/// which appends past end-of-file so the allocator's claim path shows up
+/// too.  3 writes : 1 read, so the journaled write path dominates.
+///
+/// With `signoff = false` the sessions are left signed on — sign-off
+/// zeroizes the slow-request and chrome-trace captures (deniability
+/// contract), so the trace exporter must read them out first.
+fn one_pass(
+    engine: &Arc<Engine<SweepDevice>>,
+    clients: usize,
+    ops_per_client: usize,
+    signoff: bool,
+) {
+    let barrier = Arc::new(Barrier::new(clients));
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let engine = Arc::clone(engine);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let client = engine.client("attribution key");
+                barrier.wait();
+                let mut appends = 0u64;
+                for op in 0..ops_per_client {
+                    let path = if op % 2 == 0 {
+                        plain_path(c)
+                    } else {
+                        hidden_path(c)
+                    };
+                    let h = open_through_engine(&client, &path);
+                    if op % 4 == 3 {
+                        let offset = ((op % (FILE_SIZE / WRITE_SIZE)) * WRITE_SIZE) as u64;
+                        let completion = client.call(Request::ReadAt {
+                            handle: h,
+                            offset,
+                            len: WRITE_SIZE,
+                        });
+                        match completion.result.expect("read") {
+                            Response::Data(d) => assert_eq!(d.len(), WRITE_SIZE),
+                            other => panic!("unexpected {other:?}"),
+                        }
+                    } else {
+                        let offset = if op % 8 == 1 {
+                            // Extending write: allocation + rewrite path.
+                            appends += 1;
+                            FILE_SIZE as u64 + appends * WRITE_SIZE as u64
+                        } else {
+                            ((op % (FILE_SIZE / WRITE_SIZE)) * WRITE_SIZE) as u64
+                        };
+                        let completion = client.call(Request::WriteAt {
+                            handle: h,
+                            offset,
+                            data: vec![(c * 31 + op) as u8; WRITE_SIZE],
+                        });
+                        match completion.result.expect("write") {
+                            Response::Written(n) => assert_eq!(n, WRITE_SIZE),
+                            other => panic!("unexpected {other:?}"),
+                        }
+                    }
+                    client.call(Request::Close { handle: h });
+                }
+                if signoff {
+                    client.signoff().expect("signoff");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("attribution client");
+    }
+}
+
+/// Run the attribution pass: build the journaled volume, warm up, reset the
+/// registry, run the measured pass, and roll the per-(op, phase) self-time
+/// histograms up into [`OpRow`]s.
+pub fn run(clients: usize, ops_per_client: usize, workers: usize) -> AttributionRun {
+    let vfs = build_volume(clients);
+    let engine = Arc::new(Engine::start(vfs, workers));
+    one_pass(&engine, clients, ops_per_client / 4 + 1, true);
+    let obs = Arc::clone(engine.vfs().obs());
+    obs.reset();
+    one_pass(&engine, clients, ops_per_client, true);
+    // Give the checkpoint daemon at least one tick inside the window so the
+    // watchdog's sample counters cover the measured pass.
+    thread::sleep(Duration::from_millis(60));
+    let snapshot = obs.snapshot();
+    let attribution = obs.attribution.summary();
+    Arc::try_unwrap(engine)
+        .unwrap_or_else(|_| panic!("engine still shared"))
+        .shutdown();
+
+    let mut ops = Vec::new();
+    for (i, name) in ENGINE_OPS.iter().enumerate() {
+        let e2e = snapshot.engine.latency.get(i).copied().unwrap_or_default();
+        if e2e.count == 0 {
+            continue;
+        }
+        let table = attribution.op(name).expect("fixed-shape attribution");
+        let phase_total_ns: u64 = table.phases.iter().map(|(_, s)| s.total).sum();
+        let phases = table
+            .phases
+            .iter()
+            .map(|&(phase, summary)| PhaseRow {
+                phase,
+                summary,
+                share: if phase_total_ns == 0 {
+                    0.0
+                } else {
+                    summary.total as f64 / phase_total_ns as f64
+                },
+            })
+            .collect();
+        ops.push(OpRow {
+            op: name,
+            e2e,
+            phase_total_ns,
+            phases,
+        });
+    }
+    AttributionRun {
+        clients,
+        workers,
+        ops,
+        watchdog: snapshot.watchdog,
+    }
+}
+
+/// Run a short traced pass with the chrome-trace capture buffer active and
+/// return the `chrome://tracing` JSON (plus how many events overflowed the
+/// buffer).
+pub fn trace_export(
+    clients: usize,
+    ops_per_client: usize,
+    workers: usize,
+    capacity: usize,
+) -> (String, u64) {
+    let vfs = build_volume(clients);
+    let engine = Arc::new(Engine::start(vfs, workers));
+    let obs = Arc::clone(engine.vfs().obs());
+    obs.capture.begin(capacity);
+    // No signoff: signing off would zeroize the capture before `take`.
+    one_pass(&engine, clients, ops_per_client, false);
+    let (events, dropped) = obs.capture.take();
+    Arc::try_unwrap(engine)
+        .unwrap_or_else(|_| panic!("engine still shared"))
+        .shutdown();
+    (stegfs_obs::chrome_trace_json(&events), dropped)
+}
+
+/// Render the run as text tables, one per request type.
+pub fn render(run: &AttributionRun) -> String {
+    let mut s = format!(
+        "Phase attribution ({} clients, {} workers, journaled write-back volume)\n",
+        run.clients, run.workers
+    );
+    for op in &run.ops {
+        s.push_str(&format!(
+            "\n{}  ({} reqs, e2e p50 {:.3} ms, p99 {:.3} ms)\n\
+             phase            count     p50(us)     p99(us)   total(ms)   share\n",
+            op.op,
+            op.e2e.count,
+            op.e2e.p50 as f64 / 1e6,
+            op.e2e.p99 as f64 / 1e6,
+        ));
+        for row in &op.phases {
+            if row.summary.count == 0 {
+                continue;
+            }
+            s.push_str(&format!(
+                "{:<14} {:>7} {:>11.1} {:>11.1} {:>11.2} {:>6.1}%\n",
+                row.phase,
+                row.summary.count,
+                row.summary.p50 as f64 / 1e3,
+                row.summary.p99 as f64 / 1e3,
+                row.summary.total as f64 / 1e6,
+                row.share * 100.0
+            ));
+        }
+    }
+    s.push_str(&format!(
+        "\nwatchdog: ring occupancy {}‰ (hwm {}‰), {} samples ({} stalled), {} steals\n",
+        run.watchdog.ring_occupancy_permille,
+        run.watchdog.ring_occupancy_hwm_permille,
+        run.watchdog.samples,
+        run.watchdog.stall_samples,
+        run.watchdog.checkpoint_steals
+    ));
+    s
+}
+
+/// Serialise the run to the `attribution` JSON section.
+pub fn section_json(run: &AttributionRun) -> String {
+    let mut s = String::from("{\n    \"ops\": [\n");
+    for (i, op) in run.ops.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{\"op\": \"{}\", \"clients\": {}, \"workers\": {}, \"e2e\": {}, \
+             \"phase_total_ns\": {}, \"phases\": {{",
+            op.op,
+            run.clients,
+            run.workers,
+            op.e2e.to_json(),
+            op.phase_total_ns
+        ));
+        for (j, row) in op.phases.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "\"{}\": {{\"count\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \
+                 \"total_ns\": {}, \"share\": {:.4}}}",
+                row.phase,
+                row.summary.count,
+                row.summary.p50,
+                row.summary.p99,
+                row.summary.total,
+                row.share
+            ));
+        }
+        s.push_str(&format!(
+            "}}}}{}\n",
+            if i + 1 == run.ops.len() { "" } else { "," }
+        ));
+    }
+    s.push_str(&format!(
+        "    ],\n    \"watchdog\": {}\n  }}",
+        run.watchdog.to_json()
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase<'a>(op: &'a OpRow, name: &str) -> &'a PhaseRow {
+        op.phases
+            .iter()
+            .find(|r| r.phase == name)
+            .expect("fixed phase set")
+    }
+
+    #[test]
+    fn tiny_run_attributes_hidden_write_phases() {
+        let run = run(2, 16, 2);
+        let write = run
+            .ops
+            .iter()
+            .find(|o| o.op == "write_at")
+            .expect("write_at exercised");
+        assert!(write.e2e.count > 0);
+        // The journaled write path must attribute across the named phases.
+        for required in ["queue_wait", "journal_stage", "gate_flush", "device_io"] {
+            assert!(
+                phase(write, required).summary.count > 0,
+                "phase {required} unpopulated on the write path"
+            );
+        }
+        let populated = write.phases.iter().filter(|r| r.summary.count > 0).count();
+        assert!(populated >= 6, "only {populated} phases populated");
+        // Hidden opens resolve the UAK directory under the uak shard locks.
+        let open = run
+            .ops
+            .iter()
+            .find(|o| o.op == "open")
+            .expect("open exercised");
+        assert!(
+            phase(open, "uak_shard").summary.count > 0,
+            "uak_shard unpopulated on the open path"
+        );
+        // Self-time partitions wall time: phase sums cannot exceed the
+        // end-to-end total.
+        assert!(write.phase_total_ns <= write.e2e.total);
+        assert!(write.phase_total_ns > 0);
+        for row in &write.phases {
+            assert!(row.summary.p50 <= row.summary.p99);
+        }
+        let share_sum: f64 = write.phases.iter().map(|r| r.share).sum();
+        assert!((share_sum - 1.0).abs() < 1e-6);
+        assert!(run.watchdog.samples > 0, "daemon must sample the watchdog");
+    }
+
+    #[test]
+    fn section_json_merges() {
+        let run = run(2, 4, 2);
+        let json = section_json(&run);
+        assert!(json.contains("\"ops\""));
+        assert!(json.contains("\"watchdog\""));
+        assert!(json.contains("\"uak_shard\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let merged = crate::bench_json::merge_section(None, "attribution", &json);
+        assert!(merged.contains("\"attribution\""));
+    }
+
+    #[test]
+    fn trace_export_is_chrome_trace_shaped() {
+        let (json, _dropped) = trace_export(2, 4, 2, 4096);
+        assert!(json.starts_with("{\"displayTimeUnit\": \"ms\", \"traceEvents\": ["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"cat\": \"request\""));
+        assert!(json.contains("\"cat\": \"phase\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn phase_names_cover_the_required_set() {
+        for required in ["uak_shard", "journal_stage", "gate_flush", "device_io"] {
+            assert!(stegfs_obs::PHASE_NAMES.contains(&required));
+        }
+    }
+}

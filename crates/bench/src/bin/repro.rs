@@ -3,7 +3,8 @@
 //! ```text
 //! repro [--full] [--smoke] [--table N] [--fig N] [--space-summary]
 //!       [--vfs-scaling] [--engine-scaling] [--readpath] [--writepath]
-//!       [--survival] [--scavenge] [--all]
+//!       [--survival] [--scavenge] [--attribution] [--trace-export [PATH]]
+//!       [--all]
 //! ```
 //!
 //! With no arguments (or `--all`) every artefact is produced.  The default
@@ -30,6 +31,8 @@ struct Options {
     writepath: bool,
     survival: bool,
     scavenge_demo: bool,
+    attribution: bool,
+    trace_export: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -47,6 +50,8 @@ fn parse_args() -> Options {
         writepath: false,
         survival: false,
         scavenge_demo: false,
+        attribution: false,
+        trace_export: None,
     };
     let mut any_selection = false;
     let mut i = 0;
@@ -64,6 +69,7 @@ fn parse_args() -> Options {
                 opts.readpath = true;
                 opts.writepath = true;
                 opts.survival = true;
+                opts.attribution = true;
                 any_selection = true;
             }
             "--table" => {
@@ -116,6 +122,22 @@ fn parse_args() -> Options {
                 opts.scavenge_demo = true;
                 any_selection = true;
             }
+            "--attribution" => {
+                opts.attribution = true;
+                any_selection = true;
+            }
+            "--trace-export" => {
+                // Optional PATH operand; defaults to TRACE.json.
+                let path = match args.get(i + 1) {
+                    Some(p) if !p.starts_with("--") => {
+                        i += 1;
+                        p.clone()
+                    }
+                    _ => "TRACE.json".to_string(),
+                };
+                opts.trace_export = Some(path);
+                any_selection = true;
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other}")),
         }
@@ -131,6 +153,7 @@ fn parse_args() -> Options {
         opts.readpath = true;
         opts.writepath = true;
         opts.survival = true;
+        opts.attribution = true;
     }
     opts
 }
@@ -142,7 +165,8 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: repro [--full] [--smoke] [--all] [--tables] [--fig N]... [--space-summary]\n\
          \t[--vfs-scaling] [--engine-scaling] [--durability] [--readpath]\n\
-         \t[--writepath] [--survival] [--scavenge]\n\
+         \t[--writepath] [--survival] [--scavenge] [--attribution]\n\
+         \t[--trace-export [PATH]]\n\
          \n\
          Regenerates the tables and figures of 'StegFS: A Steganographic File\n\
          System' (Pang, Tan, Zhou — ICDE 2003).  Default scale is a 64 MB\n\
@@ -335,20 +359,26 @@ fn main() {
             ),
             Err(e) => eprintln!("could not write BENCH.json: {e}"),
         }
-        if let Some(contention) = &sweep.contention {
-            let (source, wait_ns) = contention.dominant();
-            println!(
-                "contention profile (write @ {} workers): dominant wait source {} ({:.1} ms total wait)",
-                contention.workers,
-                source,
-                wait_ns as f64 / 1e6
-            );
+        if !sweep.contention.is_empty() {
+            for contention in &sweep.contention {
+                let (source, wait_ns) = contention.dominant();
+                println!(
+                    "contention profile ({} @ {} workers): dominant wait source {} ({:.1} ms total wait)",
+                    contention.op,
+                    contention.workers,
+                    source,
+                    wait_ns as f64 / 1e6
+                );
+            }
             match stegfs_bench::bench_json::update_file(
                 "BENCH.json",
                 "contention",
-                &contention.section_json(),
+                &es::contention_section_json(&sweep.contention),
             ) {
-                Ok(()) => println!("merged contention into BENCH.json"),
+                Ok(()) => println!(
+                    "merged contention into BENCH.json ({} passes)",
+                    sweep.contention.len()
+                ),
                 Err(e) => eprintln!("could not write BENCH.json: {e}"),
             }
         }
@@ -469,6 +499,49 @@ fn main() {
         match stegfs_bench::bench_json::update_file("BENCH.json", "survival", &section) {
             Ok(()) => println!("merged survival into BENCH.json ({} points)", points.len()),
             Err(e) => eprintln!("could not write BENCH.json: {e}"),
+        }
+    }
+
+    if opts.attribution {
+        // Phase-attribution pass: the durability sweep's journaled
+        // write-back configuration with causal span tracing on, rolled up
+        // into a per-request-type table of where the latency went
+        // (queue wait, shard locks, journal staging, the commit gate's
+        // group flush, raw device time, crypto, cache hits/misses).
+        use stegfs_bench::attribution as attr;
+        let (clients, ops_per_client, workers) = if opts.smoke {
+            (4, 8, 4)
+        } else if opts.full {
+            (12, 96, 8)
+        } else {
+            (12, 48, 8)
+        };
+        let run = attr::run(clients, ops_per_client, workers);
+        println!("{}", attr::render(&run));
+        let section = attr::section_json(&run);
+        match stegfs_bench::bench_json::update_file("BENCH.json", "attribution", &section) {
+            Ok(()) => println!(
+                "merged attribution into BENCH.json ({} request types)",
+                run.ops.len()
+            ),
+            Err(e) => eprintln!("could not write BENCH.json: {e}"),
+        }
+    }
+
+    if let Some(path) = &opts.trace_export {
+        // Chrome-trace export: the attribution workload again, but with the
+        // whole-tree capture buffer active; the result loads directly into
+        // chrome://tracing or ui.perfetto.dev.
+        use stegfs_bench::attribution as attr;
+        let (clients, ops_per_client, workers) = if opts.smoke { (4, 8, 4) } else { (8, 24, 8) };
+        let (json, dropped) = attr::trace_export(clients, ops_per_client, workers, 65536);
+        match std::fs::write(path, &json) {
+            Ok(()) => println!(
+                "wrote chrome trace to {path} ({} bytes, {} events dropped)",
+                json.len(),
+                dropped
+            ),
+            Err(e) => eprintln!("could not write {path}: {e}"),
         }
     }
 

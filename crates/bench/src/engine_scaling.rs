@@ -68,9 +68,11 @@ pub struct EnginePoint {
 }
 
 /// The contention profile of one measured pass: the full obs snapshot plus
-/// which wait source dominated.  `repro` merges it into `BENCH.json` as the
-/// `contention` section, turning "writes collapse at 12 workers" into a
-/// named, quantified culprit.
+/// which wait source dominated.  `repro` merges one report per pass into
+/// `BENCH.json` as the `contention` section (an array), so the dominant
+/// wait source is visible *across* the curve — not just at the heaviest
+/// write pass — turning "writes collapse at 12 workers" into a named,
+/// quantified culprit with the trajectory that led there.
 pub struct ContentionReport {
     /// Worker count of the profiled pass.
     pub workers: usize,
@@ -97,7 +99,8 @@ impl ContentionReport {
         best
     }
 
-    /// Serialise as the `contention` JSON section.
+    /// Serialise one pass as a JSON object (an element of the `contention`
+    /// section array).
     pub fn section_json(&self) -> String {
         let (source, wait_ns) = self.dominant();
         format!(
@@ -112,19 +115,46 @@ impl ContentionReport {
     }
 }
 
+/// Serialise every pass's report as the `contention` JSON section (an
+/// array, one element per measured pass in sweep order).
+pub fn contention_section_json(reports: &[ContentionReport]) -> String {
+    let mut s = String::from("[\n");
+    for (i, r) in reports.iter().enumerate() {
+        s.push_str("    ");
+        s.push_str(&r.section_json());
+        s.push_str(if i + 1 == reports.len() { "\n" } else { ",\n" });
+    }
+    s.push_str("  ]");
+    s
+}
+
 /// Result of [`run_sweep`]: the throughput/latency points plus the
-/// contention profile of the heaviest write pass.
+/// contention profile of every measured pass.
 pub struct EngineSweep {
     /// One point per `(worker count, op)`.
     pub points: Vec<EnginePoint>,
-    /// Obs snapshot of the write pass at the highest worker count.
-    pub contention: Option<ContentionReport>,
+    /// One obs snapshot per measured pass, in sweep order (parallel to
+    /// `points`).
+    pub contention: Vec<ContentionReport>,
 }
 
 fn params() -> StegParams {
+    // Overhead baselines for the identical sweep: `STEGFS_BENCH_OBS=off`
+    // runs fully uninstrumented, `=notrace` keeps the flat metrics but
+    // disables the causal span layer — the difference between `notrace`
+    // and the default isolates what request tracing itself costs.
+    let mode = std::env::var("STEGFS_BENCH_OBS").unwrap_or_default();
+    let obs_enabled = mode != "off";
+    let tracing = obs_enabled && mode != "notrace";
     StegParams {
         random_fill: false,
         dummy_file_count: 0,
+        obs_enabled,
+        trace_capacity: if tracing {
+            stegfs_obs::TRACE_CAPACITY
+        } else {
+            0
+        },
         ..StegParams::for_tests()
     }
 }
@@ -275,13 +305,12 @@ fn pass_op_index(write: bool) -> usize {
 /// Run the sweep: for each worker count, a fresh volume and engine, a
 /// warm-up pass, then a measured read pass and a measured write pass.  The
 /// obs registry is reset before each measured pass, so its percentiles and
-/// the returned [`ContentionReport`] (write pass, highest worker count)
-/// cover exactly that pass.
+/// the returned [`ContentionReport`]s (one per measured pass) cover exactly
+/// that pass.
 pub fn run_sweep(clients: usize, ops_per_client: usize, worker_counts: &[usize]) -> EngineSweep {
     let specs = Arc::new(file_set(clients));
     let mut points = Vec::new();
-    let mut contention = None;
-    let max_workers = worker_counts.iter().copied().max().unwrap_or(0);
+    let mut contention = Vec::new();
     for &workers in worker_counts {
         let build_start = Instant::now();
         let vfs = build_volume(&specs, clients);
@@ -315,13 +344,11 @@ pub fn run_sweep(clients: usize, ops_per_client: usize, worker_counts: &[usize])
                 p99_ms: latency.p99 as f64 / 1e6,
                 setup_ms,
             });
-            if write && workers == max_workers {
-                contention = Some(ContentionReport {
-                    workers,
-                    op,
-                    snapshot,
-                });
-            }
+            contention.push(ContentionReport {
+                workers,
+                op,
+                snapshot,
+            });
         }
         Arc::try_unwrap(engine)
             .unwrap_or_else(|_| panic!("engine still shared"))
@@ -394,9 +421,17 @@ mod tests {
             assert!(p.p99_ms >= p.p50_ms);
             assert!(p.setup_ms > 0.0);
         }
-        let contention = sweep.contention.expect("write pass profiled");
-        assert_eq!(contention.op, "write");
-        let json = contention.section_json();
+        assert_eq!(
+            sweep.contention.len(),
+            sweep.points.len(),
+            "every measured pass must be profiled"
+        );
+        assert_eq!(sweep.contention[0].op, "read");
+        let last = sweep.contention.last().expect("write pass profiled");
+        assert_eq!(last.op, "write");
+        let json = contention_section_json(&sweep.contention);
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
         assert!(json.contains("\"dominant_wait_source\""));
         assert!(json.contains("\"engine.queue\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());

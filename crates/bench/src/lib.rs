@@ -36,6 +36,7 @@ pub fn bench_workload() -> WorkloadParams {
 /// The user counts swept by the concurrency experiments.
 pub const USER_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
 
+pub mod attribution;
 pub mod bench_json;
 pub mod durability;
 pub mod engine_scaling;

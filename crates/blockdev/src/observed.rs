@@ -15,7 +15,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
-use stegfs_obs::DeviceStats;
+use stegfs_obs::{span, DeviceStats};
 
 use crate::device::{BlockDevice, BlockId};
 use crate::error::BlockResult;
@@ -80,6 +80,7 @@ impl<D: BlockDevice> BlockDevice for ObservedDevice<D> {
     }
 
     fn read_block(&self, block: BlockId, buf: &mut [u8]) -> BlockResult<()> {
+        let _io = span::span(span::Phase::DeviceIo);
         let start = self.clock();
         let result = self.inner.read_block(block, buf);
         if let Some(start) = start {
@@ -92,6 +93,7 @@ impl<D: BlockDevice> BlockDevice for ObservedDevice<D> {
     }
 
     fn write_block(&self, block: BlockId, buf: &[u8]) -> BlockResult<()> {
+        let _io = span::span(span::Phase::DeviceIo);
         let start = self.clock();
         let result = self.inner.write_block(block, buf);
         if let Some(start) = start {
@@ -106,6 +108,7 @@ impl<D: BlockDevice> BlockDevice for ObservedDevice<D> {
     }
 
     fn read_blocks(&self, blocks: &[BlockId], buf: &mut [u8]) -> BlockResult<()> {
+        let _io = span::span(span::Phase::DeviceIo);
         let start = self.clock();
         let result = self.inner.read_blocks(blocks, buf);
         if let Some(start) = start {
@@ -120,6 +123,7 @@ impl<D: BlockDevice> BlockDevice for ObservedDevice<D> {
     }
 
     fn write_blocks(&self, blocks: &[BlockId], buf: &[u8]) -> BlockResult<()> {
+        let _io = span::span(span::Phase::DeviceIo);
         let start = self.clock();
         let result = self.inner.write_blocks(blocks, buf);
         if let Some(start) = start {
@@ -136,6 +140,7 @@ impl<D: BlockDevice> BlockDevice for ObservedDevice<D> {
     }
 
     fn flush(&self) -> BlockResult<()> {
+        let _io = span::span(span::Phase::DeviceIo);
         let start = self.clock();
         let result = self.inner.flush();
         if let Some(start) = start {

@@ -30,6 +30,7 @@ use std::sync::Arc;
 use stegfs_blockdev::BlockDevice;
 use stegfs_crypto::prng::DeterministicRng;
 use stegfs_fs::{FsTxn, PlainFs};
+use stegfs_obs::span;
 
 /// An open hidden object: its header block number and current header state.
 #[derive(Debug, Clone)]
@@ -63,7 +64,10 @@ fn write_encrypted<D: BlockDevice>(
 ) -> StegResult<()> {
     let mut buf = scratch::take(plaintext_block.len());
     buf.copy_from_slice(plaintext_block);
-    keys.encrypt_block(block, &mut buf);
+    {
+        let _s = span::span(span::Phase::Crypto);
+        keys.encrypt_block(block, &mut buf);
+    }
     let result = txn.write_raw_block(block, &buf);
     scratch::put(buf);
     result?;
@@ -79,7 +83,10 @@ fn read_decrypted<D: BlockDevice>(
 ) -> StegResult<Vec<u8>> {
     let mut buf = scratch::take(fs.block_size());
     fs.read_raw_blocks_into(&[block], &mut buf)?;
-    keys.decrypt_block(block, &mut buf);
+    {
+        let _s = span::span(span::Phase::Crypto);
+        keys.decrypt_block(block, &mut buf);
+    }
     Ok(buf)
 }
 
@@ -96,8 +103,11 @@ fn read_decrypted_many<D: BlockDevice>(
     let bs = fs.block_size();
     let mut buf = scratch::take(blocks.len() * bs);
     fs.read_raw_blocks_into(blocks, &mut buf)?;
-    for (i, &block) in blocks.iter().enumerate() {
-        keys.decrypt_block(block, &mut buf[i * bs..(i + 1) * bs]);
+    {
+        let _s = span::span(span::Phase::Crypto);
+        for (i, &block) in blocks.iter().enumerate() {
+            keys.decrypt_block(block, &mut buf[i * bs..(i + 1) * bs]);
+        }
     }
     Ok(buf)
 }
@@ -115,8 +125,11 @@ fn write_encrypted_many<D: BlockDevice>(
 ) -> StegResult<()> {
     let bs = txn.block_size();
     debug_assert_eq!(plaintext.len(), blocks.len() * bs);
-    for (i, &block) in blocks.iter().enumerate() {
-        keys.encrypt_block(block, &mut plaintext[i * bs..(i + 1) * bs]);
+    {
+        let _s = span::span(span::Phase::Crypto);
+        for (i, &block) in blocks.iter().enumerate() {
+            keys.encrypt_block(block, &mut plaintext[i * bs..(i + 1) * bs]);
+        }
     }
     let result = txn.write_raw_blocks(blocks, &plaintext);
     scratch::put(plaintext);

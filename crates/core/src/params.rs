@@ -79,6 +79,13 @@ pub struct StegParams {
     /// No-op without a journal.  The front-ends consult this at mount time;
     /// [`crate::StegFs::start_checkpoint_daemon`] starts it explicitly.
     pub checkpoint_daemon: bool,
+    /// Capacity (events) of the RAM-only trace ring; `0` disables the ring
+    /// entirely while leaving the rest of the observability registry
+    /// untouched.  The ring wraps when full (overwrites are counted, so
+    /// truncation is visible in snapshots) and zeroizes at sign-off.  Like
+    /// [`obs_enabled`](Self::obs_enabled), the setting never changes what
+    /// reaches the disk.
+    pub trace_capacity: usize,
 }
 
 impl Default for StegParams {
@@ -97,6 +104,7 @@ impl Default for StegParams {
             obs_enabled: true,
             hidden_policy: Policy::Plain,
             checkpoint_daemon: false,
+            trace_capacity: stegfs_obs::TRACE_CAPACITY,
         }
     }
 }
@@ -119,6 +127,7 @@ impl StegParams {
             obs_enabled: true,
             hidden_policy: Policy::Plain,
             checkpoint_daemon: false,
+            trace_capacity: stegfs_obs::TRACE_CAPACITY,
         }
     }
 
@@ -175,6 +184,7 @@ mod tests {
         assert_eq!(p.free_blocks_max, 10);
         assert_eq!(p.dummy_file_count, 10);
         assert_eq!(p.dummy_file_size, 1024 * 1024);
+        assert_eq!(p.trace_capacity, stegfs_obs::TRACE_CAPACITY);
         assert!(p.validate().is_ok());
     }
 

@@ -69,7 +69,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-use stegfs_obs::ReadCacheStats;
+use stegfs_obs::{span, ReadCacheStats};
 
 /// Number of independently locked shards for each of the two maps.
 const SHARDS: usize = 16;
@@ -504,7 +504,9 @@ impl ReadCache {
                 drop(shard);
                 self.counters.block_hits.fetch_add(1, Ordering::Relaxed);
                 if let Some(start) = start {
-                    self.obs.hit_ns.record(start.elapsed().as_nanos() as u64);
+                    let ns = start.elapsed().as_nanos() as u64;
+                    self.obs.hit_ns.record(ns);
+                    span::note(span::Phase::CacheHit, ns);
                 }
                 true
             }
@@ -512,7 +514,9 @@ impl ReadCache {
                 drop(shard);
                 self.counters.block_misses.fetch_add(1, Ordering::Relaxed);
                 if let Some(start) = start {
-                    self.obs.miss_ns.record(start.elapsed().as_nanos() as u64);
+                    let ns = start.elapsed().as_nanos() as u64;
+                    self.obs.miss_ns.record(ns);
+                    span::note(span::Phase::CacheMiss, ns);
                 }
                 false
             }

@@ -61,7 +61,7 @@ use stegfs_crypto::prng::DeterministicRng;
 use stegfs_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
 use stegfs_crypto::sha256::sha256_concat;
 use stegfs_fs::{AllocPolicy, FileKind, FormatOptions, PlainFs};
-use stegfs_obs::{Obs, TimedMutex, TimedMutexGuard};
+use stegfs_obs::{span, Obs, TimedMutex, TimedMutexGuard};
 
 /// Path of the plain configuration file holding the (non-secret) volume
 /// statistics: abandoned-block count, dummy-file parameters and the dummy
@@ -194,7 +194,7 @@ impl<D: BlockDevice> StegFs<D> {
     // ------------------------------------------------------------------
 
     fn assemble(mut fs: PlainFs<D>, params: StegParams, config: VolumeConfig) -> Self {
-        let obs = Obs::new(params.obs_enabled);
+        let obs = Obs::with_trace_capacity(params.obs_enabled, params.trace_capacity);
         fs.attach_obs(&obs);
         let mut read_cache = ReadCache::new(params.readpath_cache_blocks);
         read_cache.set_obs(obs.readcache.clone());
@@ -391,11 +391,20 @@ impl<D: BlockDevice> StegFs<D> {
     }
 
     fn uak_guard(&self, uak: &str) -> TimedMutexGuard<'_, ()> {
+        // The span covers only the acquisition: `uak_shard` attribution is
+        // time *blocked* on the shard, not time holding it (the held work
+        // shows up as its own phases).
+        let _s = span::span(span::Phase::UakShard);
         self.uak_locks[shard_index(uak, self.uak_locks.len())].lock()
     }
 
     fn object_guard(&self, physical: &str) -> TimedMutexGuard<'_, ()> {
-        self.object_locks[shard_index(physical, self.object_locks.len())].lock()
+        self.object_guard_at(shard_index(physical, self.object_locks.len()))
+    }
+
+    fn object_guard_at(&self, idx: usize) -> TimedMutexGuard<'_, ()> {
+        let _s = span::span(span::Phase::ObjectShard);
+        self.object_locks[idx].lock()
     }
 
     /// Opaque cache-scope id of a session: a keyed digest of the UAK, so the
@@ -1369,7 +1378,7 @@ impl<D: BlockDevice> StegFs<D> {
         }
         let pidx = shard_index(&parent.physical_name, self.object_locks.len());
         loop {
-            let pguard = self.object_locks[pidx].lock();
+            let pguard = self.object_guard_at(pidx);
             let children = self.read_listing_locked(parent)?;
             let child = children
                 .find(child_name)
@@ -1381,14 +1390,14 @@ impl<D: BlockDevice> StegFs<D> {
                 return self.remove_child_locked(parent, children, child, pguard, None);
             }
             if cidx > pidx {
-                let cguard = self.object_locks[cidx].lock();
+                let cguard = self.object_guard_at(cidx);
                 return self.remove_child_locked(parent, children, child, pguard, Some(cguard));
             }
             // The child's shard sorts first: release, re-acquire in order,
             // and revalidate the listing (it may have changed meanwhile).
             drop(pguard);
-            let cguard = self.object_locks[cidx].lock();
-            let pguard = self.object_locks[pidx].lock();
+            let cguard = self.object_guard_at(cidx);
+            let pguard = self.object_guard_at(pidx);
             let children = self.read_listing_locked(parent)?;
             match children.find(child_name) {
                 Some(c) if c.physical_name == child.physical_name && c.fak == child.fak => {

@@ -8,7 +8,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, TryLockError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 use stegfs_blockdev::BlockDevice;
-use stegfs_obs::{LockStats, Obs, ENGINE_OPS};
+use stegfs_obs::{span, LockStats, Obs, ENGINE_OPS};
 use stegfs_vfs::{SessionId, Vfs, VfsError, VfsResult};
 
 /// One queued unit of work.
@@ -115,10 +115,10 @@ impl<D: BlockDevice + Send + Sync + 'static> Engine<D> {
             obs: Arc::clone(vfs.obs()),
         });
         let workers = (0..workers)
-            .map(|_| {
+            .map(|worker| {
                 let vfs = Arc::clone(&vfs);
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&vfs, &shared))
+                std::thread::spawn(move || worker_loop(&vfs, &shared, worker as u32))
             })
             .collect();
         Engine {
@@ -292,7 +292,8 @@ impl<D: BlockDevice + Send + Sync + 'static> Client<D> {
 }
 
 /// Worker body: pop, execute, complete; exit once shut down *and* drained.
-fn worker_loop<D: BlockDevice + Send + Sync>(vfs: &Vfs<D>, shared: &EngineShared) {
+/// `worker` is the pool index, used as the `tid` for captured trace events.
+fn worker_loop<D: BlockDevice + Send + Sync>(vfs: &Vfs<D>, shared: &EngineShared, worker: u32) {
     loop {
         let job = {
             let mut q = lock_queue(&shared.queue, &shared.obs.engine_queue);
@@ -321,6 +322,19 @@ fn worker_loop<D: BlockDevice + Send + Sync>(vfs: &Vfs<D>, shared: &EngineShared
         // drain, not by any stronger isolation.
         let request = job.request;
         let op = op_index(&request);
+        let enabled = shared.obs.is_enabled();
+        // Flat metrics follow `obs_enabled`; the causal span layer is
+        // additionally gated on a non-zero trace capacity.
+        let tracing = shared.obs.is_tracing();
+        if tracing {
+            // Admission: every span opened anywhere below (vfs, core, fs,
+            // journal, blockdev) attaches to this request until request_end.
+            span::request_begin(op);
+            span::note(
+                span::Phase::QueueWait,
+                started.saturating_duration_since(job.submitted).as_nanos() as u64,
+            );
+        }
         let result = if shared.poisoned.load(Ordering::Acquire) {
             Err(VfsError::Unsupported(
                 "engine poisoned by an earlier panicking request".into(),
@@ -340,7 +354,7 @@ fn worker_loop<D: BlockDevice + Send + Sync>(vfs: &Vfs<D>, shared: &EngineShared
             latency: job.submitted.elapsed(),
             service: started.elapsed(),
         };
-        if shared.obs.is_enabled() {
+        if enabled {
             let service_ns = completion.service.as_nanos() as u64;
             shared.obs.engine.record_completion(
                 op,
@@ -348,6 +362,17 @@ fn worker_loop<D: BlockDevice + Send + Sync>(vfs: &Vfs<D>, shared: &EngineShared
                 service_ns,
             );
             shared.obs.trace_span("engine", ENGINE_OPS[op], service_ns);
+        }
+        if tracing {
+            // request_end force-closes anything a panicking request left
+            // open, so the worker's context never leaks into the next job.
+            if let Some(finished) = span::request_end() {
+                shared.obs.complete_request(
+                    &finished,
+                    completion.latency.as_nanos() as u64,
+                    worker,
+                );
+            }
         }
         // Count before delivering: a client that has received every one of
         // its completions must observe the full count.

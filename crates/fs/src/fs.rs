@@ -68,10 +68,26 @@ use parking_lot::{Mutex, MutexGuard};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use stegfs_blockdev::{BlockDevice, ObservedDevice};
 use stegfs_journal::{Journal, JournalGeometry};
-use stegfs_obs::{Obs, TimedMutex, TimedRwLock};
+use stegfs_obs::{span, Obs, TimedMutex, TimedRwLock, WatchdogStats};
 
 /// Number of per-inode content stripes (see the module docs).
 pub const STRIPE_COUNT: usize = 64;
+
+/// Ring occupancy (permille) at or above which a committer checkpoints the
+/// journal itself instead of stalling inside reclaim (see
+/// [`PlainFs::maybe_steal_checkpoint`]).
+pub(crate) const CHECKPOINT_STEAL_PERMILLE: u64 = 900;
+
+/// Checkpoint-daemon wake interval from ring pressure: an idle ring keeps
+/// the lazy 50 ms liveness tick, a filling ring tightens toward 5 ms so the
+/// tail advances before committers hit reclaim (or the steal threshold).
+fn checkpoint_tick(occupancy_permille: u64) -> std::time::Duration {
+    match occupancy_permille {
+        0..=249 => std::time::Duration::from_millis(50),
+        250..=499 => std::time::Duration::from_millis(15),
+        _ => std::time::Duration::from_millis(5),
+    }
+}
 
 /// Options controlling [`PlainFs::format`].
 #[derive(Debug, Clone)]
@@ -168,6 +184,9 @@ pub struct PlainFs<D: BlockDevice> {
     /// Background checkpoint daemon, when started (see
     /// [`Self::start_checkpoint_daemon`]).
     checkpoint: StdMutex<Option<CheckpointDaemon>>,
+    /// Stall-watchdog gauges (registry handle after [`Self::attach_obs`];
+    /// a detached disabled instance before).
+    watchdog: Arc<WatchdogStats>,
 }
 
 /// Fast non-cryptographic fill used to write "randomly generated patterns"
@@ -219,6 +238,7 @@ impl<D: BlockDevice> PlainFs<D> {
             itable_stripes: (0..STRIPE_COUNT).map(|_| Mutex::new(())).collect(),
             journal: journal.map(Arc::new),
             checkpoint: StdMutex::new(None),
+            watchdog: Arc::new(WatchdogStats::new(false)),
         }
     }
 
@@ -449,10 +469,12 @@ impl<D: BlockDevice> PlainFs<D> {
     }
 
     pub(crate) fn allocate_file_blocks_raw(&self, count: u64) -> FsResult<Vec<u64>> {
+        let _s = span::span(span::Phase::AllocClaim);
         self.alloc.lock().allocate_file(&self.bitmap, count)
     }
 
     pub(crate) fn allocate_one_raw(&self) -> FsResult<u64> {
+        let _s = span::span(span::Phase::AllocClaim);
         self.alloc_one()
     }
 
@@ -513,6 +535,22 @@ impl<D: BlockDevice> PlainFs<D> {
         &self.dev
     }
 
+    /// Commit-path pressure valve: when the ring is nearly full
+    /// ([`CHECKPOINT_STEAL_PERMILLE`]), the committer checkpoints the
+    /// journal itself instead of waiting for the daemon's next tick and
+    /// then stalling inside reclaim.  Errors are absorbed exactly as on the
+    /// daemon path (the commit that follows surfaces its own).
+    pub(crate) fn maybe_steal_checkpoint(&self) {
+        let Some(journal) = &self.journal else {
+            return;
+        };
+        if journal.occupancy_permille() >= CHECKPOINT_STEAL_PERMILLE
+            && journal.sync(&*self.dev).is_ok()
+        {
+            self.watchdog.note_steal();
+        }
+    }
+
     /// Wire this file system into a volume-wide observability registry:
     /// the device wrapper, the allocator meta mutex, the bitmap segment
     /// locks (`fs.alloc.<shard>`), the namespace lock, and the journal all
@@ -532,6 +570,7 @@ impl<D: BlockDevice> PlainFs<D> {
                 .expect("attach_obs after the journal was shared")
                 .attach_obs(obs);
         }
+        self.watchdog = obs.watchdog.clone();
     }
 
     /// Start the background checkpoint daemon: a thread that advances the
@@ -553,6 +592,7 @@ impl<D: BlockDevice> PlainFs<D> {
             return;
         }
         let dev = Arc::clone(&self.dev);
+        let watchdog = Arc::clone(&self.watchdog);
         let shared = Arc::new((
             StdMutex::new(DaemonState {
                 dirty: false,
@@ -565,13 +605,20 @@ impl<D: BlockDevice> PlainFs<D> {
         let handle = std::thread::spawn(move || {
             let (state, cv) = &*thread_shared;
             loop {
+                // Sample ring pressure before deciding how long to sleep:
+                // the wake interval adapts to occupancy so a filling ring
+                // gets checkpointed before committers hit reclaim.
+                let occupancy = journal.occupancy_permille();
+                let stalled = occupancy >= stegfs_obs::STALL_OCCUPANCY_PERMILLE
+                    || journal.gate_stall_max_ns() >= stegfs_obs::GATE_STALL_THRESHOLD_NS;
+                watchdog.sample(occupancy, stalled);
                 let mut guard = state.lock().expect("daemon state");
                 if !guard.dirty && !guard.stop {
                     // Timed wait doubles as a liveness tick: if the file
                     // system was dropped without unmount (crash tests), the
                     // daemon is the journal's last holder and exits.
                     guard = cv
-                        .wait_timeout(guard, std::time::Duration::from_millis(50))
+                        .wait_timeout(guard, checkpoint_tick(occupancy))
                         .expect("daemon state")
                         .0;
                 }
@@ -583,7 +630,9 @@ impl<D: BlockDevice> PlainFs<D> {
                     if drain && dirty {
                         // Shutdown drain: one final checkpoint so unmount
                         // hands back a volume that replays nothing.
-                        let _ = journal.sync(&*dev);
+                        if journal.sync(&*dev).is_ok() {
+                            watchdog.heartbeat();
+                        }
                     }
                     return;
                 }
@@ -591,7 +640,9 @@ impl<D: BlockDevice> PlainFs<D> {
                     // Checkpoint errors are absorbed: the journal itself is
                     // still correct (commits replay at next mount); the
                     // foreground sees the error on its own explicit sync.
-                    let _ = journal.sync(&*dev);
+                    if journal.sync(&*dev).is_ok() {
+                        watchdog.heartbeat();
+                    }
                 } else if Arc::strong_count(&journal) == 1 {
                     // Orphaned (fs dropped without unmount): exit without
                     // touching the device again.
@@ -667,6 +718,7 @@ impl<D: BlockDevice> PlainFs<D> {
     /// against the bitmap's segment locks — concurrent hidden writers
     /// placing blocks in different segments proceed fully in parallel.
     pub fn allocate_random_block(&self) -> FsResult<u64> {
+        let _s = span::span(span::Phase::AllocClaim);
         let draw = self.alloc.lock().draw_probes();
         self.bitmap
             .claim_random(
@@ -701,6 +753,7 @@ impl<D: BlockDevice> PlainFs<D> {
                 "block {block} outside the data region"
             )));
         }
+        let _s = span::span(span::Phase::AllocClaim);
         self.bitmap.try_allocate(block)
     }
 

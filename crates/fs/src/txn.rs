@@ -309,6 +309,10 @@ impl<'a, D: BlockDevice> FsTxn<'a, D> {
         let fs = self.fs;
         let journal = fs.journal_ref().expect("journaled txn without a journal");
 
+        // Pressure valve: with the ring nearly full, checkpoint now rather
+        // than stage into a ring that reclaim would block on anyway.
+        fs.maybe_steal_checkpoint();
+
         // Deferred inode updates become read-modify-writes of their table
         // blocks, under the table-block stripes (held through the apply).
         let mut by_table_block: BTreeMap<u64, Vec<InodeId>> = BTreeMap::new();

@@ -50,7 +50,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
 use std::time::Instant;
 use stegfs_blockdev::{BlockDevice, BlockError};
-use stegfs_obs::{GateStats, Obs, TimedMutex};
+use stegfs_obs::{span, GateStats, Obs, TimedMutex};
 
 /// Result alias for journal operations.
 pub type JournalResult<T> = Result<T, JournalError>;
@@ -247,6 +247,10 @@ impl CommitGate {
     /// completed.  Whoever finds the gate idle becomes the leader and
     /// flushes once for every waiter.
     fn flush_covering<D: BlockDevice>(&self, dev: &D) -> JournalResult<()> {
+        // Covers the whole gate visit: leading the flush or stalling behind
+        // someone else's both attribute to `gate_flush` (the nested device
+        // flush shows up as `device_io` self-time).
+        let _s = span::span(span::Phase::GateFlush);
         let stall_timer = if self.stats.is_enabled() {
             Some(Instant::now())
         } else {
@@ -314,6 +318,11 @@ pub struct Journal {
     keys: JournalKeys,
     state: TimedMutex<LogState>,
     gate: CommitGate,
+    /// Lock-free mirror of `LogState::used`, republished whenever the
+    /// staging/reclaim paths change it, so the checkpoint daemon and
+    /// commit-steal check read ring pressure without touching the state
+    /// lock.
+    used_slots: AtomicU64,
 }
 
 impl Journal {
@@ -343,6 +352,7 @@ impl Journal {
             }),
             gate: CommitGate::new(),
             geo,
+            used_slots: AtomicU64::new(0),
         })
     }
 
@@ -380,6 +390,35 @@ impl Journal {
     /// Ring capacity in slots.
     pub fn capacity_slots(&self) -> u64 {
         self.geo.ring_slots()
+    }
+
+    /// Current ring occupancy `(used slots, capacity)` from the lock-free
+    /// gauge — safe to poll from the checkpoint daemon or a commit path
+    /// without taking the log-state lock.
+    pub fn occupancy(&self) -> (u64, u64) {
+        (
+            self.used_slots.load(Ordering::Relaxed),
+            self.geo.ring_slots(),
+        )
+    }
+
+    /// Ring occupancy in permille (0–1000) of capacity.
+    pub fn occupancy_permille(&self) -> u64 {
+        let (used, capacity) = self.occupancy();
+        used.saturating_mul(1000).checked_div(capacity).unwrap_or(0)
+    }
+
+    /// Worst commit-gate stall seen so far (ns; 0 when obs is disabled).
+    /// The stall watchdog compares this against its threshold to flag a
+    /// wedged flush path; summarizing the histogram is cheap enough for a
+    /// poll every few milliseconds.
+    pub fn gate_stall_max_ns(&self) -> u64 {
+        self.gate.stats.stall_ns.summary().max
+    }
+
+    /// Republish the occupancy gauge from a held log state.
+    fn publish_occupancy(&self, state: &LogState) {
+        self.used_slots.store(state.used, Ordering::Relaxed);
     }
 
     /// Largest number of target blocks a single transaction can carry.
@@ -452,6 +491,7 @@ impl Journal {
                 state.live.drain(..eligible);
                 state.durable_tail_seq = tail;
                 state.used -= freed;
+                self.publish_occupancy(state);
                 continue;
             }
             // Nothing reclaimable yet.  If transactions are merely waiting
@@ -500,10 +540,13 @@ impl Journal {
         if tx.is_empty() {
             return Ok(None);
         }
+        let _s = span::span(span::Phase::JournalStage);
         let nslots = slots_for(tx.len(), self.geo.block_size);
         let state = &mut *self.state.lock();
         self.reclaim(dev, state, nslots)?;
-        Ok(Some(Self::stage_locked(state, &self.geo, tx, nslots)))
+        let staged = Self::stage_locked(state, &self.geo, tx, nslots);
+        self.publish_occupancy(state);
+        Ok(Some(staged))
     }
 
     /// [`stage`](Self::stage) for a whole batch under a **single** log-state
@@ -522,19 +565,22 @@ impl Journal {
         if txs.is_empty() {
             return Ok(Vec::new());
         }
+        let _s = span::span(span::Phase::JournalStage);
         let needed: u64 = txs
             .iter()
             .map(|t| slots_for(t.len(), self.geo.block_size))
             .sum();
         let state = &mut *self.state.lock();
         self.reclaim(dev, state, needed)?;
-        Ok(txs
+        let staged = txs
             .into_iter()
             .map(|tx| {
                 let nslots = slots_for(tx.len(), self.geo.block_size);
                 Self::stage_locked(state, &self.geo, tx, nslots)
             })
-            .collect())
+            .collect();
+        self.publish_occupancy(state);
+        Ok(staged)
     }
 
     /// Allocate one transaction's slot run from an already-reclaimed log
@@ -712,6 +758,7 @@ impl Journal {
         staged: StagedTx,
         post_apply: F,
     ) -> JournalResult<()> {
+        let _s = span::span(span::Phase::JournalApply);
         let (targets, data) = flatten_writes(&staged.tx.writes, self.geo.block_size);
         dev.write_blocks(&targets, &data)?;
         post_apply()?;
@@ -746,6 +793,7 @@ impl Journal {
         if staged.is_empty() {
             return Ok(());
         }
+        let _s = span::span(span::Phase::JournalApply);
         let bs = self.geo.block_size;
         let n: usize = staged.iter().map(|s| s.tx.len()).sum();
         let mut targets = Vec::with_capacity(n);
@@ -816,6 +864,7 @@ impl Journal {
         state.live.drain(..eligible);
         state.durable_tail_seq = tail;
         state.used -= freed;
+        self.publish_occupancy(state);
         Ok(())
     }
 

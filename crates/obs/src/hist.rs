@@ -26,8 +26,11 @@ const RANGES: usize = 60;
 /// Total bucket count (976).
 pub const NUM_BUCKETS: usize = LINEAR_CUTOFF as usize + RANGES * SUB_BUCKETS;
 
-/// Shards per enabled histogram; power of two.
-const SHARDS: usize = 4;
+/// Shards per enabled histogram; power of two.  Sized so a dozen engine
+/// workers rarely share a shard's cache lines on the per-block hot paths
+/// (the cached-read path records once per block), while keeping the
+/// attribution grid's 100+ histograms at ~8 KB per shard affordable.
+const SHARDS: usize = 8;
 
 fn bucket_index(v: u64) -> usize {
     if v < LINEAR_CUTOFF {

@@ -4,26 +4,43 @@
 //! metrics layer threaded through every tier of the filesystem: sharded
 //! log-linear latency [`Histogram`]s, a per-layer metrics registry
 //! ([`Obs`]), contention-instrumented lock wrappers
-//! ([`TimedMutex`]/[`TimedRwLock`]), and a RAM-only ring buffer of recent
-//! trace spans ([`TraceRing`]).
+//! ([`TimedMutex`]/[`TimedRwLock`]), a RAM-only ring buffer of recent
+//! trace spans ([`TraceRing`]), and causal per-request phase tracing
+//! ([`span`]): a thread-local request context installed at engine
+//! admission accumulates a tree of timed phases (`queue_wait`,
+//! `uak_shard`, `journal_stage`, `gate_flush`, `device_io`, ...) that
+//! feeds the per-op [`AttributionStats`] table, the worst-N
+//! [`SlowCapture`] ring, and the chrome://tracing exporter
+//! ([`TraceCapture`] + [`chrome_trace_json`]).
 //!
 //! # Deniability contract
 //!
 //! The same bar the read cache meets, applied to instrumentation:
 //!
 //! - **Metric names and shapes are static and key-independent.** Every
-//!   metric name is a `&'static str` baked into the binary; the set of
-//!   metrics, histogram bucket layout, and JSON keys of a [`Snapshot`] are
-//!   identical for an empty volume and one stuffed with hidden objects.
-//!   An adversary diffing two snapshots learns aggregate load, never
-//!   *which* objects exist.
-//! - **Values never embed secrets.** Counters and histograms carry only
-//!   counts and durations — no object signatures, keys, paths, plaintext,
-//!   or block addresses of hidden objects are ever recorded.
+//!   metric name — including every span phase label
+//!   ([`span::PHASE_NAMES`]) — is a `&'static str` baked into the binary;
+//!   the set of metrics, histogram bucket layout, and JSON keys of a
+//!   [`Snapshot`] or attribution table are identical for an empty volume
+//!   and one stuffed with hidden objects. An adversary diffing two
+//!   snapshots learns aggregate load, never *which* objects exist.
+//! - **Values never embed secrets.** Counters, histograms, and captured
+//!   span trees carry only counts and durations — no object signatures,
+//!   keys, paths, plaintext, or block addresses of hidden objects are
+//!   ever recorded.
+//! - **Span/request ids are ephemeral counters.** Every request id is
+//!   drawn from one process-global monotonic `u64` counter at admission
+//!   ([`span::request_begin`]); ids are never derived from key material,
+//!   access keys, or object identity, so a captured id relates requests
+//!   only by order.
 //! - **RAM only.** Nothing here is ever persisted to the volume; the disk
-//!   image is bit-identical whether collection is enabled or not.
-//! - **Trace buffers zeroize** on `signoff`/unmount via
-//!   [`TraceRing::zeroize`].
+//!   image is bit-identical whether collection (or tracing) is enabled or
+//!   not.
+//! - **Trace buffers and captured span trees zeroize** on
+//!   `signoff`/unmount via [`TraceRing::zeroize`],
+//!   [`SlowCapture::zeroize`], and [`TraceCapture::zeroize`] — the worst-N
+//!   capture holds whole request trees, so it is scrubbed with the same
+//!   discipline as plaintext caches.
 //!
 //! # Zero-cost opt-out
 //!
@@ -35,15 +52,21 @@
 
 #![forbid(unsafe_code)]
 
+mod capture;
 mod hist;
 mod lock;
+pub mod span;
 mod trace;
 
+pub use capture::{
+    chrome_trace_json, CaptureEvent, SlowCapture, SlowEntry, TraceCapture, SLOW_PER_OP,
+};
 pub use hist::{HistSummary, Histogram, NUM_BUCKETS};
 pub use lock::{
     LockStats, LockSummary, TimedMutex, TimedMutexGuard, TimedRwLock, TimedRwLockReadGuard,
     TimedRwLockWriteGuard,
 };
+pub use span::{FinishedRequest, Phase, SpanRecord, PHASE_COUNT, PHASE_NAMES};
 pub use trace::{TraceEvent, TraceRing};
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -372,6 +395,244 @@ impl EngineSummary {
     }
 }
 
+/// Per-request-type phase attribution: one self-time histogram per
+/// ([`ENGINE_OPS`] op, [`span::Phase`]) pair, fed by the engine from each
+/// finished request's span tree. Because spans record *self* time (nested
+/// children subtracted), the per-phase totals of one op partition its
+/// wall time — phase sums stay consistent with end-to-end percentiles.
+pub struct AttributionStats {
+    /// Row-major `[op][phase]` histograms of per-request phase self-time.
+    hists: Vec<Histogram>,
+}
+
+impl AttributionStats {
+    /// Construct; `enabled = false` allocates no histogram shards.
+    pub fn new(enabled: bool) -> Self {
+        AttributionStats {
+            hists: (0..ENGINE_OPS.len() * PHASE_COUNT)
+                .map(|_| Histogram::maybe(enabled))
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn slot(op: usize, phase: Phase) -> usize {
+        op * PHASE_COUNT + phase.index()
+    }
+
+    /// Record one request's self-time in `phase` for op type `op`.
+    #[inline]
+    pub fn record(&self, op: usize, phase: Phase, self_ns: u64) {
+        if let Some(h) = self.hists.get(Self::slot(op, phase)) {
+            h.record(self_ns);
+        }
+    }
+
+    /// The histogram for one (op, phase) cell.
+    pub fn phase(&self, op: usize, phase: Phase) -> Option<&Histogram> {
+        self.hists.get(Self::slot(op, phase))
+    }
+
+    pub fn reset(&self) {
+        for h in &self.hists {
+            h.reset();
+        }
+    }
+
+    /// Fixed-shape summary: every op × phase cell is always present.
+    pub fn summary(&self) -> AttributionSummary {
+        AttributionSummary {
+            ops: ENGINE_OPS
+                .iter()
+                .enumerate()
+                .map(|(op, name)| OpAttribution {
+                    op: name,
+                    phases: span::ALL_PHASES
+                        .iter()
+                        .map(|p| (p.name(), self.hists[Self::slot(op, *p)].summary()))
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One op's per-phase self-time summaries, in [`span::ALL_PHASES`] order.
+#[derive(Debug, Clone)]
+pub struct OpAttribution {
+    pub op: &'static str,
+    pub phases: Vec<(&'static str, HistSummary)>,
+}
+
+/// Fixed-shape attribution table: all [`ENGINE_OPS`] × all phases, always.
+#[derive(Debug, Clone)]
+pub struct AttributionSummary {
+    pub ops: Vec<OpAttribution>,
+}
+
+impl AttributionSummary {
+    /// Summaries for one op by [`ENGINE_OPS`] name.
+    pub fn op(&self, name: &str) -> Option<&OpAttribution> {
+        self.ops.iter().find(|o| o.op == name)
+    }
+
+    /// Fixed-shape JSON: `{"<op>": {"<phase>": {hist}, ...}, ...}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": {{", op.op));
+            for (j, (phase, summary)) in op.phases.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{}\": {}", phase, summary.to_json()));
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+
+    /// Digit-normalized [`Self::to_json`] (see [`Snapshot::shape`]).
+    pub fn shape(&self) -> String {
+        normalize_shape(&self.to_json())
+    }
+}
+
+/// Journal-ring occupancy at or above this permille counts as a stall
+/// sample for the watchdog.
+pub const STALL_OCCUPANCY_PERMILLE: u64 = 800;
+
+/// A gate flush stalling a committer longer than this flags a gate stall.
+pub const GATE_STALL_THRESHOLD_NS: u64 = 50_000_000;
+
+/// Stall-watchdog gauges: journal-ring occupancy and checkpoint-daemon
+/// liveness, sampled by the checkpoint daemon's tick (and fed by commit
+/// steals). All values are plain load-shaped numbers.
+pub struct WatchdogStats {
+    enabled: bool,
+    epoch: Instant,
+    /// Last sampled journal-ring occupancy (used slots / capacity, ‰).
+    pub ring_occupancy_permille: AtomicU64,
+    pub ring_occupancy_hwm_permille: AtomicU64,
+    /// Epoch-ns of the last completed checkpoint; 0 = never.
+    heartbeat_ns: AtomicU64,
+    /// Commits that checkpointed a nearly-full ring themselves.
+    pub checkpoint_steals: AtomicU64,
+    pub samples: AtomicU64,
+    /// Samples flagged as stalled (occupancy or gate-stall threshold hit).
+    pub stall_samples: AtomicU64,
+}
+
+impl WatchdogStats {
+    pub fn new(enabled: bool) -> Self {
+        WatchdogStats {
+            enabled,
+            epoch: Instant::now(),
+            ring_occupancy_permille: AtomicU64::new(0),
+            ring_occupancy_hwm_permille: AtomicU64::new(0),
+            heartbeat_ns: AtomicU64::new(0),
+            checkpoint_steals: AtomicU64::new(0),
+            samples: AtomicU64::new(0),
+            stall_samples: AtomicU64::new(0),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record one watchdog tick: the current ring occupancy and whether the
+    /// caller judged the system stalled.
+    pub fn sample(&self, occupancy_permille: u64, stalled: bool) {
+        if !self.enabled {
+            return;
+        }
+        self.ring_occupancy_permille
+            .store(occupancy_permille, Ordering::Relaxed);
+        self.ring_occupancy_hwm_permille
+            .fetch_max(occupancy_permille, Ordering::Relaxed);
+        self.samples.fetch_add(1, Ordering::Relaxed);
+        if stalled {
+            self.stall_samples.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Stamp a completed checkpoint (daemon liveness heartbeat).
+    pub fn heartbeat(&self) {
+        if self.enabled {
+            self.heartbeat_ns.store(
+                self.epoch.elapsed().as_nanos().max(1) as u64,
+                Ordering::Relaxed,
+            );
+        }
+    }
+
+    /// A committer checkpointed a nearly-full ring itself.
+    pub fn note_steal(&self) {
+        if self.enabled {
+            self.checkpoint_steals.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Nanoseconds since the last checkpoint heartbeat; 0 when none yet.
+    pub fn heartbeat_age_ns(&self) -> u64 {
+        let at = self.heartbeat_ns.load(Ordering::Relaxed);
+        if at == 0 {
+            0
+        } else {
+            (self.epoch.elapsed().as_nanos() as u64).saturating_sub(at)
+        }
+    }
+
+    /// Clear window-scoped counters (keeps the occupancy gauge and the
+    /// heartbeat stamp, which describe current state, not a window).
+    pub fn reset(&self) {
+        self.ring_occupancy_hwm_permille.store(0, Ordering::Relaxed);
+        self.checkpoint_steals.store(0, Ordering::Relaxed);
+        self.samples.store(0, Ordering::Relaxed);
+        self.stall_samples.store(0, Ordering::Relaxed);
+    }
+
+    pub fn summary(&self) -> WatchdogSummary {
+        WatchdogSummary {
+            ring_occupancy_permille: self.ring_occupancy_permille.load(Ordering::Relaxed),
+            ring_occupancy_hwm_permille: self.ring_occupancy_hwm_permille.load(Ordering::Relaxed),
+            heartbeat_age_ms: self.heartbeat_age_ns() / 1_000_000,
+            checkpoint_steals: self.checkpoint_steals.load(Ordering::Relaxed),
+            samples: self.samples.load(Ordering::Relaxed),
+            stall_samples: self.stall_samples.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WatchdogSummary {
+    pub ring_occupancy_permille: u64,
+    pub ring_occupancy_hwm_permille: u64,
+    pub heartbeat_age_ms: u64,
+    pub checkpoint_steals: u64,
+    pub samples: u64,
+    pub stall_samples: u64,
+}
+
+impl WatchdogSummary {
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"ring_occupancy_permille\": {}, \"ring_occupancy_hwm_permille\": {}, \"checkpoint_heartbeat_age_ms\": {}, \"checkpoint_steals\": {}, \"samples\": {}, \"stall_samples\": {}}}",
+            self.ring_occupancy_permille,
+            self.ring_occupancy_hwm_permille,
+            self.heartbeat_age_ms,
+            self.checkpoint_steals,
+            self.samples,
+            self.stall_samples
+        )
+    }
+}
+
 /// The per-volume metrics registry. One [`Obs`] is created per mounted
 /// volume and shared (via `Arc`) by every layer: the observed block device,
 /// the plain filesystem's allocator and namespace locks, the journal's
@@ -379,6 +640,10 @@ impl EngineSummary {
 /// locks, and the request engine.
 pub struct Obs {
     enabled: bool,
+    /// Causal span tracing active: collection on and a non-zero trace
+    /// capacity.  `trace_capacity: 0` turns the whole span layer off while
+    /// keeping the flat metrics.
+    tracing: bool,
     epoch: Instant,
     /// Allocator meta mutex (`fs.alloc`): policy, cursor, placement RNG.
     pub alloc_lock: Arc<LockStats>,
@@ -401,6 +666,14 @@ pub struct Obs {
     pub readcache: Arc<ReadCacheStats>,
     pub engine: Arc<EngineStats>,
     pub trace: TraceRing,
+    /// Per-op × per-phase self-time attribution from request span trees.
+    pub attribution: AttributionStats,
+    /// Worst-N slow-request span trees per op type.
+    pub slow: SlowCapture,
+    /// Bounded whole-tree capture for the chrome-trace exporter.
+    pub capture: TraceCapture,
+    /// Stall watchdog gauges (journal occupancy, checkpoint liveness).
+    pub watchdog: Arc<WatchdogStats>,
 }
 
 /// Fixed lock-metric names, in snapshot order.
@@ -432,8 +705,16 @@ pub const ALLOC_SHARD_NAMES: [&str; ALLOC_SHARDS] = [
 
 impl Obs {
     pub fn new(enabled: bool) -> Arc<Self> {
+        Self::with_trace_capacity(enabled, TRACE_CAPACITY)
+    }
+
+    /// Construct with an explicit trace-ring capacity
+    /// (`StegParams::trace_capacity`); `0` disables the ring even when
+    /// collection is otherwise enabled.
+    pub fn with_trace_capacity(enabled: bool, trace_capacity: usize) -> Arc<Self> {
         Arc::new(Obs {
             enabled,
+            tracing: enabled && trace_capacity > 0,
             epoch: Instant::now(),
             alloc_lock: LockStats::new(enabled),
             alloc_shards: (0..ALLOC_SHARDS).map(|_| LockStats::new(enabled)).collect(),
@@ -446,7 +727,11 @@ impl Obs {
             gate: Arc::new(GateStats::new(enabled)),
             readcache: Arc::new(ReadCacheStats::new(enabled)),
             engine: Arc::new(EngineStats::new(enabled)),
-            trace: TraceRing::new(if enabled { TRACE_CAPACITY } else { 0 }),
+            trace: TraceRing::new(if enabled { trace_capacity } else { 0 }),
+            attribution: AttributionStats::new(enabled),
+            slow: SlowCapture::new(enabled),
+            capture: TraceCapture::new(),
+            watchdog: Arc::new(WatchdogStats::new(enabled)),
         })
     }
 
@@ -456,6 +741,13 @@ impl Obs {
 
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// True when causal span tracing should run: collection is enabled and
+    /// the trace capacity is non-zero.  The engine checks this once per
+    /// request before installing a span context.
+    pub fn is_tracing(&self) -> bool {
+        self.tracing
     }
 
     /// Nanoseconds since this registry was created (trace timestamps).
@@ -469,6 +761,23 @@ impl Obs {
         if self.enabled {
             self.trace
                 .record(layer, op, self.now_ns().saturating_sub(dur_ns), dur_ns);
+        }
+    }
+
+    /// Feed one finished request's span tree into the attribution table,
+    /// the slow-request capture, and (when active) the chrome-trace capture.
+    /// `latency_ns` is the submit → completion latency; `worker` is the
+    /// engine worker index (chrome `tid`).
+    pub fn complete_request(&self, finished: &FinishedRequest, latency_ns: u64, worker: u32) {
+        if !self.enabled {
+            return;
+        }
+        for s in &finished.spans {
+            self.attribution.record(finished.op, s.phase, s.self_ns());
+        }
+        self.slow.offer(finished, latency_ns);
+        if self.capture.is_active() {
+            self.capture.append(finished, self.now_ns(), worker);
         }
     }
 
@@ -488,6 +797,9 @@ impl Obs {
         self.gate.reset();
         self.readcache.reset();
         self.engine.reset();
+        self.attribution.reset();
+        self.slow.zeroize();
+        self.watchdog.reset();
     }
 
     pub fn snapshot(&self) -> Snapshot {
@@ -515,8 +827,10 @@ impl Obs {
             gate: self.gate.summary(),
             readcache: self.readcache.summary(),
             engine: self.engine.summary(),
+            watchdog: self.watchdog.summary(),
             trace_accepted: self.trace.accepted(),
             trace_dropped: self.trace.dropped(),
+            trace_overwritten: self.trace.overwritten(),
         }
     }
 }
@@ -532,8 +846,10 @@ pub struct Snapshot {
     pub gate: GateSummary,
     pub readcache: ReadCacheSummary,
     pub engine: EngineSummary,
+    pub watchdog: WatchdogSummary,
     pub trace_accepted: u64,
     pub trace_dropped: u64,
+    pub trace_overwritten: u64,
 }
 
 impl Snapshot {
@@ -558,15 +874,17 @@ impl Snapshot {
     /// Full fixed-shape JSON export.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"enabled\": {}, \"locks\": {}, \"device\": {}, \"journal_gate\": {}, \"readcache\": {}, \"engine\": {}, \"trace\": {{\"accepted\": {}, \"dropped\": {}}}}}",
+            "{{\"enabled\": {}, \"locks\": {}, \"device\": {}, \"journal_gate\": {}, \"readcache\": {}, \"engine\": {}, \"watchdog\": {}, \"trace\": {{\"accepted\": {}, \"dropped\": {}, \"overwritten\": {}}}}}",
             self.enabled,
             self.locks_json(),
             self.device.to_json(),
             self.gate.to_json(),
             self.readcache.to_json(),
             self.engine.to_json(),
+            self.watchdog.to_json(),
             self.trace_accepted,
-            self.trace_dropped
+            self.trace_dropped,
+            self.trace_overwritten
         )
     }
 
@@ -575,21 +893,27 @@ impl Snapshot {
     /// keys survive normalization because they are identical on both sides
     /// by construction.
     pub fn shape(&self) -> String {
-        let mut out = String::new();
-        let mut in_digits = false;
-        for c in self.to_json().chars() {
-            if c.is_ascii_digit() {
-                if !in_digits {
-                    out.push('N');
-                    in_digits = true;
-                }
-            } else {
-                in_digits = false;
-                out.push(c);
-            }
-        }
-        out
+        normalize_shape(&self.to_json())
     }
+}
+
+/// Replace every digit run in `json` with `N` — the shape-comparison
+/// normal form used by [`Snapshot::shape`] and [`AttributionSummary::shape`].
+pub fn normalize_shape(json: &str) -> String {
+    let mut out = String::new();
+    let mut in_digits = false;
+    for c in json.chars() {
+        if c.is_ascii_digit() {
+            if !in_digits {
+                out.push('N');
+                in_digits = true;
+            }
+        } else {
+            in_digits = false;
+            out.push(c);
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -656,5 +980,102 @@ mod tests {
         assert_eq!(obs.trace.accepted(), 1);
         obs.trace.zeroize();
         assert!(obs.trace.is_zeroed());
+    }
+
+    #[test]
+    fn trace_capacity_is_configurable() {
+        let obs = Obs::with_trace_capacity(true, 2);
+        assert_eq!(obs.trace.capacity(), 2);
+        for _ in 0..5 {
+            obs.trace_span("engine", "read", 10);
+        }
+        assert_eq!(obs.trace.accepted(), 5);
+        assert_eq!(obs.trace.overwritten(), 3);
+        // 0 disables the ring even with collection on.
+        let off = Obs::with_trace_capacity(true, 0);
+        off.trace_span("engine", "read", 10);
+        assert!(off.trace.is_zeroed());
+    }
+
+    fn one_finished(op: usize, wall_ns: u64) -> FinishedRequest {
+        span::request_begin(op);
+        span::note(Phase::QueueWait, wall_ns / 4);
+        {
+            let _g = span::span(Phase::JournalStage);
+            span::note(Phase::DeviceIo, 5);
+        }
+        let mut fin = span::request_end().unwrap();
+        fin.wall_ns = wall_ns;
+        fin
+    }
+
+    #[test]
+    fn complete_request_feeds_attribution_and_slow_capture() {
+        let obs = Obs::new(true);
+        let fin = one_finished(5, 1_000);
+        obs.complete_request(&fin, 1_200, 0);
+        let attr = obs.attribution.summary();
+        let write = attr.op("write_at").unwrap();
+        let queue = write
+            .phases
+            .iter()
+            .find(|(n, _)| *n == "queue_wait")
+            .unwrap();
+        assert_eq!(queue.1.count, 1);
+        let stage = write
+            .phases
+            .iter()
+            .find(|(n, _)| *n == "journal_stage")
+            .unwrap();
+        assert_eq!(stage.1.count, 1);
+        assert_eq!(obs.slow.len(), 1);
+        // Self-time discipline: the stage cell excludes the nested device io.
+        let io_total = fin
+            .spans
+            .iter()
+            .find(|s| s.phase == Phase::DeviceIo)
+            .unwrap();
+        assert_eq!(io_total.dur_ns, 5);
+    }
+
+    #[test]
+    fn attribution_shape_is_static_and_full() {
+        let a = Obs::new(true);
+        let fin = one_finished(3, 2_000);
+        a.complete_request(&fin, 2_000, 1);
+        let b = Obs::new(true);
+        assert_eq!(
+            a.attribution.summary().shape(),
+            b.attribution.summary().shape()
+        );
+        let json = b.attribution.summary().to_json();
+        for op in ENGINE_OPS {
+            assert!(json.contains(op));
+        }
+        for phase in PHASE_NAMES {
+            assert!(json.contains(phase));
+        }
+    }
+
+    #[test]
+    fn watchdog_gauges_roll_up_into_snapshot() {
+        let obs = Obs::new(true);
+        obs.watchdog.sample(400, false);
+        obs.watchdog.sample(850, true);
+        obs.watchdog.heartbeat();
+        obs.watchdog.note_steal();
+        let snap = obs.snapshot();
+        assert_eq!(snap.watchdog.ring_occupancy_permille, 850);
+        assert_eq!(snap.watchdog.ring_occupancy_hwm_permille, 850);
+        assert_eq!(snap.watchdog.samples, 2);
+        assert_eq!(snap.watchdog.stall_samples, 1);
+        assert_eq!(snap.watchdog.checkpoint_steals, 1);
+        assert!(snap.to_json().contains("\"watchdog\""));
+        // Disabled watchdog collects nothing.
+        let off = Obs::disabled();
+        off.watchdog.sample(999, true);
+        off.watchdog.note_steal();
+        assert_eq!(off.snapshot().watchdog.samples, 0);
+        assert_eq!(off.snapshot().watchdog.checkpoint_steals, 0);
     }
 }

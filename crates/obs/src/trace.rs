@@ -43,6 +43,9 @@ struct RingInner {
     next: usize,
     /// Total events ever accepted (wraps the ring when > capacity).
     accepted: u64,
+    /// Accepted events that overwrote an older slot (ring wrapped), so
+    /// truncation is visible rather than silent.
+    overwritten: u64,
 }
 
 /// Fixed-capacity ring of recent [`TraceEvent`]s.
@@ -60,6 +63,7 @@ impl TraceRing {
                 events: Vec::new(),
                 next: 0,
                 accepted: 0,
+                overwritten: 0,
             }),
             capacity,
             dropped: AtomicU64::new(0),
@@ -88,6 +92,7 @@ impl TraceRing {
                 } else {
                     let next = inner.next;
                     inner.events[next] = ev;
+                    inner.overwritten += 1;
                 }
                 inner.next = (inner.next + 1) % self.capacity;
                 inner.accepted += 1;
@@ -121,6 +126,12 @@ impl TraceRing {
         self.inner.lock().accepted
     }
 
+    /// Accepted events that overwrote an older slot because the ring
+    /// wrapped — the count of spans truncated out of [`Self::snapshot`].
+    pub fn overwritten(&self) -> u64 {
+        self.inner.lock().overwritten
+    }
+
     /// Scrub every slot in place, then release the storage. `black_box`
     /// keeps the scrub from being optimized away.
     pub fn zeroize(&self) {
@@ -133,6 +144,7 @@ impl TraceRing {
         inner.events.shrink_to_fit();
         inner.next = 0;
         inner.accepted = 0;
+        inner.overwritten = 0;
     }
 
     /// True when the ring holds no events (used by deniability tests).
@@ -168,6 +180,11 @@ mod tests {
         assert_eq!(evs.len(), 4);
         assert_eq!(evs.first().unwrap().t_ns, 6);
         assert_eq!(evs.last().unwrap().t_ns, 9);
+        // Truncation is counted, not silent: 10 accepted, 6 overwrote.
+        assert_eq!(ring.accepted(), 10);
+        assert_eq!(ring.overwritten(), 6);
+        ring.zeroize();
+        assert_eq!(ring.overwritten(), 0);
     }
 
     #[test]

@@ -333,7 +333,12 @@ impl<D: BlockDevice> Vfs<D> {
             self.release_ref(&file.object);
         }
         self.fs.purge_session_caches(&state.uak);
+        // Session-scoped observability state that could outline hidden
+        // activity (op-labelled trace entries, captured span trees) dies
+        // with the session; the digit-normalized *shape* stays identical.
         self.fs.obs().trace.zeroize();
+        self.fs.obs().slow.zeroize();
+        self.fs.obs().capture.zeroize();
         Ok(())
     }
 

@@ -7,17 +7,23 @@
 //!
 //! 1. The snapshot's *shape* — every key, label, and metric name — is a
 //!    static property of the binary, identical whether or not hidden objects
-//!    exist or were ever touched.  Only numeric magnitudes vary.
-//! 2. The RAM-only trace ring is scrubbed on session sign-off.
-//! 3. The on-disk image is bit-identical with observability on and off:
-//!    nothing about the registry is ever persisted.
+//!    exist or were ever touched.  Only numeric magnitudes vary.  The same
+//!    holds one level down for the span layer: the attribution table's shape
+//!    and the chrome-trace export's label vocabulary are closed sets baked
+//!    into the binary.
+//! 2. The RAM-only trace ring, the slow-request capture, and any in-flight
+//!    chrome-trace capture are scrubbed on session sign-off.
+//! 3. The on-disk image is bit-identical with observability on and off, and
+//!    with tracing on and off: nothing about the registry is ever persisted.
+//! 4. Request ids in span trees come from a process-global monotonic
+//!    counter, never from key material.
 
 use std::sync::Arc;
-use stegfs_blockdev::MemBlockDevice;
+use stegfs_blockdev::{BlockDevice, MemBlockDevice, SharedDevice};
 use stegfs_core::{ObjectKind, StegFs, StegParams};
-use stegfs_engine::{Engine, Request, Response};
+use stegfs_engine::{Client, Engine, Request, Response};
 use stegfs_tests::{full_feature_params, payload};
-use stegfs_vfs::{OpenOptions, Vfs};
+use stegfs_vfs::{OpenOptions, Vfs, VfsHandle};
 
 const OWNER: &str = "the real key";
 
@@ -71,15 +77,10 @@ fn snapshot_shape_is_independent_of_hidden_activity() {
     }
 }
 
-#[test]
-fn trace_ring_is_zeroized_on_signoff() {
-    let dev = MemBlockDevice::new(1024, 8192);
-    let vfs = Arc::new(Vfs::format(dev, obs_params()).unwrap());
-    let engine = Arc::new(Engine::start(Arc::clone(&vfs), 2));
-    let client = engine.client(OWNER);
-    let h = match client
+fn eng_open<D: BlockDevice + Send + Sync + 'static>(client: &Client<D>, path: &str) -> VfsHandle {
+    match client
         .call(Request::Open {
-            path: "/hidden/diary".into(),
+            path: path.into(),
             opts: OpenOptions::read_write(),
         })
         .result
@@ -87,32 +88,191 @@ fn trace_ring_is_zeroized_on_signoff() {
     {
         Response::Handle(h) => h,
         other => panic!("open returned {other:?}"),
-    };
+    }
+}
+
+fn eng_write<D: BlockDevice + Send + Sync + 'static>(
+    client: &Client<D>,
+    h: VfsHandle,
+    data: Vec<u8>,
+) {
+    let len = data.len();
     match client
         .call(Request::WriteAt {
             handle: h,
             offset: 0,
-            data: payload(5, 8 * 1024),
+            data,
         })
         .result
         .unwrap()
     {
-        Response::Written(n) => assert_eq!(n, 8 * 1024),
+        Response::Written(n) => assert_eq!(n, len),
         other => panic!("write returned {other:?}"),
     }
-    client.call(Request::Close { handle: h });
+}
+
+fn eng_read<D: BlockDevice + Send + Sync + 'static>(client: &Client<D>, h: VfsHandle, len: usize) {
+    client
+        .call(Request::ReadAt {
+            handle: h,
+            offset: 0,
+            len,
+        })
+        .result
+        .unwrap();
+}
+
+fn eng_close<D: BlockDevice + Send + Sync + 'static>(client: &Client<D>, h: VfsHandle) {
+    client.call(Request::Close { handle: h }).result.unwrap();
+}
+
+#[test]
+fn trace_slow_and_capture_rings_are_zeroized_on_signoff() {
+    let dev = MemBlockDevice::new(1024, 8192);
+    let vfs = Arc::new(Vfs::format(dev, obs_params()).unwrap());
+    let engine = Arc::new(Engine::start(Arc::clone(&vfs), 2));
+    vfs.obs().capture.begin(1024);
+    let client = engine.client(OWNER);
+    let h = eng_open(&client, "/hidden/diary");
+    eng_write(&client, h, payload(5, 8 * 1024));
+    eng_close(&client, h);
     assert!(
         vfs.obs().trace.accepted() > 0,
         "engine ops must land spans in the trace ring"
+    );
+    assert!(
+        vfs.obs().slow.offered() > 0 && !vfs.obs().slow.is_zeroed(),
+        "completed requests must be offered to the slow capture"
+    );
+    assert!(
+        !vfs.obs().capture.is_zeroed(),
+        "an active chrome-trace capture must hold the run's trees"
     );
     client.signoff().unwrap();
     assert!(
         vfs.obs().trace.is_zeroed(),
         "signoff must scrub the trace ring"
     );
+    assert!(
+        vfs.obs().slow.is_zeroed(),
+        "signoff must scrub the slow-request capture"
+    );
+    assert!(
+        vfs.obs().capture.is_zeroed(),
+        "signoff must scrub any in-flight chrome-trace capture"
+    );
     Arc::try_unwrap(engine)
         .unwrap_or_else(|_| panic!("engine still shared"))
         .shutdown();
+}
+
+/// Drive a fixed engine request sequence (optionally touching a hidden
+/// object) and return the attribution-table shape plus the run's
+/// chrome-trace JSON.
+fn span_layer_run(key: &str, hidden: bool) -> (String, String) {
+    let vfs = Arc::new(Vfs::format(MemBlockDevice::new(1024, 8192), obs_params()).unwrap());
+    let engine = Arc::new(Engine::start(Arc::clone(&vfs), 1));
+    vfs.obs().capture.begin(4096);
+    let client = engine.client(key);
+    let h = eng_open(&client, "/plain/cover.dat");
+    eng_write(&client, h, payload(21, 16 * 1024));
+    eng_read(&client, h, 16 * 1024);
+    eng_close(&client, h);
+    if hidden {
+        let h = eng_open(&client, "/hidden/secret-a");
+        eng_write(&client, h, payload(22, 16 * 1024));
+        eng_read(&client, h, 16 * 1024);
+        eng_close(&client, h);
+    }
+    let (events, _) = vfs.obs().capture.take();
+    let json = stegfs_obs::chrome_trace_json(&events);
+    let shape = vfs.obs().attribution.summary().shape();
+    client.signoff().unwrap();
+    Arc::try_unwrap(engine)
+        .unwrap_or_else(|_| panic!("engine still shared"))
+        .shutdown();
+    (shape, json)
+}
+
+#[test]
+fn span_layer_shape_is_independent_of_hidden_activity() {
+    let (plain_shape, _) = span_layer_run(OWNER, false);
+    let (hidden_shape, json) = span_layer_run(OWNER, true);
+    // The attribution table is a fixed ENGINE_OPS × phases grid: its shape
+    // (keys, labels, structure) is byte-identical whether or not hidden
+    // objects were ever touched.
+    assert_eq!(
+        plain_shape, hidden_shape,
+        "attribution shape must not depend on hidden activity"
+    );
+    // The export never embeds workload identifiers.
+    for leak in ["secret", OWNER, "cover", "/plain", "/hidden"] {
+        assert!(
+            !json.contains(leak),
+            "trace export must not contain {leak:?}"
+        );
+    }
+    // Every event label is drawn from the closed static vocabulary baked
+    // into the binary — call sites cannot invent names.
+    let mut rest = json.as_str();
+    let mut seen = 0usize;
+    while let Some(i) = rest.find("\"name\": \"") {
+        rest = &rest[i + 9..];
+        let end = rest.find('"').expect("name string terminated");
+        let name = &rest[..end];
+        assert!(
+            stegfs_obs::PHASE_NAMES.contains(&name) || stegfs_obs::ENGINE_OPS.contains(&name),
+            "trace event label {name:?} is not in the static vocabulary"
+        );
+        rest = &rest[end..];
+        seen += 1;
+    }
+    assert!(seen > 0, "the hidden run must export events");
+    let mut rest = json.as_str();
+    while let Some(i) = rest.find("\"cat\": \"") {
+        rest = &rest[i + 8..];
+        let end = rest.find('"').expect("cat string terminated");
+        assert!(matches!(&rest[..end], "request" | "phase"));
+        rest = &rest[end..];
+    }
+}
+
+#[test]
+fn request_ids_are_counter_allocated_never_key_derived() {
+    // The same workload under two unrelated access keys: if span request
+    // ids were in any way derived from key material the two id sets could
+    // interleave or collide.  A process-global monotonic counter — the only
+    // allocator — makes every id of the later run strictly greater than
+    // every id of the earlier run.
+    let ids = |key: &str| -> Vec<u64> {
+        let vfs = Arc::new(Vfs::format(MemBlockDevice::new(1024, 8192), obs_params()).unwrap());
+        let engine = Arc::new(Engine::start(Arc::clone(&vfs), 1));
+        vfs.obs().capture.begin(4096);
+        let client = engine.client(key);
+        let h = eng_open(&client, "/hidden/diary");
+        eng_write(&client, h, payload(31, 8 * 1024));
+        eng_close(&client, h);
+        let (events, _) = vfs.obs().capture.take();
+        client.signoff().unwrap();
+        Arc::try_unwrap(engine)
+            .unwrap_or_else(|_| panic!("engine still shared"))
+            .shutdown();
+        events
+            .iter()
+            .filter(|e| e.cat == "request")
+            .map(|e| e.req_id)
+            .collect()
+    };
+    let first = ids("alpha key material");
+    let second = ids("a completely different key");
+    assert_eq!(first.len(), second.len(), "identical workloads");
+    assert!(!first.is_empty());
+    let max_first = *first.iter().max().unwrap();
+    let min_second = *second.iter().min().unwrap();
+    assert!(
+        min_second > max_first,
+        "request ids must advance monotonically across sessions ({min_second} <= {max_first})"
+    );
 }
 
 /// Image every block of the volume through the raw-read path.
@@ -146,6 +306,52 @@ fn disk_image_is_bit_identical_with_obs_on_and_off() {
         run(true),
         run(false),
         "instrumentation must leave no mark on the volume"
+    );
+}
+
+#[test]
+fn disk_image_is_bit_identical_with_tracing_on_and_off() {
+    // Same workload driven through the full engine stack, once with the
+    // trace ring disabled (`trace_capacity: 0`) and once with tracing plus
+    // an active chrome-trace capture.  An adversary imaging the raw device
+    // afterwards sees the same bytes either way.
+    let run = |trace_capacity: usize| -> Vec<u8> {
+        let params = StegParams {
+            trace_capacity,
+            ..full_feature_params()
+        };
+        let shared = SharedDevice::new(MemBlockDevice::new(1024, 8192));
+        let adversary = shared.clone();
+        let vfs = Arc::new(Vfs::format(shared, params).unwrap());
+        let engine = Arc::new(Engine::start(Arc::clone(&vfs), 1));
+        if trace_capacity > 0 {
+            vfs.obs().capture.begin(trace_capacity);
+        }
+        let client = engine.client(OWNER);
+        let h = eng_open(&client, "/plain/cover.dat");
+        eng_write(&client, h, payload(41, 24 * 1024));
+        eng_close(&client, h);
+        let h = eng_open(&client, "/hidden/secret");
+        eng_write(&client, h, payload(42, 32 * 1024));
+        eng_read(&client, h, 32 * 1024);
+        eng_close(&client, h);
+        client.signoff().unwrap();
+        vfs.sync().unwrap();
+        Arc::try_unwrap(engine)
+            .unwrap_or_else(|_| panic!("engine still shared"))
+            .shutdown();
+        drop(vfs);
+        let total = adversary.total_blocks();
+        let mut out = Vec::new();
+        for b in 0..total {
+            out.extend(adversary.read_block_shared(b).unwrap());
+        }
+        out
+    };
+    assert_eq!(
+        run(0),
+        run(1024),
+        "tracing must leave no mark on the volume"
     );
 }
 
