@@ -500,6 +500,30 @@ fn main() {
             Ok(()) => println!("merged survival into BENCH.json ({} points)", points.len()),
             Err(e) => eprintln!("could not write BENCH.json: {e}"),
         }
+
+        // Metadata-damage sweep: header/chain replicas and data shares
+        // destroyed within tolerance per coded policy, healed by the online
+        // read-repair queue and verified converged by a scavenge pass.
+        let meta_points = sv::run_metadata_sweep(files, file_kb, 0x4d45_5441);
+        println!("{}", sv::render_metadata(&meta_points));
+        let section = sv::metadata_section_json(&meta_points);
+        match stegfs_bench::bench_json::update_file("BENCH.json", "survival_metadata", &section) {
+            Ok(()) => println!(
+                "merged survival_metadata into BENCH.json ({} points)",
+                meta_points.len()
+            ),
+            Err(e) => eprintln!("could not write BENCH.json: {e}"),
+        }
+
+        // Transient-fault point: a FlakyDevice injecting error-then-succeed
+        // streaks under a RetryDevice that must absorb every one of them.
+        let transient = sv::transient_point(files, file_kb, 0x464c_4159);
+        println!("{}", sv::render_transient(&transient));
+        let section = sv::transient_section_json(&transient);
+        match stegfs_bench::bench_json::update_file("BENCH.json", "survival_transient", &section) {
+            Ok(()) => println!("merged survival_transient into BENCH.json"),
+            Err(e) => eprintln!("could not write BENCH.json: {e}"),
+        }
     }
 
     if opts.attribution {

@@ -19,8 +19,10 @@
 //! fail closed with no partial plaintext.
 
 use std::fmt::Write as _;
-use stegfs_blockdev::{CorruptingDevice, MemBlockDevice};
-use stegfs_core::{ObjectKind, Policy, StegFs, StegParams};
+use std::time::Duration;
+use stegfs_blockdev::{CorruptingDevice, FlakyDevice, MemBlockDevice, RetryDevice};
+use stegfs_core::crypt::ObjectKeys;
+use stegfs_core::{hidden, ObjectKind, Policy, StegFs, StegParams};
 use stegfs_survival::scavenge;
 
 /// Access key owning the sweep's working set.
@@ -142,6 +144,281 @@ pub fn run_sweep(files: usize, file_kb: usize, damage_frac: f64, seed: u64) -> V
         .collect()
 }
 
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// The metadata replica groups of `name`: its header-replica set and its
+/// head inode-chain replica set, each `n - m + 1` deep for coded policies.
+fn metadata_groups(fs: &StegFs<CorruptingDevice<MemBlockDevice>>, name: &str) -> Vec<Vec<u64>> {
+    let entry = fs.lookup_entry(name, UAK).expect("entry");
+    let keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
+    let obj = hidden::open(fs.plain_fs(), &entry.physical_name, &keys, fs.params()).expect("open");
+    let mut groups = Vec::new();
+    if obj.header.header_replicas.is_empty() {
+        groups.push(vec![obj.header_block]);
+    } else {
+        groups.push(obj.header.header_replicas.clone());
+    }
+    if obj.header.inode_chain != stegfs_core::header::NO_BLOCK {
+        let mut chain = vec![obj.header.inode_chain];
+        chain.extend(obj.header.chain_replicas.iter().copied());
+        groups.push(chain);
+    }
+    groups
+}
+
+/// One redundant policy's metadata-damage point: header/chain replicas *and*
+/// data shares destroyed within tolerance, healed by the **online**
+/// read-repair queue (degraded read → ticket → drain), then verified
+/// converged by an offline scavenge pass.
+#[derive(Debug, Clone)]
+pub struct MetadataPoint {
+    /// Display label of the policy.
+    pub policy: &'static str,
+    /// Reconstruction threshold.
+    pub m: usize,
+    /// Shares per group.
+    pub n: usize,
+    /// Hidden files in the working set.
+    pub objects: usize,
+    /// Header/chain replica blocks destroyed.
+    pub metadata_replicas_damaged: usize,
+    /// Data share blocks destroyed.
+    pub shares_damaged: usize,
+    /// Damaged objects whose *live* (degraded) read was byte-identical.
+    pub degraded_reads_ok: usize,
+    /// Self-healing tickets the degraded reads queued (post-dedup).
+    pub repairs_queued: u64,
+    /// Tickets that converged in the drain.
+    pub repairs_completed: u64,
+    /// Tickets that failed in the drain.
+    pub repairs_failed: u64,
+    /// Objects a post-drain scavenge found fully intact (the online repair
+    /// really did restore full redundancy).
+    pub scavenge_intact_after: usize,
+    /// Objects byte-identical after everything.
+    pub byte_identical: usize,
+}
+
+/// Run the metadata-damage sweep over every redundant policy (plain has a
+/// single header copy and nothing to tolerate, so it is skipped).
+pub fn run_metadata_sweep(files: usize, file_kb: usize, seed: u64) -> Vec<MetadataPoint> {
+    POLICIES
+        .iter()
+        .filter(|(_, policy)| !matches!(policy, Policy::Plain))
+        .map(|&(label, policy)| {
+            let fs = build_volume(policy, files, file_kb);
+            let (m, n) = policy.shares();
+            let tol = n - m;
+            let dev = fs.plain_fs().device().clone();
+            let mut rng = seed ^ 0x6d65_7461;
+            let mut metadata_replicas_damaged = 0usize;
+            let mut shares_damaged = 0usize;
+            for i in 0..files {
+                let name = format!("survival-{i}");
+                for group in metadata_groups(&fs, &name) {
+                    let mut pool = group;
+                    for _ in 0..tol.min(pool.len().saturating_sub(1)) {
+                        let pick = (xorshift(&mut rng) % pool.len() as u64) as usize;
+                        dev.zero_block(pool.swap_remove(pick)).expect("zero");
+                        metadata_replicas_damaged += 1;
+                    }
+                }
+                for group in fs.hidden_share_extents(&name, UAK).expect("extents") {
+                    let mut pool = group;
+                    for _ in 0..tol.min(pool.len().saturating_sub(1)) {
+                        let pick = (xorshift(&mut rng) % pool.len() as u64) as usize;
+                        dev.zero_block(pool.swap_remove(pick)).expect("zero");
+                        shares_damaged += 1;
+                    }
+                }
+            }
+            fs.purge_read_caches();
+            fs.obs().repair.reset();
+
+            let degraded_reads_ok = (0..files)
+                .filter(|&i| {
+                    fs.read_hidden_with_key(&format!("survival-{i}"), UAK)
+                        .is_ok_and(|got| got == content(i, file_kb * 1024))
+                })
+                .count();
+            let _ = fs.process_repairs(files * 2);
+            let repairs = fs.obs().repair.summary();
+
+            let report = scavenge(&fs, &[UAK]).expect("scavenge");
+            fs.purge_read_caches();
+            let byte_identical = (0..files)
+                .filter(|&i| {
+                    fs.read_hidden_with_key(&format!("survival-{i}"), UAK)
+                        .is_ok_and(|got| got == content(i, file_kb * 1024))
+                })
+                .count();
+
+            MetadataPoint {
+                policy: label,
+                m,
+                n,
+                objects: files,
+                metadata_replicas_damaged,
+                shares_damaged,
+                degraded_reads_ok,
+                repairs_queued: repairs.queued,
+                repairs_completed: repairs.completed,
+                repairs_failed: repairs.failed,
+                scavenge_intact_after: report.objects_intact,
+                byte_identical,
+            }
+        })
+        .collect()
+}
+
+/// The transient-fault point: a coded volume over a [`FlakyDevice`] (seeded
+/// error-then-succeed streaks) wrapped in a [`RetryDevice`] with a bounded
+/// reissue budget.  Flakes must be absorbed by retry — every operation
+/// succeeds, nothing is lost, and no submission exhausts its budget.
+#[derive(Debug, Clone)]
+pub struct TransientPoint {
+    /// Submissions that reached the flaky layer (retries included).
+    pub device_ops: u64,
+    /// Transient faults the injector raised.
+    pub faults_injected: u64,
+    /// Reissues the retry layer performed.
+    pub retries_absorbed: u64,
+    /// Submissions that ran out of retry budget (must be 0).
+    pub retries_exhausted: u64,
+    /// Workload operations (creates+writes+reads) that succeeded.
+    pub operations_ok: usize,
+    /// Workload operations submitted.
+    pub operations_total: usize,
+}
+
+/// Run the transient-fault workload: `files` coded hidden files written and
+/// read back byte-identically through the flaky/retry stack.
+pub fn transient_point(files: usize, file_kb: usize, seed: u64) -> TransientPoint {
+    let flaky = FlakyDevice::new(MemBlockDevice::new(1024, 16384), seed, 2, 2);
+    let retry = RetryDevice::new(flaky.clone(), 6, Duration::ZERO);
+    let fs = StegFs::format(retry.clone(), params(Policy::Disperse { m: 2, n: 4 }))
+        .expect("format over flaky device");
+    let mut operations_ok = 0usize;
+    for i in 0..files {
+        let name = format!("transient-{i}");
+        if fs.steg_create(&name, UAK, ObjectKind::File).is_ok() {
+            operations_ok += 1;
+        }
+        if fs
+            .write_hidden_with_key(&name, UAK, &content(i, file_kb * 1024))
+            .is_ok()
+        {
+            operations_ok += 1;
+        }
+    }
+    fs.purge_read_caches();
+    for i in 0..files {
+        if fs
+            .read_hidden_with_key(&format!("transient-{i}"), UAK)
+            .is_ok_and(|got| got == content(i, file_kb * 1024))
+        {
+            operations_ok += 1;
+        }
+    }
+    TransientPoint {
+        device_ops: flaky.ops(),
+        faults_injected: flaky.injected(),
+        retries_absorbed: retry.retries(),
+        retries_exhausted: retry.exhausted(),
+        operations_ok,
+        operations_total: files * 3,
+    }
+}
+
+/// Render the metadata-damage sweep as a text table.
+pub fn render_metadata(points: &[MetadataPoint]) -> String {
+    let mut s = String::from(
+        "Metadata survivability (header/chain replicas + shares damaged, online read-repair)\n\
+         policy           m/n    meta-dmg   share-dmg   degraded-ok   queued   completed   failed   intact-after\n",
+    );
+    for p in points {
+        let _ = writeln!(
+            s,
+            "{:<15} {:>2}/{:<2} {:>9} {:>11} {:>13} {:>8} {:>11} {:>8} {:>14}",
+            p.policy,
+            p.m,
+            p.n,
+            p.metadata_replicas_damaged,
+            p.shares_damaged,
+            p.degraded_reads_ok,
+            p.repairs_queued,
+            p.repairs_completed,
+            p.repairs_failed,
+            p.scavenge_intact_after,
+        );
+    }
+    s
+}
+
+/// Render the transient-fault point.
+pub fn render_transient(p: &TransientPoint) -> String {
+    format!(
+        "Transient faults (FlakyDevice + RetryDevice, Disperse{{2,4}})\n\
+         {} device submissions, {} faults injected, {} retries absorbed, {} exhausted; \
+         {}/{} operations succeeded\n",
+        p.device_ops,
+        p.faults_injected,
+        p.retries_absorbed,
+        p.retries_exhausted,
+        p.operations_ok,
+        p.operations_total,
+    )
+}
+
+/// Serialise the metadata sweep to the `survival_metadata` JSON section.
+pub fn metadata_section_json(points: &[MetadataPoint]) -> String {
+    let mut s = String::from("[\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"policy\": \"{}\", \"m\": {}, \"n\": {}, \"objects\": {}, \
+             \"metadata_replicas_damaged\": {}, \"shares_damaged\": {}, \
+             \"degraded_reads_ok\": {}, \"repairs_queued\": {}, \
+             \"repairs_completed\": {}, \"repairs_failed\": {}, \
+             \"scavenge_intact_after\": {}, \"byte_identical\": {}}}{}",
+            p.policy,
+            p.m,
+            p.n,
+            p.objects,
+            p.metadata_replicas_damaged,
+            p.shares_damaged,
+            p.degraded_reads_ok,
+            p.repairs_queued,
+            p.repairs_completed,
+            p.repairs_failed,
+            p.scavenge_intact_after,
+            p.byte_identical,
+            if i + 1 == points.len() { "" } else { "," }
+        );
+    }
+    s.push_str("  ]");
+    s
+}
+
+/// Serialise the transient point to the `survival_transient` JSON section.
+pub fn transient_section_json(p: &TransientPoint) -> String {
+    format!(
+        "{{\n    \"device_ops\": {}, \"faults_injected\": {}, \"retries_absorbed\": {}, \
+         \"retries_exhausted\": {}, \"operations_ok\": {}, \"operations_total\": {}\n  }}",
+        p.device_ops,
+        p.faults_injected,
+        p.retries_absorbed,
+        p.retries_exhausted,
+        p.operations_ok,
+        p.operations_total,
+    )
+}
+
 /// CI smoke: pin the exact k-of-n recovery boundary for `Disperse{2,4}`.
 ///
 /// Destroying any `n - m` shares of *every* group must leave every byte
@@ -238,6 +515,70 @@ pub fn smoke() -> Result<(), String> {
         if got != content(i, file_kb * 1024) {
             return Err(format!("bystander survival-{i} is not byte-identical"));
         }
+    }
+
+    // Phase 3: metadata damage within tolerance on survival-1 — n-m header
+    // replicas and n-m chain replicas destroyed.  The live read must be
+    // byte-identical, must queue a self-healing ticket, and the drain must
+    // restore full redundancy (a scavenge pass then finds the object
+    // intact).
+    // Drain tickets queued by the earlier phases (including survival-0's,
+    // which is lost and fails) so the counters below see only this phase.
+    // This must happen before the damage: a leftover survival-1 ticket
+    // would otherwise heal the freshly-zeroed replicas during the drain.
+    let _ = fs.process_repairs(usize::MAX);
+    fs.obs().repair.reset();
+    let dev2 = fs.plain_fs().device().clone();
+    let groups = metadata_groups(&fs, "survival-1");
+    for group in &groups {
+        for &b in group.iter().take(n - m) {
+            dev2.zero_block(b).map_err(|e| format!("zero meta: {e}"))?;
+        }
+    }
+    fs.purge_read_caches();
+    let got = fs
+        .read_hidden_with_key("survival-1", UAK)
+        .map_err(|e| format!("metadata-degraded read failed: {e}"))?;
+    if got != content(1, file_kb * 1024) {
+        return Err("metadata-degraded read is not byte-identical".into());
+    }
+    let drain = fs.process_repairs(8);
+    let repairs = fs.obs().repair.summary();
+    if repairs.queued < 1 || repairs.failed != 0 || repairs.completed != repairs.queued {
+        return Err(format!(
+            "read-repair counters off after metadata damage: {repairs:?} (drain {drain:?})"
+        ));
+    }
+    let entry = fs
+        .lookup_entry("survival-1", UAK)
+        .map_err(|e| format!("entry: {e}"))?;
+    match fs.scavenge_entry(&entry) {
+        Ok(stegfs_core::RepairOutcome::Intact) => {}
+        other => {
+            return Err(format!(
+                "online repair left survival-1 not fully redundant: {other:?}"
+            ))
+        }
+    }
+
+    // Phase 4: metadata damage beyond tolerance on survival-2 — every
+    // header replica destroyed.  The read must fail closed in the deniable
+    // absent-object family and the scavenger must report it lost.
+    for &b in &metadata_groups(&fs, "survival-2")[0] {
+        dev2.zero_block(b)
+            .map_err(|e| format!("zero header: {e}"))?;
+    }
+    fs.purge_read_caches();
+    match fs.read_hidden_with_key("survival-2", UAK) {
+        Ok(_) => return Err("read with destroyed header returned data".into()),
+        Err(e) if e.is_not_found() => {}
+        Err(e) => return Err(format!("expected the absent-object family, got: {e}")),
+    }
+    let report = scavenge(&fs, &[UAK]).map_err(|e| format!("scavenge: {e}"))?;
+    if report.objects_lost != 2 || !report.lost.contains(&"survival-2".to_string()) {
+        return Err(format!(
+            "expected survival-0 and survival-2 lost after metadata destruction: {report:?}"
+        ));
     }
     Ok(())
 }

@@ -1,0 +1,246 @@
+//! Transient-fault injection for retry testing.
+//!
+//! [`FlakyDevice`] is the *transient* analogue of [`crate::CorruptingDevice`]:
+//! where corruption damages data at rest, a flake is an I/O submission that
+//! errors now and would succeed if reissued — a bus reset, a momentary cable
+//! glitch, a storage daemon restarting underneath the volume.  The model:
+//!
+//! * each submission rolls a seeded die; with probability `fail_percent`/100
+//!   it starts an **error streak** of `streak_len` failed operations, after
+//!   which I/O succeeds again (error-then-succeed, never damage-at-rest);
+//! * [`script_failures`](FlakyDevice::script_failures) arms an exact number
+//!   of failures for the very next submissions, so a test can pin down "the
+//!   second attempt succeeds" without probability;
+//! * failed writes change nothing on the inner device, failed reads leave
+//!   the caller's buffer untouched — a flake is indistinguishable from the
+//!   submission never reaching the device.
+//!
+//! Injected errors are [`BlockError::Io`] with [`ErrorKind::Interrupted`]
+//! (`std::io`'s canonical retry-me kind) and a fixed static message, so the
+//! error family carries nothing volume- or key-derived — the deniable error
+//! surface stays uniform.  Pair with [`crate::RetryDevice`] to exercise the
+//! bounded-retry policy end to end.
+//!
+//! [`ErrorKind::Interrupted`]: std::io::ErrorKind::Interrupted
+
+use crate::device::{BlockDevice, BlockId};
+use crate::error::{BlockError, BlockResult};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The xorshift step shared with the other injectors: deterministic per
+/// seed, cheap, and good enough to scatter faults.
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+fn transient_failure() -> BlockError {
+    BlockError::Io(std::io::Error::new(
+        std::io::ErrorKind::Interrupted,
+        "transient device error",
+    ))
+}
+
+struct FlakeState {
+    rng: u64,
+    /// Failures left in the current streak (scripted or rolled).
+    remaining_failures: u64,
+}
+
+struct Shared<D: BlockDevice> {
+    inner: Arc<D>,
+    state: Mutex<FlakeState>,
+    fail_percent: u64,
+    streak_len: u64,
+    injected: AtomicU64,
+    ops: AtomicU64,
+}
+
+/// A pass-through wrapper that injects seeded *transient* I/O errors.  See
+/// the module docs for the model.
+pub struct FlakyDevice<D: BlockDevice> {
+    shared: Arc<Shared<D>>,
+}
+
+impl<D: BlockDevice> Clone for FlakyDevice<D> {
+    fn clone(&self) -> Self {
+        FlakyDevice {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<D: BlockDevice> FlakyDevice<D> {
+    /// Wrap `inner`.  Each submission fails with probability
+    /// `fail_percent`/100 (clamped to 0–100), starting a streak of
+    /// `streak_len` consecutive failures (minimum 1).  All clones share one
+    /// fault stream, deterministic in `seed`.
+    pub fn new(inner: D, seed: u64, fail_percent: u64, streak_len: u64) -> Self {
+        FlakyDevice {
+            shared: Arc::new(Shared {
+                inner: Arc::new(inner),
+                state: Mutex::new(FlakeState {
+                    rng: seed ^ 0x9e37_79b9_7f4a_7c15,
+                    remaining_failures: 0,
+                }),
+                fail_percent: fail_percent.min(100),
+                streak_len: streak_len.max(1),
+                injected: AtomicU64::new(0),
+                ops: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Arm exactly `count` failures for the next submissions, ahead of any
+    /// probabilistic flakes.  The submission after the streak succeeds.
+    pub fn script_failures(&self, count: u64) {
+        self.shared.state.lock().remaining_failures = count;
+    }
+
+    /// Number of submissions that were failed by injection so far.
+    pub fn injected(&self) -> u64 {
+        self.shared.injected.load(Ordering::Relaxed)
+    }
+
+    /// Total submissions observed (failed or passed through).
+    pub fn ops(&self) -> u64 {
+        self.shared.ops.load(Ordering::Relaxed)
+    }
+
+    /// Decide one submission: pass (`Ok`) or inject a transient error.
+    fn admit(&self) -> BlockResult<()> {
+        self.shared.ops.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.shared.state.lock();
+        if st.remaining_failures == 0
+            && self.shared.fail_percent > 0
+            && xorshift(&mut st.rng) % 100 < self.shared.fail_percent
+        {
+            st.remaining_failures = self.shared.streak_len;
+        }
+        if st.remaining_failures > 0 {
+            st.remaining_failures -= 1;
+            drop(st);
+            self.shared.injected.fetch_add(1, Ordering::Relaxed);
+            return Err(transient_failure());
+        }
+        Ok(())
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for FlakyDevice<D> {
+    fn block_size(&self) -> usize {
+        self.shared.inner.block_size()
+    }
+
+    fn total_blocks(&self) -> u64 {
+        self.shared.inner.total_blocks()
+    }
+
+    fn read_block(&self, block: BlockId, buf: &mut [u8]) -> BlockResult<()> {
+        self.admit()?;
+        self.shared.inner.read_block(block, buf)
+    }
+
+    fn write_block(&self, block: BlockId, buf: &[u8]) -> BlockResult<()> {
+        self.admit()?;
+        self.shared.inner.write_block(block, buf)
+    }
+
+    fn read_blocks(&self, blocks: &[BlockId], buf: &mut [u8]) -> BlockResult<()> {
+        self.admit()?;
+        self.shared.inner.read_blocks(blocks, buf)
+    }
+
+    fn write_blocks(&self, blocks: &[BlockId], buf: &[u8]) -> BlockResult<()> {
+        self.admit()?;
+        self.shared.inner.write_blocks(blocks, buf)
+    }
+
+    fn flush(&self) -> BlockResult<()> {
+        self.admit()?;
+        self.shared.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::MemBlockDevice;
+
+    const BS: usize = 64;
+
+    #[test]
+    fn scripted_failures_then_success() {
+        let dev = FlakyDevice::new(MemBlockDevice::new(BS, 8), 1, 0, 1);
+        dev.script_failures(2);
+        assert!(dev.write_block(0, &[7; BS]).is_err());
+        assert!(dev.write_block(0, &[7; BS]).is_err());
+        dev.write_block(0, &[7; BS]).unwrap();
+        assert_eq!(dev.read_block_vec(0).unwrap(), vec![7; BS]);
+        assert_eq!(dev.injected(), 2);
+        assert_eq!(dev.ops(), 4);
+    }
+
+    #[test]
+    fn failed_writes_leave_no_trace_on_the_store() {
+        let dev = FlakyDevice::new(MemBlockDevice::new(BS, 8), 1, 0, 1);
+        dev.write_block(2, &[0xaa; BS]).unwrap();
+        dev.script_failures(1);
+        assert!(dev.write_block(2, &[0xbb; BS]).is_err());
+        assert_eq!(dev.read_block_vec(2).unwrap(), vec![0xaa; BS]);
+    }
+
+    #[test]
+    fn probabilistic_flakes_are_transient_and_deterministic() {
+        let run = |seed: u64| {
+            let dev = FlakyDevice::new(MemBlockDevice::new(BS, 8), seed, 30, 2);
+            let mut outcomes = Vec::new();
+            for i in 0..200u64 {
+                outcomes.push(dev.write_block(i % 8, &[i as u8; BS]).is_ok());
+            }
+            (outcomes, dev.injected())
+        };
+        let (a, injected) = run(42);
+        let (b, _) = run(42);
+        assert_eq!(a, b, "same seed, same fault stream");
+        assert!(injected > 0, "a 30% rate over 200 ops must fire");
+        assert!(a.iter().any(|ok| *ok), "flakes are transient, not fatal");
+        // A streak is never longer than configured: after any 2 consecutive
+        // failures the streak has drained and a fresh roll decides the next.
+        let longest = a
+            .split(|ok| *ok)
+            .map(|fails| fails.len())
+            .max()
+            .unwrap_or(0);
+        assert!(longest >= 2, "streak length reached at least once");
+    }
+
+    #[test]
+    fn injected_errors_are_interrupted_io_with_static_text() {
+        let dev = FlakyDevice::new(MemBlockDevice::new(BS, 8), 1, 0, 1);
+        dev.script_failures(1);
+        match dev.flush() {
+            Err(BlockError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::Interrupted);
+                assert_eq!(e.to_string(), "transient device error");
+            }
+            other => panic!("expected injected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batched_ops_count_as_one_submission() {
+        let dev = FlakyDevice::new(MemBlockDevice::new(BS, 8), 1, 0, 1);
+        dev.script_failures(1);
+        let blocks: Vec<u64> = (0..4).collect();
+        assert!(dev.write_blocks(&blocks, &vec![1u8; 4 * BS]).is_err());
+        dev.write_blocks(&blocks, &vec![1u8; 4 * BS]).unwrap();
+        let mut buf = vec![0u8; 4 * BS];
+        dev.read_blocks(&blocks, &mut buf).unwrap();
+        assert_eq!(buf, vec![1u8; 4 * BS]);
+    }
+}

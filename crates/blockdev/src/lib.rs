@@ -37,6 +37,13 @@
 //! * [`CorruptingDevice`] — the damage analogue for the survivability
 //!   tests: seeded bit flips, block zeroing and region overwrites applied
 //!   to data *at rest*, exercised by the coded read path and the scavenger.
+//! * [`FlakyDevice`] — seeded *transient* error injection (error-then-
+//!   succeed, never damage-at-rest), the third fault family alongside
+//!   crashes and corruption.
+//! * [`RetryDevice`] — bounded retry-with-backoff above a flaky backend:
+//!   transient I/O errors are reissued up to N attempts and only then
+//!   surfaced unchanged, so a momentary glitch no longer reads as object
+//!   loss.
 //! * [`LatencyDevice`] — real-time per-block service latency (it actually
 //!   sleeps, outside every lock), used by the thread-scaling benchmarks to
 //!   show concurrent block I/O overlapping on the wall clock.
@@ -59,9 +66,11 @@ pub mod device;
 pub mod disk_model;
 pub mod error;
 pub mod file;
+pub mod flaky;
 pub mod latency;
 pub mod metered;
 pub mod observed;
+pub mod retry;
 
 pub use cache::{BufferCache, CacheMode};
 pub use corrupt::{CorruptingDevice, CorruptionReport};
@@ -70,6 +79,8 @@ pub use device::{BlockDevice, BlockId, MemBlockDevice, SharedDevice};
 pub use disk_model::{DiskClock, DiskModel, DiskParameters, DiskStats, SimDisk};
 pub use error::{BlockError, BlockResult};
 pub use file::FileBlockDevice;
+pub use flaky::FlakyDevice;
 pub use latency::LatencyDevice;
 pub use metered::{IoStats, MeteredDevice};
 pub use observed::ObservedDevice;
+pub use retry::RetryDevice;

@@ -91,6 +91,16 @@ impl Policy {
         n - m
     }
 
+    /// Copies kept of each *metadata* block (header, chain node):
+    /// `n - m + 1`, so metadata survives the same per-group loss budget as
+    /// the data it indexes, capped at
+    /// [`MAX_META_COPIES`](crate::header::MAX_META_COPIES).  `Plain` keeps
+    /// a single copy.
+    pub fn meta_copies(&self) -> usize {
+        let (m, n) = self.shares();
+        (n - m + 1).min(crate::header::MAX_META_COPIES)
+    }
+
     /// Reject degenerate parameters (`Replicate(0)`, `m = 0`, `m > n`).
     pub fn validate(&self) -> StegResult<()> {
         let (m, n) = self.shares();

@@ -34,10 +34,23 @@ pub const FREE_POOL_CAPACITY: usize = 16;
 /// Sentinel for "no block".
 pub const NO_BLOCK: u64 = u64::MAX;
 
+/// Maximum metadata replica count (header copies / chain-node copies) any
+/// policy may request.  Bounds the fixed on-disk replica tables.
+pub const MAX_META_COPIES: usize = 8;
+
+/// Serialised length of the pre-survivability header fields.
+pub const BASE_HEADER_LEN: usize =
+    SIGNATURE_LEN + 1 + 1 + 8 + 8 + 8 + 2 + FREE_POOL_CAPACITY * 8 + 2;
+
 /// Serialised header length in bytes (excluding padding to the block size).
-/// The trailing two bytes are the policy's `(m, n)`; its tag sits in the
-/// formerly-reserved byte after the object kind.
-pub const HEADER_LEN: usize = SIGNATURE_LEN + 1 + 1 + 8 + 8 + 8 + 2 + FREE_POOL_CAPACITY * 8 + 2;
+/// After the base fields come the metadata-survivability extension: the
+/// header-replica table (count + [`MAX_META_COPIES`] slots), the extra
+/// chain-head replica table (count + `MAX_META_COPIES - 1` slots), and the
+/// chain-head checksum.  Legacy headers serialised the whole extension
+/// region as zero padding, which parses as "no replicas" ([`Policy::Plain`]
+/// era semantics: a single copy of every metadata block).
+pub const HEADER_LEN: usize =
+    BASE_HEADER_LEN + 1 + MAX_META_COPIES * 8 + 1 + (MAX_META_COPIES - 1) * 8 + 8;
 
 /// Whether a hidden object is a file or a directory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,6 +119,17 @@ pub struct HiddenHeader {
     /// Durability policy: how [`data_block_count`](Self::data_block_count)
     /// physical blocks encode the object's logical bytes.
     pub policy: Policy,
+    /// Every block carrying a copy of this header (the primary included),
+    /// in locator candidate order.  Empty on legacy headers, which kept a
+    /// single copy at whichever block the locator found.
+    pub header_replicas: Vec<u64>,
+    /// Extra replicas of the chain head beyond
+    /// [`inode_chain`](Self::inode_chain).  Empty when the policy keeps a
+    /// single metadata copy (or the object has no chain).
+    pub chain_replicas: Vec<u64>,
+    /// Checksum of the chain-head plaintext, used to validate a replica
+    /// before trusting it.  Zero on legacy headers and chainless objects.
+    pub chain_csum: u64,
 }
 
 impl HiddenHeader {
@@ -125,6 +149,9 @@ impl HiddenHeader {
             inode_chain: NO_BLOCK,
             free_pool: Vec::new(),
             policy,
+            header_replicas: Vec::new(),
+            chain_replicas: Vec::new(),
+            chain_csum: 0,
         }
     }
 
@@ -164,6 +191,34 @@ impl HiddenHeader {
         buf[off] = policy_m;
         buf[off + 1] = policy_n;
         off += 2;
+        debug_assert_eq!(off, BASE_HEADER_LEN);
+        // Metadata-survivability extension.  Unused slots serialise as zero
+        // so a header with no replicas is byte-identical to the legacy
+        // zero-padded layout.
+        assert!(
+            self.header_replicas.len() <= MAX_META_COPIES,
+            "header replica table overflows capacity"
+        );
+        assert!(
+            self.chain_replicas.len() < MAX_META_COPIES,
+            "chain replica table overflows capacity"
+        );
+        buf[off] = self.header_replicas.len() as u8;
+        off += 1;
+        for i in 0..MAX_META_COPIES {
+            let v = self.header_replicas.get(i).copied().unwrap_or(0);
+            buf[off..off + 8].copy_from_slice(&v.to_be_bytes());
+            off += 8;
+        }
+        buf[off] = self.chain_replicas.len() as u8;
+        off += 1;
+        for i in 0..MAX_META_COPIES - 1 {
+            let v = self.chain_replicas.get(i).copied().unwrap_or(0);
+            buf[off..off + 8].copy_from_slice(&v.to_be_bytes());
+            off += 8;
+        }
+        buf[off..off + 8].copy_from_slice(&self.chain_csum.to_be_bytes());
+        off += 8;
         debug_assert_eq!(off, HEADER_LEN);
         buf
     }
@@ -221,6 +276,34 @@ impl HiddenHeader {
                 return None;
             }
         }
+        // Metadata-survivability extension; all-zero on legacy headers.
+        let ext = BASE_HEADER_LEN;
+        let hr_len = buf[ext] as usize;
+        if hr_len > MAX_META_COPIES {
+            return None;
+        }
+        let mut header_replicas = Vec::with_capacity(hr_len);
+        for i in 0..hr_len {
+            let v = get_u64(ext + 1 + i * 8);
+            if v >= total_blocks {
+                return None;
+            }
+            header_replicas.push(v);
+        }
+        let cr_off = ext + 1 + MAX_META_COPIES * 8;
+        let cr_len = buf[cr_off] as usize;
+        if cr_len >= MAX_META_COPIES {
+            return None;
+        }
+        let mut chain_replicas = Vec::with_capacity(cr_len);
+        for i in 0..cr_len {
+            let v = get_u64(cr_off + 1 + i * 8);
+            if v >= total_blocks {
+                return None;
+            }
+            chain_replicas.push(v);
+        }
+        let chain_csum = get_u64(cr_off + 1 + (MAX_META_COPIES - 1) * 8);
         Some(HiddenHeader {
             signature: *expected_signature,
             kind,
@@ -229,6 +312,9 @@ impl HiddenHeader {
             inode_chain,
             free_pool,
             policy,
+            header_replicas,
+            chain_replicas,
+            chain_csum,
         })
     }
 }
@@ -236,20 +322,34 @@ impl HiddenHeader {
 /// One block of the inode chain of a hidden object.
 ///
 /// ```text
-/// plain: [next: u64][count: u16][pointer...]
-/// coded: [next: u64][count: u16][(pointer, checksum)...]
+/// plain:      [next: u64][count: u16][pointer...]
+/// coded:      [next: u64][count: u16][(pointer, checksum)...]
+/// replicated: [next: u64][next extra × (copies-1)][next csum: u64]
+///             [count: u16][entries...]
 /// ```
 ///
 /// The chain stores the object's data-block numbers in logical order — for
 /// coded objects, share-block numbers in group-major order, each paired
 /// with the 8-byte checksum of its share plaintext so a damaged share is
-/// detected before it poisons a reconstruction.  Like every other hidden
-/// block the chain is encrypted before hitting the device, so the checksums
-/// (and the coded/plain distinction itself) are invisible to an observer.
+/// detected before it poisons a reconstruction.  When the object's policy
+/// keeps `copies > 1` metadata copies, every chain node is written to
+/// `copies` blocks with identical plaintext, and the link to the next node
+/// widens to all of its replicas plus a checksum so a damaged replica is
+/// recognised and skipped.  A single-copy chain keeps the exact legacy byte
+/// layout.  Like every other hidden block the chain is encrypted before
+/// hitting the device, so the checksums (and the coded/plain distinction
+/// itself) are invisible to an observer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InodeChainBlock {
     /// Next block in the chain, or [`NO_BLOCK`].
     pub next: u64,
+    /// Replicas of the next chain node beyond `next`.  Always exactly
+    /// `copies - 1` long in the replicated layout ([`NO_BLOCK`]-filled at
+    /// the tail), empty in the single-copy layouts.
+    pub next_replicas: Vec<u64>,
+    /// Checksum of the next node's plaintext in the replicated layout
+    /// (0 at the tail and in the single-copy layouts).
+    pub next_csum: u64,
     /// Data-block pointers stored in this chain block.
     pub pointers: Vec<u64>,
     /// Per-share checksums, parallel to `pointers`.  Empty for plain
@@ -258,6 +358,27 @@ pub struct InodeChainBlock {
 }
 
 impl InodeChainBlock {
+    /// A chain node with single-copy link fields, ready for the legacy
+    /// layouts.
+    pub fn with_link(next: u64, pointers: Vec<u64>, csums: Vec<u64>) -> Self {
+        InodeChainBlock {
+            next,
+            next_replicas: Vec::new(),
+            next_csum: 0,
+            pointers,
+            csums,
+        }
+    }
+
+    /// Bytes consumed by the link fields preceding the entry count.
+    fn link_len(copies: usize) -> usize {
+        if copies > 1 {
+            8 + (copies - 1) * 8 + 8
+        } else {
+            8
+        }
+    }
+
     /// Number of pointers that fit into one plain chain block.
     pub fn capacity(block_size: usize) -> usize {
         Self::capacity_for(block_size, false)
@@ -266,7 +387,14 @@ impl InodeChainBlock {
     /// Number of pointers that fit into one chain block of `block_size`:
     /// 8 bytes per entry plain, 16 (pointer + checksum) coded.
     pub fn capacity_for(block_size: usize, coded: bool) -> usize {
-        (block_size - 10) / if coded { 16 } else { 8 }
+        Self::capacity_meta(block_size, coded, 1)
+    }
+
+    /// Number of pointers that fit into one chain block of `block_size`
+    /// when the policy keeps `copies` metadata copies: replication widens
+    /// the link prefix, shrinking the entry region.
+    pub fn capacity_meta(block_size: usize, coded: bool, copies: usize) -> usize {
+        (block_size - Self::link_len(copies) - 2) / if coded { 16 } else { 8 }
     }
 
     /// Serialise a plain chain block into exactly `block_size` bytes.
@@ -275,23 +403,44 @@ impl InodeChainBlock {
     }
 
     /// Serialise into exactly `block_size` bytes, in the plain or coded
-    /// layout.
+    /// single-copy layout.
     pub fn serialize_for(&self, block_size: usize, coded: bool) -> Vec<u8> {
-        assert!(self.pointers.len() <= Self::capacity_for(block_size, coded));
+        self.serialize_meta(block_size, coded, 1)
+    }
+
+    /// Serialise into exactly `block_size` bytes for a policy keeping
+    /// `copies` metadata copies.  `copies == 1` produces the legacy layout.
+    pub fn serialize_meta(&self, block_size: usize, coded: bool, copies: usize) -> Vec<u8> {
+        assert!(self.pointers.len() <= Self::capacity_meta(block_size, coded, copies));
         if coded {
             assert_eq!(self.pointers.len(), self.csums.len());
         } else {
             assert!(self.csums.is_empty(), "plain chain carries no checksums");
         }
+        assert_eq!(
+            self.next_replicas.len(),
+            copies.saturating_sub(1),
+            "next-replica table must match the copy count"
+        );
         let mut buf = vec![0u8; block_size];
         buf[0..8].copy_from_slice(&self.next.to_be_bytes());
-        buf[8..10].copy_from_slice(&(self.pointers.len() as u16).to_be_bytes());
+        let mut off = 8;
+        if copies > 1 {
+            for &r in &self.next_replicas {
+                buf[off..off + 8].copy_from_slice(&r.to_be_bytes());
+                off += 8;
+            }
+            buf[off..off + 8].copy_from_slice(&self.next_csum.to_be_bytes());
+            off += 8;
+        }
+        buf[off..off + 2].copy_from_slice(&(self.pointers.len() as u16).to_be_bytes());
+        off += 2;
         let entry = if coded { 16 } else { 8 };
         for (i, &p) in self.pointers.iter().enumerate() {
-            let off = 10 + i * entry;
-            buf[off..off + 8].copy_from_slice(&p.to_be_bytes());
+            let e = off + i * entry;
+            buf[e..e + 8].copy_from_slice(&p.to_be_bytes());
             if coded {
-                buf[off + 8..off + 16].copy_from_slice(&self.csums[i].to_be_bytes());
+                buf[e + 8..e + 16].copy_from_slice(&self.csums[i].to_be_bytes());
             }
         }
         buf
@@ -302,16 +451,44 @@ impl InodeChainBlock {
         Self::deserialize_for(buf, total_blocks, false)
     }
 
-    /// Parse a decrypted chain block in the plain or coded layout.
+    /// Parse a decrypted chain block in the plain or coded single-copy
+    /// layout.
     pub fn deserialize_for(buf: &[u8], total_blocks: u64, coded: bool) -> StegResult<Self> {
-        if buf.len() < 10 {
+        Self::deserialize_meta(buf, total_blocks, coded, 1)
+    }
+
+    /// Parse a decrypted chain block written for a policy keeping `copies`
+    /// metadata copies.
+    pub fn deserialize_meta(
+        buf: &[u8],
+        total_blocks: u64,
+        coded: bool,
+        copies: usize,
+    ) -> StegResult<Self> {
+        let link = Self::link_len(copies);
+        if buf.len() < link + 2 {
             return Err(StegError::Fs(stegfs_fs::FsError::Corrupt(
                 "inode chain block too short".into(),
             )));
         }
-        let next = u64::from_be_bytes(buf[0..8].try_into().unwrap());
-        let count = u16::from_be_bytes(buf[8..10].try_into().unwrap()) as usize;
-        if count > Self::capacity_for(buf.len(), coded) {
+        let get_u64 = |o: usize| u64::from_be_bytes(buf[o..o + 8].try_into().unwrap());
+        let next = get_u64(0);
+        let mut next_replicas = Vec::new();
+        let mut next_csum = 0;
+        if copies > 1 {
+            for i in 0..copies - 1 {
+                let r = get_u64(8 + i * 8);
+                if r != NO_BLOCK && r >= total_blocks {
+                    return Err(StegError::Fs(stegfs_fs::FsError::Corrupt(
+                        "inode chain next replica outside volume".into(),
+                    )));
+                }
+                next_replicas.push(r);
+            }
+            next_csum = get_u64(link - 8);
+        }
+        let count = u16::from_be_bytes(buf[link..link + 2].try_into().unwrap()) as usize;
+        if count > Self::capacity_meta(buf.len(), coded, copies) {
             return Err(StegError::Fs(stegfs_fs::FsError::Corrupt(
                 "inode chain count exceeds capacity".into(),
             )));
@@ -320,8 +497,8 @@ impl InodeChainBlock {
         let mut pointers = Vec::with_capacity(count);
         let mut csums = Vec::with_capacity(if coded { count } else { 0 });
         for i in 0..count {
-            let off = 10 + i * entry;
-            let p = u64::from_be_bytes(buf[off..off + 8].try_into().unwrap());
+            let off = link + 2 + i * entry;
+            let p = get_u64(off);
             if p >= total_blocks {
                 return Err(StegError::Fs(stegfs_fs::FsError::Corrupt(format!(
                     "inode chain pointer {p} outside volume"
@@ -329,9 +506,7 @@ impl InodeChainBlock {
             }
             pointers.push(p);
             if coded {
-                csums.push(u64::from_be_bytes(
-                    buf[off + 8..off + 16].try_into().unwrap(),
-                ));
+                csums.push(get_u64(off + 8));
             }
         }
         if next != NO_BLOCK && next >= total_blocks {
@@ -341,6 +516,8 @@ impl InodeChainBlock {
         }
         Ok(InodeChainBlock {
             next,
+            next_replicas,
+            next_csum,
             pointers,
             csums,
         })
@@ -445,41 +622,25 @@ mod tests {
     fn inode_chain_roundtrip() {
         let cap = InodeChainBlock::capacity(1024);
         assert_eq!(cap, (1024 - 10) / 8);
-        let block = InodeChainBlock {
-            next: 77,
-            pointers: (100..100 + cap as u64).collect(),
-            csums: vec![],
-        };
+        let block = InodeChainBlock::with_link(77, (100..100 + cap as u64).collect(), vec![]);
         let buf = block.serialize(1024);
         assert_eq!(InodeChainBlock::deserialize(&buf, 10_000).unwrap(), block);
     }
 
     #[test]
     fn inode_chain_rejects_corruption() {
-        let block = InodeChainBlock {
-            next: NO_BLOCK,
-            pointers: vec![5, 6],
-            csums: vec![],
-        };
+        let block = InodeChainBlock::with_link(NO_BLOCK, vec![5, 6], vec![]);
         let mut buf = block.serialize(512);
         // Corrupt the count to something impossible.
         buf[8] = 0xff;
         buf[9] = 0xff;
         assert!(InodeChainBlock::deserialize(&buf, 10_000).is_err());
         // Pointer outside the volume.
-        let bad = InodeChainBlock {
-            next: NO_BLOCK,
-            pointers: vec![5_000],
-            csums: vec![],
-        };
+        let bad = InodeChainBlock::with_link(NO_BLOCK, vec![5_000], vec![]);
         let buf = bad.serialize(512);
         assert!(InodeChainBlock::deserialize(&buf, 1_000).is_err());
         // Next pointer outside the volume.
-        let bad = InodeChainBlock {
-            next: 5_000,
-            pointers: vec![],
-            csums: vec![],
-        };
+        let bad = InodeChainBlock::with_link(5_000, vec![], vec![]);
         let buf = bad.serialize(512);
         assert!(InodeChainBlock::deserialize(&buf, 1_000).is_err());
         assert!(InodeChainBlock::deserialize(&[0u8; 4], 1_000).is_err());
@@ -534,11 +695,11 @@ mod tests {
     fn coded_chain_roundtrip_and_capacity() {
         let cap = InodeChainBlock::capacity_for(1024, true);
         assert_eq!(cap, (1024 - 10) / 16);
-        let block = InodeChainBlock {
-            next: 42,
-            pointers: (200..200 + cap as u64).collect(),
-            csums: (900..900 + cap as u64).collect(),
-        };
+        let block = InodeChainBlock::with_link(
+            42,
+            (200..200 + cap as u64).collect(),
+            (900..900 + cap as u64).collect(),
+        );
         let buf = block.serialize_for(1024, true);
         assert_eq!(
             InodeChainBlock::deserialize_for(&buf, 10_000, true).unwrap(),
@@ -547,6 +708,103 @@ mod tests {
         // Misreading the coded layout as plain interleaves checksums into
         // the pointer stream, which the pointer plausibility check catches.
         assert!(InodeChainBlock::deserialize(&buf, 250).is_err());
+    }
+
+    #[test]
+    fn header_replica_tables_roundtrip() {
+        let mut h =
+            HiddenHeader::with_policy(sig(0x51), ObjectKind::File, Policy::Disperse { m: 2, n: 4 });
+        h.size = 1000;
+        h.data_block_count = 8;
+        h.inode_chain = 77;
+        h.header_replicas = vec![301, 302, 303];
+        h.chain_replicas = vec![78, 79];
+        h.chain_csum = 0xdead_beef_0bad_f00d;
+        let buf = h.serialize(512);
+        let parsed = HiddenHeader::parse_if_match(&buf, &sig(0x51), 100_000).unwrap();
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn replica_pointers_outside_volume_rejected() {
+        let mut h = HiddenHeader::new(sig(0x52), ObjectKind::File);
+        h.header_replicas = vec![5_000];
+        let buf = h.serialize(512);
+        assert!(HiddenHeader::parse_if_match(&buf, &sig(0x52), 1_000).is_none());
+
+        let mut h = HiddenHeader::new(sig(0x52), ObjectKind::File);
+        h.header_replicas = vec![10];
+        h.chain_replicas = vec![5_000];
+        let buf = h.serialize(512);
+        assert!(HiddenHeader::parse_if_match(&buf, &sig(0x52), 1_000).is_none());
+    }
+
+    #[test]
+    fn empty_replica_tables_serialize_as_legacy_zero_padding() {
+        // An extension-free header must be byte-identical to the pre-
+        // survivability serialisation: zeros from the policy (m, n) bytes to
+        // the end of the block.
+        let mut h = HiddenHeader::new(sig(0x53), ObjectKind::File);
+        h.size = 42;
+        let buf = h.serialize(512);
+        assert!(buf[BASE_HEADER_LEN..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn replicated_chain_roundtrip_and_capacity() {
+        let copies = 3;
+        let cap = InodeChainBlock::capacity_meta(1024, true, copies);
+        assert_eq!(cap, (1024 - 8 - 2 * 8 - 8 - 2) / 16);
+        // The replicated layout must cost capacity, not share it.
+        assert!(cap < InodeChainBlock::capacity_for(1024, true));
+        let block = InodeChainBlock {
+            next: 42,
+            next_replicas: vec![43, 44],
+            next_csum: 0x0123_4567_89ab_cdef,
+            pointers: (200..200 + cap as u64).collect(),
+            csums: (900..900 + cap as u64).collect(),
+        };
+        let buf = block.serialize_meta(1024, true, copies);
+        assert_eq!(
+            InodeChainBlock::deserialize_meta(&buf, 10_000, true, copies).unwrap(),
+            block
+        );
+        // A tail node carries NO_BLOCK replicas and a zero checksum.
+        let tail = InodeChainBlock {
+            next: NO_BLOCK,
+            next_replicas: vec![NO_BLOCK, NO_BLOCK],
+            next_csum: 0,
+            pointers: vec![9],
+            csums: vec![1],
+        };
+        let buf = tail.serialize_meta(512, true, copies);
+        assert_eq!(
+            InodeChainBlock::deserialize_meta(&buf, 10_000, true, copies).unwrap(),
+            tail
+        );
+        // Replica pointer outside the volume is corruption.
+        let bad = InodeChainBlock {
+            next: 5,
+            next_replicas: vec![5_000, 6],
+            next_csum: 1,
+            pointers: vec![],
+            csums: vec![],
+        };
+        let buf = bad.serialize_meta(512, true, copies);
+        assert!(InodeChainBlock::deserialize_meta(&buf, 1_000, true, copies).is_err());
+    }
+
+    #[test]
+    fn single_copy_meta_layout_is_exactly_legacy() {
+        let block = InodeChainBlock::with_link(3, vec![10, 11, 12], vec![]);
+        assert_eq!(
+            block.serialize_meta(512, false, 1),
+            block.serialize_for(512, false)
+        );
+        assert_eq!(
+            InodeChainBlock::capacity_meta(512, true, 1),
+            InodeChainBlock::capacity_for(512, true)
+        );
     }
 
     #[test]

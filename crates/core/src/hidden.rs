@@ -23,9 +23,10 @@ use crate::coding::{self, Policy};
 use crate::crypt::ObjectKeys;
 use crate::error::{StegError, StegResult};
 use crate::header::{HiddenHeader, InodeChainBlock, ObjectKind, NO_BLOCK};
-use crate::locator::{find_free_header_slot, locate_header, Located};
+use crate::locator::{candidate_sequence, locate_header, Located};
 use crate::params::StegParams;
 use crate::readcache::{scratch, ExtentList, ReadCache};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use stegfs_blockdev::BlockDevice;
 use stegfs_crypto::prng::DeterministicRng;
@@ -53,6 +54,75 @@ impl HiddenObject {
     /// File or directory.
     pub fn kind(&self) -> ObjectKind {
         self.header.kind
+    }
+}
+
+/// Degradation signal threaded through the `*_observed` read paths: set
+/// whenever a read succeeded only by falling back to redundancy — a data
+/// group decoded from fallback shares, a header found at a replica, or a
+/// chain node served by a replica.  The facade turns a raised flag into a
+/// read-repair ticket so the volume converges back to full redundancy.
+#[derive(Debug, Default)]
+pub struct ReadHealth {
+    degraded: AtomicBool,
+}
+
+impl ReadHealth {
+    /// A fresh, healthy signal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that redundancy absorbed damage during this operation.
+    pub fn mark_degraded(&self) {
+        self.degraded.store(true, Ordering::Relaxed);
+    }
+
+    /// True when some fallback path fired since the last [`clear`](Self::clear).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Reset the signal for reuse.
+    pub fn clear(&self) {
+        self.degraded.store(false, Ordering::Relaxed);
+    }
+}
+
+fn mark(health: Option<&ReadHealth>) {
+    if let Some(h) = health {
+        h.mark_degraded();
+    }
+}
+
+/// The number of copies each of this object's metadata blocks actually has
+///// on disk: 1 for legacy headers (no replica table) and for [`Policy`]s
+/// without redundancy, `n - m + 1` otherwise — metadata then survives the
+/// same per-group loss budget as the data it indexes.
+pub fn effective_meta_copies(header: &HiddenHeader) -> usize {
+    if header.header_replicas.is_empty() {
+        1
+    } else {
+        header.policy.meta_copies()
+    }
+}
+
+/// Write the (shared) serialised header to every replica block.  Objects
+/// with a legacy single-copy header keep writing just `header_block`.
+fn publish_header<D: BlockDevice>(
+    txn: &mut FsTxn<'_, D>,
+    keys: &ObjectKeys,
+    header_block: u64,
+    header: &HiddenHeader,
+) -> StegResult<()> {
+    let plain = header.serialize(txn.block_size());
+    if header.header_replicas.is_empty() {
+        write_encrypted(txn, keys, header_block, &plain)
+    } else {
+        for &b in &header.header_replicas {
+            write_encrypted(txn, keys, b, &plain)?;
+        }
+        Ok(())
     }
 }
 
@@ -166,26 +236,41 @@ pub fn create_with_policy<D: BlockDevice>(
 ) -> StegResult<HiddenObject> {
     policy.validate()?;
     let mut txn = fs.begin_txn();
-    // Claiming the slot is a separate step from finding it, so two creators
+    let copies = policy.meta_copies();
+    // Claiming a slot is a separate step from finding it, so two creators
     // racing down different candidate sequences may pick the same free block.
     // The loser's atomic claim fails and it simply probes on: the next walk
-    // skips the now-allocated block.
-    let header_block = {
-        let mut attempts = 0usize;
-        loop {
-            let (candidate, _probes) =
-                find_free_header_slot(fs, physical_name, keys, params.max_locator_probes)?;
-            if txn.try_allocate_specific_block(candidate)? {
-                break candidate;
+    // skips the now-allocated block.  Policies with redundancy claim the
+    // first `copies` free candidates of the same keyed sequence — the extra
+    // header copies sit on blocks the locator visits anyway, so retrieval
+    // falls through to a replica when the primary is damaged and the
+    // on-disk image stays as uniform as any other allocation.
+    let header_blocks = {
+        let sb = fs.superblock().clone();
+        let mut locator = candidate_sequence(physical_name, keys, sb.total_blocks);
+        let mut claimed = Vec::with_capacity(copies);
+        for _ in 0..params.max_locator_probes.max(64) {
+            if claimed.len() == copies {
+                break;
             }
-            attempts += 1;
-            if attempts > 64 {
-                return Err(StegError::NoSpace);
+            let candidate = locator.next_candidate();
+            if sb.in_data_region(candidate)
+                && !fs.is_block_allocated(candidate)
+                && txn.try_allocate_specific_block(candidate)?
+            {
+                claimed.push(candidate);
             }
         }
+        if claimed.len() < copies {
+            // The transaction's drop returns any partial claims.
+            return Err(StegError::NoSpace);
+        }
+        claimed
     };
+    let header_block = header_blocks[0];
 
     let mut header = HiddenHeader::with_policy(*keys.signature(), kind, policy);
+    header.header_replicas = header_blocks;
     // Stock the internal free pool (§3.1: "StegFS straightaway allocates
     // several blocks to the file").
     for _ in 0..params.free_blocks_max {
@@ -196,12 +281,7 @@ pub fn create_with_policy<D: BlockDevice>(
         }
     }
 
-    write_encrypted(
-        &mut txn,
-        keys,
-        header_block,
-        &header.serialize(fs.block_size()),
-    )?;
+    publish_header(&mut txn, keys, header_block, &header)?;
     txn.commit()?;
     Ok(HiddenObject {
         header_block,
@@ -217,11 +297,27 @@ pub fn open<D: BlockDevice>(
     keys: &ObjectKeys,
     params: &StegParams,
 ) -> StegResult<HiddenObject> {
+    open_observed(fs, physical_name, keys, params, None)
+}
+
+/// [`open`] with a degradation signal: finding the header at a replica
+/// instead of its primary block means the primary was damaged (or claimed
+/// by someone who destroyed it) and redundancy absorbed the loss.
+pub fn open_observed<D: BlockDevice>(
+    fs: &PlainFs<D>,
+    physical_name: &str,
+    keys: &ObjectKeys,
+    params: &StegParams,
+    health: Option<&ReadHealth>,
+) -> StegResult<HiddenObject> {
     let Located {
         block,
         header,
         probes,
     } = locate_header(fs, physical_name, keys, params.max_locator_probes)?;
+    if !header.header_replicas.is_empty() && header.header_replicas.first() != Some(&block) {
+        mark(health);
+    }
     Ok(HiddenObject {
         header_block: block,
         header,
@@ -241,6 +337,19 @@ pub fn open_cached<D: BlockDevice>(
     params: &StegParams,
     cache: &ReadCache,
 ) -> StegResult<HiddenObject> {
+    open_cached_observed(fs, physical_name, keys, params, cache, None)
+}
+
+/// [`open_cached`] with a degradation signal (see [`open_observed`]).  A
+/// cache hit skips the device entirely, so only misses can observe damage.
+pub fn open_cached_observed<D: BlockDevice>(
+    fs: &PlainFs<D>,
+    physical_name: &str,
+    keys: &ObjectKeys,
+    params: &StegParams,
+    cache: &ReadCache,
+    health: Option<&ReadHealth>,
+) -> StegResult<HiddenObject> {
     if let Some(hit) = cache.lookup_header(keys.signature()) {
         return Ok(HiddenObject {
             header_block: hit.header_block,
@@ -249,7 +358,7 @@ pub fn open_cached<D: BlockDevice>(
         });
     }
     let started = cache.begin();
-    let obj = open(fs, physical_name, keys, params)?;
+    let obj = open_observed(fs, physical_name, keys, params, health)?;
     cache.store_header(
         keys.signature(),
         started,
@@ -267,6 +376,7 @@ fn cached_chain<D: BlockDevice>(
     keys: &ObjectKeys,
     obj: &HiddenObject,
     cache: &ReadCache,
+    health: Option<&ReadHealth>,
 ) -> StegResult<(u64, Arc<ExtentList>)> {
     if let Some(hit) = cache.lookup_extents(
         keys.signature(),
@@ -288,7 +398,7 @@ fn cached_chain<D: BlockDevice>(
         Some((header_block, header)) => header_block == obj.header_block && header == obj.header,
         None => cache.enabled() && header_matches_disk(fs, keys, obj)?,
     };
-    let (data_blocks, chain_blocks, share_csums) = read_chain(fs, keys, obj)?;
+    let (data_blocks, chain_blocks, share_csums) = read_chain(fs, keys, obj, health)?;
     let extents = Arc::new(ExtentList {
         data_blocks,
         chain_blocks,
@@ -371,40 +481,145 @@ fn read_blocks_cached<D: BlockDevice>(
     Ok(out)
 }
 
-/// Read the inode chain of `obj`, returning the data blocks in logical order
-/// (for coded objects: share blocks in group-major order), the chain blocks
-/// themselves, and the per-share checksums (empty for plain objects).
-fn read_chain<D: BlockDevice>(
+/// One resolved node of a (possibly replicated) inode chain.
+struct ChainNode {
+    /// The node's replica blocks, primary first (`effective_meta_copies`
+    /// entries; a single entry on legacy/plain chains).
+    blocks: Vec<u64>,
+    /// Replicas found damaged at rest (checksum mismatch or parse failure).
+    /// Live reads stop probing at the first good replica, so this only
+    /// names the replicas examined *before* it; a verifying walk
+    /// (`verify_all`) names every damaged replica.
+    damaged: Vec<u64>,
+    /// Parsed contents, from the first replica that validated.
+    node: InodeChainBlock,
+    /// The node's canonical plaintext, for rewriting damaged replicas
+    /// byte-identically.
+    plain: Vec<u8>,
+}
+
+/// Walk the inode chain, falling back through each node's replicas.  With
+/// one metadata copy the walk is the legacy one: a damaged node is a hard
+/// error.  With `copies > 1` a node is served by its first replica whose
+/// plaintext checksum (recorded in the predecessor, or the header for the
+/// head) validates and parses; only a node with **zero** live replicas
+/// fails — closed, in the same deniable error family as lost data shares.
+fn walk_chain<D: BlockDevice>(
     fs: &PlainFs<D>,
     keys: &ObjectKeys,
     obj: &HiddenObject,
-) -> StegResult<(Vec<u64>, Vec<u64>, Vec<u64>)> {
+    health: Option<&ReadHealth>,
+    verify_all: bool,
+) -> StegResult<Vec<ChainNode>> {
     let total = fs.superblock().total_blocks;
     let coded = obj.header.policy.is_coded();
-    let mut data_blocks = Vec::with_capacity(obj.header.data_block_count as usize);
-    let mut share_csums = Vec::new();
-    let mut chain_blocks = Vec::new();
-    let mut next = obj.header.inode_chain;
-    while next != NO_BLOCK {
-        chain_blocks.push(next);
-        let buf = read_decrypted(fs, keys, next)?;
-        let chain = InodeChainBlock::deserialize_for(&buf, total, coded);
-        scratch::put(buf);
-        let chain = chain?;
-        data_blocks.extend_from_slice(&chain.pointers);
-        share_csums.extend_from_slice(&chain.csums);
-        next = chain.next;
-        if chain_blocks_guard(&chain_blocks, total) {
+    let copies = effective_meta_copies(&obj.header);
+    let mut nodes: Vec<ChainNode> = Vec::new();
+    if obj.header.inode_chain == NO_BLOCK {
+        return Ok(nodes);
+    }
+    let mut candidates: Vec<u64> = std::iter::once(obj.header.inode_chain)
+        .chain(obj.header.chain_replicas.iter().copied())
+        .collect();
+    let mut expected_csum = obj.header.chain_csum;
+    loop {
+        let node = if copies == 1 {
+            let block = candidates[0];
+            let buf = read_decrypted(fs, keys, block)?;
+            let parsed = InodeChainBlock::deserialize_meta(&buf, total, coded, 1);
+            let plain = buf.clone();
+            scratch::put(buf);
+            ChainNode {
+                blocks: vec![block],
+                damaged: Vec::new(),
+                node: parsed?,
+                plain,
+            }
+        } else {
+            let mut damaged: Vec<u64> = Vec::new();
+            let mut good: Option<(InodeChainBlock, Vec<u8>)> = None;
+            for &block in &candidates {
+                if good.is_some() && !verify_all {
+                    break;
+                }
+                if block == NO_BLOCK || block >= total {
+                    // An implausible replica pointer cannot be read (or
+                    // repaired in place); skip it.
+                    continue;
+                }
+                let buf = read_decrypted(fs, keys, block)?;
+                let live = coding::share_checksum(&buf) == expected_csum;
+                if live {
+                    match InodeChainBlock::deserialize_meta(&buf, total, coded, copies) {
+                        Ok(parsed) => {
+                            if good.is_none() {
+                                good = Some((parsed, buf.clone()));
+                            }
+                        }
+                        Err(_) => damaged.push(block),
+                    }
+                } else {
+                    damaged.push(block);
+                }
+                scratch::put(buf);
+            }
+            let Some((parsed, plain)) = good else {
+                return Err(coding::damage(format!(
+                    "inode chain node has 0 live replicas of {copies}"
+                )));
+            };
+            if !damaged.is_empty() {
+                mark(health);
+            }
+            ChainNode {
+                blocks: candidates
+                    .iter()
+                    .copied()
+                    .filter(|&b| b != NO_BLOCK && b < total)
+                    .collect(),
+                damaged,
+                node: parsed,
+                plain,
+            }
+        };
+        let next = node.node.next;
+        let next_candidates: Vec<u64> = std::iter::once(next)
+            .chain(node.node.next_replicas.iter().copied())
+            .collect();
+        expected_csum = node.node.next_csum;
+        nodes.push(node);
+        if next == NO_BLOCK {
+            return Ok(nodes);
+        }
+        if nodes.len() as u64 > total {
             return Err(StegError::Fs(stegfs_fs::FsError::Corrupt(
                 "inode chain loops".into(),
             )));
         }
+        candidates = next_candidates;
     }
-    Ok((data_blocks, chain_blocks, share_csums))
 }
 
-fn chain_blocks_guard(chain_blocks: &[u64], total: u64) -> bool {
-    chain_blocks.len() as u64 > total
+/// Read the inode chain of `obj`, returning the data blocks in logical order
+/// (for coded objects: share blocks in group-major order), every chain block
+/// (all replicas, node-major), and the per-share checksums (empty for plain
+/// objects).
+fn read_chain<D: BlockDevice>(
+    fs: &PlainFs<D>,
+    keys: &ObjectKeys,
+    obj: &HiddenObject,
+    health: Option<&ReadHealth>,
+) -> StegResult<(Vec<u64>, Vec<u64>, Vec<u64>)> {
+    let nodes = walk_chain(fs, keys, obj, health, false)?;
+    let mut data_blocks = Vec::with_capacity(obj.header.data_block_count as usize);
+    let mut share_csums = Vec::new();
+    let mut chain_blocks = Vec::new();
+    for node in &nodes {
+        chain_blocks.extend_from_slice(&node.blocks);
+        data_blocks.extend_from_slice(&node.node.pointers);
+        share_csums.extend_from_slice(&node.node.csums);
+    }
+    Ok((data_blocks, chain_blocks, share_csums))
 }
 
 /// Decode the requested groups of a coded object, returning `m * block_size`
@@ -416,6 +631,7 @@ fn chain_blocks_guard(chain_blocks: &[u64], total: u64) -> bool {
 /// falls back through its remaining shares — again one batch for all
 /// degraded groups — instead of erroring.  A group with fewer than `m`
 /// surviving shares fails closed: the error carries no partial plaintext.
+#[allow(clippy::too_many_arguments)]
 fn decode_groups<D: BlockDevice>(
     fs: &PlainFs<D>,
     keys: &ObjectKeys,
@@ -424,6 +640,7 @@ fn decode_groups<D: BlockDevice>(
     m: usize,
     n: usize,
     groups: &[usize],
+    health: Option<&ReadHealth>,
 ) -> StegResult<Vec<u8>> {
     let bs = fs.block_size();
     if data_blocks.len() != share_csums.len() || !data_blocks.len().is_multiple_of(n) {
@@ -450,6 +667,11 @@ fn decode_groups<D: BlockDevice>(
         }
     }
     scratch::put(buf);
+    if !degraded.is_empty() {
+        // The read will be served (or fail closed) below, but either way the
+        // primary shares alone no longer carry the object.
+        mark(health);
+    }
     if !degraded.is_empty() && n > m {
         let extra = n - m;
         let fallback: Vec<u64> = degraded
@@ -508,6 +730,7 @@ fn read_coded_range<D: BlockDevice>(
     first: usize,
     last: usize,
     cache: &ReadCache,
+    health: Option<&ReadHealth>,
 ) -> StegResult<Vec<u8>> {
     let bs = fs.block_size();
     let logical_count = (extents.data_blocks.len() / n.max(1)) * m;
@@ -536,6 +759,7 @@ fn read_coded_range<D: BlockDevice>(
             m,
             n,
             &missing,
+            health,
         ) {
             Ok(d) => d,
             Err(e) => {
@@ -577,13 +801,25 @@ pub fn read_cached<D: BlockDevice>(
     obj: &HiddenObject,
     cache: &ReadCache,
 ) -> StegResult<Vec<u8>> {
-    let (gen, extents) = cached_chain(fs, keys, obj, cache)?;
+    read_cached_observed(fs, keys, obj, cache, None)
+}
+
+/// [`read_cached`] with a degradation signal: any fallback decode or chain
+/// replica fallback raises `health` so the caller can queue a read-repair.
+pub fn read_cached_observed<D: BlockDevice>(
+    fs: &PlainFs<D>,
+    keys: &ObjectKeys,
+    obj: &HiddenObject,
+    cache: &ReadCache,
+    health: Option<&ReadHealth>,
+) -> StegResult<Vec<u8>> {
+    let (gen, extents) = cached_chain(fs, keys, obj, cache, health)?;
     let mut out = if let Some((m, n)) = obj.header.policy.coding() {
         if obj.header.size == 0 {
             return Ok(Vec::new());
         }
         let last = (obj.header.size as usize - 1) / fs.block_size();
-        read_coded_range(fs, keys, gen, &extents, m, n, 0, last, cache)?
+        read_coded_range(fs, keys, gen, &extents, m, n, 0, last, cache, health)?
     } else {
         read_blocks_cached(fs, keys, gen, &extents.data_blocks, &[], cache)?
     };
@@ -616,18 +852,34 @@ pub fn read_range_cached<D: BlockDevice>(
     readahead_blocks: usize,
     cache: &ReadCache,
 ) -> StegResult<Vec<u8>> {
+    read_range_cached_observed(fs, keys, obj, offset, len, readahead_blocks, cache, None)
+}
+
+/// [`read_range_cached`] with a degradation signal (see
+/// [`read_cached_observed`]).
+#[allow(clippy::too_many_arguments)]
+pub fn read_range_cached_observed<D: BlockDevice>(
+    fs: &PlainFs<D>,
+    keys: &ObjectKeys,
+    obj: &HiddenObject,
+    offset: u64,
+    len: usize,
+    readahead_blocks: usize,
+    cache: &ReadCache,
+    health: Option<&ReadHealth>,
+) -> StegResult<Vec<u8>> {
     if len == 0 || offset >= obj.header.size {
         return Ok(Vec::new());
     }
     let end = (offset + len as u64).min(obj.header.size);
     let bs = fs.block_size() as u64;
-    let (gen, extents) = cached_chain(fs, keys, obj, cache)?;
+    let (gen, extents) = cached_chain(fs, keys, obj, cache, health)?;
     let first = (offset / bs) as usize;
     let last = ((end - 1) / bs) as usize;
     if let Some((m, n)) = obj.header.policy.coding() {
         // Decoding already brings in whole groups of `m` blocks (which the
         // cache keeps), so there is no separate readahead window.
-        let plain = read_coded_range(fs, keys, gen, &extents, m, n, first, last, cache)?;
+        let plain = read_coded_range(fs, keys, gen, &extents, m, n, first, last, cache, health)?;
         let from = (offset - first as u64 * bs) as usize;
         let to = (end - first as u64 * bs) as usize;
         let out = plain[from..to].to_vec();
@@ -662,11 +914,13 @@ pub fn read_range_cached<D: BlockDevice>(
 /// Overwrite part of an existing hidden object in place.  The range must lie
 /// within the object's current size; blocks are decrypted, patched and
 /// re-encrypted individually (the multi-user experiments update files at
-/// block granularity).
+/// block granularity).  Takes `&mut` because a coded patch under replicated
+/// metadata refreshes the header's chain checksum (see
+/// `write_range_coded`); plain objects leave the header untouched.
 pub fn write_range<D: BlockDevice>(
     fs: &PlainFs<D>,
     keys: &ObjectKeys,
-    obj: &HiddenObject,
+    obj: &mut HiddenObject,
     offset: u64,
     data: &[u8],
 ) -> StegResult<()> {
@@ -683,7 +937,7 @@ pub fn write_range<D: BlockDevice>(
 pub fn write_range_cached<D: BlockDevice>(
     fs: &PlainFs<D>,
     keys: &ObjectKeys,
-    obj: &HiddenObject,
+    obj: &mut HiddenObject,
     offset: u64,
     data: &[u8],
     cache: &ReadCache,
@@ -703,7 +957,7 @@ pub fn write_range_cached<D: BlockDevice>(
         cache.invalidate(keys.signature());
         return result;
     }
-    let (_, extents) = match cached_chain(fs, keys, obj, cache) {
+    let (_, extents) = match cached_chain(fs, keys, obj, cache, None) {
         Ok(hit) => hit,
         Err(e) => {
             cache.invalidate(keys.signature());
@@ -760,10 +1014,15 @@ fn write_range_plain<D: BlockDevice>(
 /// and rewrite those groups' full share extents together with every chain
 /// node whose checksum entries they own — one transaction, so a crash never
 /// leaves a group whose shares disagree with its recorded checksums.
+///
+/// Under replicated metadata a patched node's new plaintext changes the
+/// checksum its *predecessor* records, so the rewrite cascades from the last
+/// affected node back to the head and into the header (`chain_csum`) — which
+/// is why this path takes `&mut` and refreshes the caller's header snapshot.
 fn write_range_coded<D: BlockDevice>(
     fs: &PlainFs<D>,
     keys: &ObjectKeys,
-    obj: &HiddenObject,
+    obj: &mut HiddenObject,
     offset: u64,
     data: &[u8],
     m: usize,
@@ -771,7 +1030,16 @@ fn write_range_coded<D: BlockDevice>(
 ) -> StegResult<()> {
     let bs = fs.block_size();
     let end = offset + data.len() as u64;
-    let (data_blocks, chain_blocks, share_csums) = read_chain(fs, keys, obj)?;
+    let copies = effective_meta_copies(&obj.header);
+    let mut nodes = walk_chain(fs, keys, obj, None, false)?;
+    let data_blocks: Vec<u64> = nodes
+        .iter()
+        .flat_map(|nd| nd.node.pointers.iter().copied())
+        .collect();
+    let share_csums: Vec<u64> = nodes
+        .iter()
+        .flat_map(|nd| nd.node.csums.iter().copied())
+        .collect();
     let group_bytes = (m * bs) as u64;
     let g0 = (offset / group_bytes) as usize;
     let g1 = ((end - 1) / group_bytes) as usize;
@@ -781,7 +1049,7 @@ fn write_range_coded<D: BlockDevice>(
         )));
     }
     let groups: Vec<usize> = (g0..=g1).collect();
-    let mut plain = decode_groups(fs, keys, &data_blocks, &share_csums, m, n, &groups)?;
+    let mut plain = decode_groups(fs, keys, &data_blocks, &share_csums, m, n, &groups, None)?;
     let from = (offset - g0 as u64 * group_bytes) as usize;
     plain[from..from + data.len()].copy_from_slice(data);
     let (payload, new_csums) = coding::encode_groups(&plain, bs, m, n);
@@ -792,26 +1060,58 @@ fn write_range_coded<D: BlockDevice>(
     let span = &data_blocks[first_entry..=last_entry];
     let mut txn = fs.begin_txn();
     write_encrypted_many(&mut txn, keys, span, payload)?;
-    let cap = InodeChainBlock::capacity_for(bs, true).max(1);
-    let total = fs.superblock().total_blocks;
-    for (node, &chain_block) in chain_blocks
-        .iter()
+    let cap = InodeChainBlock::capacity_meta(bs, true, copies).max(1);
+    let first_node = first_entry / cap;
+    let last_node = last_entry / cap;
+    for (node_idx, nd) in nodes
+        .iter_mut()
         .enumerate()
-        .take(last_entry / cap + 1)
-        .skip(first_entry / cap)
+        .take(last_node + 1)
+        .skip(first_node)
     {
-        let buf = read_decrypted(fs, keys, chain_block)?;
-        let parsed = InodeChainBlock::deserialize_for(&buf, total, true);
-        scratch::put(buf);
-        let mut parsed = parsed?;
-        let node_start = node * cap;
-        for (i, csum) in parsed.csums.iter_mut().enumerate() {
+        let node_start = node_idx * cap;
+        for (i, csum) in nd.node.csums.iter_mut().enumerate() {
             let e = node_start + i;
             if e >= first_entry && e <= last_entry {
                 *csum = new_csums[e - first_entry];
             }
         }
-        write_encrypted(&mut txn, keys, chain_block, &parsed.serialize_for(bs, true))?;
+    }
+    if copies == 1 {
+        for nd in nodes.iter().take(last_node + 1).skip(first_node) {
+            write_encrypted(
+                &mut txn,
+                keys,
+                nd.blocks[0],
+                &nd.node.serialize_meta(bs, true, 1),
+            )?;
+        }
+    } else {
+        // Cascade: rewrite nodes `last_node..=0` back to front so each
+        // predecessor records its successor's fresh checksum, then republish
+        // the header with the head node's checksum.  Every replica of a
+        // rewritten node gets the identical plaintext (which also heals any
+        // replica that had silently rotted).
+        let mut child_csum: Option<u64> = None;
+        let mut plains: Vec<Vec<u8>> = vec![Vec::new(); last_node + 1];
+        for (node_idx, p) in plains.iter_mut().enumerate().rev() {
+            if let Some(c) = child_csum {
+                nodes[node_idx].node.next_csum = c;
+            }
+            *p = nodes[node_idx].node.serialize_meta(bs, true, copies);
+            child_csum = Some(coding::share_checksum(p));
+        }
+        for (node_idx, p) in plains.iter().enumerate() {
+            for &b in &nodes[node_idx].blocks {
+                write_encrypted(&mut txn, keys, b, p)?;
+            }
+        }
+        let mut header = obj.header.clone();
+        header.chain_csum = child_csum.expect("coded patch touches at least one node");
+        publish_header(&mut txn, keys, obj.header_block, &header)?;
+        txn.commit()?;
+        obj.header = header;
+        return Ok(());
     }
     txn.commit()?;
     Ok(())
@@ -905,7 +1205,7 @@ fn chain_for_update<D: BlockDevice>(
     obj: &HiddenObject,
     cache: &ReadCache,
 ) -> StegResult<(Vec<u64>, Vec<u64>)> {
-    let (_, extents) = cached_chain(fs, keys, obj, cache)?;
+    let (_, extents) = cached_chain(fs, keys, obj, cache, None)?;
     Ok((extents.data_blocks.clone(), extents.chain_blocks.clone()))
 }
 
@@ -970,8 +1270,9 @@ fn write_with_extents<D: BlockDevice>(
     // old freed-then-checked order let a refused update return the object's
     // own data blocks to the volume.  The check counts the recycled blocks
     // as available because they come back to us below.
-    let chain_capacity = InodeChainBlock::capacity_for(bs, coded) as u64;
-    let chain_needed = needed.div_ceil(chain_capacity.max(1));
+    let copies = effective_meta_copies(&obj.header);
+    let chain_capacity = InodeChainBlock::capacity_meta(bs, coded, copies) as u64;
+    let chain_needed = needed.div_ceil(chain_capacity.max(1)) * copies as u64;
     let available = fs.free_data_blocks()
         + obj.header.free_pool.len() as u64
         + old_data.len() as u64
@@ -1036,7 +1337,7 @@ fn write_with_extents<D: BlockDevice>(
     header.data_block_count = data_blocks.len() as u64;
     header.inode_chain = chain_blocks.first().copied().unwrap_or(NO_BLOCK);
     debug_assert!(header.inode_chain == NO_BLOCK || header.inode_chain < total);
-    write_encrypted(&mut txn, keys, obj.header_block, &header.serialize(bs))?;
+    publish_header(&mut txn, keys, obj.header_block, &header)?;
     for b in recycled {
         txn.free_block(b)?;
     }
@@ -1055,6 +1356,13 @@ fn write_with_extents<D: BlockDevice>(
 /// fresh inode chain, drawing chain blocks from the pool / free space;
 /// returns the chain blocks in walk order (empty for an empty object — the
 /// head is `first().copied().unwrap_or(NO_BLOCK)`).
+///
+/// Under a redundant [`Policy`] every chain node is written to
+/// [`effective_meta_copies`] independently located blocks (the returned list
+/// is node-major: node 0's primary and replicas, then node 1's, …), and the
+/// nodes are serialised back to front so each can carry its successor's
+/// plaintext checksum; the head node's checksum lands in
+/// `header.chain_csum`, anchoring the whole chain to the header.
 fn build_chain<D: BlockDevice>(
     txn: &mut FsTxn<'_, D>,
     keys: &ObjectKeys,
@@ -1064,26 +1372,45 @@ fn build_chain<D: BlockDevice>(
     rng: &mut DeterministicRng,
     recycled: &mut Vec<u64>,
 ) -> StegResult<Vec<u64>> {
+    let copies = effective_meta_copies(header);
     if data_blocks.is_empty() {
+        header.chain_replicas.clear();
+        header.chain_csum = 0;
         return Ok(Vec::new());
     }
     let coded = header.policy.is_coded();
     debug_assert_eq!(csums.len(), if coded { data_blocks.len() } else { 0 });
     let bs = txn.block_size();
-    let chain_capacity = InodeChainBlock::capacity_for(bs, coded).max(1);
+    let chain_capacity = InodeChainBlock::capacity_meta(bs, coded, copies).max(1);
     let chunks: Vec<&[u64]> = data_blocks.chunks(chain_capacity).collect();
-    let mut chain_block_numbers = Vec::with_capacity(chunks.len());
-    for _ in &chunks {
+    let mut chain_block_numbers = Vec::with_capacity(chunks.len() * copies);
+    for _ in 0..chunks.len() * copies {
         chain_block_numbers.push(take_block(txn, header, rng, recycled)?);
     }
-    // Serialise every chain block, then write the whole chain in one batched
-    // submission.
-    let mut plain = scratch::take(chunks.len() * bs);
-    for (i, chunk) in chunks.iter().enumerate() {
-        let next = chain_block_numbers.get(i + 1).copied().unwrap_or(NO_BLOCK);
+    // Serialise every chain node (back to front, so each node records its
+    // successor's checksum), then write the whole chain — every replica of a
+    // node carrying the identical plaintext — in one batched submission.
+    let mut plain = scratch::take(chunks.len() * copies * bs);
+    let mut succ_csum = 0u64;
+    for (i, chunk) in chunks.iter().enumerate().rev() {
+        let succ_start = (i + 1) * copies;
+        let (next, next_replicas) = if i + 1 < chunks.len() {
+            (
+                chain_block_numbers[succ_start],
+                chain_block_numbers[succ_start + 1..succ_start + copies].to_vec(),
+            )
+        } else {
+            (NO_BLOCK, vec![NO_BLOCK; copies - 1])
+        };
         let start = i * chain_capacity;
         let chain = InodeChainBlock {
             next,
+            next_replicas: if copies > 1 {
+                next_replicas
+            } else {
+                Vec::new()
+            },
+            next_csum: if copies > 1 { succ_csum } else { 0 },
             pointers: chunk.to_vec(),
             csums: if coded {
                 csums[start..start + chunk.len()].to_vec()
@@ -1091,9 +1418,20 @@ fn build_chain<D: BlockDevice>(
                 Vec::new()
             },
         };
-        plain[i * bs..(i + 1) * bs].copy_from_slice(&chain.serialize_for(bs, coded));
+        let node_plain = chain.serialize_meta(bs, coded, copies);
+        succ_csum = coding::share_checksum(&node_plain);
+        for r in 0..copies {
+            let slot = i * copies + r;
+            plain[slot * bs..(slot + 1) * bs].copy_from_slice(&node_plain);
+        }
     }
     write_encrypted_many(txn, keys, &chain_block_numbers, plain)?;
+    header.chain_replicas = if copies > 1 {
+        chain_block_numbers[1..copies].to_vec()
+    } else {
+        Vec::new()
+    };
+    header.chain_csum = if copies > 1 { succ_csum } else { 0 };
     Ok(chain_block_numbers)
 }
 
@@ -1216,8 +1554,10 @@ fn resize_with_extents<D: BlockDevice>(
         // Capacity check before taking anything: the recycled chain
         // blocks come back to us, so count them as available.
         let extra = new_count.saturating_sub(data_blocks.len() as u64);
-        let chain_capacity = InodeChainBlock::capacity(fs.block_size()).max(1) as u64;
-        let chain_needed = new_count.div_ceil(chain_capacity);
+        let copies = effective_meta_copies(&header) as u64;
+        let chain_capacity =
+            InodeChainBlock::capacity_meta(fs.block_size(), false, copies as usize).max(1) as u64;
+        let chain_needed = new_count.div_ceil(chain_capacity) * copies;
         let available =
             fs.free_data_blocks() + header.free_pool.len() as u64 + recycled.len() as u64;
         if available < extra + chain_needed {
@@ -1256,12 +1596,7 @@ fn resize_with_extents<D: BlockDevice>(
     header.size = new_len;
     header.data_block_count = data_blocks.len() as u64;
     header.inode_chain = chain_blocks.first().copied().unwrap_or(NO_BLOCK);
-    write_encrypted(
-        &mut txn,
-        keys,
-        obj.header_block,
-        &header.serialize(fs.block_size()),
-    )?;
+    publish_header(&mut txn, keys, obj.header_block, &header)?;
     // The surplus returns to the volume with the commit that publishes the
     // header which stops referencing it; see [`write()`](self::write).
     for b in recycled {
@@ -1289,8 +1624,9 @@ fn resize_coded<D: BlockDevice>(
     let (m, n) = obj.header.policy.shares();
     let groups = new_len.div_ceil(bs * m as u64);
     let needed = groups.saturating_mul(n as u64);
-    let cap = InodeChainBlock::capacity_for(fs.block_size(), true).max(1) as u64;
-    let chain_needed = needed.div_ceil(cap);
+    let copies = effective_meta_copies(&obj.header) as u64;
+    let cap = InodeChainBlock::capacity_meta(fs.block_size(), true, copies as usize).max(1) as u64;
+    let chain_needed = needed.div_ceil(cap) * copies;
     let (old_data, old_chain) = chain_for_update(fs, keys, obj, cache)?;
     let available = fs.free_data_blocks()
         + obj.header.free_pool.len() as u64
@@ -1330,8 +1666,11 @@ pub enum RepairOutcome {
 /// Splitting is deterministic and the per-block cipher is keyed by block
 /// number, so a rebuilt share re-encrypts to the byte-identical ciphertext
 /// the volume originally held — a repaired image is indistinguishable from
-/// one that was never damaged.  Plain objects carry no redundancy and
-/// report [`RepairOutcome::Intact`] untouched.  All rewrites ride in one
+/// one that was never damaged.  The same holds for replicated metadata:
+/// every header and chain replica is verified against the surviving copy's
+/// plaintext and damaged replicas are rewritten byte-identically (their
+/// count folds into `shares_rebuilt`).  Plain objects carry no redundancy
+/// and report [`RepairOutcome::Intact`] untouched.  All rewrites ride in one
 /// transaction; an unrecoverable object writes nothing at all.
 pub fn repair<D: BlockDevice>(
     fs: &PlainFs<D>,
@@ -1342,8 +1681,41 @@ pub fn repair<D: BlockDevice>(
         return Ok(RepairOutcome::Intact);
     };
     let bs = fs.block_size();
-    let (data_blocks, _, share_csums) = read_chain(fs, keys, obj)?;
-    if data_blocks.is_empty() {
+
+    // Metadata sweep first: a full chain walk that visits *every* replica
+    // (not just the first live one) and records the rotten ones.  An
+    // unreadable chain fails closed here, before anything is written.
+    let nodes = walk_chain(fs, keys, obj, None, true)?;
+    let data_blocks: Vec<u64> = nodes
+        .iter()
+        .flat_map(|nd| nd.node.pointers.iter().copied())
+        .collect();
+    let share_csums: Vec<u64> = nodes
+        .iter()
+        .flat_map(|nd| nd.node.csums.iter().copied())
+        .collect();
+    let mut meta_rewrites: Vec<(u64, Vec<u8>)> = Vec::new();
+    for nd in &nodes {
+        for &b in &nd.damaged {
+            meta_rewrites.push((b, nd.plain.clone()));
+        }
+    }
+    // Header replicas: intact iff the replica decrypts to exactly the bytes
+    // the surviving header serialises to (serialisation is canonical, so the
+    // comparison is byte-for-byte).
+    if !obj.header.header_replicas.is_empty() {
+        let expected = obj.header.serialize(bs);
+        for &b in &obj.header.header_replicas {
+            let found = read_decrypted(fs, keys, b)?;
+            let intact = found[..] == expected[..];
+            scratch::put(found);
+            if !intact {
+                meta_rewrites.push((b, expected.clone()));
+            }
+        }
+    }
+
+    if data_blocks.is_empty() && meta_rewrites.is_empty() {
         return Ok(RepairOutcome::Intact);
     }
     if data_blocks.len() != share_csums.len() || !data_blocks.len().is_multiple_of(n) {
@@ -1371,11 +1743,14 @@ pub fn repair<D: BlockDevice>(
     if groups_lost > 0 {
         return Ok(RepairOutcome::Lost { groups_lost });
     }
-    let shares_rebuilt: usize = bad.iter().map(|b| b.len()).sum();
+    let shares_rebuilt: usize = bad.iter().map(|b| b.len()).sum::<usize>() + meta_rewrites.len();
     if shares_rebuilt == 0 {
         return Ok(RepairOutcome::Intact);
     }
     let mut txn = fs.begin_txn();
+    for (b, plain) in &meta_rewrites {
+        write_encrypted(&mut txn, keys, *b, plain)?;
+    }
     for g in 0..groups {
         if bad[g].is_empty() {
             continue;
@@ -1390,6 +1765,35 @@ pub fn repair<D: BlockDevice>(
     Ok(RepairOutcome::Repaired { shares_rebuilt })
 }
 
+/// Last-resort teardown for an object whose chain can no longer be walked:
+/// scrub and free the header replicas and pool blocks the header itself
+/// names, leaving the unreachable chain/data blocks allocated.  The
+/// scavenger uses this before re-creating a lost directory in place — the
+/// bounded leak is preferable to freeing blocks we cannot prove are the
+/// object's.
+pub fn destroy_unreadable<D: BlockDevice>(
+    fs: &PlainFs<D>,
+    obj: &HiddenObject,
+    rng: &mut DeterministicRng,
+) -> StegResult<()> {
+    let mut txn = fs.begin_txn();
+    for b in obj.header.free_pool.iter().copied() {
+        txn.free_block(b)?;
+    }
+    let header_blocks: Vec<u64> = if obj.header.header_replicas.is_empty() {
+        vec![obj.header_block]
+    } else {
+        obj.header.header_replicas.clone()
+    };
+    for &hb in &header_blocks {
+        let noise = rng.bytes(fs.block_size());
+        txn.write_raw_block(hb, &noise)?;
+        txn.free_block(hb)?;
+    }
+    txn.commit()?;
+    Ok(())
+}
+
 /// The object's data blocks chunked per coding group: `n` share blocks per
 /// group (plain objects report each block as its own single-entry group).
 /// The corruption experiments and the survival smoke use this map to
@@ -1400,7 +1804,7 @@ pub fn share_extents<D: BlockDevice>(
     obj: &HiddenObject,
 ) -> StegResult<Vec<Vec<u64>>> {
     let (_, n) = obj.header.policy.shares();
-    let (data_blocks, _, _) = read_chain(fs, keys, obj)?;
+    let (data_blocks, _, _) = read_chain(fs, keys, obj, None)?;
     Ok(data_blocks.chunks(n.max(1)).map(|c| c.to_vec()).collect())
 }
 
@@ -1417,7 +1821,7 @@ pub fn delete<D: BlockDevice>(
     // crash mid-delete leaves the object either whole or entirely gone —
     // never a findable header whose blocks have been handed out.
     let mut txn = fs.begin_txn();
-    let (data_blocks, chain_blocks, _) = read_chain(fs, keys, obj)?;
+    let (data_blocks, chain_blocks, _) = read_chain(fs, keys, obj, None)?;
     for b in data_blocks
         .into_iter()
         .chain(chain_blocks)
@@ -1425,10 +1829,18 @@ pub fn delete<D: BlockDevice>(
     {
         txn.free_block(b)?;
     }
-    // Scrub the header so the signature cannot be found again, then free it.
-    let noise = rng.bytes(fs.block_size());
-    txn.write_raw_block(obj.header_block, &noise)?;
-    txn.free_block(obj.header_block)?;
+    // Scrub every header replica so the signature cannot be found again,
+    // then free them.  Legacy single-copy objects scrub just `header_block`.
+    let header_blocks: Vec<u64> = if obj.header.header_replicas.is_empty() {
+        vec![obj.header_block]
+    } else {
+        obj.header.header_replicas.clone()
+    };
+    for &hb in &header_blocks {
+        let noise = rng.bytes(fs.block_size());
+        txn.write_raw_block(hb, &noise)?;
+        txn.free_block(hb)?;
+    }
     txn.commit()?;
     Ok(())
 }
@@ -1440,8 +1852,12 @@ pub fn owned_blocks<D: BlockDevice>(
     keys: &ObjectKeys,
     obj: &HiddenObject,
 ) -> StegResult<Vec<u64>> {
-    let (data_blocks, chain_blocks, _) = read_chain(fs, keys, obj)?;
-    let mut all = vec![obj.header_block];
+    let (data_blocks, chain_blocks, _) = read_chain(fs, keys, obj, None)?;
+    let mut all = if obj.header.header_replicas.is_empty() {
+        vec![obj.header_block]
+    } else {
+        obj.header.header_replicas.clone()
+    };
     all.extend(data_blocks);
     all.extend(chain_blocks);
     all.extend(obj.header.free_pool.iter().copied());
@@ -1556,14 +1972,14 @@ mod tests {
         write(&fs, &keys, &mut obj, &data, &params, &mut rng).unwrap();
         let free_before = fs.free_data_blocks();
 
-        write_range(&fs, &keys, &obj, 1000, &[0xaa; 200]).unwrap();
+        write_range(&fs, &keys, &mut obj, 1000, &[0xaa; 200]).unwrap();
         let mut expected = data.clone();
         expected[1000..1200].copy_from_slice(&[0xaa; 200]);
         assert_eq!(read(&fs, &keys, &obj).unwrap(), expected);
         assert_eq!(fs.free_data_blocks(), free_before, "no allocation");
         // Past-EOF patches rejected, empty patches allowed.
-        assert!(write_range(&fs, &keys, &obj, 4990, &[0u8; 20]).is_err());
-        write_range(&fs, &keys, &obj, 0, &[]).unwrap();
+        assert!(write_range(&fs, &keys, &mut obj, 4990, &[0u8; 20]).is_err());
+        write_range(&fs, &keys, &mut obj, 0, &[]).unwrap();
     }
 
     #[test]
@@ -2001,7 +2417,7 @@ mod tests {
         write(&fs, &keys, &mut obj, &data, &params, &mut rng).unwrap();
         let free_before = fs.free_data_blocks();
         // Patch across a group boundary (groups are m * bs = 2 KB here).
-        write_range(&fs, &keys, &obj, 1500, &[0xcc; 2000]).unwrap();
+        write_range(&fs, &keys, &mut obj, 1500, &[0xcc; 2000]).unwrap();
         let mut expected = data.clone();
         expected[1500..3500].copy_from_slice(&[0xcc; 2000]);
         assert_eq!(read(&fs, &keys, &obj).unwrap(), expected);
@@ -2058,7 +2474,10 @@ mod tests {
     fn coded_delete_returns_all_blocks() {
         let policy = Policy::Disperse { m: 3, n: 5 };
         let (fs, keys, params, mut rng, mut obj) = coded_fixture(policy, "bye");
-        let free_before = fs.free_data_blocks() + params.free_blocks_max as u64 + 1;
+        // The object holds its pool plus one header block per metadata copy
+        // (n - m + 1 = 3 for this policy); all of them must come back.
+        let free_before =
+            fs.free_data_blocks() + params.free_blocks_max as u64 + policy.meta_copies() as u64;
         write(
             &fs,
             &keys,
@@ -2071,5 +2490,140 @@ mod tests {
         delete(&fs, &keys, &obj, &mut rng).unwrap();
         assert_eq!(fs.free_data_blocks(), free_before);
         assert!(open(&fs, "bye", &keys, &params).unwrap_err().is_not_found());
+    }
+
+    #[test]
+    fn header_survives_replica_losses_and_flags_degraded() {
+        let policy = Policy::Disperse { m: 2, n: 4 };
+        let (fs, keys, params, mut rng, mut obj) = coded_fixture(policy, "hdr");
+        let data: Vec<u8> = (0..4 * 1024u32).map(|i| (i % 251) as u8).collect();
+        write(&fs, &keys, &mut obj, &data, &params, &mut rng).unwrap();
+        let replicas = obj.header.header_replicas.clone();
+        assert_eq!(replicas.len(), policy.meta_copies());
+        assert_eq!(replicas[0], obj.header_block);
+
+        // Kill the primary and one replica: n - m = 2 losses, still open.
+        smash(&fs, replicas[0], 1);
+        smash(&fs, replicas[1], 2);
+        let health = ReadHealth::new();
+        let found = open_observed(&fs, "hdr", &keys, &params, Some(&health)).unwrap();
+        assert_eq!(found.header_block, replicas[2], "served by the survivor");
+        assert!(health.is_degraded());
+        assert_eq!(read(&fs, &keys, &found).unwrap(), data);
+
+        // One more loss kills the object: no replica left to probe.
+        smash(&fs, replicas[2], 3);
+        assert!(open(&fs, "hdr", &keys, &params).unwrap_err().is_not_found());
+    }
+
+    #[test]
+    fn chain_survives_replica_losses_and_fails_closed_beyond() {
+        let policy = Policy::Disperse { m: 2, n: 4 };
+        let (fs, keys, params, mut rng, mut obj) = coded_fixture(policy, "chn");
+        let data: Vec<u8> = (0..6 * 1024u32).map(|i| (i % 239) as u8).collect();
+        write(&fs, &keys, &mut obj, &data, &params, &mut rng).unwrap();
+        let head = obj.header.inode_chain;
+        let spares = obj.header.chain_replicas.clone();
+        assert_eq!(spares.len(), policy.meta_copies() - 1);
+
+        smash(&fs, head, 1);
+        smash(&fs, spares[0], 2);
+        let health = ReadHealth::new();
+        let cache = ReadCache::disabled();
+        assert_eq!(
+            read_cached_observed(&fs, &keys, &obj, cache, Some(&health)).unwrap(),
+            data,
+            "chain served by its last replica"
+        );
+        assert!(health.is_degraded());
+
+        smash(&fs, spares[1], 3);
+        let err = read(&fs, &keys, &obj).unwrap_err();
+        assert!(err.to_string().contains("live"), "fails closed: {err}");
+    }
+
+    #[test]
+    fn healthy_reads_do_not_flag_degraded() {
+        let policy = Policy::Disperse { m: 2, n: 4 };
+        let (fs, keys, params, mut rng, mut obj) = coded_fixture(policy, "ok");
+        let data = vec![7u8; 3 * 1024];
+        write(&fs, &keys, &mut obj, &data, &params, &mut rng).unwrap();
+        let health = ReadHealth::new();
+        let found = open_observed(&fs, "ok", &keys, &params, Some(&health)).unwrap();
+        let cache = ReadCache::disabled();
+        assert_eq!(
+            read_cached_observed(&fs, &keys, &found, cache, Some(&health)).unwrap(),
+            data
+        );
+        assert!(!health.is_degraded());
+    }
+
+    #[test]
+    fn repair_rebuilds_metadata_replicas_byte_identically() {
+        let policy = Policy::Disperse { m: 2, n: 4 };
+        let (fs, keys, params, mut rng, mut obj) = coded_fixture(policy, "meta-fix");
+        let data: Vec<u8> = (0..5 * 1024u32).map(|i| (i % 211) as u8).collect();
+        write(&fs, &keys, &mut obj, &data, &params, &mut rng).unwrap();
+        let groups = share_extents(&fs, &keys, &obj).unwrap();
+        let victims = [
+            obj.header.header_replicas[1],
+            obj.header.chain_replicas[0],
+            groups[0][2],
+        ];
+        let bs = fs.block_size();
+        let mut before = vec![0u8; victims.len() * bs];
+        fs.read_raw_blocks_into(&victims, &mut before).unwrap();
+        for (i, &v) in victims.iter().enumerate() {
+            smash(&fs, v, 0x40 + i as u8);
+        }
+        assert_eq!(
+            repair(&fs, &keys, &obj).unwrap(),
+            RepairOutcome::Repaired { shares_rebuilt: 3 }
+        );
+        let mut after = vec![0u8; victims.len() * bs];
+        fs.read_raw_blocks_into(&victims, &mut after).unwrap();
+        assert_eq!(before, after, "metadata rebuilds must be byte-identical");
+        assert_eq!(repair(&fs, &keys, &obj).unwrap(), RepairOutcome::Intact);
+        assert_eq!(read(&fs, &keys, &obj).unwrap(), data);
+    }
+
+    #[test]
+    fn coded_patch_keeps_replicated_chain_consistent() {
+        let policy = Policy::Disperse { m: 2, n: 4 };
+        let (fs, keys, params, mut rng, mut obj) = coded_fixture(policy, "patch-r");
+        let data: Vec<u8> = (0..9 * 1024u32).map(|i| (i % 223) as u8).collect();
+        write(&fs, &keys, &mut obj, &data, &params, &mut rng).unwrap();
+        write_range(&fs, &keys, &mut obj, 4000, &[0xbe; 1500]).unwrap();
+        let mut expected = data.clone();
+        expected[4000..5500].fill(0xbe);
+        // The handle's refreshed header and a fresh keyed open must both walk
+        // the cascaded chain cleanly.
+        assert_eq!(read(&fs, &keys, &obj).unwrap(), expected);
+        let reopened = open(&fs, "patch-r", &keys, &params).unwrap();
+        assert_eq!(read(&fs, &keys, &reopened).unwrap(), expected);
+        assert_eq!(
+            repair(&fs, &keys, &reopened).unwrap(),
+            RepairOutcome::Intact
+        );
+        // And the patch still tolerates losing any chain replica afterwards.
+        smash(&fs, reopened.header.inode_chain, 9);
+        assert_eq!(read(&fs, &keys, &reopened).unwrap(), expected);
+    }
+
+    #[test]
+    fn owned_blocks_cover_every_metadata_replica() {
+        let policy = Policy::Disperse { m: 2, n: 4 };
+        let (fs, keys, params, mut rng, mut obj) = coded_fixture(policy, "own");
+        write(&fs, &keys, &mut obj, &[5u8; 4096], &params, &mut rng).unwrap();
+        let owned = owned_blocks(&fs, &keys, &obj).unwrap();
+        for &b in obj
+            .header
+            .header_replicas
+            .iter()
+            .chain(obj.header.chain_replicas.iter())
+            .chain(std::iter::once(&obj.header.inode_chain))
+        {
+            assert!(owned.contains(&b), "replica {b} missing from owned set");
+        }
     }
 }

@@ -144,6 +144,10 @@ impl VolumeConfig {
 pub struct HiddenHandle {
     /// User-visible object name the handle was opened under.
     pub name: String,
+    /// Locator-facing physical name (owner-qualified), kept so a degraded
+    /// read through the handle can queue a repair ticket.
+    physical_name: String,
+    fak: [u8; FAK_LEN],
     keys: ObjectKeys,
     object: HiddenObject,
 }
@@ -158,6 +162,47 @@ impl HiddenHandle {
     pub fn kind(&self) -> ObjectKind {
         self.object.kind()
     }
+}
+
+/// One queued self-healing ticket: enough to re-derive the object's keys
+/// and re-open it *fresh* at repair time — repair always converges the
+/// object's **current** incarnation, so a ticket queued against a since-
+/// rewritten object can never resurrect superseded shares.
+struct RepairTicket {
+    physical_name: String,
+    fak: [u8; FAK_LEN],
+}
+
+/// RAM-only queue of repair tickets, deduplicated by object signature (a
+/// storm of degraded reads against one object queues one ticket).
+#[derive(Default)]
+struct RepairQueue {
+    tickets: std::collections::VecDeque<RepairTicket>,
+    enqueued: std::collections::HashSet<[u8; crate::crypt::SIGNATURE_LEN]>,
+}
+
+/// What one [`StegFs::process_repairs`] drain accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairDrain {
+    /// Tickets taken off the queue this call.
+    pub processed: usize,
+    /// Tickets that converged: shares/metadata rewritten, or the object was
+    /// found intact / already rewritten / since deleted.
+    pub completed: usize,
+    /// Tickets whose object is damaged beyond tolerance or whose rewrite
+    /// failed with an I/O error.
+    pub failed: usize,
+}
+
+/// What one [`StegFs::rebuild_dir_from_shadow`] rebuild accomplished.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DirRebuild {
+    /// Children from the shadow listing whose objects still probe and were
+    /// re-linked into the rebuilt directory.
+    pub children_relinked: usize,
+    /// Names of children whose own objects no longer open; they are dropped
+    /// from the rebuilt listing rather than left as dangling entries.
+    pub children_dropped: Vec<String>,
 }
 
 fn shard_index(key: &str, len: usize) -> usize {
@@ -186,6 +231,11 @@ pub struct StegFs<D: BlockDevice> {
     /// see `stegfs-obs`).  Shared with every layer underneath and handed
     /// to the VFS/engine above.
     obs: Arc<Obs>,
+    /// RAM-only self-healing queue (see [`Self::process_repairs`]): degraded
+    /// reads enqueue, an explicit drain repairs.  RAM-only for the same
+    /// deniability reason as the read cache — a persisted repair backlog
+    /// would betray which blocks hold live hidden data.
+    repair_queue: Mutex<RepairQueue>,
 }
 
 impl<D: BlockDevice> StegFs<D> {
@@ -213,6 +263,7 @@ impl<D: BlockDevice> StegFs<D> {
                 .map(|_| TimedMutex::with_stats((), obs.object_shards.clone()))
                 .collect(),
             obs,
+            repair_queue: Mutex::new(RepairQueue::default()),
         }
     }
 
@@ -671,7 +722,7 @@ impl<D: BlockDevice> StegFs<D> {
         kind: ObjectKind,
         policy: Policy,
     ) -> StegResult<()> {
-        if objname.is_empty() || objname.contains('\0') {
+        if objname.is_empty() || objname.contains('\0') || objname.contains('\u{1}') {
             return Err(StegError::InvalidName(objname.to_string()));
         }
         // Build the object *outside* the UAK shard: allocating and writing
@@ -739,6 +790,82 @@ impl<D: BlockDevice> StegFs<D> {
         Ok(outcome)
     }
 
+    /// Queue a self-healing ticket for the object when `health` reports the
+    /// preceding read was served degraded (fallback shares or metadata
+    /// replicas).  Deduplicated per object; cheap no-op on healthy reads.
+    fn note_degraded(&self, physical_name: &str, fak: &[u8; FAK_LEN], health: &hidden::ReadHealth) {
+        if !health.is_degraded() {
+            return;
+        }
+        let keys = ObjectKeys::derive(physical_name, fak);
+        let mut queue = self.repair_queue.lock();
+        if queue.enqueued.insert(*keys.signature()) {
+            queue.tickets.push_back(RepairTicket {
+                physical_name: physical_name.to_string(),
+                fak: *fak,
+            });
+            self.obs.repair.queued.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of repair tickets waiting to be drained.
+    pub fn pending_repairs(&self) -> usize {
+        self.repair_queue.lock().tickets.len()
+    }
+
+    /// Drain up to `limit` queued read-repair tickets: each object is
+    /// re-opened **fresh** and run through [`hidden::repair`], rewriting
+    /// damaged shares and metadata replicas byte-identically in place, so
+    /// the volume converges back to full redundancy under live traffic.
+    ///
+    /// Re-opening at drain time (rather than repairing the incarnation the
+    /// degraded read saw) is what makes the queue safe against concurrent
+    /// writers: a ticket queued before a full rewrite finds the *new*
+    /// incarnation intact and never resurrects superseded shares.  An object
+    /// deleted since its ticket was queued counts as completed.
+    pub fn process_repairs(&self, limit: usize) -> RepairDrain {
+        let mut drain = RepairDrain::default();
+        for _ in 0..limit {
+            let Some(ticket) = ({
+                let mut queue = self.repair_queue.lock();
+                queue.tickets.pop_front().inspect(|t| {
+                    let keys = ObjectKeys::derive(&t.physical_name, &t.fak);
+                    queue.enqueued.remove(keys.signature());
+                })
+            }) else {
+                break;
+            };
+            drain.processed += 1;
+            let _span = span::span(span::Phase::Repair);
+            let keys = ObjectKeys::derive(&ticket.physical_name, &ticket.fak);
+            let _obj_lock = self.object_guard(&ticket.physical_name);
+            let outcome = hidden::open(&self.fs, &ticket.physical_name, &keys, &self.params)
+                .and_then(|obj| hidden::repair(&self.fs, &keys, &obj));
+            match outcome {
+                Ok(hidden::RepairOutcome::Repaired { .. }) => {
+                    // Cached plaintext may have been decoded from the damaged
+                    // shares; drop it with the rewrite.
+                    self.read_cache.invalidate(keys.signature());
+                    drain.completed += 1;
+                    self.obs.repair.completed.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(hidden::RepairOutcome::Intact) => {
+                    drain.completed += 1;
+                    self.obs.repair.completed.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) if e.is_not_found() => {
+                    drain.completed += 1;
+                    self.obs.repair.completed.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(hidden::RepairOutcome::Lost { .. }) | Err(_) => {
+                    drain.failed += 1;
+                    self.obs.repair.failed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        drain
+    }
+
     /// The data blocks of `objname` chunked per coding group (`n` share
     /// blocks per group; plain objects report singleton groups).  The
     /// corruption experiments use this map to destroy a chosen number of
@@ -804,14 +931,29 @@ impl<D: BlockDevice> StegFs<D> {
         let entry = self.entry_for(objname, uak)?;
         let keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
         let _obj_lock = self.object_guard(&entry.physical_name);
-        let object = hidden::open_cached(
+        let health = hidden::ReadHealth::new();
+        let out = hidden::open_cached_observed(
             &self.fs,
             &entry.physical_name,
             &keys,
             &self.params,
             &self.read_cache,
-        )?;
-        hidden::read_range_cached(&self.fs, &keys, &object, offset, len, 0, &self.read_cache)
+            Some(&health),
+        )
+        .and_then(|object| {
+            hidden::read_range_cached_observed(
+                &self.fs,
+                &keys,
+                &object,
+                offset,
+                len,
+                0,
+                &self.read_cache,
+                Some(&health),
+            )
+        });
+        self.note_degraded(&entry.physical_name, &entry.fak, &health);
+        out
     }
 
     /// Overwrite part of the hidden file `objname` in place (the range must
@@ -826,14 +968,14 @@ impl<D: BlockDevice> StegFs<D> {
         let entry = self.entry_for(objname, uak)?;
         let keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
         let _obj_lock = self.object_guard(&entry.physical_name);
-        let object = hidden::open_cached(
+        let mut object = hidden::open_cached(
             &self.fs,
             &entry.physical_name,
             &keys,
             &self.params,
             &self.read_cache,
         )?;
-        hidden::write_range_cached(&self.fs, &keys, &object, offset, data, &self.read_cache)
+        hidden::write_range_cached(&self.fs, &keys, &mut object, offset, data, &self.read_cache)
     }
 
     /// Open a hidden file once and keep a handle for repeated positional
@@ -874,7 +1016,8 @@ impl<D: BlockDevice> StegFs<D> {
         len: usize,
         readahead_blocks: usize,
     ) -> StegResult<Vec<u8>> {
-        hidden::read_range_cached(
+        let health = hidden::ReadHealth::new();
+        let out = hidden::read_range_cached_observed(
             &self.fs,
             &handle.keys,
             &handle.object,
@@ -882,21 +1025,26 @@ impl<D: BlockDevice> StegFs<D> {
             len,
             readahead_blocks,
             &self.read_cache,
-        )
+            Some(&health),
+        );
+        self.note_degraded(&handle.physical_name, &handle.fak, &health);
+        out
     }
 
     /// Overwrite bytes at `offset` through an open handle (in place; the
-    /// range must lie within the current size).
+    /// range must lie within the current size).  Takes `&mut` because a
+    /// coded patch under replicated metadata refreshes the handle's cached
+    /// header (its chain checksum changes with the patched nodes).
     pub fn write_range_at(
         &self,
-        handle: &HiddenHandle,
+        handle: &mut HiddenHandle,
         offset: u64,
         data: &[u8],
     ) -> StegResult<()> {
         hidden::write_range_cached(
             &self.fs,
             &handle.keys,
-            &handle.object,
+            &mut handle.object,
             offset,
             data,
             &self.read_cache,
@@ -925,6 +1073,8 @@ impl<D: BlockDevice> StegFs<D> {
         )?;
         Ok(HiddenHandle {
             name: entry.name.clone(),
+            physical_name: entry.physical_name.clone(),
+            fak: entry.fak,
             keys,
             object,
         })
@@ -959,7 +1109,7 @@ impl<D: BlockDevice> StegFs<D> {
             return hidden::write_range_cached(
                 &self.fs,
                 &handle.keys,
-                &handle.object,
+                &mut handle.object,
                 offset,
                 data,
                 &self.read_cache,
@@ -980,7 +1130,7 @@ impl<D: BlockDevice> StegFs<D> {
         hidden::write_range_cached(
             &self.fs,
             &handle.keys,
-            &handle.object,
+            &mut handle.object,
             offset,
             data,
             &self.read_cache,
@@ -1040,14 +1190,20 @@ impl<D: BlockDevice> StegFs<D> {
     fn read_hidden_entry(&self, entry: &DirectoryEntry) -> StegResult<Vec<u8>> {
         let keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
         let _obj_lock = self.object_guard(&entry.physical_name);
-        let obj = hidden::open_cached(
+        let health = hidden::ReadHealth::new();
+        let out = hidden::open_cached_observed(
             &self.fs,
             &entry.physical_name,
             &keys,
             &self.params,
             &self.read_cache,
-        )?;
-        hidden::read_cached(&self.fs, &keys, &obj, &self.read_cache)
+            Some(&health),
+        )
+        .and_then(|obj| {
+            hidden::read_cached_observed(&self.fs, &keys, &obj, &self.read_cache, Some(&health))
+        });
+        self.note_degraded(&entry.physical_name, &entry.fak, &health);
+        out
     }
 
     /// Delete the hidden object `objname` and remove it from the UAK
@@ -1074,6 +1230,9 @@ impl<D: BlockDevice> StegFs<D> {
             let result = hidden::delete(&self.fs, &keys, &obj, &mut rng);
             self.read_cache.invalidate(keys.signature());
             result?;
+            if entry.kind == ObjectKind::Directory {
+                self.delete_shadow_listing(&entry.physical_name, &entry.fak);
+            }
         }
         self.session.lock().disconnect(objname);
         self.save_uak_directory(uak, &dir, existing)?;
@@ -1181,19 +1340,207 @@ impl<D: BlockDevice> StegFs<D> {
     /// held by the caller.
     fn read_listing_locked(&self, entry: &DirectoryEntry) -> StegResult<UakDirectory> {
         let keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
-        let obj = hidden::open_cached(
+        let health = hidden::ReadHealth::new();
+        let raw = hidden::open_cached_observed(
             &self.fs,
             &entry.physical_name,
             &keys,
             &self.params,
             &self.read_cache,
-        )?;
-        let raw = hidden::read_cached(&self.fs, &keys, &obj, &self.read_cache)?;
+            Some(&health),
+        )
+        .and_then(|obj| {
+            hidden::read_cached_observed(&self.fs, &keys, &obj, &self.read_cache, Some(&health))
+        });
+        self.note_degraded(&entry.physical_name, &entry.fak, &health);
+        let raw = raw?;
         if raw.is_empty() {
             Ok(UakDirectory::new())
         } else {
             Ok(UakDirectory::deserialize(&raw)?)
         }
+    }
+
+    /// Identity (physical name, FAK) of a directory's shadow-listing object.
+    /// Derived, never stored: `\u{1}` is rejected in object names, so a
+    /// shadow's physical name can never collide with a real child's, and the
+    /// FAK is domain-separated from the directory's own.
+    fn shadow_identity(physical: &str, fak: &[u8; FAK_LEN]) -> (String, [u8; FAK_LEN]) {
+        let shadow_physical = format!("{physical}\u{1}shadow");
+        let shadow_fak = sha256_concat(&[b"stegfs-shadow-fak", fak]);
+        (shadow_physical, shadow_fak)
+    }
+
+    /// Persist `children` as the listing of the hidden directory `parent`
+    /// (object shard already held), then mirror it into the directory's
+    /// shadow-listing object.  The shadow is an ordinary hidden object under
+    /// the volume policy — indistinguishable on the raw device and reachable
+    /// only with the directory's FAK — and is what lets the scavenger rebuild
+    /// a directory whose own metadata is damaged beyond its redundancy (see
+    /// [`Self::rebuild_dir_from_shadow`]).
+    fn save_listing_locked(
+        &self,
+        parent: &DirectoryEntry,
+        children: &UakDirectory,
+    ) -> StegResult<()> {
+        let parent_keys = ObjectKeys::derive(&parent.physical_name, &parent.fak);
+        let mut parent_obj = hidden::open_cached(
+            &self.fs,
+            &parent.physical_name,
+            &parent_keys,
+            &self.params,
+            &self.read_cache,
+        )?;
+        let mut rng = self.fork_rng();
+        hidden::write_cached(
+            &self.fs,
+            &parent_keys,
+            &mut parent_obj,
+            &children.serialize(),
+            &self.params,
+            &mut rng,
+            &self.read_cache,
+        )?;
+        self.save_shadow_listing(parent, children)
+    }
+
+    /// Upsert the shadow-listing companion of the hidden directory `parent`
+    /// (created lazily on the first listing mutation).
+    fn save_shadow_listing(
+        &self,
+        parent: &DirectoryEntry,
+        children: &UakDirectory,
+    ) -> StegResult<()> {
+        if children.entries.is_empty() {
+            // An empty listing needs no recovery source; dropping the shadow
+            // keeps an empty directory's block footprint unchanged.
+            self.delete_shadow_listing(&parent.physical_name, &parent.fak);
+            return Ok(());
+        }
+        let (shadow_physical, shadow_fak) =
+            Self::shadow_identity(&parent.physical_name, &parent.fak);
+        let shadow_keys = ObjectKeys::derive(&shadow_physical, &shadow_fak);
+        let mut shadow_obj =
+            match hidden::open(&self.fs, &shadow_physical, &shadow_keys, &self.params) {
+                Ok(obj) => obj,
+                Err(e) if e.is_not_found() => hidden::create_with_policy(
+                    &self.fs,
+                    &shadow_physical,
+                    &shadow_keys,
+                    ObjectKind::File,
+                    self.params.hidden_policy,
+                    &self.params,
+                )?,
+                Err(e) => return Err(e),
+            };
+        let mut rng = self.fork_rng();
+        hidden::write(
+            &self.fs,
+            &shadow_keys,
+            &mut shadow_obj,
+            &children.serialize(),
+            &self.params,
+            &mut rng,
+        )
+    }
+
+    /// Best-effort removal of a directory's shadow listing when the
+    /// directory itself is destroyed.  A missing shadow (directory never had
+    /// a listing mutation) is not an error.
+    fn delete_shadow_listing(&self, physical: &str, fak: &[u8; FAK_LEN]) {
+        let (shadow_physical, shadow_fak) = Self::shadow_identity(physical, fak);
+        let shadow_keys = ObjectKeys::derive(&shadow_physical, &shadow_fak);
+        if let Ok(shadow_obj) = hidden::open(&self.fs, &shadow_physical, &shadow_keys, &self.params)
+        {
+            let mut rng = self.fork_rng();
+            let _ = hidden::delete(&self.fs, &shadow_keys, &shadow_obj, &mut rng);
+        }
+    }
+
+    /// Rebuild a hidden directory whose header/chain damage exceeds its
+    /// redundancy, from the directory's shadow listing.  The directory is
+    /// re-created **in place** — same physical name and FAK — so entries
+    /// held by parents and sessions keep resolving; children whose own
+    /// objects no longer probe are dropped from the rebuilt listing and
+    /// reported in [`DirRebuild::children_dropped`].
+    ///
+    /// Refuses (with `AlreadyExists`) to clobber a directory whose listing is
+    /// still readable, and fails without touching the volume when the shadow
+    /// itself cannot be read (directories predating shadow listings report
+    /// `NotFound` here).  Remnant blocks of the old object that its surviving
+    /// header no longer reaches stay allocated — a bounded leak,
+    /// indistinguishable from abandoned blocks (§3.4).
+    pub fn rebuild_dir_from_shadow(&self, entry: &DirectoryEntry) -> StegResult<DirRebuild> {
+        if entry.kind != ObjectKind::Directory {
+            return Err(StegError::WrongObjectKind {
+                name: entry.name.clone(),
+                expected: ObjectKind::Directory,
+            });
+        }
+        let _obj_lock = self.object_guard(&entry.physical_name);
+        let keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
+        if let Ok(obj) = hidden::open(&self.fs, &entry.physical_name, &keys, &self.params) {
+            if hidden::read(&self.fs, &keys, &obj).is_ok() {
+                return Err(StegError::AlreadyExists(entry.name.clone()));
+            }
+        }
+
+        // Read the recovery source first: no teardown unless the shadow is
+        // actually usable.
+        let (shadow_physical, shadow_fak) = Self::shadow_identity(&entry.physical_name, &entry.fak);
+        let shadow_keys = ObjectKeys::derive(&shadow_physical, &shadow_fak);
+        let shadow_obj = hidden::open(&self.fs, &shadow_physical, &shadow_keys, &self.params)?;
+        let raw = hidden::read(&self.fs, &shadow_keys, &shadow_obj)?;
+        let listing = if raw.is_empty() {
+            UakDirectory::new()
+        } else {
+            UakDirectory::deserialize(&raw)?
+        };
+
+        // Re-link only children whose objects still probe under their keys.
+        let mut kept = UakDirectory::new();
+        let mut dropped = Vec::new();
+        for child in listing.entries {
+            let child_keys = ObjectKeys::derive(&child.physical_name, &child.fak);
+            if hidden::open(&self.fs, &child.physical_name, &child_keys, &self.params).is_ok() {
+                kept.insert(child)?;
+            } else {
+                dropped.push(child.name.clone());
+            }
+        }
+
+        // Tear down whatever is left of the old object.  When even the
+        // header is gone there is nothing to free; when the header opens but
+        // the chain does not, scrub the header replicas so the re-creation's
+        // probes cannot resurrect it.
+        let mut rng = self.fork_rng();
+        if let Ok(old) = hidden::open(&self.fs, &entry.physical_name, &keys, &self.params) {
+            if hidden::delete(&self.fs, &keys, &old, &mut rng).is_err() {
+                hidden::destroy_unreadable(&self.fs, &old, &mut rng)?;
+            }
+        }
+        self.read_cache.invalidate(keys.signature());
+
+        let mut obj = hidden::create_with_policy(
+            &self.fs,
+            &entry.physical_name,
+            &keys,
+            ObjectKind::Directory,
+            self.params.hidden_policy,
+            &self.params,
+        )?;
+        hidden::write(
+            &self.fs,
+            &keys,
+            &mut obj,
+            &kept.serialize(),
+            &self.params,
+            &mut rng,
+        )?;
+        Ok(DirRebuild {
+            children_relinked: kept.entries.len(),
+            children_dropped: dropped,
+        })
     }
 
     /// Read the child listing of the hidden directory described by `entry`.
@@ -1241,10 +1588,13 @@ impl<D: BlockDevice> StegFs<D> {
                 expected: ObjectKind::Directory,
             });
         }
-        if child_name.is_empty() || child_name.contains('\0') || child_name.contains('/') {
+        if child_name.is_empty()
+            || child_name.contains('\0')
+            || child_name.contains('/')
+            || child_name.contains('\u{1}')
+        {
             return Err(StegError::InvalidName(child_name.to_string()));
         }
-        let keys = ObjectKeys::derive(&parent.physical_name, &parent.fak);
         // The parent's shard serialises the listing read-modify-write against
         // concurrent child creation in the same directory.
         let _parent_lock = self.object_guard(&parent.physical_name);
@@ -1283,26 +1633,8 @@ impl<D: BlockDevice> StegFs<D> {
             kind,
         })?;
 
-        // Persist the updated listing into the parent.  The listing was just
-        // read through the cache, so the rewrite's chain walk is free.
-        let parent_keys = keys;
-        let mut parent_obj = hidden::open_cached(
-            &self.fs,
-            &parent.physical_name,
-            &parent_keys,
-            &self.params,
-            &self.read_cache,
-        )?;
-        let mut rng = self.fork_rng();
-        hidden::write_cached(
-            &self.fs,
-            &parent_keys,
-            &mut parent_obj,
-            &children.serialize(),
-            &self.params,
-            &mut rng,
-            &self.read_cache,
-        )
+        // Persist the updated listing into the parent (and its shadow).
+        self.save_listing_locked(parent, &children)
     }
 
     /// List the children of the hidden directory `parent`.
@@ -1428,27 +1760,14 @@ impl<D: BlockDevice> StegFs<D> {
 
         // Unpublish, then destroy.
         children.remove(&child.name);
-        let parent_keys = ObjectKeys::derive(&parent.physical_name, &parent.fak);
-        let mut parent_obj = hidden::open_cached(
-            &self.fs,
-            &parent.physical_name,
-            &parent_keys,
-            &self.params,
-            &self.read_cache,
-        )?;
+        self.save_listing_locked(parent, &children)?;
         let mut rng = self.fork_rng();
-        hidden::write_cached(
-            &self.fs,
-            &parent_keys,
-            &mut parent_obj,
-            &children.serialize(),
-            &self.params,
-            &mut rng,
-            &self.read_cache,
-        )?;
         let result = hidden::delete(&self.fs, &child_keys, &child_obj, &mut rng);
         self.read_cache.invalidate(child_keys.signature());
         result?;
+        if child.kind == ObjectKind::Directory {
+            self.delete_shadow_listing(&child.physical_name, &child.fak);
+        }
         self.session.lock().disconnect(&child.name);
         Ok(child)
     }
@@ -1469,7 +1788,7 @@ impl<D: BlockDevice> StegFs<D> {
                 expected: ObjectKind::Directory,
             });
         }
-        if new.is_empty() || new.contains('\0') {
+        if new.is_empty() || new.contains('\0') || new.contains('\u{1}') {
             return Err(StegError::InvalidName(new.to_string()));
         }
         let _parent_lock = self.object_guard(&parent.physical_name);
@@ -1484,24 +1803,7 @@ impl<D: BlockDevice> StegFs<D> {
         self.read_cache
             .invalidate(ObjectKeys::derive(&entry.physical_name, &entry.fak).signature());
         children.insert(entry)?;
-        let parent_keys = ObjectKeys::derive(&parent.physical_name, &parent.fak);
-        let mut parent_obj = hidden::open_cached(
-            &self.fs,
-            &parent.physical_name,
-            &parent_keys,
-            &self.params,
-            &self.read_cache,
-        )?;
-        let mut rng = self.fork_rng();
-        hidden::write_cached(
-            &self.fs,
-            &parent_keys,
-            &mut parent_obj,
-            &children.serialize(),
-            &self.params,
-            &mut rng,
-            &self.read_cache,
-        )?;
+        self.save_listing_locked(parent, &children)?;
         self.session.lock().disconnect(old);
         Ok(())
     }
@@ -2470,5 +2772,238 @@ mod tests {
             assert_eq!(fs.list_hidden(&uak).unwrap().len(), 3);
         }
         assert!(fs.list_hidden("stranger").unwrap().is_empty());
+    }
+
+    // ------------------------------------------------------------------
+    // Read-repair (online self-healing)
+    // ------------------------------------------------------------------
+
+    fn smash_raw(fs: &StegFs<MemBlockDevice>, block: u64, seed: u8) {
+        let junk: Vec<u8> = (0..fs.plain_fs().block_size())
+            .map(|i| (i as u8).wrapping_mul(37).wrapping_add(seed))
+            .collect();
+        fs.plain_fs().write_raw_block(block, &junk).unwrap();
+    }
+
+    fn raw_bytes(fs: &StegFs<MemBlockDevice>, blocks: &[u64]) -> Vec<u8> {
+        let mut buf = vec![0u8; blocks.len() * fs.plain_fs().block_size()];
+        fs.plain_fs()
+            .read_raw_blocks_into(blocks, &mut buf)
+            .unwrap();
+        buf
+    }
+
+    #[test]
+    fn degraded_read_queues_and_drains_a_repair() {
+        let fs = small_fs();
+        fs.steg_create_with_policy(
+            "cfg.dat",
+            UAK,
+            ObjectKind::File,
+            Policy::Disperse { m: 2, n: 4 },
+        )
+        .unwrap();
+        let data: Vec<u8> = (0..6 * 1024u32).map(|i| (i % 251) as u8).collect();
+        fs.write_hidden_with_key("cfg.dat", UAK, &data).unwrap();
+        let groups = fs.hidden_share_extents("cfg.dat", UAK).unwrap();
+        let victims = [groups[0][1], groups[1][2]];
+        let before = raw_bytes(&fs, &victims);
+        for (i, &v) in victims.iter().enumerate() {
+            smash_raw(&fs, v, i as u8);
+        }
+        fs.purge_read_caches();
+        assert_eq!(fs.read_hidden_with_key("cfg.dat", UAK).unwrap(), data);
+        assert_eq!(fs.pending_repairs(), 1, "degraded read queues one ticket");
+        // A storm of degraded reads against the same object dedups.
+        fs.purge_read_caches();
+        assert_eq!(fs.read_hidden_with_key("cfg.dat", UAK).unwrap(), data);
+        assert_eq!(fs.pending_repairs(), 1);
+
+        let drain = fs.process_repairs(8);
+        assert_eq!(
+            drain,
+            RepairDrain {
+                processed: 1,
+                completed: 1,
+                failed: 0
+            }
+        );
+        assert_eq!(fs.pending_repairs(), 0);
+        assert_eq!(
+            raw_bytes(&fs, &victims),
+            before,
+            "read-repair restores the image byte-identically"
+        );
+        let summary = fs.obs().repair.summary();
+        assert_eq!(summary.queued, 1, "the queued counter is post-dedup");
+        assert_eq!(summary.completed, 1);
+        assert_eq!(summary.failed, 0);
+        // The volume has converged: a fresh cold read is healthy.
+        fs.purge_read_caches();
+        assert_eq!(fs.read_hidden_with_key("cfg.dat", UAK).unwrap(), data);
+        assert_eq!(fs.pending_repairs(), 0);
+    }
+
+    #[test]
+    fn degraded_metadata_read_queues_and_heals() {
+        let fs = small_fs();
+        fs.steg_create_with_policy(
+            "meta.dat",
+            UAK,
+            ObjectKind::File,
+            Policy::Disperse { m: 2, n: 4 },
+        )
+        .unwrap();
+        let data = vec![0x5au8; 5 * 1024];
+        fs.write_hidden_with_key("meta.dat", UAK, &data).unwrap();
+        let entry = fs.lookup_entry("meta.dat", UAK).unwrap();
+        let keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
+        let obj = hidden::open(fs.plain_fs(), &entry.physical_name, &keys, fs.params()).unwrap();
+        let victims = [obj.header.header_replicas[0], obj.header.inode_chain];
+        let before = raw_bytes(&fs, &victims);
+        for (i, &v) in victims.iter().enumerate() {
+            smash_raw(&fs, v, 0x80 + i as u8);
+        }
+        fs.purge_read_caches();
+        assert_eq!(
+            fs.read_hidden_with_key("meta.dat", UAK).unwrap(),
+            data,
+            "metadata replicas carry the read"
+        );
+        assert_eq!(fs.pending_repairs(), 1);
+        let drain = fs.process_repairs(1);
+        assert_eq!(drain.completed, 1);
+        assert_eq!(drain.failed, 0);
+        assert_eq!(
+            raw_bytes(&fs, &victims),
+            before,
+            "header and chain rebuild byte-identically"
+        );
+    }
+
+    #[test]
+    fn repair_never_resurrects_a_superseded_incarnation() {
+        let fs = small_fs();
+        fs.steg_create_with_policy(
+            "race.dat",
+            UAK,
+            ObjectKind::File,
+            Policy::Disperse { m: 2, n: 4 },
+        )
+        .unwrap();
+        let old = vec![0x11u8; 4 * 1024];
+        fs.write_hidden_with_key("race.dat", UAK, &old).unwrap();
+        let groups = fs.hidden_share_extents("race.dat", UAK).unwrap();
+        smash_raw(&fs, groups[0][0], 7);
+        fs.purge_read_caches();
+        assert_eq!(fs.read_hidden_with_key("race.dat", UAK).unwrap(), old);
+        assert_eq!(
+            fs.pending_repairs(),
+            1,
+            "ticket queued against incarnation 1"
+        );
+
+        // A concurrent writer replaces the object before the drain runs.
+        let new = vec![0x22u8; 7 * 1024];
+        fs.write_hidden_with_key("race.dat", UAK, &new).unwrap();
+
+        let drain = fs.process_repairs(4);
+        assert_eq!(drain.processed, 1);
+        assert_eq!(drain.failed, 0);
+        // The drain re-opened fresh: the current incarnation stays current.
+        assert_eq!(fs.read_hidden_with_key("race.dat", UAK).unwrap(), new);
+
+        // A ticket whose object was deleted resolves as completed too.
+        smash_raw(
+            &fs,
+            fs.hidden_share_extents("race.dat", UAK).unwrap()[0][1],
+            9,
+        );
+        fs.purge_read_caches();
+        assert_eq!(fs.read_hidden_with_key("race.dat", UAK).unwrap(), new);
+        assert_eq!(fs.pending_repairs(), 1);
+        fs.delete_hidden("race.dat", UAK).unwrap();
+        let drain = fs.process_repairs(4);
+        assert_eq!(drain.processed, 1);
+        assert_eq!(drain.failed, 0);
+    }
+
+    #[test]
+    fn rebuild_lost_directory_from_shadow_listing() {
+        let fs = small_fs();
+        fs.steg_create("vault", UAK, ObjectKind::Directory).unwrap();
+        fs.create_in_hidden_dir("vault", "a", UAK, ObjectKind::File)
+            .unwrap();
+        fs.create_in_hidden_dir("vault", "b", UAK, ObjectKind::File)
+            .unwrap();
+        let parent = fs.lookup_entry("vault", UAK).unwrap();
+        let a = fs
+            .read_hidden_dir_listing(&parent)
+            .unwrap()
+            .find("a")
+            .cloned()
+            .unwrap();
+        let payload = vec![0x5au8; 9 * 1024];
+        fs.write_hidden_entry(&a, &payload).unwrap();
+
+        // A live directory is never clobbered from its shadow.
+        assert!(matches!(
+            fs.rebuild_dir_from_shadow(&parent),
+            Err(StegError::AlreadyExists(_))
+        ));
+
+        // Destroy every header replica of the directory object: damage past
+        // the metadata redundancy, so the listing is unreachable by key.
+        let keys = ObjectKeys::derive(&parent.physical_name, &parent.fak);
+        let obj = hidden::open(fs.plain_fs(), &parent.physical_name, &keys, fs.params()).unwrap();
+        let headers = if obj.header.header_replicas.is_empty() {
+            vec![obj.header_block]
+        } else {
+            obj.header.header_replicas.clone()
+        };
+        for (i, &h) in headers.iter().enumerate() {
+            smash_raw(&fs, h, i as u8);
+        }
+        fs.purge_read_caches();
+        assert!(fs.read_hidden_dir_listing(&parent).is_err());
+
+        // The shadow brings back the listing in place; both children still
+        // probe, so nothing is dropped and the file's bytes survive.
+        let rebuilt = fs.rebuild_dir_from_shadow(&parent).unwrap();
+        assert_eq!(rebuilt.children_relinked, 2);
+        assert!(rebuilt.children_dropped.is_empty());
+        let listing = fs.read_hidden_dir_listing(&parent).unwrap();
+        assert!(listing.find("a").is_some() && listing.find("b").is_some());
+        assert_eq!(fs.read_hidden_entry(&a).unwrap(), payload);
+
+        // Lose the directory again *and* child b's object: the rebuild
+        // re-links the survivor and reports the dangling child by name.
+        let b = listing.find("b").cloned().unwrap();
+        let b_keys = ObjectKeys::derive(&b.physical_name, &b.fak);
+        let b_obj = hidden::open(fs.plain_fs(), &b.physical_name, &b_keys, fs.params()).unwrap();
+        let b_headers = if b_obj.header.header_replicas.is_empty() {
+            vec![b_obj.header_block]
+        } else {
+            b_obj.header.header_replicas.clone()
+        };
+        for (i, &h) in b_headers.iter().enumerate() {
+            smash_raw(&fs, h, 0x40 + i as u8);
+        }
+        let obj = hidden::open(fs.plain_fs(), &parent.physical_name, &keys, fs.params()).unwrap();
+        let headers = if obj.header.header_replicas.is_empty() {
+            vec![obj.header_block]
+        } else {
+            obj.header.header_replicas.clone()
+        };
+        for (i, &h) in headers.iter().enumerate() {
+            smash_raw(&fs, h, 0x80 + i as u8);
+        }
+        fs.purge_read_caches();
+        let rebuilt = fs.rebuild_dir_from_shadow(&parent).unwrap();
+        assert_eq!(rebuilt.children_relinked, 1);
+        assert_eq!(rebuilt.children_dropped, vec!["b".to_string()]);
+        let listing = fs.read_hidden_dir_listing(&parent).unwrap();
+        assert!(listing.find("a").is_some() && listing.find("b").is_none());
+        assert_eq!(fs.read_hidden_entry(&a).unwrap(), payload);
     }
 }

@@ -58,10 +58,13 @@ pub enum Phase {
     /// Read-cache miss service (tagging only; the fill I/O shows up as
     /// nested `device_io`/`crypto` spans).
     CacheMiss = 10,
+    /// Read-repair: rewriting damaged shares/replicas after a degraded read
+    /// (the convergence work, not the degraded read itself).
+    Repair = 11,
 }
 
 /// Number of phases in the taxonomy.
-pub const PHASE_COUNT: usize = 11;
+pub const PHASE_COUNT: usize = 12;
 
 /// Static phase labels, indexed by `Phase as usize`.
 pub const PHASE_NAMES: [&str; PHASE_COUNT] = [
@@ -76,6 +79,7 @@ pub const PHASE_NAMES: [&str; PHASE_COUNT] = [
     "crypto",
     "cache_hit",
     "cache_miss",
+    "repair",
 ];
 
 /// Every phase, in index order (for fixed-shape iteration).
@@ -91,6 +95,7 @@ pub const ALL_PHASES: [Phase; PHASE_COUNT] = [
     Phase::Crypto,
     Phase::CacheHit,
     Phase::CacheMiss,
+    Phase::Repair,
 ];
 
 impl Phase {

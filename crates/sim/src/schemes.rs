@@ -340,7 +340,7 @@ impl SchemeInstance for StegFsScheme {
     ) -> Result<(), String> {
         let handle = self
             .handles
-            .get(file_index)
+            .get_mut(file_index)
             .ok_or_else(|| format!("file {file_index} was not prepared"))?;
         let offset = chunk * self.block_size as u64;
         let len = (spec.size.saturating_sub(offset)).min(data.len() as u64) as usize;

@@ -14,6 +14,13 @@
 //! [`ScavengeReport::lost`] — the scavenger never writes a partial
 //! reconstruction, and a later pass with a fuller set of shares (say after
 //! imaging a second damaged mirror) can still succeed.
+//!
+//! Directories get one extra recovery tier: when a directory *object* is
+//! lost beyond its redundancy, the pass tries
+//! [`StegFs::rebuild_dir_from_shadow`] — re-creating the directory in
+//! place from its shadow listing and re-linking every child whose own
+//! object still probes — and then recurses into the recovered subtree, so
+//! one dead interior node no longer severs its descendants.
 
 use stegfs_blockdev::BlockDevice;
 use stegfs_core::hidden::RepairOutcome;
@@ -35,7 +42,14 @@ pub struct ScavengeReport {
     pub objects_lost: usize,
     /// Total share blocks rebuilt and rewritten across all repairs.
     pub shares_rewritten: usize,
-    /// Logical names of the lost objects, for the operator.
+    /// Lost directory objects re-created in place from their shadow
+    /// listings (counted under `objects_repaired`, not `objects_lost`).
+    pub subtrees_rebuilt: usize,
+    /// Children re-linked into rebuilt directories across all rebuilds.
+    pub children_relinked: usize,
+    /// Logical names of the lost objects, for the operator.  Children a
+    /// rebuild had to drop (their own objects no longer probe) appear here
+    /// under their path inside the rebuilt directory.
     pub lost: Vec<String>,
 }
 
@@ -43,6 +57,33 @@ impl ScavengeReport {
     /// True when every reached object is readable (intact or repaired).
     pub fn all_recovered(&self) -> bool {
         self.objects_lost == 0
+    }
+}
+
+/// Last-resort handling for a directory object that is lost beyond its own
+/// redundancy: rebuild it in place from the shadow listing.  Success counts
+/// as a repair (the subtree is reachable again); failure — no shadow, or the
+/// shadow is damaged too — reports the directory lost as before.
+fn rebuild_lost_dir<D: BlockDevice>(
+    fs: &StegFs<D>,
+    entry: &DirectoryEntry,
+    path: &str,
+    report: &mut ScavengeReport,
+) {
+    match fs.rebuild_dir_from_shadow(entry) {
+        Ok(rebuilt) => {
+            report.objects_repaired += 1;
+            report.subtrees_rebuilt += 1;
+            report.children_relinked += rebuilt.children_relinked;
+            for name in rebuilt.children_dropped {
+                report.objects_lost += 1;
+                report.lost.push(format!("{path}/{name}"));
+            }
+        }
+        Err(_) => {
+            report.objects_lost += 1;
+            report.lost.push(path.to_string());
+        }
     }
 }
 
@@ -59,21 +100,28 @@ fn visit<D: BlockDevice>(
             report.objects_repaired += 1;
             report.shares_rewritten += shares_rebuilt;
         }
+        Ok(RepairOutcome::Lost { .. }) if entry.kind == ObjectKind::Directory => {
+            rebuild_lost_dir(fs, entry, path, report);
+        }
         Ok(RepairOutcome::Lost { .. }) => {
             report.objects_lost += 1;
             report.lost.push(path.to_string());
         }
         // An object that cannot even be opened (destroyed header, torn
-        // chain) is lost the same way; the walk continues so one casualty
-        // does not hide the rest of the report.
+        // chain) gets the same treatment; the walk continues so one
+        // casualty does not hide the rest of the report.
+        Err(_) if entry.kind == ObjectKind::Directory => {
+            rebuild_lost_dir(fs, entry, path, report);
+        }
         Err(_) => {
             report.objects_lost += 1;
             report.lost.push(path.to_string());
         }
     }
     if entry.kind == ObjectKind::Directory {
-        // Recurse only if the listing is readable; if the directory object
-        // itself is gone its subtree is unreachable and already reported.
+        // Recurse only if the listing is readable — which, after a shadow
+        // rebuild, it is again; a directory that stayed lost has an
+        // unreachable subtree, already reported.
         if let Ok(listing) = fs.read_hidden_dir_listing(entry) {
             for child in &listing.entries {
                 let child_path = format!("{path}/{}", child.name);
@@ -172,6 +220,81 @@ mod tests {
             vec![3u8; 6000]
         );
         assert!(fs.read_hidden_with_key("gone", UAK).is_err());
+    }
+
+    #[test]
+    fn lost_interior_directory_is_rebuilt_from_its_shadow() {
+        let fs = fixture();
+        fs.steg_create("d", UAK, ObjectKind::Directory).unwrap();
+        let d = fs.lookup_entry("d", UAK).unwrap();
+        fs.create_dir_child(&d, "b", ObjectKind::File).unwrap();
+        fs.create_dir_child(&d, "sub", ObjectKind::Directory)
+            .unwrap();
+        let listing = fs.read_hidden_dir_listing(&d).unwrap();
+        let sub = listing.find("sub").cloned().unwrap();
+        fs.steg_connect("d", UAK).unwrap();
+        fs.write_hidden("b", &vec![9u8; 5000]).unwrap();
+        fs.create_dir_child(&sub, "leaf", ObjectKind::File).unwrap();
+
+        // Destroy every header replica of the interior directory "d":
+        // damage past its metadata redundancy, so it cannot even be opened.
+        let keys = stegfs_core::crypt::ObjectKeys::derive(&d.physical_name, &d.fak);
+        let obj =
+            stegfs_core::hidden::open(fs.plain_fs(), &d.physical_name, &keys, fs.params()).unwrap();
+        let dev = fs.plain_fs().device().clone();
+        for &h in &obj.header.header_replicas {
+            dev.zero_block(h).unwrap();
+        }
+        fs.purge_read_caches();
+        assert!(fs.read_hidden_dir_listing(&d).is_err());
+
+        // The pass rebuilds "d" from its shadow and keeps walking: the
+        // whole subtree is scanned through the recovered listing.
+        let report = scavenge(&fs, &[UAK]).unwrap();
+        assert_eq!(report.objects_scanned, 4); // d, d/b, d/sub, d/sub/leaf
+        assert_eq!(report.subtrees_rebuilt, 1);
+        assert_eq!(report.children_relinked, 2);
+        assert_eq!(report.objects_lost, 0);
+        assert!(report.all_recovered());
+        assert_eq!(fs.read_hidden("b").unwrap(), vec![9u8; 5000]);
+        assert!(fs
+            .read_hidden_dir_listing(&sub)
+            .unwrap()
+            .find("leaf")
+            .is_some());
+    }
+
+    #[test]
+    fn rebuild_drops_children_that_no_longer_probe() {
+        let fs = fixture();
+        fs.steg_create("d", UAK, ObjectKind::Directory).unwrap();
+        let d = fs.lookup_entry("d", UAK).unwrap();
+        fs.create_dir_child(&d, "keep", ObjectKind::File).unwrap();
+        fs.create_dir_child(&d, "gone", ObjectKind::File).unwrap();
+        let listing = fs.read_hidden_dir_listing(&d).unwrap();
+        let gone = listing.find("gone").cloned().unwrap();
+        fs.steg_connect("d", UAK).unwrap();
+        fs.write_hidden("keep", &vec![5u8; 4000]).unwrap();
+
+        let dev = fs.plain_fs().device().clone();
+        for entry in [&d, &gone] {
+            let keys = stegfs_core::crypt::ObjectKeys::derive(&entry.physical_name, &entry.fak);
+            let obj =
+                stegfs_core::hidden::open(fs.plain_fs(), &entry.physical_name, &keys, fs.params())
+                    .unwrap();
+            for &h in &obj.header.header_replicas {
+                dev.zero_block(h).unwrap();
+            }
+        }
+        fs.purge_read_caches();
+
+        let report = scavenge(&fs, &[UAK]).unwrap();
+        assert_eq!(report.objects_scanned, 2); // d, then d/keep via the rebuilt listing
+        assert_eq!(report.subtrees_rebuilt, 1);
+        assert_eq!(report.children_relinked, 1);
+        assert_eq!(report.objects_lost, 1);
+        assert_eq!(report.lost, vec!["d/gone".to_string()]);
+        assert_eq!(fs.read_hidden("keep").unwrap(), vec![5u8; 4000]);
     }
 
     #[test]

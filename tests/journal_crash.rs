@@ -474,3 +474,78 @@ fn torn_hidden_rewrite_preserves_old_contents() {
         assert_no_double_ownership(&fs);
     }
 }
+
+/// Crash-consistency for the self-healing paths: an in-place repair — the
+/// online read-repair drain rewriting damaged shares and metadata replicas
+/// — interrupted at an arbitrary write must replay all-or-nothing.  After
+/// remount the object still reads back in full (the damage was within
+/// tolerance, and a torn repair must not have made it worse), and an
+/// offline scavenge converges the volume to fully intact.
+#[test]
+fn crash_mid_repair_replays_cleanly_and_converges() {
+    use stegfs_core::Policy;
+    let coded = || StegParams {
+        hidden_policy: Policy::Disperse { m: 2, n: 4 },
+        ..params()
+    };
+    for trip in [1u64, 2, 4, 9, 15] {
+        let dev = CrashDevice::new(MemBlockDevice::new(1024, 8192));
+        let fs = StegFs::format(
+            BufferCache::new_write_back(dev.clone(), CACHE_BLOCKS),
+            coded(),
+        )
+        .unwrap();
+        let data = payload(0x4e41 ^ trip, 20 * 1024);
+        fs.steg_create("heal", OWNER, ObjectKind::File).unwrap();
+        fs.write_hidden_with_key("heal", OWNER, &data).unwrap();
+        fs.sync().unwrap();
+
+        // Tolerable damage on data shares *and* metadata replicas, synced
+        // down so it survives the crash no matter what.
+        let junk = vec![0x99u8; 1024];
+        for group in fs.hidden_share_extents("heal", OWNER).unwrap() {
+            fs.plain_fs().write_raw_block(group[1], &junk).unwrap();
+            fs.plain_fs().write_raw_block(group[3], &junk).unwrap();
+        }
+        let entry = fs.lookup_entry("heal", OWNER).unwrap();
+        let keys = ObjectKeys::derive(&entry.physical_name, &entry.fak);
+        let obj = hidden::open(fs.plain_fs(), &entry.physical_name, &keys, fs.params()).unwrap();
+        fs.plain_fs()
+            .write_raw_block(obj.header.header_replicas[1], &junk)
+            .unwrap();
+        fs.sync().unwrap();
+        fs.purge_read_caches();
+
+        // The degraded read queues a self-healing ticket; the drain then
+        // dies mid-rewrite.
+        assert_eq!(fs.read_hidden_with_key("heal", OWNER).unwrap(), data);
+        assert!(fs.pending_repairs() >= 1);
+        dev.fail_after_writes(trip);
+        let _ = fs.process_repairs(4);
+        drop(fs);
+        dev.crash(0x7e41 ^ trip);
+
+        // Replay: the repair either committed entirely or rolled away; the
+        // object reads back in full either way.
+        let fs = StegFs::mount(
+            BufferCache::new_write_back(dev.clone(), CACHE_BLOCKS),
+            coded(),
+        )
+        .expect("remount after mid-repair crash");
+        assert_eq!(
+            fs.read_hidden_with_key("heal", OWNER).unwrap(),
+            data,
+            "trip {trip}: torn repair broke the object"
+        );
+        assert_no_double_ownership(&fs);
+
+        // An offline scavenge finishes the job and converges: a second
+        // pass finds nothing left to repair.
+        let report = stegfs_survival::scavenge(&fs, &[OWNER]).unwrap();
+        assert!(report.all_recovered(), "trip {trip}: {report:?}");
+        let again = stegfs_survival::scavenge(&fs, &[OWNER]).unwrap();
+        assert_eq!(again.objects_intact, again.objects_scanned, "trip {trip}");
+        fs.purge_read_caches();
+        assert_eq!(fs.read_hidden_with_key("heal", OWNER).unwrap(), data);
+    }
+}
